@@ -1,0 +1,34 @@
+//! One criterion bench per data-bearing figure: times regenerating each
+//! figure's full data series through the simulated cluster. (Figure 9 has
+//! its own dedicated bench in `sched_overhead.rs`.)
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20))
+        .warm_up_time(Duration::from_secs(2));
+    group.bench_function("fig1_black_scholes_sweep", |b| {
+        b.iter(|| std::hint::black_box(grout_bench::fig1()))
+    });
+    group.bench_function("fig6a_single_node_slowdowns", |b| {
+        b.iter(|| std::hint::black_box(grout_bench::fig6a()))
+    });
+    group.bench_function("fig6b_grout_slowdowns", |b| {
+        b.iter(|| std::hint::black_box(grout_bench::fig6b()))
+    });
+    group.bench_function("fig7_speedups", |b| {
+        b.iter(|| std::hint::black_box(grout_bench::fig7()))
+    });
+    group.bench_function("fig8_policy_matrix", |b| {
+        b.iter(|| std::hint::black_box(grout_bench::fig8()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! kernelc throughput: runtime compilation cost (the NVRTC path) and
+//! interpreter element throughput for the paper's kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grout::workloads::{BLACK_SCHOLES_KERNEL, MV_KERNEL};
+use kernelc::{compile_one, KernelArg};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernelc_compile");
+    group.bench_function("black_scholes", |b| {
+        b.iter(|| compile_one(BLACK_SCHOLES_KERNEL, "black_scholes").unwrap())
+    });
+    group.bench_function("mv", |b| b.iter(|| compile_one(MV_KERNEL, "mv").unwrap()));
+    group.finish();
+}
+
+fn bench_launch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernelc_launch");
+    let n = 1 << 18;
+    group.throughput(Throughput::Elements(n as u64));
+    let saxpy = compile_one(
+        "__global__ void saxpy(float* y, const float* x, float a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { y[i] = a * x[i] + y[i]; }
+        }",
+        "saxpy",
+    )
+    .unwrap();
+    let mut y = vec![1.0f32; n];
+    let mut x = vec![2.0f32; n];
+    group.bench_function("saxpy_256k", |b| {
+        b.iter(|| {
+            saxpy
+                .launch(
+                    (n as u32).div_ceil(256),
+                    256,
+                    &mut [
+                        KernelArg::F32(&mut y),
+                        KernelArg::F32(&mut x),
+                        KernelArg::Float(1.0001),
+                        KernelArg::Int(n as i32),
+                    ],
+                )
+                .unwrap()
+        })
+    });
+    let bs = compile_one(BLACK_SCHOLES_KERNEL, "black_scholes").unwrap();
+    let mut spot = vec![100.0f32; n];
+    let mut call = vec![0.0f32; n];
+    let mut put = vec![0.0f32; n];
+    group.bench_function("black_scholes_256k", |b| {
+        b.iter(|| {
+            bs.launch(
+                (n as u32).div_ceil(256),
+                256,
+                &mut [
+                    KernelArg::F32(&mut spot),
+                    KernelArg::F32(&mut call),
+                    KernelArg::F32(&mut put),
+                    KernelArg::Float(100.0),
+                    KernelArg::Float(0.05),
+                    KernelArg::Float(0.2),
+                    KernelArg::Float(1.0),
+                    KernelArg::Int(n as i32),
+                ],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_launch, bench_local_runtime);
+criterion_main!(benches);
+
+fn bench_local_runtime(c: &mut Criterion) {
+    use grout::core::{LocalArg, LocalConfig, LocalRuntime, PolicyKind};
+    use std::sync::Arc;
+
+    // End-to-end framework overhead: dependent 4 KiB kernels through the
+    // threaded controller/worker machinery (dominated by scheduling and
+    // channel traffic, not compute).
+    let mut group = c.benchmark_group("local_runtime");
+    group.sample_size(20);
+    let k = Arc::new(
+        compile_one(
+            "__global__ void inc(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = a[i] + 1.0; }
+            }",
+            "inc",
+        )
+        .unwrap(),
+    );
+    group.bench_function("dependent_chain_64", |b| {
+        b.iter(|| {
+            let mut rt = LocalRuntime::new(LocalConfig {
+                workers: 2,
+                policy: PolicyKind::RoundRobin,
+            });
+            let a = rt.alloc_f32(1024);
+            for _ in 0..64 {
+                rt.launch(&k, 4, 256, vec![LocalArg::Buf(a), LocalArg::I32(1024)])
+                    .unwrap();
+            }
+            rt.synchronize().unwrap();
+        })
+    });
+    group.finish();
+}

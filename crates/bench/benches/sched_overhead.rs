@@ -1,0 +1,58 @@
+//! Criterion version of the paper's Figure 9: wall-clock cost of one
+//! Controller scheduling decision, per policy, versus cluster size.
+//! Static policies must stay flat; the online min-transfer policies grow
+//! linearly with the node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grout::core::{ExplorationLevel, LinkMatrix, NodeScheduler, PolicyKind};
+use grout_bench::fig9_state;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_sched_overhead");
+    type MakeScheduler = Box<dyn Fn() -> NodeScheduler>;
+    for nodes in [2usize, 16, 64, 256] {
+        let (_, coherence, ce) = fig9_state(nodes);
+        let make: Vec<(&'static str, MakeScheduler)> = vec![
+            (
+                "round-robin",
+                Box::new(move || NodeScheduler::new(PolicyKind::RoundRobin, nodes, None)),
+            ),
+            (
+                "vector-step",
+                Box::new(move || {
+                    NodeScheduler::new(PolicyKind::VectorStep(vec![1, 2, 3]), nodes, None)
+                }),
+            ),
+            (
+                "min-transfer-size",
+                Box::new(move || {
+                    NodeScheduler::new(
+                        PolicyKind::MinTransferSize(ExplorationLevel::Medium),
+                        nodes,
+                        None,
+                    )
+                }),
+            ),
+            (
+                "min-transfer-time",
+                Box::new(move || {
+                    NodeScheduler::new(
+                        PolicyKind::MinTransferTime(ExplorationLevel::Medium),
+                        nodes,
+                        Some(LinkMatrix::uniform(nodes + 1, 500e6)),
+                    )
+                }),
+            ),
+        ];
+        for (name, mk) in make {
+            group.bench_with_input(BenchmarkId::new(name, nodes), &nodes, |b, _| {
+                let mut sched = mk();
+                b.iter(|| std::hint::black_box(sched.assign(&ce, &coherence)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

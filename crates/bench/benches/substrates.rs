@@ -1,0 +1,109 @@
+//! Microbenchmarks of the substrate layers: DAG maintenance, coherence
+//! bookkeeping, the UVM cost engine, network transfers and stream
+//! scheduling. These bound the framework's own overhead (the paper's
+//! premise is that scheduling cost is negligible next to data movement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grout::core::{ArrayId, Ce, CeArg, CeId, CeKind, Coherence, DepDag, KernelCost, Location};
+use grout::desim::{SimDuration, SimTime};
+use grout::net_sim::{EndpointId, Network, Topology};
+use grout::uvm_sim::{AllocId, ArgAccess, UvmConfig, UvmDevice};
+
+fn kernel_ce(id: u64, arrays: &[u64]) -> Ce {
+    Ce {
+        id: CeId(id),
+        kind: CeKind::Kernel {
+            name: "k".into(),
+            cost: KernelCost::default(),
+        },
+        args: arrays
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                if i == 0 {
+                    CeArg::write(ArrayId(a), 1 << 20)
+                } else {
+                    CeArg::read(ArrayId(a), 1 << 20)
+                }
+            })
+            .collect(),
+    }
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    // A producer/consumer chain alternating over a rolling window of arrays.
+    group.bench_function("add_ce_chain_1k", |b| {
+        b.iter(|| {
+            let mut dag = DepDag::new();
+            for i in 0..1000u64 {
+                let ce = kernel_ce(i, &[i % 16, (i + 1) % 16, (i + 2) % 16]);
+                std::hint::black_box(dag.add_ce(&ce));
+            }
+            dag.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_coherence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence");
+    for workers in [2usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("write_invalidate_cycle", workers),
+            &workers,
+            |b, &n| {
+                let mut coh = Coherence::new();
+                for a in 0..64u64 {
+                    coh.register(ArrayId(a));
+                }
+                b.iter(|| {
+                    for a in 0..64u64 {
+                        for w in 0..n {
+                            coh.record_copy(ArrayId(a), Location::worker(w));
+                        }
+                        coh.record_write(ArrayId(a), Location::worker(a as usize % n));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_uvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uvm");
+    group.bench_function("kernel_access_fitting", |b| {
+        let mut dev = UvmDevice::new(UvmConfig::default(), 16 << 30, 12e9);
+        let args = [ArgAccess::streamed_read(AllocId(1), 8 << 30)];
+        b.iter(|| std::hint::black_box(dev.kernel_access(&args)))
+    });
+    group.bench_function("kernel_access_storming", |b| {
+        let mut dev = UvmDevice::new(UvmConfig::default(), 16 << 30, 12e9);
+        let args = [ArgAccess::streamed_read(AllocId(1), 48 << 30)];
+        b.iter(|| std::hint::black_box(dev.kernel_access(&args)))
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.bench_function("transfer_issue", |b| {
+        let topo = Topology::paper_oci(4, SimDuration::from_micros(50));
+        let mut net = Network::new(topo);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            std::hint::black_box(net.transfer(
+                SimTime(t),
+                EndpointId(t as usize % 5),
+                EndpointId((t as usize + 1) % 5),
+                1 << 20,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag, bench_coherence, bench_uvm, bench_network);
+criterion_main!(benches);

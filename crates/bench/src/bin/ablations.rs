@@ -1,0 +1,183 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! Each section isolates one mechanism and shows its contribution to the
+//! reproduced behaviour:
+//!  1. UVM prefetcher granule (2 MiB tree prefetch vs raw 64 KiB faults)
+//!  2. Fault-batch service latency
+//!  3. Storm knee placement (when does the cliff move?)
+//!  4. `cudaMemAdvise(ReadMostly)` on the MV broadcast vector
+//!  5. Peer-to-peer transfers vs controller staging
+//!  6. Hierarchical vs flat (controller-managed) stream scheduling
+//!
+//! Run with: `cargo run --release -p grout-bench --bin ablations`
+
+use grout::core::{PolicyKind, SimConfig};
+use grout::uvm_sim::MemAdvise;
+use grout::workloads::{gb, run_workload, ConjugateGradient, MatVec, SimWorkload};
+
+fn single_with(cfg_mut: impl FnOnce(&mut SimConfig), w: &dyn SimWorkload, size: u64) -> f64 {
+    let mut cfg = SimConfig::grcuda_baseline();
+    cfg_mut(&mut cfg);
+    run_workload(w, cfg, size).secs()
+}
+
+fn grout_with(cfg_mut: impl FnOnce(&mut SimConfig), w: &dyn SimWorkload, size: u64) -> f64 {
+    let mut cfg = SimConfig::paper_grout(2, PolicyKind::VectorStep(w.tuned_vector()));
+    cfg_mut(&mut cfg);
+    run_workload(w, cfg, size).secs()
+}
+
+fn main() {
+    let mv = MatVec::default();
+    let cg = ConjugateGradient::default();
+
+    println!("== 1. UVM prefetcher granule (MV, single node) ==");
+    for (label, granule) in [("2 MiB tree prefetch", 2u64 << 20), ("64 KiB (prefetch off)", 64 << 10)] {
+        let t64 = single_with(|c| c.uvm.prefetch_granule_bytes = granule, &mv, gb(64));
+        let t32 = single_with(|c| c.uvm.prefetch_granule_bytes = granule, &mv, gb(32));
+        println!("  {label:<24} t(32GB)={t32:>8.1}s  t(64GB)={t64:>8.1}s  step={:.1}x", t64 / t32);
+    }
+    println!("  (without the tree prefetcher even mild oversubscription pays per-page faults)");
+    println!();
+
+    println!("== 2. Fault-batch service latency (MV, 96 GB single node) ==");
+    for (label, us) in [("15 us", 15u64), ("30 us (V100 cal.)", 30), ("60 us", 60)] {
+        let t = single_with(
+            |c| c.uvm.fault_batch_latency = grout::desim::SimDuration::from_micros(us),
+            &mv,
+            gb(96),
+        );
+        println!("  {label:<20} t(96GB) = {t:>9.1}s");
+    }
+    println!();
+
+    println!("== 3. Storm knee placement (CG cliff location, single node) ==");
+    for knee in [1.5f64, 2.25, 2.8, 3.5] {
+        let t64 = single_with(|c| c.uvm.stream_storm_knee = knee, &cg, gb(64));
+        let t96 = single_with(|c| c.uvm.stream_storm_knee = knee, &cg, gb(96));
+        let t32 = single_with(|c| c.uvm.stream_storm_knee = knee, &cg, gb(32));
+        println!(
+            "  knee {knee:<5} step(32->64)={:>7.1}x  step(64->96)={:>7.1}x",
+            t64 / t32,
+            t96 / t64
+        );
+    }
+    println!("  (the knee sets where the cliff lands; 2.8 reproduces the paper's 2-3x window)");
+    println!();
+
+    println!("== 4. cudaMemAdvise(ReadMostly) on the MV broadcast vector ==");
+    let plain = run_workload(&mv, SimConfig::grcuda_baseline(), gb(96)).secs();
+    let hinted = run_workload(
+        &MatVec {
+            x_advise: MemAdvise::ReadMostly,
+            ..MatVec::default()
+        },
+        SimConfig::grcuda_baseline(),
+        gb(96),
+    )
+    .secs();
+    println!("  no hint        : {plain:>9.1}s");
+    println!("  ReadMostly on x: {hinted:>9.1}s   ({:.2}x)", plain / hinted);
+    println!("  (the hint removes the vector's refaults but the matrix-side storm");
+    println!("   dominates: hand-tuning one array is not a general fix — the paper's");
+    println!("   argument for attacking the root cause instead)");
+    println!();
+
+    println!("== 5. Peer-to-peer vs controller staging ==");
+    // A producer/consumer pipeline bouncing a 4 GB intermediate between the
+    // two workers, 8 times (each hop is a worker-to-worker movement).
+    let pipeline = |p2p: bool| {
+        let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
+        cfg.p2p_enabled = p2p;
+        let mut rt = grout::core::SimRuntime::new(cfg);
+        let a = rt.alloc(4 << 30);
+        let cost = grout::core::KernelCost {
+            flops: 1e9,
+            bytes_read: 4 << 30,
+            bytes_written: 4 << 30,
+        };
+        for _ in 0..8 {
+            rt.launch("stage", cost, vec![grout::core::CeArg::read_write(a, 4 << 30)]);
+        }
+        rt.elapsed().as_secs_f64()
+    };
+    let (p2p, staged) = (pipeline(true), pipeline(false));
+    println!("  P2P enabled : {p2p:>9.1}s");
+    println!("  staged      : {staged:>9.1}s   ({:.2}x worse)", staged / p2p);
+    println!("  (CG at 96 GB moves only small vectors per iteration, so there the");
+    println!("   difference is negligible: {:.1}s vs {:.1}s)",
+        grout_with(|_| {}, &cg, gb(96)),
+        grout_with(|c| c.p2p_enabled = false, &cg, gb(96)));
+    println!();
+
+    println!("== 7. Hand-tuned prefetching vs transparent scale-out ==");
+    // The paper's two competing remedies (Section I): instrument the CPU
+    // code with cudaMemPrefetchAsync, or remove the oversubscription by
+    // distributing. Prefetch helps streamed workloads somewhat and gathers
+    // barely; scale-out removes the cliff outright.
+    let pairs: [(&dyn SimWorkload, &str); 2] = [(&mv, "MV"), (&cg, "CG")];
+    for (wl, name) in pairs {
+        let plain = single_with(|_| {}, wl, gb(96));
+        let tuned = single_with(|c| c.hand_tuned_prefetch = true, wl, gb(96));
+        let scaled = grout_with(|_| {}, wl, gb(96));
+        println!(
+            "  {name}: plain UVM {plain:>8.1}s | +prefetch {tuned:>8.1}s ({:.2}x) | 2-node GrOUT {scaled:>7.1}s ({:.1}x)",
+            plain / tuned,
+            plain / scaled
+        );
+    }
+    println!();
+
+    println!("== 8. Eviction policy: LRU vs random victim (CG, 64 GB single node) ==");
+    for (label, policy) in [
+        ("LRU (driver default)", grout::uvm_sim::EvictionPolicy::Lru),
+        ("random victim", grout::uvm_sim::EvictionPolicy::Random),
+    ] {
+        let t = single_with(|c| c.uvm.eviction = policy, &cg, gb(64));
+        println!("  {label:<22} t(64GB) = {t:>8.1}s");
+    }
+    println!("  (random eviction loses the recency protection of hot vectors)");
+    println!();
+
+    println!("== 9. Interconnect what-if: PCIe vs NVLink migration (MV, single node) ==");
+    for (label, spec) in [
+        ("PCIe gen3 (~12 GB/s)", grout::gpu_sim::DeviceSpec::v100_16gb()),
+        ("NVLink2 (~40 GB/s)", grout::gpu_sim::DeviceSpec::v100_nvlink()),
+    ] {
+        let t96 = single_with(|c| c.node.gpu = spec.clone(), &mv, gb(96));
+        let t64 = single_with(|c| c.node.gpu = spec.clone(), &mv, gb(64));
+        println!("  {label:<22} t(64GB)={t64:>7.1}s  t(96GB)={t96:>8.1}s  step={:.0}x", t96 / t64);
+    }
+    println!("  (a faster fabric shrinks the cliff but cannot remove it: fault-service");
+    println!("   latency, not bandwidth, dominates the storm — scale-out still wins)");
+    println!();
+
+    println!("== 6. Hierarchical vs flat stream scheduling (controller overhead) ==");
+    for workers in [2usize, 8, 32] {
+        let mk = |flat: bool| {
+            let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
+            cfg.flat_scheduling = flat;
+            let mut rt = grout::core::SimRuntime::new(cfg);
+            let a = rt.alloc(1 << 20);
+            for _ in 0..64 {
+                rt.launch(
+                    "k",
+                    grout::core::KernelCost {
+                        flops: 1e6,
+                        bytes_read: 1 << 20,
+                        bytes_written: 0,
+                    },
+                    vec![grout::core::CeArg::read_write(a, 1 << 20)],
+                );
+            }
+            rt.stats().sched_overhead.as_micros_f64() / 64.0
+        };
+        println!(
+            "  {workers:>3} nodes: hierarchical {:>7.2} us/CE   flat {:>7.2} us/CE",
+            mk(false),
+            mk(true)
+        );
+    }
+    println!("  (delegating stream choice to workers keeps the controller O(nodes), the");
+    println!("   paper's Section IV-C argument)");
+}

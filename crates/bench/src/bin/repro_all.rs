@@ -1,0 +1,71 @@
+//! Regenerates every data-bearing figure and prints the tables
+//! (optionally writing JSON next to them with `--json <dir>`).
+
+use grout_bench::*;
+
+fn main() {
+    let json_dir = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let dump = |name: &str, value: serde_json::Value| {
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            std::fs::write(
+                format!("{dir}/{name}.json"),
+                serde_json::to_string_pretty(&value).expect("serialize"),
+            )
+            .expect("write json");
+        }
+    };
+
+    for (fig, name) in [(fig1(), "fig1"), (fig6a(), "fig6a"), (fig6b(), "fig6b"), (fig7(), "fig7")] {
+        print_figure(&fig);
+        println!();
+        dump(name, serde_json::to_value(&fig).expect("serialize"));
+    }
+
+    let cells = fig8();
+    println!("== fig8 — exec time at 96 GB (3x), normalized to round-robin (lower is better) ==");
+    println!(
+        "{:>8} {:>6} {:>20} {:>12} {:>12}",
+        "level", "wl", "policy", "normalized", "secs"
+    );
+    for c in &cells {
+        println!(
+            "{:>8} {:>6} {:>20} {:>12.3} {:>11.1}{}",
+            c.level,
+            c.workload,
+            c.policy,
+            c.normalized,
+            c.secs,
+            if c.timed_out { "*" } else { " " }
+        );
+    }
+    println!();
+    dump("fig8", serde_json::to_value(&cells).expect("serialize"));
+
+    let points = fig9();
+    println!("== fig9 — controller scheduling overhead per CE [us] (real wall clock) ==");
+    print!("{:>8}", "nodes");
+    let policies = ["round-robin", "vector-step", "min-transfer-size", "min-transfer-time"];
+    for p in policies {
+        print!("{p:>20}");
+    }
+    println!();
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        print!("{n:>8}");
+        for p in policies {
+            let v = points
+                .iter()
+                .find(|q| q.policy == p && q.nodes == n)
+                .map(|q| q.micros_per_ce)
+                .unwrap_or(f64::NAN);
+            print!("{v:>20.3}");
+        }
+        println!();
+    }
+    dump("fig9", serde_json::to_value(&points).expect("serialize"));
+}

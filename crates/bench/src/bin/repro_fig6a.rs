@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6a data series.
+
+fn main() {
+    grout_bench::print_figure(&grout_bench::fig6a());
+}

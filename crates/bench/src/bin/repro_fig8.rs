@@ -1,0 +1,22 @@
+//! Regenerates Figure 8: policy comparison at 3x oversubscription.
+
+fn main() {
+    let cells = grout_bench::fig8();
+    println!("== fig8 — exec time at 96 GB (3x), normalized to round-robin (lower is better) ==");
+    println!(
+        "{:>8} {:>6} {:>20} {:>12} {:>12}",
+        "level", "wl", "policy", "normalized", "secs"
+    );
+    for c in &cells {
+        println!(
+            "{:>8} {:>6} {:>20} {:>12.3} {:>11.1}{}",
+            c.level,
+            c.workload,
+            c.policy,
+            c.normalized,
+            c.secs,
+            if c.timed_out { "*" } else { " " }
+        );
+    }
+    println!("(* exceeded the paper's 2.5 h per-run cap)");
+}

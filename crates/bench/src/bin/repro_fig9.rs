@@ -1,0 +1,30 @@
+//! Regenerates Figure 9: controller scheduling overhead vs cluster size,
+//! measured on the real policy code.
+
+fn main() {
+    let points = grout_bench::fig9();
+    println!("== fig9 — controller scheduling overhead per CE [us] ==");
+    let policies = [
+        "round-robin",
+        "vector-step",
+        "min-transfer-size",
+        "min-transfer-time",
+    ];
+    print!("{:>8}", "nodes");
+    for p in policies {
+        print!("{p:>20}");
+    }
+    println!();
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        print!("{n:>8}");
+        for p in policies {
+            let v = points
+                .iter()
+                .find(|q| q.policy == p && q.nodes == n)
+                .map(|q| q.micros_per_ce)
+                .unwrap_or(f64::NAN);
+            print!("{v:>20.3}");
+        }
+        println!();
+    }
+}

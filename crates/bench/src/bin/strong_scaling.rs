@@ -1,0 +1,53 @@
+//! Strong scaling beyond the paper's two nodes: the 160 GB (5x) workloads
+//! on 1..8 GrOUT worker nodes (the paper's Section V-F asks "is infinite
+//! scale-out a definite solution?" — this shows where the returns
+//! diminish: once per-GPU pressure drops below the storm knee, extra nodes
+//! only add network cost).
+//!
+//! Run with: `cargo run --release -p grout-bench --bin strong_scaling`
+
+use grout::core::{PolicyKind, SimConfig};
+use grout::workloads::{gb, run_workload, ConjugateGradient, MatVec, MlEnsemble, SimWorkload};
+
+fn main() {
+    let size = gb(160);
+    let workloads: Vec<Box<dyn SimWorkload>> = vec![
+        Box::new(MlEnsemble::default()),
+        Box::new(ConjugateGradient::default()),
+        Box::new(MatVec::default()),
+    ];
+    println!("160 GB (5x of one node) on 1..8 GrOUT nodes, round-robin policy:");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "nodes", "MLE [s]", "CG [s]", "MV [s]"
+    );
+    let mut base = Vec::new();
+    for nodes in [1usize, 2, 4, 8] {
+        print!("{nodes:>6}");
+        for (i, w) in workloads.iter().enumerate() {
+            let out = run_workload(
+                w.as_ref(),
+                SimConfig::paper_grout(nodes, PolicyKind::RoundRobin),
+                size,
+            );
+            if nodes == 1 {
+                base.push(out.secs());
+            }
+            print!(
+                "{:>11.1}{}",
+                out.secs(),
+                if out.timed_out { "*" } else { " " }
+            );
+            let _ = i;
+        }
+        println!();
+    }
+    println!("(* exceeded the paper's 2.5 h per-run cap)");
+    println!();
+    println!(
+        "Once per-GPU active pressure falls under the storm knee the remaining\n\
+         time is network distribution, which more nodes cannot shrink (every\n\
+         byte still crosses the controller NIC once) — scale-out is a cure for\n\
+         oversubscription, not a general accelerator."
+    );
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! # grout-bench — figure-reproduction harness
+//!
+//! One generator per data-bearing figure of the paper (1, 6a, 6b, 7, 8, 9);
+//! the `repro_*` binaries print them, `benches/` times them with criterion,
+//! and EXPERIMENTS.md records paper-vs-measured values.
+
+mod figures;
+
+pub use figures::{
+    fig1, fig6a, fig6b, fig7, fig8, fig9, fig9_state, grout_two_nodes, paper_workloads,
+    print_figure, Fig8Cell, Fig9Point, FigPoint, FigSeries, Figure,
+};

@@ -1,0 +1,268 @@
+//! Computational Elements (CEs).
+//!
+//! A CE is the paper's language-independent wrapper around everything the
+//! framework schedules: GPU kernel launches *and* host read/write operations
+//! on framework-managed arrays (e.g. array initialization). Dependencies
+//! between CEs are computed purely from their argument read/write sets —
+//! GrOUT never inspects kernel code for scheduling.
+
+use gpu_sim::KernelCost;
+use uvm_sim::{AccessMode, AccessPattern, MemAdvise};
+
+/// Identity of a framework-managed array (shared with `uvm_sim::AllocId`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u64);
+
+impl ArrayId {
+    /// The UVM allocation id backing this array.
+    pub fn alloc(self) -> uvm_sim::AllocId {
+        uvm_sim::AllocId(self.0)
+    }
+}
+
+/// Identity of a CE, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CeId(pub u64);
+
+/// One kernel/host argument: which array, how much of it, and how it is
+/// touched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CeArg {
+    /// Referenced array.
+    pub array: ArrayId,
+    /// Bytes of the array the CE touches.
+    pub bytes: u64,
+    /// Total size of the referenced array (0 = same as `bytes`). Set when a
+    /// CE touches a chunk of a larger (monolithic) array, so both the
+    /// coherence layer (whole-array transfers) and the UVM pressure model
+    /// see the real allocation.
+    pub alloc_bytes: u64,
+    /// Read/write direction (drives dependencies and dirty accounting).
+    pub mode: AccessMode,
+    /// Locality class (drives the UVM cost model).
+    pub pattern: AccessPattern,
+    /// Optional driver hint.
+    pub advise: MemAdvise,
+}
+
+impl CeArg {
+    /// A whole-array streamed read.
+    pub fn read(array: ArrayId, bytes: u64) -> Self {
+        CeArg {
+            array,
+            bytes,
+            alloc_bytes: bytes,
+            mode: AccessMode::Read,
+            pattern: AccessPattern::STREAM_ONCE,
+            advise: MemAdvise::None,
+        }
+    }
+
+    /// A whole-array streamed write.
+    pub fn write(array: ArrayId, bytes: u64) -> Self {
+        CeArg {
+            array,
+            bytes,
+            alloc_bytes: bytes,
+            mode: AccessMode::Write,
+            pattern: AccessPattern::STREAM_ONCE,
+            advise: MemAdvise::None,
+        }
+    }
+
+    /// A whole-array streamed read-modify-write.
+    pub fn read_write(array: ArrayId, bytes: u64) -> Self {
+        CeArg {
+            array,
+            bytes,
+            alloc_bytes: bytes,
+            mode: AccessMode::ReadWrite,
+            pattern: AccessPattern::STREAM_ONCE,
+            advise: MemAdvise::None,
+        }
+    }
+
+    /// Replaces the access pattern.
+    pub fn with_pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Replaces the driver hint.
+    pub fn with_advise(mut self, advise: MemAdvise) -> Self {
+        self.advise = advise;
+        self
+    }
+
+    /// Declares this argument a chunk of a larger allocation of
+    /// `alloc_bytes` total.
+    pub fn chunk_of(mut self, alloc_bytes: u64) -> Self {
+        self.alloc_bytes = alloc_bytes.max(self.bytes);
+        self
+    }
+
+    /// The UVM-layer view of this argument.
+    pub fn to_uvm(&self) -> uvm_sim::ArgAccess {
+        uvm_sim::ArgAccess {
+            alloc: self.array.alloc(),
+            bytes: self.bytes,
+            alloc_bytes: self.alloc_bytes.max(self.bytes),
+            pattern: self.pattern,
+            mode: self.mode,
+            advise: self.advise,
+        }
+    }
+}
+
+/// What a CE does when it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CeKind {
+    /// A GPU kernel launch.
+    Kernel {
+        /// Kernel name (reporting only).
+        name: String,
+        /// Roofline resource demand for the timing model.
+        cost: KernelCost,
+    },
+    /// A host-side read of array contents on the Controller (e.g. `print`).
+    HostRead,
+    /// A host-side write on the Controller (e.g. initialization loop).
+    HostWrite,
+}
+
+/// A Computational Element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ce {
+    /// Identity (submission order).
+    pub id: CeId,
+    /// Kernel or host operation.
+    pub kind: CeKind,
+    /// Arguments with access metadata.
+    pub args: Vec<CeArg>,
+}
+
+impl Ce {
+    /// Arrays this CE reads.
+    pub fn reads(&self) -> impl Iterator<Item = ArrayId> + '_ {
+        self.args
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(|a| a.array)
+    }
+
+    /// Arrays this CE writes.
+    pub fn writes(&self) -> impl Iterator<Item = ArrayId> + '_ {
+        self.args
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(|a| a.array)
+    }
+
+    /// Bytes the CE touches across all arguments.
+    pub fn total_bytes(&self) -> u64 {
+        self.args.iter().map(|a| a.bytes).sum()
+    }
+
+    /// True when this CE must run on the Controller (host operations).
+    pub fn is_host(&self) -> bool {
+        matches!(self.kind, CeKind::HostRead | CeKind::HostWrite)
+    }
+
+    /// Whether `self` depends on `earlier` (RAW, WAR or WAW on any array).
+    pub fn depends_on(&self, earlier: &Ce) -> bool {
+        // RAW: we read something it wrote.
+        for w in earlier.writes() {
+            if self.reads().any(|r| r == w) || self.writes().any(|x| x == w) {
+                return true; // RAW or WAW
+            }
+        }
+        // WAR: we write something it read.
+        for r in earlier.reads() {
+            if self.writes().any(|w| w == r) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            CeKind::Kernel { name, .. } => format!("kernel:{name}#{}", self.id.0),
+            CeKind::HostRead => format!("host-read#{}", self.id.0),
+            CeKind::HostWrite => format!("host-write#{}", self.id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(id: u64, args: Vec<CeArg>) -> Ce {
+        Ce {
+            id: CeId(id),
+            kind: CeKind::Kernel {
+                name: "k".into(),
+                cost: KernelCost::default(),
+            },
+            args,
+        }
+    }
+
+    const A: ArrayId = ArrayId(1);
+    const B: ArrayId = ArrayId(2);
+
+    #[test]
+    fn raw_dependency() {
+        let w = kernel(0, vec![CeArg::write(A, 100)]);
+        let r = kernel(1, vec![CeArg::read(A, 100)]);
+        assert!(r.depends_on(&w));
+    }
+
+    #[test]
+    fn war_and_waw_dependencies() {
+        let r = kernel(0, vec![CeArg::read(A, 100)]);
+        let w = kernel(1, vec![CeArg::write(A, 100)]);
+        assert!(w.depends_on(&r), "WAR");
+        let w2 = kernel(2, vec![CeArg::write(A, 100)]);
+        assert!(w2.depends_on(&w), "WAW");
+    }
+
+    #[test]
+    fn reads_do_not_conflict() {
+        let r1 = kernel(0, vec![CeArg::read(A, 100)]);
+        let r2 = kernel(1, vec![CeArg::read(A, 100)]);
+        assert!(!r2.depends_on(&r1));
+    }
+
+    #[test]
+    fn disjoint_arrays_do_not_conflict() {
+        let w1 = kernel(0, vec![CeArg::write(A, 100)]);
+        let w2 = kernel(1, vec![CeArg::write(B, 100)]);
+        assert!(!w2.depends_on(&w1));
+    }
+
+    #[test]
+    fn read_write_conflicts_both_ways() {
+        let rw = kernel(0, vec![CeArg::read_write(A, 100)]);
+        let r = kernel(1, vec![CeArg::read(A, 100)]);
+        assert!(r.depends_on(&rw));
+        let rw2 = kernel(2, vec![CeArg::read_write(A, 100)]);
+        assert!(rw2.depends_on(&rw));
+    }
+
+    #[test]
+    fn totals_and_labels() {
+        let ce = kernel(7, vec![CeArg::read(A, 100), CeArg::write(B, 50)]);
+        assert_eq!(ce.total_bytes(), 150);
+        assert_eq!(ce.label(), "kernel:k#7");
+        assert!(!ce.is_host());
+        let host = Ce {
+            id: CeId(8),
+            kind: CeKind::HostWrite,
+            args: vec![CeArg::write(A, 10)],
+        };
+        assert!(host.is_host());
+    }
+}

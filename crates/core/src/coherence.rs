@@ -1,0 +1,211 @@
+//! The Controller's coherence directory: which locations hold an up-to-date
+//! copy of each framework-managed array.
+//!
+//! This implements the data-movement half of the paper's Algorithm 1: a CE's
+//! parameters are either up-to-date on the scheduled worker (nothing to do),
+//! up-to-date *only on the Controller* (controller send), or up-to-date on
+//! some other worker(s) (peer-to-peer transfer from a candidate holder).
+//!
+//! The protocol is MSI-like at whole-array granularity: a read copy adds a
+//! location to the sharer set; a write makes the writer the exclusive
+//! holder.
+
+use std::collections::HashMap;
+
+use crate::ce::{ArrayId, CeArg};
+
+/// A data location: the Controller host or one of the Workers.
+///
+/// Index 0 is the Controller; worker `i` is index `i + 1`. This matches
+/// `net_sim::EndpointId` numbering so locations map 1:1 to network
+/// endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location(pub usize);
+
+impl Location {
+    /// The Controller host.
+    pub const CONTROLLER: Location = Location(0);
+
+    /// The `i`-th worker (0-based).
+    pub fn worker(i: usize) -> Location {
+        Location(i + 1)
+    }
+
+    /// The worker index, or `None` for the Controller.
+    pub fn worker_index(self) -> Option<usize> {
+        self.0.checked_sub(1)
+    }
+
+    /// The network endpoint backing this location.
+    pub fn endpoint(self) -> net_sim::EndpointId {
+        net_sim::EndpointId(self.0)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct ArrayState {
+    /// Sorted list of up-to-date locations.
+    holders: Vec<Location>,
+}
+
+/// The coherence directory.
+#[derive(Debug, Clone, Default)]
+pub struct Coherence {
+    arrays: HashMap<ArrayId, ArrayState>,
+}
+
+impl Coherence {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new array; freshly allocated arrays are up-to-date on the
+    /// Controller (that is where the application initializes them).
+    pub fn register(&mut self, array: ArrayId) {
+        self.arrays.insert(
+            array,
+            ArrayState {
+                holders: vec![Location::CONTROLLER],
+            },
+        );
+    }
+
+    /// Forgets an array (freed).
+    pub fn unregister(&mut self, array: ArrayId) {
+        self.arrays.remove(&array);
+    }
+
+    /// Number of tracked arrays.
+    pub fn len(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// True when no array is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+
+    /// Whether `loc` holds an up-to-date copy.
+    pub fn up_to_date_on(&self, array: ArrayId, loc: Location) -> bool {
+        self.arrays
+            .get(&array)
+            .is_some_and(|s| s.holders.contains(&loc))
+    }
+
+    /// All up-to-date locations of an array (empty iff unregistered).
+    pub fn holders(&self, array: ArrayId) -> &[Location] {
+        self.arrays
+            .get(&array)
+            .map(|s| s.holders.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Paper Algorithm 1: `upToDateOnlyOnController(param)`.
+    pub fn only_on_controller(&self, array: ArrayId) -> bool {
+        self.holders(array) == [Location::CONTROLLER]
+    }
+
+    /// Records that `loc` received a copy (read sharing).
+    pub fn record_copy(&mut self, array: ArrayId, loc: Location) {
+        let s = self.arrays.entry(array).or_default();
+        if !s.holders.contains(&loc) {
+            s.holders.push(loc);
+            s.holders.sort_unstable();
+        }
+    }
+
+    /// Records that `loc` wrote the array: it becomes the exclusive holder.
+    pub fn record_write(&mut self, array: ArrayId, loc: Location) {
+        let s = self.arrays.entry(array).or_default();
+        s.holders.clear();
+        s.holders.push(loc);
+    }
+
+    /// Bytes of a CE's arguments already up-to-date on `loc`.
+    pub fn bytes_up_to_date(&self, args: &[CeArg], loc: Location) -> u64 {
+        args.iter()
+            .filter(|a| self.up_to_date_on(a.array, loc))
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// Bytes of a CE's arguments *missing* on `loc` (what a transfer plan
+    /// would have to move).
+    pub fn bytes_missing(&self, args: &[CeArg], loc: Location) -> u64 {
+        args.iter()
+            .filter(|a| !self.up_to_date_on(a.array, loc))
+            .map(|a| a.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ce::CeArg;
+
+    const A: ArrayId = ArrayId(1);
+    const B: ArrayId = ArrayId(2);
+
+    #[test]
+    fn fresh_arrays_live_on_controller() {
+        let mut c = Coherence::new();
+        c.register(A);
+        assert!(c.up_to_date_on(A, Location::CONTROLLER));
+        assert!(c.only_on_controller(A));
+        assert!(!c.up_to_date_on(A, Location::worker(0)));
+    }
+
+    #[test]
+    fn copies_share_writes_invalidate() {
+        let mut c = Coherence::new();
+        c.register(A);
+        c.record_copy(A, Location::worker(0));
+        c.record_copy(A, Location::worker(1));
+        assert_eq!(c.holders(A).len(), 3);
+        assert!(!c.only_on_controller(A));
+        c.record_write(A, Location::worker(1));
+        assert_eq!(c.holders(A), &[Location::worker(1)]);
+        assert!(!c.up_to_date_on(A, Location::CONTROLLER));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut c = Coherence::new();
+        c.register(A);
+        c.register(B);
+        c.record_write(B, Location::worker(0));
+        let args = [CeArg::read(A, 100), CeArg::read(B, 50)];
+        assert_eq!(c.bytes_up_to_date(&args, Location::CONTROLLER), 100);
+        assert_eq!(c.bytes_missing(&args, Location::CONTROLLER), 50);
+        assert_eq!(c.bytes_up_to_date(&args, Location::worker(0)), 50);
+        assert_eq!(c.bytes_missing(&args, Location::worker(1)), 150);
+    }
+
+    #[test]
+    fn unregistered_arrays_have_no_holders() {
+        let mut c = Coherence::new();
+        c.register(A);
+        c.unregister(A);
+        assert!(c.holders(A).is_empty());
+        assert!(!c.only_on_controller(A));
+    }
+
+    #[test]
+    fn location_endpoint_mapping() {
+        assert_eq!(Location::CONTROLLER.endpoint(), net_sim::EndpointId(0));
+        assert_eq!(Location::worker(2).endpoint(), net_sim::EndpointId(3));
+        assert_eq!(Location::worker(2).worker_index(), Some(2));
+        assert_eq!(Location::CONTROLLER.worker_index(), None);
+    }
+
+    #[test]
+    fn record_copy_is_idempotent() {
+        let mut c = Coherence::new();
+        c.register(A);
+        c.record_copy(A, Location::worker(0));
+        c.record_copy(A, Location::worker(0));
+        assert_eq!(c.holders(A).len(), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Intra-node (GrCUDA-layer) scheduling: device and stream selection
+//! (paper Algorithm 2).
+//!
+//! Each Worker keeps a *Local DAG* view (the parent set forwarded with each
+//! CE), picks a GPU, picks a CUDA stream on it, and inserts asynchronous
+//! wait events against the CE's ancestors. Choosing the parent's stream when
+//! there is exactly one same-device parent removes the need for any event —
+//! stream FIFO order already serializes — which is GrCUDA's key trick for
+//! cheap dependencies.
+
+use desim::SimTime;
+use gpu_sim::{Device, DeviceId, GpuNode, StreamId};
+
+/// Intra-node device-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DevicePolicy {
+    /// Cycle across the node's GPUs.
+    RoundRobin,
+    /// Prefer the GPU already holding the most resident bytes of the CE's
+    /// arguments (data locality), falling back to round-robin on ties at
+    /// zero.
+    #[default]
+    MinTransferBytes,
+    /// Prefer the GPU whose default stream frees up first.
+    LeastBusy,
+}
+
+/// Where a CE was placed within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Chosen GPU.
+    pub device: DeviceId,
+    /// Chosen stream on that GPU.
+    pub stream: StreamId,
+    /// Whether the placement reused a parent's stream (no wait event
+    /// needed for that parent).
+    pub reused_parent_stream: bool,
+}
+
+/// Upper bound on auto-created streams per device (CUDA apps rarely benefit
+/// beyond this; keeps the search bounded).
+pub const MAX_STREAMS_PER_DEVICE: usize = 16;
+
+/// Picks a device according to `policy`.
+///
+/// `resident_bytes_per_device[d]` must give the bytes of the CE's arguments
+/// already resident on device `d` (from the UVM layer). `total_bytes` is the
+/// CE's full argument footprint: a residency signal below 30% of it (e.g. a
+/// shared vector left on the last-used GPU) is ignored, otherwise every
+/// kernel sharing that vector would pile onto one device while the bulk of
+/// its data still has to migrate anyway.
+/// `active_bytes_per_device[d]` is the UVM active-set size of device `d`;
+/// when there is no locality signal the CE goes to the least-pressured GPU
+/// (falling back to `rr_cursor` on ties), which both balances memory
+/// pressure and spreads cold starts.
+pub fn select_device(
+    node: &GpuNode,
+    policy: DevicePolicy,
+    rr_cursor: &mut usize,
+    resident_bytes_per_device: &[u64],
+    active_bytes_per_device: &[u64],
+    total_bytes: u64,
+) -> DeviceId {
+    let n = node.device_count();
+    debug_assert_eq!(resident_bytes_per_device.len(), n);
+    debug_assert_eq!(active_bytes_per_device.len(), n);
+    match policy {
+        DevicePolicy::RoundRobin => {
+            let d = DeviceId(*rr_cursor % n);
+            *rr_cursor = (*rr_cursor + 1) % n;
+            d
+        }
+        DevicePolicy::MinTransferBytes => {
+            let threshold = (total_bytes * 3 / 10).max(1);
+            let best = (0..n).max_by_key(|&d| resident_bytes_per_device[d]);
+            match best {
+                Some(d) if resident_bytes_per_device[d] >= threshold => DeviceId(d),
+                _ => {
+                    // No meaningful locality signal: place on the GPU with
+                    // the least memory pressure; tie-break round-robin.
+                    let min = active_bytes_per_device.iter().min().copied().unwrap_or(0);
+                    let ties: Vec<usize> = (0..n)
+                        .filter(|&d| active_bytes_per_device[d] == min)
+                        .collect();
+                    let d = ties[*rr_cursor % ties.len()];
+                    *rr_cursor = (*rr_cursor + 1) % n;
+                    DeviceId(d)
+                }
+            }
+        }
+        DevicePolicy::LeastBusy => node.least_loaded_device(),
+    }
+}
+
+/// Picks a stream on `device` for a CE dispatched at `now`.
+///
+/// GrCUDA's rule: when the CE has exactly one parent and that parent ran on
+/// this device, enqueue behind it on the same stream (FIFO order replaces a
+/// sync event). Otherwise take the first idle stream, creating one if all
+/// are busy (bounded by [`MAX_STREAMS_PER_DEVICE`]); among busy streams the
+/// least-busy wins.
+pub fn select_stream(
+    device: &mut Device,
+    now: SimTime,
+    single_parent_stream: Option<StreamId>,
+) -> (StreamId, bool) {
+    if let Some(s) = single_parent_stream {
+        return (s, true);
+    }
+    // First idle stream.
+    for i in 0..device.stream_count() {
+        if device.stream(StreamId(i)).is_idle_at(now) {
+            return (StreamId(i), false);
+        }
+    }
+    if device.stream_count() < MAX_STREAMS_PER_DEVICE {
+        return (device.create_stream(), false);
+    }
+    (device.least_busy_stream(now), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use gpu_sim::{DeviceSpec, KernelCost, NodeSpec};
+
+    fn node() -> GpuNode {
+        GpuNode::new(NodeSpec {
+            gpu: DeviceSpec::test_tiny(),
+            gpu_count: 2,
+            host_memory_bytes: 1 << 30,
+        })
+    }
+
+    #[test]
+    fn round_robin_alternates_gpus() {
+        let n = node();
+        let mut rr = 0;
+        let a = select_device(&n, DevicePolicy::RoundRobin, &mut rr, &[0, 0], &[0, 0], 100);
+        let b = select_device(&n, DevicePolicy::RoundRobin, &mut rr, &[0, 0], &[0, 0], 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn min_transfer_prefers_residency() {
+        let n = node();
+        let mut rr = 0;
+        let d = select_device(&n, DevicePolicy::MinTransferBytes, &mut rr, &[10, 999], &[0, 0], 1000);
+        assert_eq!(d, DeviceId(1));
+    }
+
+    #[test]
+    fn min_transfer_spreads_cold_starts() {
+        let n = node();
+        let mut rr = 0;
+        let a = select_device(&n, DevicePolicy::MinTransferBytes, &mut rr, &[0, 0], &[0, 0], 100);
+        let b = select_device(&n, DevicePolicy::MinTransferBytes, &mut rr, &[0, 0], &[0, 0], 100);
+        assert_ne!(a, b, "no locality: fall back to spreading");
+    }
+
+    #[test]
+    fn tiny_residency_signal_is_ignored() {
+        // A 600 KB broadcast vector resident on GPU 1 must not attract a
+        // 16 GB kernel there.
+        let n = node();
+        let mut rr = 0;
+        let total = 16u64 << 30;
+        let a = select_device(
+            &n,
+            DevicePolicy::MinTransferBytes,
+            &mut rr,
+            &[0, 600 << 10],
+            &[0, 0],
+            total,
+        );
+        let b = select_device(
+            &n,
+            DevicePolicy::MinTransferBytes,
+            &mut rr,
+            &[0, 600 << 10],
+            &[0, 0],
+            total,
+        );
+        assert_ne!(a, b, "falls back to spreading");
+    }
+
+    #[test]
+    fn fallback_prefers_least_pressured_gpu() {
+        let n = node();
+        let mut rr = 0;
+        // GPU 0 already cycles 40 GB; a cold CE goes to GPU 1.
+        let d = select_device(
+            &n,
+            DevicePolicy::MinTransferBytes,
+            &mut rr,
+            &[0, 0],
+            &[40 << 30, 1 << 30],
+            16 << 30,
+        );
+        assert_eq!(d, DeviceId(1));
+    }
+
+    #[test]
+    fn single_parent_stream_is_reused() {
+        let mut n = node();
+        let dev = n.device_mut(DeviceId(0));
+        let (s, reused) = select_stream(dev, SimTime::ZERO, Some(StreamId(0)));
+        assert_eq!(s, StreamId(0));
+        assert!(reused);
+    }
+
+    #[test]
+    fn busy_streams_trigger_creation() {
+        let mut n = node();
+        let dev = n.device_mut(DeviceId(0));
+        let cost = KernelCost {
+            flops: 1e9,
+            ..Default::default()
+        };
+        dev.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        let (s, reused) = select_stream(dev, SimTime::ZERO, None);
+        assert_eq!(s, StreamId(1), "default stream busy -> new stream");
+        assert!(!reused);
+        // A later CE at a time when stream 0 is idle again reuses it.
+        let (s2, _) = select_stream(dev, SimTime(10_000_000_000), None);
+        assert_eq!(s2, StreamId(0));
+    }
+
+    #[test]
+    fn stream_count_is_bounded() {
+        let mut n = node();
+        let dev = n.device_mut(DeviceId(0));
+        let cost = KernelCost {
+            flops: 1e9,
+            ..Default::default()
+        };
+        for _ in 0..100 {
+            let (s, _) = select_stream(dev, SimTime::ZERO, None);
+            dev.launch_kernel(s, SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        }
+        assert!(dev.stream_count() <= MAX_STREAMS_PER_DEVICE);
+    }
+}

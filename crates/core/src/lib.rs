@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # grout-core — the GrOUT framework (paper reproduction)
+//!
+//! Transparent scale-out of GPU-accelerated applications to overcome UVM's
+//! oversubscription slowdowns. This crate holds the paper's primary
+//! contribution:
+//!
+//! - [`Ce`]/[`CeArg`]: language-independent Computational Elements,
+//! - [`DepDag`]: the Global/Local dependency DAG with frontier maintenance
+//!   and redundant-edge filtering (Algorithm 1),
+//! - [`Coherence`]: per-array up-to-date location sets driving the
+//!   controller-send vs peer-to-peer movement decision,
+//! - [`NodeScheduler`] and [`PolicyKind`]: round-robin, vector-step,
+//!   min-transfer-size and min-transfer-time with the Low/Medium/High
+//!   exploration heuristic (Section IV-D),
+//! - intra-node GrCUDA scheduling: device and stream selection plus wait
+//!   events (Algorithm 2),
+//! - [`SimRuntime`]: the analytic virtual-time cluster runtime used to
+//!   regenerate the paper's figures, including the single-node GrCUDA
+//!   baseline, and
+//! - [`LocalRuntime`]: a real multi-threaded controller/worker deployment
+//!   executing kernels on the host CPU.
+
+mod ce;
+mod coherence;
+mod dag;
+mod intranode;
+mod local_runtime;
+mod policy;
+mod sim_runtime;
+mod timeline;
+
+pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
+pub use coherence::{Coherence, Location};
+pub use dag::{AddOutcome, DagIndex, DepDag};
+pub use intranode::{select_device, select_stream, DevicePolicy, Placement, MAX_STREAMS_PER_DEVICE};
+pub use local_runtime::{HostBuf, LocalArg, LocalConfig, LocalError, LocalRuntime, LocalStats};
+pub use policy::{ExplorationLevel, LinkMatrix, NodeScheduler, PolicyKind};
+pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
+pub use timeline::{validate as validate_timeline, TimelineReport};
+
+// Re-export the substrate types users need at the API boundary.
+pub use desim::{SimDuration, SimTime};
+pub use gpu_sim::{DeviceId, DeviceSpec, KernelCost, NodeSpec, StreamId};
+pub use uvm_sim::{AccessMode, AccessPattern, MemAdvise, Regime, UvmConfig};

@@ -1,0 +1,1088 @@
+//! The local (real-execution) runtime: GrOUT's Controller/Worker
+//! architecture as actual threads.
+//!
+//! Where [`crate::SimRuntime`] computes virtual-time figures on a modeled
+//! V100 cluster, `LocalRuntime` *runs* the same scheduling machinery for
+//! real: workers are OS threads holding local array copies, the controller
+//! dispatches CEs over crossbeam channels following the Global DAG and the
+//! selected inter-node policy, data moves as buffer messages
+//! (controller-send or true peer-to-peer between worker threads), and
+//! kernels compiled by `kernelc` execute on the host CPU (rayon-parallel
+//! across blocks).
+//!
+//! Execution is deferred, matching GrCUDA's asynchronous semantics: `launch`
+//! enqueues a CE; host reads/writes synchronize first.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use kernelc::{CompiledKernel, KernelArg, LaunchError};
+
+use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
+use crate::coherence::{Coherence, Location};
+use crate::dag::{DagIndex, DepDag};
+use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
+
+/// Errors surfaced by the local runtime.
+#[derive(Debug)]
+pub enum LocalError {
+    /// A kernel launch failed inside a worker.
+    Launch(LaunchError),
+    /// A kernel launch failed; includes the failing CE's DAG index.
+    LaunchAt(DagIndex, LaunchError),
+    /// The same array was passed twice to one kernel (aliasing unsupported).
+    Aliased(ArrayId),
+    /// Unknown array id.
+    UnknownArray(ArrayId),
+    /// Argument count/type mismatch against the kernel signature.
+    BadArgs(String),
+    /// A worker thread disappeared.
+    WorkerDied(usize),
+}
+
+impl std::fmt::Display for LocalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            LocalError::LaunchAt(i, e) => write!(f, "CE #{i} failed: {e}"),
+            LocalError::Aliased(a) => write!(f, "array {a:?} aliased within one kernel"),
+            LocalError::UnknownArray(a) => write!(f, "unknown array {a:?}"),
+            LocalError::BadArgs(m) => write!(f, "bad kernel arguments: {m}"),
+            LocalError::WorkerDied(w) => write!(f, "worker {w} died"),
+        }
+    }
+}
+
+impl std::error::Error for LocalError {}
+
+/// A host-side buffer (the backing store of a framework array).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostBuf {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 32-bit ints.
+    I32(Vec<i32>),
+}
+
+impl HostBuf {
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            HostBuf::F32(v) => (v.len() * 4) as u64,
+            HostBuf::I32(v) => (v.len() * 4) as u64,
+        }
+    }
+}
+
+/// A launch argument in the local runtime.
+#[derive(Debug, Clone, Copy)]
+pub enum LocalArg {
+    /// A framework array.
+    Buf(ArrayId),
+    /// Float scalar.
+    F32(f32),
+    /// Int scalar.
+    I32(i32),
+}
+
+/// Kernel-launch request queued on a worker.
+struct ExecMsg {
+    dag_index: DagIndex,
+    kernel: Arc<CompiledKernel>,
+    grid: (u32, u32),
+    block: (u32, u32),
+    args: Vec<LocalArg>,
+    /// Arrays (with minimum versions) that must be present locally before
+    /// execution. Versioning prevents a stale local copy from satisfying a
+    /// dependency whose fresh bytes are still in flight.
+    needs: Vec<(ArrayId, u64)>,
+    /// Version each written array becomes once this CE completes.
+    bumps: Vec<(ArrayId, u64)>,
+}
+
+enum ToWorker {
+    /// Install a local array copy (ignored if a newer version is present).
+    Data {
+        array: ArrayId,
+        version: u64,
+        buf: HostBuf,
+    },
+    /// Execute a kernel once `needs` are present.
+    Exec(ExecMsg),
+    /// Send a local copy to another worker (true P2P) or the controller —
+    /// but only once the local copy reaches `min_version`: the controller
+    /// may name this worker as a source while its fresh copy is still in
+    /// flight, and forwarding a stale version would wedge the consumer.
+    Send {
+        array: ArrayId,
+        min_version: u64,
+        to: Option<usize>,
+    },
+    /// Terminate.
+    Shutdown,
+}
+
+enum ToController {
+    Done {
+        dag_index: DagIndex,
+        worker: usize,
+    },
+    Data {
+        array: ArrayId,
+        version: u64,
+        buf: HostBuf,
+    },
+    Failed {
+        dag_index: DagIndex,
+        error: LaunchError,
+    },
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalStats {
+    /// Kernels executed across all workers.
+    pub kernels: u64,
+    /// Bytes moved controller->worker.
+    pub send_bytes: u64,
+    /// Bytes moved worker->worker (P2P).
+    pub p2p_bytes: u64,
+    /// Bytes moved worker->controller.
+    pub fetch_bytes: u64,
+}
+
+/// Configuration of the local deployment.
+#[derive(Debug, Clone)]
+pub struct LocalConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Inter-node scheduling policy.
+    pub policy: PolicyKind,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig {
+            workers: 2,
+            policy: PolicyKind::RoundRobin,
+        }
+    }
+}
+
+struct PendingCe {
+    dag_index: DagIndex,
+    kernel: Arc<CompiledKernel>,
+    grid: (u32, u32),
+    block: (u32, u32),
+    args: Vec<LocalArg>,
+    dispatched: bool,
+}
+
+struct WorkerHandle {
+    tx: Sender<ToWorker>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The threaded GrOUT runtime.
+pub struct LocalRuntime {
+    cfg: LocalConfig,
+    dag: DepDag,
+    coherence: Coherence,
+    scheduler: NodeScheduler,
+    /// Controller master copies (authoritative when coherence says so).
+    master: HashMap<ArrayId, HostBuf>,
+    /// Monotonic content version per array (bumped by every writer CE).
+    versions: HashMap<ArrayId, u64>,
+    next_array: u64,
+    pending: Vec<PendingCe>,
+    workers: Vec<WorkerHandle>,
+    from_workers: Receiver<ToController>,
+    stats: LocalStats,
+    kernels_by_worker: Vec<u64>,
+}
+
+fn trace_on() -> bool {
+    std::env::var_os("GROUT_TRACE").is_some()
+}
+
+fn worker_loop(
+    me: usize,
+    rx: Receiver<ToWorker>,
+    to_controller: Sender<ToController>,
+    peers: Vec<Sender<ToWorker>>,
+) {
+    let mut store: HashMap<ArrayId, (u64, HostBuf)> = HashMap::new();
+    let mut queue: VecDeque<ExecMsg> = VecDeque::new();
+    // Forward requests waiting for a version still in flight.
+    let mut pending_sends: VecDeque<(ArrayId, u64, Option<usize>)> = VecDeque::new();
+
+    fn forward(
+        _me: usize,
+        store: &HashMap<ArrayId, (u64, HostBuf)>,
+        peers: &[Sender<ToWorker>],
+        to_controller: &Sender<ToController>,
+        array: ArrayId,
+        to: Option<usize>,
+    ) {
+        let (version, buf) = store.get(&array).expect("checked by caller");
+        match to {
+            Some(peer) => {
+                let _ = peers[peer].send(ToWorker::Data {
+                    array,
+                    version: *version,
+                    buf: buf.clone(),
+                });
+            }
+            None => {
+                let _ = to_controller.send(ToController::Data {
+                    array,
+                    version: *version,
+                    buf: buf.clone(),
+                });
+            }
+        }
+    }
+
+    fn try_run(
+        msg: &ExecMsg,
+        store: &mut HashMap<ArrayId, (u64, HostBuf)>,
+    ) -> Option<Result<(), LaunchError>> {
+        let have = |a: &ArrayId, v: u64, store: &HashMap<ArrayId, (u64, HostBuf)>| {
+            store.get(a).is_some_and(|(ver, _)| *ver >= v)
+        };
+        if !msg.needs.iter().all(|(a, v)| have(a, *v, store)) {
+            return None;
+        }
+        // Temporarily take buffers out of the store to get disjoint &mut.
+        let mut taken: Vec<(ArrayId, u64, HostBuf)> = Vec::new();
+        for arg in &msg.args {
+            if let LocalArg::Buf(a) = arg {
+                if let Some((ver, buf)) = store.remove(a) {
+                    taken.push((*a, ver, buf));
+                }
+            }
+        }
+        let result = {
+            let mut kargs: Vec<KernelArg<'_>> = Vec::with_capacity(msg.args.len());
+            let mut cursor = taken.iter_mut();
+            for arg in &msg.args {
+                match arg {
+                    LocalArg::Buf(_) => {
+                        let (_, _, buf) = cursor.next().expect("taken in order");
+                        kargs.push(match buf {
+                            HostBuf::F32(v) => KernelArg::F32(v),
+                            HostBuf::I32(v) => KernelArg::I32(v),
+                        });
+                    }
+                    LocalArg::F32(v) => kargs.push(KernelArg::Float(*v)),
+                    LocalArg::I32(v) => kargs.push(KernelArg::Int(*v)),
+                }
+            }
+            msg.kernel.launch2d(msg.grid, msg.block, &mut kargs)
+        };
+        for (a, mut ver, buf) in taken {
+            if let Some((_, v)) = msg.bumps.iter().find(|(b, _)| *b == a) {
+                ver = ver.max(*v);
+            }
+            store.insert(a, (ver, buf));
+        }
+        Some(result.map(|_| ()))
+    }
+
+    'main: while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Data { array, version, buf } => {
+                if trace_on() {
+                    eprintln!("[w{me}] Data {array:?} v{version}");
+                }
+                match store.get(&array) {
+                    Some((have, _)) if *have >= version => {}
+                    _ => {
+                        store.insert(array, (version, buf));
+                    }
+                }
+            }
+            ToWorker::Exec(m) => {
+                if trace_on() {
+                    eprintln!("[w{me}] Exec ce#{} needs {:?} bumps {:?}", m.dag_index, m.needs, m.bumps);
+                }
+                queue.push_back(m)
+            }
+            ToWorker::Send { array, min_version, to } => {
+                if trace_on() {
+                    eprintln!(
+                        "[w{me}] Send {array:?} v>={min_version} -> {to:?} (stored v{:?})",
+                        store.get(&array).map(|(v, _)| *v)
+                    );
+                }
+                match store.get(&array) {
+                    Some((ver, _)) if *ver >= min_version => {
+                        forward(me, &store, &peers, &to_controller, array, to);
+                    }
+                    _ => pending_sends.push_back((array, min_version, to)),
+                }
+            }
+            ToWorker::Shutdown => break 'main,
+        }
+        // Drain every runnable queued kernel and every satisfiable pending
+        // forward (data may have just arrived or been produced).
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for i in 0..pending_sends.len() {
+                let (array, min_version, to) = pending_sends[i];
+                let ready = store
+                    .get(&array)
+                    .is_some_and(|(ver, _)| *ver >= min_version);
+                if ready {
+                    pending_sends.remove(i);
+                    forward(me, &store, &peers, &to_controller, array, to);
+                    progress = true;
+                    break;
+                }
+            }
+            if progress {
+                continue;
+            }
+            for i in 0..queue.len() {
+                if let Some(result) = try_run(&queue[i], &mut store) {
+                    let m = queue.remove(i).expect("index in range");
+                    match result {
+                        Ok(()) => {
+                            if trace_on() {
+                                eprintln!("[w{me}] Done ce#{}", m.dag_index);
+                            }
+                            let _ = to_controller.send(ToController::Done {
+                                dag_index: m.dag_index,
+                                worker: me,
+                            });
+                        }
+                        Err(error) => {
+                            let _ = to_controller.send(ToController::Failed {
+                                dag_index: m.dag_index,
+                                error,
+                            });
+                        }
+                    }
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl LocalRuntime {
+    /// Spawns the worker threads and wires the channel mesh (controller to
+    /// each worker, worker to worker for P2P, workers back to controller).
+    pub fn new(cfg: LocalConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let (to_controller, from_workers) = unbounded::<ToController>();
+        let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
+            (0..cfg.workers).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<ToWorker>> = channels.iter().map(|(t, _)| t.clone()).collect();
+        let workers = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, rx))| {
+                let peers = txs.clone();
+                let back = to_controller.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("grout-worker-{i}"))
+                    .spawn(move || worker_loop(i, rx, back, peers))
+                    .expect("spawn worker");
+                WorkerHandle {
+                    tx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        let links = LinkMatrix::uniform(cfg.workers + 1, 1e9);
+        let scheduler = NodeScheduler::new(cfg.policy.clone(), cfg.workers, Some(links));
+        LocalRuntime {
+            dag: DepDag::new(),
+            coherence: Coherence::new(),
+            scheduler,
+            master: HashMap::new(),
+            versions: HashMap::new(),
+            next_array: 0,
+            pending: Vec::new(),
+            workers,
+            from_workers,
+            stats: LocalStats::default(),
+            kernels_by_worker: vec![0; cfg.workers],
+            cfg,
+        }
+    }
+
+    /// Kernels completed per worker (load-balance observability).
+    pub fn kernels_by_worker(&self) -> &[u64] {
+        &self.kernels_by_worker
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// Allocates a float array of `len` zeros.
+    pub fn alloc_f32(&mut self, len: usize) -> ArrayId {
+        self.alloc_buf(HostBuf::F32(vec![0.0; len]))
+    }
+
+    /// Allocates an int array of `len` zeros.
+    pub fn alloc_i32(&mut self, len: usize) -> ArrayId {
+        self.alloc_buf(HostBuf::I32(vec![0; len]))
+    }
+
+    fn alloc_buf(&mut self, buf: HostBuf) -> ArrayId {
+        let id = ArrayId(self.next_array);
+        self.next_array += 1;
+        self.master.insert(id, buf);
+        self.versions.insert(id, 0);
+        self.coherence.register(id);
+        id
+    }
+
+    /// Host write: synchronizes, pulls the array to the controller, applies
+    /// `f` to the float contents, and becomes the exclusive holder.
+    pub fn write_f32(
+        &mut self,
+        array: ArrayId,
+        f: impl FnOnce(&mut [f32]),
+    ) -> Result<(), LocalError> {
+        self.fetch_to_controller(array)?;
+        match self.master.get_mut(&array) {
+            Some(HostBuf::F32(v)) => {
+                f(v);
+                let bytes = (v.len() * 4) as u64;
+                *self.versions.entry(array).or_insert(0) += 1;
+                self.coherence.record_write(array, Location::CONTROLLER);
+                // Record the host CE in the Global DAG for ordering parity
+                // with the simulated runtime.
+                let ce = Ce {
+                    id: CeId(self.dag.len() as u64),
+                    kind: CeKind::HostWrite,
+                    args: vec![CeArg::write(array, bytes)],
+                };
+                let out = self.dag.add_ce(&ce);
+                self.dag.mark_completed(out.index);
+                Ok(())
+            }
+            Some(HostBuf::I32(_)) => Err(LocalError::BadArgs(format!(
+                "array {array:?} is i32, not f32"
+            ))),
+            None => Err(LocalError::UnknownArray(array)),
+        }
+    }
+
+    /// Host read: synchronizes and returns a copy of the float contents.
+    pub fn read_f32(&mut self, array: ArrayId) -> Result<Vec<f32>, LocalError> {
+        self.fetch_to_controller(array)?;
+        match self.master.get(&array) {
+            Some(HostBuf::F32(v)) => Ok(v.clone()),
+            Some(HostBuf::I32(_)) => Err(LocalError::BadArgs(format!(
+                "array {array:?} is i32, not f32"
+            ))),
+            None => Err(LocalError::UnknownArray(array)),
+        }
+    }
+
+    /// Enqueues a kernel CE over a 1-D grid. Dependencies, argument
+    /// directions and access patterns come from `kernelc`'s static analysis
+    /// of the source.
+    pub fn launch(
+        &mut self,
+        kernel: &Arc<CompiledKernel>,
+        grid: u32,
+        block: u32,
+        args: Vec<LocalArg>,
+    ) -> Result<CeId, LocalError> {
+        self.launch2d(kernel, (grid, 1), (block, 1), args)
+    }
+
+    /// Enqueues a kernel CE over a 2-D grid (`dim3(x, y)` semantics).
+    pub fn launch2d(
+        &mut self,
+        kernel: &Arc<CompiledKernel>,
+        grid: (u32, u32),
+        block: (u32, u32),
+        args: Vec<LocalArg>,
+    ) -> Result<CeId, LocalError> {
+        if args.len() != kernel.params().len() {
+            return Err(LocalError::BadArgs(format!(
+                "kernel `{}` expects {} args, got {}",
+                kernel.name(),
+                kernel.params().len(),
+                args.len()
+            )));
+        }
+        // Build the CE argument list from the kernel's analysis.
+        let mut ce_args = Vec::new();
+        let mut seen = Vec::new();
+        for (i, arg) in args.iter().enumerate() {
+            if let LocalArg::Buf(a) = arg {
+                if seen.contains(a) {
+                    return Err(LocalError::Aliased(*a));
+                }
+                seen.push(*a);
+                let bytes = self.array_size(*a).ok_or(LocalError::UnknownArray(*a))?;
+                let pa = kernel.access()[i];
+                let mode = match (pa.reads, pa.writes) {
+                    (true, true) => uvm_sim::AccessMode::ReadWrite,
+                    (false, true) => uvm_sim::AccessMode::Write,
+                    _ => uvm_sim::AccessMode::Read,
+                };
+                let pattern = match pa.class {
+                    kernelc::AccessClass::Broadcast => uvm_sim::AccessPattern::Gather {
+                        touches_per_page: 8.0,
+                    },
+                    kernelc::AccessClass::Indirect => uvm_sim::AccessPattern::Gather {
+                        touches_per_page: 2.0,
+                    },
+                    _ => uvm_sim::AccessPattern::STREAM_ONCE,
+                };
+                ce_args.push(CeArg {
+                    array: *a,
+                    bytes,
+                    alloc_bytes: bytes,
+                    mode,
+                    pattern,
+                    advise: uvm_sim::MemAdvise::None,
+                });
+            }
+        }
+        let ce = Ce {
+            id: CeId(self.dag.len() as u64),
+            kind: CeKind::Kernel {
+                name: kernel.name().to_string(),
+                cost: gpu_sim::KernelCost::default(),
+            },
+            args: ce_args,
+        };
+        let out = self.dag.add_ce(&ce);
+        let id = ce.id;
+        self.pending.push(PendingCe {
+            dag_index: out.index,
+            kernel: Arc::clone(kernel),
+            grid,
+            block,
+            args,
+            dispatched: false,
+        });
+        Ok(id)
+    }
+
+    fn array_size(&self, a: ArrayId) -> Option<u64> {
+        self.master.get(&a).map(HostBuf::bytes)
+    }
+
+    /// Runs every pending CE to completion across the worker threads.
+    pub fn synchronize(&mut self) -> Result<(), LocalError> {
+        loop {
+            // Dispatch every ready, undispatched CE; count what's in flight.
+            let mut in_flight = 0usize;
+            for i in 0..self.pending.len() {
+                let (dag_index, dispatched) =
+                    (self.pending[i].dag_index, self.pending[i].dispatched);
+                if dispatched {
+                    if !self.dag.is_completed(dag_index) {
+                        in_flight += 1;
+                    }
+                    continue;
+                }
+                if !self.dag.is_ready(dag_index) {
+                    continue;
+                }
+                self.dispatch(i)?;
+                in_flight += 1;
+            }
+            if in_flight == 0 {
+                break;
+            }
+            // Wait for at least one completion before re-scanning.
+            match self.from_workers.recv() {
+                Ok(ToController::Done { dag_index, worker }) => {
+                    self.dag.mark_completed(dag_index);
+                    self.kernels_by_worker[worker] += 1;
+                }
+                Ok(ToController::Failed { dag_index, error }) => {
+                    return Err(LocalError::LaunchAt(dag_index, error));
+                }
+                Ok(ToController::Data { array, version, buf }) => {
+                    let v = self.versions.entry(array).or_insert(0);
+                    *v = (*v).max(version);
+                    self.master.insert(array, buf);
+                }
+                Err(_) => return Err(LocalError::WorkerDied(0)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches pending CE `i`: node assignment, data movements, exec.
+    fn dispatch(&mut self, i: usize) -> Result<(), LocalError> {
+        // Rebuild the CE argument view for the policy.
+        let mut ce_args = Vec::new();
+        let mut needs = Vec::new();
+        for arg in &self.pending[i].args {
+            if let LocalArg::Buf(a) = arg {
+                let bytes = self.array_size(*a).ok_or(LocalError::UnknownArray(*a))?;
+                ce_args.push(CeArg::read(*a, bytes));
+                needs.push((*a, self.versions.get(a).copied().unwrap_or(0)));
+            }
+        }
+        let ce_view = Ce {
+            id: CeId(self.pending[i].dag_index as u64),
+            kind: CeKind::Kernel {
+                name: self.pending[i].kernel.name().to_string(),
+                cost: gpu_sim::KernelCost::default(),
+            },
+            args: ce_args,
+        };
+        let w = self.scheduler.assign(&ce_view, &self.coherence);
+        let dest = Location::worker(w);
+        if trace_on() {
+            eprintln!(
+                "[ctl] dispatch ce#{} -> w{w} needs {:?}",
+                self.pending[i].dag_index, needs
+            );
+        }
+
+        // Data movements (Algorithm 1 bottom half, for real).
+        for k in 0..self.pending[i].args.len() {
+            let LocalArg::Buf(a) = self.pending[i].args[k] else {
+                continue;
+            };
+            if self.coherence.up_to_date_on(a, dest) {
+                continue;
+            }
+            let bytes = self.array_size(a).unwrap_or(0);
+            let p2p_src = if self.coherence.only_on_controller(a) {
+                None
+            } else {
+                self.coherence
+                    .holders(a)
+                    .iter()
+                    .find_map(|l| l.worker_index())
+                    .filter(|&src| src != w)
+            };
+            match p2p_src {
+                Some(src) => {
+                    let min_version = self.versions.get(&a).copied().unwrap_or(0);
+                    self.workers[src]
+                        .tx
+                        .send(ToWorker::Send {
+                            array: a,
+                            min_version,
+                            to: Some(w),
+                        })
+                        .map_err(|_| LocalError::WorkerDied(src))?;
+                    self.stats.p2p_bytes += bytes;
+                }
+                None => {
+                    let buf = self
+                        .master
+                        .get(&a)
+                        .ok_or(LocalError::UnknownArray(a))?
+                        .clone();
+                    let version = self.versions.get(&a).copied().unwrap_or(0);
+                    self.workers[w]
+                        .tx
+                        .send(ToWorker::Data { array: a, version, buf })
+                        .map_err(|_| LocalError::WorkerDied(w))?;
+                    self.stats.send_bytes += bytes;
+                }
+            }
+            self.coherence.record_copy(a, dest);
+        }
+
+        // Coherence for writes: the destination becomes the exclusive
+        // holder of a new content version.
+        let mut bumps = Vec::new();
+        for k in 0..self.pending[i].args.len() {
+            let LocalArg::Buf(a) = self.pending[i].args[k] else {
+                continue;
+            };
+            if self.pending[i].kernel.access()[k].writes {
+                let v = self.versions.entry(a).or_insert(0);
+                *v += 1;
+                bumps.push((a, *v));
+                self.coherence.record_write(a, dest);
+            }
+        }
+
+        let p = &self.pending[i];
+        let msg = ExecMsg {
+            dag_index: p.dag_index,
+            kernel: Arc::clone(&p.kernel),
+            grid: p.grid,
+            block: p.block,
+            args: p.args.clone(),
+            needs,
+            bumps,
+        };
+        self.workers[w]
+            .tx
+            .send(ToWorker::Exec(msg))
+            .map_err(|_| LocalError::WorkerDied(w))?;
+        self.stats.kernels += 1;
+        self.pending[i].dispatched = true;
+        Ok(())
+    }
+
+    /// Ensures the controller master copy is current.
+    fn fetch_to_controller(&mut self, array: ArrayId) -> Result<(), LocalError> {
+        if !self.master.contains_key(&array) {
+            return Err(LocalError::UnknownArray(array));
+        }
+        self.synchronize()?;
+        if self.coherence.up_to_date_on(array, Location::CONTROLLER) {
+            return Ok(());
+        }
+        let holder = self
+            .coherence
+            .holders(array)
+            .iter()
+            .find_map(|l| l.worker_index())
+            .ok_or(LocalError::UnknownArray(array))?;
+        let min_version = self.versions.get(&array).copied().unwrap_or(0);
+        self.workers[holder]
+            .tx
+            .send(ToWorker::Send {
+                array,
+                min_version,
+                to: None,
+            })
+            .map_err(|_| LocalError::WorkerDied(holder))?;
+        loop {
+            match self.from_workers.recv() {
+                Ok(ToController::Data { array: a, version, buf }) => {
+                    let v = self.versions.entry(a).or_insert(0);
+                    *v = (*v).max(version);
+                    let bytes = buf.bytes();
+                    self.master.insert(a, buf);
+                    if a == array {
+                        self.stats.fetch_bytes += bytes;
+                        self.coherence.record_copy(array, Location::CONTROLLER);
+                        return Ok(());
+                    }
+                }
+                Ok(ToController::Done { dag_index, worker }) => {
+                    self.dag.mark_completed(dag_index);
+                    self.kernels_by_worker[worker] += 1;
+                }
+                Ok(ToController::Failed { error, .. }) => {
+                    return Err(LocalError::Launch(error));
+                }
+                Err(_) => return Err(LocalError::WorkerDied(holder)),
+            }
+        }
+    }
+
+    /// Failure injection: shuts a worker down immediately. Any CE later
+    /// routed to it (or any transfer sourced from it) surfaces as
+    /// [`LocalError::WorkerDied`] instead of hanging — the behaviour a
+    /// deployment would see when a node drops out mid-run.
+    pub fn kill_worker(&mut self, worker: usize) {
+        let _ = self.workers[worker].tx.send(ToWorker::Shutdown);
+        if let Some(j) = self.workers[worker].join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> LocalStats {
+        self.stats
+    }
+
+    /// The Global DAG (read-only).
+    pub fn dag(&self) -> &DepDag {
+        &self.dag
+    }
+
+    /// The coherence directory (read-only).
+    pub fn coherence(&self) -> &Coherence {
+        &self.coherence
+    }
+}
+
+impl Drop for LocalRuntime {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(ToWorker::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelc::compile_one;
+
+    const SAXPY: &str = "__global__ void saxpy(float* y, const float* x, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { y[i] = a * x[i] + y[i]; }
+    }";
+
+    fn rt(workers: usize) -> LocalRuntime {
+        LocalRuntime::new(LocalConfig {
+            workers,
+            policy: PolicyKind::RoundRobin,
+        })
+    }
+
+    #[test]
+    fn saxpy_end_to_end() {
+        let mut rt = rt(2);
+        let n = 10_000usize;
+        let y = rt.alloc_f32(n);
+        let x = rt.alloc_f32(n);
+        rt.write_f32(y, |v| v.iter_mut().for_each(|e| *e = 1.0))
+            .unwrap();
+        rt.write_f32(x, |v| {
+            v.iter_mut().enumerate().for_each(|(i, e)| *e = i as f32)
+        })
+        .unwrap();
+        let k = Arc::new(compile_one(SAXPY, "saxpy").unwrap());
+        rt.launch(
+            &k,
+            64,
+            256,
+            vec![
+                LocalArg::Buf(y),
+                LocalArg::Buf(x),
+                LocalArg::F32(3.0),
+                LocalArg::I32(n as i32),
+            ],
+        )
+        .unwrap();
+        let out = rt.read_f32(y).unwrap();
+        assert_eq!(out[10], 31.0);
+        assert_eq!(out[9999], 3.0 * 9999.0 + 1.0);
+        assert_eq!(rt.stats().kernels, 1);
+    }
+
+    #[test]
+    fn dependent_kernels_run_in_order() {
+        let mut rt = rt(2);
+        let n = 1024usize;
+        let a = rt.alloc_f32(n);
+        let k_inc = Arc::new(
+            compile_one(
+                "__global__ void inc(float* a, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = a[i] + 1.0; }
+                }",
+                "inc",
+            )
+            .unwrap(),
+        );
+        // Ten dependent increments must serialize even across two workers.
+        for _ in 0..10 {
+            rt.launch(&k_inc, 4, 256, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)])
+                .unwrap();
+        }
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 10.0), "got {}", out[0]);
+    }
+
+    #[test]
+    fn independent_kernels_spread_across_workers() {
+        let mut rt = rt(2);
+        let n = 1 << 16;
+        let a = rt.alloc_f32(n);
+        let b = rt.alloc_f32(n);
+        let k = Arc::new(
+            compile_one(
+                "__global__ void fill(float* a, float v, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = v; }
+                }",
+                "fill",
+            )
+            .unwrap(),
+        );
+        rt.launch(
+            &k,
+            256,
+            256,
+            vec![LocalArg::Buf(a), LocalArg::F32(5.0), LocalArg::I32(n as i32)],
+        )
+        .unwrap();
+        rt.launch(
+            &k,
+            256,
+            256,
+            vec![LocalArg::Buf(b), LocalArg::F32(7.0), LocalArg::I32(n as i32)],
+        )
+        .unwrap();
+        assert_eq!(rt.read_f32(a).unwrap()[123], 5.0);
+        assert_eq!(rt.read_f32(b).unwrap()[456], 7.0);
+    }
+
+    #[test]
+    fn p2p_moves_data_between_workers() {
+        // Producer on worker 0 (round-robin), consumer lands on worker 1;
+        // the array must travel P2P.
+        let mut rt = rt(2);
+        let n = 4096usize;
+        let a = rt.alloc_f32(n);
+        let b = rt.alloc_f32(n);
+        let fill = Arc::new(
+            compile_one(
+                "__global__ void fill(float* a, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = 2.0; }
+                }",
+                "fill",
+            )
+            .unwrap(),
+        );
+        let copy = Arc::new(
+            compile_one(
+                "__global__ void copy(float* dst, const float* src, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { dst[i] = src[i]; }
+                }",
+                "copy",
+            )
+            .unwrap(),
+        );
+        rt.launch(&fill, 16, 256, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)])
+            .unwrap();
+        let _ = b;
+        let c = rt.alloc_f32(n);
+        // Round-robin sends the consumer to worker 1; `a` travels P2P.
+        rt.launch(
+            &copy,
+            16,
+            256,
+            vec![LocalArg::Buf(c), LocalArg::Buf(a), LocalArg::I32(n as i32)],
+        )
+        .unwrap();
+        rt.synchronize().unwrap();
+        assert_eq!(rt.read_f32(c).unwrap()[0], 2.0);
+        assert!(rt.stats().p2p_bytes > 0, "stats: {:?}", rt.stats());
+    }
+
+    #[test]
+    fn launch_errors_surface() {
+        let mut rt = rt(1);
+        let a = rt.alloc_f32(4);
+        let k = Arc::new(
+            compile_one(
+                "__global__ void oob(float* a) { a[blockIdx.x * blockDim.x + threadIdx.x] = 1.0; }",
+                "oob",
+            )
+            .unwrap(),
+        );
+        rt.launch(&k, 8, 8, vec![LocalArg::Buf(a)]).unwrap();
+        let err = rt.synchronize().unwrap_err();
+        assert!(matches!(
+            err,
+            LocalError::Launch(LaunchError::OutOfBounds { .. })
+                | LocalError::LaunchAt(_, LaunchError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn aliasing_rejected() {
+        let mut rt = rt(1);
+        let a = rt.alloc_f32(8);
+        let k = Arc::new(
+            compile_one(
+                "__global__ void two(float* x, const float* y, int n) {
+                    int i = threadIdx.x;
+                    if (i < n) { x[i] = y[i]; }
+                }",
+                "two",
+            )
+            .unwrap(),
+        );
+        let err = rt
+            .launch(
+                &k,
+                1,
+                8,
+                vec![LocalArg::Buf(a), LocalArg::Buf(a), LocalArg::I32(8)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, LocalError::Aliased(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut rt = rt(1);
+        let k = Arc::new(compile_one(SAXPY, "saxpy").unwrap());
+        assert!(matches!(
+            rt.launch(&k, 1, 1, vec![LocalArg::I32(0)]),
+            Err(LocalError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn killed_worker_surfaces_as_error_not_hang() {
+        let mut rt = rt(2);
+        let a = rt.alloc_f32(256);
+        let k = Arc::new(
+            compile_one(
+                "__global__ void inc(float* a, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = a[i] + 1.0; }
+                }",
+                "inc",
+            )
+            .unwrap(),
+        );
+        rt.kill_worker(0);
+        // Round-robin will try worker 0 first; the dead channel must turn
+        // into an error rather than a lost message.
+        let mut died = false;
+        for _ in 0..2 {
+            rt.launch(&k, 1, 256, vec![LocalArg::Buf(a), LocalArg::I32(256)])
+                .unwrap();
+            if matches!(rt.synchronize(), Err(LocalError::WorkerDied(_))) {
+                died = true;
+                break;
+            }
+        }
+        assert!(died, "worker death must surface");
+    }
+
+    #[test]
+    fn min_transfer_size_keeps_work_local() {
+        let mut rt = LocalRuntime::new(LocalConfig {
+            workers: 2,
+            policy: PolicyKind::MinTransferSize(crate::policy::ExplorationLevel::Low),
+        });
+        let n = 1 << 14;
+        let a = rt.alloc_f32(n);
+        let k = Arc::new(
+            compile_one(
+                "__global__ void inc(float* a, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = a[i] + 1.0; }
+                }",
+                "inc",
+            )
+            .unwrap(),
+        );
+        for _ in 0..8 {
+            rt.launch(&k, 64, 256, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)])
+                .unwrap();
+        }
+        rt.synchronize().unwrap();
+        // First send moves the array once; locality keeps it there after.
+        assert_eq!(rt.stats().send_bytes, (n * 4) as u64);
+        assert_eq!(rt.stats().p2p_bytes, 0);
+        assert_eq!(rt.read_f32(a).unwrap()[0], 8.0);
+    }
+}

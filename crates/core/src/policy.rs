@@ -1,0 +1,432 @@
+//! Inter-node scheduling policies (paper Section IV-D, Figure 4).
+//!
+//! Two offline/static policies — `round-robin` and `vector-step` — whose
+//! cost is independent of cluster size, and two online/locality-aware ones —
+//! `min-transfer-size` and `min-transfer-time` — whose cost grows linearly
+//! with the node count (the paper's Figure 9). The online policies carry the
+//! exploration-vs-exploitation heuristic: a node is only *viable* when it
+//! already holds at least a threshold amount of the CE's up-to-date input
+//! bytes (Low/Medium/High); when no node is viable the policy falls back to
+//! round-robin, favouring exploration.
+
+use crate::ce::Ce;
+use crate::coherence::{Coherence, Location};
+
+/// Exploration-vs-exploitation level of the online policies.
+///
+/// Per the paper, each level is "a threshold in the *amount* of available
+/// (up-to-date) data on a specific node before considering it viable";
+/// below the threshold the policy falls back to round-robin in favour of
+/// exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplorationLevel {
+    /// 1 MiB — almost any locality makes a node viable (greedy/exploit).
+    Low,
+    /// 256 MiB.
+    #[default]
+    Medium,
+    /// 4 GiB — nodes must already hold a lot before being exploited.
+    High,
+}
+
+impl ExplorationLevel {
+    /// Minimum up-to-date bytes for a node to be viable.
+    pub fn threshold_bytes(self) -> u64 {
+        match self {
+            ExplorationLevel::Low => 1 << 20,
+            ExplorationLevel::Medium => 256 << 20,
+            ExplorationLevel::High => 4 << 30,
+        }
+    }
+}
+
+/// Which inter-node policy to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Cycle through workers, one CE each.
+    RoundRobin,
+    /// Offline user-provided pattern: assign `vector[k]` consecutive CEs to
+    /// worker `k`, cycling (the paper's example: `[1, 2, 3]` on two nodes
+    /// gives 1 CE to node 0, 2 to node 1, 3 to node 0, ...).
+    VectorStep(Vec<u32>),
+    /// Send the CE where the most input bytes already live.
+    MinTransferSize(ExplorationLevel),
+    /// Send the CE where moving the missing bytes is empirically fastest,
+    /// using the probed interconnection matrix.
+    MinTransferTime(ExplorationLevel),
+}
+
+impl PolicyKind {
+    /// Short name used in reports (matches the paper's labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::VectorStep(_) => "vector-step",
+            PolicyKind::MinTransferSize(_) => "min-transfer-size",
+            PolicyKind::MinTransferTime(_) => "min-transfer-time",
+        }
+    }
+
+    /// Whether the policy's decision cost depends on cluster size.
+    pub fn is_online(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::MinTransferSize(_) | PolicyKind::MinTransferTime(_)
+        )
+    }
+}
+
+/// The interconnection matrix measured at startup (bytes/second between
+/// every pair of endpoints; endpoint 0 is the Controller).
+#[derive(Debug, Clone)]
+pub struct LinkMatrix {
+    bw: Vec<Vec<f64>>,
+}
+
+impl LinkMatrix {
+    /// Wraps a probed matrix (`bw[src][dst]`, diagonal ignored).
+    pub fn new(bw: Vec<Vec<f64>>) -> Self {
+        assert!(!bw.is_empty() && bw.iter().all(|r| r.len() == bw.len()));
+        LinkMatrix { bw }
+    }
+
+    /// A uniform matrix for `endpoints` endpoints (testing / no probe).
+    pub fn uniform(endpoints: usize, bps: f64) -> Self {
+        LinkMatrix {
+            bw: vec![vec![bps; endpoints]; endpoints],
+        }
+    }
+
+    /// Bandwidth from `src` to `dst` in bytes/second.
+    pub fn bandwidth(&self, src: Location, dst: Location) -> f64 {
+        self.bw[src.0][dst.0]
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.bw.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The Controller-side node scheduler: applies a [`PolicyKind`] to each CE.
+#[derive(Debug, Clone)]
+pub struct NodeScheduler {
+    kind: PolicyKind,
+    workers: usize,
+    /// Round-robin cursor (also the fallback cursor for online policies).
+    rr_next: usize,
+    /// Vector-step cursor: (vector position, CEs assigned at position).
+    vs_pos: usize,
+    vs_count: u32,
+    /// Probed link matrix (required by min-transfer-time).
+    links: Option<LinkMatrix>,
+}
+
+impl NodeScheduler {
+    /// Creates a scheduler for `workers` workers.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`, if a vector-step vector is empty or
+    /// all-zero, or if `MinTransferTime` is used without a link matrix.
+    pub fn new(kind: PolicyKind, workers: usize, links: Option<LinkMatrix>) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        if let PolicyKind::VectorStep(v) = &kind {
+            assert!(
+                !v.is_empty() && v.iter().any(|&c| c > 0),
+                "vector-step vector must contain a positive count"
+            );
+        }
+        if matches!(kind, PolicyKind::MinTransferTime(_)) {
+            assert!(
+                links.is_some(),
+                "min-transfer-time requires the probed link matrix"
+            );
+        }
+        NodeScheduler {
+            kind,
+            workers,
+            rr_next: 0,
+            vs_pos: 0,
+            vs_count: 0,
+            links,
+        }
+    }
+
+    /// The policy in use.
+    pub fn kind(&self) -> &PolicyKind {
+        &self.kind
+    }
+
+    /// Number of workers being scheduled across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The probed link matrix, when the policy holds one.
+    pub fn links(&self) -> Option<&LinkMatrix> {
+        self.links.as_ref()
+    }
+
+    fn round_robin(&mut self) -> usize {
+        let w = self.rr_next;
+        self.rr_next = (self.rr_next + 1) % self.workers;
+        w
+    }
+
+    fn vector_step(&mut self) -> usize {
+        let PolicyKind::VectorStep(v) = &self.kind else {
+            unreachable!("called only for vector-step")
+        };
+        // Skip zero entries (already validated non-all-zero).
+        while self.vs_count >= v[self.vs_pos % v.len()] {
+            self.vs_pos += 1;
+            self.vs_count = 0;
+        }
+        self.vs_count += 1;
+        self.vs_pos % self.workers
+    }
+
+    /// Assigns a CE to a worker (0-based index). This is the exact code
+    /// benchmarked for the paper's Figure 9.
+    pub fn assign(&mut self, ce: &Ce, coherence: &Coherence) -> usize {
+        match &self.kind {
+            PolicyKind::RoundRobin => self.round_robin(),
+            PolicyKind::VectorStep(_) => self.vector_step(),
+            PolicyKind::MinTransferSize(level) => {
+                let threshold = level.threshold_bytes().min(ce.total_bytes().max(1));
+                let mut best: Option<(u64, usize)> = None;
+                for w in 0..self.workers {
+                    let loc = Location::worker(w);
+                    let local = coherence.bytes_up_to_date(&ce.args, loc);
+                    if local >= threshold {
+                        let missing = coherence.bytes_missing(&ce.args, loc);
+                        if best.is_none_or(|(m, _)| missing < m) {
+                            best = Some((missing, w));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, w)) => w,
+                    None => self.round_robin(),
+                }
+            }
+            PolicyKind::MinTransferTime(level) => {
+                let threshold = level.threshold_bytes().min(ce.total_bytes().max(1));
+                let links = self.links.as_ref().expect("validated in new()");
+                let mut best: Option<(f64, usize)> = None;
+                for w in 0..self.workers {
+                    let loc = Location::worker(w);
+                    let local = coherence.bytes_up_to_date(&ce.args, loc);
+                    if local < threshold {
+                        continue;
+                    }
+                    // Empirical transfer time of the missing bytes, each
+                    // from its fastest up-to-date holder.
+                    let mut time = 0.0f64;
+                    for arg in &ce.args {
+                        if coherence.up_to_date_on(arg.array, loc) {
+                            continue;
+                        }
+                        let best_bw = coherence
+                            .holders(arg.array)
+                            .iter()
+                            .map(|&h| links.bandwidth(h, loc))
+                            .fold(0.0f64, f64::max);
+                        if best_bw > 0.0 {
+                            time += arg.bytes as f64 / best_bw;
+                        }
+                    }
+                    if best.is_none_or(|(t, _)| time < t) {
+                        best = Some((time, w));
+                    }
+                }
+                match best {
+                    Some((_, w)) => w,
+                    None => self.round_robin(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
+    use gpu_sim::KernelCost;
+
+    const A: ArrayId = ArrayId(1);
+    const B: ArrayId = ArrayId(2);
+
+    fn ce(args: Vec<CeArg>) -> Ce {
+        Ce {
+            id: CeId(0),
+            kind: CeKind::Kernel {
+                name: "k".into(),
+                cost: KernelCost::default(),
+            },
+            args,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 3, None);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..7).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn vector_step_follows_the_paper_example() {
+        // Vector [1,2,3] on two nodes: 1 CE to node 0, 2 to node 1,
+        // 3 to node 0 (position 2 % 2 workers), then cycle.
+        let mut s = NodeScheduler::new(PolicyKind::VectorStep(vec![1, 2, 3]), 2, None);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..8).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 1, 1, 0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn vector_step_skips_zero_entries() {
+        let mut s = NodeScheduler::new(PolicyKind::VectorStep(vec![0, 2]), 2, None);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        // Worker 0's count is zero, so only worker 1 (odd positions) is
+        // ever assigned.
+        let got: Vec<_> = (0..4).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive count")]
+    fn all_zero_vector_rejected() {
+        NodeScheduler::new(PolicyKind::VectorStep(vec![0, 0]), 2, None);
+    }
+
+    #[test]
+    fn min_transfer_size_prefers_data_locality() {
+        let mut coh = Coherence::new();
+        coh.register(A);
+        coh.register(B);
+        coh.record_write(A, Location::worker(1));
+        coh.record_write(B, Location::worker(1));
+        let mut s = NodeScheduler::new(
+            PolicyKind::MinTransferSize(ExplorationLevel::Medium),
+            2,
+            None,
+        );
+        let c = ce(vec![CeArg::read(A, 100), CeArg::read(B, 100)]);
+        assert_eq!(s.assign(&c, &coh), 1);
+    }
+
+    #[test]
+    fn min_transfer_size_explores_when_no_node_is_viable() {
+        let mut coh = Coherence::new();
+        coh.register(A);
+        // Data only on the controller: no worker is viable.
+        let mut s = NodeScheduler::new(
+            PolicyKind::MinTransferSize(ExplorationLevel::Medium),
+            3,
+            None,
+        );
+        let c = ce(vec![CeArg::read(A, 100)]);
+        let got: Vec<_> = (0..3).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 1, 2], "falls back to round-robin");
+    }
+
+    #[test]
+    fn exploration_threshold_gates_viability() {
+        const MIB: u64 = 1 << 20;
+        let mut coh = Coherence::new();
+        coh.register(A);
+        coh.register(B);
+        // Worker 0 holds 40 MiB of the CE's 100 MiB.
+        coh.record_write(A, Location::worker(0));
+        let c = ce(vec![CeArg::read(A, 40 * MIB), CeArg::read(B, 60 * MIB)]);
+        // Low (1 MiB): worker 0 viable -> chosen.
+        let mut low = NodeScheduler::new(
+            PolicyKind::MinTransferSize(ExplorationLevel::Low),
+            2,
+            None,
+        );
+        assert_eq!(low.assign(&c, &coh), 0);
+        // High (4 GiB): nobody viable -> round robin starts at 0.
+        let mut high = NodeScheduler::new(
+            PolicyKind::MinTransferSize(ExplorationLevel::High),
+            2,
+            None,
+        );
+        assert_eq!(high.assign(&c, &coh), 0);
+        assert_eq!(high.assign(&c, &coh), 1, "second fallback advances");
+    }
+
+    #[test]
+    fn snowball_on_shared_data_is_possible() {
+        // The paper's MV pathology: once one node holds the (monolithic)
+        // matrix, min-transfer-size keeps assigning every CE there.
+        const GIB: u64 = 1 << 30;
+        let mut coh = Coherence::new();
+        coh.register(A);
+        coh.record_copy(A, Location::worker(1));
+        let c = ce(vec![CeArg::read(A, 64 * GIB)]);
+        let mut s = NodeScheduler::new(
+            PolicyKind::MinTransferSize(ExplorationLevel::Medium),
+            4,
+            None,
+        );
+        for _ in 0..8 {
+            assert_eq!(s.assign(&c, &coh), 1, "exploitation never leaves node 1");
+        }
+    }
+
+    #[test]
+    fn min_transfer_time_uses_the_link_matrix() {
+        // Three endpoints: controller (0) and two workers. The link from
+        // the controller to worker 1 is 10x faster than to worker 0.
+        let mut bw = vec![vec![1e9; 3]; 3];
+        bw[0][1] = 1e8; // controller -> worker 0: slow
+        bw[0][2] = 1e9; // controller -> worker 1: fast
+        let links = LinkMatrix::new(bw);
+        let mut coh = Coherence::new();
+        coh.register(A);
+        // Both workers hold A (2 MiB >= the Low threshold); B lives only on
+        // the controller and must be fetched.
+        coh.record_copy(A, Location::worker(0));
+        coh.record_copy(A, Location::worker(1));
+        coh.register(B); // B only on controller
+        let c = ce(vec![CeArg::read(A, 2 << 20), CeArg::read(B, 1 << 20)]);
+        let mut s = NodeScheduler::new(
+            PolicyKind::MinTransferTime(ExplorationLevel::Low),
+            2,
+            Some(links),
+        );
+        // Worker 1 needs B over the fast link; worker 0 over the slow one.
+        assert_eq!(s.assign(&c, &coh), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "link matrix")]
+    fn min_transfer_time_requires_matrix() {
+        NodeScheduler::new(
+            PolicyKind::MinTransferTime(ExplorationLevel::Medium),
+            2,
+            None,
+        );
+    }
+
+    #[test]
+    fn policy_names_match_paper() {
+        assert_eq!(PolicyKind::RoundRobin.name(), "round-robin");
+        assert_eq!(PolicyKind::VectorStep(vec![1]).name(), "vector-step");
+        assert!(PolicyKind::MinTransferSize(ExplorationLevel::Low).is_online());
+        assert!(!PolicyKind::RoundRobin.is_online());
+    }
+}

@@ -1,0 +1,956 @@
+//! The simulated-cluster runtime: GrOUT's Controller/Worker architecture
+//! over the modeled OCI testbed (Figure 3 of the paper).
+//!
+//! A [`SimRuntime`] owns the Global DAG, the coherence directory, the
+//! inter-node scheduler, the network, and one [`gpu_sim::GpuNode`] +
+//! per-GPU [`uvm_sim::UvmDevice`] per worker. Submitting a CE runs the
+//! paper's Algorithm 1 (dependencies → node assignment → data movements)
+//! and Algorithm 2 (device/stream selection + wait events) and computes the
+//! CE's completion time analytically in virtual time.
+//!
+//! The single-node **GrCUDA baseline** is the same runtime configured with
+//! one worker and a colocated controller ([`SimConfig::grcuda_baseline`]).
+
+use std::collections::HashMap;
+
+use desim::{SimDuration, SimTime};
+use gpu_sim::{DeviceId, GpuNode, KernelCost, NodeSpec, StreamId};
+use net_sim::{Network, Topology};
+use uvm_sim::{Regime, UvmConfig, UvmDevice, UvmStats};
+
+use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
+use crate::coherence::{Coherence, Location};
+use crate::dag::{DagIndex, DepDag};
+use crate::intranode::{select_device, select_stream, DevicePolicy};
+use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
+
+/// Configuration of a simulated GrOUT deployment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Per-worker hardware.
+    pub node: NodeSpec,
+    /// UVM model constants.
+    pub uvm: UvmConfig,
+    /// Inter-node policy.
+    pub policy: PolicyKind,
+    /// Intra-node device-selection policy.
+    pub device_policy: DevicePolicy,
+    /// Cluster network (endpoint 0 is the controller).
+    pub topology: Topology,
+    /// Controller-side host memory bandwidth (for host read/write CEs).
+    pub host_bw_bps: f64,
+    /// Controller decision cost per CE for static policies.
+    pub sched_static: SimDuration,
+    /// Additional decision cost per worker for online policies.
+    pub sched_per_node: SimDuration,
+    /// The paper's per-run execution cap (2.5 h in the evaluation).
+    pub time_cap: Option<SimDuration>,
+    /// Controller colocated with worker 0 (the GrCUDA single-node setup):
+    /// controller<->worker-0 movements are free (same host memory).
+    pub controller_colocated: bool,
+    /// Models a hand-tuned application that issues
+    /// `cudaMemPrefetchAsync` for every kernel input before launch (the
+    /// paper's "first approach": profiling + manual prefetching). The
+    /// prefetch time serializes ahead of the kernel but migrates at the
+    /// streaming rate, avoiding demand-fault storms for data that fits.
+    pub hand_tuned_prefetch: bool,
+    /// Peer-to-peer transfers between workers (paper Algorithm 1 bottom).
+    /// When disabled (ablation), every movement is staged through the
+    /// controller: worker -> controller -> worker.
+    pub p2p_enabled: bool,
+    /// Ablation of the hierarchical scheduler (Section IV-C): when true the
+    /// Controller also tracks every GPU/stream on every node, so its
+    /// per-CE decision cost scales with the total stream count instead of
+    /// being delegated to the workers.
+    pub flat_scheduling: bool,
+}
+
+impl SimConfig {
+    /// The paper's GrOUT deployment: dedicated controller, `workers` nodes
+    /// of 2x V100 16 GiB, OCI NICs, 2.5 h cap.
+    pub fn paper_grout(workers: usize, policy: PolicyKind) -> Self {
+        SimConfig {
+            workers,
+            node: NodeSpec::paper_worker(),
+            uvm: UvmConfig::default(),
+            policy,
+            device_policy: DevicePolicy::MinTransferBytes,
+            topology: Topology::paper_oci(workers, SimDuration::from_micros(50)),
+            host_bw_bps: 25e9,
+            sched_static: SimDuration::from_micros(2),
+            sched_per_node: SimDuration::from_nanos(700),
+            time_cap: Some(SimDuration::from_secs(9000)),
+            controller_colocated: false,
+            hand_tuned_prefetch: false,
+            p2p_enabled: true,
+            flat_scheduling: false,
+        }
+    }
+
+    /// The paper's single-node GrCUDA baseline: one node, controller on the
+    /// same machine, intra-node scheduling only.
+    pub fn grcuda_baseline() -> Self {
+        let mut cfg = Self::paper_grout(1, PolicyKind::RoundRobin);
+        cfg.controller_colocated = true;
+        cfg
+    }
+}
+
+/// Per-CE execution record (reporting).
+#[derive(Debug, Clone)]
+pub struct CeRecord {
+    /// The CE.
+    pub ce: Ce,
+    /// Where it ran.
+    pub location: Location,
+    /// GPU within the node (kernels only).
+    pub device: Option<DeviceId>,
+    /// Stream on that GPU (kernels only).
+    pub stream: Option<StreamId>,
+    /// When the operation started executing.
+    pub start: SimTime,
+    /// When it finished.
+    pub finish: SimTime,
+    /// UVM stall included in the execution (kernels only).
+    pub uvm_stall: SimDuration,
+    /// Worst UVM regime hit (kernels only).
+    pub regime: Option<Regime>,
+    /// Bytes moved over the network to place this CE.
+    pub network_bytes: u64,
+}
+
+/// One worker node's mutable state.
+struct Worker {
+    node: GpuNode,
+    uvm: Vec<UvmDevice>,
+    device_rr: usize,
+    /// Stream each DAG node ran on (for parent-stream reuse).
+    placements: HashMap<DagIndex, (DeviceId, StreamId)>,
+}
+
+/// Aggregated run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// CEs executed.
+    pub ces: u64,
+    /// Network payload bytes moved.
+    pub network_bytes: u64,
+    /// Kernels that hit the UVM fault-storm regime.
+    pub storm_kernels: u64,
+    /// Total UVM stall across kernels.
+    pub uvm_stall: SimDuration,
+    /// Total controller scheduling overhead.
+    pub sched_overhead: SimDuration,
+}
+
+/// The simulated GrOUT runtime.
+pub struct SimRuntime {
+    cfg: SimConfig,
+    net: Network,
+    scheduler: NodeScheduler,
+    coherence: Coherence,
+    dag: DepDag,
+    workers: Vec<Worker>,
+    records: Vec<CeRecord>,
+    /// Virtual instant each array's latest content becomes available
+    /// (finish of its last writer CE / last arriving transfer).
+    array_ready: HashMap<ArrayId, SimTime>,
+    array_bytes: HashMap<ArrayId, u64>,
+    next_array: u64,
+    next_ce: u64,
+    /// When the controller is free to process the next submission.
+    controller_clock: SimTime,
+    stats: RunStats,
+}
+
+impl SimRuntime {
+    /// Builds a runtime; probes the interconnection matrix when the policy
+    /// needs it (as GrOUT does at startup).
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert_eq!(
+            cfg.topology.len(),
+            cfg.workers + 1,
+            "topology must cover controller + workers"
+        );
+        let net = Network::new(cfg.topology.clone());
+        let links = if matches!(cfg.policy, PolicyKind::MinTransferTime(_)) {
+            Some(LinkMatrix::new(net.probe_matrix(64 << 20)))
+        } else {
+            None
+        };
+        let scheduler = NodeScheduler::new(cfg.policy.clone(), cfg.workers, links);
+        let workers = (0..cfg.workers)
+            .map(|_| Worker {
+                node: GpuNode::new(cfg.node.clone()),
+                uvm: (0..cfg.node.gpu_count)
+                    .map(|_| {
+                        UvmDevice::new(cfg.uvm.clone(), cfg.node.gpu.memory_bytes, cfg.node.gpu.pcie_bps)
+                    })
+                    .collect(),
+                device_rr: 0,
+                placements: HashMap::new(),
+            })
+            .collect();
+        SimRuntime {
+            net,
+            scheduler,
+            coherence: Coherence::new(),
+            dag: DepDag::new(),
+            workers,
+            records: Vec::new(),
+            array_ready: HashMap::new(),
+            array_bytes: HashMap::new(),
+            next_array: 0,
+            next_ce: 0,
+            controller_clock: SimTime::ZERO,
+            stats: RunStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Allocates a framework-managed array of `bytes` (up-to-date on the
+    /// controller, like `polyglot.eval(GrOUT, "float[SIZE]")`).
+    pub fn alloc(&mut self, bytes: u64) -> ArrayId {
+        let id = ArrayId(self.next_array);
+        self.next_array += 1;
+        self.coherence.register(id);
+        self.array_bytes.insert(id, bytes);
+        self.array_ready.insert(id, self.controller_clock);
+        id
+    }
+
+    /// Frees an array.
+    pub fn free(&mut self, id: ArrayId) {
+        self.coherence.unregister(id);
+        self.array_bytes.remove(&id);
+        self.array_ready.remove(&id);
+        for w in &mut self.workers {
+            for uvm in &mut w.uvm {
+                uvm.invalidate(id.alloc());
+            }
+        }
+    }
+
+    /// Size of an array in bytes.
+    pub fn array_bytes(&self, id: ArrayId) -> u64 {
+        self.array_bytes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Submits a host-side write CE (e.g. the initialization loop of
+    /// Listing 1).
+    pub fn host_write(&mut self, array: ArrayId, bytes: u64) -> CeId {
+        let arg = CeArg::write(array, bytes);
+        self.submit(CeKind::HostWrite, vec![arg])
+    }
+
+    /// Submits a host-side read CE (e.g. `print(x)`).
+    pub fn host_read(&mut self, array: ArrayId, bytes: u64) -> CeId {
+        let arg = CeArg::read(array, bytes);
+        self.submit(CeKind::HostRead, vec![arg])
+    }
+
+    /// Submits a kernel CE.
+    pub fn launch(&mut self, name: impl Into<String>, cost: KernelCost, args: Vec<CeArg>) -> CeId {
+        self.submit(
+            CeKind::Kernel {
+                name: name.into(),
+                cost,
+            },
+            args,
+        )
+    }
+
+    fn sched_overhead(&self) -> SimDuration {
+        let base = if self.cfg.policy.is_online() {
+            self.cfg.sched_static + self.cfg.sched_per_node * self.cfg.workers as u64
+        } else {
+            self.cfg.sched_static
+        };
+        if self.cfg.flat_scheduling {
+            // Tracking every stream on every GPU of every node from the
+            // controller: per-CE bookkeeping scales with total streams
+            // (~8 in-flight streams per GPU).
+            let streams = (self.cfg.workers * self.cfg.node.gpu_count * 8) as u64;
+            base + self.cfg.sched_per_node * streams
+        } else {
+            base
+        }
+    }
+
+    /// Degrades a directed link at runtime and, when the policy is
+    /// `min-transfer-time`, re-probes the interconnection matrix so the
+    /// scheduler adapts (the VNIC-SLA scenario of Section IV-D).
+    pub fn degrade_link(&mut self, src: Location, dst: Location, link: net_sim::LinkSpec) {
+        self.net.set_link(src.endpoint(), dst.endpoint(), link);
+        if matches!(self.cfg.policy, PolicyKind::MinTransferTime(_)) {
+            let links = LinkMatrix::new(self.net.probe_matrix(64 << 20));
+            self.scheduler =
+                NodeScheduler::new(self.cfg.policy.clone(), self.cfg.workers, Some(links));
+        }
+    }
+
+    /// Whether a movement between two locations is free because the
+    /// controller shares worker 0's host memory (GrCUDA baseline).
+    fn colocated(&self, a: Location, b: Location) -> bool {
+        self.cfg.controller_colocated
+            && ((a == Location::CONTROLLER && b == Location::worker(0))
+                || (b == Location::CONTROLLER && a == Location::worker(0)))
+    }
+
+    /// Moves `array` so `dest` holds an up-to-date copy; returns the
+    /// instant the data is available there and the network bytes moved.
+    fn ensure_at(&mut self, array: ArrayId, bytes: u64, dest: Location, when: SimTime) -> (SimTime, u64) {
+        if self.coherence.up_to_date_on(array, dest) {
+            return (*self.array_ready.get(&array).unwrap_or(&when), 0);
+        }
+        assert!(
+            self.array_bytes.contains_key(&array),
+            "CE references array {array:?} after free()"
+        );
+        let ready = *self.array_ready.get(&array).unwrap_or(&when);
+        let start = when.max(ready);
+
+        // Pick the source: Algorithm 1's bottom half.
+        let src = if self.coherence.only_on_controller(array) {
+            Location::CONTROLLER
+        } else if self.cfg.p2p_enabled {
+            // A P2P candidate: the up-to-date holder whose transfer would
+            // complete earliest given current NIC occupancy.
+            let holders: Vec<Location> = self.coherence.holders(array).to_vec();
+            holders
+                .into_iter()
+                .min_by_key(|&h| self.net.peek_transfer(start, h.endpoint(), dest.endpoint(), bytes))
+                .expect("registered arrays always have a holder")
+        } else {
+            // P2P disabled (ablation): stage through the controller.
+            let holders: Vec<Location> = self.coherence.holders(array).to_vec();
+            holders
+                .into_iter()
+                .min_by_key(|h| h.0)
+                .expect("registered arrays always have a holder")
+        };
+
+        // Dirty device copies on the source worker must be written back
+        // before the bytes leave the node.
+        let mut src_ready = start;
+        if let Some(wi) = src.worker_index() {
+            src_ready = src_ready.max(self.sync_worker_host_copy(wi, array, start));
+        }
+
+        let (arrival, moved) = if self.colocated(src, dest) {
+            // Same host memory: nothing to move.
+            (src_ready, 0)
+        } else if !self.cfg.p2p_enabled
+            && src != Location::CONTROLLER
+            && dest != Location::CONTROLLER
+        {
+            // Two hops: worker -> controller, then controller -> worker.
+            let hop = self
+                .net
+                .transfer(src_ready, src.endpoint(), Location::CONTROLLER.endpoint(), bytes);
+            let rec = self.net.transfer(
+                hop.timeline.finish,
+                Location::CONTROLLER.endpoint(),
+                dest.endpoint(),
+                bytes,
+            );
+            self.coherence.record_copy(array, Location::CONTROLLER);
+            self.stats.network_bytes += bytes;
+            (rec.timeline.finish, bytes)
+        } else {
+            let rec = self
+                .net
+                .transfer(src_ready, src.endpoint(), dest.endpoint(), bytes);
+            (rec.timeline.finish, bytes)
+        };
+        self.coherence.record_copy(array, dest);
+        self.stats.network_bytes += moved;
+        let ready = self.array_ready.entry(array).or_insert(arrival);
+        *ready = (*ready).max(arrival);
+        (arrival, moved)
+    }
+
+    /// If worker `wi` holds a dirty device copy of `array`, schedule the
+    /// UVM writeback (D2H) and return when the host copy is consistent.
+    fn sync_worker_host_copy(&mut self, wi: usize, array: ArrayId, when: SimTime) -> SimTime {
+        let mut done = when;
+        let w = &mut self.workers[wi];
+        for (d, uvm) in w.uvm.iter_mut().enumerate() {
+            let resident = uvm.resident_bytes(array.alloc());
+            if resident > 0 {
+                let tl = w.node.device_mut(DeviceId(d)).copy_d2h(when, resident);
+                done = done.max(tl.finish);
+            }
+        }
+        done
+    }
+
+    /// Core submission path (Algorithms 1 and 2).
+    pub fn submit(&mut self, kind: CeKind, args: Vec<CeArg>) -> CeId {
+        let id = CeId(self.next_ce);
+        self.next_ce += 1;
+        let ce = Ce { id, kind, args };
+
+        // 1. Dependencies against the Global DAG.
+        let outcome = self.dag.add_ce(&ce);
+
+        // 2. Controller decision (its cost is Figure 9's subject).
+        let overhead = self.sched_overhead();
+        self.controller_clock += overhead;
+        self.stats.sched_overhead += overhead;
+        let dispatch = self.controller_clock;
+
+        // 3. Node assignment.
+        let dest = if ce.is_host() {
+            Location::CONTROLLER
+        } else {
+            Location::worker(self.scheduler.assign(&ce, &self.coherence))
+        };
+
+        // 4. Data movements for read arguments.
+        let mut data_ready = dispatch;
+        let mut moved_bytes = 0u64;
+        for arg in &ce.args {
+            if !arg.mode.reads() {
+                continue;
+            }
+            let (at, moved) = self.ensure_at(arg.array, self.array_bytes(arg.array), dest, dispatch);
+            data_ready = data_ready.max(at);
+            moved_bytes += moved;
+        }
+
+        // 5. Ancestor completion gates.
+        let parent_finish = outcome
+            .parents
+            .iter()
+            .map(|&p| self.records[p].finish)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let gate = data_ready.max(parent_finish);
+
+        // 6. Execute.
+        let record = match &ce.kind {
+            CeKind::HostRead | CeKind::HostWrite => {
+                let bytes = ce.total_bytes();
+                let dur = SimDuration::for_bytes(bytes, self.cfg.host_bw_bps);
+                let start = gate;
+                let finish = start + dur;
+                self.controller_clock = self.controller_clock.max(finish);
+                CeRecord {
+                    location: dest,
+                    device: None,
+                    stream: None,
+                    start,
+                    finish,
+                    uvm_stall: SimDuration::ZERO,
+                    regime: None,
+                    network_bytes: moved_bytes,
+                    ce: ce.clone(),
+                }
+            }
+            CeKind::Kernel { cost, .. } => {
+                let wi = dest.worker_index().expect("kernels go to workers");
+                // Command message latency controller -> worker.
+                let cmd_at = dispatch + self.cfg.topology.path_latency(Location::CONTROLLER.endpoint(), dest.endpoint());
+                let gate = gate.max(cmd_at);
+
+                // Algorithm 2: device selection by residency.
+                let resident: Vec<u64> = {
+                    let w = &self.workers[wi];
+                    (0..w.node.device_count())
+                        .map(|d| {
+                            ce.args
+                                .iter()
+                                .map(|a| w.uvm[d].resident_bytes(a.array.alloc()))
+                                .sum()
+                        })
+                        .collect()
+                };
+                let total_bytes = ce.total_bytes();
+                // Competing pressure per GPU: the CE's own allocations are
+                // excluded so a chunk is not repelled from the GPU it ran
+                // on last iteration by its own stale window entry.
+                let own: Vec<uvm_sim::AllocId> =
+                    ce.args.iter().map(|a| a.array.alloc()).collect();
+                let active: Vec<u64> = self.workers[wi]
+                    .uvm
+                    .iter()
+                    .map(|u| u.active_bytes_excluding(&own))
+                    .collect();
+                let w = &mut self.workers[wi];
+                let device = select_device(
+                    &w.node,
+                    self.cfg.device_policy,
+                    &mut w.device_rr,
+                    &resident,
+                    &active,
+                    total_bytes,
+                );
+
+                // Stream selection: reuse the single parent's stream when it
+                // ran on the same device of the same worker.
+                let single_parent_stream = if outcome.parents.len() == 1 {
+                    w.placements
+                        .get(&outcome.parents[0])
+                        .filter(|(d, _)| *d == device)
+                        .map(|(_, s)| *s)
+                } else {
+                    None
+                };
+                let (stream, reused) =
+                    select_stream(w.node.device_mut(device), gate, single_parent_stream);
+
+                // Wait events on ancestors (free when the FIFO orders us).
+                let waits: Vec<SimTime> = if reused {
+                    Vec::new()
+                } else {
+                    outcome
+                        .parents
+                        .iter()
+                        .map(|&p| self.records[p].finish)
+                        .collect()
+                };
+
+                // Hand-tuned variant: prefetch read inputs ahead of the
+                // launch (serialized before the kernel, streaming rate).
+                let mut prefetch_cost = SimDuration::ZERO;
+                if self.cfg.hand_tuned_prefetch {
+                    for a in &ce.args {
+                        if a.mode.reads() {
+                            prefetch_cost += w.uvm[device.0].prefetch(a.array.alloc(), a.bytes);
+                        }
+                    }
+                }
+
+                // UVM fault/migration stall for this launch.
+                let uvm_args: Vec<uvm_sim::ArgAccess> = ce.args.iter().map(|a| a.to_uvm()).collect();
+                let report = w.uvm[device.0].kernel_access(&uvm_args);
+                let report = uvm_sim::UvmReport {
+                    stall: report.stall + prefetch_cost,
+                    ..report
+                };
+
+                let tl = w.node.device_mut(device).launch_kernel(
+                    stream,
+                    gate,
+                    &waits,
+                    cost,
+                    report.stall,
+                );
+                w.placements.insert(outcome.index, (device, stream));
+                if report.regime == Regime::FaultStorm {
+                    self.stats.storm_kernels += 1;
+                }
+                self.stats.uvm_stall += report.stall;
+                CeRecord {
+                    location: dest,
+                    device: Some(device),
+                    stream: Some(stream),
+                    start: tl.start,
+                    finish: tl.finish,
+                    uvm_stall: report.stall,
+                    regime: Some(report.regime),
+                    network_bytes: moved_bytes,
+                    ce: ce.clone(),
+                }
+            }
+        };
+
+        // 7. Coherence + availability updates for written arrays.
+        for arg in &ce.args {
+            if arg.mode.writes() {
+                self.coherence.record_write(arg.array, dest);
+                self.array_ready.insert(arg.array, record.finish);
+                // Stale UVM copies elsewhere must refault after the write.
+                for (i, w) in self.workers.iter_mut().enumerate() {
+                    if Location::worker(i) != dest {
+                        for uvm in &mut w.uvm {
+                            uvm.invalidate(arg.array.alloc());
+                        }
+                    }
+                }
+            }
+        }
+
+        self.dag.mark_completed(outcome.index);
+        self.stats.ces += 1;
+        self.records.push(record);
+        id
+    }
+
+    /// Completion time of a CE.
+    pub fn finish_time(&self, id: CeId) -> SimTime {
+        self.records[id.0 as usize].finish
+    }
+
+    /// Full record of a CE.
+    pub fn record(&self, id: CeId) -> &CeRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// All records, in submission order.
+    pub fn records(&self) -> &[CeRecord] {
+        &self.records
+    }
+
+    /// The virtual makespan: when the last submitted CE finishes.
+    pub fn elapsed(&self) -> SimTime {
+        self.records
+            .iter()
+            .map(|r| r.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Whether the run exceeded the configured execution cap (the paper
+    /// reports such runs as "out of time").
+    pub fn timed_out(&self) -> bool {
+        self.cfg
+            .time_cap
+            .is_some_and(|cap| self.elapsed() > SimTime::ZERO + cap)
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// UVM statistics of one GPU.
+    pub fn uvm_stats(&self, worker: usize, device: usize) -> UvmStats {
+        self.workers[worker].uvm[device].stats()
+    }
+
+    /// The coherence directory (read-only view).
+    pub fn coherence(&self) -> &Coherence {
+        &self.coherence
+    }
+
+    /// The Global DAG (read-only view).
+    pub fn dag(&self) -> &DepDag {
+        &self.dag
+    }
+
+    /// The network (read-only view).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The probed interconnection matrix, when the policy uses one.
+    pub fn link_matrix(&self) -> Option<&LinkMatrix> {
+        self.scheduler.links()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_sim::AccessPattern;
+
+    const GIB: u64 = 1 << 30;
+
+    fn cost_for(bytes: u64) -> KernelCost {
+        KernelCost {
+            flops: bytes as f64, // ~memory-bound
+            bytes_read: bytes,
+            bytes_written: 0,
+        }
+    }
+
+    fn grout(workers: usize) -> SimRuntime {
+        SimRuntime::new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin))
+    }
+
+    #[test]
+    fn fitting_workload_runs_fast() {
+        let mut rt = grout(2);
+        let a = rt.alloc(4 * GIB);
+        rt.host_write(a, 4 * GIB);
+        rt.launch("k", cost_for(4 * GIB), vec![CeArg::read_write(a, 4 * GIB)]);
+        let t = rt.elapsed().as_secs_f64();
+        // init memcpy + network send + cold faults: clearly under a minute.
+        assert!(t > 0.0 && t < 60.0, "elapsed {t}");
+        assert!(!rt.timed_out());
+    }
+
+    #[test]
+    fn dependencies_serialize_execution() {
+        let mut rt = grout(2);
+        let a = rt.alloc(GIB);
+        let w = rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]);
+        let r = rt.launch("r", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        assert!(rt.record(r).start >= rt.finish_time(w));
+    }
+
+    #[test]
+    fn independent_ces_overlap_across_nodes() {
+        let mut rt = grout(2);
+        let a = rt.alloc(GIB);
+        let b = rt.alloc(GIB);
+        // Compute-heavy kernels (~64 s on a V100) so execution, not the
+        // serialized controller egress, dominates.
+        let heavy = KernelCost {
+            flops: 1e15,
+            bytes_read: GIB,
+            bytes_written: 0,
+        };
+        let ka = rt.launch("ka", heavy, vec![CeArg::read_write(a, GIB)]);
+        let kb = rt.launch("kb", heavy, vec![CeArg::read_write(b, GIB)]);
+        // Round-robin puts them on different nodes; their executions overlap.
+        assert_ne!(rt.record(ka).location, rt.record(kb).location);
+        assert!(rt.record(kb).start < rt.record(ka).finish);
+    }
+
+    #[test]
+    fn reads_move_data_once_then_cache() {
+        let mut rt = SimRuntime::new(SimConfig::paper_grout(
+            1,
+            PolicyKind::RoundRobin,
+        ));
+        let a = rt.alloc(GIB);
+        let k1 = rt.launch("k1", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        let k2 = rt.launch("k2", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        assert_eq!(rt.record(k1).network_bytes, GIB);
+        assert_eq!(rt.record(k2).network_bytes, 0, "second read reuses copy");
+    }
+
+    #[test]
+    fn writes_invalidate_other_copies() {
+        let mut rt = grout(2);
+        let a = rt.alloc(GIB);
+        // Spread read copies to both workers.
+        rt.launch("r0", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        rt.launch("r1", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        assert_eq!(rt.coherence().holders(ArrayId(0)).len(), 3);
+        // A write on one worker makes it exclusive.
+        rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]);
+        assert_eq!(rt.coherence().holders(ArrayId(0)).len(), 1);
+    }
+
+    #[test]
+    fn p2p_transfer_skips_controller() {
+        let mut rt = grout(2);
+        let a = rt.alloc(GIB);
+        // Put the data exclusively on worker 0 by writing there.
+        rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]);
+        let before = rt.network().stats(net_sim::EndpointId(0)).bytes_out;
+        // Read on worker 1 must come P2P from worker 0.
+        rt.launch("r", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        let after = rt.network().stats(net_sim::EndpointId(0)).bytes_out;
+        assert_eq!(before, after, "controller sent nothing");
+        assert!(rt.network().stats(net_sim::EndpointId(1)).bytes_out >= GIB);
+    }
+
+    #[test]
+    fn grcuda_baseline_moves_nothing_over_network() {
+        let mut rt = SimRuntime::new(SimConfig::grcuda_baseline());
+        let a = rt.alloc(4 * GIB);
+        rt.host_write(a, 4 * GIB);
+        rt.launch("k", cost_for(4 * GIB), vec![CeArg::read_write(a, 4 * GIB)]);
+        rt.host_read(a, 4 * GIB);
+        assert_eq!(rt.stats().network_bytes, 0);
+    }
+
+    #[test]
+    fn oversubscribed_kernel_storms_and_dominates() {
+        let mut rt = SimRuntime::new(SimConfig::grcuda_baseline());
+        let a = rt.alloc(48 * GIB); // 3x one V100
+        let k = rt.launch(
+            "big",
+            cost_for(48 * GIB),
+            vec![CeArg::read(a, 48 * GIB)
+                .with_pattern(AccessPattern::Streamed { sweeps: 4.0 })],
+        );
+        assert_eq!(rt.record(k).regime, Some(Regime::FaultStorm));
+        assert!(rt.stats().storm_kernels == 1);
+        assert!(rt.record(k).uvm_stall.as_secs_f64() > 10.0);
+    }
+
+    #[test]
+    fn scale_out_splits_pressure() {
+        // The paper's headline mechanism: the same total footprint split
+        // across two nodes leaves the storm regime.
+        let run = |workers: usize| {
+            let mut rt = grout(workers);
+            let chunks = 4;
+            let total = 48 * GIB;
+            let per = total / chunks;
+            for _ in 0..2 {
+                for c in 0..chunks {
+                    let a = if rt.array_bytes(ArrayId(c)) == 0 {
+                        rt.alloc(per)
+                    } else {
+                        ArrayId(c)
+                    };
+                    rt.launch(
+                        "chunk",
+                        cost_for(per),
+                        vec![CeArg::read_write(a, per)
+                            .with_pattern(AccessPattern::Streamed { sweeps: 2.0 })],
+                    );
+                }
+            }
+            rt.elapsed().as_secs_f64()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            two < one,
+            "two nodes ({two:.1}s) should beat one ({one:.1}s) under pressure"
+        );
+    }
+
+    #[test]
+    fn host_read_pulls_data_back() {
+        let mut rt = grout(1);
+        let a = rt.alloc(GIB);
+        rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]);
+        let r = rt.host_read(a, GIB);
+        assert_eq!(rt.record(r).location, Location::CONTROLLER);
+        assert!(rt.record(r).network_bytes >= GIB);
+        assert!(rt.coherence().up_to_date_on(ArrayId(0), Location::CONTROLLER));
+    }
+
+    #[test]
+    fn online_policy_pays_per_node_overhead() {
+        let static_cfg = SimConfig::paper_grout(8, PolicyKind::RoundRobin);
+        let online_cfg = SimConfig::paper_grout(
+            8,
+            PolicyKind::MinTransferSize(Default::default()),
+        );
+        let mut a = SimRuntime::new(static_cfg);
+        let mut b = SimRuntime::new(online_cfg);
+        let run = |rt: &mut SimRuntime| {
+            let x = rt.alloc(1 << 20);
+            for _ in 0..10 {
+                rt.launch("k", cost_for(1 << 20), vec![CeArg::read_write(x, 1 << 20)]);
+            }
+            rt.stats().sched_overhead
+        };
+        assert!(run(&mut b) > run(&mut a));
+    }
+
+    #[test]
+    fn p2p_disabled_stages_through_controller() {
+        let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
+        cfg.p2p_enabled = false;
+        let mut rt = SimRuntime::new(cfg);
+        let a = rt.alloc(GIB);
+        rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]); // worker 0
+        let before = rt.network().stats(net_sim::EndpointId(0)).bytes_out;
+        rt.launch("r", cost_for(GIB), vec![CeArg::read(a, GIB)]); // worker 1
+        let after = rt.network().stats(net_sim::EndpointId(0)).bytes_out;
+        assert!(after > before, "controller relayed the bytes");
+        // Staging doubles the wire traffic relative to a direct P2P hop
+        // (worker0 -> controller -> worker1).
+        assert_eq!(rt.stats().network_bytes, 2 * GIB);
+    }
+
+    #[test]
+    fn flat_scheduling_costs_more_per_ce() {
+        let run = |flat: bool| {
+            let mut cfg = SimConfig::paper_grout(4, PolicyKind::RoundRobin);
+            cfg.flat_scheduling = flat;
+            let mut rt = SimRuntime::new(cfg);
+            let a = rt.alloc(1 << 20);
+            for _ in 0..16 {
+                rt.launch("k", cost_for(1 << 20), vec![CeArg::read_write(a, 1 << 20)]);
+            }
+            rt.stats().sched_overhead
+        };
+        assert!(run(true) > run(false) * 2.0);
+    }
+
+    #[test]
+    fn degrade_link_refreshes_the_probed_matrix() {
+        use crate::policy::ExplorationLevel;
+        let mut rt = SimRuntime::new(SimConfig::paper_grout(
+            2,
+            PolicyKind::MinTransferTime(ExplorationLevel::Low),
+        ));
+        let before = rt
+            .link_matrix()
+            .expect("min-transfer-time probes at startup")
+            .bandwidth(Location::CONTROLLER, Location::worker(0));
+        assert!(before > 100e6, "healthy OCI link: {before}");
+        let dead = net_sim::LinkSpec::from_mbit(1.0, desim::SimDuration::from_millis(50));
+        rt.degrade_link(Location::CONTROLLER, Location::worker(0), dead);
+        let after = rt
+            .link_matrix()
+            .expect("matrix survives refresh")
+            .bandwidth(Location::CONTROLLER, Location::worker(0));
+        assert!(after < 1e6, "matrix saw the degraded VNIC: {after}");
+        // The reverse direction is untouched.
+        let reverse = rt
+            .link_matrix()
+            .unwrap()
+            .bandwidth(Location::worker(0), Location::CONTROLLER);
+        assert!(reverse > 100e6);
+    }
+
+    #[test]
+    fn degraded_link_slows_new_transfers() {
+        let mut rt = SimRuntime::new(SimConfig::paper_grout(2, PolicyKind::RoundRobin));
+        let a = rt.alloc(GIB);
+        let fast = rt.launch("k1", cost_for(GIB), vec![CeArg::read(a, GIB)]); // worker 0
+        let dead = net_sim::LinkSpec::from_mbit(1.0, desim::SimDuration::from_millis(50));
+        rt.degrade_link(Location::CONTROLLER, Location::worker(1), dead);
+        let b = rt.alloc(GIB);
+        let slow = rt.launch("k2", cost_for(GIB), vec![CeArg::read(b, GIB)]); // worker 1
+        let fast_span = rt.record(fast).finish - rt.record(fast).start;
+        let _ = fast_span;
+        assert!(
+            rt.record(slow).finish.as_secs_f64() > rt.record(fast).finish.as_secs_f64() * 50.0,
+            "transfer over the dead link crawls"
+        );
+    }
+
+    #[test]
+    fn free_invalidates_everywhere() {
+        let mut rt = grout(1);
+        let a = rt.alloc(GIB);
+        rt.launch("k", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        rt.free(a);
+        assert!(rt.coherence().holders(a).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "after free")]
+    fn use_after_free_is_loud() {
+        let mut rt = grout(1);
+        let a = rt.alloc(GIB);
+        rt.free(a);
+        rt.launch("k", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+    }
+
+    #[test]
+    fn zero_byte_arrays_are_harmless() {
+        let mut rt = grout(2);
+        let a = rt.alloc(0);
+        let k = rt.launch("k", KernelCost::default(), vec![CeArg::read_write(a, 0)]);
+        assert!(rt.finish_time(k) > SimTime::ZERO);
+        assert!(!rt.timed_out());
+    }
+
+    #[test]
+    fn kernels_with_no_args_run() {
+        let mut rt = grout(2);
+        let k = rt.launch(
+            "noop",
+            KernelCost {
+                flops: 1e9,
+                bytes_read: 0,
+                bytes_written: 0,
+            },
+            vec![],
+        );
+        assert!(rt.record(k).finish > rt.record(k).start);
+    }
+}

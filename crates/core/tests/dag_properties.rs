@@ -1,0 +1,113 @@
+//! Property-based correctness of the dependency DAG (paper Algorithm 1):
+//! against arbitrary CE streams, the DAG must be acyclic, transitively
+//! reduced, and *sound* — every true pairwise dependency must be implied by
+//! the recorded edges.
+
+use grout_core::{ArrayId, Ce, CeArg, CeId, CeKind, DepDag, KernelCost};
+use proptest::prelude::*;
+
+/// A compact encoding of a random CE: a few (array, mode) pairs.
+fn arb_ce(id: u64, max_arrays: u64) -> impl Strategy<Value = Ce> {
+    proptest::collection::vec((0..max_arrays, 0u8..3), 1..4).prop_map(move |args| {
+        let mut seen = Vec::new();
+        let args = args
+            .into_iter()
+            .filter(|(a, _)| {
+                if seen.contains(a) {
+                    false
+                } else {
+                    seen.push(*a);
+                    true
+                }
+            })
+            .map(|(a, m)| match m {
+                0 => CeArg::read(ArrayId(a), 64),
+                1 => CeArg::write(ArrayId(a), 64),
+                _ => CeArg::read_write(ArrayId(a), 64),
+            })
+            .collect();
+        Ce {
+            id: CeId(id),
+            kind: CeKind::Kernel {
+                name: "p".into(),
+                cost: KernelCost::default(),
+            },
+            args,
+        }
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Ce>> {
+    proptest::collection::vec((0..6u64, 0u8..1), 1..40).prop_flat_map(|seed| {
+        let n = seed.len();
+        let mut strategies = Vec::new();
+        for i in 0..n {
+            strategies.push(arb_ce(i as u64, 6));
+        }
+        strategies
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Edges only point backwards (acyclicity by construction) and the
+    /// parent set is transitively reduced.
+    #[test]
+    fn dag_is_acyclic_and_reduced(stream in arb_stream()) {
+        let mut dag = DepDag::new();
+        for ce in &stream {
+            let out = dag.add_ce(ce);
+            for &p in &out.parents {
+                prop_assert!(p < out.index, "edge must point backwards");
+            }
+            // No parent may be an ancestor of another parent.
+            for &a in &out.parents {
+                for &b in &out.parents {
+                    if a != b {
+                        prop_assert!(
+                            !dag.is_ancestor(a, b),
+                            "parent {a} is an ancestor of parent {b}: not reduced"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Soundness: for every pair (i, j) with a true data dependency
+    /// (RAW/WAR/WAW per `Ce::depends_on`), the DAG must order them
+    /// transitively.
+    #[test]
+    fn dag_is_sound_vs_bruteforce(stream in arb_stream()) {
+        let mut dag = DepDag::new();
+        for ce in &stream {
+            dag.add_ce(ce);
+        }
+        for j in 0..stream.len() {
+            for i in 0..j {
+                if stream[j].depends_on(&stream[i]) {
+                    prop_assert!(
+                        dag.is_ancestor(i, j),
+                        "CE {j} depends on CE {i} but the DAG does not order them"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Completing CEs in submission order always yields a valid schedule
+    /// (every CE becomes ready exactly once).
+    #[test]
+    fn submission_order_is_a_valid_schedule(stream in arb_stream()) {
+        let mut dag = DepDag::new();
+        for ce in &stream {
+            dag.add_ce(ce);
+        }
+        for i in 0..stream.len() {
+            prop_assert!(dag.is_ready(i), "CE {i} not ready in submission order");
+            dag.mark_completed(i);
+        }
+        prop_assert!(dag.ready_set().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants of the two runtimes.
+
+use std::sync::Arc;
+
+use grout_core::{
+    CeArg, KernelCost, LocalArg, LocalConfig, LocalRuntime, PolicyKind, SimConfig, SimRuntime,
+};
+use proptest::prelude::*;
+
+const MIB: u64 = 1 << 20;
+
+/// A random little CE stream over 4 arrays with mixed modes.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    // (array_a, array_b, kind): kind 0 = write a, 1 = read a write b,
+    // 2 = rw a.
+    proptest::collection::vec((0u8..4, 0u8..4, 0u8..3), 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Simulated-time sanity: starts never precede dispatch order
+    /// constraints, finishes never precede starts, and dependencies are
+    /// honoured in time.
+    #[test]
+    fn sim_records_are_temporally_consistent(ops in arb_ops(), workers in 1usize..4) {
+        let mut rt = SimRuntime::new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin));
+        let arrays: Vec<_> = (0..4).map(|_| rt.alloc(64 * MIB)).collect();
+        let cost = KernelCost { flops: 1e9, bytes_read: 64 * MIB, bytes_written: 0 };
+        for (a, b, kind) in ops {
+            let args = match kind {
+                0 => vec![CeArg::write(arrays[a as usize], 64 * MIB)],
+                1 => vec![
+                    CeArg::read(arrays[a as usize], 64 * MIB),
+                    CeArg::write(arrays[b as usize], 64 * MIB),
+                ],
+                _ => vec![CeArg::read_write(arrays[a as usize], 64 * MIB)],
+            };
+            rt.launch("k", cost, args);
+        }
+        let records = rt.records();
+        for r in records {
+            prop_assert!(r.finish >= r.start);
+        }
+        // Dependency timing: rebuild pairwise dependencies and check order.
+        for j in 0..records.len() {
+            for i in 0..j {
+                if records[j].ce.depends_on(&records[i].ce) {
+                    prop_assert!(
+                        records[j].start >= records[i].finish,
+                        "dependent CE {j} started before CE {i} finished"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The local runtime produces scheduling-independent results: the same
+    /// kernel stream on 1 worker and on 3 workers yields identical arrays.
+    #[test]
+    fn local_results_are_scheduling_independent(ops in arb_ops()) {
+        let src = "
+            __global__ void write_k(float* a, float v, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = v + (float)i; }
+            }
+            __global__ void addinto(float* b, const float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { b[i] = b[i] + a[i] * 0.5; }
+            }
+            __global__ void scale(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = a[i] * 1.25 + 1.0; }
+            }
+        ";
+        let kernels = kernelc::compile(src).unwrap();
+        let write_k = Arc::new(kernels[0].clone());
+        let addinto = Arc::new(kernels[1].clone());
+        let scale = Arc::new(kernels[2].clone());
+        let n = 512usize;
+
+        let run = |workers: usize| -> Vec<Vec<f32>> {
+            let mut rt = LocalRuntime::new(LocalConfig {
+                workers,
+                policy: PolicyKind::RoundRobin,
+            });
+            let arrays: Vec<_> = (0..4).map(|_| rt.alloc_f32(n)).collect();
+            for &(a, b, kind) in &ops {
+                let (a, b) = (arrays[a as usize], arrays[b as usize]);
+                match kind {
+                    0 => rt.launch(
+                        &write_k,
+                        2,
+                        256,
+                        vec![LocalArg::Buf(a), LocalArg::F32(3.5), LocalArg::I32(n as i32)],
+                    ),
+                    1 if a != b => rt.launch(
+                        &addinto,
+                        2,
+                        256,
+                        vec![LocalArg::Buf(b), LocalArg::Buf(a), LocalArg::I32(n as i32)],
+                    ),
+                    _ => rt.launch(
+                        &scale,
+                        2,
+                        256,
+                        vec![LocalArg::Buf(a), LocalArg::I32(n as i32)],
+                    ),
+                }
+                .unwrap();
+            }
+            rt.synchronize().unwrap();
+            arrays.iter().map(|&x| rt.read_f32(x).unwrap()).collect()
+        };
+
+        let one = run(1);
+        let three = run(3);
+        prop_assert_eq!(one, three, "results depend on worker count");
+    }
+
+    /// Network accounting in the simulated runtime never loses bytes:
+    /// per-endpoint in/out totals stay balanced whatever the schedule.
+    #[test]
+    fn sim_network_bytes_balance(ops in arb_ops(), workers in 1usize..4) {
+        let mut rt = SimRuntime::new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin));
+        let arrays: Vec<_> = (0..4).map(|_| rt.alloc(16 * MIB)).collect();
+        let cost = KernelCost { flops: 1e6, bytes_read: 16 * MIB, bytes_written: 0 };
+        for (a, b, kind) in ops {
+            let args = match kind {
+                0 => vec![CeArg::write(arrays[a as usize], 16 * MIB)],
+                1 => vec![
+                    CeArg::read(arrays[a as usize], 16 * MIB),
+                    CeArg::write(arrays[b as usize], 16 * MIB),
+                ],
+                _ => vec![CeArg::read_write(arrays[a as usize], 16 * MIB)],
+            };
+            rt.launch("k", cost, args);
+        }
+        let total_out: u64 = (0..=workers)
+            .map(|e| rt.network().stats(net_sim::EndpointId(e)).bytes_out)
+            .sum();
+        let total_in: u64 = (0..=workers)
+            .map(|e| rt.network().stats(net_sim::EndpointId(e)).bytes_in)
+            .sum();
+        prop_assert_eq!(total_out, total_in);
+    }
+}

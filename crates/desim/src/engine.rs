@@ -1,0 +1,266 @@
+//! The event loop: a binary-heap calendar queue with stable FIFO tie-breaking.
+//!
+//! The engine is generic over a user state `S`. Events are boxed `FnOnce`
+//! closures that receive the whole simulation (`&mut Sim<S>`) so they can both
+//! mutate the state and schedule follow-up events. Determinism comes from two
+//! rules: virtual time only advances through the queue, and events scheduled
+//! for the same instant run in the order they were scheduled.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type Action<S> = Box<dyn FnOnce(&mut Sim<S>)>;
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, seq) pair on top.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A discrete-event simulation over user state `S`.
+pub struct Sim<S> {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    cancelled: HashSet<u64>,
+    events_run: u64,
+    /// User-visible simulation state.
+    pub state: S,
+}
+
+impl<S> Sim<S> {
+    /// Creates an engine at time zero around the given state.
+    pub fn new(state: S) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            events_run: 0,
+            state,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_run(&self) -> u64 {
+        self.events_run
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `t`.
+    ///
+    /// Scheduling in the past is a logic error in a discrete-event model;
+    /// the event is clamped to "now" and will run after all events already
+    /// queued for the current instant.
+    pub fn schedule_at(&mut self, t: SimTime, action: impl FnOnce(&mut Sim<S>) + 'static) -> EventId {
+        let t = t.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time: t,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `action` to run `d` after the current time.
+    pub fn schedule_in(&mut self, d: SimDuration, action: impl FnOnce(&mut Sim<S>) + 'static) -> EventId {
+        self.schedule_at(self.now + d, action)
+    }
+
+    /// Cancels a pending event. Cancelling an already-run or already-cancelled
+    /// event is a harmless no-op; returns whether the tombstone was new.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.cancelled.insert(id.0)
+    }
+
+    /// Runs the single earliest event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.events_run += 1;
+            (ev.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the queue drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs every event with `time <= deadline`, then advances the clock to
+    /// `deadline` (even if idle). Events scheduled later stay queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            let next = loop {
+                match self.queue.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = deadline.max(self.now);
+        self.now
+    }
+
+    /// Runs for a span of virtual time from "now".
+    pub fn run_for(&mut self, d: SimDuration) -> SimTime {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime(30), |s| s.state.push(3));
+        sim.schedule_at(SimTime(10), |s| s.state.push(1));
+        sim.schedule_at(SimTime(20), |s| s.state.push(2));
+        sim.run();
+        assert_eq!(sim.state, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime(30));
+        assert_eq!(sim.events_run(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_run_fifo() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        for i in 0..100 {
+            sim.schedule_at(SimTime(5), move |s| s.state.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.schedule_at(SimTime(1), |s| {
+            s.state.push(s.now().as_nanos());
+            s.schedule_in(SimDuration::from_nanos(4), |s| {
+                s.state.push(s.now().as_nanos());
+            });
+        });
+        sim.run();
+        assert_eq!(sim.state, vec![1, 5]);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.schedule_at(SimTime(10), |s| {
+            s.schedule_at(SimTime(3), |s| s.state.push(s.now().as_nanos()));
+        });
+        sim.run();
+        assert_eq!(sim.state, vec![10]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime(10), |s| s.state += 1);
+        sim.schedule_at(SimTime(20), |s| s.state += 10);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id));
+        sim.run();
+        assert_eq!(sim.state, 10);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime(10), |s| s.state.push(1));
+        sim.schedule_at(SimTime(50), |s| s.state.push(2));
+        sim.run_until(SimTime(30));
+        assert_eq!(sim.state, vec![1]);
+        assert_eq!(sim.now(), SimTime(30));
+        sim.run();
+        assert_eq!(sim.state, vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_at(SimTime(10), |s| s.state += 1);
+        sim.cancel(id);
+        sim.run_until(SimTime(5));
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.state, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = || {
+            let mut sim = Sim::new(Vec::<(u64, u32)>::new());
+            for i in 0..50u32 {
+                let t = SimTime(((i as u64) * 7919) % 97);
+                sim.schedule_at(t, move |s| {
+                    let now = s.now().as_nanos();
+                    s.state.push((now, i));
+                });
+            }
+            sim.run();
+            sim.state
+        };
+        assert_eq!(trace(), trace());
+    }
+}

@@ -1,0 +1,233 @@
+//! Analytic FIFO rate servers.
+//!
+//! Streams, DMA engines and NICs all behave the same way at our level of
+//! abstraction: a serial FIFO resource that moves sized jobs at a fixed rate,
+//! possibly after a fixed per-job latency. Rather than simulating each job
+//! with begin/end events, a [`RateServer`] computes start/finish instants
+//! analytically and keeps utilization statistics; callers then schedule a
+//! single completion event at the returned finish time.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The computed timeline of one job on a [`RateServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTimeline {
+    /// When the server began (or will begin) working on the job.
+    pub start: SimTime,
+    /// When the job completes.
+    pub finish: SimTime,
+    /// Time spent queued behind earlier jobs.
+    pub queued: SimDuration,
+    /// Pure service time (latency + size/rate).
+    pub service: SimDuration,
+}
+
+/// A serial FIFO resource with a byte rate and a fixed per-job latency.
+#[derive(Debug, Clone)]
+pub struct RateServer {
+    /// Service rate in bytes per second. Must be positive.
+    rate_bps: f64,
+    /// Fixed overhead added to every job (e.g. kernel-launch or packet
+    /// latency).
+    latency: SimDuration,
+    /// The instant the server becomes idle given everything accepted so far.
+    busy_until: SimTime,
+    /// Accumulated busy time, for utilization reporting.
+    busy_total: SimDuration,
+    /// Number of jobs accepted.
+    jobs: u64,
+    /// Total bytes accepted.
+    bytes: u64,
+}
+
+impl RateServer {
+    /// Creates a server with the given rate (bytes/second) and per-job latency.
+    ///
+    /// # Panics
+    /// Panics if `rate_bps` is not a positive finite number.
+    pub fn new(rate_bps: f64, latency: SimDuration) -> Self {
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "RateServer rate must be positive, got {rate_bps}"
+        );
+        RateServer {
+            rate_bps,
+            latency,
+            busy_until: SimTime::ZERO,
+            busy_total: SimDuration::ZERO,
+            jobs: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Service rate in bytes per second.
+    #[inline]
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Replaces the service rate going forward (e.g. degraded link).
+    /// Jobs already accepted keep their computed finish times.
+    pub fn set_rate_bps(&mut self, rate_bps: f64) {
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "RateServer rate must be positive, got {rate_bps}"
+        );
+        self.rate_bps = rate_bps;
+    }
+
+    /// The instant the server becomes idle.
+    #[inline]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// True when a job submitted at `now` would start immediately.
+    #[inline]
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Accepts a job of `size_bytes` submitted at `now`; returns its timeline.
+    pub fn submit(&mut self, now: SimTime, size_bytes: u64) -> JobTimeline {
+        self.submit_with_extra(now, size_bytes, SimDuration::ZERO)
+    }
+
+    /// Accepts a job with an extra job-specific service component on top of
+    /// the rate-proportional part (e.g. a kernel's compute time on a stream).
+    pub fn submit_with_extra(
+        &mut self,
+        now: SimTime,
+        size_bytes: u64,
+        extra: SimDuration,
+    ) -> JobTimeline {
+        let start = self.busy_until.max(now);
+        let service = self.latency + SimDuration::for_bytes(size_bytes, self.rate_bps) + extra;
+        let finish = start + service;
+        self.busy_until = finish;
+        self.busy_total += service;
+        self.jobs += 1;
+        self.bytes = self.bytes.saturating_add(size_bytes);
+        JobTimeline {
+            start,
+            finish,
+            queued: start - now,
+            service,
+        }
+    }
+
+    /// Predicts the timeline of a job without accepting it.
+    pub fn peek(&self, now: SimTime, size_bytes: u64) -> JobTimeline {
+        let start = self.busy_until.max(now);
+        let service = self.latency + SimDuration::for_bytes(size_bytes, self.rate_bps);
+        JobTimeline {
+            start,
+            finish: start + service,
+            queued: start - now,
+            service,
+        }
+    }
+
+    /// Number of jobs accepted so far.
+    #[inline]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total bytes accepted so far.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Fraction of `[0, horizon]` the server spent busy. Returns zero for a
+    /// zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.as_nanos() == 0 {
+            return 0.0;
+        }
+        // Work accepted but scheduled past the horizon still counts as busy
+        // time inside the horizon window.
+        let busy_in_window = self
+            .busy_total
+            .saturating_sub(self.busy_until.saturating_since(horizon));
+        (busy_in_window.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srv(rate: f64, lat_ns: u64) -> RateServer {
+        RateServer::new(rate, SimDuration::from_nanos(lat_ns))
+    }
+
+    #[test]
+    fn idle_job_starts_immediately() {
+        let mut s = srv(1e9, 0); // 1 GB/s
+        let t = s.submit(SimTime(100), 1_000);
+        assert_eq!(t.start, SimTime(100));
+        assert_eq!(t.queued, SimDuration::ZERO);
+        // 1000 bytes at 1 GB/s = 1 us.
+        assert_eq!(t.finish, SimTime(100) + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut s = srv(1e9, 0);
+        let a = s.submit(SimTime(0), 1_000);
+        let b = s.submit(SimTime(0), 1_000);
+        assert_eq!(b.start, a.finish);
+        assert_eq!(b.queued, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn latency_applies_per_job() {
+        let mut s = srv(1e9, 500);
+        let a = s.submit(SimTime(0), 0);
+        let b = s.submit(SimTime(0), 0);
+        assert_eq!(a.finish, SimTime(500));
+        assert_eq!(b.finish, SimTime(1000));
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut s = srv(1e9, 0);
+        let p1 = s.peek(SimTime(0), 1_000);
+        let p2 = s.peek(SimTime(0), 1_000);
+        assert_eq!(p1, p2);
+        assert_eq!(s.jobs(), 0);
+        let real = s.submit(SimTime(0), 1_000);
+        assert_eq!(real.finish, p1.finish);
+    }
+
+    #[test]
+    fn extra_service_time_extends_job() {
+        let mut s = srv(1e9, 0);
+        let t = s.submit_with_extra(SimTime(0), 1_000, SimDuration::from_micros(9));
+        assert_eq!(t.finish, SimTime::ZERO + SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn idle_gap_is_not_busy_time() {
+        let mut s = srv(1e9, 0);
+        s.submit(SimTime(0), 1_000); // busy 0..1us
+        s.submit(SimTime(3_000), 1_000); // busy 3us..4us
+        assert!((s.utilization(SimTime(4_000)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let mut s = srv(1.0, 0); // pathologically slow
+        s.submit(SimTime(0), 1_000_000);
+        assert_eq!(s.utilization(SimTime(1)), 1.0);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = RateServer::new(0.0, SimDuration::ZERO);
+    }
+}

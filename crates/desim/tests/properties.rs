@@ -1,0 +1,91 @@
+//! Property-based invariants of the discrete-event engine and rate servers.
+
+use desim::{RateServer, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The engine never observes time going backwards, regardless of the
+    /// order and instants events are scheduled at.
+    #[test]
+    fn time_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for t in times {
+            sim.schedule_at(SimTime(t), |s| {
+                let now = s.now().as_nanos();
+                s.state.push(now);
+            });
+        }
+        sim.run();
+        prop_assert!(sim.state.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Every scheduled (non-cancelled) event runs exactly once.
+    #[test]
+    fn all_events_run(times in proptest::collection::vec(0u64..10_000, 0..300)) {
+        let n = times.len();
+        let mut sim = Sim::new(0usize);
+        for t in times {
+            sim.schedule_at(SimTime(t), |s| s.state += 1);
+        }
+        sim.run();
+        prop_assert_eq!(sim.state, n);
+        prop_assert_eq!(sim.events_run(), n as u64);
+    }
+
+    /// FIFO rate server: jobs never overlap, never start before submission,
+    /// and the busy time equals the sum of service times.
+    #[test]
+    fn rate_server_is_serial(
+        jobs in proptest::collection::vec((0u64..1_000_000, 1u64..1_000_000), 1..100),
+        rate in 1.0f64..1e12,
+    ) {
+        let mut srv = RateServer::new(rate, SimDuration::from_nanos(10));
+        let mut submissions: Vec<(u64, u64)> = jobs;
+        submissions.sort_by_key(|&(t, _)| t);
+        let mut prev_finish = SimTime::ZERO;
+        for (t, size) in submissions {
+            let now = SimTime(t).max(prev_finish.min(SimTime(t)));
+            let tl = srv.submit(SimTime(t), size);
+            prop_assert!(tl.start >= now);
+            prop_assert!(tl.start >= prev_finish || tl.start >= SimTime(t));
+            // Serial: this job starts no earlier than the previous finished.
+            prop_assert!(tl.start >= prev_finish);
+            prop_assert!(tl.finish >= tl.start);
+            prev_finish = tl.finish;
+        }
+        prop_assert_eq!(srv.busy_until(), prev_finish);
+    }
+
+    /// peek() is a pure function: it matches the subsequent submit() and does
+    /// not disturb server state.
+    #[test]
+    fn peek_predicts_submit(
+        sizes in proptest::collection::vec(0u64..1_000_000, 1..50),
+        rate in 1.0f64..1e12,
+    ) {
+        let mut srv = RateServer::new(rate, SimDuration::from_nanos(3));
+        let mut now = SimTime::ZERO;
+        for size in sizes {
+            let p = srv.peek(now, size);
+            let s = srv.submit(now, size);
+            prop_assert_eq!(p, s);
+            now += SimDuration::from_nanos(17);
+        }
+    }
+
+    /// Utilization is always within [0, 1].
+    #[test]
+    fn utilization_bounded(
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..50),
+        horizon in 1u64..10_000_000_000,
+    ) {
+        let mut srv = RateServer::new(1e9, SimDuration::ZERO);
+        let mut now = SimTime::ZERO;
+        for size in sizes {
+            srv.submit(now, size);
+            now += SimDuration::from_nanos(size % 1000);
+        }
+        let u = srv.utilization(SimTime(horizon));
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+}

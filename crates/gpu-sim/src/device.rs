@@ -1,0 +1,253 @@
+//! One GPU: streams, DMA engines, memory pool.
+
+use desim::{JobTimeline, RateServer, SimDuration, SimTime};
+
+use crate::memory::MemoryPool;
+use crate::specs::{DeviceSpec, KernelCost};
+use crate::stream::{OpTimeline, Stream, StreamId};
+
+/// Identifies a device within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+/// A simulated GPU: a set of FIFO streams plus three DMA engines
+/// (host-to-device, device-to-host, peer) and a device memory pool.
+///
+/// Copy engines are separate hardware on real GPUs, which is what makes
+/// transfer/computation overlap possible — the overlap GrOUT's scheduler is
+/// designed to exploit — so they are modeled as independent [`RateServer`]s.
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+    streams: Vec<Stream>,
+    h2d: RateServer,
+    d2h: RateServer,
+    peer: RateServer,
+    memory: MemoryPool,
+}
+
+impl Device {
+    /// A device with one default stream (stream 0, like CUDA's).
+    pub fn new(spec: DeviceSpec) -> Self {
+        let h2d = RateServer::new(spec.pcie_bps, spec.copy_latency);
+        let d2h = RateServer::new(spec.pcie_bps, spec.copy_latency);
+        let peer = RateServer::new(spec.peer_bps, spec.copy_latency);
+        let memory = MemoryPool::new(spec.memory_bytes);
+        Device {
+            spec,
+            streams: vec![Stream::new()],
+            h2d,
+            d2h,
+            peer,
+            memory,
+        }
+    }
+
+    /// The device's static spec.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The device memory pool.
+    #[inline]
+    pub fn memory(&self) -> &MemoryPool {
+        &self.memory
+    }
+
+    /// Mutable access to the memory pool (UVM layers its residency on top).
+    #[inline]
+    pub fn memory_mut(&mut self) -> &mut MemoryPool {
+        &mut self.memory
+    }
+
+    /// Creates a new stream and returns its id.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(Stream::new());
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of streams (including the default one).
+    #[inline]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Immutable view of a stream.
+    #[inline]
+    pub fn stream(&self, id: StreamId) -> &Stream {
+        &self.streams[id.0]
+    }
+
+    /// Launches a kernel of cost `cost` (plus `extra` stall time, e.g. UVM
+    /// fault service computed by the caller) on `stream`, gated by `waits`.
+    pub fn launch_kernel(
+        &mut self,
+        stream: StreamId,
+        now: SimTime,
+        waits: &[SimTime],
+        cost: &KernelCost,
+        extra: SimDuration,
+    ) -> OpTimeline {
+        let service = cost.time_on(&self.spec) + extra;
+        self.streams[stream.0].enqueue(now, waits, service)
+    }
+
+    /// Predicts a kernel launch without mutating the stream.
+    pub fn peek_kernel(
+        &self,
+        stream: StreamId,
+        now: SimTime,
+        waits: &[SimTime],
+        cost: &KernelCost,
+        extra: SimDuration,
+    ) -> OpTimeline {
+        let service = cost.time_on(&self.spec) + extra;
+        self.streams[stream.0].peek(now, waits, service)
+    }
+
+    /// Enqueues a host-to-device copy on the H2D engine.
+    pub fn copy_h2d(&mut self, now: SimTime, bytes: u64) -> JobTimeline {
+        self.h2d.submit(now, bytes)
+    }
+
+    /// Enqueues a device-to-host copy on the D2H engine.
+    pub fn copy_d2h(&mut self, now: SimTime, bytes: u64) -> JobTimeline {
+        self.d2h.submit(now, bytes)
+    }
+
+    /// Occupies this device's peer engine for a device<->device copy window.
+    /// (The node pairs both endpoints' engines.)
+    pub fn occupy_peer(&mut self, start: SimTime, service: SimDuration) -> JobTimeline {
+        self.peer.submit_with_extra(start, 0, service)
+    }
+
+    /// When the peer engine becomes idle.
+    #[inline]
+    pub fn peer_busy_until(&self) -> SimTime {
+        self.peer.busy_until()
+    }
+
+    /// When the H2D engine becomes idle.
+    #[inline]
+    pub fn h2d_busy_until(&self) -> SimTime {
+        self.h2d.busy_until()
+    }
+
+    /// Total bytes moved host-to-device so far.
+    #[inline]
+    pub fn h2d_bytes(&self) -> u64 {
+        self.h2d.bytes()
+    }
+
+    /// Total bytes moved device-to-host so far.
+    #[inline]
+    pub fn d2h_bytes(&self) -> u64 {
+        self.d2h.bytes()
+    }
+
+    /// The stream (by id) that would start an operation of `service` soonest
+    /// at `now` — the "least busy" choice used by intra-node scheduling.
+    pub fn least_busy_stream(&self, now: SimTime) -> StreamId {
+        let mut best = StreamId(0);
+        let mut best_at = self.streams[0].busy_until();
+        for (i, s) in self.streams.iter().enumerate().skip(1) {
+            if s.busy_until() < best_at {
+                best_at = s.busy_until();
+                best = StreamId(i);
+            }
+        }
+        let _ = now;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn kernel_runs_on_stream_fifo() {
+        let mut d = dev();
+        let cost = KernelCost {
+            flops: 1e6, // 1 ms at 1 GFLOP/s
+            ..Default::default()
+        };
+        let a = d.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        let b = d.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        assert_eq!(b.start, a.finish);
+    }
+
+    #[test]
+    fn separate_streams_overlap() {
+        let mut d = dev();
+        let s1 = d.create_stream();
+        let cost = KernelCost {
+            flops: 1e6,
+            ..Default::default()
+        };
+        let a = d.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        let b = d.launch_kernel(s1, SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        assert_eq!(a.start, b.start, "independent streams run concurrently");
+    }
+
+    #[test]
+    fn copies_overlap_with_kernels() {
+        let mut d = dev();
+        let cost = KernelCost {
+            flops: 1e9, // 1 s
+            ..Default::default()
+        };
+        let k = d.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        let c = d.copy_h2d(SimTime::ZERO, 1000);
+        assert!(c.finish < k.finish, "DMA engine independent of SMs");
+    }
+
+    #[test]
+    fn extra_stall_extends_kernel() {
+        let mut d = dev();
+        let base = d.launch_kernel(
+            StreamId(0),
+            SimTime::ZERO,
+            &[],
+            &KernelCost::default(),
+            SimDuration::ZERO,
+        );
+        let stalled = d.launch_kernel(
+            StreamId(0),
+            SimTime::ZERO,
+            &[],
+            &KernelCost::default(),
+            SimDuration::from_millis(5),
+        );
+        let base_len = base.finish - base.start;
+        let stall_len = stalled.finish - stalled.start;
+        assert_eq!(stall_len, base_len + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn least_busy_stream_prefers_idle() {
+        let mut d = dev();
+        let s1 = d.create_stream();
+        let cost = KernelCost {
+            flops: 1e9,
+            ..Default::default()
+        };
+        d.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+        assert_eq!(d.least_busy_stream(SimTime::ZERO), s1);
+    }
+
+    #[test]
+    fn dma_byte_counters() {
+        let mut d = dev();
+        d.copy_h2d(SimTime::ZERO, 100);
+        d.copy_h2d(SimTime::ZERO, 50);
+        d.copy_d2h(SimTime::ZERO, 25);
+        assert_eq!(d.h2d_bytes(), 150);
+        assert_eq!(d.d2h_bytes(), 25);
+    }
+}

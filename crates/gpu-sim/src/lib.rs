@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # gpu-sim — GPU device model for the GrOUT reproduction
+//!
+//! Models everything the GrOUT scheduler observes about a GPU node:
+//! FIFO streams with event-gated starts, independent DMA engines (which is
+//! what makes transfer/computation overlap possible), peer copies between
+//! GPUs, device/host memory pools, and roofline kernel timing calibrated to
+//! the paper's Tesla V100 testbed.
+//!
+//! The model is analytic: operation finish times are computed at enqueue
+//! time, so higher layers can either schedule completion events on a
+//! [`desim::Sim`] or consume the timelines directly.
+//!
+//! ```
+//! use desim::{SimDuration, SimTime};
+//! use gpu_sim::{Device, DeviceSpec, KernelCost, StreamId};
+//!
+//! let mut dev = Device::new(DeviceSpec::v100_16gb());
+//! let cost = KernelCost { flops: 1e12, bytes_read: 1 << 30, bytes_written: 1 << 30 };
+//! let tl = dev.launch_kernel(StreamId(0), SimTime::ZERO, &[], &cost, SimDuration::ZERO);
+//! assert!(tl.finish > tl.start);
+//! ```
+
+mod device;
+mod memory;
+mod node;
+mod specs;
+mod stream;
+
+pub use device::{Device, DeviceId};
+pub use memory::{MemoryPool, OutOfMemory};
+pub use node::GpuNode;
+pub use specs::{DeviceSpec, KernelCost, NodeSpec};
+pub use stream::{EventTable, GpuEventId, OpTimeline, Stream, StreamId};

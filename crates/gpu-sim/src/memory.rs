@@ -1,0 +1,147 @@
+//! Device/host memory accounting.
+//!
+//! Explicit (non-UVM) allocations fail when the device is full — that is the
+//! pre-UVM world of Figure 2a. UVM residency bookkeeping is layered on top
+//! in the `uvm-sim` crate; here we only track capacity and usage.
+
+use std::fmt;
+
+/// Error returned when an explicit allocation exceeds remaining capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free.
+    pub available: u64,
+    /// Total capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: requested {} B, available {} B of {} B",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A fixed-capacity memory pool with usage accounting.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    allocs: u64,
+    frees: u64,
+}
+
+impl MemoryPool {
+    /// A pool of `capacity` bytes, all free.
+    pub fn new(capacity: u64) -> Self {
+        MemoryPool {
+            capacity,
+            used: 0,
+            peak: 0,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    #[inline]
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of usage.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Reserves `bytes`, failing when capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), OutOfMemory> {
+        if bytes > self.available() {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: self.available(),
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.allocs += 1;
+        Ok(())
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more is freed than is allocated — that is a bookkeeping bug
+    /// in the caller, not a runtime condition.
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.used,
+            "freeing {bytes} B but only {} B allocated",
+            self.used
+        );
+        self.used -= bytes;
+        self.frees += 1;
+    }
+
+    /// (allocations, frees) performed so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.allocs, self.frees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = MemoryPool::new(1000);
+        p.alloc(400).unwrap();
+        p.alloc(600).unwrap();
+        assert_eq!(p.available(), 0);
+        assert_eq!(p.peak(), 1000);
+        p.free(400);
+        assert_eq!(p.used(), 600);
+        assert_eq!(p.op_counts(), (2, 1));
+    }
+
+    #[test]
+    fn oom_is_reported_not_applied() {
+        let mut p = MemoryPool::new(100);
+        p.alloc(60).unwrap();
+        let err = p.alloc(50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 40);
+        assert_eq!(p.used(), 60, "failed alloc must not change usage");
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut p = MemoryPool::new(100);
+        p.free(1);
+    }
+}

@@ -1,0 +1,185 @@
+//! A multi-GPU node: devices, peer copies, host memory, node-wide events.
+
+use desim::{JobTimeline, SimDuration, SimTime};
+
+use crate::device::{Device, DeviceId};
+use crate::memory::MemoryPool;
+use crate::specs::NodeSpec;
+use crate::stream::{EventTable, GpuEventId};
+
+/// One server in the cluster: `gpu_count` identical devices plus host DRAM.
+#[derive(Debug, Clone)]
+pub struct GpuNode {
+    spec: NodeSpec,
+    devices: Vec<Device>,
+    host_memory: MemoryPool,
+    events: EventTable,
+}
+
+impl GpuNode {
+    /// Builds a node from its spec.
+    pub fn new(spec: NodeSpec) -> Self {
+        let devices = (0..spec.gpu_count)
+            .map(|_| Device::new(spec.gpu.clone()))
+            .collect();
+        let host_memory = MemoryPool::new(spec.host_memory_bytes);
+        GpuNode {
+            devices,
+            host_memory,
+            events: EventTable::new(),
+            spec,
+        }
+    }
+
+    /// The node's static spec.
+    #[inline]
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Number of GPUs.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Immutable device access.
+    #[inline]
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// Mutable device access.
+    #[inline]
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.0]
+    }
+
+    /// Host memory pool.
+    #[inline]
+    pub fn host_memory(&self) -> &MemoryPool {
+        &self.host_memory
+    }
+
+    /// Mutable host memory pool.
+    #[inline]
+    pub fn host_memory_mut(&mut self) -> &mut MemoryPool {
+        &mut self.host_memory
+    }
+
+    /// Records a node-wide event that fires at `t`.
+    pub fn record_event(&mut self, t: SimTime) -> GpuEventId {
+        self.events.record(t)
+    }
+
+    /// Fire time of a recorded event.
+    pub fn event_time(&self, id: GpuEventId) -> SimTime {
+        self.events.fire_time(id)
+    }
+
+    /// Copies `bytes` between two devices in this node, occupying both peer
+    /// engines for the window (PCIe P2P on the paper's OCI shapes).
+    ///
+    /// # Panics
+    /// Panics if `src == dst`; use device memory directly for local moves.
+    pub fn copy_peer(&mut self, now: SimTime, src: DeviceId, dst: DeviceId, bytes: u64) -> JobTimeline {
+        assert_ne!(src, dst, "peer copy endpoints must differ");
+        let spec = self.devices[src.0].spec();
+        let service = spec.copy_latency + SimDuration::for_bytes(bytes, spec.peer_bps);
+        let start = self.devices[src.0]
+            .peer_busy_until()
+            .max(self.devices[dst.0].peer_busy_until())
+            .max(now);
+        self.devices[src.0].occupy_peer(start, service);
+        self.devices[dst.0].occupy_peer(start, service);
+        JobTimeline {
+            start,
+            finish: start + service,
+            queued: start - now,
+            service,
+        }
+    }
+
+    /// The device whose default work queue frees up first — a cheap signal
+    /// for intra-node device selection.
+    pub fn least_loaded_device(&self) -> DeviceId {
+        let mut best = DeviceId(0);
+        let mut best_at = self.devices[0].stream(crate::stream::StreamId(0)).busy_until();
+        for (i, d) in self.devices.iter().enumerate().skip(1) {
+            let at = d.stream(crate::stream::StreamId(0)).busy_until();
+            if at < best_at {
+                best_at = at;
+                best = DeviceId(i);
+            }
+        }
+        best
+    }
+
+    /// Total device memory across GPUs (the oversubscription denominator).
+    pub fn total_device_memory(&self) -> u64 {
+        self.spec.total_device_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{DeviceSpec, NodeSpec};
+
+    fn node() -> GpuNode {
+        GpuNode::new(NodeSpec {
+            gpu: DeviceSpec::test_tiny(),
+            gpu_count: 2,
+            host_memory_bytes: 1 << 30,
+        })
+    }
+
+    #[test]
+    fn node_has_devices_and_host_memory() {
+        let n = node();
+        assert_eq!(n.device_count(), 2);
+        assert_eq!(n.host_memory().capacity(), 1 << 30);
+        assert_eq!(n.total_device_memory(), 2 << 20);
+    }
+
+    #[test]
+    fn peer_copy_occupies_both_engines() {
+        let mut n = node();
+        let tl = n.copy_peer(SimTime::ZERO, DeviceId(0), DeviceId(1), 100_000);
+        assert!(tl.finish > tl.start);
+        // A follow-up copy in the reverse direction must queue behind it.
+        let tl2 = n.copy_peer(SimTime::ZERO, DeviceId(1), DeviceId(0), 100_000);
+        assert!(tl2.start >= tl.finish);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn self_peer_copy_rejected() {
+        let mut n = node();
+        n.copy_peer(SimTime::ZERO, DeviceId(0), DeviceId(0), 1);
+    }
+
+    #[test]
+    fn events_fire_at_recorded_times() {
+        let mut n = node();
+        let e = n.record_event(SimTime(123));
+        assert_eq!(n.event_time(e), SimTime(123));
+    }
+
+    #[test]
+    fn least_loaded_device_tracks_default_stream() {
+        let mut n = node();
+        let cost = crate::specs::KernelCost {
+            flops: 1e9,
+            ..Default::default()
+        };
+        n.device_mut(DeviceId(0)).launch_kernel(
+            crate::stream::StreamId(0),
+            SimTime::ZERO,
+            &[],
+            &cost,
+            SimDuration::ZERO,
+        );
+        assert_eq!(n.least_loaded_device(), DeviceId(1));
+    }
+}

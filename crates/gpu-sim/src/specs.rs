@@ -1,0 +1,199 @@
+//! Hardware specifications and kernel cost models.
+//!
+//! All absolute constants in the reproduction live here, so calibration is
+//! auditable in one place. The defaults model the paper's testbed: NVIDIA
+//! Tesla V100 (16 GiB HBM2) pairs behind PCIe gen3, in OCI bare-VM shapes.
+
+use desim::SimDuration;
+
+/// Static description of one GPU device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// On-device memory in bytes.
+    pub memory_bytes: u64,
+    /// Peak FP32 throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Sustained device-memory (HBM) bandwidth in bytes/s.
+    pub hbm_bps: f64,
+    /// Effective host<->device copy bandwidth in bytes/s (PCIe).
+    pub pcie_bps: f64,
+    /// Effective device<->device copy bandwidth within a node in bytes/s.
+    pub peer_bps: f64,
+    /// Fixed kernel-launch latency.
+    pub launch_latency: SimDuration,
+    /// Fixed latency of initiating a DMA copy.
+    pub copy_latency: SimDuration,
+}
+
+impl DeviceSpec {
+    /// The paper's worker GPU: Tesla V100 SXM2 16 GiB.
+    ///
+    /// 15.7 TFLOP/s FP32, 900 GB/s HBM2; PCIe gen3 x16 sustains ~12 GB/s in
+    /// practice; peer copies between the two V100s in an OCI GPU2 shape go
+    /// over PCIe as well (no NVLink), so the peer rate matches PCIe.
+    pub fn v100_16gb() -> Self {
+        DeviceSpec {
+            name: "Tesla V100 16GB",
+            memory_bytes: 16 * (1 << 30),
+            fp32_flops: 15.7e12,
+            hbm_bps: 900e9,
+            pcie_bps: 12e9,
+            peer_bps: 10e9,
+            launch_latency: SimDuration::from_micros(8),
+            copy_latency: SimDuration::from_micros(10),
+        }
+    }
+
+    /// A what-if variant: the same V100 inside an NVLink-equipped chassis
+    /// (DGX-style). UVM migrations ride NVLink2 at ~40 GB/s effective
+    /// instead of ~12 GB/s PCIe, and peer copies reach ~140 GB/s — used by
+    /// the ablations to ask how much of the paper's cliff is interconnect.
+    pub fn v100_nvlink() -> Self {
+        DeviceSpec {
+            name: "Tesla V100 16GB (NVLink)",
+            pcie_bps: 40e9,
+            peer_bps: 140e9,
+            ..DeviceSpec::v100_16gb()
+        }
+    }
+
+    /// A deliberately tiny device for tests: 1 MiB of memory, slow enough
+    /// that timing assertions are easy to reason about.
+    pub fn test_tiny() -> Self {
+        DeviceSpec {
+            name: "TestGPU 1MiB",
+            memory_bytes: 1 << 20,
+            fp32_flops: 1e9,
+            hbm_bps: 1e9,
+            pcie_bps: 1e8,
+            peer_bps: 1e8,
+            launch_latency: SimDuration::from_micros(1),
+            copy_latency: SimDuration::from_micros(1),
+        }
+    }
+}
+
+/// The resource demand of one kernel launch, used for roofline timing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelCost {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes read from device memory.
+    pub bytes_read: u64,
+    /// Bytes written to device memory.
+    pub bytes_written: u64,
+}
+
+impl KernelCost {
+    /// Combines two demands (e.g. kernel phases).
+    pub fn merge(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            flops: self.flops + other.flops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+
+    /// Roofline execution time on `spec`, assuming all pages resident:
+    /// the kernel is limited by whichever of compute or memory traffic is
+    /// slower, plus the launch latency.
+    pub fn time_on(&self, spec: &DeviceSpec) -> SimDuration {
+        let compute = self.flops / spec.fp32_flops;
+        let traffic = (self.bytes_read + self.bytes_written) as f64 / spec.hbm_bps;
+        spec.launch_latency + SimDuration::from_secs_f64(compute.max(traffic))
+    }
+}
+
+/// Description of one node in the cluster: identical GPUs plus host memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Per-GPU spec.
+    pub gpu: DeviceSpec,
+    /// Number of GPUs in the node.
+    pub gpu_count: usize,
+    /// Host DRAM in bytes.
+    pub host_memory_bytes: u64,
+}
+
+impl NodeSpec {
+    /// The paper's worker node: 2x V100 16 GiB, 180 GB host RAM.
+    pub fn paper_worker() -> Self {
+        NodeSpec {
+            gpu: DeviceSpec::v100_16gb(),
+            gpu_count: 2,
+            host_memory_bytes: 180 * 1_000_000_000,
+        }
+    }
+
+    /// Total device memory across the node's GPUs (32 GiB on the paper's
+    /// workers — the denominator of the oversubscription factor).
+    pub fn total_device_memory(&self) -> u64 {
+        self.gpu.memory_bytes * self.gpu_count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_constants() {
+        let v = DeviceSpec::v100_16gb();
+        assert_eq!(v.memory_bytes, 16 << 30);
+        let node = NodeSpec::paper_worker();
+        assert_eq!(node.total_device_memory(), 32 << 30);
+    }
+
+    #[test]
+    fn nvlink_variant_only_changes_interconnect() {
+        let pcie = DeviceSpec::v100_16gb();
+        let nv = DeviceSpec::v100_nvlink();
+        assert_eq!(nv.memory_bytes, pcie.memory_bytes);
+        assert_eq!(nv.fp32_flops, pcie.fp32_flops);
+        assert!(nv.pcie_bps > 3.0 * pcie.pcie_bps);
+        assert!(nv.peer_bps > 10.0 * pcie.peer_bps);
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_resource() {
+        let spec = DeviceSpec::test_tiny(); // 1 GFLOP/s, 1 GB/s
+        // Compute-bound: 1 GFLOP, negligible traffic -> ~1 s.
+        let c = KernelCost {
+            flops: 1e9,
+            bytes_read: 1,
+            bytes_written: 0,
+        };
+        let t = c.time_on(&spec).as_secs_f64();
+        assert!((t - 1.0).abs() < 0.01, "compute-bound time {t}");
+        // Memory-bound: 2 GB traffic, negligible flops -> ~2 s.
+        let m = KernelCost {
+            flops: 1.0,
+            bytes_read: 1 << 30,
+            bytes_written: 1 << 30,
+        };
+        let t = m.time_on(&spec).as_secs_f64();
+        assert!((t - 2.147).abs() < 0.01, "memory-bound time {t}");
+    }
+
+    #[test]
+    fn launch_latency_floors_empty_kernels() {
+        let spec = DeviceSpec::v100_16gb();
+        let t = KernelCost::default().time_on(&spec);
+        assert_eq!(t, spec.launch_latency);
+    }
+
+    #[test]
+    fn merge_adds_demands() {
+        let a = KernelCost {
+            flops: 1.0,
+            bytes_read: 2,
+            bytes_written: 3,
+        };
+        let b = a.merge(a);
+        assert_eq!(b.flops, 2.0);
+        assert_eq!(b.bytes_read, 4);
+        assert_eq!(b.bytes_written, 6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based invariants of the GPU device model.
+
+use desim::{SimDuration, SimTime};
+use gpu_sim::{Device, DeviceId, DeviceSpec, GpuNode, KernelCost, NodeSpec, StreamId};
+use proptest::prelude::*;
+
+fn tiny_node(gpus: usize) -> GpuNode {
+    GpuNode::new(NodeSpec {
+        gpu: DeviceSpec::test_tiny(),
+        gpu_count: gpus,
+        host_memory_bytes: 1 << 30,
+    })
+}
+
+proptest! {
+    /// Stream FIFO: operations on one stream never overlap and preserve
+    /// submission order, whatever the submission times and waits.
+    #[test]
+    fn stream_is_fifo(
+        ops in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000, 0u64..500_000), 1..50)
+    ) {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let mut prev_finish = SimTime::ZERO;
+        for (now, wait, dur) in ops {
+            let tl = dev.launch_kernel(
+                StreamId(0),
+                SimTime(now),
+                &[SimTime(wait)],
+                &KernelCost::default(),
+                SimDuration::from_nanos(dur),
+            );
+            prop_assert!(tl.start >= SimTime(now));
+            prop_assert!(tl.start >= SimTime(wait));
+            prop_assert!(tl.start >= prev_finish, "stream op overlapped its predecessor");
+            prop_assert!(tl.finish >= tl.start);
+            prev_finish = tl.finish;
+        }
+    }
+
+    /// Kernel time is monotone in every resource demand.
+    #[test]
+    fn roofline_is_monotone(
+        f1 in 0.0f64..1e12, f2 in 0.0f64..1e12,
+        b1 in 0u64..(1 << 33), b2 in 0u64..(1 << 33),
+    ) {
+        let spec = DeviceSpec::v100_16gb();
+        let lo = KernelCost { flops: f1.min(f2), bytes_read: b1.min(b2), bytes_written: 0 };
+        let hi = KernelCost { flops: f1.max(f2), bytes_read: b1.max(b2), bytes_written: 0 };
+        prop_assert!(lo.time_on(&spec) <= hi.time_on(&spec));
+    }
+
+    /// Peer copies produce sane windows whatever the device pairs.
+    #[test]
+    fn peer_copies_have_sane_windows(
+        copies in proptest::collection::vec((0usize..3, 0usize..3, 1u64..1_000_000), 1..40)
+    ) {
+        let mut node = tiny_node(3);
+        for (s, d, bytes) in copies {
+            if s == d {
+                continue;
+            }
+            let tl = node.copy_peer(SimTime::ZERO, DeviceId(s), DeviceId(d), bytes);
+            prop_assert!(tl.finish >= tl.start);
+            prop_assert!(tl.finish.as_nanos() - tl.start.as_nanos() == tl.service.as_nanos());
+        }
+    }
+
+    /// Memory pool accounting: usage equals the sum of live allocations and
+    /// never exceeds capacity, under arbitrary alloc/free interleavings.
+    #[test]
+    fn memory_pool_accounting(ops in proptest::collection::vec((1u64..4096, any::<bool>()), 1..100)) {
+        let mut pool = gpu_sim::MemoryPool::new(64 << 10);
+        let mut live: Vec<u64> = Vec::new();
+        for (bytes, free_instead) in ops {
+            if free_instead && !live.is_empty() {
+                let b = live.pop().expect("non-empty");
+                pool.free(b);
+            } else if pool.alloc(bytes).is_ok() {
+                live.push(bytes);
+            }
+            let expected: u64 = live.iter().sum();
+            prop_assert_eq!(pool.used(), expected);
+            prop_assert!(pool.used() <= pool.capacity());
+            prop_assert!(pool.peak() >= pool.used());
+        }
+    }
+}

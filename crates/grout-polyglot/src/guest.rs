@@ -1,0 +1,925 @@
+//! GuestScript: a minimal dynamically-typed guest language over the
+//! polyglot API.
+//!
+//! The paper's framework is exposed to "all major programming languages"
+//! through GraalVM; its Listing 1 is Python. This module supplies an
+//! executable equivalent so the multi-language claim is concrete: a small
+//! scripting language with variables, `for` loops, array indexing and
+//! dynamic calls, whose only window to the world is `polyglot.eval` — the
+//! same one-function surface Truffle guests get.
+//!
+//! ```text
+//! build = polyglot.eval("grout", "buildkernel")
+//! square = build(KERNEL, SIGNATURE)
+//! x = polyglot.eval("grout", "float[100]")
+//! for i in range(100) { x[i] = i }
+//! square(4, 32)(x, 100)
+//! print(x[7])
+//! ```
+//!
+//! (Braces replace Python's indentation — the one concession to keeping
+//! the grammar small.)
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Configured, Language, Polyglot, PolyglotError, Value};
+
+/// Script evaluation error.
+#[derive(Debug)]
+pub enum ScriptError {
+    /// Syntax problem, with a line number.
+    Parse(usize, String),
+    /// Runtime problem, with a line number when known.
+    Runtime(String),
+    /// An underlying polyglot failure.
+    Polyglot(PolyglotError),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Parse(line, m) => write!(f, "script parse error (line {line}): {m}"),
+            ScriptError::Runtime(m) => write!(f, "script runtime error: {m}"),
+            ScriptError::Polyglot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+impl From<PolyglotError> for ScriptError {
+    fn from(e: PolyglotError) -> Self {
+        ScriptError::Polyglot(e)
+    }
+}
+
+/// A guest-level value.
+#[derive(Clone)]
+enum GuestValue {
+    Num(f64),
+    Str(String),
+    /// A polyglot value (array, builder, kernel, scalar).
+    Poly(Value),
+    /// A kernel with grid/block fixed, awaiting its argument call.
+    Configured(Configured),
+    /// The `range(n)` iterable.
+    Range(i64),
+}
+
+impl fmt::Debug for GuestValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuestValue::Num(v) => write!(f, "{v}"),
+            GuestValue::Str(s) => write!(f, "{s:?}"),
+            GuestValue::Poly(v) => write!(f, "{v:?}"),
+            GuestValue::Configured(_) => write!(f, "<configured kernel>"),
+            GuestValue::Range(n) => write!(f, "range({n})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Newline,
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ScriptError> {
+    let mut toks = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let mut chars = line.chars().peekable();
+        let mut emitted = false;
+        while let Some(&c) = chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '#' => break, // comment to end of line
+                '"' => {
+                    chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(c) => s.push(c),
+                            None => {
+                                return Err(ScriptError::Parse(
+                                    line_no,
+                                    "unterminated string".into(),
+                                ))
+                            }
+                        }
+                    }
+                    toks.push((Tok::Str(s), line_no));
+                    emitted = true;
+                }
+                '0'..='9' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' {
+                            s.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let v: f64 = s
+                        .parse()
+                        .map_err(|_| ScriptError::Parse(line_no, format!("bad number `{s}`")))?;
+                    toks.push((Tok::Num(v), line_no));
+                    emitted = true;
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            s.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((Tok::Ident(s), line_no));
+                    emitted = true;
+                }
+                _ => {
+                    chars.next();
+                    let two = chars.peek().copied();
+                    let t = match (c, two) {
+                        ('=', Some('=')) => {
+                            chars.next();
+                            Tok::EqEq
+                        }
+                        ('!', Some('=')) => {
+                            chars.next();
+                            Tok::Ne
+                        }
+                        ('<', Some('=')) => {
+                            chars.next();
+                            Tok::Le
+                        }
+                        ('>', Some('=')) => {
+                            chars.next();
+                            Tok::Ge
+                        }
+                        ('<', _) => Tok::Lt,
+                        ('>', _) => Tok::Gt,
+                        ('(', _) => Tok::LParen,
+                        (')', _) => Tok::RParen,
+                        ('{', _) => Tok::LBrace,
+                        ('}', _) => Tok::RBrace,
+                        ('[', _) => Tok::LBracket,
+                        (']', _) => Tok::RBracket,
+                        (',', _) => Tok::Comma,
+                        ('.', _) => Tok::Dot,
+                        ('=', _) => Tok::Assign,
+                        ('+', _) => Tok::Plus,
+                        ('-', _) => Tok::Minus,
+                        ('*', _) => Tok::Star,
+                        ('/', _) => Tok::Slash,
+                        (other, _) => {
+                            return Err(ScriptError::Parse(
+                                line_no,
+                                format!("unexpected character `{other}`"),
+                            ))
+                        }
+                    };
+                    toks.push((t, line_no));
+                    emitted = true;
+                }
+            }
+        }
+        if emitted {
+            toks.push((Tok::Newline, line_no));
+        }
+    }
+    toks.push((Tok::Eof, src.lines().count() + 1));
+    Ok(toks)
+}
+
+// ----------------------------------------------------------------- ast ---
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(f64),
+    Str(String),
+    Var(String),
+    Index(Box<Expr>, Box<Expr>),
+    Call(Box<Expr>, Vec<Expr>),
+    /// `polyglot.eval(lang, code)`
+    PolyEval(Box<Expr>, Box<Expr>),
+    Bin(char, Box<Expr>, Box<Expr>),
+    Cmp(&'static str, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Assign(String, Expr),
+    IndexAssign(String, Expr, Expr),
+    For(String, Expr, Vec<Stmt>),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    Print(Vec<Expr>),
+    Expr(Expr),
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ScriptError> {
+        Err(ScriptError::Parse(self.line(), msg.into()))
+    }
+    fn expect(&mut self, t: Tok) -> Result<(), ScriptError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+    fn skip_newlines(&mut self) {
+        while *self.peek() == Tok::Newline {
+            self.bump();
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        let mut out = Vec::new();
+        self.skip_newlines();
+        while *self.peek() != Tok::Eof {
+            out.push(self.stmt()?);
+            self.skip_newlines();
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        self.expect(Tok::LBrace)?;
+        let mut out = Vec::new();
+        self.skip_newlines();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of script inside block");
+            }
+            out.push(self.stmt()?);
+            self.skip_newlines();
+        }
+        self.bump(); // }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ScriptError> {
+        // for x in range(e) { ... }
+        if let Tok::Ident(kw) = self.peek() {
+            if kw == "for" {
+                self.bump();
+                let Tok::Ident(var) = self.bump() else {
+                    return self.err("expected loop variable");
+                };
+                match self.bump() {
+                    Tok::Ident(ref k) if k == "in" => {}
+                    other => return self.err(format!("expected `in`, found {other:?}")),
+                }
+                let iter = self.expr()?;
+                self.skip_newlines();
+                let body = self.block()?;
+                return Ok(Stmt::For(var, iter, body));
+            }
+            if kw == "if" {
+                self.bump();
+                let cond = self.expr()?;
+                self.skip_newlines();
+                let then = self.block()?;
+                let mut els = Vec::new();
+                // optional: else { ... } possibly after newlines
+                let save = self.pos;
+                self.skip_newlines();
+                if let Tok::Ident(k) = self.peek() {
+                    if k == "else" {
+                        self.bump();
+                        self.skip_newlines();
+                        els = self.block()?;
+                    } else {
+                        self.pos = save;
+                    }
+                } else {
+                    self.pos = save;
+                }
+                return Ok(Stmt::If(cond, then, els));
+            }
+            if kw == "while" {
+                self.bump();
+                let cond = self.expr()?;
+                self.skip_newlines();
+                let body = self.block()?;
+                return Ok(Stmt::While(cond, body));
+            }
+            if kw == "print" {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let mut args = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        args.push(self.expr()?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                return Ok(Stmt::Print(args));
+            }
+        }
+        // assignment / index assignment / expression statement
+        let e = self.expr()?;
+        if *self.peek() == Tok::Assign {
+            self.bump();
+            let rhs = self.expr()?;
+            match e {
+                Expr::Var(name) => return Ok(Stmt::Assign(name, rhs)),
+                Expr::Index(base, idx) => {
+                    if let Expr::Var(name) = *base {
+                        return Ok(Stmt::IndexAssign(name, *idx, rhs));
+                    }
+                    return self.err("only `name[index] = value` assignments are supported");
+                }
+                _ => return self.err("invalid assignment target"),
+            }
+        }
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ScriptError> {
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ScriptError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::Ne => "!=",
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn additive(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => '+',
+                Tok::Minus => '-',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.postfix()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => '*',
+                Tok::Slash => '/',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.postfix()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ScriptError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    e = Expr::Call(Box::new(e), args);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ScriptError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(Expr::Num(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Minus => {
+                let e = self.primary()?;
+                Ok(Expr::Bin('-', Box::new(Expr::Num(0.0)), Box::new(e)))
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // polyglot.eval(...)
+                if name == "polyglot" && *self.peek() == Tok::Dot {
+                    self.bump();
+                    match self.bump() {
+                        Tok::Ident(ref m) if m == "eval" => {}
+                        other => return self.err(format!("unknown polyglot member {other:?}")),
+                    }
+                    self.expect(Tok::LParen)?;
+                    let lang = self.expr()?;
+                    self.expect(Tok::Comma)?;
+                    let code = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::PolyEval(Box::new(lang), Box::new(code)));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+// ----------------------------------------------------------- interpreter --
+
+/// Executes GuestScript against a polyglot context. `print` output is
+/// collected and returned (and also not written to stdout, so library use
+/// stays quiet; the CLI prints it).
+pub fn run_script(pg: &mut Polyglot, src: &str) -> Result<Vec<String>, ScriptError> {
+    let toks = lex(src)?;
+    let program = Parser { toks, pos: 0 }.program()?;
+    let mut env: HashMap<String, GuestValue> = HashMap::new();
+    let mut output = Vec::new();
+    for stmt in &program {
+        exec(pg, stmt, &mut env, &mut output)?;
+    }
+    Ok(output)
+}
+
+fn exec(
+    pg: &mut Polyglot,
+    stmt: &Stmt,
+    env: &mut HashMap<String, GuestValue>,
+    out: &mut Vec<String>,
+) -> Result<(), ScriptError> {
+    match stmt {
+        Stmt::Assign(name, e) => {
+            let v = eval(pg, e, env)?;
+            env.insert(name.clone(), v);
+        }
+        Stmt::IndexAssign(name, idx, value) => {
+            let idx = as_num(eval(pg, idx, env)?)? as usize;
+            let val = as_num(eval(pg, value, env)?)? as f32;
+            match env.get(name) {
+                Some(GuestValue::Poly(array)) => {
+                    array.set(pg, idx, val)?;
+                }
+                _ => {
+                    return Err(ScriptError::Runtime(format!(
+                        "`{name}` is not an indexable array"
+                    )))
+                }
+            }
+        }
+        Stmt::For(var, iter, body) => {
+            let n = match eval(pg, iter, env)? {
+                GuestValue::Range(n) => n,
+                other => {
+                    return Err(ScriptError::Runtime(format!(
+                        "for needs range(...), got {other:?}"
+                    )))
+                }
+            };
+            for i in 0..n {
+                env.insert(var.clone(), GuestValue::Num(i as f64));
+                for s in body {
+                    exec(pg, s, env, out)?;
+                }
+            }
+        }
+        Stmt::If(cond, then, els) => {
+            let branch = if as_num(eval(pg, cond, env)?)? != 0.0 {
+                then
+            } else {
+                els
+            };
+            for s in branch {
+                exec(pg, s, env, out)?;
+            }
+        }
+        Stmt::While(cond, body) => {
+            let mut guard = 0u64;
+            while as_num(eval(pg, cond, env)?)? != 0.0 {
+                guard += 1;
+                if guard > 10_000_000 {
+                    return Err(ScriptError::Runtime(
+                        "while loop exceeded 10M iterations".into(),
+                    ));
+                }
+                for s in body {
+                    exec(pg, s, env, out)?;
+                }
+            }
+        }
+        Stmt::Print(args) => {
+            let mut parts = Vec::new();
+            for a in args {
+                let v = eval(pg, a, env)?;
+                parts.push(display(pg, v)?);
+            }
+            out.push(parts.join(" "));
+        }
+        Stmt::Expr(e) => {
+            eval(pg, e, env)?;
+        }
+    }
+    Ok(())
+}
+
+fn as_num(v: GuestValue) -> Result<f64, ScriptError> {
+    match v {
+        GuestValue::Num(n) => Ok(n),
+        other => Err(ScriptError::Runtime(format!("expected a number, got {other:?}"))),
+    }
+}
+
+fn display(pg: &mut Polyglot, v: GuestValue) -> Result<String, ScriptError> {
+    Ok(match v {
+        GuestValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        GuestValue::Str(s) => s,
+        GuestValue::Poly(p) => {
+            if p.array_id().is_some() {
+                // Print arrays like Python lists (abbreviated when long).
+                let data = p.to_vec(pg)?;
+                if data.len() <= 12 {
+                    format!("{data:?}")
+                } else {
+                    format!(
+                        "[{}, ..., {}] (len {})",
+                        data[..4]
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        data[data.len() - 2..]
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        data.len()
+                    )
+                }
+            } else {
+                format!("{p:?}")
+            }
+        }
+        GuestValue::Configured(_) => "<configured kernel>".into(),
+        GuestValue::Range(n) => format!("range({n})"),
+    })
+}
+
+fn eval(
+    pg: &mut Polyglot,
+    e: &Expr,
+    env: &mut HashMap<String, GuestValue>,
+) -> Result<GuestValue, ScriptError> {
+    Ok(match e {
+        Expr::Num(v) => GuestValue::Num(*v),
+        Expr::Str(s) => GuestValue::Str(s.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ScriptError::Runtime(format!("undefined variable `{name}`")))?,
+        Expr::Cmp(op, a, b) => {
+            let a = as_num(eval(pg, a, env)?)?;
+            let b = as_num(eval(pg, b, env)?)?;
+            let t = match *op {
+                "<" => a < b,
+                ">" => a > b,
+                "<=" => a <= b,
+                ">=" => a >= b,
+                "==" => a == b,
+                "!=" => a != b,
+                _ => unreachable!("parser emits known comparators"),
+            };
+            GuestValue::Num(if t { 1.0 } else { 0.0 })
+        }
+        Expr::Bin(op, a, b) => {
+            let a = as_num(eval(pg, a, env)?)?;
+            let b = as_num(eval(pg, b, env)?)?;
+            GuestValue::Num(match op {
+                '+' => a + b,
+                '-' => a - b,
+                '*' => a * b,
+                '/' => a / b,
+                _ => unreachable!("parser only emits + - * /"),
+            })
+        }
+        Expr::Index(base, idx) => {
+            let idx_v = as_num(eval(pg, idx, env)?)? as usize;
+            match eval(pg, base, env)? {
+                GuestValue::Poly(p) if p.array_id().is_some() => {
+                    GuestValue::Num(p.get(pg, idx_v)? as f64)
+                }
+                other => {
+                    return Err(ScriptError::Runtime(format!(
+                        "cannot index into {other:?}"
+                    )))
+                }
+            }
+        }
+        Expr::PolyEval(lang, code) => {
+            let lang = match eval(pg, lang, env)? {
+                GuestValue::Str(s) => s,
+                other => {
+                    return Err(ScriptError::Runtime(format!(
+                        "polyglot.eval language must be a string, got {other:?}"
+                    )))
+                }
+            };
+            let code = match eval(pg, code, env)? {
+                GuestValue::Str(s) => s,
+                other => {
+                    return Err(ScriptError::Runtime(format!(
+                        "polyglot.eval code must be a string, got {other:?}"
+                    )))
+                }
+            };
+            let language = match lang.to_ascii_lowercase().as_str() {
+                "grout" => Language::GrOUT,
+                "grcuda" => Language::GrCUDA,
+                other => {
+                    return Err(ScriptError::Runtime(format!("unknown language `{other}`")))
+                }
+            };
+            GuestValue::Poly(pg.eval(language, &code)?)
+        }
+        Expr::Call(target, args) => {
+            // `range(n)` / `len(x)` builtins.
+            if let Expr::Var(name) = target.as_ref() {
+                if name == "range" {
+                    if args.len() != 1 {
+                        return Err(ScriptError::Runtime("range takes one argument".into()));
+                    }
+                    let n = as_num(eval(pg, &args[0], env)?)?;
+                    return Ok(GuestValue::Range(n as i64));
+                }
+                if name == "len" {
+                    if args.len() != 1 {
+                        return Err(ScriptError::Runtime("len takes one argument".into()));
+                    }
+                    return match eval(pg, &args[0], env)? {
+                        GuestValue::Poly(p) => match p.len() {
+                            Some(n) => Ok(GuestValue::Num(n as f64)),
+                            None => Err(ScriptError::Runtime("len() needs an array".into())),
+                        },
+                        GuestValue::Str(s) => Ok(GuestValue::Num(s.len() as f64)),
+                        other => Err(ScriptError::Runtime(format!(
+                            "len() needs an array or string, got {other:?}"
+                        ))),
+                    };
+                }
+            }
+            let callee = eval(pg, target, env)?;
+            match callee {
+                // builder(source, signature) -> kernel
+                GuestValue::Poly(v) if v.array_id().is_none() => {
+                    // Either the buildkernel function or a kernel handle.
+                    let evaled: Vec<GuestValue> = args
+                        .iter()
+                        .map(|a| eval(pg, a, env))
+                        .collect::<Result<_, _>>()?;
+                    if evaled.len() == 2 {
+                        if let (GuestValue::Str(src), GuestValue::Str(sig)) =
+                            (&evaled[0], &evaled[1])
+                        {
+                            return Ok(GuestValue::Poly(v.build(pg, src, sig)?));
+                        }
+                        // kernel(grid, block)
+                        if let (GuestValue::Num(g), GuestValue::Num(b)) = (&evaled[0], &evaled[1])
+                        {
+                            return Ok(GuestValue::Configured(
+                                v.configure(*g as u32, *b as u32),
+                            ));
+                        }
+                    }
+                    return Err(ScriptError::Runtime(
+                        "expected kernel(grid, block) or build(source, signature)".into(),
+                    ));
+                }
+                // configured(args...) -> launch
+                GuestValue::Configured(cfg) => {
+                    let mut call_args = Vec::new();
+                    for a in args {
+                        call_args.push(match eval(pg, a, env)? {
+                            GuestValue::Poly(p) => p,
+                            GuestValue::Num(n) => {
+                                if n.fract() == 0.0 {
+                                    Value::int(n as i32)
+                                } else {
+                                    Value::float(n as f32)
+                                }
+                            }
+                            other => {
+                                return Err(ScriptError::Runtime(format!(
+                                    "cannot pass {other:?} to a kernel"
+                                )))
+                            }
+                        });
+                    }
+                    cfg.call(pg, &call_args)?;
+                    GuestValue::Num(0.0)
+                }
+                other => {
+                    return Err(ScriptError::Runtime(format!("{other:?} is not callable")))
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pg() -> Polyglot {
+        Polyglot::with_workers(2)
+    }
+
+    #[test]
+    fn listing1_as_a_script() {
+        let script = r#"
+            # Listing 1, GuestScript edition.
+            KERNEL = "__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }"
+            SIG = "square(x: inout pointer float, n: sint32)"
+            build = polyglot.eval("grout", "buildkernel")
+            square = build(KERNEL, SIG)
+            x = polyglot.eval("grout", "float[100]")
+            for i in range(100) { x[i] = i }
+            square(4, 32)(x, 100)
+            print(x[9])
+            print("done")
+        "#;
+        let mut pg = pg();
+        let out = run_script(&mut pg, script).unwrap();
+        assert_eq!(out, vec!["81".to_string(), "done".to_string()]);
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let script = r#"
+            total = 0
+            for i in range(10) { total = total + i * 2 }
+            print(total, 3 + 4 * 2, (3 + 4) * 2, 7 / 2)
+        "#;
+        let out = run_script(&mut pg(), script).unwrap();
+        assert_eq!(out, vec!["90 11 14 3.5".to_string()]);
+    }
+
+    #[test]
+    fn arrays_print_like_lists() {
+        let script = r#"
+            x = polyglot.eval("grout", "float[4]")
+            for i in range(4) { x[i] = i + 1 }
+            print(x)
+        "#;
+        let out = run_script(&mut pg(), script).unwrap();
+        assert_eq!(out, vec!["[1.0, 2.0, 3.0, 4.0]".to_string()]);
+    }
+
+    #[test]
+    fn grcuda_language_is_accepted() {
+        let script = r#"
+            x = polyglot.eval("grcuda", "float[3]")
+            x[0] = 5
+            print(x[0])
+        "#;
+        let out = run_script(&mut pg(), script).unwrap();
+        assert_eq!(out, vec!["5".to_string()]);
+    }
+
+    #[test]
+    fn control_flow_and_len() {
+        let script = r#"
+            x = polyglot.eval("grout", "float[8]")
+            i = 0
+            while i < len(x) {
+                x[i] = i * 10
+                i = i + 1
+            }
+            if x[3] == 30 { print("thirty") } else { print("nope") }
+            if x[3] != 30 { print("bad") }
+            count = 0
+            for i in range(8) {
+                if x[i] >= 40 { count = count + 1 }
+            }
+            print(count, len("abc"))
+        "#;
+        let out = run_script(&mut pg(), script).unwrap();
+        assert_eq!(out, vec!["thirty".to_string(), "4 3".to_string()]);
+    }
+
+    #[test]
+    fn runaway_while_is_stopped() {
+        let err = run_script(&mut pg(), "while 1 { x = 1 }").unwrap_err();
+        assert!(err.to_string().contains("10M"));
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        assert!(matches!(
+            run_script(&mut pg(), "x = $"),
+            Err(ScriptError::Parse(1, _))
+        ));
+        let err = run_script(&mut pg(), "print(nope)").unwrap_err();
+        assert!(err.to_string().contains("undefined variable"));
+        let err = run_script(&mut pg(), r#"x = polyglot.eval("java", "int[3]")"#).unwrap_err();
+        assert!(err.to_string().contains("unknown language"));
+        let err = run_script(&mut pg(), "for i in 5 { print(i) }").unwrap_err();
+        assert!(err.to_string().contains("range"));
+    }
+
+    #[test]
+    fn polyglot_errors_propagate() {
+        let err = run_script(&mut pg(), r#"x = polyglot.eval("grout", "quux[3]")"#).unwrap_err();
+        assert!(matches!(err, ScriptError::Polyglot(_)));
+    }
+}

@@ -1,0 +1,586 @@
+#![warn(missing_docs)]
+//! # grout-polyglot — the multi-language API surface of GrOUT
+//!
+//! In the paper, GrOUT is a Truffle language inside GraalVM: any guest
+//! language calls `polyglot.eval(GrOUT, ...)` to allocate device arrays and
+//! build kernels from CUDA C++ source (Listing 1), and porting a GrCUDA
+//! application only requires changing the language id (Listing 2). This
+//! crate reproduces that surface without a JVM: a [`Polyglot`] context
+//! evaluates the same mini-language (`"float[100]"`, `"buildkernel"`), hands
+//! out dynamically-typed [`Value`] handles, checks GrCUDA-style NIDL
+//! signatures, and executes on the real threaded runtime underneath.
+//!
+//! ```
+//! use grout_polyglot::{Language, Polyglot, Value};
+//!
+//! let mut pg = Polyglot::with_workers(2);
+//! // Listing 1, line by line:
+//! let build = pg.eval(Language::GrOUT, "buildkernel").unwrap();
+//! let square = build
+//!     .build(
+//!         &mut pg,
+//!         "__global__ void square(float* x, int n) {
+//!              int i = blockIdx.x * blockDim.x + threadIdx.x;
+//!              if (i < n) { x[i] = x[i] * x[i]; }
+//!          }",
+//!         "square(x: inout pointer float, n: sint32)",
+//!     )
+//!     .unwrap();
+//! let x = pg.eval(Language::GrOUT, "float[100]").unwrap();
+//! x.fill_with(&mut pg, |i| i as f32).unwrap();
+//! square
+//!     .configure(64, 128)
+//!     .call(&mut pg, &[x.clone(), Value::int(100)])
+//!     .unwrap();
+//! assert_eq!(x.get(&mut pg, 7).unwrap(), 49.0);
+//! ```
+
+mod guest;
+mod signature;
+
+use std::fmt;
+use std::sync::Arc;
+
+use grout_core::{ArrayId, LocalArg, LocalConfig, LocalError, LocalRuntime, PolicyKind};
+use kernelc::{CompileError, CompiledKernel};
+
+pub use guest::{run_script, ScriptError};
+pub use signature::{Direction, SigParam, SigType, Signature, SignatureError};
+
+/// Guest-visible language ids. Per the paper's Listing 2, switching a
+/// workload from single-node GrCUDA to distributed GrOUT is exactly this
+/// one-token change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    /// The distributed framework (this paper).
+    GrOUT,
+    /// The single-node baseline (Parravicini et al.); accepted with the
+    /// identical syntax so Listing 2 ports run unchanged.
+    GrCUDA,
+}
+
+/// Errors from the polyglot layer.
+#[derive(Debug)]
+pub enum PolyglotError {
+    /// The eval string is not valid GrOUT syntax.
+    Syntax(String),
+    /// Kernel compilation failed (NVRTC stand-in).
+    Compile(CompileError),
+    /// Signature mismatch against the kernel source.
+    Signature(SignatureError),
+    /// A value was used in a way its kind does not support.
+    Kind(String),
+    /// Runtime failure.
+    Runtime(LocalError),
+    /// Array index out of range.
+    Bounds {
+        /// Requested index.
+        index: usize,
+        /// Array length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PolyglotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyglotError::Syntax(m) => write!(f, "syntax error: {m}"),
+            PolyglotError::Compile(e) => write!(f, "{e}"),
+            PolyglotError::Signature(e) => write!(f, "{e}"),
+            PolyglotError::Kind(m) => write!(f, "kind error: {m}"),
+            PolyglotError::Runtime(e) => write!(f, "{e}"),
+            PolyglotError::Bounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyglotError {}
+
+impl From<LocalError> for PolyglotError {
+    fn from(e: LocalError) -> Self {
+        PolyglotError::Runtime(e)
+    }
+}
+
+impl From<CompileError> for PolyglotError {
+    fn from(e: CompileError) -> Self {
+        PolyglotError::Compile(e)
+    }
+}
+
+impl From<SignatureError> for PolyglotError {
+    fn from(e: SignatureError) -> Self {
+        PolyglotError::Signature(e)
+    }
+}
+
+/// What a [`Value`] is.
+#[derive(Clone)]
+enum Kind {
+    /// A framework-managed device array.
+    Array {
+        id: ArrayId,
+        len: usize,
+        float: bool,
+    },
+    /// The `buildkernel` function.
+    Builder,
+    /// A compiled kernel (callable after `configure`).
+    Kernel(Arc<CompiledKernel>),
+    /// A float scalar.
+    Float(f32),
+    /// An int scalar.
+    Int(i32),
+}
+
+/// A dynamically-typed guest value (Truffle interop stand-in).
+#[derive(Clone)]
+pub struct Value {
+    kind: Kind,
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            Kind::Array { id, len, float } => write!(
+                f,
+                "Array({id:?}, len={len}, {})",
+                if *float { "float" } else { "int" }
+            ),
+            Kind::Builder => write!(f, "buildkernel"),
+            Kind::Kernel(k) => write!(f, "Kernel({})", k.name()),
+            Kind::Float(v) => write!(f, "{v}"),
+            Kind::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A kernel with grid/block chosen: `square(GRID, BLOCK)` in Listing 1.
+#[derive(Clone)]
+pub struct Configured {
+    kernel: Arc<CompiledKernel>,
+    grid: u32,
+    block: u32,
+}
+
+impl Value {
+    /// A float scalar value.
+    pub fn float(v: f32) -> Value {
+        Value {
+            kind: Kind::Float(v),
+        }
+    }
+
+    /// An int scalar value.
+    pub fn int(v: i32) -> Value {
+        Value { kind: Kind::Int(v) }
+    }
+
+    /// Array length (arrays only).
+    pub fn len(&self) -> Option<usize> {
+        match &self.kind {
+            Kind::Array { len, .. } => Some(*len),
+            _ => None,
+        }
+    }
+
+    /// True for an empty array value.
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// The backing array id (arrays only).
+    pub fn array_id(&self) -> Option<ArrayId> {
+        match &self.kind {
+            Kind::Array { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// `buildkernel(source, signature)`: compiles via the NVRTC stand-in
+    /// and cross-checks the NIDL signature (builder values only).
+    pub fn build(
+        &self,
+        pg: &mut Polyglot,
+        source: &str,
+        signature: &str,
+    ) -> Result<Value, PolyglotError> {
+        match &self.kind {
+            Kind::Builder => {
+                let sig = Signature::parse(signature)?;
+                let kernel = kernelc::compile_one(source, &sig.name)?;
+                sig.check_against(&kernel)?;
+                let _ = pg;
+                Ok(Value {
+                    kind: Kind::Kernel(Arc::new(kernel)),
+                })
+            }
+            _ => Err(PolyglotError::Kind(
+                "only `buildkernel` values are invocable as builders".into(),
+            )),
+        }
+    }
+
+    /// `kernel(grid, block)`: fixes the launch geometry (kernel values
+    /// only).
+    ///
+    /// # Panics
+    /// Panics when called on a non-kernel value (a guest language would
+    /// raise a dynamic type error here).
+    pub fn configure(&self, grid: u32, block: u32) -> Configured {
+        match &self.kind {
+            Kind::Kernel(k) => Configured {
+                kernel: Arc::clone(k),
+                grid,
+                block,
+            },
+            _ => panic!("configure() requires a kernel value"),
+        }
+    }
+
+    /// Reads `x[i]` (float arrays; synchronizes pending kernels).
+    pub fn get(&self, pg: &mut Polyglot, index: usize) -> Result<f32, PolyglotError> {
+        match &self.kind {
+            Kind::Array {
+                id,
+                len,
+                float: true,
+            } => {
+                if index >= *len {
+                    return Err(PolyglotError::Bounds { index, len: *len });
+                }
+                let data = pg.rt.read_f32(*id)?;
+                Ok(data[index])
+            }
+            Kind::Array { .. } => Err(PolyglotError::Kind(
+                "float accessor used on an int array".into(),
+            )),
+            _ => Err(PolyglotError::Kind("get() requires an array".into())),
+        }
+    }
+
+    /// Writes `x[i] = v` (float arrays; synchronizes pending kernels).
+    pub fn set(&self, pg: &mut Polyglot, index: usize, v: f32) -> Result<(), PolyglotError> {
+        match &self.kind {
+            Kind::Array {
+                id,
+                len,
+                float: true,
+            } => {
+                if index >= *len {
+                    return Err(PolyglotError::Bounds { index, len: *len });
+                }
+                pg.rt.write_f32(*id, |data| data[index] = v)?;
+                Ok(())
+            }
+            Kind::Array { .. } => Err(PolyglotError::Kind(
+                "float accessor used on an int array".into(),
+            )),
+            _ => Err(PolyglotError::Kind("set() requires an array".into())),
+        }
+    }
+
+    /// Bulk initialization without per-element synchronization.
+    pub fn fill_with(
+        &self,
+        pg: &mut Polyglot,
+        f: impl Fn(usize) -> f32,
+    ) -> Result<(), PolyglotError> {
+        match &self.kind {
+            Kind::Array { id, float: true, .. } => {
+                pg.rt.write_f32(*id, |data| {
+                    for (i, e) in data.iter_mut().enumerate() {
+                        *e = f(i);
+                    }
+                })?;
+                Ok(())
+            }
+            _ => Err(PolyglotError::Kind(
+                "fill_with() requires a float array".into(),
+            )),
+        }
+    }
+
+    /// Copies out the whole float array (synchronizes).
+    pub fn to_vec(&self, pg: &mut Polyglot) -> Result<Vec<f32>, PolyglotError> {
+        match &self.kind {
+            Kind::Array { id, float: true, .. } => Ok(pg.rt.read_f32(*id)?),
+            _ => Err(PolyglotError::Kind(
+                "to_vec() requires a float array".into(),
+            )),
+        }
+    }
+}
+
+impl Configured {
+    /// Launches the kernel as a CE: `square(GRID, BLOCK)(x, n)`.
+    pub fn call(&self, pg: &mut Polyglot, args: &[Value]) -> Result<(), PolyglotError> {
+        let mut largs = Vec::with_capacity(args.len());
+        for a in args {
+            largs.push(match &a.kind {
+                Kind::Array { id, .. } => LocalArg::Buf(*id),
+                Kind::Float(v) => LocalArg::F32(*v),
+                Kind::Int(v) => LocalArg::I32(*v),
+                _ => {
+                    return Err(PolyglotError::Kind(
+                        "kernel arguments must be arrays or scalars".into(),
+                    ))
+                }
+            });
+        }
+        pg.rt.launch(&self.kernel, self.grid, self.block, largs)?;
+        Ok(())
+    }
+}
+
+/// The polyglot context (GraalVM stand-in) wrapping a GrOUT deployment.
+pub struct Polyglot {
+    rt: LocalRuntime,
+}
+
+impl Polyglot {
+    /// A context over an existing runtime configuration.
+    pub fn new(cfg: LocalConfig) -> Self {
+        Polyglot {
+            rt: LocalRuntime::new(cfg),
+        }
+    }
+
+    /// A context with `workers` round-robin workers.
+    pub fn with_workers(workers: usize) -> Self {
+        Polyglot::new(LocalConfig {
+            workers,
+            policy: PolicyKind::RoundRobin,
+        })
+    }
+
+    /// Evaluates a GrOUT/GrCUDA source string:
+    ///
+    /// - `"buildkernel"` — the kernel builder function,
+    /// - `"float[N]"` / `"int[N]"` / `"double[N]"` — a managed device array.
+    ///
+    /// With [`Language::GrCUDA`] the same strings are accepted (Listing 2's
+    /// one-token port), but the application runs single-node.
+    pub fn eval(&mut self, lang: Language, code: &str) -> Result<Value, PolyglotError> {
+        let _ = lang; // Same syntax in both languages; deployment differs.
+        let code = code.trim();
+        if code == "buildkernel" {
+            return Ok(Value {
+                kind: Kind::Builder,
+            });
+        }
+        // Array allocation: elem[len]
+        if let Some(open) = code.find('[') {
+            let elem = code[..open].trim();
+            let rest = &code[open + 1..];
+            let close = rest
+                .find(']')
+                .ok_or_else(|| PolyglotError::Syntax(format!("missing `]` in `{code}`")))?;
+            if !rest[close + 1..].trim().is_empty() {
+                return Err(PolyglotError::Syntax(format!(
+                    "trailing characters after `]` in `{code}` \
+                     (multi-dimensional arrays are not supported)"
+                )));
+            }
+            let len: usize = rest[..close]
+                .trim()
+                .parse()
+                .map_err(|_| PolyglotError::Syntax(format!("bad length in `{code}`")))?;
+            let (id, float) = match elem {
+                "float" | "double" => (self.rt.alloc_f32(len), true),
+                "int" | "sint32" => (self.rt.alloc_i32(len), false),
+                other => {
+                    return Err(PolyglotError::Syntax(format!(
+                        "unknown element type `{other}`"
+                    )))
+                }
+            };
+            return Ok(Value {
+                kind: Kind::Array { id, len, float },
+            });
+        }
+        Err(PolyglotError::Syntax(format!(
+            "unrecognized GrOUT expression `{code}`"
+        )))
+    }
+
+    /// Waits for all enqueued CEs.
+    pub fn synchronize(&mut self) -> Result<(), PolyglotError> {
+        self.rt.synchronize()?;
+        Ok(())
+    }
+
+    /// The underlying runtime (stats, DAG, coherence).
+    pub fn runtime(&self) -> &LocalRuntime {
+        &self.rt
+    }
+
+    /// Mutable access to the underlying runtime.
+    pub fn runtime_mut(&mut self) -> &mut LocalRuntime {
+        &mut self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SQUARE: &str = "__global__ void square(float* x, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { x[i] = x[i] * x[i]; }
+    }";
+    const SQUARE_SIG: &str = "square(x: inout pointer float, n: sint32)";
+
+    #[test]
+    fn listing1_flow_works() {
+        let mut pg = Polyglot::with_workers(2);
+        let build = pg.eval(Language::GrOUT, "buildkernel").unwrap();
+        let square = build.build(&mut pg, SQUARE, SQUARE_SIG).unwrap();
+        let x = pg.eval(Language::GrOUT, "float[100]").unwrap();
+        x.fill_with(&mut pg, |i| i as f32).unwrap();
+        square
+            .configure(4, 32)
+            .call(&mut pg, &[x.clone(), Value::int(100)])
+            .unwrap();
+        let out = x.to_vec(&mut pg).unwrap();
+        assert_eq!(out[9], 81.0);
+        assert_eq!(x.len(), Some(100));
+    }
+
+    #[test]
+    fn grcuda_language_id_is_accepted() {
+        // Listing 2: the only change between GrCUDA and GrOUT code.
+        let mut pg = Polyglot::with_workers(1);
+        let x = pg.eval(Language::GrCUDA, "float[10]").unwrap();
+        assert_eq!(x.len(), Some(10));
+    }
+
+    #[test]
+    fn int_arrays_allocate() {
+        let mut pg = Polyglot::with_workers(1);
+        let x = pg.eval(Language::GrOUT, "int[42]").unwrap();
+        assert_eq!(x.len(), Some(42));
+        assert!(x.get(&mut pg, 0).is_err(), "float accessor on int array");
+    }
+
+    #[test]
+    fn element_get_set_synchronize() {
+        let mut pg = Polyglot::with_workers(2);
+        let x = pg.eval(Language::GrOUT, "float[8]").unwrap();
+        x.set(&mut pg, 3, 7.5).unwrap();
+        assert_eq!(x.get(&mut pg, 3).unwrap(), 7.5);
+        assert!(matches!(
+            x.get(&mut pg, 8),
+            Err(PolyglotError::Bounds { index: 8, len: 8 })
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let mut pg = Polyglot::with_workers(1);
+        assert!(matches!(
+            pg.eval(Language::GrOUT, "quux"),
+            Err(PolyglotError::Syntax(_))
+        ));
+        assert!(pg.eval(Language::GrOUT, "float[abc]").is_err());
+        assert!(pg.eval(Language::GrOUT, "float[2][3]").is_err());
+        assert!(pg.eval(Language::GrOUT, "complex[4]").is_err());
+    }
+
+    #[test]
+    fn signature_mismatch_rejected_at_build() {
+        let mut pg = Polyglot::with_workers(1);
+        let build = pg.eval(Language::GrOUT, "buildkernel").unwrap();
+        let err = build
+            .build(&mut pg, SQUARE, "square(x: in pointer float, n: sint32)")
+            .unwrap_err();
+        assert!(matches!(err, PolyglotError::Signature(_)));
+    }
+
+    #[test]
+    fn scalar_values_pass_through() {
+        let mut pg = Polyglot::with_workers(1);
+        let build = pg.eval(Language::GrOUT, "buildkernel").unwrap();
+        let axpb = build
+            .build(
+                &mut pg,
+                "__global__ void axpb(float* y, float a, float b, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { y[i] = a * y[i] + b; }
+                }",
+                "axpb(y: inout pointer float, a: float, b: float, n: sint32)",
+            )
+            .unwrap();
+        let y = pg.eval(Language::GrOUT, "float[16]").unwrap();
+        y.fill_with(&mut pg, |_| 1.0).unwrap();
+        axpb.configure(1, 16)
+            .call(
+                &mut pg,
+                &[
+                    y.clone(),
+                    Value::float(2.0),
+                    Value::float(0.5),
+                    Value::int(16),
+                ],
+            )
+            .unwrap();
+        assert_eq!(y.get(&mut pg, 0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn values_round_trip_through_two_kernels() {
+        // A two-stage pipeline: square then offset, exercising dependency
+        // tracking through the polyglot layer.
+        let mut pg = Polyglot::with_workers(2);
+        let build = pg.eval(Language::GrOUT, "buildkernel").unwrap();
+        let square = build.build(&mut pg, SQUARE, SQUARE_SIG).unwrap();
+        let offset = build
+            .build(
+                &mut pg,
+                "__global__ void offset(float* x, float d, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { x[i] = x[i] + d; }
+                }",
+                "offset(x: inout pointer float, d: float, n: sint32)",
+            )
+            .unwrap();
+        let x = pg.eval(Language::GrOUT, "float[64]").unwrap();
+        x.fill_with(&mut pg, |i| i as f32).unwrap();
+        square
+            .configure(2, 32)
+            .call(&mut pg, &[x.clone(), Value::int(64)])
+            .unwrap();
+        offset
+            .configure(2, 32)
+            .call(&mut pg, &[x.clone(), Value::float(0.5), Value::int(64)])
+            .unwrap();
+        assert_eq!(x.get(&mut pg, 5).unwrap(), 25.5);
+    }
+
+    #[test]
+    fn empty_array_allocates() {
+        let mut pg = Polyglot::with_workers(1);
+        let x = pg.eval(Language::GrOUT, "float[0]").unwrap();
+        assert!(x.is_empty());
+        assert!(x.to_vec(&mut pg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn whitespace_in_eval_is_tolerated() {
+        let mut pg = Polyglot::with_workers(1);
+        let x = pg.eval(Language::GrOUT, "  float[ 8 ]  ").unwrap();
+        assert_eq!(x.len(), Some(8));
+    }
+
+    #[test]
+    fn builder_only_builds() {
+        let mut pg = Polyglot::with_workers(1);
+        let x = pg.eval(Language::GrOUT, "float[4]").unwrap();
+        assert!(matches!(
+            x.build(&mut pg, SQUARE, SQUARE_SIG),
+            Err(PolyglotError::Kind(_))
+        ));
+    }
+}

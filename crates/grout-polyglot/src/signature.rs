@@ -1,0 +1,253 @@
+//! GrCUDA-style NIDL kernel signatures.
+//!
+//! GrOUT inherits GrCUDA's API, where `buildkernel` takes the kernel source
+//! plus a signature string such as
+//!
+//! ```text
+//! square(x: inout pointer float, n: sint32)
+//! ```
+//!
+//! The signature declares the host-visible types and *directions* of each
+//! parameter; we parse it and cross-check it against what `kernelc` actually
+//! found in the source, catching the classic mismatch bugs NVRTC would not.
+
+use std::fmt;
+
+use kernelc::{Elem, ParamType};
+
+/// Host-declared direction of a parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Kernel only reads it.
+    In,
+    /// Kernel only writes it.
+    Out,
+    /// Kernel reads and writes it.
+    InOut,
+}
+
+/// Host-declared type of a parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigType {
+    /// `pointer float` / `pointer double`.
+    PtrFloat,
+    /// `pointer sint32`.
+    PtrInt,
+    /// `float` / `double` scalar.
+    Float,
+    /// `sint32` / `sint64` scalar.
+    Int,
+}
+
+/// One signature parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigParam {
+    /// Name (must match the kernel source).
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Type.
+    pub ty: SigType,
+}
+
+/// A parsed signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Kernel name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<SigParam>,
+}
+
+/// Signature parse/check failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureError(pub String);
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signature error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+impl Signature {
+    /// Parses a NIDL signature string.
+    pub fn parse(s: &str) -> Result<Signature, SignatureError> {
+        let s = s.trim();
+        let open = s
+            .find('(')
+            .ok_or_else(|| SignatureError("missing `(`".into()))?;
+        if !s.ends_with(')') {
+            return Err(SignatureError("missing trailing `)`".into()));
+        }
+        let name = s[..open].trim().to_string();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(SignatureError(format!("bad kernel name `{name}`")));
+        }
+        let inner = &s[open + 1..s.len() - 1];
+        let mut params = Vec::new();
+        if !inner.trim().is_empty() {
+            for part in inner.split(',') {
+                let (pname, rest) = part
+                    .split_once(':')
+                    .ok_or_else(|| SignatureError(format!("missing `:` in `{part}`")))?;
+                let pname = pname.trim().to_string();
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                let (direction, tywords) = match words.first() {
+                    Some(&"in") => (Direction::In, &words[1..]),
+                    Some(&"out") => (Direction::Out, &words[1..]),
+                    Some(&"inout") => (Direction::InOut, &words[1..]),
+                    Some(&"const") => (Direction::In, &words[1..]),
+                    _ => (Direction::In, &words[..]),
+                };
+                let ty = match tywords {
+                    ["pointer", "float"] | ["pointer", "double"] => SigType::PtrFloat,
+                    ["pointer", "sint32"] | ["pointer", "sint64"] => SigType::PtrInt,
+                    ["float"] | ["double"] => SigType::Float,
+                    ["sint32"] | ["sint64"] | ["uint32"] | ["uint64"] => SigType::Int,
+                    other => {
+                        return Err(SignatureError(format!(
+                            "unknown type `{}` for `{pname}`",
+                            other.join(" ")
+                        )))
+                    }
+                };
+                params.push(SigParam {
+                    name: pname,
+                    direction,
+                    ty,
+                });
+            }
+        }
+        Ok(Signature { name, params })
+    }
+
+    /// Cross-checks the signature against the compiled kernel.
+    pub fn check_against(&self, kernel: &kernelc::CompiledKernel) -> Result<(), SignatureError> {
+        if self.name != kernel.name() {
+            return Err(SignatureError(format!(
+                "signature names `{}`, source defines `{}`",
+                self.name,
+                kernel.name()
+            )));
+        }
+        if self.params.len() != kernel.params().len() {
+            return Err(SignatureError(format!(
+                "signature has {} parameters, source has {}",
+                self.params.len(),
+                kernel.params().len()
+            )));
+        }
+        for (sp, (kp, ka)) in self
+            .params
+            .iter()
+            .zip(kernel.params().iter().zip(kernel.access()))
+        {
+            if sp.name != kp.name {
+                return Err(SignatureError(format!(
+                    "parameter `{}` in signature vs `{}` in source",
+                    sp.name, kp.name
+                )));
+            }
+            let type_ok = matches!(
+                (sp.ty, kp.ty),
+                (SigType::PtrFloat, ParamType::Ptr { elem: Elem::Float, .. })
+                    | (SigType::PtrInt, ParamType::Ptr { elem: Elem::Int, .. })
+                    | (SigType::Float, ParamType::Scalar(Elem::Float))
+                    | (SigType::Int, ParamType::Scalar(Elem::Int))
+            );
+            if !type_ok {
+                return Err(SignatureError(format!(
+                    "parameter `{}`: signature type {:?} does not match source type {:?}",
+                    sp.name, sp.ty, kp.ty
+                )));
+            }
+            // Direction check: declaring `in` for something the kernel
+            // writes is unsound (the scheduler would miss a dependency).
+            if ka.writes && sp.direction == Direction::In {
+                return Err(SignatureError(format!(
+                    "parameter `{}` declared `in` but the kernel writes it",
+                    sp.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelc::compile_one;
+
+    const SQUARE: &str = "__global__ void square(float* x, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { x[i] = x[i] * x[i]; }
+    }";
+
+    #[test]
+    fn parses_the_paper_style_signature() {
+        let sig = Signature::parse("square(x: inout pointer float, n: sint32)").unwrap();
+        assert_eq!(sig.name, "square");
+        assert_eq!(sig.params.len(), 2);
+        assert_eq!(sig.params[0].direction, Direction::InOut);
+        assert_eq!(sig.params[0].ty, SigType::PtrFloat);
+        assert_eq!(sig.params[1].ty, SigType::Int);
+    }
+
+    #[test]
+    fn parses_empty_params() {
+        let sig = Signature::parse("noop()").unwrap();
+        assert!(sig.params.is_empty());
+    }
+
+    #[test]
+    fn check_passes_on_match() {
+        let k = compile_one(SQUARE, "square").unwrap();
+        Signature::parse("square(x: inout pointer float, n: sint32)")
+            .unwrap()
+            .check_against(&k)
+            .unwrap();
+    }
+
+    #[test]
+    fn check_rejects_wrong_name() {
+        let k = compile_one(SQUARE, "square").unwrap();
+        let err = Signature::parse("cube(x: inout pointer float, n: sint32)")
+            .unwrap()
+            .check_against(&k)
+            .unwrap_err();
+        assert!(err.0.contains("cube"));
+    }
+
+    #[test]
+    fn check_rejects_wrong_arity_and_type() {
+        let k = compile_one(SQUARE, "square").unwrap();
+        assert!(Signature::parse("square(x: inout pointer float)")
+            .unwrap()
+            .check_against(&k)
+            .is_err());
+        assert!(Signature::parse("square(x: inout pointer sint32, n: sint32)")
+            .unwrap()
+            .check_against(&k)
+            .is_err());
+    }
+
+    #[test]
+    fn check_rejects_unsound_in_direction() {
+        let k = compile_one(SQUARE, "square").unwrap();
+        let err = Signature::parse("square(x: in pointer float, n: sint32)")
+            .unwrap()
+            .check_against(&k)
+            .unwrap_err();
+        assert!(err.0.contains("writes"));
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(Signature::parse("nope").is_err());
+        assert!(Signature::parse("f(x pointer float)").is_err());
+        assert!(Signature::parse("f(x: quux)").is_err());
+    }
+}

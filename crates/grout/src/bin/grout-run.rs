@@ -1,0 +1,71 @@
+//! `grout-run` — execute a GuestScript program on a local GrOUT deployment.
+//!
+//! Usage:
+//!   grout-run <script.gs> [--workers N]
+//!   grout-run -e '...inline script...' [--workers N]
+//!
+//! GuestScript is the repository's stand-in for the paper's guest languages
+//! (Listing 1 is Python under GraalVM): a small dynamic language whose only
+//! systems interface is `polyglot.eval`, over which arrays are allocated and
+//! CUDA-dialect kernels are built and launched.
+
+use grout::polyglot::run_script;
+use grout::Polyglot;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut workers = 2usize;
+    let mut source: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                workers = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+                i += 2;
+            }
+            "-e" => {
+                source = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("-e needs an inline script")),
+                );
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("usage: grout-run <script.gs> [--workers N] | -e '<script>'");
+                return;
+            }
+            path => {
+                source = Some(std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    die(&format!("cannot read `{path}`: {e}"));
+                }));
+                i += 1;
+            }
+        }
+    }
+    let Some(source) = source else {
+        die("no script given; see --help");
+    };
+    let mut pg = Polyglot::with_workers(workers);
+    match run_script(&mut pg, &source) {
+        Ok(output) => {
+            for line in output {
+                println!("{line}");
+            }
+            let stats = pg.runtime().stats();
+            eprintln!(
+                "[grout-run] {} kernels on {} workers; {}B sent, {}B p2p, {}B fetched",
+                stats.kernels, workers, stats.send_bytes, stats.p2p_bytes, stats.fetch_bytes
+            );
+        }
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("grout-run: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # grout — facade crate for the GrOUT reproduction
+//!
+//! Re-exports the full stack under one roof so applications (and the
+//! examples/integration tests in this repository) need a single dependency:
+//!
+//! - [`core`] — CEs, DAG, policies, coherence, the simulated
+//!   cluster runtime and the threaded local runtime,
+//! - [`polyglot`] — the multi-language `eval` API (Listing 1/2),
+//! - [`workloads`] — the paper's evaluation suite,
+//! - [`kernelc`] — the mini-CUDA front end (NVRTC stand-in),
+//! - the substrates: [`desim`], [`gpu_sim`], [`net_sim`], [`uvm_sim`].
+
+pub use grout_core as core;
+pub use grout_polyglot as polyglot;
+pub use grout_workloads as workloads;
+
+pub use desim;
+pub use gpu_sim;
+pub use kernelc;
+pub use net_sim;
+pub use uvm_sim;
+
+// The most common types at the top level for convenience.
+pub use grout_core::{
+    AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, Coherence, DevicePolicy,
+    ExplorationLevel, KernelCost, LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location,
+    MemAdvise, NodeScheduler, PolicyKind, Regime, SimConfig, SimRuntime, SimTime,
+};
+pub use grout_polyglot::{Language, Polyglot, Value};

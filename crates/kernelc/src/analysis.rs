@@ -1,0 +1,393 @@
+//! Static access-pattern analysis.
+//!
+//! The GrOUT runtime never looks inside kernels for *scheduling* (it is
+//! code-agnostic), but the **UVM driver's** behaviour depends decisively on
+//! access locality. This module reproduces what NVIDIA's driver heuristics
+//! react to: for each pointer parameter, classify how the simulated threads
+//! address it.
+//!
+//! - [`AccessClass::Coalesced`]: index affine in the global thread id
+//!   (including grid-stride loops) — neighbouring threads touch
+//!   neighbouring elements; the prefetcher can keep up.
+//! - [`AccessClass::Broadcast`]: indexed by a per-thread loop counter whose
+//!   start does *not* depend on the thread id — every thread sweeps the
+//!   whole array (the dense-MV vector). These are the literature's FALL
+//!   pages.
+//! - [`AccessClass::Indirect`]: index computed from another array load
+//!   (gather/scatter).
+//! - [`AccessClass::Uniform`]: constant index (e.g. a scalar accumulator).
+
+use std::collections::HashSet;
+
+use crate::ast::ParamType;
+use crate::typeck::{CheckedKernel, RExpr, RStmt};
+
+/// Locality class of one pointer parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessClass {
+    /// Constant index; touches O(1) pages.
+    Uniform,
+    /// Affine in the global thread id; prefetch-friendly.
+    Coalesced,
+    /// Swept whole by every thread (FALL pages).
+    Broadcast,
+    /// Data-dependent gather/scatter.
+    Indirect,
+}
+
+/// Analysis result for one parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamAccess {
+    /// Kernel reads through this pointer.
+    pub reads: bool,
+    /// Kernel writes through this pointer.
+    pub writes: bool,
+    /// Worst (most UVM-hostile) locality class among its access sites.
+    pub class: AccessClass,
+}
+
+#[derive(Default)]
+struct Deps {
+    /// Local slots whose value depends on the thread/block id.
+    gid: HashSet<u16>,
+    /// Local slots that are loop counters with gid-independent start.
+    bcast_loop: HashSet<u16>,
+    /// Local slots holding values loaded from arrays.
+    indirect: HashSet<u16>,
+}
+
+fn expr_uses_gid(e: &RExpr, d: &Deps) -> bool {
+    match e {
+        RExpr::Builtin(b) => matches!(
+            b,
+            crate::ast::BuiltinVar::ThreadIdxX
+                | crate::ast::BuiltinVar::BlockIdxX
+                | crate::ast::BuiltinVar::ThreadIdxY
+                | crate::ast::BuiltinVar::BlockIdxY
+        ),
+        RExpr::Local(s, _) => d.gid.contains(s),
+        RExpr::IntLit(_) | RExpr::FloatLit(_) | RExpr::ParamScalar(..) => false,
+        RExpr::Load { index, .. } => expr_uses_gid(index, d),
+        RExpr::Unary { expr, .. } | RExpr::Cast { expr, .. } => expr_uses_gid(expr, d),
+        RExpr::Binary { lhs, rhs, .. } => expr_uses_gid(lhs, d) || expr_uses_gid(rhs, d),
+        RExpr::Call { args, .. } => args.iter().any(|a| expr_uses_gid(a, d)),
+        RExpr::Ternary { cond, then, els, .. } => {
+            expr_uses_gid(cond, d) || expr_uses_gid(then, d) || expr_uses_gid(els, d)
+        }
+    }
+}
+
+fn expr_uses_bcast_loop(e: &RExpr, d: &Deps) -> bool {
+    match e {
+        RExpr::Local(s, _) => d.bcast_loop.contains(s),
+        RExpr::Load { index, .. } => expr_uses_bcast_loop(index, d),
+        RExpr::Unary { expr, .. } | RExpr::Cast { expr, .. } => expr_uses_bcast_loop(expr, d),
+        RExpr::Binary { lhs, rhs, .. } => {
+            expr_uses_bcast_loop(lhs, d) || expr_uses_bcast_loop(rhs, d)
+        }
+        RExpr::Call { args, .. } => args.iter().any(|a| expr_uses_bcast_loop(a, d)),
+        RExpr::Ternary { cond, then, els, .. } => {
+            expr_uses_bcast_loop(cond, d)
+                || expr_uses_bcast_loop(then, d)
+                || expr_uses_bcast_loop(els, d)
+        }
+        _ => false,
+    }
+}
+
+fn expr_has_load(e: &RExpr, d: &Deps) -> bool {
+    match e {
+        RExpr::Load { .. } => true,
+        RExpr::Local(s, _) => d.indirect.contains(s),
+        RExpr::Unary { expr, .. } | RExpr::Cast { expr, .. } => expr_has_load(expr, d),
+        RExpr::Binary { lhs, rhs, .. } => expr_has_load(lhs, d) || expr_has_load(rhs, d),
+        RExpr::Call { args, .. } => args.iter().any(|a| expr_has_load(a, d)),
+        RExpr::Ternary { cond, then, els, .. } => {
+            expr_has_load(cond, d) || expr_has_load(then, d) || expr_has_load(els, d)
+        }
+        _ => false,
+    }
+}
+
+fn classify_index(index: &RExpr, d: &Deps) -> AccessClass {
+    if expr_has_load(index, d) {
+        AccessClass::Indirect
+    } else if expr_uses_bcast_loop(index, d) && !expr_uses_gid(index, d) {
+        AccessClass::Broadcast
+    } else if expr_uses_gid(index, d) || expr_uses_bcast_loop(index, d) {
+        // gid-affine, or a gid-seeded (grid-stride) loop counter.
+        AccessClass::Coalesced
+    } else {
+        AccessClass::Uniform
+    }
+}
+
+struct Analyzer {
+    deps: Deps,
+    class: Vec<AccessClass>,
+}
+
+impl Analyzer {
+    fn note(&mut self, param: u16, c: AccessClass) {
+        let cur = &mut self.class[param as usize];
+        if c > *cur {
+            *cur = c;
+        }
+    }
+
+    fn scan_expr(&mut self, e: &RExpr) {
+        match e {
+            RExpr::Load { param, index, .. } => {
+                let c = classify_index(index, &self.deps);
+                self.note(*param, c);
+                self.scan_expr(index);
+            }
+            RExpr::Unary { expr, .. } | RExpr::Cast { expr, .. } => self.scan_expr(expr),
+            RExpr::Binary { lhs, rhs, .. } => {
+                self.scan_expr(lhs);
+                self.scan_expr(rhs);
+            }
+            RExpr::Call { args, .. } => args.iter().for_each(|a| self.scan_expr(a)),
+            RExpr::Ternary { cond, then, els, .. } => {
+                self.scan_expr(cond);
+                self.scan_expr(then);
+                self.scan_expr(els);
+            }
+            _ => {}
+        }
+    }
+
+    fn track_assign(&mut self, slot: u16, value: &RExpr) {
+        if expr_uses_gid(value, &self.deps) {
+            self.deps.gid.insert(slot);
+        }
+        if expr_has_load(value, &self.deps) {
+            self.deps.indirect.insert(slot);
+        }
+        if expr_uses_bcast_loop(value, &self.deps) && !expr_uses_gid(value, &self.deps) {
+            self.deps.bcast_loop.insert(slot);
+        }
+    }
+
+    fn scan_stmt(&mut self, s: &RStmt) {
+        match s {
+            RStmt::SetLocal { slot, value } => {
+                self.scan_expr(value);
+                self.track_assign(*slot, value);
+            }
+            RStmt::Store { param, index, value } => {
+                let c = classify_index(index, &self.deps);
+                self.note(*param, c);
+                self.scan_expr(index);
+                self.scan_expr(value);
+            }
+            RStmt::AtomicAdd { param, index, value } => {
+                let c = classify_index(index, &self.deps);
+                self.note(*param, c);
+                self.scan_expr(index);
+                self.scan_expr(value);
+            }
+            RStmt::If { cond, then, els } => {
+                self.scan_expr(cond);
+                then.iter().for_each(|s| self.scan_stmt(s));
+                els.iter().for_each(|s| self.scan_stmt(s));
+            }
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // Identify the loop counter and whether its start is
+                // gid-seeded (grid-stride) or uniform (broadcast sweep).
+                if let RStmt::SetLocal { slot, value } = &**init {
+                    self.scan_expr(value);
+                    if expr_uses_gid(value, &self.deps) {
+                        self.deps.gid.insert(*slot);
+                    } else {
+                        self.deps.bcast_loop.insert(*slot);
+                    }
+                } else {
+                    self.scan_stmt(init);
+                }
+                self.scan_expr(cond);
+                body.iter().for_each(|s| self.scan_stmt(s));
+                self.scan_stmt(step);
+            }
+            RStmt::While { cond, body } => {
+                self.scan_expr(cond);
+                body.iter().for_each(|s| self.scan_stmt(s));
+            }
+            RStmt::Return => {}
+        }
+    }
+}
+
+/// Runs the analysis over a checked kernel.
+pub fn analyze(kernel: &CheckedKernel) -> Vec<ParamAccess> {
+    let n = kernel.params.len();
+    let mut a = Analyzer {
+        deps: Deps::default(),
+        class: vec![AccessClass::Uniform; n],
+    };
+    kernel.body.iter().for_each(|s| a.scan_stmt(s));
+    (0..n)
+        .map(|i| ParamAccess {
+            reads: kernel.reads[i],
+            writes: kernel.writes[i],
+            class: match kernel.params[i].ty {
+                ParamType::Ptr { .. } => a.class[i],
+                ParamType::Scalar(_) => AccessClass::Uniform,
+            },
+        })
+        .collect()
+}
+
+/// Rough per-thread FLOP estimate: arithmetic ops count 1, intrinsics 4;
+/// loop bodies are multiplied by `assumed_trip`.
+pub fn flops_per_thread(kernel: &CheckedKernel, assumed_trip: f64) -> f64 {
+    fn expr(e: &RExpr) -> f64 {
+        match e {
+            RExpr::Unary { expr: x, .. } | RExpr::Cast { expr: x, .. } => 1.0 + expr(x),
+            RExpr::Binary { lhs, rhs, .. } => 1.0 + expr(lhs) + expr(rhs),
+            RExpr::Call { args, .. } => 4.0 + args.iter().map(expr).sum::<f64>(),
+            RExpr::Ternary { cond, then, els, .. } => expr(cond) + expr(then).max(expr(els)),
+            RExpr::Load { index, .. } => expr(index),
+            _ => 0.0,
+        }
+    }
+    fn stmt(s: &RStmt, trip: f64) -> f64 {
+        match s {
+            RStmt::SetLocal { value, .. } => expr(value),
+            RStmt::Store { index, value, .. } => expr(index) + expr(value),
+            RStmt::AtomicAdd { index, value, .. } => 1.0 + expr(index) + expr(value),
+            RStmt::If { cond, then, els } => {
+                expr(cond)
+                    + then.iter().map(|s| stmt(s, trip)).sum::<f64>().max(
+                        els.iter().map(|s| stmt(s, trip)).sum::<f64>(),
+                    )
+            }
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                stmt(init, trip)
+                    + trip
+                        * (expr(cond)
+                            + stmt(step, trip)
+                            + body.iter().map(|s| stmt(s, trip)).sum::<f64>())
+            }
+            RStmt::While { cond, body } => {
+                trip * (expr(cond) + body.iter().map(|s| stmt(s, trip)).sum::<f64>())
+            }
+            RStmt::Return => 0.0,
+        }
+    }
+    kernel.body.iter().map(|s| stmt(s, assumed_trip)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::check;
+
+    fn access(src: &str) -> Vec<ParamAccess> {
+        analyze(&check(&parse(src).unwrap()[0]).unwrap())
+    }
+
+    #[test]
+    fn saxpy_is_coalesced() {
+        let a = access(
+            "__global__ void saxpy(float* y, const float* x, float a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { y[i] = a * x[i] + y[i]; }
+            }",
+        );
+        assert_eq!(a[0].class, AccessClass::Coalesced);
+        assert_eq!(a[1].class, AccessClass::Coalesced);
+        assert!(a[0].writes && a[0].reads);
+        assert!(a[1].reads && !a[1].writes);
+    }
+
+    #[test]
+    fn matvec_vector_is_broadcast() {
+        // The dense-MV pathology: every row thread sweeps the whole vector.
+        let a = access(
+            "__global__ void mv(float* y, const float* A, const float* x, int rows, int cols) {
+                int r = blockIdx.x * blockDim.x + threadIdx.x;
+                if (r < rows) {
+                    float acc = 0.0;
+                    for (int c = 0; c < cols; c++) {
+                        acc += A[r * cols + c] * x[c];
+                    }
+                    y[r] = acc;
+                }
+            }",
+        );
+        assert_eq!(a[0].class, AccessClass::Coalesced, "y");
+        assert_eq!(a[1].class, AccessClass::Coalesced, "A (row-major, gid-affine)");
+        assert_eq!(a[2].class, AccessClass::Broadcast, "x (FALL)");
+    }
+
+    #[test]
+    fn grid_stride_loop_is_coalesced() {
+        let a = access(
+            "__global__ void sum(const float* a, float* out, int n) {
+                for (int j = blockIdx.x * blockDim.x + threadIdx.x; j < n;
+                     j += blockDim.x * gridDim.x) {
+                    atomicAdd(&out[0], a[j]);
+                }
+            }",
+        );
+        assert_eq!(a[0].class, AccessClass::Coalesced);
+        assert_eq!(a[1].class, AccessClass::Uniform, "out[0] is uniform");
+    }
+
+    #[test]
+    fn indirect_gather_detected() {
+        let a = access(
+            "__global__ void gather(float* y, const float* v, const int* idx, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { y[i] = v[idx[i]]; }
+            }",
+        );
+        assert_eq!(a[1].class, AccessClass::Indirect, "v");
+        assert_eq!(a[2].class, AccessClass::Coalesced, "idx");
+    }
+
+    #[test]
+    fn indirect_via_local_detected() {
+        let a = access(
+            "__global__ void gather(float* y, const float* v, const int* idx, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    int k = idx[i];
+                    y[i] = v[k];
+                }
+            }",
+        );
+        assert_eq!(a[1].class, AccessClass::Indirect);
+    }
+
+    #[test]
+    fn flops_scale_with_loops() {
+        let k = check(
+            &parse(
+                "__global__ void f(float* y, int n) {
+                    int i = threadIdx.x;
+                    float acc = 0.0;
+                    for (int j = 0; j < n; j++) { acc += y[j] * 2.0; }
+                    y[i] = acc;
+                }",
+            )
+            .unwrap()[0],
+        )
+        .unwrap();
+        let f1 = flops_per_thread(&k, 10.0);
+        let f2 = flops_per_thread(&k, 1000.0);
+        assert!(f2 > f1 * 50.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Abstract syntax tree of the kernel dialect.
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Elem {
+    /// 32-bit signed integer (`int`).
+    Int,
+    /// 32-bit float (`float`; `double` is accepted and narrowed).
+    Float,
+}
+
+/// Parameter types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamType {
+    /// Scalar passed by value.
+    Scalar(Elem),
+    /// Device pointer.
+    Ptr {
+        /// Element type.
+        elem: Elem,
+        /// `const T*`: the kernel may not write through it.
+        is_const: bool,
+    },
+}
+
+/// One formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ParamType,
+}
+
+/// CUDA built-in index variables (1-D and 2-D grids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinVar {
+    /// `threadIdx.x`
+    ThreadIdxX,
+    /// `blockIdx.x`
+    BlockIdxX,
+    /// `blockDim.x`
+    BlockDimX,
+    /// `gridDim.x`
+    GridDimX,
+    /// `threadIdx.y`
+    ThreadIdxY,
+    /// `blockIdx.y`
+    BlockIdxY,
+    /// `blockDim.y`
+    BlockDimY,
+    /// `gridDim.y`
+    GridDimY,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean (encoded as int 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Local variable or parameter reference.
+    Var(String),
+    /// CUDA built-in.
+    Builtin(BuiltinVar),
+    /// `base[index]` load.
+    Index {
+        /// Pointer parameter name.
+        base: String,
+        /// Index expression (int).
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Intrinsic call (`expf`, `sqrtf`, ...).
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        els: Box<Expr>,
+    },
+    /// `(int)e` or `(float)e`.
+    Cast {
+        /// Target element type.
+        to: Elem,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Local variable.
+    Var(String),
+    /// `base[index]` store.
+    Index {
+        /// Pointer parameter name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+}
+
+/// Compound-assignment flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration, e.g. `int i = ...;`.
+    Decl {
+        /// Element type.
+        ty: Elem,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment through an lvalue.
+    Assign {
+        /// Target place.
+        target: LValue,
+        /// `=`, `+=`, ...
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `atomicAdd(&base[index], value)`.
+    AtomicAdd {
+        /// Pointer parameter name.
+        base: String,
+        /// Element index.
+        index: Expr,
+        /// Addend.
+        value: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (int/bool).
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// C-style for loop.
+    For {
+        /// Init statement (decl or assign).
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Step statement.
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Early return (kernels are void).
+    Return,
+}
+
+/// A parsed `__global__` kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Index of a parameter by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+}

@@ -1,0 +1,867 @@
+//! Parallel per-thread interpreter: the execution back end of `buildkernel`
+//! in the local (real-execution) runtime.
+//!
+//! Threads within a block run sequentially; blocks fan out across CPU cores
+//! with rayon. All buffer traffic goes through relaxed atomics, so even a
+//! *racy* kernel is memory-safe here (last-write-wins, as on a real GPU)
+//! rather than UB.
+
+use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use crate::ast::{BinOp, BuiltinVar, Elem, ParamType, UnOp};
+use crate::typeck::{CheckedKernel, RExpr, RStmt};
+
+/// Runtime launch failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// Argument count mismatch.
+    Arity {
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// Argument type mismatch at a position.
+    ArgType {
+        /// Parameter position.
+        index: usize,
+        /// Explanation.
+        expected: String,
+    },
+    /// A buffer access was out of bounds.
+    OutOfBounds {
+        /// Parameter position.
+        param: usize,
+        /// Offending element index.
+        index: i64,
+        /// Buffer length.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// A loop exceeded the per-thread step budget.
+    StepBudgetExceeded,
+    /// Zero-sized grid or block.
+    EmptyLaunch,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Arity { expected, got } => {
+                write!(f, "kernel expects {expected} arguments, got {got}")
+            }
+            LaunchError::ArgType { index, expected } => {
+                write!(f, "argument {index}: expected {expected}")
+            }
+            LaunchError::OutOfBounds { param, index, len } => write!(
+                f,
+                "out-of-bounds access through parameter {param}: index {index}, length {len}"
+            ),
+            LaunchError::DivideByZero => write!(f, "integer divide by zero"),
+            LaunchError::StepBudgetExceeded => {
+                write!(f, "per-thread step budget exceeded (possible infinite loop)")
+            }
+            LaunchError::EmptyLaunch => write!(f, "grid and block sizes must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A kernel launch argument.
+pub enum KernelArg<'a> {
+    /// Float buffer (device array).
+    F32(&'a mut [f32]),
+    /// Int buffer (device array).
+    I32(&'a mut [i32]),
+    /// Float scalar.
+    Float(f32),
+    /// Int scalar.
+    Int(i32),
+}
+
+/// Execution statistics of a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Total simulated GPU threads executed.
+    pub threads: u64,
+}
+
+#[derive(Clone, Copy)]
+enum Val {
+    I(i32),
+    F(f32),
+}
+
+impl Val {
+    #[inline]
+    fn as_i(self) -> i32 {
+        match self {
+            Val::I(v) => v,
+            Val::F(v) => v as i32,
+        }
+    }
+    #[inline]
+    fn as_f(self) -> f32 {
+        match self {
+            Val::I(v) => v as f32,
+            Val::F(v) => v,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Slot {
+    F32Buf { ptr: *const AtomicU32, len: usize },
+    I32Buf { ptr: *const AtomicI32, len: usize },
+    Float(f32),
+    Int(i32),
+}
+
+// SAFETY: buffer slots only expose atomics; scalars are Copy. The raw
+// pointers originate from exclusive borrows held for the whole launch.
+unsafe impl Send for Slot {}
+unsafe impl Sync for Slot {}
+
+struct Machine<'k> {
+    kernel: &'k CheckedKernel,
+    slots: Vec<Slot>,
+    grid: (u32, u32),
+    block: (u32, u32),
+    step_budget: u64,
+}
+
+/// (param, element index, is_write, is_atomic) — recorded by traced runs.
+pub(crate) type AccessLog = Vec<(usize, usize, bool, bool)>;
+
+struct Thread<'m, 'k> {
+    m: &'m Machine<'k>,
+    locals: Vec<Val>,
+    tid: (u32, u32),
+    bid: (u32, u32),
+    steps: u64,
+    log: Option<AccessLog>,
+}
+
+enum Flow {
+    Next,
+    Return,
+}
+
+impl<'m, 'k> Thread<'m, 'k> {
+    #[inline]
+    fn charge(&mut self) -> Result<(), LaunchError> {
+        self.steps += 1;
+        if self.steps > self.m.step_budget {
+            return Err(LaunchError::StepBudgetExceeded);
+        }
+        Ok(())
+    }
+
+    fn index(&self, param: u16, idx: i32) -> Result<usize, LaunchError> {
+        let len = match self.m.slots[param as usize] {
+            Slot::F32Buf { len, .. } | Slot::I32Buf { len, .. } => len,
+            _ => unreachable!("typeck guarantees pointer params"),
+        };
+        if idx < 0 || idx as usize >= len {
+            return Err(LaunchError::OutOfBounds {
+                param: param as usize,
+                index: idx as i64,
+                len,
+            });
+        }
+        Ok(idx as usize)
+    }
+
+    fn eval(&mut self, e: &RExpr) -> Result<Val, LaunchError> {
+        Ok(match e {
+            RExpr::IntLit(v) => Val::I(*v),
+            RExpr::FloatLit(v) => Val::F(*v),
+            RExpr::Local(slot, _) => self.locals[*slot as usize],
+            RExpr::ParamScalar(p, _) => match self.m.slots[*p as usize] {
+                Slot::Float(v) => Val::F(v),
+                Slot::Int(v) => Val::I(v),
+                _ => unreachable!("typeck guarantees scalar params"),
+            },
+            RExpr::Builtin(b) => Val::I(match b {
+                BuiltinVar::ThreadIdxX => self.tid.0 as i32,
+                BuiltinVar::BlockIdxX => self.bid.0 as i32,
+                BuiltinVar::BlockDimX => self.m.block.0 as i32,
+                BuiltinVar::GridDimX => self.m.grid.0 as i32,
+                BuiltinVar::ThreadIdxY => self.tid.1 as i32,
+                BuiltinVar::BlockIdxY => self.bid.1 as i32,
+                BuiltinVar::BlockDimY => self.m.block.1 as i32,
+                BuiltinVar::GridDimY => self.m.grid.1 as i32,
+            }),
+            RExpr::Load { param, index, .. } => {
+                let idx = self.eval(index)?.as_i();
+                let at = self.index(*param, idx)?;
+                if let Some(log) = &mut self.log {
+                    log.push((*param as usize, at, false, false));
+                }
+                match self.m.slots[*param as usize] {
+                    Slot::F32Buf { ptr, .. } => {
+                        // SAFETY: `at` is bounds-checked above.
+                        let a = unsafe { &*ptr.add(at) };
+                        Val::F(f32::from_bits(a.load(Ordering::Relaxed)))
+                    }
+                    Slot::I32Buf { ptr, .. } => {
+                        let a = unsafe { &*ptr.add(at) };
+                        Val::I(a.load(Ordering::Relaxed))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            RExpr::Unary { op, elem, expr } => {
+                let v = self.eval(expr)?;
+                match (op, elem) {
+                    (UnOp::Neg, Elem::Int) => Val::I(v.as_i().wrapping_neg()),
+                    (UnOp::Neg, Elem::Float) => Val::F(-v.as_f()),
+                    (UnOp::Not, _) => Val::I((v.as_i() == 0) as i32),
+                }
+            }
+            RExpr::Binary { op, elem, lhs, rhs } => {
+                // Short-circuit logic first.
+                if *op == BinOp::And {
+                    let l = self.eval(lhs)?.as_i();
+                    return Ok(Val::I(if l != 0 {
+                        (self.eval(rhs)?.as_i() != 0) as i32
+                    } else {
+                        0
+                    }));
+                }
+                if *op == BinOp::Or {
+                    let l = self.eval(lhs)?.as_i();
+                    return Ok(Val::I(if l == 0 {
+                        (self.eval(rhs)?.as_i() != 0) as i32
+                    } else {
+                        1
+                    }));
+                }
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                match elem {
+                    Elem::Int => {
+                        let (a, b) = (l.as_i(), r.as_i());
+                        match op {
+                            BinOp::Add => Val::I(a.wrapping_add(b)),
+                            BinOp::Sub => Val::I(a.wrapping_sub(b)),
+                            BinOp::Mul => Val::I(a.wrapping_mul(b)),
+                            BinOp::Div => {
+                                if b == 0 {
+                                    return Err(LaunchError::DivideByZero);
+                                }
+                                Val::I(a.wrapping_div(b))
+                            }
+                            BinOp::Rem => {
+                                if b == 0 {
+                                    return Err(LaunchError::DivideByZero);
+                                }
+                                Val::I(a.wrapping_rem(b))
+                            }
+                            BinOp::Eq => Val::I((a == b) as i32),
+                            BinOp::Ne => Val::I((a != b) as i32),
+                            BinOp::Lt => Val::I((a < b) as i32),
+                            BinOp::Gt => Val::I((a > b) as i32),
+                            BinOp::Le => Val::I((a <= b) as i32),
+                            BinOp::Ge => Val::I((a >= b) as i32),
+                            BinOp::And | BinOp::Or => unreachable!("handled above"),
+                        }
+                    }
+                    Elem::Float => {
+                        let (a, b) = (l.as_f(), r.as_f());
+                        match op {
+                            BinOp::Add => Val::F(a + b),
+                            BinOp::Sub => Val::F(a - b),
+                            BinOp::Mul => Val::F(a * b),
+                            BinOp::Div => Val::F(a / b),
+                            BinOp::Eq => Val::I((a == b) as i32),
+                            BinOp::Ne => Val::I((a != b) as i32),
+                            BinOp::Lt => Val::I((a < b) as i32),
+                            BinOp::Gt => Val::I((a > b) as i32),
+                            BinOp::Le => Val::I((a <= b) as i32),
+                            BinOp::Ge => Val::I((a >= b) as i32),
+                            BinOp::Rem | BinOp::And | BinOp::Or => {
+                                unreachable!("rejected by typeck")
+                            }
+                        }
+                    }
+                }
+            }
+            RExpr::Call { func, args } => {
+                let mut vals = [0.0f32; 2];
+                for (i, a) in args.iter().enumerate() {
+                    vals[i] = self.eval(a)?.as_f();
+                }
+                Val::F(func.eval(&vals[..args.len()]))
+            }
+            RExpr::Ternary {
+                cond, elem, then, els, ..
+            } => {
+                let c = self.eval(cond)?.as_i();
+                let v = if c != 0 {
+                    self.eval(then)?
+                } else {
+                    self.eval(els)?
+                };
+                match elem {
+                    Elem::Int => Val::I(v.as_i()),
+                    Elem::Float => Val::F(v.as_f()),
+                }
+            }
+            RExpr::Cast { to, expr } => {
+                let v = self.eval(expr)?;
+                match to {
+                    Elem::Int => Val::I(v.as_i()),
+                    Elem::Float => Val::F(v.as_f()),
+                }
+            }
+        })
+    }
+
+    fn store(&mut self, param: u16, index: &RExpr, value: Val) -> Result<(), LaunchError> {
+        let idx = self.eval(index)?.as_i();
+        let at = self.index(param, idx)?;
+        if let Some(log) = &mut self.log {
+            log.push((param as usize, at, true, false));
+        }
+        match self.m.slots[param as usize] {
+            Slot::F32Buf { ptr, .. } => {
+                // SAFETY: bounds-checked above.
+                let a = unsafe { &*ptr.add(at) };
+                a.store(value.as_f().to_bits(), Ordering::Relaxed);
+            }
+            Slot::I32Buf { ptr, .. } => {
+                let a = unsafe { &*ptr.add(at) };
+                a.store(value.as_i(), Ordering::Relaxed);
+            }
+            _ => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[RStmt]) -> Result<Flow, LaunchError> {
+        for s in stmts {
+            if let Flow::Return = self.exec(s)? {
+                return Ok(Flow::Return);
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    fn exec(&mut self, s: &RStmt) -> Result<Flow, LaunchError> {
+        self.charge()?;
+        match s {
+            RStmt::SetLocal { slot, value } => {
+                let v = self.eval(value)?;
+                self.locals[*slot as usize] = v;
+                Ok(Flow::Next)
+            }
+            RStmt::Store { param, index, value } => {
+                let v = self.eval(value)?;
+                self.store(*param, index, v)?;
+                Ok(Flow::Next)
+            }
+            RStmt::AtomicAdd { param, index, value } => {
+                let v = self.eval(value)?;
+                let idx = self.eval(index)?.as_i();
+                let at = self.index(*param, idx)?;
+                if let Some(log) = &mut self.log {
+                    log.push((*param as usize, at, true, true));
+                }
+                match self.m.slots[*param as usize] {
+                    Slot::F32Buf { ptr, .. } => {
+                        // SAFETY: bounds-checked above.
+                        let a = unsafe { &*ptr.add(at) };
+                        let add = v.as_f();
+                        let mut cur = a.load(Ordering::Relaxed);
+                        loop {
+                            let next = (f32::from_bits(cur) + add).to_bits();
+                            match a.compare_exchange_weak(
+                                cur,
+                                next,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => break,
+                                Err(seen) => cur = seen,
+                            }
+                        }
+                    }
+                    Slot::I32Buf { ptr, .. } => {
+                        let a = unsafe { &*ptr.add(at) };
+                        a.fetch_add(v.as_i(), Ordering::Relaxed);
+                    }
+                    _ => unreachable!(),
+                }
+                Ok(Flow::Next)
+            }
+            RStmt::If { cond, then, els } => {
+                if self.eval(cond)?.as_i() != 0 {
+                    self.exec_block(then)
+                } else {
+                    self.exec_block(els)
+                }
+            }
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Flow::Return = self.exec(init)? {
+                    return Ok(Flow::Return);
+                }
+                while self.eval(cond)?.as_i() != 0 {
+                    self.charge()?;
+                    if let Flow::Return = self.exec_block(body)? {
+                        return Ok(Flow::Return);
+                    }
+                    if let Flow::Return = self.exec(step)? {
+                        return Ok(Flow::Return);
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            RStmt::While { cond, body } => {
+                while self.eval(cond)?.as_i() != 0 {
+                    self.charge()?;
+                    if let Flow::Return = self.exec_block(body)? {
+                        return Ok(Flow::Return);
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            RStmt::Return => Ok(Flow::Return),
+        }
+    }
+}
+
+fn build_slots(kernel: &CheckedKernel, args: &mut [KernelArg<'_>]) -> Result<Vec<Slot>, LaunchError> {
+    if args.len() != kernel.params.len() {
+        return Err(LaunchError::Arity {
+            expected: kernel.params.len(),
+            got: args.len(),
+        });
+    }
+    let mut slots = Vec::with_capacity(args.len());
+    for (i, (arg, param)) in args.iter_mut().zip(&kernel.params).enumerate() {
+        let slot = match (&param.ty, arg) {
+            (
+                ParamType::Ptr {
+                    elem: Elem::Float, ..
+                },
+                KernelArg::F32(buf),
+            ) => Slot::F32Buf {
+                ptr: buf.as_mut_ptr().cast::<AtomicU32>(),
+                len: buf.len(),
+            },
+            (
+                ParamType::Ptr {
+                    elem: Elem::Int, ..
+                },
+                KernelArg::I32(buf),
+            ) => Slot::I32Buf {
+                ptr: buf.as_mut_ptr().cast::<AtomicI32>(),
+                len: buf.len(),
+            },
+            (ParamType::Scalar(Elem::Float), KernelArg::Float(v)) => Slot::Float(*v),
+            // C-style convenience: an int scalar is accepted for a float
+            // parameter.
+            (ParamType::Scalar(Elem::Float), KernelArg::Int(v)) => Slot::Float(*v as f32),
+            (ParamType::Scalar(Elem::Int), KernelArg::Int(v)) => Slot::Int(*v),
+            (expected, _) => {
+                return Err(LaunchError::ArgType {
+                    index: i,
+                    expected: format!("{expected:?}"),
+                })
+            }
+        };
+        slots.push(slot);
+    }
+    Ok(slots)
+}
+
+/// Executes `kernel` over a 1-D grid. Blocks run in parallel across CPU
+/// cores; threads within a block run sequentially.
+pub fn launch(
+    kernel: &CheckedKernel,
+    grid: u32,
+    block: u32,
+    args: &mut [KernelArg<'_>],
+) -> Result<LaunchStats, LaunchError> {
+    launch2d_with_budget(kernel, (grid, 1), (block, 1), args, 1 << 32)
+}
+
+/// [`launch`] with an explicit per-thread step budget (guards against
+/// accidentally non-terminating kernels).
+pub fn launch_with_budget(
+    kernel: &CheckedKernel,
+    grid: u32,
+    block: u32,
+    args: &mut [KernelArg<'_>],
+    step_budget: u64,
+) -> Result<LaunchStats, LaunchError> {
+    launch2d_with_budget(kernel, (grid, 1), (block, 1), args, step_budget)
+}
+
+/// Executes `kernel` over a 2-D grid (`(x, y)` dimensions, like
+/// `dim3(x, y)` in CUDA). Blocks fan out across cores; threads within a
+/// block run sequentially in `(y, x)` order.
+pub fn launch2d(
+    kernel: &CheckedKernel,
+    grid: (u32, u32),
+    block: (u32, u32),
+    args: &mut [KernelArg<'_>],
+) -> Result<LaunchStats, LaunchError> {
+    launch2d_with_budget(kernel, grid, block, args, 1 << 32)
+}
+
+/// [`launch2d`] with an explicit per-thread step budget.
+pub fn launch2d_with_budget(
+    kernel: &CheckedKernel,
+    grid: (u32, u32),
+    block: (u32, u32),
+    args: &mut [KernelArg<'_>],
+    step_budget: u64,
+) -> Result<LaunchStats, LaunchError> {
+    if grid.0 == 0 || grid.1 == 0 || block.0 == 0 || block.1 == 0 {
+        return Err(LaunchError::EmptyLaunch);
+    }
+    let slots = build_slots(kernel, args)?;
+    let machine = Machine {
+        kernel,
+        slots,
+        grid,
+        block,
+        step_budget,
+    };
+    let total_blocks = grid.0 as u64 * grid.1 as u64;
+    let first_error: Mutex<Option<LaunchError>> = Mutex::new(None);
+    (0..total_blocks).into_par_iter().for_each(|flat_bid| {
+        let bid = ((flat_bid % grid.0 as u64) as u32, (flat_bid / grid.0 as u64) as u32);
+        let mut locals = vec![Val::I(0); machine.kernel.local_slots as usize];
+        for ty_ in 0..block.1 {
+            for tx in 0..block.0 {
+                // Reset locals between threads (defensive; decls initialize).
+                locals.fill(Val::I(0));
+                let mut t = Thread {
+                    m: &machine,
+                    locals: std::mem::take(&mut locals),
+                    tid: (tx, ty_),
+                    bid,
+                    steps: 0,
+                    log: None,
+                };
+                let result = t.exec_block(&machine.kernel.body);
+                locals = t.locals;
+                if let Err(e) = result {
+                    let mut g = first_error.lock().expect("poisoned");
+                    if g.is_none() {
+                        *g = Some(e);
+                    }
+                    return;
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    Ok(LaunchStats {
+        threads: total_blocks * block.0 as u64 * block.1 as u64,
+    })
+}
+
+/// Runs a (builtin-substituted) kernel body as one sequential thread and
+/// returns its buffer-access log. Used by the race checker.
+pub(crate) fn launch_traced(
+    kernel: &CheckedKernel,
+    args: &mut [KernelArg<'_>],
+    step_budget: u64,
+) -> Result<AccessLog, LaunchError> {
+    let slots = build_slots(kernel, args)?;
+    let machine = Machine {
+        kernel,
+        slots,
+        grid: (1, 1),
+        block: (1, 1),
+        step_budget,
+    };
+    let mut t = Thread {
+        m: &machine,
+        locals: vec![Val::I(0); machine.kernel.local_slots as usize],
+        tid: (0, 0),
+        bid: (0, 0),
+        steps: 0,
+        log: Some(Vec::new()),
+    };
+    t.exec_block(&machine.kernel.body)?;
+    Ok(t.log.take().expect("log was installed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::check;
+
+    fn kernel(src: &str) -> CheckedKernel {
+        check(&parse(src).unwrap()[0]).unwrap()
+    }
+
+    const SAXPY: &str = "__global__ void saxpy(float* y, const float* x, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { y[i] = a * x[i] + y[i]; }
+    }";
+
+    #[test]
+    fn saxpy_computes() {
+        let k = kernel(SAXPY);
+        let n = 1000usize;
+        let mut y = vec![1.0f32; n];
+        let mut x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let stats = launch(
+            &k,
+            8,
+            128,
+            &mut [
+                KernelArg::F32(&mut y),
+                KernelArg::F32(&mut x),
+                KernelArg::Float(2.0),
+                KernelArg::Int(n as i32),
+            ],
+        )
+        .unwrap();
+        assert_eq!(stats.threads, 1024);
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn grid_stride_loop_and_atomic_dot() {
+        let k = kernel(
+            "__global__ void dot(const float* a, const float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                float acc = 0.0;
+                for (int j = i; j < n; j += blockDim.x * gridDim.x) {
+                    acc += a[j] * b[j];
+                }
+                atomicAdd(&out[0], acc);
+            }",
+        );
+        let n = 4096usize;
+        let mut a = vec![1.0f32; n];
+        let mut b = vec![2.0f32; n];
+        let mut out = vec![0.0f32];
+        launch(
+            &k,
+            4,
+            64,
+            &mut [
+                KernelArg::F32(&mut a),
+                KernelArg::F32(&mut b),
+                KernelArg::F32(&mut out),
+                KernelArg::Int(n as i32),
+            ],
+        )
+        .unwrap();
+        assert!((out[0] - 2.0 * n as f32).abs() < 1e-2, "got {}", out[0]);
+    }
+
+    #[test]
+    fn int_buffers_work() {
+        let k = kernel(
+            "__global__ void iota(int* y, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { y[i] = i * 3; }
+            }",
+        );
+        let mut y = vec![0i32; 100];
+        launch(&k, 1, 128, &mut [KernelArg::I32(&mut y), KernelArg::Int(100)]).unwrap();
+        assert_eq!(y[10], 30);
+        assert_eq!(y[99], 297);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let k = kernel("__global__ void f(float* y) { y[threadIdx.x] = 1.0; }");
+        let mut y = vec![0.0f32; 4];
+        let err = launch(&k, 1, 8, &mut [KernelArg::F32(&mut y)]).unwrap_err();
+        assert!(matches!(err, LaunchError::OutOfBounds { len: 4, .. }));
+    }
+
+    #[test]
+    fn negative_index_is_out_of_bounds() {
+        let k = kernel("__global__ void f(float* y) { y[0 - 1] = 1.0; }");
+        let mut y = vec![0.0f32; 4];
+        let err = launch(&k, 1, 1, &mut [KernelArg::F32(&mut y)]).unwrap_err();
+        assert!(matches!(err, LaunchError::OutOfBounds { index: -1, .. }));
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let k = kernel(SAXPY);
+        let mut y = vec![0.0f32; 1];
+        assert!(matches!(
+            launch(&k, 1, 1, &mut [KernelArg::F32(&mut y)]),
+            Err(LaunchError::Arity { expected: 4, got: 1 })
+        ));
+        let mut y = vec![0.0f32; 1];
+        let mut x = vec![0i32; 1];
+        let err = launch(
+            &k,
+            1,
+            1,
+            &mut [
+                KernelArg::F32(&mut y),
+                KernelArg::I32(&mut x),
+                KernelArg::Float(1.0),
+                KernelArg::Int(1),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::ArgType { index: 1, .. }));
+    }
+
+    #[test]
+    fn divide_by_zero_is_reported() {
+        let k = kernel("__global__ void f(int* y, int d) { y[0] = 1 / d; }");
+        let mut y = vec![0i32; 1];
+        let err = launch(
+            &k,
+            1,
+            1,
+            &mut [KernelArg::I32(&mut y), KernelArg::Int(0)],
+        )
+        .unwrap_err();
+        assert_eq!(err, LaunchError::DivideByZero);
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loops() {
+        let k = kernel("__global__ void f(int* y) { while (1) { y[0] = 1; } }");
+        let mut y = vec![0i32; 1];
+        let err =
+            launch_with_budget(&k, 1, 1, &mut [KernelArg::I32(&mut y)], 10_000).unwrap_err();
+        assert_eq!(err, LaunchError::StepBudgetExceeded);
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let k = kernel("__global__ void f(int n) { return; }");
+        assert_eq!(
+            launch(&k, 0, 32, &mut [KernelArg::Int(1)]).unwrap_err(),
+            LaunchError::EmptyLaunch
+        );
+    }
+
+    #[test]
+    fn early_return_skips_rest() {
+        let k = kernel(
+            "__global__ void f(float* y, int n) {
+                int i = threadIdx.x;
+                if (i >= n) { return; }
+                y[i] = 7.0;
+            }",
+        );
+        let mut y = vec![0.0f32; 4];
+        launch(&k, 1, 32, &mut [KernelArg::F32(&mut y), KernelArg::Int(4)]).unwrap();
+        assert_eq!(y, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn two_d_grid_covers_a_matrix() {
+        let k = kernel(
+            "__global__ void fill2d(float* m, int rows, int cols) {
+                int r = blockIdx.y * blockDim.y + threadIdx.y;
+                int c = blockIdx.x * blockDim.x + threadIdx.x;
+                if (r < rows && c < cols) {
+                    m[r * cols + c] = (float)(r * 1000 + c);
+                }
+            }",
+        );
+        let (rows, cols) = (37usize, 53usize);
+        let mut m = vec![-1.0f32; rows * cols];
+        let stats = launch2d(
+            &k,
+            (cols.div_ceil(8) as u32, rows.div_ceil(8) as u32),
+            (8, 8),
+            &mut [
+                KernelArg::F32(&mut m),
+                KernelArg::Int(rows as i32),
+                KernelArg::Int(cols as i32),
+            ],
+        )
+        .unwrap();
+        assert_eq!(stats.threads as usize, cols.div_ceil(8) * rows.div_ceil(8) * 64);
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(m[r * cols + c], (r * 1000 + c) as f32, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_d_launch_sees_unit_y_dims() {
+        let k = kernel(
+            "__global__ void f(int* y) {
+                y[0] = blockDim.y;
+                y[1] = gridDim.y;
+                y[2] = threadIdx.y;
+            }",
+        );
+        let mut y = vec![-1i32; 3];
+        launch(&k, 1, 1, &mut [KernelArg::I32(&mut y)]).unwrap();
+        assert_eq!(y, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn empty_2d_dims_rejected() {
+        let k = kernel("__global__ void f(int n) { return; }");
+        assert_eq!(
+            launch2d(&k, (1, 0), (1, 1), &mut [KernelArg::Int(0)]).unwrap_err(),
+            LaunchError::EmptyLaunch
+        );
+    }
+
+    #[test]
+    fn black_scholes_body_matches_reference() {
+        let k = kernel(
+            "__global__ void bs(const float* s, float* call, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {
+                    float K = 100.0;
+                    float r = 0.05;
+                    float sigma = 0.2;
+                    float t = 1.0;
+                    float d1 = (logf(s[i] / K) + (r + sigma * sigma / 2.0) * t)
+                               / (sigma * sqrtf(t));
+                    float d2 = d1 - sigma * sqrtf(t);
+                    call[i] = s[i] * normcdff(d1) - K * expf(0.0 - r * t) * normcdff(d2);
+                }
+            }",
+        );
+        let mut s = vec![100.0f32, 120.0, 80.0];
+        let mut call = vec![0.0f32; 3];
+        launch(
+            &k,
+            1,
+            32,
+            &mut [
+                KernelArg::F32(&mut s),
+                KernelArg::F32(&mut call),
+                KernelArg::Int(3),
+            ],
+        )
+        .unwrap();
+        // Known Black-Scholes values: S=100,K=100,r=5%,sigma=20%,t=1 -> ~10.45.
+        assert!((call[0] - 10.45).abs() < 0.05, "ATM call {}", call[0]);
+        assert!(call[1] > call[0] && call[2] < call[0]);
+    }
+}

@@ -1,0 +1,569 @@
+//! Recursive-descent parser for the kernel dialect.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::token::{lex, Spanned, Tok};
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses every `__global__` kernel in `src`.
+pub fn parse(src: &str) -> Result<Vec<Kernel>, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+        col: e.col,
+    })?;
+    Parser { toks, pos: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let s = &self.toks[self.pos];
+        Err(ParseError {
+            message: msg.into(),
+            line: s.line,
+            col: s.col,
+        })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Kernel>, ParseError> {
+        let mut kernels = Vec::new();
+        while *self.peek() != Tok::Eof {
+            if self.eat(Tok::Global) {
+                kernels.push(self.kernel()?);
+            } else {
+                return self.err(format!(
+                    "expected `__global__` kernel, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        if kernels.is_empty() {
+            return self.err("source contains no `__global__` kernel");
+        }
+        Ok(kernels)
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        self.expect(Tok::Void)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                params.push(self.param()?);
+                if self.eat(Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        self.expect(Tok::LBrace)?;
+        let body = self.block_tail()?;
+        Ok(Kernel { name, params, body })
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let mut is_const = self.eat(Tok::Const);
+        let elem = match self.bump() {
+            Tok::Int => Elem::Int,
+            Tok::Float => Elem::Float,
+            other => return self.err(format!("expected parameter type, found {other}")),
+        };
+        // `int const * x` / trailing const also accepted.
+        is_const |= self.eat(Tok::Const);
+        let is_ptr = self.eat(Tok::Star);
+        // __restrict__ etc. are lexed as Device; skip.
+        while self.eat(Tok::Device) {}
+        let name = self.ident()?;
+        let ty = if is_ptr {
+            ParamType::Ptr { elem, is_const }
+        } else {
+            ParamType::Scalar(elem)
+        };
+        Ok(Param { name, ty })
+    }
+
+    /// Parses statements until the matching `}` (already past `{`).
+    fn block_tail(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A `{ ... }` block or a single statement.
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat(Tok::LBrace) {
+            self.block_tail()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Int | Tok::Float => {
+                let s = self.decl()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.block_or_stmt()?;
+                let els = if self.eat(Tok::Else) {
+                    self.block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if matches!(self.peek(), Tok::Int | Tok::Float) {
+                    self.decl()?
+                } else {
+                    self.simple_stmt()?
+                };
+                self.expect(Tok::Semi)?;
+                let cond = self.expr()?;
+                self.expect(Tok::Semi)?;
+                let step = self.simple_stmt()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    cond,
+                    step: Box::new(step),
+                    body,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Return => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return)
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn decl(&mut self) -> Result<Stmt, ParseError> {
+        let ty = match self.bump() {
+            Tok::Int => Elem::Int,
+            Tok::Float => Elem::Float,
+            other => return self.err(format!("expected type, found {other}")),
+        };
+        let name = self.ident()?;
+        let init = if self.eat(Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Decl { ty, name, init })
+    }
+
+    /// Assignment, increment, or atomicAdd — the statement forms legal in
+    /// for-init/step position.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            if name == "atomicAdd" {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                self.expect(Tok::Amp)?;
+                let base = self.ident()?;
+                self.expect(Tok::LBracket)?;
+                let index = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                self.expect(Tok::Comma)?;
+                let value = self.expr()?;
+                self.expect(Tok::RParen)?;
+                return Ok(Stmt::AtomicAdd { base, index, value });
+            }
+            // lvalue: name or name[expr]
+            self.bump();
+            let target = if self.eat(Tok::LBracket) {
+                let index = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                LValue::Index {
+                    base: name.clone(),
+                    index: Box::new(index),
+                }
+            } else {
+                LValue::Var(name.clone())
+            };
+            let (op, value) = match self.bump() {
+                Tok::Assign => (AssignOp::Set, self.expr()?),
+                Tok::PlusAssign => (AssignOp::Add, self.expr()?),
+                Tok::MinusAssign => (AssignOp::Sub, self.expr()?),
+                Tok::StarAssign => (AssignOp::Mul, self.expr()?),
+                Tok::SlashAssign => (AssignOp::Div, self.expr()?),
+                Tok::PlusPlus => (AssignOp::Add, Expr::IntLit(1)),
+                Tok::MinusMinus => (AssignOp::Sub, Expr::IntLit(1)),
+                other => return self.err(format!("expected assignment operator, found {other}")),
+            };
+            return Ok(Stmt::Assign { target, op, value });
+        }
+        self.err(format!("expected statement, found {}", self.peek()))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if self.eat(Tok::Question) {
+            let then = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let els = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn bin_op(tok: &Tok) -> Option<(BinOp, u8)> {
+        Some(match tok {
+            Tok::OrOr => (BinOp::Or, 1),
+            Tok::AndAnd => (BinOp::And, 2),
+            Tok::Eq => (BinOp::Eq, 3),
+            Tok::Ne => (BinOp::Ne, 3),
+            Tok::Lt => (BinOp::Lt, 4),
+            Tok::Gt => (BinOp::Gt, 4),
+            Tok::Le => (BinOp::Le, 4),
+            Tok::Ge => (BinOp::Ge, 4),
+            Tok::Plus => (BinOp::Add, 5),
+            Tok::Minus => (BinOp::Sub, 5),
+            Tok::Star => (BinOp::Mul, 6),
+            Tok::Slash => (BinOp::Div, 6),
+            Tok::Percent => (BinOp::Rem, 6),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::IntLit(v)),
+            Tok::FloatLit(v) => Ok(Expr::FloatLit(v)),
+            Tok::LParen => {
+                // Cast `(int)expr` / `(float)expr` or parenthesized expr.
+                match self.peek().clone() {
+                    Tok::Int => {
+                        self.bump();
+                        self.expect(Tok::RParen)?;
+                        Ok(Expr::Cast {
+                            to: Elem::Int,
+                            expr: Box::new(self.unary()?),
+                        })
+                    }
+                    Tok::Float => {
+                        self.bump();
+                        self.expect(Tok::RParen)?;
+                        Ok(Expr::Cast {
+                            to: Elem::Float,
+                            expr: Box::new(self.unary()?),
+                        })
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(e)
+                    }
+                }
+            }
+            Tok::Ident(name) => {
+                // Built-ins: threadIdx.x etc.
+                let builtin = match name.as_str() {
+                    "threadIdx" => Some(BuiltinVar::ThreadIdxX),
+                    "blockIdx" => Some(BuiltinVar::BlockIdxX),
+                    "blockDim" => Some(BuiltinVar::BlockDimX),
+                    "gridDim" => Some(BuiltinVar::GridDimX),
+                    _ => None,
+                };
+                if let Some(b) = builtin {
+                    self.expect(Tok::Dot)?;
+                    let axis = self.ident()?;
+                    let b = match axis.as_str() {
+                        "x" => b,
+                        "y" => match b {
+                            BuiltinVar::ThreadIdxX => BuiltinVar::ThreadIdxY,
+                            BuiltinVar::BlockIdxX => BuiltinVar::BlockIdxY,
+                            BuiltinVar::BlockDimX => BuiltinVar::BlockDimY,
+                            BuiltinVar::GridDimX => BuiltinVar::GridDimY,
+                            // The lookup table above only produces X
+                            // variants.
+                            other => other,
+                        },
+                        _ => {
+                            return self.err("only 1-D and 2-D grids are supported (`.x`/`.y`)")
+                        }
+                    };
+                    return Ok(Expr::Builtin(b));
+                }
+                if self.eat(Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                if self.eat(Tok::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    return Ok(Expr::Index {
+                        base: name,
+                        index: Box::new(index),
+                    });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = r#"
+        __global__ void saxpy(float* y, const float* x, float a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {
+                y[i] = a * x[i] + y[i];
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_saxpy() {
+        let ks = parse(SAXPY).unwrap();
+        assert_eq!(ks.len(), 1);
+        let k = &ks[0];
+        assert_eq!(k.name, "saxpy");
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(
+            k.params[1].ty,
+            ParamType::Ptr {
+                elem: Elem::Float,
+                is_const: true
+            }
+        );
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop_and_atomic() {
+        let src = r#"
+            __global__ void dot(const float* a, const float* b, float* out, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                float acc = 0.0;
+                for (int j = i; j < n; j += blockDim.x * gridDim.x) {
+                    acc += a[j] * b[j];
+                }
+                atomicAdd(&out[0], acc);
+            }
+        "#;
+        let k = &parse(src).unwrap()[0];
+        assert!(matches!(k.body[2], Stmt::For { .. }));
+        assert!(matches!(k.body[3], Stmt::AtomicAdd { .. }));
+    }
+
+    #[test]
+    fn parses_multiple_kernels() {
+        let src = "__global__ void a(int n) { return; } __global__ void b(int n) { return; }";
+        let ks = parse(src).unwrap();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[1].name, "b");
+    }
+
+    #[test]
+    fn parses_ternary_cast_and_calls() {
+        let src = r#"
+            __global__ void f(float* y, int n) {
+                int i = threadIdx.x;
+                float v = (float)i;
+                y[i] = i < n ? expf(v) : sqrtf(v + 1.0);
+            }
+        "#;
+        let k = &parse(src).unwrap()[0];
+        assert_eq!(k.body.len(), 3);
+    }
+
+    #[test]
+    fn accepts_2d_rejects_3d_grids() {
+        assert!(parse("__global__ void f(int n) { int i = threadIdx.y; }").is_ok());
+        let err = parse("__global__ void f(int n) { int i = threadIdx.z; }").unwrap_err();
+        assert!(err.message.contains("2-D"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not a kernel").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("__global__ void f(int n) {").is_err());
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let src = "__global__ void f(float* y) { y[0] = 1.0 + 2.0 * 3.0; }";
+        let k = &parse(src).unwrap()[0];
+        let Stmt::Assign { value, .. } = &k.body[0] else {
+            panic!("expected assign");
+        };
+        // 1 + (2 * 3), not (1 + 2) * 3
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected add at top: {value:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn else_branch_binds() {
+        let src = r#"
+            __global__ void f(float* y, int n) {
+                int i = threadIdx.x;
+                if (i < n) y[i] = 1.0; else y[i] = 2.0;
+            }
+        "#;
+        let k = &parse(src).unwrap()[0];
+        let Stmt::If { els, .. } = &k.body[1] else {
+            panic!("expected if")
+        };
+        assert_eq!(els.len(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Lexer for the restricted CUDA C dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    // Keywords
+    Global,   // __global__
+    Device,   // __device__ (accepted, ignored)
+    Void,
+    Int,
+    Float,
+    Const,
+    If,
+    Else,
+    For,
+    While,
+    Return,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Question,
+    Colon,
+    Amp,
+    // Operators
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::IntLit(v) => write!(f, "integer `{v}`"),
+            Tok::FloatLit(v) => write!(f, "float `{v}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source position (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexical error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, skipping `//` and `/* */` comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut out = Vec::new();
+
+    macro_rules! err {
+        ($($a:tt)*) => {
+            return Err(LexError { message: format!($($a)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+            for k in 0..n {
+                if bytes[*i + k] == b'\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += n;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col, 1),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                advance(&mut i, &mut line, &mut col, 2);
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col, 2);
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '0'..='9' => advance(&mut i, &mut line, &mut col, 1),
+                        '.' if !is_float => {
+                            is_float = true;
+                            advance(&mut i, &mut line, &mut col, 1);
+                        }
+                        'e' | 'E' => {
+                            is_float = true;
+                            advance(&mut i, &mut line, &mut col, 1);
+                            if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                                advance(&mut i, &mut line, &mut col, 1);
+                            }
+                        }
+                        'f' | 'F' => {
+                            is_float = true;
+                            advance(&mut i, &mut line, &mut col, 1);
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i])
+                    .expect("ascii")
+                    .trim_end_matches(['f', 'F']);
+                let tok = if is_float {
+                    match text.parse::<f64>() {
+                        Ok(v) => Tok::FloatLit(v),
+                        Err(_) => err!("bad float literal `{text}`"),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Tok::IntLit(v),
+                        Err(_) => err!("bad integer literal `{text}`"),
+                    }
+                };
+                out.push(Spanned { tok, line: tl, col: tc });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                let tok = match word {
+                    "__global__" => Tok::Global,
+                    "__device__" | "__restrict__" | "extern" | "static" => Tok::Device,
+                    "void" => Tok::Void,
+                    "int" | "long" | "size_t" | "unsigned" => Tok::Int,
+                    "float" | "double" => Tok::Float,
+                    "const" => Tok::Const,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "for" => Tok::For,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line: tl, col: tc });
+            }
+            _ => {
+                // Operators and punctuation, longest match first.
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, n) = match two {
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "+=" => (Tok::PlusAssign, 2),
+                    "-=" => (Tok::MinusAssign, 2),
+                    "*=" => (Tok::StarAssign, 2),
+                    "/=" => (Tok::SlashAssign, 2),
+                    "++" => (Tok::PlusPlus, 2),
+                    "--" => (Tok::MinusMinus, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ',' => (Tok::Comma, 1),
+                        ';' => (Tok::Semi, 1),
+                        '.' => (Tok::Dot, 1),
+                        '?' => (Tok::Question, 1),
+                        ':' => (Tok::Colon, 1),
+                        '&' => (Tok::Amp, 1),
+                        '*' => (Tok::Star, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '=' => (Tok::Assign, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '!' => (Tok::Not, 1),
+                        other => err!("unexpected character `{other}`"),
+                    },
+                };
+                out.push(Spanned { tok, line: tl, col: tc });
+                advance(&mut i, &mut line, &mut col, n);
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_kernel_header() {
+        let t = toks("__global__ void f(float* x, const int n)");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Global,
+                Tok::Void,
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Float,
+                Tok::Star,
+                Tok::Ident("x".into()),
+                Tok::Comma,
+                Tok::Const,
+                Tok::Int,
+                Tok::Ident("n".into()),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 3.0f 42"),
+            vec![
+                Tok::IntLit(1),
+                Tok::FloatLit(2.5),
+                Tok::FloatLit(1000.0),
+                Tok::FloatLit(3.0),
+                Tok::IntLit(42),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = toks("a // line\n /* block\n comment */ b");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("<= == += ++ &&"),
+            vec![
+                Tok::Le,
+                Tok::Eq,
+                Tok::PlusAssign,
+                Tok::PlusPlus,
+                Tok::AndAnd,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_position() {
+        let err = lex("a\n  @").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+}

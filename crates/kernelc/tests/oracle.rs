@@ -1,0 +1,123 @@
+//! Differential testing of the kernel interpreter: random expression trees
+//! are rendered to kernel source, compiled, executed, and compared against
+//! a direct Rust evaluation of the same tree.
+
+use kernelc::{compile_one, KernelArg};
+use proptest::prelude::*;
+
+/// A tiny expression AST we can both render to the CUDA dialect and
+/// evaluate natively.
+#[derive(Debug, Clone)]
+enum E {
+    /// The thread's global index as a float.
+    Gid,
+    /// A float constant (kept small and tame).
+    K(f32),
+    /// x[gid] of the input buffer.
+    In,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    Neg(Box<E>),
+    /// Ternary on a comparison.
+    Sel(Box<E>, Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::Gid),
+        (-4.0f32..4.0).prop_map(E::K),
+        Just(E::In),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
+                E::Sel(Box::new(c), Box::new(a), Box::new(b))
+            }),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Gid => "(float)i".into(),
+        E::K(v) => format!("({v:?})"),
+        E::In => "x[i]".into(),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::Min(a, b) => format!("fminf({}, {})", render(a), render(b)),
+        E::Max(a, b) => format!("fmaxf({}, {})", render(a), render(b)),
+        E::Neg(a) => format!("(-{})", render(a)),
+        E::Sel(c, a, b) => format!("({} > 0.0 ? {} : {})", render(c), render(a), render(b)),
+    }
+}
+
+fn eval(e: &E, gid: f32, x: f32) -> f32 {
+    match e {
+        E::Gid => gid,
+        E::K(v) => *v,
+        E::In => x,
+        E::Add(a, b) => eval(a, gid, x) + eval(b, gid, x),
+        E::Sub(a, b) => eval(a, gid, x) - eval(b, gid, x),
+        E::Mul(a, b) => eval(a, gid, x) * eval(b, gid, x),
+        E::Min(a, b) => eval(a, gid, x).min(eval(b, gid, x)),
+        E::Max(a, b) => eval(a, gid, x).max(eval(b, gid, x)),
+        E::Neg(a) => -eval(a, gid, x),
+        E::Sel(c, a, b) => {
+            if eval(c, gid, x) > 0.0 {
+                eval(a, gid, x)
+            } else {
+                eval(b, gid, x)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interpreter_matches_native_evaluation(e in arb_expr()) {
+        let n = 97usize; // odd on purpose: exercises the bounds guard
+        let src = format!(
+            "__global__ void f(float* y, const float* x, int n) {{
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) {{ y[i] = {}; }}
+            }}",
+            render(&e)
+        );
+        let kernel = compile_one(&src, "f").expect("generated source must compile");
+        let mut y = vec![0.0f32; n];
+        let mut x: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 11.0).collect();
+        let x_copy = x.clone();
+        kernel
+            .launch(
+                4,
+                32,
+                &mut [
+                    KernelArg::F32(&mut y),
+                    KernelArg::F32(&mut x),
+                    KernelArg::Int(n as i32),
+                ],
+            )
+            .expect("launch");
+        for (i, &got) in y.iter().enumerate() {
+            let want = eval(&e, i as f32, x_copy[i]);
+            // Bit-identical modulo NaN: both sides do the same f32 ops.
+            prop_assert!(
+                (got == want) || (got.is_nan() && want.is_nan()),
+                "i={i}: got {got}, want {want}, expr={}",
+                render(&e)
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Robustness: the front end must never panic, whatever the input — it
+//! returns structured errors for garbage and handles adversarial-but-valid
+//! programs.
+
+use kernelc::{compile, compile_one, KernelArg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (printable subset) never panics the compiler.
+    #[test]
+    fn compiler_never_panics_on_garbage(src in "[ -~\\n]{0,200}") {
+        let _ = compile(&src);
+    }
+
+    /// Arbitrary token-shaped soup built from the dialect's own vocabulary
+    /// never panics either (more likely to get deep into the parser).
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("__global__"), Just("void"), Just("float"), Just("int"),
+                Just("const"), Just("if"), Just("else"), Just("for"),
+                Just("while"), Just("return"), Just("("), Just(")"),
+                Just("{"), Just("}"), Just("["), Just("]"), Just(";"),
+                Just(","), Just("*"), Just("+"), Just("-"), Just("="),
+                Just("=="), Just("<"), Just("x"), Just("y"), Just("n"),
+                Just("1"), Just("2.5"), Just("threadIdx"), Just(".x"),
+                Just("atomicAdd"), Just("&"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = compile(&src);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_compile() {
+    // 200 nested parens: recursion depth check.
+    let mut expr = String::from("1.0");
+    for _ in 0..200 {
+        expr = format!("({expr} + 1.0)");
+    }
+    let src = format!(
+        "__global__ void f(float* y) {{ y[0] = {expr}; }}"
+    );
+    let k = compile_one(&src, "f").unwrap();
+    let mut y = vec![0.0f32; 1];
+    k.launch(1, 1, &mut [KernelArg::F32(&mut y)]).unwrap();
+    assert_eq!(y[0], 201.0);
+}
+
+#[test]
+fn zero_length_buffers_are_handled() {
+    let k = compile_one(
+        "__global__ void f(float* y, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { y[i] = 1.0; }
+        }",
+        "f",
+    )
+    .unwrap();
+    let mut y: Vec<f32> = vec![];
+    k.launch(1, 32, &mut [KernelArg::F32(&mut y), KernelArg::Int(0)])
+        .unwrap();
+}
+
+#[test]
+fn huge_grid_small_buffer_is_guarded() {
+    let k = compile_one(
+        "__global__ void f(float* y, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { y[i] = 1.0; }
+        }",
+        "f",
+    )
+    .unwrap();
+    let mut y = vec![0.0f32; 8];
+    // 65536 threads, 8 valid; the guard keeps everyone in bounds.
+    k.launch(256, 256, &mut [KernelArg::F32(&mut y), KernelArg::Int(8)])
+        .unwrap();
+    assert!(y.iter().all(|&v| v == 1.0));
+}
+
+#[test]
+fn int_overflow_wraps_like_c() {
+    let k = compile_one(
+        "__global__ void f(int* y) { y[0] = 2147483647 + 1; }",
+        "f",
+    )
+    .unwrap();
+    let mut y = vec![0i32; 1];
+    k.launch(1, 1, &mut [KernelArg::I32(&mut y)]).unwrap();
+    assert_eq!(y[0], i32::MIN);
+}

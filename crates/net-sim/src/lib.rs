@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # net-sim — cluster interconnect model for the GrOUT reproduction
+//!
+//! Models the OCI-style cluster network the paper evaluates on: a controller
+//! with a faster NIC, workers with slower ones, whole-message transfers that
+//! serialize per NIC and run at the path rate, and the startup bandwidth
+//! probe that feeds GrOUT's `min-transfer-time` scheduling policy.
+//!
+//! ```
+//! use desim::{SimDuration, SimTime};
+//! use net_sim::{EndpointId, Network, Topology};
+//!
+//! let topo = Topology::paper_oci(2, SimDuration::from_micros(50));
+//! let mut net = Network::new(topo);
+//! let rec = net.transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), 1 << 20);
+//! assert!(rec.timeline.finish > SimTime::ZERO);
+//! ```
+
+mod network;
+mod topology;
+
+pub use network::{EndpointStats, Network, TransferId, TransferRecord};
+pub use topology::{EndpointId, LinkSpec, NicSpec, Topology};

@@ -1,0 +1,184 @@
+//! Cluster topology: endpoints, NICs, and per-pair link capabilities.
+//!
+//! The paper's evaluation runs on OCI: one controller with an 8000 Mbit/s
+//! NIC and workers with 4000 Mbit/s NICs, plus (in general) heterogeneous
+//! interconnects or VNICs with different SLAs — which is exactly why the
+//! `min-transfer-time` policy measures an interconnection matrix instead of
+//! assuming symmetry.
+
+use desim::SimDuration;
+
+/// Identifies an endpoint (controller or worker node) in the cluster network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(pub usize);
+
+/// Capabilities of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation + protocol latency per message.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// A link described in Mbit/s (the unit the paper reports NICs in).
+    pub fn from_mbit(mbit_per_s: f64, latency: SimDuration) -> Self {
+        LinkSpec {
+            bandwidth_bps: mbit_per_s * 1e6 / 8.0,
+            latency,
+        }
+    }
+}
+
+/// Per-endpoint NIC capability; the achievable rate of a flow is limited by
+/// the sender's egress, the receiver's ingress, and the path's link spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicSpec {
+    /// Egress bandwidth, bytes per second.
+    pub egress_bps: f64,
+    /// Ingress bandwidth, bytes per second.
+    pub ingress_bps: f64,
+}
+
+impl NicSpec {
+    /// A symmetric NIC described in Mbit/s.
+    pub fn from_mbit(mbit_per_s: f64) -> Self {
+        let bps = mbit_per_s * 1e6 / 8.0;
+        NicSpec {
+            egress_bps: bps,
+            ingress_bps: bps,
+        }
+    }
+}
+
+/// Static description of the cluster interconnect.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nics: Vec<NicSpec>,
+    /// Row-major `n x n` directed link table; `links[src * n + dst]`.
+    links: Vec<LinkSpec>,
+}
+
+impl Topology {
+    /// A fully-connected topology where every directed pair shares `link`
+    /// and every endpoint has `nic`.
+    pub fn uniform(n: usize, nic: NicSpec, link: LinkSpec) -> Self {
+        assert!(n > 0, "topology needs at least one endpoint");
+        Topology {
+            nics: vec![nic; n],
+            links: vec![link; n * n],
+        }
+    }
+
+    /// The paper's OCI setup: endpoint 0 is the controller (8000 Mbit/s NIC),
+    /// endpoints `1..=workers` are workers (4000 Mbit/s NICs); links add the
+    /// given latency.
+    pub fn paper_oci(workers: usize, latency: SimDuration) -> Self {
+        let n = workers + 1;
+        let mut topo = Topology::uniform(
+            n,
+            NicSpec::from_mbit(4000.0),
+            LinkSpec::from_mbit(100_000.0, latency),
+        );
+        topo.nics[0] = NicSpec::from_mbit(8000.0);
+        topo
+    }
+
+    /// Number of endpoints.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// True when the topology has no endpoints (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nics.is_empty()
+    }
+
+    /// NIC spec of an endpoint.
+    #[inline]
+    pub fn nic(&self, e: EndpointId) -> NicSpec {
+        self.nics[e.0]
+    }
+
+    /// Directed link spec for a pair.
+    #[inline]
+    pub fn link(&self, src: EndpointId, dst: EndpointId) -> LinkSpec {
+        self.links[src.0 * self.len() + dst.0]
+    }
+
+    /// Overrides one directed link (e.g. a degraded VNIC).
+    pub fn set_link(&mut self, src: EndpointId, dst: EndpointId, link: LinkSpec) {
+        let n = self.len();
+        self.links[src.0 * n + dst.0] = link;
+    }
+
+    /// Overrides an endpoint's NIC.
+    pub fn set_nic(&mut self, e: EndpointId, nic: NicSpec) {
+        self.nics[e.0] = nic;
+    }
+
+    /// The achievable steady-state rate of a single flow `src -> dst`:
+    /// the minimum of sender egress, receiver ingress and the link itself.
+    pub fn path_rate_bps(&self, src: EndpointId, dst: EndpointId) -> f64 {
+        let link = self.link(src, dst);
+        self.nic(src)
+            .egress_bps
+            .min(self.nic(dst).ingress_bps)
+            .min(link.bandwidth_bps)
+    }
+
+    /// One-way latency of the path.
+    pub fn path_latency(&self, src: EndpointId, dst: EndpointId) -> SimDuration {
+        self.link(src, dst).latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbit_conversion() {
+        let nic = NicSpec::from_mbit(4000.0);
+        assert!((nic.egress_bps - 500e6).abs() < 1.0);
+        let link = LinkSpec::from_mbit(8000.0, SimDuration::from_micros(50));
+        assert!((link.bandwidth_bps - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_topology_shapes() {
+        let t = Topology::paper_oci(2, SimDuration::from_micros(50));
+        assert_eq!(t.len(), 3);
+        // Controller NIC is twice the workers'.
+        assert!(t.nic(EndpointId(0)).egress_bps > t.nic(EndpointId(1)).egress_bps);
+        // Worker-to-worker flow is limited by the 4000 Mbit/s NICs.
+        let rate = t.path_rate_bps(EndpointId(1), EndpointId(2));
+        assert!((rate - 500e6).abs() < 1.0);
+        // Controller egress to a worker is limited by the worker's ingress.
+        let rate = t.path_rate_bps(EndpointId(0), EndpointId(1));
+        assert!((rate - 500e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_override_is_directed() {
+        let mut t = Topology::uniform(
+            2,
+            NicSpec::from_mbit(1000.0),
+            LinkSpec::from_mbit(1000.0, SimDuration::ZERO),
+        );
+        t.set_link(
+            EndpointId(0),
+            EndpointId(1),
+            LinkSpec::from_mbit(10.0, SimDuration::from_millis(5)),
+        );
+        assert!(t.path_rate_bps(EndpointId(0), EndpointId(1)) < 2e6);
+        assert!(t.path_rate_bps(EndpointId(1), EndpointId(0)) > 1e8);
+        assert_eq!(
+            t.path_latency(EndpointId(0), EndpointId(1)),
+            SimDuration::from_millis(5)
+        );
+    }
+}

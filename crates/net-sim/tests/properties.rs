@@ -1,0 +1,88 @@
+//! Property-based invariants of the network model.
+
+use desim::{SimDuration, SimTime};
+use net_sim::{EndpointId, LinkSpec, Network, NicSpec, Topology};
+use proptest::prelude::*;
+
+fn arb_net(n: usize) -> Network {
+    Network::new(Topology::uniform(
+        n,
+        NicSpec::from_mbit(4000.0),
+        LinkSpec::from_mbit(40_000.0, SimDuration::from_micros(50)),
+    ))
+}
+
+proptest! {
+    /// No transfer finishes before it starts, starts before submission, or
+    /// overlaps another transfer sharing its egress NIC.
+    #[test]
+    fn nic_occupancy_is_serial(
+        xfers in proptest::collection::vec((0usize..4, 0usize..4, 1u64..10_000_000), 1..60)
+    ) {
+        let mut net = arb_net(4);
+        let mut last_finish_per_egress = [SimTime::ZERO; 4];
+        let mut last_finish_per_ingress = [SimTime::ZERO; 4];
+        for (s, d, bytes) in xfers {
+            let rec = net.transfer(SimTime::ZERO, EndpointId(s), EndpointId(d), bytes);
+            prop_assert!(rec.timeline.finish >= rec.timeline.start);
+            if s != d {
+                prop_assert!(rec.timeline.start >= last_finish_per_egress[s]);
+                prop_assert!(rec.timeline.start >= last_finish_per_ingress[d]);
+                last_finish_per_egress[s] = rec.timeline.finish;
+                last_finish_per_ingress[d] = rec.timeline.finish;
+            }
+        }
+    }
+
+    /// Conservation: bytes out across all endpoints equals bytes in equals
+    /// the network total.
+    #[test]
+    fn byte_conservation(
+        xfers in proptest::collection::vec((0usize..3, 0usize..3, 1u64..1_000_000), 0..60)
+    ) {
+        let mut net = arb_net(3);
+        for (s, d, bytes) in xfers {
+            net.transfer(SimTime::ZERO, EndpointId(s), EndpointId(d), bytes);
+        }
+        let total_out: u64 = (0..3).map(|i| net.stats(EndpointId(i)).bytes_out).sum();
+        let total_in: u64 = (0..3).map(|i| net.stats(EndpointId(i)).bytes_in).sum();
+        prop_assert_eq!(total_out, total_in);
+        prop_assert_eq!(total_out, net.total_bytes());
+    }
+
+    /// Bigger messages never finish earlier on an idle network.
+    #[test]
+    fn monotone_in_size(a in 1u64..100_000_000, b in 1u64..100_000_000) {
+        let (small, big) = if a <= b { (a, b) } else { (b, a) };
+        let net_small = {
+            let mut n = arb_net(2);
+            n.transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), small)
+        };
+        let net_big = {
+            let mut n = arb_net(2);
+            n.transfer(SimTime::ZERO, EndpointId(0), EndpointId(1), big)
+        };
+        prop_assert!(net_small.timeline.finish <= net_big.timeline.finish);
+    }
+
+    /// The probe matrix never reports more than the configured path rate.
+    #[test]
+    fn probe_respects_capacity(mbit in 10.0f64..100_000.0) {
+        let topo = Topology::uniform(
+            3,
+            NicSpec::from_mbit(mbit),
+            LinkSpec::from_mbit(mbit * 4.0, SimDuration::from_micros(50)),
+        );
+        let net = Network::new(topo);
+        let m = net.probe_matrix(16 << 20);
+        let cap = mbit * 1e6 / 8.0;
+        for (i, row) in m.iter().enumerate() {
+            for (j, &bw) in row.iter().enumerate() {
+                if i != j {
+                    prop_assert!(bw <= cap * 1.0001);
+                    prop_assert!(bw > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! UVM model constants.
+//!
+//! Everything here is a *mechanism parameter* (page sizes, fault service
+//! latencies, regime knees), not a per-workload fudge factor; workloads only
+//! declare sizes and access patterns. Values are calibrated to the published
+//! UVM characterization literature the paper builds on (Zheng et al. HPCA'16,
+//! Shao et al. ICPE'22, Allen & Ge IPDPS'21) and recorded in EXPERIMENTS.md.
+
+use desim::SimDuration;
+
+/// Which migration prefetcher the modeled driver runs.
+///
+/// NVIDIA's driver grows migrations from the 64 KiB fault granule up to
+/// 2 MiB blocks with a density-driven *tree* prefetcher; simpler sequential
+/// next-block prefetching and no prefetching at all are the classic
+/// ablation points in the UVM literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prefetcher {
+    /// Demand paging only: every 64 KiB block is its own fault.
+    None,
+    /// Next-block sequential prefetch (512 KiB effective granule).
+    Sequential,
+    /// The driver's density-based tree prefetcher (2 MiB granule).
+    #[default]
+    Tree,
+}
+
+/// Tunable constants of the UVM fault/migration model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UvmConfig {
+    /// Base migration granularity (NVIDIA UVM moves 64 KiB blocks).
+    pub page_bytes: u64,
+    /// Prefetcher granule: with good locality the tree prefetcher grows
+    /// migrations up to 2 MiB.
+    pub prefetch_granule_bytes: u64,
+    /// GPU-side service latency of one replayable fault batch.
+    pub fault_batch_latency: SimDuration,
+    /// Multiplier on PCIe time for prefetched streaming migration
+    /// (write-protect + TLB shootdown overheads).
+    pub prefetch_overhead: f64,
+    /// Fraction of device memory usable by UVM data (context, reserves).
+    pub usable_fraction: f64,
+    /// Working-set pressure (working set / capacity) beyond which a
+    /// *streamed* access pattern degrades from streaming eviction to fault
+    /// storms. Calibrated so the paper's CG/MV cliff sits at the 3x point.
+    pub stream_storm_knee: f64,
+    /// Same knee for low-locality (gather / FALL) patterns; they storm as
+    /// soon as the working set no longer fits. Calibrated so the MLE cliff
+    /// sits at the 2x point.
+    pub gather_storm_knee: f64,
+    /// Ping-pong growth per unit of pressure past the knee for streamed
+    /// patterns (evicting pages still needed by in-flight blocks).
+    pub stream_pingpong_alpha: f64,
+    /// Ping-pong growth for gather patterns (FALL pages are refaulted by
+    /// many SMs).
+    pub gather_pingpong_alpha: f64,
+    /// Ping-pong growth for massively-parallel strided patterns (dense MV):
+    /// every SM faults concurrently on distant pages, so the collapse past
+    /// the knee is far steeper than for either stream or gather.
+    pub strided_pingpong_alpha: f64,
+    /// Saturation of the stream ping-pong multiplier (fault-buffer
+    /// backpressure bounds the amplification).
+    pub stream_pingpong_max: f64,
+    /// Saturation of the gather ping-pong multiplier.
+    pub gather_pingpong_max: f64,
+    /// Saturation of the strided ping-pong multiplier.
+    pub strided_pingpong_max: f64,
+    /// Cost of evicting one page, as a fraction of its migration time
+    /// (writeback partially overlaps on the duplex PCIe link).
+    pub evict_cost_fraction: f64,
+    /// Which resident pages the driver evicts first under pressure.
+    pub eviction: crate::EvictionPolicy,
+    /// How many recent kernel launches define the device's *active set*.
+    /// Allocations touched within this window keep contending for
+    /// residency, so pressure is `max(launch working set, active set) /
+    /// capacity` — chunked workloads cycling more data than the device
+    /// holds thrash even though each individual launch fits.
+    pub active_window: u64,
+}
+
+impl Default for UvmConfig {
+    fn default() -> Self {
+        UvmConfig {
+            page_bytes: 64 << 10,
+            prefetch_granule_bytes: 2 << 20,
+            fault_batch_latency: SimDuration::from_micros(30),
+            prefetch_overhead: 1.15,
+            usable_fraction: 0.95,
+            stream_storm_knee: 2.8,
+            gather_storm_knee: 1.15,
+            stream_pingpong_alpha: 14.0,
+            gather_pingpong_alpha: 4.3,
+            strided_pingpong_alpha: 32.0,
+            stream_pingpong_max: 8.0,
+            gather_pingpong_max: 6.0,
+            strided_pingpong_max: 40.0,
+            evict_cost_fraction: 0.4,
+            eviction: crate::EvictionPolicy::default(),
+            active_window: 8,
+        }
+    }
+}
+
+impl UvmConfig {
+    /// Applies a prefetcher preset (granule size + migration overhead).
+    pub fn with_prefetcher(mut self, p: Prefetcher) -> Self {
+        match p {
+            Prefetcher::None => {
+                self.prefetch_granule_bytes = self.page_bytes;
+                self.prefetch_overhead = 1.0;
+            }
+            Prefetcher::Sequential => {
+                self.prefetch_granule_bytes = 512 << 10;
+                self.prefetch_overhead = 1.1;
+            }
+            Prefetcher::Tree => {
+                self.prefetch_granule_bytes = 2 << 20;
+                self.prefetch_overhead = 1.15;
+            }
+        }
+        self
+    }
+
+    /// Pages needed to hold `bytes` (rounded up).
+    pub fn pages(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_bytes)
+    }
+
+    /// Usable UVM capacity (in pages) of a device with `memory_bytes`.
+    pub fn capacity_pages(&self, memory_bytes: u64) -> u64 {
+        ((memory_bytes as f64 * self.usable_fraction) as u64) / self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_rounding() {
+        let c = UvmConfig::default();
+        assert_eq!(c.pages(0), 0);
+        assert_eq!(c.pages(1), 1);
+        assert_eq!(c.pages(64 << 10), 1);
+        assert_eq!(c.pages((64 << 10) + 1), 2);
+    }
+
+    #[test]
+    fn prefetcher_presets_order_sensibly() {
+        let base = UvmConfig::default();
+        let none = base.clone().with_prefetcher(Prefetcher::None);
+        let seq = base.clone().with_prefetcher(Prefetcher::Sequential);
+        let tree = base.clone().with_prefetcher(Prefetcher::Tree);
+        assert!(none.prefetch_granule_bytes < seq.prefetch_granule_bytes);
+        assert!(seq.prefetch_granule_bytes < tree.prefetch_granule_bytes);
+        assert_eq!(none.prefetch_granule_bytes, base.page_bytes);
+    }
+
+    #[test]
+    fn capacity_leaves_headroom() {
+        let c = UvmConfig::default();
+        let cap = c.capacity_pages(16 << 30);
+        let raw = (16u64 << 30) / c.page_bytes;
+        assert!(cap < raw);
+        assert!(cap > raw * 9 / 10);
+    }
+}

@@ -1,0 +1,626 @@
+//! The UVM fault/migration cost engine.
+//!
+//! This is the mechanism behind every figure in the paper: given a kernel's
+//! argument set (sizes, locality, read/write, hints) and the device's current
+//! page residency, compute how long the kernel stalls on fault handling,
+//! migration and eviction, and update residency.
+//!
+//! Three regimes emerge from working-set pressure `rho = working set /
+//! capacity`, mirroring the published UVM characterizations:
+//!
+//! 1. **fit** (`rho <= 1`): only cold faults; the tree prefetcher migrates at
+//!    2 MiB granules near PCIe speed. Cost is linear in non-resident bytes.
+//! 2. **streaming eviction** (`1 < rho <= knee`): each pass over the data
+//!    refaults the overflow; eviction runs behind the sweep front, so
+//!    migration stays prefetch-friendly. Cost grows with overflow x sweeps.
+//! 3. **fault storm** (`rho > knee`): eviction races in-flight thread
+//!    blocks; the prefetcher collapses to 64 KiB serviced fault batches, and
+//!    every sweep refaults nearly everything with a ping-pong multiplier.
+//!    This is the paper's 70-342x cliff. Low-locality (FALL) arguments reach
+//!    this regime as soon as they stop fitting (`gather_storm_knee ~ 1`).
+
+use std::collections::HashMap;
+
+use desim::SimDuration;
+
+use crate::config::UvmConfig;
+use crate::pattern::{AccessPattern, ArgAccess, MemAdvise};
+use crate::residency::Residency;
+use crate::AllocId;
+
+/// Which regime a kernel access landed in (the worst across its arguments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Regime {
+    /// Everything already resident.
+    Resident,
+    /// Cold faults only; working set fits.
+    ColdFit,
+    /// Overflow refaults at streaming rate.
+    StreamingEviction,
+    /// Thrashing with per-page fault service.
+    FaultStorm,
+}
+
+/// Cost breakdown of one kernel's UVM activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UvmReport {
+    /// Total stall added to the kernel's execution time.
+    pub stall: SimDuration,
+    /// Bytes migrated host-to-device (cold + refaults).
+    pub migrated_bytes: u64,
+    /// Bytes written back on dirty evictions.
+    pub writeback_bytes: u64,
+    /// Fault batches serviced.
+    pub fault_batches: u64,
+    /// Worst regime observed across arguments.
+    pub regime: Regime,
+    /// Working-set pressure (working set / usable capacity).
+    pub pressure: f64,
+}
+
+/// Lifetime counters for one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UvmStats {
+    /// Kernel accesses processed.
+    pub kernels: u64,
+    /// Total migrated bytes.
+    pub migrated_bytes: u64,
+    /// Total writeback bytes.
+    pub writeback_bytes: u64,
+    /// Total fault batches.
+    pub fault_batches: u64,
+    /// Total stall time.
+    pub stall: SimDuration,
+    /// Kernels that hit the fault-storm regime.
+    pub storm_kernels: u64,
+}
+
+/// UVM state of one device.
+#[derive(Debug, Clone)]
+pub struct UvmDevice {
+    cfg: UvmConfig,
+    residency: Residency,
+    pcie_bps: f64,
+    stats: UvmStats,
+    /// Monotone launch counter for the active-set window.
+    launches: u64,
+    /// Per-allocation (last launch touched, pages) for pressure tracking.
+    active: HashMap<AllocId, (u64, u64)>,
+}
+
+impl UvmDevice {
+    /// A device with `memory_bytes` of HBM behind a `pcie_bps` link.
+    pub fn new(cfg: UvmConfig, memory_bytes: u64, pcie_bps: f64) -> Self {
+        let capacity = cfg.capacity_pages(memory_bytes);
+        UvmDevice {
+            residency: Residency::with_policy(capacity, cfg.eviction),
+            pcie_bps,
+            stats: UvmStats::default(),
+            launches: 0,
+            active: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The model configuration.
+    #[inline]
+    pub fn config(&self) -> &UvmConfig {
+        &self.cfg
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.residency.capacity_pages() * self.cfg.page_bytes
+    }
+
+    /// Lifetime counters.
+    #[inline]
+    pub fn stats(&self) -> UvmStats {
+        self.stats
+    }
+
+    /// Resident bytes of an allocation.
+    pub fn resident_bytes(&self, alloc: AllocId) -> u64 {
+        self.residency.resident_pages(alloc) * self.cfg.page_bytes
+    }
+
+    /// Drops residency of `alloc` (freed, or its authoritative copy moved).
+    pub fn invalidate(&mut self, alloc: AllocId) {
+        self.residency.invalidate(alloc);
+        self.active.remove(&alloc);
+    }
+
+    /// Bytes of allocations touched within the active window (the set still
+    /// contending for residency).
+    pub fn active_bytes(&self) -> u64 {
+        let horizon = self.launches.saturating_sub(self.cfg.active_window);
+        self.active
+            .values()
+            .filter(|(last, _)| *last >= horizon)
+            .map(|(_, pages)| pages * self.cfg.page_bytes)
+            .sum()
+    }
+
+    /// [`UvmDevice::active_bytes`] excluding the given allocations — the
+    /// *competing* pressure a kernel over those allocations would face here.
+    /// (A kernel's own data never competes with itself, so placement
+    /// decisions must not count it.)
+    pub fn active_bytes_excluding(&self, allocs: &[AllocId]) -> u64 {
+        let horizon = self.launches.saturating_sub(self.cfg.active_window);
+        self.active
+            .iter()
+            .filter(|(id, (last, _))| *last >= horizon && !allocs.contains(id))
+            .map(|(_, (_, pages))| pages * self.cfg.page_bytes)
+            .sum()
+    }
+
+    /// Time to migrate `pages` with the prefetcher effective (2 MiB granules
+    /// at near-PCIe speed).
+    fn prefetched_cost(&self, pages: u64) -> (SimDuration, u64) {
+        if pages == 0 {
+            return (SimDuration::ZERO, 0);
+        }
+        let bytes = pages * self.cfg.page_bytes;
+        let granules = (bytes).div_ceil(self.cfg.prefetch_granule_bytes);
+        let xfer = SimDuration::from_secs_f64(
+            bytes as f64 / self.pcie_bps * self.cfg.prefetch_overhead,
+        );
+        (xfer + self.cfg.fault_batch_latency * granules, granules)
+    }
+
+    /// Time to migrate `pages` under fault storms (per-page 64 KiB batches).
+    fn storm_cost(&self, pages: u64) -> (SimDuration, u64) {
+        if pages == 0 {
+            return (SimDuration::ZERO, 0);
+        }
+        let per_page = self.cfg.fault_batch_latency
+            + SimDuration::for_bytes(self.cfg.page_bytes, self.pcie_bps);
+        (per_page * pages, pages)
+    }
+
+    /// Dirty-eviction writeback cost (partially overlapped on duplex PCIe).
+    fn writeback_cost(&self, pages: u64) -> SimDuration {
+        SimDuration::from_secs_f64(
+            (pages * self.cfg.page_bytes) as f64 / self.pcie_bps * self.cfg.evict_cost_fraction,
+        )
+    }
+
+    /// `cudaMemPrefetchAsync` stand-in: migrates (up to capacity) the first
+    /// `bytes` of `alloc` at the prefetched streaming rate *ahead* of any
+    /// kernel, returning the transfer time. A subsequent kernel finds the
+    /// pages resident and pays no cold faults — the paper's "hand-tuning"
+    /// alternative to scaling out. Under oversubscription the prefetched
+    /// pages still evict other data (accounted via residency), which is
+    /// precisely why the paper calls hints workload-dependent.
+    pub fn prefetch(&mut self, alloc: AllocId, bytes: u64) -> SimDuration {
+        let pages = self.cfg.pages(bytes);
+        let before = self.residency.resident_pages(alloc);
+        let out = self.residency.ensure_resident(alloc, pages, false);
+        let _ = before;
+        let (cost, _) = self.prefetched_cost(out.installed);
+        cost + self.writeback_cost(out.evicted_dirty)
+    }
+
+    /// Processes one kernel launch's memory behaviour and returns the stall.
+    ///
+    /// Arguments referring to the same allocation should be pre-merged by
+    /// the caller (the GrOUT runtime does); duplicates are tolerated but
+    /// counted twice, matching a kernel that genuinely traverses the array
+    /// through two formal parameters.
+    pub fn kernel_access(&mut self, args: &[ArgAccess]) -> UvmReport {
+        let cap = self.residency.capacity_pages().max(1);
+
+        // Working set: zero-copy (PreferredHost) args never occupy device
+        // memory, so they do not contribute pressure.
+        let working_pages: u64 = args
+            .iter()
+            .filter(|a| a.advise != MemAdvise::PreferredHost)
+            .map(|a| self.cfg.pages(a.bytes))
+            .sum();
+
+        // Active-set pressure: allocations recently cycled through this
+        // device still contend for residency even if this launch fits, so a
+        // chunked workload whose chunks jointly exceed capacity thrashes.
+        // Repeated touches of one big allocation accumulate (different
+        // chunks of a monolithic array), bounded by the allocation size.
+        self.launches += 1;
+        let horizon_prev = self.launches.saturating_sub(self.cfg.active_window);
+        for a in args {
+            if a.advise != MemAdvise::PreferredHost {
+                let touched = self.cfg.pages(a.bytes);
+                let bound = self.cfg.pages(a.alloc_total());
+                let entry = self.active.entry(a.alloc).or_insert((0, 0));
+                if entry.0 >= horizon_prev {
+                    entry.1 = (entry.1 + touched).min(bound);
+                } else {
+                    entry.1 = touched;
+                }
+                entry.0 = self.launches;
+            }
+        }
+        let horizon = self.launches.saturating_sub(self.cfg.active_window);
+        self.active.retain(|_, (last, _)| *last >= horizon);
+        let active_pages: u64 = self.active.values().map(|(_, p)| *p).sum();
+
+        let rho = working_pages.max(active_pages) as f64 / cap as f64;
+
+        let mut stall = SimDuration::ZERO;
+        let mut migrated_pages: u64 = 0;
+        let mut writeback_pages: u64 = 0;
+        let mut batches: u64 = 0;
+        let mut regime = Regime::Resident;
+
+        for arg in args {
+            let pages = self.cfg.pages(arg.bytes);
+            if pages == 0 {
+                continue;
+            }
+
+            // Zero-copy hint: no migration, access over PCIe each sweep.
+            if arg.advise == MemAdvise::PreferredHost {
+                let sweeps = arg.pattern.sweeps();
+                let penalty = match arg.pattern {
+                    AccessPattern::Streamed { .. } | AccessPattern::Strided { .. } => 1.0,
+                    // Small remote accesses waste most of each PCIe burst.
+                    AccessPattern::Gather { .. } => 4.0,
+                };
+                stall += SimDuration::from_secs_f64(
+                    (pages * self.cfg.page_bytes) as f64 * sweeps * penalty / self.pcie_bps,
+                );
+                regime = regime.max(Regime::ColdFit);
+                continue;
+            }
+
+            let resident = self.residency.resident_pages(arg.alloc);
+            let cold = pages.saturating_sub(resident);
+            let sweeps = arg.pattern.sweeps();
+
+            // ReadMostly duplication removes eviction ping-pong: the arg
+            // behaves as a fitted stream regardless of pressure.
+            let knee = if arg.advise == MemAdvise::ReadMostly {
+                f64::INFINITY
+            } else {
+                match arg.pattern {
+                    AccessPattern::Streamed { .. } | AccessPattern::Strided { .. } => {
+                        self.cfg.stream_storm_knee
+                    }
+                    AccessPattern::Gather { .. } => self.cfg.gather_storm_knee,
+                }
+            };
+
+            if rho <= 1.0 {
+                // Regime: fit. Cold faults only.
+                let (c, b) = self.prefetched_cost(cold);
+                stall += c;
+                batches += b;
+                migrated_pages += cold;
+                if cold > 0 {
+                    regime = regime.max(Regime::ColdFit);
+                }
+            } else if rho <= knee {
+                // Regime: streaming eviction. Intra-launch overflow refaults
+                // come from this launch's own working set exceeding capacity
+                // (inter-launch churn is already visible as cold faults via
+                // residency).
+                let share = pages as f64 / working_pages.max(1) as f64;
+                let overflow = working_pages.saturating_sub(cap) as f64 * share;
+                let refaults = (overflow * sweeps) as u64;
+                let (c, b) = self.prefetched_cost(cold + refaults);
+                stall += c;
+                batches += b;
+                migrated_pages += cold + refaults;
+                // Refaulted pages evict an equal volume; dirty share only
+                // for written allocations.
+                if arg.mode.writes() {
+                    writeback_pages += refaults;
+                    stall += self.writeback_cost(refaults);
+                }
+                regime = regime.max(Regime::StreamingEviction);
+            } else {
+                // Regime: fault storm.
+                let miss = (1.0 - 1.0 / rho).clamp(0.05, 1.0);
+                let (faulted, pingpong) = match arg.pattern {
+                    AccessPattern::Streamed { .. } => {
+                        // Circular LRU under pressure: every sweep misses
+                        // nearly everything.
+                        let f = (pages as f64 * sweeps * miss) as u64 + cold;
+                        let p = (1.0 + self.cfg.stream_pingpong_alpha * (rho - knee))
+                            .min(self.cfg.stream_pingpong_max);
+                        (f, p)
+                    }
+                    AccessPattern::Gather { touches_per_page } => {
+                        // Small, hot gather arrays (a solver's direction
+                        // vector) are protected by LRU recency and barely
+                        // refault; only the evicted (cold) fraction is
+                        // exposed to the storm.
+                        let exposure = (cold as f64 / pages as f64).clamp(0.05, 1.0);
+                        let f = (pages as f64 * touches_per_page * miss * exposure) as u64 + cold;
+                        let p = (1.0 + self.cfg.gather_pingpong_alpha * (rho - knee))
+                            .min(self.cfg.gather_pingpong_max);
+                        (f, p)
+                    }
+                    AccessPattern::Strided { touches_per_page } => {
+                        let f = (pages as f64 * touches_per_page * miss) as u64 + cold;
+                        let p = (1.0 + self.cfg.strided_pingpong_alpha * (rho - knee))
+                            .min(self.cfg.strided_pingpong_max);
+                        (f, p)
+                    }
+                };
+                let (c, b) = self.storm_cost(faulted);
+                stall += c * pingpong;
+                batches += b;
+                migrated_pages += faulted;
+                if arg.mode.writes() {
+                    writeback_pages += faulted;
+                    stall += self.writeback_cost(faulted);
+                }
+                regime = Regime::FaultStorm;
+            }
+
+            // Post-kernel residency: proportional share of capacity when
+            // oversubscribed, full residency otherwise.
+            let keep = if working_pages <= cap {
+                pages
+            } else {
+                ((pages as f64 / working_pages as f64) * cap as f64) as u64
+            };
+            let out = self
+                .residency
+                .ensure_resident(arg.alloc, keep, arg.mode.writes());
+            // Cross-allocation dirty evictions pay writeback too.
+            if out.evicted_dirty > 0 {
+                writeback_pages += out.evicted_dirty;
+                stall += self.writeback_cost(out.evicted_dirty);
+            }
+        }
+
+        let report = UvmReport {
+            stall,
+            migrated_bytes: migrated_pages * self.cfg.page_bytes,
+            writeback_bytes: writeback_pages * self.cfg.page_bytes,
+            fault_batches: batches,
+            regime,
+            pressure: rho,
+        };
+        self.stats.kernels += 1;
+        self.stats.migrated_bytes += report.migrated_bytes;
+        self.stats.writeback_bytes += report.writeback_bytes;
+        self.stats.fault_batches += report.fault_batches;
+        self.stats.stall += report.stall;
+        if report.regime == Regime::FaultStorm {
+            self.stats.storm_kernels += 1;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AccessMode;
+
+    const GIB: u64 = 1 << 30;
+
+    fn dev(mem_gib: u64) -> UvmDevice {
+        UvmDevice::new(UvmConfig::default(), mem_gib * GIB, 12e9)
+    }
+
+    fn stream_arg(id: u64, bytes: u64, sweeps: f64) -> ArgAccess {
+        ArgAccess {
+            alloc: AllocId(id),
+            bytes,
+            alloc_bytes: bytes,
+            pattern: AccessPattern::Streamed { sweeps },
+            mode: AccessMode::Read,
+            advise: MemAdvise::None,
+        }
+    }
+
+    #[test]
+    fn fitting_kernel_pays_cold_faults_once() {
+        let mut d = dev(16);
+        let arg = stream_arg(1, 8 * GIB, 1.0);
+        let first = d.kernel_access(&[arg]);
+        assert_eq!(first.regime, Regime::ColdFit);
+        // ~8 GiB at ~10.4 GB/s effective: between 0.6 and 1.2 s.
+        let s = first.stall.as_secs_f64();
+        assert!((0.6..1.2).contains(&s), "cold stall {s}");
+        // Second launch: fully resident, zero stall.
+        let second = d.kernel_access(&[arg]);
+        assert_eq!(second.regime, Regime::Resident);
+        assert_eq!(second.stall, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mild_oversubscription_streams() {
+        let mut d = dev(16);
+        let arg = stream_arg(1, 20 * GIB, 1.0);
+        let r = d.kernel_access(&[arg]);
+        assert_eq!(r.regime, Regime::StreamingEviction);
+        assert!(r.pressure > 1.0 && r.pressure < d.config().stream_storm_knee);
+        // Cost is cold (20 GiB) + overflow (~4.8 GiB), still streaming rate.
+        let s = r.stall.as_secs_f64();
+        assert!((1.5..4.0).contains(&s), "streaming stall {s}");
+    }
+
+    #[test]
+    fn deep_oversubscription_storms() {
+        let mut d = dev(16);
+        let arg = stream_arg(1, 48 * GIB, 1.0);
+        let r = d.kernel_access(&[arg]);
+        assert_eq!(r.regime, Regime::FaultStorm);
+        // Storm cost is an order of magnitude beyond streaming.
+        let stream_equiv = 48.0 * 1.15 / 12.0; // prefetched seconds
+        assert!(
+            r.stall.as_secs_f64() > 4.0 * stream_equiv,
+            "storm stall {} vs stream {}",
+            r.stall.as_secs_f64(),
+            stream_equiv
+        );
+    }
+
+    #[test]
+    fn the_cliff_is_nonlinear() {
+        // The core paper phenomenon: +50% footprint, >>1.5x time.
+        let t1 = {
+            let mut d = dev(16);
+            d.kernel_access(&[stream_arg(1, 32 * GIB, 4.0)]).stall
+        };
+        let t2 = {
+            let mut d = dev(16);
+            d.kernel_access(&[stream_arg(1, 48 * GIB, 4.0)]).stall
+        };
+        let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!(ratio > 5.0, "cliff ratio {ratio}");
+    }
+
+    #[test]
+    fn gather_storms_earlier_than_stream() {
+        let bytes = 20 * GIB; // rho = 1.3: streams stay calm, gathers storm.
+        let mut d = dev(16);
+        let stream = d.kernel_access(&[stream_arg(1, bytes, 1.0)]);
+        let mut d2 = dev(16);
+        let gather = d2.kernel_access(&[ArgAccess {
+            alloc: AllocId(2),
+            bytes,
+            alloc_bytes: bytes,
+            pattern: AccessPattern::Gather {
+                touches_per_page: 4.0,
+            },
+            mode: AccessMode::Read,
+            advise: MemAdvise::None,
+        }]);
+        assert_eq!(stream.regime, Regime::StreamingEviction);
+        assert_eq!(gather.regime, Regime::FaultStorm);
+        assert!(gather.stall > stream.stall * 2.0);
+    }
+
+    #[test]
+    fn read_mostly_suppresses_storms() {
+        let bytes = 20 * GIB;
+        let mut d = dev(16);
+        let hinted = d.kernel_access(&[ArgAccess {
+            alloc: AllocId(1),
+            bytes,
+            alloc_bytes: bytes,
+            pattern: AccessPattern::Gather {
+                touches_per_page: 4.0,
+            },
+            mode: AccessMode::Read,
+            advise: MemAdvise::ReadMostly,
+        }]);
+        assert_ne!(hinted.regime, Regime::FaultStorm);
+    }
+
+    #[test]
+    fn preferred_host_never_migrates() {
+        let mut d = dev(16);
+        let r = d.kernel_access(&[ArgAccess {
+            alloc: AllocId(1),
+            bytes: 8 * GIB,
+            alloc_bytes: 8 * GIB,
+            pattern: AccessPattern::STREAM_ONCE,
+            mode: AccessMode::Read,
+            advise: MemAdvise::PreferredHost,
+        }]);
+        assert_eq!(r.migrated_bytes, 0);
+        assert!(r.stall > SimDuration::ZERO);
+        assert_eq!(d.resident_bytes(AllocId(1)), 0);
+    }
+
+    #[test]
+    fn written_args_pay_writeback_under_pressure() {
+        let mut d = dev(16);
+        let read_only = d.kernel_access(&[stream_arg(1, 20 * GIB, 2.0)]);
+        let mut d2 = dev(16);
+        let written = d2.kernel_access(&[ArgAccess {
+            mode: AccessMode::ReadWrite,
+            ..stream_arg(2, 20 * GIB, 2.0)
+        }]);
+        assert!(written.writeback_bytes > 0);
+        assert_eq!(read_only.writeback_bytes, 0);
+        assert!(written.stall > read_only.stall);
+    }
+
+    #[test]
+    fn chunk_cycling_beyond_capacity_storms() {
+        // Four 12 GiB chunks cycling through a 16 GiB device: each launch
+        // fits, but the active set (48 GiB) is 3x capacity -> storms.
+        let mut d = dev(16);
+        let mut last = None;
+        for round in 0..3 {
+            for c in 0..4u64 {
+                last = Some(d.kernel_access(&[stream_arg(c, 12 * GIB, 1.0)]));
+                let _ = round;
+            }
+        }
+        let r = last.unwrap();
+        assert_eq!(r.regime, Regime::FaultStorm);
+        assert!(r.pressure > 2.5, "active pressure {}", r.pressure);
+        assert!(d.active_bytes() >= 48 * GIB);
+    }
+
+    #[test]
+    fn chunk_cycling_within_capacity_stays_resident() {
+        // Two 6 GiB chunks on a 16 GiB device: everything stays resident
+        // after warmup.
+        let mut d = dev(16);
+        for _ in 0..3 {
+            for c in 0..2u64 {
+                d.kernel_access(&[stream_arg(c, 6 * GIB, 1.0)]);
+            }
+        }
+        let r = d.kernel_access(&[stream_arg(0, 6 * GIB, 1.0)]);
+        assert_eq!(r.regime, Regime::Resident);
+        assert_eq!(r.migrated_bytes, 0);
+    }
+
+    #[test]
+    fn active_window_forgets_old_allocations() {
+        let mut d = dev(16);
+        d.kernel_access(&[stream_arg(1, 12 * GIB, 1.0)]);
+        // Many launches on a different small alloc age out alloc 1.
+        for _ in 0..20 {
+            d.kernel_access(&[stream_arg(2, GIB, 1.0)]);
+        }
+        assert!(d.active_bytes() <= 2 * GIB);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dev(16);
+        d.kernel_access(&[stream_arg(1, 8 * GIB, 1.0)]);
+        d.kernel_access(&[stream_arg(1, 8 * GIB, 1.0)]);
+        let s = d.stats();
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.migrated_bytes, 8 * GIB);
+        assert_eq!(s.storm_kernels, 0);
+    }
+
+    #[test]
+    fn prefetch_makes_the_next_kernel_warm() {
+        let mut d = dev(16);
+        let cost = d.prefetch(AllocId(1), 8 * GIB);
+        assert!(cost.as_secs_f64() > 0.5, "prefetch paid the migration");
+        let r = d.kernel_access(&[stream_arg(1, 8 * GIB, 1.0)]);
+        assert_eq!(r.regime, Regime::Resident);
+        assert_eq!(r.migrated_bytes, 0);
+    }
+
+    #[test]
+    fn prefetch_is_capped_at_capacity() {
+        let mut d = dev(16);
+        d.prefetch(AllocId(1), 64 * GIB);
+        assert!(d.resident_bytes(AllocId(1)) <= d.capacity_bytes());
+    }
+
+    #[test]
+    fn invalidate_forces_refault() {
+        let mut d = dev(16);
+        let arg = stream_arg(1, 4 * GIB, 1.0);
+        d.kernel_access(&[arg]);
+        d.invalidate(AllocId(1));
+        let r = d.kernel_access(&[arg]);
+        assert_eq!(r.migrated_bytes, 4 * GIB);
+    }
+}

@@ -1,0 +1,169 @@
+//! Access-pattern descriptors.
+//!
+//! The GrOUT framework is deliberately code-agnostic: it schedules CEs from
+//! their dependencies, not their kernels' internals. The *UVM driver*,
+//! however, reacts very differently to different access locality — that is
+//! the whole phenomenon under study — so each kernel argument carries a
+//! coarse pattern descriptor, either declared by the workload or inferred by
+//! `kernelc`'s analyzer.
+
+/// How a kernel touches one of its arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Coalesced linear sweep(s) over the array: the UVM prefetcher keeps up
+    /// while the working set fits; past the knee, eviction starts racing
+    /// in-flight thread blocks.
+    ///
+    /// `sweeps` is how many full logical passes the kernel makes.
+    Streamed {
+        /// Number of full passes over the array.
+        sweeps: f64,
+    },
+    /// Low-locality accesses (the literature's Frequently Accessed but Low
+    /// Locality — FALL — pages): random gathers, pointer chasing, or a small
+    /// array broadcast-read by every thread block. Defeats the prefetcher as
+    /// soon as residency is partial.
+    ///
+    /// `touches_per_page` is the expected number of distinct touch events
+    /// per page per kernel (how many times a page can fault again after
+    /// being evicted).
+    Gather {
+        /// Expected distinct touch events per page.
+        touches_per_page: f64,
+    },
+    /// Massively-parallel large-stride access: one thread per row of a
+    /// row-major matrix, each sweeping a distant page range. While residency
+    /// keeps up this behaves like a stream (block scheduling covers pages in
+    /// wave order), but past the knee every SM faults on a different page
+    /// concurrently and eviction races all of them — the worst storm
+    /// (the paper's 342x dense-MV collapse).
+    Strided {
+        /// Expected distinct touch events per page under a storm.
+        touches_per_page: f64,
+    },
+}
+
+impl AccessPattern {
+    /// A single streaming pass.
+    pub const STREAM_ONCE: AccessPattern = AccessPattern::Streamed { sweeps: 1.0 };
+
+    /// Logical sweeps over the data (used for refault accounting).
+    pub fn sweeps(&self) -> f64 {
+        match *self {
+            AccessPattern::Streamed { sweeps } => sweeps.max(1.0),
+            AccessPattern::Gather { touches_per_page }
+            | AccessPattern::Strided { touches_per_page } => touches_per_page.max(1.0),
+        }
+    }
+}
+
+/// Direction of data flow for dependency tracking *and* dirty-page
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Read-only argument.
+    Read,
+    /// Write-only argument (no refaults on read, but evictions are dirty).
+    Write,
+    /// Read-modify-write argument.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Whether the argument is read by the kernel.
+    pub fn reads(self) -> bool {
+        !matches!(self, AccessMode::Write)
+    }
+
+    /// Whether the argument is written by the kernel.
+    pub fn writes(self) -> bool {
+        !matches!(self, AccessMode::Read)
+    }
+}
+
+/// `cudaMemAdvise`-style hints, applied per argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemAdvise {
+    /// No hint: the driver's default heuristics.
+    #[default]
+    None,
+    /// `cudaMemAdviseSetReadMostly`: read-duplicated; copies are dropped,
+    /// never written back, and duplication removes eviction ping-pong.
+    ReadMostly,
+    /// `cudaMemAdviseSetPreferredLocation(host)`: pages stay on the host and
+    /// are accessed over PCIe zero-copy instead of migrating.
+    PreferredHost,
+}
+
+/// One kernel argument as seen by the UVM model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArgAccess {
+    /// Opaque allocation identity (stable across kernels).
+    pub alloc: crate::AllocId,
+    /// Bytes of the allocation this kernel touches.
+    pub bytes: u64,
+    /// Total size of the allocation (>= `bytes`). Successive kernels
+    /// touching *different* chunks of one big allocation accumulate active
+    /// pressure up to this bound; zero means "same as `bytes`".
+    pub alloc_bytes: u64,
+    /// Locality class.
+    pub pattern: AccessPattern,
+    /// Read/write direction.
+    pub mode: AccessMode,
+    /// Driver hint.
+    pub advise: MemAdvise,
+}
+
+impl ArgAccess {
+    /// A plain streamed read, no hints.
+    pub fn streamed_read(alloc: crate::AllocId, bytes: u64) -> Self {
+        ArgAccess {
+            alloc,
+            bytes,
+            alloc_bytes: bytes,
+            pattern: AccessPattern::STREAM_ONCE,
+            mode: AccessMode::Read,
+            advise: MemAdvise::None,
+        }
+    }
+
+    /// A plain streamed write, no hints.
+    pub fn streamed_write(alloc: crate::AllocId, bytes: u64) -> Self {
+        ArgAccess {
+            alloc,
+            bytes,
+            alloc_bytes: bytes,
+            pattern: AccessPattern::STREAM_ONCE,
+            mode: AccessMode::Write,
+            advise: MemAdvise::None,
+        }
+    }
+
+    /// The effective allocation size.
+    pub fn alloc_total(&self) -> u64 {
+        self.alloc_bytes.max(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(AccessMode::Read.reads());
+        assert!(!AccessMode::Read.writes());
+        assert!(!AccessMode::Write.reads());
+        assert!(AccessMode::Write.writes());
+        assert!(AccessMode::ReadWrite.reads());
+        assert!(AccessMode::ReadWrite.writes());
+    }
+
+    #[test]
+    fn sweeps_floor_at_one() {
+        assert_eq!(AccessPattern::Streamed { sweeps: 0.25 }.sweeps(), 1.0);
+        assert_eq!(AccessPattern::Streamed { sweeps: 3.0 }.sweeps(), 3.0);
+        assert_eq!(AccessPattern::Gather { touches_per_page: 8.0 }.sweeps(), 8.0);
+        assert_eq!(AccessPattern::Strided { touches_per_page: 4.0 }.sweeps(), 4.0);
+    }
+}

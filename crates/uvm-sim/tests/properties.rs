@@ -1,0 +1,139 @@
+//! Property-based invariants of the UVM model.
+
+use proptest::prelude::*;
+use uvm_sim::{
+    AccessMode, AccessPattern, AllocId, ArgAccess, MemAdvise, Regime, Residency, UvmConfig,
+    UvmDevice,
+};
+
+const GIB: u64 = 1 << 30;
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (1.0f64..8.0).prop_map(|sweeps| AccessPattern::Streamed { sweeps }),
+        (1.0f64..8.0).prop_map(|touches_per_page| AccessPattern::Gather { touches_per_page }),
+    ]
+}
+
+fn arb_arg(id: u64) -> impl Strategy<Value = ArgAccess> {
+    (1u64..(64 * GIB), arb_pattern(), 0u8..3).prop_map(move |(bytes, pattern, m)| ArgAccess {
+        alloc: AllocId(id),
+        bytes,
+        alloc_bytes: bytes,
+        pattern,
+        mode: match m {
+            0 => AccessMode::Read,
+            1 => AccessMode::Write,
+            _ => AccessMode::ReadWrite,
+        },
+        advise: MemAdvise::None,
+    })
+}
+
+proptest! {
+    /// Residency never exceeds capacity, and installed counts equal usage
+    /// growth.
+    #[test]
+    fn residency_respects_capacity(
+        ops in proptest::collection::vec((0u64..8, 1u64..500, any::<bool>()), 1..200),
+        cap in 1u64..400,
+    ) {
+        let mut r = Residency::new(cap);
+        for (id, want, writes) in ops {
+            let before = r.used_pages();
+            let out = r.ensure_resident(AllocId(id), want, writes);
+            prop_assert!(r.used_pages() <= cap);
+            prop_assert_eq!(
+                r.used_pages(),
+                before + out.installed - out.evicted_clean - out.evicted_dirty
+            );
+        }
+    }
+
+    /// Stall time and migrated bytes are monotone non-decreasing in
+    /// footprint for a fixed pattern on a fresh device.
+    #[test]
+    fn stall_monotone_in_footprint(a in 1u64..64, b in 1u64..64, sweeps in 1.0f64..4.0) {
+        let (small, big) = if a <= b { (a, b) } else { (b, a) };
+        let run = |gib: u64| {
+            let mut d = UvmDevice::new(UvmConfig::default(), 16 * GIB, 12e9);
+            d.kernel_access(&[ArgAccess {
+                alloc: AllocId(1),
+                bytes: gib * GIB,
+                alloc_bytes: gib * GIB,
+                pattern: AccessPattern::Streamed { sweeps },
+                mode: AccessMode::Read,
+                advise: MemAdvise::None,
+            }])
+        };
+        let rs = run(small);
+        let rb = run(big);
+        prop_assert!(rb.stall >= rs.stall);
+        prop_assert!(rb.migrated_bytes >= rs.migrated_bytes);
+    }
+
+    /// A fitting working set never storms; a working set past the stream
+    /// knee always does.
+    #[test]
+    fn regime_classification_is_correct(arg in arb_arg(7)) {
+        let mut d = UvmDevice::new(UvmConfig::default(), 16 * GIB, 12e9);
+        let cap = d.capacity_bytes();
+        let r = d.kernel_access(&[arg]);
+        if arg.bytes <= cap {
+            prop_assert_ne!(r.regime, Regime::FaultStorm);
+        }
+        let knee = d.config().stream_storm_knee.max(d.config().gather_storm_knee);
+        if (arg.bytes as f64) > knee * cap as f64 {
+            prop_assert_eq!(r.regime, Regime::FaultStorm);
+        }
+    }
+
+    /// Read-only kernels never generate writeback.
+    #[test]
+    fn reads_never_write_back(
+        sizes in proptest::collection::vec(1u64..(48 * GIB), 1..6),
+    ) {
+        let mut d = UvmDevice::new(UvmConfig::default(), 16 * GIB, 12e9);
+        let args: Vec<ArgAccess> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ArgAccess::streamed_read(AllocId(i as u64), b))
+            .collect();
+        let r = d.kernel_access(&args);
+        prop_assert_eq!(r.writeback_bytes, 0);
+    }
+
+    /// Repeating the same fitting kernel is idempotent on residency and
+    /// free after the first run.
+    #[test]
+    fn warm_fitting_reruns_are_free(gib in 1u64..15, reps in 1usize..5) {
+        let mut d = UvmDevice::new(UvmConfig::default(), 16 * GIB, 12e9);
+        let arg = ArgAccess::streamed_read(AllocId(3), gib * GIB);
+        let first = d.kernel_access(&[arg]);
+        prop_assert!(first.migrated_bytes >= gib * GIB);
+        for _ in 0..reps {
+            let r = d.kernel_access(&[arg]);
+            prop_assert_eq!(r.migrated_bytes, 0);
+            prop_assert_eq!(r.regime, Regime::Resident);
+        }
+    }
+
+    /// The ReadMostly hint never makes things slower.
+    #[test]
+    fn read_mostly_never_hurts(gib in 1u64..64, touches in 1.0f64..8.0) {
+        let run = |advise| {
+            let mut d = UvmDevice::new(UvmConfig::default(), 16 * GIB, 12e9);
+            d.kernel_access(&[ArgAccess {
+                alloc: AllocId(1),
+                bytes: gib * GIB,
+                alloc_bytes: gib * GIB,
+                pattern: AccessPattern::Gather { touches_per_page: touches },
+                mode: AccessMode::Read,
+                advise,
+            }])
+        };
+        let plain = run(MemAdvise::None);
+        let hinted = run(MemAdvise::ReadMostly);
+        prop_assert!(hinted.stall <= plain.stall);
+    }
+}

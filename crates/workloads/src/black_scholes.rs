@@ -1,0 +1,185 @@
+//! Black–Scholes European option pricing (paper Figure 1).
+//!
+//! The motivating example: an embarrassingly parallel, perfectly coalesced
+//! kernel whose execution time nonetheless blows up once the option arrays
+//! oversubscribe device memory, because the benchmark (like the CUDA SDK
+//! sample it mirrors) re-prices the same book several times and every pass
+//! refaults the evicted arrays.
+
+use grout_core::{AccessPattern, CeArg, KernelCost, SimRuntime};
+
+use crate::runner::SimWorkload;
+
+/// CUDA-dialect source of the pricing kernel, compilable by `kernelc` and
+/// buildable through the polyglot `buildkernel` API.
+pub const BLACK_SCHOLES_KERNEL: &str = r#"
+__global__ void black_scholes(const float* spot, float* call, float* put,
+                              float k, float r, float sigma, float t, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float s = spot[i];
+        float sqrt_t = sqrtf(t);
+        float d1 = (logf(s / k) + (r + sigma * sigma / 2.0) * t) / (sigma * sqrt_t);
+        float d2 = d1 - sigma * sqrt_t;
+        float disc = expf(0.0 - r * t);
+        call[i] = s * normcdff(d1) - k * disc * normcdff(d2);
+        put[i] = k * disc * normcdff(0.0 - d2) - s * normcdff(0.0 - d1);
+    }
+}
+"#;
+
+/// NIDL signature for [`BLACK_SCHOLES_KERNEL`].
+pub const BLACK_SCHOLES_SIG: &str = "black_scholes(spot: in pointer float, call: out pointer float, put: out pointer float, k: float, r: float, sigma: float, t: float, n: sint32)";
+
+/// CPU reference (f64 accumulation) for correctness checks.
+pub fn reference(spot: &[f32], k: f32, r: f32, sigma: f32, t: f32) -> (Vec<f32>, Vec<f32>) {
+    fn ncdf(x: f64) -> f64 {
+        0.5 * (1.0 + erf64(x / std::f64::consts::SQRT_2))
+    }
+    fn erf64(x: f64) -> f64 {
+        // Abramowitz & Stegun 7.1.26.
+        let sign = if x < 0.0 { -1.0 } else { 1.0 };
+        let x = x.abs();
+        let t = 1.0 / (1.0 + 0.3275911 * x);
+        let y = 1.0
+            - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp();
+        sign * y
+    }
+    let (k, r, sigma, t) = (k as f64, r as f64, sigma as f64, t as f64);
+    let mut calls = Vec::with_capacity(spot.len());
+    let mut puts = Vec::with_capacity(spot.len());
+    for &s in spot {
+        let s = s as f64;
+        let d1 = ((s / k).ln() + (r + sigma * sigma / 2.0) * t) / (sigma * t.sqrt());
+        let d2 = d1 - sigma * t.sqrt();
+        let disc = (-r * t).exp();
+        calls.push((s * ncdf(d1) - k * disc * ncdf(d2)) as f32);
+        puts.push((k * disc * ncdf(-d2) - s * ncdf(-d1)) as f32);
+    }
+    (calls, puts)
+}
+
+/// The Figure 1 workload: `repeats` pricing passes over a chunked book.
+#[derive(Debug, Clone)]
+pub struct BlackScholes {
+    /// Pricing passes over the same book (the CUDA sample's NUM_ITERATIONS).
+    pub repeats: usize,
+    /// Row chunks per array (spread across GPUs/nodes).
+    pub chunks: usize,
+}
+
+impl Default for BlackScholes {
+    fn default() -> Self {
+        BlackScholes {
+            repeats: 5,
+            chunks: 4,
+        }
+    }
+}
+
+impl SimWorkload for BlackScholes {
+    fn name(&self) -> &'static str {
+        "BS"
+    }
+
+    /// Footprint = spot + call + put arrays (three equal arrays).
+    fn submit(&self, rt: &mut SimRuntime, footprint_bytes: u64) {
+        let per_array = footprint_bytes / 3;
+        let chunk = per_array / self.chunks as u64;
+        let elems = chunk / 4;
+        // Allocate chunked arrays and initialize spot prices on the host.
+        let spots: Vec<_> = (0..self.chunks).map(|_| rt.alloc(chunk)).collect();
+        let calls: Vec<_> = (0..self.chunks).map(|_| rt.alloc(chunk)).collect();
+        let puts: Vec<_> = (0..self.chunks).map(|_| rt.alloc(chunk)).collect();
+        for &s in &spots {
+            rt.host_write(s, chunk);
+        }
+        // ~120 flops per option (logs, exps, two CDFs), 12 bytes traffic.
+        let cost = KernelCost {
+            flops: 120.0 * elems as f64,
+            bytes_read: chunk,
+            bytes_written: 2 * chunk,
+        };
+        for _ in 0..self.repeats {
+            for c in 0..self.chunks {
+                rt.launch(
+                    "black_scholes",
+                    cost,
+                    vec![
+                        CeArg::read(spots[c], chunk)
+                            .with_pattern(AccessPattern::Streamed { sweeps: 1.0 }),
+                        CeArg::write(calls[c], chunk),
+                        CeArg::write(puts[c], chunk),
+                    ],
+                );
+            }
+        }
+        // The application finally inspects a result chunk on the host.
+        rt.host_read(calls[0], chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_workload;
+    use crate::sizes::gb;
+    use grout_core::SimConfig;
+
+    #[test]
+    fn reference_matches_known_values() {
+        let (calls, puts) = reference(&[100.0], 100.0, 0.05, 0.2, 1.0);
+        assert!((calls[0] - 10.4506).abs() < 0.01, "call {}", calls[0]);
+        assert!((puts[0] - 5.5735).abs() < 0.01, "put {}", puts[0]);
+    }
+
+    #[test]
+    fn kernel_source_compiles_and_prices() {
+        let k = kernelc::compile_one(BLACK_SCHOLES_KERNEL, "black_scholes").unwrap();
+        let mut spot = vec![100.0f32, 120.0, 80.0];
+        let mut call = vec![0.0f32; 3];
+        let mut put = vec![0.0f32; 3];
+        k.launch(
+            1,
+            32,
+            &mut [
+                kernelc::KernelArg::F32(&mut spot),
+                kernelc::KernelArg::F32(&mut call),
+                kernelc::KernelArg::F32(&mut put),
+                kernelc::KernelArg::Float(100.0),
+                kernelc::KernelArg::Float(0.05),
+                kernelc::KernelArg::Float(0.2),
+                kernelc::KernelArg::Float(1.0),
+                kernelc::KernelArg::Int(3),
+            ],
+        )
+        .unwrap();
+        let (rc, rp) = reference(&spot, 100.0, 0.05, 0.2, 1.0);
+        for i in 0..3 {
+            assert!((call[i] - rc[i]).abs() < 0.02, "call[{i}] {} vs {}", call[i], rc[i]);
+            assert!((put[i] - rp[i]).abs() < 0.02, "put[{i}]");
+        }
+    }
+
+    #[test]
+    fn figure1_shape_blows_up_past_capacity() {
+        let run = |size_gb: u64| {
+            run_workload(
+                &BlackScholes::default(),
+                SimConfig::grcuda_baseline(),
+                gb(size_gb),
+            )
+            .secs()
+        };
+        let t16 = run(16);
+        let t32 = run(32);
+        let t96 = run(96);
+        // Roughly linear while fitting...
+        assert!(t32 / t16 < 4.0, "t16={t16} t32={t32}");
+        // ...and far beyond linear once deeply oversubscribed.
+        assert!(t96 / t32 > 10.0, "t32={t32} t96={t96}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Conjugate Gradient solver (paper Figure 5, middle).
+//!
+//! CG is the paper's network-stress case: every iteration is a chain of
+//! inter-dependent CEs (partitioned SpMV, two reductions, three vector
+//! updates) and the direction vector `p` is *rewritten* each iteration, so
+//! its copies on other nodes are invalidated and must be re-broadcast —
+//! which is why its GrOUT step (13.3x) is larger than MV's (4.1x) even
+//! though both leave the single-node storm regime.
+//!
+//! The matrix is sparse (CSR-like), so its per-row column gathers touch `p`
+//! with low locality while the matrix values themselves stream.
+
+use grout_core::{AccessPattern, ArrayId, CeArg, KernelCost, SimRuntime};
+
+use crate::runner::SimWorkload;
+
+/// CUDA-dialect source of the small dense-SpMV/axpy/dot kernels used by the
+/// local-runtime CG demo (dense here; the simulated workload models the
+/// sparse footprint).
+pub const CG_KERNELS: &str = r#"
+__global__ void spmv_dense(float* out, const float* A, const float* p, int rows, int cols) {
+    int r = blockIdx.x * blockDim.x + threadIdx.x;
+    if (r < rows) {
+        float acc = 0.0;
+        for (int c = 0; c < cols; c++) {
+            acc += A[r * cols + c] * p[c];
+        }
+        out[r] = acc;
+    }
+}
+
+__global__ void dot(const float* a, const float* b, float* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0;
+    for (int j = i; j < n; j += blockDim.x * gridDim.x) {
+        acc += a[j] * b[j];
+    }
+    atomicAdd(&out[0], acc);
+}
+
+__global__ void axpy(float* y, const float* x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = y[i] + a * x[i]; }
+}
+
+__global__ void xpay(float* y, const float* x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = x[i] + a * y[i]; }
+}
+
+__global__ void norm2(const float* a, float* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0;
+    for (int j = i; j < n; j += blockDim.x * gridDim.x) {
+        acc += a[j] * a[j];
+    }
+    atomicAdd(&out[0], acc);
+}
+
+__global__ void zero(float* y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = 0.0; }
+}
+"#;
+
+/// The simulated CG workload.
+#[derive(Debug, Clone)]
+pub struct ConjugateGradient {
+    /// Solver iterations.
+    pub iterations: usize,
+    /// Row partitions of the sparse matrix.
+    pub blocks: usize,
+    /// Fraction of the footprint taken by each of the four vectors
+    /// (x, r, p, Ap); the matrix takes the rest.
+    pub vector_fraction: f64,
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        ConjugateGradient {
+            iterations: 3,
+            blocks: 4,
+            vector_fraction: 0.002,
+        }
+    }
+}
+
+struct CgArrays {
+    a_blocks: Vec<ArrayId>,
+    ap_blocks: Vec<ArrayId>,
+    p: ArrayId,
+    r: ArrayId,
+    x: ArrayId,
+    alpha: ArrayId,
+    beta: ArrayId,
+    a_chunk: u64,
+    vec_bytes: u64,
+}
+
+impl ConjugateGradient {
+    fn alloc(&self, rt: &mut SimRuntime, footprint: u64) -> CgArrays {
+        let vec_bytes = (footprint as f64 * self.vector_fraction) as u64;
+        let a_bytes = footprint - 4 * vec_bytes;
+        let a_chunk = a_bytes / self.blocks as u64;
+        let arrays = CgArrays {
+            a_blocks: (0..self.blocks).map(|_| rt.alloc(a_chunk)).collect(),
+            ap_blocks: (0..self.blocks)
+                .map(|_| rt.alloc(vec_bytes / self.blocks as u64))
+                .collect(),
+            p: rt.alloc(vec_bytes),
+            r: rt.alloc(vec_bytes),
+            x: rt.alloc(vec_bytes),
+            alpha: rt.alloc(4096),
+            beta: rt.alloc(4096),
+            a_chunk,
+            vec_bytes,
+        };
+        for &b in &arrays.a_blocks {
+            rt.host_write(b, a_chunk);
+        }
+        rt.host_write(arrays.p, vec_bytes);
+        rt.host_write(arrays.r, vec_bytes);
+        rt.host_write(arrays.x, vec_bytes);
+        arrays
+    }
+}
+
+impl SimWorkload for ConjugateGradient {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    /// Tuned offline vector: the four SpMV blocks alternate across the two
+    /// nodes; the five dependent vector operations stay pinned on node 0
+    /// (vectors live there, no mid-chain hops). Cycle length matches one
+    /// iteration (9 CEs over 6 positions, even), so the mapping is stable
+    /// across iterations.
+    fn tuned_vector(&self) -> Vec<u32> {
+        vec![1, 1, 1, 1, 5, 0]
+    }
+
+    fn submit(&self, rt: &mut SimRuntime, footprint_bytes: u64) {
+        let a = self.alloc(rt, footprint_bytes);
+        let nnz_chunk = a.a_chunk / 4;
+        let vec_elems = a.vec_bytes / 4;
+        let ap_chunk = a.vec_bytes / self.blocks as u64;
+
+        let spmv_cost = KernelCost {
+            flops: 2.0 * nnz_chunk as f64,
+            bytes_read: a.a_chunk + a.vec_bytes,
+            bytes_written: ap_chunk,
+        };
+        let vec_cost = KernelCost {
+            flops: 2.0 * vec_elems as f64,
+            bytes_read: 2 * a.vec_bytes,
+            bytes_written: a.vec_bytes,
+        };
+
+        for _ in 0..self.iterations {
+            // Partitioned SpMV: Ap_b = A_b * p. The matrix streams; the
+            // column gathers hit p with low locality.
+            for b in 0..self.blocks {
+                rt.launch(
+                    "spmv",
+                    spmv_cost,
+                    vec![
+                        CeArg::write(a.ap_blocks[b], ap_chunk),
+                        CeArg::read(a.a_blocks[b], a.a_chunk)
+                            .with_pattern(AccessPattern::Streamed { sweeps: 1.0 }),
+                        CeArg::read(a.p, a.vec_bytes)
+                            .with_pattern(AccessPattern::Gather { touches_per_page: 2.0 }),
+                    ],
+                );
+            }
+            // alpha = (r.r) / (p.Ap)  — a reduction over all Ap blocks.
+            let mut dot_args = vec![
+                CeArg::write(a.alpha, 4096),
+                CeArg::read(a.p, a.vec_bytes),
+                CeArg::read(a.r, a.vec_bytes),
+            ];
+            for b in 0..self.blocks {
+                dot_args.push(CeArg::read(a.ap_blocks[b], ap_chunk));
+            }
+            rt.launch("dot_alpha", vec_cost, dot_args);
+            // x = x + alpha p
+            rt.launch(
+                "axpy_x",
+                vec_cost,
+                vec![
+                    CeArg::read_write(a.x, a.vec_bytes),
+                    CeArg::read(a.p, a.vec_bytes),
+                    CeArg::read(a.alpha, 4096),
+                ],
+            );
+            // r = r - alpha Ap
+            let mut r_args = vec![
+                CeArg::read_write(a.r, a.vec_bytes),
+                CeArg::read(a.alpha, 4096),
+            ];
+            for b in 0..self.blocks {
+                r_args.push(CeArg::read(a.ap_blocks[b], ap_chunk));
+            }
+            rt.launch("axpy_r", vec_cost, r_args);
+            // beta = (r.r)_new / (r.r)_old
+            rt.launch(
+                "dot_beta",
+                vec_cost,
+                vec![CeArg::write(a.beta, 4096), CeArg::read(a.r, a.vec_bytes)],
+            );
+            // p = r + beta p  — rewriting p invalidates every remote copy.
+            rt.launch(
+                "xpay_p",
+                vec_cost,
+                vec![
+                    CeArg::read_write(a.p, a.vec_bytes),
+                    CeArg::read(a.r, a.vec_bytes),
+                    CeArg::read(a.beta, 4096),
+                ],
+            );
+        }
+        rt.host_read(a.x, a.vec_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_workload;
+    use crate::sizes::gb;
+    use grout_core::{PolicyKind, SimConfig};
+
+    #[test]
+    fn kernels_compile() {
+        let ks = kernelc::compile(CG_KERNELS).unwrap();
+        assert_eq!(ks.len(), 6);
+        let names: Vec<_> = ks.iter().map(|k| k.name().to_string()).collect();
+        assert!(names.contains(&"spmv_dense".to_string()));
+        assert!(names.contains(&"xpay".to_string()));
+    }
+
+    #[test]
+    fn single_node_cliff_sits_between_64_and_96() {
+        let run = |size: u64| {
+            run_workload(
+                &ConjugateGradient::default(),
+                SimConfig::grcuda_baseline(),
+                gb(size),
+            )
+            .secs()
+        };
+        let t32 = run(32);
+        let t64 = run(64);
+        let t96 = run(96);
+        assert!(t64 / t32 < 12.0, "64/32 step {}", t64 / t32);
+        assert!(t96 / t64 > 20.0, "96/64 step {} (paper: 77.3x)", t96 / t64);
+    }
+
+    #[test]
+    fn p_rewrite_causes_per_iteration_traffic() {
+        let out = run_workload(
+            &ConjugateGradient::default(),
+            SimConfig::paper_grout(2, PolicyKind::VectorStep(vec![1, 1])),
+            gb(8),
+        );
+        // p must cross the network more than once (it is re-broadcast after
+        // each rewrite), so traffic exceeds the one-shot footprint.
+        assert!(
+            out.network_bytes > gb(8),
+            "network {} bytes",
+            out.network_bytes
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! HITS (hubs & authorities) — bonus workload beyond the paper's three.
+//!
+//! The GrCUDA suite the paper draws from also contains graph analytics;
+//! HITS is its canonical iterative example. It rounds the reproduction's
+//! suite out with a *data-dependent gather* workload: the CSR column
+//! indices make every score update an indirect access
+//! (`hub[col[e]]`), the access class the UVM literature blames for the
+//! worst oversubscription behaviour. Not part of the paper's figures; used
+//! by extension tests and available to the harness.
+
+use grout_core::{AccessPattern, CeArg, KernelCost, SimRuntime};
+
+use crate::runner::SimWorkload;
+
+/// CUDA-dialect kernels for the local-runtime HITS (CSR graph).
+pub const HITS_KERNELS: &str = r#"
+__global__ void score_step(float* out, const int* row_ptr, const int* col,
+                           const float* other, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float acc = 0.0;
+        for (int e = row_ptr[i]; e < row_ptr[i + 1]; e += 1) {
+            acc += other[col[e]];
+        }
+        out[i] = acc;
+    }
+}
+
+__global__ void norm2_acc(const float* v, float* out, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float acc = 0.0;
+    for (int j = i; j < n; j += blockDim.x * gridDim.x) {
+        acc += v[j] * v[j];
+    }
+    atomicAdd(&out[0], acc);
+}
+
+__global__ void scale_by_invnorm(float* v, const float* norm2, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { v[i] = v[i] / sqrtf(norm2[0]); }
+}
+
+__global__ void fill1(float* v, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { v[i] = 1.0; }
+}
+
+__global__ void zero1(float* v, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { v[i] = 0.0; }
+}
+"#;
+
+/// CPU reference: `iters` HITS rounds on a CSR graph (L2-normalized).
+pub fn reference(
+    row_ptr: &[i32],
+    col: &[i32],
+    n: usize,
+    iters: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut hub = vec![1.0f32; n];
+    let mut auth = vec![1.0f32; n];
+    for _ in 0..iters {
+        let mut new_auth = vec![0.0f32; n];
+        for i in 0..n {
+            for e in row_ptr[i]..row_ptr[i + 1] {
+                new_auth[i] += hub[col[e as usize] as usize];
+            }
+        }
+        let norm = new_auth.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32;
+        new_auth.iter_mut().for_each(|v| *v /= norm);
+        auth = new_auth;
+        let mut new_hub = vec![0.0f32; n];
+        for i in 0..n {
+            for e in row_ptr[i]..row_ptr[i + 1] {
+                new_hub[i] += auth[col[e as usize] as usize];
+            }
+        }
+        let norm = new_hub.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32;
+        new_hub.iter_mut().for_each(|v| *v /= norm);
+        hub = new_hub;
+    }
+    (hub, auth)
+}
+
+/// The simulated HITS workload (footprint = the edge list).
+#[derive(Debug, Clone)]
+pub struct Hits {
+    /// HITS rounds.
+    pub iterations: usize,
+    /// Edge-list partitions.
+    pub blocks: usize,
+}
+
+impl Default for Hits {
+    fn default() -> Self {
+        Hits {
+            iterations: 3,
+            blocks: 4,
+        }
+    }
+}
+
+impl SimWorkload for Hits {
+    fn name(&self) -> &'static str {
+        "HITS"
+    }
+
+    /// Per iteration: partitioned indirect gathers over the edge chunks for
+    /// the auth update, a reduction + scale, then the mirror for hubs.
+    fn submit(&self, rt: &mut SimRuntime, footprint_bytes: u64) {
+        let edges_bytes = (footprint_bytes as f64 * 0.96) as u64;
+        let chunk = edges_bytes / self.blocks as u64;
+        let score_bytes = (footprint_bytes as f64 * 0.01) as u64;
+
+        let edge_chunks: Vec<_> = (0..self.blocks).map(|_| rt.alloc(chunk)).collect();
+        let hub = rt.alloc(score_bytes);
+        let auth = rt.alloc(score_bytes);
+        let norm = rt.alloc(4096);
+        for &c in &edge_chunks {
+            rt.host_write(c, chunk);
+        }
+        rt.host_write(hub, score_bytes);
+        rt.host_write(auth, score_bytes);
+
+        let gather_cost = KernelCost {
+            flops: (chunk / 4) as f64,
+            bytes_read: chunk + score_bytes,
+            bytes_written: score_bytes,
+        };
+        let small_cost = KernelCost {
+            flops: (score_bytes / 2) as f64,
+            bytes_read: score_bytes,
+            bytes_written: score_bytes,
+        };
+        for _ in 0..self.iterations {
+            for (dst, src) in [(auth, hub), (hub, auth)] {
+                for &c in &edge_chunks {
+                    rt.launch(
+                        "score_step",
+                        gather_cost,
+                        vec![
+                            CeArg::read_write(dst, score_bytes),
+                            // Edge chunks stream; the opposite score vector
+                            // is gathered data-dependently (FALL).
+                            CeArg::read(c, chunk)
+                                .with_pattern(AccessPattern::Streamed { sweeps: 1.0 }),
+                            CeArg::read(src, score_bytes)
+                                .with_pattern(AccessPattern::Gather { touches_per_page: 4.0 }),
+                        ],
+                    );
+                }
+                rt.launch(
+                    "norm2",
+                    small_cost,
+                    vec![CeArg::write(norm, 4096), CeArg::read(dst, score_bytes)],
+                );
+                rt.launch(
+                    "scale",
+                    small_cost,
+                    vec![CeArg::read_write(dst, score_bytes), CeArg::read(norm, 4096)],
+                );
+            }
+        }
+        rt.host_read(hub, score_bytes);
+        rt.host_read(auth, score_bytes);
+    }
+
+    /// Tuned vector: the gather chunks alternate; the two small reduction
+    /// CEs stay on node 0 (12 CEs per half-iteration round... 6 per score
+    /// update: 4 gathers + norm + scale; vector cycle of 6 positions).
+    fn tuned_vector(&self) -> Vec<u32> {
+        vec![1, 1, 1, 1, 2, 0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_workload;
+    use crate::sizes::gb;
+    use grout_core::{PolicyKind, SimConfig};
+
+    #[test]
+    fn kernels_compile_and_flag_indirection() {
+        let ks = kernelc::compile(HITS_KERNELS).unwrap();
+        assert_eq!(ks.len(), 5);
+        let step = ks.iter().find(|k| k.name() == "score_step").unwrap();
+        // `other[col[e]]` is a data-dependent gather.
+        assert_eq!(step.access()[3].class, kernelc::AccessClass::Indirect);
+    }
+
+    #[test]
+    fn reference_converges_on_a_small_graph() {
+        // A 4-node ring: every node links to the next.
+        let row_ptr = vec![0, 1, 2, 3, 4];
+        let col = vec![1, 2, 3, 0];
+        let (hub, auth) = reference(&row_ptr, &col, 4, 10);
+        // Symmetric structure: all scores equal after normalization.
+        for v in hub.iter().chain(auth.iter()) {
+            assert!((v - 0.5).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn scale_out_helps_hits_too() {
+        let single = run_workload(&Hits::default(), SimConfig::grcuda_baseline(), gb(96));
+        let two = run_workload(
+            &Hits::default(),
+            SimConfig::paper_grout(2, PolicyKind::VectorStep(Hits::default().tuned_vector())),
+            gb(96),
+        );
+        assert!(
+            single.secs() / two.secs() > 1.5,
+            "single {:.0}s vs two nodes {:.0}s",
+            single.secs(),
+            two.secs()
+        );
+    }
+}

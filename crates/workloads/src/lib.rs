@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # grout-workloads — the paper's evaluation suite
+//!
+//! The three GrCUDA-suite workloads the paper distributes (Section V-B,
+//! Figure 5) plus the Black–Scholes motivator (Figure 1):
+//!
+//! - [`BlackScholes`] — embarrassingly parallel option pricing,
+//! - [`MlEnsemble`] — two imbalanced inference pipelines over one dataset,
+//! - [`ConjugateGradient`] — inter-dependent solver CEs stressing the
+//!   network,
+//! - [`MatVec`] — row-partitioned dense matrix-vector product with a
+//!   broadcast (FALL) input vector,
+//! - [`Hits`] — *extension*: the GrCUDA suite's graph-analytics case
+//!   (data-dependent CSR gathers), not part of the paper's figures.
+//!
+//! Each workload exists in two forms: a *simulated* CE stream
+//! ([`SimWorkload`]) whose footprint is swept from 4 GB to 160 GB to
+//! regenerate the figures, and real CUDA-dialect kernels (`*_KERNEL(S)`)
+//! with CPU references for correctness tests and local-runtime examples.
+
+mod black_scholes;
+mod cg;
+mod hits;
+mod mle;
+mod mv;
+mod runner;
+mod sizes;
+
+pub use black_scholes::{
+    reference as black_scholes_reference, BlackScholes, BLACK_SCHOLES_KERNEL, BLACK_SCHOLES_SIG,
+};
+pub use cg::{ConjugateGradient, CG_KERNELS};
+pub use hits::{reference as hits_reference, Hits, HITS_KERNELS};
+pub use mle::{MlEnsemble, MLE_KERNELS};
+pub use mv::{reference as mv_reference, MatVec, MV_KERNEL, MV_SIG};
+pub use runner::{run_workload, RunOutcome, SimWorkload};
+pub use sizes::{gb, oversubscription_factor, GIB, NODE_DEVICE_MEMORY, PAPER_SIZES_GB};

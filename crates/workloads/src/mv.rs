@@ -1,0 +1,216 @@
+//! Dense matrix-vector product, row-partitioned (paper Figure 5, right).
+//!
+//! The paper's most dramatic case: massively parallel, one thread per row.
+//! Under oversubscription the row-major matrix is touched with huge strides
+//! by thousands of concurrent threads ([`AccessPattern::Strided`]) and the
+//! input vector is broadcast-read by every block (FALL pages,
+//! [`AccessPattern::Gather`]) — the combination that collapses 342x on a
+//! single node (Fig. 6a) yet scales out almost linearly (Fig. 6b).
+
+use grout_core::{AccessPattern, CeArg, KernelCost, SimRuntime};
+
+use crate::runner::SimWorkload;
+
+/// CUDA-dialect source of the row-per-thread kernel (for the local runtime
+/// and the access-pattern analyzer; `x` is classified Broadcast/FALL).
+pub const MV_KERNEL: &str = r#"
+__global__ void mv(float* y, const float* A, const float* x, int rows, int cols) {
+    int r = blockIdx.x * blockDim.x + threadIdx.x;
+    if (r < rows) {
+        float acc = 0.0;
+        for (int c = 0; c < cols; c++) {
+            acc += A[r * cols + c] * x[c];
+        }
+        y[r] = acc;
+    }
+}
+"#;
+
+/// NIDL signature for [`MV_KERNEL`].
+pub const MV_SIG: &str =
+    "mv(y: out pointer float, A: in pointer float, x: in pointer float, rows: sint32, cols: sint32)";
+
+/// CPU reference.
+pub fn reference(a: &[f32], x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| a[r * cols + c] as f64 * x[c] as f64)
+                .sum::<f64>() as f32
+        })
+        .collect()
+}
+
+/// The Figure 5/6 MV workload.
+#[derive(Debug, Clone)]
+pub struct MatVec {
+    /// Repetitions of the full product (the GrCUDA benchmark iterates).
+    pub repeats: usize,
+    /// Row blocks the matrix is partitioned into.
+    pub blocks: usize,
+    /// `cudaMemAdvise` hint applied to the broadcast vector `x` (the
+    /// ReadMostly ablation shows what a hand-tuned UVM application would
+    /// recover).
+    pub x_advise: grout_core::MemAdvise,
+    /// When true, the matrix is a single monolithic framework array (the
+    /// GrCUDA array-handle layout) and each block CE touches a chunk of it.
+    /// Whole-array coherence then makes one node "hold everything" after
+    /// the first placement — which is exactly what lets the online
+    /// min-transfer policies herd every CE onto one node (the paper's
+    /// Figure 8 MV pathology, >=100x worse than round-robin).
+    pub monolithic: bool,
+}
+
+impl Default for MatVec {
+    fn default() -> Self {
+        MatVec {
+            repeats: 3,
+            blocks: 4,
+            x_advise: grout_core::MemAdvise::None,
+            monolithic: false,
+        }
+    }
+}
+
+impl MatVec {
+    /// The GrCUDA monolithic-handle layout (used for Figure 8).
+    pub fn monolithic() -> Self {
+        MatVec {
+            monolithic: true,
+            ..MatVec::default()
+        }
+    }
+}
+
+impl SimWorkload for MatVec {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    /// Footprint ~= the dense matrix. The matrix is wide (16x more columns
+    /// than a square one), as in inference workloads; the broadcast vector
+    /// is then large enough (~10 MB at 96 GB) that a greedy online policy
+    /// can latch onto the node holding it.
+    fn submit(&self, rt: &mut SimRuntime, footprint_bytes: u64) {
+        let a_bytes = footprint_bytes;
+        let elems = a_bytes / 4;
+        let n = (elems as f64).sqrt() as u64;
+        let vec_bytes = 16 * n * 4; // cols = 16n, rows = n/16
+        let chunk = a_bytes / self.blocks as u64;
+        let chunk_elems = chunk / 4;
+        let y_chunk = vec_bytes / self.blocks as u64;
+
+        // Partitioned: one framework array per row block. Monolithic: one
+        // array; block CEs touch `chunk` bytes of it.
+        let a_blocks: Vec<_> = if self.monolithic {
+            let a = rt.alloc(a_bytes);
+            rt.host_write(a, a_bytes);
+            vec![a; self.blocks]
+        } else {
+            let blocks: Vec<_> = (0..self.blocks).map(|_| rt.alloc(chunk)).collect();
+            for &b in &blocks {
+                rt.host_write(b, chunk);
+            }
+            blocks
+        };
+        let y_blocks: Vec<_> = (0..self.blocks).map(|_| rt.alloc(y_chunk)).collect();
+        let x = rt.alloc(vec_bytes);
+        rt.host_write(x, vec_bytes);
+
+        let alloc_total = if self.monolithic { a_bytes } else { chunk };
+        let cost = KernelCost {
+            flops: 2.0 * chunk_elems as f64,
+            bytes_read: chunk + vec_bytes,
+            bytes_written: y_chunk,
+        };
+        for _ in 0..self.repeats {
+            for b in 0..self.blocks {
+                rt.launch(
+                    "mv",
+                    cost,
+                    vec![
+                        CeArg::write(y_blocks[b], y_chunk),
+                        CeArg::read(a_blocks[b], chunk)
+                            .with_pattern(AccessPattern::Strided { touches_per_page: 4.0 })
+                            .chunk_of(alloc_total),
+                        CeArg::read(x, vec_bytes)
+                            .with_pattern(AccessPattern::Gather { touches_per_page: 8.0 })
+                            .with_advise(self.x_advise),
+                    ],
+                );
+            }
+        }
+        // Gather the result on the host.
+        for &y in &y_blocks {
+            rt.host_read(y, y_chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_workload;
+    use crate::sizes::gb;
+    use grout_core::{PolicyKind, SimConfig};
+
+    #[test]
+    fn kernel_matches_reference() {
+        let k = kernelc::compile_one(MV_KERNEL, "mv").unwrap();
+        let (rows, cols) = (37, 53);
+        let mut a: Vec<f32> = (0..rows * cols).map(|i| ((i * 7919) % 13) as f32 * 0.1).collect();
+        let mut x: Vec<f32> = (0..cols).map(|i| (i % 5) as f32 * 0.25).collect();
+        let mut y = vec![0.0f32; rows];
+        let reference = reference(&a, &x, rows, cols);
+        k.launch(
+            2,
+            32,
+            &mut [
+                kernelc::KernelArg::F32(&mut y),
+                kernelc::KernelArg::F32(&mut a),
+                kernelc::KernelArg::F32(&mut x),
+                kernelc::KernelArg::Int(rows as i32),
+                kernelc::KernelArg::Int(cols as i32),
+            ],
+        )
+        .unwrap();
+        for (got, want) in y.iter().zip(&reference) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn analyzer_flags_the_fall_vector() {
+        let k = kernelc::compile_one(MV_KERNEL, "mv").unwrap();
+        assert_eq!(k.access()[2].class, kernelc::AccessClass::Broadcast);
+    }
+
+    #[test]
+    fn single_node_cliff_sits_between_64_and_96() {
+        let run = |size: u64| {
+            run_workload(&MatVec::default(), SimConfig::grcuda_baseline(), gb(size)).secs()
+        };
+        let t32 = run(32);
+        let t64 = run(64);
+        let t96 = run(96);
+        let step_ok = t64 / t32;
+        let step_cliff = t96 / t64;
+        assert!(step_ok < 12.0, "64/32 step {step_ok}");
+        assert!(step_cliff > 40.0, "96/64 step {step_cliff} (paper: 342x)");
+    }
+
+    #[test]
+    fn two_nodes_flatten_the_cliff() {
+        let run = |size: u64| {
+            run_workload(
+                &MatVec::default(),
+                SimConfig::paper_grout(2, PolicyKind::VectorStep(vec![1, 1])),
+                gb(size),
+            )
+        };
+        let t64 = run(64);
+        let t96 = run(96);
+        let step = t96.secs() / t64.secs();
+        assert!(step < 10.0, "GrOUT 96/64 step {step} (paper: 4.1x)");
+    }
+}

@@ -1,0 +1,92 @@
+//! Common harness for running a workload on the simulated cluster.
+
+use grout_core::{SimConfig, SimRuntime, SimTime};
+
+/// A workload that can be expressed as a CE stream on the simulated runtime.
+pub trait SimWorkload {
+    /// Short name matching the paper ("BS", "MLE", "CG", "MV").
+    fn name(&self) -> &'static str;
+
+    /// Submits the whole CE stream for a given memory footprint.
+    fn submit(&self, rt: &mut SimRuntime, footprint_bytes: u64);
+
+    /// The user-tuned vector-step vector for two workers (the paper's
+    /// offline roofline policy). Defaults to plain alternation.
+    fn tuned_vector(&self) -> Vec<u32> {
+        vec![1, 1]
+    }
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Virtual makespan.
+    pub elapsed: SimTime,
+    /// Whether the paper's 2.5 h cap was exceeded.
+    pub timed_out: bool,
+    /// Network payload bytes moved.
+    pub network_bytes: u64,
+    /// Kernels that hit the UVM fault-storm regime.
+    pub storm_kernels: u64,
+}
+
+impl RunOutcome {
+    /// Elapsed seconds (capped runs still report their virtual time).
+    pub fn secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs `workload` at `footprint_bytes` on a fresh runtime built from `cfg`.
+pub fn run_workload(
+    workload: &dyn SimWorkload,
+    cfg: SimConfig,
+    footprint_bytes: u64,
+) -> RunOutcome {
+    let mut rt = SimRuntime::new(cfg);
+    workload.submit(&mut rt, footprint_bytes);
+    RunOutcome {
+        elapsed: rt.elapsed(),
+        timed_out: rt.timed_out(),
+        network_bytes: rt.stats().network_bytes,
+        storm_kernels: rt.stats().storm_kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grout_core::{CeArg, KernelCost, PolicyKind};
+
+    struct Tiny;
+    impl SimWorkload for Tiny {
+        fn name(&self) -> &'static str {
+            "tiny"
+        }
+        fn submit(&self, rt: &mut SimRuntime, footprint: u64) {
+            let a = rt.alloc(footprint);
+            rt.host_write(a, footprint);
+            rt.launch(
+                "k",
+                KernelCost {
+                    flops: footprint as f64,
+                    bytes_read: footprint,
+                    bytes_written: 0,
+                },
+                vec![CeArg::read_write(a, footprint)],
+            );
+        }
+    }
+
+    #[test]
+    fn runner_reports_outcome() {
+        let out = run_workload(
+            &Tiny,
+            SimConfig::paper_grout(2, PolicyKind::RoundRobin),
+            1 << 30,
+        );
+        assert!(out.secs() > 0.0);
+        assert!(!out.timed_out);
+        assert!(out.network_bytes >= 1 << 30);
+    }
+}

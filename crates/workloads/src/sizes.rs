@@ -1,0 +1,35 @@
+//! Footprint grid and oversubscription accounting (paper Section V-A/B).
+
+/// One gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// The paper's evaluation grid: 4 GB to 160 GB.
+pub const PAPER_SIZES_GB: [u64; 8] = [4, 8, 16, 32, 64, 96, 128, 160];
+
+/// Node device memory the oversubscription factor is defined against
+/// (2x V100 16 GiB = 32 GiB).
+pub const NODE_DEVICE_MEMORY: u64 = 32 * GIB;
+
+/// Oversubscription factor of a footprint on one paper worker node
+/// (1.0 at 32 GB, 0.125 at 4 GB, 5.0 at 160 GB).
+pub fn oversubscription_factor(footprint_bytes: u64) -> f64 {
+    footprint_bytes as f64 / NODE_DEVICE_MEMORY as f64
+}
+
+/// Footprint in bytes for a size expressed in the paper's GB units.
+pub fn gb(size_gb: u64) -> u64 {
+    size_gb * GIB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_match_the_paper() {
+        assert!((oversubscription_factor(gb(4)) - 0.125).abs() < 1e-9);
+        assert!((oversubscription_factor(gb(32)) - 1.0).abs() < 1e-9);
+        assert!((oversubscription_factor(gb(96)) - 3.0).abs() < 1e-9);
+        assert!((oversubscription_factor(gb(160)) - 5.0).abs() < 1e-9);
+    }
+}

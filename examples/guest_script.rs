@@ -1,0 +1,40 @@
+//! Runs the paper's Listing 1 as an actual *guest-language program*: the
+//! script below is GuestScript (this repository's stand-in for the paper's
+//! Python-on-GraalVM), whose only interface to GrOUT is `polyglot.eval` —
+//! exactly the surface Truffle guests get.
+//!
+//! Run with: `cargo run --release --example guest_script`
+//! Or from a file: `cargo run --release -p grout --bin grout-run -- script.gs`
+
+use grout::polyglot::run_script;
+use grout::Polyglot;
+
+const LISTING_1: &str = r#"
+    # import polyglot  -- implicit in GuestScript
+    KERNEL = "__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }"
+    SIGNATURE = "square(x: inout pointer float, n: sint32)"
+
+    # Initialization (Listing 1, lines 3-5)
+    build = polyglot.eval("grout", "buildkernel")
+    square = build(KERNEL, SIGNATURE)
+    x = polyglot.eval("grout", "float[100]")
+
+    # Normal execution flow (lines 7-10)
+    for i in range(100) { x[i] = i }
+    square(4, 32)(x, 100)
+    print(x)
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut pg = Polyglot::with_workers(2);
+    for line in run_script(&mut pg, LISTING_1)? {
+        println!("{line}");
+    }
+    let stats = pg.runtime().stats();
+    println!(
+        "(ran {} kernel CE(s) across {:?} per-worker kernel counts)",
+        stats.kernels,
+        pg.runtime().kernels_by_worker()
+    );
+    Ok(())
+}

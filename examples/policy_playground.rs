@@ -1,0 +1,60 @@
+//! Compare every inter-node scheduling policy on each paper workload at 3x
+//! oversubscription (the paper's Figure 8 scenario), including the online
+//! policies' failure mode on MV: exploitation herds every CE onto the node
+//! that already holds the broadcast vector, recreating the single-node
+//! oversubscription the framework was supposed to remove.
+//!
+//! Run with: `cargo run --release --example policy_playground`
+
+use grout::core::{ExplorationLevel, PolicyKind, SimConfig};
+use grout::workloads::{
+    gb, run_workload, ConjugateGradient, MatVec, MlEnsemble, SimWorkload,
+};
+
+fn main() {
+    let size = gb(96); // 3x oversubscription of one node
+    let workloads: Vec<Box<dyn SimWorkload>> = vec![
+        Box::new(MlEnsemble::default()),
+        Box::new(ConjugateGradient::default()),
+        Box::new(MatVec::default()),
+    ];
+
+    for w in &workloads {
+        println!("== {} at 96 GB (3x) on two GrOUT nodes ==", w.name());
+        let policies: Vec<(String, PolicyKind)> = vec![
+            ("round-robin".into(), PolicyKind::RoundRobin),
+            (
+                format!("vector-step {:?}", w.tuned_vector()),
+                PolicyKind::VectorStep(w.tuned_vector()),
+            ),
+            (
+                "min-transfer-size (Low)".into(),
+                PolicyKind::MinTransferSize(ExplorationLevel::Low),
+            ),
+            (
+                "min-transfer-size (High)".into(),
+                PolicyKind::MinTransferSize(ExplorationLevel::High),
+            ),
+            (
+                "min-transfer-time (Medium)".into(),
+                PolicyKind::MinTransferTime(ExplorationLevel::Medium),
+            ),
+        ];
+        let mut baseline = None;
+        for (name, policy) in policies {
+            let out = run_workload(w.as_ref(), SimConfig::paper_grout(2, policy), size);
+            let base = *baseline.get_or_insert(out.secs());
+            println!(
+                "  {:<28} {:>9.1}s{}  ({:>6.3}x rr)  net {:>6.1} GB  storms {}",
+                name,
+                out.secs(),
+                if out.timed_out { "*" } else { " " },
+                out.secs() / base,
+                out.network_bytes as f64 / (1u64 << 30) as f64,
+                out.storm_kernels,
+            );
+        }
+        println!();
+    }
+    println!("(* exceeded the paper's 2.5 h per-run cap)");
+}

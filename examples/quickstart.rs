@@ -1,0 +1,59 @@
+//! Quickstart: the paper's Listing 1, line for line.
+//!
+//! ```python
+//! import polyglot
+//! build = polyglot.eval(GrOUT, "buildkernel")
+//! square = build(KERNEL, KERNEL_SIGNATURE)
+//! x = polyglot.eval(GrOUT, "int[100]")
+//! for i in range(100): x[i] = i
+//! square(GRID_SIZE, BLOCK_SIZE)(X, 100)
+//! print(x)
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use grout::{Language, Polyglot, Value};
+
+const KERNEL: &str = r#"
+__global__ void square(float* x, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        x[i] = x[i] * x[i];
+    }
+}
+"#;
+
+const KERNEL_SIGNATURE: &str = "square(x: inout pointer float, n: sint32)";
+
+const GRID_SIZE: u32 = 4;
+const BLOCK_SIZE: u32 = 32;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The polyglot context replaces `import polyglot`; two worker threads
+    // stand in for the two cluster nodes.
+    let mut pg = Polyglot::with_workers(2);
+
+    // Initialization (Listing 1, lines 3-5).
+    let build = pg.eval(Language::GrOUT, "buildkernel")?;
+    let square = build.build(&mut pg, KERNEL, KERNEL_SIGNATURE)?;
+    let x = pg.eval(Language::GrOUT, "float[100]")?;
+
+    // Normal execution flow (lines 7-10).
+    x.fill_with(&mut pg, |i| i as f32)?;
+    square
+        .configure(GRID_SIZE, BLOCK_SIZE)
+        .call(&mut pg, &[x.clone(), Value::int(100)])?;
+
+    let out = x.to_vec(&mut pg)?;
+    println!("x = {:?} ... {:?}", &out[..8], &out[96..]);
+    assert_eq!(out[9], 81.0);
+    assert_eq!(out[99], 99.0 * 99.0);
+
+    let stats = pg.runtime().stats();
+    println!(
+        "executed {} kernel CE(s); moved {} B controller->worker, {} B back",
+        stats.kernels, stats.send_bytes, stats.fetch_bytes
+    );
+    println!("kernels per worker: {:?}", pg.runtime().kernels_by_worker());
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The paper's headline phenomenon in one table: sweep the dense
+//! matrix-vector workload from comfortable to 5x-oversubscribed on the
+//! simulated V100 cluster, on one node (GrCUDA baseline) and on two GrOUT
+//! nodes. Watch the single-node execution fall off the UVM cliff while the
+//! distributed run stays near-linear.
+//!
+//! Run with: `cargo run --release --example scale_out_cliff`
+
+use grout::core::{PolicyKind, SimConfig};
+use grout::workloads::{
+    gb, oversubscription_factor, run_workload, MatVec, SimWorkload, PAPER_SIZES_GB,
+};
+
+fn main() {
+    let workload = MatVec::default();
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>10} {:>8}",
+        "GB", "factor", "1 node [s]", "2 nodes [s]", "speedup", "storms"
+    );
+    for &size in &PAPER_SIZES_GB {
+        let single = run_workload(&workload, SimConfig::grcuda_baseline(), gb(size));
+        let grout = run_workload(
+            &workload,
+            SimConfig::paper_grout(2, PolicyKind::VectorStep(workload.tuned_vector())),
+            gb(size),
+        );
+        println!(
+            "{:>6} {:>8.3} {:>13.1}{} {:>13.1}{} {:>10.2} {:>8}",
+            size,
+            oversubscription_factor(gb(size)),
+            single.secs(),
+            if single.timed_out { "*" } else { " " },
+            grout.secs(),
+            if grout.timed_out { "*" } else { " " },
+            single.secs() / grout.secs(),
+            single.storm_kernels,
+        );
+    }
+    println!("(* exceeded the paper's 2.5 h per-run cap; value is a lower bound)");
+    println!();
+    println!(
+        "Below ~1x the network cost makes scale-out slower; past the UVM\n\
+         cliff (between 2x and 3x) the single node collapses into fault\n\
+         storms and two nodes win by an order of magnitude — the paper's\n\
+         core result."
+    );
+}

@@ -1,0 +1,42 @@
+//! Reproducibility: every simulated run is bit-for-bit deterministic.
+
+use grout::core::{PolicyKind, SimConfig, SimRuntime};
+use grout::workloads::{gb, ConjugateGradient, MatVec, MlEnsemble, SimWorkload};
+
+fn fingerprint(w: &dyn SimWorkload, cfg: SimConfig, size: u64) -> Vec<(u64, u64, usize)> {
+    let mut rt = SimRuntime::new(cfg);
+    w.submit(&mut rt, size);
+    rt.records()
+        .iter()
+        .map(|r| (r.start.as_nanos(), r.finish.as_nanos(), r.location.0))
+        .collect()
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let workloads: Vec<Box<dyn SimWorkload>> = vec![
+        Box::new(MlEnsemble::default()),
+        Box::new(ConjugateGradient::default()),
+        Box::new(MatVec::default()),
+    ];
+    for w in &workloads {
+        for cfg in [
+            SimConfig::grcuda_baseline(),
+            SimConfig::paper_grout(2, PolicyKind::VectorStep(w.tuned_vector())),
+            SimConfig::paper_grout(3, PolicyKind::RoundRobin),
+        ] {
+            let a = fingerprint(w.as_ref(), cfg.clone(), gb(64));
+            let b = fingerprint(w.as_ref(), cfg, gb(64));
+            assert_eq!(a, b, "{} not deterministic", w.name());
+        }
+    }
+}
+
+#[test]
+fn network_probe_is_deterministic() {
+    use grout::net_sim::{Network, Topology};
+    let topo = Topology::paper_oci(4, grout::desim::SimDuration::from_micros(50));
+    let a = Network::new(topo.clone()).probe_matrix(64 << 20);
+    let b = Network::new(topo).probe_matrix(64 << 20);
+    assert_eq!(a, b);
+}

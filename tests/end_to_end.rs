@@ -1,0 +1,301 @@
+//! Cross-crate integration: polyglot front end -> kernelc -> threaded
+//! runtime -> coherence, and the simulated cluster on top of the same
+//! scheduling machinery.
+
+use std::sync::Arc;
+
+use grout::core::{
+    ExplorationLevel, LocalArg, LocalConfig, LocalRuntime, PolicyKind, SimConfig, SimRuntime,
+};
+use grout::workloads::{
+    gb, run_workload, BlackScholes, ConjugateGradient, MatVec, MlEnsemble, SimWorkload,
+    CG_KERNELS, MV_KERNEL,
+};
+use grout::{Language, Polyglot, Value};
+
+#[test]
+fn listing_two_port_is_one_token() {
+    // Paper Listing 2: GrCUDA -> GrOUT is only the language id.
+    for lang in [Language::GrCUDA, Language::GrOUT] {
+        let mut pg = Polyglot::with_workers(2);
+        let x = pg.eval(lang, "float[1000]").unwrap();
+        x.fill_with(&mut pg, |i| i as f32).unwrap();
+        assert_eq!(x.get(&mut pg, 999).unwrap(), 999.0);
+    }
+}
+
+#[test]
+fn polyglot_runs_the_paper_mv_kernel() {
+    let mut pg = Polyglot::with_workers(2);
+    let build = pg.eval(Language::GrOUT, "buildkernel").unwrap();
+    let mv = build
+        .build(
+            &mut pg,
+            MV_KERNEL,
+            "mv(y: out pointer float, A: in pointer float, x: in pointer float, \
+             rows: sint32, cols: sint32)",
+        )
+        .unwrap();
+    let (rows, cols) = (64usize, 48usize);
+    let a = pg.eval(Language::GrOUT, &format!("float[{}]", rows * cols)).unwrap();
+    let x = pg.eval(Language::GrOUT, &format!("float[{cols}]")).unwrap();
+    let y = pg.eval(Language::GrOUT, &format!("float[{rows}]")).unwrap();
+    a.fill_with(&mut pg, |i| ((i % 7) as f32) * 0.25).unwrap();
+    x.fill_with(&mut pg, |i| ((i % 3) as f32) - 1.0).unwrap();
+    mv.configure(2, 32)
+        .call(
+            &mut pg,
+            &[
+                y.clone(),
+                a.clone(),
+                x.clone(),
+                Value::int(rows as i32),
+                Value::int(cols as i32),
+            ],
+        )
+        .unwrap();
+    let got = y.to_vec(&mut pg).unwrap();
+    let av = a.to_vec(&mut pg).unwrap();
+    let xv = x.to_vec(&mut pg).unwrap();
+    let want = grout::workloads::mv_reference(&av, &xv, rows, cols);
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+    }
+}
+
+#[test]
+fn cg_solver_converges_on_the_local_runtime() {
+    // A real conjugate-gradient solve through the whole stack: kernels from
+    // CUDA-dialect source, scheduled as CEs across two worker threads.
+    let n = 64usize;
+    let mut rt = LocalRuntime::new(LocalConfig {
+        workers: 2,
+        policy: PolicyKind::RoundRobin,
+    });
+    let kernels = kernelc::compile(CG_KERNELS).unwrap();
+    let get = |name: &str| {
+        Arc::new(
+            kernels
+                .iter()
+                .find(|k| k.name() == name)
+                .unwrap()
+                .clone(),
+        )
+    };
+    let (spmv, dot, axpy, xpay, zero, norm2) = (
+        get("spmv_dense"),
+        get("dot"),
+        get("axpy"),
+        get("xpay"),
+        get("zero"),
+        get("norm2"),
+    );
+
+    // SPD system: A = I*diag + small symmetric noise; b = A * ones.
+    let a = rt.alloc_f32(n * n);
+    let b_arr = rt.alloc_f32(n);
+    let x = rt.alloc_f32(n);
+    let r = rt.alloc_f32(n);
+    let p = rt.alloc_f32(n);
+    let ap = rt.alloc_f32(n);
+    let scratch = rt.alloc_f32(4);
+    let mut a_host = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let noise = 0.01 * (((i * 31 + j * 17) % 13) as f32 - 6.0);
+            let sym = if i <= j { noise } else { 0.01 * (((j * 31 + i * 17) % 13) as f32 - 6.0) };
+            a_host[i * n + j] = if i == j { 4.0 } else { sym };
+        }
+    }
+    let b_host: Vec<f32> = (0..n)
+        .map(|i| (0..n).map(|j| a_host[i * n + j]).sum())
+        .collect();
+    rt.write_f32(a, |v| v.copy_from_slice(&a_host)).unwrap();
+    rt.write_f32(b_arr, |v| v.copy_from_slice(&b_host)).unwrap();
+    // x = 0; r = p = b.
+    rt.write_f32(r, |v| v.copy_from_slice(&b_host)).unwrap();
+    rt.write_f32(p, |v| v.copy_from_slice(&b_host)).unwrap();
+
+    let ni = n as i32;
+    let mut rr_old: f32 = b_host.iter().map(|v| v * v).sum();
+    for _ in 0..12 {
+        // Ap = A * p
+        rt.launch(
+            &spmv,
+            2,
+            32,
+            vec![
+                LocalArg::Buf(ap),
+                LocalArg::Buf(a),
+                LocalArg::Buf(p),
+                LocalArg::I32(ni),
+                LocalArg::I32(ni),
+            ],
+        )
+        .unwrap();
+        // pAp = p . Ap (scratch[0])
+        rt.launch(&zero, 1, 4, vec![LocalArg::Buf(scratch), LocalArg::I32(4)])
+            .unwrap();
+        rt.launch(
+            &dot,
+            2,
+            32,
+            vec![
+                LocalArg::Buf(p),
+                LocalArg::Buf(ap),
+                LocalArg::Buf(scratch),
+                LocalArg::I32(ni),
+            ],
+        )
+        .unwrap();
+        let pap = rt.read_f32(scratch).unwrap()[0];
+        let alpha = rr_old / pap;
+        // x += alpha p ; r -= alpha Ap
+        rt.launch(
+            &axpy,
+            2,
+            32,
+            vec![
+                LocalArg::Buf(x),
+                LocalArg::Buf(p),
+                LocalArg::F32(alpha),
+                LocalArg::I32(ni),
+            ],
+        )
+        .unwrap();
+        rt.launch(
+            &axpy,
+            2,
+            32,
+            vec![
+                LocalArg::Buf(r),
+                LocalArg::Buf(ap),
+                LocalArg::F32(-alpha),
+                LocalArg::I32(ni),
+            ],
+        )
+        .unwrap();
+        // rr_new = r.r  (norm2 avoids aliasing r twice)
+        rt.launch(&zero, 1, 4, vec![LocalArg::Buf(scratch), LocalArg::I32(4)])
+            .unwrap();
+        rt.launch(
+            &norm2,
+            2,
+            32,
+            vec![LocalArg::Buf(r), LocalArg::Buf(scratch), LocalArg::I32(ni)],
+        )
+        .unwrap();
+        let rr_new = rt.read_f32(scratch).unwrap()[0];
+        if rr_new < 1e-8 {
+            break;
+        }
+        // p = r + (rr_new/rr_old) p
+        rt.launch(
+            &xpay,
+            2,
+            32,
+            vec![
+                LocalArg::Buf(p),
+                LocalArg::Buf(r),
+                LocalArg::F32(rr_new / rr_old),
+                LocalArg::I32(ni),
+            ],
+        )
+        .unwrap();
+        rr_old = rr_new;
+    }
+    let solution = rt.read_f32(x).unwrap();
+    for (i, v) in solution.iter().enumerate() {
+        assert!((v - 1.0).abs() < 1e-2, "x[{i}] = {v}, expected ~1");
+    }
+}
+
+#[test]
+fn all_workloads_run_on_all_policies() {
+    let workloads: Vec<Box<dyn SimWorkload>> = vec![
+        Box::new(BlackScholes::default()),
+        Box::new(MlEnsemble::default()),
+        Box::new(ConjugateGradient::default()),
+        Box::new(MatVec::default()),
+        Box::new(MatVec::monolithic()),
+    ];
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::VectorStep(vec![2, 1]),
+        PolicyKind::MinTransferSize(ExplorationLevel::Low),
+        PolicyKind::MinTransferTime(ExplorationLevel::High),
+    ];
+    for w in &workloads {
+        for p in &policies {
+            let out = run_workload(w.as_ref(), SimConfig::paper_grout(2, p.clone()), gb(16));
+            assert!(out.secs() > 0.0, "{} under {:?}", w.name(), p.name());
+            assert!(!out.timed_out, "{} capped at 16 GB under {}", w.name(), p.name());
+        }
+    }
+}
+
+#[test]
+fn all_workload_timelines_validate() {
+    // Replay every workload's records through the independent event-driven
+    // validator (stream FIFO exclusivity + dependency ordering).
+    let workloads: Vec<Box<dyn SimWorkload>> = vec![
+        Box::new(BlackScholes::default()),
+        Box::new(MlEnsemble::default()),
+        Box::new(ConjugateGradient::default()),
+        Box::new(MatVec::default()),
+    ];
+    for w in &workloads {
+        for (label, cfg) in [
+            ("single", SimConfig::grcuda_baseline()),
+            (
+                "grout2",
+                SimConfig::paper_grout(2, PolicyKind::VectorStep(w.tuned_vector())),
+            ),
+        ] {
+            for size in [8u64, 96] {
+                let mut rt = SimRuntime::new(cfg.clone());
+                w.submit(&mut rt, gb(size));
+                let report = grout::core::validate_timeline(rt.records());
+                assert!(
+                    report.is_valid(),
+                    "{} on {label} at {size} GB: {:?}",
+                    w.name(),
+                    report.violations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn three_node_cluster_distributes_work() {
+    let mut rt = SimRuntime::new(SimConfig::paper_grout(3, PolicyKind::RoundRobin));
+    MlEnsemble::default().submit(&mut rt, gb(24));
+    let mut seen = std::collections::HashSet::new();
+    for rec in rt.records() {
+        if rec.device.is_some() {
+            seen.insert(rec.location);
+        }
+    }
+    assert_eq!(seen.len(), 3, "all three workers used: {seen:?}");
+}
+
+#[test]
+fn host_reads_see_kernel_writes_across_runtimes() {
+    // Simulated: coherence makes the controller's host read wait for and
+    // fetch the worker's written copy.
+    let mut rt = SimRuntime::new(SimConfig::paper_grout(2, PolicyKind::RoundRobin));
+    let a = rt.alloc(1 << 30);
+    let k = rt.launch(
+        "w",
+        grout::core::KernelCost {
+            flops: 1e9,
+            bytes_read: 0,
+            bytes_written: 1 << 30,
+        },
+        vec![grout::core::CeArg::write(a, 1 << 30)],
+    );
+    let r = rt.host_read(a, 1 << 30);
+    assert!(rt.record(r).start >= rt.finish_time(k));
+    assert!(rt.record(r).network_bytes >= 1 << 30);
+}
