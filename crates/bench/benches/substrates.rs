@@ -105,5 +105,11 @@ fn bench_network(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dag, bench_coherence, bench_uvm, bench_network);
+criterion_group!(
+    benches,
+    bench_dag,
+    bench_coherence,
+    bench_uvm,
+    bench_network
+);
 criterion_main!(benches);

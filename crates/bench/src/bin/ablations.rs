@@ -32,10 +32,16 @@ fn main() {
     let cg = ConjugateGradient::default();
 
     println!("== 1. UVM prefetcher granule (MV, single node) ==");
-    for (label, granule) in [("2 MiB tree prefetch", 2u64 << 20), ("64 KiB (prefetch off)", 64 << 10)] {
+    for (label, granule) in [
+        ("2 MiB tree prefetch", 2u64 << 20),
+        ("64 KiB (prefetch off)", 64 << 10),
+    ] {
         let t64 = single_with(|c| c.uvm.prefetch_granule_bytes = granule, &mv, gb(64));
         let t32 = single_with(|c| c.uvm.prefetch_granule_bytes = granule, &mv, gb(32));
-        println!("  {label:<24} t(32GB)={t32:>8.1}s  t(64GB)={t64:>8.1}s  step={:.1}x", t64 / t32);
+        println!(
+            "  {label:<24} t(32GB)={t32:>8.1}s  t(64GB)={t64:>8.1}s  step={:.1}x",
+            t64 / t32
+        );
     }
     println!("  (without the tree prefetcher even mild oversubscription pays per-page faults)");
     println!();
@@ -77,7 +83,10 @@ fn main() {
     )
     .secs();
     println!("  no hint        : {plain:>9.1}s");
-    println!("  ReadMostly on x: {hinted:>9.1}s   ({:.2}x)", plain / hinted);
+    println!(
+        "  ReadMostly on x: {hinted:>9.1}s   ({:.2}x)",
+        plain / hinted
+    );
     println!("  (the hint removes the vector's refaults but the matrix-side storm");
     println!("   dominates: hand-tuning one array is not a general fix — the paper's");
     println!("   argument for attacking the root cause instead)");
@@ -88,7 +97,7 @@ fn main() {
     // two workers, 8 times (each hop is a worker-to-worker movement).
     let pipeline = |p2p: bool| {
         let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
-        cfg.p2p_enabled = p2p;
+        cfg.planner.p2p_enabled = p2p;
         let mut rt = grout::core::SimRuntime::new(cfg);
         let a = rt.alloc(4 << 30);
         let cost = grout::core::KernelCost {
@@ -97,17 +106,26 @@ fn main() {
             bytes_written: 4 << 30,
         };
         for _ in 0..8 {
-            rt.launch("stage", cost, vec![grout::core::CeArg::read_write(a, 4 << 30)]);
+            rt.launch(
+                "stage",
+                cost,
+                vec![grout::core::CeArg::read_write(a, 4 << 30)],
+            );
         }
         rt.elapsed().as_secs_f64()
     };
     let (p2p, staged) = (pipeline(true), pipeline(false));
     println!("  P2P enabled : {p2p:>9.1}s");
-    println!("  staged      : {staged:>9.1}s   ({:.2}x worse)", staged / p2p);
+    println!(
+        "  staged      : {staged:>9.1}s   ({:.2}x worse)",
+        staged / p2p
+    );
     println!("  (CG at 96 GB moves only small vectors per iteration, so there the");
-    println!("   difference is negligible: {:.1}s vs {:.1}s)",
+    println!(
+        "   difference is negligible: {:.1}s vs {:.1}s)",
         grout_with(|_| {}, &cg, gb(96)),
-        grout_with(|c| c.p2p_enabled = false, &cg, gb(96)));
+        grout_with(|c| c.planner.p2p_enabled = false, &cg, gb(96))
+    );
     println!();
 
     println!("== 7. Hand-tuned prefetching vs transparent scale-out ==");
@@ -141,12 +159,21 @@ fn main() {
 
     println!("== 9. Interconnect what-if: PCIe vs NVLink migration (MV, single node) ==");
     for (label, spec) in [
-        ("PCIe gen3 (~12 GB/s)", grout::gpu_sim::DeviceSpec::v100_16gb()),
-        ("NVLink2 (~40 GB/s)", grout::gpu_sim::DeviceSpec::v100_nvlink()),
+        (
+            "PCIe gen3 (~12 GB/s)",
+            grout::gpu_sim::DeviceSpec::v100_16gb(),
+        ),
+        (
+            "NVLink2 (~40 GB/s)",
+            grout::gpu_sim::DeviceSpec::v100_nvlink(),
+        ),
     ] {
         let t96 = single_with(|c| c.node.gpu = spec.clone(), &mv, gb(96));
         let t64 = single_with(|c| c.node.gpu = spec.clone(), &mv, gb(64));
-        println!("  {label:<22} t(64GB)={t64:>7.1}s  t(96GB)={t96:>8.1}s  step={:.0}x", t96 / t64);
+        println!(
+            "  {label:<22} t(64GB)={t64:>7.1}s  t(96GB)={t96:>8.1}s  step={:.0}x",
+            t96 / t64
+        );
     }
     println!("  (a faster fabric shrinks the cliff but cannot remove it: fault-service");
     println!("   latency, not bandwidth, dominates the storm — scale-out still wins)");
@@ -156,7 +183,7 @@ fn main() {
     for workers in [2usize, 8, 32] {
         let mk = |flat: bool| {
             let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
-            cfg.flat_scheduling = flat;
+            cfg.planner.flat_scheduling = flat;
             let mut rt = grout::core::SimRuntime::new(cfg);
             let a = rt.alloc(1 << 20);
             for _ in 0..64 {

@@ -4,9 +4,9 @@
 //! `Send`; kept as a regression hunting tool.)
 //!
 //! Run with: `cargo run --release -p grout-bench --bin hang_hunt [-- --repro]`
-use std::sync::Arc;
-use grout::kernelc;
 use grout::core::{LocalArg, LocalConfig, LocalRuntime, PolicyKind};
+use grout::kernelc;
+use std::sync::Arc;
 
 fn run_ops(ops: &[(u8, u8, u8)], workers: usize) {
     let src = "
@@ -28,22 +28,55 @@ fn run_ops(ops: &[(u8, u8, u8)], workers: usize) {
     let addinto = Arc::new(kernels[1].clone());
     let scale = Arc::new(kernels[2].clone());
     let n = 64usize;
-    let mut rt = LocalRuntime::new(LocalConfig { workers, policy: PolicyKind::RoundRobin });
+    let mut rt = LocalRuntime::new(LocalConfig::new(workers, PolicyKind::RoundRobin));
     let arrays: Vec<_> = (0..4).map(|_| rt.alloc_f32(n)).collect();
     for &(a, b, kind) in ops {
         let (a, b) = (arrays[a as usize], arrays[b as usize]);
         match kind {
-            0 => rt.launch(&write_k, 1, 64, vec![LocalArg::Buf(a), LocalArg::F32(3.5), LocalArg::I32(n as i32)]),
-            1 if a != b => rt.launch(&addinto, 1, 64, vec![LocalArg::Buf(b), LocalArg::Buf(a), LocalArg::I32(n as i32)]),
-            _ => rt.launch(&scale, 1, 64, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)]),
-        }.unwrap();
+            0 => rt.launch(
+                &write_k,
+                1,
+                64,
+                vec![
+                    LocalArg::Buf(a),
+                    LocalArg::F32(3.5),
+                    LocalArg::I32(n as i32),
+                ],
+            ),
+            1 if a != b => rt.launch(
+                &addinto,
+                1,
+                64,
+                vec![LocalArg::Buf(b), LocalArg::Buf(a), LocalArg::I32(n as i32)],
+            ),
+            _ => rt.launch(
+                &scale,
+                1,
+                64,
+                vec![LocalArg::Buf(a), LocalArg::I32(n as i32)],
+            ),
+        }
+        .unwrap();
     }
     rt.synchronize().unwrap();
-    for &x in &arrays { rt.read_f32(x).unwrap(); }
+    for &x in &arrays {
+        rt.read_f32(x).unwrap();
+    }
 }
 
 fn repro() {
-    let ops: Vec<(u8,u8,u8)> = vec![(2, 2, 0), (2, 0, 2), (2, 3, 1), (1, 1, 2), (0, 0, 2), (1, 0, 2), (0, 2, 2), (2, 0, 1), (2, 1, 0), (0, 3, 1)];
+    let ops: Vec<(u8, u8, u8)> = vec![
+        (2, 2, 0),
+        (2, 0, 2),
+        (2, 3, 1),
+        (1, 1, 2),
+        (0, 0, 2),
+        (1, 0, 2),
+        (0, 2, 2),
+        (2, 0, 1),
+        (2, 1, 0),
+        (0, 3, 1),
+    ];
     for round in 0..2000 {
         eprintln!("== round {round}");
         let o = ops.clone();
@@ -62,13 +95,23 @@ fn repro() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--repro") { repro(); return; }
+    if std::env::args().any(|a| a == "--repro") {
+        repro();
+        return;
+    }
     // Deterministic pseudo-random search; each case in a watchdog thread.
     let mut state = 0x9E3779B97F4A7C15u64;
-    let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
     for case in 0..5000u64 {
         let len = (next() % 12 + 2) as usize;
-        let ops: Vec<(u8,u8,u8)> = (0..len).map(|_| ((next()%4) as u8, (next()%4) as u8, (next()%3) as u8)).collect();
+        let ops: Vec<(u8, u8, u8)> = (0..len)
+            .map(|_| ((next() % 4) as u8, (next() % 4) as u8, (next() % 3) as u8))
+            .collect();
         for workers in [1usize, 3] {
             let ops2 = ops.clone();
             let h = std::thread::spawn(move || run_ops(&ops2, workers));
@@ -82,7 +125,9 @@ fn main() {
             }
             h.join().unwrap();
         }
-        if case % 500 == 0 { println!("...{case}"); }
+        if case % 500 == 0 {
+            println!("...{case}");
+        }
     }
     println!("no hang in 5000 cases");
 }

@@ -21,7 +21,12 @@ fn main() {
         }
     };
 
-    for (fig, name) in [(fig1(), "fig1"), (fig6a(), "fig6a"), (fig6b(), "fig6b"), (fig7(), "fig7")] {
+    for (fig, name) in [
+        (fig1(), "fig1"),
+        (fig6a(), "fig6a"),
+        (fig6b(), "fig6b"),
+        (fig7(), "fig7"),
+    ] {
         print_figure(&fig);
         println!();
         dump(name, serde_json::to_value(&fig).expect("serialize"));
@@ -50,7 +55,12 @@ fn main() {
     let points = fig9();
     println!("== fig9 — controller scheduling overhead per CE [us] (real wall clock) ==");
     print!("{:>8}", "nodes");
-    let policies = ["round-robin", "vector-step", "min-transfer-size", "min-transfer-time"];
+    let policies = [
+        "round-robin",
+        "vector-step",
+        "min-transfer-size",
+        "min-transfer-time",
+    ];
     for p in policies {
         print!("{p:>20}");
     }

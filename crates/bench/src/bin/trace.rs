@@ -1,10 +1,13 @@
 //! Per-CE execution trace of a workload on a chosen deployment.
 //!
-//! Usage: `trace <bs|mle|cg|mv|mv-mono> <size_gb> <single|grout[:policy]>`
+//! Usage: `trace <bs|mle|cg|mv|mv-mono> <size_gb> <single|grout[:policy]> [--plans]`
 //!   policy: rr | vs | mts-low|mts-med|mts-high | mtt-low|mtt-med|mtt-high
+//!   --plans: also dump the scheduler's decision record per CE as JSON
+//!            lines (from the `SchedTrace` both runtimes feed)
 
 use grout::core::*;
 use grout::workloads::*;
+use serde::Serialize;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,7 +41,7 @@ fn main() {
         SimConfig::paper_grout(2, policy)
     };
 
-    let workers = cfg.workers;
+    let workers = cfg.planner.workers;
     let gpus = cfg.node.gpu_count;
     let mut rt = SimRuntime::new(cfg);
     workload.submit(&mut rt, gb(size));
@@ -49,7 +52,11 @@ fn main() {
         rt.stats().storm_kernels
     );
     let report = validate_timeline(rt.records());
-    assert!(report.is_valid(), "timeline violations: {:?}", report.violations);
+    assert!(
+        report.is_valid(),
+        "timeline violations: {:?}",
+        report.violations
+    );
     print!("device utilization:");
     for w in 0..workers {
         for d in 0..gpus {
@@ -73,5 +80,12 @@ fn main() {
             r.network_bytes as f64 / (1u64 << 30) as f64,
             r.regime.map(|g| format!("{g:?}")).unwrap_or_default()
         );
+    }
+
+    if args.iter().any(|a| a == "--plans") {
+        println!("scheduler decisions (one JSON object per CE):");
+        for plan in rt.sched_trace().plans() {
+            println!("{}", serde_json::to_string(&plan.to_json_value()).unwrap());
+        }
     }
 }

@@ -6,8 +6,8 @@
 
 use grout::core::{ExplorationLevel, PolicyKind, SimConfig};
 use grout::workloads::{
-    gb, oversubscription_factor, run_workload, BlackScholes, ConjugateGradient, MatVec,
-    MlEnsemble, RunOutcome, SimWorkload, PAPER_SIZES_GB,
+    gb, oversubscription_factor, run_workload, BlackScholes, ConjugateGradient, MatVec, MlEnsemble,
+    RunOutcome, SimWorkload, PAPER_SIZES_GB,
 };
 use serde::Serialize;
 
@@ -95,9 +95,9 @@ fn slowdown_figure(id: &'static str, cfg: Option<SimConfig>) -> Figure {
     for w in paper_workloads() {
         // `None` means "two-node GrOUT with the workload's tuned offline
         // vector-step policy" (Figure 6b).
-        let cfg = cfg.clone().unwrap_or_else(|| {
-            grout_two_nodes(PolicyKind::VectorStep(w.tuned_vector()))
-        });
+        let cfg = cfg
+            .clone()
+            .unwrap_or_else(|| grout_two_nodes(PolicyKind::VectorStep(w.tuned_vector())));
         let runs = sweep(w.as_ref(), &cfg, &PAPER_SIZES_GB);
         let baseline = runs[0].1.secs();
         let points = runs
@@ -198,11 +198,7 @@ pub fn fig8() -> Vec<Fig8Cell> {
     ];
     for (lname, level) in levels {
         for w in &workloads {
-            let rr = run_workload(
-                w.as_ref(),
-                grout_two_nodes(PolicyKind::RoundRobin),
-                size,
-            );
+            let rr = run_workload(w.as_ref(), grout_two_nodes(PolicyKind::RoundRobin), size);
             let policies: Vec<(PolicyKind, &'static str)> = vec![
                 (PolicyKind::RoundRobin, "round-robin"),
                 (PolicyKind::VectorStep(w.tuned_vector()), "vector-step"),
@@ -350,7 +346,11 @@ pub fn print_figure(fig: &Figure) {
         for s in &fig.series {
             let p = &s.points[i];
             let mark = if p.timed_out { "*" } else { "" };
-            print!("{:>15.2}{}", p.value, if mark.is_empty() { " " } else { mark });
+            print!(
+                "{:>15.2}{}",
+                p.value,
+                if mark.is_empty() { " " } else { mark }
+            );
         }
         println!();
     }

@@ -144,10 +144,7 @@ pub struct Ce {
 impl Ce {
     /// Arrays this CE reads.
     pub fn reads(&self) -> impl Iterator<Item = ArrayId> + '_ {
-        self.args
-            .iter()
-            .filter(|a| a.mode.reads())
-            .map(|a| a.array)
+        self.args.iter().filter(|a| a.mode.reads()).map(|a| a.array)
     }
 
     /// Arrays this CE writes.

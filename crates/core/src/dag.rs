@@ -184,9 +184,9 @@ impl DepDag {
     fn prune_frontier(&mut self) {
         let tracks = &self.tracks;
         self.frontier.retain(|&i| {
-            tracks.values().any(|t| {
-                t.last_writer == Some(i) || t.readers_since.contains(&i)
-            })
+            tracks
+                .values()
+                .any(|t| t.last_writer == Some(i) || t.readers_since.contains(&i))
         });
     }
 
@@ -202,12 +202,18 @@ impl DepDag {
 
     /// Whether every dependency of `i` has completed.
     pub fn is_ready(&self, i: DagIndex) -> bool {
-        !self.nodes[i].completed && self.nodes[i].parents.iter().all(|&p| self.nodes[p].completed)
+        !self.nodes[i].completed
+            && self.nodes[i]
+                .parents
+                .iter()
+                .all(|&p| self.nodes[p].completed)
     }
 
     /// All currently runnable CEs (dependencies met, not completed).
     pub fn ready_set(&self) -> Vec<DagIndex> {
-        (0..self.nodes.len()).filter(|&i| self.is_ready(i)).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.is_ready(i))
+            .collect()
     }
 }
 
@@ -264,7 +270,10 @@ mod tests {
         let mut dag = DepDag::new();
         dag.add_ce(&ce(0, vec![CeArg::write(A, 8)])); // A
         dag.add_ce(&ce(1, vec![CeArg::read(A, 8), CeArg::write(B, 8)])); // B dep A
-        let c = dag.add_ce(&ce(2, vec![CeArg::read(A, 8), CeArg::read(B, 8), CeArg::write(C, 8)]));
+        let c = dag.add_ce(&ce(
+            2,
+            vec![CeArg::read(A, 8), CeArg::read(B, 8), CeArg::write(C, 8)],
+        ));
         assert_eq!(c.parents, vec![1], "edge to 0 is redundant via 1");
     }
 

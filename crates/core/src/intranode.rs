@@ -146,7 +146,14 @@ mod tests {
     fn min_transfer_prefers_residency() {
         let n = node();
         let mut rr = 0;
-        let d = select_device(&n, DevicePolicy::MinTransferBytes, &mut rr, &[10, 999], &[0, 0], 1000);
+        let d = select_device(
+            &n,
+            DevicePolicy::MinTransferBytes,
+            &mut rr,
+            &[10, 999],
+            &[0, 0],
+            1000,
+        );
         assert_eq!(d, DeviceId(1));
     }
 
@@ -154,8 +161,22 @@ mod tests {
     fn min_transfer_spreads_cold_starts() {
         let n = node();
         let mut rr = 0;
-        let a = select_device(&n, DevicePolicy::MinTransferBytes, &mut rr, &[0, 0], &[0, 0], 100);
-        let b = select_device(&n, DevicePolicy::MinTransferBytes, &mut rr, &[0, 0], &[0, 0], 100);
+        let a = select_device(
+            &n,
+            DevicePolicy::MinTransferBytes,
+            &mut rr,
+            &[0, 0],
+            &[0, 0],
+            100,
+        );
+        let b = select_device(
+            &n,
+            DevicePolicy::MinTransferBytes,
+            &mut rr,
+            &[0, 0],
+            &[0, 0],
+            100,
+        );
         assert_ne!(a, b, "no locality: fall back to spreading");
     }
 

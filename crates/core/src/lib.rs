@@ -15,11 +15,14 @@
 //!   exploration heuristic (Section IV-D),
 //! - intra-node GrCUDA scheduling: device and stream selection plus wait
 //!   events (Algorithm 2),
+//! - [`Planner`]: the backend-agnostic scheduling core tying the above
+//!   together, emitting one pure [`Plan`] per CE (observable through
+//!   [`SchedTrace`]),
 //! - [`SimRuntime`]: the analytic virtual-time cluster runtime used to
 //!   regenerate the paper's figures, including the single-node GrCUDA
-//!   baseline, and
+//!   baseline — it *prices* plans in virtual time, and
 //! - [`LocalRuntime`]: a real multi-threaded controller/worker deployment
-//!   executing kernels on the host CPU.
+//!   executing the very same plans on host-CPU kernels.
 
 mod ce;
 mod coherence;
@@ -27,15 +30,21 @@ mod dag;
 mod intranode;
 mod local_runtime;
 mod policy;
+mod scheduler;
 mod sim_runtime;
 mod timeline;
 
 pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 pub use coherence::{Coherence, Location};
 pub use dag::{AddOutcome, DagIndex, DepDag};
-pub use intranode::{select_device, select_stream, DevicePolicy, Placement, MAX_STREAMS_PER_DEVICE};
+pub use intranode::{
+    select_device, select_stream, DevicePolicy, Placement, MAX_STREAMS_PER_DEVICE,
+};
 pub use local_runtime::{HostBuf, LocalArg, LocalConfig, LocalError, LocalRuntime, LocalStats};
 pub use policy::{ExplorationLevel, LinkMatrix, NodeScheduler, PolicyKind};
+pub use scheduler::{
+    Movement, MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
+};
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
 pub use timeline::{validate as validate_timeline, TimelineReport};
 

@@ -1,19 +1,29 @@
 //! The local (real-execution) runtime: GrOUT's Controller/Worker
 //! architecture as actual threads.
 //!
-//! Where [`crate::SimRuntime`] computes virtual-time figures on a modeled
-//! V100 cluster, `LocalRuntime` *runs* the same scheduling machinery for
-//! real: workers are OS threads holding local array copies, the controller
-//! dispatches CEs over crossbeam channels following the Global DAG and the
-//! selected inter-node policy, data moves as buffer messages
+//! `LocalRuntime` is the second *plan executor* over the shared scheduling
+//! core: every CE goes through the same [`Planner`] as
+//! [`crate::SimRuntime`] (paper Algorithm 1 — dependencies → node
+//! assignment → data movements) and the resulting [`Plan`] is executed for
+//! real. Workers are OS threads holding local array copies, the controller
+//! transmits plans over crossbeam channels, data moves as buffer messages
 //! (controller-send or true peer-to-peer between worker threads), and
 //! kernels compiled by `kernelc` execute on the host CPU (rayon-parallel
 //! across blocks).
 //!
-//! Execution is deferred, matching GrCUDA's asynchronous semantics: `launch`
-//! enqueues a CE; host reads/writes synchronize first.
+//! Execution is deferred, matching GrCUDA's asynchronous semantics:
+//! `launch` *plans* a CE eagerly (so the planner's coherence view evolves
+//! exactly as in the simulator) and `synchronize` transmits the plans.
+//! Transmission is readiness-gated on the Global DAG — a CE's messages go
+//! out only after every parent (including WAR/WAW anti-dependencies)
+//! completed, so each worker's single physical copy per array holds
+//! exactly the content a consumer planned against. Monotonic per-array
+//! content versions carried in the messages enforce the residual dataflow
+//! ordering: a worker only runs a kernel once every input reached the
+//! version the plan demands, and only forwards a copy once it is fresh
+//! enough.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -23,39 +33,37 @@ use kernelc::{CompiledKernel, KernelArg, LaunchError};
 use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 use crate::coherence::{Coherence, Location};
 use crate::dag::{DagIndex, DepDag};
-use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
+use crate::policy::{LinkMatrix, PolicyKind};
+use crate::scheduler::{
+    MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
+};
 
 /// Errors surfaced by the local runtime.
-#[derive(Debug)]
+#[derive(Debug, thiserror::Error)]
+#[non_exhaustive]
 pub enum LocalError {
     /// A kernel launch failed inside a worker.
+    #[error("kernel launch failed: {0}")]
     Launch(LaunchError),
     /// A kernel launch failed; includes the failing CE's DAG index.
+    #[error("CE #{0} failed: {1}")]
     LaunchAt(DagIndex, LaunchError),
     /// The same array was passed twice to one kernel (aliasing unsupported).
+    #[error("array {0:?} aliased within one kernel")]
     Aliased(ArrayId),
     /// Unknown array id.
+    #[error("unknown array {0:?}")]
     UnknownArray(ArrayId),
     /// Argument count/type mismatch against the kernel signature.
+    #[error("bad kernel arguments: {0}")]
     BadArgs(String),
     /// A worker thread disappeared.
+    #[error("worker {0} died")]
     WorkerDied(usize),
+    /// The shared scheduling core rejected the CE.
+    #[error("planning failed: {0}")]
+    Plan(PlanError),
 }
-
-impl std::fmt::Display for LocalError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LocalError::Launch(e) => write!(f, "kernel launch failed: {e}"),
-            LocalError::LaunchAt(i, e) => write!(f, "CE #{i} failed: {e}"),
-            LocalError::Aliased(a) => write!(f, "array {a:?} aliased within one kernel"),
-            LocalError::UnknownArray(a) => write!(f, "unknown array {a:?}"),
-            LocalError::BadArgs(m) => write!(f, "bad kernel arguments: {m}"),
-            LocalError::WorkerDied(w) => write!(f, "worker {w} died"),
-        }
-    }
-}
-
-impl std::error::Error for LocalError {}
 
 /// A host-side buffer (the backing store of a framework array).
 #[derive(Debug, Clone, PartialEq)]
@@ -156,27 +164,36 @@ pub struct LocalStats {
 /// Configuration of the local deployment.
 #[derive(Debug, Clone)]
 pub struct LocalConfig {
-    /// Number of worker threads.
-    pub workers: usize,
-    /// Inter-node scheduling policy.
-    pub policy: PolicyKind,
+    /// The shared scheduling core's knobs: worker count, inter-node policy
+    /// and the paper's ablation switches.
+    pub planner: PlannerConfig,
 }
 
-impl Default for LocalConfig {
-    fn default() -> Self {
+impl LocalConfig {
+    /// A deployment with `workers` threads under `policy` and the paper's
+    /// default planner knobs.
+    pub fn new(workers: usize, policy: PolicyKind) -> Self {
         LocalConfig {
-            workers: 2,
-            policy: PolicyKind::RoundRobin,
+            planner: PlannerConfig::new(workers, policy),
         }
     }
 }
 
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig::new(2, PolicyKind::RoundRobin)
+    }
+}
+
+/// A planned-but-not-yet-transmitted kernel CE.
 struct PendingCe {
-    dag_index: DagIndex,
+    plan: Plan,
     kernel: Arc<CompiledKernel>,
     grid: (u32, u32),
     block: (u32, u32),
     args: Vec<LocalArg>,
+    needs: Vec<(ArrayId, u64)>,
+    bumps: Vec<(ArrayId, u64)>,
     dispatched: bool,
 }
 
@@ -185,22 +202,28 @@ struct WorkerHandle {
     join: Option<JoinHandle<()>>,
 }
 
-/// The threaded GrOUT runtime.
+/// The threaded GrOUT runtime: executes [`Plan`]s over channels.
 pub struct LocalRuntime {
     cfg: LocalConfig,
-    dag: DepDag,
-    coherence: Coherence,
-    scheduler: NodeScheduler,
+    planner: Planner,
     /// Controller master copies (authoritative when coherence says so).
     master: HashMap<ArrayId, HostBuf>,
     /// Monotonic content version per array (bumped by every writer CE).
     versions: HashMap<ArrayId, u64>,
-    next_array: u64,
+    /// Version the controller's master copy actually holds (lags
+    /// `versions` while fresh content still lives on a worker).
+    master_versions: HashMap<ArrayId, u64>,
+    /// Arrays ever delivered to each worker's local store.
+    present: Vec<HashSet<ArrayId>>,
+    /// Controller-relayed sends waiting for the master copy to reach a
+    /// version (second hop of staged movements).
+    pending_ctrl: Vec<(ArrayId, u64, usize)>,
     pending: Vec<PendingCe>,
     workers: Vec<WorkerHandle>,
     from_workers: Receiver<ToController>,
     stats: LocalStats,
     kernels_by_worker: Vec<u64>,
+    trace: SchedTrace,
 }
 
 fn trace_on() -> bool {
@@ -293,7 +316,11 @@ fn worker_loop(
 
     'main: while let Ok(msg) = rx.recv() {
         match msg {
-            ToWorker::Data { array, version, buf } => {
+            ToWorker::Data {
+                array,
+                version,
+                buf,
+            } => {
                 if trace_on() {
                     eprintln!("[w{me}] Data {array:?} v{version}");
                 }
@@ -306,11 +333,18 @@ fn worker_loop(
             }
             ToWorker::Exec(m) => {
                 if trace_on() {
-                    eprintln!("[w{me}] Exec ce#{} needs {:?} bumps {:?}", m.dag_index, m.needs, m.bumps);
+                    eprintln!(
+                        "[w{me}] Exec ce#{} needs {:?} bumps {:?}",
+                        m.dag_index, m.needs, m.bumps
+                    );
                 }
                 queue.push_back(m)
             }
-            ToWorker::Send { array, min_version, to } => {
+            ToWorker::Send {
+                array,
+                min_version,
+                to,
+            } => {
                 if trace_on() {
                     eprintln!(
                         "[w{me}] Send {array:?} v>={min_version} -> {to:?} (stored v{:?})",
@@ -378,10 +412,11 @@ impl LocalRuntime {
     /// Spawns the worker threads and wires the channel mesh (controller to
     /// each worker, worker to worker for P2P, workers back to controller).
     pub fn new(cfg: LocalConfig) -> Self {
-        assert!(cfg.workers > 0, "need at least one worker");
+        let n = cfg.planner.workers;
+        assert!(n > 0, "need at least one worker");
         let (to_controller, from_workers) = unbounded::<ToController>();
         let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
-            (0..cfg.workers).map(|_| unbounded()).collect();
+            (0..n).map(|_| unbounded()).collect();
         let txs: Vec<Sender<ToWorker>> = channels.iter().map(|(t, _)| t.clone()).collect();
         let workers = channels
             .into_iter()
@@ -399,20 +434,21 @@ impl LocalRuntime {
                 }
             })
             .collect();
-        let links = LinkMatrix::uniform(cfg.workers + 1, 1e9);
-        let scheduler = NodeScheduler::new(cfg.policy.clone(), cfg.workers, Some(links));
+        let links = LinkMatrix::uniform(n + 1, 1e9);
+        let planner = Planner::new(cfg.planner.clone(), Some(links));
         LocalRuntime {
-            dag: DepDag::new(),
-            coherence: Coherence::new(),
-            scheduler,
+            planner,
             master: HashMap::new(),
             versions: HashMap::new(),
-            next_array: 0,
+            master_versions: HashMap::new(),
+            present: vec![HashSet::new(); n],
+            pending_ctrl: Vec::new(),
             pending: Vec::new(),
             workers,
             from_workers,
             stats: LocalStats::default(),
-            kernels_by_worker: vec![0; cfg.workers],
+            kernels_by_worker: vec![0; n],
+            trace: SchedTrace::default(),
             cfg,
         }
     }
@@ -424,7 +460,7 @@ impl LocalRuntime {
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
-        self.cfg.workers
+        self.cfg.planner.workers
     }
 
     /// Allocates a float array of `len` zeros.
@@ -438,11 +474,10 @@ impl LocalRuntime {
     }
 
     fn alloc_buf(&mut self, buf: HostBuf) -> ArrayId {
-        let id = ArrayId(self.next_array);
-        self.next_array += 1;
+        let id = self.planner.alloc(buf.bytes());
         self.master.insert(id, buf);
         self.versions.insert(id, 0);
-        self.coherence.register(id);
+        self.master_versions.insert(id, 0);
         id
     }
 
@@ -454,28 +489,33 @@ impl LocalRuntime {
         f: impl FnOnce(&mut [f32]),
     ) -> Result<(), LocalError> {
         self.fetch_to_controller(array)?;
-        match self.master.get_mut(&array) {
-            Some(HostBuf::F32(v)) => {
-                f(v);
-                let bytes = (v.len() * 4) as u64;
-                *self.versions.entry(array).or_insert(0) += 1;
-                self.coherence.record_write(array, Location::CONTROLLER);
-                // Record the host CE in the Global DAG for ordering parity
-                // with the simulated runtime.
-                let ce = Ce {
-                    id: CeId(self.dag.len() as u64),
-                    kind: CeKind::HostWrite,
-                    args: vec![CeArg::write(array, bytes)],
-                };
-                let out = self.dag.add_ce(&ce);
-                self.dag.mark_completed(out.index);
-                Ok(())
+        let bytes = match self.master.get(&array) {
+            Some(HostBuf::F32(v)) => (v.len() * 4) as u64,
+            Some(HostBuf::I32(_)) => {
+                return Err(LocalError::BadArgs(format!(
+                    "array {array:?} is i32, not f32"
+                )))
             }
-            Some(HostBuf::I32(_)) => Err(LocalError::BadArgs(format!(
-                "array {array:?} is i32, not f32"
-            ))),
-            None => Err(LocalError::UnknownArray(array)),
+            None => return Err(LocalError::UnknownArray(array)),
+        };
+        // Plan the host CE through the shared core: it records the write in
+        // the Global DAG and makes the controller the exclusive holder.
+        let ce = Ce {
+            id: CeId(self.planner.dag().len() as u64),
+            kind: CeKind::HostWrite,
+            args: vec![CeArg::write(array, bytes)],
+        };
+        let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
+        match self.master.get_mut(&array) {
+            Some(HostBuf::F32(v)) => f(v),
+            _ => unreachable!("type checked above"),
         }
+        let v = self.versions.entry(array).or_insert(0);
+        *v += 1;
+        self.master_versions.insert(array, *v);
+        self.planner.mark_completed(plan.dag_index);
+        self.trace.record(&plan);
+        Ok(())
     }
 
     /// Host read: synchronizes and returns a copy of the float contents.
@@ -504,6 +544,8 @@ impl LocalRuntime {
     }
 
     /// Enqueues a kernel CE over a 2-D grid (`dim3(x, y)` semantics).
+    /// The CE is planned immediately (eager, like the simulator); the plan
+    /// is transmitted to the workers at the next synchronization point.
     pub fn launch2d(
         &mut self,
         kernel: &Arc<CompiledKernel>,
@@ -555,21 +597,50 @@ impl LocalRuntime {
             }
         }
         let ce = Ce {
-            id: CeId(self.dag.len() as u64),
+            id: CeId(self.planner.dag().len() as u64),
             kind: CeKind::Kernel {
                 name: kernel.name().to_string(),
                 cost: gpu_sim::KernelCost::default(),
             },
             args: ce_args,
         };
-        let out = self.dag.add_ce(&ce);
         let id = ce.id;
+
+        // Algorithm 1 runs in the shared core; this runtime executes the
+        // returned plan verbatim at synchronize time.
+        let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
+
+        // Version bookkeeping: read args must reach their current version
+        // on the assigned worker, write-only args only need a buffer
+        // present (their prior contents are overwritten, CUDA-style).
+        let mut needs = Vec::new();
+        let mut bumps = Vec::new();
+        for (i, arg) in args.iter().enumerate() {
+            if let LocalArg::Buf(a) = arg {
+                let pa = kernel.access()[i];
+                let need = if pa.reads {
+                    self.versions.get(a).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+                needs.push((*a, need));
+                if pa.writes {
+                    let v = self.versions.entry(*a).or_insert(0);
+                    *v += 1;
+                    bumps.push((*a, *v));
+                }
+            }
+        }
+
+        self.trace.record(&plan);
         self.pending.push(PendingCe {
-            dag_index: out.index,
+            plan,
             kernel: Arc::clone(kernel),
             grid,
             block,
             args,
+            needs,
+            bumps,
             dispatched: false,
         });
         Ok(id)
@@ -582,147 +653,197 @@ impl LocalRuntime {
     /// Runs every pending CE to completion across the worker threads.
     pub fn synchronize(&mut self) -> Result<(), LocalError> {
         loop {
-            // Dispatch every ready, undispatched CE; count what's in flight.
-            let mut in_flight = 0usize;
+            // Transmit a plan only once every DAG parent has completed.
+            // Workers hold a single physical copy per array, so a CE's
+            // messages must never race ahead of its dependencies: the
+            // WAR/WAW edges in the Global DAG are what guarantee each
+            // consumer sees exactly the content version it planned
+            // against, not a later overwrite.
             for i in 0..self.pending.len() {
-                let (dag_index, dispatched) =
-                    (self.pending[i].dag_index, self.pending[i].dispatched);
-                if dispatched {
-                    if !self.dag.is_completed(dag_index) {
-                        in_flight += 1;
-                    }
-                    continue;
+                if !self.pending[i].dispatched
+                    && self.planner.dag().is_ready(self.pending[i].plan.dag_index)
+                {
+                    self.transmit(i)?;
                 }
-                if !self.dag.is_ready(dag_index) {
-                    continue;
-                }
-                self.dispatch(i)?;
-                in_flight += 1;
             }
+            let in_flight = self
+                .pending
+                .iter()
+                .filter(|p| p.dispatched && !self.planner.dag().is_completed(p.plan.dag_index))
+                .count();
             if in_flight == 0 {
                 break;
             }
-            // Wait for at least one completion before re-scanning.
             match self.from_workers.recv() {
                 Ok(ToController::Done { dag_index, worker }) => {
-                    self.dag.mark_completed(dag_index);
+                    self.planner.mark_completed(dag_index);
                     self.kernels_by_worker[worker] += 1;
                 }
                 Ok(ToController::Failed { dag_index, error }) => {
                     return Err(LocalError::LaunchAt(dag_index, error));
                 }
-                Ok(ToController::Data { array, version, buf }) => {
-                    let v = self.versions.entry(array).or_insert(0);
-                    *v = (*v).max(version);
-                    self.master.insert(array, buf);
+                Ok(ToController::Data {
+                    array,
+                    version,
+                    buf,
+                }) => {
+                    self.install_master(array, version, buf);
+                    self.flush_pending_ctrl()?;
                 }
                 Err(_) => return Err(LocalError::WorkerDied(0)),
+            }
+        }
+        let done: Vec<bool> = self
+            .pending
+            .iter()
+            .map(|p| self.planner.dag().is_completed(p.plan.dag_index))
+            .collect();
+        let mut done = done.into_iter();
+        self.pending.retain(|_| !done.next().unwrap());
+        Ok(())
+    }
+
+    /// Installs a worker-returned buffer as the controller master copy
+    /// (keeping the newest version).
+    fn install_master(&mut self, array: ArrayId, version: u64, buf: HostBuf) {
+        let v = self.versions.entry(array).or_insert(0);
+        *v = (*v).max(version);
+        let mv = self.master_versions.entry(array).or_insert(0);
+        if version >= *mv {
+            *mv = version;
+            self.master.insert(array, buf);
+        }
+    }
+
+    /// Forwards any controller-relayed send whose master copy caught up
+    /// (the second hop of staged movements).
+    fn flush_pending_ctrl(&mut self) -> Result<(), LocalError> {
+        let mut i = 0;
+        while i < self.pending_ctrl.len() {
+            let (array, need, w) = self.pending_ctrl[i];
+            if self.master_versions.get(&array).copied().unwrap_or(0) >= need {
+                self.pending_ctrl.remove(i);
+                self.send_master_to(array, w)?;
+            } else {
+                i += 1;
             }
         }
         Ok(())
     }
 
-    /// Dispatches pending CE `i`: node assignment, data movements, exec.
-    fn dispatch(&mut self, i: usize) -> Result<(), LocalError> {
-        // Rebuild the CE argument view for the policy.
-        let mut ce_args = Vec::new();
-        let mut needs = Vec::new();
-        for arg in &self.pending[i].args {
-            if let LocalArg::Buf(a) = arg {
-                let bytes = self.array_size(*a).ok_or(LocalError::UnknownArray(*a))?;
-                ce_args.push(CeArg::read(*a, bytes));
-                needs.push((*a, self.versions.get(a).copied().unwrap_or(0)));
-            }
-        }
-        let ce_view = Ce {
-            id: CeId(self.pending[i].dag_index as u64),
-            kind: CeKind::Kernel {
-                name: self.pending[i].kernel.name().to_string(),
-                cost: gpu_sim::KernelCost::default(),
-            },
-            args: ce_args,
+    /// Ships the controller master copy of `array` to worker `w`.
+    fn send_master_to(&mut self, array: ArrayId, w: usize) -> Result<(), LocalError> {
+        let buf = self
+            .master
+            .get(&array)
+            .ok_or(LocalError::UnknownArray(array))?
+            .clone();
+        let version = self.master_versions.get(&array).copied().unwrap_or(0);
+        self.workers[w]
+            .tx
+            .send(ToWorker::Data {
+                array,
+                version,
+                buf,
+            })
+            .map_err(|_| LocalError::WorkerDied(w))?;
+        self.present[w].insert(array);
+        Ok(())
+    }
+
+    /// Transmits pending CE `i`: issues the plan's data movements as
+    /// channel messages, then the kernel itself. No scheduling decision is
+    /// made here — the plan is executed verbatim.
+    fn transmit(&mut self, i: usize) -> Result<(), LocalError> {
+        let w = self.pending[i]
+            .plan
+            .assigned_node
+            .worker_index()
+            .expect("kernel plans target workers");
+        let need_of = |needs: &[(ArrayId, u64)], a: ArrayId| {
+            needs
+                .iter()
+                .find(|(x, _)| *x == a)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
         };
-        let w = self.scheduler.assign(&ce_view, &self.coherence);
-        let dest = Location::worker(w);
         if trace_on() {
             eprintln!(
-                "[ctl] dispatch ce#{} -> w{w} needs {:?}",
-                self.pending[i].dag_index, needs
+                "[ctl] transmit ce#{} -> w{w} needs {:?}",
+                self.pending[i].plan.dag_index, self.pending[i].needs
             );
         }
 
-        // Data movements (Algorithm 1 bottom half, for real).
-        for k in 0..self.pending[i].args.len() {
-            let LocalArg::Buf(a) = self.pending[i].args[k] else {
-                continue;
-            };
-            if self.coherence.up_to_date_on(a, dest) {
-                continue;
-            }
-            let bytes = self.array_size(a).unwrap_or(0);
-            let p2p_src = if self.coherence.only_on_controller(a) {
-                None
-            } else {
-                self.coherence
-                    .holders(a)
-                    .iter()
-                    .find_map(|l| l.worker_index())
-                    .filter(|&src| src != w)
-            };
-            match p2p_src {
-                Some(src) => {
-                    let min_version = self.versions.get(&a).copied().unwrap_or(0);
+        for k in 0..self.pending[i].plan.movements.len() {
+            let m = self.pending[i].plan.movements[k].clone();
+            let need = need_of(&self.pending[i].needs, m.array);
+            match m.kind {
+                MovementKind::P2p => {
+                    let src = m.from.worker_index().expect("p2p sources are workers");
                     self.workers[src]
                         .tx
                         .send(ToWorker::Send {
-                            array: a,
-                            min_version,
+                            array: m.array,
+                            min_version: need,
                             to: Some(w),
                         })
                         .map_err(|_| LocalError::WorkerDied(src))?;
-                    self.stats.p2p_bytes += bytes;
+                    self.stats.p2p_bytes += m.bytes;
                 }
-                None => {
-                    let buf = self
-                        .master
-                        .get(&a)
-                        .ok_or(LocalError::UnknownArray(a))?
-                        .clone();
-                    let version = self.versions.get(&a).copied().unwrap_or(0);
-                    self.workers[w]
+                MovementKind::ControllerSend => {
+                    if self.master_versions.get(&m.array).copied().unwrap_or(0) >= need {
+                        self.send_master_to(m.array, w)?;
+                    } else {
+                        // Master copy still in flight from a worker; relay
+                        // once it lands.
+                        self.pending_ctrl.push((m.array, need, w));
+                    }
+                    self.stats.send_bytes += m.bytes;
+                }
+                MovementKind::Staged => {
+                    // P2P disabled: first hop pulls the bytes to the
+                    // controller, the relay to `w` fires when they land.
+                    let src = m.from.worker_index().expect("staged sources are workers");
+                    self.workers[src]
                         .tx
-                        .send(ToWorker::Data { array: a, version, buf })
-                        .map_err(|_| LocalError::WorkerDied(w))?;
-                    self.stats.send_bytes += bytes;
+                        .send(ToWorker::Send {
+                            array: m.array,
+                            min_version: need,
+                            to: None,
+                        })
+                        .map_err(|_| LocalError::WorkerDied(src))?;
+                    self.pending_ctrl.push((m.array, need, w));
+                    self.stats.fetch_bytes += m.bytes;
+                    self.stats.send_bytes += m.bytes;
                 }
             }
-            self.coherence.record_copy(a, dest);
+            self.present[w].insert(m.array);
         }
 
-        // Coherence for writes: the destination becomes the exclusive
-        // holder of a new content version.
-        let mut bumps = Vec::new();
+        // Buffers the plan did not move (write-only outputs, or inputs the
+        // coherence directory already places here) must still physically
+        // exist in the worker's store before the kernel can take them.
         for k in 0..self.pending[i].args.len() {
             let LocalArg::Buf(a) = self.pending[i].args[k] else {
                 continue;
             };
-            if self.pending[i].kernel.access()[k].writes {
-                let v = self.versions.entry(a).or_insert(0);
-                *v += 1;
-                bumps.push((a, *v));
-                self.coherence.record_write(a, dest);
+            if self.present[w].contains(&a) {
+                continue;
             }
+            let bytes = self.array_size(a).unwrap_or(0);
+            self.send_master_to(a, w)?;
+            self.stats.send_bytes += bytes;
         }
 
         let p = &self.pending[i];
         let msg = ExecMsg {
-            dag_index: p.dag_index,
+            dag_index: p.plan.dag_index,
             kernel: Arc::clone(&p.kernel),
             grid: p.grid,
             block: p.block,
             args: p.args.clone(),
-            needs,
-            bumps,
+            needs: p.needs.clone(),
+            bumps: p.bumps.clone(),
         };
         self.workers[w]
             .tx
@@ -733,53 +854,71 @@ impl LocalRuntime {
         Ok(())
     }
 
-    /// Ensures the controller master copy is current.
+    /// Ensures the controller master copy is current. When it is not, this
+    /// plans a host-read CE through the shared core (mirroring
+    /// [`crate::SimRuntime::host_read`]) and executes its movement.
     fn fetch_to_controller(&mut self, array: ArrayId) -> Result<(), LocalError> {
         if !self.master.contains_key(&array) {
             return Err(LocalError::UnknownArray(array));
         }
         self.synchronize()?;
-        if self.coherence.up_to_date_on(array, Location::CONTROLLER) {
+        if self
+            .planner
+            .coherence()
+            .up_to_date_on(array, Location::CONTROLLER)
+        {
             return Ok(());
         }
-        let holder = self
-            .coherence
-            .holders(array)
-            .iter()
-            .find_map(|l| l.worker_index())
-            .ok_or(LocalError::UnknownArray(array))?;
+        let bytes = self.array_size(array).unwrap_or(0);
+        let ce = Ce {
+            id: CeId(self.planner.dag().len() as u64),
+            kind: CeKind::HostRead,
+            args: vec![CeArg::read(array, bytes)],
+        };
+        let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
         let min_version = self.versions.get(&array).copied().unwrap_or(0);
-        self.workers[holder]
-            .tx
-            .send(ToWorker::Send {
-                array,
-                min_version,
-                to: None,
-            })
-            .map_err(|_| LocalError::WorkerDied(holder))?;
-        loop {
-            match self.from_workers.recv() {
-                Ok(ToController::Data { array: a, version, buf }) => {
-                    let v = self.versions.entry(a).or_insert(0);
-                    *v = (*v).max(version);
-                    let bytes = buf.bytes();
-                    self.master.insert(a, buf);
-                    if a == array {
-                        self.stats.fetch_bytes += bytes;
-                        self.coherence.record_copy(array, Location::CONTROLLER);
-                        return Ok(());
+        for m in &plan.movements {
+            let Some(holder) = m.from.worker_index() else {
+                continue;
+            };
+            self.workers[holder]
+                .tx
+                .send(ToWorker::Send {
+                    array: m.array,
+                    min_version,
+                    to: None,
+                })
+                .map_err(|_| LocalError::WorkerDied(holder))?;
+            // Wait for the bytes (completions for other CEs may interleave).
+            loop {
+                match self.from_workers.recv() {
+                    Ok(ToController::Data {
+                        array: a,
+                        version,
+                        buf,
+                    }) => {
+                        let landed = buf.bytes();
+                        self.install_master(a, version, buf);
+                        self.flush_pending_ctrl()?;
+                        if a == array {
+                            self.stats.fetch_bytes += landed;
+                            break;
+                        }
                     }
+                    Ok(ToController::Done { dag_index, worker }) => {
+                        self.planner.mark_completed(dag_index);
+                        self.kernels_by_worker[worker] += 1;
+                    }
+                    Ok(ToController::Failed { error, .. }) => {
+                        return Err(LocalError::Launch(error));
+                    }
+                    Err(_) => return Err(LocalError::WorkerDied(holder)),
                 }
-                Ok(ToController::Done { dag_index, worker }) => {
-                    self.dag.mark_completed(dag_index);
-                    self.kernels_by_worker[worker] += 1;
-                }
-                Ok(ToController::Failed { error, .. }) => {
-                    return Err(LocalError::Launch(error));
-                }
-                Err(_) => return Err(LocalError::WorkerDied(holder)),
             }
         }
+        self.planner.mark_completed(plan.dag_index);
+        self.trace.record(&plan);
+        Ok(())
     }
 
     /// Failure injection: shuts a worker down immediately. Any CE later
@@ -800,12 +939,22 @@ impl LocalRuntime {
 
     /// The Global DAG (read-only).
     pub fn dag(&self) -> &DepDag {
-        &self.dag
+        self.planner.dag()
     }
 
     /// The coherence directory (read-only).
     pub fn coherence(&self) -> &Coherence {
-        &self.coherence
+        self.planner.coherence()
+    }
+
+    /// The trace of planned CEs (ring buffer, oldest first).
+    pub fn sched_trace(&self) -> &SchedTrace {
+        &self.trace
+    }
+
+    /// Installs a callback invoked for every planned CE.
+    pub fn set_sched_observer(&mut self, observer: PlanObserver) {
+        self.trace.set_observer(observer);
     }
 }
 
@@ -833,10 +982,7 @@ mod tests {
     }";
 
     fn rt(workers: usize) -> LocalRuntime {
-        LocalRuntime::new(LocalConfig {
-            workers,
-            policy: PolicyKind::RoundRobin,
-        })
+        LocalRuntime::new(LocalConfig::new(workers, PolicyKind::RoundRobin))
     }
 
     #[test]
@@ -887,8 +1033,13 @@ mod tests {
         );
         // Ten dependent increments must serialize even across two workers.
         for _ in 0..10 {
-            rt.launch(&k_inc, 4, 256, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)])
-                .unwrap();
+            rt.launch(
+                &k_inc,
+                4,
+                256,
+                vec![LocalArg::Buf(a), LocalArg::I32(n as i32)],
+            )
+            .unwrap();
         }
         let out = rt.read_f32(a).unwrap();
         assert!(out.iter().all(|&v| v == 10.0), "got {}", out[0]);
@@ -914,14 +1065,22 @@ mod tests {
             &k,
             256,
             256,
-            vec![LocalArg::Buf(a), LocalArg::F32(5.0), LocalArg::I32(n as i32)],
+            vec![
+                LocalArg::Buf(a),
+                LocalArg::F32(5.0),
+                LocalArg::I32(n as i32),
+            ],
         )
         .unwrap();
         rt.launch(
             &k,
             256,
             256,
-            vec![LocalArg::Buf(b), LocalArg::F32(7.0), LocalArg::I32(n as i32)],
+            vec![
+                LocalArg::Buf(b),
+                LocalArg::F32(7.0),
+                LocalArg::I32(n as i32),
+            ],
         )
         .unwrap();
         assert_eq!(rt.read_f32(a).unwrap()[123], 5.0);
@@ -956,8 +1115,13 @@ mod tests {
             )
             .unwrap(),
         );
-        rt.launch(&fill, 16, 256, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)])
-            .unwrap();
+        rt.launch(
+            &fill,
+            16,
+            256,
+            vec![LocalArg::Buf(a), LocalArg::I32(n as i32)],
+        )
+        .unwrap();
         let _ = b;
         let c = rt.alloc_f32(n);
         // Round-robin sends the consumer to worker 1; `a` travels P2P.
@@ -1059,10 +1223,10 @@ mod tests {
 
     #[test]
     fn min_transfer_size_keeps_work_local() {
-        let mut rt = LocalRuntime::new(LocalConfig {
-            workers: 2,
-            policy: PolicyKind::MinTransferSize(crate::policy::ExplorationLevel::Low),
-        });
+        let mut rt = LocalRuntime::new(LocalConfig::new(
+            2,
+            PolicyKind::MinTransferSize(crate::policy::ExplorationLevel::Low),
+        ));
         let n = 1 << 14;
         let a = rt.alloc_f32(n);
         let k = Arc::new(
@@ -1084,5 +1248,55 @@ mod tests {
         assert_eq!(rt.stats().send_bytes, (n * 4) as u64);
         assert_eq!(rt.stats().p2p_bytes, 0);
         assert_eq!(rt.read_f32(a).unwrap()[0], 8.0);
+    }
+
+    #[test]
+    fn local_trace_mirrors_the_planner() {
+        let mut rt = rt(2);
+        let n = 1024usize;
+        let a = rt.alloc_f32(n);
+        let fill = Arc::new(
+            compile_one(
+                "__global__ void fill(float* a, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = 3.0; }
+                }",
+                "fill",
+            )
+            .unwrap(),
+        );
+        let inc = Arc::new(
+            compile_one(
+                "__global__ void inc(float* a, int n) {
+                    int i = blockIdx.x * blockDim.x + threadIdx.x;
+                    if (i < n) { a[i] = a[i] + 1.0; }
+                }",
+                "inc",
+            )
+            .unwrap(),
+        );
+        rt.launch(
+            &fill,
+            4,
+            256,
+            vec![LocalArg::Buf(a), LocalArg::I32(n as i32)],
+        )
+        .unwrap();
+        rt.launch(
+            &inc,
+            4,
+            256,
+            vec![LocalArg::Buf(a), LocalArg::I32(n as i32)],
+        )
+        .unwrap();
+        rt.synchronize().unwrap();
+        let plans: Vec<&Plan> = rt.sched_trace().plans().collect();
+        assert_eq!(plans.len(), 2);
+        // fill -> worker 0 (round-robin), inc -> worker 1 with a P2P pull.
+        assert_eq!(plans[0].assigned_node, Location::worker(0));
+        assert_eq!(plans[1].deps, vec![0]);
+        assert_eq!(plans[1].movements[0].kind, MovementKind::P2p);
+        assert!(plans[1].placement.is_none(), "no devices to place on");
+        assert_eq!(rt.read_f32(a).unwrap()[0], 4.0);
     }
 }

@@ -352,18 +352,12 @@ mod tests {
         coh.record_write(A, Location::worker(0));
         let c = ce(vec![CeArg::read(A, 40 * MIB), CeArg::read(B, 60 * MIB)]);
         // Low (1 MiB): worker 0 viable -> chosen.
-        let mut low = NodeScheduler::new(
-            PolicyKind::MinTransferSize(ExplorationLevel::Low),
-            2,
-            None,
-        );
+        let mut low =
+            NodeScheduler::new(PolicyKind::MinTransferSize(ExplorationLevel::Low), 2, None);
         assert_eq!(low.assign(&c, &coh), 0);
         // High (4 GiB): nobody viable -> round robin starts at 0.
-        let mut high = NodeScheduler::new(
-            PolicyKind::MinTransferSize(ExplorationLevel::High),
-            2,
-            None,
-        );
+        let mut high =
+            NodeScheduler::new(PolicyKind::MinTransferSize(ExplorationLevel::High), 2, None);
         assert_eq!(high.assign(&c, &coh), 0);
         assert_eq!(high.assign(&c, &coh), 1, "second fallback advances");
     }

@@ -1,0 +1,552 @@
+//! The backend-agnostic scheduling core (paper Algorithm 1).
+//!
+//! [`Planner`] owns the three pieces of Controller state that every GrOUT
+//! deployment shares — the Global [`DepDag`], the [`Coherence`] directory
+//! and the inter-node [`NodeScheduler`] — and exposes a single entry point,
+//! [`Planner::plan_ce`], that turns a submitted CE into a pure
+//! [`Plan`]: dependencies, node assignment and data movements, with no
+//! knowledge of virtual time or threads.
+//!
+//! Both runtimes consume plans instead of re-implementing the algorithm:
+//! [`crate::SimRuntime`] *prices* each plan in virtual time over the
+//! modeled network, [`crate::LocalRuntime`] *executes* it over crossbeam
+//! channels. The ablation knobs the paper toggles (peer-to-peer transfers,
+//! flat vs hierarchical scheduling, controller colocation) live here in
+//! [`PlannerConfig`] so both backends answer to the same switches.
+//!
+//! [`SchedTrace`] is the observer hook: a bounded ring buffer of emitted
+//! plans plus an optional callback, fed by both runtimes.
+
+mod plan;
+
+pub use plan::{Movement, MovementKind, Plan, PlanError};
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ce::{ArrayId, Ce};
+use crate::coherence::{Coherence, Location};
+use crate::dag::{DagIndex, DepDag};
+use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
+
+/// Scheduling knobs shared by every backend.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Inter-node policy.
+    pub policy: PolicyKind,
+    /// Peer-to-peer transfers between workers (paper Algorithm 1 bottom).
+    /// When disabled (ablation), worker-to-worker movements are staged
+    /// through the controller: worker -> controller -> worker.
+    pub p2p_enabled: bool,
+    /// Ablation of the hierarchical scheduler (Section IV-C): when true the
+    /// Controller also tracks every GPU/stream on every node, so its per-CE
+    /// decision cost scales with the total stream count instead of being
+    /// delegated to the workers. (A costing knob: consumed by executors.)
+    pub flat_scheduling: bool,
+    /// Controller colocated with worker 0 (the GrCUDA single-node setup):
+    /// controller<->worker-0 movements are free (same host memory). (A
+    /// costing knob: consumed by executors.)
+    pub controller_colocated: bool,
+}
+
+impl PlannerConfig {
+    /// The paper's defaults: P2P on, hierarchical scheduling, dedicated
+    /// controller.
+    pub fn new(workers: usize, policy: PolicyKind) -> Self {
+        PlannerConfig {
+            workers,
+            policy,
+            p2p_enabled: true,
+            flat_scheduling: false,
+            controller_colocated: false,
+        }
+    }
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig::new(2, PolicyKind::RoundRobin)
+    }
+}
+
+/// The shared scheduling core: Global DAG + coherence directory + node
+/// scheduler behind one `plan_ce` entry point.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cfg: PlannerConfig,
+    dag: DepDag,
+    coherence: Coherence,
+    scheduler: NodeScheduler,
+    /// Whole-array sizes of live (registered) arrays.
+    array_bytes: HashMap<ArrayId, u64>,
+    next_array: u64,
+}
+
+impl Planner {
+    /// Builds a planner. `links` is the probed interconnection matrix; it
+    /// is required by `min-transfer-time` and also steers P2P source
+    /// selection when present.
+    ///
+    /// # Panics
+    /// Panics on the [`NodeScheduler::new`] invariants (zero workers,
+    /// empty vector-step vector, `MinTransferTime` without a matrix).
+    pub fn new(cfg: PlannerConfig, links: Option<LinkMatrix>) -> Self {
+        let scheduler = NodeScheduler::new(cfg.policy.clone(), cfg.workers, links);
+        Planner {
+            scheduler,
+            cfg,
+            dag: DepDag::new(),
+            coherence: Coherence::new(),
+            array_bytes: HashMap::new(),
+            next_array: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// The Global DAG (read-only view).
+    pub fn dag(&self) -> &DepDag {
+        &self.dag
+    }
+
+    /// The coherence directory (read-only view).
+    pub fn coherence(&self) -> &Coherence {
+        &self.coherence
+    }
+
+    /// The probed interconnection matrix, when one is held.
+    pub fn links(&self) -> Option<&LinkMatrix> {
+        self.scheduler.links()
+    }
+
+    /// Replaces the probed matrix after a link change (the VNIC-SLA
+    /// scenario of Section IV-D). Rebuilds the scheduler, which resets its
+    /// cursors — matching GrOUT re-probing at reconfiguration.
+    pub fn reprobe_links(&mut self, links: LinkMatrix) {
+        self.scheduler = NodeScheduler::new(self.cfg.policy.clone(), self.cfg.workers, Some(links));
+    }
+
+    /// Registers a new framework-managed array of `bytes`, up-to-date on
+    /// the Controller (where the application initializes it).
+    pub fn alloc(&mut self, bytes: u64) -> ArrayId {
+        let id = ArrayId(self.next_array);
+        self.next_array += 1;
+        self.coherence.register(id);
+        self.array_bytes.insert(id, bytes);
+        id
+    }
+
+    /// Forgets an array: planning any CE that reads it afterwards fails
+    /// with [`PlanError::UseAfterFree`].
+    pub fn free(&mut self, id: ArrayId) {
+        self.coherence.unregister(id);
+        self.array_bytes.remove(&id);
+    }
+
+    /// Size of a live array in bytes (0 when unknown/freed).
+    pub fn array_bytes(&self, id: ArrayId) -> u64 {
+        self.array_bytes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Marks a CE completed in the Global DAG (executors call this when
+    /// the CE actually finishes).
+    pub fn mark_completed(&mut self, i: DagIndex) {
+        self.dag.mark_completed(i);
+    }
+
+    /// Algorithm 1 for one CE: append to the Global DAG, pick the node,
+    /// plan the data movements. Returns the pure decision record.
+    ///
+    /// Coherence is updated *eagerly*, as if the CE had already run: every
+    /// planned copy registers its destination as a holder and every written
+    /// array makes the assigned node its exclusive holder. Backends execute
+    /// plans in submission order (or gate on explicit versions), so the
+    /// eager directory is exactly the state the next `plan_ce` must see.
+    pub fn plan_ce(&mut self, ce: &Ce) -> Result<Plan, PlanError> {
+        let outcome = self.dag.add_ce(ce);
+
+        // Node assignment: host CEs run on the Controller, kernels go
+        // through the configured inter-node policy.
+        let assigned_node = if ce.is_host() {
+            Location::CONTROLLER
+        } else {
+            Location::worker(self.scheduler.assign(ce, &self.coherence))
+        };
+
+        // Data movements for read arguments (Algorithm 1 bottom half).
+        let mut movements = Vec::new();
+        for arg in &ce.args {
+            if !arg.mode.reads() {
+                continue;
+            }
+            if let Some(m) = self.plan_movement(arg.array, assigned_node)? {
+                movements.push(m);
+            }
+        }
+
+        // Writes make the assigned node the exclusive holder.
+        for arg in &ce.args {
+            if arg.mode.writes() {
+                self.coherence.record_write(arg.array, assigned_node);
+            }
+        }
+
+        Ok(Plan {
+            dag_index: outcome.index,
+            deps: outcome.parents,
+            assigned_node,
+            movements,
+            placement: None,
+        })
+    }
+
+    /// Plans the movement bringing `array` up to date on `dest`, if any.
+    fn plan_movement(
+        &mut self,
+        array: ArrayId,
+        dest: Location,
+    ) -> Result<Option<Movement>, PlanError> {
+        if self.coherence.up_to_date_on(array, dest) {
+            return Ok(None);
+        }
+        let Some(&bytes) = self.array_bytes.get(&array) else {
+            return Err(PlanError::UseAfterFree(array));
+        };
+
+        let (from, kind) = if self.coherence.only_on_controller(array) {
+            (Location::CONTROLLER, MovementKind::ControllerSend)
+        } else if self.cfg.p2p_enabled {
+            let from = self.best_source(array, dest);
+            let kind = if from == Location::CONTROLLER || dest == Location::CONTROLLER {
+                MovementKind::ControllerSend
+            } else {
+                MovementKind::P2p
+            };
+            (from, kind)
+        } else {
+            // P2P disabled (ablation): a worker-to-worker movement stages
+            // through the controller, which keeps the relayed copy.
+            let from = self
+                .coherence
+                .holders(array)
+                .iter()
+                .copied()
+                .min_by_key(|h| h.0)
+                .expect("registered arrays always have a holder");
+            if from != Location::CONTROLLER && dest != Location::CONTROLLER {
+                self.coherence.record_copy(array, Location::CONTROLLER);
+                (from, MovementKind::Staged)
+            } else {
+                (from, MovementKind::ControllerSend)
+            }
+        };
+        self.coherence.record_copy(array, dest);
+        Ok(Some(Movement {
+            array,
+            from,
+            to: dest,
+            bytes,
+            kind,
+        }))
+    }
+
+    /// The up-to-date holder to source a transfer from: highest link
+    /// bandwidth towards `dest` when a probed matrix is available, lowest
+    /// endpoint index otherwise (and as the tie-break). Pure — unlike a
+    /// live-congestion probe, the same directory state always yields the
+    /// same source, which is what keeps sim and local plans identical.
+    fn best_source(&self, array: ArrayId, dest: Location) -> Location {
+        let holders = self.coherence.holders(array);
+        debug_assert!(!holders.is_empty(), "checked by caller");
+        match self.scheduler.links() {
+            Some(links) => holders
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    let (ba, bb) = (links.bandwidth(*a, dest), links.bandwidth(*b, dest));
+                    bb.partial_cmp(&ba)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("non-empty holders"),
+            None => holders
+                .iter()
+                .copied()
+                .min_by_key(|h| h.0)
+                .expect("non-empty holders"),
+        }
+    }
+}
+
+/// Callback invoked for every plan a runtime records.
+pub type PlanObserver = Box<dyn FnMut(&Plan) + Send>;
+
+/// Observer hook over emitted plans: a bounded ring buffer plus an
+/// optional callback, fed by both runtimes as CEs are planned/executed.
+pub struct SchedTrace {
+    plans: VecDeque<Plan>,
+    capacity: usize,
+    observer: Option<PlanObserver>,
+}
+
+impl SchedTrace {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A trace retaining the last `capacity` plans (0 disables retention;
+    /// the callback still fires).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SchedTrace {
+            plans: VecDeque::new(),
+            capacity,
+            observer: None,
+        }
+    }
+
+    /// Installs a callback invoked for every recorded plan.
+    pub fn set_observer(&mut self, observer: PlanObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Records a plan: invokes the observer and appends to the ring,
+    /// evicting the oldest entry when full.
+    pub fn record(&mut self, plan: &Plan) {
+        if let Some(cb) = &mut self.observer {
+            cb(plan);
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.plans.len() == self.capacity {
+            self.plans.pop_front();
+        }
+        self.plans.push_back(plan.clone());
+    }
+
+    /// Retained plans, oldest first.
+    pub fn plans(&self) -> impl Iterator<Item = &Plan> {
+        self.plans.iter()
+    }
+
+    /// The most recently recorded plan.
+    pub fn latest(&self) -> Option<&Plan> {
+        self.plans.back()
+    }
+
+    /// Number of retained plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Drops every retained plan (the observer is kept).
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+}
+
+impl Default for SchedTrace {
+    fn default() -> Self {
+        SchedTrace::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for SchedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedTrace")
+            .field("plans", &self.plans.len())
+            .field("capacity", &self.capacity)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ce::{Ce, CeArg, CeId, CeKind};
+    use gpu_sim::KernelCost;
+
+    fn kernel(id: u64, args: Vec<CeArg>) -> Ce {
+        Ce {
+            id: CeId(id),
+            kind: CeKind::Kernel {
+                name: "k".into(),
+                cost: KernelCost::default(),
+            },
+            args,
+        }
+    }
+
+    fn planner(workers: usize) -> Planner {
+        Planner::new(PlannerConfig::new(workers, PolicyKind::RoundRobin), None)
+    }
+
+    #[test]
+    fn first_touch_is_a_controller_send() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        let plan = p.plan_ce(&kernel(0, vec![CeArg::read(a, 64)])).unwrap();
+        assert_eq!(plan.assigned_node, Location::worker(0));
+        assert_eq!(
+            plan.movements,
+            vec![Movement {
+                array: a,
+                from: Location::CONTROLLER,
+                to: Location::worker(0),
+                bytes: 64,
+                kind: MovementKind::ControllerSend,
+            }]
+        );
+    }
+
+    #[test]
+    fn cached_inputs_need_no_movement() {
+        let mut p = planner(1);
+        let a = p.alloc(64);
+        p.plan_ce(&kernel(0, vec![CeArg::read(a, 64)])).unwrap();
+        let again = p.plan_ce(&kernel(1, vec![CeArg::read(a, 64)])).unwrap();
+        assert!(again.movements.is_empty(), "copy is cached on the worker");
+    }
+
+    #[test]
+    fn exclusive_writer_feeds_peers_p2p() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap(); // worker 0
+        let read = p.plan_ce(&kernel(1, vec![CeArg::read(a, 64)])).unwrap(); // worker 1
+        assert_eq!(read.movements[0].from, Location::worker(0));
+        assert_eq!(read.movements[0].kind, MovementKind::P2p);
+    }
+
+    #[test]
+    fn p2p_disabled_stages_with_double_wire_bytes() {
+        let mut cfg = PlannerConfig::new(2, PolicyKind::RoundRobin);
+        cfg.p2p_enabled = false;
+        let mut p = Planner::new(cfg, None);
+        let a = p.alloc(100);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 100)])).unwrap();
+        let read = p.plan_ce(&kernel(1, vec![CeArg::read(a, 100)])).unwrap();
+        assert_eq!(read.movements[0].kind, MovementKind::Staged);
+        assert_eq!(read.wire_bytes(), 200);
+        // The controller keeps the relayed copy.
+        assert!(p.coherence().up_to_date_on(a, Location::CONTROLLER));
+    }
+
+    #[test]
+    fn host_ces_run_on_the_controller() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap(); // worker 0
+        let host = Ce {
+            id: CeId(1),
+            kind: CeKind::HostRead,
+            args: vec![CeArg::read(a, 64)],
+        };
+        let plan = p.plan_ce(&host).unwrap();
+        assert_eq!(plan.assigned_node, Location::CONTROLLER);
+        assert_eq!(plan.movements[0].from, Location::worker(0));
+        assert_eq!(plan.movements[0].kind, MovementKind::ControllerSend);
+    }
+
+    #[test]
+    fn freed_arrays_fail_planning() {
+        let mut p = planner(1);
+        let a = p.alloc(64);
+        p.free(a);
+        let err = p.plan_ce(&kernel(0, vec![CeArg::read(a, 64)])).unwrap_err();
+        assert_eq!(err, PlanError::UseAfterFree(a));
+    }
+
+    #[test]
+    fn writes_are_planned_without_movement() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        let plan = p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap();
+        assert!(plan.movements.is_empty(), "write-only args move nothing");
+        assert_eq!(
+            p.coherence().holders(a),
+            &[plan.assigned_node],
+            "eager exclusive ownership"
+        );
+    }
+
+    #[test]
+    fn deps_come_from_the_shared_dag() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        let w = p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap();
+        let r = p.plan_ce(&kernel(1, vec![CeArg::read(a, 64)])).unwrap();
+        assert_eq!(w.deps, Vec::<usize>::new());
+        assert_eq!(r.deps, vec![w.dag_index]);
+    }
+
+    #[test]
+    fn best_source_prefers_fast_links() {
+        // Three endpoints; worker 0 -> worker 1 is 10x faster than
+        // controller -> worker 1.
+        let mut bw = vec![vec![1e8; 3]; 3];
+        bw[1][2] = 1e9;
+        let mut p = Planner::new(
+            PlannerConfig::new(2, PolicyKind::RoundRobin),
+            Some(LinkMatrix::new(bw)),
+        );
+        let a = p.alloc(64);
+        // Holders: controller and worker 0 (via a read on worker 0).
+        p.plan_ce(&kernel(0, vec![CeArg::read(a, 64)])).unwrap();
+        let read = p.plan_ce(&kernel(1, vec![CeArg::read(a, 64)])).unwrap();
+        assert_eq!(read.assigned_node, Location::worker(1));
+        assert_eq!(
+            read.movements[0].from,
+            Location::worker(0),
+            "fast link wins"
+        );
+    }
+
+    #[test]
+    fn sched_trace_ring_evicts_oldest() {
+        let mut trace = SchedTrace::with_capacity(2);
+        let mut p = planner(1);
+        let a = p.alloc(8);
+        for i in 0..3 {
+            let plan = p
+                .plan_ce(&kernel(i, vec![CeArg::read_write(a, 8)]))
+                .unwrap();
+            trace.record(&plan);
+        }
+        assert_eq!(trace.len(), 2);
+        let kept: Vec<usize> = trace.plans().map(|p| p.dag_index).collect();
+        assert_eq!(kept, vec![1, 2]);
+        assert_eq!(trace.latest().unwrap().dag_index, 2);
+    }
+
+    #[test]
+    fn sched_trace_observer_sees_every_plan() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let mut trace = SchedTrace::with_capacity(0); // retention off
+        trace.set_observer(Box::new(move |_| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+        }));
+        let mut p = planner(1);
+        let a = p.alloc(8);
+        for i in 0..5 {
+            let plan = p
+                .plan_ce(&kernel(i, vec![CeArg::read_write(a, 8)]))
+                .unwrap();
+            trace.record(&plan);
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+        assert!(trace.is_empty(), "capacity 0 retains nothing");
+    }
+}

@@ -1,12 +1,14 @@
 //! The simulated-cluster runtime: GrOUT's Controller/Worker architecture
 //! over the modeled OCI testbed (Figure 3 of the paper).
 //!
-//! A [`SimRuntime`] owns the Global DAG, the coherence directory, the
-//! inter-node scheduler, the network, and one [`gpu_sim::GpuNode`] +
-//! per-GPU [`uvm_sim::UvmDevice`] per worker. Submitting a CE runs the
-//! paper's Algorithm 1 (dependencies → node assignment → data movements)
-//! and Algorithm 2 (device/stream selection + wait events) and computes the
-//! CE's completion time analytically in virtual time.
+//! A [`SimRuntime`] is a *plan executor*: every submitted CE goes through
+//! the shared [`Planner`] (paper Algorithm 1 — dependencies → node
+//! assignment → data movements) and comes back as a pure [`Plan`], which
+//! this runtime then *prices in virtual time* over the modeled network and
+//! one [`gpu_sim::GpuNode`] + per-GPU [`uvm_sim::UvmDevice`] per worker.
+//! Intra-node device/stream selection (Algorithm 2) happens here because
+//! only the simulator models devices; the resulting [`crate::Placement`]
+//! is filled back into the plan before it reaches the [`SchedTrace`].
 //!
 //! The single-node **GrCUDA baseline** is the same runtime configured with
 //! one worker and a colocated controller ([`SimConfig::grcuda_baseline`]).
@@ -21,20 +23,21 @@ use uvm_sim::{Regime, UvmConfig, UvmDevice, UvmStats};
 use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 use crate::coherence::{Coherence, Location};
 use crate::dag::{DagIndex, DepDag};
-use crate::intranode::{select_device, select_stream, DevicePolicy};
-use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
+use crate::intranode::{select_device, select_stream, DevicePolicy, Placement};
+use crate::policy::{LinkMatrix, PolicyKind};
+use crate::scheduler::{Movement, MovementKind, PlanObserver, Planner, PlannerConfig, SchedTrace};
 
 /// Configuration of a simulated GrOUT deployment.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Number of worker nodes.
-    pub workers: usize,
+    /// The shared scheduling core's knobs: worker count, inter-node policy
+    /// and the paper's ablation switches (P2P, flat scheduling, controller
+    /// colocation).
+    pub planner: PlannerConfig,
     /// Per-worker hardware.
     pub node: NodeSpec,
     /// UVM model constants.
     pub uvm: UvmConfig,
-    /// Inter-node policy.
-    pub policy: PolicyKind,
     /// Intra-node device-selection policy.
     pub device_policy: DevicePolicy,
     /// Cluster network (endpoint 0 is the controller).
@@ -47,24 +50,12 @@ pub struct SimConfig {
     pub sched_per_node: SimDuration,
     /// The paper's per-run execution cap (2.5 h in the evaluation).
     pub time_cap: Option<SimDuration>,
-    /// Controller colocated with worker 0 (the GrCUDA single-node setup):
-    /// controller<->worker-0 movements are free (same host memory).
-    pub controller_colocated: bool,
     /// Models a hand-tuned application that issues
     /// `cudaMemPrefetchAsync` for every kernel input before launch (the
     /// paper's "first approach": profiling + manual prefetching). The
     /// prefetch time serializes ahead of the kernel but migrates at the
     /// streaming rate, avoiding demand-fault storms for data that fits.
     pub hand_tuned_prefetch: bool,
-    /// Peer-to-peer transfers between workers (paper Algorithm 1 bottom).
-    /// When disabled (ablation), every movement is staged through the
-    /// controller: worker -> controller -> worker.
-    pub p2p_enabled: bool,
-    /// Ablation of the hierarchical scheduler (Section IV-C): when true the
-    /// Controller also tracks every GPU/stream on every node, so its
-    /// per-CE decision cost scales with the total stream count instead of
-    /// being delegated to the workers.
-    pub flat_scheduling: bool,
 }
 
 impl SimConfig {
@@ -72,20 +63,16 @@ impl SimConfig {
     /// of 2x V100 16 GiB, OCI NICs, 2.5 h cap.
     pub fn paper_grout(workers: usize, policy: PolicyKind) -> Self {
         SimConfig {
-            workers,
+            planner: PlannerConfig::new(workers, policy),
             node: NodeSpec::paper_worker(),
             uvm: UvmConfig::default(),
-            policy,
             device_policy: DevicePolicy::MinTransferBytes,
             topology: Topology::paper_oci(workers, SimDuration::from_micros(50)),
             host_bw_bps: 25e9,
             sched_static: SimDuration::from_micros(2),
             sched_per_node: SimDuration::from_nanos(700),
             time_cap: Some(SimDuration::from_secs(9000)),
-            controller_colocated: false,
             hand_tuned_prefetch: false,
-            p2p_enabled: true,
-            flat_scheduling: false,
         }
     }
 
@@ -93,7 +80,7 @@ impl SimConfig {
     /// same machine, intra-node scheduling only.
     pub fn grcuda_baseline() -> Self {
         let mut cfg = Self::paper_grout(1, PolicyKind::RoundRobin);
-        cfg.controller_colocated = true;
+        cfg.planner.controller_colocated = true;
         cfg
     }
 }
@@ -145,49 +132,50 @@ pub struct RunStats {
     pub sched_overhead: SimDuration,
 }
 
-/// The simulated GrOUT runtime.
+/// The simulated GrOUT runtime: prices [`Plan`]s in virtual time.
 pub struct SimRuntime {
     cfg: SimConfig,
     net: Network,
-    scheduler: NodeScheduler,
-    coherence: Coherence,
-    dag: DepDag,
+    planner: Planner,
     workers: Vec<Worker>,
     records: Vec<CeRecord>,
     /// Virtual instant each array's latest content becomes available
     /// (finish of its last writer CE / last arriving transfer).
     array_ready: HashMap<ArrayId, SimTime>,
-    array_bytes: HashMap<ArrayId, u64>,
-    next_array: u64,
     next_ce: u64,
     /// When the controller is free to process the next submission.
     controller_clock: SimTime,
     stats: RunStats,
+    trace: SchedTrace,
 }
 
 impl SimRuntime {
     /// Builds a runtime; probes the interconnection matrix when the policy
     /// needs it (as GrOUT does at startup).
     pub fn new(cfg: SimConfig) -> Self {
-        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.planner.workers > 0, "need at least one worker");
         assert_eq!(
             cfg.topology.len(),
-            cfg.workers + 1,
+            cfg.planner.workers + 1,
             "topology must cover controller + workers"
         );
         let net = Network::new(cfg.topology.clone());
-        let links = if matches!(cfg.policy, PolicyKind::MinTransferTime(_)) {
+        let links = if matches!(cfg.planner.policy, PolicyKind::MinTransferTime(_)) {
             Some(LinkMatrix::new(net.probe_matrix(64 << 20)))
         } else {
             None
         };
-        let scheduler = NodeScheduler::new(cfg.policy.clone(), cfg.workers, links);
-        let workers = (0..cfg.workers)
+        let planner = Planner::new(cfg.planner.clone(), links);
+        let workers = (0..cfg.planner.workers)
             .map(|_| Worker {
                 node: GpuNode::new(cfg.node.clone()),
                 uvm: (0..cfg.node.gpu_count)
                     .map(|_| {
-                        UvmDevice::new(cfg.uvm.clone(), cfg.node.gpu.memory_bytes, cfg.node.gpu.pcie_bps)
+                        UvmDevice::new(
+                            cfg.uvm.clone(),
+                            cfg.node.gpu.memory_bytes,
+                            cfg.node.gpu.pcie_bps,
+                        )
                     })
                     .collect(),
                 device_rr: 0,
@@ -196,17 +184,14 @@ impl SimRuntime {
             .collect();
         SimRuntime {
             net,
-            scheduler,
-            coherence: Coherence::new(),
-            dag: DepDag::new(),
+            planner,
             workers,
             records: Vec::new(),
             array_ready: HashMap::new(),
-            array_bytes: HashMap::new(),
-            next_array: 0,
             next_ce: 0,
             controller_clock: SimTime::ZERO,
             stats: RunStats::default(),
+            trace: SchedTrace::default(),
             cfg,
         }
     }
@@ -219,18 +204,14 @@ impl SimRuntime {
     /// Allocates a framework-managed array of `bytes` (up-to-date on the
     /// controller, like `polyglot.eval(GrOUT, "float[SIZE]")`).
     pub fn alloc(&mut self, bytes: u64) -> ArrayId {
-        let id = ArrayId(self.next_array);
-        self.next_array += 1;
-        self.coherence.register(id);
-        self.array_bytes.insert(id, bytes);
+        let id = self.planner.alloc(bytes);
         self.array_ready.insert(id, self.controller_clock);
         id
     }
 
     /// Frees an array.
     pub fn free(&mut self, id: ArrayId) {
-        self.coherence.unregister(id);
-        self.array_bytes.remove(&id);
+        self.planner.free(id);
         self.array_ready.remove(&id);
         for w in &mut self.workers {
             for uvm in &mut w.uvm {
@@ -241,7 +222,7 @@ impl SimRuntime {
 
     /// Size of an array in bytes.
     pub fn array_bytes(&self, id: ArrayId) -> u64 {
-        self.array_bytes.get(&id).copied().unwrap_or(0)
+        self.planner.array_bytes(id)
     }
 
     /// Submits a host-side write CE (e.g. the initialization loop of
@@ -269,16 +250,17 @@ impl SimRuntime {
     }
 
     fn sched_overhead(&self) -> SimDuration {
-        let base = if self.cfg.policy.is_online() {
-            self.cfg.sched_static + self.cfg.sched_per_node * self.cfg.workers as u64
+        let p = &self.cfg.planner;
+        let base = if p.policy.is_online() {
+            self.cfg.sched_static + self.cfg.sched_per_node * p.workers as u64
         } else {
             self.cfg.sched_static
         };
-        if self.cfg.flat_scheduling {
+        if p.flat_scheduling {
             // Tracking every stream on every GPU of every node from the
             // controller: per-CE bookkeeping scales with total streams
             // (~8 in-flight streams per GPU).
-            let streams = (self.cfg.workers * self.cfg.node.gpu_count * 8) as u64;
+            let streams = (p.workers * self.cfg.node.gpu_count * 8) as u64;
             base + self.cfg.sched_per_node * streams
         } else {
             base
@@ -290,92 +272,63 @@ impl SimRuntime {
     /// scheduler adapts (the VNIC-SLA scenario of Section IV-D).
     pub fn degrade_link(&mut self, src: Location, dst: Location, link: net_sim::LinkSpec) {
         self.net.set_link(src.endpoint(), dst.endpoint(), link);
-        if matches!(self.cfg.policy, PolicyKind::MinTransferTime(_)) {
-            let links = LinkMatrix::new(self.net.probe_matrix(64 << 20));
-            self.scheduler =
-                NodeScheduler::new(self.cfg.policy.clone(), self.cfg.workers, Some(links));
+        if matches!(self.cfg.planner.policy, PolicyKind::MinTransferTime(_)) {
+            self.planner
+                .reprobe_links(LinkMatrix::new(self.net.probe_matrix(64 << 20)));
         }
     }
 
     /// Whether a movement between two locations is free because the
     /// controller shares worker 0's host memory (GrCUDA baseline).
     fn colocated(&self, a: Location, b: Location) -> bool {
-        self.cfg.controller_colocated
+        self.cfg.planner.controller_colocated
             && ((a == Location::CONTROLLER && b == Location::worker(0))
                 || (b == Location::CONTROLLER && a == Location::worker(0)))
     }
 
-    /// Moves `array` so `dest` holds an up-to-date copy; returns the
-    /// instant the data is available there and the network bytes moved.
-    fn ensure_at(&mut self, array: ArrayId, bytes: u64, dest: Location, when: SimTime) -> (SimTime, u64) {
-        if self.coherence.up_to_date_on(array, dest) {
-            return (*self.array_ready.get(&array).unwrap_or(&when), 0);
-        }
-        assert!(
-            self.array_bytes.contains_key(&array),
-            "CE references array {array:?} after free()"
-        );
-        let ready = *self.array_ready.get(&array).unwrap_or(&when);
-        let start = when.max(ready);
-
-        // Pick the source: Algorithm 1's bottom half.
-        let src = if self.coherence.only_on_controller(array) {
-            Location::CONTROLLER
-        } else if self.cfg.p2p_enabled {
-            // A P2P candidate: the up-to-date holder whose transfer would
-            // complete earliest given current NIC occupancy.
-            let holders: Vec<Location> = self.coherence.holders(array).to_vec();
-            holders
-                .into_iter()
-                .min_by_key(|&h| self.net.peek_transfer(start, h.endpoint(), dest.endpoint(), bytes))
-                .expect("registered arrays always have a holder")
-        } else {
-            // P2P disabled (ablation): stage through the controller.
-            let holders: Vec<Location> = self.coherence.holders(array).to_vec();
-            holders
-                .into_iter()
-                .min_by_key(|h| h.0)
-                .expect("registered arrays always have a holder")
-        };
+    /// Prices one planned movement on the modeled network; returns the
+    /// payload bytes that actually moved (0 when colocation voids the
+    /// transfer). Updates the array's availability instant.
+    fn cost_movement(&mut self, m: &Movement, dispatch: SimTime) -> u64 {
+        let ready = *self.array_ready.get(&m.array).unwrap_or(&dispatch);
+        let start = dispatch.max(ready);
 
         // Dirty device copies on the source worker must be written back
         // before the bytes leave the node.
         let mut src_ready = start;
-        if let Some(wi) = src.worker_index() {
-            src_ready = src_ready.max(self.sync_worker_host_copy(wi, array, start));
+        if let Some(wi) = m.from.worker_index() {
+            src_ready = src_ready.max(self.sync_worker_host_copy(wi, m.array, start));
         }
 
-        let (arrival, moved) = if self.colocated(src, dest) {
+        let (arrival, moved) = if self.colocated(m.from, m.to) {
             // Same host memory: nothing to move.
             (src_ready, 0)
-        } else if !self.cfg.p2p_enabled
-            && src != Location::CONTROLLER
-            && dest != Location::CONTROLLER
-        {
+        } else if m.kind == MovementKind::Staged {
             // Two hops: worker -> controller, then controller -> worker.
-            let hop = self
-                .net
-                .transfer(src_ready, src.endpoint(), Location::CONTROLLER.endpoint(), bytes);
+            let hop = self.net.transfer(
+                src_ready,
+                m.from.endpoint(),
+                Location::CONTROLLER.endpoint(),
+                m.bytes,
+            );
             let rec = self.net.transfer(
                 hop.timeline.finish,
                 Location::CONTROLLER.endpoint(),
-                dest.endpoint(),
-                bytes,
+                m.to.endpoint(),
+                m.bytes,
             );
-            self.coherence.record_copy(array, Location::CONTROLLER);
-            self.stats.network_bytes += bytes;
-            (rec.timeline.finish, bytes)
+            self.stats.network_bytes += m.bytes; // the relay hop
+            (rec.timeline.finish, m.bytes)
         } else {
             let rec = self
                 .net
-                .transfer(src_ready, src.endpoint(), dest.endpoint(), bytes);
-            (rec.timeline.finish, bytes)
+                .transfer(src_ready, m.from.endpoint(), m.to.endpoint(), m.bytes);
+            (rec.timeline.finish, m.bytes)
         };
-        self.coherence.record_copy(array, dest);
         self.stats.network_bytes += moved;
-        let ready = self.array_ready.entry(array).or_insert(arrival);
+        let ready = self.array_ready.entry(m.array).or_insert(arrival);
         *ready = (*ready).max(arrival);
-        (arrival, moved)
+        moved
     }
 
     /// If worker `wi` holds a dirty device copy of `array`, schedule the
@@ -393,43 +346,44 @@ impl SimRuntime {
         done
     }
 
-    /// Core submission path (Algorithms 1 and 2).
+    /// Core submission path: plan through the shared scheduling core, then
+    /// price the plan (movements, Algorithm 2 placement, UVM stall) in
+    /// virtual time.
     pub fn submit(&mut self, kind: CeKind, args: Vec<CeArg>) -> CeId {
         let id = CeId(self.next_ce);
         self.next_ce += 1;
         let ce = Ce { id, kind, args };
 
-        // 1. Dependencies against the Global DAG.
-        let outcome = self.dag.add_ce(&ce);
+        // 1. Algorithm 1 (dependencies → node assignment → movements) runs
+        //    in the shared Planner; this runtime only executes the result.
+        let mut plan = self.planner.plan_ce(&ce).unwrap_or_else(|e| panic!("{e}"));
 
-        // 2. Controller decision (its cost is Figure 9's subject).
+        // 2. Controller decision cost (its cost is Figure 9's subject).
         let overhead = self.sched_overhead();
         self.controller_clock += overhead;
         self.stats.sched_overhead += overhead;
         let dispatch = self.controller_clock;
 
-        // 3. Node assignment.
-        let dest = if ce.is_host() {
-            Location::CONTROLLER
-        } else {
-            Location::worker(self.scheduler.assign(&ce, &self.coherence))
-        };
-
-        // 4. Data movements for read arguments.
-        let mut data_ready = dispatch;
+        // 3. Price the planned movements on the modeled network.
+        let movements = plan.movements.clone();
         let mut moved_bytes = 0u64;
-        for arg in &ce.args {
-            if !arg.mode.reads() {
-                continue;
-            }
-            let (at, moved) = self.ensure_at(arg.array, self.array_bytes(arg.array), dest, dispatch);
-            data_ready = data_ready.max(at);
-            moved_bytes += moved;
+        for m in &movements {
+            moved_bytes += self.cost_movement(m, dispatch);
         }
 
-        // 5. Ancestor completion gates.
-        let parent_finish = outcome
-            .parents
+        // 4. Input availability: moved arrays became ready at transfer
+        //    arrival, cached ones at their last writer's finish.
+        let mut data_ready = dispatch;
+        for arg in &ce.args {
+            if arg.mode.reads() {
+                data_ready = data_ready.max(*self.array_ready.get(&arg.array).unwrap_or(&dispatch));
+            }
+        }
+
+        // 5. Ancestor completion gates (the plan carries the filtered
+        //    dependency set).
+        let parent_finish = plan
+            .deps
             .iter()
             .map(|&p| self.records[p].finish)
             .max()
@@ -437,6 +391,7 @@ impl SimRuntime {
         let gate = data_ready.max(parent_finish);
 
         // 6. Execute.
+        let dest = plan.assigned_node;
         let record = match &ce.kind {
             CeKind::HostRead | CeKind::HostWrite => {
                 let bytes = ce.total_bytes();
@@ -459,7 +414,11 @@ impl SimRuntime {
             CeKind::Kernel { cost, .. } => {
                 let wi = dest.worker_index().expect("kernels go to workers");
                 // Command message latency controller -> worker.
-                let cmd_at = dispatch + self.cfg.topology.path_latency(Location::CONTROLLER.endpoint(), dest.endpoint());
+                let cmd_at = dispatch
+                    + self
+                        .cfg
+                        .topology
+                        .path_latency(Location::CONTROLLER.endpoint(), dest.endpoint());
                 let gate = gate.max(cmd_at);
 
                 // Algorithm 2: device selection by residency.
@@ -478,8 +437,7 @@ impl SimRuntime {
                 // Competing pressure per GPU: the CE's own allocations are
                 // excluded so a chunk is not repelled from the GPU it ran
                 // on last iteration by its own stale window entry.
-                let own: Vec<uvm_sim::AllocId> =
-                    ce.args.iter().map(|a| a.array.alloc()).collect();
+                let own: Vec<uvm_sim::AllocId> = ce.args.iter().map(|a| a.array.alloc()).collect();
                 let active: Vec<u64> = self.workers[wi]
                     .uvm
                     .iter()
@@ -497,9 +455,9 @@ impl SimRuntime {
 
                 // Stream selection: reuse the single parent's stream when it
                 // ran on the same device of the same worker.
-                let single_parent_stream = if outcome.parents.len() == 1 {
+                let single_parent_stream = if plan.deps.len() == 1 {
                     w.placements
-                        .get(&outcome.parents[0])
+                        .get(&plan.deps[0])
                         .filter(|(d, _)| *d == device)
                         .map(|(_, s)| *s)
                 } else {
@@ -512,11 +470,7 @@ impl SimRuntime {
                 let waits: Vec<SimTime> = if reused {
                     Vec::new()
                 } else {
-                    outcome
-                        .parents
-                        .iter()
-                        .map(|&p| self.records[p].finish)
-                        .collect()
+                    plan.deps.iter().map(|&p| self.records[p].finish).collect()
                 };
 
                 // Hand-tuned variant: prefetch read inputs ahead of the
@@ -531,7 +485,8 @@ impl SimRuntime {
                 }
 
                 // UVM fault/migration stall for this launch.
-                let uvm_args: Vec<uvm_sim::ArgAccess> = ce.args.iter().map(|a| a.to_uvm()).collect();
+                let uvm_args: Vec<uvm_sim::ArgAccess> =
+                    ce.args.iter().map(|a| a.to_uvm()).collect();
                 let report = w.uvm[device.0].kernel_access(&uvm_args);
                 let report = uvm_sim::UvmReport {
                     stall: report.stall + prefetch_cost,
@@ -545,7 +500,12 @@ impl SimRuntime {
                     cost,
                     report.stall,
                 );
-                w.placements.insert(outcome.index, (device, stream));
+                w.placements.insert(plan.dag_index, (device, stream));
+                plan.placement = Some(Placement {
+                    device,
+                    stream,
+                    reused_parent_stream: reused,
+                });
                 if report.regime == Regime::FaultStorm {
                     self.stats.storm_kernels += 1;
                 }
@@ -564,10 +524,10 @@ impl SimRuntime {
             }
         };
 
-        // 7. Coherence + availability updates for written arrays.
+        // 7. Availability + UVM updates for written arrays (the coherence
+        //    directory itself was already updated eagerly at plan time).
         for arg in &ce.args {
             if arg.mode.writes() {
-                self.coherence.record_write(arg.array, dest);
                 self.array_ready.insert(arg.array, record.finish);
                 // Stale UVM copies elsewhere must refault after the write.
                 for (i, w) in self.workers.iter_mut().enumerate() {
@@ -580,7 +540,8 @@ impl SimRuntime {
             }
         }
 
-        self.dag.mark_completed(outcome.index);
+        self.planner.mark_completed(plan.dag_index);
+        self.trace.record(&plan);
         self.stats.ces += 1;
         self.records.push(record);
         id
@@ -630,12 +591,12 @@ impl SimRuntime {
 
     /// The coherence directory (read-only view).
     pub fn coherence(&self) -> &Coherence {
-        &self.coherence
+        self.planner.coherence()
     }
 
     /// The Global DAG (read-only view).
     pub fn dag(&self) -> &DepDag {
-        &self.dag
+        self.planner.dag()
     }
 
     /// The network (read-only view).
@@ -645,13 +606,24 @@ impl SimRuntime {
 
     /// The probed interconnection matrix, when the policy uses one.
     pub fn link_matrix(&self) -> Option<&LinkMatrix> {
-        self.scheduler.links()
+        self.planner.links()
+    }
+
+    /// The trace of executed plans (ring buffer, oldest first).
+    pub fn sched_trace(&self) -> &SchedTrace {
+        &self.trace
+    }
+
+    /// Installs a callback invoked for every executed plan.
+    pub fn set_sched_observer(&mut self, observer: PlanObserver) {
+        self.trace.set_observer(observer);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::Plan;
     use uvm_sim::AccessPattern;
 
     const GIB: u64 = 1 << 30;
@@ -710,10 +682,7 @@ mod tests {
 
     #[test]
     fn reads_move_data_once_then_cache() {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(
-            1,
-            PolicyKind::RoundRobin,
-        ));
+        let mut rt = SimRuntime::new(SimConfig::paper_grout(1, PolicyKind::RoundRobin));
         let a = rt.alloc(GIB);
         let k1 = rt.launch("k1", cost_for(GIB), vec![CeArg::read(a, GIB)]);
         let k2 = rt.launch("k2", cost_for(GIB), vec![CeArg::read(a, GIB)]);
@@ -765,8 +734,7 @@ mod tests {
         let k = rt.launch(
             "big",
             cost_for(48 * GIB),
-            vec![CeArg::read(a, 48 * GIB)
-                .with_pattern(AccessPattern::Streamed { sweeps: 4.0 })],
+            vec![CeArg::read(a, 48 * GIB).with_pattern(AccessPattern::Streamed { sweeps: 4.0 })],
         );
         assert_eq!(rt.record(k).regime, Some(Regime::FaultStorm));
         assert!(rt.stats().storm_kernels == 1);
@@ -815,16 +783,15 @@ mod tests {
         let r = rt.host_read(a, GIB);
         assert_eq!(rt.record(r).location, Location::CONTROLLER);
         assert!(rt.record(r).network_bytes >= GIB);
-        assert!(rt.coherence().up_to_date_on(ArrayId(0), Location::CONTROLLER));
+        assert!(rt
+            .coherence()
+            .up_to_date_on(ArrayId(0), Location::CONTROLLER));
     }
 
     #[test]
     fn online_policy_pays_per_node_overhead() {
         let static_cfg = SimConfig::paper_grout(8, PolicyKind::RoundRobin);
-        let online_cfg = SimConfig::paper_grout(
-            8,
-            PolicyKind::MinTransferSize(Default::default()),
-        );
+        let online_cfg = SimConfig::paper_grout(8, PolicyKind::MinTransferSize(Default::default()));
         let mut a = SimRuntime::new(static_cfg);
         let mut b = SimRuntime::new(online_cfg);
         let run = |rt: &mut SimRuntime| {
@@ -840,7 +807,7 @@ mod tests {
     #[test]
     fn p2p_disabled_stages_through_controller() {
         let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
-        cfg.p2p_enabled = false;
+        cfg.planner.p2p_enabled = false;
         let mut rt = SimRuntime::new(cfg);
         let a = rt.alloc(GIB);
         rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]); // worker 0
@@ -857,7 +824,7 @@ mod tests {
     fn flat_scheduling_costs_more_per_ce() {
         let run = |flat: bool| {
             let mut cfg = SimConfig::paper_grout(4, PolicyKind::RoundRobin);
-            cfg.flat_scheduling = flat;
+            cfg.planner.flat_scheduling = flat;
             let mut rt = SimRuntime::new(cfg);
             let a = rt.alloc(1 << 20);
             for _ in 0..16 {
@@ -952,5 +919,21 @@ mod tests {
             vec![],
         );
         assert!(rt.record(k).finish > rt.record(k).start);
+    }
+
+    #[test]
+    fn sim_trace_records_executed_plans() {
+        let mut rt = grout(2);
+        let a = rt.alloc(GIB);
+        rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]); // worker 0
+        rt.launch("r", cost_for(GIB), vec![CeArg::read(a, GIB)]); // worker 1, P2P
+        let plans: Vec<&Plan> = rt.sched_trace().plans().collect();
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[1].deps, vec![0]);
+        assert_eq!(plans[1].movements[0].kind, MovementKind::P2p);
+        assert!(
+            plans[1].placement.is_some(),
+            "sim fills Algorithm-2 placement into the traced plan"
+        );
     }
 }

@@ -174,7 +174,11 @@ mod tests {
         let b = rt.alloc(GIB);
         rt.host_write(a, GIB);
         rt.launch("k1", cost(), vec![CeArg::read_write(a, GIB)]);
-        rt.launch("k2", cost(), vec![CeArg::read(a, GIB), CeArg::write(b, GIB)]);
+        rt.launch(
+            "k2",
+            cost(),
+            vec![CeArg::read(a, GIB), CeArg::write(b, GIB)],
+        );
         rt.launch("k3", cost(), vec![CeArg::read_write(b, GIB)]);
         let report = validate(rt.records());
         assert!(report.is_valid(), "violations: {:?}", report.violations);

@@ -2,8 +2,12 @@
 //! against arbitrary CE streams, the DAG must be acyclic, transitively
 //! reduced, and *sound* — every true pairwise dependency must be implied by
 //! the recorded edges.
+#![allow(clippy::needless_range_loop)] // triangular index math reads best bare
 
-use grout_core::{ArrayId, Ce, CeArg, CeId, CeKind, DepDag, KernelCost};
+use grout_core::{
+    ArrayId, Ce, CeArg, CeId, CeKind, Coherence, DepDag, ExplorationLevel, KernelCost, LinkMatrix,
+    NodeScheduler, PolicyKind,
+};
 use proptest::prelude::*;
 
 /// A compact encoding of a random CE: a few (array, mode) pairs.
@@ -109,5 +113,99 @@ proptest! {
             dag.mark_completed(i);
         }
         prop_assert!(dag.ready_set().is_empty());
+    }
+
+    /// Completeness (the flip side of redundant-edge filtering): the DAG
+    /// orders a pair if and only if a chain of true pairwise dependencies
+    /// orders it. Filtering may drop edges, never ordering; and no spurious
+    /// ordering is ever invented.
+    #[test]
+    fn dag_ordering_equals_dependency_closure(stream in arb_stream()) {
+        let mut dag = DepDag::new();
+        for ce in &stream {
+            dag.add_ce(ce);
+        }
+        let n = stream.len();
+        // Brute-force transitive closure of `depends_on`.
+        let mut closure = vec![vec![false; n]; n];
+        for j in 0..n {
+            // Descend so closure[k][j] (k > i) is final before it feeds
+            // closure[i][j].
+            for i in (0..j).rev() {
+                closure[i][j] = stream[j].depends_on(&stream[i])
+                    || (i + 1..j).any(|k| closure[i][k] && closure[k][j]);
+            }
+        }
+        for j in 0..n {
+            for i in 0..j {
+                prop_assert_eq!(
+                    dag.is_ancestor(i, j),
+                    closure[i][j],
+                    "DAG ordering of ({}, {}) disagrees with the dependency closure", i, j
+                );
+            }
+        }
+    }
+
+    /// Frontier maintenance: direct dependencies are always drawn from the
+    /// frontier as it stood before the insert, and a CE that touches arrays
+    /// always joins the frontier it may later be depended on through.
+    #[test]
+    fn parents_come_from_the_maintained_frontier(stream in arb_stream()) {
+        let mut dag = DepDag::new();
+        for ce in &stream {
+            let before: Vec<_> = dag.frontier().collect();
+            let out = dag.add_ce(ce);
+            for &p in &out.parents {
+                prop_assert!(
+                    before.contains(&p),
+                    "parent {p} of CE {} was not on the frontier", out.index
+                );
+            }
+            if !ce.args.is_empty() {
+                prop_assert!(
+                    dag.frontier().any(|f| f == out.index),
+                    "CE {} with args must join the frontier", out.index
+                );
+            }
+            // The frontier never references CEs that do not exist.
+            prop_assert!(dag.frontier().all(|f| f < dag.len()));
+        }
+    }
+
+    /// Min-transfer-time degrades to round-robin while no worker holds
+    /// enough up-to-date data to clear the exploration threshold (paper
+    /// Section IV-D): on a cold cluster the assignment sequence is exactly
+    /// the round-robin one, whatever the CE stream or link speeds.
+    #[test]
+    fn min_transfer_time_falls_back_to_round_robin(
+        stream in arb_stream(),
+        workers in 1usize..5,
+        level in prop_oneof![
+            Just(ExplorationLevel::Low),
+            Just(ExplorationLevel::Medium),
+            Just(ExplorationLevel::High),
+        ],
+    ) {
+        let links = LinkMatrix::uniform(workers + 1, 1e9);
+        let mut mtt = NodeScheduler::new(
+            PolicyKind::MinTransferTime(level),
+            workers,
+            Some(links),
+        );
+        let mut rr = NodeScheduler::new(PolicyKind::RoundRobin, workers, None);
+        // Every array lives only on the controller: no worker can clear
+        // any exploration threshold.
+        let mut coherence = Coherence::new();
+        for a in 0..6u64 {
+            coherence.register(ArrayId(a));
+        }
+        for ce in &stream {
+            prop_assert_eq!(
+                mtt.assign(ce, &coherence),
+                rr.assign(ce, &coherence),
+                "cold-cluster min-transfer-time must match round-robin"
+            );
+        }
     }
 }

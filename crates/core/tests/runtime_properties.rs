@@ -80,10 +80,7 @@ proptest! {
         let n = 512usize;
 
         let run = |workers: usize| -> Vec<Vec<f32>> {
-            let mut rt = LocalRuntime::new(LocalConfig {
-                workers,
-                policy: PolicyKind::RoundRobin,
-            });
+            let mut rt = LocalRuntime::new(LocalConfig::new(workers, PolicyKind::RoundRobin));
             let arrays: Vec<_> = (0..4).map(|_| rt.alloc_f32(n)).collect();
             for &(a, b, kind) in &ops {
                 let (a, b) = (arrays[a as usize], arrays[b as usize]);

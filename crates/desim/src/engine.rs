@@ -89,7 +89,11 @@ impl<S> Sim<S> {
     /// Scheduling in the past is a logic error in a discrete-event model;
     /// the event is clamped to "now" and will run after all events already
     /// queued for the current instant.
-    pub fn schedule_at(&mut self, t: SimTime, action: impl FnOnce(&mut Sim<S>) + 'static) -> EventId {
+    pub fn schedule_at(
+        &mut self,
+        t: SimTime,
+        action: impl FnOnce(&mut Sim<S>) + 'static,
+    ) -> EventId {
         let t = t.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -102,7 +106,11 @@ impl<S> Sim<S> {
     }
 
     /// Schedules `action` to run `d` after the current time.
-    pub fn schedule_in(&mut self, d: SimDuration, action: impl FnOnce(&mut Sim<S>) + 'static) -> EventId {
+    pub fn schedule_in(
+        &mut self,
+        d: SimDuration,
+        action: impl FnOnce(&mut Sim<S>) + 'static,
+    ) -> EventId {
         self.schedule_at(self.now + d, action)
     }
 

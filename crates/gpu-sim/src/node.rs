@@ -82,7 +82,13 @@ impl GpuNode {
     ///
     /// # Panics
     /// Panics if `src == dst`; use device memory directly for local moves.
-    pub fn copy_peer(&mut self, now: SimTime, src: DeviceId, dst: DeviceId, bytes: u64) -> JobTimeline {
+    pub fn copy_peer(
+        &mut self,
+        now: SimTime,
+        src: DeviceId,
+        dst: DeviceId,
+        bytes: u64,
+    ) -> JobTimeline {
         assert_ne!(src, dst, "peer copy endpoints must differ");
         let spec = self.devices[src.0].spec();
         let service = spec.copy_latency + SimDuration::for_bytes(bytes, spec.peer_bps);
@@ -104,7 +110,9 @@ impl GpuNode {
     /// for intra-node device selection.
     pub fn least_loaded_device(&self) -> DeviceId {
         let mut best = DeviceId(0);
-        let mut best_at = self.devices[0].stream(crate::stream::StreamId(0)).busy_until();
+        let mut best_at = self.devices[0]
+            .stream(crate::stream::StreamId(0))
+            .busy_until();
         for (i, d) in self.devices.iter().enumerate().skip(1) {
             let at = d.stream(crate::stream::StreamId(0)).busy_until();
             if at < best_at {

@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn roofline_picks_the_binding_resource() {
         let spec = DeviceSpec::test_tiny(); // 1 GFLOP/s, 1 GB/s
-        // Compute-bound: 1 GFLOP, negligible traffic -> ~1 s.
+                                            // Compute-bound: 1 GFLOP, negligible traffic -> ~1 s.
         let c = KernelCost {
             flops: 1e9,
             bytes_read: 1,

@@ -611,7 +611,9 @@ fn exec(
 fn as_num(v: GuestValue) -> Result<f64, ScriptError> {
     match v {
         GuestValue::Num(n) => Ok(n),
-        other => Err(ScriptError::Runtime(format!("expected a number, got {other:?}"))),
+        other => Err(ScriptError::Runtime(format!(
+            "expected a number, got {other:?}"
+        ))),
     }
 }
 
@@ -699,11 +701,7 @@ fn eval(
                 GuestValue::Poly(p) if p.array_id().is_some() => {
                     GuestValue::Num(p.get(pg, idx_v)? as f64)
                 }
-                other => {
-                    return Err(ScriptError::Runtime(format!(
-                        "cannot index into {other:?}"
-                    )))
-                }
+                other => return Err(ScriptError::Runtime(format!("cannot index into {other:?}"))),
             }
         }
         Expr::PolyEval(lang, code) => {
@@ -726,9 +724,7 @@ fn eval(
             let language = match lang.to_ascii_lowercase().as_str() {
                 "grout" => Language::GrOUT,
                 "grcuda" => Language::GrCUDA,
-                other => {
-                    return Err(ScriptError::Runtime(format!("unknown language `{other}`")))
-                }
+                other => return Err(ScriptError::Runtime(format!("unknown language `{other}`"))),
             };
             GuestValue::Poly(pg.eval(language, &code)?)
         }
@@ -774,11 +770,8 @@ fn eval(
                             return Ok(GuestValue::Poly(v.build(pg, src, sig)?));
                         }
                         // kernel(grid, block)
-                        if let (GuestValue::Num(g), GuestValue::Num(b)) = (&evaled[0], &evaled[1])
-                        {
-                            return Ok(GuestValue::Configured(
-                                v.configure(*g as u32, *b as u32),
-                            ));
+                        if let (GuestValue::Num(g), GuestValue::Num(b)) = (&evaled[0], &evaled[1]) {
+                            return Ok(GuestValue::Configured(v.configure(*g as u32, *b as u32)));
                         }
                     }
                     return Err(ScriptError::Runtime(
@@ -808,9 +801,7 @@ fn eval(
                     cfg.call(pg, &call_args)?;
                     GuestValue::Num(0.0)
                 }
-                other => {
-                    return Err(ScriptError::Runtime(format!("{other:?} is not callable")))
-                }
+                other => return Err(ScriptError::Runtime(format!("{other:?} is not callable"))),
             }
         }
     })

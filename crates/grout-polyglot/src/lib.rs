@@ -289,7 +289,9 @@ impl Value {
         f: impl Fn(usize) -> f32,
     ) -> Result<(), PolyglotError> {
         match &self.kind {
-            Kind::Array { id, float: true, .. } => {
+            Kind::Array {
+                id, float: true, ..
+            } => {
                 pg.rt.write_f32(*id, |data| {
                     for (i, e) in data.iter_mut().enumerate() {
                         *e = f(i);
@@ -306,7 +308,9 @@ impl Value {
     /// Copies out the whole float array (synchronizes).
     pub fn to_vec(&self, pg: &mut Polyglot) -> Result<Vec<f32>, PolyglotError> {
         match &self.kind {
-            Kind::Array { id, float: true, .. } => Ok(pg.rt.read_f32(*id)?),
+            Kind::Array {
+                id, float: true, ..
+            } => Ok(pg.rt.read_f32(*id)?),
             _ => Err(PolyglotError::Kind(
                 "to_vec() requires a float array".into(),
             )),
@@ -350,10 +354,7 @@ impl Polyglot {
 
     /// A context with `workers` round-robin workers.
     pub fn with_workers(workers: usize) -> Self {
-        Polyglot::new(LocalConfig {
-            workers,
-            policy: PolicyKind::RoundRobin,
-        })
+        Polyglot::new(LocalConfig::new(workers, PolicyKind::RoundRobin))
     }
 
     /// Evaluates a GrOUT/GrCUDA source string:

@@ -152,9 +152,19 @@ impl Signature {
             }
             let type_ok = matches!(
                 (sp.ty, kp.ty),
-                (SigType::PtrFloat, ParamType::Ptr { elem: Elem::Float, .. })
-                    | (SigType::PtrInt, ParamType::Ptr { elem: Elem::Int, .. })
-                    | (SigType::Float, ParamType::Scalar(Elem::Float))
+                (
+                    SigType::PtrFloat,
+                    ParamType::Ptr {
+                        elem: Elem::Float,
+                        ..
+                    }
+                ) | (
+                    SigType::PtrInt,
+                    ParamType::Ptr {
+                        elem: Elem::Int,
+                        ..
+                    }
+                ) | (SigType::Float, ParamType::Scalar(Elem::Float))
                     | (SigType::Int, ParamType::Scalar(Elem::Int))
             );
             if !type_ok {
@@ -228,10 +238,12 @@ mod tests {
             .unwrap()
             .check_against(&k)
             .is_err());
-        assert!(Signature::parse("square(x: inout pointer sint32, n: sint32)")
-            .unwrap()
-            .check_against(&k)
-            .is_err());
+        assert!(
+            Signature::parse("square(x: inout pointer sint32, n: sint32)")
+                .unwrap()
+                .check_against(&k)
+                .is_err()
+        );
     }
 
     #[test]

@@ -71,9 +71,9 @@ fn expr_uses_gid(e: &RExpr, d: &Deps) -> bool {
         RExpr::Unary { expr, .. } | RExpr::Cast { expr, .. } => expr_uses_gid(expr, d),
         RExpr::Binary { lhs, rhs, .. } => expr_uses_gid(lhs, d) || expr_uses_gid(rhs, d),
         RExpr::Call { args, .. } => args.iter().any(|a| expr_uses_gid(a, d)),
-        RExpr::Ternary { cond, then, els, .. } => {
-            expr_uses_gid(cond, d) || expr_uses_gid(then, d) || expr_uses_gid(els, d)
-        }
+        RExpr::Ternary {
+            cond, then, els, ..
+        } => expr_uses_gid(cond, d) || expr_uses_gid(then, d) || expr_uses_gid(els, d),
     }
 }
 
@@ -86,7 +86,9 @@ fn expr_uses_bcast_loop(e: &RExpr, d: &Deps) -> bool {
             expr_uses_bcast_loop(lhs, d) || expr_uses_bcast_loop(rhs, d)
         }
         RExpr::Call { args, .. } => args.iter().any(|a| expr_uses_bcast_loop(a, d)),
-        RExpr::Ternary { cond, then, els, .. } => {
+        RExpr::Ternary {
+            cond, then, els, ..
+        } => {
             expr_uses_bcast_loop(cond, d)
                 || expr_uses_bcast_loop(then, d)
                 || expr_uses_bcast_loop(els, d)
@@ -102,9 +104,9 @@ fn expr_has_load(e: &RExpr, d: &Deps) -> bool {
         RExpr::Unary { expr, .. } | RExpr::Cast { expr, .. } => expr_has_load(expr, d),
         RExpr::Binary { lhs, rhs, .. } => expr_has_load(lhs, d) || expr_has_load(rhs, d),
         RExpr::Call { args, .. } => args.iter().any(|a| expr_has_load(a, d)),
-        RExpr::Ternary { cond, then, els, .. } => {
-            expr_has_load(cond, d) || expr_has_load(then, d) || expr_has_load(els, d)
-        }
+        RExpr::Ternary {
+            cond, then, els, ..
+        } => expr_has_load(cond, d) || expr_has_load(then, d) || expr_has_load(els, d),
         _ => false,
     }
 }
@@ -148,7 +150,9 @@ impl Analyzer {
                 self.scan_expr(rhs);
             }
             RExpr::Call { args, .. } => args.iter().for_each(|a| self.scan_expr(a)),
-            RExpr::Ternary { cond, then, els, .. } => {
+            RExpr::Ternary {
+                cond, then, els, ..
+            } => {
                 self.scan_expr(cond);
                 self.scan_expr(then);
                 self.scan_expr(els);
@@ -175,13 +179,21 @@ impl Analyzer {
                 self.scan_expr(value);
                 self.track_assign(*slot, value);
             }
-            RStmt::Store { param, index, value } => {
+            RStmt::Store {
+                param,
+                index,
+                value,
+            } => {
                 let c = classify_index(index, &self.deps);
                 self.note(*param, c);
                 self.scan_expr(index);
                 self.scan_expr(value);
             }
-            RStmt::AtomicAdd { param, index, value } => {
+            RStmt::AtomicAdd {
+                param,
+                index,
+                value,
+            } => {
                 let c = classify_index(index, &self.deps);
                 self.note(*param, c);
                 self.scan_expr(index);
@@ -251,7 +263,9 @@ pub fn flops_per_thread(kernel: &CheckedKernel, assumed_trip: f64) -> f64 {
             RExpr::Unary { expr: x, .. } | RExpr::Cast { expr: x, .. } => 1.0 + expr(x),
             RExpr::Binary { lhs, rhs, .. } => 1.0 + expr(lhs) + expr(rhs),
             RExpr::Call { args, .. } => 4.0 + args.iter().map(expr).sum::<f64>(),
-            RExpr::Ternary { cond, then, els, .. } => expr(cond) + expr(then).max(expr(els)),
+            RExpr::Ternary {
+                cond, then, els, ..
+            } => expr(cond) + expr(then).max(expr(els)),
             RExpr::Load { index, .. } => expr(index),
             _ => 0.0,
         }
@@ -263,9 +277,11 @@ pub fn flops_per_thread(kernel: &CheckedKernel, assumed_trip: f64) -> f64 {
             RStmt::AtomicAdd { index, value, .. } => 1.0 + expr(index) + expr(value),
             RStmt::If { cond, then, els } => {
                 expr(cond)
-                    + then.iter().map(|s| stmt(s, trip)).sum::<f64>().max(
-                        els.iter().map(|s| stmt(s, trip)).sum::<f64>(),
-                    )
+                    + then
+                        .iter()
+                        .map(|s| stmt(s, trip))
+                        .sum::<f64>()
+                        .max(els.iter().map(|s| stmt(s, trip)).sum::<f64>())
             }
             RStmt::For {
                 init,
@@ -328,7 +344,11 @@ mod tests {
             }",
         );
         assert_eq!(a[0].class, AccessClass::Coalesced, "y");
-        assert_eq!(a[1].class, AccessClass::Coalesced, "A (row-major, gid-affine)");
+        assert_eq!(
+            a[1].class,
+            AccessClass::Coalesced,
+            "A (row-major, gid-affine)"
+        );
         assert_eq!(a[2].class, AccessClass::Broadcast, "x (FALL)");
     }
 

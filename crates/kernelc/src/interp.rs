@@ -63,7 +63,10 @@ impl std::fmt::Display for LaunchError {
             ),
             LaunchError::DivideByZero => write!(f, "integer divide by zero"),
             LaunchError::StepBudgetExceeded => {
-                write!(f, "per-thread step budget exceeded (possible infinite loop)")
+                write!(
+                    f,
+                    "per-thread step budget exceeded (possible infinite loop)"
+                )
             }
             LaunchError::EmptyLaunch => write!(f, "grid and block sizes must be non-zero"),
         }
@@ -300,7 +303,11 @@ impl<'m, 'k> Thread<'m, 'k> {
                 Val::F(func.eval(&vals[..args.len()]))
             }
             RExpr::Ternary {
-                cond, elem, then, els, ..
+                cond,
+                elem,
+                then,
+                els,
+                ..
             } => {
                 let c = self.eval(cond)?.as_i();
                 let v = if c != 0 {
@@ -361,12 +368,20 @@ impl<'m, 'k> Thread<'m, 'k> {
                 self.locals[*slot as usize] = v;
                 Ok(Flow::Next)
             }
-            RStmt::Store { param, index, value } => {
+            RStmt::Store {
+                param,
+                index,
+                value,
+            } => {
                 let v = self.eval(value)?;
                 self.store(*param, index, v)?;
                 Ok(Flow::Next)
             }
-            RStmt::AtomicAdd { param, index, value } => {
+            RStmt::AtomicAdd {
+                param,
+                index,
+                value,
+            } => {
                 let v = self.eval(value)?;
                 let idx = self.eval(index)?.as_i();
                 let at = self.index(*param, idx)?;
@@ -441,7 +456,10 @@ impl<'m, 'k> Thread<'m, 'k> {
     }
 }
 
-fn build_slots(kernel: &CheckedKernel, args: &mut [KernelArg<'_>]) -> Result<Vec<Slot>, LaunchError> {
+fn build_slots(
+    kernel: &CheckedKernel,
+    args: &mut [KernelArg<'_>],
+) -> Result<Vec<Slot>, LaunchError> {
     if args.len() != kernel.params.len() {
         return Err(LaunchError::Arity {
             expected: kernel.params.len(),
@@ -543,7 +561,10 @@ pub fn launch2d_with_budget(
     let total_blocks = grid.0 as u64 * grid.1 as u64;
     let first_error: Mutex<Option<LaunchError>> = Mutex::new(None);
     (0..total_blocks).into_par_iter().for_each(|flat_bid| {
-        let bid = ((flat_bid % grid.0 as u64) as u32, (flat_bid / grid.0 as u64) as u32);
+        let bid = (
+            (flat_bid % grid.0 as u64) as u32,
+            (flat_bid / grid.0 as u64) as u32,
+        );
         let mut locals = vec![Val::I(0); machine.kernel.local_slots as usize];
         for ty_ in 0..block.1 {
             for tx in 0..block.0 {
@@ -683,7 +704,13 @@ mod tests {
             }",
         );
         let mut y = vec![0i32; 100];
-        launch(&k, 1, 128, &mut [KernelArg::I32(&mut y), KernelArg::Int(100)]).unwrap();
+        launch(
+            &k,
+            1,
+            128,
+            &mut [KernelArg::I32(&mut y), KernelArg::Int(100)],
+        )
+        .unwrap();
         assert_eq!(y[10], 30);
         assert_eq!(y[99], 297);
     }
@@ -710,7 +737,10 @@ mod tests {
         let mut y = vec![0.0f32; 1];
         assert!(matches!(
             launch(&k, 1, 1, &mut [KernelArg::F32(&mut y)]),
-            Err(LaunchError::Arity { expected: 4, got: 1 })
+            Err(LaunchError::Arity {
+                expected: 4,
+                got: 1
+            })
         ));
         let mut y = vec![0.0f32; 1];
         let mut x = vec![0i32; 1];
@@ -733,13 +763,7 @@ mod tests {
     fn divide_by_zero_is_reported() {
         let k = kernel("__global__ void f(int* y, int d) { y[0] = 1 / d; }");
         let mut y = vec![0i32; 1];
-        let err = launch(
-            &k,
-            1,
-            1,
-            &mut [KernelArg::I32(&mut y), KernelArg::Int(0)],
-        )
-        .unwrap_err();
+        let err = launch(&k, 1, 1, &mut [KernelArg::I32(&mut y), KernelArg::Int(0)]).unwrap_err();
         assert_eq!(err, LaunchError::DivideByZero);
     }
 
@@ -747,8 +771,7 @@ mod tests {
     fn step_budget_stops_infinite_loops() {
         let k = kernel("__global__ void f(int* y) { while (1) { y[0] = 1; } }");
         let mut y = vec![0i32; 1];
-        let err =
-            launch_with_budget(&k, 1, 1, &mut [KernelArg::I32(&mut y)], 10_000).unwrap_err();
+        let err = launch_with_budget(&k, 1, 1, &mut [KernelArg::I32(&mut y)], 10_000).unwrap_err();
         assert_eq!(err, LaunchError::StepBudgetExceeded);
     }
 
@@ -799,7 +822,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(stats.threads as usize, cols.div_ceil(8) * rows.div_ceil(8) * 64);
+        assert_eq!(
+            stats.threads as usize,
+            cols.div_ceil(8) * rows.div_ceil(8) * 64
+        );
         for r in 0..rows {
             for c in 0..cols {
                 assert_eq!(m[r * cols + c], (r * 1000 + c) as f32, "({r},{c})");

@@ -41,7 +41,9 @@ use std::fmt;
 
 pub use analysis::{analyze, flops_per_thread, AccessClass, ParamAccess};
 pub use ast::{Elem, Kernel, Param, ParamType};
-pub use interp::{launch, launch2d, launch2d_with_budget, launch_with_budget, KernelArg, LaunchError, LaunchStats};
+pub use interp::{
+    launch, launch2d, launch2d_with_budget, launch_with_budget, KernelArg, LaunchError, LaunchStats,
+};
 pub use parser::{parse, ParseError};
 pub use racecheck::{launch_checked, Race, RaceReport};
 pub use token::{lex, LexError};

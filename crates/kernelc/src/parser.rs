@@ -422,9 +422,7 @@ impl Parser {
                             // variants.
                             other => other,
                         },
-                        _ => {
-                            return self.err("only 1-D and 2-D grids are supported (`.x`/`.y`)")
-                        }
+                        _ => return self.err("only 1-D and 2-D grids are supported (`.x`/`.y`)"),
                     };
                     return Ok(Expr::Builtin(b));
                 }
@@ -546,7 +544,12 @@ mod tests {
             panic!("expected assign");
         };
         // 1 + (2 * 3), not (1 + 2) * 3
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected add at top: {value:?}");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));

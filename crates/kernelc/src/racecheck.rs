@@ -37,12 +37,20 @@ impl std::fmt::Display for Race {
         write!(
             f,
             "{} race on parameter {} element {}: thread {} wrote, thread {} {}",
-            if self.second_is_write { "write-write" } else { "read-write" },
+            if self.second_is_write {
+                "write-write"
+            } else {
+                "read-write"
+            },
             self.param,
             self.index,
             self.first_writer,
             self.second,
-            if self.second_is_write { "also wrote" } else { "read" },
+            if self.second_is_write {
+                "also wrote"
+            } else {
+                "read"
+            },
         )
     }
 }
@@ -175,9 +183,17 @@ fn substitute_builtins(
             },
             RExpr::Call { func, args } => RExpr::Call {
                 func: *func,
-                args: args.iter().map(|a| sub_e(a, bid, tid, grid, block)).collect(),
+                args: args
+                    .iter()
+                    .map(|a| sub_e(a, bid, tid, grid, block))
+                    .collect(),
             },
-            RExpr::Ternary { cond, elem, then, els } => RExpr::Ternary {
+            RExpr::Ternary {
+                cond,
+                elem,
+                then,
+                els,
+            } => RExpr::Ternary {
                 cond: Box::new(sub_e(cond, bid, tid, grid, block)),
                 elem: *elem,
                 then: Box::new(sub_e(then, bid, tid, grid, block)),
@@ -197,30 +213,55 @@ fn substitute_builtins(
                 slot: *slot,
                 value: sub_e(value, bid, tid, grid, block),
             },
-            RStmt::Store { param, index, value } => RStmt::Store {
+            RStmt::Store {
+                param,
+                index,
+                value,
+            } => RStmt::Store {
                 param: *param,
                 index: sub_e(index, bid, tid, grid, block),
                 value: sub_e(value, bid, tid, grid, block),
             },
-            RStmt::AtomicAdd { param, index, value } => RStmt::AtomicAdd {
+            RStmt::AtomicAdd {
+                param,
+                index,
+                value,
+            } => RStmt::AtomicAdd {
                 param: *param,
                 index: sub_e(index, bid, tid, grid, block),
                 value: sub_e(value, bid, tid, grid, block),
             },
             RStmt::If { cond, then, els } => RStmt::If {
                 cond: sub_e(cond, bid, tid, grid, block),
-                then: then.iter().map(|x| sub_s(x, bid, tid, grid, block)).collect(),
-                els: els.iter().map(|x| sub_s(x, bid, tid, grid, block)).collect(),
+                then: then
+                    .iter()
+                    .map(|x| sub_s(x, bid, tid, grid, block))
+                    .collect(),
+                els: els
+                    .iter()
+                    .map(|x| sub_s(x, bid, tid, grid, block))
+                    .collect(),
             },
-            RStmt::For { init, cond, step, body } => RStmt::For {
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => RStmt::For {
                 init: Box::new(sub_s(init, bid, tid, grid, block)),
                 cond: sub_e(cond, bid, tid, grid, block),
                 step: Box::new(sub_s(step, bid, tid, grid, block)),
-                body: body.iter().map(|x| sub_s(x, bid, tid, grid, block)).collect(),
+                body: body
+                    .iter()
+                    .map(|x| sub_s(x, bid, tid, grid, block))
+                    .collect(),
             },
             RStmt::While { cond, body } => RStmt::While {
                 cond: sub_e(cond, bid, tid, grid, block),
-                body: body.iter().map(|x| sub_s(x, bid, tid, grid, block)).collect(),
+                body: body
+                    .iter()
+                    .map(|x| sub_s(x, bid, tid, grid, block))
+                    .collect(),
             },
             RStmt::Return => RStmt::Return,
         }

@@ -10,8 +10,8 @@ pub enum Tok {
     IntLit(i64),
     FloatLit(f64),
     // Keywords
-    Global,   // __global__
-    Device,   // __device__ (accepted, ignored)
+    Global, // __global__
+    Device, // __device__ (accepted, ignored)
     Void,
     Int,
     Float,
@@ -95,7 +95,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -188,7 +192,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         Err(_) => err!("bad integer literal `{text}`"),
                     }
                 };
-                out.push(Spanned { tok, line: tl, col: tc });
+                out.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
@@ -212,7 +220,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     "return" => Tok::Return,
                     _ => Tok::Ident(word.to_string()),
                 };
-                out.push(Spanned { tok, line: tl, col: tc });
+                out.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
             }
             _ => {
                 // Operators and punctuation, longest match first.
@@ -259,7 +271,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         other => err!("unexpected character `{other}`"),
                     },
                 };
-                out.push(Spanned { tok, line: tl, col: tc });
+                out.push(Spanned {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
                 advance(&mut i, &mut line, &mut col, n);
             }
         }

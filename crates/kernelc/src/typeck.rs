@@ -318,9 +318,7 @@ impl<'k> Ctx<'k> {
                 }
                 Ok((idx as u16, elem))
             }
-            ParamType::Scalar(_) => Err(TypeError(format!(
-                "`{name}` is a scalar, not a pointer"
-            ))),
+            ParamType::Scalar(_) => Err(TypeError(format!("`{name}` is a scalar, not a pointer"))),
         }
     }
 
@@ -622,10 +620,7 @@ mod tests {
 
     #[test]
     fn const_write_rejected() {
-        let err = checked(
-            "__global__ void f(const float* x) { x[0] = 1.0; }",
-        )
-        .unwrap_err();
+        let err = checked("__global__ void f(const float* x) { x[0] = 1.0; }").unwrap_err();
         assert!(err.0.contains("const"));
     }
 

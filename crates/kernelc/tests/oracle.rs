@@ -26,11 +26,7 @@ enum E {
 }
 
 fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::Gid),
-        (-4.0f32..4.0).prop_map(E::K),
-        Just(E::In),
-    ];
+    let leaf = prop_oneof![Just(E::Gid), (-4.0f32..4.0).prop_map(E::K), Just(E::In),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
@@ -39,9 +35,8 @@ fn arb_expr() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
-                E::Sel(Box::new(c), Box::new(a), Box::new(b))
-            }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| { E::Sel(Box::new(c), Box::new(a), Box::new(b)) }),
         ]
     })
 }

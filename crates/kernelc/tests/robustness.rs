@@ -44,9 +44,7 @@ fn deeply_nested_expressions_compile() {
     for _ in 0..200 {
         expr = format!("({expr} + 1.0)");
     }
-    let src = format!(
-        "__global__ void f(float* y) {{ y[0] = {expr}; }}"
-    );
+    let src = format!("__global__ void f(float* y) {{ y[0] = {expr}; }}");
     let k = compile_one(&src, "f").unwrap();
     let mut y = vec![0.0f32; 1];
     k.launch(1, 1, &mut [KernelArg::F32(&mut y)]).unwrap();
@@ -87,11 +85,7 @@ fn huge_grid_small_buffer_is_guarded() {
 
 #[test]
 fn int_overflow_wraps_like_c() {
-    let k = compile_one(
-        "__global__ void f(int* y) { y[0] = 2147483647 + 1; }",
-        "f",
-    )
-    .unwrap();
+    let k = compile_one("__global__ void f(int* y) { y[0] = 2147483647 + 1; }", "f").unwrap();
     let mut y = vec![0i32; 1];
     k.launch(1, 1, &mut [KernelArg::I32(&mut y)]).unwrap();
     assert_eq!(y[0], i32::MIN);

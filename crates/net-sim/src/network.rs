@@ -105,7 +105,13 @@ impl Network {
 
     /// Issues a whole-message transfer at `now`; returns its record. Local
     /// "transfers" (src == dst) complete instantly and occupy nothing.
-    pub fn transfer(&mut self, now: SimTime, src: EndpointId, dst: EndpointId, bytes: u64) -> TransferRecord {
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+    ) -> TransferRecord {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         let timeline = if src == dst {
@@ -153,7 +159,13 @@ impl Network {
     }
 
     /// Predicts the completion time of a transfer without issuing it.
-    pub fn peek_transfer(&self, now: SimTime, src: EndpointId, dst: EndpointId, bytes: u64) -> SimTime {
+    pub fn peek_transfer(
+        &self,
+        now: SimTime,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: u64,
+    ) -> SimTime {
         if src == dst {
             return now;
         }

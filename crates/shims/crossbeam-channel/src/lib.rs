@@ -1,0 +1,243 @@
+//! Offline stand-in for `crossbeam-channel`: an unbounded MPMC channel built
+//! on `Mutex<VecDeque>` + `Condvar`. Only the subset this workspace uses is
+//! provided: `unbounded`, cloneable `Sender`/`Receiver`, `send`, `recv`,
+//! `try_recv`, `recv_timeout`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned when all receivers are gone.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned when the channel is empty and all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Timed out while the channel was still empty.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// The sending half.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            buf: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; fails when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        q.buf.push_back(msg);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.senders -= 1;
+        if q.senders == 0 {
+            drop(q);
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.buf.pop_front() {
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvError);
+            }
+            q = self.shared.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.queue.lock().unwrap();
+        match q.buf.pop_front() {
+            Some(v) => Ok(v),
+            None if q.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.buf.pop_front() {
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timeout) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+
+    /// Drains currently queued messages without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnects_surface() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeout_fires_on_empty_channel() {
+        let (_tx, rx) = unbounded::<i32>();
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    }
+}

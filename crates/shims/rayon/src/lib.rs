@@ -1,0 +1,163 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides genuinely parallel `into_par_iter().for_each(...)` over integer
+//! ranges (the only shape this workspace uses on its hot path) by splitting
+//! the range across `std::thread::scope` workers, plus sequential fallbacks
+//! for slices and vectors. No work stealing: ranges are split into equal
+//! chunks, which is adequate for the interpreter's uniform per-block work.
+
+use std::num::NonZeroUsize;
+
+/// Re-exports matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator, ParallelIterator};
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item yielded.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter_mut` entry point for collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item yielded (mutable reference).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` mutably.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// Minimal parallel-iterator interface.
+pub trait ParallelIterator: Sized {
+    /// Item yielded.
+    type Item: Send;
+
+    /// Applies `f` to every item, possibly across threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send;
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeParIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                RangeParIter { start: self.start, end: self.end }
+            }
+        }
+
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn for_each<F>(self, f: F)
+            where
+                F: Fn($t) + Sync + Send,
+            {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                let n = workers().min(len.max(1));
+                if n <= 1 || len <= 1 {
+                    for v in self.start..self.end {
+                        f(v);
+                    }
+                    return;
+                }
+                let chunk = len.div_ceil(n);
+                let f = &f;
+                std::thread::scope(|scope| {
+                    for w in 0..n {
+                        let lo = self.start + (w * chunk) as $t;
+                        let hi = (self.start + ((w + 1) * chunk).min(len) as $t)
+                            .min(self.end);
+                        scope.spawn(move || {
+                            for v in lo..hi {
+                                f(v);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize);
+
+/// Sequential fallback parallel iterator over any iterator.
+pub struct SeqParIter<I>(I);
+
+impl<T: Send, I: Iterator<Item = T>> ParallelIterator for SeqParIter<I> {
+    type Item = T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        self.0.for_each(f);
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = SeqParIter<std::vec::IntoIter<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        SeqParIter(self.into_iter())
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = SeqParIter<std::slice::IterMut<'a, T>>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        SeqParIter(self.iter_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_for_each_covers_every_item_once() {
+        let sum = AtomicU64::new(0);
+        (0u64..1000).into_par_iter().for_each(|v| {
+            sum.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn empty_and_single_ranges_work() {
+        let hits = AtomicU64::new(0);
+        (5u32..5).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        (7usize..8).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

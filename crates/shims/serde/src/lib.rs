@@ -1,0 +1,145 @@
+//! Offline stand-in for `serde`, scoped to what this workspace needs:
+//! `#[derive(Serialize)]` on named-field structs, serialized into an
+//! in-memory JSON [`json::Value`] that the `serde_json` shim renders.
+//!
+//! Unlike real serde there is no `Serializer` abstraction — `Serialize`
+//! converts directly to a JSON value. That is exactly the one sink the
+//! workspace uses (`serde_json::to_value` / `to_string_pretty`).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// The JSON data model the [`Serialize`] trait targets.
+pub mod json {
+    /// An in-memory JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Unsigned integer.
+        U64(u64),
+        /// Signed integer.
+        I64(i64),
+        /// Floating point number.
+        F64(f64),
+        /// String.
+        String(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+}
+
+/// Conversion into the JSON data model.
+pub trait Serialize {
+    /// Serializes `self` as a JSON value.
+    fn to_json_value(&self) -> json::Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::Serialize;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u64.to_json_value(), Value::U64(3));
+        assert_eq!((-3i32).to_json_value(), Value::I64(-3));
+        assert_eq!(1.5f64.to_json_value(), Value::F64(1.5));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_json_value(), Value::String("x".into()));
+        assert_eq!(
+            vec![1u8, 2].to_json_value(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)])
+        );
+        assert_eq!(None::<u8>.to_json_value(), Value::Null);
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for structs
+//! with named fields (the only shape this workspace derives on). Parses the
+//! token stream by hand — no `syn`/`quote` available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting each named field into a JSON
+/// object, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_struct(&tokens);
+    let fields = parse_named_fields(&body);
+
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), \
+                 ::serde::Serialize::to_json_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n\
+         let mut fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+         {pushes}\
+         ::serde::json::Value::Object(fields)\n\
+         }}\n\
+         }}\n"
+    );
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+/// Returns the struct name and its brace-delimited body tokens.
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<TokenTree>) {
+    let mut i = 0;
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                i += 2;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let n = name.expect("serde_derive: struct name before body");
+                return (n, g.stream().into_iter().collect());
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde_derive: only structs with named fields are supported");
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            // Field attribute (e.g. a doc comment): `#` + bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip `pub` and an optional `(...)` restriction.
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // `name : Type , ...` — record the name, then skip to the
+                // next top-level comma (generic args use no top-level `,`
+                // here because `<...>` never splits: commas inside angle
+                // brackets are skipped via depth tracking).
+                fields.push(id.to_string());
+                i += 1;
+                let mut depth = 0i32;
+                while i < body.len() {
+                    if let TokenTree::Punct(p) = &body[i] {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}

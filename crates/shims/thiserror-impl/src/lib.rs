@@ -1,0 +1,260 @@
+//! `#[derive(Error)]` for the offline `thiserror` stand-in. Hand-parses the
+//! token stream (no `syn`/`quote` offline) and supports enums with unit,
+//! tuple, and named-field variants annotated `#[error("...")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `Display` (from `#[error("...")]` attributes) and
+/// `std::error::Error` for an enum.
+#[proc_macro_derive(Error, attributes(error))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_enum(&tokens);
+    let variants = parse_variants(&body);
+
+    let mut arms = String::new();
+    for v in &variants {
+        let fmt = rewrite_positional(&v.error_fmt, v.tuple_arity);
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!("Self::{} => write!(f, {fmt}),\n", v.name));
+            }
+            Fields::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                arms.push_str(&format!(
+                    "Self::{}({}) => write!(f, {fmt}),\n",
+                    v.name,
+                    binds.join(", ")
+                ));
+            }
+            Fields::Named(names) => {
+                arms.push_str(&format!(
+                    "Self::{} {{ {} }} => write!(f, {fmt}),\n",
+                    v.name,
+                    names.join(", ")
+                ));
+            }
+        }
+    }
+
+    let out = format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         #[allow(unused_variables)]\n\
+         match self {{\n\
+         {arms}\
+         }}\n\
+         }}\n\
+         }}\n\
+         impl ::std::error::Error for {name} {{}}\n"
+    );
+    out.parse().expect("thiserror-impl: generated impl parses")
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    error_fmt: String,
+    fields: Fields,
+    tuple_arity: usize,
+}
+
+/// Returns the enum name and its brace-delimited body tokens, skipping
+/// outer attributes (`#[non_exhaustive]`, doc comments, ...).
+fn parse_enum(tokens: &[TokenTree]) -> (String, Vec<TokenTree>) {
+    let mut i = 0;
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                i += 2;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let n = name.expect("thiserror-impl: enum name before body");
+                return (n, g.stream().into_iter().collect());
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("thiserror-impl: only enums are supported");
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    let mut pending_fmt: Option<String> = None;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = body.get(i + 1) {
+                    if let Some(fmt) = extract_error_fmt(g) {
+                        pending_fmt = Some(fmt);
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let mut fields = Fields::Unit;
+                let mut arity = 0;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            arity = count_top_level_fields(g);
+                            fields = Fields::Tuple(arity);
+                            i += 1;
+                        }
+                        Delimiter::Brace => {
+                            fields = Fields::Named(named_field_names(g));
+                            i += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                // Skip the trailing comma, if any.
+                if let Some(TokenTree::Punct(p)) = body.get(i) {
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+                let fmt = pending_fmt.take().unwrap_or_else(|| {
+                    panic!("thiserror-impl: variant `{vname}` lacks #[error(\"...\")]")
+                });
+                variants.push(Variant {
+                    name: vname,
+                    error_fmt: fmt,
+                    fields,
+                    tuple_arity: arity,
+                });
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}
+
+/// If `g` is the bracket group of an `#[error("...")]` attribute, returns
+/// the raw format-string literal (quotes and escapes intact).
+fn extract_error_fmt(g: &proc_macro::Group) -> Option<String> {
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "error" => {}
+        _ => return None,
+    }
+    if let Some(TokenTree::Group(args)) = inner.get(1) {
+        if let Some(TokenTree::Literal(lit)) = args.stream().into_iter().next() {
+            return Some(lit.to_string());
+        }
+    }
+    None
+}
+
+/// Counts comma-separated fields at the top level of a tuple-variant group,
+/// ignoring commas nested inside `<...>` generic arguments.
+fn count_top_level_fields(g: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for t in g.stream() {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Extracts field names from a named-field variant group.
+fn named_field_names(g: &proc_macro::Group) -> Vec<String> {
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => i += 1,
+            TokenTree::Ident(id) => {
+                names.push(id.to_string());
+                i += 1;
+                let mut depth = 0i32;
+                while i < body.len() {
+                    if let TokenTree::Punct(p) = &body[i] {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    names
+}
+
+/// Rewrites positional interpolations `{0}` / `{0:?}` to the `f0` bindings
+/// the generated match arm introduces, leaving named interpolations, format
+/// specs, and escaped `{{`/`}}` untouched. Operates on the raw literal text;
+/// digits and braces are never part of escape sequences, so this is safe.
+fn rewrite_positional(lit: &str, arity: usize) -> String {
+    let mut out = String::with_capacity(lit.len() + 8);
+    let chars: Vec<char> = lit.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // `{<digits>` followed by `}` or `:` → positional reference.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 1 && matches!(chars.get(j), Some('}') | Some(':')) {
+                let idx: usize = chars[i + 1..j].iter().collect::<String>().parse().unwrap();
+                assert!(
+                    idx < arity,
+                    "thiserror-impl: positional {{{idx}}} out of range"
+                );
+                out.push('{');
+                out.push('f');
+                for d in &chars[i + 1..j] {
+                    out.push(*d);
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}

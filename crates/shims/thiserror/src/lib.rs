@@ -1,0 +1,11 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! Re-exports the `#[derive(Error)]` macro from the companion proc-macro
+//! crate. The derive supports enums whose variants carry an
+//! `#[error("...")]` attribute with `{0}`-positional and `{name}`-named
+//! interpolation (including format specs like `{0:?}`), generating
+//! `std::fmt::Display` and `std::error::Error` impls. `#[from]` /
+//! `#[source]` chaining is not implemented — errors in this workspace are
+//! leaves.
+
+pub use thiserror_impl::Error;

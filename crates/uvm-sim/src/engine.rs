@@ -162,9 +162,8 @@ impl UvmDevice {
         }
         let bytes = pages * self.cfg.page_bytes;
         let granules = (bytes).div_ceil(self.cfg.prefetch_granule_bytes);
-        let xfer = SimDuration::from_secs_f64(
-            bytes as f64 / self.pcie_bps * self.cfg.prefetch_overhead,
-        );
+        let xfer =
+            SimDuration::from_secs_f64(bytes as f64 / self.pcie_bps * self.cfg.prefetch_overhead);
         (xfer + self.cfg.fault_batch_latency * granules, granules)
     }
 

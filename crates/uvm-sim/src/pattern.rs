@@ -163,7 +163,19 @@ mod tests {
     fn sweeps_floor_at_one() {
         assert_eq!(AccessPattern::Streamed { sweeps: 0.25 }.sweeps(), 1.0);
         assert_eq!(AccessPattern::Streamed { sweeps: 3.0 }.sweeps(), 3.0);
-        assert_eq!(AccessPattern::Gather { touches_per_page: 8.0 }.sweeps(), 8.0);
-        assert_eq!(AccessPattern::Strided { touches_per_page: 4.0 }.sweeps(), 4.0);
+        assert_eq!(
+            AccessPattern::Gather {
+                touches_per_page: 8.0
+            }
+            .sweeps(),
+            8.0
+        );
+        assert_eq!(
+            AccessPattern::Strided {
+                touches_per_page: 4.0
+            }
+            .sweeps(),
+            4.0
+        );
     }
 }

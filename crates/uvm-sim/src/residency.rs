@@ -105,7 +105,12 @@ impl Residency {
     /// least-recently-used *other* allocations as needed. Marks the
     /// allocation dirty when `writes` is set. Returns the fault/eviction
     /// volumes for the cost model.
-    pub fn ensure_resident(&mut self, alloc: AllocId, want_pages: u64, writes: bool) -> InstallOutcome {
+    pub fn ensure_resident(
+        &mut self,
+        alloc: AllocId,
+        want_pages: u64,
+        writes: bool,
+    ) -> InstallOutcome {
         let tick = self.next_tick();
         let have = self.resident_pages(alloc);
         // An allocation can never hold more than the device.
@@ -330,7 +335,11 @@ mod tests {
             lru.ensure_resident(AllocId(0), 30, false); // hot
             lru.ensure_resident(AllocId(1 + i % 2), 50, false); // churn
         }
-        assert_eq!(lru.resident_pages(AllocId(0)), 30, "LRU keeps the hot array");
+        assert_eq!(
+            lru.resident_pages(AllocId(0)),
+            30,
+            "LRU keeps the hot array"
+        );
     }
 
     #[test]

@@ -159,7 +159,12 @@ mod tests {
         .unwrap();
         let (rc, rp) = reference(&spot, 100.0, 0.05, 0.2, 1.0);
         for i in 0..3 {
-            assert!((call[i] - rc[i]).abs() < 0.02, "call[{i}] {} vs {}", call[i], rc[i]);
+            assert!(
+                (call[i] - rc[i]).abs() < 0.02,
+                "call[{i}] {} vs {}",
+                call[i],
+                rc[i]
+            );
             assert!((put[i] - rp[i]).abs() < 0.02, "put[{i}]");
         }
     }

@@ -167,8 +167,9 @@ impl SimWorkload for ConjugateGradient {
                         CeArg::write(a.ap_blocks[b], ap_chunk),
                         CeArg::read(a.a_blocks[b], a.a_chunk)
                             .with_pattern(AccessPattern::Streamed { sweeps: 1.0 }),
-                        CeArg::read(a.p, a.vec_bytes)
-                            .with_pattern(AccessPattern::Gather { touches_per_page: 2.0 }),
+                        CeArg::read(a.p, a.vec_bytes).with_pattern(AccessPattern::Gather {
+                            touches_per_page: 2.0,
+                        }),
                     ],
                 );
             }

@@ -52,12 +52,7 @@ __global__ void zero1(float* v, int n) {
 "#;
 
 /// CPU reference: `iters` HITS rounds on a CSR graph (L2-normalized).
-pub fn reference(
-    row_ptr: &[i32],
-    col: &[i32],
-    n: usize,
-    iters: usize,
-) -> (Vec<f32>, Vec<f32>) {
+pub fn reference(row_ptr: &[i32], col: &[i32], n: usize, iters: usize) -> (Vec<f32>, Vec<f32>) {
     let mut hub = vec![1.0f32; n];
     let mut auth = vec![1.0f32; n];
     for _ in 0..iters {
@@ -67,7 +62,11 @@ pub fn reference(
                 new_auth[i] += hub[col[e as usize] as usize];
             }
         }
-        let norm = new_auth.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32;
+        let norm = new_auth
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32;
         new_auth.iter_mut().for_each(|v| *v /= norm);
         auth = new_auth;
         let mut new_hub = vec![0.0f32; n];
@@ -76,7 +75,11 @@ pub fn reference(
                 new_hub[i] += auth[col[e as usize] as usize];
             }
         }
-        let norm = new_hub.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32;
+        let norm = new_hub
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32;
         new_hub.iter_mut().for_each(|v| *v /= norm);
         hub = new_hub;
     }
@@ -145,8 +148,9 @@ impl SimWorkload for Hits {
                             // is gathered data-dependently (FALL).
                             CeArg::read(c, chunk)
                                 .with_pattern(AccessPattern::Streamed { sweeps: 1.0 }),
-                            CeArg::read(src, score_bytes)
-                                .with_pattern(AccessPattern::Gather { touches_per_page: 4.0 }),
+                            CeArg::read(src, score_bytes).with_pattern(AccessPattern::Gather {
+                                touches_per_page: 4.0,
+                            }),
                         ],
                     );
                 }

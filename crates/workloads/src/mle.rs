@@ -131,8 +131,9 @@ impl SimWorkload for MlEnsemble {
                     tree_cost,
                     vec![
                         CeArg::write(a.inter[c], a.inter_bytes),
-                        CeArg::read(a.x_chunks[c], a.chunk)
-                            .with_pattern(AccessPattern::Gather { touches_per_page: 1.5 }),
+                        CeArg::read(a.x_chunks[c], a.chunk).with_pattern(AccessPattern::Gather {
+                            touches_per_page: 1.5,
+                        }),
                     ],
                 );
             }
@@ -206,7 +207,12 @@ mod tests {
     #[test]
     fn single_node_cliff_sits_at_two_x() {
         let run = |size: u64| {
-            run_workload(&MlEnsemble::default(), SimConfig::grcuda_baseline(), gb(size)).secs()
+            run_workload(
+                &MlEnsemble::default(),
+                SimConfig::grcuda_baseline(),
+                gb(size),
+            )
+            .secs()
         };
         let t16 = run(16);
         let t32 = run(32);
@@ -227,6 +233,10 @@ mod tests {
         };
         let t32 = run(32);
         let t64 = run(64);
-        assert!(t64 / t32 < 8.0, "GrOUT 64/32 step {} (paper: 4.1x)", t64 / t32);
+        assert!(
+            t64 / t32 < 8.0,
+            "GrOUT 64/32 step {} (paper: 4.1x)",
+            t64 / t32
+        );
     }
 }

@@ -131,10 +131,14 @@ impl SimWorkload for MatVec {
                     vec![
                         CeArg::write(y_blocks[b], y_chunk),
                         CeArg::read(a_blocks[b], chunk)
-                            .with_pattern(AccessPattern::Strided { touches_per_page: 4.0 })
+                            .with_pattern(AccessPattern::Strided {
+                                touches_per_page: 4.0,
+                            })
                             .chunk_of(alloc_total),
                         CeArg::read(x, vec_bytes)
-                            .with_pattern(AccessPattern::Gather { touches_per_page: 8.0 })
+                            .with_pattern(AccessPattern::Gather {
+                                touches_per_page: 8.0,
+                            })
                             .with_advise(self.x_advise),
                     ],
                 );
@@ -158,7 +162,9 @@ mod tests {
     fn kernel_matches_reference() {
         let k = kernelc::compile_one(MV_KERNEL, "mv").unwrap();
         let (rows, cols) = (37, 53);
-        let mut a: Vec<f32> = (0..rows * cols).map(|i| ((i * 7919) % 13) as f32 * 0.1).collect();
+        let mut a: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 7919) % 13) as f32 * 0.1)
+            .collect();
         let mut x: Vec<f32> = (0..cols).map(|i| (i % 5) as f32 * 0.25).collect();
         let mut y = vec![0.0f32; rows];
         let reference = reference(&a, &x, rows, cols);

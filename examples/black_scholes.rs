@@ -19,14 +19,14 @@ const SIGMA: f32 = 0.2;
 const T: f32 = 1.0;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rt = LocalRuntime::new(LocalConfig {
-        workers: 2,
-        policy: PolicyKind::RoundRobin,
-    });
+    let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
 
     // Compile the kernel from source (the paper's `buildkernel`).
     let kernel = Arc::new(kernelc::compile_one(BLACK_SCHOLES_KERNEL, "black_scholes")?);
-    println!("compiled `{}`; per-parameter access analysis:", kernel.name());
+    println!(
+        "compiled `{}`; per-parameter access analysis:",
+        kernel.name()
+    );
     for (p, a) in kernel.params().iter().zip(kernel.access()) {
         println!(
             "  {:<6} reads={:<5} writes={:<5} class={:?}",

@@ -48,16 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "racecheck: {} ({} threads)",
-        if report.is_race_free() { "clean" } else { "RACY" },
+        if report.is_race_free() {
+            "clean"
+        } else {
+            "RACY"
+        },
         report.threads
     );
     assert!(report.is_race_free());
 
     // The real multiply through the distributed runtime, 2-D grid.
-    let mut rt = LocalRuntime::new(LocalConfig {
-        workers: 2,
-        policy: PolicyKind::RoundRobin,
-    });
+    let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
     let a = rt.alloc_f32(m * k);
     let b = rt.alloc_f32(k * n);
     let c = rt.alloc_f32(m * n);

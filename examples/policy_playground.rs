@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example policy_playground`
 
 use grout::core::{ExplorationLevel, PolicyKind, SimConfig};
-use grout::workloads::{
-    gb, run_workload, ConjugateGradient, MatVec, MlEnsemble, SimWorkload,
-};
+use grout::workloads::{gb, run_workload, ConjugateGradient, MatVec, MlEnsemble, SimWorkload};
 
 fn main() {
     let size = gb(96); // 3x oversubscription of one node

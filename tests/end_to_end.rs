@@ -8,8 +8,8 @@ use grout::core::{
     ExplorationLevel, LocalArg, LocalConfig, LocalRuntime, PolicyKind, SimConfig, SimRuntime,
 };
 use grout::workloads::{
-    gb, run_workload, BlackScholes, ConjugateGradient, MatVec, MlEnsemble, SimWorkload,
-    CG_KERNELS, MV_KERNEL,
+    gb, run_workload, BlackScholes, ConjugateGradient, MatVec, MlEnsemble, SimWorkload, CG_KERNELS,
+    MV_KERNEL,
 };
 use grout::{Language, Polyglot, Value};
 
@@ -37,7 +37,9 @@ fn polyglot_runs_the_paper_mv_kernel() {
         )
         .unwrap();
     let (rows, cols) = (64usize, 48usize);
-    let a = pg.eval(Language::GrOUT, &format!("float[{}]", rows * cols)).unwrap();
+    let a = pg
+        .eval(Language::GrOUT, &format!("float[{}]", rows * cols))
+        .unwrap();
     let x = pg.eval(Language::GrOUT, &format!("float[{cols}]")).unwrap();
     let y = pg.eval(Language::GrOUT, &format!("float[{rows}]")).unwrap();
     a.fill_with(&mut pg, |i| ((i % 7) as f32) * 0.25).unwrap();
@@ -68,20 +70,9 @@ fn cg_solver_converges_on_the_local_runtime() {
     // A real conjugate-gradient solve through the whole stack: kernels from
     // CUDA-dialect source, scheduled as CEs across two worker threads.
     let n = 64usize;
-    let mut rt = LocalRuntime::new(LocalConfig {
-        workers: 2,
-        policy: PolicyKind::RoundRobin,
-    });
+    let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
     let kernels = kernelc::compile(CG_KERNELS).unwrap();
-    let get = |name: &str| {
-        Arc::new(
-            kernels
-                .iter()
-                .find(|k| k.name() == name)
-                .unwrap()
-                .clone(),
-        )
-    };
+    let get = |name: &str| Arc::new(kernels.iter().find(|k| k.name() == name).unwrap().clone());
     let (spmv, dot, axpy, xpay, zero, norm2) = (
         get("spmv_dense"),
         get("dot"),
@@ -103,7 +94,11 @@ fn cg_solver_converges_on_the_local_runtime() {
     for i in 0..n {
         for j in 0..n {
             let noise = 0.01 * (((i * 31 + j * 17) % 13) as f32 - 6.0);
-            let sym = if i <= j { noise } else { 0.01 * (((j * 31 + i * 17) % 13) as f32 - 6.0) };
+            let sym = if i <= j {
+                noise
+            } else {
+                0.01 * (((j * 31 + i * 17) % 13) as f32 - 6.0)
+            };
             a_host[i * n + j] = if i == j { 4.0 } else { sym };
         }
     }
@@ -229,7 +224,12 @@ fn all_workloads_run_on_all_policies() {
         for p in &policies {
             let out = run_workload(w.as_ref(), SimConfig::paper_grout(2, p.clone()), gb(16));
             assert!(out.secs() > 0.0, "{} under {:?}", w.name(), p.name());
-            assert!(!out.timed_out, "{} capped at 16 GB under {}", w.name(), p.name());
+            assert!(
+                !out.timed_out,
+                "{} capped at 16 GB under {}",
+                w.name(),
+                p.name()
+            );
         }
     }
 }

@@ -5,8 +5,7 @@
 
 use grout::core::{ExplorationLevel, PolicyKind, SimConfig};
 use grout::workloads::{
-    gb, run_workload, BlackScholes, ConjugateGradient, MatVec, MlEnsemble, RunOutcome,
-    SimWorkload,
+    gb, run_workload, BlackScholes, ConjugateGradient, MatVec, MlEnsemble, RunOutcome, SimWorkload,
 };
 
 fn single(w: &dyn SimWorkload, size_gb: u64) -> RunOutcome {
@@ -94,14 +93,25 @@ fn fig7_crossover_and_final_speedups() {
     for w in &workloads {
         // Normal conditions: network cost makes GrOUT slower.
         let sp8 = single(w.as_ref(), 8).secs() / grout2(w.as_ref(), 8).secs();
-        assert!(sp8 < 1.0, "{} speedup {sp8} at 0.25x should be < 1", w.name());
+        assert!(
+            sp8 < 1.0,
+            "{} speedup {sp8} at 0.25x should be < 1",
+            w.name()
+        );
         // 3x: everyone benefits from distribution.
         let sp96 = single(w.as_ref(), 96).secs() / grout2(w.as_ref(), 96).secs();
-        assert!(sp96 > 1.0, "{} speedup {sp96} at 3x should be > 1", w.name());
+        assert!(
+            sp96 > 1.0,
+            "{} speedup {sp96} at 3x should be > 1",
+            w.name()
+        );
         at160.push(single(w.as_ref(), 160).secs() / grout2(w.as_ref(), 160).secs());
     }
     let (mle, cg, mv) = (at160[0], at160[1], at160[2]);
-    assert!(mv > cg && cg > mle, "5x ordering MV({mv}) > CG({cg}) > MLE({mle})");
+    assert!(
+        mv > cg && cg > mle,
+        "5x ordering MV({mv}) > CG({cg}) > MLE({mle})"
+    );
     assert!(mv > 10.0, "MV speedup at 5x: {mv} (paper: >24.42)");
     assert!(mle > 1.0, "MLE speedup at 5x: {mle} (paper: 1.64)");
 }
@@ -125,7 +135,12 @@ fn fig8_policy_behaviour() {
 
     // MLE: online ~ offline (both well under round-robin).
     let mle = MlEnsemble::default();
-    let rr = run_workload(&mle, SimConfig::paper_grout(2, PolicyKind::RoundRobin), gb(size)).secs();
+    let rr = run_workload(
+        &mle,
+        SimConfig::paper_grout(2, PolicyKind::RoundRobin),
+        gb(size),
+    )
+    .secs();
     let vs = grout2(&mle, size).secs();
     let online = run_workload(
         &mle,
@@ -135,7 +150,11 @@ fn fig8_policy_behaviour() {
     .secs();
     assert!(vs < rr, "MLE offline beats rr");
     assert!(online < rr, "MLE online beats rr");
-    assert!(online / vs < 2.0, "MLE online within 2x of offline: {}", online / vs);
+    assert!(
+        online / vs < 2.0,
+        "MLE online within 2x of offline: {}",
+        online / vs
+    );
 
     // CG: online worse than offline but still far better than single node
     // (paper Section V-E). At the greediest threshold the herding is
@@ -149,7 +168,10 @@ fn fig8_policy_behaviour() {
         gb(size),
     )
     .secs();
-    assert!(online >= vs, "CG online ({online}) no better than offline ({vs})");
+    assert!(
+        online >= vs,
+        "CG online ({online}) no better than offline ({vs})"
+    );
     assert!(
         online < single(&cg, size).secs(),
         "CG online still beats single node"
@@ -157,7 +179,12 @@ fn fig8_policy_behaviour() {
 
     // MV: greedy exploitation recreates the single-node pathology.
     let mv = MatVec::default();
-    let rr = run_workload(&mv, SimConfig::paper_grout(2, PolicyKind::RoundRobin), gb(size)).secs();
+    let rr = run_workload(
+        &mv,
+        SimConfig::paper_grout(2, PolicyKind::RoundRobin),
+        gb(size),
+    )
+    .secs();
     let herded = run_workload(
         &mv,
         SimConfig::paper_grout(2, PolicyKind::MinTransferSize(ExplorationLevel::Low)),

@@ -1,0 +1,163 @@
+//! Differential test of the planner/executor split: the simulator and the
+//! local (threaded) runtime consume the *same* `Planner`, so the same CE
+//! stream must produce identical scheduling decisions — CE by CE — in
+//! both. Any divergence means one executor re-derives planning logic
+//! instead of honouring the shared core's `Plan`.
+
+use std::sync::Arc;
+
+use grout::core::{
+    CeArg, ExplorationLevel, KernelCost, LocalArg, LocalConfig, LocalRuntime, Plan, PolicyKind,
+    SimConfig, SimRuntime,
+};
+
+const N: usize = 1 << 14;
+const BYTES: u64 = (N * 4) as u64;
+
+const SRC: &str = "
+    __global__ void fill(float* a, float v, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = v; }
+    }
+    __global__ void copy(float* dst, const float* src, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { dst[i] = src[i]; }
+    }
+    __global__ void inc(float* a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = a[i] + 1.0; }
+    }
+";
+
+/// The planner-visible footprint of one decision (everything except the
+/// intra-node placement, which only device-modelling executors fill in).
+#[derive(Debug, PartialEq)]
+struct Decision {
+    dag_index: usize,
+    deps: Vec<usize>,
+    assigned_node: grout::core::Location,
+    movements: Vec<grout::core::Movement>,
+}
+
+impl Decision {
+    fn of(p: &Plan) -> Decision {
+        Decision {
+            dag_index: p.dag_index,
+            deps: p.deps.clone(),
+            assigned_node: p.assigned_node,
+            movements: p.movements.clone(),
+        }
+    }
+}
+
+/// Runs the 5-CE workload through the simulator; returns its decisions.
+fn run_sim(policy: PolicyKind) -> Vec<Decision> {
+    let mut rt = SimRuntime::new(SimConfig::paper_grout(2, policy));
+    let a = rt.alloc(BYTES);
+    let b = rt.alloc(BYTES);
+    let c = rt.alloc(BYTES);
+    let cost = KernelCost {
+        flops: 1e6,
+        bytes_read: BYTES,
+        bytes_written: BYTES,
+    };
+    rt.launch("fill", cost, vec![CeArg::write(a, BYTES)]);
+    rt.launch("fill", cost, vec![CeArg::write(b, BYTES)]);
+    rt.launch(
+        "copy",
+        cost,
+        vec![CeArg::write(c, BYTES), CeArg::read(a, BYTES)],
+    );
+    rt.launch("inc", cost, vec![CeArg::read_write(b, BYTES)]);
+    rt.launch(
+        "copy",
+        cost,
+        vec![CeArg::write(a, BYTES), CeArg::read(c, BYTES)],
+    );
+    rt.sched_trace().plans().map(Decision::of).collect()
+}
+
+/// Runs the same workload for real on the threaded runtime; returns its
+/// decisions plus the computed arrays for a numeric sanity check.
+fn run_local(policy: PolicyKind) -> (Vec<Decision>, Vec<f32>, Vec<f32>) {
+    let kernels = kernelc::compile(SRC).unwrap();
+    let fill = Arc::new(kernels[0].clone());
+    let copy = Arc::new(kernels[1].clone());
+    let inc = Arc::new(kernels[2].clone());
+    let mut rt = LocalRuntime::new(LocalConfig::new(2, policy));
+    let a = rt.alloc_f32(N);
+    let b = rt.alloc_f32(N);
+    let c = rt.alloc_f32(N);
+    let n = N as i32;
+    rt.launch(
+        &fill,
+        64,
+        256,
+        vec![LocalArg::Buf(a), LocalArg::F32(2.0), LocalArg::I32(n)],
+    )
+    .unwrap();
+    rt.launch(
+        &fill,
+        64,
+        256,
+        vec![LocalArg::Buf(b), LocalArg::F32(5.0), LocalArg::I32(n)],
+    )
+    .unwrap();
+    rt.launch(
+        &copy,
+        64,
+        256,
+        vec![LocalArg::Buf(c), LocalArg::Buf(a), LocalArg::I32(n)],
+    )
+    .unwrap();
+    rt.launch(&inc, 64, 256, vec![LocalArg::Buf(b), LocalArg::I32(n)])
+        .unwrap();
+    rt.launch(
+        &copy,
+        64,
+        256,
+        vec![LocalArg::Buf(a), LocalArg::Buf(c), LocalArg::I32(n)],
+    )
+    .unwrap();
+    rt.synchronize().unwrap();
+    // Capture the kernel decisions before reads append host-CE plans.
+    let decisions = rt.sched_trace().plans().map(Decision::of).collect();
+    let out_a = rt.read_f32(a).unwrap();
+    let out_b = rt.read_f32(b).unwrap();
+    (decisions, out_a, out_b)
+}
+
+fn check_policy(policy: PolicyKind) {
+    let sim = run_sim(policy.clone());
+    let (local, out_a, out_b) = run_local(policy.clone());
+    assert_eq!(sim.len(), 5, "sim must plan the five kernel CEs");
+    assert_eq!(
+        sim, local,
+        "sim and local disagree on scheduling under {policy:?}"
+    );
+    // Per-CE movement byte totals match, therefore so do the sums.
+    let total: u64 = sim
+        .iter()
+        .flat_map(|d| d.movements.iter())
+        .map(|m| m.bytes)
+        .sum();
+    let local_total: u64 = local
+        .iter()
+        .flat_map(|d| d.movements.iter())
+        .map(|m| m.bytes)
+        .sum();
+    assert_eq!(total, local_total);
+    // And the real execution actually computed the right thing.
+    assert!(out_a.iter().all(|&v| v == 2.0), "a: {}", out_a[0]);
+    assert!(out_b.iter().all(|&v| v == 6.0), "b: {}", out_b[0]);
+}
+
+#[test]
+fn round_robin_schedules_identically() {
+    check_policy(PolicyKind::RoundRobin);
+}
+
+#[test]
+fn min_transfer_size_schedules_identically() {
+    check_policy(PolicyKind::MinTransferSize(ExplorationLevel::Medium));
+}
