@@ -1,0 +1,258 @@
+//! Chaos harness: differential fault-injection sweep over a seed matrix.
+//!
+//! For every seed, a workload with one injected worker death must
+//! (a) complete on the local runtime with results bit-identical to its
+//! fault-free run, (b) complete in the simulator under the *same*
+//! `FaultPlan`, (c) quarantine the same worker in both runtimes (the
+//! shared planner makes the victim deterministic), and — on a serialized
+//! chain, where detection order is fully determined — (d) agree on the
+//! full quarantine identity (worker, discovered-at CE) and route every
+//! post-fault kernel away from the dead node. Each case runs under a
+//! watchdog so a recovery deadlock is a FAIL, not a hung CI job.
+//!
+//! Run with: `cargo run --release -p grout-bench --bin chaos -- --seeds 8`
+use grout::core::{CeArg, KernelCost, LocalArg, LocalConfig, LocalRuntime, SimConfig, SimRuntime};
+use grout::desim::SimDuration;
+use grout::kernelc;
+use grout::{FaultPlan, PolicyKind, SchedEvent};
+use std::sync::Arc;
+
+const N: usize = 256;
+const BYTES: u64 = (N * 4) as u64;
+const CHAIN: usize = 6;
+
+const SRC: &str = "
+    __global__ void write_k(float* a, float v, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = v + (float)i; }
+    }
+    __global__ void addinto(float* b, const float* a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { b[i] = b[i] + a[i] * 0.5; }
+    }
+    __global__ void scale(float* a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = a[i] * 1.25 + 1.0; }
+    }
+";
+
+fn local_cfg(workers: usize, faults: FaultPlan) -> LocalConfig {
+    let mut cfg = LocalConfig::new(workers, PolicyKind::RoundRobin);
+    cfg.planner.faults = faults;
+    cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
+    cfg
+}
+
+fn sim_cfg(workers: usize, faults: FaultPlan) -> SimConfig {
+    let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
+    cfg.planner.faults = faults;
+    cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
+    cfg
+}
+
+fn quarantine_of(events: &[SchedEvent]) -> Option<(usize, usize)> {
+    events.iter().find_map(|e| match e {
+        SchedEvent::Quarantine { worker, at_ce, .. } => Some((*worker, *at_ce)),
+        _ => None,
+    })
+}
+
+fn has_replay(events: &[SchedEvent]) -> bool {
+    events
+        .iter()
+        .any(|e| matches!(e, SchedEvent::Replay { .. }))
+}
+
+/// Strict check on a serialized chain: full (worker, at_ce) agreement.
+fn check_chain(faults: FaultPlan) {
+    let inc_src = "
+        __global__ void inc(float* a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { a[i] = a[i] + 1.0; }
+        }
+    ";
+    let inc = Arc::new(kernelc::compile(inc_src).unwrap()[0].clone());
+    let run_local = |faults: FaultPlan| {
+        let mut rt = LocalRuntime::new(local_cfg(2, faults));
+        let a = rt.alloc_f32(N);
+        for _ in 0..CHAIN {
+            rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(N as i32)])
+                .unwrap();
+        }
+        rt.synchronize().unwrap();
+        let events = rt.sched_trace().events().to_vec();
+        let assign: Vec<_> = (0..CHAIN)
+            .map(|i| rt.node_assignment(i).and_then(|l| l.worker_index()))
+            .collect();
+        (rt.read_f32(a).unwrap(), events, assign)
+    };
+
+    let (clean, _, _) = run_local(FaultPlan::none());
+    let (faulted, local_events, local_assign) = run_local(faults.clone());
+    assert_eq!(clean, faulted, "chain results diverged after recovery");
+
+    let mut rt = SimRuntime::new(sim_cfg(2, faults));
+    let a = rt.alloc(BYTES);
+    let cost = KernelCost {
+        flops: 1e6,
+        bytes_read: BYTES,
+        bytes_written: BYTES,
+    };
+    for _ in 0..CHAIN {
+        rt.launch("inc", cost, vec![CeArg::read_write(a, BYTES)]);
+    }
+    let sim_events = rt.sched_trace().events().to_vec();
+
+    let lq = quarantine_of(&local_events).expect("local quarantined");
+    let sq = quarantine_of(&sim_events).expect("sim quarantined");
+    assert_eq!(lq, sq, "quarantine identity diverged on the chain");
+    assert!(has_replay(&local_events), "local trace missing replay");
+    assert!(has_replay(&sim_events), "sim trace missing replay");
+    let (dead, at_ce) = lq;
+    for (dag, &assigned) in local_assign.iter().enumerate().skip(at_ce) {
+        assert_ne!(assigned, Some(dead), "local CE {dag} on dead node");
+        assert_ne!(
+            rt.node_assignment(dag).and_then(|l| l.worker_index()),
+            Some(dead),
+            "sim CE {dag} on dead node"
+        );
+    }
+}
+
+/// Randomized check: bit-identical local results + same victim in the sim.
+fn check_random(ops: &[(u8, u8, u8)], kill_at: usize, workers: usize) {
+    let kernels = kernelc::compile(SRC).unwrap();
+    let write_k = Arc::new(kernels[0].clone());
+    let addinto = Arc::new(kernels[1].clone());
+    let scale = Arc::new(kernels[2].clone());
+
+    let run_local = |faults: FaultPlan| {
+        let mut rt = LocalRuntime::new(local_cfg(workers, faults));
+        let arrays: Vec<_> = (0..3).map(|_| rt.alloc_f32(N)).collect();
+        for &(a, b, kind) in ops {
+            let (a, b) = (arrays[a as usize], arrays[b as usize]);
+            match kind {
+                0 => rt.launch(
+                    &write_k,
+                    4,
+                    64,
+                    vec![
+                        LocalArg::Buf(a),
+                        LocalArg::F32(3.5),
+                        LocalArg::I32(N as i32),
+                    ],
+                ),
+                1 if a != b => rt.launch(
+                    &addinto,
+                    4,
+                    64,
+                    vec![LocalArg::Buf(b), LocalArg::Buf(a), LocalArg::I32(N as i32)],
+                ),
+                _ => rt.launch(
+                    &scale,
+                    4,
+                    64,
+                    vec![LocalArg::Buf(a), LocalArg::I32(N as i32)],
+                ),
+            }
+            .unwrap();
+        }
+        rt.synchronize().unwrap();
+        let events = rt.sched_trace().events().to_vec();
+        let outs: Vec<Vec<f32>> = arrays.iter().map(|&x| rt.read_f32(x).unwrap()).collect();
+        (outs, events)
+    };
+
+    let (clean, _) = run_local(FaultPlan::none());
+    let (faulted, local_events) = run_local(FaultPlan::kill_at_ce(kill_at));
+    assert_eq!(clean, faulted, "random workload results diverged");
+    // (No replay assertion here: a killed CE whose inputs are all still
+    // version 0 recovers from the controller's zero-state without lineage.)
+    let (local_dead, _) = quarantine_of(&local_events).expect("local quarantined");
+
+    let mut rt = SimRuntime::new(sim_cfg(workers, FaultPlan::kill_at_ce(kill_at)));
+    let arrays: Vec<_> = (0..3).map(|_| rt.alloc(BYTES)).collect();
+    let cost = KernelCost {
+        flops: 1e6,
+        bytes_read: BYTES,
+        bytes_written: 0,
+    };
+    for &(a, b, kind) in ops {
+        let args = match kind {
+            0 => vec![CeArg::write(arrays[a as usize], BYTES)],
+            1 if a != b => vec![
+                CeArg::read(arrays[a as usize], BYTES),
+                CeArg::read_write(arrays[b as usize], BYTES),
+            ],
+            _ => vec![CeArg::read_write(arrays[a as usize], BYTES)],
+        };
+        rt.launch("k", cost, args);
+    }
+    let (sim_dead, _) = quarantine_of(rt.sched_trace().events()).expect("sim quarantined");
+    // The shared planner makes the victim deterministic across runtimes;
+    // the discovery CE may differ on parallel DAGs (detection timing).
+    assert_eq!(local_dead, sim_dead, "different victim across runtimes");
+}
+
+/// One seed's full differential check (runs inside a watchdog thread).
+fn check_seed(seed: u64) {
+    let candidates: Vec<usize> = (1..CHAIN - 1).collect();
+    check_chain(FaultPlan::one_death(seed, &candidates));
+
+    // Seeded xorshift workload, mirrored into both runtimes.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let len = (next() % 8 + 4) as usize;
+    let ops: Vec<(u8, u8, u8)> = (0..len)
+        .map(|_| ((next() % 3) as u8, (next() % 3) as u8, (next() % 3) as u8))
+        .collect();
+    let kill_at = (next() % len as u64) as usize;
+    let workers = (next() % 2 + 2) as usize;
+    check_random(&ops, kill_at, workers);
+}
+
+fn main() {
+    let mut seeds = 8u64;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--seeds") {
+        seeds = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--seeds takes a number");
+    }
+
+    let mut failures = 0;
+    for seed in 0..seeds {
+        let h = std::thread::spawn(move || check_seed(seed));
+        let start = std::time::Instant::now();
+        while !h.is_finished() {
+            if start.elapsed().as_secs() > 60 {
+                println!("seed {seed:>3}  FAIL (watchdog: recovery deadlock)");
+                std::process::exit(1);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        match h.join() {
+            Ok(()) => println!("seed {seed:>3}  PASS"),
+            Err(e) => {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                println!("seed {seed:>3}  FAIL: {msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        println!("{failures}/{seeds} seeds failed");
+        std::process::exit(1);
+    }
+    println!("all {seeds} seeds passed");
+}

@@ -54,6 +54,16 @@ pub struct Coherence {
     arrays: HashMap<ArrayId, ArrayState>,
 }
 
+/// What [`Coherence::purge_location`] found when evicting a dead node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Arrays that held an up-to-date copy on the purged location (sorted).
+    pub affected: Vec<ArrayId>,
+    /// Arrays whose only up-to-date copy was on the purged location
+    /// (sorted); they must be reconstructed before the next use.
+    pub orphaned: Vec<ArrayId>,
+}
+
 impl Coherence {
     /// An empty directory.
     pub fn new() -> Self {
@@ -120,6 +130,39 @@ impl Coherence {
         let s = self.arrays.entry(array).or_default();
         s.holders.clear();
         s.holders.push(loc);
+    }
+
+    /// All tracked array ids, sorted (HashMap iteration order is not
+    /// deterministic; recovery paths need a stable order).
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        let mut ids: Vec<ArrayId> = self.arrays.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes `loc` from every holder set — the node is gone (quarantined
+    /// after a failure) and nothing on it can be trusted again.
+    ///
+    /// `affected` lists every array that held a copy there; `orphaned` the
+    /// subset whose *only* up-to-date copy died with the node. Orphaned
+    /// arrays are left with an empty holder set — the caller must
+    /// reconstruct them (lineage replay) and then `record_copy` the new
+    /// holder. Both lists are sorted for determinism.
+    pub fn purge_location(&mut self, loc: Location) -> PurgeReport {
+        let mut affected = Vec::new();
+        let mut orphaned = Vec::new();
+        for (&id, s) in self.arrays.iter_mut() {
+            if let Some(pos) = s.holders.iter().position(|&h| h == loc) {
+                s.holders.remove(pos);
+                affected.push(id);
+                if s.holders.is_empty() {
+                    orphaned.push(id);
+                }
+            }
+        }
+        affected.sort_unstable();
+        orphaned.sort_unstable();
+        PurgeReport { affected, orphaned }
     }
 
     /// Bytes of a CE's arguments already up-to-date on `loc`.
@@ -198,6 +241,35 @@ mod tests {
         assert_eq!(Location::worker(2).endpoint(), net_sim::EndpointId(3));
         assert_eq!(Location::worker(2).worker_index(), Some(2));
         assert_eq!(Location::CONTROLLER.worker_index(), None);
+    }
+
+    #[test]
+    fn purge_reports_affected_and_orphaned() {
+        let mut c = Coherence::new();
+        c.register(A);
+        c.register(B);
+        // A shared on worker 0 + controller; B exclusive on worker 0.
+        c.record_copy(A, Location::worker(0));
+        c.record_write(B, Location::worker(0));
+        let report = c.purge_location(Location::worker(0));
+        assert_eq!(report.affected, vec![A, B]);
+        assert_eq!(report.orphaned, vec![B]);
+        assert!(!c.up_to_date_on(A, Location::worker(0)));
+        assert!(c.up_to_date_on(A, Location::CONTROLLER));
+        assert!(c.holders(B).is_empty(), "orphan left for reconstruction");
+        // Purging again is a no-op.
+        assert_eq!(
+            c.purge_location(Location::worker(0)),
+            PurgeReport::default()
+        );
+    }
+
+    #[test]
+    fn arrays_accessor_is_sorted() {
+        let mut c = Coherence::new();
+        c.register(B);
+        c.register(A);
+        assert_eq!(c.arrays(), vec![A, B]);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 mod ce;
 mod coherence;
 mod dag;
+mod faults;
 mod intranode;
 mod local_runtime;
 mod policy;
@@ -35,15 +36,19 @@ mod sim_runtime;
 mod timeline;
 
 pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
-pub use coherence::{Coherence, Location};
+pub use coherence::{Coherence, Location, PurgeReport};
 pub use dag::{AddOutcome, DagIndex, DepDag};
+pub use faults::{
+    replay_closure, FailureDetector, FaultConfig, FaultEvent, FaultKind, FaultPlan, SchedEvent,
+};
 pub use intranode::{
     select_device, select_stream, DevicePolicy, Placement, MAX_STREAMS_PER_DEVICE,
 };
 pub use local_runtime::{HostBuf, LocalArg, LocalConfig, LocalError, LocalRuntime, LocalStats};
 pub use policy::{ExplorationLevel, LinkMatrix, NodeScheduler, PolicyKind};
 pub use scheduler::{
-    Movement, MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
+    Movement, MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, Reassignment,
+    Recovery, SchedTrace,
 };
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
 pub use timeline::{validate as validate_timeline, TimelineReport};

@@ -26,13 +26,16 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use desim::SimDuration;
 use kernelc::{CompiledKernel, KernelArg, LaunchError};
 
 use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 use crate::coherence::{Coherence, Location};
 use crate::dag::{DagIndex, DepDag};
+use crate::faults::{replay_closure, FailureDetector, SchedEvent};
 use crate::policy::{LinkMatrix, PolicyKind};
 use crate::scheduler::{
     MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
@@ -57,9 +60,35 @@ pub enum LocalError {
     /// Argument count/type mismatch against the kernel signature.
     #[error("bad kernel arguments: {0}")]
     BadArgs(String),
-    /// A worker thread disappeared.
-    #[error("worker {0} died")]
-    WorkerDied(usize),
+    /// A worker thread disappeared (channel closed or liveness probe found
+    /// it gone) and recovery was disabled or impossible.
+    #[error("worker {worker} died (in-flight CE {at_ce:?})")]
+    WorkerDied {
+        /// The worker that actually died.
+        worker: usize,
+        /// The lowest in-flight CE on that worker, when one was dispatched.
+        at_ce: Option<DagIndex>,
+    },
+    /// A worker thread could not be spawned at startup.
+    #[error("worker {worker} failed to spawn: {reason}")]
+    SpawnFailed {
+        /// The worker that never came up.
+        worker: usize,
+        /// The OS error.
+        reason: String,
+    },
+    /// Every worker is dead or quarantined; no node can run kernels.
+    #[error("no healthy workers remain")]
+    NoHealthyWorkers,
+    /// Recovery could not reconstruct a lost array version: no surviving
+    /// copy, no archived snapshot, and no completed writer CE to replay.
+    #[error("array {array:?} version {version} is unrecoverable")]
+    Unrecoverable {
+        /// The lost array.
+        array: ArrayId,
+        /// The unreconstructible content version.
+        version: u64,
+    },
     /// The shared scheduling core rejected the CE.
     #[error("planning failed: {0}")]
     Plan(PlanError),
@@ -95,6 +124,18 @@ pub enum LocalArg {
     I32(i32),
 }
 
+/// An injected execution fault riding on an [`ExecMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecFault {
+    /// The worker dies the moment it receives the message (before running
+    /// anything), as if the process was killed mid-dispatch.
+    Crash,
+    /// The launch fails transiently: once the CE's inputs are ready the
+    /// worker reports failure *without* executing, leaving its store
+    /// exactly as a real failed `cudaLaunchKernel` would.
+    FailTransient,
+}
+
 /// Kernel-launch request queued on a worker.
 struct ExecMsg {
     dag_index: DagIndex,
@@ -108,6 +149,9 @@ struct ExecMsg {
     needs: Vec<(ArrayId, u64)>,
     /// Version each written array becomes once this CE completes.
     bumps: Vec<(ArrayId, u64)>,
+    /// Deterministic injected fault, if the [`crate::FaultPlan`] schedules
+    /// one for this CE.
+    fault: Option<ExecFault>,
 }
 
 enum ToWorker {
@@ -144,7 +188,10 @@ enum ToController {
     },
     Failed {
         dag_index: DagIndex,
-        error: LaunchError,
+        worker: usize,
+        /// `Some` for a real (deterministic) launch error, `None` for an
+        /// injected transient failure eligible for retry.
+        error: Option<LaunchError>,
     },
 }
 
@@ -159,6 +206,13 @@ pub struct LocalStats {
     pub p2p_bytes: u64,
     /// Bytes moved worker->controller.
     pub fetch_bytes: u64,
+    /// Completed ancestor CEs re-executed on the controller during
+    /// recovery (lineage replay).
+    pub replays: u64,
+    /// Bytes re-sent because of retries, recoveries, or dropped transfers
+    /// (kept out of the planned-movement counters above so locality
+    /// assertions on fault-free traffic stay exact).
+    pub redriven_bytes: u64,
 }
 
 /// Configuration of the local deployment.
@@ -195,6 +249,47 @@ struct PendingCe {
     needs: Vec<(ArrayId, u64)>,
     bumps: Vec<(ArrayId, u64)>,
     dispatched: bool,
+    /// Recovery touched this CE (reassignment or a dead movement source):
+    /// its planned movements are void, so the controller supplies every
+    /// input directly at (re)transmission.
+    replanned: bool,
+}
+
+/// Everything needed to re-execute a kernel CE on the controller
+/// (deterministic lineage replay). Kept past completion; memory is bounded
+/// by workload length, which is fine at the scale this runtime targets.
+#[derive(Clone)]
+struct LoggedCe {
+    kernel: Arc<CompiledKernel>,
+    grid: (u32, u32),
+    block: (u32, u32),
+    args: Vec<LocalArg>,
+    needs: Vec<(ArrayId, u64)>,
+    bumps: Vec<(ArrayId, u64)>,
+}
+
+/// Element type and length of an array, for reconstructing the version-0
+/// (all-zeros) contents during replay.
+#[derive(Debug, Clone, Copy)]
+enum BufShape {
+    F32(usize),
+    I32(usize),
+}
+
+impl BufShape {
+    fn of(buf: &HostBuf) -> BufShape {
+        match buf {
+            HostBuf::F32(v) => BufShape::F32(v.len()),
+            HostBuf::I32(v) => BufShape::I32(v.len()),
+        }
+    }
+
+    fn zeros(self) -> HostBuf {
+        match self {
+            BufShape::F32(n) => HostBuf::F32(vec![0.0; n]),
+            BufShape::I32(n) => HostBuf::I32(vec![0; n]),
+        }
+    }
 }
 
 struct WorkerHandle {
@@ -224,6 +319,25 @@ pub struct LocalRuntime {
     stats: LocalStats,
     kernels_by_worker: Vec<u64>,
     trace: SchedTrace,
+    /// Per-worker liveness + membership epoch.
+    detector: FailureDetector,
+    /// Replay log: every launched kernel CE, by DAG index.
+    logged: HashMap<DagIndex, LoggedCe>,
+    /// Which CE produced each (array, version) — host writes included.
+    version_writer: HashMap<(ArrayId, u64), DagIndex>,
+    /// Snapshots of superseded controller copies, keyed by exact version.
+    /// Together with `logged` this is what makes lost state reconstructible.
+    archive: HashMap<(ArrayId, u64), HostBuf>,
+    /// Array shapes, for zero-initialized version-0 replay inputs.
+    shapes: HashMap<ArrayId, BufShape>,
+    /// Transient-failure attempts per CE (1-based after first failure).
+    attempts: HashMap<DagIndex, u32>,
+    /// CEs whose one-shot fault has fired (never re-injected).
+    spent: HashSet<DagIndex>,
+    /// CEs whose first transfer was dropped and not yet re-driven.
+    wedged: HashSet<DagIndex>,
+    /// Drop/delay faults already injected (one-shot).
+    injected_drop: HashSet<DagIndex>,
 }
 
 fn trace_on() -> bool {
@@ -334,9 +448,16 @@ fn worker_loop(
             ToWorker::Exec(m) => {
                 if trace_on() {
                     eprintln!(
-                        "[w{me}] Exec ce#{} needs {:?} bumps {:?}",
-                        m.dag_index, m.needs, m.bumps
+                        "[w{me}] Exec ce#{} needs {:?} bumps {:?} fault {:?}",
+                        m.dag_index, m.needs, m.bumps, m.fault
                     );
+                }
+                if m.fault == Some(ExecFault::Crash) {
+                    // Injected node death: the thread stops on receipt,
+                    // taking its local store (and the queued work) with it.
+                    // Deterministic — the store holds exactly the completed
+                    // prior CEs' results, regardless of delivery timing.
+                    break 'main;
                 }
                 queue.push_back(m)
             }
@@ -381,6 +502,27 @@ fn worker_loop(
                 continue;
             }
             for i in 0..queue.len() {
+                let inputs_ready = queue[i]
+                    .needs
+                    .iter()
+                    .all(|(a, v)| store.get(a).is_some_and(|(ver, _)| *ver >= *v));
+                if !inputs_ready {
+                    continue;
+                }
+                if queue[i].fault == Some(ExecFault::FailTransient) {
+                    // Injected transient launch failure: report once the
+                    // inputs are ready (a real launch would fail at that
+                    // point) WITHOUT executing, so the local store — and
+                    // hence every version — is untouched.
+                    let m = queue.remove(i).expect("index in range");
+                    let _ = to_controller.send(ToController::Failed {
+                        dag_index: m.dag_index,
+                        worker: me,
+                        error: None,
+                    });
+                    progress = true;
+                    break;
+                }
                 if let Some(result) = try_run(&queue[i], &mut store) {
                     let m = queue.remove(i).expect("index in range");
                     match result {
@@ -396,7 +538,8 @@ fn worker_loop(
                         Err(error) => {
                             let _ = to_controller.send(ToController::Failed {
                                 dag_index: m.dag_index,
-                                error,
+                                worker: me,
+                                error: Some(error),
                             });
                         }
                     }
@@ -411,32 +554,73 @@ fn worker_loop(
 impl LocalRuntime {
     /// Spawns the worker threads and wires the channel mesh (controller to
     /// each worker, worker to worker for P2P, workers back to controller).
+    /// Panics only when *no* worker comes up; prefer
+    /// [`LocalRuntime::try_new`] to handle that case.
     pub fn new(cfg: LocalConfig) -> Self {
+        LocalRuntime::try_new(cfg).expect("local runtime startup")
+    }
+
+    /// Fallible startup: a worker whose thread fails to spawn starts
+    /// quarantined (degraded mode) instead of panicking the deployment;
+    /// only zero live workers is an error.
+    pub fn try_new(cfg: LocalConfig) -> Result<Self, LocalError> {
+        LocalRuntime::with_spawner(cfg, |i, rx, back, peers| {
+            std::thread::Builder::new()
+                .name(format!("grout-worker-{i}"))
+                .spawn(move || worker_loop(i, rx, back, peers))
+        })
+    }
+
+    /// Startup with an injectable thread spawner (tests force spawn
+    /// failures through this without exhausting OS resources).
+    fn with_spawner<F>(cfg: LocalConfig, mut spawn: F) -> Result<Self, LocalError>
+    where
+        F: FnMut(
+            usize,
+            Receiver<ToWorker>,
+            Sender<ToController>,
+            Vec<Sender<ToWorker>>,
+        ) -> std::io::Result<JoinHandle<()>>,
+    {
         let n = cfg.planner.workers;
         assert!(n > 0, "need at least one worker");
         let (to_controller, from_workers) = unbounded::<ToController>();
         let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
             (0..n).map(|_| unbounded()).collect();
         let txs: Vec<Sender<ToWorker>> = channels.iter().map(|(t, _)| t.clone()).collect();
-        let workers = channels
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let workers: Vec<WorkerHandle> = channels
             .into_iter()
             .enumerate()
             .map(|(i, (tx, rx))| {
                 let peers = txs.clone();
                 let back = to_controller.clone();
-                let join = std::thread::Builder::new()
-                    .name(format!("grout-worker-{i}"))
-                    .spawn(move || worker_loop(i, rx, back, peers))
-                    .expect("spawn worker");
-                WorkerHandle {
-                    tx,
-                    join: Some(join),
+                match spawn(i, rx, back, peers) {
+                    Ok(join) => WorkerHandle {
+                        tx,
+                        join: Some(join),
+                    },
+                    Err(e) => {
+                        failures.push((i, e.to_string()));
+                        WorkerHandle { tx, join: None }
+                    }
                 }
             })
             .collect();
+        if failures.len() == n {
+            let (worker, reason) = failures.swap_remove(0);
+            return Err(LocalError::SpawnFailed { worker, reason });
+        }
         let links = LinkMatrix::uniform(n + 1, 1e9);
-        let planner = Planner::new(cfg.planner.clone(), Some(links));
-        LocalRuntime {
+        let mut planner = Planner::new(cfg.planner.clone(), Some(links));
+        let mut detector = FailureDetector::new(n);
+        let mut trace = SchedTrace::default();
+        for (i, _reason) in &failures {
+            planner.quarantine(*i).expect("not all workers failed");
+            detector.mark_dead(*i);
+            trace.record_event(SchedEvent::SpawnFailed { worker: *i });
+        }
+        Ok(LocalRuntime {
             planner,
             master: HashMap::new(),
             versions: HashMap::new(),
@@ -448,9 +632,18 @@ impl LocalRuntime {
             from_workers,
             stats: LocalStats::default(),
             kernels_by_worker: vec![0; n],
-            trace: SchedTrace::default(),
+            trace,
+            detector,
+            logged: HashMap::new(),
+            version_writer: HashMap::new(),
+            archive: HashMap::new(),
+            shapes: HashMap::new(),
+            attempts: HashMap::new(),
+            spent: HashSet::new(),
+            wedged: HashSet::new(),
+            injected_drop: HashSet::new(),
             cfg,
-        }
+        })
     }
 
     /// Kernels completed per worker (load-balance observability).
@@ -475,6 +668,7 @@ impl LocalRuntime {
 
     fn alloc_buf(&mut self, buf: HostBuf) -> ArrayId {
         let id = self.planner.alloc(buf.bytes());
+        self.shapes.insert(id, BufShape::of(&buf));
         self.master.insert(id, buf);
         self.versions.insert(id, 0);
         self.master_versions.insert(id, 0);
@@ -506,13 +700,27 @@ impl LocalRuntime {
             args: vec![CeArg::write(array, bytes)],
         };
         let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
+        // Snapshot the superseded contents, then the fresh ones: a host
+        // write is not replayable (the closure is gone), so recovery must
+        // find both versions in the archive.
+        let pre_v = self.master_versions.get(&array).copied().unwrap_or(0);
+        if pre_v > 0 && !self.archive.contains_key(&(array, pre_v)) {
+            let buf = self.master.get(&array).expect("checked above").clone();
+            self.archive.insert((array, pre_v), buf);
+        }
         match self.master.get_mut(&array) {
             Some(HostBuf::F32(v)) => f(v),
             _ => unreachable!("type checked above"),
         }
         let v = self.versions.entry(array).or_insert(0);
         *v += 1;
-        self.master_versions.insert(array, *v);
+        let new_v = *v;
+        self.master_versions.insert(array, new_v);
+        self.archive.insert(
+            (array, new_v),
+            self.master.get(&array).expect("checked above").clone(),
+        );
+        self.version_writer.insert((array, new_v), plan.dag_index);
         self.planner.mark_completed(plan.dag_index);
         self.trace.record(&plan);
         Ok(())
@@ -632,6 +840,20 @@ impl LocalRuntime {
             }
         }
 
+        for (a, v) in &bumps {
+            self.version_writer.insert((*a, *v), plan.dag_index);
+        }
+        self.logged.insert(
+            plan.dag_index,
+            LoggedCe {
+                kernel: Arc::clone(kernel),
+                grid,
+                block,
+                args: args.clone(),
+                needs: needs.clone(),
+                bumps: bumps.clone(),
+            },
+        );
         self.trace.record(&plan);
         self.pending.push(PendingCe {
             plan,
@@ -642,6 +864,7 @@ impl LocalRuntime {
             needs,
             bumps,
             dispatched: false,
+            replanned: false,
         });
         Ok(id)
     }
@@ -659,12 +882,29 @@ impl LocalRuntime {
             // WAR/WAW edges in the Global DAG are what guarantee each
             // consumer sees exactly the content version it planned
             // against, not a later overwrite.
+            let mut restarted = false;
             for i in 0..self.pending.len() {
                 if !self.pending[i].dispatched
                     && self.planner.dag().is_ready(self.pending[i].plan.dag_index)
                 {
-                    self.transmit(i)?;
+                    match self.transmit(i) {
+                        Ok(()) => {}
+                        Err(LocalError::WorkerDied { worker, .. })
+                            if self.cfg.planner.fault_cfg.recovery =>
+                        {
+                            // A send hit a closed channel: the real failed
+                            // worker is known, recover and restart the scan
+                            // (assignments just changed under us).
+                            self.recover_from_death(worker, None)?;
+                            restarted = true;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
+            }
+            if restarted {
+                continue;
             }
             let in_flight = self
                 .pending
@@ -674,13 +914,26 @@ impl LocalRuntime {
             if in_flight == 0 {
                 break;
             }
-            match self.from_workers.recv() {
+            let timeout =
+                Duration::from_nanos(self.cfg.planner.fault_cfg.detection_timeout.as_nanos());
+            match self.from_workers.recv_timeout(timeout) {
                 Ok(ToController::Done { dag_index, worker }) => {
                     self.planner.mark_completed(dag_index);
                     self.kernels_by_worker[worker] += 1;
                 }
-                Ok(ToController::Failed { dag_index, error }) => {
+                Ok(ToController::Failed {
+                    dag_index,
+                    worker: _,
+                    error: Some(error),
+                }) => {
                     return Err(LocalError::LaunchAt(dag_index, error));
+                }
+                Ok(ToController::Failed {
+                    dag_index,
+                    worker,
+                    error: None,
+                }) => {
+                    self.handle_transient_failure(dag_index, worker)?;
                 }
                 Ok(ToController::Data {
                     array,
@@ -688,9 +941,10 @@ impl LocalRuntime {
                     buf,
                 }) => {
                     self.install_master(array, version, buf);
-                    self.flush_pending_ctrl()?;
+                    self.flush_pending_ctrl_recovering()?;
                 }
-                Err(_) => return Err(LocalError::WorkerDied(0)),
+                Err(RecvTimeoutError::Timeout) => self.on_timeout()?,
+                Err(RecvTimeoutError::Disconnected) => return Err(LocalError::NoHealthyWorkers),
             }
         }
         let done: Vec<bool> = self
@@ -704,14 +958,34 @@ impl LocalRuntime {
     }
 
     /// Installs a worker-returned buffer as the controller master copy
-    /// (keeping the newest version).
+    /// (keeping the newest version). Superseded contents and stale
+    /// landings both go to the archive — they are exact snapshots of
+    /// earlier versions, which is what lineage replay starts from.
     fn install_master(&mut self, array: ArrayId, version: u64, buf: HostBuf) {
         let v = self.versions.entry(array).or_insert(0);
         *v = (*v).max(version);
         let mv = self.master_versions.entry(array).or_insert(0);
         if version >= *mv {
+            let old_mv = *mv;
             *mv = version;
-            self.master.insert(array, buf);
+            if let Some(old) = self.master.insert(array, buf) {
+                if old_mv > 0 && old_mv < version {
+                    self.archive.entry((array, old_mv)).or_insert(old);
+                }
+            }
+        } else if version > 0 {
+            self.archive.entry((array, version)).or_insert(buf);
+        }
+    }
+
+    /// [`Self::flush_pending_ctrl`], but a dead destination triggers
+    /// recovery (when enabled) instead of erroring out.
+    fn flush_pending_ctrl_recovering(&mut self) -> Result<(), LocalError> {
+        match self.flush_pending_ctrl() {
+            Err(LocalError::WorkerDied { worker, .. }) if self.cfg.planner.fault_cfg.recovery => {
+                self.recover_from_death(worker, None)
+            }
+            other => other,
         }
     }
 
@@ -746,7 +1020,10 @@ impl LocalRuntime {
                 version,
                 buf,
             })
-            .map_err(|_| LocalError::WorkerDied(w))?;
+            .map_err(|_| LocalError::WorkerDied {
+                worker: w,
+                at_ce: None,
+            })?;
         self.present[w].insert(array);
         Ok(())
     }
@@ -755,11 +1032,44 @@ impl LocalRuntime {
     /// channel messages, then the kernel itself. No scheduling decision is
     /// made here — the plan is executed verbatim.
     fn transmit(&mut self, i: usize) -> Result<(), LocalError> {
+        let dag = self.pending[i].plan.dag_index;
         let w = self.pending[i]
             .plan
             .assigned_node
             .worker_index()
             .expect("kernel plans target workers");
+        // A retry (transient failure) or a recovery re-dispatch is a
+        // retransmission: its traffic is accounted separately so the
+        // planned-movement counters keep describing the fault-free plan.
+        let retransmit = self.pending[i].replanned || self.attempts.contains_key(&dag);
+        // Deterministic fault injection, keyed on the DAG index (one-shot).
+        let kill = self.cfg.planner.faults.kill_at(dag);
+        let fail_times = self.cfg.planner.faults.fail_launch_at(dag);
+        let drop_fault = self.cfg.planner.faults.drop_at(dag);
+        let delay_fault = self.cfg.planner.faults.delay_at(dag);
+        let mut fault = None;
+        if kill && !self.spent.contains(&dag) {
+            self.spent.insert(dag);
+            fault = Some(ExecFault::Crash);
+        } else if let Some(times) = fail_times {
+            let attempt = self.attempts.get(&dag).copied().unwrap_or(0);
+            if attempt < times && !self.spent.contains(&dag) {
+                fault = Some(ExecFault::FailTransient);
+            }
+        }
+        if let Some(delay) = delay_fault {
+            if !retransmit && !self.pending[i].plan.movements.is_empty() {
+                // Timing-only fault: the simulator prices it; here it is
+                // recorded (and waited out, to keep behaviour honest).
+                let array = self.pending[i].plan.movements[0].array;
+                self.trace.record_event(SchedEvent::TransferDelayed {
+                    at_ce: dag,
+                    array,
+                    delay,
+                });
+                std::thread::sleep(Duration::from_nanos(delay.as_nanos()));
+            }
+        }
         let need_of = |needs: &[(ArrayId, u64)], a: ArrayId| {
             needs
                 .iter()
@@ -769,87 +1079,166 @@ impl LocalRuntime {
         };
         if trace_on() {
             eprintln!(
-                "[ctl] transmit ce#{} -> w{w} needs {:?}",
-                self.pending[i].plan.dag_index, self.pending[i].needs
+                "[ctl] transmit ce#{} -> w{w} needs {:?} retransmit {retransmit}",
+                dag, self.pending[i].needs
             );
         }
 
-        for k in 0..self.pending[i].plan.movements.len() {
-            let m = self.pending[i].plan.movements[k].clone();
-            let need = need_of(&self.pending[i].needs, m.array);
-            match m.kind {
-                MovementKind::P2p => {
-                    let src = m.from.worker_index().expect("p2p sources are workers");
-                    self.workers[src]
-                        .tx
-                        .send(ToWorker::Send {
-                            array: m.array,
-                            min_version: need,
-                            to: Some(w),
-                        })
-                        .map_err(|_| LocalError::WorkerDied(src))?;
-                    self.stats.p2p_bytes += m.bytes;
+        if self.pending[i].replanned {
+            // Recovery voided the planned movements (the source or the
+            // assignee died): the controller supplies every input directly
+            // from its own reconstructed state.
+            let needs = self.pending[i].needs.clone();
+            for (a, need) in needs {
+                let (version, buf) = self.controller_buf(a, need)?;
+                let bytes = buf.bytes();
+                self.workers[w]
+                    .tx
+                    .send(ToWorker::Data {
+                        array: a,
+                        version,
+                        buf,
+                    })
+                    .map_err(|_| LocalError::WorkerDied {
+                        worker: w,
+                        at_ce: Some(dag),
+                    })?;
+                self.stats.redriven_bytes += bytes;
+                self.present[w].insert(a);
+            }
+        } else {
+            for k in 0..self.pending[i].plan.movements.len() {
+                let m = self.pending[i].plan.movements[k].clone();
+                let need = need_of(&self.pending[i].needs, m.array);
+                if k == 0 && drop_fault && !self.injected_drop.contains(&dag) {
+                    // Injected transfer loss: the message never goes out.
+                    // Presence is still recorded so the master-copy
+                    // fallback below does not quietly heal the drop — the
+                    // CE wedges until the detection timeout re-drives it.
+                    self.injected_drop.insert(dag);
+                    self.wedged.insert(dag);
+                    self.trace.record_event(SchedEvent::TransferDropped {
+                        at_ce: dag,
+                        array: m.array,
+                    });
+                    self.present[w].insert(m.array);
+                    continue;
                 }
-                MovementKind::ControllerSend => {
-                    if self.master_versions.get(&m.array).copied().unwrap_or(0) >= need {
-                        self.send_master_to(m.array, w)?;
-                    } else {
-                        // Master copy still in flight from a worker; relay
-                        // once it lands.
-                        self.pending_ctrl.push((m.array, need, w));
+                match m.kind {
+                    MovementKind::P2p => {
+                        let src = m.from.worker_index().expect("p2p sources are workers");
+                        self.workers[src]
+                            .tx
+                            .send(ToWorker::Send {
+                                array: m.array,
+                                min_version: need,
+                                to: Some(w),
+                            })
+                            .map_err(|_| LocalError::WorkerDied {
+                                worker: src,
+                                at_ce: Some(dag),
+                            })?;
+                        if retransmit {
+                            self.stats.redriven_bytes += m.bytes;
+                        } else {
+                            self.stats.p2p_bytes += m.bytes;
+                        }
                     }
-                    self.stats.send_bytes += m.bytes;
+                    MovementKind::ControllerSend => {
+                        if self.master_versions.get(&m.array).copied().unwrap_or(0) >= need {
+                            self.send_master_to(m.array, w).map_err(|e| match e {
+                                LocalError::WorkerDied { worker, .. } => LocalError::WorkerDied {
+                                    worker,
+                                    at_ce: Some(dag),
+                                },
+                                other => other,
+                            })?;
+                        } else {
+                            // Master copy still in flight from a worker;
+                            // relay once it lands.
+                            self.pending_ctrl.push((m.array, need, w));
+                        }
+                        if retransmit {
+                            self.stats.redriven_bytes += m.bytes;
+                        } else {
+                            self.stats.send_bytes += m.bytes;
+                        }
+                    }
+                    MovementKind::Staged => {
+                        // P2P disabled: first hop pulls the bytes to the
+                        // controller, the relay to `w` fires when they land.
+                        let src = m.from.worker_index().expect("staged sources are workers");
+                        self.workers[src]
+                            .tx
+                            .send(ToWorker::Send {
+                                array: m.array,
+                                min_version: need,
+                                to: None,
+                            })
+                            .map_err(|_| LocalError::WorkerDied {
+                                worker: src,
+                                at_ce: Some(dag),
+                            })?;
+                        self.pending_ctrl.push((m.array, need, w));
+                        if retransmit {
+                            self.stats.redriven_bytes += 2 * m.bytes;
+                        } else {
+                            self.stats.fetch_bytes += m.bytes;
+                            self.stats.send_bytes += m.bytes;
+                        }
+                    }
                 }
-                MovementKind::Staged => {
-                    // P2P disabled: first hop pulls the bytes to the
-                    // controller, the relay to `w` fires when they land.
-                    let src = m.from.worker_index().expect("staged sources are workers");
-                    self.workers[src]
-                        .tx
-                        .send(ToWorker::Send {
-                            array: m.array,
-                            min_version: need,
-                            to: None,
-                        })
-                        .map_err(|_| LocalError::WorkerDied(src))?;
-                    self.pending_ctrl.push((m.array, need, w));
-                    self.stats.fetch_bytes += m.bytes;
-                    self.stats.send_bytes += m.bytes;
-                }
+                self.present[w].insert(m.array);
             }
-            self.present[w].insert(m.array);
-        }
 
-        // Buffers the plan did not move (write-only outputs, or inputs the
-        // coherence directory already places here) must still physically
-        // exist in the worker's store before the kernel can take them.
-        for k in 0..self.pending[i].args.len() {
-            let LocalArg::Buf(a) = self.pending[i].args[k] else {
-                continue;
-            };
-            if self.present[w].contains(&a) {
-                continue;
+            // Buffers the plan did not move (write-only outputs, or inputs
+            // the coherence directory already places here) must still
+            // physically exist in the worker's store before the kernel can
+            // take them.
+            for k in 0..self.pending[i].args.len() {
+                let LocalArg::Buf(a) = self.pending[i].args[k] else {
+                    continue;
+                };
+                if self.present[w].contains(&a) {
+                    continue;
+                }
+                let bytes = self.array_size(a).unwrap_or(0);
+                self.send_master_to(a, w).map_err(|e| match e {
+                    LocalError::WorkerDied { worker, .. } => LocalError::WorkerDied {
+                        worker,
+                        at_ce: Some(dag),
+                    },
+                    other => other,
+                })?;
+                if retransmit {
+                    self.stats.redriven_bytes += bytes;
+                } else {
+                    self.stats.send_bytes += bytes;
+                }
             }
-            let bytes = self.array_size(a).unwrap_or(0);
-            self.send_master_to(a, w)?;
-            self.stats.send_bytes += bytes;
         }
 
         let p = &self.pending[i];
         let msg = ExecMsg {
-            dag_index: p.plan.dag_index,
+            dag_index: dag,
             kernel: Arc::clone(&p.kernel),
             grid: p.grid,
             block: p.block,
             args: p.args.clone(),
             needs: p.needs.clone(),
             bumps: p.bumps.clone(),
+            fault,
         };
         self.workers[w]
             .tx
             .send(ToWorker::Exec(msg))
-            .map_err(|_| LocalError::WorkerDied(w))?;
-        self.stats.kernels += 1;
+            .map_err(|_| LocalError::WorkerDied {
+                worker: w,
+                at_ce: Some(dag),
+            })?;
+        if !retransmit {
+            self.stats.kernels += 1;
+        }
         self.pending[i].dispatched = true;
         Ok(())
     }
@@ -881,17 +1270,29 @@ impl LocalRuntime {
             let Some(holder) = m.from.worker_index() else {
                 continue;
             };
-            self.workers[holder]
+            if self.workers[holder]
                 .tx
                 .send(ToWorker::Send {
                     array: m.array,
                     min_version,
                     to: None,
                 })
-                .map_err(|_| LocalError::WorkerDied(holder))?;
+                .is_err()
+            {
+                // The holder died before the fetch: recover (lineage replay
+                // rebuilds the bytes on the controller) instead of erroring.
+                self.recover_from_death(holder, None)?;
+                if self.master_versions.get(&array).copied().unwrap_or(0) < min_version {
+                    let (version, buf) = self.controller_buf(array, min_version)?;
+                    self.install_master(array, version, buf);
+                }
+                continue;
+            }
+            let timeout =
+                Duration::from_nanos(self.cfg.planner.fault_cfg.detection_timeout.as_nanos());
             // Wait for the bytes (completions for other CEs may interleave).
             loop {
-                match self.from_workers.recv() {
+                match self.from_workers.recv_timeout(timeout) {
                     Ok(ToController::Data {
                         array: a,
                         version,
@@ -899,7 +1300,7 @@ impl LocalRuntime {
                     }) => {
                         let landed = buf.bytes();
                         self.install_master(a, version, buf);
-                        self.flush_pending_ctrl()?;
+                        self.flush_pending_ctrl_recovering()?;
                         if a == array {
                             self.stats.fetch_bytes += landed;
                             break;
@@ -909,16 +1310,517 @@ impl LocalRuntime {
                         self.planner.mark_completed(dag_index);
                         self.kernels_by_worker[worker] += 1;
                     }
-                    Ok(ToController::Failed { error, .. }) => {
+                    Ok(ToController::Failed {
+                        error: Some(error), ..
+                    }) => {
                         return Err(LocalError::Launch(error));
                     }
-                    Err(_) => return Err(LocalError::WorkerDied(holder)),
+                    // Transient failures cannot arrive here (synchronize
+                    // returned with nothing in flight); ignore defensively.
+                    Ok(ToController::Failed { error: None, .. }) => {}
+                    Err(RecvTimeoutError::Timeout) => {
+                        let newly_dead = self.probe_dead();
+                        if newly_dead.is_empty() {
+                            continue;
+                        }
+                        for d in newly_dead {
+                            self.recover_from_death(d, None)?;
+                        }
+                        if self.master_versions.get(&array).copied().unwrap_or(0) < min_version {
+                            let (version, buf) = self.controller_buf(array, min_version)?;
+                            self.install_master(array, version, buf);
+                        }
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(LocalError::NoHealthyWorkers)
+                    }
                 }
             }
         }
         self.planner.mark_completed(plan.dag_index);
         self.trace.record(&plan);
         Ok(())
+    }
+
+    // ---- failure detection & recovery ----------------------------------
+
+    /// Probes every supposedly-live worker's join handle; returns the
+    /// indices that are actually gone (newly dead).
+    fn probe_dead(&mut self) -> Vec<usize> {
+        let mut dead = Vec::new();
+        for i in 0..self.workers.len() {
+            if !self.detector.is_alive(i) {
+                continue;
+            }
+            let gone = match &self.workers[i].join {
+                None => true,
+                Some(j) => j.is_finished(),
+            };
+            if gone {
+                dead.push(i);
+            }
+        }
+        dead
+    }
+
+    /// A receive timed out: either somebody died (recover), or a dropped
+    /// transfer wedged a CE (re-drive its inputs from the controller).
+    fn on_timeout(&mut self) -> Result<(), LocalError> {
+        let dead = self.probe_dead();
+        if dead.is_empty() {
+            if !self.wedged.is_empty() {
+                self.redrive_wedged()?;
+            }
+            return Ok(());
+        }
+        for d in dead {
+            self.recover_from_death(d, None)?;
+        }
+        Ok(())
+    }
+
+    /// Supplies every input of the CEs wedged by a dropped transfer
+    /// directly from the controller's reconstructed state.
+    fn redrive_wedged(&mut self) -> Result<(), LocalError> {
+        let mut stuck: Vec<DagIndex> = self.wedged.drain().collect();
+        stuck.sort_unstable();
+        for dag in stuck {
+            if self.planner.dag().is_completed(dag) {
+                continue;
+            }
+            let Some(idx) = self
+                .pending
+                .iter()
+                .position(|p| p.plan.dag_index == dag && p.dispatched)
+            else {
+                continue;
+            };
+            let w = self.pending[idx]
+                .plan
+                .assigned_node
+                .worker_index()
+                .expect("kernel plans target workers");
+            let needs = self.pending[idx].needs.clone();
+            for (a, need) in needs {
+                let (version, buf) = self.controller_buf(a, need)?;
+                let bytes = buf.bytes();
+                self.workers[w]
+                    .tx
+                    .send(ToWorker::Data {
+                        array: a,
+                        version,
+                        buf,
+                    })
+                    .map_err(|_| LocalError::WorkerDied {
+                        worker: w,
+                        at_ce: Some(dag),
+                    })?;
+                self.stats.redriven_bytes += bytes;
+                self.present[w].insert(a);
+            }
+            self.trace
+                .record_event(SchedEvent::TransferRedriven { at_ce: dag });
+        }
+        Ok(())
+    }
+
+    /// A worker reported an injected transient launch failure: retry with
+    /// exponential backoff, then treat the node as bad and recover.
+    fn handle_transient_failure(&mut self, dag: DagIndex, worker: usize) -> Result<(), LocalError> {
+        let attempt = {
+            let a = self.attempts.entry(dag).or_insert(0);
+            *a += 1;
+            *a
+        };
+        let fc = self.cfg.planner.fault_cfg;
+        let backoff = SimDuration::exp_backoff(fc.backoff_base, attempt, fc.backoff_cap);
+        self.trace.record_event(SchedEvent::Retry {
+            at_ce: dag,
+            worker,
+            attempt,
+            backoff,
+        });
+        if attempt > fc.max_retries {
+            // Persistent failure: the retry budget is spent, move the work
+            // off the node (recover_from_death shuts the thread down).
+            self.spent.insert(dag);
+            return self.recover_from_death(worker, Some(dag));
+        }
+        std::thread::sleep(Duration::from_nanos(backoff.as_nanos()));
+        if let Some(p) = self.pending.iter_mut().find(|p| p.plan.dag_index == dag) {
+            p.dispatched = false;
+        }
+        Ok(())
+    }
+
+    /// Lowest dispatched-but-incomplete CE assigned to worker `d` (the CE
+    /// reported in errors and fault events when the exact victim is not
+    /// known from the failing channel operation itself).
+    fn lowest_incomplete_on(&self, d: usize) -> Option<DagIndex> {
+        self.pending
+            .iter()
+            .filter(|p| {
+                p.dispatched
+                    && !self.planner.dag().is_completed(p.plan.dag_index)
+                    && p.plan.assigned_node == Location::worker(d)
+            })
+            .map(|p| p.plan.dag_index)
+            .min()
+    }
+
+    /// Full recovery from the death of worker `d`: quarantine it in the
+    /// shared core, reconstruct orphaned array versions on the controller
+    /// by lineage replay, reassign its in-flight CEs to healthy workers,
+    /// and re-drive the inputs of every still-waiting CE.
+    fn recover_from_death(&mut self, d: usize, at_ce: Option<DagIndex>) -> Result<(), LocalError> {
+        if !self.detector.is_alive(d) {
+            return Ok(()); // already handled
+        }
+        let fail_ce = at_ce.or_else(|| self.lowest_incomplete_on(d));
+        if !self.cfg.planner.fault_cfg.recovery {
+            return Err(LocalError::WorkerDied {
+                worker: d,
+                at_ce: fail_ce,
+            });
+        }
+        let epoch = self.detector.mark_dead(d);
+        self.trace.record_event(SchedEvent::Fault {
+            at_ce: fail_ce.unwrap_or(0),
+            worker: Some(d),
+            kind: "kill-worker",
+            epoch,
+        });
+        // Make sure the thread is gone: on a persistent-transient failure
+        // the worker is alive but condemned, on a crash this is a no-op.
+        let _ = self.workers[d].tx.send(ToWorker::Shutdown);
+        if let Some(j) = self.workers[d].join.take() {
+            let _ = j.join();
+        }
+        // Work finished before the death may still sit in the channel;
+        // drain it so recovery only replans what truly died.
+        while let Ok(m) = self.from_workers.try_recv() {
+            match m {
+                ToController::Done { dag_index, worker } => {
+                    self.planner.mark_completed(dag_index);
+                    self.kernels_by_worker[worker] += 1;
+                }
+                ToController::Data {
+                    array,
+                    version,
+                    buf,
+                } => {
+                    self.install_master(array, version, buf);
+                }
+                ToController::Failed {
+                    dag_index,
+                    error: None,
+                    ..
+                } => {
+                    // Re-dispatch after recovery; count the attempt so the
+                    // injection schedule advances.
+                    *self.attempts.entry(dag_index).or_insert(0) += 1;
+                    if let Some(p) = self
+                        .pending
+                        .iter_mut()
+                        .find(|p| p.plan.dag_index == dag_index)
+                    {
+                        p.dispatched = false;
+                    }
+                }
+                // A deterministic launch error will recur when the CE is
+                // re-executed and surface then.
+                ToController::Failed { .. } => {}
+            }
+        }
+        // Quarantine + replan the in-flight frontier through the shared
+        // scheduling core.
+        let incomplete: Vec<DagIndex> = self
+            .pending
+            .iter()
+            .filter(|p| !self.planner.dag().is_completed(p.plan.dag_index))
+            .map(|p| p.plan.dag_index)
+            .collect();
+        let rec = self.planner.recover(d, &incomplete).map_err(|e| match e {
+            PlanError::NoHealthyWorkers => LocalError::NoHealthyWorkers,
+            other => LocalError::Plan(other),
+        })?;
+        self.trace.record_event(SchedEvent::Quarantine {
+            worker: d,
+            at_ce: fail_ce.unwrap_or(0),
+            lost: rec.lost.clone(),
+            epoch,
+        });
+        // Reconstruct every orphaned array at its newest completed version
+        // and promote the result to the controller master copy (the
+        // planner already recorded the controller as holder of record).
+        let targets: Vec<(ArrayId, u64)> = rec
+            .lost
+            .iter()
+            .map(|&a| (a, self.latest_completed_version(a)))
+            .collect();
+        self.reconstruct(&targets, epoch)?;
+        for &(a, v) in &targets {
+            if self.master_versions.get(&a).copied().unwrap_or(0) < v {
+                let buf = self
+                    .archive
+                    .get(&(a, v))
+                    .cloned()
+                    .ok_or(LocalError::Unrecoverable {
+                        array: a,
+                        version: v,
+                    })?;
+                self.install_master(a, v, buf);
+            }
+        }
+        // Apply the reassignments: the planned movements are void, the
+        // controller will supply all inputs at retransmission.
+        for r in &rec.reassigned {
+            let Some(p) = self
+                .pending
+                .iter_mut()
+                .find(|p| p.plan.dag_index == r.dag_index)
+            else {
+                continue;
+            };
+            let from = p.plan.assigned_node.worker_index().unwrap_or(usize::MAX);
+            self.trace.record_event(SchedEvent::Reassign {
+                dag_index: r.dag_index,
+                from,
+                to: r.to.worker_index().unwrap_or(usize::MAX),
+                epoch,
+            });
+            p.plan.assigned_node = r.to;
+            p.plan.movements = r.movements.clone();
+            p.dispatched = false;
+            p.replanned = true;
+        }
+        // Undispatched CEs whose planned movements source from the dead
+        // node can no longer execute their plan either.
+        let dead_loc = Location::worker(d);
+        for p in self.pending.iter_mut() {
+            if !p.dispatched && p.plan.movements.iter().any(|m| m.from == dead_loc) {
+                p.replanned = true;
+            }
+        }
+        // Controller relays headed to the dead node are moot; nothing on
+        // the node is present anymore.
+        self.pending_ctrl.retain(|&(_, _, w)| w != d);
+        self.present[d].clear();
+        // Any still-dispatched CE on a live worker may be waiting on a
+        // transfer the dead node will never make: supply its inputs
+        // directly. (Its Exec message is already queued — only data was
+        // lost — so no kernel runs twice.)
+        let redrive: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| {
+                self.pending[i].dispatched
+                    && !self
+                        .planner
+                        .dag()
+                        .is_completed(self.pending[i].plan.dag_index)
+            })
+            .collect();
+        for i in redrive {
+            let dag = self.pending[i].plan.dag_index;
+            let w = self.pending[i]
+                .plan
+                .assigned_node
+                .worker_index()
+                .expect("kernel plans target workers");
+            if !self.detector.is_alive(w) {
+                continue;
+            }
+            let needs = self.pending[i].needs.clone();
+            for (a, need) in needs {
+                let (version, buf) = self.controller_buf(a, need)?;
+                let bytes = buf.bytes();
+                self.workers[w]
+                    .tx
+                    .send(ToWorker::Data {
+                        array: a,
+                        version,
+                        buf,
+                    })
+                    .map_err(|_| LocalError::WorkerDied {
+                        worker: w,
+                        at_ce: Some(dag),
+                    })?;
+                self.stats.redriven_bytes += bytes;
+                self.present[w].insert(a);
+            }
+            self.trace
+                .record_event(SchedEvent::TransferRedriven { at_ce: dag });
+        }
+        self.flush_pending_ctrl()?;
+        Ok(())
+    }
+
+    /// The newest version of `array` whose writer CE completed — the
+    /// version a lost copy could actually have held.
+    fn latest_completed_version(&self, array: ArrayId) -> u64 {
+        let mut v = self.versions.get(&array).copied().unwrap_or(0);
+        while v > 0 {
+            match self.version_writer.get(&(array, v)) {
+                Some(&w) if !self.planner.dag().is_completed(w) => v -= 1,
+                _ => break,
+            }
+        }
+        v
+    }
+
+    /// Replays the minimal completed-ancestor set needed to rebuild each
+    /// `(array, version)` target on the controller. Kernels are host
+    /// kernels, so re-execution is bit-identical to the original run.
+    fn reconstruct(&mut self, targets: &[(ArrayId, u64)], epoch: u64) -> Result<(), LocalError> {
+        let order = {
+            let dag = self.planner.dag();
+            let version_writer = &self.version_writer;
+            let logged = &self.logged;
+            let archive = &self.archive;
+            let master_versions = &self.master_versions;
+            replay_closure(
+                targets,
+                |a, v| {
+                    version_writer
+                        .get(&(a, v))
+                        .map(|&w| (w, dag.is_completed(w)))
+                },
+                |w| logged.get(&w).map(|l| l.needs.clone()).unwrap_or_default(),
+                |a, v| {
+                    v == 0
+                        || archive.contains_key(&(a, v))
+                        || master_versions.get(&a).copied().unwrap_or(0) == v
+                },
+            )
+            .map_err(|(array, version)| LocalError::Unrecoverable { array, version })?
+        };
+        for c in order {
+            self.replay_on_controller(c)?;
+            self.trace.record_event(SchedEvent::Replay {
+                dag_index: c,
+                epoch,
+            });
+            self.stats.replays += 1;
+        }
+        Ok(())
+    }
+
+    /// Deterministically re-executes one completed kernel CE on the
+    /// controller from exact-version inputs; outputs land in the archive
+    /// (and the master copy, when newer than what the controller holds).
+    fn replay_on_controller(&mut self, c: DagIndex) -> Result<(), LocalError> {
+        let l = self
+            .logged
+            .get(&c)
+            .cloned()
+            .ok_or_else(|| LocalError::BadArgs(format!("no replay log for CE #{c}")))?;
+        let mut inputs: Vec<(ArrayId, HostBuf)> = Vec::new();
+        for arg in &l.args {
+            if let LocalArg::Buf(a) = arg {
+                let need = l
+                    .needs
+                    .iter()
+                    .find(|(x, _)| x == a)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                let buf = self.exact_version_buf(*a, need)?;
+                inputs.push((*a, buf));
+            }
+        }
+        let result = {
+            let mut kargs: Vec<KernelArg<'_>> = Vec::with_capacity(l.args.len());
+            let mut cursor = inputs.iter_mut();
+            for arg in &l.args {
+                match arg {
+                    LocalArg::Buf(_) => {
+                        let (_, buf) = cursor.next().expect("pushed in order");
+                        kargs.push(match buf {
+                            HostBuf::F32(v) => KernelArg::F32(v),
+                            HostBuf::I32(v) => KernelArg::I32(v),
+                        });
+                    }
+                    LocalArg::F32(v) => kargs.push(KernelArg::Float(*v)),
+                    LocalArg::I32(v) => kargs.push(KernelArg::Int(*v)),
+                }
+            }
+            l.kernel.launch2d(l.grid, l.block, &mut kargs)
+        };
+        result.map_err(|e| LocalError::LaunchAt(c, e))?;
+        for (a, buf) in inputs {
+            if let Some((_, v_out)) = l.bumps.iter().find(|(b, _)| *b == a) {
+                self.archive.insert((a, *v_out), buf.clone());
+                self.install_master(a, *v_out, buf);
+            }
+        }
+        Ok(())
+    }
+
+    /// A buffer holding *exactly* version `need` of `array` — replay
+    /// inputs must not see newer content. Version 0 is the allocation
+    /// state (zeros by construction); write-only arguments pass `need` 0
+    /// because their prior contents are fully overwritten (CUDA-style).
+    fn exact_version_buf(&self, array: ArrayId, need: u64) -> Result<HostBuf, LocalError> {
+        if let Some(buf) = self.archive.get(&(array, need)) {
+            return Ok(buf.clone());
+        }
+        if need == 0 {
+            let shape = self
+                .shapes
+                .get(&array)
+                .copied()
+                .ok_or(LocalError::UnknownArray(array))?;
+            return Ok(shape.zeros());
+        }
+        if self.master_versions.get(&array).copied().unwrap_or(0) == need {
+            return Ok(self
+                .master
+                .get(&array)
+                .ok_or(LocalError::UnknownArray(array))?
+                .clone());
+        }
+        Err(LocalError::Unrecoverable {
+            array,
+            version: need,
+        })
+    }
+
+    /// A controller-side copy of `array` at version `>= need`, rebuilt via
+    /// lineage replay when the live copy is stale. Always succeeds for
+    /// dispatched CEs: readiness gating means every needed version has a
+    /// completed (hence replayable) writer.
+    fn controller_buf(&mut self, array: ArrayId, need: u64) -> Result<(u64, HostBuf), LocalError> {
+        let mv = self.master_versions.get(&array).copied().unwrap_or(0);
+        if mv >= need {
+            return Ok((
+                mv,
+                self.master
+                    .get(&array)
+                    .ok_or(LocalError::UnknownArray(array))?
+                    .clone(),
+            ));
+        }
+        if let Some(buf) = self.archive.get(&(array, need)) {
+            return Ok((need, buf.clone()));
+        }
+        let epoch = self.detector.epoch();
+        self.reconstruct(&[(array, need)], epoch)?;
+        if let Some(buf) = self.archive.get(&(array, need)) {
+            return Ok((need, buf.clone()));
+        }
+        let mv = self.master_versions.get(&array).copied().unwrap_or(0);
+        if mv >= need {
+            return Ok((
+                mv,
+                self.master
+                    .get(&array)
+                    .ok_or(LocalError::UnknownArray(array))?
+                    .clone(),
+            ));
+        }
+        Err(LocalError::Unrecoverable {
+            array,
+            version: need,
+        })
     }
 
     /// Failure injection: shuts a worker down immediately. Any CE later
@@ -935,6 +1837,26 @@ impl LocalRuntime {
     /// Execution statistics so far.
     pub fn stats(&self) -> LocalStats {
         self.stats
+    }
+
+    /// Where the planner currently places CE `i` (updated by recovery).
+    pub fn node_assignment(&self, i: DagIndex) -> Option<Location> {
+        self.planner.assignment(i)
+    }
+
+    /// Whether worker `w` has been quarantined (dead or never spawned).
+    pub fn is_quarantined(&self, w: usize) -> bool {
+        self.planner.is_quarantined(w)
+    }
+
+    /// Number of workers still accepting assignments.
+    pub fn healthy_workers(&self) -> usize {
+        self.planner.healthy_workers()
+    }
+
+    /// The current membership epoch (bumps once per confirmed failure).
+    pub fn epoch(&self) -> u64 {
+        self.detector.epoch()
     }
 
     /// The Global DAG (read-only).
@@ -1192,11 +2114,8 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn killed_worker_surfaces_as_error_not_hang() {
-        let mut rt = rt(2);
-        let a = rt.alloc_f32(256);
-        let k = Arc::new(
+    fn inc_kernel() -> Arc<CompiledKernel> {
+        Arc::new(
             compile_one(
                 "__global__ void inc(float* a, int n) {
                     int i = blockIdx.x * blockDim.x + threadIdx.x;
@@ -1205,7 +2124,25 @@ mod tests {
                 "inc",
             )
             .unwrap(),
-        );
+        )
+    }
+
+    fn quarantined_worker(rt: &LocalRuntime) -> Option<usize> {
+        rt.sched_trace().events().iter().find_map(|e| match e {
+            SchedEvent::Quarantine { worker, .. } => Some(*worker),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn killed_worker_surfaces_as_error_not_hang() {
+        // Recovery disabled: the pre-failover contract — death surfaces as
+        // an error naming the actual dead worker, never a hang.
+        let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        cfg.planner.fault_cfg.recovery = false;
+        let mut rt = LocalRuntime::new(cfg);
+        let a = rt.alloc_f32(256);
+        let k = inc_kernel();
         rt.kill_worker(0);
         // Round-robin will try worker 0 first; the dead channel must turn
         // into an error rather than a lost message.
@@ -1213,12 +2150,225 @@ mod tests {
         for _ in 0..2 {
             rt.launch(&k, 1, 256, vec![LocalArg::Buf(a), LocalArg::I32(256)])
                 .unwrap();
-            if matches!(rt.synchronize(), Err(LocalError::WorkerDied(_))) {
-                died = true;
-                break;
+            match rt.synchronize() {
+                Err(LocalError::WorkerDied { worker, at_ce }) => {
+                    assert_eq!(worker, 0, "the real dead worker is reported");
+                    assert!(at_ce.is_some(), "the in-flight CE is reported");
+                    died = true;
+                    break;
+                }
+                other => other.unwrap(),
             }
         }
         assert!(died, "worker death must surface");
+    }
+
+    #[test]
+    fn recovery_survives_a_killed_worker() {
+        let mut rt = rt(2);
+        let a = rt.alloc_f32(256);
+        let k = inc_kernel();
+        for _ in 0..3 {
+            rt.launch(&k, 1, 256, vec![LocalArg::Buf(a), LocalArg::I32(256)])
+                .unwrap();
+        }
+        rt.synchronize().unwrap();
+        rt.kill_worker(0);
+        for _ in 0..3 {
+            rt.launch(&k, 1, 256, vec![LocalArg::Buf(a), LocalArg::I32(256)])
+                .unwrap();
+        }
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 6.0), "got {}", out[0]);
+        assert!(rt.is_quarantined(0));
+        assert_eq!(rt.healthy_workers(), 1);
+        assert_eq!(quarantined_worker(&rt), Some(0));
+        assert_eq!(rt.epoch(), 1);
+    }
+
+    #[test]
+    fn injected_kill_matches_fault_free_run() {
+        let run = |faults: crate::faults::FaultPlan| {
+            let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+            cfg.planner.faults = faults;
+            let mut rt = LocalRuntime::new(cfg);
+            let a = rt.alloc_f32(512);
+            let k = inc_kernel();
+            for _ in 0..6 {
+                rt.launch(&k, 2, 256, vec![LocalArg::Buf(a), LocalArg::I32(512)])
+                    .unwrap();
+            }
+            let out = rt.read_f32(a).unwrap();
+            (out, rt)
+        };
+        let (clean, _) = run(crate::faults::FaultPlan::none());
+        let (faulty, rt) = run(crate::faults::FaultPlan::kill_at_ce(3));
+        assert_eq!(clean, faulty, "recovery must be bit-identical");
+        let dead = quarantined_worker(&rt).expect("a quarantine was recorded");
+        let events = rt.sched_trace().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Fault { at_ce: 3, .. })));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, SchedEvent::Replay { .. })),
+            "lost versions were rebuilt by lineage replay: {events:?}"
+        );
+        assert!(rt.stats().replays > 0);
+        // Degraded mode: every post-fault kernel avoids the dead node.
+        for i in 4..6 {
+            assert_ne!(
+                rt.node_assignment(i),
+                Some(Location::worker(dead)),
+                "CE {i} must avoid the quarantined worker"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_then_succeed() {
+        let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        cfg.planner.faults =
+            crate::faults::FaultPlan::with_events(vec![crate::faults::FaultEvent {
+                at_ce: 0,
+                kind: crate::faults::FaultKind::FailLaunch { times: 2 },
+            }]);
+        let mut rt = LocalRuntime::new(cfg);
+        let a = rt.alloc_f32(128);
+        let k = inc_kernel();
+        rt.launch(&k, 1, 128, vec![LocalArg::Buf(a), LocalArg::I32(128)])
+            .unwrap();
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 1.0));
+        let retries = rt
+            .sched_trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Retry { at_ce: 0, .. }))
+            .count();
+        assert_eq!(retries, 2, "one Retry event per injected failure");
+        assert!(quarantined_worker(&rt).is_none(), "no quarantine needed");
+        assert_eq!(rt.stats().kernels, 1, "retries are not new kernels");
+    }
+
+    #[test]
+    fn persistent_transient_failure_quarantines_the_node() {
+        let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        cfg.planner.faults =
+            crate::faults::FaultPlan::with_events(vec![crate::faults::FaultEvent {
+                at_ce: 0,
+                kind: crate::faults::FaultKind::FailLaunch { times: 10 },
+            }]);
+        let mut rt = LocalRuntime::new(cfg);
+        let a = rt.alloc_f32(128);
+        let k = inc_kernel();
+        rt.launch(&k, 1, 128, vec![LocalArg::Buf(a), LocalArg::I32(128)])
+            .unwrap();
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 1.0));
+        let dead = quarantined_worker(&rt).expect("retry budget exhausted => quarantine");
+        assert!(rt.is_quarantined(dead));
+        assert!(
+            rt.sched_trace()
+                .events()
+                .iter()
+                .any(|e| matches!(e, SchedEvent::Reassign { dag_index: 0, .. })),
+            "the failing CE moved to a healthy worker"
+        );
+    }
+
+    #[test]
+    fn dropped_transfer_is_redriven_after_timeout() {
+        let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        cfg.planner.faults =
+            crate::faults::FaultPlan::with_events(vec![crate::faults::FaultEvent {
+                at_ce: 1,
+                kind: crate::faults::FaultKind::DropTransfer,
+            }]);
+        cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(30);
+        let mut rt = LocalRuntime::new(cfg);
+        let a = rt.alloc_f32(128);
+        rt.write_f32(a, |v| v.iter_mut().for_each(|e| *e = 1.0))
+            .unwrap();
+        let k = inc_kernel();
+        rt.launch(&k, 1, 128, vec![LocalArg::Buf(a), LocalArg::I32(128)])
+            .unwrap();
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 2.0));
+        let events = rt.sched_trace().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::TransferDropped { at_ce: 1, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::TransferRedriven { at_ce: 1 })));
+        assert!(rt.stats().redriven_bytes > 0);
+    }
+
+    #[test]
+    fn delayed_transfer_is_recorded_and_completes() {
+        let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        cfg.planner.faults =
+            crate::faults::FaultPlan::with_events(vec![crate::faults::FaultEvent {
+                at_ce: 1,
+                kind: crate::faults::FaultKind::DelayTransfer {
+                    delay: SimDuration::from_millis(2),
+                },
+            }]);
+        let mut rt = LocalRuntime::new(cfg);
+        let a = rt.alloc_f32(64);
+        rt.write_f32(a, |v| v.iter_mut().for_each(|e| *e = 1.0))
+            .unwrap();
+        let k = inc_kernel();
+        rt.launch(&k, 1, 64, vec![LocalArg::Buf(a), LocalArg::I32(64)])
+            .unwrap();
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 2.0));
+        assert!(rt
+            .sched_trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, SchedEvent::TransferDelayed { at_ce: 1, .. })));
+    }
+
+    #[test]
+    fn spawn_failure_degrades_instead_of_panicking() {
+        let cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        let mut rt = LocalRuntime::with_spawner(cfg, |i, rx, back, peers| {
+            if i == 0 {
+                Err(std::io::Error::other("no threads left"))
+            } else {
+                std::thread::Builder::new().spawn(move || worker_loop(i, rx, back, peers))
+            }
+        })
+        .unwrap();
+        assert!(rt.is_quarantined(0));
+        assert_eq!(rt.healthy_workers(), 1);
+        assert!(rt
+            .sched_trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, SchedEvent::SpawnFailed { worker: 0 })));
+        let a = rt.alloc_f32(64);
+        let k = inc_kernel();
+        rt.launch(&k, 1, 64, vec![LocalArg::Buf(a), LocalArg::I32(64)])
+            .unwrap();
+        let out = rt.read_f32(a).unwrap();
+        assert!(out.iter().all(|&v| v == 1.0));
+        assert_eq!(rt.node_assignment(0), Some(Location::worker(1)));
+    }
+
+    #[test]
+    fn all_spawns_failing_is_an_error() {
+        let cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+        let result = LocalRuntime::with_spawner(cfg, |_, _, _, _| {
+            Err(std::io::Error::other("no threads left"))
+        });
+        assert!(matches!(
+            result.err(),
+            Some(LocalError::SpawnFailed { worker: 0, .. })
+        ));
     }
 
     #[test]

@@ -125,6 +125,8 @@ pub struct NodeScheduler {
     vs_count: u32,
     /// Probed link matrix (required by min-transfer-time).
     links: Option<LinkMatrix>,
+    /// Degraded mode: quarantined workers are never assigned work again.
+    quarantined: Vec<bool>,
 }
 
 impl NodeScheduler {
@@ -154,6 +156,7 @@ impl NodeScheduler {
             vs_pos: 0,
             vs_count: 0,
             links,
+            quarantined: vec![false; workers],
         }
     }
 
@@ -172,23 +175,66 @@ impl NodeScheduler {
         self.links.as_ref()
     }
 
+    /// Quarantines worker `w`: no policy will assign it work again.
+    ///
+    /// # Panics
+    /// Panics if this would leave zero healthy workers — the caller must
+    /// check [`NodeScheduler::healthy_workers`] first and surface an error.
+    pub fn quarantine(&mut self, w: usize) {
+        self.quarantined[w] = true;
+        assert!(
+            self.quarantined.iter().any(|&q| !q),
+            "quarantine would leave no healthy workers"
+        );
+    }
+
+    /// Whether worker `w` is quarantined.
+    pub fn is_quarantined(&self, w: usize) -> bool {
+        self.quarantined.get(w).copied().unwrap_or(false)
+    }
+
+    /// Number of workers still accepting assignments.
+    pub fn healthy_workers(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
     fn round_robin(&mut self) -> usize {
-        let w = self.rr_next;
-        self.rr_next = (self.rr_next + 1) % self.workers;
-        w
+        // At least one healthy worker exists (quarantine() enforces it), so
+        // this advances past quarantined slots and terminates.
+        loop {
+            let w = self.rr_next;
+            self.rr_next = (self.rr_next + 1) % self.workers;
+            if !self.quarantined[w] {
+                return w;
+            }
+        }
     }
 
     fn vector_step(&mut self) -> usize {
         let PolicyKind::VectorStep(v) = &self.kind else {
             unreachable!("called only for vector-step")
         };
-        // Skip zero entries (already validated non-all-zero).
-        while self.vs_count >= v[self.vs_pos % v.len()] {
-            self.vs_pos += 1;
-            self.vs_count = 0;
+        // Skip zero entries (already validated non-all-zero) and positions
+        // that land on quarantined workers. The bound covers a full sweep of
+        // vector x workers combinations; if every landing spot is
+        // quarantined-or-zero (e.g. vector [1, 0] with worker 0 dead), fall
+        // back to round-robin, which only picks healthy workers.
+        let v = v.clone();
+        for _ in 0..v.len() * self.workers {
+            if self.vs_count >= v[self.vs_pos % v.len()] {
+                self.vs_pos += 1;
+                self.vs_count = 0;
+                continue;
+            }
+            if self.quarantined[self.vs_pos % self.workers] {
+                self.vs_pos += 1;
+                self.vs_count = 0;
+                continue;
+            }
+            self.vs_count += 1;
+            return self.vs_pos % self.workers;
         }
-        self.vs_count += 1;
-        self.vs_pos % self.workers
+        self.round_robin()
     }
 
     /// Assigns a CE to a worker (0-based index). This is the exact code
@@ -201,6 +247,9 @@ impl NodeScheduler {
                 let threshold = level.threshold_bytes().min(ce.total_bytes().max(1));
                 let mut best: Option<(u64, usize)> = None;
                 for w in 0..self.workers {
+                    if self.quarantined[w] {
+                        continue;
+                    }
                     let loc = Location::worker(w);
                     let local = coherence.bytes_up_to_date(&ce.args, loc);
                     if local >= threshold {
@@ -220,6 +269,9 @@ impl NodeScheduler {
                 let links = self.links.as_ref().expect("validated in new()");
                 let mut best: Option<(f64, usize)> = None;
                 for w in 0..self.workers {
+                    if self.quarantined[w] {
+                        continue;
+                    }
                     let loc = Location::worker(w);
                     let local = coherence.bytes_up_to_date(&ce.args, loc);
                     if local < threshold {
@@ -414,6 +466,75 @@ mod tests {
             2,
             None,
         );
+    }
+
+    #[test]
+    fn round_robin_skips_quarantined_workers() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 3, None);
+        s.quarantine(1);
+        assert_eq!(s.healthy_workers(), 2);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..4).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no healthy workers")]
+    fn quarantining_the_last_worker_panics() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 2, None);
+        s.quarantine(0);
+        s.quarantine(1);
+    }
+
+    #[test]
+    fn vector_step_skips_quarantined_positions() {
+        // Vector [1,2,3] on two nodes kills worker 0: every CE lands on 1.
+        let mut s = NodeScheduler::new(PolicyKind::VectorStep(vec![1, 2, 3]), 2, None);
+        s.quarantine(0);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        for _ in 0..8 {
+            assert_eq!(s.assign(&c, &coh), 1);
+        }
+    }
+
+    #[test]
+    fn vector_step_falls_back_when_all_positions_dead() {
+        // Vector [1,0] only ever names worker 0; with it quarantined the
+        // bounded scan exhausts and round-robin picks the healthy worker.
+        let mut s = NodeScheduler::new(PolicyKind::VectorStep(vec![1, 0]), 2, None);
+        s.quarantine(0);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        for _ in 0..4 {
+            assert_eq!(s.assign(&c, &coh), 1);
+        }
+    }
+
+    #[test]
+    fn online_policies_never_pick_quarantined_holders() {
+        // All data lives on worker 1, but worker 1 is quarantined: the
+        // exploitation winner must be ignored and the fallback avoids it too.
+        let mut coh = Coherence::new();
+        coh.register(A);
+        coh.record_write(A, Location::worker(1));
+        let c = ce(vec![CeArg::read(A, 100)]);
+        let mut size =
+            NodeScheduler::new(PolicyKind::MinTransferSize(ExplorationLevel::Low), 3, None);
+        size.quarantine(1);
+        for _ in 0..6 {
+            assert_ne!(size.assign(&c, &coh), 1);
+        }
+        let mut time = NodeScheduler::new(
+            PolicyKind::MinTransferTime(ExplorationLevel::Low),
+            3,
+            Some(LinkMatrix::uniform(4, 1e9)),
+        );
+        time.quarantine(1);
+        for _ in 0..6 {
+            assert_ne!(time.assign(&c, &coh), 1);
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::collections::{HashMap, VecDeque};
 use crate::ce::{ArrayId, Ce};
 use crate::coherence::{Coherence, Location};
 use crate::dag::{DagIndex, DepDag};
+use crate::faults::{FaultConfig, FaultPlan, SchedEvent};
 use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
 
 /// Scheduling knobs shared by every backend.
@@ -48,6 +49,10 @@ pub struct PlannerConfig {
     /// controller<->worker-0 movements are free (same host memory). (A
     /// costing knob: consumed by executors.)
     pub controller_colocated: bool,
+    /// Deterministic injected faults, honored identically by both backends.
+    pub faults: FaultPlan,
+    /// Detection and recovery knobs (retries, backoff, timeouts).
+    pub fault_cfg: FaultConfig,
 }
 
 impl PlannerConfig {
@@ -60,6 +65,8 @@ impl PlannerConfig {
             p2p_enabled: true,
             flat_scheduling: false,
             controller_colocated: false,
+            faults: FaultPlan::none(),
+            fault_cfg: FaultConfig::default(),
         }
     }
 }
@@ -81,6 +88,38 @@ pub struct Planner {
     /// Whole-array sizes of live (registered) arrays.
     array_bytes: HashMap<ArrayId, u64>,
     next_array: u64,
+    /// Every planned CE, by DAG index (recovery replans from these).
+    ces: Vec<Ce>,
+    /// Node each DAG index was (last) assigned to.
+    assignments: Vec<Location>,
+}
+
+/// One in-flight CE moved off a dead node by [`Planner::recover`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reassignment {
+    /// The moved CE.
+    pub dag_index: DagIndex,
+    /// Its new (healthy) node.
+    pub to: Location,
+    /// Fresh data movements bringing its inputs up to date on `to`,
+    /// sourced from surviving holders in the purged directory.
+    pub movements: Vec<Movement>,
+}
+
+/// The outcome of quarantining a dead node ([`Planner::recover`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// The quarantined worker.
+    pub dead: usize,
+    /// Membership view: workers still healthy after the quarantine.
+    pub healthy: usize,
+    /// Arrays that lost a (possibly redundant) copy with the node.
+    pub affected: Vec<ArrayId>,
+    /// Arrays whose only up-to-date copy died with the node; the executor
+    /// must reconstruct them (lineage replay) before their next use.
+    pub lost: Vec<ArrayId>,
+    /// In-flight CEs moved off the dead node, in DAG order.
+    pub reassigned: Vec<Reassignment>,
 }
 
 impl Planner {
@@ -100,6 +139,8 @@ impl Planner {
             coherence: Coherence::new(),
             array_bytes: HashMap::new(),
             next_array: 0,
+            ces: Vec::new(),
+            assignments: Vec::new(),
         }
     }
 
@@ -195,12 +236,140 @@ impl Planner {
             }
         }
 
+        debug_assert_eq!(outcome.index, self.ces.len(), "dense submission order");
+        self.ces.push(ce.clone());
+        self.assignments.push(assigned_node);
+
         Ok(Plan {
             dag_index: outcome.index,
             deps: outcome.parents,
             assigned_node,
             movements,
             placement: None,
+        })
+    }
+
+    /// The CE planned at DAG index `i`, if any.
+    pub fn planned_ce(&self, i: DagIndex) -> Option<&Ce> {
+        self.ces.get(i)
+    }
+
+    /// The node CE `i` is currently assigned to (updated by recovery).
+    pub fn assignment(&self, i: DagIndex) -> Option<Location> {
+        self.assignments.get(i).copied()
+    }
+
+    /// Whether worker `w` has been quarantined.
+    pub fn is_quarantined(&self, w: usize) -> bool {
+        self.scheduler.is_quarantined(w)
+    }
+
+    /// Number of workers still accepting assignments.
+    pub fn healthy_workers(&self) -> usize {
+        self.scheduler.healthy_workers()
+    }
+
+    /// Quarantines a worker without replanning anything — used when a node
+    /// never comes up (spawn failure), so there is no in-flight work to
+    /// move. Fails if it would leave no healthy workers.
+    pub fn quarantine(&mut self, w: usize) -> Result<(), PlanError> {
+        if self.scheduler.is_quarantined(w) {
+            return Ok(());
+        }
+        if self.scheduler.healthy_workers() <= 1 {
+            return Err(PlanError::NoHealthyWorkers);
+        }
+        self.scheduler.quarantine(w);
+        self.coherence.purge_location(Location::worker(w));
+        Ok(())
+    }
+
+    /// Quarantines dead worker `dead` and replans its in-flight work.
+    ///
+    /// Paper-faithful degraded mode: the node leaves the membership for
+    /// good, its directory entries are purged, arrays orphaned by the purge
+    /// are handed back to the Controller (the executor reconstructs their
+    /// bytes via lineage replay and the Controller becomes the holder of
+    /// record), and each CE in `incomplete` that was assigned to the dead
+    /// node is re-assigned by the degraded policy with fresh movements
+    /// sourced from *surviving* up-to-date holders.
+    pub fn recover(&mut self, dead: usize, incomplete: &[DagIndex]) -> Result<Recovery, PlanError> {
+        if self.scheduler.healthy_workers() <= 1 && !self.scheduler.is_quarantined(dead) {
+            return Err(PlanError::NoHealthyWorkers);
+        }
+        if !self.scheduler.is_quarantined(dead) {
+            self.scheduler.quarantine(dead);
+        }
+        let report = self.coherence.purge_location(Location::worker(dead));
+        // Orphans will be reconstructed on the Controller by the executor;
+        // record that eagerly so replanned movements source from it.
+        for &a in &report.orphaned {
+            self.coherence.record_copy(a, Location::CONTROLLER);
+        }
+
+        let mut reassigned = Vec::new();
+        let mut order: Vec<DagIndex> = incomplete.to_vec();
+        order.sort_unstable();
+        let moving: std::collections::HashSet<DagIndex> = order
+            .iter()
+            .copied()
+            .filter(|&i| self.assignments.get(i) == Some(&Location::worker(dead)))
+            .collect();
+        for i in order {
+            if !moving.contains(&i) {
+                continue;
+            }
+            let ce = self.ces[i].clone();
+            debug_assert!(!ce.is_host(), "host CEs never run on workers");
+            let to = Location::worker(self.scheduler.assign(&ce, &self.coherence));
+            // The directory is last-planned-writer-wins: an array with a
+            // *later* planned writer that keeps its healthy assignment is
+            // frozen — its entry describes a newer version than CE `i`'s,
+            // so recovery must neither record this CE's (older) output
+            // there nor register a movement landing as an up-to-date copy.
+            // (The executor supplies replanned CEs' inputs from its own
+            // reconstructed state, so the skipped movements cost nothing.)
+            let frozen: Vec<ArrayId> = ce
+                .args
+                .iter()
+                .map(|a| a.array)
+                .filter(|&a| {
+                    ((i + 1)..self.ces.len()).any(|j| {
+                        !moving.contains(&j)
+                            && self.ces[j]
+                                .args
+                                .iter()
+                                .any(|g| g.array == a && g.mode.writes())
+                    })
+                })
+                .collect();
+            let mut movements = Vec::new();
+            for arg in &ce.args {
+                if !arg.mode.reads() || frozen.contains(&arg.array) {
+                    continue;
+                }
+                if let Some(m) = self.plan_movement(arg.array, to)? {
+                    movements.push(m);
+                }
+            }
+            for arg in &ce.args {
+                if arg.mode.writes() && !frozen.contains(&arg.array) {
+                    self.coherence.record_write(arg.array, to);
+                }
+            }
+            self.assignments[i] = to;
+            reassigned.push(Reassignment {
+                dag_index: i,
+                to,
+                movements,
+            });
+        }
+        Ok(Recovery {
+            dead,
+            healthy: self.scheduler.healthy_workers(),
+            affected: report.affected,
+            lost: report.orphaned,
+            reassigned,
         })
     }
 
@@ -291,6 +460,9 @@ pub struct SchedTrace {
     plans: VecDeque<Plan>,
     capacity: usize,
     observer: Option<PlanObserver>,
+    /// Fault/retry/quarantine/replay decisions, in order. Unbounded: fault
+    /// events are rare and each one matters for post-mortems.
+    events: Vec<SchedEvent>,
 }
 
 impl SchedTrace {
@@ -304,7 +476,19 @@ impl SchedTrace {
             plans: VecDeque::new(),
             capacity,
             observer: None,
+            events: Vec::new(),
         }
+    }
+
+    /// Records a fault/recovery decision. Not subject to the plan-ring
+    /// capacity: every event is kept.
+    pub fn record_event(&mut self, event: SchedEvent) {
+        self.events.push(event);
+    }
+
+    /// Every recorded fault/recovery event, in order.
+    pub fn events(&self) -> &[SchedEvent] {
+        &self.events
     }
 
     /// Installs a callback invoked for every recorded plan.
@@ -347,9 +531,10 @@ impl SchedTrace {
         self.plans.is_empty()
     }
 
-    /// Drops every retained plan (the observer is kept).
+    /// Drops every retained plan and event (the observer is kept).
     pub fn clear(&mut self) {
         self.plans.clear();
+        self.events.clear();
     }
 }
 
@@ -365,6 +550,7 @@ impl std::fmt::Debug for SchedTrace {
             .field("plans", &self.plans.len())
             .field("capacity", &self.capacity)
             .field("observer", &self.observer.is_some())
+            .field("events", &self.events.len())
             .finish()
     }
 }
@@ -509,6 +695,108 @@ mod tests {
             Location::worker(0),
             "fast link wins"
         );
+    }
+
+    #[test]
+    fn recover_quarantines_and_replans_in_flight_work() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        let b = p.alloc(64);
+        // CE0 writes a on worker 0, CE1 writes b on worker 1, CE2 reads a
+        // on worker 0 (cached). Worker 0 dies with CE2 in flight.
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap();
+        p.plan_ce(&kernel(1, vec![CeArg::write(b, 64)])).unwrap();
+        let c2 = p.plan_ce(&kernel(2, vec![CeArg::read(a, 64)])).unwrap();
+        assert_eq!(c2.assigned_node, Location::worker(0));
+        p.mark_completed(0);
+        p.mark_completed(1);
+
+        let rec = p.recover(0, &[2]).unwrap();
+        assert_eq!(rec.dead, 0);
+        assert_eq!(rec.healthy, 1);
+        assert_eq!(rec.affected, vec![a]);
+        assert_eq!(rec.lost, vec![a], "worker 0 was a's exclusive holder");
+        assert!(p.is_quarantined(0));
+        // The orphan is handed to the controller for reconstruction...
+        assert!(p.coherence().up_to_date_on(a, Location::CONTROLLER));
+        assert!(!p.coherence().up_to_date_on(a, Location::worker(0)));
+        // ...and CE2 moves to the surviving worker with a fresh movement
+        // sourced from the controller.
+        assert_eq!(rec.reassigned.len(), 1);
+        let r = &rec.reassigned[0];
+        assert_eq!((r.dag_index, r.to), (2, Location::worker(1)));
+        assert_eq!(r.movements[0].from, Location::CONTROLLER);
+        assert_eq!(p.assignment(2), Some(Location::worker(1)));
+    }
+
+    #[test]
+    fn recover_refuses_to_kill_the_last_worker() {
+        let mut p = planner(1);
+        let a = p.alloc(8);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 8)])).unwrap();
+        assert_eq!(p.recover(0, &[0]).unwrap_err(), PlanError::NoHealthyWorkers);
+    }
+
+    #[test]
+    fn recovery_reads_source_from_surviving_holders() {
+        // Worker 1 already holds b; after worker 0 dies, the reassigned CE
+        // reading b needs no movement at all (surviving holder is local).
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        let b = p.alloc(64);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap(); // w0
+        p.plan_ce(&kernel(1, vec![CeArg::write(b, 64)])).unwrap(); // w1
+        p.plan_ce(&kernel(2, vec![CeArg::read(b, 64), CeArg::write(a, 64)]))
+            .unwrap(); // w0: moves b to w0
+        p.mark_completed(0);
+        p.mark_completed(1);
+        let rec = p.recover(0, &[2]).unwrap();
+        let r = &rec.reassigned[0];
+        assert_eq!(r.to, Location::worker(1));
+        assert!(
+            r.movements.is_empty(),
+            "b is already up to date on the surviving worker: {:?}",
+            r.movements
+        );
+        // The write makes the new node a's exclusive holder again.
+        assert_eq!(p.coherence().holders(a), &[Location::worker(1)]);
+    }
+
+    #[test]
+    fn standalone_quarantine_purges_without_replanning() {
+        let mut p = planner(3);
+        assert_eq!(p.healthy_workers(), 3);
+        p.quarantine(1).unwrap();
+        p.quarantine(1).unwrap(); // idempotent
+        assert_eq!(p.healthy_workers(), 2);
+        let a = p.alloc(64);
+        // Every subsequent plan avoids the quarantined node.
+        for i in 0..6 {
+            let plan = p.plan_ce(&kernel(i, vec![CeArg::read(a, 64)])).unwrap();
+            assert_ne!(plan.assigned_node, Location::worker(1));
+        }
+    }
+
+    #[test]
+    fn sched_trace_keeps_events_past_plan_eviction() {
+        use crate::faults::SchedEvent;
+        let mut trace = SchedTrace::with_capacity(1);
+        let mut p = planner(1);
+        let a = p.alloc(8);
+        for i in 0..3 {
+            let plan = p
+                .plan_ce(&kernel(i, vec![CeArg::read_write(a, 8)]))
+                .unwrap();
+            trace.record(&plan);
+        }
+        trace.record_event(SchedEvent::Replay {
+            dag_index: 1,
+            epoch: 1,
+        });
+        assert_eq!(trace.len(), 1, "plan ring evicted");
+        assert_eq!(trace.events().len(), 1, "events are never evicted");
+        trace.clear();
+        assert!(trace.events().is_empty());
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub enum PlanError {
     /// the planner).
     #[error("CE references array {0:?} after free()")]
     UseAfterFree(ArrayId),
+    /// Recovery cannot proceed: quarantining the failed node would leave
+    /// zero healthy workers.
+    #[error("no healthy workers remain after quarantine")]
+    NoHealthyWorkers,
 }
 
 impl serde::Serialize for MovementKind {

@@ -23,9 +23,12 @@ use uvm_sim::{Regime, UvmConfig, UvmDevice, UvmStats};
 use crate::ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 use crate::coherence::{Coherence, Location};
 use crate::dag::{DagIndex, DepDag};
+use crate::faults::{FailureDetector, SchedEvent};
 use crate::intranode::{select_device, select_stream, DevicePolicy, Placement};
 use crate::policy::{LinkMatrix, PolicyKind};
-use crate::scheduler::{Movement, MovementKind, PlanObserver, Planner, PlannerConfig, SchedTrace};
+use crate::scheduler::{
+    Movement, MovementKind, Plan, PlanObserver, Planner, PlannerConfig, SchedTrace,
+};
 
 /// Configuration of a simulated GrOUT deployment.
 #[derive(Debug, Clone)]
@@ -130,6 +133,13 @@ pub struct RunStats {
     pub uvm_stall: SimDuration,
     /// Total controller scheduling overhead.
     pub sched_overhead: SimDuration,
+    /// Lineage replays performed during recovery.
+    pub replays: u64,
+    /// Bytes re-sent because of recoveries or dropped transfers (kept out
+    /// of `network_bytes` so fault-free traffic accounting stays exact).
+    pub redriven_bytes: u64,
+    /// Virtual time spent detecting and recovering from faults.
+    pub fault_overhead: SimDuration,
 }
 
 /// The simulated GrOUT runtime: prices [`Plan`]s in virtual time.
@@ -147,6 +157,11 @@ pub struct SimRuntime {
     controller_clock: SimTime,
     stats: RunStats,
     trace: SchedTrace,
+    /// Per-worker liveness + membership epoch (mirrors the local runtime).
+    detector: FailureDetector,
+    /// Last writer CE per array — the lineage the simulator replays (it
+    /// prices whole-array reconstruction, so one hop of lineage suffices).
+    last_writer: HashMap<ArrayId, DagIndex>,
 }
 
 impl SimRuntime {
@@ -182,6 +197,7 @@ impl SimRuntime {
                 placements: HashMap::new(),
             })
             .collect();
+        let detector = FailureDetector::new(cfg.planner.workers);
         SimRuntime {
             net,
             planner,
@@ -192,6 +208,8 @@ impl SimRuntime {
             controller_clock: SimTime::ZERO,
             stats: RunStats::default(),
             trace: SchedTrace::default(),
+            detector,
+            last_writer: HashMap::new(),
             cfg,
         }
     }
@@ -346,6 +364,137 @@ impl SimRuntime {
         done
     }
 
+    /// Injected faults for this CE, priced in virtual time. Mirrors the
+    /// local runtime's detect → retry → quarantine → replay pipeline:
+    /// retries cost their exponential backoff, a death costs the detection
+    /// timeout plus a host-bandwidth lineage replay of every lost array,
+    /// and recovery rewrites `plan` onto a healthy worker. The trace events
+    /// carry the same (worker, at_ce) identity the local runtime records,
+    /// which is what the chaos differential test compares.
+    fn apply_faults(&mut self, plan: &mut Plan) {
+        let faults = self.cfg.planner.faults.clone();
+        if faults.is_empty() {
+            return;
+        }
+        let dag = plan.dag_index;
+        // Faults attach to dispatched work; host CEs run on the controller
+        // itself and have no worker to lose.
+        let Some(worker) = plan.assigned_node.worker_index() else {
+            return;
+        };
+        let fc = self.cfg.planner.fault_cfg;
+
+        if let Some(delay) = faults.delay_at(dag) {
+            if let Some(m) = plan.movements.first() {
+                self.trace.record_event(SchedEvent::TransferDelayed {
+                    at_ce: dag,
+                    array: m.array,
+                    delay,
+                });
+                self.controller_clock += delay;
+                self.stats.fault_overhead += delay;
+            }
+        }
+
+        if faults.drop_at(dag) {
+            if let Some(m) = plan.movements.first().cloned() {
+                // The payload is lost in flight, so the CE wedges until the
+                // detection timeout fires; the controller then re-drives the
+                // bytes from its own copy.
+                self.trace.record_event(SchedEvent::TransferDropped {
+                    at_ce: dag,
+                    array: m.array,
+                });
+                let redrive =
+                    fc.detection_timeout + SimDuration::for_bytes(m.bytes, self.cfg.host_bw_bps);
+                self.controller_clock += redrive;
+                self.stats.fault_overhead += redrive;
+                self.stats.redriven_bytes += m.bytes;
+                self.trace
+                    .record_event(SchedEvent::TransferRedriven { at_ce: dag });
+            }
+        }
+
+        let mut condemned = false;
+        if let Some(times) = faults.fail_launch_at(dag) {
+            // One failure report per attempt until the launch succeeds or
+            // the retry budget condemns the node (max_retries + 1 failures).
+            let failures = times.min(fc.max_retries + 1);
+            for attempt in 1..=failures {
+                let backoff = SimDuration::exp_backoff(fc.backoff_base, attempt, fc.backoff_cap);
+                self.trace.record_event(SchedEvent::Retry {
+                    at_ce: dag,
+                    worker,
+                    attempt,
+                    backoff,
+                });
+                self.controller_clock += backoff;
+                self.stats.fault_overhead += backoff;
+            }
+            condemned = times > fc.max_retries;
+        }
+
+        if faults.kill_at(dag) || condemned {
+            if !fc.recovery {
+                panic!("worker {worker} died at CE {dag} with recovery disabled");
+            }
+            let epoch = self.detector.mark_dead(worker);
+            self.trace.record_event(SchedEvent::Fault {
+                at_ce: dag,
+                worker: Some(worker),
+                kind: "kill-worker",
+                epoch,
+            });
+            self.controller_clock += fc.detection_timeout;
+            self.stats.fault_overhead += fc.detection_timeout;
+
+            let rec = self
+                .planner
+                .recover(worker, &[dag])
+                .unwrap_or_else(|e| panic!("{e}"));
+            self.trace.record_event(SchedEvent::Quarantine {
+                worker,
+                at_ce: dag,
+                lost: rec.lost.clone(),
+                epoch,
+            });
+
+            // Lineage replay: the controller reconstructs each lost array by
+            // re-running its last completed writer host-side; priced as a
+            // host-bandwidth pass over the array.
+            for &a in &rec.lost {
+                if let Some(&writer) = self.last_writer.get(&a) {
+                    self.trace.record_event(SchedEvent::Replay {
+                        dag_index: writer,
+                        epoch,
+                    });
+                    self.stats.replays += 1;
+                }
+                let replay =
+                    SimDuration::for_bytes(self.planner.array_bytes(a), self.cfg.host_bw_bps);
+                self.controller_clock += replay;
+                self.stats.fault_overhead += replay;
+                // The rebuilt copy lives on the controller from now on.
+                self.array_ready.insert(a, self.controller_clock);
+            }
+
+            // The in-flight CE itself moves to a healthy worker; recovery
+            // already replanned its movements from surviving holders.
+            for r in &rec.reassigned {
+                if r.dag_index == dag {
+                    self.trace.record_event(SchedEvent::Reassign {
+                        dag_index: dag,
+                        from: worker,
+                        to: r.to.worker_index().unwrap_or(usize::MAX),
+                        epoch,
+                    });
+                    plan.assigned_node = r.to;
+                    plan.movements = r.movements.clone();
+                }
+            }
+        }
+    }
+
     /// Core submission path: plan through the shared scheduling core, then
     /// price the plan (movements, Algorithm 2 placement, UVM stall) in
     /// virtual time.
@@ -362,6 +511,11 @@ impl SimRuntime {
         let overhead = self.sched_overhead();
         self.controller_clock += overhead;
         self.stats.sched_overhead += overhead;
+
+        // 2b. Injected faults fire at dispatch: retries, detection and
+        //     recovery all spend controller time and may rewrite the plan
+        //     onto a healthy worker before anything is priced.
+        self.apply_faults(&mut plan);
         let dispatch = self.controller_clock;
 
         // 3. Price the planned movements on the modeled network.
@@ -528,6 +682,7 @@ impl SimRuntime {
         //    directory itself was already updated eagerly at plan time).
         for arg in &ce.args {
             if arg.mode.writes() {
+                self.last_writer.insert(arg.array, plan.dag_index);
                 self.array_ready.insert(arg.array, record.finish);
                 // Stale UVM copies elsewhere must refault after the write.
                 for (i, w) in self.workers.iter_mut().enumerate() {
@@ -582,6 +737,27 @@ impl SimRuntime {
     /// Aggregated statistics.
     pub fn stats(&self) -> RunStats {
         self.stats
+    }
+
+    /// Node a planned CE was (last) assigned to — reassignments made during
+    /// recovery are reflected here.
+    pub fn node_assignment(&self, dag_index: DagIndex) -> Option<Location> {
+        self.planner.assignment(dag_index)
+    }
+
+    /// Whether a worker has been quarantined by fault recovery.
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        self.planner.is_quarantined(worker)
+    }
+
+    /// Number of workers still eligible for scheduling.
+    pub fn healthy_workers(&self) -> usize {
+        self.planner.healthy_workers()
+    }
+
+    /// Cluster membership epoch: bumps once per confirmed worker death.
+    pub fn epoch(&self) -> u64 {
+        self.detector.epoch()
     }
 
     /// UVM statistics of one GPU.
@@ -935,5 +1111,158 @@ mod tests {
             plans[1].placement.is_some(),
             "sim fills Algorithm-2 placement into the traced plan"
         );
+    }
+
+    // ----- fault injection -------------------------------------------------
+
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+
+    fn grout_with_faults(workers: usize, faults: FaultPlan) -> SimRuntime {
+        let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
+        cfg.planner.faults = faults;
+        SimRuntime::new(cfg)
+    }
+
+    /// host_write is DAG index 0; kernels are 1..=n.
+    fn chain(rt: &mut SimRuntime, n: usize) -> ArrayId {
+        let a = rt.alloc(GIB);
+        rt.host_write(a, GIB);
+        for i in 0..n {
+            rt.launch(
+                format!("step{i}"),
+                cost_for(GIB),
+                vec![CeArg::read_write(a, GIB)],
+            );
+        }
+        a
+    }
+
+    #[test]
+    fn injected_kill_quarantines_and_reroutes() {
+        let mut rt = grout_with_faults(2, FaultPlan::kill_at_ce(3));
+        chain(&mut rt, 6);
+
+        let dead = (0..2).find(|&w| rt.is_quarantined(w)).expect("quarantine");
+        assert_eq!(rt.epoch(), 1);
+        assert_eq!(rt.healthy_workers(), 1);
+        let events = rt.sched_trace().events();
+        assert!(events.iter().any(
+            |e| matches!(e, SchedEvent::Fault { at_ce: 3, worker: Some(w), .. } if *w == dead)
+        ));
+        assert!(events.iter().any(
+            |e| matches!(e, SchedEvent::Quarantine { at_ce: 3, worker, .. } if *worker == dead)
+        ));
+        assert!(events.iter().any(
+            |e| matches!(e, SchedEvent::Reassign { dag_index: 3, from, .. } if *from == dead)
+        ));
+        // Degraded mode: everything after the fault avoids the dead node.
+        for dag in 3..=6 {
+            let loc = rt.node_assignment(dag).expect("assigned");
+            assert_ne!(loc.worker_index(), Some(dead), "CE {dag} on dead node");
+        }
+        // Detection + recovery cost virtual time. (Total elapsed can go
+        // either way: degraded mode keeps the array resident on the one
+        // surviving worker, which can beat the fault-free ping-pong.)
+        assert!(rt.stats().fault_overhead >= rt.cfg.planner.fault_cfg.detection_timeout);
+    }
+
+    #[test]
+    fn sim_fault_runs_are_deterministic() {
+        let run = || {
+            let mut rt = grout_with_faults(3, FaultPlan::one_death(42, &[1, 2, 3, 4, 5]));
+            chain(&mut rt, 5);
+            (rt.elapsed(), rt.sched_trace().events().len(), rt.epoch())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn transient_failures_price_their_backoff() {
+        let mut clean = grout(2);
+        chain(&mut clean, 3);
+
+        let mut rt = grout_with_faults(
+            2,
+            FaultPlan::with_events(vec![FaultEvent {
+                at_ce: 1,
+                kind: FaultKind::FailLaunch { times: 2 },
+            }]),
+        );
+        chain(&mut rt, 3);
+
+        let retries = rt
+            .sched_trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Retry { at_ce: 1, .. }))
+            .count();
+        assert_eq!(retries, 2);
+        assert_eq!(
+            rt.healthy_workers(),
+            2,
+            "transient faults do not quarantine"
+        );
+        assert!(rt.elapsed() > clean.elapsed());
+    }
+
+    #[test]
+    fn persistent_launch_failures_condemn_the_node() {
+        let mut rt = grout_with_faults(
+            2,
+            FaultPlan::with_events(vec![FaultEvent {
+                at_ce: 1,
+                kind: FaultKind::FailLaunch { times: 10 },
+            }]),
+        );
+        chain(&mut rt, 3);
+        assert_eq!(rt.healthy_workers(), 1);
+        assert!(rt
+            .sched_trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Quarantine { at_ce: 1, .. })));
+        assert!(rt
+            .sched_trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Reassign { dag_index: 1, .. })));
+    }
+
+    #[test]
+    fn dropped_and_delayed_transfers_are_priced() {
+        let mut rt = grout_with_faults(
+            2,
+            FaultPlan::with_events(vec![
+                FaultEvent {
+                    at_ce: 1,
+                    kind: FaultKind::DropTransfer,
+                },
+                FaultEvent {
+                    at_ce: 2,
+                    kind: FaultKind::DelayTransfer {
+                        delay: SimDuration::from_millis(5),
+                    },
+                },
+            ]),
+        );
+        // host_write (dag 0) seeds the array on the controller, so kernel
+        // CEs 1 and 2 both need an inbound transfer.
+        let a = rt.alloc(GIB);
+        rt.host_write(a, GIB);
+        rt.launch("r0", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+        rt.launch("r1", cost_for(GIB), vec![CeArg::read(a, GIB)]);
+
+        let events = rt.sched_trace().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::TransferDropped { at_ce: 1, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::TransferRedriven { at_ce: 1 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::TransferDelayed { at_ce: 2, .. })));
+        assert!(rt.stats().redriven_bytes >= GIB);
+        assert!(rt.stats().fault_overhead > SimDuration::ZERO);
     }
 }

@@ -1,0 +1,206 @@
+//! Property-based invariants of fault injection and recovery.
+//!
+//! The central contract: a deterministic `FaultPlan` must never change
+//! *what* a workload computes — only where (and, in the simulator, when).
+//! Random kernel streams with a randomly placed worker death therefore
+//! have to produce bit-identical arrays, a coherence directory with no
+//! up-to-date copy left on the quarantined node, and no post-fault kernel
+//! routed to it.
+
+use std::sync::Arc;
+
+use grout_core::{
+    CeArg, FaultPlan, KernelCost, LocalArg, LocalConfig, LocalRuntime, Location, PolicyKind,
+    SchedEvent, SimConfig, SimRuntime,
+};
+use proptest::prelude::*;
+
+const N: usize = 256;
+const MIB: u64 = 1 << 20;
+
+const SRC: &str = "
+    __global__ void write_k(float* a, float v, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = v + (float)i; }
+    }
+    __global__ void addinto(float* b, const float* a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { b[i] = b[i] + a[i] * 0.5; }
+    }
+    __global__ void scale(float* a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = a[i] * 1.25 + 1.0; }
+    }
+";
+
+/// A random little CE stream over 3 arrays with mixed modes.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..3, 0u8..3, 0u8..3), 4..16)
+}
+
+/// Runs `ops` on a local runtime with the given fault plan; returns the
+/// final arrays and the runtime for post-mortem inspection.
+fn run_local(
+    ops: &[(u8, u8, u8)],
+    workers: usize,
+    faults: FaultPlan,
+) -> (Vec<Vec<f32>>, LocalRuntime) {
+    let kernels = kernelc::compile(SRC).unwrap();
+    let write_k = Arc::new(kernels[0].clone());
+    let addinto = Arc::new(kernels[1].clone());
+    let scale = Arc::new(kernels[2].clone());
+
+    let mut cfg = LocalConfig::new(workers, PolicyKind::RoundRobin);
+    cfg.planner.faults = faults;
+    cfg.planner.fault_cfg.detection_timeout = desim::SimDuration::from_millis(40);
+    let mut rt = LocalRuntime::new(cfg);
+    let arrays: Vec<_> = (0..3).map(|_| rt.alloc_f32(N)).collect();
+    for &(a, b, kind) in ops {
+        let (a, b) = (arrays[a as usize], arrays[b as usize]);
+        match kind {
+            0 => rt.launch(
+                &write_k,
+                2,
+                256,
+                vec![
+                    LocalArg::Buf(a),
+                    LocalArg::F32(3.5),
+                    LocalArg::I32(N as i32),
+                ],
+            ),
+            1 if a != b => rt.launch(
+                &addinto,
+                2,
+                256,
+                vec![LocalArg::Buf(b), LocalArg::Buf(a), LocalArg::I32(N as i32)],
+            ),
+            _ => rt.launch(
+                &scale,
+                2,
+                256,
+                vec![LocalArg::Buf(a), LocalArg::I32(N as i32)],
+            ),
+        }
+        .unwrap();
+    }
+    rt.synchronize().unwrap();
+    let outs = arrays.iter().map(|&x| rt.read_f32(x).unwrap()).collect();
+    (outs, rt)
+}
+
+/// Regression (found by `killed_runs_match_fault_free`): killing CE 0,
+/// whose output array has a *later* planned writer (CE 1, WAW) on a healthy
+/// node, must not re-point the coherence directory at CE 0's new node — the
+/// final fetch would then wait forever on a worker that only ever holds the
+/// older version.
+#[test]
+fn recovery_does_not_clobber_later_writers() {
+    let ops = vec![(2, 1, 2), (2, 0, 0), (0, 0, 1), (0, 1, 1), (1, 0, 2)];
+    let (clean, _) = run_local(&ops, 3, FaultPlan::none());
+    let (faulted, _rt) = run_local(&ops, 3, FaultPlan::kill_at_ce(0));
+    assert_eq!(clean, faulted);
+}
+
+/// Regression (found by the chaos harness, seed 4): mixed parallel chains
+/// with a kill mid-DAG must drain without deadlock and stay bit-identical.
+#[test]
+fn chaos_seed4_drains_without_deadlock() {
+    let ops = vec![
+        (2, 1, 2),
+        (1, 0, 1),
+        (0, 0, 2),
+        (1, 1, 1),
+        (0, 2, 2),
+        (2, 0, 2),
+        (1, 1, 2),
+        (1, 2, 2),
+        (1, 1, 2),
+    ];
+    let (clean, _) = run_local(&ops, 3, FaultPlan::none());
+    let (faulted, _rt) = run_local(&ops, 3, FaultPlan::kill_at_ce(2));
+    assert_eq!(clean, faulted);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Killing a random worker at a random CE never changes the computed
+    /// arrays, leaves no up-to-date copy on the quarantined node, and
+    /// routes every post-fault kernel away from it.
+    #[test]
+    fn killed_runs_match_fault_free(ops in arb_ops(), kill_pos in 0usize..64, workers in 2usize..4) {
+        let kill_at = kill_pos % ops.len();
+        let (clean, _) = run_local(&ops, workers, FaultPlan::none());
+        let (faulted, rt) = run_local(&ops, workers, FaultPlan::kill_at_ce(kill_at));
+
+        // Results are bit-identical despite the mid-run death + replay.
+        prop_assert_eq!(clean, faulted);
+
+        let dead = (0..workers).find(|&w| rt.is_quarantined(w));
+        let Some(dead) = dead else {
+            // The planner may route the whole stream so that CE kill_at's
+            // worker is hit; quarantine always happens for kill faults.
+            return Err(TestCaseError::fail("kill fault did not quarantine"));
+        };
+        prop_assert_eq!(rt.epoch(), 1);
+        prop_assert_eq!(rt.healthy_workers(), workers - 1);
+
+        // Coherence: the directory holds no up-to-date copy on the dead
+        // node for any live array.
+        for a in rt.coherence().arrays() {
+            prop_assert!(
+                !rt.coherence().holders(a).contains(&Location::worker(dead)),
+                "array {a:?} still up-to-date on quarantined worker {dead}"
+            );
+        }
+
+        // Degraded mode: recovery reassigns every orphaned CE to a healthy
+        // node, and the final assignment sticks. (CEs that completed on the
+        // worker *before* it died legitimately keep their record.)
+        let mut reassigned = 0;
+        for e in rt.sched_trace().events() {
+            if let SchedEvent::Reassign { dag_index, to, .. } = e {
+                reassigned += 1;
+                prop_assert!(*to != dead, "CE {dag_index} reassigned to the dead worker");
+                prop_assert!(
+                    rt.node_assignment(*dag_index).and_then(|l| l.worker_index()) != Some(dead),
+                    "CE {dag_index} still assigned to dead worker {dead}"
+                );
+            }
+        }
+        prop_assert!(reassigned > 0, "the killed CE itself must be reassigned");
+    }
+
+    /// The simulator's fault handling is fully deterministic: identical
+    /// configs (workload + seeded fault plan) give identical virtual time,
+    /// traces and stats.
+    #[test]
+    fn sim_fault_pricing_is_deterministic(ops in arb_ops(), seed in 0u64..1000, workers in 2usize..4) {
+        let candidates: Vec<usize> = (0..ops.len()).collect();
+        let run = || {
+            let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
+            cfg.planner.faults = FaultPlan::one_death(seed, &candidates);
+            let mut rt = SimRuntime::new(cfg);
+            let arrays: Vec<_> = (0..3).map(|_| rt.alloc(MIB)).collect();
+            let cost = KernelCost { flops: 1e6, bytes_read: MIB, bytes_written: 0 };
+            for &(a, b, kind) in &ops {
+                let args = match kind {
+                    0 => vec![CeArg::write(arrays[a as usize], MIB)],
+                    1 if a != b => vec![
+                        CeArg::read(arrays[a as usize], MIB),
+                        CeArg::write(arrays[b as usize], MIB),
+                    ],
+                    _ => vec![CeArg::read_write(arrays[a as usize], MIB)],
+                };
+                rt.launch("k", cost, args);
+            }
+            (
+                rt.elapsed(),
+                rt.sched_trace().events().to_vec(),
+                rt.stats().replays,
+                rt.stats().redriven_bytes,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -118,6 +118,19 @@ impl SimDuration {
         }
         SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
     }
+
+    /// Deterministic exponential backoff: `base * 2^(attempt-1)`, saturating
+    /// and clamped to `cap`. `attempt` is 1-based; attempt 0 yields zero
+    /// (no wait before the first try). Integer arithmetic only, so retry
+    /// schedules are bit-for-bit reproducible across runs and backends.
+    pub fn exp_backoff(base: SimDuration, attempt: u32, cap: SimDuration) -> SimDuration {
+        if attempt == 0 {
+            return SimDuration::ZERO;
+        }
+        let shift = (attempt - 1).min(63);
+        let factor = 1u64.checked_shl(shift).unwrap_or(u64::MAX);
+        SimDuration(base.0.saturating_mul(factor).min(cap.0))
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -246,6 +259,25 @@ mod tests {
         let d = SimDuration::for_bytes(1 << 30, (1u64 << 30) as f64);
         assert_eq!(d, SimDuration::from_secs(1));
         assert_eq!(SimDuration::for_bytes(123, 0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exp_backoff_doubles_then_caps() {
+        let base = SimDuration::from_millis(1);
+        let cap = SimDuration::from_millis(100);
+        assert_eq!(SimDuration::exp_backoff(base, 0, cap), SimDuration::ZERO);
+        assert_eq!(SimDuration::exp_backoff(base, 1, cap), base);
+        assert_eq!(
+            SimDuration::exp_backoff(base, 2, cap),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(
+            SimDuration::exp_backoff(base, 5, cap),
+            SimDuration::from_millis(16)
+        );
+        assert_eq!(SimDuration::exp_backoff(base, 8, cap), cap);
+        // Extreme attempt counts saturate instead of overflowing.
+        assert_eq!(SimDuration::exp_backoff(base, 200, cap), cap);
     }
 
     #[test]

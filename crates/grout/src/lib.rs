@@ -23,8 +23,9 @@ pub use uvm_sim;
 
 // The most common types at the top level for convenience.
 pub use grout_core::{
-    AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, Coherence, DevicePolicy,
-    ExplorationLevel, KernelCost, LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location,
-    MemAdvise, NodeScheduler, PolicyKind, Regime, SimConfig, SimRuntime, SimTime,
+    replay_closure, AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, Coherence,
+    DevicePolicy, ExplorationLevel, FailureDetector, FaultConfig, FaultEvent, FaultKind, FaultPlan,
+    KernelCost, LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location, MemAdvise,
+    NodeScheduler, PolicyKind, PurgeReport, Regime, SchedEvent, SimConfig, SimRuntime, SimTime,
 };
 pub use grout_polyglot::{Language, Polyglot, Value};

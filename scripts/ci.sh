@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos (fault-injection differential, seed matrix)"
+cargo run --release -q -p grout-bench --bin chaos -- --seeds 8
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,146 @@
+//! Chaos differential test: the simulator and the local (threaded) runtime
+//! honour the *same* deterministic `FaultPlan`, so a workload with one
+//! injected worker death must, in both runtimes, (a) complete, (b) record
+//! the same quarantine identity — which worker died, discovered at which
+//! CE — and (c) route every post-fault kernel away from the dead node.
+//!
+//! Scoping note: post-fault *timing* (and therefore individual node
+//! assignments in larger DAGs) may legitimately diverge between a priced
+//! simulation and a live execution, so equality is asserted only on the
+//! quarantine identity and on the degraded-mode routing invariant.
+//! Bit-identical *results* are asserted where they are defined: the local
+//! faulted run against the local fault-free run.
+
+use std::sync::Arc;
+
+use grout::core::{CeArg, KernelCost, LocalArg, LocalConfig, LocalRuntime, SimConfig, SimRuntime};
+use grout::desim::SimDuration;
+use grout::{FaultPlan, PolicyKind, SchedEvent};
+
+const N: usize = 1 << 10;
+const BYTES: u64 = (N * 4) as u64;
+/// Kernel-chain length; DAG indices 0..CES are the kernels.
+const CES: usize = 6;
+
+const SRC: &str = "
+    __global__ void inc(float* a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { a[i] = a[i] + 1.0; }
+    }
+";
+
+/// The quarantine identity both runtimes must agree on.
+fn quarantine_of(events: &[SchedEvent]) -> Option<(usize, usize)> {
+    events.iter().find_map(|e| match e {
+        SchedEvent::Quarantine { worker, at_ce, .. } => Some((*worker, *at_ce)),
+        _ => None,
+    })
+}
+
+/// Chain of `inc` kernels over one array on the local runtime; returns the
+/// final array, the fault events, and the post-fault kernel assignments.
+fn run_local(faults: FaultPlan) -> (Vec<f32>, Vec<SchedEvent>, Vec<Option<usize>>) {
+    let inc = Arc::new(kernelc::compile(SRC).unwrap()[0].clone());
+    let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+    cfg.planner.faults = faults;
+    cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
+    let mut rt = LocalRuntime::new(cfg);
+    let a = rt.alloc_f32(N);
+    for _ in 0..CES {
+        rt.launch(
+            &inc,
+            64,
+            256,
+            vec![LocalArg::Buf(a), LocalArg::I32(N as i32)],
+        )
+        .unwrap();
+    }
+    rt.synchronize().unwrap();
+    let events = rt.sched_trace().events().to_vec();
+    let assignments = (0..CES)
+        .map(|i| rt.node_assignment(i).and_then(|l| l.worker_index()))
+        .collect();
+    let out = rt.read_f32(a).unwrap();
+    (out, events, assignments)
+}
+
+/// The same chain priced by the simulator under the same fault plan.
+fn run_sim(faults: FaultPlan) -> (Vec<SchedEvent>, Vec<Option<usize>>) {
+    let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
+    cfg.planner.faults = faults;
+    cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
+    let mut rt = SimRuntime::new(cfg);
+    let a = rt.alloc(BYTES);
+    let cost = KernelCost {
+        flops: 1e6,
+        bytes_read: BYTES,
+        bytes_written: BYTES,
+    };
+    for _ in 0..CES {
+        rt.launch("inc", cost, vec![CeArg::read_write(a, BYTES)]);
+    }
+    let events = rt.sched_trace().events().to_vec();
+    let assignments = (0..CES)
+        .map(|i| rt.node_assignment(i).and_then(|l| l.worker_index()))
+        .collect();
+    (events, assignments)
+}
+
+/// One full differential check for one fault plan.
+fn check(faults: FaultPlan) {
+    let (clean, clean_events, _) = run_local(FaultPlan::none());
+    assert!(clean_events.is_empty(), "fault-free run records no faults");
+    assert!(
+        clean.iter().all(|&v| v == CES as f32),
+        "clean: {}",
+        clean[0]
+    );
+
+    let (faulted, local_events, local_assign) = run_local(faults.clone());
+    // (a) + bit-identical results despite a worker dying mid-run.
+    assert_eq!(clean, faulted, "recovered results must be bit-identical");
+
+    let (sim_events, sim_assign) = run_sim(faults);
+
+    // (b) Same quarantine identity in both runtimes.
+    let local_q = quarantine_of(&local_events).expect("local quarantined");
+    let sim_q = quarantine_of(&sim_events).expect("sim quarantined");
+    assert_eq!(local_q, sim_q, "quarantine identity diverged");
+    let (dead, at_ce) = local_q;
+
+    // Both show the death itself and the lineage replay that healed it.
+    for (name, events) in [("local", &local_events), ("sim", &sim_events)] {
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, SchedEvent::Fault { worker: Some(w), .. } if *w == dead)),
+            "{name} trace missing the fault: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, SchedEvent::Replay { .. })),
+            "{name} trace missing lineage replay: {events:?}"
+        );
+    }
+
+    // (c) Degraded mode: every kernel from the failure on runs elsewhere.
+    for dag in at_ce..CES {
+        assert_ne!(local_assign[dag], Some(dead), "local CE {dag} on dead node");
+        assert_ne!(sim_assign[dag], Some(dead), "sim CE {dag} on dead node");
+    }
+}
+
+#[test]
+fn explicit_kill_matches_across_runtimes() {
+    check(FaultPlan::kill_at_ce(3));
+}
+
+#[test]
+fn seeded_deaths_match_across_runtimes() {
+    // A small seed matrix; the CI chaos binary sweeps a larger one.
+    let candidates: Vec<usize> = (1..CES - 1).collect();
+    for seed in [1u64, 7, 42] {
+        check(FaultPlan::one_death(seed, &candidates));
+    }
+}
