@@ -94,7 +94,8 @@ fn bench_local_runtime(c: &mut Criterion) {
     );
     group.bench_function("dependent_chain_64", |b| {
         b.iter(|| {
-            let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
+            let mut rt = LocalRuntime::try_new(LocalConfig::new(2, PolicyKind::RoundRobin))
+                .expect("spawn workers");
             let a = rt.alloc_f32(1024);
             for _ in 0..64 {
                 rt.launch(&k, 4, 256, vec![LocalArg::Buf(a), LocalArg::I32(1024)])

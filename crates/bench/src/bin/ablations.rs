@@ -10,10 +10,12 @@
 //!  6. Hierarchical vs flat (controller-managed) stream scheduling
 //!
 //! Run with: `cargo run --release -p grout-bench --bin ablations`
+//! (add `--trace-out`/`--metrics-out` for an instrumented MV rerun)
 
 use grout::core::{PolicyKind, SimConfig};
 use grout::uvm_sim::MemAdvise;
 use grout::workloads::{gb, run_workload, ConjugateGradient, MatVec, SimWorkload};
+use grout_bench::{emit_representative, ArtifactArgs};
 
 fn single_with(cfg_mut: impl FnOnce(&mut SimConfig), w: &dyn SimWorkload, size: u64) -> f64 {
     let mut cfg = SimConfig::grcuda_baseline();
@@ -98,7 +100,7 @@ fn main() {
     let pipeline = |p2p: bool| {
         let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
         cfg.planner.p2p_enabled = p2p;
-        let mut rt = grout::core::SimRuntime::new(cfg);
+        let mut rt = grout::core::SimRuntime::try_new(cfg).expect("valid config");
         let a = rt.alloc(4 << 30);
         let cost = grout::core::KernelCost {
             flops: 1e9,
@@ -184,7 +186,7 @@ fn main() {
         let mk = |flat: bool| {
             let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
             cfg.planner.flat_scheduling = flat;
-            let mut rt = grout::core::SimRuntime::new(cfg);
+            let mut rt = grout::core::SimRuntime::try_new(cfg).expect("valid config");
             let a = rt.alloc(1 << 20);
             for _ in 0..64 {
                 rt.launch(
@@ -207,4 +209,14 @@ fn main() {
     }
     println!("  (delegating stream choice to workers keeps the controller O(nodes), the");
     println!("   paper's Section IV-C argument)");
+
+    let args: Vec<String> = std::env::args().collect();
+    let mv2 = MatVec::default();
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "mv-64gb-grout2-vector-step",
+        &mv2,
+        SimConfig::paper_grout(2, PolicyKind::VectorStep(mv2.tuned_vector())),
+        gb(64),
+    );
 }

@@ -11,10 +11,16 @@
 //! watchdog so a recovery deadlock is a FAIL, not a hung CI job.
 //!
 //! Run with: `cargo run --release -p grout-bench --bin chaos -- --seeds 8`
-use grout::core::{CeArg, KernelCost, LocalArg, LocalConfig, LocalRuntime, SimConfig, SimRuntime};
+//! (add `--trace-out`/`--metrics-out` for an instrumented faulted sim run
+//! whose metrics dump carries the fault/retry/quarantine counters)
+use grout::core::{
+    CeArg, ChromeTracer, KernelCost, LocalArg, LocalConfig, LocalRuntime, Runtime, Shared,
+    SimConfig, SimRuntime,
+};
 use grout::desim::SimDuration;
 use grout::kernelc;
 use grout::{FaultPlan, PolicyKind, SchedEvent};
+use grout_bench::ArtifactArgs;
 use std::sync::Arc;
 
 const N: usize = 256;
@@ -73,7 +79,7 @@ fn check_chain(faults: FaultPlan) {
     ";
     let inc = Arc::new(kernelc::compile(inc_src).unwrap()[0].clone());
     let run_local = |faults: FaultPlan| {
-        let mut rt = LocalRuntime::new(local_cfg(2, faults));
+        let mut rt = LocalRuntime::try_new(local_cfg(2, faults)).expect("spawn workers");
         let a = rt.alloc_f32(N);
         for _ in 0..CHAIN {
             rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(N as i32)])
@@ -91,7 +97,7 @@ fn check_chain(faults: FaultPlan) {
     let (faulted, local_events, local_assign) = run_local(faults.clone());
     assert_eq!(clean, faulted, "chain results diverged after recovery");
 
-    let mut rt = SimRuntime::new(sim_cfg(2, faults));
+    let mut rt = SimRuntime::try_new(sim_cfg(2, faults)).expect("valid config");
     let a = rt.alloc(BYTES);
     let cost = KernelCost {
         flops: 1e6,
@@ -127,7 +133,7 @@ fn check_random(ops: &[(u8, u8, u8)], kill_at: usize, workers: usize) {
     let scale = Arc::new(kernels[2].clone());
 
     let run_local = |faults: FaultPlan| {
-        let mut rt = LocalRuntime::new(local_cfg(workers, faults));
+        let mut rt = LocalRuntime::try_new(local_cfg(workers, faults)).expect("spawn workers");
         let arrays: Vec<_> = (0..3).map(|_| rt.alloc_f32(N)).collect();
         for &(a, b, kind) in ops {
             let (a, b) = (arrays[a as usize], arrays[b as usize]);
@@ -170,7 +176,8 @@ fn check_random(ops: &[(u8, u8, u8)], kill_at: usize, workers: usize) {
     // version 0 recovers from the controller's zero-state without lineage.)
     let (local_dead, _) = quarantine_of(&local_events).expect("local quarantined");
 
-    let mut rt = SimRuntime::new(sim_cfg(workers, FaultPlan::kill_at_ce(kill_at)));
+    let mut rt = SimRuntime::try_new(sim_cfg(workers, FaultPlan::kill_at_ce(kill_at)))
+        .expect("valid config");
     let arrays: Vec<_> = (0..3).map(|_| rt.alloc(BYTES)).collect();
     let cost = KernelCost {
         flops: 1e6,
@@ -216,9 +223,36 @@ fn check_seed(seed: u64) {
     check_random(&ops, kill_at, workers);
 }
 
+/// One instrumented faulted sim chain (kill at CE 2, two workers): the
+/// exported metrics carry non-zero fault/retry/quarantine counters and the
+/// trace shows the recovery replanning.
+fn emit_artifacts(art: &ArtifactArgs) {
+    if !art.wanted() {
+        return;
+    }
+    let tracer = Shared::new(ChromeTracer::new());
+    let mut rt = Runtime::builder()
+        .sim_config(sim_cfg(2, FaultPlan::kill_at_ce(2)))
+        .telemetry(tracer.telemetry())
+        .build_sim()
+        .expect("valid config");
+    let a = rt.alloc(BYTES);
+    let cost = KernelCost {
+        flops: 1e6,
+        bytes_read: BYTES,
+        bytes_written: BYTES,
+    };
+    for _ in 0..CHAIN {
+        rt.launch("inc", cost, vec![CeArg::read_write(a, BYTES)]);
+    }
+    art.write_trace(&tracer.lock());
+    art.write_metrics(&[("chaos-sim-chain-kill-at-2", rt.metrics())]);
+}
+
 fn main() {
     let mut seeds = 8u64;
     let args: Vec<String> = std::env::args().collect();
+    let art = ArtifactArgs::parse(&args);
     if let Some(i) = args.iter().position(|a| a == "--seeds") {
         seeds = args
             .get(i + 1)
@@ -255,4 +289,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("all {seeds} seeds passed");
+    emit_artifacts(&art);
 }

@@ -4,8 +4,10 @@
 //! `Send`; kept as a regression hunting tool.)
 //!
 //! Run with: `cargo run --release -p grout-bench --bin hang_hunt [-- --repro]`
-use grout::core::{LocalArg, LocalConfig, LocalRuntime, PolicyKind};
+//! (add `--trace-out`/`--metrics-out` for one instrumented local-runtime run)
+use grout::core::{ChromeTracer, LocalArg, LocalConfig, LocalRuntime, PolicyKind, Runtime, Shared};
 use grout::kernelc;
+use grout_bench::ArtifactArgs;
 use std::sync::Arc;
 
 fn run_ops(ops: &[(u8, u8, u8)], workers: usize) {
@@ -28,7 +30,8 @@ fn run_ops(ops: &[(u8, u8, u8)], workers: usize) {
     let addinto = Arc::new(kernels[1].clone());
     let scale = Arc::new(kernels[2].clone());
     let n = 64usize;
-    let mut rt = LocalRuntime::new(LocalConfig::new(workers, PolicyKind::RoundRobin));
+    let mut rt = LocalRuntime::try_new(LocalConfig::new(workers, PolicyKind::RoundRobin))
+        .expect("spawn workers");
     let arrays: Vec<_> = (0..4).map(|_| rt.alloc_f32(n)).collect();
     for &(a, b, kind) in ops {
         let (a, b) = (arrays[a as usize], arrays[b as usize]);
@@ -94,9 +97,47 @@ fn repro() {
     println!("repro did not hang");
 }
 
+/// One instrumented three-worker run so `--trace-out`/`--metrics-out` have
+/// real wall-clock spans and per-worker kernel counts to export.
+fn emit_artifacts(art: &ArtifactArgs) {
+    if !art.wanted() {
+        return;
+    }
+    let inc = Arc::new(
+        kernelc::compile(
+            "
+        __global__ void inc(float* a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { a[i] = a[i] + 1.0; }
+        }
+    ",
+        )
+        .unwrap()[0]
+            .clone(),
+    );
+    let tracer = Shared::new(ChromeTracer::new());
+    let mut rt = Runtime::builder()
+        .workers(3)
+        .telemetry(tracer.telemetry())
+        .build_local()
+        .expect("spawn workers");
+    let n = 256usize;
+    let arrays: Vec<_> = (0..3).map(|_| rt.alloc_f32(n)).collect();
+    for round in 0..4 {
+        let a = arrays[round % arrays.len()];
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(n as i32)])
+            .unwrap();
+    }
+    rt.synchronize().unwrap();
+    art.write_trace(&tracer.lock());
+    art.write_metrics(&[("hang-hunt-local3", rt.metrics())]);
+}
+
 fn main() {
+    let art = ArtifactArgs::parse(&std::env::args().collect::<Vec<_>>());
     if std::env::args().any(|a| a == "--repro") {
         repro();
+        emit_artifacts(&art);
         return;
     }
     // Deterministic pseudo-random search; each case in a watchdog thread.
@@ -130,4 +171,5 @@ fn main() {
         }
     }
     println!("no hang in 5000 cases");
+    emit_artifacts(&art);
 }

@@ -1,15 +1,21 @@
 //! Regenerates every data-bearing figure and prints the tables
 //! (optionally writing JSON next to them with `--json <dir>`).
+//!
+//! `--trace-out <path>` / `--metrics-out <path>` additionally re-run the
+//! suite's representative point (CG at 96 GB on two GrOUT nodes, tuned
+//! vector-step) instrumented and write a Perfetto-loadable Chrome trace
+//! and a metrics dump.
 
+use grout::workloads::{gb, ConjugateGradient, SimWorkload};
+use grout::PolicyKind;
 use grout_bench::*;
 
 fn main() {
-    let json_dir = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--json")
-            .and_then(|i| args.get(i + 1).cloned())
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
     let dump = |name: &str, value: serde_json::Value| {
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
@@ -78,4 +84,13 @@ fn main() {
         println!();
     }
     dump("fig9", serde_json::to_value(&points).expect("serialize"));
+
+    let cg = ConjugateGradient::default();
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-96gb-grout2-vector-step",
+        &cg,
+        grout_two_nodes(PolicyKind::VectorStep(cg.tuned_vector())),
+        gb(96),
+    );
 }

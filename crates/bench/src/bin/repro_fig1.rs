@@ -1,5 +1,21 @@
 //! Regenerates the paper's fig1 data series.
+//!
+//! With `--trace-out` / `--metrics-out` it also re-runs the figure's
+//! representative point (Black-Scholes at 64 GB, single oversubscribed
+//! node) instrumented and writes the artifacts.
+
+use grout::core::SimConfig;
+use grout::workloads::{gb, BlackScholes};
+use grout_bench::{emit_representative, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     grout_bench::print_figure(&grout_bench::fig1());
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "bs-64gb-single",
+        &BlackScholes::default(),
+        SimConfig::grcuda_baseline(),
+        gb(64),
+    );
 }

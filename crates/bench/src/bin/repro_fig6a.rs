@@ -1,5 +1,21 @@
 //! Regenerates the paper's fig6a data series.
+//!
+//! With `--trace-out` / `--metrics-out` it also re-runs the figure's
+//! representative point (CG at 96 GB, single oversubscribed node)
+//! instrumented and writes the artifacts.
+
+use grout::core::SimConfig;
+use grout::workloads::{gb, ConjugateGradient};
+use grout_bench::{emit_representative, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     grout_bench::print_figure(&grout_bench::fig6a());
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-96gb-single",
+        &ConjugateGradient::default(),
+        SimConfig::grcuda_baseline(),
+        gb(96),
+    );
 }

@@ -1,5 +1,22 @@
 //! Regenerates the paper's fig6b data series.
+//!
+//! With `--trace-out` / `--metrics-out` it also re-runs the figure's
+//! representative point (CG at 96 GB on two GrOUT nodes, tuned
+//! vector-step) instrumented and writes the artifacts.
+
+use grout::workloads::{gb, ConjugateGradient, SimWorkload};
+use grout::PolicyKind;
+use grout_bench::{emit_representative, grout_two_nodes, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     grout_bench::print_figure(&grout_bench::fig6b());
+    let cg = ConjugateGradient::default();
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-96gb-grout2-vector-step",
+        &cg,
+        grout_two_nodes(PolicyKind::VectorStep(cg.tuned_vector())),
+        gb(96),
+    );
 }

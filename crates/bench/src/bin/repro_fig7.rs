@@ -1,5 +1,23 @@
 //! Regenerates the paper's fig7 data series.
+//!
+//! With `--trace-out <path>` / `--metrics-out <path>` it also re-runs the
+//! figure's representative point (CG at 96 GB on two GrOUT nodes with the
+//! tuned vector-step policy) instrumented, writing a Perfetto-loadable
+//! Chrome trace and a metrics dump.
+
+use grout::workloads::{gb, ConjugateGradient, SimWorkload};
+use grout::PolicyKind;
+use grout_bench::{emit_representative, grout_two_nodes, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     grout_bench::print_figure(&grout_bench::fig7());
+    let cg = ConjugateGradient::default();
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-96gb-grout2-vector-step",
+        &cg,
+        grout_two_nodes(PolicyKind::VectorStep(cg.tuned_vector())),
+        gb(96),
+    );
 }

@@ -1,6 +1,15 @@
 //! Regenerates Figure 8: policy comparison at 3x oversubscription.
+//!
+//! With `--trace-out` / `--metrics-out` it also re-runs a representative
+//! cell (CG at 96 GB under min-transfer-size/Medium on two GrOUT nodes)
+//! instrumented and writes the artifacts.
+
+use grout::workloads::{gb, ConjugateGradient};
+use grout::{ExplorationLevel, PolicyKind};
+use grout_bench::{emit_representative, grout_two_nodes, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let cells = grout_bench::fig8();
     println!("== fig8 — exec time at 96 GB (3x), normalized to round-robin (lower is better) ==");
     println!(
@@ -19,4 +28,11 @@ fn main() {
         );
     }
     println!("(* exceeded the paper's 2.5 h per-run cap)");
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-96gb-grout2-mts-medium",
+        &ConjugateGradient::default(),
+        grout_two_nodes(PolicyKind::MinTransferSize(ExplorationLevel::Medium)),
+        gb(96),
+    );
 }

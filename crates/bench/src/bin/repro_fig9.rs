@@ -1,7 +1,17 @@
 //! Regenerates Figure 9: controller scheduling overhead vs cluster size,
 //! measured on the real policy code.
+//!
+//! With `--trace-out` / `--metrics-out` it also re-runs a representative
+//! two-node round-robin CG point instrumented (the plan-latency stat in
+//! the metrics dump is the figure's per-CE overhead) and writes the
+//! artifacts.
+
+use grout::workloads::{gb, ConjugateGradient};
+use grout::PolicyKind;
+use grout_bench::{emit_representative, grout_two_nodes, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let points = grout_bench::fig9();
     println!("== fig9 — controller scheduling overhead per CE [us] ==");
     let policies = [
@@ -27,4 +37,11 @@ fn main() {
         }
         println!();
     }
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-96gb-grout2-round-robin",
+        &ConjugateGradient::default(),
+        grout_two_nodes(PolicyKind::RoundRobin),
+        gb(96),
+    );
 }

@@ -5,11 +5,14 @@
 //! only add network cost).
 //!
 //! Run with: `cargo run --release -p grout-bench --bin strong_scaling`
+//! (add `--trace-out`/`--metrics-out` for an instrumented CG/4-node rerun)
 
 use grout::core::{PolicyKind, SimConfig};
 use grout::workloads::{gb, run_workload, ConjugateGradient, MatVec, MlEnsemble, SimWorkload};
+use grout_bench::{emit_representative, ArtifactArgs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let size = gb(160);
     let workloads: Vec<Box<dyn SimWorkload>> = vec![
         Box::new(MlEnsemble::default()),
@@ -49,5 +52,12 @@ fn main() {
          time is network distribution, which more nodes cannot shrink (every\n\
          byte still crosses the controller NIC once) — scale-out is a cure for\n\
          oversubscription, not a general accelerator."
+    );
+    emit_representative(
+        &ArtifactArgs::parse(&args),
+        "cg-160gb-grout4-round-robin",
+        &ConjugateGradient::default(),
+        SimConfig::paper_grout(4, PolicyKind::RoundRobin),
+        size,
     );
 }

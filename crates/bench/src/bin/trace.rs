@@ -1,9 +1,14 @@
 //! Per-CE execution trace of a workload on a chosen deployment.
 //!
 //! Usage: `trace <bs|mle|cg|mv|mv-mono> <size_gb> <single|grout[:policy]> [--plans]`
+//!        `      [--trace-out <path>] [--metrics-out <path>]`
 //!   policy: rr | vs | mts-low|mts-med|mts-high | mtt-low|mtt-med|mtt-high
 //!   --plans: also dump the scheduler's decision record per CE as JSON
 //!            lines (from the `SchedTrace` both runtimes feed)
+//!   --trace-out: write a Chrome trace_event JSON of the run (Perfetto)
+//!   --metrics-out: write the metrics registry as JSON (or CSV for .csv)
+
+use grout_bench::ArtifactArgs;
 
 use grout::core::*;
 use grout::workloads::*;
@@ -43,8 +48,16 @@ fn main() {
 
     let workers = cfg.planner.workers;
     let gpus = cfg.node.gpu_count;
-    let mut rt = SimRuntime::new(cfg);
+    let art = ArtifactArgs::parse(&args);
+    let tracer = Shared::new(ChromeTracer::new());
+    let mut builder = Runtime::builder().sim_config(cfg);
+    if art.trace_out.is_some() {
+        builder = builder.telemetry(tracer.telemetry());
+    }
+    let mut rt = builder.build_sim().expect("valid config");
     workload.submit(&mut rt, gb(size));
+    art.write_trace(&tracer.lock());
+    art.write_metrics(&[(&format!("{wl}-{size}gb-{deploy}"), rt.metrics())]);
     println!(
         "{wl} {size}GB on {deploy}: total {:.1}s, net {:.2} GB, storms {}",
         rt.elapsed().as_secs_f64(),

@@ -5,8 +5,10 @@
 //! the `repro_*` binaries print them, `benches/` times them with criterion,
 //! and EXPERIMENTS.md records paper-vs-measured values.
 
+mod artifacts;
 mod figures;
 
+pub use artifacts::{emit_representative, instrumented_run, ArtifactArgs};
 pub use figures::{
     fig1, fig6a, fig6b, fig7, fig8, fig9, fig9_state, grout_two_nodes, paper_workloads,
     print_figure, Fig8Cell, Fig9Point, FigPoint, FigSeries, Figure,

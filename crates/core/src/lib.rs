@@ -24,6 +24,7 @@
 //! - [`LocalRuntime`]: a real multi-threaded controller/worker deployment
 //!   executing the very same plans on host-CPU kernels.
 
+mod builder;
 mod ce;
 mod coherence;
 mod dag;
@@ -33,8 +34,10 @@ mod local_runtime;
 mod policy;
 mod scheduler;
 mod sim_runtime;
+pub mod telemetry;
 mod timeline;
 
+pub use builder::{Observability, Runtime, RuntimeBuilder};
 pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 pub use coherence::{Coherence, Location, PurgeReport};
 pub use dag::{AddOutcome, DagIndex, DepDag};
@@ -51,6 +54,9 @@ pub use scheduler::{
     Recovery, SchedTrace,
 };
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
+pub use telemetry::{
+    ArgValue, ChromeTracer, Lane, LatencyStat, Metrics, Recorder, Shared, SpanEvent, Telemetry,
+};
 pub use timeline::{validate as validate_timeline, TimelineReport};
 
 // Re-export the substrate types users need at the API boundary.

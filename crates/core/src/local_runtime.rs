@@ -40,6 +40,7 @@ use crate::policy::{LinkMatrix, PolicyKind};
 use crate::scheduler::{
     MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
 };
+use crate::telemetry::{ArgValue, Lane, Metrics, SpanEvent, Telemetry};
 
 /// Errors surfaced by the local runtime.
 #[derive(Debug, thiserror::Error)]
@@ -180,6 +181,9 @@ enum ToController {
     Done {
         dag_index: DagIndex,
         worker: usize,
+        /// Wall-clock kernel execution time measured on the worker
+        /// (per-worker occupancy metric; spans are anchored controller-side).
+        elapsed_ns: u64,
     },
     Data {
         array: ArrayId,
@@ -338,6 +342,13 @@ pub struct LocalRuntime {
     wedged: HashSet<DagIndex>,
     /// Drop/delay faults already injected (one-shot).
     injected_drop: HashSet<DagIndex>,
+    /// Optional span/instant recorder (wall-clock timestamps relative to
+    /// `origin`).
+    telemetry: Telemetry,
+    /// Always-on metrics registry.
+    metrics: Metrics,
+    /// Wall-clock anchor for telemetry timestamps.
+    origin: std::time::Instant,
 }
 
 fn trace_on() -> bool {
@@ -385,7 +396,7 @@ fn worker_loop(
     fn try_run(
         msg: &ExecMsg,
         store: &mut HashMap<ArrayId, (u64, HostBuf)>,
-    ) -> Option<Result<(), LaunchError>> {
+    ) -> Option<(Result<(), LaunchError>, u64)> {
         let have = |a: &ArrayId, v: u64, store: &HashMap<ArrayId, (u64, HostBuf)>| {
             store.get(a).is_some_and(|(ver, _)| *ver >= v)
         };
@@ -401,6 +412,7 @@ fn worker_loop(
                 }
             }
         }
+        let started = std::time::Instant::now();
         let result = {
             let mut kargs: Vec<KernelArg<'_>> = Vec::with_capacity(msg.args.len());
             let mut cursor = taken.iter_mut();
@@ -419,13 +431,14 @@ fn worker_loop(
             }
             msg.kernel.launch2d(msg.grid, msg.block, &mut kargs)
         };
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
         for (a, mut ver, buf) in taken {
             if let Some((_, v)) = msg.bumps.iter().find(|(b, _)| *b == a) {
                 ver = ver.max(*v);
             }
             store.insert(a, (ver, buf));
         }
-        Some(result.map(|_| ()))
+        Some((result.map(|_| ()), elapsed_ns))
     }
 
     'main: while let Ok(msg) = rx.recv() {
@@ -523,7 +536,7 @@ fn worker_loop(
                     progress = true;
                     break;
                 }
-                if let Some(result) = try_run(&queue[i], &mut store) {
+                if let Some((result, elapsed_ns)) = try_run(&queue[i], &mut store) {
                     let m = queue.remove(i).expect("index in range");
                     match result {
                         Ok(()) => {
@@ -533,6 +546,7 @@ fn worker_loop(
                             let _ = to_controller.send(ToController::Done {
                                 dag_index: m.dag_index,
                                 worker: me,
+                                elapsed_ns,
                             });
                         }
                         Err(error) => {
@@ -554,8 +568,8 @@ fn worker_loop(
 impl LocalRuntime {
     /// Spawns the worker threads and wires the channel mesh (controller to
     /// each worker, worker to worker for P2P, workers back to controller).
-    /// Panics only when *no* worker comes up; prefer
-    /// [`LocalRuntime::try_new`] to handle that case.
+    /// Panics on invalid configuration or when *no* worker comes up.
+    #[deprecated(note = "use `LocalRuntime::try_new` or `Runtime::builder().build_local()`")]
     pub fn new(cfg: LocalConfig) -> Self {
         LocalRuntime::try_new(cfg).expect("local runtime startup")
     }
@@ -582,8 +596,8 @@ impl LocalRuntime {
             Vec<Sender<ToWorker>>,
         ) -> std::io::Result<JoinHandle<()>>,
     {
+        crate::builder::validate_planner(&cfg.planner).map_err(LocalError::Plan)?;
         let n = cfg.planner.workers;
-        assert!(n > 0, "need at least one worker");
         let (to_controller, from_workers) = unbounded::<ToController>();
         let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
             (0..n).map(|_| unbounded()).collect();
@@ -615,10 +629,13 @@ impl LocalRuntime {
         let mut planner = Planner::new(cfg.planner.clone(), Some(links));
         let mut detector = FailureDetector::new(n);
         let mut trace = SchedTrace::default();
+        let mut metrics = Metrics::with_workers(n);
         for (i, _reason) in &failures {
             planner.quarantine(*i).expect("not all workers failed");
             detector.mark_dead(*i);
-            trace.record_event(SchedEvent::SpawnFailed { worker: *i });
+            let event = SchedEvent::SpawnFailed { worker: *i };
+            metrics.record_event(&event);
+            trace.record_event(event);
         }
         Ok(LocalRuntime {
             planner,
@@ -642,8 +659,91 @@ impl LocalRuntime {
             spent: HashSet::new(),
             wedged: HashSet::new(),
             injected_drop: HashSet::new(),
+            telemetry: Telemetry::off(),
+            metrics,
+            origin: std::time::Instant::now(),
             cfg,
         })
+    }
+
+    /// Attaches a telemetry recorder; the handle is shared with the
+    /// planner so its marks land in the same trace.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.planner.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The always-on metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Wall-clock nanoseconds since this runtime came up (telemetry
+    /// timestamp domain).
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Records a scheduling event in the trace, metrics and telemetry.
+    fn note_event(&mut self, event: SchedEvent) {
+        self.metrics.record_event(&event);
+        self.telemetry.sched_event(&event, self.now_ns());
+        self.trace.record_event(event);
+    }
+
+    /// Plans one CE through the shared core, timing the decision and
+    /// emitting a plan span.
+    fn plan_with_span(&mut self, ce: &Ce) -> Result<Plan, LocalError> {
+        let started = std::time::Instant::now();
+        let start_ns = self.now_ns();
+        let plan = self.planner.plan_ce(ce).map_err(LocalError::Plan)?;
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        self.metrics.plan.record(dur_ns);
+        if self.telemetry.enabled() {
+            self.telemetry.span(&SpanEvent {
+                name: "plan",
+                cat: "plan",
+                lane: Lane::CONTROLLER,
+                start_ns,
+                dur_ns,
+                args: &[
+                    ("dag_index", ArgValue::U64(plan.dag_index as u64)),
+                    ("node", ArgValue::U64(plan.assigned_node.0 as u64)),
+                    ("movements", ArgValue::U64(plan.movements.len() as u64)),
+                    ("bytes", ArgValue::U64(plan.movement_bytes())),
+                ],
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Bookkeeping for a kernel completion reported by a worker.
+    fn on_done(&mut self, dag_index: DagIndex, worker: usize, elapsed_ns: u64) {
+        self.planner.mark_completed(dag_index);
+        if let Some(k) = self.kernels_by_worker.get_mut(worker) {
+            *k += 1;
+        }
+        self.metrics.record_kernel(worker, elapsed_ns);
+        self.metrics.execute.record(elapsed_ns);
+        if self.telemetry.enabled() {
+            // The span is anchored at the controller's receipt time; the
+            // duration is the worker-measured execution time, so the start
+            // is approximate by the notification latency.
+            let end = self.now_ns();
+            let name: String = self
+                .logged
+                .get(&dag_index)
+                .map(|l| l.kernel.name().to_string())
+                .unwrap_or_else(|| format!("ce#{dag_index}"));
+            self.telemetry.span(&SpanEvent {
+                name: &name,
+                cat: "execute",
+                lane: Lane::stream(worker + 1, 0, 0),
+                start_ns: end.saturating_sub(elapsed_ns),
+                dur_ns: elapsed_ns,
+                args: &[("dag_index", ArgValue::U64(dag_index as u64))],
+            });
+        }
     }
 
     /// Kernels completed per worker (load-balance observability).
@@ -699,7 +799,7 @@ impl LocalRuntime {
             kind: CeKind::HostWrite,
             args: vec![CeArg::write(array, bytes)],
         };
-        let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
+        let plan = self.plan_with_span(&ce)?;
         // Snapshot the superseded contents, then the fresh ones: a host
         // write is not replayable (the closure is gone), so recovery must
         // find both versions in the archive.
@@ -816,7 +916,7 @@ impl LocalRuntime {
 
         // Algorithm 1 runs in the shared core; this runtime executes the
         // returned plan verbatim at synchronize time.
-        let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
+        let plan = self.plan_with_span(&ce)?;
 
         // Version bookkeeping: read args must reach their current version
         // on the assigned worker, write-only args only need a buffer
@@ -917,9 +1017,12 @@ impl LocalRuntime {
             let timeout =
                 Duration::from_nanos(self.cfg.planner.fault_cfg.detection_timeout.as_nanos());
             match self.from_workers.recv_timeout(timeout) {
-                Ok(ToController::Done { dag_index, worker }) => {
-                    self.planner.mark_completed(dag_index);
-                    self.kernels_by_worker[worker] += 1;
+                Ok(ToController::Done {
+                    dag_index,
+                    worker,
+                    elapsed_ns,
+                }) => {
+                    self.on_done(dag_index, worker, elapsed_ns);
                 }
                 Ok(ToController::Failed {
                     dag_index,
@@ -1062,7 +1165,7 @@ impl LocalRuntime {
                 // Timing-only fault: the simulator prices it; here it is
                 // recorded (and waited out, to keep behaviour honest).
                 let array = self.pending[i].plan.movements[0].array;
-                self.trace.record_event(SchedEvent::TransferDelayed {
+                self.note_event(SchedEvent::TransferDelayed {
                     at_ce: dag,
                     array,
                     delay,
@@ -1117,7 +1220,7 @@ impl LocalRuntime {
                     // CE wedges until the detection timeout re-drives it.
                     self.injected_drop.insert(dag);
                     self.wedged.insert(dag);
-                    self.trace.record_event(SchedEvent::TransferDropped {
+                    self.note_event(SchedEvent::TransferDropped {
                         at_ce: dag,
                         array: m.array,
                     });
@@ -1142,6 +1245,7 @@ impl LocalRuntime {
                             self.stats.redriven_bytes += m.bytes;
                         } else {
                             self.stats.p2p_bytes += m.bytes;
+                            self.metrics.record_movement(MovementKind::P2p, m.bytes);
                         }
                     }
                     MovementKind::ControllerSend => {
@@ -1162,6 +1266,8 @@ impl LocalRuntime {
                             self.stats.redriven_bytes += m.bytes;
                         } else {
                             self.stats.send_bytes += m.bytes;
+                            self.metrics
+                                .record_movement(MovementKind::ControllerSend, m.bytes);
                         }
                     }
                     MovementKind::Staged => {
@@ -1185,6 +1291,7 @@ impl LocalRuntime {
                         } else {
                             self.stats.fetch_bytes += m.bytes;
                             self.stats.send_bytes += m.bytes;
+                            self.metrics.record_movement(MovementKind::Staged, m.bytes);
                         }
                     }
                 }
@@ -1264,7 +1371,7 @@ impl LocalRuntime {
             kind: CeKind::HostRead,
             args: vec![CeArg::read(array, bytes)],
         };
-        let plan = self.planner.plan_ce(&ce).map_err(LocalError::Plan)?;
+        let plan = self.plan_with_span(&ce)?;
         let min_version = self.versions.get(&array).copied().unwrap_or(0);
         for m in &plan.movements {
             let Some(holder) = m.from.worker_index() else {
@@ -1306,9 +1413,12 @@ impl LocalRuntime {
                             break;
                         }
                     }
-                    Ok(ToController::Done { dag_index, worker }) => {
-                        self.planner.mark_completed(dag_index);
-                        self.kernels_by_worker[worker] += 1;
+                    Ok(ToController::Done {
+                        dag_index,
+                        worker,
+                        elapsed_ns,
+                    }) => {
+                        self.on_done(dag_index, worker, elapsed_ns);
                     }
                     Ok(ToController::Failed {
                         error: Some(error), ..
@@ -1419,8 +1529,7 @@ impl LocalRuntime {
                 self.stats.redriven_bytes += bytes;
                 self.present[w].insert(a);
             }
-            self.trace
-                .record_event(SchedEvent::TransferRedriven { at_ce: dag });
+            self.note_event(SchedEvent::TransferRedriven { at_ce: dag });
         }
         Ok(())
     }
@@ -1435,7 +1544,7 @@ impl LocalRuntime {
         };
         let fc = self.cfg.planner.fault_cfg;
         let backoff = SimDuration::exp_backoff(fc.backoff_base, attempt, fc.backoff_cap);
-        self.trace.record_event(SchedEvent::Retry {
+        self.note_event(SchedEvent::Retry {
             at_ce: dag,
             worker,
             attempt,
@@ -1485,7 +1594,7 @@ impl LocalRuntime {
             });
         }
         let epoch = self.detector.mark_dead(d);
-        self.trace.record_event(SchedEvent::Fault {
+        self.note_event(SchedEvent::Fault {
             at_ce: fail_ce.unwrap_or(0),
             worker: Some(d),
             kind: "kill-worker",
@@ -1501,9 +1610,12 @@ impl LocalRuntime {
         // drain it so recovery only replans what truly died.
         while let Ok(m) = self.from_workers.try_recv() {
             match m {
-                ToController::Done { dag_index, worker } => {
-                    self.planner.mark_completed(dag_index);
-                    self.kernels_by_worker[worker] += 1;
+                ToController::Done {
+                    dag_index,
+                    worker,
+                    elapsed_ns,
+                } => {
+                    self.on_done(dag_index, worker, elapsed_ns);
                 }
                 ToController::Data {
                     array,
@@ -1545,7 +1657,7 @@ impl LocalRuntime {
             PlanError::NoHealthyWorkers => LocalError::NoHealthyWorkers,
             other => LocalError::Plan(other),
         })?;
-        self.trace.record_event(SchedEvent::Quarantine {
+        self.note_event(SchedEvent::Quarantine {
             worker: d,
             at_ce: fail_ce.unwrap_or(0),
             lost: rec.lost.clone(),
@@ -1576,20 +1688,25 @@ impl LocalRuntime {
         // Apply the reassignments: the planned movements are void, the
         // controller will supply all inputs at retransmission.
         for r in &rec.reassigned {
-            let Some(p) = self
+            let Some(idx) = self
                 .pending
-                .iter_mut()
-                .find(|p| p.plan.dag_index == r.dag_index)
+                .iter()
+                .position(|p| p.plan.dag_index == r.dag_index)
             else {
                 continue;
             };
-            let from = p.plan.assigned_node.worker_index().unwrap_or(usize::MAX);
-            self.trace.record_event(SchedEvent::Reassign {
+            let from = self.pending[idx]
+                .plan
+                .assigned_node
+                .worker_index()
+                .unwrap_or(usize::MAX);
+            self.note_event(SchedEvent::Reassign {
                 dag_index: r.dag_index,
                 from,
                 to: r.to.worker_index().unwrap_or(usize::MAX),
                 epoch,
             });
+            let p = &mut self.pending[idx];
             p.plan.assigned_node = r.to;
             p.plan.movements = r.movements.clone();
             p.dispatched = false;
@@ -1648,8 +1765,7 @@ impl LocalRuntime {
                 self.stats.redriven_bytes += bytes;
                 self.present[w].insert(a);
             }
-            self.trace
-                .record_event(SchedEvent::TransferRedriven { at_ce: dag });
+            self.note_event(SchedEvent::TransferRedriven { at_ce: dag });
         }
         self.flush_pending_ctrl()?;
         Ok(())
@@ -1696,7 +1812,7 @@ impl LocalRuntime {
         };
         for c in order {
             self.replay_on_controller(c)?;
-            self.trace.record_event(SchedEvent::Replay {
+            self.note_event(SchedEvent::Replay {
                 dag_index: c,
                 epoch,
             });
@@ -1880,6 +1996,22 @@ impl LocalRuntime {
     }
 }
 
+impl crate::Observability for LocalRuntime {
+    type Stats = LocalStats;
+
+    fn sched_trace(&self) -> &SchedTrace {
+        &self.trace
+    }
+
+    fn stats(&self) -> LocalStats {
+        self.stats
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
 impl Drop for LocalRuntime {
     fn drop(&mut self) {
         for w in &self.workers {
@@ -1904,7 +2036,7 @@ mod tests {
     }";
 
     fn rt(workers: usize) -> LocalRuntime {
-        LocalRuntime::new(LocalConfig::new(workers, PolicyKind::RoundRobin))
+        LocalRuntime::try_new(LocalConfig::new(workers, PolicyKind::RoundRobin)).expect("startup")
     }
 
     #[test]
@@ -2140,7 +2272,7 @@ mod tests {
         // an error naming the actual dead worker, never a hang.
         let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
         cfg.planner.fault_cfg.recovery = false;
-        let mut rt = LocalRuntime::new(cfg);
+        let mut rt = LocalRuntime::try_new(cfg).expect("startup");
         let a = rt.alloc_f32(256);
         let k = inc_kernel();
         rt.kill_worker(0);
@@ -2191,7 +2323,7 @@ mod tests {
         let run = |faults: crate::faults::FaultPlan| {
             let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
             cfg.planner.faults = faults;
-            let mut rt = LocalRuntime::new(cfg);
+            let mut rt = LocalRuntime::try_new(cfg).expect("startup");
             let a = rt.alloc_f32(512);
             let k = inc_kernel();
             for _ in 0..6 {
@@ -2234,7 +2366,7 @@ mod tests {
                 at_ce: 0,
                 kind: crate::faults::FaultKind::FailLaunch { times: 2 },
             }]);
-        let mut rt = LocalRuntime::new(cfg);
+        let mut rt = LocalRuntime::try_new(cfg).expect("startup");
         let a = rt.alloc_f32(128);
         let k = inc_kernel();
         rt.launch(&k, 1, 128, vec![LocalArg::Buf(a), LocalArg::I32(128)])
@@ -2260,7 +2392,7 @@ mod tests {
                 at_ce: 0,
                 kind: crate::faults::FaultKind::FailLaunch { times: 10 },
             }]);
-        let mut rt = LocalRuntime::new(cfg);
+        let mut rt = LocalRuntime::try_new(cfg).expect("startup");
         let a = rt.alloc_f32(128);
         let k = inc_kernel();
         rt.launch(&k, 1, 128, vec![LocalArg::Buf(a), LocalArg::I32(128)])
@@ -2287,7 +2419,7 @@ mod tests {
                 kind: crate::faults::FaultKind::DropTransfer,
             }]);
         cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(30);
-        let mut rt = LocalRuntime::new(cfg);
+        let mut rt = LocalRuntime::try_new(cfg).expect("startup");
         let a = rt.alloc_f32(128);
         rt.write_f32(a, |v| v.iter_mut().for_each(|e| *e = 1.0))
             .unwrap();
@@ -2316,7 +2448,7 @@ mod tests {
                     delay: SimDuration::from_millis(2),
                 },
             }]);
-        let mut rt = LocalRuntime::new(cfg);
+        let mut rt = LocalRuntime::try_new(cfg).expect("startup");
         let a = rt.alloc_f32(64);
         rt.write_f32(a, |v| v.iter_mut().for_each(|e| *e = 1.0))
             .unwrap();
@@ -2373,10 +2505,11 @@ mod tests {
 
     #[test]
     fn min_transfer_size_keeps_work_local() {
-        let mut rt = LocalRuntime::new(LocalConfig::new(
+        let mut rt = LocalRuntime::try_new(LocalConfig::new(
             2,
             PolicyKind::MinTransferSize(crate::policy::ExplorationLevel::Low),
-        ));
+        ))
+        .expect("startup");
         let n = 1 << 14;
         let a = rt.alloc_f32(n);
         let k = Arc::new(

@@ -28,6 +28,7 @@ use crate::coherence::{Coherence, Location};
 use crate::dag::{DagIndex, DepDag};
 use crate::faults::{FaultConfig, FaultPlan, SchedEvent};
 use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
+use crate::telemetry::{ArgValue, Telemetry};
 
 /// Scheduling knobs shared by every backend.
 #[derive(Debug, Clone)]
@@ -92,6 +93,8 @@ pub struct Planner {
     ces: Vec<Ce>,
     /// Node each DAG index was (last) assigned to.
     assignments: Vec<Location>,
+    /// Timestamp-free event sink (the planner has no clock of its own).
+    telemetry: Telemetry,
 }
 
 /// One in-flight CE moved off a dead node by [`Planner::recover`].
@@ -141,7 +144,15 @@ impl Planner {
             next_array: 0,
             ces: Vec::new(),
             assignments: Vec::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry recorder. The planner has no clock, so it
+    /// emits timestamp-free [`crate::Recorder::mark`] events; runtimes
+    /// sharing the same handle interleave them with timed spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration in use.
@@ -240,13 +251,25 @@ impl Planner {
         self.ces.push(ce.clone());
         self.assignments.push(assigned_node);
 
-        Ok(Plan {
+        let plan = Plan {
             dag_index: outcome.index,
             deps: outcome.parents,
             assigned_node,
             movements,
             placement: None,
-        })
+        };
+        if self.telemetry.enabled() {
+            self.telemetry.mark(
+                "planner.plan",
+                &[
+                    ("dag_index", ArgValue::U64(plan.dag_index as u64)),
+                    ("node", ArgValue::U64(plan.assigned_node.0 as u64)),
+                    ("movements", ArgValue::U64(plan.movements.len() as u64)),
+                    ("bytes", ArgValue::U64(plan.movement_bytes())),
+                ],
+            );
+        }
+        Ok(plan)
     }
 
     /// The CE planned at DAG index `i`, if any.
@@ -281,6 +304,10 @@ impl Planner {
         }
         self.scheduler.quarantine(w);
         self.coherence.purge_location(Location::worker(w));
+        if self.telemetry.enabled() {
+            self.telemetry
+                .mark("planner.quarantine", &[("worker", ArgValue::U64(w as u64))]);
+        }
         Ok(())
     }
 
@@ -364,13 +391,28 @@ impl Planner {
                 movements,
             });
         }
-        Ok(Recovery {
+        let recovery = Recovery {
             dead,
             healthy: self.scheduler.healthy_workers(),
             affected: report.affected,
             lost: report.orphaned,
             reassigned,
-        })
+        };
+        if self.telemetry.enabled() {
+            self.telemetry.mark(
+                "planner.recover",
+                &[
+                    ("dead", ArgValue::U64(recovery.dead as u64)),
+                    ("healthy", ArgValue::U64(recovery.healthy as u64)),
+                    ("lost", ArgValue::U64(recovery.lost.len() as u64)),
+                    (
+                        "reassigned",
+                        ArgValue::U64(recovery.reassigned.len() as u64),
+                    ),
+                ],
+            );
+        }
+        Ok(recovery)
     }
 
     /// Plans the movement bringing `array` up to date on `dest`, if any.

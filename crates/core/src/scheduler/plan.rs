@@ -109,6 +109,10 @@ pub enum PlanError {
     /// zero healthy workers.
     #[error("no healthy workers remain after quarantine")]
     NoHealthyWorkers,
+    /// A runtime was configured with values that cannot schedule anything
+    /// (zero workers, empty vector-step vector, mismatched topology, ...).
+    #[error("invalid runtime configuration: {0}")]
+    InvalidConfig(&'static str),
 }
 
 impl serde::Serialize for MovementKind {

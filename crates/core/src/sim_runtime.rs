@@ -27,8 +27,9 @@ use crate::faults::{FailureDetector, SchedEvent};
 use crate::intranode::{select_device, select_stream, DevicePolicy, Placement};
 use crate::policy::{LinkMatrix, PolicyKind};
 use crate::scheduler::{
-    Movement, MovementKind, Plan, PlanObserver, Planner, PlannerConfig, SchedTrace,
+    Movement, MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
 };
+use crate::telemetry::{ArgValue, Lane, Metrics, SpanEvent, Telemetry};
 
 /// Configuration of a simulated GrOUT deployment.
 #[derive(Debug, Clone)]
@@ -162,18 +163,30 @@ pub struct SimRuntime {
     /// Last writer CE per array — the lineage the simulator replays (it
     /// prices whole-array reconstruction, so one hop of lineage suffices).
     last_writer: HashMap<ArrayId, DagIndex>,
+    /// Optional span/instant recorder (virtual-time timestamps, so traces
+    /// are bit-for-bit deterministic per seed).
+    telemetry: Telemetry,
+    /// Always-on metrics registry.
+    metrics: Metrics,
 }
 
 impl SimRuntime {
-    /// Builds a runtime; probes the interconnection matrix when the policy
-    /// needs it (as GrOUT does at startup).
+    /// Builds a runtime, panicking on invalid configuration.
+    #[deprecated(note = "use `SimRuntime::try_new` or `Runtime::builder().build_sim()`")]
     pub fn new(cfg: SimConfig) -> Self {
-        assert!(cfg.planner.workers > 0, "need at least one worker");
-        assert_eq!(
-            cfg.topology.len(),
-            cfg.planner.workers + 1,
-            "topology must cover controller + workers"
-        );
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a runtime; probes the interconnection matrix when the policy
+    /// needs it (as GrOUT does at startup). Rejects configurations that
+    /// cannot schedule anything with [`PlanError::InvalidConfig`].
+    pub fn try_new(cfg: SimConfig) -> Result<Self, PlanError> {
+        crate::builder::validate_planner(&cfg.planner)?;
+        if cfg.topology.len() != cfg.planner.workers + 1 {
+            return Err(PlanError::InvalidConfig(
+                "topology must cover controller + workers",
+            ));
+        }
         let net = Network::new(cfg.topology.clone());
         let links = if matches!(cfg.planner.policy, PolicyKind::MinTransferTime(_)) {
             Some(LinkMatrix::new(net.probe_matrix(64 << 20)))
@@ -198,7 +211,8 @@ impl SimRuntime {
             })
             .collect();
         let detector = FailureDetector::new(cfg.planner.workers);
-        SimRuntime {
+        let metrics = Metrics::with_workers(cfg.planner.workers);
+        Ok(SimRuntime {
             net,
             planner,
             workers,
@@ -210,8 +224,31 @@ impl SimRuntime {
             trace: SchedTrace::default(),
             detector,
             last_writer: HashMap::new(),
+            telemetry: Telemetry::off(),
+            metrics,
             cfg,
-        }
+        })
+    }
+
+    /// Attaches a telemetry recorder; the handle is shared with the
+    /// planner so its marks land in the same trace.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.planner.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The always-on metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Records a scheduling event in the trace, metrics and telemetry at
+    /// the current controller instant.
+    fn note_event(&mut self, event: SchedEvent) {
+        self.metrics.record_event(&event);
+        self.telemetry
+            .sched_event(&event, self.controller_clock.as_nanos());
+        self.trace.record_event(event);
     }
 
     /// The configuration in use.
@@ -344,6 +381,26 @@ impl SimRuntime {
             (rec.timeline.finish, m.bytes)
         };
         self.stats.network_bytes += moved;
+        if moved > 0 {
+            let dur = arrival.saturating_since(start);
+            self.metrics.transfer.record(dur.as_nanos());
+            self.metrics.record_movement(m.kind, m.bytes);
+            if self.telemetry.enabled() {
+                self.telemetry.span(&SpanEvent {
+                    name: m.kind.name(),
+                    cat: "transfer",
+                    lane: Lane::network(m.to.0),
+                    start_ns: start.as_nanos(),
+                    dur_ns: dur.as_nanos(),
+                    args: &[
+                        ("array", ArgValue::U64(m.array.0)),
+                        ("bytes", ArgValue::U64(m.bytes)),
+                        ("from", ArgValue::U64(m.from.0 as u64)),
+                        ("to", ArgValue::U64(m.to.0 as u64)),
+                    ],
+                });
+            }
+        }
         let ready = self.array_ready.entry(m.array).or_insert(arrival);
         *ready = (*ready).max(arrival);
         moved
@@ -386,7 +443,7 @@ impl SimRuntime {
 
         if let Some(delay) = faults.delay_at(dag) {
             if let Some(m) = plan.movements.first() {
-                self.trace.record_event(SchedEvent::TransferDelayed {
+                self.note_event(SchedEvent::TransferDelayed {
                     at_ce: dag,
                     array: m.array,
                     delay,
@@ -401,7 +458,7 @@ impl SimRuntime {
                 // The payload is lost in flight, so the CE wedges until the
                 // detection timeout fires; the controller then re-drives the
                 // bytes from its own copy.
-                self.trace.record_event(SchedEvent::TransferDropped {
+                self.note_event(SchedEvent::TransferDropped {
                     at_ce: dag,
                     array: m.array,
                 });
@@ -410,8 +467,7 @@ impl SimRuntime {
                 self.controller_clock += redrive;
                 self.stats.fault_overhead += redrive;
                 self.stats.redriven_bytes += m.bytes;
-                self.trace
-                    .record_event(SchedEvent::TransferRedriven { at_ce: dag });
+                self.note_event(SchedEvent::TransferRedriven { at_ce: dag });
             }
         }
 
@@ -422,7 +478,7 @@ impl SimRuntime {
             let failures = times.min(fc.max_retries + 1);
             for attempt in 1..=failures {
                 let backoff = SimDuration::exp_backoff(fc.backoff_base, attempt, fc.backoff_cap);
-                self.trace.record_event(SchedEvent::Retry {
+                self.note_event(SchedEvent::Retry {
                     at_ce: dag,
                     worker,
                     attempt,
@@ -439,7 +495,7 @@ impl SimRuntime {
                 panic!("worker {worker} died at CE {dag} with recovery disabled");
             }
             let epoch = self.detector.mark_dead(worker);
-            self.trace.record_event(SchedEvent::Fault {
+            self.note_event(SchedEvent::Fault {
                 at_ce: dag,
                 worker: Some(worker),
                 kind: "kill-worker",
@@ -452,7 +508,7 @@ impl SimRuntime {
                 .planner
                 .recover(worker, &[dag])
                 .unwrap_or_else(|e| panic!("{e}"));
-            self.trace.record_event(SchedEvent::Quarantine {
+            self.note_event(SchedEvent::Quarantine {
                 worker,
                 at_ce: dag,
                 lost: rec.lost.clone(),
@@ -464,7 +520,7 @@ impl SimRuntime {
             // host-bandwidth pass over the array.
             for &a in &rec.lost {
                 if let Some(&writer) = self.last_writer.get(&a) {
-                    self.trace.record_event(SchedEvent::Replay {
+                    self.note_event(SchedEvent::Replay {
                         dag_index: writer,
                         epoch,
                     });
@@ -482,7 +538,7 @@ impl SimRuntime {
             // already replanned its movements from surviving holders.
             for r in &rec.reassigned {
                 if r.dag_index == dag {
-                    self.trace.record_event(SchedEvent::Reassign {
+                    self.note_event(SchedEvent::Reassign {
                         dag_index: dag,
                         from: worker,
                         to: r.to.worker_index().unwrap_or(usize::MAX),
@@ -508,9 +564,26 @@ impl SimRuntime {
         let mut plan = self.planner.plan_ce(&ce).unwrap_or_else(|e| panic!("{e}"));
 
         // 2. Controller decision cost (its cost is Figure 9's subject).
+        let plan_start = self.controller_clock;
         let overhead = self.sched_overhead();
         self.controller_clock += overhead;
         self.stats.sched_overhead += overhead;
+        self.metrics.plan.record(overhead.as_nanos());
+        if self.telemetry.enabled() {
+            self.telemetry.span(&SpanEvent {
+                name: "plan",
+                cat: "plan",
+                lane: Lane::CONTROLLER,
+                start_ns: plan_start.as_nanos(),
+                dur_ns: overhead.as_nanos(),
+                args: &[
+                    ("dag_index", ArgValue::U64(plan.dag_index as u64)),
+                    ("node", ArgValue::U64(plan.assigned_node.0 as u64)),
+                    ("movements", ArgValue::U64(plan.movements.len() as u64)),
+                    ("bytes", ArgValue::U64(plan.movement_bytes())),
+                ],
+            });
+        }
 
         // 2b. Injected faults fire at dispatch: retries, detection and
         //     recovery all spend controller time and may rewrite the plan
@@ -543,6 +616,9 @@ impl SimRuntime {
             .max()
             .unwrap_or(SimTime::ZERO);
         let gate = data_ready.max(parent_finish);
+        self.metrics
+            .queue
+            .record(gate.saturating_since(dispatch).as_nanos());
 
         // 6. Execute.
         let dest = plan.assigned_node;
@@ -695,6 +771,39 @@ impl SimRuntime {
             }
         }
 
+        // Execution latency + per-worker occupancy + the execute span.
+        let exec_ns = record.finish.saturating_since(record.start).as_nanos();
+        self.metrics.execute.record(exec_ns);
+        if let (Some(wi), Some(_)) = (record.location.worker_index(), record.device) {
+            self.metrics.record_kernel(wi, exec_ns);
+        }
+        if self.telemetry.enabled() {
+            let (name, cat): (&str, &'static str) = match &record.ce.kind {
+                CeKind::Kernel { name, .. } => (name.as_str(), "execute"),
+                CeKind::HostRead => ("host-read", "host"),
+                CeKind::HostWrite => ("host-write", "host"),
+            };
+            let lane = match (record.location.worker_index(), record.device, record.stream) {
+                (Some(wi), Some(d), Some(s)) => Lane::stream(wi + 1, d.0, s.0),
+                _ => Lane::CONTROLLER,
+            };
+            self.telemetry.span(&SpanEvent {
+                name,
+                cat,
+                lane,
+                start_ns: record.start.as_nanos(),
+                dur_ns: exec_ns,
+                args: &[
+                    ("dag_index", ArgValue::U64(plan.dag_index as u64)),
+                    (
+                        "uvm_stall_us",
+                        ArgValue::F64(record.uvm_stall.as_micros_f64()),
+                    ),
+                    ("network_bytes", ArgValue::U64(record.network_bytes)),
+                ],
+            });
+        }
+
         self.planner.mark_completed(plan.dag_index);
         self.trace.record(&plan);
         self.stats.ces += 1;
@@ -796,6 +905,22 @@ impl SimRuntime {
     }
 }
 
+impl crate::Observability for SimRuntime {
+    type Stats = RunStats;
+
+    fn sched_trace(&self) -> &SchedTrace {
+        &self.trace
+    }
+
+    fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,7 +938,8 @@ mod tests {
     }
 
     fn grout(workers: usize) -> SimRuntime {
-        SimRuntime::new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin))
+        SimRuntime::try_new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin))
+            .expect("valid config")
     }
 
     #[test]
@@ -858,7 +984,8 @@ mod tests {
 
     #[test]
     fn reads_move_data_once_then_cache() {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(1, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(1, PolicyKind::RoundRobin))
+            .expect("valid config");
         let a = rt.alloc(GIB);
         let k1 = rt.launch("k1", cost_for(GIB), vec![CeArg::read(a, GIB)]);
         let k2 = rt.launch("k2", cost_for(GIB), vec![CeArg::read(a, GIB)]);
@@ -895,7 +1022,7 @@ mod tests {
 
     #[test]
     fn grcuda_baseline_moves_nothing_over_network() {
-        let mut rt = SimRuntime::new(SimConfig::grcuda_baseline());
+        let mut rt = SimRuntime::try_new(SimConfig::grcuda_baseline()).expect("valid config");
         let a = rt.alloc(4 * GIB);
         rt.host_write(a, 4 * GIB);
         rt.launch("k", cost_for(4 * GIB), vec![CeArg::read_write(a, 4 * GIB)]);
@@ -905,7 +1032,7 @@ mod tests {
 
     #[test]
     fn oversubscribed_kernel_storms_and_dominates() {
-        let mut rt = SimRuntime::new(SimConfig::grcuda_baseline());
+        let mut rt = SimRuntime::try_new(SimConfig::grcuda_baseline()).expect("valid config");
         let a = rt.alloc(48 * GIB); // 3x one V100
         let k = rt.launch(
             "big",
@@ -968,8 +1095,8 @@ mod tests {
     fn online_policy_pays_per_node_overhead() {
         let static_cfg = SimConfig::paper_grout(8, PolicyKind::RoundRobin);
         let online_cfg = SimConfig::paper_grout(8, PolicyKind::MinTransferSize(Default::default()));
-        let mut a = SimRuntime::new(static_cfg);
-        let mut b = SimRuntime::new(online_cfg);
+        let mut a = SimRuntime::try_new(static_cfg).expect("valid config");
+        let mut b = SimRuntime::try_new(online_cfg).expect("valid config");
         let run = |rt: &mut SimRuntime| {
             let x = rt.alloc(1 << 20);
             for _ in 0..10 {
@@ -984,7 +1111,7 @@ mod tests {
     fn p2p_disabled_stages_through_controller() {
         let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
         cfg.planner.p2p_enabled = false;
-        let mut rt = SimRuntime::new(cfg);
+        let mut rt = SimRuntime::try_new(cfg).expect("valid config");
         let a = rt.alloc(GIB);
         rt.launch("w", cost_for(GIB), vec![CeArg::write(a, GIB)]); // worker 0
         let before = rt.network().stats(net_sim::EndpointId(0)).bytes_out;
@@ -1001,7 +1128,7 @@ mod tests {
         let run = |flat: bool| {
             let mut cfg = SimConfig::paper_grout(4, PolicyKind::RoundRobin);
             cfg.planner.flat_scheduling = flat;
-            let mut rt = SimRuntime::new(cfg);
+            let mut rt = SimRuntime::try_new(cfg).expect("valid config");
             let a = rt.alloc(1 << 20);
             for _ in 0..16 {
                 rt.launch("k", cost_for(1 << 20), vec![CeArg::read_write(a, 1 << 20)]);
@@ -1014,10 +1141,11 @@ mod tests {
     #[test]
     fn degrade_link_refreshes_the_probed_matrix() {
         use crate::policy::ExplorationLevel;
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(
             2,
             PolicyKind::MinTransferTime(ExplorationLevel::Low),
-        ));
+        ))
+        .expect("valid config");
         let before = rt
             .link_matrix()
             .expect("min-transfer-time probes at startup")
@@ -1040,7 +1168,8 @@ mod tests {
 
     #[test]
     fn degraded_link_slows_new_transfers() {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(2, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(2, PolicyKind::RoundRobin))
+            .expect("valid config");
         let a = rt.alloc(GIB);
         let fast = rt.launch("k1", cost_for(GIB), vec![CeArg::read(a, GIB)]); // worker 0
         let dead = net_sim::LinkSpec::from_mbit(1.0, desim::SimDuration::from_millis(50));
@@ -1120,7 +1249,7 @@ mod tests {
     fn grout_with_faults(workers: usize, faults: FaultPlan) -> SimRuntime {
         let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
         cfg.planner.faults = faults;
-        SimRuntime::new(cfg)
+        SimRuntime::try_new(cfg).expect("valid config")
     }
 
     /// host_write is DAG index 0; kernels are 1..=n.

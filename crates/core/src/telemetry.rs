@@ -1,0 +1,1026 @@
+//! Unified tracing and metrics for every runtime backend.
+//!
+//! The evaluation questions of the paper — where do the bytes go per
+//! inter-node policy, how saturated is each device, when does recovery
+//! overhead dominate — all need one answer surface instead of per-runtime
+//! ad-hoc stats. This module provides it in three layers:
+//!
+//! 1. **[`Recorder`]** — the span/instant/counter/gauge sink trait. The
+//!    default state is *off*: a [`Telemetry`] handle holding no recorder
+//!    short-circuits every call without allocating, so the hot scheduling
+//!    paths pay one branch when tracing is disabled. Call sites that must
+//!    build dynamic payloads gate on [`Telemetry::enabled`] first.
+//! 2. **[`Metrics`]** — the always-on registry both runtimes maintain
+//!    directly (no locks on the hot path): per-CE plan/queue/transfer/
+//!    execute latency aggregates, bytes moved split by [`MovementKind`],
+//!    fault/retry/quarantine/replay counters, and per-worker kernel
+//!    occupancy.
+//! 3. **Exporters** — [`ChromeTracer`] renders recorded events as Chrome
+//!    `trace_event` JSON (one process lane per node, one thread lane per
+//!    stream; loadable in `chrome://tracing` or [Perfetto]), and
+//!    [`Metrics::to_json_value`] / [`Metrics::to_csv`] emit flat dumps the
+//!    `grout-bench` binaries write as machine-readable run artifacts.
+//!
+//! Timestamps are nanoseconds from an arbitrary per-run origin: the
+//! simulator passes virtual time (making traces bit-for-bit deterministic
+//! per seed), the local runtime passes wall-clock time since startup.
+//! The [`SchedEvent`] vocabulary from the faults module rides along as
+//! structured payloads on instant events, so a trace of a chaotic run shows
+//! retries, quarantines and replays on the controller lane.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use serde::json::Value;
+
+use crate::faults::SchedEvent;
+use crate::scheduler::MovementKind;
+
+/// Where an event happened: one Chrome-trace lane per `(node, track)`.
+///
+/// `node` follows [`crate::Location`] numbering (0 = controller, `i + 1` =
+/// worker `i`). `track` subdivides a node: track 0 is the control lane
+/// (planning, faults), track 1 the network lane (transfers landing on this
+/// node), and `2 + device * 16 + stream` one lane per device stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lane {
+    /// Node the event belongs to (0 = controller, `i + 1` = worker `i`).
+    pub node: usize,
+    /// Track within the node (0 control, 1 network, 2+ device streams).
+    pub track: usize,
+}
+
+impl Lane {
+    /// The controller's control lane.
+    pub const CONTROLLER: Lane = Lane { node: 0, track: 0 };
+
+    /// Control lane of an arbitrary node.
+    pub fn control(node: usize) -> Lane {
+        Lane { node, track: 0 }
+    }
+
+    /// Network lane of a node (transfers arriving there).
+    pub fn network(node: usize) -> Lane {
+        Lane { node, track: 1 }
+    }
+
+    /// Execution lane for a device stream on a node.
+    pub fn stream(node: usize, device: usize, stream: usize) -> Lane {
+        Lane {
+            node,
+            track: 2 + device * 16 + stream,
+        }
+    }
+
+    /// Human label for the track, used as the Chrome thread name.
+    pub fn track_name(self) -> String {
+        match self.track {
+            0 => "control".to_string(),
+            1 => "network".to_string(),
+            t => {
+                let t = t - 2;
+                format!("gpu{} stream{}", t / 16, t % 16)
+            }
+        }
+    }
+}
+
+/// A borrowed argument value attached to spans and instants.
+///
+/// Borrowed so the disabled path never allocates; recorders that retain
+/// events (like [`ChromeTracer`]) copy what they need.
+#[derive(Debug, Clone, Copy)]
+pub enum ArgValue<'a> {
+    /// Unsigned integer payload.
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating payload.
+    F64(f64),
+    /// String payload.
+    Str(&'a str),
+}
+
+impl ArgValue<'_> {
+    fn to_json(self) -> Value {
+        match self {
+            ArgValue::U64(v) => Value::U64(v),
+            ArgValue::I64(v) => Value::I64(v),
+            ArgValue::F64(v) => Value::F64(v),
+            ArgValue::Str(v) => Value::String(v.to_string()),
+        }
+    }
+}
+
+/// A completed duration event (Chrome `ph: "X"`).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanEvent<'a> {
+    /// Display name (kernel name, `"plan"`, `"transfer"`, ...).
+    pub name: &'a str,
+    /// Category: `"plan"`, `"transfer"`, `"execute"`, `"host"`, `"fault"`.
+    pub cat: &'static str,
+    /// Lane the span ran on.
+    pub lane: Lane,
+    /// Start, nanoseconds since the run origin.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Structured payload.
+    pub args: &'a [(&'static str, ArgValue<'a>)],
+}
+
+/// The event sink. All methods default to no-ops so recorders implement
+/// only what they need; `enabled` gates payload construction at call
+/// sites.
+pub trait Recorder: Send {
+    /// Whether this recorder wants events at all. Call sites use this to
+    /// skip building dynamic names/args.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A completed duration span.
+    fn span(&mut self, span: &SpanEvent<'_>) {
+        let _ = span;
+    }
+
+    /// A point-in-time event (Chrome `ph: "i"`).
+    fn instant(
+        &mut self,
+        name: &str,
+        lane: Lane,
+        at_ns: u64,
+        args: &[(&'static str, ArgValue<'_>)],
+    ) {
+        let _ = (name, lane, at_ns, args);
+    }
+
+    /// A cumulative counter sample (monotonically increasing value).
+    fn counter(&mut self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        let _ = (name, lane, at_ns, value);
+    }
+
+    /// A sampled level (may go up and down).
+    fn gauge(&mut self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        let _ = (name, lane, at_ns, value);
+    }
+
+    /// A timestamp-free structured event from a component with no clock
+    /// (the [`crate::Planner`] emits these). [`ChromeTracer`] stamps them
+    /// with the latest timestamp it has seen.
+    fn mark(&mut self, name: &'static str, args: &[(&'static str, ArgValue<'_>)]) {
+        let _ = (name, args);
+    }
+}
+
+/// A cheap, cloneable handle to an optional shared [`Recorder`].
+///
+/// `Telemetry::off()` (the default) holds nothing: every method is a
+/// single `None` check with no allocation, no lock, no virtual call —
+/// the zero-overhead fast path the differential tests pin down. The
+/// handle is `Clone` so the [`crate::Planner`] (itself `Clone`) and both
+/// runtimes can share one recorder.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    rec: Option<Arc<Mutex<dyn Recorder>>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.rec.is_some())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The disabled handle (no recorder, zero-allocation fast path).
+    pub fn off() -> Self {
+        Telemetry::default()
+    }
+
+    /// Wrap an owned recorder. Use [`Shared`] instead when the caller
+    /// needs the recorder back after the run.
+    pub fn new(rec: impl Recorder + 'static) -> Self {
+        Telemetry {
+            rec: Some(Arc::new(Mutex::new(rec))),
+        }
+    }
+
+    /// Attach an already-shared recorder.
+    pub fn from_shared(rec: Arc<Mutex<dyn Recorder>>) -> Self {
+        Telemetry { rec: Some(rec) }
+    }
+
+    /// Whether a recorder is attached *and* it wants events. Gate dynamic
+    /// payload construction on this.
+    pub fn enabled(&self) -> bool {
+        match &self.rec {
+            Some(r) => r.lock().expect("recorder poisoned").enabled(),
+            None => false,
+        }
+    }
+
+    /// Record a completed span.
+    pub fn span(&self, span: &SpanEvent<'_>) {
+        if let Some(r) = &self.rec {
+            r.lock().expect("recorder poisoned").span(span);
+        }
+    }
+
+    /// Record an instant event.
+    pub fn instant(
+        &self,
+        name: &str,
+        lane: Lane,
+        at_ns: u64,
+        args: &[(&'static str, ArgValue<'_>)],
+    ) {
+        if let Some(r) = &self.rec {
+            r.lock()
+                .expect("recorder poisoned")
+                .instant(name, lane, at_ns, args);
+        }
+    }
+
+    /// Record a counter sample.
+    pub fn counter(&self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        if let Some(r) = &self.rec {
+            r.lock()
+                .expect("recorder poisoned")
+                .counter(name, lane, at_ns, value);
+        }
+    }
+
+    /// Record a gauge sample.
+    pub fn gauge(&self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        if let Some(r) = &self.rec {
+            r.lock()
+                .expect("recorder poisoned")
+                .gauge(name, lane, at_ns, value);
+        }
+    }
+
+    /// Record a timestamp-free mark (see [`Recorder::mark`]).
+    pub fn mark(&self, name: &'static str, args: &[(&'static str, ArgValue<'_>)]) {
+        if let Some(r) = &self.rec {
+            r.lock().expect("recorder poisoned").mark(name, args);
+        }
+    }
+
+    /// Record a [`SchedEvent`] as a structured instant on the controller
+    /// lane. Shared by both runtimes so chaos traces read identically.
+    pub fn sched_event(&self, event: &SchedEvent, at_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let (name, args) = sched_event_payload(event);
+        self.instant(name, Lane::CONTROLLER, at_ns, &args);
+    }
+}
+
+/// Decompose a [`SchedEvent`] into an instant-event name plus args.
+fn sched_event_payload(event: &SchedEvent) -> (&'static str, Vec<(&'static str, ArgValue<'_>)>) {
+    match event {
+        SchedEvent::Fault {
+            at_ce,
+            worker,
+            kind,
+            epoch,
+        } => (
+            "fault",
+            vec![
+                ("at_ce", ArgValue::U64(*at_ce as u64)),
+                ("worker", ArgValue::I64(worker.map_or(-1, |w| w as i64))),
+                ("kind", ArgValue::Str(kind)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::Retry {
+            at_ce,
+            worker,
+            attempt,
+            backoff,
+        } => (
+            "retry",
+            vec![
+                ("at_ce", ArgValue::U64(*at_ce as u64)),
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("attempt", ArgValue::U64(*attempt as u64)),
+                ("backoff_us", ArgValue::F64(backoff.as_micros_f64())),
+            ],
+        ),
+        SchedEvent::Quarantine {
+            worker,
+            at_ce,
+            lost,
+            epoch,
+        } => (
+            "quarantine",
+            vec![
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("at_ce", ArgValue::U64(*at_ce as u64)),
+                ("lost_arrays", ArgValue::U64(lost.len() as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::Replay { dag_index, epoch } => (
+            "replay",
+            vec![
+                ("dag_index", ArgValue::U64(*dag_index as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::Reassign {
+            dag_index,
+            from,
+            to,
+            epoch,
+        } => (
+            "reassign",
+            vec![
+                ("dag_index", ArgValue::U64(*dag_index as u64)),
+                ("from", ArgValue::U64(*from as u64)),
+                ("to", ArgValue::U64(*to as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::TransferDropped { at_ce, array } => (
+            "transfer-dropped",
+            vec![
+                ("at_ce", ArgValue::U64(*at_ce as u64)),
+                ("array", ArgValue::U64(array.0)),
+            ],
+        ),
+        SchedEvent::TransferDelayed {
+            at_ce,
+            array,
+            delay,
+        } => (
+            "transfer-delayed",
+            vec![
+                ("at_ce", ArgValue::U64(*at_ce as u64)),
+                ("array", ArgValue::U64(array.0)),
+                ("delay_us", ArgValue::F64(delay.as_micros_f64())),
+            ],
+        ),
+        SchedEvent::TransferRedriven { at_ce } => (
+            "transfer-redriven",
+            vec![("at_ce", ArgValue::U64(*at_ce as u64))],
+        ),
+        SchedEvent::SpawnFailed { worker } => (
+            "spawn-failed",
+            vec![("worker", ArgValue::U64(*worker as u64))],
+        ),
+    }
+}
+
+/// Keep a typed handle to a recorder that is also attached to a runtime.
+///
+/// [`Telemetry`] type-erases its recorder, so a caller that wants the
+/// concrete exporter back after the run (e.g. to write the trace file)
+/// wraps it in `Shared` first:
+///
+/// ```
+/// use grout_core::telemetry::{ChromeTracer, Shared};
+/// let tracer = Shared::new(ChromeTracer::new());
+/// let telemetry = tracer.telemetry();
+/// // ... attach `telemetry` to a runtime, run ...
+/// let json = tracer.lock().to_string_pretty();
+/// # let _ = json;
+/// ```
+pub struct Shared<R: Recorder + 'static>(Arc<Mutex<R>>);
+
+impl<R: Recorder + 'static> Shared<R> {
+    /// Share a recorder.
+    pub fn new(rec: R) -> Self {
+        Shared(Arc::new(Mutex::new(rec)))
+    }
+
+    /// A [`Telemetry`] handle feeding this recorder.
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry::from_shared(self.0.clone() as Arc<Mutex<dyn Recorder>>)
+    }
+
+    /// Lock the recorder for direct access (export, inspection).
+    pub fn lock(&self) -> MutexGuard<'_, R> {
+        self.0.lock().expect("recorder poisoned")
+    }
+}
+
+impl<R: Recorder + 'static> Clone for Shared<R> {
+    fn clone(&self) -> Self {
+        Shared(self.0.clone())
+    }
+}
+
+impl<R: Recorder + 'static> fmt::Debug for Shared<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Shared").finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event exporter
+// ---------------------------------------------------------------------------
+
+/// A [`Recorder`] that accumulates Chrome `trace_event` JSON.
+///
+/// Output follows the `{"traceEvents": [...]}` object format: complete
+/// spans are `ph: "X"`, instants `ph: "i"` (scope `"p"`), counters and
+/// gauges `ph: "C"`, and process/thread name metadata (`ph: "M"`) gives
+/// every node and stream a named lane. Timestamps are microseconds as
+/// required by the format; nanosecond inputs are divided by 1000.0.
+#[derive(Debug, Default)]
+pub struct ChromeTracer {
+    events: Vec<Value>,
+    lanes: Vec<Lane>,
+    last_ns: u64,
+}
+
+impl ChromeTracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        ChromeTracer::default()
+    }
+
+    /// Number of events recorded so far (excluding metadata).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn see_lane(&mut self, lane: Lane) {
+        if let Err(i) = self.lanes.binary_search(&lane) {
+            self.lanes.insert(i, lane);
+        }
+    }
+
+    fn base_event(name: &str, ph: &str, lane: Lane, ts_ns: u64) -> Vec<(String, Value)> {
+        vec![
+            ("name".to_string(), Value::String(name.to_string())),
+            ("ph".to_string(), Value::String(ph.to_string())),
+            ("ts".to_string(), Value::F64(ts_ns as f64 / 1000.0)),
+            ("pid".to_string(), Value::U64(lane.node as u64)),
+            ("tid".to_string(), Value::U64(lane.track as u64)),
+        ]
+    }
+
+    fn args_object(args: &[(&'static str, ArgValue<'_>)]) -> Value {
+        Value::Object(
+            args.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+
+    /// The full trace as a JSON value (`{"traceEvents": [...]}`).
+    pub fn to_json_value(&self) -> Value {
+        let mut events: Vec<Value> = Vec::with_capacity(self.events.len() + 2 * self.lanes.len());
+        for lane in &self.lanes {
+            let process = if lane.node == 0 {
+                "controller".to_string()
+            } else {
+                format!("worker {}", lane.node - 1)
+            };
+            events.push(Value::Object(vec![
+                (
+                    "name".to_string(),
+                    Value::String("process_name".to_string()),
+                ),
+                ("ph".to_string(), Value::String("M".to_string())),
+                ("pid".to_string(), Value::U64(lane.node as u64)),
+                ("tid".to_string(), Value::U64(lane.track as u64)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("name".to_string(), Value::String(process))]),
+                ),
+            ]));
+            events.push(Value::Object(vec![
+                ("name".to_string(), Value::String("thread_name".to_string())),
+                ("ph".to_string(), Value::String("M".to_string())),
+                ("pid".to_string(), Value::U64(lane.node as u64)),
+                ("tid".to_string(), Value::U64(lane.track as u64)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("name".to_string(), Value::String(lane.track_name()))]),
+                ),
+            ]));
+        }
+        events.extend(self.events.iter().cloned());
+        Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(events)),
+            (
+                "displayTimeUnit".to_string(),
+                Value::String("ms".to_string()),
+            ),
+        ])
+    }
+
+    /// Render the trace as compact JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string(&self.to_json_value()).expect("render trace")
+    }
+
+    /// Render the trace as pretty-printed JSON.
+    pub fn to_string_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json_value()).expect("render trace")
+    }
+
+    /// Write the trace to a file (load it in `chrome://tracing` or
+    /// Perfetto).
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+impl Recorder for ChromeTracer {
+    fn span(&mut self, span: &SpanEvent<'_>) {
+        self.see_lane(span.lane);
+        self.last_ns = self.last_ns.max(span.start_ns + span.dur_ns);
+        let mut ev = Self::base_event(span.name, "X", span.lane, span.start_ns);
+        ev.push(("dur".to_string(), Value::F64(span.dur_ns as f64 / 1000.0)));
+        ev.push(("cat".to_string(), Value::String(span.cat.to_string())));
+        if !span.args.is_empty() {
+            ev.push(("args".to_string(), Self::args_object(span.args)));
+        }
+        self.events.push(Value::Object(ev));
+    }
+
+    fn instant(
+        &mut self,
+        name: &str,
+        lane: Lane,
+        at_ns: u64,
+        args: &[(&'static str, ArgValue<'_>)],
+    ) {
+        self.see_lane(lane);
+        self.last_ns = self.last_ns.max(at_ns);
+        let mut ev = Self::base_event(name, "i", lane, at_ns);
+        ev.push(("s".to_string(), Value::String("p".to_string())));
+        if !args.is_empty() {
+            ev.push(("args".to_string(), Self::args_object(args)));
+        }
+        self.events.push(Value::Object(ev));
+    }
+
+    fn counter(&mut self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        self.see_lane(lane);
+        self.last_ns = self.last_ns.max(at_ns);
+        let mut ev = Self::base_event(name, "C", lane, at_ns);
+        ev.push((
+            "args".to_string(),
+            Value::Object(vec![("value".to_string(), Value::F64(value))]),
+        ));
+        self.events.push(Value::Object(ev));
+    }
+
+    fn gauge(&mut self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        self.counter(name, lane, at_ns, value);
+    }
+
+    fn mark(&mut self, name: &'static str, args: &[(&'static str, ArgValue<'_>)]) {
+        let at = self.last_ns;
+        self.instant(name, Lane::CONTROLLER, at, args);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Count/sum/min/max aggregate over nanosecond latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStat {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+}
+
+impl LatencyStat {
+    /// Fold one sample in.
+    pub fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Arithmetic mean in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(self) -> Value {
+        Value::Object(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum_ns".to_string(), Value::U64(self.sum_ns)),
+            ("min_ns".to_string(), Value::U64(self.min_ns)),
+            ("max_ns".to_string(), Value::U64(self.max_ns)),
+            ("mean_ns".to_string(), Value::F64(self.mean_ns())),
+        ])
+    }
+}
+
+/// The always-on metrics registry. Both runtimes own one directly and
+/// update it with plain field access — no locks, no indirection — so its
+/// cost is a handful of integer adds per CE.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Planner latency per CE (virtual for the sim, wall for local).
+    pub plan: LatencyStat,
+    /// Wait between dispatch and all inputs/parents ready (sim only).
+    pub queue: LatencyStat,
+    /// Per-movement transfer latency.
+    pub transfer: LatencyStat,
+    /// Kernel/host execution latency per CE.
+    pub execute: LatencyStat,
+    /// Payload bytes moved via direct controller sends.
+    pub controller_send_bytes: u64,
+    /// Payload bytes moved peer-to-peer between workers.
+    pub p2p_bytes: u64,
+    /// Payload bytes moved via two-hop controller staging.
+    pub staged_bytes: u64,
+    /// Injected or detected faults.
+    pub faults: u64,
+    /// Transient launch retries.
+    pub retries: u64,
+    /// Workers quarantined.
+    pub quarantines: u64,
+    /// Ancestor CEs replayed during recovery.
+    pub replays: u64,
+    /// In-flight CEs moved off quarantined nodes.
+    pub reassigns: u64,
+    /// Transfers lost and re-driven.
+    pub transfers_dropped: u64,
+    /// Transfers that arrived late.
+    pub transfers_delayed: u64,
+    /// Re-driven input supplies after timeout or recovery.
+    pub transfers_redriven: u64,
+    /// Worker threads that failed to spawn.
+    pub spawn_failures: u64,
+    /// Kernels completed per worker.
+    pub kernels_by_worker: Vec<u64>,
+    /// Busy nanoseconds per worker (kernel occupancy).
+    pub busy_ns_by_worker: Vec<u64>,
+}
+
+impl Metrics {
+    /// A registry sized for `workers` workers.
+    pub fn with_workers(workers: usize) -> Self {
+        Metrics {
+            kernels_by_worker: vec![0; workers],
+            busy_ns_by_worker: vec![0; workers],
+            ..Metrics::default()
+        }
+    }
+
+    /// Account payload bytes moved under `kind`.
+    pub fn record_movement(&mut self, kind: MovementKind, payload_bytes: u64) {
+        match kind {
+            MovementKind::ControllerSend => self.controller_send_bytes += payload_bytes,
+            MovementKind::P2p => self.p2p_bytes += payload_bytes,
+            MovementKind::Staged => self.staged_bytes += payload_bytes,
+        }
+    }
+
+    /// Account one kernel completion on `worker` lasting `busy_ns`.
+    pub fn record_kernel(&mut self, worker: usize, busy_ns: u64) {
+        if worker < self.kernels_by_worker.len() {
+            self.kernels_by_worker[worker] += 1;
+            self.busy_ns_by_worker[worker] += busy_ns;
+        }
+    }
+
+    /// Bump the counter matching a [`SchedEvent`].
+    pub fn record_event(&mut self, event: &SchedEvent) {
+        match event {
+            SchedEvent::Fault { .. } => self.faults += 1,
+            SchedEvent::Retry { .. } => self.retries += 1,
+            SchedEvent::Quarantine { .. } => self.quarantines += 1,
+            SchedEvent::Replay { .. } => self.replays += 1,
+            SchedEvent::Reassign { .. } => self.reassigns += 1,
+            SchedEvent::TransferDropped { .. } => self.transfers_dropped += 1,
+            SchedEvent::TransferDelayed { .. } => self.transfers_delayed += 1,
+            SchedEvent::TransferRedriven { .. } => self.transfers_redriven += 1,
+            SchedEvent::SpawnFailed { .. } => self.spawn_failures += 1,
+        }
+    }
+
+    /// Total payload bytes moved across all movement kinds.
+    pub fn payload_bytes(&self) -> u64 {
+        self.controller_send_bytes + self.p2p_bytes + self.staged_bytes
+    }
+
+    /// Total kernels across workers.
+    pub fn total_kernels(&self) -> u64 {
+        self.kernels_by_worker.iter().sum()
+    }
+
+    /// The registry as a flat JSON object (one key per metric; the
+    /// latency aggregates nest count/sum/min/max/mean).
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("plan".to_string(), self.plan.to_json()),
+            ("queue".to_string(), self.queue.to_json()),
+            ("transfer".to_string(), self.transfer.to_json()),
+            ("execute".to_string(), self.execute.to_json()),
+            (
+                "controller_send_bytes".to_string(),
+                Value::U64(self.controller_send_bytes),
+            ),
+            ("p2p_bytes".to_string(), Value::U64(self.p2p_bytes)),
+            ("staged_bytes".to_string(), Value::U64(self.staged_bytes)),
+            (
+                "payload_bytes".to_string(),
+                Value::U64(self.payload_bytes()),
+            ),
+            ("faults".to_string(), Value::U64(self.faults)),
+            ("retries".to_string(), Value::U64(self.retries)),
+            ("quarantines".to_string(), Value::U64(self.quarantines)),
+            ("replays".to_string(), Value::U64(self.replays)),
+            ("reassigns".to_string(), Value::U64(self.reassigns)),
+            (
+                "transfers_dropped".to_string(),
+                Value::U64(self.transfers_dropped),
+            ),
+            (
+                "transfers_delayed".to_string(),
+                Value::U64(self.transfers_delayed),
+            ),
+            (
+                "transfers_redriven".to_string(),
+                Value::U64(self.transfers_redriven),
+            ),
+            (
+                "spawn_failures".to_string(),
+                Value::U64(self.spawn_failures),
+            ),
+            (
+                "kernels_by_worker".to_string(),
+                Value::Array(
+                    self.kernels_by_worker
+                        .iter()
+                        .map(|&k| Value::U64(k))
+                        .collect(),
+                ),
+            ),
+            (
+                "busy_ns_by_worker".to_string(),
+                Value::Array(
+                    self.busy_ns_by_worker
+                        .iter()
+                        .map(|&k| Value::U64(k))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The registry as `key,value` CSV lines (latency aggregates flatten
+    /// to `name.count`, `name.mean_ns`, ...).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        let mut kv = |k: &str, v: String| {
+            out.push_str(k);
+            out.push(',');
+            out.push_str(&v);
+            out.push('\n');
+        };
+        for (name, stat) in [
+            ("plan", self.plan),
+            ("queue", self.queue),
+            ("transfer", self.transfer),
+            ("execute", self.execute),
+        ] {
+            kv(&format!("{name}.count"), stat.count.to_string());
+            kv(&format!("{name}.sum_ns"), stat.sum_ns.to_string());
+            kv(&format!("{name}.min_ns"), stat.min_ns.to_string());
+            kv(&format!("{name}.max_ns"), stat.max_ns.to_string());
+            kv(&format!("{name}.mean_ns"), format!("{}", stat.mean_ns()));
+        }
+        kv(
+            "controller_send_bytes",
+            self.controller_send_bytes.to_string(),
+        );
+        kv("p2p_bytes", self.p2p_bytes.to_string());
+        kv("staged_bytes", self.staged_bytes.to_string());
+        kv("payload_bytes", self.payload_bytes().to_string());
+        kv("faults", self.faults.to_string());
+        kv("retries", self.retries.to_string());
+        kv("quarantines", self.quarantines.to_string());
+        kv("replays", self.replays.to_string());
+        kv("reassigns", self.reassigns.to_string());
+        kv("transfers_dropped", self.transfers_dropped.to_string());
+        kv("transfers_delayed", self.transfers_delayed.to_string());
+        kv("transfers_redriven", self.transfers_redriven.to_string());
+        kv("spawn_failures", self.spawn_failures.to_string());
+        for (w, k) in self.kernels_by_worker.iter().enumerate() {
+            kv(&format!("kernels_by_worker.{w}"), k.to_string());
+        }
+        for (w, b) in self.busy_ns_by_worker.iter().enumerate() {
+            kv(&format!("busy_ns_by_worker.{w}"), b.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    #[test]
+    fn latency_stat_aggregates() {
+        let mut s = LatencyStat::default();
+        assert_eq!(s.mean_ns(), 0.0);
+        s.record(10);
+        s.record(30);
+        s.record(20);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(s.mean_ns(), 20.0);
+    }
+
+    #[test]
+    fn metrics_event_counters_cover_the_vocabulary() {
+        let mut m = Metrics::with_workers(2);
+        m.record_event(&SchedEvent::Fault {
+            at_ce: 0,
+            worker: Some(1),
+            kind: "kill-worker",
+            epoch: 1,
+        });
+        m.record_event(&SchedEvent::Retry {
+            at_ce: 1,
+            worker: 0,
+            attempt: 1,
+            backoff: SimDuration::from_millis(1),
+        });
+        m.record_event(&SchedEvent::Quarantine {
+            worker: 1,
+            at_ce: 0,
+            lost: vec![],
+            epoch: 1,
+        });
+        m.record_event(&SchedEvent::Replay {
+            dag_index: 0,
+            epoch: 1,
+        });
+        m.record_event(&SchedEvent::Reassign {
+            dag_index: 2,
+            from: 1,
+            to: 0,
+            epoch: 1,
+        });
+        m.record_event(&SchedEvent::TransferDropped {
+            at_ce: 3,
+            array: crate::ArrayId(0),
+        });
+        m.record_event(&SchedEvent::TransferDelayed {
+            at_ce: 3,
+            array: crate::ArrayId(0),
+            delay: SimDuration::from_millis(2),
+        });
+        m.record_event(&SchedEvent::TransferRedriven { at_ce: 3 });
+        m.record_event(&SchedEvent::SpawnFailed { worker: 0 });
+        assert_eq!(
+            (m.faults, m.retries, m.quarantines, m.replays, m.reassigns),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(
+            (
+                m.transfers_dropped,
+                m.transfers_delayed,
+                m.transfers_redriven,
+                m.spawn_failures
+            ),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn movement_and_kernel_accounting() {
+        let mut m = Metrics::with_workers(2);
+        m.record_movement(MovementKind::ControllerSend, 100);
+        m.record_movement(MovementKind::P2p, 200);
+        m.record_movement(MovementKind::Staged, 50);
+        m.record_kernel(0, 1_000);
+        m.record_kernel(0, 3_000);
+        m.record_kernel(1, 500);
+        assert_eq!(m.payload_bytes(), 350);
+        assert_eq!(m.kernels_by_worker, vec![2, 1]);
+        assert_eq!(m.busy_ns_by_worker, vec![4_000, 500]);
+        assert_eq!(m.total_kernels(), 3);
+    }
+
+    #[test]
+    fn disabled_telemetry_reports_disabled() {
+        let t = Telemetry::off();
+        assert!(!t.enabled());
+        // All sinks are inert no-ops.
+        t.span(&SpanEvent {
+            name: "x",
+            cat: "execute",
+            lane: Lane::CONTROLLER,
+            start_ns: 0,
+            dur_ns: 1,
+            args: &[],
+        });
+        t.instant("i", Lane::CONTROLLER, 0, &[]);
+        t.counter("c", Lane::CONTROLLER, 0, 1.0);
+        t.mark("m", &[]);
+    }
+
+    #[test]
+    fn chrome_tracer_emits_schema_shaped_events() {
+        let mut tr = ChromeTracer::new();
+        tr.span(&SpanEvent {
+            name: "axpy",
+            cat: "execute",
+            lane: Lane::stream(1, 0, 2),
+            start_ns: 2_000,
+            dur_ns: 3_000,
+            args: &[("bytes", ArgValue::U64(64))],
+        });
+        tr.instant("fault", Lane::CONTROLLER, 1_000, &[]);
+        tr.counter("bytes", Lane::CONTROLLER, 500, 42.0);
+        tr.mark("planner", &[("ces", ArgValue::U64(1))]);
+        assert_eq!(tr.len(), 4);
+
+        let Value::Object(top) = tr.to_json_value() else {
+            panic!("trace must be a JSON object");
+        };
+        let events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents key");
+        let Value::Array(events) = events else {
+            panic!("traceEvents must be an array");
+        };
+        // 2 lanes seen -> 4 metadata events, plus the 4 recorded ones.
+        assert_eq!(events.len(), 8);
+        for ev in events {
+            let Value::Object(fields) = ev else {
+                panic!("every event is an object");
+            };
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(
+                    fields.iter().any(|(k, _)| k == key),
+                    "event missing {key}: {fields:?}"
+                );
+            }
+        }
+        // The mark is stamped with the latest seen timestamp (5 us).
+        let json = tr.to_json_string();
+        assert!(json.contains("\"planner\""));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn shared_recorder_roundtrip() {
+        let shared = Shared::new(ChromeTracer::new());
+        let t = shared.telemetry();
+        assert!(t.enabled());
+        t.instant("hello", Lane::CONTROLLER, 10, &[]);
+        assert_eq!(shared.lock().len(), 1);
+    }
+
+    #[test]
+    fn metrics_dumps_are_well_formed() {
+        let mut m = Metrics::with_workers(1);
+        m.plan.record(100);
+        m.record_movement(MovementKind::P2p, 7);
+        let json = serde_json::to_string(&m.to_json_value()).expect("render metrics");
+        assert!(json.contains("\"p2p_bytes\":7"));
+        assert!(json.contains("\"plan\""));
+        let csv = m.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("p2p_bytes,7\n"));
+        assert!(csv.contains("plan.count,1\n"));
+        assert!(csv.contains("kernels_by_worker.0,0\n"));
+    }
+}

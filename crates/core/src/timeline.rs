@@ -169,7 +169,8 @@ mod tests {
 
     #[test]
     fn clean_runs_validate() {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(2, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(2, PolicyKind::RoundRobin))
+            .expect("valid config");
         let a = rt.alloc(GIB);
         let b = rt.alloc(GIB);
         rt.host_write(a, GIB);
@@ -189,7 +190,7 @@ mod tests {
     #[test]
     fn workload_runs_validate() {
         use grout_test_workload::submit_mini;
-        let mut rt = SimRuntime::new(SimConfig::grcuda_baseline());
+        let mut rt = SimRuntime::try_new(SimConfig::grcuda_baseline()).expect("valid config");
         submit_mini(&mut rt);
         let report = validate(rt.records());
         assert!(report.is_valid(), "violations: {:?}", report.violations);
@@ -219,7 +220,8 @@ mod tests {
 
     #[test]
     fn corrupted_records_are_caught() {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(1, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(1, PolicyKind::RoundRobin))
+            .expect("valid config");
         let a = rt.alloc(GIB);
         rt.launch("w", cost(), vec![CeArg::write(a, GIB)]);
         rt.launch("r", cost(), vec![CeArg::read(a, GIB)]);
@@ -240,7 +242,8 @@ mod tests {
 
     #[test]
     fn utilization_is_sane() {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(1, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(1, PolicyKind::RoundRobin))
+            .expect("valid config");
         let a = rt.alloc(GIB);
         for _ in 0..4 {
             rt.launch("k", cost(), vec![CeArg::read_write(a, GIB)]);

@@ -53,7 +53,7 @@ fn run_local(
     let mut cfg = LocalConfig::new(workers, PolicyKind::RoundRobin);
     cfg.planner.faults = faults;
     cfg.planner.fault_cfg.detection_timeout = desim::SimDuration::from_millis(40);
-    let mut rt = LocalRuntime::new(cfg);
+    let mut rt = LocalRuntime::try_new(cfg).expect("spawn workers");
     let arrays: Vec<_> = (0..3).map(|_| rt.alloc_f32(N)).collect();
     for &(a, b, kind) in ops {
         let (a, b) = (arrays[a as usize], arrays[b as usize]);
@@ -180,7 +180,7 @@ proptest! {
         let run = || {
             let mut cfg = SimConfig::paper_grout(workers, PolicyKind::RoundRobin);
             cfg.planner.faults = FaultPlan::one_death(seed, &candidates);
-            let mut rt = SimRuntime::new(cfg);
+            let mut rt = SimRuntime::try_new(cfg).expect("valid config");
             let arrays: Vec<_> = (0..3).map(|_| rt.alloc(MIB)).collect();
             let cost = KernelCost { flops: 1e6, bytes_read: MIB, bytes_written: 0 };
             for &(a, b, kind) in &ops {

@@ -24,7 +24,7 @@ proptest! {
     /// honoured in time.
     #[test]
     fn sim_records_are_temporally_consistent(ops in arb_ops(), workers in 1usize..4) {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin)).expect("valid config");
         let arrays: Vec<_> = (0..4).map(|_| rt.alloc(64 * MIB)).collect();
         let cost = KernelCost { flops: 1e9, bytes_read: 64 * MIB, bytes_written: 0 };
         for (a, b, kind) in ops {
@@ -80,7 +80,7 @@ proptest! {
         let n = 512usize;
 
         let run = |workers: usize| -> Vec<Vec<f32>> {
-            let mut rt = LocalRuntime::new(LocalConfig::new(workers, PolicyKind::RoundRobin));
+            let mut rt = LocalRuntime::try_new(LocalConfig::new(workers, PolicyKind::RoundRobin)).expect("spawn workers");
             let arrays: Vec<_> = (0..4).map(|_| rt.alloc_f32(n)).collect();
             for &(a, b, kind) in &ops {
                 let (a, b) = (arrays[a as usize], arrays[b as usize]);
@@ -119,7 +119,7 @@ proptest! {
     /// per-endpoint in/out totals stay balanced whatever the schedule.
     #[test]
     fn sim_network_bytes_balance(ops in arb_ops(), workers in 1usize..4) {
-        let mut rt = SimRuntime::new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin));
+        let mut rt = SimRuntime::try_new(SimConfig::paper_grout(workers, PolicyKind::RoundRobin)).expect("valid config");
         let arrays: Vec<_> = (0..4).map(|_| rt.alloc(16 * MIB)).collect();
         let cost = KernelCost { flops: 1e6, bytes_read: 16 * MIB, bytes_written: 0 };
         for (a, b, kind) in ops {

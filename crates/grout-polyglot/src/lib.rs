@@ -348,7 +348,7 @@ impl Polyglot {
     /// A context over an existing runtime configuration.
     pub fn new(cfg: LocalConfig) -> Self {
         Polyglot {
-            rt: LocalRuntime::new(cfg),
+            rt: LocalRuntime::try_new(cfg).expect("spawn workers"),
         }
     }
 

@@ -23,9 +23,10 @@ pub use uvm_sim;
 
 // The most common types at the top level for convenience.
 pub use grout_core::{
-    replay_closure, AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, Coherence,
-    DevicePolicy, ExplorationLevel, FailureDetector, FaultConfig, FaultEvent, FaultKind, FaultPlan,
-    KernelCost, LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location, MemAdvise,
-    NodeScheduler, PolicyKind, PurgeReport, Regime, SchedEvent, SimConfig, SimRuntime, SimTime,
+    replay_closure, AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, ChromeTracer,
+    Coherence, DevicePolicy, ExplorationLevel, FailureDetector, FaultConfig, FaultEvent, FaultKind,
+    FaultPlan, KernelCost, Lane, LatencyStat, LinkMatrix, LocalArg, LocalConfig, LocalRuntime,
+    Location, MemAdvise, Metrics, NodeScheduler, Observability, PolicyKind, PurgeReport, Recorder,
+    Regime, Runtime, RuntimeBuilder, SchedEvent, Shared, SimConfig, SimRuntime, SimTime, Telemetry,
 };
 pub use grout_polyglot::{Language, Polyglot, Value};

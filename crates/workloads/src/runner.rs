@@ -43,7 +43,7 @@ pub fn run_workload(
     cfg: SimConfig,
     footprint_bytes: u64,
 ) -> RunOutcome {
-    let mut rt = SimRuntime::new(cfg);
+    let mut rt = SimRuntime::try_new(cfg).expect("valid config");
     workload.submit(&mut rt, footprint_bytes);
     RunOutcome {
         elapsed: rt.elapsed(),

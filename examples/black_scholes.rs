@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use grout::core::{LocalArg, LocalConfig, LocalRuntime, PolicyKind};
+use grout::core::{LocalArg, Runtime};
 use grout::workloads::{black_scholes_reference, BLACK_SCHOLES_KERNEL};
 
 const N: usize = 2_000_000;
@@ -19,7 +19,10 @@ const SIGMA: f32 = 0.2;
 const T: f32 = 1.0;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
+    let mut rt = Runtime::builder()
+        .workers(2)
+        .build_local()
+        .expect("spawn workers");
 
     // Compile the kernel from source (the paper's `buildkernel`).
     let kernel = Arc::new(kernelc::compile_one(BLACK_SCHOLES_KERNEL, "black_scholes")?);

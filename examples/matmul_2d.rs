@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use grout::core::{LocalArg, LocalConfig, LocalRuntime, PolicyKind};
+use grout::core::{LocalArg, Runtime};
 
 const MATMUL: &str = r#"
 __global__ void matmul(float* c, const float* a, const float* b,
@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.is_race_free());
 
     // The real multiply through the distributed runtime, 2-D grid.
-    let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
+    let mut rt = Runtime::builder()
+        .workers(2)
+        .build_local()
+        .expect("spawn workers");
     let a = rt.alloc_f32(m * k);
     let b = rt.alloc_f32(k * n);
     let c = rt.alloc_f32(m * n);

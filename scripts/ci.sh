@@ -13,8 +13,18 @@ cargo test -q
 echo "==> chaos (fault-injection differential, seed matrix)"
 cargo run --release -q -p grout-bench --bin chaos -- --seeds 8
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> telemetry artifacts (Chrome trace + metrics dump, schema-checked)"
+cargo run --release -q -p grout-bench --bin trace -- cg 8 grout:rr \
+  --trace-out target/ci-trace.json --metrics-out target/ci-metrics.json
+if command -v python3 >/dev/null; then
+  python3 -m json.tool target/ci-trace.json >/dev/null
+  python3 -m json.tool target/ci-metrics.json >/dev/null
+else
+  echo "(python3 unavailable; JSON validated by the telemetry test suite)"
+fi
+
+echo "==> cargo clippy --all-targets -- -D warnings -D deprecated"
+cargo clippy --all-targets -- -D warnings -D deprecated
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -44,7 +44,7 @@ fn run_local(faults: FaultPlan) -> (Vec<f32>, Vec<SchedEvent>, Vec<Option<usize>
     let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
     cfg.planner.faults = faults;
     cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
-    let mut rt = LocalRuntime::new(cfg);
+    let mut rt = LocalRuntime::try_new(cfg).expect("spawn workers");
     let a = rt.alloc_f32(N);
     for _ in 0..CES {
         rt.launch(
@@ -69,7 +69,7 @@ fn run_sim(faults: FaultPlan) -> (Vec<SchedEvent>, Vec<Option<usize>>) {
     let mut cfg = SimConfig::paper_grout(2, PolicyKind::RoundRobin);
     cfg.planner.faults = faults;
     cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
-    let mut rt = SimRuntime::new(cfg);
+    let mut rt = SimRuntime::try_new(cfg).expect("valid config");
     let a = rt.alloc(BYTES);
     let cost = KernelCost {
         flops: 1e6,

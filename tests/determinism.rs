@@ -4,7 +4,7 @@ use grout::core::{PolicyKind, SimConfig, SimRuntime};
 use grout::workloads::{gb, ConjugateGradient, MatVec, MlEnsemble, SimWorkload};
 
 fn fingerprint(w: &dyn SimWorkload, cfg: SimConfig, size: u64) -> Vec<(u64, u64, usize)> {
-    let mut rt = SimRuntime::new(cfg);
+    let mut rt = SimRuntime::try_new(cfg).expect("valid config");
     w.submit(&mut rt, size);
     rt.records()
         .iter()

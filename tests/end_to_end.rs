@@ -70,7 +70,8 @@ fn cg_solver_converges_on_the_local_runtime() {
     // A real conjugate-gradient solve through the whole stack: kernels from
     // CUDA-dialect source, scheduled as CEs across two worker threads.
     let n = 64usize;
-    let mut rt = LocalRuntime::new(LocalConfig::new(2, PolicyKind::RoundRobin));
+    let mut rt =
+        LocalRuntime::try_new(LocalConfig::new(2, PolicyKind::RoundRobin)).expect("spawn workers");
     let kernels = kernelc::compile(CG_KERNELS).unwrap();
     let get = |name: &str| Arc::new(kernels.iter().find(|k| k.name() == name).unwrap().clone());
     let (spmv, dot, axpy, xpay, zero, norm2) = (
@@ -253,7 +254,7 @@ fn all_workload_timelines_validate() {
             ),
         ] {
             for size in [8u64, 96] {
-                let mut rt = SimRuntime::new(cfg.clone());
+                let mut rt = SimRuntime::try_new(cfg.clone()).expect("valid config");
                 w.submit(&mut rt, gb(size));
                 let report = grout::core::validate_timeline(rt.records());
                 assert!(
@@ -269,7 +270,8 @@ fn all_workload_timelines_validate() {
 
 #[test]
 fn three_node_cluster_distributes_work() {
-    let mut rt = SimRuntime::new(SimConfig::paper_grout(3, PolicyKind::RoundRobin));
+    let mut rt = SimRuntime::try_new(SimConfig::paper_grout(3, PolicyKind::RoundRobin))
+        .expect("valid config");
     MlEnsemble::default().submit(&mut rt, gb(24));
     let mut seen = std::collections::HashSet::new();
     for rec in rt.records() {
@@ -284,7 +286,8 @@ fn three_node_cluster_distributes_work() {
 fn host_reads_see_kernel_writes_across_runtimes() {
     // Simulated: coherence makes the controller's host read wait for and
     // fetch the worker's written copy.
-    let mut rt = SimRuntime::new(SimConfig::paper_grout(2, PolicyKind::RoundRobin));
+    let mut rt = SimRuntime::try_new(SimConfig::paper_grout(2, PolicyKind::RoundRobin))
+        .expect("valid config");
     let a = rt.alloc(1 << 30);
     let k = rt.launch(
         "w",

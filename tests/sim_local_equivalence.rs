@@ -52,7 +52,7 @@ impl Decision {
 
 /// Runs the 5-CE workload through the simulator; returns its decisions.
 fn run_sim(policy: PolicyKind) -> Vec<Decision> {
-    let mut rt = SimRuntime::new(SimConfig::paper_grout(2, policy));
+    let mut rt = SimRuntime::try_new(SimConfig::paper_grout(2, policy)).expect("valid config");
     let a = rt.alloc(BYTES);
     let b = rt.alloc(BYTES);
     let c = rt.alloc(BYTES);
@@ -84,7 +84,7 @@ fn run_local(policy: PolicyKind) -> (Vec<Decision>, Vec<f32>, Vec<f32>) {
     let fill = Arc::new(kernels[0].clone());
     let copy = Arc::new(kernels[1].clone());
     let inc = Arc::new(kernels[2].clone());
-    let mut rt = LocalRuntime::new(LocalConfig::new(2, policy));
+    let mut rt = LocalRuntime::try_new(LocalConfig::new(2, policy)).expect("spawn workers");
     let a = rt.alloc_f32(N);
     let b = rt.alloc_f32(N);
     let c = rt.alloc_f32(N);
