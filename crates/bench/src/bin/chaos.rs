@@ -13,13 +13,20 @@
 //! Run with: `cargo run --release -p grout-bench --bin chaos -- --seeds 8`
 //! (add `--trace-out`/`--metrics-out` for an instrumented faulted sim run
 //! whose metrics dump carries the fault/retry/quarantine counters)
+//!
+//! `--kill-process` switches to process-level chaos: spawn real
+//! `grout-workerd` processes, SIGKILL one mid-run while it holds the only
+//! fresh copy of an array, and assert the controller quarantines it,
+//! lineage-replays the lost data, and finishes bit-identical to a clean
+//! in-process run. Requires the `grout-workerd` binary next to this one
+//! (`cargo build -p grout --bins`) or a `GROUT_WORKERD` env override.
 use grout::core::{
     CeArg, ChromeTracer, KernelCost, LocalArg, LocalConfig, LocalRuntime, Runtime, Shared,
     SimConfig, SimRuntime,
 };
 use grout::desim::SimDuration;
 use grout::kernelc;
-use grout::{FaultPlan, PolicyKind, SchedEvent};
+use grout::{ExplorationLevel, FaultPlan, PolicyKind, SchedEvent};
 use grout_bench::ArtifactArgs;
 use std::sync::Arc;
 
@@ -223,6 +230,148 @@ fn check_seed(seed: u64) {
     check_random(&ops, kill_at, workers);
 }
 
+/// Where the `grout-workerd` binary lives: `GROUT_WORKERD` env override,
+/// else a sibling of this executable (both land in the same target dir).
+fn workerd_path() -> std::path::PathBuf {
+    if let Some(p) = std::env::var_os("GROUT_WORKERD") {
+        return p.into();
+    }
+    let mut p = std::env::current_exe().expect("current exe");
+    p.set_file_name("grout-workerd");
+    p
+}
+
+/// Process-level chaos: SIGKILL a real `grout-workerd` mid-run.
+///
+/// The victim is the worker holding the only fresh copy of the array (the
+/// one that ran the last pre-kill CE), so recovery *must* lineage-replay —
+/// the controller's master copy is stale. The post-recovery result must be
+/// bit-identical to a clean in-process run of the same chain.
+///
+/// With `--metrics-out`, the artifact carries the TCP run's *measured*
+/// bandwidth matrix next to a net-sim run's *modeled* one (`bw_source`
+/// distinguishes them), so the two can be compared in one file.
+fn check_kill_process(art: ArtifactArgs) {
+    use grout::net::{TcpExt, WorkerSpec};
+
+    let inc = Arc::new(
+        kernelc::compile(
+            "__global__ void inc(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = a[i] + 1.0; }
+            }",
+        )
+        .unwrap()[0]
+            .clone(),
+    );
+    let n = N as i32;
+    let pre = CHAIN / 2;
+    let post = CHAIN - pre;
+
+    // Clean in-process reference.
+    let expected: Vec<u32> = {
+        let mut rt = LocalRuntime::try_new(local_cfg(2, FaultPlan::none())).expect("spawn");
+        let a = rt.alloc_f32(N);
+        rt.write_f32(a, |v| {
+            v.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32)
+        })
+        .unwrap();
+        for _ in 0..CHAIN {
+            rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(n)])
+                .unwrap();
+        }
+        rt.synchronize().unwrap();
+        rt.read_f32(a)
+            .unwrap()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect()
+    };
+
+    // Distributed victim run.
+    let workerd = workerd_path();
+    let mut rt = Runtime::builder()
+        .tcp(vec![
+            WorkerSpec::Spawn(workerd.clone()),
+            WorkerSpec::Spawn(workerd),
+        ])
+        .build()
+        .expect("spawn grout-workerd pair");
+    let a = rt.alloc_f32(N);
+    rt.write_f32(a, |v| {
+        v.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32)
+    })
+    .unwrap();
+    for _ in 0..pre {
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(n)])
+            .unwrap();
+    }
+    rt.synchronize().unwrap();
+
+    // dag 0 is the host write; the last pre-kill inc is dag `pre`. Its
+    // worker holds the only fresh copy of `a`.
+    let victim = rt
+        .node_assignment(pre)
+        .and_then(|l| l.worker_index())
+        .expect("chain CE assigned to a worker");
+    let pid = rt.worker_pid(victim).expect("spawned worker has a pid");
+    let status = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "SIGKILL failed");
+
+    for _ in 0..post {
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(n)])
+            .unwrap();
+    }
+    rt.synchronize().expect("recovery heals the run");
+    let got: Vec<u32> = rt
+        .read_f32(a)
+        .unwrap()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(expected, got, "post-recovery results diverged");
+
+    // The faulted-chain counters: quarantine recorded, lost data replayed.
+    let events = rt.sched_trace().events().to_vec();
+    let (dead, _) = quarantine_of(&events).expect("quarantine event recorded");
+    assert_eq!(dead, victim, "quarantined a different worker than killed");
+    assert!(
+        has_replay(&events),
+        "no lineage replay despite orphaned data"
+    );
+    assert!(rt.metrics().quarantines >= 1);
+    assert!(rt.metrics().replays >= 1);
+    assert!(rt.is_quarantined(victim));
+    assert_eq!(rt.healthy_workers(), 1);
+    assert_eq!(rt.metrics().bw_source, "measured");
+
+    if art.wanted() {
+        // Measured (TCP probe round) vs modeled (net-sim probe) matrices,
+        // side by side in one artifact.
+        let mut sim = SimRuntime::try_new(SimConfig::paper_grout(
+            2,
+            PolicyKind::MinTransferTime(ExplorationLevel::Medium),
+        ))
+        .expect("valid config");
+        let a = sim.alloc(BYTES);
+        let cost = KernelCost {
+            flops: 1e6,
+            bytes_read: BYTES,
+            bytes_written: BYTES,
+        };
+        for _ in 0..CHAIN {
+            sim.launch("inc", cost, vec![CeArg::read_write(a, BYTES)]);
+        }
+        art.write_metrics(&[
+            ("dist-tcp-measured", rt.metrics()),
+            ("sim-net-modeled", sim.metrics()),
+        ]);
+    }
+}
+
 /// One instrumented faulted sim chain (kill at CE 2, two workers): the
 /// exported metrics carry non-zero fault/retry/quarantine counters and the
 /// trace shows the recovery replanning.
@@ -258,6 +407,34 @@ fn main() {
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .expect("--seeds takes a number");
+    }
+
+    if args.iter().any(|a| a == "--kill-process") {
+        let art = art.clone();
+        let h = std::thread::spawn(move || check_kill_process(art));
+        let start = std::time::Instant::now();
+        while !h.is_finished() {
+            if start.elapsed().as_secs() > 60 {
+                println!("kill-process  FAIL (watchdog: recovery deadlock)");
+                std::process::exit(1);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        match h.join() {
+            Ok(()) => {
+                println!("kill-process  PASS");
+                return;
+            }
+            Err(e) => {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                println!("kill-process  FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let mut failures = 0;

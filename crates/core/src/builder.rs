@@ -170,6 +170,30 @@ impl RuntimeBuilder {
 
     /// Build the real threaded controller/worker backend.
     pub fn build_local(self) -> Result<LocalRuntime, LocalError> {
+        let (cfg, telemetry) = self.into_local_parts();
+        let mut rt = LocalRuntime::try_new(cfg)?;
+        rt.set_telemetry(telemetry);
+        Ok(rt)
+    }
+
+    /// Build the plan-executing backend over an explicit [`Transport`]
+    /// (e.g. a `grout-net` TCP mesh). The endpoint count of the transport
+    /// must match the configured worker count.
+    pub fn build_with_transport(
+        self,
+        transport: Box<dyn crate::transport::Transport>,
+    ) -> Result<LocalRuntime, LocalError> {
+        let (cfg, telemetry) = self.into_local_parts();
+        let mut rt = LocalRuntime::with_transport(cfg, transport)?;
+        rt.set_telemetry(telemetry);
+        Ok(rt)
+    }
+
+    /// The fully resolved local config + telemetry this builder describes
+    /// (what `build_local`/`build_with_transport` construct from).
+    /// Transport front-ends (e.g. `grout-net`'s `.tcp(...)`) use this to
+    /// learn the worker count before establishing connections.
+    pub fn into_local_parts(self) -> (LocalConfig, Telemetry) {
         let cfg = match self.local {
             Some(cfg) => cfg,
             None => {
@@ -182,9 +206,7 @@ impl RuntimeBuilder {
                 cfg
             }
         };
-        let mut rt = LocalRuntime::try_new(cfg)?;
-        rt.set_telemetry(self.telemetry);
-        Ok(rt)
+        (cfg, self.telemetry)
     }
 }
 

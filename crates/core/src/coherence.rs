@@ -42,14 +42,18 @@ impl Location {
     }
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct ArrayState {
     /// Sorted list of up-to-date locations.
     holders: Vec<Location>,
 }
 
 /// The coherence directory.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the full directory contents — the distributed
+/// loopback test uses it to assert the TCP and in-process runs converge
+/// on identical final holder sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Coherence {
     arrays: HashMap<ArrayId, ArrayState>,
 }

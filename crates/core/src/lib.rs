@@ -36,6 +36,7 @@ mod scheduler;
 mod sim_runtime;
 pub mod telemetry;
 mod timeline;
+pub mod transport;
 
 pub use builder::{Observability, Runtime, RuntimeBuilder};
 pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
@@ -58,6 +59,10 @@ pub use telemetry::{
     ArgValue, ChromeTracer, Lane, LatencyStat, Metrics, Recorder, Shared, SpanEvent, Telemetry,
 };
 pub use timeline::{validate as validate_timeline, TimelineReport};
+pub use transport::{
+    ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Flow, Outbound, SendLost, Transport,
+    TransportRecvError, WorkerEngine, WorkerMsg,
+};
 
 // Re-export the substrate types users need at the API boundary.
 pub use desim::{SimDuration, SimTime};

@@ -23,12 +23,10 @@
 //! version the plan demands, and only forwards a copy once it is fresh
 //! enough.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use desim::SimDuration;
 use kernelc::{CompiledKernel, KernelArg, LaunchError};
 
@@ -41,6 +39,10 @@ use crate::scheduler::{
     MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
 };
 use crate::telemetry::{ArgValue, Lane, Metrics, SpanEvent, Telemetry};
+use crate::transport::{
+    trace_on, ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Transport, TransportRecvError,
+    WorkerMsg,
+};
 
 /// Errors surfaced by the local runtime.
 #[derive(Debug, thiserror::Error)]
@@ -123,80 +125,6 @@ pub enum LocalArg {
     F32(f32),
     /// Int scalar.
     I32(i32),
-}
-
-/// An injected execution fault riding on an [`ExecMsg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExecFault {
-    /// The worker dies the moment it receives the message (before running
-    /// anything), as if the process was killed mid-dispatch.
-    Crash,
-    /// The launch fails transiently: once the CE's inputs are ready the
-    /// worker reports failure *without* executing, leaving its store
-    /// exactly as a real failed `cudaLaunchKernel` would.
-    FailTransient,
-}
-
-/// Kernel-launch request queued on a worker.
-struct ExecMsg {
-    dag_index: DagIndex,
-    kernel: Arc<CompiledKernel>,
-    grid: (u32, u32),
-    block: (u32, u32),
-    args: Vec<LocalArg>,
-    /// Arrays (with minimum versions) that must be present locally before
-    /// execution. Versioning prevents a stale local copy from satisfying a
-    /// dependency whose fresh bytes are still in flight.
-    needs: Vec<(ArrayId, u64)>,
-    /// Version each written array becomes once this CE completes.
-    bumps: Vec<(ArrayId, u64)>,
-    /// Deterministic injected fault, if the [`crate::FaultPlan`] schedules
-    /// one for this CE.
-    fault: Option<ExecFault>,
-}
-
-enum ToWorker {
-    /// Install a local array copy (ignored if a newer version is present).
-    Data {
-        array: ArrayId,
-        version: u64,
-        buf: HostBuf,
-    },
-    /// Execute a kernel once `needs` are present.
-    Exec(ExecMsg),
-    /// Send a local copy to another worker (true P2P) or the controller —
-    /// but only once the local copy reaches `min_version`: the controller
-    /// may name this worker as a source while its fresh copy is still in
-    /// flight, and forwarding a stale version would wedge the consumer.
-    Send {
-        array: ArrayId,
-        min_version: u64,
-        to: Option<usize>,
-    },
-    /// Terminate.
-    Shutdown,
-}
-
-enum ToController {
-    Done {
-        dag_index: DagIndex,
-        worker: usize,
-        /// Wall-clock kernel execution time measured on the worker
-        /// (per-worker occupancy metric; spans are anchored controller-side).
-        elapsed_ns: u64,
-    },
-    Data {
-        array: ArrayId,
-        version: u64,
-        buf: HostBuf,
-    },
-    Failed {
-        dag_index: DagIndex,
-        worker: usize,
-        /// `Some` for a real (deterministic) launch error, `None` for an
-        /// injected transient failure eligible for retry.
-        error: Option<LaunchError>,
-    },
 }
 
 /// Execution statistics.
@@ -296,12 +224,8 @@ impl BufShape {
     }
 }
 
-struct WorkerHandle {
-    tx: Sender<ToWorker>,
-    join: Option<JoinHandle<()>>,
-}
-
-/// The threaded GrOUT runtime: executes [`Plan`]s over channels.
+/// The threaded GrOUT runtime: executes [`Plan`]s over a [`Transport`]
+/// (in-process crossbeam channels by default; TCP via `grout-net`).
 pub struct LocalRuntime {
     cfg: LocalConfig,
     planner: Planner,
@@ -318,8 +242,13 @@ pub struct LocalRuntime {
     /// version (second hop of staged movements).
     pending_ctrl: Vec<(ArrayId, u64, usize)>,
     pending: Vec<PendingCe>,
-    workers: Vec<WorkerHandle>,
-    from_workers: Receiver<ToController>,
+    /// The controller↔worker message fabric (threads+channels or TCP).
+    transport: Box<dyn Transport>,
+    /// Controller-assigned kernel ids, keyed by `Arc` identity.
+    kernel_ids: HashMap<usize, u64>,
+    next_kernel_id: u64,
+    /// Kernels already shipped to each worker (one `LoadKernel` each).
+    loaded: Vec<HashSet<u64>>,
     stats: LocalStats,
     kernels_by_worker: Vec<u64>,
     trace: SchedTrace,
@@ -351,220 +280,6 @@ pub struct LocalRuntime {
     origin: std::time::Instant,
 }
 
-fn trace_on() -> bool {
-    std::env::var_os("GROUT_TRACE").is_some()
-}
-
-fn worker_loop(
-    me: usize,
-    rx: Receiver<ToWorker>,
-    to_controller: Sender<ToController>,
-    peers: Vec<Sender<ToWorker>>,
-) {
-    let mut store: HashMap<ArrayId, (u64, HostBuf)> = HashMap::new();
-    let mut queue: VecDeque<ExecMsg> = VecDeque::new();
-    // Forward requests waiting for a version still in flight.
-    let mut pending_sends: VecDeque<(ArrayId, u64, Option<usize>)> = VecDeque::new();
-
-    fn forward(
-        _me: usize,
-        store: &HashMap<ArrayId, (u64, HostBuf)>,
-        peers: &[Sender<ToWorker>],
-        to_controller: &Sender<ToController>,
-        array: ArrayId,
-        to: Option<usize>,
-    ) {
-        let (version, buf) = store.get(&array).expect("checked by caller");
-        match to {
-            Some(peer) => {
-                let _ = peers[peer].send(ToWorker::Data {
-                    array,
-                    version: *version,
-                    buf: buf.clone(),
-                });
-            }
-            None => {
-                let _ = to_controller.send(ToController::Data {
-                    array,
-                    version: *version,
-                    buf: buf.clone(),
-                });
-            }
-        }
-    }
-
-    fn try_run(
-        msg: &ExecMsg,
-        store: &mut HashMap<ArrayId, (u64, HostBuf)>,
-    ) -> Option<(Result<(), LaunchError>, u64)> {
-        let have = |a: &ArrayId, v: u64, store: &HashMap<ArrayId, (u64, HostBuf)>| {
-            store.get(a).is_some_and(|(ver, _)| *ver >= v)
-        };
-        if !msg.needs.iter().all(|(a, v)| have(a, *v, store)) {
-            return None;
-        }
-        // Temporarily take buffers out of the store to get disjoint &mut.
-        let mut taken: Vec<(ArrayId, u64, HostBuf)> = Vec::new();
-        for arg in &msg.args {
-            if let LocalArg::Buf(a) = arg {
-                if let Some((ver, buf)) = store.remove(a) {
-                    taken.push((*a, ver, buf));
-                }
-            }
-        }
-        let started = std::time::Instant::now();
-        let result = {
-            let mut kargs: Vec<KernelArg<'_>> = Vec::with_capacity(msg.args.len());
-            let mut cursor = taken.iter_mut();
-            for arg in &msg.args {
-                match arg {
-                    LocalArg::Buf(_) => {
-                        let (_, _, buf) = cursor.next().expect("taken in order");
-                        kargs.push(match buf {
-                            HostBuf::F32(v) => KernelArg::F32(v),
-                            HostBuf::I32(v) => KernelArg::I32(v),
-                        });
-                    }
-                    LocalArg::F32(v) => kargs.push(KernelArg::Float(*v)),
-                    LocalArg::I32(v) => kargs.push(KernelArg::Int(*v)),
-                }
-            }
-            msg.kernel.launch2d(msg.grid, msg.block, &mut kargs)
-        };
-        let elapsed_ns = started.elapsed().as_nanos() as u64;
-        for (a, mut ver, buf) in taken {
-            if let Some((_, v)) = msg.bumps.iter().find(|(b, _)| *b == a) {
-                ver = ver.max(*v);
-            }
-            store.insert(a, (ver, buf));
-        }
-        Some((result.map(|_| ()), elapsed_ns))
-    }
-
-    'main: while let Ok(msg) = rx.recv() {
-        match msg {
-            ToWorker::Data {
-                array,
-                version,
-                buf,
-            } => {
-                if trace_on() {
-                    eprintln!("[w{me}] Data {array:?} v{version}");
-                }
-                match store.get(&array) {
-                    Some((have, _)) if *have >= version => {}
-                    _ => {
-                        store.insert(array, (version, buf));
-                    }
-                }
-            }
-            ToWorker::Exec(m) => {
-                if trace_on() {
-                    eprintln!(
-                        "[w{me}] Exec ce#{} needs {:?} bumps {:?} fault {:?}",
-                        m.dag_index, m.needs, m.bumps, m.fault
-                    );
-                }
-                if m.fault == Some(ExecFault::Crash) {
-                    // Injected node death: the thread stops on receipt,
-                    // taking its local store (and the queued work) with it.
-                    // Deterministic — the store holds exactly the completed
-                    // prior CEs' results, regardless of delivery timing.
-                    break 'main;
-                }
-                queue.push_back(m)
-            }
-            ToWorker::Send {
-                array,
-                min_version,
-                to,
-            } => {
-                if trace_on() {
-                    eprintln!(
-                        "[w{me}] Send {array:?} v>={min_version} -> {to:?} (stored v{:?})",
-                        store.get(&array).map(|(v, _)| *v)
-                    );
-                }
-                match store.get(&array) {
-                    Some((ver, _)) if *ver >= min_version => {
-                        forward(me, &store, &peers, &to_controller, array, to);
-                    }
-                    _ => pending_sends.push_back((array, min_version, to)),
-                }
-            }
-            ToWorker::Shutdown => break 'main,
-        }
-        // Drain every runnable queued kernel and every satisfiable pending
-        // forward (data may have just arrived or been produced).
-        let mut progress = true;
-        while progress {
-            progress = false;
-            for i in 0..pending_sends.len() {
-                let (array, min_version, to) = pending_sends[i];
-                let ready = store
-                    .get(&array)
-                    .is_some_and(|(ver, _)| *ver >= min_version);
-                if ready {
-                    pending_sends.remove(i);
-                    forward(me, &store, &peers, &to_controller, array, to);
-                    progress = true;
-                    break;
-                }
-            }
-            if progress {
-                continue;
-            }
-            for i in 0..queue.len() {
-                let inputs_ready = queue[i]
-                    .needs
-                    .iter()
-                    .all(|(a, v)| store.get(a).is_some_and(|(ver, _)| *ver >= *v));
-                if !inputs_ready {
-                    continue;
-                }
-                if queue[i].fault == Some(ExecFault::FailTransient) {
-                    // Injected transient launch failure: report once the
-                    // inputs are ready (a real launch would fail at that
-                    // point) WITHOUT executing, so the local store — and
-                    // hence every version — is untouched.
-                    let m = queue.remove(i).expect("index in range");
-                    let _ = to_controller.send(ToController::Failed {
-                        dag_index: m.dag_index,
-                        worker: me,
-                        error: None,
-                    });
-                    progress = true;
-                    break;
-                }
-                if let Some((result, elapsed_ns)) = try_run(&queue[i], &mut store) {
-                    let m = queue.remove(i).expect("index in range");
-                    match result {
-                        Ok(()) => {
-                            if trace_on() {
-                                eprintln!("[w{me}] Done ce#{}", m.dag_index);
-                            }
-                            let _ = to_controller.send(ToController::Done {
-                                dag_index: m.dag_index,
-                                worker: me,
-                                elapsed_ns,
-                            });
-                        }
-                        Err(error) => {
-                            let _ = to_controller.send(ToController::Failed {
-                                dag_index: m.dag_index,
-                                worker: me,
-                                error: Some(error),
-                            });
-                        }
-                    }
-                    progress = true;
-                    break;
-                }
-            }
-        }
-    }
-}
-
 impl LocalRuntime {
     /// Spawns the worker threads and wires the channel mesh (controller to
     /// each worker, worker to worker for P2P, workers back to controller).
@@ -578,58 +293,50 @@ impl LocalRuntime {
     /// quarantined (degraded mode) instead of panicking the deployment;
     /// only zero live workers is an error.
     pub fn try_new(cfg: LocalConfig) -> Result<Self, LocalError> {
-        LocalRuntime::with_spawner(cfg, |i, rx, back, peers| {
-            std::thread::Builder::new()
-                .name(format!("grout-worker-{i}"))
-                .spawn(move || worker_loop(i, rx, back, peers))
-        })
+        crate::builder::validate_planner(&cfg.planner).map_err(LocalError::Plan)?;
+        let transport = ChannelTransport::new(cfg.planner.workers);
+        LocalRuntime::with_transport(cfg, Box::new(transport))
     }
 
-    /// Startup with an injectable thread spawner (tests force spawn
-    /// failures through this without exhausting OS resources).
-    fn with_spawner<F>(cfg: LocalConfig, mut spawn: F) -> Result<Self, LocalError>
-    where
-        F: FnMut(
-            usize,
-            Receiver<ToWorker>,
-            Sender<ToController>,
-            Vec<Sender<ToWorker>>,
-        ) -> std::io::Result<JoinHandle<()>>,
-    {
+    /// Startup over an explicit [`Transport`] (the in-process channel mesh
+    /// or a `grout-net` TCP mesh). Workers the transport reports as
+    /// spawn-failed start quarantined; only zero live workers is an error.
+    /// The planner's link matrix comes from
+    /// [`Transport::measured_links`] when the transport probed one
+    /// (min-transfer-time then prices real bandwidth), uniform otherwise.
+    pub fn with_transport(
+        cfg: LocalConfig,
+        transport: Box<dyn Transport>,
+    ) -> Result<Self, LocalError> {
         crate::builder::validate_planner(&cfg.planner).map_err(LocalError::Plan)?;
         let n = cfg.planner.workers;
-        let (to_controller, from_workers) = unbounded::<ToController>();
-        let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
-            (0..n).map(|_| unbounded()).collect();
-        let txs: Vec<Sender<ToWorker>> = channels.iter().map(|(t, _)| t.clone()).collect();
-        let mut failures: Vec<(usize, String)> = Vec::new();
-        let workers: Vec<WorkerHandle> = channels
-            .into_iter()
-            .enumerate()
-            .map(|(i, (tx, rx))| {
-                let peers = txs.clone();
-                let back = to_controller.clone();
-                match spawn(i, rx, back, peers) {
-                    Ok(join) => WorkerHandle {
-                        tx,
-                        join: Some(join),
-                    },
-                    Err(e) => {
-                        failures.push((i, e.to_string()));
-                        WorkerHandle { tx, join: None }
-                    }
-                }
-            })
-            .collect();
+        if transport.workers() != n {
+            return Err(LocalError::Plan(PlanError::InvalidConfig(
+                "transport endpoint count must match the configured worker count",
+            )));
+        }
+        let failures: Vec<(usize, String)> = transport.spawn_failures().to_vec();
         if failures.len() == n {
-            let (worker, reason) = failures.swap_remove(0);
+            let (worker, reason) = failures.into_iter().next().expect("n > 0 workers");
             return Err(LocalError::SpawnFailed { worker, reason });
         }
-        let links = LinkMatrix::uniform(n + 1, 1e9);
+        let links = transport
+            .measured_links()
+            .cloned()
+            .unwrap_or_else(|| LinkMatrix::uniform(n + 1, 1e9));
+        let mut metrics = Metrics::with_workers(n);
+        metrics.set_bandwidth(
+            if transport.measured_links().is_some() {
+                "measured"
+            } else {
+                "uniform"
+            },
+            transport.kind(),
+            &links,
+        );
         let mut planner = Planner::new(cfg.planner.clone(), Some(links));
         let mut detector = FailureDetector::new(n);
         let mut trace = SchedTrace::default();
-        let mut metrics = Metrics::with_workers(n);
         for (i, _reason) in &failures {
             planner.quarantine(*i).expect("not all workers failed");
             detector.mark_dead(*i);
@@ -645,8 +352,10 @@ impl LocalRuntime {
             present: vec![HashSet::new(); n],
             pending_ctrl: Vec::new(),
             pending: Vec::new(),
-            workers,
-            from_workers,
+            transport,
+            kernel_ids: HashMap::new(),
+            next_kernel_id: 0,
+            loaded: vec![HashSet::new(); n],
             stats: LocalStats::default(),
             kernels_by_worker: vec![0; n],
             trace,
@@ -1016,29 +725,29 @@ impl LocalRuntime {
             }
             let timeout =
                 Duration::from_nanos(self.cfg.planner.fault_cfg.detection_timeout.as_nanos());
-            match self.from_workers.recv_timeout(timeout) {
-                Ok(ToController::Done {
+            match self.transport.recv_timeout(timeout) {
+                Ok(WorkerMsg::Done {
                     dag_index,
                     worker,
                     elapsed_ns,
                 }) => {
                     self.on_done(dag_index, worker, elapsed_ns);
                 }
-                Ok(ToController::Failed {
+                Ok(WorkerMsg::Failed {
                     dag_index,
                     worker: _,
                     error: Some(error),
                 }) => {
                     return Err(LocalError::LaunchAt(dag_index, error));
                 }
-                Ok(ToController::Failed {
+                Ok(WorkerMsg::Failed {
                     dag_index,
                     worker,
                     error: None,
                 }) => {
                     self.handle_transient_failure(dag_index, worker)?;
                 }
-                Ok(ToController::Data {
+                Ok(WorkerMsg::Data {
                     array,
                     version,
                     buf,
@@ -1046,8 +755,11 @@ impl LocalRuntime {
                     self.install_master(array, version, buf);
                     self.flush_pending_ctrl_recovering()?;
                 }
-                Err(RecvTimeoutError::Timeout) => self.on_timeout()?,
-                Err(RecvTimeoutError::Disconnected) => return Err(LocalError::NoHealthyWorkers),
+                // Liveness/probe traffic is transport-internal; tolerate
+                // stragglers defensively.
+                Ok(_) => {}
+                Err(TransportRecvError::Timeout) => self.on_timeout()?,
+                Err(TransportRecvError::Disconnected) => return Err(LocalError::NoHealthyWorkers),
             }
         }
         let done: Vec<bool> = self
@@ -1116,19 +828,61 @@ impl LocalRuntime {
             .ok_or(LocalError::UnknownArray(array))?
             .clone();
         let version = self.master_versions.get(&array).copied().unwrap_or(0);
-        self.workers[w]
-            .tx
-            .send(ToWorker::Data {
-                array,
-                version,
-                buf,
-            })
+        self.transport
+            .send(
+                w,
+                CtrlMsg::Data {
+                    array,
+                    version,
+                    buf,
+                },
+            )
             .map_err(|_| LocalError::WorkerDied {
                 worker: w,
                 at_ce: None,
             })?;
         self.present[w].insert(array);
         Ok(())
+    }
+
+    /// The id under which `kernel` ships over the transport, assigning a
+    /// fresh one on first sight (`Arc` identity keyed — recompiling the
+    /// same source yields a distinct id, which is only a wasted
+    /// `LoadKernel`, never a correctness issue).
+    fn kernel_id(&mut self, kernel: &Arc<CompiledKernel>) -> u64 {
+        let key = Arc::as_ptr(kernel) as usize;
+        *self.kernel_ids.entry(key).or_insert_with(|| {
+            let id = self.next_kernel_id;
+            self.next_kernel_id += 1;
+            id
+        })
+    }
+
+    /// Ships `kernel` to worker `w` unless already loaded there.
+    fn ensure_loaded(
+        &mut self,
+        w: usize,
+        kernel: &Arc<CompiledKernel>,
+        dag: DagIndex,
+    ) -> Result<u64, LocalError> {
+        let id = self.kernel_id(kernel);
+        if self.loaded[w].insert(id) {
+            self.transport
+                .send(
+                    w,
+                    CtrlMsg::LoadKernel {
+                        id,
+                        name: kernel.name().to_string(),
+                        source: kernel.source().to_string(),
+                        compiled: Some(Arc::clone(kernel)),
+                    },
+                )
+                .map_err(|_| LocalError::WorkerDied {
+                    worker: w,
+                    at_ce: Some(dag),
+                })?;
+        }
+        Ok(id)
     }
 
     /// Transmits pending CE `i`: issues the plan's data movements as
@@ -1195,13 +949,15 @@ impl LocalRuntime {
             for (a, need) in needs {
                 let (version, buf) = self.controller_buf(a, need)?;
                 let bytes = buf.bytes();
-                self.workers[w]
-                    .tx
-                    .send(ToWorker::Data {
-                        array: a,
-                        version,
-                        buf,
-                    })
+                self.transport
+                    .send(
+                        w,
+                        CtrlMsg::Data {
+                            array: a,
+                            version,
+                            buf,
+                        },
+                    )
                     .map_err(|_| LocalError::WorkerDied {
                         worker: w,
                         at_ce: Some(dag),
@@ -1230,13 +986,15 @@ impl LocalRuntime {
                 match m.kind {
                     MovementKind::P2p => {
                         let src = m.from.worker_index().expect("p2p sources are workers");
-                        self.workers[src]
-                            .tx
-                            .send(ToWorker::Send {
-                                array: m.array,
-                                min_version: need,
-                                to: Some(w),
-                            })
+                        self.transport
+                            .send(
+                                src,
+                                CtrlMsg::Send {
+                                    array: m.array,
+                                    min_version: need,
+                                    to: Some(w),
+                                },
+                            )
                             .map_err(|_| LocalError::WorkerDied {
                                 worker: src,
                                 at_ce: Some(dag),
@@ -1274,13 +1032,15 @@ impl LocalRuntime {
                         // P2P disabled: first hop pulls the bytes to the
                         // controller, the relay to `w` fires when they land.
                         let src = m.from.worker_index().expect("staged sources are workers");
-                        self.workers[src]
-                            .tx
-                            .send(ToWorker::Send {
-                                array: m.array,
-                                min_version: need,
-                                to: None,
-                            })
+                        self.transport
+                            .send(
+                                src,
+                                CtrlMsg::Send {
+                                    array: m.array,
+                                    min_version: need,
+                                    to: None,
+                                },
+                            )
                             .map_err(|_| LocalError::WorkerDied {
                                 worker: src,
                                 at_ce: Some(dag),
@@ -1325,10 +1085,12 @@ impl LocalRuntime {
             }
         }
 
+        let kernel = Arc::clone(&self.pending[i].kernel);
+        let kernel_id = self.ensure_loaded(w, &kernel, dag)?;
         let p = &self.pending[i];
-        let msg = ExecMsg {
+        let msg = ExecSpec {
             dag_index: dag,
-            kernel: Arc::clone(&p.kernel),
+            kernel: kernel_id,
             grid: p.grid,
             block: p.block,
             args: p.args.clone(),
@@ -1336,9 +1098,8 @@ impl LocalRuntime {
             bumps: p.bumps.clone(),
             fault,
         };
-        self.workers[w]
-            .tx
-            .send(ToWorker::Exec(msg))
+        self.transport
+            .send(w, CtrlMsg::Exec(msg))
             .map_err(|_| LocalError::WorkerDied {
                 worker: w,
                 at_ce: Some(dag),
@@ -1377,13 +1138,16 @@ impl LocalRuntime {
             let Some(holder) = m.from.worker_index() else {
                 continue;
             };
-            if self.workers[holder]
-                .tx
-                .send(ToWorker::Send {
-                    array: m.array,
-                    min_version,
-                    to: None,
-                })
+            if self
+                .transport
+                .send(
+                    holder,
+                    CtrlMsg::Send {
+                        array: m.array,
+                        min_version,
+                        to: None,
+                    },
+                )
                 .is_err()
             {
                 // The holder died before the fetch: recover (lineage replay
@@ -1399,8 +1163,8 @@ impl LocalRuntime {
                 Duration::from_nanos(self.cfg.planner.fault_cfg.detection_timeout.as_nanos());
             // Wait for the bytes (completions for other CEs may interleave).
             loop {
-                match self.from_workers.recv_timeout(timeout) {
-                    Ok(ToController::Data {
+                match self.transport.recv_timeout(timeout) {
+                    Ok(WorkerMsg::Data {
                         array: a,
                         version,
                         buf,
@@ -1413,22 +1177,23 @@ impl LocalRuntime {
                             break;
                         }
                     }
-                    Ok(ToController::Done {
+                    Ok(WorkerMsg::Done {
                         dag_index,
                         worker,
                         elapsed_ns,
                     }) => {
                         self.on_done(dag_index, worker, elapsed_ns);
                     }
-                    Ok(ToController::Failed {
+                    Ok(WorkerMsg::Failed {
                         error: Some(error), ..
                     }) => {
                         return Err(LocalError::Launch(error));
                     }
                     // Transient failures cannot arrive here (synchronize
-                    // returned with nothing in flight); ignore defensively.
-                    Ok(ToController::Failed { error: None, .. }) => {}
-                    Err(RecvTimeoutError::Timeout) => {
+                    // returned with nothing in flight); liveness/probe
+                    // traffic is transport-internal. Ignore defensively.
+                    Ok(_) => {}
+                    Err(TransportRecvError::Timeout) => {
                         let newly_dead = self.probe_dead();
                         if newly_dead.is_empty() {
                             continue;
@@ -1442,7 +1207,7 @@ impl LocalRuntime {
                         }
                         break;
                     }
-                    Err(RecvTimeoutError::Disconnected) => {
+                    Err(TransportRecvError::Disconnected) => {
                         return Err(LocalError::NoHealthyWorkers)
                     }
                 }
@@ -1455,19 +1220,16 @@ impl LocalRuntime {
 
     // ---- failure detection & recovery ----------------------------------
 
-    /// Probes every supposedly-live worker's join handle; returns the
-    /// indices that are actually gone (newly dead).
+    /// Probes every supposedly-live worker through the transport (join
+    /// handle in-process, socket + heartbeat freshness over TCP); returns
+    /// the indices that are actually gone (newly dead).
     fn probe_dead(&mut self) -> Vec<usize> {
         let mut dead = Vec::new();
-        for i in 0..self.workers.len() {
+        for i in 0..self.transport.workers() {
             if !self.detector.is_alive(i) {
                 continue;
             }
-            let gone = match &self.workers[i].join {
-                None => true,
-                Some(j) => j.is_finished(),
-            };
-            if gone {
+            if !self.transport.is_alive(i) {
                 dead.push(i);
             }
         }
@@ -1515,13 +1277,15 @@ impl LocalRuntime {
             for (a, need) in needs {
                 let (version, buf) = self.controller_buf(a, need)?;
                 let bytes = buf.bytes();
-                self.workers[w]
-                    .tx
-                    .send(ToWorker::Data {
-                        array: a,
-                        version,
-                        buf,
-                    })
+                self.transport
+                    .send(
+                        w,
+                        CtrlMsg::Data {
+                            array: a,
+                            version,
+                            buf,
+                        },
+                    )
                     .map_err(|_| LocalError::WorkerDied {
                         worker: w,
                         at_ce: Some(dag),
@@ -1600,31 +1364,29 @@ impl LocalRuntime {
             kind: "kill-worker",
             epoch,
         });
-        // Make sure the thread is gone: on a persistent-transient failure
+        // Make sure the endpoint is gone: on a persistent-transient failure
         // the worker is alive but condemned, on a crash this is a no-op.
-        let _ = self.workers[d].tx.send(ToWorker::Shutdown);
-        if let Some(j) = self.workers[d].join.take() {
-            let _ = j.join();
-        }
+        self.transport.shutdown(d);
+        self.loaded[d].clear();
         // Work finished before the death may still sit in the channel;
         // drain it so recovery only replans what truly died.
-        while let Ok(m) = self.from_workers.try_recv() {
+        while let Some(m) = self.transport.try_recv() {
             match m {
-                ToController::Done {
+                WorkerMsg::Done {
                     dag_index,
                     worker,
                     elapsed_ns,
                 } => {
                     self.on_done(dag_index, worker, elapsed_ns);
                 }
-                ToController::Data {
+                WorkerMsg::Data {
                     array,
                     version,
                     buf,
                 } => {
                     self.install_master(array, version, buf);
                 }
-                ToController::Failed {
+                WorkerMsg::Failed {
                     dag_index,
                     error: None,
                     ..
@@ -1641,8 +1403,9 @@ impl LocalRuntime {
                     }
                 }
                 // A deterministic launch error will recur when the CE is
-                // re-executed and surface then.
-                ToController::Failed { .. } => {}
+                // re-executed and surface then; liveness/probe traffic is
+                // transport-internal.
+                _ => {}
             }
         }
         // Quarantine + replan the in-flight frontier through the shared
@@ -1751,13 +1514,15 @@ impl LocalRuntime {
             for (a, need) in needs {
                 let (version, buf) = self.controller_buf(a, need)?;
                 let bytes = buf.bytes();
-                self.workers[w]
-                    .tx
-                    .send(ToWorker::Data {
-                        array: a,
-                        version,
-                        buf,
-                    })
+                self.transport
+                    .send(
+                        w,
+                        CtrlMsg::Data {
+                            array: a,
+                            version,
+                            buf,
+                        },
+                    )
                     .map_err(|_| LocalError::WorkerDied {
                         worker: w,
                         at_ce: Some(dag),
@@ -1944,10 +1709,19 @@ impl LocalRuntime {
     /// [`LocalError::WorkerDied`] instead of hanging — the behaviour a
     /// deployment would see when a node drops out mid-run.
     pub fn kill_worker(&mut self, worker: usize) {
-        let _ = self.workers[worker].tx.send(ToWorker::Shutdown);
-        if let Some(j) = self.workers[worker].join.take() {
-            let _ = j.join();
-        }
+        self.transport.shutdown(worker);
+    }
+
+    /// The link-bandwidth matrix the planner prices transfers with:
+    /// measured by the transport when available (TCP probe round),
+    /// uniform otherwise.
+    pub fn link_matrix(&self) -> Option<&LinkMatrix> {
+        self.planner.links()
+    }
+
+    /// The transport label (`"channel"` in-process, `"tcp"` distributed).
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
     }
 
     /// Execution statistics so far.
@@ -2009,19 +1783,6 @@ impl crate::Observability for LocalRuntime {
 
     fn metrics(&self) -> &Metrics {
         &self.metrics
-    }
-}
-
-impl Drop for LocalRuntime {
-    fn drop(&mut self) {
-        for w in &self.workers {
-            let _ = w.tx.send(ToWorker::Shutdown);
-        }
-        for w in &mut self.workers {
-            if let Some(j) = w.join.take() {
-                let _ = j.join();
-            }
-        }
     }
 }
 
@@ -2467,14 +2228,15 @@ mod tests {
     #[test]
     fn spawn_failure_degrades_instead_of_panicking() {
         let cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
-        let mut rt = LocalRuntime::with_spawner(cfg, |i, rx, back, peers| {
+        let transport = ChannelTransport::with_spawner(2, |i, rx, back, peers| {
             if i == 0 {
                 Err(std::io::Error::other("no threads left"))
             } else {
-                std::thread::Builder::new().spawn(move || worker_loop(i, rx, back, peers))
+                std::thread::Builder::new()
+                    .spawn(move || crate::transport::run_worker(i, rx, back, peers))
             }
-        })
-        .unwrap();
+        });
+        let mut rt = LocalRuntime::with_transport(cfg, Box::new(transport)).unwrap();
         assert!(rt.is_quarantined(0));
         assert_eq!(rt.healthy_workers(), 1);
         assert!(rt
@@ -2494,9 +2256,10 @@ mod tests {
     #[test]
     fn all_spawns_failing_is_an_error() {
         let cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
-        let result = LocalRuntime::with_spawner(cfg, |_, _, _, _| {
+        let transport = ChannelTransport::with_spawner(2, |_, _, _, _| {
             Err(std::io::Error::other("no threads left"))
         });
+        let result = LocalRuntime::with_transport(cfg, Box::new(transport));
         assert!(matches!(
             result.err(),
             Some(LocalError::SpawnFailed { worker: 0, .. })

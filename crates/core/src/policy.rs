@@ -107,6 +107,18 @@ impl LinkMatrix {
         self.bw.len()
     }
 
+    /// Number of endpoints (alias of [`LinkMatrix::len`] for call sites
+    /// where `len` reads ambiguously, e.g. telemetry export).
+    pub fn endpoints(&self) -> usize {
+        self.bw.len()
+    }
+
+    /// Raw bandwidth entry by endpoint index (0 = Controller), without
+    /// going through [`Location`].
+    pub fn raw(&self, src: usize, dst: usize) -> f64 {
+        self.bw[src][dst]
+    }
+
     /// Never empty by construction.
     pub fn is_empty(&self) -> bool {
         false

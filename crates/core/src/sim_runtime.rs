@@ -211,7 +211,10 @@ impl SimRuntime {
             })
             .collect();
         let detector = FailureDetector::new(cfg.planner.workers);
-        let metrics = Metrics::with_workers(cfg.planner.workers);
+        let mut metrics = Metrics::with_workers(cfg.planner.workers);
+        if let Some(links) = planner.links() {
+            metrics.set_bandwidth("modeled", "sim", links);
+        }
         Ok(SimRuntime {
             net,
             planner,
@@ -330,6 +333,10 @@ impl SimRuntime {
         if matches!(self.cfg.planner.policy, PolicyKind::MinTransferTime(_)) {
             self.planner
                 .reprobe_links(LinkMatrix::new(self.net.probe_matrix(64 << 20)));
+            if let Some(links) = self.planner.links() {
+                let links = links.clone();
+                self.metrics.set_bandwidth("modeled", "sim", &links);
+            }
         }
     }
 

@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use serde::json::Value;
 
 use crate::faults::SchedEvent;
+use crate::policy::LinkMatrix;
 use crate::scheduler::MovementKind;
 
 /// Where an event happened: one Chrome-trace lane per `(node, track)`.
@@ -683,6 +684,20 @@ pub struct Metrics {
     pub kernels_by_worker: Vec<u64>,
     /// Busy nanoseconds per worker (kernel occupancy).
     pub busy_ns_by_worker: Vec<u64>,
+    /// Where the link-bandwidth matrix came from: `""` (none recorded),
+    /// `"uniform"` (modeling fallback), `"modeled"` (net-sim probe) or
+    /// `"measured"` (transport probe round).
+    pub bw_source: String,
+    /// Transport carrying the transfer bytes above (`"channel"` for the
+    /// in-process mesh, `"tcp"` for `grout-net`, `"sim"` for the
+    /// simulator) — the per-run half of the local-channel vs TCP split.
+    pub transport: String,
+    /// The link-bandwidth matrix itself, `bw_bps[src][dst]` in integer
+    /// bytes/sec (truncated from f64 so `Metrics` stays `Eq`; endpoint 0
+    /// is the controller, endpoint `i + 1` worker `i`). Lets one artifact
+    /// carry measured (TCP) and modeled (net-sim) matrices side by side
+    /// for comparison.
+    pub bw_bps: Vec<Vec<u64>>,
 }
 
 impl Metrics {
@@ -725,6 +740,22 @@ impl Metrics {
             SchedEvent::TransferRedriven { .. } => self.transfers_redriven += 1,
             SchedEvent::SpawnFailed { .. } => self.spawn_failures += 1,
         }
+    }
+
+    /// Record the link-bandwidth matrix the planner prices transfers
+    /// with, plus its provenance (`source`: `"uniform"`, `"modeled"` or
+    /// `"measured"`) and the transport label carrying the run's bytes.
+    pub fn set_bandwidth(&mut self, source: &str, transport: &str, links: &LinkMatrix) {
+        self.bw_source = source.to_string();
+        self.transport = transport.to_string();
+        let n = links.endpoints();
+        self.bw_bps = (0..n)
+            .map(|src| {
+                (0..n)
+                    .map(|dst| links.raw(src, dst).max(0.0) as u64)
+                    .collect()
+            })
+            .collect();
     }
 
     /// Total payload bytes moved across all movement kinds.
@@ -794,6 +825,23 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            (
+                "bw_source".to_string(),
+                Value::String(self.bw_source.clone()),
+            ),
+            (
+                "transport".to_string(),
+                Value::String(self.transport.clone()),
+            ),
+            (
+                "bw_bps".to_string(),
+                Value::Array(
+                    self.bw_bps
+                        .iter()
+                        .map(|row| Value::Array(row.iter().map(|&b| Value::U64(b)).collect()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -840,6 +888,13 @@ impl Metrics {
         }
         for (w, b) in self.busy_ns_by_worker.iter().enumerate() {
             kv(&format!("busy_ns_by_worker.{w}"), b.to_string());
+        }
+        kv("bw_source", self.bw_source.clone());
+        kv("transport", self.transport.clone());
+        for (src, row) in self.bw_bps.iter().enumerate() {
+            for (dst, b) in row.iter().enumerate() {
+                kv(&format!("bw_bps.{src}.{dst}"), b.to_string());
+            }
         }
         out
     }

@@ -1,0 +1,749 @@
+//! The controller↔worker transport seam.
+//!
+//! [`LocalRuntime`](crate::LocalRuntime) executes plans by exchanging
+//! messages with its workers; this module abstracts *how* those messages
+//! move so the same runtime drives worker threads in-process (the
+//! [`ChannelTransport`] crossbeam mesh) or worker *processes* over a real
+//! network (the TCP transport in the `grout-net` crate).
+//!
+//! Three logical channels are covered by one trait:
+//!
+//! - controller → worker: plan traffic ([`CtrlMsg`] — data installs,
+//!   kernel loads, execution requests, forward requests),
+//! - worker → controller: completions, failures, returned data and
+//!   liveness ([`WorkerMsg`]),
+//! - worker ↔ worker: P2P data, reached from the controller's plan via
+//!   `CtrlMsg::Send { to: Some(peer) }` and carried by the transport.
+//!
+//! The worker side is a transport-agnostic state machine,
+//! [`WorkerEngine`]: it owns the local array store, the version-gated run
+//! queue and the pending-forward queue, and reacts to one [`CtrlMsg`] at a
+//! time, emitting [`Outbound`] messages through a callback. The in-process
+//! transport runs one engine per thread; `grout-workerd` runs one engine
+//! per process over TCP. Both execute the exact same code, which is what
+//! makes the loopback differential test (`tests/dist_loopback.rs`)
+//! byte-exact.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use kernelc::{CompiledKernel, KernelArg, LaunchError};
+
+use crate::ce::ArrayId;
+use crate::dag::DagIndex;
+use crate::local_runtime::{HostBuf, LocalArg};
+use crate::policy::LinkMatrix;
+
+pub(crate) fn trace_on() -> bool {
+    std::env::var_os("GROUT_TRACE").is_some()
+}
+
+/// An injected execution fault riding on an [`ExecSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecFault {
+    /// The worker dies the moment it receives the message (before running
+    /// anything), as if the process was killed mid-dispatch.
+    Crash,
+    /// The launch fails transiently: once the CE's inputs are ready the
+    /// worker reports failure *without* executing, leaving its store
+    /// exactly as a real failed `cudaLaunchKernel` would.
+    FailTransient,
+}
+
+/// Kernel-launch request queued on a worker. The kernel itself is
+/// referenced by the id of a previously shipped [`CtrlMsg::LoadKernel`].
+#[derive(Debug, Clone)]
+pub struct ExecSpec {
+    /// Global-DAG index of the CE (completion reports echo it).
+    pub dag_index: DagIndex,
+    /// Id of the kernel to run (see [`CtrlMsg::LoadKernel`]).
+    pub kernel: u64,
+    /// Grid dimensions (`dim3(x, y)`).
+    pub grid: (u32, u32),
+    /// Block dimensions (`dim3(x, y)`).
+    pub block: (u32, u32),
+    /// Launch arguments (buffers by array id, scalars by value).
+    pub args: Vec<LocalArg>,
+    /// Arrays (with minimum versions) that must be present locally before
+    /// execution. Versioning prevents a stale local copy from satisfying a
+    /// dependency whose fresh bytes are still in flight.
+    pub needs: Vec<(ArrayId, u64)>,
+    /// Version each written array becomes once this CE completes.
+    pub bumps: Vec<(ArrayId, u64)>,
+    /// Deterministic injected fault, if the [`crate::FaultPlan`] schedules
+    /// one for this CE.
+    pub fault: Option<ExecFault>,
+}
+
+/// Controller → worker (and worker → worker, for P2P data) messages.
+#[derive(Debug, Clone)]
+pub enum CtrlMsg {
+    /// Install a local array copy (ignored if a newer version is present).
+    Data {
+        /// The array.
+        array: ArrayId,
+        /// Monotonic content version carried by the bytes.
+        version: u64,
+        /// The bytes.
+        buf: HostBuf,
+    },
+    /// Register a kernel under `id` before the first [`CtrlMsg::Exec`]
+    /// referencing it. In-process the pre-compiled kernel rides along;
+    /// over the wire only `(source, name)` travel and the worker
+    /// recompiles — deterministic, hence bit-identical.
+    LoadKernel {
+        /// Controller-assigned kernel id, unique per runtime.
+        id: u64,
+        /// Kernel name within `source`.
+        name: String,
+        /// Full source text of the translation unit.
+        source: String,
+        /// The already-compiled kernel (in-process fast path; dropped at
+        /// the wire boundary).
+        compiled: Option<Arc<CompiledKernel>>,
+    },
+    /// Execute a kernel once its `needs` are present.
+    Exec(ExecSpec),
+    /// Send a local copy to another worker (true P2P) or the controller —
+    /// but only once the local copy reaches `min_version`: the controller
+    /// may name this worker as a source while its fresh copy is still in
+    /// flight, and forwarding a stale version would wedge the consumer.
+    Send {
+        /// The array to forward.
+        array: ArrayId,
+        /// Forward only once the local copy reaches this version.
+        min_version: u64,
+        /// Destination worker, or `None` for the controller.
+        to: Option<usize>,
+    },
+    /// Bandwidth probe: echo `payload` back to the controller
+    /// ([`WorkerMsg::ProbeEcho`]). Timed by the sender.
+    Probe {
+        /// Correlates the echo with the request.
+        token: u64,
+        /// Ballast bytes (echoed verbatim).
+        payload: Vec<u8>,
+    },
+    /// Bandwidth probe: round-trip `bytes` of ballast to peer `to` and
+    /// report the measured time ([`WorkerMsg::ProbeReport`]).
+    ProbePeer {
+        /// Correlates the report with the request.
+        token: u64,
+        /// Peer worker to probe.
+        to: usize,
+        /// Ballast size.
+        bytes: u64,
+    },
+    /// Peer-probe ballast (worker → worker leg; echoed back).
+    PeerProbe {
+        /// Correlates with the originating [`CtrlMsg::ProbePeer`].
+        token: u64,
+        /// The probing worker (echo destination).
+        from: usize,
+        /// Ballast bytes.
+        payload: Vec<u8>,
+    },
+    /// Peer-probe echo (completes the round-trip on the probing worker).
+    PeerProbeEcho {
+        /// Correlates with the originating [`CtrlMsg::ProbePeer`].
+        token: u64,
+        /// Ballast bytes.
+        payload: Vec<u8>,
+    },
+    /// Terminate cleanly.
+    Shutdown,
+}
+
+/// Worker → controller messages.
+#[derive(Debug, Clone)]
+pub enum WorkerMsg {
+    /// A kernel CE completed.
+    Done {
+        /// The completed CE.
+        dag_index: DagIndex,
+        /// The reporting worker.
+        worker: usize,
+        /// Wall-clock kernel execution time measured on the worker
+        /// (per-worker occupancy metric; spans are anchored
+        /// controller-side).
+        elapsed_ns: u64,
+    },
+    /// An array copy headed for the controller master store.
+    Data {
+        /// The array.
+        array: ArrayId,
+        /// Content version of the bytes.
+        version: u64,
+        /// The bytes.
+        buf: HostBuf,
+    },
+    /// A kernel CE failed.
+    Failed {
+        /// The failing CE.
+        dag_index: DagIndex,
+        /// The reporting worker.
+        worker: usize,
+        /// `Some` for a real (deterministic) launch error, `None` for an
+        /// injected transient failure eligible for retry.
+        error: Option<LaunchError>,
+    },
+    /// Periodic liveness beacon (TCP transport only; consumed inside the
+    /// transport, never surfaced to the runtime).
+    Heartbeat {
+        /// The beating worker.
+        worker: usize,
+    },
+    /// Echo of a [`CtrlMsg::Probe`] (consumed by the probing transport).
+    ProbeEcho {
+        /// The echoing worker.
+        worker: usize,
+        /// Correlation token.
+        token: u64,
+        /// The ballast, returned.
+        payload: Vec<u8>,
+    },
+    /// Result of a [`CtrlMsg::ProbePeer`] round-trip.
+    ProbeReport {
+        /// The probing worker.
+        worker: usize,
+        /// The probed peer.
+        to: usize,
+        /// Ballast size that made the round-trip.
+        bytes: u64,
+        /// Measured round-trip time.
+        elapsed_ns: u64,
+    },
+}
+
+/// The destination worker is unreachable (thread exited / socket closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendLost;
+
+/// Why a [`Transport::recv_timeout`] returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportRecvError {
+    /// Nothing arrived within the timeout (liveness probing time).
+    Timeout,
+    /// Every worker endpoint is gone; nothing can ever arrive again.
+    Disconnected,
+}
+
+/// A controller-side handle on the worker mesh: sends [`CtrlMsg`]s,
+/// receives [`WorkerMsg`]s, answers liveness queries. Implemented by
+/// [`ChannelTransport`] (threads + crossbeam channels) and by
+/// `grout_net::TcpTransport` (processes + sockets).
+pub trait Transport: Send {
+    /// Number of worker endpoints (fixed at construction).
+    fn workers(&self) -> usize;
+
+    /// A short label for metrics/telemetry (`"channel"`, `"tcp"`).
+    fn kind(&self) -> &'static str;
+
+    /// Delivers `msg` to `worker`. [`SendLost`] means the endpoint is
+    /// unreachable — the runtime treats it exactly like a death detected
+    /// by liveness probing.
+    fn send(&mut self, worker: usize, msg: CtrlMsg) -> Result<(), SendLost>;
+
+    /// Waits up to `timeout` for the next worker message.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError>;
+
+    /// Non-blocking receive (used while draining after a failure).
+    fn try_recv(&mut self) -> Option<WorkerMsg>;
+
+    /// Liveness probe: `false` once the endpoint is known-dead (thread
+    /// finished, socket closed, or heartbeats went stale).
+    fn is_alive(&mut self, worker: usize) -> bool;
+
+    /// Asks `worker` to terminate and reclaims its resources (joins the
+    /// thread / closes the socket and reaps the process). Idempotent.
+    fn shutdown(&mut self, worker: usize);
+
+    /// Workers that never came up, with the reason (degraded start).
+    fn spawn_failures(&self) -> &[(usize, String)];
+
+    /// The measured inter-node bandwidth matrix, when this transport
+    /// probes one at startup (TCP). `None` means the runtime falls back
+    /// to a uniform model.
+    fn measured_links(&self) -> Option<&LinkMatrix>;
+}
+
+/// What a [`WorkerEngine`] wants sent after handling a message.
+#[derive(Debug)]
+pub enum Outbound {
+    /// To the controller.
+    Controller(WorkerMsg),
+    /// To a peer worker (P2P data or probe traffic).
+    Peer(usize, CtrlMsg),
+}
+
+/// Whether the engine keeps running after a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep serving.
+    Continue,
+    /// Stop: clean shutdown or injected crash. The caller tears the
+    /// endpoint down (thread returns / process exits).
+    Halt,
+}
+
+/// The transport-agnostic worker: local array store, version-gated run
+/// queue, pending forwards and the kernel registry. One instance per
+/// worker endpoint; fed one [`CtrlMsg`] at a time.
+pub struct WorkerEngine {
+    me: usize,
+    store: HashMap<ArrayId, (u64, HostBuf)>,
+    kernels: HashMap<u64, Arc<CompiledKernel>>,
+    queue: VecDeque<ExecSpec>,
+    /// Forward requests waiting for a version still in flight.
+    pending_sends: VecDeque<(ArrayId, u64, Option<usize>)>,
+    /// Outstanding peer probes: token → (peer, bytes, started).
+    probes: HashMap<u64, (usize, u64, std::time::Instant)>,
+}
+
+impl WorkerEngine {
+    /// An engine for worker `me` with empty state.
+    pub fn new(me: usize) -> Self {
+        WorkerEngine {
+            me,
+            store: HashMap::new(),
+            kernels: HashMap::new(),
+            queue: VecDeque::new(),
+            pending_sends: VecDeque::new(),
+            probes: HashMap::new(),
+        }
+    }
+
+    /// Re-index the engine (a TCP worker learns its index from the
+    /// handshake, after construction).
+    pub fn set_index(&mut self, me: usize) {
+        self.me = me;
+    }
+
+    fn forward(&self, array: ArrayId, to: Option<usize>, out: &mut dyn FnMut(Outbound)) {
+        let (version, buf) = self.store.get(&array).expect("checked by caller");
+        match to {
+            Some(peer) => out(Outbound::Peer(
+                peer,
+                CtrlMsg::Data {
+                    array,
+                    version: *version,
+                    buf: buf.clone(),
+                },
+            )),
+            None => out(Outbound::Controller(WorkerMsg::Data {
+                array,
+                version: *version,
+                buf: buf.clone(),
+            })),
+        }
+    }
+
+    /// Runs `spec` if every needed input version is present; returns the
+    /// launch result and measured time, or `None` when inputs are missing.
+    fn try_run(&mut self, idx: usize) -> Option<(Result<(), LaunchError>, u64)> {
+        let ready = self.queue[idx]
+            .needs
+            .iter()
+            .all(|(a, v)| self.store.get(a).is_some_and(|(ver, _)| *ver >= *v));
+        if !ready {
+            return None;
+        }
+        let spec = &self.queue[idx];
+        let Some(kernel) = self.kernels.get(&spec.kernel).cloned() else {
+            // The controller always loads before the first exec; a missing
+            // kernel can only mean its remote recompilation failed, which
+            // is reported as a deterministic failure below.
+            return Some((
+                Err(LaunchError::ArgType {
+                    index: 0,
+                    expected: format!("kernel id {} loaded on this worker", spec.kernel),
+                }),
+                0,
+            ));
+        };
+        // Temporarily take buffers out of the store to get disjoint &mut.
+        let mut taken: Vec<(ArrayId, u64, HostBuf)> = Vec::new();
+        for arg in &spec.args {
+            if let LocalArg::Buf(a) = arg {
+                if let Some((ver, buf)) = self.store.remove(a) {
+                    taken.push((*a, ver, buf));
+                }
+            }
+        }
+        let started = std::time::Instant::now();
+        let result = {
+            let mut kargs: Vec<KernelArg<'_>> = Vec::with_capacity(spec.args.len());
+            let mut cursor = taken.iter_mut();
+            for arg in &spec.args {
+                match arg {
+                    LocalArg::Buf(_) => {
+                        let (_, _, buf) = cursor.next().expect("taken in order");
+                        kargs.push(match buf {
+                            HostBuf::F32(v) => KernelArg::F32(v),
+                            HostBuf::I32(v) => KernelArg::I32(v),
+                        });
+                    }
+                    LocalArg::F32(v) => kargs.push(KernelArg::Float(*v)),
+                    LocalArg::I32(v) => kargs.push(KernelArg::Int(*v)),
+                }
+            }
+            kernel.launch2d(spec.grid, spec.block, &mut kargs)
+        };
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        let bumps = spec.bumps.clone();
+        for (a, mut ver, buf) in taken {
+            if let Some((_, v)) = bumps.iter().find(|(b, _)| *b == a) {
+                ver = ver.max(*v);
+            }
+            self.store.insert(a, (ver, buf));
+        }
+        Some((result.map(|_| ()), elapsed_ns))
+    }
+
+    /// Handles one message, emitting any outbound traffic through `out`.
+    /// [`Flow::Halt`] ends the endpoint (shutdown or injected crash).
+    pub fn handle(&mut self, msg: CtrlMsg, out: &mut dyn FnMut(Outbound)) -> Flow {
+        let me = self.me;
+        match msg {
+            CtrlMsg::Data {
+                array,
+                version,
+                buf,
+            } => {
+                if trace_on() {
+                    eprintln!("[w{me}] Data {array:?} v{version}");
+                }
+                match self.store.get(&array) {
+                    Some((have, _)) if *have >= version => {}
+                    _ => {
+                        self.store.insert(array, (version, buf));
+                    }
+                }
+            }
+            CtrlMsg::LoadKernel {
+                id,
+                name,
+                source,
+                compiled,
+            } => {
+                if let std::collections::hash_map::Entry::Vacant(slot) = self.kernels.entry(id) {
+                    let k = match compiled {
+                        Some(k) => Some(k),
+                        None => match kernelc::compile_one(&source, &name) {
+                            Ok(k) => Some(Arc::new(k)),
+                            Err(e) => {
+                                // Unreachable when controller and worker run
+                                // the same build (compilation is pure); loud
+                                // breadcrumb + deterministic Exec failure.
+                                eprintln!("[w{me}] kernel `{name}` failed to recompile: {e}");
+                                None
+                            }
+                        },
+                    };
+                    if let Some(k) = k {
+                        slot.insert(k);
+                    }
+                }
+            }
+            CtrlMsg::Exec(m) => {
+                if trace_on() {
+                    eprintln!(
+                        "[w{me}] Exec ce#{} needs {:?} bumps {:?} fault {:?}",
+                        m.dag_index, m.needs, m.bumps, m.fault
+                    );
+                }
+                if m.fault == Some(ExecFault::Crash) {
+                    // Injected node death: the endpoint stops on receipt,
+                    // taking its local store (and the queued work) with it.
+                    // Deterministic — the store holds exactly the completed
+                    // prior CEs' results, regardless of delivery timing.
+                    return Flow::Halt;
+                }
+                self.queue.push_back(m)
+            }
+            CtrlMsg::Send {
+                array,
+                min_version,
+                to,
+            } => {
+                if trace_on() {
+                    eprintln!(
+                        "[w{me}] Send {array:?} v>={min_version} -> {to:?} (stored v{:?})",
+                        self.store.get(&array).map(|(v, _)| *v)
+                    );
+                }
+                match self.store.get(&array) {
+                    Some((ver, _)) if *ver >= min_version => self.forward(array, to, out),
+                    _ => self.pending_sends.push_back((array, min_version, to)),
+                }
+            }
+            CtrlMsg::Probe { token, payload } => {
+                out(Outbound::Controller(WorkerMsg::ProbeEcho {
+                    worker: me,
+                    token,
+                    payload,
+                }));
+            }
+            CtrlMsg::ProbePeer { token, to, bytes } => {
+                self.probes
+                    .insert(token, (to, bytes, std::time::Instant::now()));
+                out(Outbound::Peer(
+                    to,
+                    CtrlMsg::PeerProbe {
+                        token,
+                        from: me,
+                        payload: vec![0u8; bytes as usize],
+                    },
+                ));
+            }
+            CtrlMsg::PeerProbe {
+                token,
+                from,
+                payload,
+            } => {
+                out(Outbound::Peer(
+                    from,
+                    CtrlMsg::PeerProbeEcho { token, payload },
+                ));
+            }
+            CtrlMsg::PeerProbeEcho { token, .. } => {
+                if let Some((to, bytes, started)) = self.probes.remove(&token) {
+                    out(Outbound::Controller(WorkerMsg::ProbeReport {
+                        worker: me,
+                        to,
+                        bytes,
+                        elapsed_ns: started.elapsed().as_nanos() as u64,
+                    }));
+                }
+            }
+            CtrlMsg::Shutdown => return Flow::Halt,
+        }
+        // Drain every runnable queued kernel and every satisfiable pending
+        // forward (data may have just arrived or been produced).
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for i in 0..self.pending_sends.len() {
+                let (array, min_version, to) = self.pending_sends[i];
+                let ready = self
+                    .store
+                    .get(&array)
+                    .is_some_and(|(ver, _)| *ver >= min_version);
+                if ready {
+                    self.pending_sends.remove(i);
+                    self.forward(array, to, out);
+                    progress = true;
+                    break;
+                }
+            }
+            if progress {
+                continue;
+            }
+            for i in 0..self.queue.len() {
+                let inputs_ready = self.queue[i]
+                    .needs
+                    .iter()
+                    .all(|(a, v)| self.store.get(a).is_some_and(|(ver, _)| *ver >= *v));
+                if !inputs_ready {
+                    continue;
+                }
+                if self.queue[i].fault == Some(ExecFault::FailTransient) {
+                    // Injected transient launch failure: report once the
+                    // inputs are ready (a real launch would fail at that
+                    // point) WITHOUT executing, so the local store — and
+                    // hence every version — is untouched.
+                    let m = self.queue.remove(i).expect("index in range");
+                    out(Outbound::Controller(WorkerMsg::Failed {
+                        dag_index: m.dag_index,
+                        worker: me,
+                        error: None,
+                    }));
+                    progress = true;
+                    break;
+                }
+                if let Some((result, elapsed_ns)) = self.try_run(i) {
+                    let m = self.queue.remove(i).expect("index in range");
+                    match result {
+                        Ok(()) => {
+                            if trace_on() {
+                                eprintln!("[w{me}] Done ce#{}", m.dag_index);
+                            }
+                            out(Outbound::Controller(WorkerMsg::Done {
+                                dag_index: m.dag_index,
+                                worker: me,
+                                elapsed_ns,
+                            }));
+                        }
+                        Err(error) => {
+                            out(Outbound::Controller(WorkerMsg::Failed {
+                                dag_index: m.dag_index,
+                                worker: me,
+                                error: Some(error),
+                            }));
+                        }
+                    }
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        Flow::Continue
+    }
+}
+
+/// Drives a [`WorkerEngine`] from crossbeam channels until it halts — the
+/// body of every in-process worker thread.
+pub fn run_worker(
+    me: usize,
+    rx: Receiver<CtrlMsg>,
+    to_controller: Sender<WorkerMsg>,
+    peers: Vec<Sender<CtrlMsg>>,
+) {
+    let mut engine = WorkerEngine::new(me);
+    while let Ok(msg) = rx.recv() {
+        let flow = engine.handle(msg, &mut |o| match o {
+            Outbound::Controller(m) => {
+                let _ = to_controller.send(m);
+            }
+            Outbound::Peer(i, m) => {
+                let _ = peers[i].send(m);
+            }
+        });
+        if flow == Flow::Halt {
+            break;
+        }
+    }
+}
+
+struct ChannelWorker {
+    tx: Sender<CtrlMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The in-process transport: one OS thread per worker, crossbeam channels
+/// for all three logical channels (the original `LocalRuntime` mesh).
+pub struct ChannelTransport {
+    workers: Vec<ChannelWorker>,
+    from_workers: Receiver<WorkerMsg>,
+    failures: Vec<(usize, String)>,
+}
+
+impl ChannelTransport {
+    /// Spawns `n` worker threads and wires the channel mesh (controller to
+    /// each worker, worker to worker for P2P, workers back to controller).
+    /// A worker whose thread fails to spawn is recorded in
+    /// [`Transport::spawn_failures`] instead of failing the construction.
+    pub fn new(n: usize) -> Self {
+        ChannelTransport::with_spawner(n, |i, rx, back, peers| {
+            std::thread::Builder::new()
+                .name(format!("grout-worker-{i}"))
+                .spawn(move || run_worker(i, rx, back, peers))
+        })
+    }
+
+    /// Startup with an injectable thread spawner (tests force spawn
+    /// failures through this without exhausting OS resources).
+    pub fn with_spawner<F>(n: usize, mut spawn: F) -> Self
+    where
+        F: FnMut(
+            usize,
+            Receiver<CtrlMsg>,
+            Sender<WorkerMsg>,
+            Vec<Sender<CtrlMsg>>,
+        ) -> std::io::Result<JoinHandle<()>>,
+    {
+        let (to_controller, from_workers) = unbounded::<WorkerMsg>();
+        let channels: Vec<(Sender<CtrlMsg>, Receiver<CtrlMsg>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<CtrlMsg>> = channels.iter().map(|(t, _)| t.clone()).collect();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let workers: Vec<ChannelWorker> = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, rx))| {
+                let peers = txs.clone();
+                let back = to_controller.clone();
+                match spawn(i, rx, back, peers) {
+                    Ok(join) => ChannelWorker {
+                        tx,
+                        join: Some(join),
+                    },
+                    Err(e) => {
+                        failures.push((i, e.to_string()));
+                        ChannelWorker { tx, join: None }
+                    }
+                }
+            })
+            .collect();
+        ChannelTransport {
+            workers,
+            from_workers,
+            failures,
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn kind(&self) -> &'static str {
+        "channel"
+    }
+
+    fn send(&mut self, worker: usize, msg: CtrlMsg) -> Result<(), SendLost> {
+        self.workers[worker].tx.send(msg).map_err(|_| SendLost)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
+        self.from_workers
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportRecvError::Timeout,
+                RecvTimeoutError::Disconnected => TransportRecvError::Disconnected,
+            })
+    }
+
+    fn try_recv(&mut self) -> Option<WorkerMsg> {
+        self.from_workers.try_recv().ok()
+    }
+
+    fn is_alive(&mut self, worker: usize) -> bool {
+        match &self.workers[worker].join {
+            None => false,
+            Some(j) => !j.is_finished(),
+        }
+    }
+
+    fn shutdown(&mut self, worker: usize) {
+        let _ = self.workers[worker].tx.send(CtrlMsg::Shutdown);
+        if let Some(j) = self.workers[worker].join.take() {
+            let _ = j.join();
+        }
+    }
+
+    fn spawn_failures(&self) -> &[(usize, String)] {
+        &self.failures
+    }
+
+    fn measured_links(&self) -> Option<&LinkMatrix> {
+        None
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(CtrlMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}

@@ -357,6 +357,13 @@ impl Polyglot {
         Polyglot::new(LocalConfig::new(workers, PolicyKind::RoundRobin))
     }
 
+    /// A context over an already-built runtime — the hook distributed
+    /// deployments use (`grout-net` builds a TCP-backed runtime, then
+    /// hands it here so scripts run unchanged across processes).
+    pub fn with_runtime(rt: LocalRuntime) -> Self {
+        Polyglot { rt }
+    }
+
     /// Evaluates a GrOUT/GrCUDA source string:
     ///
     /// - `"buildkernel"` — the kernel builder function,

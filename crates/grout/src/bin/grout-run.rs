@@ -1,71 +1,132 @@
-//! `grout-run` — execute a GuestScript program on a local GrOUT deployment.
+//! `grout-run` — execute a GuestScript program on a GrOUT deployment.
 //!
 //! Usage:
-//!   grout-run <script.gs> [--workers N]
-//!   grout-run -e '...inline script...' [--workers N]
+//!   grout-run <script.gs> [--workers N | --workers tcp:<addr>,<addr>,...]
+//!   grout-run -e '...inline script...' [--workers ...]
+//!
+//! `--workers N` deploys N in-process worker threads; `--workers
+//! tcp:<addr>,...` connects to already-running `grout-workerd` processes
+//! (one address per worker) and runs the same script distributed.
 //!
 //! GuestScript is the repository's stand-in for the paper's guest languages
 //! (Listing 1 is Python under GraalVM): a small dynamic language whose only
 //! systems interface is `polyglot.eval`, over which arrays are allocated and
 //! CUDA-dialect kernels are built and launched.
 
+use std::process::ExitCode;
+
+use grout::core::Runtime;
+use grout::net::{TcpExt, WorkerSpec};
 use grout::polyglot::run_script;
 use grout::Polyglot;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut workers = 2usize;
-    let mut source: Option<String> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--workers" => {
-                workers = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--workers needs a positive integer"));
-                i += 2;
+/// Where the workers live.
+enum Workers {
+    /// N in-process threads.
+    Threads(usize),
+    /// Already-listening `grout-workerd` endpoints.
+    Tcp(Vec<String>),
+}
+
+struct Cli {
+    workers: Workers,
+    source: String,
+}
+
+fn main() -> ExitCode {
+    match parse(std::env::args().skip(1)) {
+        Ok(Some(cli)) => match run(cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("grout-run: {msg}");
+                ExitCode::FAILURE
             }
-            "-e" => {
-                source = Some(
-                    args.get(i + 1)
-                        .cloned()
-                        .unwrap_or_else(|| die("-e needs an inline script")),
-                );
-                i += 2;
-            }
-            "-h" | "--help" => {
-                println!("usage: grout-run <script.gs> [--workers N] | -e '<script>'");
-                return;
-            }
-            path => {
-                source = Some(std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    die(&format!("cannot read `{path}`: {e}"));
-                }));
-                i += 1;
-            }
+        },
+        Ok(None) => ExitCode::SUCCESS, // --help
+        Err(msg) => {
+            eprintln!("grout-run: {msg}");
+            ExitCode::FAILURE
         }
-    }
-    let Some(source) = source else {
-        die("no script given; see --help");
-    };
-    let mut pg = Polyglot::with_workers(workers);
-    match run_script(&mut pg, &source) {
-        Ok(output) => {
-            for line in output {
-                println!("{line}");
-            }
-            let stats = pg.runtime().stats();
-            eprintln!(
-                "[grout-run] {} kernels on {} workers; {}B sent, {}B p2p, {}B fetched",
-                stats.kernels, workers, stats.send_bytes, stats.p2p_bytes, stats.fetch_bytes
-            );
-        }
-        Err(e) => die(&e.to_string()),
     }
 }
 
-fn die(msg: &str) -> ! {
-    eprintln!("grout-run: {msg}");
-    std::process::exit(1);
+const USAGE: &str =
+    "usage: grout-run <script.gs> [--workers N | --workers tcp:<addr>,...] | -e '<script>'";
+
+/// Parses the command line; `Ok(None)` means `--help` was served.
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> {
+    let mut workers = Workers::Threads(2);
+    let mut source: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let spec = args
+                    .next()
+                    .ok_or("--workers needs a count or tcp:<addr>,...")?;
+                workers = parse_workers(&spec)?;
+            }
+            "-e" => {
+                let inline = args.next().ok_or("-e needs an inline script")?;
+                source = Some(inline);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            path if !path.starts_with('-') => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                source = Some(text);
+            }
+            other => return Err(format!("unknown argument `{other}`; see --help")),
+        }
+    }
+    let source = source.ok_or("no script given; see --help")?;
+    Ok(Some(Cli { workers, source }))
+}
+
+fn parse_workers(spec: &str) -> Result<Workers, String> {
+    if let Some(list) = spec.strip_prefix("tcp:") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(String::from)
+            .collect();
+        if addrs.is_empty() {
+            return Err("--workers tcp: needs at least one address".into());
+        }
+        return Ok(Workers::Tcp(addrs));
+    }
+    let n: usize = spec.parse().map_err(|_| {
+        format!("--workers needs a positive integer or tcp:<addr>,..., got `{spec}`")
+    })?;
+    if n == 0 {
+        return Err("--workers needs at least one worker".into());
+    }
+    Ok(Workers::Threads(n))
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let (mut pg, n, transport) = match cli.workers {
+        Workers::Threads(n) => (Polyglot::with_workers(n), n, "threads"),
+        Workers::Tcp(addrs) => {
+            let n = addrs.len();
+            let rt = Runtime::builder()
+                .tcp(addrs.into_iter().map(WorkerSpec::Connect).collect())
+                .build()
+                .map_err(|e| e.to_string())?;
+            (Polyglot::with_runtime(rt.into_inner()), n, "tcp")
+        }
+    };
+    let output = run_script(&mut pg, &cli.source).map_err(|e| e.to_string())?;
+    for line in output {
+        println!("{line}");
+    }
+    let stats = pg.runtime().stats();
+    eprintln!(
+        "[grout-run] {} kernels on {} {} workers; {}B sent, {}B p2p, {}B fetched",
+        stats.kernels, n, transport, stats.send_bytes, stats.p2p_bytes, stats.fetch_bytes
+    );
+    Ok(())
 }

@@ -1,0 +1,61 @@
+//! `grout-workerd` — one GrOUT worker endpoint per process.
+//!
+//! Usage:
+//!   grout-workerd [--listen <addr>]
+//!
+//! Binds `<addr>` (default `127.0.0.1:0`, letting the OS pick a port),
+//! announces the bound address as `LISTENING <addr>` on stdout — the line
+//! a spawning controller (or a shell script) waits for — then serves the
+//! GrOUT wire protocol until the controller sends a shutdown frame or
+//! disconnects.
+//!
+//! Two-terminal quick start (see README):
+//!
+//! ```text
+//! $ grout-workerd --listen 127.0.0.1:7401   # terminal 1
+//! $ grout-workerd --listen 127.0.0.1:7402   # terminal 2
+//! $ grout-run script.gs --workers tcp:127.0.0.1:7401,127.0.0.1:7402
+//! ```
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("grout-workerd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = args
+                    .next()
+                    .ok_or_else(|| "--listen needs an address".to_string())?;
+            }
+            "-h" | "--help" => {
+                println!("usage: grout-workerd [--listen <addr>]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}`; see --help")),
+        }
+    }
+    let listener =
+        TcpListener::bind(&listen).map_err(|e| format!("cannot bind `{listen}`: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // The announcement a spawning controller waits for; flush so the line
+    // crosses the pipe before we block in accept().
+    println!("LISTENING {addr}");
+    let _ = std::io::stdout().flush();
+    grout::net::serve(listener).map_err(|e| e.to_string())
+}

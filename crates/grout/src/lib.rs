@@ -6,12 +6,15 @@
 //!
 //! - [`core`] — CEs, DAG, policies, coherence, the simulated
 //!   cluster runtime and the threaded local runtime,
+//! - [`net`] — the TCP transport (wire codec, `grout-workerd` serve loop,
+//!   the `.tcp(...)` distributed front-end),
 //! - [`polyglot`] — the multi-language `eval` API (Listing 1/2),
 //! - [`workloads`] — the paper's evaluation suite,
 //! - [`kernelc`] — the mini-CUDA front end (NVRTC stand-in),
 //! - the substrates: [`desim`], [`gpu_sim`], [`net_sim`], [`uvm_sim`].
 
 pub use grout_core as core;
+pub use grout_net as net;
 pub use grout_polyglot as polyglot;
 pub use grout_workloads as workloads;
 
@@ -29,4 +32,5 @@ pub use grout_core::{
     Location, MemAdvise, Metrics, NodeScheduler, Observability, PolicyKind, PurgeReport, Recorder,
     Regime, Runtime, RuntimeBuilder, SchedEvent, Shared, SimConfig, SimRuntime, SimTime, Telemetry,
 };
+pub use grout_net::{DistRuntime, TcpConfig, TcpExt, TcpTransport, WorkerSpec};
 pub use grout_polyglot::{Language, Polyglot, Value};

@@ -85,16 +85,28 @@ impl From<TypeError> for CompileError {
 }
 
 /// A fully compiled kernel: checked IR plus its access analysis.
+///
+/// The original source is retained so a kernel can be shipped across a
+/// process boundary as `(source, name)` and recompiled remotely:
+/// compilation and host interpretation are deterministic, so the remote
+/// copy behaves bit-identically to the local one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledKernel {
     checked: CheckedKernel,
     access: Vec<ParamAccess>,
+    source: std::sync::Arc<str>,
 }
 
 impl CompiledKernel {
     /// Kernel name.
     pub fn name(&self) -> &str {
         &self.checked.name
+    }
+
+    /// The source text this kernel was compiled from (the full translation
+    /// unit — recompile with [`compile_one`] and [`CompiledKernel::name`]).
+    pub fn source(&self) -> &str {
+        &self.source
     }
 
     /// Formal parameters.
@@ -163,12 +175,17 @@ impl CompiledKernel {
 
 /// Compiles every `__global__` kernel in `source` (the NVRTC entry point).
 pub fn compile(source: &str) -> Result<Vec<CompiledKernel>, CompileError> {
+    let src: std::sync::Arc<str> = source.into();
     parse(source)?
         .iter()
         .map(|k| {
             let checked = check(k)?;
             let access = analyze(&checked);
-            Ok(CompiledKernel { checked, access })
+            Ok(CompiledKernel {
+                checked,
+                access,
+                source: std::sync::Arc::clone(&src),
+            })
         })
         .collect()
 }

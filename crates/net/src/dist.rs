@@ -1,0 +1,207 @@
+//! The distributed front-end: [`WorkerSpec`], [`TcpExt`] and
+//! [`DistRuntime`].
+//!
+//! ```no_run
+//! use grout_core::Runtime;
+//! use grout_net::{TcpExt, WorkerSpec};
+//!
+//! let mut rt = Runtime::builder()
+//!     .tcp(vec![
+//!         WorkerSpec::Connect("127.0.0.1:7401".into()),
+//!         WorkerSpec::Connect("127.0.0.1:7402".into()),
+//!     ])
+//!     .build()
+//!     .expect("workers reachable");
+//! let a = rt.alloc_f32(1024);
+//! # let _ = a;
+//! ```
+//!
+//! Each [`WorkerSpec`] is one worker endpoint: either an already-running
+//! `grout-workerd` to connect to, or a binary to spawn (the spec waits for
+//! its `LISTENING <addr>` announcement on stdout). The builder's knob
+//! surface (policy, faults, telemetry, ...) carries over unchanged; only
+//! the transport differs from `build_local()`.
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+
+use grout_core::{LocalError, LocalRuntime, RuntimeBuilder};
+
+use crate::transport::{TcpConfig, TcpTransport};
+
+/// One worker endpoint of a distributed deployment.
+#[derive(Debug, Clone)]
+pub enum WorkerSpec {
+    /// Connect to a `grout-workerd` already listening at this address.
+    Connect(String),
+    /// Spawn this `grout-workerd` binary with `--listen 127.0.0.1:0` and
+    /// adopt it (the OS picks the port; the daemon announces it).
+    Spawn(std::path::PathBuf),
+}
+
+/// Why a distributed deployment failed to come up.
+#[derive(Debug)]
+pub enum DistError {
+    /// A `Spawn` spec's process could not be launched or never announced
+    /// its listen address.
+    Spawn {
+        /// The binary.
+        program: String,
+        /// What went wrong.
+        error: String,
+    },
+    /// The runtime rejected the mesh (config error, or every single
+    /// worker was unreachable).
+    Local(LocalError),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Spawn { program, error } => {
+                write!(f, "cannot spawn worker `{program}`: {error}")
+            }
+            DistError::Local(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<LocalError> for DistError {
+    fn from(e: LocalError) -> Self {
+        DistError::Local(e)
+    }
+}
+
+/// A [`LocalRuntime`] whose workers are processes on the other end of TCP
+/// sockets. Derefs to the runtime — the full API (alloc, launch,
+/// synchronize, stats, telemetry) is identical; the extras here are the
+/// process-level handles the chaos harness needs.
+pub struct DistRuntime {
+    inner: LocalRuntime,
+    pids: Vec<Option<u32>>,
+}
+
+impl DistRuntime {
+    /// OS pid of the spawned `grout-workerd` backing worker `w` (`None`
+    /// for `Connect` workers, which this runtime does not own).
+    pub fn worker_pid(&self, w: usize) -> Option<u32> {
+        self.pids.get(w).copied().flatten()
+    }
+
+    /// The wrapped runtime.
+    pub fn into_inner(self) -> LocalRuntime {
+        self.inner
+    }
+}
+
+impl std::ops::Deref for DistRuntime {
+    type Target = LocalRuntime;
+    fn deref(&self) -> &LocalRuntime {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for DistRuntime {
+    fn deref_mut(&mut self) -> &mut LocalRuntime {
+        &mut self.inner
+    }
+}
+
+/// Builder tail for distributed deployments; made by [`TcpExt::tcp`].
+pub struct DistBuilder {
+    builder: RuntimeBuilder,
+    specs: Vec<WorkerSpec>,
+    cfg: TcpConfig,
+}
+
+impl DistBuilder {
+    /// Override the transport knobs (heartbeat cadence, probe sizing).
+    pub fn tcp_config(mut self, cfg: TcpConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Spawn/connect all workers, run the handshake + bandwidth-probe
+    /// round, and build the runtime over the resulting mesh.
+    pub fn build(self) -> Result<DistRuntime, DistError> {
+        let mut addrs = Vec::with_capacity(self.specs.len());
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            match spec {
+                WorkerSpec::Connect(addr) => {
+                    addrs.push(addr.clone());
+                    children.push(None);
+                }
+                WorkerSpec::Spawn(bin) => {
+                    let (child, addr) = spawn_workerd(bin, &self.cfg)?;
+                    addrs.push(addr);
+                    children.push(Some(child));
+                }
+            }
+        }
+        let transport = TcpTransport::connect(&addrs, children, &self.cfg);
+        let pids = transport.child_pids();
+        let builder = self.builder.workers(addrs.len());
+        let inner = builder.build_with_transport(Box::new(transport))?;
+        Ok(DistRuntime { inner, pids })
+    }
+}
+
+/// Adds the distributed entry point to [`RuntimeBuilder`]; import the
+/// trait and every existing builder chain gains `.tcp(...)`.
+pub trait TcpExt {
+    /// Deploy over TCP to these worker endpoints (the worker count is
+    /// taken from the spec list, overriding `.workers(n)`).
+    fn tcp(self, specs: Vec<WorkerSpec>) -> DistBuilder;
+}
+
+impl TcpExt for RuntimeBuilder {
+    fn tcp(self, specs: Vec<WorkerSpec>) -> DistBuilder {
+        DistBuilder {
+            builder: self,
+            specs,
+            cfg: TcpConfig::default(),
+        }
+    }
+}
+
+/// Launches `bin --listen 127.0.0.1:0` and waits for its
+/// `LISTENING <addr>` announcement.
+pub fn spawn_workerd(bin: &std::path::Path, cfg: &TcpConfig) -> Result<(Child, String), DistError> {
+    let program = bin.display().to_string();
+    let mut child = Command::new(bin)
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| DistError::Spawn {
+            program: program.clone(),
+            error: e.to_string(),
+        })?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    // Read the announcement on a thread so a wedged child cannot hang us
+    // past the spawn timeout.
+    let (tx, rx) = std::sync::mpsc::channel::<Option<String>>();
+    std::thread::spawn(move || {
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = lines
+            .next()
+            .and_then(|l| l.ok())
+            .and_then(|l| l.strip_prefix("LISTENING ").map(|a| a.trim().to_string()));
+        let _ = tx.send(addr);
+        // Keep draining so the child never blocks on a full pipe.
+        for _ in lines {}
+    });
+    match rx.recv_timeout(cfg.spawn_timeout) {
+        Ok(Some(addr)) => Ok((child, addr)),
+        Ok(None) | Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(DistError::Spawn {
+                program,
+                error: "no LISTENING announcement before the spawn timeout".into(),
+            })
+        }
+    }
+}

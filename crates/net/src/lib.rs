@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # grout-net — the TCP transport for GrOUT
+//!
+//! Crosses the process (and node) boundary that `grout-core`'s
+//! [`Transport`](grout_core::Transport) seam abstracts: where the
+//! in-process [`ChannelTransport`](grout_core::ChannelTransport) wires
+//! worker *threads* with crossbeam channels, this crate wires worker
+//! *processes* (`grout-workerd`) with length-prefixed frames over
+//! `std::net` sockets — no async runtime, no external dependencies.
+//!
+//! - [`wire`]: framing, versioned handshake and the hand-rolled binary
+//!   codec for the controller↔worker message vocabulary,
+//! - [`TcpTransport`]: the controller side — reader threads, heartbeat
+//!   liveness, the startup bandwidth-probe round feeding the scheduler's
+//!   measured [`LinkMatrix`](grout_core::LinkMatrix),
+//! - [`serve`]: the worker side — the body of the `grout-workerd` binary,
+//!   hosting the very same [`WorkerEngine`](grout_core::WorkerEngine) the
+//!   in-process threads run,
+//! - [`TcpExt`]/[`DistRuntime`]: the front-end gluing it onto
+//!   [`Runtime::builder()`](grout_core::Runtime::builder).
+//!
+//! Because controller logic, planner, and worker engine are all shared
+//! with the in-process deployment, a seeded workload produces
+//! byte-identical results over TCP loopback — the
+//! `tests/dist_loopback.rs` differential test enforces it.
+
+pub mod wire;
+
+mod dist;
+mod transport;
+mod worker;
+
+pub use dist::{spawn_workerd, DistBuilder, DistError, DistRuntime, TcpExt, WorkerSpec};
+pub use transport::{TcpConfig, TcpTransport};
+pub use worker::serve;

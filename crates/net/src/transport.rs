@@ -1,0 +1,421 @@
+//! The controller side of the TCP mesh: [`TcpTransport`].
+//!
+//! One socket per worker. A reader thread per socket decodes
+//! [`WorkerMsg`] frames into a single merged queue (mirroring the
+//! crossbeam mesh of the in-process transport), swallows heartbeats after
+//! stamping a shared last-seen instant, and flips a shared `open` flag on
+//! EOF or socket error. Liveness combines both signals: a worker is dead
+//! once its socket closed *or* its heartbeats went stale
+//! ([`TcpConfig::stale_after_beats`] × cadence), so a SIGKILLed process is
+//! detected by EOF within milliseconds while a wedged-but-connected one is
+//! caught by staleness.
+//!
+//! Construction runs the startup bandwidth-probe round of the paper's
+//! min-transfer-time policy: timed ballast echoes controller↔worker and
+//! worker↔worker populate a measured [`LinkMatrix`] that
+//! [`grout_core::LocalRuntime`] hands to the planner in place of the
+//! uniform model.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use grout_core::{CtrlMsg, LinkMatrix, SendLost, Transport, TransportRecvError, WorkerMsg};
+
+use crate::wire;
+
+/// Transport knobs (cadence, staleness, probe sizing).
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Worker heartbeat cadence (carried in the handshake).
+    pub heartbeat: Duration,
+    /// Heartbeats a worker may miss before being declared dead.
+    pub stale_after_beats: u32,
+    /// Ballast bytes per startup bandwidth probe (per direction).
+    pub probe_bytes: u64,
+    /// How long to wait for each probe echo before giving up on the pair
+    /// (its matrix entry falls back to the controller↔worker estimate).
+    pub probe_timeout: Duration,
+    /// How long to wait for a spawned `grout-workerd` to announce its
+    /// listen address.
+    pub spawn_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            heartbeat: Duration::from_millis(100),
+            stale_after_beats: 10,
+            probe_bytes: 1 << 20,
+            probe_timeout: Duration::from_secs(5),
+            spawn_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Conn {
+    /// Write half (reads happen on a cloned handle in the reader thread).
+    stream: Option<TcpStream>,
+    reader: Option<JoinHandle<()>>,
+    /// Flipped off by the reader thread on EOF/error.
+    open: Arc<AtomicBool>,
+    /// Stamped by the reader thread on every inbound frame.
+    last_seen: Arc<Mutex<Instant>>,
+    /// The `grout-workerd` child when this transport spawned it.
+    child: Option<Child>,
+}
+
+/// The controller-side TCP transport; plug into
+/// [`grout_core::RuntimeBuilder::build_with_transport`] (or use
+/// [`crate::TcpExt::tcp`] which does it for you).
+pub struct TcpTransport {
+    conns: Vec<Conn>,
+    from_workers: Receiver<WorkerMsg>,
+    /// Kept alive so reader threads spawned later could clone it; also the
+    /// injection point for the probe round.
+    _to_controller: Sender<WorkerMsg>,
+    failures: Vec<(usize, String)>,
+    measured: Option<LinkMatrix>,
+    stale_after: Duration,
+}
+
+impl TcpTransport {
+    /// Connects to `addrs[i]` as worker `i`, performs the handshake, runs
+    /// the bandwidth-probe round and returns the ready mesh. A worker that
+    /// cannot be reached is recorded as a spawn failure (degraded start)
+    /// rather than failing construction; the runtime quarantines it.
+    ///
+    /// `children[i]`, when given, is the spawned `grout-workerd` process
+    /// backing worker `i`; the transport owns and reaps it.
+    pub fn connect(addrs: &[String], mut children: Vec<Option<Child>>, cfg: &TcpConfig) -> Self {
+        children.resize_with(addrs.len(), || None);
+        let (to_controller, from_workers) = unbounded::<WorkerMsg>();
+        let mut failures = Vec::new();
+        let mut conns = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            let open = Arc::new(AtomicBool::new(true));
+            let last_seen = Arc::new(Mutex::new(Instant::now()));
+            let child = children[i].take();
+            match Self::adopt(i, addr, addrs, cfg) {
+                Ok(stream) => {
+                    let reader = spawn_reader(
+                        i,
+                        stream.try_clone().expect("clone TCP read half"),
+                        to_controller.clone(),
+                        Arc::clone(&open),
+                        Arc::clone(&last_seen),
+                    );
+                    conns.push(Conn {
+                        stream: Some(stream),
+                        reader: Some(reader),
+                        open,
+                        last_seen,
+                        child,
+                    });
+                }
+                Err(e) => {
+                    open.store(false, Ordering::SeqCst);
+                    failures.push((i, e.to_string()));
+                    conns.push(Conn {
+                        stream: None,
+                        reader: None,
+                        open,
+                        last_seen,
+                        child,
+                    });
+                }
+            }
+        }
+        let mut t = TcpTransport {
+            conns,
+            from_workers,
+            _to_controller: to_controller,
+            failures,
+            measured: None,
+            stale_after: cfg.heartbeat * cfg.stale_after_beats,
+        };
+        t.measured = Some(t.probe_round(cfg));
+        t
+    }
+
+    /// Dial + handshake one worker endpoint.
+    fn adopt(
+        index: usize,
+        addr: &str,
+        peers: &[String],
+        cfg: &TcpConfig,
+    ) -> Result<TcpStream, wire::WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        wire::write_frame(
+            &mut stream,
+            &wire::encode_hello(&wire::Hello::Controller {
+                index,
+                total: peers.len(),
+                heartbeat_ms: cfg.heartbeat.as_millis() as u32,
+                peers: peers.to_vec(),
+            }),
+        )?;
+        let ack = wire::read_frame(&mut stream)?
+            .ok_or_else(|| wire::WireError::Handshake("worker closed during handshake".into()))?;
+        let echoed = wire::decode_ack(&ack)?;
+        if echoed != index {
+            return Err(wire::WireError::Handshake(format!(
+                "worker acked index {echoed}, expected {index}"
+            )));
+        }
+        Ok(stream)
+    }
+
+    /// The startup probe round. Controller↔worker pairs are timed
+    /// directly; worker↔worker pairs ride [`CtrlMsg::ProbePeer`] and come
+    /// back as [`WorkerMsg::ProbeReport`]s. Bandwidth is `2·bytes/rtt`
+    /// (ballast travels both directions). Unreachable pairs keep a
+    /// conservative floor so min-transfer-time never divides by zero.
+    fn probe_round(&mut self, cfg: &TcpConfig) -> LinkMatrix {
+        let n = self.conns.len();
+        let floor = 1e6; // 1 MB/s: pessimistic but non-zero.
+        let mut bw = vec![vec![floor; n + 1]; n + 1];
+        let ballast = vec![0u8; cfg.probe_bytes as usize];
+        let mut token = 0u64;
+
+        // Controller <-> worker.
+        for w in 0..n {
+            if !self.endpoint_usable(w) {
+                continue;
+            }
+            token += 1;
+            let started = Instant::now();
+            if self
+                .send(
+                    w,
+                    CtrlMsg::Probe {
+                        token,
+                        payload: ballast.clone(),
+                    },
+                )
+                .is_err()
+            {
+                continue;
+            }
+            if let Some(WorkerMsg::ProbeEcho { .. }) = self.await_probe(
+                cfg.probe_timeout,
+                |m| matches!(m, WorkerMsg::ProbeEcho { token: t, .. } if *t == token),
+            ) {
+                let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+                let bps = (2 * cfg.probe_bytes) as f64 / elapsed;
+                bw[0][w + 1] = bps;
+                bw[w + 1][0] = bps;
+            }
+        }
+
+        // Worker <-> worker (each ordered pair measured once, symmetric).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !self.endpoint_usable(i) || !self.endpoint_usable(j) {
+                    continue;
+                }
+                token += 1;
+                if self
+                    .send(
+                        i,
+                        CtrlMsg::ProbePeer {
+                            token,
+                            to: j,
+                            bytes: cfg.probe_bytes,
+                        },
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+                if let Some(WorkerMsg::ProbeReport {
+                    bytes, elapsed_ns, ..
+                }) = self.await_probe(cfg.probe_timeout, |m| {
+                    matches!(m, WorkerMsg::ProbeReport { worker, to, .. } if *worker == i && *to == j)
+                }) {
+                    let elapsed = (elapsed_ns as f64 / 1e9).max(1e-9);
+                    let bps = (2 * bytes) as f64 / elapsed;
+                    bw[i + 1][j + 1] = bps;
+                    bw[j + 1][i + 1] = bps;
+                }
+            }
+        }
+        LinkMatrix::new(bw)
+    }
+
+    /// Waits for the probe reply matching `pred`; any other traffic that
+    /// arrives meanwhile would be plan traffic — impossible during the
+    /// startup round — so it is dropped with a breadcrumb.
+    fn await_probe(
+        &mut self,
+        timeout: Duration,
+        pred: impl Fn(&WorkerMsg) -> bool,
+    ) -> Option<WorkerMsg> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            match self.from_workers.recv_timeout(left) {
+                Ok(m) if pred(&m) => return Some(m),
+                Ok(_) => {} // stale echo from a slower pair; ignore
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn endpoint_usable(&self, w: usize) -> bool {
+        self.conns[w].stream.is_some() && self.conns[w].open.load(Ordering::SeqCst)
+    }
+
+    /// Pid of the spawned `grout-workerd` backing worker `w`, when this
+    /// transport spawned one (chaos harness: real SIGKILL targets).
+    pub fn child_pid(&self, w: usize) -> Option<u32> {
+        self.conns
+            .get(w)
+            .and_then(|c| c.child.as_ref())
+            .map(|c| c.id())
+    }
+
+    /// Pids of all spawned workers, by index (`None` = connected, not
+    /// spawned).
+    pub fn child_pids(&self) -> Vec<Option<u32>> {
+        (0..self.conns.len()).map(|w| self.child_pid(w)).collect()
+    }
+}
+
+fn spawn_reader(
+    worker: usize,
+    mut stream: TcpStream,
+    out: Sender<WorkerMsg>,
+    open: Arc<AtomicBool>,
+    last_seen: Arc<Mutex<Instant>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("grout-net-rx-{worker}"))
+        .spawn(move || loop {
+            match wire::read_frame(&mut stream) {
+                Ok(Some(payload)) => {
+                    *last_seen.lock().expect("last_seen lock") = Instant::now();
+                    match wire::decode_worker(&payload) {
+                        Ok(WorkerMsg::Heartbeat { .. }) => {} // liveness only
+                        Ok(msg) => {
+                            if out.send(msg).is_err() {
+                                return; // transport dropped
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("[grout-net] worker {worker}: {e}; closing");
+                            open.store(false, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    open.store(false, Ordering::SeqCst);
+                    return;
+                }
+            }
+        })
+        .expect("spawn reader thread")
+}
+
+impl Transport for TcpTransport {
+    fn workers(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn send(&mut self, worker: usize, msg: CtrlMsg) -> Result<(), SendLost> {
+        if !self.endpoint_usable(worker) {
+            return Err(SendLost);
+        }
+        let payload = wire::encode_ctrl(&msg);
+        let wrote = {
+            let stream = self.conns[worker].stream.as_mut().expect("usable");
+            wire::write_frame(stream, &payload)
+        };
+        if wrote.is_err() {
+            self.conns[worker].open.store(false, Ordering::SeqCst);
+            return Err(SendLost);
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
+        self.from_workers
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportRecvError::Timeout,
+                RecvTimeoutError::Disconnected => TransportRecvError::Disconnected,
+            })
+    }
+
+    fn try_recv(&mut self) -> Option<WorkerMsg> {
+        self.from_workers.try_recv().ok()
+    }
+
+    fn is_alive(&mut self, worker: usize) -> bool {
+        let c = &self.conns[worker];
+        if c.stream.is_none() || !c.open.load(Ordering::SeqCst) {
+            return false;
+        }
+        c.last_seen.lock().expect("last_seen lock").elapsed() < self.stale_after
+    }
+
+    fn shutdown(&mut self, worker: usize) {
+        // Best-effort clean shutdown frame; the socket may already be dead.
+        let payload = wire::encode_ctrl(&CtrlMsg::Shutdown);
+        if let Some(stream) = self.conns[worker].stream.as_mut() {
+            let _ = wire::write_frame(stream, &payload);
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.conns[worker].stream = None;
+        self.conns[worker].open.store(false, Ordering::SeqCst);
+        if let Some(j) = self.conns[worker].reader.take() {
+            let _ = j.join();
+        }
+        if let Some(mut child) = self.conns[worker].child.take() {
+            // Bounded reap: give the process a moment to exit cleanly,
+            // then kill. No zombies either way.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn spawn_failures(&self) -> &[(usize, String)] {
+        &self.failures
+    }
+
+    fn measured_links(&self) -> Option<&LinkMatrix> {
+        self.measured.as_ref()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        for w in 0..self.conns.len() {
+            self.shutdown(w);
+        }
+    }
+}

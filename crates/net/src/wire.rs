@@ -1,0 +1,932 @@
+//! The wire protocol: framing, handshake and the message codec.
+//!
+//! Everything is hand-rolled little-endian binary — the vendored `serde`
+//! shim is serialize-only, and a byte-exact float encoding
+//! (`f32::to_le_bytes`) is what makes the TCP loopback differential test
+//! bit-identical to the in-process run anyway.
+//!
+//! ## Frame layout
+//!
+//! Every message after the handshake travels as one frame:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+---------------------+
+//! ```
+//!
+//! `len` counts the payload only and is capped at [`MAX_FRAME`] (a corrupt
+//! or hostile peer cannot make us allocate unbounded memory). The payload's
+//! first byte is a message tag; the remaining fields are fixed-width LE
+//! integers, length-prefixed strings/byte-vectors, or nested encodings
+//! (see the `encode_*`/`decode_*` pairs below).
+//!
+//! ## Handshake
+//!
+//! The first frame on every fresh connection identifies the dialer:
+//!
+//! - controller → worker: magic `b"GRNT"`, [`WIRE_VERSION`], role byte `0`,
+//!   then the worker's index, the total worker count, the heartbeat cadence
+//!   in milliseconds, and the full peer address list. The worker answers
+//!   with an ack frame (magic, version, echoed index) and only then reads
+//!   plan traffic.
+//! - worker → worker: magic, version, role byte `1`, then the dialing
+//!   worker's index. No ack — peer sockets are write-one-way; the reverse
+//!   direction gets its own dialed socket.
+//!
+//! A magic or version mismatch aborts the connection with a
+//! [`WireError::Handshake`]; versions are not negotiated (both ends ship
+//! from the same build in every supported deployment).
+
+use std::io::{Read, Write};
+
+use grout_core::{ArrayId, CtrlMsg, ExecFault, ExecSpec, HostBuf, LocalArg, WorkerMsg};
+use kernelc::LaunchError;
+
+/// Protocol magic: the first four bytes of every handshake frame.
+pub const MAGIC: [u8; 4] = *b"GRNT";
+
+/// Wire protocol version; bumped on any frame-layout change.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Hard cap on a single frame's payload (1 GiB): large enough for any
+/// array the host-CPU kernels can hold, small enough to bound the damage
+/// of a corrupt length prefix.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// Anything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// A frame decoded to garbage (unknown tag, truncated field, ...).
+    Malformed(&'static str),
+    /// A frame announced a payload beyond [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The handshake failed (bad magic, version mismatch, wrong role).
+    Handshake(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::TooLarge(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::Handshake(why) => write!(f, "handshake failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::TooLarge(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge(len));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders/decoders.
+
+/// Append-only byte writer for message payloads.
+#[derive(Default)]
+pub struct Enc(Vec<u8>);
+
+impl Enc {
+    /// Fresh buffer.
+    pub fn new() -> Self {
+        Enc(Vec::new())
+    }
+
+    /// The finished payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.0.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over a received payload.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf }
+    }
+
+    /// Every byte consumed?
+    pub fn finished(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Malformed("truncated field"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| WireError::Malformed("length overflow"))?;
+        self.take(len)
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Malformed("non-utf8 string"))
+    }
+}
+
+fn enc_hostbuf(e: &mut Enc, buf: &HostBuf) {
+    match buf {
+        HostBuf::F32(v) => {
+            e.u8(0);
+            e.u64(v.len() as u64);
+            for x in v {
+                e.f32(*x);
+            }
+        }
+        HostBuf::I32(v) => {
+            e.u8(1);
+            e.u64(v.len() as u64);
+            for x in v {
+                e.i32(*x);
+            }
+        }
+    }
+}
+
+fn dec_hostbuf(d: &mut Dec) -> Result<HostBuf, WireError> {
+    let tag = d.u8()?;
+    let n = d.u64()? as usize;
+    match tag {
+        0 => {
+            let raw = d.take(n.checked_mul(4).ok_or(WireError::Malformed("buf len"))?)?;
+            Ok(HostBuf::F32(
+                raw.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ))
+        }
+        1 => {
+            let raw = d.take(n.checked_mul(4).ok_or(WireError::Malformed("buf len"))?)?;
+            Ok(HostBuf::I32(
+                raw.chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ))
+        }
+        _ => Err(WireError::Malformed("hostbuf tag")),
+    }
+}
+
+fn enc_args(e: &mut Enc, args: &[LocalArg]) {
+    e.u64(args.len() as u64);
+    for a in args {
+        match a {
+            LocalArg::Buf(id) => {
+                e.u8(0);
+                e.u64(id.0);
+            }
+            LocalArg::F32(v) => {
+                e.u8(1);
+                e.f32(*v);
+            }
+            LocalArg::I32(v) => {
+                e.u8(2);
+                e.i32(*v);
+            }
+        }
+    }
+}
+
+fn dec_args(d: &mut Dec) -> Result<Vec<LocalArg>, WireError> {
+    let n = d.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(match d.u8()? {
+            0 => LocalArg::Buf(ArrayId(d.u64()?)),
+            1 => LocalArg::F32(d.f32()?),
+            2 => LocalArg::I32(d.i32()?),
+            _ => return Err(WireError::Malformed("arg tag")),
+        });
+    }
+    Ok(out)
+}
+
+fn enc_versions(e: &mut Enc, v: &[(ArrayId, u64)]) {
+    e.u64(v.len() as u64);
+    for (a, ver) in v {
+        e.u64(a.0);
+        e.u64(*ver);
+    }
+}
+
+fn dec_versions(d: &mut Dec) -> Result<Vec<(ArrayId, u64)>, WireError> {
+    let n = d.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push((ArrayId(d.u64()?), d.u64()?));
+    }
+    Ok(out)
+}
+
+fn enc_launch_error(e: &mut Enc, err: &LaunchError) {
+    match err {
+        LaunchError::Arity { expected, got } => {
+            e.u8(0);
+            e.u64(*expected as u64);
+            e.u64(*got as u64);
+        }
+        LaunchError::ArgType { index, expected } => {
+            e.u8(1);
+            e.u64(*index as u64);
+            e.str(expected);
+        }
+        LaunchError::OutOfBounds { param, index, len } => {
+            e.u8(2);
+            e.u64(*param as u64);
+            e.i64(*index);
+            e.u64(*len as u64);
+        }
+        LaunchError::DivideByZero => e.u8(3),
+        LaunchError::StepBudgetExceeded => e.u8(4),
+        LaunchError::EmptyLaunch => e.u8(5),
+    }
+}
+
+fn dec_launch_error(d: &mut Dec) -> Result<LaunchError, WireError> {
+    Ok(match d.u8()? {
+        0 => LaunchError::Arity {
+            expected: d.u64()? as usize,
+            got: d.u64()? as usize,
+        },
+        1 => LaunchError::ArgType {
+            index: d.u64()? as usize,
+            expected: d.str()?,
+        },
+        2 => LaunchError::OutOfBounds {
+            param: d.u64()? as usize,
+            index: d.i64()?,
+            len: d.u64()? as usize,
+        },
+        3 => LaunchError::DivideByZero,
+        4 => LaunchError::StepBudgetExceeded,
+        5 => LaunchError::EmptyLaunch,
+        _ => return Err(WireError::Malformed("launch-error tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+
+/// Encodes a controller→worker (or peer) message. `LoadKernel` drops the
+/// in-process `compiled` fast path at the wire: only `(source, name)`
+/// travel, and the receiving worker recompiles (deterministically).
+pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
+    let mut e = Enc::new();
+    match msg {
+        CtrlMsg::Data {
+            array,
+            version,
+            buf,
+        } => {
+            e.u8(0);
+            e.u64(array.0);
+            e.u64(*version);
+            enc_hostbuf(&mut e, buf);
+        }
+        CtrlMsg::LoadKernel {
+            id, name, source, ..
+        } => {
+            e.u8(1);
+            e.u64(*id);
+            e.str(name);
+            e.str(source);
+        }
+        CtrlMsg::Exec(spec) => {
+            e.u8(2);
+            e.u64(spec.dag_index as u64);
+            e.u64(spec.kernel);
+            e.u32(spec.grid.0);
+            e.u32(spec.grid.1);
+            e.u32(spec.block.0);
+            e.u32(spec.block.1);
+            enc_args(&mut e, &spec.args);
+            enc_versions(&mut e, &spec.needs);
+            enc_versions(&mut e, &spec.bumps);
+            match spec.fault {
+                None => e.u8(0),
+                Some(ExecFault::Crash) => e.u8(1),
+                Some(ExecFault::FailTransient) => e.u8(2),
+            }
+        }
+        CtrlMsg::Send {
+            array,
+            min_version,
+            to,
+        } => {
+            e.u8(3);
+            e.u64(array.0);
+            e.u64(*min_version);
+            match to {
+                None => e.u8(0),
+                Some(w) => {
+                    e.u8(1);
+                    e.u32(*w as u32);
+                }
+            }
+        }
+        CtrlMsg::Probe { token, payload } => {
+            e.u8(4);
+            e.u64(*token);
+            e.bytes(payload);
+        }
+        CtrlMsg::ProbePeer { token, to, bytes } => {
+            e.u8(5);
+            e.u64(*token);
+            e.u32(*to as u32);
+            e.u64(*bytes);
+        }
+        CtrlMsg::PeerProbe {
+            token,
+            from,
+            payload,
+        } => {
+            e.u8(6);
+            e.u64(*token);
+            e.u32(*from as u32);
+            e.bytes(payload);
+        }
+        CtrlMsg::PeerProbeEcho { token, payload } => {
+            e.u8(7);
+            e.u64(*token);
+            e.bytes(payload);
+        }
+        CtrlMsg::Shutdown => e.u8(8),
+    }
+    e.into_bytes()
+}
+
+/// Decodes a controller→worker (or peer) message.
+pub fn decode_ctrl(payload: &[u8]) -> Result<CtrlMsg, WireError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        0 => CtrlMsg::Data {
+            array: ArrayId(d.u64()?),
+            version: d.u64()?,
+            buf: dec_hostbuf(&mut d)?,
+        },
+        1 => CtrlMsg::LoadKernel {
+            id: d.u64()?,
+            name: d.str()?,
+            source: d.str()?,
+            compiled: None,
+        },
+        2 => CtrlMsg::Exec(ExecSpec {
+            dag_index: d.u64()? as usize,
+            kernel: d.u64()?,
+            grid: (d.u32()?, d.u32()?),
+            block: (d.u32()?, d.u32()?),
+            args: dec_args(&mut d)?,
+            needs: dec_versions(&mut d)?,
+            bumps: dec_versions(&mut d)?,
+            fault: match d.u8()? {
+                0 => None,
+                1 => Some(ExecFault::Crash),
+                2 => Some(ExecFault::FailTransient),
+                _ => return Err(WireError::Malformed("fault tag")),
+            },
+        }),
+        3 => CtrlMsg::Send {
+            array: ArrayId(d.u64()?),
+            min_version: d.u64()?,
+            to: match d.u8()? {
+                0 => None,
+                1 => Some(d.u32()? as usize),
+                _ => return Err(WireError::Malformed("send-to tag")),
+            },
+        },
+        4 => CtrlMsg::Probe {
+            token: d.u64()?,
+            payload: d.bytes()?.to_vec(),
+        },
+        5 => CtrlMsg::ProbePeer {
+            token: d.u64()?,
+            to: d.u32()? as usize,
+            bytes: d.u64()?,
+        },
+        6 => CtrlMsg::PeerProbe {
+            token: d.u64()?,
+            from: d.u32()? as usize,
+            payload: d.bytes()?.to_vec(),
+        },
+        7 => CtrlMsg::PeerProbeEcho {
+            token: d.u64()?,
+            payload: d.bytes()?.to_vec(),
+        },
+        8 => CtrlMsg::Shutdown,
+        _ => return Err(WireError::Malformed("ctrl tag")),
+    };
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+/// Encodes a worker→controller message.
+pub fn encode_worker(msg: &WorkerMsg) -> Vec<u8> {
+    let mut e = Enc::new();
+    match msg {
+        WorkerMsg::Done {
+            dag_index,
+            worker,
+            elapsed_ns,
+        } => {
+            e.u8(0);
+            e.u64(*dag_index as u64);
+            e.u32(*worker as u32);
+            e.u64(*elapsed_ns);
+        }
+        WorkerMsg::Data {
+            array,
+            version,
+            buf,
+        } => {
+            e.u8(1);
+            e.u64(array.0);
+            e.u64(*version);
+            enc_hostbuf(&mut e, buf);
+        }
+        WorkerMsg::Failed {
+            dag_index,
+            worker,
+            error,
+        } => {
+            e.u8(2);
+            e.u64(*dag_index as u64);
+            e.u32(*worker as u32);
+            match error {
+                None => e.u8(0),
+                Some(err) => {
+                    e.u8(1);
+                    enc_launch_error(&mut e, err);
+                }
+            }
+        }
+        WorkerMsg::Heartbeat { worker } => {
+            e.u8(3);
+            e.u32(*worker as u32);
+        }
+        WorkerMsg::ProbeEcho {
+            worker,
+            token,
+            payload,
+        } => {
+            e.u8(4);
+            e.u32(*worker as u32);
+            e.u64(*token);
+            e.bytes(payload);
+        }
+        WorkerMsg::ProbeReport {
+            worker,
+            to,
+            bytes,
+            elapsed_ns,
+        } => {
+            e.u8(5);
+            e.u32(*worker as u32);
+            e.u32(*to as u32);
+            e.u64(*bytes);
+            e.u64(*elapsed_ns);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes a worker→controller message.
+pub fn decode_worker(payload: &[u8]) -> Result<WorkerMsg, WireError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        0 => WorkerMsg::Done {
+            dag_index: d.u64()? as usize,
+            worker: d.u32()? as usize,
+            elapsed_ns: d.u64()?,
+        },
+        1 => WorkerMsg::Data {
+            array: ArrayId(d.u64()?),
+            version: d.u64()?,
+            buf: dec_hostbuf(&mut d)?,
+        },
+        2 => WorkerMsg::Failed {
+            dag_index: d.u64()? as usize,
+            worker: d.u32()? as usize,
+            error: match d.u8()? {
+                0 => None,
+                1 => Some(dec_launch_error(&mut d)?),
+                _ => return Err(WireError::Malformed("failed-error tag")),
+            },
+        },
+        3 => WorkerMsg::Heartbeat {
+            worker: d.u32()? as usize,
+        },
+        4 => WorkerMsg::ProbeEcho {
+            worker: d.u32()? as usize,
+            token: d.u64()?,
+            payload: d.bytes()?.to_vec(),
+        },
+        5 => WorkerMsg::ProbeReport {
+            worker: d.u32()? as usize,
+            to: d.u32()? as usize,
+            bytes: d.u64()?,
+            elapsed_ns: d.u64()?,
+        },
+        _ => return Err(WireError::Malformed("worker tag")),
+    };
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Handshake.
+
+/// The first frame on a fresh connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hello {
+    /// The controller adopting a worker endpoint.
+    Controller {
+        /// The worker's index in the mesh.
+        index: usize,
+        /// Total worker count.
+        total: usize,
+        /// Liveness beacon cadence the worker must hold.
+        heartbeat_ms: u32,
+        /// Listen address of every worker, by index (for P2P dialing).
+        peers: Vec<String>,
+    },
+    /// A peer worker opening its one-way data socket.
+    Peer {
+        /// The dialing worker's index.
+        from: usize,
+    },
+}
+
+/// Encodes a handshake frame.
+pub fn encode_hello(h: &Hello) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.0.extend_from_slice(&MAGIC);
+    e.u16(WIRE_VERSION);
+    match h {
+        Hello::Controller {
+            index,
+            total,
+            heartbeat_ms,
+            peers,
+        } => {
+            e.u8(0);
+            e.u32(*index as u32);
+            e.u32(*total as u32);
+            e.u32(*heartbeat_ms);
+            e.u64(peers.len() as u64);
+            for p in peers {
+                e.str(p);
+            }
+        }
+        Hello::Peer { from } => {
+            e.u8(1);
+            e.u32(*from as u32);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes and validates a handshake frame.
+pub fn decode_hello(payload: &[u8]) -> Result<Hello, WireError> {
+    let mut d = Dec::new(payload);
+    let magic = d.take(4)?;
+    if magic != MAGIC {
+        return Err(WireError::Handshake(format!(
+            "bad magic {magic:02x?} (not a GrOUT endpoint?)"
+        )));
+    }
+    let version = d.u16()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Handshake(format!(
+            "wire version {version} != ours {WIRE_VERSION}"
+        )));
+    }
+    match d.u8()? {
+        0 => {
+            let index = d.u32()? as usize;
+            let total = d.u32()? as usize;
+            let heartbeat_ms = d.u32()?;
+            let n = d.u64()? as usize;
+            let mut peers = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                peers.push(d.str()?);
+            }
+            Ok(Hello::Controller {
+                index,
+                total,
+                heartbeat_ms,
+                peers,
+            })
+        }
+        1 => Ok(Hello::Peer {
+            from: d.u32()? as usize,
+        }),
+        _ => Err(WireError::Handshake("unknown role byte".into())),
+    }
+}
+
+/// Encodes the worker's ack to a controller hello.
+pub fn encode_ack(index: usize) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.0.extend_from_slice(&MAGIC);
+    e.u16(WIRE_VERSION);
+    e.u32(index as u32);
+    e.into_bytes()
+}
+
+/// Decodes and validates a worker's ack; returns the echoed index.
+pub fn decode_ack(payload: &[u8]) -> Result<usize, WireError> {
+    let mut d = Dec::new(payload);
+    let magic = d.take(4)?;
+    if magic != MAGIC {
+        return Err(WireError::Handshake("bad ack magic".into()));
+    }
+    let version = d.u16()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Handshake(format!(
+            "ack wire version {version} != ours {WIRE_VERSION}"
+        )));
+    }
+    Ok(d.u32()? as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ctrl(msg: CtrlMsg) -> CtrlMsg {
+        decode_ctrl(&encode_ctrl(&msg)).expect("roundtrip")
+    }
+
+    fn roundtrip_worker(msg: WorkerMsg) -> WorkerMsg {
+        decode_worker(&encode_worker(&msg)).expect("roundtrip")
+    }
+
+    #[test]
+    fn ctrl_data_roundtrips_bit_exact() {
+        let buf = HostBuf::F32(vec![1.5, -0.0, f32::NAN, 3.25e-12]);
+        let out = roundtrip_ctrl(CtrlMsg::Data {
+            array: ArrayId(7),
+            version: 42,
+            buf,
+        });
+        match out {
+            CtrlMsg::Data {
+                array,
+                version,
+                buf: HostBuf::F32(v),
+            } => {
+                assert_eq!(array, ArrayId(7));
+                assert_eq!(version, 42);
+                let bits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(
+                    bits,
+                    vec![
+                        1.5f32.to_bits(),
+                        (-0.0f32).to_bits(),
+                        f32::NAN.to_bits(),
+                        3.25e-12f32.to_bits()
+                    ]
+                );
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_spec_roundtrips() {
+        let spec = ExecSpec {
+            dag_index: 9,
+            kernel: 3,
+            grid: (16, 2),
+            block: (128, 1),
+            args: vec![
+                LocalArg::Buf(ArrayId(1)),
+                LocalArg::F32(0.5),
+                LocalArg::I32(-7),
+            ],
+            needs: vec![(ArrayId(1), 4)],
+            bumps: vec![(ArrayId(1), 5)],
+            fault: Some(ExecFault::FailTransient),
+        };
+        match roundtrip_ctrl(CtrlMsg::Exec(spec.clone())) {
+            CtrlMsg::Exec(out) => {
+                assert_eq!(out.dag_index, spec.dag_index);
+                assert_eq!(out.kernel, spec.kernel);
+                assert_eq!(out.grid, spec.grid);
+                assert_eq!(out.block, spec.block);
+                assert_eq!(out.needs, spec.needs);
+                assert_eq!(out.bumps, spec.bumps);
+                assert_eq!(out.fault, spec.fault);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_kernel_drops_the_compiled_fast_path() {
+        let msg = CtrlMsg::LoadKernel {
+            id: 5,
+            name: "k".into(),
+            source: "__global__ void k(float* x, int n) {}".into(),
+            compiled: None,
+        };
+        match roundtrip_ctrl(msg) {
+            CtrlMsg::LoadKernel {
+                id,
+                name,
+                source,
+                compiled,
+            } => {
+                assert_eq!(id, 5);
+                assert_eq!(name, "k");
+                assert!(source.contains("__global__"));
+                assert!(compiled.is_none());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_failed_carries_launch_errors() {
+        let out = roundtrip_worker(WorkerMsg::Failed {
+            dag_index: 3,
+            worker: 1,
+            error: Some(LaunchError::OutOfBounds {
+                param: 0,
+                index: -4,
+                len: 16,
+            }),
+        });
+        match out {
+            WorkerMsg::Failed {
+                dag_index: 3,
+                worker: 1,
+                error:
+                    Some(LaunchError::OutOfBounds {
+                        param: 0,
+                        index: -4,
+                        len: 16,
+                    }),
+            } => {}
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_roundtrips_and_rejects_bad_versions() {
+        let h = Hello::Controller {
+            index: 1,
+            total: 2,
+            heartbeat_ms: 100,
+            peers: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
+        };
+        assert_eq!(decode_hello(&encode_hello(&h)).unwrap(), h);
+
+        let mut bad = encode_hello(&h);
+        bad[4] = 0xFF; // corrupt the version
+        assert!(matches!(decode_hello(&bad), Err(WireError::Handshake(_))));
+
+        let mut worse = encode_hello(&h);
+        worse[0] = b'X'; // corrupt the magic
+        assert!(matches!(decode_hello(&worse), Err(WireError::Handshake(_))));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_cap_length() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        let huge = [(MAX_FRAME + 1).to_le_bytes()].concat();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_decodes_to_errors_not_panics() {
+        assert!(decode_ctrl(&[]).is_err());
+        assert!(decode_ctrl(&[200]).is_err());
+        assert!(decode_worker(&[9, 1, 2, 3]).is_err());
+        // Truncated Data frame.
+        let mut good = encode_ctrl(&CtrlMsg::Data {
+            array: ArrayId(0),
+            version: 1,
+            buf: HostBuf::F32(vec![1.0; 8]),
+        });
+        good.truncate(good.len() - 3);
+        assert!(decode_ctrl(&good).is_err());
+        // Trailing bytes.
+        let mut long = encode_ctrl(&CtrlMsg::Shutdown);
+        long.push(0);
+        assert!(decode_ctrl(&long).is_err());
+    }
+}

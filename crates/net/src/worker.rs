@@ -1,0 +1,232 @@
+//! The worker side of the TCP mesh: [`serve`], the body of the
+//! `grout-workerd` binary.
+//!
+//! One process hosts one [`WorkerEngine`] — the same transport-agnostic
+//! state machine the in-process threads run — fed from a single merged
+//! queue, so message handling is sequential exactly like the crossbeam
+//! worker loop:
+//!
+//! - the controller connection (first accepted socket carrying a
+//!   controller hello) delivers plan traffic; its write half is shared
+//!   with a heartbeat thread beating at the handshake's cadence,
+//! - inbound peer sockets (accepted, peer hello) deliver P2P data,
+//! - outbound peer traffic dials `peers[j]` on demand; each direction of
+//!   each worker pair gets its own one-way socket, which avoids any
+//!   dial/dial race without a connection-brokering protocol.
+//!
+//! The process exits when the engine halts (a `Shutdown` frame or an
+//! injected crash) or when the controller connection drops — a worker
+//! without a controller can never receive work again.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Sender};
+use grout_core::{CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg};
+
+use crate::wire;
+
+/// What [`serve`] feeds the engine: decoded plan/peer traffic, or the end
+/// of the controller connection.
+enum Event {
+    Msg(CtrlMsg),
+    ControllerGone,
+}
+
+/// Serves one worker endpoint on `listener` until shutdown. Returns
+/// `Ok(())` on a clean shutdown (or controller disconnect) and an error
+/// only if the handshake never completes.
+pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
+    // Accept the controller first: the handshake tells us who we are.
+    let (mut ctrl_stream, _) = listener.accept()?;
+    ctrl_stream.set_nodelay(true)?;
+    let hello = wire::read_frame(&mut ctrl_stream)?
+        .ok_or_else(|| wire::WireError::Handshake("controller closed during handshake".into()))?;
+    let (me, _total, heartbeat_ms, peer_addrs) = match wire::decode_hello(&hello)? {
+        wire::Hello::Controller {
+            index,
+            total,
+            heartbeat_ms,
+            peers,
+        } => (index, total, heartbeat_ms, peers),
+        wire::Hello::Peer { .. } => {
+            return Err(wire::WireError::Handshake(
+                "first connection must be the controller".into(),
+            ))
+        }
+    };
+    wire::write_frame(&mut ctrl_stream, &wire::encode_ack(me))?;
+
+    let (tx, rx) = unbounded::<Event>();
+
+    // Controller reader: plan traffic into the merged queue.
+    let ctrl_read = ctrl_stream.try_clone()?;
+    spawn_ctrl_reader(ctrl_read, tx.clone());
+
+    // Controller write half, shared between the main loop (completions,
+    // data returns) and the heartbeat thread.
+    let ctrl_write = Arc::new(Mutex::new(ctrl_stream));
+    spawn_heartbeat(me, Arc::clone(&ctrl_write), heartbeat_ms);
+
+    // Acceptor: every further connection is a peer's one-way data socket.
+    spawn_acceptor(listener, tx.clone());
+
+    let mut engine = WorkerEngine::new(me);
+    // Outbound peer sockets, dialed on demand (worker index → stream).
+    let mut peer_out: Vec<Option<TcpStream>> = (0..peer_addrs.len()).map(|_| None).collect();
+
+    while let Ok(event) = rx.recv() {
+        let msg = match event {
+            Event::Msg(m) => m,
+            // A worker without a controller can never be given work (or
+            // asked to forward any) again; exit so the process is reaped.
+            Event::ControllerGone => return Ok(()),
+        };
+        let mut halt = false;
+        let flow = engine.handle(msg, &mut |o| match o {
+            Outbound::Controller(m) => {
+                if send_to_controller(&ctrl_write, &m).is_err() {
+                    halt = true;
+                }
+            }
+            Outbound::Peer(j, m) => {
+                send_to_peer(me, j, &peer_addrs, &mut peer_out, &m);
+            }
+        });
+        if flow == Flow::Halt || halt {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn send_to_controller(
+    ctrl_write: &Arc<Mutex<TcpStream>>,
+    msg: &WorkerMsg,
+) -> Result<(), wire::WireError> {
+    let payload = wire::encode_worker(msg);
+    let mut stream = ctrl_write.lock().expect("controller write lock");
+    wire::write_frame(&mut *stream, &payload)
+}
+
+/// Writes `msg` to peer `j`, dialing its listen address on first use. A
+/// dead or unreachable peer drops the message silently — exactly the
+/// in-process semantics (`let _ = peers[j].send(..)`), and the controller's
+/// failure detector handles the fallout.
+fn send_to_peer(
+    me: usize,
+    j: usize,
+    peer_addrs: &[String],
+    peer_out: &mut [Option<TcpStream>],
+    msg: &CtrlMsg,
+) {
+    if peer_out[j].is_none() {
+        match dial_peer(me, &peer_addrs[j]) {
+            Ok(s) => peer_out[j] = Some(s),
+            Err(e) => {
+                eprintln!("[grout-workerd w{me}] cannot reach peer {j}: {e}");
+                return;
+            }
+        }
+    }
+    let payload = wire::encode_ctrl(msg);
+    if let Some(stream) = peer_out[j].as_mut() {
+        if wire::write_frame(stream, &payload).is_err() {
+            peer_out[j] = None;
+        }
+    }
+}
+
+fn dial_peer(me: usize, addr: &str) -> Result<TcpStream, wire::WireError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    wire::write_frame(
+        &mut stream,
+        &wire::encode_hello(&wire::Hello::Peer { from: me }),
+    )?;
+    Ok(stream)
+}
+
+fn spawn_ctrl_reader(mut stream: TcpStream, tx: Sender<Event>) {
+    std::thread::Builder::new()
+        .name("workerd-ctrl-rx".into())
+        .spawn(move || loop {
+            match wire::read_frame(&mut stream) {
+                Ok(Some(payload)) => match wire::decode_ctrl(&payload) {
+                    Ok(msg) => {
+                        if tx.send(Event::Msg(msg)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("[grout-workerd] bad controller frame: {e}");
+                        let _ = tx.send(Event::ControllerGone);
+                        return;
+                    }
+                },
+                Ok(None) | Err(_) => {
+                    let _ = tx.send(Event::ControllerGone);
+                    return;
+                }
+            }
+        })
+        .expect("spawn controller reader");
+}
+
+fn spawn_heartbeat(me: usize, ctrl_write: Arc<Mutex<TcpStream>>, heartbeat_ms: u32) {
+    let cadence = Duration::from_millis(heartbeat_ms.max(1) as u64);
+    std::thread::Builder::new()
+        .name("workerd-heartbeat".into())
+        .spawn(move || loop {
+            std::thread::sleep(cadence);
+            let beat = WorkerMsg::Heartbeat { worker: me };
+            if send_to_controller(&ctrl_write, &beat).is_err() {
+                return;
+            }
+        })
+        .expect("spawn heartbeat thread");
+}
+
+fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>) {
+    std::thread::Builder::new()
+        .name("workerd-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { return };
+                if stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                let tx = tx.clone();
+                // Handshake + decode loop per peer socket.
+                let spawned = std::thread::Builder::new()
+                    .name("workerd-peer-rx".into())
+                    .spawn(move || {
+                        let Ok(Some(hello)) = wire::read_frame(&mut stream) else {
+                            return;
+                        };
+                        match wire::decode_hello(&hello) {
+                            Ok(wire::Hello::Peer { .. }) => {}
+                            Ok(wire::Hello::Controller { .. }) | Err(_) => return,
+                        }
+                        loop {
+                            match wire::read_frame(&mut stream) {
+                                Ok(Some(payload)) => {
+                                    let Ok(msg) = wire::decode_ctrl(&payload) else {
+                                        return;
+                                    };
+                                    if tx.send(Event::Msg(msg)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Ok(None) | Err(_) => return,
+                            }
+                        }
+                    });
+                if spawned.is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn acceptor thread");
+}

@@ -23,6 +23,30 @@ else
   echo "(python3 unavailable; JSON validated by the telemetry test suite)"
 fi
 
+echo "==> distributed loopback (two grout-workerd processes over TCP)"
+./target/release/grout-workerd --listen 127.0.0.1:7401 & WORKERD1=$!
+./target/release/grout-workerd --listen 127.0.0.1:7402 & WORKERD2=$!
+trap 'kill "$WORKERD1" "$WORKERD2" 2>/dev/null || true' EXIT
+sleep 1
+timeout 120 ./target/release/grout-run \
+  --workers tcp:127.0.0.1:7401,127.0.0.1:7402 \
+  -e '
+    build = polyglot.eval("grout", "buildkernel")
+    square = build("__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }", "square(x: inout pointer float, n: sint32)")
+    x = polyglot.eval("grout", "float[64]")
+    for i in range(64) { x[i] = i }
+    square(2, 32)(x, 64)
+    print(x)
+'
+# The daemons exit on their own when the controller hangs up; force-kill
+# any straggler so a wedged teardown cannot hang the job.
+kill "$WORKERD1" "$WORKERD2" 2>/dev/null || true
+wait "$WORKERD1" "$WORKERD2" 2>/dev/null || true
+trap - EXIT
+
+echo "==> chaos --kill-process (SIGKILL a live grout-workerd; lineage replay)"
+timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --kill-process
+
 echo "==> cargo clippy --all-targets -- -D warnings -D deprecated"
 cargo clippy --all-targets -- -D warnings -D deprecated
 

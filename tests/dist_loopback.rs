@@ -1,0 +1,295 @@
+//! Distributed loopback differential test: the same seeded workload runs
+//! once on the in-process channel transport and once across real
+//! `grout-workerd` processes over TCP on 127.0.0.1. Controller logic,
+//! planner and worker engine are all shared, and every float crosses the
+//! wire as `to_le_bytes`, so the results must match *bit for bit* — and
+//! the final coherence directories must be identical, because the
+//! scheduling decisions (hence data movements) are the same stream.
+//!
+//! Also covers the crash path the chaos harness automates: SIGKILLing a
+//! `grout-workerd` mid-run must be detected (socket EOF / stale
+//! heartbeats), quarantined, and healed by lineage replay — same
+//! machinery, real process death.
+
+use std::sync::Arc;
+
+use grout::core::{LocalRuntime, PolicyKind, Runtime};
+use grout::net::{TcpExt, WorkerSpec};
+use grout::LocalArg;
+use kernelc::CompiledKernel;
+
+const N: usize = 1 << 10;
+
+const SRC: &str = "
+    __global__ void saxpy(float* y, const float* x, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { y[i] = a * x[i] + y[i]; }
+    }
+    __global__ void scale(float* y, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { y[i] = a * y[i]; }
+    }
+    __global__ void mix(float* out, const float* p, const float* q, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { out[i] = p[i] * 0.5 + q[i] * 0.25; }
+    }
+";
+
+fn kernels() -> (
+    Arc<CompiledKernel>,
+    Arc<CompiledKernel>,
+    Arc<CompiledKernel>,
+) {
+    let ks = kernelc::compile(SRC).expect("compiles");
+    (
+        Arc::new(ks[0].clone()),
+        Arc::new(ks[1].clone()),
+        Arc::new(ks[2].clone()),
+    )
+}
+
+fn workerd() -> WorkerSpec {
+    WorkerSpec::Spawn(env!("CARGO_BIN_EXE_grout-workerd").into())
+}
+
+/// The seeded workload: three arrays, a chain of kernels with
+/// cross-worker data dependencies, and a mid-run host write. Returns the
+/// three final arrays as bit patterns.
+fn run_workload(rt: &mut LocalRuntime) -> Vec<Vec<u32>> {
+    let (saxpy, scale, mix) = kernels();
+    let n = N as i32;
+    let a = rt.alloc_f32(N);
+    let b = rt.alloc_f32(N);
+    let c = rt.alloc_f32(N);
+    // Seeded, irregular initial contents (bit-exact by construction).
+    rt.write_f32(a, |v| {
+        let mut s = 0x9e3779b9u32;
+        for x in v.iter_mut() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            *x = (s >> 8) as f32 / 1e6;
+        }
+    })
+    .unwrap();
+    rt.write_f32(b, |v| {
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = (i as f32).sin();
+        }
+    })
+    .unwrap();
+
+    rt.launch(
+        &saxpy,
+        8,
+        128,
+        vec![
+            LocalArg::Buf(b),
+            LocalArg::Buf(a),
+            LocalArg::F32(1.5),
+            LocalArg::I32(n),
+        ],
+    )
+    .unwrap();
+    rt.launch(
+        &scale,
+        8,
+        128,
+        vec![LocalArg::Buf(a), LocalArg::F32(-0.75), LocalArg::I32(n)],
+    )
+    .unwrap();
+    rt.launch(
+        &mix,
+        8,
+        128,
+        vec![
+            LocalArg::Buf(c),
+            LocalArg::Buf(a),
+            LocalArg::Buf(b),
+            LocalArg::I32(n),
+        ],
+    )
+    .unwrap();
+    rt.synchronize().unwrap();
+
+    // Host write between synchronization points (forces a fetch + makes
+    // the controller the exclusive holder again).
+    rt.write_f32(a, |v| {
+        for x in v.iter_mut() {
+            *x += 1.0;
+        }
+    })
+    .unwrap();
+    rt.launch(
+        &saxpy,
+        8,
+        128,
+        vec![
+            LocalArg::Buf(c),
+            LocalArg::Buf(a),
+            LocalArg::F32(0.125),
+            LocalArg::I32(n),
+        ],
+    )
+    .unwrap();
+    rt.launch(
+        &scale,
+        8,
+        128,
+        vec![LocalArg::Buf(b), LocalArg::F32(3.0), LocalArg::I32(n)],
+    )
+    .unwrap();
+    rt.synchronize().unwrap();
+
+    [a, b, c]
+        .into_iter()
+        .map(|arr| {
+            rt.read_f32(arr)
+                .unwrap()
+                .into_iter()
+                .map(f32::to_bits)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_loopback_matches_in_process_bit_for_bit() {
+    let mut local = Runtime::builder()
+        .workers(2)
+        .policy(PolicyKind::RoundRobin)
+        .build_local()
+        .expect("in-process runtime");
+    let local_bits = run_workload(&mut local);
+
+    let mut dist = Runtime::builder()
+        .policy(PolicyKind::RoundRobin)
+        .tcp(vec![workerd(), workerd()])
+        .build()
+        .expect("distributed runtime");
+    assert_eq!(dist.transport_kind(), "tcp");
+    let dist_bits = run_workload(&mut dist);
+
+    assert_eq!(
+        local_bits, dist_bits,
+        "TCP loopback diverged from the in-process run"
+    );
+
+    // Same plan stream, same movements — the final coherence directories
+    // must agree exactly.
+    assert_eq!(
+        local.coherence(),
+        dist.coherence(),
+        "final coherence directories diverged"
+    );
+
+    // The distributed run measured its links; the in-process run modeled
+    // them. Both surface through the one metrics artifact.
+    assert_eq!(dist.metrics().bw_source, "measured");
+    assert_eq!(dist.metrics().transport, "tcp");
+    assert_eq!(dist.metrics().bw_bps.len(), 3, "controller + 2 workers");
+    assert!(dist.metrics().bw_bps[0][1] > 0, "probed bandwidth missing");
+    assert_eq!(local.metrics().bw_source, "uniform");
+    assert_eq!(local.metrics().transport, "channel");
+}
+
+#[test]
+fn min_transfer_time_consumes_the_measured_matrix() {
+    let mut dist = Runtime::builder()
+        .policy(PolicyKind::MinTransferTime(grout::ExplorationLevel::Low))
+        .tcp(vec![workerd(), workerd()])
+        .build()
+        .expect("distributed runtime");
+    let links = dist
+        .link_matrix()
+        .expect("min-transfer-time holds the probed matrix")
+        .clone();
+    assert_eq!(links.len(), 3);
+    let bits = run_workload(&mut dist);
+    assert_eq!(bits.len(), 3);
+    // The planner priced transfers with the measured matrix, not the
+    // uniform fallback (probed loopback bandwidths are never all equal
+    // to the 1e9 default).
+    assert_eq!(dist.metrics().bw_source, "measured");
+}
+
+#[test]
+fn sigkilled_workerd_is_quarantined_and_replayed() {
+    let (saxpy, scale, _) = kernels();
+    let n = N as i32;
+    let mut dist = Runtime::builder()
+        .policy(PolicyKind::RoundRobin)
+        .tcp(vec![workerd(), workerd()])
+        .build()
+        .expect("distributed runtime");
+
+    let a = rt_fill(&mut dist, &saxpy, n);
+
+    // SIGKILL one worker process — real, unannounced death.
+    let victim = dist
+        .node_assignment(2)
+        .and_then(|loc| loc.worker_index())
+        .unwrap_or(0);
+    let pid = dist.worker_pid(victim).expect("spawned worker has a pid");
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    // More work, including work that needs data the dead worker held.
+    for _ in 0..3 {
+        dist.launch(
+            &scale,
+            8,
+            128,
+            vec![LocalArg::Buf(a), LocalArg::F32(2.0), LocalArg::I32(n)],
+        )
+        .unwrap();
+    }
+    dist.synchronize().expect("recovery heals the run");
+
+    let v = dist.read_f32(a).unwrap();
+    assert!(v.iter().all(|x| x.is_finite()));
+    assert!(
+        dist.is_quarantined(victim),
+        "killed worker must be quarantined"
+    );
+    assert_eq!(dist.healthy_workers(), 1);
+    assert!(dist.metrics().quarantines >= 1);
+}
+
+/// Allocates and runs two kernels so both workers hold fresh data.
+fn rt_fill(rt: &mut LocalRuntime, saxpy: &Arc<CompiledKernel>, n: i32) -> grout::ArrayId {
+    let a = rt.alloc_f32(N);
+    let b = rt.alloc_f32(N);
+    rt.write_f32(a, |v| {
+        v.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32)
+    })
+    .unwrap();
+    rt.write_f32(b, |v| v.fill(1.0)).unwrap();
+    rt.launch(
+        saxpy,
+        8,
+        128,
+        vec![
+            LocalArg::Buf(a),
+            LocalArg::Buf(b),
+            LocalArg::F32(2.0),
+            LocalArg::I32(n),
+        ],
+    )
+    .unwrap();
+    rt.launch(
+        saxpy,
+        8,
+        128,
+        vec![
+            LocalArg::Buf(b),
+            LocalArg::Buf(a),
+            LocalArg::F32(0.5),
+            LocalArg::I32(n),
+        ],
+    )
+    .unwrap();
+    rt.synchronize().unwrap();
+    a
+}

@@ -201,12 +201,44 @@ fn metrics_dump_carries_acceptance_counters() {
         "faults",
         "kernels_by_worker",
         "busy_ns_by_worker",
+        "bw_source",
+        "transport",
+        "bw_bps",
     ] {
         assert!(get(&dump, key).is_some(), "metrics dump missing {key}");
     }
     let csv = metrics.to_csv();
     assert!(csv.starts_with("metric,value\n"));
     assert!(csv.contains("p2p_bytes,"));
+    assert!(csv.contains("bw_source,"));
+    assert!(csv.contains("transport,"));
+}
+
+#[test]
+fn metrics_record_the_bandwidth_matrix_and_its_provenance() {
+    // A net-sim run under min-transfer-time prices transfers with the
+    // probed (modeled) matrix; the metrics dump must say so and carry the
+    // full controller+workers square so it can be compared, in one
+    // artifact, against a real TCP run's *measured* matrix.
+    let mut rt = Runtime::builder()
+        .workers(2)
+        .policy(PolicyKind::MinTransferTime(grout::ExplorationLevel::Low))
+        .build_sim()
+        .expect("valid config");
+    run_small_workload(&mut rt);
+    let metrics = Observability::metrics(&rt);
+    assert_eq!(metrics.bw_source, "modeled");
+    assert_eq!(metrics.transport, "sim");
+    assert_eq!(metrics.bw_bps.len(), 3, "controller + 2 workers");
+    assert!(metrics.bw_bps.iter().all(|row| row.len() == 3));
+    assert!(metrics.bw_bps[0][1] > 0, "probed link has no bandwidth");
+
+    let dump = metrics.to_json_value();
+    match get(&dump, "bw_bps").expect("bw_bps") {
+        Value::Array(rows) => assert_eq!(rows.len(), 3),
+        other => panic!("bw_bps must be an array, got {other:?}"),
+    }
+    assert!(metrics.to_csv().contains("bw_bps.0.1,"));
 }
 
 #[test]
