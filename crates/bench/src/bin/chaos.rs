@@ -241,12 +241,40 @@ fn workerd_path() -> std::path::PathBuf {
     p
 }
 
+/// Number of `ph:"X"` spans with category `cat` on process `pid` in a
+/// Chrome trace value (the merged-trace schema check, in-process).
+fn count_spans(trace: &serde_json::Value, pid: u64, cat: &str) -> usize {
+    use serde_json::Value;
+    let Value::Object(top) = trace else { return 0 };
+    let Some(Value::Array(events)) = top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        return 0;
+    };
+    events
+        .iter()
+        .filter(|ev| {
+            let Value::Object(fields) = ev else {
+                return false;
+            };
+            let field = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+            field("ph") == Some(&Value::String("X".into()))
+                && field("pid") == Some(&Value::U64(pid))
+                && field("cat") == Some(&Value::String(cat.into()))
+        })
+        .count()
+}
+
 /// Process-level chaos: SIGKILL a real `grout-workerd` mid-run.
 ///
 /// The victim is the worker holding the only fresh copy of the array (the
 /// one that ran the last pre-kill CE), so recovery *must* lineage-replay —
 /// the controller's master copy is stale. The post-recovery result must be
 /// bit-identical to a clean in-process run of the same chain.
+///
+/// The run is traced: the victim's pre-death execute spans were streamed
+/// to the controller before the SIGKILL (the engine flushes telemetry
+/// ahead of every completion), so they must survive in the merged trace
+/// even though the worker is gone.
 ///
 /// With `--metrics-out`, the artifact carries the TCP run's *measured*
 /// bandwidth matrix next to a net-sim run's *modeled* one (`bw_source`
@@ -288,9 +316,12 @@ fn check_kill_process(art: ArtifactArgs) {
             .collect()
     };
 
-    // Distributed victim run.
+    // Distributed victim run, traced: worker-side spans stream back over
+    // the wire and land in this tracer clock-aligned.
+    let tracer = Shared::new(ChromeTracer::new());
     let workerd = workerd_path();
     let mut rt = Runtime::builder()
+        .telemetry(tracer.telemetry())
         .tcp(vec![
             WorkerSpec::Spawn(workerd.clone()),
             WorkerSpec::Spawn(workerd),
@@ -347,6 +378,22 @@ fn check_kill_process(art: ArtifactArgs) {
     assert!(rt.is_quarantined(victim));
     assert_eq!(rt.healthy_workers(), 1);
     assert_eq!(rt.metrics().bw_source, "measured");
+
+    // The dead worker's pre-death telemetry survives: its execute spans
+    // were flushed to the controller before the kill, so the merged trace
+    // keeps its lane (pid = worker index + 1) even though the process is
+    // gone and its post-kill work was replayed elsewhere.
+    let trace = tracer.lock().to_json_value();
+    let victim_execs = count_spans(&trace, (victim + 1) as u64, "execute");
+    assert!(
+        victim_execs >= 1,
+        "merged trace lost the killed worker's pre-death execute spans"
+    );
+    let survivor = 1 - victim;
+    assert!(
+        count_spans(&trace, (survivor + 1) as u64, "execute") >= 1,
+        "merged trace missing the surviving worker's execute spans"
+    );
 
     if art.wanted() {
         // Measured (TCP probe round) vs modeled (net-sim probe) matrices,

@@ -56,12 +56,14 @@ pub use scheduler::{
 };
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
 pub use telemetry::{
-    ArgValue, ChromeTracer, Lane, LatencyStat, Metrics, Recorder, Shared, SpanEvent, Telemetry,
+    monotonic_ns, ArgValue, ChromeTracer, ClockSync, Lane, LaneAligner, LatencyStat, Metrics,
+    PeerWireStats, Recorder, Shared, SpanEvent, Telemetry,
 };
 pub use timeline::{validate as validate_timeline, TimelineReport};
 pub use transport::{
     ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Flow, Outbound, SendLost, Transport,
-    TransportRecvError, WorkerEngine, WorkerMsg,
+    TransportRecvError, WorkerCounters, WorkerEngine, WorkerMsg, WorkerSpan, WorkerSpanKind,
+    TELEMETRY_BUFFER_CAP, TELEMETRY_FLUSH_TICK, TELEMETRY_MAX_BATCH,
 };
 
 // Re-export the substrate types users need at the API boundary.

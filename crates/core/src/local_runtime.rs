@@ -38,10 +38,10 @@ use crate::policy::{LinkMatrix, PolicyKind};
 use crate::scheduler::{
     MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
 };
-use crate::telemetry::{ArgValue, Lane, Metrics, SpanEvent, Telemetry};
+use crate::telemetry::{monotonic_ns, ArgValue, Lane, LaneAligner, Metrics, SpanEvent, Telemetry};
 use crate::transport::{
     trace_on, ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Transport, TransportRecvError,
-    WorkerMsg,
+    WorkerCounters, WorkerMsg, WorkerSpan, WorkerSpanKind,
 };
 
 /// Errors surfaced by the local runtime.
@@ -278,6 +278,16 @@ pub struct LocalRuntime {
     metrics: Metrics,
     /// Wall-clock anchor for telemetry timestamps.
     origin: std::time::Instant,
+    /// [`monotonic_ns`] at construction: converts clock-aligned worker
+    /// span stamps (controller monotonic domain) to run-relative ns.
+    origin_mono: u64,
+    /// Per-lane watermarks keeping merged worker spans monotone even
+    /// when the clock-offset estimate shifts between batches.
+    aligner: LaneAligner,
+    /// Workers that have streamed at least one telemetry batch; their
+    /// `Done`s skip the controller-side synthetic execute span (the
+    /// worker's own clock-aligned span is strictly better).
+    saw_worker_telemetry: Vec<bool>,
 }
 
 impl LocalRuntime {
@@ -371,15 +381,106 @@ impl LocalRuntime {
             telemetry: Telemetry::off(),
             metrics,
             origin: std::time::Instant::now(),
+            origin_mono: monotonic_ns(),
+            aligner: LaneAligner::new(),
+            saw_worker_telemetry: vec![false; n],
             cfg,
         })
     }
 
     /// Attaches a telemetry recorder; the handle is shared with the
-    /// planner so its marks land in the same trace.
+    /// planner so its marks land in the same trace, and every worker is
+    /// told to start (or stop) recording its own spans
+    /// ([`CtrlMsg::Observe`] — a no-op against a pre-telemetry peer).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.planner.set_telemetry(telemetry.clone());
+        let enabled = telemetry.enabled();
         self.telemetry = telemetry;
+        for w in 0..self.transport.workers() {
+            if self.detector.is_alive(w) {
+                let _ = self.transport.send(w, CtrlMsg::Observe { enabled });
+            }
+        }
+    }
+
+    /// Snapshots the transport's per-peer wire counters into the metrics
+    /// registry (refreshed at every `synchronize`; call again before
+    /// exporting if traffic happened since). Transports that track
+    /// nothing (the simulator has no transport at all) leave it empty.
+    pub fn refresh_wire_metrics(&mut self) {
+        let wire = self.transport.wire_stats();
+        if !wire.is_empty() {
+            self.metrics.wire = wire;
+        }
+    }
+
+    /// Merges one worker telemetry batch: spans are shifted into the
+    /// controller clock domain with the transport's offset estimate,
+    /// clamped monotone per lane, and emitted through the controller's
+    /// recorder; counters land as counter samples on the worker's
+    /// control lane.
+    fn merge_worker_telemetry(
+        &mut self,
+        worker: usize,
+        backlog: u64,
+        counters: WorkerCounters,
+        spans: Vec<WorkerSpan>,
+    ) {
+        if let Some(seen) = self.saw_worker_telemetry.get_mut(worker) {
+            *seen = true;
+        }
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let offset = self.transport.clock_offset_ns(worker);
+        for s in &spans {
+            let lane = match s.kind {
+                WorkerSpanKind::Execute => Lane::stream(worker + 1, 0, 0),
+                WorkerSpanKind::Transfer => Lane::network(worker + 1),
+                WorkerSpanKind::Recompile => Lane::control(worker + 1),
+            };
+            let cat = match s.kind {
+                WorkerSpanKind::Execute => "execute",
+                WorkerSpanKind::Transfer => "transfer",
+                WorkerSpanKind::Recompile => "recompile",
+            };
+            // Worker monotonic → controller monotonic → run-relative.
+            let ctrl_ns = (s.start_ns as i64)
+                .saturating_add(offset)
+                .saturating_sub(self.origin_mono as i64)
+                .max(0) as u64;
+            let start_ns = self.aligner.align(lane, ctrl_ns, s.dur_ns);
+            let mut args: Vec<(&'static str, ArgValue)> =
+                vec![("worker", ArgValue::U64(worker as u64))];
+            if s.dag_index != u64::MAX {
+                args.push(("dag_index", ArgValue::U64(s.dag_index)));
+            }
+            if s.bytes > 0 {
+                args.push(("bytes", ArgValue::U64(s.bytes)));
+            }
+            self.telemetry.span(&SpanEvent {
+                name: &s.name,
+                cat,
+                lane,
+                start_ns,
+                dur_ns: s.dur_ns,
+                args: &args,
+            });
+        }
+        let at = self.now_ns();
+        let lane = Lane::control(worker + 1);
+        self.telemetry
+            .counter("worker_kernels", lane, at, counters.kernels as f64);
+        self.telemetry
+            .counter("worker_bytes_out", lane, at, counters.bytes_out as f64);
+        self.telemetry
+            .counter("worker_bytes_in", lane, at, counters.bytes_in as f64);
+        self.telemetry
+            .counter("telemetry_backlog", lane, at, backlog as f64);
+        if counters.dropped > 0 {
+            self.telemetry
+                .counter("telemetry_dropped", lane, at, counters.dropped as f64);
+        }
     }
 
     /// The always-on metrics registry.
@@ -434,7 +535,15 @@ impl LocalRuntime {
         }
         self.metrics.record_kernel(worker, elapsed_ns);
         self.metrics.execute.record(elapsed_ns);
-        if self.telemetry.enabled() {
+        // Fallback synthetic span, only while the worker streams no
+        // telemetry of its own (v1 peer or recording off): its batches
+        // carry clock-aligned execute spans that supersede this estimate.
+        let worker_traces = self
+            .saw_worker_telemetry
+            .get(worker)
+            .copied()
+            .unwrap_or(false);
+        if self.telemetry.enabled() && !worker_traces {
             // The span is anchored at the controller's receipt time; the
             // duration is the worker-measured execution time, so the start
             // is approximate by the notification latency.
@@ -755,6 +864,15 @@ impl LocalRuntime {
                     self.install_master(array, version, buf);
                     self.flush_pending_ctrl_recovering()?;
                 }
+                Ok(WorkerMsg::Telemetry {
+                    worker,
+                    backlog,
+                    counters,
+                    spans,
+                    ..
+                }) => {
+                    self.merge_worker_telemetry(worker, backlog, counters, spans);
+                }
                 // Liveness/probe traffic is transport-internal; tolerate
                 // stragglers defensively.
                 Ok(_) => {}
@@ -769,6 +887,7 @@ impl LocalRuntime {
             .collect();
         let mut done = done.into_iter();
         self.pending.retain(|_| !done.next().unwrap());
+        self.refresh_wire_metrics();
         Ok(())
     }
 
@@ -1189,6 +1308,15 @@ impl LocalRuntime {
                     }) => {
                         return Err(LocalError::Launch(error));
                     }
+                    Ok(WorkerMsg::Telemetry {
+                        worker,
+                        backlog,
+                        counters,
+                        spans,
+                        ..
+                    }) => {
+                        self.merge_worker_telemetry(worker, backlog, counters, spans);
+                    }
                     // Transient failures cannot arrive here (synchronize
                     // returned with nothing in flight); liveness/probe
                     // traffic is transport-internal. Ignore defensively.
@@ -1401,6 +1529,18 @@ impl LocalRuntime {
                     {
                         p.dispatched = false;
                     }
+                }
+                // The dead worker's last flushed batches survive the
+                // quarantine: its pre-death spans still reach the merged
+                // trace (the chaos harness asserts exactly this).
+                WorkerMsg::Telemetry {
+                    worker,
+                    backlog,
+                    counters,
+                    spans,
+                    ..
+                } => {
+                    self.merge_worker_telemetry(worker, backlog, counters, spans);
                 }
                 // A deterministic launch error will recur when the CE is
                 // re-executed and surface then; liveness/probe traffic is

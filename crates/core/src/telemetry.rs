@@ -593,10 +593,156 @@ impl Recorder for ChromeTracer {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-node clock alignment
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds on a process-wide monotonic clock (anchored at first use).
+///
+/// Worker-side spans are stamped with this clock and shifted into the
+/// controller's time domain by [`ClockSync`] at merge time. The
+/// in-process transport shares the process clock, so its offset is
+/// exactly zero and the same merge path applies unchanged.
+pub fn monotonic_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// NTP-style running estimate of a remote clock's offset (and drift)
+/// relative to the local monotonic clock.
+///
+/// Each heartbeat exchange yields one sample: the worker stamps `t1`
+/// (its clock) on the ping, the controller stamps `t2` (its clock) on
+/// receipt, and the worker stamps `t4` (its clock) on the pong. The
+/// midpoint estimate `offset = t2 − (t1 + t4)/2` maps worker time into
+/// controller time with error bounded by half the round-trip — exact
+/// under symmetric path latency. Samples taken while the link is
+/// congested (rtt ≫ the best observed rtt) carry a much looser bound
+/// and are rejected once enough clean samples exist; a least-squares
+/// fit over (local time, offset) tracks slow drift between the two
+/// oscillators.
+#[derive(Debug, Clone, Default)]
+pub struct ClockSync {
+    n: u64,
+    min_rtt_ns: u64,
+    /// Local-time anchor of the first sample (keeps the regression sums
+    /// small).
+    t0_ns: u64,
+    sum_t: f64,
+    sum_o: f64,
+    sum_tt: f64,
+    sum_to: f64,
+}
+
+impl ClockSync {
+    /// An estimator with no samples (offset 0 until the first one).
+    pub fn new() -> Self {
+        ClockSync::default()
+    }
+
+    /// Fold in one exchange: `at_ns` is the local receipt time of the
+    /// sample, `offset_ns` the midpoint estimate, `rtt_ns` the measured
+    /// round-trip.
+    pub fn observe(&mut self, at_ns: u64, offset_ns: i64, rtt_ns: u64) {
+        if self.n == 0 {
+            self.t0_ns = at_ns;
+            self.min_rtt_ns = rtt_ns;
+        }
+        self.min_rtt_ns = self.min_rtt_ns.min(rtt_ns);
+        // A queue-delayed exchange says little about the offset (the
+        // error bound is rtt/2): ignore it once enough clean samples
+        // exist to keep estimating without it.
+        if self.n >= 8 && rtt_ns > self.min_rtt_ns.saturating_mul(3) {
+            return;
+        }
+        let t = at_ns.saturating_sub(self.t0_ns) as f64;
+        let o = offset_ns as f64;
+        self.n += 1;
+        self.sum_t += t;
+        self.sum_o += o;
+        self.sum_tt += t * t;
+        self.sum_to += t * o;
+    }
+
+    /// Accepted samples so far.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimated drift in offset-nanoseconds per local nanosecond,
+    /// clamped to ±1e-3: real oscillators stay within ~100 ppm, so
+    /// anything larger is a fit artifact from a short baseline.
+    pub fn drift(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let var = self.sum_tt - self.sum_t * self.sum_t / n;
+        if var <= 1e3 {
+            return 0.0; // all samples within ~32 ns: no usable baseline
+        }
+        let slope = (self.sum_to - self.sum_t * self.sum_o / n) / var;
+        slope.clamp(-1e-3, 1e-3)
+    }
+
+    /// The estimated offset at local time `at_ns` (mean + drift
+    /// extrapolation). Add this to a remote timestamp to land it in the
+    /// local clock domain. 0 with no samples.
+    pub fn offset_at(&self, at_ns: u64) -> i64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let n = self.n as f64;
+        let mean_t = self.sum_t / n;
+        let mean_o = self.sum_o / n;
+        let t = at_ns.saturating_sub(self.t0_ns) as f64;
+        (mean_o + self.drift() * (t - mean_t)).round() as i64
+    }
+
+    /// Worst-case error of one clean sample: half the best observed
+    /// round-trip (path asymmetry can hide up to that much one-way
+    /// latency).
+    pub fn error_bound_ns(&self) -> u64 {
+        self.min_rtt_ns / 2
+    }
+}
+
+/// Enforces monotone, non-overlapping span starts per [`Lane`] when
+/// merging remote spans whose clock mapping is only accurate to about
+/// half a round-trip: a span whose shifted start would land before the
+/// end of the previous span on the same lane is clamped forward, so
+/// merged Perfetto timelines never show negative gaps or overlaps
+/// within a lane.
+#[derive(Debug, Clone, Default)]
+pub struct LaneAligner {
+    watermarks: std::collections::HashMap<Lane, u64>,
+}
+
+impl LaneAligner {
+    /// An aligner with no history.
+    pub fn new() -> Self {
+        LaneAligner::default()
+    }
+
+    /// Clamp `start_ns` so it never precedes the lane's watermark, then
+    /// advance the watermark past the span. Returns the aligned start.
+    pub fn align(&mut self, lane: Lane, start_ns: u64, dur_ns: u64) -> u64 {
+        let w = self.watermarks.entry(lane).or_insert(0);
+        let start = start_ns.max(*w);
+        *w = start.saturating_add(dur_ns);
+        start
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Metrics registry
 // ---------------------------------------------------------------------------
 
-/// Count/sum/min/max aggregate over nanosecond latencies.
+/// Count/sum/min/max aggregate over nanosecond latencies, plus a
+/// power-of-two histogram for approximate percentiles.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStat {
     /// Number of samples.
@@ -607,6 +753,10 @@ pub struct LatencyStat {
     pub min_ns: u64,
     /// Largest sample.
     pub max_ns: u64,
+    /// Log2 histogram: `buckets[i]` counts samples in `[2^i, 2^(i+1))`
+    /// ns (bucket 0 also takes 0 ns; bucket 31 takes everything ≥ 2^31
+    /// ns ≈ 2.1 s).
+    pub buckets: [u64; 32],
 }
 
 impl LatencyStat {
@@ -621,15 +771,47 @@ impl LatencyStat {
         }
         self.count += 1;
         self.sum_ns += ns;
+        let bucket = (63 - u64::leading_zeros(ns.max(1)) as usize).min(31);
+        self.buckets[bucket] += 1;
     }
 
-    /// Arithmetic mean in nanoseconds (0.0 when empty).
+    /// Arithmetic mean in nanoseconds (0.0 when empty — never NaN).
     pub fn mean_ns(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum_ns as f64 / self.count as f64
         }
+    }
+
+    /// Approximate percentile from the log2 histogram: the midpoint of
+    /// the bucket holding the `q`-quantile sample, clamped into the
+    /// observed `[min, max]` range. Exact at the extremes and 0 when no
+    /// samples were recorded — never NaN.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min_ns;
+        }
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let mid = if i == 0 {
+                    1
+                } else {
+                    (1u64 << i) + (1u64 << (i - 1))
+                };
+                return mid.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
     }
 
     fn to_json(self) -> Value {
@@ -639,6 +821,66 @@ impl LatencyStat {
             ("min_ns".to_string(), Value::U64(self.min_ns)),
             ("max_ns".to_string(), Value::U64(self.max_ns)),
             ("mean_ns".to_string(), Value::F64(self.mean_ns())),
+            ("p50_ns".to_string(), Value::U64(self.percentile_ns(0.50))),
+            ("p90_ns".to_string(), Value::U64(self.percentile_ns(0.90))),
+            ("p99_ns".to_string(), Value::U64(self.percentile_ns(0.99))),
+        ])
+    }
+}
+
+/// Per-peer wire observability snapshot: frames/bytes both directions,
+/// the heartbeat RTT histogram, the current clock-offset estimate and
+/// telemetry-batch accounting. Produced by `Transport::wire_stats`
+/// implementations and surfaced through [`Metrics::to_json_value`] /
+/// [`Metrics::to_csv`] and `grout-run --stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerWireStats {
+    /// Frames written to this peer.
+    pub frames_sent: u64,
+    /// Bytes written to this peer (payload + length prefix).
+    pub bytes_sent: u64,
+    /// Frames read from this peer.
+    pub frames_recv: u64,
+    /// Bytes read from this peer (payload + length prefix).
+    pub bytes_recv: u64,
+    /// Heartbeat round-trip-time histogram (count 0 on transports with
+    /// no timed heartbeat exchange — the in-process mesh).
+    pub hb_rtt: LatencyStat,
+    /// Estimated clock offset: add to peer timestamps to land them in
+    /// the controller's clock domain (0 in-process).
+    pub clock_offset_ns: i64,
+    /// Telemetry batches received from this peer.
+    pub telemetry_batches: u64,
+    /// Spans across those batches.
+    pub telemetry_spans: u64,
+    /// Peer-reported span backlog at its most recent flush (gauge).
+    pub telemetry_backlog: u64,
+}
+
+impl PeerWireStats {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("frames_sent".to_string(), Value::U64(self.frames_sent)),
+            ("bytes_sent".to_string(), Value::U64(self.bytes_sent)),
+            ("frames_recv".to_string(), Value::U64(self.frames_recv)),
+            ("bytes_recv".to_string(), Value::U64(self.bytes_recv)),
+            ("hb_rtt".to_string(), self.hb_rtt.to_json()),
+            (
+                "clock_offset_ns".to_string(),
+                Value::I64(self.clock_offset_ns),
+            ),
+            (
+                "telemetry_batches".to_string(),
+                Value::U64(self.telemetry_batches),
+            ),
+            (
+                "telemetry_spans".to_string(),
+                Value::U64(self.telemetry_spans),
+            ),
+            (
+                "telemetry_backlog".to_string(),
+                Value::U64(self.telemetry_backlog),
+            ),
         ])
     }
 }
@@ -698,6 +940,11 @@ pub struct Metrics {
     /// carry measured (TCP) and modeled (net-sim) matrices side by side
     /// for comparison.
     pub bw_bps: Vec<Vec<u64>>,
+    /// Per-peer wire counters, heartbeat RTT histograms and clock
+    /// offsets, indexed by worker. Empty until the runtime snapshots its
+    /// transport (`LocalRuntime::refresh_wire_metrics`, called at every
+    /// `synchronize`); always empty for the simulator.
+    pub wire: Vec<PeerWireStats>,
 }
 
 impl Metrics {
@@ -842,7 +1089,17 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            (
+                "wire".to_string(),
+                Value::Array(self.wire.iter().map(PeerWireStats::to_json).collect()),
+            ),
         ])
+    }
+
+    /// The registry rendered as pretty-printed JSON (what `--metrics-out`
+    /// writes for `.json` paths).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json_value()).expect("render metrics")
     }
 
     /// The registry as `key,value` CSV lines (latency aggregates flatten
@@ -855,17 +1112,30 @@ impl Metrics {
             out.push_str(&v);
             out.push('\n');
         };
+        // Flattening a LatencyStat always starts with its `count` column,
+        // and every derived column (mean, percentiles) is 0 when count is
+        // 0 — a consumer never sees NaN in the CSV.
+        let stat_cols = |stat: LatencyStat| -> Vec<(&'static str, String)> {
+            vec![
+                ("count", stat.count.to_string()),
+                ("sum_ns", stat.sum_ns.to_string()),
+                ("min_ns", stat.min_ns.to_string()),
+                ("max_ns", stat.max_ns.to_string()),
+                ("mean_ns", format!("{}", stat.mean_ns())),
+                ("p50_ns", stat.percentile_ns(0.50).to_string()),
+                ("p90_ns", stat.percentile_ns(0.90).to_string()),
+                ("p99_ns", stat.percentile_ns(0.99).to_string()),
+            ]
+        };
         for (name, stat) in [
             ("plan", self.plan),
             ("queue", self.queue),
             ("transfer", self.transfer),
             ("execute", self.execute),
         ] {
-            kv(&format!("{name}.count"), stat.count.to_string());
-            kv(&format!("{name}.sum_ns"), stat.sum_ns.to_string());
-            kv(&format!("{name}.min_ns"), stat.min_ns.to_string());
-            kv(&format!("{name}.max_ns"), stat.max_ns.to_string());
-            kv(&format!("{name}.mean_ns"), format!("{}", stat.mean_ns()));
+            for (col, v) in stat_cols(stat) {
+                kv(&format!("{name}.{col}"), v);
+            }
         }
         kv(
             "controller_send_bytes",
@@ -896,6 +1166,31 @@ impl Metrics {
                 kv(&format!("bw_bps.{src}.{dst}"), b.to_string());
             }
         }
+        for (w, s) in self.wire.iter().enumerate() {
+            kv(&format!("wire.{w}.frames_sent"), s.frames_sent.to_string());
+            kv(&format!("wire.{w}.bytes_sent"), s.bytes_sent.to_string());
+            kv(&format!("wire.{w}.frames_recv"), s.frames_recv.to_string());
+            kv(&format!("wire.{w}.bytes_recv"), s.bytes_recv.to_string());
+            for (col, v) in stat_cols(s.hb_rtt) {
+                kv(&format!("wire.{w}.hb_rtt.{col}"), v);
+            }
+            kv(
+                &format!("wire.{w}.clock_offset_ns"),
+                s.clock_offset_ns.to_string(),
+            );
+            kv(
+                &format!("wire.{w}.telemetry_batches"),
+                s.telemetry_batches.to_string(),
+            );
+            kv(
+                &format!("wire.{w}.telemetry_spans"),
+                s.telemetry_spans.to_string(),
+            );
+            kv(
+                &format!("wire.{w}.telemetry_backlog"),
+                s.telemetry_backlog.to_string(),
+            );
+        }
         out
     }
 }
@@ -917,6 +1212,143 @@ mod tests {
         assert_eq!(s.min_ns, 10);
         assert_eq!(s.max_ns, 30);
         assert_eq!(s.mean_ns(), 20.0);
+    }
+
+    #[test]
+    fn latency_stat_percentiles_and_zero_sample_safety() {
+        // Zero samples: every derived figure is 0, never NaN.
+        let empty = LatencyStat::default();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean_ns(), 0.0);
+        assert_eq!(empty.percentile_ns(0.5), 0);
+        assert_eq!(empty.percentile_ns(0.99), 0);
+        let mut m = Metrics::with_workers(1);
+        m.wire.push(PeerWireStats::default()); // hb_rtt has count 0
+        let csv = m.to_csv();
+        assert!(!csv.contains("NaN"), "zero-sample CSV must not carry NaN");
+        assert!(csv.contains("queue.count,0\n"));
+        assert!(csv.contains("queue.p99_ns,0\n"));
+        assert!(csv.contains("wire.0.hb_rtt.count,0\n"));
+        assert!(csv.contains("wire.0.hb_rtt.p50_ns,0\n"));
+        let json = serde_json::to_string(&m.to_json_value()).expect("render");
+        assert!(!json.contains("NaN"));
+        assert!(json.contains("\"wire\""));
+
+        // Percentiles bracket the observed range and order correctly.
+        let mut s = LatencyStat::default();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            s.record(ns);
+        }
+        let (p50, p99) = (s.percentile_ns(0.5), s.percentile_ns(0.99));
+        assert!((s.min_ns..=s.max_ns).contains(&p50));
+        assert!((s.min_ns..=s.max_ns).contains(&p99));
+        assert!(p50 <= p99);
+        assert!(p50 < 1_000, "median must not be dragged up by the outlier");
+        assert_eq!(s.percentile_ns(0.0), s.min_ns);
+        assert_eq!(s.percentile_ns(1.0), s.max_ns);
+    }
+
+    /// Synthetic two-clock harness: the worker clock reads
+    /// `skew + (1 + drift) * t` when the controller clock reads `t`.
+    /// Exchanges have asymmetric up/down latencies (bounded by `rtt`).
+    fn feed_exchanges(
+        sync: &mut ClockSync,
+        skew_ns: i64,
+        drift: f64,
+        exchanges: &[(u64, u64, u64)], // (controller send time, up latency, down latency)
+    ) -> u64 {
+        let worker_clock =
+            |t_ctrl: u64| -> u64 { (skew_ns + ((1.0 + drift) * t_ctrl as f64) as i64) as u64 };
+        let mut max_rtt = 0;
+        for &(t_send, up, down) in exchanges {
+            let t1 = worker_clock(t_send); // worker stamps the ping
+            let t2 = t_send + up; // controller stamps receipt
+            let t4 = worker_clock(t_send + up + down); // worker stamps the pong
+            let rtt = t4 - t1;
+            let offset = t2 as i64 - ((t1 + t4) / 2) as i64;
+            sync.observe(t2, offset, rtt);
+            max_rtt = max_rtt.max(rtt);
+        }
+        max_rtt
+    }
+
+    #[test]
+    fn clock_sync_recovers_a_skewed_clock_within_the_rtt_bound() {
+        // Worker clock is 3.2 ms ahead; exchanges take 40–90 µs per leg.
+        let skew = 3_200_000i64;
+        let mut sync = ClockSync::new();
+        let exchanges: Vec<(u64, u64, u64)> = (0..20)
+            .map(|i| {
+                let t = 1_000_000 + i * 100_000_000u64; // every 100 ms
+                let up = 40_000 + (i * 7919) % 50_000; // deterministic jitter
+                let down = 40_000 + (i * 104_729) % 50_000;
+                (t, up, down)
+            })
+            .collect();
+        let max_rtt = feed_exchanges(&mut sync, skew, 0.0, &exchanges);
+        assert!(sync.samples() >= 8);
+        let est = sync.offset_at(2_000_000_000);
+        // True offset (controller − worker) is −skew; one exchange's
+        // error is ≤ rtt/2, and averaging only helps.
+        let err = (est - (-skew)).unsigned_abs();
+        assert!(
+            err <= max_rtt / 2,
+            "offset error {err} ns exceeds rtt/2 bound {}",
+            max_rtt / 2
+        );
+    }
+
+    #[test]
+    fn clock_sync_tracks_drift_and_rejects_congested_samples() {
+        // 100 ppm drift on top of a −1 ms skew.
+        let skew = -1_000_000i64;
+        let drift = 1e-4;
+        let mut sync = ClockSync::new();
+        let mut exchanges: Vec<(u64, u64, u64)> = (0..30)
+            .map(|i| (1_000_000 + i * 100_000_000u64, 20_000, 20_000))
+            .collect();
+        // A congested exchange mid-run: 30 ms legs, wildly asymmetric.
+        exchanges.push((1_550_000_000, 60_000_000, 1_000));
+        exchanges.sort();
+        feed_exchanges(&mut sync, skew, drift, &exchanges);
+        // The drift estimate has the right sign and magnitude: the worker
+        // clock runs fast, so controller − worker shrinks over time.
+        let d = sync.drift();
+        assert!(d < 0.0, "worker running fast must give negative drift");
+        assert!(d.abs() < 1e-3, "drift clamp");
+        // Extrapolate to a time past the sampled window: the estimate
+        // stays within the clean-sample bound even though a congested
+        // sample (error up to 30 ms) was offered.
+        let at = 3_500_000_000u64;
+        let truth = -((skew as f64) + drift * at as f64) as i64;
+        let err = (sync.offset_at(at) - truth).unsigned_abs();
+        assert!(
+            err <= 200_000,
+            "drift-corrected offset error {err} ns too large (congested sample not rejected?)"
+        );
+    }
+
+    #[test]
+    fn lane_aligner_makes_merged_spans_monotone_per_lane() {
+        // Worker spans stamped on a skewed clock, merged with an offset
+        // estimate that is slightly wrong (as a real rtt/2 error is):
+        // consecutive spans could land before the previous span's end.
+        let lane = Lane::stream(1, 0, 0);
+        let spans = [(1_000u64, 500u64), (1_400, 300), (2_100, 100)];
+        let offset_err = 250i64; // the merge maps everything 250 ns late
+        let mut aligner = LaneAligner::new();
+        let mut prev_end = 0u64;
+        for (start, dur) in spans {
+            let shifted = (start as i64 + offset_err) as u64;
+            let aligned = aligner.align(lane, shifted, dur);
+            assert!(
+                aligned >= prev_end,
+                "span start {aligned} overlaps previous end {prev_end}"
+            );
+            prev_end = aligned + dur;
+        }
+        // Other lanes are independent.
+        assert_eq!(aligner.align(Lane::network(2), 10, 5), 10);
     }
 
     #[test]

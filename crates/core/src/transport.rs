@@ -36,9 +36,74 @@ use crate::ce::ArrayId;
 use crate::dag::DagIndex;
 use crate::local_runtime::{HostBuf, LocalArg};
 use crate::policy::LinkMatrix;
+use crate::telemetry::{monotonic_ns, PeerWireStats};
 
 pub(crate) fn trace_on() -> bool {
     std::env::var_os("GROUT_TRACE").is_some()
+}
+
+/// Spans per [`WorkerMsg::Telemetry`] batch; larger flushes are chunked
+/// into several frames so no single frame grows unbounded.
+pub const TELEMETRY_MAX_BATCH: usize = 512;
+
+/// Worker-side span buffer cap: beyond this, new spans are dropped and
+/// counted ([`WorkerCounters::dropped`]) instead of growing without
+/// bound when flush opportunities are scarce.
+pub const TELEMETRY_BUFFER_CAP: usize = 4096;
+
+/// Cadence at which an idle worker driver flushes buffered telemetry
+/// (both the in-process thread loop and `grout-workerd` tick at this).
+pub const TELEMETRY_FLUSH_TICK: Duration = Duration::from_millis(100);
+
+/// What a worker-side telemetry span measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerSpanKind {
+    /// A kernel execution.
+    Execute,
+    /// Data movement through this worker's store (`"send"`/`"recv"`).
+    Transfer,
+    /// A wire-path kernel recompilation.
+    Recompile,
+}
+
+/// One span recorded on a worker, stamped with the worker's own
+/// monotonic clock ([`crate::telemetry::monotonic_ns`]). The controller
+/// shifts it into its clock domain (via the transport's clock-offset
+/// estimate) when merging it into the run trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpan {
+    /// What was measured.
+    pub kind: WorkerSpanKind,
+    /// Kernel name for executes/recompiles, `"send"`/`"recv"` for
+    /// transfers.
+    pub name: String,
+    /// Start on the worker's monotonic clock, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// The CE this span belongs to (`u64::MAX` when not CE-bound).
+    pub dag_index: u64,
+    /// Payload bytes for transfers, 0 otherwise.
+    pub bytes: u64,
+}
+
+/// Cumulative per-worker counters riding on every telemetry batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Kernels executed successfully.
+    pub kernels: u64,
+    /// Wire-path kernel recompilations.
+    pub recompiles: u64,
+    /// Buffers forwarded (to peers or the controller).
+    pub sends: u64,
+    /// Buffers installed into the local store.
+    pub recvs: u64,
+    /// Payload bytes forwarded.
+    pub bytes_out: u64,
+    /// Payload bytes installed.
+    pub bytes_in: u64,
+    /// Spans dropped at the [`TELEMETRY_BUFFER_CAP`] backpressure limit.
+    pub dropped: u64,
 }
 
 /// An injected execution fault riding on an [`ExecSpec`].
@@ -153,6 +218,15 @@ pub enum CtrlMsg {
         /// Ballast bytes.
         payload: Vec<u8>,
     },
+    /// Toggle worker-side telemetry recording. Sent to every worker when
+    /// the controller attaches (or detaches) a recorder; over the wire
+    /// this is a v2+ frame, silently skipped for v1 peers so a traced
+    /// controller degrades to controller-side-only spans against an
+    /// older worker.
+    Observe {
+        /// Record and stream telemetry when true.
+        enabled: bool,
+    },
     /// Terminate cleanly.
     Shutdown,
 }
@@ -216,6 +290,25 @@ pub enum WorkerMsg {
         /// Measured round-trip time.
         elapsed_ns: u64,
     },
+    /// A batch of worker-side telemetry: spans plus cumulative counters.
+    /// Flushed before every completion report (so a CE's spans always
+    /// precede its `Done`), on the driver's flush tick, and at clean
+    /// shutdown — but not on an injected crash, which takes the unflushed
+    /// buffer with it like a real process death. Only emitted after
+    /// [`CtrlMsg::Observe`] enabled recording.
+    Telemetry {
+        /// The reporting worker.
+        worker: usize,
+        /// Batch sequence number (1-based, per worker).
+        seq: u64,
+        /// Spans buffered at the flush trigger (backlog gauge).
+        backlog: u64,
+        /// Cumulative counters as of this batch.
+        counters: WorkerCounters,
+        /// The spans, in record order, at most
+        /// [`TELEMETRY_MAX_BATCH`] per batch.
+        spans: Vec<WorkerSpan>,
+    },
 }
 
 /// The destination worker is unreachable (thread exited / socket closed).
@@ -268,6 +361,22 @@ pub trait Transport: Send {
     /// probes one at startup (TCP). `None` means the runtime falls back
     /// to a uniform model.
     fn measured_links(&self) -> Option<&LinkMatrix>;
+
+    /// Estimated clock offset for `worker`: add it to the worker's
+    /// reported monotonic timestamps to land them in the controller's
+    /// clock domain. 0 when both ends share one clock (in-process) or no
+    /// estimate exists yet.
+    fn clock_offset_ns(&mut self, worker: usize) -> i64 {
+        let _ = worker;
+        0
+    }
+
+    /// Per-peer wire observability snapshot (frames/bytes, heartbeat RTT,
+    /// telemetry-batch accounting), indexed by worker. Empty when the
+    /// transport tracks none.
+    fn wire_stats(&self) -> Vec<PeerWireStats> {
+        Vec::new()
+    }
 }
 
 /// What a [`WorkerEngine`] wants sent after handling a message.
@@ -301,6 +410,16 @@ pub struct WorkerEngine {
     pending_sends: VecDeque<(ArrayId, u64, Option<usize>)>,
     /// Outstanding peer probes: token → (peer, bytes, started).
     probes: HashMap<u64, (usize, u64, std::time::Instant)>,
+    /// Whether telemetry recording is on ([`CtrlMsg::Observe`]). Off by
+    /// default: the recording paths then do zero work and allocate
+    /// nothing, preserving the traced-vs-plain differential.
+    observe: bool,
+    /// Spans buffered since the last flush.
+    spans: Vec<WorkerSpan>,
+    /// Cumulative counters (ride on every batch).
+    counters: WorkerCounters,
+    /// Telemetry batch sequence (1-based).
+    tel_seq: u64,
 }
 
 impl WorkerEngine {
@@ -313,6 +432,10 @@ impl WorkerEngine {
             queue: VecDeque::new(),
             pending_sends: VecDeque::new(),
             probes: HashMap::new(),
+            observe: false,
+            spans: Vec::new(),
+            counters: WorkerCounters::default(),
+            tel_seq: 0,
         }
     }
 
@@ -322,22 +445,88 @@ impl WorkerEngine {
         self.me = me;
     }
 
-    fn forward(&self, array: ArrayId, to: Option<usize>, out: &mut dyn FnMut(Outbound)) {
-        let (version, buf) = self.store.get(&array).expect("checked by caller");
+    /// Buffer one span, dropping (and counting) past the backpressure
+    /// cap. Callers gate on `self.observe`.
+    fn record_span(
+        &mut self,
+        kind: WorkerSpanKind,
+        name: impl Into<String>,
+        start_ns: u64,
+        dur_ns: u64,
+        dag_index: u64,
+        bytes: u64,
+    ) {
+        if self.spans.len() >= TELEMETRY_BUFFER_CAP {
+            self.counters.dropped += 1;
+            return;
+        }
+        self.spans.push(WorkerSpan {
+            kind,
+            name: name.into(),
+            start_ns,
+            dur_ns,
+            dag_index,
+            bytes,
+        });
+    }
+
+    /// Emit buffered spans as bounded [`WorkerMsg::Telemetry`] batches.
+    /// Called before every completion report (so the controller merges a
+    /// CE's spans before seeing its `Done`), at the driver's flush tick,
+    /// and on clean shutdown — never on an injected crash, which models
+    /// a process death taking its unflushed buffer with it.
+    pub fn flush_telemetry(&mut self, out: &mut dyn FnMut(Outbound)) {
+        if !self.observe || self.spans.is_empty() {
+            return;
+        }
+        let backlog = self.spans.len() as u64;
+        let all = std::mem::take(&mut self.spans);
+        for chunk in all.chunks(TELEMETRY_MAX_BATCH) {
+            self.tel_seq += 1;
+            out(Outbound::Controller(WorkerMsg::Telemetry {
+                worker: self.me,
+                seq: self.tel_seq,
+                backlog,
+                counters: self.counters,
+                spans: chunk.to_vec(),
+            }));
+        }
+    }
+
+    fn forward(&mut self, array: ArrayId, to: Option<usize>, out: &mut dyn FnMut(Outbound)) {
+        let (version, buf) = {
+            let (v, b) = self.store.get(&array).expect("checked by caller");
+            (*v, b.clone())
+        };
+        let bytes = buf.bytes();
+        let start = monotonic_ns();
         match to {
             Some(peer) => out(Outbound::Peer(
                 peer,
                 CtrlMsg::Data {
                     array,
-                    version: *version,
-                    buf: buf.clone(),
+                    version,
+                    buf,
                 },
             )),
             None => out(Outbound::Controller(WorkerMsg::Data {
                 array,
-                version: *version,
-                buf: buf.clone(),
+                version,
+                buf,
             })),
+        }
+        if self.observe {
+            let dur = monotonic_ns().saturating_sub(start);
+            self.record_span(
+                WorkerSpanKind::Transfer,
+                "send",
+                start,
+                dur,
+                u64::MAX,
+                bytes,
+            );
+            self.counters.sends += 1;
+            self.counters.bytes_out += bytes;
         }
     }
 
@@ -373,6 +562,7 @@ impl WorkerEngine {
                 }
             }
         }
+        let started_mono = monotonic_ns();
         let started = std::time::Instant::now();
         let result = {
             let mut kargs: Vec<KernelArg<'_>> = Vec::with_capacity(spec.args.len());
@@ -394,11 +584,24 @@ impl WorkerEngine {
         };
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         let bumps = spec.bumps.clone();
+        let dag_index = spec.dag_index as u64;
         for (a, mut ver, buf) in taken {
             if let Some((_, v)) = bumps.iter().find(|(b, _)| *b == a) {
                 ver = ver.max(*v);
             }
             self.store.insert(a, (ver, buf));
+        }
+        if self.observe && result.is_ok() {
+            let name = kernel.name().to_string();
+            self.record_span(
+                WorkerSpanKind::Execute,
+                name,
+                started_mono,
+                elapsed_ns,
+                dag_index,
+                0,
+            );
+            self.counters.kernels += 1;
         }
         Some((result.map(|_| ()), elapsed_ns))
     }
@@ -419,7 +622,21 @@ impl WorkerEngine {
                 match self.store.get(&array) {
                     Some((have, _)) if *have >= version => {}
                     _ => {
+                        let bytes = buf.bytes();
+                        let start = monotonic_ns();
                         self.store.insert(array, (version, buf));
+                        if self.observe {
+                            self.record_span(
+                                WorkerSpanKind::Transfer,
+                                "recv",
+                                start,
+                                monotonic_ns().saturating_sub(start),
+                                u64::MAX,
+                                bytes,
+                            );
+                            self.counters.recvs += 1;
+                            self.counters.bytes_in += bytes;
+                        }
                     }
                 }
             }
@@ -429,22 +646,34 @@ impl WorkerEngine {
                 source,
                 compiled,
             } => {
-                if let std::collections::hash_map::Entry::Vacant(slot) = self.kernels.entry(id) {
-                    let k = match compiled {
-                        Some(k) => Some(k),
+                if !self.kernels.contains_key(&id) {
+                    let start = monotonic_ns();
+                    let (k, compiled_here) = match compiled {
+                        Some(k) => (Some(k), false),
                         None => match kernelc::compile_one(&source, &name) {
-                            Ok(k) => Some(Arc::new(k)),
+                            Ok(k) => (Some(Arc::new(k)), true),
                             Err(e) => {
                                 // Unreachable when controller and worker run
                                 // the same build (compilation is pure); loud
                                 // breadcrumb + deterministic Exec failure.
                                 eprintln!("[w{me}] kernel `{name}` failed to recompile: {e}");
-                                None
+                                (None, false)
                             }
                         },
                     };
+                    if compiled_here && self.observe {
+                        self.record_span(
+                            WorkerSpanKind::Recompile,
+                            name,
+                            start,
+                            monotonic_ns().saturating_sub(start),
+                            u64::MAX,
+                            0,
+                        );
+                        self.counters.recompiles += 1;
+                    }
                     if let Some(k) = k {
-                        slot.insert(k);
+                        self.kernels.insert(id, k);
                     }
                 }
             }
@@ -519,7 +748,17 @@ impl WorkerEngine {
                     }));
                 }
             }
-            CtrlMsg::Shutdown => return Flow::Halt,
+            CtrlMsg::Observe { enabled } => {
+                self.observe = enabled;
+                if !enabled {
+                    self.spans.clear();
+                }
+            }
+            CtrlMsg::Shutdown => {
+                // Clean shutdown: ship whatever is still buffered first.
+                self.flush_telemetry(out);
+                return Flow::Halt;
+            }
         }
         // Drain every runnable queued kernel and every satisfiable pending
         // forward (data may have just arrived or been produced).
@@ -571,6 +810,9 @@ impl WorkerEngine {
                             if trace_on() {
                                 eprintln!("[w{me}] Done ce#{}", m.dag_index);
                             }
+                            // A CE's spans always precede its Done, so the
+                            // controller can merge them before completing it.
+                            self.flush_telemetry(out);
                             out(Outbound::Controller(WorkerMsg::Done {
                                 dag_index: m.dag_index,
                                 worker: me,
@@ -590,6 +832,9 @@ impl WorkerEngine {
                 }
             }
         }
+        // Catch spans with no following Done (transfers, recompiles) so
+        // they ship without waiting for the idle flush tick.
+        self.flush_telemetry(out);
         Flow::Continue
     }
 }
@@ -603,17 +848,25 @@ pub fn run_worker(
     peers: Vec<Sender<CtrlMsg>>,
 ) {
     let mut engine = WorkerEngine::new(me);
-    while let Ok(msg) = rx.recv() {
-        let flow = engine.handle(msg, &mut |o| match o {
-            Outbound::Controller(m) => {
-                let _ = to_controller.send(m);
+    let mut out = |o: Outbound| match o {
+        Outbound::Controller(m) => {
+            let _ = to_controller.send(m);
+        }
+        Outbound::Peer(i, m) => {
+            let _ = peers[i].send(m);
+        }
+    };
+    loop {
+        match rx.recv_timeout(TELEMETRY_FLUSH_TICK) {
+            Ok(msg) => {
+                if engine.handle(msg, &mut out) == Flow::Halt {
+                    break;
+                }
             }
-            Outbound::Peer(i, m) => {
-                let _ = peers[i].send(m);
-            }
-        });
-        if flow == Flow::Halt {
-            break;
+            // Idle tick: ship buffered telemetry so long-running quiet
+            // phases still stream spans instead of hoarding them.
+            Err(RecvTimeoutError::Timeout) => engine.flush_telemetry(&mut out),
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }
@@ -623,12 +876,54 @@ struct ChannelWorker {
     join: Option<JoinHandle<()>>,
 }
 
+/// Approximate logical payload size of a controller→worker message, for
+/// the in-process wire counters (channels move pointers, so this models
+/// what the bytes *would* be on a wire; small fixed overheads stand in
+/// for headers).
+fn ctrl_msg_bytes(msg: &CtrlMsg) -> u64 {
+    match msg {
+        CtrlMsg::Data { buf, .. } => 24 + buf.bytes(),
+        CtrlMsg::LoadKernel { name, source, .. } => 24 + (name.len() + source.len()) as u64,
+        CtrlMsg::Exec(spec) => {
+            48 + 16 * (spec.args.len() + spec.needs.len() + spec.bumps.len()) as u64
+        }
+        CtrlMsg::Send { .. } => 32,
+        CtrlMsg::Probe { payload, .. } => 16 + payload.len() as u64,
+        CtrlMsg::ProbePeer { .. } => 32,
+        CtrlMsg::PeerProbe { payload, .. } => 24 + payload.len() as u64,
+        CtrlMsg::PeerProbeEcho { payload, .. } => 16 + payload.len() as u64,
+        CtrlMsg::Observe { .. } => 8,
+        CtrlMsg::Shutdown => 8,
+    }
+}
+
+/// Approximate logical payload size of a worker→controller message (see
+/// [`ctrl_msg_bytes`]).
+fn worker_msg_bytes(msg: &WorkerMsg) -> u64 {
+    match msg {
+        WorkerMsg::Done { .. } => 32,
+        WorkerMsg::Data { buf, .. } => 24 + buf.bytes(),
+        WorkerMsg::Failed { .. } => 32,
+        WorkerMsg::Heartbeat { .. } => 8,
+        WorkerMsg::ProbeEcho { payload, .. } => 24 + payload.len() as u64,
+        WorkerMsg::ProbeReport { .. } => 40,
+        WorkerMsg::Telemetry { spans, .. } => {
+            64 + spans.iter().map(|s| 41 + s.name.len() as u64).sum::<u64>()
+        }
+    }
+}
+
 /// The in-process transport: one OS thread per worker, crossbeam channels
 /// for all three logical channels (the original `LocalRuntime` mesh).
+/// Tracks the same per-peer wire counters as the TCP transport (with
+/// modeled byte sizes) so the merge/metrics seam is exercised in-process;
+/// clock offsets are exactly 0 because every thread shares
+/// [`monotonic_ns`]'s process-global epoch.
 pub struct ChannelTransport {
     workers: Vec<ChannelWorker>,
     from_workers: Receiver<WorkerMsg>,
     failures: Vec<(usize, String)>,
+    wire: Vec<PeerWireStats>,
 }
 
 impl ChannelTransport {
@@ -682,6 +977,32 @@ impl ChannelTransport {
             workers,
             from_workers,
             failures,
+            wire: vec![PeerWireStats::default(); n],
+        }
+    }
+
+    /// Attribute a received message to its worker's wire counters.
+    /// `WorkerMsg::Data` carries no sender field and stays unattributed
+    /// (the TCP transport, which knows the socket, does count it).
+    fn note_recv(&mut self, msg: &WorkerMsg) {
+        let worker = match msg {
+            WorkerMsg::Done { worker, .. }
+            | WorkerMsg::Failed { worker, .. }
+            | WorkerMsg::Heartbeat { worker }
+            | WorkerMsg::ProbeEcho { worker, .. }
+            | WorkerMsg::ProbeReport { worker, .. }
+            | WorkerMsg::Telemetry { worker, .. } => *worker,
+            WorkerMsg::Data { .. } => return,
+        };
+        let Some(w) = self.wire.get_mut(worker) else {
+            return;
+        };
+        w.frames_recv += 1;
+        w.bytes_recv += worker_msg_bytes(msg);
+        if let WorkerMsg::Telemetry { backlog, spans, .. } = msg {
+            w.telemetry_batches += 1;
+            w.telemetry_spans += spans.len() as u64;
+            w.telemetry_backlog = *backlog;
         }
     }
 }
@@ -696,20 +1017,29 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&mut self, worker: usize, msg: CtrlMsg) -> Result<(), SendLost> {
+        if let Some(w) = self.wire.get_mut(worker) {
+            w.frames_sent += 1;
+            w.bytes_sent += ctrl_msg_bytes(&msg);
+        }
         self.workers[worker].tx.send(msg).map_err(|_| SendLost)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
-        self.from_workers
+        let msg = self
+            .from_workers
             .recv_timeout(timeout)
             .map_err(|e| match e {
                 RecvTimeoutError::Timeout => TransportRecvError::Timeout,
                 RecvTimeoutError::Disconnected => TransportRecvError::Disconnected,
-            })
+            })?;
+        self.note_recv(&msg);
+        Ok(msg)
     }
 
     fn try_recv(&mut self) -> Option<WorkerMsg> {
-        self.from_workers.try_recv().ok()
+        let msg = self.from_workers.try_recv().ok()?;
+        self.note_recv(&msg);
+        Some(msg)
     }
 
     fn is_alive(&mut self, worker: usize) -> bool {
@@ -732,6 +1062,10 @@ impl Transport for ChannelTransport {
 
     fn measured_links(&self) -> Option<&LinkMatrix> {
         None
+    }
+
+    fn wire_stats(&self) -> Vec<PeerWireStats> {
+        self.wire.clone()
     }
 }
 

@@ -13,9 +13,10 @@
 //! systems interface is `polyglot.eval`, over which arrays are allocated and
 //! CUDA-dialect kernels are built and launched.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use grout::core::Runtime;
+use grout::core::{ChromeTracer, Runtime, Shared};
 use grout::net::{TcpExt, WorkerSpec};
 use grout::polyglot::run_script;
 use grout::Polyglot;
@@ -31,6 +32,13 @@ enum Workers {
 struct Cli {
     workers: Workers,
     source: String,
+    /// Write a merged Chrome/Perfetto trace here (controller lanes plus
+    /// clock-aligned worker spans streamed back over the wire).
+    trace_out: Option<PathBuf>,
+    /// Write the unified metrics artifact here (`.csv` → CSV, else JSON).
+    metrics_out: Option<PathBuf>,
+    /// Print the per-peer wire summary table at end of run.
+    stats: bool,
 }
 
 fn main() -> ExitCode {
@@ -50,13 +58,16 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str =
-    "usage: grout-run <script.gs> [--workers N | --workers tcp:<addr>,...] | -e '<script>'";
+const USAGE: &str = "usage: grout-run <script.gs> [--workers N | --workers tcp:<addr>,...] \
+     [--trace-out <trace.json>] [--metrics-out <metrics.{json,csv}>] [--stats] | -e '<script>'";
 
 /// Parses the command line; `Ok(None)` means `--help` was served.
 fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> {
     let mut workers = Workers::Threads(2);
     let mut source: Option<String> = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut stats = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
@@ -65,6 +76,17 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
                     .ok_or("--workers needs a count or tcp:<addr>,...")?;
                 workers = parse_workers(&spec)?;
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a path")?,
+                ));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a path")?,
+                ));
+            }
+            "--stats" => stats = true,
             "-e" => {
                 let inline = args.next().ok_or("-e needs an inline script")?;
                 source = Some(inline);
@@ -82,7 +104,13 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
         }
     }
     let source = source.ok_or("no script given; see --help")?;
-    Ok(Some(Cli { workers, source }))
+    Ok(Some(Cli {
+        workers,
+        source,
+        trace_out,
+        metrics_out,
+        stats,
+    }))
 }
 
 fn parse_workers(spec: &str) -> Result<Workers, String> {
@@ -119,9 +147,39 @@ fn run(cli: Cli) -> Result<(), String> {
             (Polyglot::with_runtime(rt.into_inner()), n, "tcp")
         }
     };
+    // Attach the tracer before any CE runs so worker-side recording is
+    // switched on from the first kernel.
+    let tracer = cli
+        .trace_out
+        .as_ref()
+        .map(|_| Shared::new(ChromeTracer::new()));
+    if let Some(t) = &tracer {
+        pg.runtime_mut().set_telemetry(t.telemetry());
+    }
     let output = run_script(&mut pg, &cli.source).map_err(|e| e.to_string())?;
     for line in output {
         println!("{line}");
+    }
+    pg.runtime_mut().refresh_wire_metrics();
+    if let (Some(path), Some(t)) = (&cli.trace_out, &tracer) {
+        t.lock()
+            .write_to(path)
+            .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
+        eprintln!("[grout-run] trace written to {}", path.display());
+    }
+    if let Some(path) = &cli.metrics_out {
+        let metrics = pg.runtime().metrics();
+        let body = if path.extension().is_some_and(|e| e == "csv") {
+            metrics.to_csv()
+        } else {
+            metrics.to_json_string()
+        };
+        std::fs::write(path, body)
+            .map_err(|e| format!("cannot write metrics `{}`: {e}", path.display()))?;
+        eprintln!("[grout-run] metrics written to {}", path.display());
+    }
+    if cli.stats {
+        print_wire_stats(pg.runtime().metrics());
     }
     let stats = pg.runtime().stats();
     eprintln!(
@@ -129,4 +187,38 @@ fn run(cli: Cli) -> Result<(), String> {
         stats.kernels, n, transport, stats.send_bytes, stats.p2p_bytes, stats.fetch_bytes
     );
     Ok(())
+}
+
+/// End-of-run per-peer wire summary (the `--stats` table).
+fn print_wire_stats(metrics: &grout::core::Metrics) {
+    if metrics.wire.is_empty() {
+        eprintln!("[grout-run] no wire stats (transport tracks none)");
+        return;
+    }
+    eprintln!(
+        "[grout-run] {:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "peer",
+        "frames_out",
+        "bytes_out",
+        "frames_in",
+        "bytes_in",
+        "rtt_n",
+        "rtt_p50",
+        "rtt_p99",
+        "offset_ns"
+    );
+    for (w, s) in metrics.wire.iter().enumerate() {
+        eprintln!(
+            "[grout-run] w{:<5} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            w,
+            s.frames_sent,
+            s.bytes_sent,
+            s.frames_recv,
+            s.bytes_recv,
+            s.hb_rtt.count,
+            s.hb_rtt.percentile_ns(0.5),
+            s.hb_rtt.percentile_ns(0.99),
+            s.clock_offset_ns
+        );
+    }
 }

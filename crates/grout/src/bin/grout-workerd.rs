@@ -57,5 +57,11 @@ fn run() -> Result<(), String> {
     // crosses the pipe before we block in accept().
     println!("LISTENING {addr}");
     let _ = std::io::stdout().flush();
+    // Operator-facing startup line: a silent daemon is indistinguishable
+    // from a hung one.
+    eprintln!(
+        "[grout-workerd] listening on {addr} (wire v{})",
+        grout::net::wire::WIRE_VERSION
+    );
     grout::net::serve(listener).map_err(|e| e.to_string())
 }

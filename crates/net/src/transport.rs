@@ -19,13 +19,16 @@
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::process::Child;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use grout_core::{CtrlMsg, LinkMatrix, SendLost, Transport, TransportRecvError, WorkerMsg};
+use grout_core::{
+    monotonic_ns, ClockSync, CtrlMsg, LatencyStat, LinkMatrix, PeerWireStats, SendLost, Transport,
+    TransportRecvError, WorkerMsg,
+};
 
 use crate::wire;
 
@@ -58,9 +61,28 @@ impl Default for TcpConfig {
     }
 }
 
+/// Per-connection wire counters and clock state, shared between the
+/// controller thread (sends, snapshots) and the reader thread (receives,
+/// clock-sync frames).
+#[derive(Default)]
+struct ConnStats {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+    telemetry_batches: AtomicU64,
+    telemetry_spans: AtomicU64,
+    telemetry_backlog: AtomicU64,
+    /// Heartbeat RTT histogram + running clock-offset estimate, both fed
+    /// by the worker's clock samples.
+    clock: Mutex<(LatencyStat, ClockSync)>,
+}
+
 struct Conn {
-    /// Write half (reads happen on a cloned handle in the reader thread).
-    stream: Option<TcpStream>,
+    /// Write half, shared with the reader thread (clock-pong replies must
+    /// serialize with plan traffic — two raw handles would interleave
+    /// frames). `None` once shut down.
+    writer: Arc<Mutex<Option<TcpStream>>>,
     reader: Option<JoinHandle<()>>,
     /// Flipped off by the reader thread on EOF/error.
     open: Arc<AtomicBool>,
@@ -68,6 +90,10 @@ struct Conn {
     last_seen: Arc<Mutex<Instant>>,
     /// The `grout-workerd` child when this transport spawned it.
     child: Option<Child>,
+    /// The worker's announced wire version (v2-only traffic is skipped
+    /// for older peers).
+    peer_version: u16,
+    stats: Arc<ConnStats>,
 }
 
 /// The controller-side TCP transport; plug into
@@ -100,33 +126,43 @@ impl TcpTransport {
         for (i, addr) in addrs.iter().enumerate() {
             let open = Arc::new(AtomicBool::new(true));
             let last_seen = Arc::new(Mutex::new(Instant::now()));
+            let stats = Arc::new(ConnStats::default());
             let child = children[i].take();
             match Self::adopt(i, addr, addrs, cfg) {
-                Ok(stream) => {
+                Ok((stream, peer_version)) => {
+                    let writer = Arc::new(Mutex::new(Some(
+                        stream.try_clone().expect("clone TCP write half"),
+                    )));
                     let reader = spawn_reader(
                         i,
-                        stream.try_clone().expect("clone TCP read half"),
+                        stream,
                         to_controller.clone(),
                         Arc::clone(&open),
                         Arc::clone(&last_seen),
+                        Arc::clone(&writer),
+                        Arc::clone(&stats),
                     );
                     conns.push(Conn {
-                        stream: Some(stream),
+                        writer,
                         reader: Some(reader),
                         open,
                         last_seen,
                         child,
+                        peer_version,
+                        stats,
                     });
                 }
                 Err(e) => {
                     open.store(false, Ordering::SeqCst);
                     failures.push((i, e.to_string()));
                     conns.push(Conn {
-                        stream: None,
+                        writer: Arc::new(Mutex::new(None)),
                         reader: None,
                         open,
                         last_seen,
                         child,
+                        peer_version: wire::WIRE_VERSION,
+                        stats,
                     });
                 }
             }
@@ -143,13 +179,14 @@ impl TcpTransport {
         t
     }
 
-    /// Dial + handshake one worker endpoint.
+    /// Dial + handshake one worker endpoint; returns the stream and the
+    /// worker's announced wire version.
     fn adopt(
         index: usize,
         addr: &str,
         peers: &[String],
         cfg: &TcpConfig,
-    ) -> Result<TcpStream, wire::WireError> {
+    ) -> Result<(TcpStream, u16), wire::WireError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         wire::write_frame(
@@ -163,13 +200,13 @@ impl TcpTransport {
         )?;
         let ack = wire::read_frame(&mut stream)?
             .ok_or_else(|| wire::WireError::Handshake("worker closed during handshake".into()))?;
-        let echoed = wire::decode_ack(&ack)?;
+        let (echoed, version) = wire::decode_ack(&ack)?;
         if echoed != index {
             return Err(wire::WireError::Handshake(format!(
                 "worker acked index {echoed}, expected {index}"
             )));
         }
-        Ok(stream)
+        Ok((stream, version))
     }
 
     /// The startup probe round. Controller↔worker pairs are timed
@@ -269,7 +306,8 @@ impl TcpTransport {
     }
 
     fn endpoint_usable(&self, w: usize) -> bool {
-        self.conns[w].stream.is_some() && self.conns[w].open.load(Ordering::SeqCst)
+        self.conns[w].writer.lock().expect("writer lock").is_some()
+            && self.conns[w].open.load(Ordering::SeqCst)
     }
 
     /// Pid of the spawned `grout-workerd` backing worker `w`, when this
@@ -294,6 +332,8 @@ fn spawn_reader(
     out: Sender<WorkerMsg>,
     open: Arc<AtomicBool>,
     last_seen: Arc<Mutex<Instant>>,
+    writer: Arc<Mutex<Option<TcpStream>>>,
+    stats: Arc<ConnStats>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("grout-net-rx-{worker}"))
@@ -301,9 +341,48 @@ fn spawn_reader(
             match wire::read_frame(&mut stream) {
                 Ok(Some(payload)) => {
                     *last_seen.lock().expect("last_seen lock") = Instant::now();
+                    stats.frames_recv.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .bytes_recv
+                        .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+                    // Clock-sync frames live above the message tag space;
+                    // peek the tag and keep them inside the transport.
+                    match payload.first().copied() {
+                        Some(wire::CLOCK_PING_TAG) => {
+                            let t2 = monotonic_ns();
+                            if let Ok((_, t1)) = wire::decode_clock_ping(&payload) {
+                                let pong = wire::encode_clock_pong(t1, t2);
+                                let mut w = writer.lock().expect("writer lock");
+                                if let Some(s) = w.as_mut() {
+                                    let _ = wire::write_frame(s, &pong);
+                                    stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                                    stats
+                                        .bytes_sent
+                                        .fetch_add(pong.len() as u64 + 4, Ordering::Relaxed);
+                                }
+                            }
+                            continue;
+                        }
+                        Some(wire::CLOCK_SAMPLE_TAG) => {
+                            if let Ok((_, offset, rtt)) = wire::decode_clock_sample(&payload) {
+                                let mut clock = stats.clock.lock().expect("clock lock");
+                                clock.0.record(rtt);
+                                clock.1.observe(monotonic_ns(), offset, rtt);
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
                     match wire::decode_worker(&payload) {
                         Ok(WorkerMsg::Heartbeat { .. }) => {} // liveness only
                         Ok(msg) => {
+                            if let WorkerMsg::Telemetry { backlog, spans, .. } = &msg {
+                                stats.telemetry_batches.fetch_add(1, Ordering::Relaxed);
+                                stats
+                                    .telemetry_spans
+                                    .fetch_add(spans.len() as u64, Ordering::Relaxed);
+                                stats.telemetry_backlog.store(*backlog, Ordering::Relaxed);
+                            }
                             if out.send(msg).is_err() {
                                 return; // transport dropped
                             }
@@ -337,15 +416,26 @@ impl Transport for TcpTransport {
         if !self.endpoint_usable(worker) {
             return Err(SendLost);
         }
+        // v2-only traffic silently degrades against an older worker: a
+        // v1 peer can run every plan, it just cannot stream telemetry.
+        if matches!(msg, CtrlMsg::Observe { .. }) && self.conns[worker].peer_version < 2 {
+            return Ok(());
+        }
         let payload = wire::encode_ctrl(&msg);
         let wrote = {
-            let stream = self.conns[worker].stream.as_mut().expect("usable");
+            let mut guard = self.conns[worker].writer.lock().expect("writer lock");
+            let stream = guard.as_mut().expect("usable");
             wire::write_frame(stream, &payload)
         };
         if wrote.is_err() {
             self.conns[worker].open.store(false, Ordering::SeqCst);
             return Err(SendLost);
         }
+        let stats = &self.conns[worker].stats;
+        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
         Ok(())
     }
 
@@ -364,7 +454,7 @@ impl Transport for TcpTransport {
 
     fn is_alive(&mut self, worker: usize) -> bool {
         let c = &self.conns[worker];
-        if c.stream.is_none() || !c.open.load(Ordering::SeqCst) {
+        if !c.open.load(Ordering::SeqCst) || c.writer.lock().expect("writer lock").is_none() {
             return false;
         }
         c.last_seen.lock().expect("last_seen lock").elapsed() < self.stale_after
@@ -373,12 +463,15 @@ impl Transport for TcpTransport {
     fn shutdown(&mut self, worker: usize) {
         // Best-effort clean shutdown frame; the socket may already be dead.
         let payload = wire::encode_ctrl(&CtrlMsg::Shutdown);
-        if let Some(stream) = self.conns[worker].stream.as_mut() {
-            let _ = wire::write_frame(stream, &payload);
-            let _ = stream.flush();
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+        {
+            let mut guard = self.conns[worker].writer.lock().expect("writer lock");
+            if let Some(stream) = guard.as_mut() {
+                let _ = wire::write_frame(stream, &payload);
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            *guard = None;
         }
-        self.conns[worker].stream = None;
         self.conns[worker].open.store(false, Ordering::SeqCst);
         if let Some(j) = self.conns[worker].reader.take() {
             let _ = j.join();
@@ -409,6 +502,31 @@ impl Transport for TcpTransport {
 
     fn measured_links(&self) -> Option<&LinkMatrix> {
         self.measured.as_ref()
+    }
+
+    fn clock_offset_ns(&mut self, worker: usize) -> i64 {
+        let clock = self.conns[worker].stats.clock.lock().expect("clock lock");
+        clock.1.offset_at(monotonic_ns())
+    }
+
+    fn wire_stats(&self) -> Vec<PeerWireStats> {
+        self.conns
+            .iter()
+            .map(|c| {
+                let clock = c.stats.clock.lock().expect("clock lock");
+                PeerWireStats {
+                    frames_sent: c.stats.frames_sent.load(Ordering::Relaxed),
+                    bytes_sent: c.stats.bytes_sent.load(Ordering::Relaxed),
+                    frames_recv: c.stats.frames_recv.load(Ordering::Relaxed),
+                    bytes_recv: c.stats.bytes_recv.load(Ordering::Relaxed),
+                    hb_rtt: clock.0,
+                    clock_offset_ns: clock.1.offset_at(monotonic_ns()),
+                    telemetry_batches: c.stats.telemetry_batches.load(Ordering::Relaxed),
+                    telemetry_spans: c.stats.telemetry_spans.load(Ordering::Relaxed),
+                    telemetry_backlog: c.stats.telemetry_backlog.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 }
 

@@ -34,20 +34,61 @@
 //!   worker's index. No ack — peer sockets are write-one-way; the reverse
 //!   direction gets its own dialed socket.
 //!
-//! A magic or version mismatch aborts the connection with a
-//! [`WireError::Handshake`]; versions are not negotiated (both ends ship
-//! from the same build in every supported deployment).
+//! A magic mismatch aborts the connection with a
+//! [`WireError::Handshake`]. Versions *are* negotiated, minimally: each
+//! end announces its own [`WIRE_VERSION`] in the hello/ack, any version
+//! in `1..=WIRE_VERSION` is accepted, and the effective protocol is the
+//! minimum of the two. v2-only traffic (telemetry batches, the observe
+//! toggle, clock-sync frames) is silently skipped against a v1 peer, so
+//! a traced controller degrades to controller-side-only observability
+//! instead of refusing the connection.
+//!
+//! ## Clock-sync frames
+//!
+//! Workers estimate their clock offset against the controller with an
+//! NTP-style exchange piggybacked on the heartbeat cadence: the worker
+//! sends [`encode_clock_ping`] carrying its send stamp `t1`, the
+//! controller's reader stamps arrival `t2` and answers
+//! [`encode_clock_pong`] `{t1, t2}`, and the worker stamps arrival `t4`,
+//! deriving `offset = t2 - (t1 + t4)/2` and `rtt = t4 - t1`, which it
+//! reports with [`encode_clock_sample`]. These frames use high tag
+//! values ([`CLOCK_PING_TAG`]/[`CLOCK_PONG_TAG`]/[`CLOCK_SAMPLE_TAG`]);
+//! both ends peek the tag byte and handle them inside the transport —
+//! they never surface as [`CtrlMsg`]/[`WorkerMsg`] traffic.
 
 use std::io::{Read, Write};
 
-use grout_core::{ArrayId, CtrlMsg, ExecFault, ExecSpec, HostBuf, LocalArg, WorkerMsg};
+use grout_core::{
+    ArrayId, CtrlMsg, ExecFault, ExecSpec, HostBuf, LocalArg, WorkerCounters, WorkerMsg,
+    WorkerSpan, WorkerSpanKind,
+};
 use kernelc::LaunchError;
 
 /// Protocol magic: the first four bytes of every handshake frame.
 pub const MAGIC: [u8; 4] = *b"GRNT";
 
 /// Wire protocol version; bumped on any frame-layout change.
-pub const WIRE_VERSION: u16 = 1;
+/// v2 added telemetry batches, the observe toggle and clock-sync frames.
+pub const WIRE_VERSION: u16 = 2;
+
+/// Oldest peer version this build still talks to.
+pub const MIN_WIRE_VERSION: u16 = 1;
+
+/// Worker→controller clock-sync ping (`t1`), and controller→worker pong
+/// (`t1, t2`) — the tag is reused across the two directions' tag spaces.
+pub const CLOCK_PING_TAG: u8 = 0xF0;
+
+/// Controller→worker clock-sync pong (same value as [`CLOCK_PING_TAG`],
+/// in the ctrl tag space).
+pub const CLOCK_PONG_TAG: u8 = 0xF0;
+
+/// Worker→controller clock-offset sample (`offset, rtt`).
+pub const CLOCK_SAMPLE_TAG: u8 = 0xF1;
+
+/// Spans cap a decoder accepts in one telemetry batch (a corrupt or
+/// hostile length cannot force unbounded allocation; honest senders
+/// chunk at `TELEMETRY_MAX_BATCH`, far below this).
+pub const TELEMETRY_DECODE_CAP: usize = 4096;
 
 /// Hard cap on a single frame's payload (1 GiB): large enough for any
 /// array the host-CPU kernels can hold, small enough to bound the damage
@@ -450,6 +491,10 @@ pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
             e.bytes(payload);
         }
         CtrlMsg::Shutdown => e.u8(8),
+        CtrlMsg::Observe { enabled } => {
+            e.u8(9);
+            e.u8(u8::from(*enabled));
+        }
     }
     e.into_bytes()
 }
@@ -512,6 +557,13 @@ pub fn decode_ctrl(payload: &[u8]) -> Result<CtrlMsg, WireError> {
             payload: d.bytes()?.to_vec(),
         },
         8 => CtrlMsg::Shutdown,
+        9 => CtrlMsg::Observe {
+            enabled: match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("observe flag")),
+            },
+        },
         _ => return Err(WireError::Malformed("ctrl tag")),
     };
     if !d.finished() {
@@ -586,6 +638,41 @@ pub fn encode_worker(msg: &WorkerMsg) -> Vec<u8> {
             e.u64(*bytes);
             e.u64(*elapsed_ns);
         }
+        WorkerMsg::Telemetry {
+            worker,
+            seq,
+            backlog,
+            counters,
+            spans,
+        } => {
+            e.u8(6);
+            // Batch-format version, for future span-field evolution
+            // without another WIRE_VERSION bump.
+            e.u16(1);
+            e.u32(*worker as u32);
+            e.u64(*seq);
+            e.u64(*backlog);
+            e.u64(counters.kernels);
+            e.u64(counters.recompiles);
+            e.u64(counters.sends);
+            e.u64(counters.recvs);
+            e.u64(counters.bytes_out);
+            e.u64(counters.bytes_in);
+            e.u64(counters.dropped);
+            e.u32(spans.len() as u32);
+            for s in spans {
+                e.u8(match s.kind {
+                    WorkerSpanKind::Execute => 0,
+                    WorkerSpanKind::Transfer => 1,
+                    WorkerSpanKind::Recompile => 2,
+                });
+                e.str(&s.name);
+                e.u64(s.start_ns);
+                e.u64(s.dur_ns);
+                e.u64(s.dag_index);
+                e.u64(s.bytes);
+            }
+        }
     }
     e.into_bytes()
 }
@@ -627,12 +714,132 @@ pub fn decode_worker(payload: &[u8]) -> Result<WorkerMsg, WireError> {
             bytes: d.u64()?,
             elapsed_ns: d.u64()?,
         },
+        6 => {
+            let batch_version = d.u16()?;
+            if batch_version != 1 {
+                return Err(WireError::Malformed("telemetry batch version"));
+            }
+            let worker = d.u32()? as usize;
+            let seq = d.u64()?;
+            let backlog = d.u64()?;
+            let counters = WorkerCounters {
+                kernels: d.u64()?,
+                recompiles: d.u64()?,
+                sends: d.u64()?,
+                recvs: d.u64()?,
+                bytes_out: d.u64()?,
+                bytes_in: d.u64()?,
+                dropped: d.u64()?,
+            };
+            let n = d.u32()? as usize;
+            if n > TELEMETRY_DECODE_CAP {
+                return Err(WireError::Malformed("telemetry batch too large"));
+            }
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                spans.push(WorkerSpan {
+                    kind: match d.u8()? {
+                        0 => WorkerSpanKind::Execute,
+                        1 => WorkerSpanKind::Transfer,
+                        2 => WorkerSpanKind::Recompile,
+                        _ => return Err(WireError::Malformed("span kind")),
+                    },
+                    name: d.str()?,
+                    start_ns: d.u64()?,
+                    dur_ns: d.u64()?,
+                    dag_index: d.u64()?,
+                    bytes: d.u64()?,
+                });
+            }
+            WorkerMsg::Telemetry {
+                worker,
+                seq,
+                backlog,
+                counters,
+                spans,
+            }
+        }
         _ => return Err(WireError::Malformed("worker tag")),
     };
     if !d.finished() {
         return Err(WireError::Malformed("trailing bytes"));
     }
     Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Clock-sync frames (transport-internal; see the module docs).
+
+/// Worker → controller: "my clock read `t1_ns` when I sent this".
+pub fn encode_clock_ping(worker: usize, t1_ns: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(CLOCK_PING_TAG);
+    e.u32(worker as u32);
+    e.u64(t1_ns);
+    e.into_bytes()
+}
+
+/// Decodes a clock ping: `(worker, t1_ns)`.
+pub fn decode_clock_ping(payload: &[u8]) -> Result<(usize, u64), WireError> {
+    let mut d = Dec::new(payload);
+    if d.u8()? != CLOCK_PING_TAG {
+        return Err(WireError::Malformed("clock-ping tag"));
+    }
+    let worker = d.u32()? as usize;
+    let t1 = d.u64()?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok((worker, t1))
+}
+
+/// Controller → worker: echo of the ping's `t1_ns` plus the controller's
+/// receive stamp `t2_ns`.
+pub fn encode_clock_pong(t1_ns: u64, t2_ns: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(CLOCK_PONG_TAG);
+    e.u64(t1_ns);
+    e.u64(t2_ns);
+    e.into_bytes()
+}
+
+/// Decodes a clock pong: `(t1_ns, t2_ns)`.
+pub fn decode_clock_pong(payload: &[u8]) -> Result<(u64, u64), WireError> {
+    let mut d = Dec::new(payload);
+    if d.u8()? != CLOCK_PONG_TAG {
+        return Err(WireError::Malformed("clock-pong tag"));
+    }
+    let t1 = d.u64()?;
+    let t2 = d.u64()?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok((t1, t2))
+}
+
+/// Worker → controller: one finished offset/RTT measurement.
+pub fn encode_clock_sample(worker: usize, offset_ns: i64, rtt_ns: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(CLOCK_SAMPLE_TAG);
+    e.u32(worker as u32);
+    e.i64(offset_ns);
+    e.u64(rtt_ns);
+    e.into_bytes()
+}
+
+/// Decodes a clock sample: `(worker, offset_ns, rtt_ns)`.
+pub fn decode_clock_sample(payload: &[u8]) -> Result<(usize, i64, u64), WireError> {
+    let mut d = Dec::new(payload);
+    if d.u8()? != CLOCK_SAMPLE_TAG {
+        return Err(WireError::Malformed("clock-sample tag"));
+    }
+    let worker = d.u32()? as usize;
+    let offset = d.i64()?;
+    let rtt = d.u64()?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok((worker, offset, rtt))
 }
 
 // ---------------------------------------------------------------------------
@@ -688,8 +895,11 @@ pub fn encode_hello(h: &Hello) -> Vec<u8> {
     e.into_bytes()
 }
 
-/// Decodes and validates a handshake frame.
-pub fn decode_hello(payload: &[u8]) -> Result<Hello, WireError> {
+/// Decodes and validates a handshake frame; returns the hello plus the
+/// peer's announced wire version (anything in
+/// `MIN_WIRE_VERSION..=WIRE_VERSION` is accepted — the effective protocol
+/// is the minimum of the two ends' versions).
+pub fn decode_hello(payload: &[u8]) -> Result<(Hello, u16), WireError> {
     let mut d = Dec::new(payload);
     let magic = d.take(4)?;
     if magic != MAGIC {
@@ -698,12 +908,12 @@ pub fn decode_hello(payload: &[u8]) -> Result<Hello, WireError> {
         )));
     }
     let version = d.u16()?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::Handshake(format!(
-            "wire version {version} != ours {WIRE_VERSION}"
+            "wire version {version} outside our supported {MIN_WIRE_VERSION}..={WIRE_VERSION}"
         )));
     }
-    match d.u8()? {
+    let hello = match d.u8()? {
         0 => {
             let index = d.u32()? as usize;
             let total = d.u32()? as usize;
@@ -713,18 +923,19 @@ pub fn decode_hello(payload: &[u8]) -> Result<Hello, WireError> {
             for _ in 0..n {
                 peers.push(d.str()?);
             }
-            Ok(Hello::Controller {
+            Hello::Controller {
                 index,
                 total,
                 heartbeat_ms,
                 peers,
-            })
+            }
         }
-        1 => Ok(Hello::Peer {
+        1 => Hello::Peer {
             from: d.u32()? as usize,
-        }),
-        _ => Err(WireError::Handshake("unknown role byte".into())),
-    }
+        },
+        _ => return Err(WireError::Handshake("unknown role byte".into())),
+    };
+    Ok((hello, version))
 }
 
 /// Encodes the worker's ack to a controller hello.
@@ -736,20 +947,22 @@ pub fn encode_ack(index: usize) -> Vec<u8> {
     e.into_bytes()
 }
 
-/// Decodes and validates a worker's ack; returns the echoed index.
-pub fn decode_ack(payload: &[u8]) -> Result<usize, WireError> {
+/// Decodes and validates a worker's ack; returns the echoed index and
+/// the worker's announced wire version (same acceptance window as
+/// [`decode_hello`]).
+pub fn decode_ack(payload: &[u8]) -> Result<(usize, u16), WireError> {
     let mut d = Dec::new(payload);
     let magic = d.take(4)?;
     if magic != MAGIC {
         return Err(WireError::Handshake("bad ack magic".into()));
     }
     let version = d.u16()?;
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::Handshake(format!(
-            "ack wire version {version} != ours {WIRE_VERSION}"
+            "ack wire version {version} outside our supported {MIN_WIRE_VERSION}..={WIRE_VERSION}"
         )));
     }
-    Ok(d.u32()? as usize)
+    Ok((d.u32()? as usize, version))
 }
 
 #[cfg(test)]
@@ -883,15 +1096,130 @@ mod tests {
             heartbeat_ms: 100,
             peers: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
         };
-        assert_eq!(decode_hello(&encode_hello(&h)).unwrap(), h);
+        assert_eq!(
+            decode_hello(&encode_hello(&h)).unwrap(),
+            (h.clone(), WIRE_VERSION)
+        );
 
         let mut bad = encode_hello(&h);
-        bad[4] = 0xFF; // corrupt the version
+        bad[4] = 0xFF; // corrupt the version: 0xFF is beyond ours
         assert!(matches!(decode_hello(&bad), Err(WireError::Handshake(_))));
 
         let mut worse = encode_hello(&h);
         worse[0] = b'X'; // corrupt the magic
         assert!(matches!(decode_hello(&worse), Err(WireError::Handshake(_))));
+    }
+
+    #[test]
+    fn handshake_tolerates_older_supported_versions() {
+        let h = Hello::Peer { from: 3 };
+        let mut old = encode_hello(&h);
+        old[4] = 1; // a v1 peer (u16 LE low byte)
+        old[5] = 0;
+        assert_eq!(decode_hello(&old).unwrap(), (h, 1));
+
+        let mut ack = encode_ack(7);
+        ack[4] = 1;
+        ack[5] = 0;
+        assert_eq!(decode_ack(&ack).unwrap(), (7, 1));
+
+        // Version 0 predates the protocol — still refused.
+        let mut ancient = encode_ack(7);
+        ancient[4] = 0;
+        ancient[5] = 0;
+        assert!(matches!(decode_ack(&ancient), Err(WireError::Handshake(_))));
+    }
+
+    #[test]
+    fn observe_and_telemetry_roundtrip() {
+        match roundtrip_ctrl(CtrlMsg::Observe { enabled: true }) {
+            CtrlMsg::Observe { enabled } => assert!(enabled),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let msg = WorkerMsg::Telemetry {
+            worker: 1,
+            seq: 42,
+            backlog: 3,
+            counters: WorkerCounters {
+                kernels: 9,
+                recompiles: 2,
+                sends: 4,
+                recvs: 5,
+                bytes_out: 4096,
+                bytes_in: 8192,
+                dropped: 1,
+            },
+            spans: vec![
+                WorkerSpan {
+                    kind: WorkerSpanKind::Execute,
+                    name: "saxpy".into(),
+                    start_ns: 1_000_000,
+                    dur_ns: 250,
+                    dag_index: 7,
+                    bytes: 0,
+                },
+                WorkerSpan {
+                    kind: WorkerSpanKind::Transfer,
+                    name: "recv".into(),
+                    start_ns: 999_000,
+                    dur_ns: 80,
+                    dag_index: u64::MAX,
+                    bytes: 4096,
+                },
+            ],
+        };
+        match roundtrip_worker(msg.clone()) {
+            WorkerMsg::Telemetry {
+                worker,
+                seq,
+                backlog,
+                counters,
+                spans,
+            } => {
+                assert_eq!(worker, 1);
+                assert_eq!(seq, 42);
+                assert_eq!(backlog, 3);
+                assert_eq!(counters.kernels, 9);
+                assert_eq!(counters.dropped, 1);
+                match &msg {
+                    WorkerMsg::Telemetry { spans: orig, .. } => assert_eq!(&spans, orig),
+                    _ => unreachable!(),
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_decoder_caps_span_count() {
+        let mut e = Enc::new();
+        e.u8(6);
+        e.u16(1);
+        e.u32(0);
+        e.u64(1);
+        e.u64(0);
+        for _ in 0..7 {
+            e.u64(0); // counters
+        }
+        e.u32(u32::MAX); // hostile span count
+        assert!(decode_worker(&e.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn clock_frames_roundtrip_and_stay_out_of_message_space() {
+        let ping = encode_clock_ping(2, 12_345);
+        assert_eq!(decode_clock_ping(&ping).unwrap(), (2, 12_345));
+        // A reader that forgot to peek must fail loudly, not misparse.
+        assert!(decode_worker(&ping).is_err());
+
+        let pong = encode_clock_pong(12_345, 67_890);
+        assert_eq!(decode_clock_pong(&pong).unwrap(), (12_345, 67_890));
+        assert!(decode_ctrl(&pong).is_err());
+
+        let sample = encode_clock_sample(1, -5_000, 900);
+        assert_eq!(decode_clock_sample(&sample).unwrap(), (1, -5_000, 900));
+        assert!(decode_worker(&sample).is_err());
     }
 
     #[test]

@@ -22,8 +22,10 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crossbeam_channel::{unbounded, Sender};
-use grout_core::{CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg};
+use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
+use grout_core::{
+    monotonic_ns, CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg, TELEMETRY_FLUSH_TICK,
+};
 
 use crate::wire;
 
@@ -43,7 +45,8 @@ pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
     ctrl_stream.set_nodelay(true)?;
     let hello = wire::read_frame(&mut ctrl_stream)?
         .ok_or_else(|| wire::WireError::Handshake("controller closed during handshake".into()))?;
-    let (me, _total, heartbeat_ms, peer_addrs) = match wire::decode_hello(&hello)? {
+    let (decoded, ctrl_version) = wire::decode_hello(&hello)?;
+    let (me, total, heartbeat_ms, peer_addrs) = match decoded {
         wire::Hello::Controller {
             index,
             total,
@@ -57,26 +60,47 @@ pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
         }
     };
     wire::write_frame(&mut ctrl_stream, &wire::encode_ack(me))?;
+    eprintln!(
+        "[grout-workerd w{me}] adopted by controller (wire v{ctrl_version}, {total} workers, \
+         heartbeat {heartbeat_ms}ms)"
+    );
 
     let (tx, rx) = unbounded::<Event>();
 
-    // Controller reader: plan traffic into the merged queue.
-    let ctrl_read = ctrl_stream.try_clone()?;
-    spawn_ctrl_reader(ctrl_read, tx.clone());
-
     // Controller write half, shared between the main loop (completions,
-    // data returns) and the heartbeat thread.
+    // data returns), the heartbeat thread (beats + clock pings) and the
+    // controller reader (clock samples).
+    let ctrl_read = ctrl_stream.try_clone()?;
     let ctrl_write = Arc::new(Mutex::new(ctrl_stream));
-    spawn_heartbeat(me, Arc::clone(&ctrl_write), heartbeat_ms);
+
+    // Controller reader: plan traffic into the merged queue.
+    spawn_ctrl_reader(me, ctrl_read, tx.clone(), Arc::clone(&ctrl_write));
+    spawn_heartbeat(me, Arc::clone(&ctrl_write), heartbeat_ms, ctrl_version);
 
     // Acceptor: every further connection is a peer's one-way data socket.
-    spawn_acceptor(listener, tx.clone());
+    spawn_acceptor(me, listener, tx.clone());
 
     let mut engine = WorkerEngine::new(me);
     // Outbound peer sockets, dialed on demand (worker index → stream).
     let mut peer_out: Vec<Option<TcpStream>> = (0..peer_addrs.len()).map(|_| None).collect();
 
-    while let Ok(event) = rx.recv() {
+    loop {
+        let event = match rx.recv_timeout(TELEMETRY_FLUSH_TICK) {
+            Ok(ev) => ev,
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle flush tick: ship buffered telemetry even when no
+                // plan traffic arrives to trigger a flush.
+                let mut halt = false;
+                engine.flush_telemetry(&mut |o| {
+                    deliver(o, me, &ctrl_write, &peer_addrs, &mut peer_out, &mut halt)
+                });
+                if halt {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        };
         let msg = match event {
             Event::Msg(m) => m,
             // A worker without a controller can never be given work (or
@@ -84,21 +108,35 @@ pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
             Event::ControllerGone => return Ok(()),
         };
         let mut halt = false;
-        let flow = engine.handle(msg, &mut |o| match o {
-            Outbound::Controller(m) => {
-                if send_to_controller(&ctrl_write, &m).is_err() {
-                    halt = true;
-                }
-            }
-            Outbound::Peer(j, m) => {
-                send_to_peer(me, j, &peer_addrs, &mut peer_out, &m);
-            }
+        let flow = engine.handle(msg, &mut |o| {
+            deliver(o, me, &ctrl_write, &peer_addrs, &mut peer_out, &mut halt)
         });
         if flow == Flow::Halt || halt {
             return Ok(());
         }
     }
-    Ok(())
+}
+
+/// Routes one engine-emitted message to the controller or a peer; flips
+/// `halt` when the controller socket is gone.
+fn deliver(
+    o: Outbound,
+    me: usize,
+    ctrl_write: &Arc<Mutex<TcpStream>>,
+    peer_addrs: &[String],
+    peer_out: &mut [Option<TcpStream>],
+    halt: &mut bool,
+) {
+    match o {
+        Outbound::Controller(m) => {
+            if send_to_controller(ctrl_write, &m).is_err() {
+                *halt = true;
+            }
+        }
+        Outbound::Peer(j, m) => {
+            send_to_peer(me, j, peer_addrs, peer_out, &m);
+        }
+    }
 }
 
 fn send_to_controller(
@@ -148,23 +186,47 @@ fn dial_peer(me: usize, addr: &str) -> Result<TcpStream, wire::WireError> {
     Ok(stream)
 }
 
-fn spawn_ctrl_reader(mut stream: TcpStream, tx: Sender<Event>) {
+fn spawn_ctrl_reader(
+    me: usize,
+    mut stream: TcpStream,
+    tx: Sender<Event>,
+    ctrl_write: Arc<Mutex<TcpStream>>,
+) {
     std::thread::Builder::new()
         .name("workerd-ctrl-rx".into())
         .spawn(move || loop {
             match wire::read_frame(&mut stream) {
-                Ok(Some(payload)) => match wire::decode_ctrl(&payload) {
-                    Ok(msg) => {
-                        if tx.send(Event::Msg(msg)).is_err() {
+                Ok(Some(payload)) => {
+                    // Clock pongs complete the NTP-style exchange here,
+                    // on the arrival thread — queueing them behind plan
+                    // traffic would inflate t4 and ruin the estimate.
+                    if payload.first() == Some(&wire::CLOCK_PONG_TAG) {
+                        let t4 = monotonic_ns();
+                        if let Ok((t1, t2)) = wire::decode_clock_pong(&payload) {
+                            let offset = t2 as i64 - ((t1 + t4) / 2) as i64;
+                            let rtt = t4.saturating_sub(t1);
+                            let sample = wire::encode_clock_sample(me, offset, rtt);
+                            let mut w = ctrl_write.lock().expect("controller write lock");
+                            if wire::write_frame(&mut *w, &sample).is_err() {
+                                let _ = tx.send(Event::ControllerGone);
+                                return;
+                            }
+                        }
+                        continue;
+                    }
+                    match wire::decode_ctrl(&payload) {
+                        Ok(msg) => {
+                            if tx.send(Event::Msg(msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("[grout-workerd] bad controller frame: {e}");
+                            let _ = tx.send(Event::ControllerGone);
                             return;
                         }
                     }
-                    Err(e) => {
-                        eprintln!("[grout-workerd] bad controller frame: {e}");
-                        let _ = tx.send(Event::ControllerGone);
-                        return;
-                    }
-                },
+                }
                 Ok(None) | Err(_) => {
                     let _ = tx.send(Event::ControllerGone);
                     return;
@@ -174,21 +236,35 @@ fn spawn_ctrl_reader(mut stream: TcpStream, tx: Sender<Event>) {
         .expect("spawn controller reader");
 }
 
-fn spawn_heartbeat(me: usize, ctrl_write: Arc<Mutex<TcpStream>>, heartbeat_ms: u32) {
+fn spawn_heartbeat(
+    me: usize,
+    ctrl_write: Arc<Mutex<TcpStream>>,
+    heartbeat_ms: u32,
+    ctrl_version: u16,
+) {
     let cadence = Duration::from_millis(heartbeat_ms.max(1) as u64);
     std::thread::Builder::new()
         .name("workerd-heartbeat".into())
         .spawn(move || loop {
-            std::thread::sleep(cadence);
+            // Beat (and ping) *before* the first sleep so even a run
+            // shorter than one cadence yields an RTT sample.
             let beat = WorkerMsg::Heartbeat { worker: me };
             if send_to_controller(&ctrl_write, &beat).is_err() {
                 return;
             }
+            if ctrl_version >= 2 {
+                let ping = wire::encode_clock_ping(me, monotonic_ns());
+                let mut w = ctrl_write.lock().expect("controller write lock");
+                if wire::write_frame(&mut *w, &ping).is_err() {
+                    return;
+                }
+            }
+            std::thread::sleep(cadence);
         })
         .expect("spawn heartbeat thread");
 }
 
-fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>) {
+fn spawn_acceptor(me: usize, listener: TcpListener, tx: Sender<Event>) {
     std::thread::Builder::new()
         .name("workerd-accept".into())
         .spawn(move || {
@@ -205,21 +281,29 @@ fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>) {
                         let Ok(Some(hello)) = wire::read_frame(&mut stream) else {
                             return;
                         };
-                        match wire::decode_hello(&hello) {
-                            Ok(wire::Hello::Peer { .. }) => {}
-                            Ok(wire::Hello::Controller { .. }) | Err(_) => return,
-                        }
+                        let from = match wire::decode_hello(&hello) {
+                            Ok((wire::Hello::Peer { from }, _)) => from,
+                            Ok((wire::Hello::Controller { .. }, _)) | Err(_) => return,
+                        };
+                        eprintln!("[grout-workerd w{me}] peer {from} connected");
                         loop {
                             match wire::read_frame(&mut stream) {
                                 Ok(Some(payload)) => {
                                     let Ok(msg) = wire::decode_ctrl(&payload) else {
+                                        eprintln!(
+                                            "[grout-workerd w{me}] peer {from} sent a bad \
+                                             frame; dropping the socket"
+                                        );
                                         return;
                                     };
                                     if tx.send(Event::Msg(msg)).is_err() {
                                         return;
                                     }
                                 }
-                                Ok(None) | Err(_) => return,
+                                Ok(None) | Err(_) => {
+                                    eprintln!("[grout-workerd w{me}] peer {from} disconnected");
+                                    return;
+                                }
                             }
                         }
                     });

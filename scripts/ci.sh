@@ -23,26 +23,53 @@ else
   echo "(python3 unavailable; JSON validated by the telemetry test suite)"
 fi
 
-echo "==> distributed loopback (two grout-workerd processes over TCP)"
+echo "==> distributed loopback (two grout-workerd processes over TCP, traced)"
 ./target/release/grout-workerd --listen 127.0.0.1:7401 & WORKERD1=$!
 ./target/release/grout-workerd --listen 127.0.0.1:7402 & WORKERD2=$!
 trap 'kill "$WORKERD1" "$WORKERD2" 2>/dev/null || true' EXIT
 sleep 1
+# Two arrays, four kernels: round-robin gives both workers real work, so
+# the merged trace must carry execute spans from both remote processes.
 timeout 120 ./target/release/grout-run \
   --workers tcp:127.0.0.1:7401,127.0.0.1:7402 \
+  --trace-out target/ci-dist-trace.json \
+  --metrics-out target/ci-dist-metrics.json \
+  --stats \
   -e '
     build = polyglot.eval("grout", "buildkernel")
     square = build("__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }", "square(x: inout pointer float, n: sint32)")
     x = polyglot.eval("grout", "float[64]")
+    y = polyglot.eval("grout", "float[64]")
     for i in range(64) { x[i] = i }
+    for i in range(64) { y[i] = 64 - i }
     square(2, 32)(x, 64)
+    square(2, 32)(y, 64)
+    square(2, 32)(x, 64)
+    square(2, 32)(y, 64)
     print(x)
+    print(y)
 '
 # The daemons exit on their own when the controller hangs up; force-kill
 # any straggler so a wedged teardown cannot hang the job.
 kill "$WORKERD1" "$WORKERD2" 2>/dev/null || true
 wait "$WORKERD1" "$WORKERD2" 2>/dev/null || true
 trap - EXIT
+if command -v python3 >/dev/null; then
+  python3 - <<'EOF'
+import json
+trace = json.load(open("target/ci-dist-trace.json"))
+pids = {e["pid"] for e in trace["traceEvents"]
+        if e.get("ph") == "X" and e.get("cat") == "execute"}
+assert {1, 2} <= pids, f"merged trace lacks worker execute lanes: {sorted(pids)}"
+metrics = json.load(open("target/ci-dist-metrics.json"))
+wire = metrics["wire"]
+assert len(wire) == 2, f"expected 2 wire peers, got {len(wire)}"
+assert any(w["hb_rtt"]["count"] >= 1 for w in wire), "no heartbeat RTT samples"
+print("distributed trace/metrics schema OK")
+EOF
+else
+  echo "(python3 unavailable; dist trace schema checked by tests/dist_loopback.rs)"
+fi
 
 echo "==> chaos --kill-process (SIGKILL a live grout-workerd; lineage replay)"
 timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --kill-process

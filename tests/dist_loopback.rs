@@ -191,6 +191,162 @@ fn tcp_loopback_matches_in_process_bit_for_bit() {
     assert_eq!(local.metrics().transport, "channel");
 }
 
+/// The `traceEvents` array of a Chrome trace value.
+fn trace_events(trace: &serde::json::Value) -> &[serde::json::Value] {
+    use serde::json::Value;
+    let Value::Object(top) = trace else {
+        panic!("trace is not an object")
+    };
+    match top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v) {
+        Some(Value::Array(events)) => events,
+        _ => panic!("trace has no traceEvents array"),
+    }
+}
+
+/// One field of a JSON object event (`None` when absent).
+fn field<'a>(ev: &'a serde::json::Value, key: &str) -> Option<&'a serde::json::Value> {
+    use serde::json::Value;
+    let Value::Object(fields) = ev else {
+        return None;
+    };
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_f64(v: Option<&serde::json::Value>) -> Option<f64> {
+    use serde::json::Value;
+    match v {
+        Some(Value::F64(x)) => Some(*x),
+        Some(Value::U64(x)) => Some(*x as f64),
+        Some(Value::I64(x)) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: Option<&serde::json::Value>) -> Option<u64> {
+    use serde::json::Value;
+    match v {
+        Some(Value::U64(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn as_str(v: Option<&serde::json::Value>) -> Option<&str> {
+    use serde::json::Value;
+    match v {
+        Some(Value::String(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// The distributed-tracing acceptance check: a traced two-workerd TCP run
+/// produces one merged trace carrying controller lanes plus each worker's
+/// own execute/transfer spans with clock-aligned timestamps, the metrics
+/// artifact carries per-peer wire counters and heartbeat RTT stats — and
+/// turning tracing off does not change the computed results by a single
+/// bit.
+#[test]
+fn traced_tcp_run_merges_clock_aligned_worker_spans() {
+    use grout::core::{ChromeTracer, Shared};
+
+    // Untraced reference.
+    let mut plain = Runtime::builder()
+        .policy(PolicyKind::RoundRobin)
+        .tcp(vec![workerd(), workerd()])
+        .build()
+        .expect("distributed runtime");
+    let plain_bits = run_workload(&mut plain);
+
+    // Traced run of the same workload.
+    let tracer = Shared::new(ChromeTracer::new());
+    let mut dist = Runtime::builder()
+        .policy(PolicyKind::RoundRobin)
+        .telemetry(tracer.telemetry())
+        .tcp(vec![workerd(), workerd()])
+        .build()
+        .expect("distributed runtime");
+    let dist_bits = run_workload(&mut dist);
+
+    assert_eq!(
+        plain_bits, dist_bits,
+        "telemetry changed the computed results"
+    );
+
+    // --- merged trace: one file, controller + both worker processes ---
+    let trace = tracer.lock().to_json_value();
+    let events = trace_events(&trace);
+    let spans_on = |pid: u64, cat: &str| {
+        events
+            .iter()
+            .filter(|ev| {
+                as_str(field(ev, "ph")) == Some("X")
+                    && as_u64(field(ev, "pid")) == Some(pid)
+                    && as_str(field(ev, "cat")) == Some(cat)
+            })
+            .count()
+    };
+    let controller_spans = events
+        .iter()
+        .filter(|ev| as_str(field(ev, "ph")) == Some("X") && as_u64(field(ev, "pid")) == Some(0))
+        .count();
+    assert!(controller_spans >= 1, "controller lanes missing");
+    for worker_pid in [1u64, 2] {
+        assert!(
+            spans_on(worker_pid, "execute") >= 1,
+            "worker {} has no execute spans in the merged trace",
+            worker_pid - 1
+        );
+        assert!(
+            spans_on(worker_pid, "transfer") >= 1,
+            "worker {} has no transfer spans in the merged trace",
+            worker_pid - 1
+        );
+    }
+
+    // Clock alignment: per (pid, tid) lane, spans are monotone in merge
+    // order and never carry a negative duration — the offset estimate
+    // plus the lane aligner must have absorbed any skew.
+    let mut watermark: std::collections::HashMap<(u64, u64), f64> =
+        std::collections::HashMap::new();
+    for ev in events {
+        if as_str(field(ev, "ph")) != Some("X") {
+            continue;
+        }
+        let pid = as_u64(field(ev, "pid")).expect("span has pid");
+        let tid = as_u64(field(ev, "tid")).expect("span has tid");
+        let ts = as_f64(field(ev, "ts")).expect("span has ts");
+        let dur = as_f64(field(ev, "dur")).expect("span has dur");
+        assert!(dur >= 0.0, "negative-duration span on pid {pid} tid {tid}");
+        assert!(ts >= 0.0, "span before run origin on pid {pid} tid {tid}");
+        let last = watermark.entry((pid, tid)).or_insert(0.0);
+        assert!(
+            ts >= *last,
+            "non-monotone lane (pid {pid} tid {tid}): {ts} after {last}"
+        );
+        *last = ts;
+    }
+
+    // --- unified metrics: per-peer wire counters + heartbeat RTT ---
+    let metrics = dist.metrics();
+    assert_eq!(metrics.wire.len(), 2, "one wire entry per peer");
+    for (w, s) in metrics.wire.iter().enumerate() {
+        assert!(s.frames_sent > 0, "no frames sent to worker {w}");
+        assert!(s.bytes_sent > 0, "no bytes sent to worker {w}");
+        assert!(s.frames_recv > 0, "no frames received from worker {w}");
+        assert!(s.bytes_recv > 0, "no bytes received from worker {w}");
+        assert!(s.hb_rtt.count >= 1, "no heartbeat RTT samples for {w}");
+        assert!(s.telemetry_batches >= 1, "no telemetry batches from {w}");
+        assert!(s.telemetry_spans >= 1, "no telemetry spans from {w}");
+    }
+    let json = metrics.to_json_string();
+    assert!(json.contains("\"wire\""), "metrics JSON lacks wire section");
+    assert!(json.contains("\"hb_rtt\""), "metrics JSON lacks RTT stats");
+
+    // The untraced transport still counts frames — observability of the
+    // wire itself is always on; only span recording is gated.
+    assert_eq!(plain.metrics().wire.len(), 2);
+    assert!(plain.metrics().wire[0].frames_sent > 0);
+}
+
 #[test]
 fn min_transfer_time_consumes_the_measured_matrix() {
     let mut dist = Runtime::builder()
