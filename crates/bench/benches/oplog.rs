@@ -1,0 +1,226 @@
+//! Op-log overhead benchmarks: the costs the state-machine refactor
+//! added to the planner's hot path, measured head-to-head.
+//!
+//! - `plan_bare` vs `plan_logged`: one `PlanCe` through a bare
+//!   `Planner::apply` vs through `LoggedPlanner` (the clone-into-log tax
+//!   every runtime mutation now pays);
+//! - `plan_journalled`: the same op with a flush-per-op `JournalSink`
+//!   attached (the crash-recovery write amplification);
+//! - `digest`: one `state_digest()` over a planner carrying a large DAG
+//!   (the standby ack cross-check cost, paid per shipped op);
+//! - `encode_op`/`decode_op`: the wire codec round-trip for the common
+//!   op shapes;
+//! - `replay`: throughput of `replay_ops` over a long captured log (the
+//!   recovery-time metric: ops re-applied per second).
+//!
+//! Besides the console lines, results land in `BENCH_oplog.json` at the
+//! repo root so runs can be diffed in review.
+
+use std::time::{Duration, Instant};
+
+use grout::core::{
+    replay_ops, Ce, CeArg, CeId, CeKind, KernelCost, LinkMatrix, LoggedPlanner, Planner,
+    PlannerConfig, PlannerOp, PolicyKind,
+};
+use grout::net::oplog::JournalSink;
+use grout::net::wire;
+
+const MIB: u64 = 1 << 20;
+
+fn cfg(workers: usize) -> PlannerConfig {
+    PlannerConfig::new(workers, PolicyKind::RoundRobin)
+}
+
+fn kernel_ce(id: u64, a: grout::ArrayId, b: grout::ArrayId) -> Ce {
+    Ce {
+        id: CeId(id),
+        kind: CeKind::Kernel {
+            name: "bench_k".into(),
+            cost: KernelCost {
+                flops: 1e6,
+                bytes_read: MIB,
+                bytes_written: MIB,
+            },
+        },
+        args: vec![CeArg::read_write(a, MIB), CeArg::read(b, MIB)],
+    }
+}
+
+struct BenchResult {
+    name: &'static str,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Fixed warm-up, then a bounded measurement loop; mirrors the criterion
+/// shim's loop but keeps the mean so it can be serialized.
+fn time(name: &'static str, budget: Duration, mut routine: impl FnMut()) -> BenchResult {
+    for _ in 0..3 {
+        routine();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        routine();
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("bench oplog/{name}: {mean_ns:.1} ns/iter ({iters} iters)");
+    BenchResult {
+        name,
+        mean_ns,
+        iters,
+    }
+}
+
+/// One planning step against a planner that is freshly rebuilt whenever
+/// the DAG grows past `reset_every` (unbounded growth would measure DAG
+/// size, not logging overhead).
+fn bench_plan(name: &'static str, budget: Duration, logged: bool, journal: bool) -> BenchResult {
+    let reset_every = 4096u64;
+    let journal_path = std::env::temp_dir().join(format!(
+        "grout-bench-oplog-{}-{name}.grjl",
+        std::process::id()
+    ));
+    let fresh = |n: &mut u64| {
+        *n = 0;
+        let mut p = LoggedPlanner::new(Planner::new(cfg(4), None));
+        if journal {
+            let sink = JournalSink::create(&journal_path, p.config(), &None).expect("journal");
+            p.add_sink(Box::new(sink));
+        }
+        let a = p.alloc(MIB);
+        let b = p.alloc(MIB);
+        (p, a, b)
+    };
+    let mut n = 0u64;
+    let result = if logged {
+        let (mut p, mut a, mut b) = fresh(&mut n);
+        time(name, budget, move || {
+            if n >= reset_every {
+                (p, a, b) = fresh(&mut n);
+            }
+            let ce = kernel_ce(n, a, b);
+            n += 1;
+            let plan = p.plan_ce(&ce).expect("plan");
+            p.mark_completed(plan.dag_index);
+        })
+    } else {
+        fn fresh_bare() -> (Planner, grout::ArrayId, grout::ArrayId) {
+            let mut p = Planner::new(PlannerConfig::new(4, PolicyKind::RoundRobin), None);
+            let alloc =
+                |p: &mut Planner| match p.apply(&PlannerOp::Alloc { bytes: MIB }).expect("alloc") {
+                    grout::core::PlannerResp::Array(id) => id,
+                    _ => unreachable!(),
+                };
+            let a = alloc(&mut p);
+            let b = alloc(&mut p);
+            (p, a, b)
+        }
+        let (mut bare, mut aid, mut bid) = fresh_bare();
+        time(name, budget, move || {
+            if n >= reset_every {
+                n = 0;
+                (bare, aid, bid) = fresh_bare();
+            }
+            let ce = kernel_ce(n, aid, bid);
+            n += 1;
+            let plan = match bare.apply(&PlannerOp::PlanCe { ce }).expect("plan") {
+                grout::core::PlannerResp::Plan(plan) => plan,
+                _ => unreachable!(),
+            };
+            bare.apply(&PlannerOp::MarkCompleted {
+                dag_index: plan.dag_index,
+            })
+            .expect("complete");
+        })
+    };
+    std::fs::remove_file(&journal_path).ok();
+    result
+}
+
+/// A planner carrying `ces` planned+completed kernels (digest workload).
+fn loaded_planner(ces: u64) -> LoggedPlanner {
+    let mut p = LoggedPlanner::new(Planner::new(cfg(4), Some(LinkMatrix::uniform(5, 10e9))));
+    let a = p.alloc(MIB);
+    let b = p.alloc(MIB);
+    for i in 0..ces {
+        let plan = p.plan_ce(&kernel_ce(i, a, b)).expect("plan");
+        p.mark_completed(plan.dag_index);
+    }
+    p
+}
+
+fn main() {
+    let budget = Duration::from_millis(400);
+    let mut results = Vec::new();
+
+    results.push(bench_plan("plan_bare", budget, false, false));
+    results.push(bench_plan("plan_logged", budget, true, false));
+    results.push(bench_plan("plan_journalled", budget, true, true));
+
+    let loaded = loaded_planner(2000);
+    results.push(time("digest_2k_ces", budget, || {
+        std::hint::black_box(loaded.state_digest());
+    }));
+
+    let op = PlannerOp::PlanCe {
+        ce: kernel_ce(7, grout::ArrayId(1), grout::ArrayId(2)),
+    };
+    results.push(time("encode_op", budget, || {
+        std::hint::black_box(wire::encode_op(&op));
+    }));
+    let bytes = wire::encode_op(&op);
+    results.push(time("decode_op", budget, || {
+        std::hint::black_box(wire::decode_op(&bytes).expect("decode"));
+    }));
+
+    let log = loaded_planner(2000);
+    let replay_res = time("replay_2k_ces", Duration::from_secs(2), || {
+        let mut replica = Planner::new(cfg(4), Some(LinkMatrix::uniform(5, 10e9)));
+        let _ = replay_ops(&mut replica, log.ops());
+        std::hint::black_box(replica.state_digest());
+    });
+    let ops_per_replay = log.ops().len() as f64;
+    println!(
+        "bench oplog/replay throughput: {:.0} ops/s",
+        ops_per_replay / (replay_res.mean_ns / 1e9)
+    );
+    results.push(replay_res);
+
+    write_artifact(&results);
+}
+
+fn write_artifact(results: &[BenchResult]) {
+    use serde::json::Value;
+
+    struct Artifact<'a>(&'a [BenchResult]);
+    impl serde::Serialize for Artifact<'_> {
+        fn to_json_value(&self) -> Value {
+            let rows = self
+                .0
+                .iter()
+                .map(|r| {
+                    Value::Object(vec![
+                        ("name".into(), Value::String(r.name.into())),
+                        ("mean_ns".into(), Value::F64(r.mean_ns)),
+                        ("iters".into(), Value::U64(r.iters)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("bench".into(), Value::String("oplog".into())),
+                ("unit".into(), Value::String("ns_per_iter".into())),
+                ("results".into(), Value::Array(rows)),
+            ])
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oplog.json");
+    let body = serde_json::to_string_pretty(&Artifact(results)).expect("serialize");
+    std::fs::write(path, body + "\n").expect("write BENCH_oplog.json");
+    println!("bench oplog: artifact written to BENCH_oplog.json");
+}

@@ -21,8 +21,8 @@
 //! in-process run. Requires the `grout-workerd` binary next to this one
 //! (`cargo build -p grout --bins`) or a `GROUT_WORKERD` env override.
 use grout::core::{
-    CeArg, ChromeTracer, KernelCost, LocalArg, LocalConfig, LocalRuntime, Runtime, Shared,
-    SimConfig, SimRuntime,
+    first_divergence, CeArg, ChromeTracer, KernelCost, LocalArg, LocalConfig, LocalRuntime,
+    PlannerOp, Runtime, Shared, SimConfig, SimRuntime,
 };
 use grout::desim::SimDuration;
 use grout::kernelc;
@@ -76,6 +76,30 @@ fn has_replay(events: &[SchedEvent]) -> bool {
         .any(|e| matches!(e, SchedEvent::Replay { .. }))
 }
 
+/// Localizes a differential mismatch in op-log terms: the first index
+/// where the faulted run's planner history departs from the clean run's
+/// is where recovery started rewriting the plan — the place to start
+/// debugging. (The logs *should* diverge on a faulted run; this is only
+/// consulted when the *results* diverged too.)
+fn op_log_divergence(clean: &[PlannerOp], faulted: &[PlannerOp]) -> String {
+    match first_divergence(clean, faulted) {
+        Some(i) => format!(
+            "op logs first diverge at index {i}: clean {} vs faulted {}",
+            clean
+                .get(i)
+                .map_or("<end of log>".into(), |o| format!("{o:?}")),
+            faulted
+                .get(i)
+                .map_or("<end of log>".into(), |o| format!("{o:?}")),
+        ),
+        None => format!(
+            "op logs share their common prefix (lengths {} vs {})",
+            clean.len(),
+            faulted.len()
+        ),
+    }
+}
+
 /// Strict check on a serialized chain: full (worker, at_ce) agreement.
 fn check_chain(faults: FaultPlan) {
     let inc_src = "
@@ -97,12 +121,18 @@ fn check_chain(faults: FaultPlan) {
         let assign: Vec<_> = (0..CHAIN)
             .map(|i| rt.node_assignment(i).and_then(|l| l.worker_index()))
             .collect();
-        (rt.read_f32(a).unwrap(), events, assign)
+        let ops = rt.op_log().to_vec();
+        (rt.read_f32(a).unwrap(), events, assign, ops)
     };
 
-    let (clean, _, _) = run_local(FaultPlan::none());
-    let (faulted, local_events, local_assign) = run_local(faults.clone());
-    assert_eq!(clean, faulted, "chain results diverged after recovery");
+    let (clean, _, _, clean_ops) = run_local(FaultPlan::none());
+    let (faulted, local_events, local_assign, faulted_ops) = run_local(faults.clone());
+    if clean != faulted {
+        panic!(
+            "chain results diverged after recovery; {}",
+            op_log_divergence(&clean_ops, &faulted_ops)
+        );
+    }
 
     let mut rt = SimRuntime::try_new(sim_cfg(2, faults)).expect("valid config");
     let a = rt.alloc(BYTES);
@@ -173,12 +203,18 @@ fn check_random(ops: &[(u8, u8, u8)], kill_at: usize, workers: usize) {
         rt.synchronize().unwrap();
         let events = rt.sched_trace().events().to_vec();
         let outs: Vec<Vec<f32>> = arrays.iter().map(|&x| rt.read_f32(x).unwrap()).collect();
-        (outs, events)
+        let ops = rt.op_log().to_vec();
+        (outs, events, ops)
     };
 
-    let (clean, _) = run_local(FaultPlan::none());
-    let (faulted, local_events) = run_local(FaultPlan::kill_at_ce(kill_at));
-    assert_eq!(clean, faulted, "random workload results diverged");
+    let (clean, _, clean_ops) = run_local(FaultPlan::none());
+    let (faulted, local_events, faulted_ops) = run_local(FaultPlan::kill_at_ce(kill_at));
+    if clean != faulted {
+        panic!(
+            "random workload results diverged; {}",
+            op_log_divergence(&clean_ops, &faulted_ops)
+        );
+    }
     // (No replay assertion here: a killed CE whose inputs are all still
     // version 0 recovers from the controller's zero-state without lineage.)
     let (local_dead, _) = quarantine_of(&local_events).expect("local quarantined");

@@ -144,6 +144,17 @@ impl Coherence {
         ids
     }
 
+    /// Appends a canonical dump of the directory to `out` (arrays in
+    /// sorted order; holder sets are already kept sorted) for the planner
+    /// state digest.
+    pub(crate) fn digest_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("coh:");
+        for a in self.arrays() {
+            let _ = write!(out, "{}->{:?};", a.0, self.holders(a));
+        }
+    }
+
     /// Removes `loc` from every holder set — the node is gone (quarantined
     /// after a failure) and nothing on it can be trusted again.
     ///

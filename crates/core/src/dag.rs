@@ -28,13 +28,13 @@ pub struct AddOutcome {
     pub parents: Vec<DagIndex>,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct ArrayTrack {
     last_writer: Option<DagIndex>,
     readers_since: Vec<DagIndex>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Node {
     parents: Vec<DagIndex>,
     children: Vec<DagIndex>,
@@ -42,8 +42,9 @@ struct Node {
 }
 
 /// A dependency DAG over CEs (used as the Controller's *Global DAG* and each
-/// Worker's *Local DAG*).
-#[derive(Debug, Default, Clone)]
+/// Worker's *Local DAG*). Equality is replica equality: same nodes, edges,
+/// per-array trackers and frontier.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct DepDag {
     nodes: Vec<Node>,
     tracks: HashMap<ArrayId, ArrayTrack>,
@@ -214,6 +215,30 @@ impl DepDag {
         (0..self.nodes.len())
             .filter(|&i| self.is_ready(i))
             .collect()
+    }
+
+    /// Appends a canonical dump of the DAG to `out` (maps and sets in
+    /// sorted order) for the planner state digest.
+    pub(crate) fn digest_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "dag:e{};", self.edges);
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "n{i}:{:?}>{:?}{};",
+                n.parents,
+                n.children,
+                if n.completed { "*" } else { "" }
+            );
+        }
+        let mut tracks: Vec<_> = self.tracks.iter().collect();
+        tracks.sort_unstable_by_key(|(a, _)| a.0);
+        for (a, t) in tracks {
+            let _ = write!(out, "t{}:{:?},{:?};", a.0, t.last_writer, t.readers_since);
+        }
+        let mut frontier: Vec<_> = self.frontier.iter().copied().collect();
+        frontier.sort_unstable();
+        let _ = write!(out, "f:{frontier:?};");
     }
 }
 

@@ -16,8 +16,11 @@
 //! - intra-node GrCUDA scheduling: device and stream selection plus wait
 //!   events (Algorithm 2),
 //! - [`Planner`]: the backend-agnostic scheduling core tying the above
-//!   together, emitting one pure [`Plan`] per CE (observable through
-//!   [`SchedTrace`]),
+//!   together — a pure state machine mutated only by applying serializable
+//!   [`PlannerOp`]s, emitting one pure [`Plan`] per CE (observable through
+//!   [`SchedTrace`]); [`LoggedPlanner`] funnels every mutation through one
+//!   ordered op log that doubles as a crash-recovery journal and the
+//!   hot-standby controller replication feed,
 //! - [`SimRuntime`]: the analytic virtual-time cluster runtime used to
 //!   regenerate the paper's figures, including the single-node GrCUDA
 //!   baseline — it *prices* plans in virtual time, and
@@ -51,8 +54,9 @@ pub use intranode::{
 pub use local_runtime::{HostBuf, LocalArg, LocalConfig, LocalError, LocalRuntime, LocalStats};
 pub use policy::{ExplorationLevel, LinkMatrix, NodeScheduler, PolicyKind};
 pub use scheduler::{
-    Movement, MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, Reassignment,
-    Recovery, SchedTrace,
+    first_divergence, replay_ops, LoggedPlanner, Movement, MovementKind, OpSink, Plan, PlanError,
+    PlanObserver, Planner, PlannerConfig, PlannerOp, PlannerResp, Reassignment, Recovery,
+    SchedTrace,
 };
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
 pub use telemetry::{

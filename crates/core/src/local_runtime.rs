@@ -36,7 +36,8 @@ use crate::dag::{DagIndex, DepDag};
 use crate::faults::{replay_closure, FailureDetector, SchedEvent};
 use crate::policy::{LinkMatrix, PolicyKind};
 use crate::scheduler::{
-    MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
+    LoggedPlanner, MovementKind, OpSink, Plan, PlanError, PlanObserver, Planner, PlannerConfig,
+    PlannerOp, SchedTrace,
 };
 use crate::telemetry::{monotonic_ns, ArgValue, Lane, LaneAligner, Metrics, SpanEvent, Telemetry};
 use crate::transport::{
@@ -228,7 +229,7 @@ impl BufShape {
 /// (in-process crossbeam channels by default; TCP via `grout-net`).
 pub struct LocalRuntime {
     cfg: LocalConfig,
-    planner: Planner,
+    planner: LoggedPlanner,
     /// Controller master copies (authoritative when coherence says so).
     master: HashMap<ArrayId, HostBuf>,
     /// Monotonic content version per array (bumped by every writer CE).
@@ -291,14 +292,6 @@ pub struct LocalRuntime {
 }
 
 impl LocalRuntime {
-    /// Spawns the worker threads and wires the channel mesh (controller to
-    /// each worker, worker to worker for P2P, workers back to controller).
-    /// Panics on invalid configuration or when *no* worker comes up.
-    #[deprecated(note = "use `LocalRuntime::try_new` or `Runtime::builder().build_local()`")]
-    pub fn new(cfg: LocalConfig) -> Self {
-        LocalRuntime::try_new(cfg).expect("local runtime startup")
-    }
-
     /// Fallible startup: a worker whose thread fails to spawn starts
     /// quarantined (degraded mode) instead of panicking the deployment;
     /// only zero live workers is an error.
@@ -344,7 +337,7 @@ impl LocalRuntime {
             transport.kind(),
             &links,
         );
-        let mut planner = Planner::new(cfg.planner.clone(), Some(links));
+        let mut planner = LoggedPlanner::new(Planner::new(cfg.planner.clone(), Some(links)));
         let mut detector = FailureDetector::new(n);
         let mut trace = SchedTrace::default();
         for (i, _reason) in &failures {
@@ -401,6 +394,23 @@ impl LocalRuntime {
                 let _ = self.transport.send(w, CtrlMsg::Observe { enabled });
             }
         }
+    }
+
+    /// Read-only view of the planner state machine (queries only; every
+    /// mutation goes through the op log).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The ordered operation log: every [`PlannerOp`] applied so far.
+    pub fn op_log(&self) -> &[PlannerOp] {
+        self.planner.ops()
+    }
+
+    /// Attaches an [`OpSink`] observing every planner op (journal, log
+    /// shipping). The sink is caught up on the existing log first.
+    pub fn add_op_sink(&mut self, sink: Box<dyn OpSink>) {
+        self.planner.add_sink(sink);
     }
 
     /// Snapshots the transport's per-peer wire counters into the metrics

@@ -77,8 +77,10 @@ impl PolicyKind {
 }
 
 /// The interconnection matrix measured at startup (bytes/second between
-/// every pair of endpoints; endpoint 0 is the Controller).
-#[derive(Debug, Clone)]
+/// every pair of endpoints; endpoint 0 is the Controller). Equality is
+/// exact (bit-for-bit floats): matrices are probed once and copied around
+/// verbatim, so replicas must agree exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkMatrix {
     bw: Vec<Vec<f64>>,
 }
@@ -126,7 +128,9 @@ impl LinkMatrix {
 }
 
 /// The Controller-side node scheduler: applies a [`PolicyKind`] to each CE.
-#[derive(Debug, Clone)]
+/// Equality covers the policy cursors and quarantine set — the mutable
+/// state op-log replicas must agree on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeScheduler {
     kind: PolicyKind,
     workers: usize,
@@ -208,6 +212,25 @@ impl NodeScheduler {
     /// Number of workers still accepting assignments.
     pub fn healthy_workers(&self) -> usize {
         self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Appends a canonical dump of the scheduler state to `out` for the
+    /// planner state digest (floats as exact bits).
+    pub(crate) fn digest_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "sched:{:?};w{};rr{};vs{},{};q{:?};links:",
+            self.kind, self.workers, self.rr_next, self.vs_pos, self.vs_count, self.quarantined
+        );
+        if let Some(links) = &self.links {
+            for src in 0..links.len() {
+                for dst in 0..links.len() {
+                    let _ = write!(out, "{:x},", links.raw(src, dst).to_bits());
+                }
+            }
+        }
+        out.push(';');
     }
 
     fn round_robin(&mut self) -> usize {

@@ -2,10 +2,15 @@
 //!
 //! [`Planner`] owns the three pieces of Controller state that every GrOUT
 //! deployment shares — the Global [`DepDag`], the [`Coherence`] directory
-//! and the inter-node [`NodeScheduler`] — and exposes a single entry point,
-//! [`Planner::plan_ce`], that turns a submitted CE into a pure
-//! [`Plan`]: dependencies, node assignment and data movements, with no
-//! knowledge of virtual time or threads.
+//! and the inter-node [`NodeScheduler`] — and is a pure state machine: the
+//! only mutation entry point is [`Planner::apply`], which consumes one
+//! serializable [`PlannerOp`] (submit a CE, mark completion, quarantine,
+//! recover, …) and returns the derived decision, with no knowledge of
+//! virtual time or threads. Everything else on `Planner` is a read-only
+//! query. Runtimes never call `apply` directly: they mutate through
+//! [`LoggedPlanner`], which records every op in a single ordered log (the
+//! crash-recovery journal and the standby-replication feed tap it through
+//! [`OpSink`]).
 //!
 //! Both runtimes consume plans instead of re-implementing the algorithm:
 //! [`crate::SimRuntime`] *prices* each plan in virtual time over the
@@ -17,8 +22,10 @@
 //! [`SchedTrace`] is the observer hook: a bounded ring buffer of emitted
 //! plans plus an optional callback, fed by both runtimes.
 
+mod oplog;
 mod plan;
 
+pub use oplog::{first_divergence, replay_ops, LoggedPlanner, OpSink, PlannerOp, PlannerResp};
 pub use plan::{Movement, MovementKind, Plan, PlanError};
 
 use std::collections::{HashMap, VecDeque};
@@ -31,7 +38,7 @@ use crate::policy::{LinkMatrix, NodeScheduler, PolicyKind};
 use crate::telemetry::{ArgValue, Telemetry};
 
 /// Scheduling knobs shared by every backend.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannerConfig {
     /// Number of worker nodes.
     pub workers: usize,
@@ -175,16 +182,71 @@ impl Planner {
         self.scheduler.links()
     }
 
+    /// The single mutation entry point: applies one [`PlannerOp`] and
+    /// returns the derived decision. Deterministic — two planners
+    /// constructed identically and fed the same op sequence reach
+    /// bit-identical state (the property the standby controller and
+    /// journal replay rely on). Note that a failing op (e.g.
+    /// [`PlanError::UseAfterFree`]) may still have mutated state: the CE
+    /// was appended to the DAG before movement planning failed, and
+    /// re-applying it on replay repeats that mutation exactly.
+    pub fn apply(&mut self, op: &PlannerOp) -> Result<PlannerResp, PlanError> {
+        match op {
+            PlannerOp::Alloc { bytes } => Ok(PlannerResp::Array(self.alloc(*bytes))),
+            PlannerOp::Free { array } => {
+                self.free(*array);
+                Ok(PlannerResp::Unit)
+            }
+            PlannerOp::PlanCe { ce } => self.plan_ce(ce).map(PlannerResp::Plan),
+            PlannerOp::MarkCompleted { dag_index } => {
+                self.mark_completed(*dag_index);
+                Ok(PlannerResp::Unit)
+            }
+            PlannerOp::Quarantine { worker } => {
+                self.quarantine(*worker).map(|()| PlannerResp::Unit)
+            }
+            PlannerOp::Recover { dead, incomplete } => {
+                self.recover(*dead, incomplete).map(PlannerResp::Recovery)
+            }
+            PlannerOp::ReprobeLinks { links } => {
+                self.reprobe_links(links.clone());
+                Ok(PlannerResp::Unit)
+            }
+        }
+    }
+
+    /// FNV-1a digest over a canonical dump of the replicated state (maps
+    /// iterated in sorted order, floats as exact bits; telemetry
+    /// excluded). Equal digests across processes mean bit-identical
+    /// planner state — the standby acks every shipped op with its replica
+    /// digest and the primary cross-checks it against this.
+    pub fn state_digest(&self) -> u64 {
+        let mut s = String::with_capacity(4096);
+        use std::fmt::Write as _;
+        let _ = write!(s, "cfg:{:?};next:{};", self.cfg, self.next_array);
+        self.dag.digest_into(&mut s);
+        self.coherence.digest_into(&mut s);
+        self.scheduler.digest_into(&mut s);
+        s.push_str("bytes:");
+        let mut arrays: Vec<_> = self.array_bytes.iter().collect();
+        arrays.sort_unstable_by_key(|(a, _)| a.0);
+        for (a, b) in arrays {
+            let _ = write!(s, "{}={};", a.0, b);
+        }
+        let _ = write!(s, "ces:{:?};asg:{:?}", self.ces, self.assignments);
+        fnv1a(s.as_bytes())
+    }
+
     /// Replaces the probed matrix after a link change (the VNIC-SLA
     /// scenario of Section IV-D). Rebuilds the scheduler, which resets its
     /// cursors — matching GrOUT re-probing at reconfiguration.
-    pub fn reprobe_links(&mut self, links: LinkMatrix) {
+    fn reprobe_links(&mut self, links: LinkMatrix) {
         self.scheduler = NodeScheduler::new(self.cfg.policy.clone(), self.cfg.workers, Some(links));
     }
 
     /// Registers a new framework-managed array of `bytes`, up-to-date on
     /// the Controller (where the application initializes it).
-    pub fn alloc(&mut self, bytes: u64) -> ArrayId {
+    fn alloc(&mut self, bytes: u64) -> ArrayId {
         let id = ArrayId(self.next_array);
         self.next_array += 1;
         self.coherence.register(id);
@@ -194,7 +256,7 @@ impl Planner {
 
     /// Forgets an array: planning any CE that reads it afterwards fails
     /// with [`PlanError::UseAfterFree`].
-    pub fn free(&mut self, id: ArrayId) {
+    fn free(&mut self, id: ArrayId) {
         self.coherence.unregister(id);
         self.array_bytes.remove(&id);
     }
@@ -206,7 +268,7 @@ impl Planner {
 
     /// Marks a CE completed in the Global DAG (executors call this when
     /// the CE actually finishes).
-    pub fn mark_completed(&mut self, i: DagIndex) {
+    fn mark_completed(&mut self, i: DagIndex) {
         self.dag.mark_completed(i);
     }
 
@@ -218,7 +280,7 @@ impl Planner {
     /// array makes the assigned node its exclusive holder. Backends execute
     /// plans in submission order (or gate on explicit versions), so the
     /// eager directory is exactly the state the next `plan_ce` must see.
-    pub fn plan_ce(&mut self, ce: &Ce) -> Result<Plan, PlanError> {
+    fn plan_ce(&mut self, ce: &Ce) -> Result<Plan, PlanError> {
         let outcome = self.dag.add_ce(ce);
 
         // Node assignment: host CEs run on the Controller, kernels go
@@ -295,7 +357,7 @@ impl Planner {
     /// Quarantines a worker without replanning anything — used when a node
     /// never comes up (spawn failure), so there is no in-flight work to
     /// move. Fails if it would leave no healthy workers.
-    pub fn quarantine(&mut self, w: usize) -> Result<(), PlanError> {
+    fn quarantine(&mut self, w: usize) -> Result<(), PlanError> {
         if self.scheduler.is_quarantined(w) {
             return Ok(());
         }
@@ -320,7 +382,7 @@ impl Planner {
     /// record), and each CE in `incomplete` that was assigned to the dead
     /// node is re-assigned by the degraded policy with fresh movements
     /// sourced from *surviving* up-to-date holders.
-    pub fn recover(&mut self, dead: usize, incomplete: &[DagIndex]) -> Result<Recovery, PlanError> {
+    fn recover(&mut self, dead: usize, incomplete: &[DagIndex]) -> Result<Recovery, PlanError> {
         if self.scheduler.healthy_workers() <= 1 && !self.scheduler.is_quarantined(dead) {
             return Err(PlanError::NoHealthyWorkers);
         }
@@ -493,6 +555,34 @@ impl Planner {
     }
 }
 
+/// Replicated-state equality: every field except the telemetry handle
+/// (recorders are process-local observers, not replicated state). Two
+/// planners constructed identically and fed the same op sequence compare
+/// equal — the property the op-log determinism tests assert.
+impl PartialEq for Planner {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg
+            && self.dag == other.dag
+            && self.coherence == other.coherence
+            && self.scheduler == other.scheduler
+            && self.array_bytes == other.array_bytes
+            && self.next_array == other.next_array
+            && self.ces == other.ces
+            && self.assignments == other.assignments
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free and stable across platforms —
+/// exactly what a cross-process state digest needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Callback invoked for every plan a runtime records.
 pub type PlanObserver = Box<dyn FnMut(&Plan) + Send>;
 
@@ -614,8 +704,11 @@ mod tests {
         }
     }
 
-    fn planner(workers: usize) -> Planner {
-        Planner::new(PlannerConfig::new(workers, PolicyKind::RoundRobin), None)
+    fn planner(workers: usize) -> LoggedPlanner {
+        LoggedPlanner::new(Planner::new(
+            PlannerConfig::new(workers, PolicyKind::RoundRobin),
+            None,
+        ))
     }
 
     #[test]
@@ -659,7 +752,7 @@ mod tests {
     fn p2p_disabled_stages_with_double_wire_bytes() {
         let mut cfg = PlannerConfig::new(2, PolicyKind::RoundRobin);
         cfg.p2p_enabled = false;
-        let mut p = Planner::new(cfg, None);
+        let mut p = LoggedPlanner::new(Planner::new(cfg, None));
         let a = p.alloc(100);
         p.plan_ce(&kernel(0, vec![CeArg::write(a, 100)])).unwrap();
         let read = p.plan_ce(&kernel(1, vec![CeArg::read(a, 100)])).unwrap();
@@ -723,10 +816,10 @@ mod tests {
         // controller -> worker 1.
         let mut bw = vec![vec![1e8; 3]; 3];
         bw[1][2] = 1e9;
-        let mut p = Planner::new(
+        let mut p = LoggedPlanner::new(Planner::new(
             PlannerConfig::new(2, PolicyKind::RoundRobin),
             Some(LinkMatrix::new(bw)),
-        );
+        ));
         let a = p.alloc(64);
         // Holders: controller and worker 0 (via a read on worker 0).
         p.plan_ce(&kernel(0, vec![CeArg::read(a, 64)])).unwrap();
@@ -878,5 +971,116 @@ mod tests {
         }
         assert_eq!(seen.load(Ordering::Relaxed), 5);
         assert!(trace.is_empty(), "capacity 0 retains nothing");
+    }
+
+    fn fresh_like(p: &LoggedPlanner) -> Planner {
+        Planner::new(p.config().clone(), p.links().cloned())
+    }
+
+    #[test]
+    fn replaying_the_op_log_reproduces_the_planner() {
+        let mut p = planner(3);
+        let a = p.alloc(64);
+        let b = p.alloc(32);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap();
+        p.plan_ce(&kernel(1, vec![CeArg::read(a, 64), CeArg::write(b, 32)]))
+            .unwrap();
+        p.mark_completed(0);
+        p.recover(0, &[1]).unwrap();
+        p.free(b);
+        let mut replica = fresh_like(&p);
+        replay_ops(&mut replica, p.ops());
+        assert_eq!(*p, replica, "replica state diverged");
+        assert_eq!(p.state_digest(), replica.state_digest());
+    }
+
+    #[test]
+    fn failed_ops_still_mutate_and_replay_identically() {
+        let mut p = planner(1);
+        let a = p.alloc(8);
+        p.free(a);
+        // The CE lands in the DAG even though movement planning fails.
+        assert_eq!(
+            p.plan_ce(&kernel(0, vec![CeArg::read(a, 8)])).unwrap_err(),
+            PlanError::UseAfterFree(a)
+        );
+        assert_eq!(p.dag().len(), 1, "failed plan still appended to the DAG");
+        let mut replica = fresh_like(&p);
+        let results = replay_ops(&mut replica, p.ops());
+        assert_eq!(*p, replica);
+        assert_eq!(
+            results.last().unwrap().as_ref().unwrap_err(),
+            &PlanError::UseAfterFree(a),
+            "replay reproduces the failure too"
+        );
+    }
+
+    #[test]
+    fn digest_tracks_state_not_telemetry() {
+        let mut a = planner(2);
+        let mut b = planner(2);
+        b.set_telemetry(crate::telemetry::Telemetry::off());
+        let x = a.alloc(16);
+        b.alloc(16);
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.plan_ce(&kernel(0, vec![CeArg::read(x, 16)])).unwrap();
+        assert_ne!(a.state_digest(), b.state_digest(), "mutation moves digest");
+    }
+
+    #[test]
+    fn first_divergence_localizes() {
+        let a = [
+            PlannerOp::Alloc { bytes: 8 },
+            PlannerOp::MarkCompleted { dag_index: 0 },
+        ];
+        let b = [
+            PlannerOp::Alloc { bytes: 8 },
+            PlannerOp::MarkCompleted { dag_index: 1 },
+        ];
+        assert_eq!(first_divergence(&a, &a), None);
+        assert_eq!(first_divergence(&a, &b), Some(1));
+        assert_eq!(first_divergence(&a, &a[..1]), Some(1), "length mismatch");
+    }
+
+    #[test]
+    fn op_sinks_see_every_op_and_catch_up() {
+        use std::sync::{Arc, Mutex};
+        type Seen = Arc<Mutex<Vec<(u64, &'static str, bool)>>>;
+        #[derive(Default)]
+        struct Tap(Seen);
+        impl OpSink for Tap {
+            fn wants_digest(&self) -> bool {
+                true
+            }
+            fn append(&mut self, seq: u64, op: &PlannerOp, digest: Option<u64>) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((seq, op.kind(), digest.is_some()));
+            }
+        }
+        let mut p = planner(2);
+        let a = p.alloc(8);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        p.add_sink(Box::new(Tap(Arc::clone(&seen))));
+        p.plan_ce(&kernel(0, vec![CeArg::read(a, 8)])).unwrap();
+        let got = seen.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![(0, "alloc", false), (1, "plan-ce", true)],
+            "catch-up replays history without digests; live ops carry one"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged from the replicated prefix at index 1")]
+    fn prefix_validation_panics_on_divergence() {
+        let mut p = planner(2);
+        p.expect_prefix(vec![
+            PlannerOp::Alloc { bytes: 8 },
+            PlannerOp::Alloc { bytes: 16 },
+        ]);
+        p.alloc(8);
+        p.alloc(99);
     }
 }

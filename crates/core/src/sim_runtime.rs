@@ -27,7 +27,8 @@ use crate::faults::{FailureDetector, SchedEvent};
 use crate::intranode::{select_device, select_stream, DevicePolicy, Placement};
 use crate::policy::{LinkMatrix, PolicyKind};
 use crate::scheduler::{
-    Movement, MovementKind, Plan, PlanError, PlanObserver, Planner, PlannerConfig, SchedTrace,
+    LoggedPlanner, Movement, MovementKind, OpSink, Plan, PlanError, PlanObserver, Planner,
+    PlannerConfig, PlannerOp, SchedTrace,
 };
 use crate::telemetry::{ArgValue, Lane, Metrics, SpanEvent, Telemetry};
 
@@ -147,7 +148,7 @@ pub struct RunStats {
 pub struct SimRuntime {
     cfg: SimConfig,
     net: Network,
-    planner: Planner,
+    planner: LoggedPlanner,
     workers: Vec<Worker>,
     records: Vec<CeRecord>,
     /// Virtual instant each array's latest content becomes available
@@ -171,12 +172,6 @@ pub struct SimRuntime {
 }
 
 impl SimRuntime {
-    /// Builds a runtime, panicking on invalid configuration.
-    #[deprecated(note = "use `SimRuntime::try_new` or `Runtime::builder().build_sim()`")]
-    pub fn new(cfg: SimConfig) -> Self {
-        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Builds a runtime; probes the interconnection matrix when the policy
     /// needs it (as GrOUT does at startup). Rejects configurations that
     /// cannot schedule anything with [`PlanError::InvalidConfig`].
@@ -193,7 +188,7 @@ impl SimRuntime {
         } else {
             None
         };
-        let planner = Planner::new(cfg.planner.clone(), links);
+        let planner = LoggedPlanner::new(Planner::new(cfg.planner.clone(), links));
         let workers = (0..cfg.planner.workers)
             .map(|_| Worker {
                 node: GpuNode::new(cfg.node.clone()),
@@ -909,6 +904,22 @@ impl SimRuntime {
     /// Installs a callback invoked for every executed plan.
     pub fn set_sched_observer(&mut self, observer: PlanObserver) {
         self.trace.set_observer(observer);
+    }
+
+    /// The planner (read-only view; all mutations go through the op log).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Every planner op applied so far, in order.
+    pub fn op_log(&self) -> &[PlannerOp] {
+        self.planner.ops()
+    }
+
+    /// Registers an op-log sink (journal, log shipping); it is first
+    /// caught up with the ops already applied.
+    pub fn add_op_sink(&mut self, sink: Box<dyn OpSink>) {
+        self.planner.add_sink(sink);
     }
 }
 

@@ -36,6 +36,7 @@ use crate::ce::ArrayId;
 use crate::dag::DagIndex;
 use crate::local_runtime::{HostBuf, LocalArg};
 use crate::policy::LinkMatrix;
+use crate::scheduler::{PlannerConfig, PlannerOp};
 use crate::telemetry::{monotonic_ns, PeerWireStats};
 
 pub(crate) fn trace_on() -> bool {
@@ -229,6 +230,27 @@ pub enum CtrlMsg {
     },
     /// Terminate cleanly.
     Shutdown,
+    /// Log shipping (controller → standby controller): the planner's
+    /// construction inputs, sent once before the first
+    /// [`CtrlMsg::ShipOp`] so the standby can build the replica the ops
+    /// apply to. A worker receiving this ignores it (v3+ frame, never
+    /// sent to v2- peers).
+    ShipInit {
+        /// Planner configuration of the shipping controller.
+        cfg: PlannerConfig,
+        /// The link matrix the primary's planner was built with (probed
+        /// matrices are run-specific, so they must travel).
+        links: Option<LinkMatrix>,
+    },
+    /// Log shipping: one planner op, in log order. The standby applies it
+    /// to its replica and answers [`WorkerMsg::ShipAck`] with the digest
+    /// of the resulting state. A worker receiving this ignores it.
+    ShipOp {
+        /// Position in the op log (0-based).
+        seq: u64,
+        /// The op.
+        op: PlannerOp,
+    },
 }
 
 /// Worker → controller messages.
@@ -308,6 +330,16 @@ pub enum WorkerMsg {
         /// The spans, in record order, at most
         /// [`TELEMETRY_MAX_BATCH`] per batch.
         spans: Vec<WorkerSpan>,
+    },
+    /// Standby controller → primary: acknowledges one shipped op
+    /// ([`CtrlMsg::ShipOp`]) with the digest of the replica state after
+    /// applying it. The primary cross-checks the digest against its own,
+    /// so divergence is caught at the offending op, not at takeover.
+    ShipAck {
+        /// The acknowledged op's log position.
+        seq: u64,
+        /// [`crate::Planner::state_digest`] of the replica after the op.
+        digest: u64,
     },
 }
 
@@ -759,6 +791,9 @@ impl WorkerEngine {
                 self.flush_telemetry(out);
                 return Flow::Halt;
             }
+            // Log-shipping frames are addressed to a standby controller;
+            // a worker that somehow receives one ignores it.
+            CtrlMsg::ShipInit { .. } | CtrlMsg::ShipOp { .. } => {}
         }
         // Drain every runnable queued kernel and every satisfiable pending
         // forward (data may have just arrived or been produced).
@@ -894,6 +929,8 @@ fn ctrl_msg_bytes(msg: &CtrlMsg) -> u64 {
         CtrlMsg::PeerProbeEcho { payload, .. } => 16 + payload.len() as u64,
         CtrlMsg::Observe { .. } => 8,
         CtrlMsg::Shutdown => 8,
+        CtrlMsg::ShipInit { .. } => 64,
+        CtrlMsg::ShipOp { .. } => 48,
     }
 }
 
@@ -910,6 +947,7 @@ fn worker_msg_bytes(msg: &WorkerMsg) -> u64 {
         WorkerMsg::Telemetry { spans, .. } => {
             64 + spans.iter().map(|s| 41 + s.name.len() as u64).sum::<u64>()
         }
+        WorkerMsg::ShipAck { .. } => 24,
     }
 }
 
@@ -992,7 +1030,7 @@ impl ChannelTransport {
             | WorkerMsg::ProbeEcho { worker, .. }
             | WorkerMsg::ProbeReport { worker, .. }
             | WorkerMsg::Telemetry { worker, .. } => *worker,
-            WorkerMsg::Data { .. } => return,
+            WorkerMsg::Data { .. } | WorkerMsg::ShipAck { .. } => return,
         };
         let Some(w) = self.wire.get_mut(worker) else {
             return;

@@ -13,10 +13,12 @@
 //! systems interface is `polyglot.eval`, over which arrays are allocated and
 //! CUDA-dialect kernels are built and launched.
 
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use grout::core::{ChromeTracer, Runtime, Shared};
+use grout::core::{ChromeTracer, OpSink, PlannerOp, Runtime, Shared};
+use grout::net::oplog::{standby_serve, JournalSink, ShipSink, StandbyOutcome};
 use grout::net::{TcpExt, WorkerSpec};
 use grout::polyglot::run_script;
 use grout::Polyglot;
@@ -39,6 +41,16 @@ struct Cli {
     metrics_out: Option<PathBuf>,
     /// Print the per-peer wire summary table at end of run.
     stats: bool,
+    /// Stream every planner op to this crash-recovery journal
+    /// (`grout-replay` reconstructs planner state from it).
+    journal: Option<PathBuf>,
+    /// Ship every planner op to a hot-standby controller at this address.
+    ship_log: Option<String>,
+    /// Act as the hot-standby: listen here for a shipped op log, and take
+    /// over (re-drive the script) if the primary dies mid-run.
+    standby: Option<String>,
+    /// Fault injection: SIGKILL ourselves after this many planner ops.
+    die_after_ops: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -59,7 +71,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: grout-run <script.gs> [--workers N | --workers tcp:<addr>,...] \
-     [--trace-out <trace.json>] [--metrics-out <metrics.{json,csv}>] [--stats] | -e '<script>'";
+     [--trace-out <trace.json>] [--metrics-out <metrics.{json,csv}>] [--stats] \
+     [--journal <ops.grjl>] [--ship-log <addr>] [--standby <addr>] \
+     [--die-after-ops N] | -e '<script>'";
 
 /// Parses the command line; `Ok(None)` means `--help` was served.
 fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> {
@@ -68,6 +82,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut stats = false;
+    let mut journal = None;
+    let mut ship_log = None;
+    let mut standby = None;
+    let mut die_after_ops = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
@@ -87,6 +105,25 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
                 ));
             }
             "--stats" => stats = true,
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a path")?));
+            }
+            "--ship-log" => {
+                ship_log = Some(args.next().ok_or("--ship-log needs an address")?);
+            }
+            "--standby" => {
+                standby = Some(args.next().ok_or("--standby needs a listen address")?);
+            }
+            "--die-after-ops" => {
+                let n = args.next().ok_or("--die-after-ops needs a count")?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--die-after-ops needs a positive integer, got `{n}`"))?;
+                if n == 0 {
+                    return Err("--die-after-ops needs at least one op".into());
+                }
+                die_after_ops = Some(n);
+            }
             "-e" => {
                 let inline = args.next().ok_or("-e needs an inline script")?;
                 source = Some(inline);
@@ -110,6 +147,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
         trace_out,
         metrics_out,
         stats,
+        journal,
+        ship_log,
+        standby,
+        die_after_ops,
     }))
 }
 
@@ -135,18 +176,73 @@ fn parse_workers(spec: &str) -> Result<Workers, String> {
     Ok(Workers::Threads(n))
 }
 
+/// An [`OpSink`] that SIGKILLs the process after N ops — deterministic
+/// "primary crashes mid-run" fault injection for the failover tests.
+/// Added *after* the journal/ship sinks, so the fatal op is durable and
+/// acknowledged before the process dies, exactly like a real crash
+/// between two ops.
+struct KillSwitch {
+    remaining: u64,
+}
+
+impl OpSink for KillSwitch {
+    fn append(&mut self, seq: u64, _op: &PlannerOp, _digest: Option<u64>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            eprintln!("[grout-run] --die-after-ops reached at op {seq}; SIGKILLing self");
+            let pid = std::process::id().to_string();
+            let _ = std::process::Command::new("kill")
+                .args(["-9", &pid])
+                .status();
+            // SIGKILL is not trappable; we never get here.
+        }
+    }
+}
+
 fn run(cli: Cli) -> Result<(), String> {
-    let (mut pg, n, transport) = match cli.workers {
-        Workers::Threads(n) => (Polyglot::with_workers(n), n, "threads"),
+    if cli.standby.is_some() {
+        return run_standby(&cli);
+    }
+    run_exec(&cli)
+}
+
+/// The normal (primary) path: build the deployment, attach the op-log
+/// sinks, drive the script, emit artifacts.
+fn run_exec(cli: &Cli) -> Result<(), String> {
+    let (mut pg, n, transport) = match &cli.workers {
+        Workers::Threads(n) => (Polyglot::with_workers(*n), *n, "threads"),
         Workers::Tcp(addrs) => {
             let n = addrs.len();
             let rt = Runtime::builder()
-                .tcp(addrs.into_iter().map(WorkerSpec::Connect).collect())
+                .tcp(addrs.iter().cloned().map(WorkerSpec::Connect).collect())
                 .build()
                 .map_err(|e| e.to_string())?;
             (Polyglot::with_runtime(rt.into_inner()), n, "tcp")
         }
     };
+    {
+        let rt = pg.runtime_mut();
+        let cfg = rt.planner().config().clone();
+        let links = rt.planner().links().cloned();
+        if let Some(path) = &cli.journal {
+            let sink = JournalSink::create(path, &cfg, &links)
+                .map_err(|e| format!("cannot create journal `{}`: {e}", path.display()))?;
+            rt.add_op_sink(Box::new(sink));
+            eprintln!("[grout-run] journalling planner ops to {}", path.display());
+        }
+        if let Some(addr) = &cli.ship_log {
+            let sink = ShipSink::connect(addr, &cfg, &links)
+                .map_err(|e| format!("cannot reach standby at {addr}: {e}"))?;
+            rt.add_op_sink(Box::new(sink));
+            eprintln!("[grout-run] shipping op log to standby at {addr}");
+        }
+        if let Some(ops) = cli.die_after_ops {
+            rt.add_op_sink(Box::new(KillSwitch { remaining: ops }));
+        }
+    }
     // Attach the tracer before any CE runs so worker-side recording is
     // switched on from the first kernel.
     let tracer = cli
@@ -187,6 +283,42 @@ fn run(cli: Cli) -> Result<(), String> {
         stats.kernels, n, transport, stats.send_bytes, stats.p2p_bytes, stats.fetch_bytes
     );
     Ok(())
+}
+
+/// The hot-standby path: tail the primary's op log into a replica
+/// planner, acking each op with the replica's state digest. If the
+/// primary finishes cleanly, exit without a word on stdout; if it dies,
+/// take over — adopt the worker fleet (the workerds re-accept a new
+/// controller) and re-drive the script from the top. Determinism makes
+/// the re-driven run bit-identical to what the primary would have
+/// produced.
+fn run_standby(cli: &Cli) -> Result<(), String> {
+    let addr = cli.standby.as_deref().expect("checked by run()");
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve standby address: {e}"))?;
+    eprintln!("STANDBY LISTENING {local}");
+    match standby_serve(&listener).map_err(|e| format!("standby session failed: {e}"))? {
+        StandbyOutcome::CleanFinish { ops_applied, .. } => {
+            eprintln!(
+                "[grout-run] standby: primary finished cleanly after {ops_applied} ops; exiting"
+            );
+            Ok(())
+        }
+        StandbyOutcome::PrimaryDied {
+            replica,
+            ops_applied,
+        } => {
+            eprintln!(
+                "[grout-run] standby: primary died after {ops_applied} ops \
+                 (replica digest {:016x}); taking over",
+                replica.state_digest()
+            );
+            run_exec(cli)
+        }
+    }
 }
 
 /// End-of-run per-peer wire summary (the `--stats` table).

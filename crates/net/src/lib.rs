@@ -17,13 +17,16 @@
 //!   hosting the very same [`WorkerEngine`](grout_core::WorkerEngine) the
 //!   in-process threads run,
 //! - [`TcpExt`]/[`DistRuntime`]: the front-end gluing it onto
-//!   [`Runtime::builder()`](grout_core::Runtime::builder).
+//!   [`Runtime::builder()`](grout_core::Runtime::builder),
+//! - [`oplog`]: the crash-recovery journal and hot-standby log shipping
+//!   built on the planner's replicated op log.
 //!
 //! Because controller logic, planner, and worker engine are all shared
 //! with the in-process deployment, a seeded workload produces
 //! byte-identical results over TCP loopback — the
 //! `tests/dist_loopback.rs` differential test enforces it.
 
+pub mod oplog;
 pub mod wire;
 
 mod dist;
@@ -31,5 +34,8 @@ mod transport;
 mod worker;
 
 pub use dist::{spawn_workerd, DistBuilder, DistError, DistRuntime, TcpExt, WorkerSpec};
+pub use oplog::{
+    read_journal, standby_serve, Journal, JournalFooter, JournalSink, ShipSink, StandbyOutcome,
+};
 pub use transport::{TcpConfig, TcpTransport};
 pub use worker::serve;

