@@ -20,9 +20,25 @@
 //! lineage-replays the lost data, and finishes bit-identical to a clean
 //! in-process run. Requires the `grout-workerd` binary next to this one
 //! (`cargo build -p grout --bins`) or a `GROUT_WORKERD` env override.
+//!
+//! Network chaos (omission faults, below the crash-stop model):
+//!
+//! - `--net-seeds N`: in-process differential sweep — each seed derives a
+//!   deterministic [`NetFaultPlan`] (frame drops, duplicates, delays,
+//!   severs, partitions) injected into the channel transport; every run
+//!   must be bit-identical (results *and* planner state digest) to the
+//!   clean run with zero quarantines, the modeled severs counted as
+//!   session resumes.
+//! - `--net-sever`: TCP differential — sever worker 0's socket under the
+//!   controller mid-stream; the v4 session layer must resume and replay
+//!   so the run stays bit-identical with zero quarantines and ≥1 resume.
+//! - `--sigstop`: TCP differential — SIGSTOP one workerd past the
+//!   staleness window (suspect fires, socket severed), SIGCONT it inside
+//!   the reconnect window; the resume must reinstate the worker with no
+//!   quarantine and bit-identical results.
 use grout::core::{
     first_divergence, CeArg, ChromeTracer, KernelCost, LocalArg, LocalConfig, LocalRuntime,
-    PlannerOp, Runtime, Shared, SimConfig, SimRuntime,
+    NetFaultPlan, PeerWireStats, PlannerOp, Runtime, Shared, SimConfig, SimRuntime,
 };
 use grout::desim::SimDuration;
 use grout::kernelc;
@@ -76,13 +92,36 @@ fn has_replay(events: &[SchedEvent]) -> bool {
         .any(|e| matches!(e, SchedEvent::Replay { .. }))
 }
 
+/// One run's per-peer wire counters, for divergence reports. Empty on
+/// transports that track none.
+fn wire_table(label: &str, wire: &[PeerWireStats]) -> String {
+    if wire.is_empty() {
+        return format!("  {label}: no wire stats (transport tracks none)\n");
+    }
+    let mut s = format!("  {label} per-peer wire stats:\n");
+    for (w, p) in wire.iter().enumerate() {
+        s.push_str(&format!(
+            "    w{w}: frames {}/{} in/out, bytes {}/{}, resumes {}\n",
+            p.frames_recv, p.frames_sent, p.bytes_recv, p.bytes_sent, p.resumes
+        ));
+    }
+    s
+}
+
 /// Localizes a differential mismatch in op-log terms: the first index
 /// where the faulted run's planner history departs from the clean run's
 /// is where recovery started rewriting the plan — the place to start
 /// debugging. (The logs *should* diverge on a faulted run; this is only
-/// consulted when the *results* diverged too.)
-fn op_log_divergence(clean: &[PlannerOp], faulted: &[PlannerOp]) -> String {
-    match first_divergence(clean, faulted) {
+/// consulted when the *results* diverged too.) Both runs' per-peer wire
+/// counters ride along: on an omission-fault mismatch, the retransmit /
+/// resume counts usually say which link misbehaved.
+fn op_log_divergence(
+    clean: &[PlannerOp],
+    faulted: &[PlannerOp],
+    clean_wire: &[PeerWireStats],
+    faulted_wire: &[PeerWireStats],
+) -> String {
+    let head = match first_divergence(clean, faulted) {
         Some(i) => format!(
             "op logs first diverge at index {i}: clean {} vs faulted {}",
             clean
@@ -97,7 +136,12 @@ fn op_log_divergence(clean: &[PlannerOp], faulted: &[PlannerOp]) -> String {
             clean.len(),
             faulted.len()
         ),
-    }
+    };
+    format!(
+        "{head}\n{}{}",
+        wire_table("clean", clean_wire),
+        wire_table("faulted", faulted_wire)
+    )
 }
 
 /// Strict check on a serialized chain: full (worker, at_ce) agreement.
@@ -122,15 +166,18 @@ fn check_chain(faults: FaultPlan) {
             .map(|i| rt.node_assignment(i).and_then(|l| l.worker_index()))
             .collect();
         let ops = rt.op_log().to_vec();
-        (rt.read_f32(a).unwrap(), events, assign, ops)
+        rt.refresh_wire_metrics();
+        let wire = rt.metrics().wire.clone();
+        (rt.read_f32(a).unwrap(), events, assign, ops, wire)
     };
 
-    let (clean, _, _, clean_ops) = run_local(FaultPlan::none());
-    let (faulted, local_events, local_assign, faulted_ops) = run_local(faults.clone());
+    let (clean, _, _, clean_ops, clean_wire) = run_local(FaultPlan::none());
+    let (faulted, local_events, local_assign, faulted_ops, faulted_wire) =
+        run_local(faults.clone());
     if clean != faulted {
         panic!(
             "chain results diverged after recovery; {}",
-            op_log_divergence(&clean_ops, &faulted_ops)
+            op_log_divergence(&clean_ops, &faulted_ops, &clean_wire, &faulted_wire)
         );
     }
 
@@ -204,15 +251,18 @@ fn check_random(ops: &[(u8, u8, u8)], kill_at: usize, workers: usize) {
         let events = rt.sched_trace().events().to_vec();
         let outs: Vec<Vec<f32>> = arrays.iter().map(|&x| rt.read_f32(x).unwrap()).collect();
         let ops = rt.op_log().to_vec();
-        (outs, events, ops)
+        rt.refresh_wire_metrics();
+        let wire = rt.metrics().wire.clone();
+        (outs, events, ops, wire)
     };
 
-    let (clean, _, clean_ops) = run_local(FaultPlan::none());
-    let (faulted, local_events, faulted_ops) = run_local(FaultPlan::kill_at_ce(kill_at));
+    let (clean, _, clean_ops, clean_wire) = run_local(FaultPlan::none());
+    let (faulted, local_events, faulted_ops, faulted_wire) =
+        run_local(FaultPlan::kill_at_ce(kill_at));
     if clean != faulted {
         panic!(
             "random workload results diverged; {}",
-            op_log_divergence(&clean_ops, &faulted_ops)
+            op_log_divergence(&clean_ops, &faulted_ops, &clean_wire, &faulted_wire)
         );
     }
     // (No replay assertion here: a killed CE whose inputs are all still
@@ -455,6 +505,329 @@ fn check_kill_process(art: ArtifactArgs) {
     }
 }
 
+/// In-process network-chaos differential for one seed: a deterministic
+/// omission-fault schedule (drops, duplicates, delays, severs,
+/// partitions) below the reliable-session model must leave the run
+/// *bit-identical* — same results, same planner state digest, same op
+/// log — with zero quarantines. Modeled severs/partitions count as
+/// session resumes in the wire stats.
+fn check_net_seed(seed: u64) {
+    let kernels = kernelc::compile(SRC).unwrap();
+    let write_k = Arc::new(kernels[0].clone());
+    let scale = Arc::new(kernels[2].clone());
+    let workers = (seed % 2 + 2) as usize;
+
+    let run = |plan: NetFaultPlan| {
+        let mut rt = Runtime::builder()
+            .workers(workers)
+            .net_faults(plan)
+            .build_local()
+            .expect("spawn workers");
+        let a = rt.alloc_f32(N);
+        let b = rt.alloc_f32(N);
+        rt.launch(
+            &write_k,
+            4,
+            64,
+            vec![
+                LocalArg::Buf(a),
+                LocalArg::F32(2.0),
+                LocalArg::I32(N as i32),
+            ],
+        )
+        .unwrap();
+        rt.launch(
+            &write_k,
+            4,
+            64,
+            vec![
+                LocalArg::Buf(b),
+                LocalArg::F32(7.0),
+                LocalArg::I32(N as i32),
+            ],
+        )
+        .unwrap();
+        for _ in 0..CHAIN {
+            rt.launch(
+                &scale,
+                4,
+                64,
+                vec![LocalArg::Buf(a), LocalArg::I32(N as i32)],
+            )
+            .unwrap();
+            rt.launch(
+                &scale,
+                4,
+                64,
+                vec![LocalArg::Buf(b), LocalArg::I32(N as i32)],
+            )
+            .unwrap();
+        }
+        rt.synchronize().unwrap();
+        rt.refresh_wire_metrics();
+        let outs: Vec<Vec<u32>> = [a, b]
+            .iter()
+            .map(|&x| {
+                rt.read_f32(x)
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        (
+            outs,
+            rt.planner().state_digest(),
+            rt.op_log().to_vec(),
+            rt.metrics().wire.clone(),
+            rt.metrics().quarantines,
+        )
+    };
+
+    let plan = NetFaultPlan::seeded(seed, workers, 48, 0.25);
+    let resumable = plan
+        .events()
+        .iter()
+        .any(|e| e.kind.name() == "sever" || e.kind.name() == "partition");
+    let (clean, clean_digest, clean_ops, clean_wire, _) = run(NetFaultPlan::none());
+    let (chaotic, chaos_digest, chaos_ops, chaos_wire, quarantines) = run(plan);
+    assert_eq!(quarantines, 0, "network chaos must never quarantine");
+    if clean != chaotic || clean_digest != chaos_digest {
+        panic!(
+            "net chaos diverged (digest {clean_digest:016x} vs {chaos_digest:016x}); {}",
+            op_log_divergence(&clean_ops, &chaos_ops, &clean_wire, &chaos_wire)
+        );
+    }
+    // Op-for-op equality modulo completion-arrival order (two clean runs
+    // already differ there — worker threads race to finish; the planner's
+    // completed-set is order-insensitive and the digest proves it).
+    let (c_plan, c_done) = split_completions(&clean_ops);
+    let (x_plan, x_done) = split_completions(&chaos_ops);
+    assert_eq!(
+        c_plan, x_plan,
+        "planning ops must match op-for-op under pure omission faults"
+    );
+    assert_eq!(c_done, x_done, "completed-CE sets diverged");
+    let resumes: u64 = chaos_wire.iter().map(|w| w.resumes).sum();
+    if resumable {
+        assert!(
+            resumes >= 1,
+            "plan had severs/partitions but no resume was counted"
+        );
+    }
+}
+
+/// Splits an op log into its deterministic planning prefix-order (everything
+/// but `MarkCompleted`) and the sorted set of completed dag indices.
+/// Completion *arrival* order races between worker threads, so even two
+/// clean runs interleave `MarkCompleted` differently; the planner's
+/// completed-set is order-insensitive, so comparing it as a sorted set is
+/// exactly as strong as the digest check that accompanies it.
+fn split_completions(ops: &[PlannerOp]) -> (Vec<PlannerOp>, Vec<usize>) {
+    let mut plan = Vec::new();
+    let mut done = Vec::new();
+    for op in ops {
+        match op {
+            PlannerOp::MarkCompleted { dag_index } => done.push(*dag_index),
+            other => plan.push(other.clone()),
+        }
+    }
+    done.sort_unstable();
+    (plan, done)
+}
+
+/// Planner-op equality modulo physically non-deterministic payloads: the
+/// measured link matrices of two separate TCP runs differ in the raw
+/// bandwidth floats (and suspect/reinstate pairs are timing artifacts
+/// that net out), so membership and placement ops are compared in order
+/// and completions as a set.
+fn assert_ops_equivalent(clean: &[PlannerOp], faulted: &[PlannerOp], what: &str) {
+    let strip = |ops: &[PlannerOp]| -> Vec<PlannerOp> {
+        ops.iter()
+            .filter(|o| {
+                !matches!(
+                    o,
+                    PlannerOp::ReprobeLinks { .. }
+                        | PlannerOp::Suspect { .. }
+                        | PlannerOp::Reinstate { .. }
+                )
+            })
+            .cloned()
+            .collect()
+    };
+    let (c_plan, c_done) = split_completions(&strip(clean));
+    let (f_plan, f_done) = split_completions(&strip(faulted));
+    assert_eq!(
+        c_plan, f_plan,
+        "{what}: op logs diverged beyond link-probe/suspicion noise"
+    );
+    assert_eq!(c_done, f_done, "{what}: completed-CE sets diverged");
+}
+
+/// One TCP chain over a spawned workerd pair with `plan` injected at the
+/// socket layer. Returns everything the differentials compare. The fault
+/// knobs are deliberately aggressive (20ms beats, 3-beat staleness) so a
+/// CI-sized run crosses the staleness window quickly; the reconnect
+/// window stays wide so omission faults never escalate to quarantine.
+#[allow(clippy::type_complexity)]
+fn run_dist_chain(
+    plan: NetFaultPlan,
+    mid_run: impl FnOnce(&mut grout::net::DistRuntime, usize),
+) -> (
+    Vec<u32>,
+    Vec<SchedEvent>,
+    Vec<PlannerOp>,
+    Vec<PeerWireStats>,
+    u64,
+) {
+    use grout::net::{TcpExt, WorkerSpec};
+
+    let inc = Arc::new(
+        kernelc::compile(
+            "__global__ void inc(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = a[i] + 1.0; }
+            }",
+        )
+        .unwrap()[0]
+            .clone(),
+    );
+    let fc = grout::core::FaultConfig {
+        heartbeat_ms: 20,
+        stale_after_beats: 3,
+        reconnect_window: SimDuration::from_millis(10_000),
+        detection_timeout: SimDuration::from_millis(100),
+        ..Default::default()
+    };
+    let workerd = workerd_path();
+    let mut rt = Runtime::builder()
+        .fault_config(fc)
+        .net_faults(plan)
+        .tcp(vec![
+            WorkerSpec::Spawn(workerd.clone()),
+            WorkerSpec::Spawn(workerd),
+        ])
+        .build()
+        .expect("spawn grout-workerd pair");
+    let n = N as i32;
+    let a = rt.alloc_f32(N);
+    rt.write_f32(a, |v| {
+        v.iter_mut().enumerate().for_each(|(i, x)| *x = i as f32)
+    })
+    .unwrap();
+    let pre = CHAIN / 2;
+    for _ in 0..pre {
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(n)])
+            .unwrap();
+    }
+    rt.synchronize().unwrap();
+    mid_run(&mut rt, pre);
+    for _ in 0..(CHAIN - pre) {
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(n)])
+            .unwrap();
+    }
+    rt.synchronize().expect("chaos run completes");
+    let bits: Vec<u32> = rt
+        .read_f32(a)
+        .unwrap()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    rt.refresh_wire_metrics();
+    (
+        bits,
+        rt.sched_trace().events().to_vec(),
+        rt.op_log().to_vec(),
+        rt.metrics().wire.clone(),
+        rt.metrics().quarantines,
+    )
+}
+
+/// TCP sever differential: worker 0's controller socket is cut
+/// mid-stream by the injected plan; the session must resume on a fresh
+/// socket, replay unacked frames, and leave the run bit-identical with
+/// zero quarantines and ≥1 counted resume.
+fn check_net_sever() {
+    let (clean, _, clean_ops, clean_wire, _) = run_dist_chain(NetFaultPlan::none(), |_, _| {});
+    let (severed, events, sev_ops, sev_wire, quarantines) =
+        run_dist_chain(NetFaultPlan::sever_at(0, 3), |_, _| {});
+    assert_eq!(quarantines, 0, "a resumable sever must not quarantine");
+    assert!(
+        quarantine_of(&events).is_none(),
+        "quarantine event recorded for a resumable sever"
+    );
+    if clean != severed {
+        panic!(
+            "TCP sever run diverged from clean run; {}",
+            op_log_divergence(&clean_ops, &sev_ops, &clean_wire, &sev_wire)
+        );
+    }
+    assert_ops_equivalent(&clean_ops, &sev_ops, "tcp-sever");
+    let resumes: u64 = sev_wire.iter().map(|w| w.resumes).sum();
+    assert!(resumes >= 1, "sever did not go through the resume path");
+}
+
+/// TCP SIGSTOP differential: one workerd is stopped past the staleness
+/// window (the controller suspects it and severs the socket) and
+/// continued inside the reconnect window (the resume reinstates it).
+/// No quarantine, ≥1 resume, suspect/reinstate visible in the schedule
+/// trace, bit-identical results.
+fn check_sigstop() {
+    let signal_worker = |rt: &grout::net::DistRuntime, w: usize, sig: &str| {
+        let pid = rt.worker_pid(w).expect("spawned worker has a pid");
+        let ok = std::process::Command::new("kill")
+            .args([sig, &pid.to_string()])
+            .status()
+            .expect("kill runs")
+            .success();
+        assert!(ok, "kill {sig} failed");
+    };
+    let (clean, _, clean_ops, clean_wire, _) = run_dist_chain(NetFaultPlan::none(), |_, _| {});
+    let (stopped, events, stop_ops, stop_wire, quarantines) =
+        run_dist_chain(NetFaultPlan::none(), |rt, pre| {
+            let victim = rt
+                .node_assignment(pre)
+                .and_then(|l| l.worker_index())
+                .expect("chain CE assigned to a worker");
+            signal_worker(rt, victim, "-STOP");
+            let pid = rt.worker_pid(victim).expect("pid");
+            // SIGCONT from a helper thread while the controller is blocked
+            // in synchronize discovering the staleness.
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                let _ = std::process::Command::new("kill")
+                    .args(["-CONT", &pid.to_string()])
+                    .status();
+            });
+        });
+    assert_eq!(
+        quarantines, 0,
+        "a stopped-then-continued worker must not quarantine"
+    );
+    assert!(quarantine_of(&events).is_none());
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Suspected { .. })),
+        "staleness never promoted the worker to Suspected"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Reinstated { .. })),
+        "the resumed worker was never reinstated"
+    );
+    if clean != stopped {
+        panic!(
+            "SIGSTOP run diverged from clean run; {}",
+            op_log_divergence(&clean_ops, &stop_ops, &clean_wire, &stop_wire)
+        );
+    }
+    assert_ops_equivalent(&clean_ops, &stop_ops, "sigstop");
+    let resumes: u64 = stop_wire.iter().map(|w| w.resumes).sum();
+    assert!(resumes >= 1, "no session resume despite the severed socket");
+}
+
 /// One instrumented faulted sim chain (kill at CE 2, two workers): the
 /// exported metrics carry non-zero fault/retry/quarantine counters and the
 /// trace shows the recovery replanning.
@@ -481,6 +854,35 @@ fn emit_artifacts(art: &ArtifactArgs) {
     art.write_metrics(&[("chaos-sim-chain-kill-at-2", rt.metrics())]);
 }
 
+/// Runs `f` under a watchdog; returns true on PASS. A hang is a FAIL and
+/// kills the whole harness (a wedged recovery must never hang CI).
+fn watchdog(label: &str, f: impl FnOnce() + Send + 'static) -> bool {
+    let h = std::thread::spawn(f);
+    let start = std::time::Instant::now();
+    while !h.is_finished() {
+        if start.elapsed().as_secs() > 60 {
+            println!("{label}  FAIL (watchdog: recovery deadlock)");
+            std::process::exit(1);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    match h.join() {
+        Ok(()) => {
+            println!("{label}  PASS");
+            true
+        }
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| e.downcast_ref::<&str>().copied())
+                .unwrap_or("panic");
+            println!("{label}  FAIL: {msg}");
+            false
+        }
+    }
+}
+
 fn main() {
     let mut seeds = 8u64;
     let args: Vec<String> = std::env::args().collect();
@@ -494,54 +896,49 @@ fn main() {
 
     if args.iter().any(|a| a == "--kill-process") {
         let art = art.clone();
-        let h = std::thread::spawn(move || check_kill_process(art));
-        let start = std::time::Instant::now();
-        while !h.is_finished() {
-            if start.elapsed().as_secs() > 60 {
-                println!("kill-process  FAIL (watchdog: recovery deadlock)");
-                std::process::exit(1);
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
+        if !watchdog("kill-process", move || check_kill_process(art)) {
+            std::process::exit(1);
         }
-        match h.join() {
-            Ok(()) => {
-                println!("kill-process  PASS");
-                return;
-            }
-            Err(e) => {
-                let msg = e
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| e.downcast_ref::<&str>().copied())
-                    .unwrap_or("panic");
-                println!("kill-process  FAIL: {msg}");
-                std::process::exit(1);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--net-sever") {
+        if !watchdog("net-sever", check_net_sever) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--sigstop") {
+        if !watchdog("sigstop", check_sigstop) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--net-seeds") {
+        let n: u64 = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--net-seeds takes a number");
+        let mut failures = 0;
+        for seed in 0..n {
+            if !watchdog(&format!("net-seed {seed:>3}"), move || check_net_seed(seed)) {
+                failures += 1;
             }
         }
+        if failures > 0 {
+            println!("{failures}/{n} net seeds failed");
+            std::process::exit(1);
+        }
+        println!("all {n} net seeds passed");
+        return;
     }
 
     let mut failures = 0;
     for seed in 0..seeds {
-        let h = std::thread::spawn(move || check_seed(seed));
-        let start = std::time::Instant::now();
-        while !h.is_finished() {
-            if start.elapsed().as_secs() > 60 {
-                println!("seed {seed:>3}  FAIL (watchdog: recovery deadlock)");
-                std::process::exit(1);
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-        match h.join() {
-            Ok(()) => println!("seed {seed:>3}  PASS"),
-            Err(e) => {
-                let msg = e
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| e.downcast_ref::<&str>().copied())
-                    .unwrap_or("panic");
-                println!("seed {seed:>3}  FAIL: {msg}");
-                failures += 1;
-            }
+        if !watchdog(&format!("seed {seed:>3}"), move || check_seed(seed)) {
+            failures += 1;
         }
     }
     if failures > 0 {

@@ -25,7 +25,7 @@
 //! [`RuntimeBuilder::local_config`] escape hatches; those override the
 //! knob-style setters entirely (telemetry still applies).
 
-use crate::faults::{FaultConfig, FaultPlan};
+use crate::faults::{FaultConfig, FaultPlan, NetFaultPlan};
 use crate::local_runtime::{LocalConfig, LocalError, LocalRuntime};
 use crate::policy::PolicyKind;
 use crate::scheduler::{PlanError, SchedTrace};
@@ -55,6 +55,7 @@ pub struct RuntimeBuilder {
     controller_colocated: bool,
     faults: FaultPlan,
     fault_cfg: FaultConfig,
+    net_faults: NetFaultPlan,
     telemetry: Telemetry,
     sim: Option<SimConfig>,
     local: Option<LocalConfig>,
@@ -70,6 +71,7 @@ impl Default for RuntimeBuilder {
             controller_colocated: false,
             faults: FaultPlan::none(),
             fault_cfg: FaultConfig::default(),
+            net_faults: NetFaultPlan::none(),
             telemetry: Telemetry::off(),
             sim: None,
             local: None,
@@ -117,6 +119,30 @@ impl RuntimeBuilder {
     /// Detection/retry/backoff knobs for the recovery path.
     pub fn fault_config(mut self, cfg: FaultConfig) -> Self {
         self.fault_cfg = cfg;
+        self
+    }
+
+    /// Read-back of the configured fault knobs, for transport front-ends
+    /// that derive their timing from the same surface (the TCP builder
+    /// turns `heartbeat_ms` / `stale_after_beats` / `reconnect_window`
+    /// into socket-level cadence and resume windows).
+    pub fn fault_config_ref(&self) -> &FaultConfig {
+        &self.fault_cfg
+    }
+
+    /// Read-back of the configured network-chaos plan (the TCP builder
+    /// forwards it to the socket layer).
+    pub fn net_faults_ref(&self) -> &NetFaultPlan {
+        &self.net_faults
+    }
+
+    /// Deterministic network-chaos schedule (frame drops, duplicates,
+    /// delays, severs, partitions) injected below the reliable-session
+    /// layer. Local backend only; the simulator has no wire. The chaos
+    /// differential harness asserts runs under any such plan stay
+    /// bit-identical to the clean run.
+    pub fn net_faults(mut self, plan: NetFaultPlan) -> Self {
+        self.net_faults = plan;
         self
     }
 
@@ -170,8 +196,16 @@ impl RuntimeBuilder {
 
     /// Build the real threaded controller/worker backend.
     pub fn build_local(self) -> Result<LocalRuntime, LocalError> {
+        let net_faults = self.net_faults.clone();
         let (cfg, telemetry) = self.into_local_parts();
-        let mut rt = LocalRuntime::try_new(cfg)?;
+        let mut rt = if net_faults.is_empty() {
+            LocalRuntime::try_new(cfg)?
+        } else {
+            crate::builder::validate_planner(&cfg.planner).map_err(LocalError::Plan)?;
+            let mut transport = crate::transport::ChannelTransport::new(cfg.planner.workers);
+            transport.set_net_faults(net_faults);
+            LocalRuntime::with_transport(cfg, Box::new(transport))?
+        };
         rt.set_telemetry(telemetry);
         Ok(rt)
     }

@@ -182,6 +182,147 @@ impl FaultPlan {
     }
 }
 
+/// What goes wrong on the wire at a given frame.
+///
+/// All of these are *omission-class* faults the session-resume layer must
+/// absorb: the planner-visible delivery stream of a chaos run is required
+/// to be bit-identical to the clean run (no quarantine, no replay — just
+/// retransmits and resumes counted in the wire stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The frame is lost in transit and must be retransmitted from the
+    /// unacked buffer.
+    DropFrame,
+    /// The frame arrives twice; the receiver's sequence cursor drops the
+    /// duplicate.
+    DupFrame,
+    /// The frame arrives late by `delay` (reordering within the resend
+    /// window; sequencing restores order).
+    DelayFrame {
+        /// Extra in-flight latency.
+        delay: SimDuration,
+    },
+    /// The connection is torn down at this frame; the controller re-dials
+    /// and resumes the session, replaying unacked frames.
+    Sever,
+    /// The peer is unreachable for the next `frames` control frames; all
+    /// traffic in the window is absorbed by the resume machinery once the
+    /// partition heals.
+    Partition {
+        /// Window length, in control frames sent to the peer.
+        frames: u64,
+    },
+}
+
+impl NetFaultKind {
+    /// Short label used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::DropFrame => "drop-frame",
+            NetFaultKind::DupFrame => "dup-frame",
+            NetFaultKind::DelayFrame { .. } => "delay-frame",
+            NetFaultKind::Sever => "sever",
+            NetFaultKind::Partition { .. } => "partition",
+        }
+    }
+}
+
+/// One scheduled network fault: `kind` fires when the controller sends its
+/// `at_frame`-th control frame (0-based, per peer) to worker `peer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultEvent {
+    /// Worker whose connection misbehaves.
+    pub peer: usize,
+    /// 0-based per-peer control-frame count the fault is keyed on.
+    pub at_frame: u64,
+    /// What happens there.
+    pub kind: NetFaultKind,
+}
+
+/// A deterministic, replayable schedule of network faults.
+///
+/// Keyed on per-peer control-frame counts (not wall-clock time) for the
+/// same reason [`FaultPlan`] keys on DAG indices: the in-process and TCP
+/// transports send the identical frame stream, so both can honour the
+/// identical schedule and the chaos differential harness can assert
+/// bit-identical outcomes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    events: Vec<NetFaultEvent>,
+}
+
+impl NetFaultPlan {
+    /// No network faults (the default).
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// A plan from an explicit event list.
+    pub fn with_events(mut events: Vec<NetFaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.peer, e.at_frame));
+        NetFaultPlan { events }
+    }
+
+    /// A single connection sever at frame `at_frame` to worker `peer`.
+    pub fn sever_at(peer: usize, at_frame: u64) -> Self {
+        NetFaultPlan::with_events(vec![NetFaultEvent {
+            peer,
+            at_frame,
+            kind: NetFaultKind::Sever,
+        }])
+    }
+
+    /// Seeded mixed plan: for each of `peers` workers, each of the first
+    /// `frames` control frames draws a fault with probability `rate`.
+    /// Deterministic per seed via [`desim::seeded_rng`].
+    pub fn seeded(seed: u64, peers: usize, frames: u64, rate: f64) -> Self {
+        let mut rng = desim::seeded_rng(seed);
+        let mut events = Vec::new();
+        for peer in 0..peers {
+            for at_frame in 0..frames {
+                if !rng.gen_bool(rate) {
+                    continue;
+                }
+                let kind = match rng.gen_range(0u32..5) {
+                    0 => NetFaultKind::DropFrame,
+                    1 => NetFaultKind::DupFrame,
+                    2 => NetFaultKind::DelayFrame {
+                        delay: SimDuration::from_millis(rng.gen_range(1u64..20)),
+                    },
+                    3 => NetFaultKind::Sever,
+                    _ => NetFaultKind::Partition {
+                        frames: rng.gen_range(1u64..8),
+                    },
+                };
+                events.push(NetFaultEvent {
+                    peer,
+                    at_frame,
+                    kind,
+                });
+            }
+        }
+        NetFaultPlan::with_events(events)
+    }
+
+    /// Every scheduled event, ordered by (peer, frame).
+    pub fn events(&self) -> &[NetFaultEvent] {
+        &self.events
+    }
+
+    /// True when no network fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All faults keyed on the `at_frame`-th control frame to `peer`.
+    pub fn at(&self, peer: usize, at_frame: u64) -> impl Iterator<Item = NetFaultKind> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.peer == peer && e.at_frame == at_frame)
+            .map(|e| e.kind)
+    }
+}
+
 /// Detection and recovery knobs shared by both runtimes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultConfig {
@@ -198,6 +339,17 @@ pub struct FaultConfig {
     /// When false, a detected death surfaces as an error instead of
     /// triggering quarantine + replay (the pre-recovery behaviour).
     pub recovery: bool,
+    /// Worker heartbeat cadence in milliseconds (TCP transport; carried in
+    /// the adoption handshake).
+    pub heartbeat_ms: u32,
+    /// Heartbeats a worker may miss before its connection is considered
+    /// stale and the suspect/resume machinery kicks in.
+    pub stale_after_beats: u32,
+    /// The omission-fault grace window: how long a severed or stale TCP
+    /// connection may spend in `Suspected` while the controller retries a
+    /// session resume before the worker is declared `Dead` and
+    /// quarantined.
+    pub reconnect_window: SimDuration,
 }
 
 impl Default for FaultConfig {
@@ -208,18 +360,42 @@ impl Default for FaultConfig {
             backoff_cap: SimDuration::from_millis(100),
             detection_timeout: SimDuration::from_millis(250),
             recovery: true,
+            heartbeat_ms: 100,
+            stale_after_beats: 10,
+            reconnect_window: SimDuration::from_millis(2000),
         }
     }
 }
 
+/// One worker's membership state in the [`FailureDetector`].
+///
+/// `Healthy → Suspected → Dead` is the omission-fault ladder: a stale or
+/// severed connection makes a worker *Suspected* (no new CEs placed on it,
+/// session resume attempted), and only the expiry of the
+/// [`FaultConfig::reconnect_window`] grace period — or a hard crash signal —
+/// promotes it to *Dead* (quarantine + lineage replay). A Dead worker may
+/// re-enter via `rejoin`, which starts a new membership epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Fully live: heartbeats fresh, eligible for new CEs.
+    Healthy,
+    /// In the grace window: not scheduled onto, not yet quarantined.
+    Suspected,
+    /// Confirmed dead: quarantined until an explicit rejoin.
+    Dead,
+}
+
 /// Per-worker liveness with an epoch counter.
 ///
-/// The epoch bumps once per confirmed failure, so every trace event carries
-/// which "view" of the cluster it was recorded under — the standard way
-/// group-membership protocols disambiguate pre- and post-failure messages.
+/// The epoch bumps once per confirmed failure *and* once per rejoin, so
+/// every trace event carries which "view" of the cluster it was recorded
+/// under — the standard way group-membership protocols disambiguate pre-
+/// and post-failure messages. Suspicion is epoch-neutral: entering or
+/// leaving `Suspected` changes no epoch, because the membership view has
+/// not changed yet. The epoch is monotone; no transition ever lowers it.
 #[derive(Debug, Clone)]
 pub struct FailureDetector {
-    alive: Vec<bool>,
+    state: Vec<Health>,
     epoch: u64,
 }
 
@@ -227,7 +403,7 @@ impl FailureDetector {
     /// All `workers` start alive, epoch 0.
     pub fn new(workers: usize) -> Self {
         FailureDetector {
-            alive: vec![true; workers],
+            state: vec![Health::Healthy; workers],
             epoch: 0,
         }
     }
@@ -237,24 +413,73 @@ impl FailureDetector {
         self.epoch
     }
 
-    /// Whether worker `w` is still considered alive.
+    /// Worker `w`'s membership state.
+    pub fn health(&self, w: usize) -> Health {
+        self.state.get(w).copied().unwrap_or(Health::Dead)
+    }
+
+    /// Whether worker `w` is still considered alive (Healthy or
+    /// Suspected — in-flight work on a suspected node may yet complete).
     pub fn is_alive(&self, w: usize) -> bool {
-        self.alive.get(w).copied().unwrap_or(false)
+        self.health(w) != Health::Dead
+    }
+
+    /// Whether worker `w` is in the suspect grace window.
+    pub fn is_suspected(&self, w: usize) -> bool {
+        self.health(w) == Health::Suspected
+    }
+
+    /// Moves a Healthy worker into the Suspected grace window. No epoch
+    /// change. Returns true when the state actually changed (Dead workers
+    /// stay dead, Suspected stays suspected).
+    pub fn mark_suspected(&mut self, w: usize) -> bool {
+        if self.state[w] == Health::Healthy {
+            self.state[w] = Health::Suspected;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears a suspicion: the worker resumed within the grace window. No
+    /// epoch change. Returns true when the state actually changed.
+    pub fn reinstate(&mut self, w: usize) -> bool {
+        if self.state[w] == Health::Suspected {
+            self.state[w] = Health::Healthy;
+            true
+        } else {
+            false
+        }
     }
 
     /// Marks worker `w` dead and bumps the epoch; returns the new epoch.
     /// Idempotent: a second report of the same death changes nothing.
     pub fn mark_dead(&mut self, w: usize) -> u64 {
-        if self.alive[w] {
-            self.alive[w] = false;
+        if self.state[w] != Health::Dead {
+            self.state[w] = Health::Dead;
             self.epoch += 1;
         }
         self.epoch
     }
 
-    /// Number of workers still alive.
+    /// Re-admits a Dead worker under a new membership epoch; returns the
+    /// new epoch. A rejoin of a merely-Suspected worker is a reinstate
+    /// (epoch-neutral); rejoining a Healthy worker changes nothing.
+    pub fn rejoin(&mut self, w: usize) -> u64 {
+        match self.state[w] {
+            Health::Dead => {
+                self.state[w] = Health::Healthy;
+                self.epoch += 1;
+            }
+            Health::Suspected => self.state[w] = Health::Healthy,
+            Health::Healthy => {}
+        }
+        self.epoch
+    }
+
+    /// Number of workers still alive (Healthy or Suspected).
     pub fn healthy(&self) -> usize {
-        self.alive.iter().filter(|a| **a).count()
+        self.state.iter().filter(|s| **s != Health::Dead).count()
     }
 }
 
@@ -384,6 +609,31 @@ pub enum SchedEvent {
         /// The worker that never came up.
         worker: usize,
     },
+    /// A worker entered the suspect grace window (stale heartbeats or a
+    /// severed connection under resume): no new CEs placed on it, no
+    /// quarantine yet.
+    Suspected {
+        /// The suspected worker.
+        worker: usize,
+        /// Membership epoch (unchanged by suspicion).
+        epoch: u64,
+    },
+    /// A suspected worker resumed within the grace window and is eligible
+    /// for new work again.
+    Reinstated {
+        /// The reinstated worker.
+        worker: usize,
+        /// Membership epoch (unchanged).
+        epoch: u64,
+    },
+    /// A previously-dead worker re-entered the cluster under a new
+    /// membership epoch (its state treated as empty, links re-probed).
+    Rejoined {
+        /// The rejoined worker.
+        worker: usize,
+        /// The new membership epoch.
+        epoch: u64,
+    },
 }
 
 #[cfg(test)]
@@ -445,6 +695,51 @@ mod tests {
         assert_eq!(d.mark_dead(2), 2);
         assert!(d.is_alive(0) && !d.is_alive(1));
         assert_eq!(d.healthy(), 1);
+    }
+
+    #[test]
+    fn suspicion_is_epoch_neutral_and_reversible() {
+        let mut d = FailureDetector::new(2);
+        assert!(d.mark_suspected(0));
+        assert!(!d.mark_suspected(0), "already suspected");
+        assert_eq!(d.epoch(), 0, "suspicion bumps no epoch");
+        assert!(d.is_alive(0) && d.is_suspected(0));
+        assert_eq!(d.healthy(), 2, "suspected still counts as alive");
+        assert!(d.reinstate(0));
+        assert!(!d.is_suspected(0) && d.is_alive(0));
+        assert_eq!(d.epoch(), 0);
+        assert!(!d.reinstate(1), "healthy worker has nothing to clear");
+    }
+
+    #[test]
+    fn rejoin_bumps_epoch_only_from_dead() {
+        let mut d = FailureDetector::new(2);
+        d.mark_suspected(1);
+        assert_eq!(d.rejoin(1), 0, "suspected rejoin is a reinstate");
+        assert_eq!(d.mark_dead(1), 1);
+        assert_eq!(d.rejoin(1), 2, "dead rejoin opens a new epoch");
+        assert!(d.is_alive(1) && !d.is_suspected(1));
+        assert_eq!(d.rejoin(1), 2, "healthy rejoin is a no-op");
+        assert_eq!(d.health(1), Health::Healthy);
+        assert_eq!(d.health(7), Health::Dead, "unknown index is dead");
+    }
+
+    #[test]
+    fn net_fault_plans_are_reproducible_and_queryable() {
+        assert_eq!(
+            NetFaultPlan::seeded(5, 3, 64, 0.1),
+            NetFaultPlan::seeded(5, 3, 64, 0.1)
+        );
+        assert_ne!(
+            NetFaultPlan::seeded(5, 3, 64, 1.0),
+            NetFaultPlan::seeded(6, 3, 64, 1.0)
+        );
+        let plan = NetFaultPlan::sever_at(1, 12);
+        assert!(plan.at(1, 12).any(|k| matches!(k, NetFaultKind::Sever)));
+        assert_eq!(plan.at(0, 12).count(), 0);
+        assert_eq!(plan.at(1, 11).count(), 0);
+        assert!(NetFaultPlan::none().is_empty());
+        assert_eq!(NetFaultKind::Sever.name(), "sever");
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 pub use coherence::{Coherence, Location, PurgeReport};
 pub use dag::{AddOutcome, DagIndex, DepDag};
 pub use faults::{
-    replay_closure, FailureDetector, FaultConfig, FaultEvent, FaultKind, FaultPlan, SchedEvent,
+    replay_closure, FailureDetector, FaultConfig, FaultEvent, FaultKind, FaultPlan, Health,
+    NetFaultEvent, NetFaultKind, NetFaultPlan, SchedEvent,
 };
 pub use intranode::{
     select_device, select_stream, DevicePolicy, Placement, MAX_STREAMS_PER_DEVICE,
@@ -65,7 +66,7 @@ pub use telemetry::{
 };
 pub use timeline::{validate as validate_timeline, TimelineReport};
 pub use transport::{
-    ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Flow, Outbound, SendLost, Transport,
+    ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Flow, Liveness, Outbound, SendLost, Transport,
     TransportRecvError, WorkerCounters, WorkerEngine, WorkerMsg, WorkerSpan, WorkerSpanKind,
     TELEMETRY_BUFFER_CAP, TELEMETRY_FLUSH_TICK, TELEMETRY_MAX_BATCH,
 };

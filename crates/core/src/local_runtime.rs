@@ -41,8 +41,8 @@ use crate::scheduler::{
 };
 use crate::telemetry::{monotonic_ns, ArgValue, Lane, LaneAligner, Metrics, SpanEvent, Telemetry};
 use crate::transport::{
-    trace_on, ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Transport, TransportRecvError,
-    WorkerCounters, WorkerMsg, WorkerSpan, WorkerSpanKind,
+    trace_on, ChannelTransport, CtrlMsg, ExecFault, ExecSpec, Liveness, Transport,
+    TransportRecvError, WorkerCounters, WorkerMsg, WorkerSpan, WorkerSpanKind,
 };
 
 /// Errors surfaced by the local runtime.
@@ -511,9 +511,30 @@ impl LocalRuntime {
         self.trace.record_event(event);
     }
 
+    /// Re-polls the transport for workers sitting in the suspect grace
+    /// window and reinstates any whose session has resumed. Runs before
+    /// every placement: a resume that completed since the last liveness
+    /// probe (e.g. a completion unblocked `synchronize` first) must clear
+    /// the suspended mask *before* the next CE is planned, or the plan
+    /// would route around a worker that is in fact back — diverging from
+    /// the fault-free run the chaos differential compares against.
+    fn reinstate_resumed(&mut self) {
+        for i in 0..self.transport.workers() {
+            if self.detector.is_suspected(i) && self.transport.liveness(i) == Liveness::Alive {
+                self.detector.reinstate(i);
+                self.planner.reinstate(i);
+                self.note_event(SchedEvent::Reinstated {
+                    worker: i,
+                    epoch: self.detector.epoch(),
+                });
+            }
+        }
+    }
+
     /// Plans one CE through the shared core, timing the decision and
     /// emitting a plan span.
     fn plan_with_span(&mut self, ce: &Ce) -> Result<Plan, LocalError> {
+        self.reinstate_resumed();
         let started = std::time::Instant::now();
         let start_ns = self.now_ns();
         let plan = self.planner.plan_ce(ce).map_err(LocalError::Plan)?;
@@ -882,6 +903,12 @@ impl LocalRuntime {
                     ..
                 }) => {
                     self.merge_worker_telemetry(worker, backlog, counters, spans);
+                }
+                Ok(WorkerMsg::Leave { worker }) => {
+                    // A clean departure (graceful worker shutdown) is a
+                    // definitive death: no suspect grace window, no resume
+                    // attempts — straight to quarantine + replay.
+                    self.recover_from_death(worker, None)?;
                 }
                 // Liveness/probe traffic is transport-internal; tolerate
                 // stragglers defensively.
@@ -1361,14 +1388,40 @@ impl LocalRuntime {
     /// Probes every supposedly-live worker through the transport (join
     /// handle in-process, socket + heartbeat freshness over TCP); returns
     /// the indices that are actually gone (newly dead).
+    ///
+    /// This is where the suspect-then-dead state machine advances: a
+    /// [`Liveness::Suspect`] report (a stale or severed TCP connection
+    /// still inside its reconnect window) sidelines the worker for *new*
+    /// CE placement without quarantining it — if the session resumes, the
+    /// worker is reinstated and the omission was invisible to recovery;
+    /// only [`Liveness::Dead`] (window expired, thread exited, clean
+    /// leave) triggers quarantine + lineage replay.
     fn probe_dead(&mut self) -> Vec<usize> {
         let mut dead = Vec::new();
         for i in 0..self.transport.workers() {
             if !self.detector.is_alive(i) {
                 continue;
             }
-            if !self.transport.is_alive(i) {
-                dead.push(i);
+            match self.transport.liveness(i) {
+                Liveness::Alive => {
+                    if self.detector.reinstate(i) {
+                        self.planner.reinstate(i);
+                        self.note_event(SchedEvent::Reinstated {
+                            worker: i,
+                            epoch: self.detector.epoch(),
+                        });
+                    }
+                }
+                Liveness::Suspect => {
+                    if self.detector.mark_suspected(i) {
+                        self.planner.suspect(i);
+                        self.note_event(SchedEvent::Suspected {
+                            worker: i,
+                            epoch: self.detector.epoch(),
+                        });
+                    }
+                }
+                Liveness::Dead => dead.push(i),
             }
         }
         dead
@@ -1860,6 +1913,59 @@ impl LocalRuntime {
     /// deployment would see when a node drops out mid-run.
     pub fn kill_worker(&mut self, worker: usize) {
         self.transport.shutdown(worker);
+    }
+
+    /// Re-admits a quarantined worker under a new membership epoch.
+    ///
+    /// The transport re-establishes the endpoint first
+    /// ([`Transport::reconnect`]: respawn the thread in-process, re-dial
+    /// and re-handshake over TCP). On success the membership change flows
+    /// through the op log as [`PlannerOp::Rejoin`] — journals, replays and
+    /// the hot standby all see it — the failure detector bumps its epoch,
+    /// and the links are re-probed so min-transfer-time prices the
+    /// returned node again. The node re-enters empty: its coherence
+    /// entries were purged at quarantine and purged again here, and the
+    /// controller's present/loaded caches for it are cleared, so every
+    /// input it needs is re-supplied and every kernel re-shipped.
+    ///
+    /// Returns `false` without state changes when the worker is not
+    /// quarantined (nothing to rejoin) or the transport cannot bring the
+    /// endpoint back.
+    pub fn rejoin(&mut self, worker: usize) -> Result<bool, LocalError> {
+        if worker >= self.transport.workers() {
+            return Err(LocalError::BadArgs(format!(
+                "worker {worker} out of range (0..{})",
+                self.transport.workers()
+            )));
+        }
+        if !self.planner.is_quarantined(worker) {
+            return Ok(false);
+        }
+        if !self.transport.reconnect(worker) {
+            return Ok(false);
+        }
+        let epoch = self.detector.rejoin(worker);
+        self.planner.rejoin(worker);
+        self.note_event(SchedEvent::Rejoined { worker, epoch });
+        // The returning node holds nothing: drop every controller-side
+        // assumption about its store and shipped kernels.
+        self.present[worker].clear();
+        self.loaded[worker].clear();
+        self.saw_worker_telemetry[worker] = false;
+        self.pending_ctrl.retain(|&(_, _, w)| w != worker);
+        // Incremental link re-probe: the transport re-measures what it
+        // can (TCP re-probes the rejoined endpoint's links); the updated
+        // matrix travels through the op log like any other reprobe.
+        if let Some(links) = self.transport.measured_links().cloned() {
+            self.planner.reprobe_links(links);
+        }
+        // Fresh sessions start with recording off; re-arm it.
+        if self.telemetry.enabled() {
+            let _ = self
+                .transport
+                .send(worker, CtrlMsg::Observe { enabled: true });
+        }
+        Ok(true)
     }
 
     /// The link-bandwidth matrix the planner prices transfers with:

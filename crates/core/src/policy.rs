@@ -141,8 +141,14 @@ pub struct NodeScheduler {
     vs_count: u32,
     /// Probed link matrix (required by min-transfer-time).
     links: Option<LinkMatrix>,
-    /// Degraded mode: quarantined workers are never assigned work again.
+    /// Degraded mode: quarantined workers are never assigned work again
+    /// (until an explicit rejoin).
     quarantined: Vec<bool>,
+    /// Suspect grace window: suspended workers receive no *new* CEs while
+    /// their connection is being resumed, but are not quarantined. If
+    /// every healthy worker is suspended, placement ignores suspension —
+    /// graceful degradation must not wedge the planner.
+    suspended: Vec<bool>,
 }
 
 impl NodeScheduler {
@@ -173,6 +179,7 @@ impl NodeScheduler {
             vs_count: 0,
             links,
             quarantined: vec![false; workers],
+            suspended: vec![false; workers],
         }
     }
 
@@ -198,6 +205,7 @@ impl NodeScheduler {
     /// check [`NodeScheduler::healthy_workers`] first and surface an error.
     pub fn quarantine(&mut self, w: usize) {
         self.quarantined[w] = true;
+        self.suspended[w] = false; // suspicion resolved: confirmed dead
         assert!(
             self.quarantined.iter().any(|&q| !q),
             "quarantine would leave no healthy workers"
@@ -209,9 +217,55 @@ impl NodeScheduler {
         self.quarantined.get(w).copied().unwrap_or(false)
     }
 
+    /// Sidelines worker `w` for new placements without quarantining it
+    /// (the suspect grace window). Idempotent; suspending a quarantined
+    /// worker is a no-op.
+    pub fn suspend(&mut self, w: usize) {
+        if !self.quarantined[w] {
+            self.suspended[w] = true;
+        }
+    }
+
+    /// Lifts a suspension: the worker resumed within the grace window.
+    pub fn unsuspend(&mut self, w: usize) {
+        self.suspended[w] = false;
+    }
+
+    /// Whether worker `w` is currently suspended.
+    pub fn is_suspended(&self, w: usize) -> bool {
+        self.suspended.get(w).copied().unwrap_or(false)
+    }
+
+    /// Re-admits a quarantined worker (membership rejoin): both the
+    /// quarantine and any stale suspension are cleared.
+    pub fn rejoin(&mut self, w: usize) {
+        self.quarantined[w] = false;
+        self.suspended[w] = false;
+    }
+
     /// Number of workers still accepting assignments.
     pub fn healthy_workers(&self) -> usize {
         self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Snapshot of the (quarantined, suspended) masks, for preserving
+    /// membership state across a scheduler rebuild (link re-probe).
+    pub(crate) fn masks(&self) -> (Vec<bool>, Vec<bool>) {
+        (self.quarantined.clone(), self.suspended.clone())
+    }
+
+    /// Restores masks captured by [`NodeScheduler::masks`].
+    pub(crate) fn restore_masks(&mut self, quarantined: Vec<bool>, suspended: Vec<bool>) {
+        assert_eq!(quarantined.len(), self.workers);
+        assert_eq!(suspended.len(), self.workers);
+        self.quarantined = quarantined;
+        self.suspended = suspended;
+    }
+
+    /// True when suspension has sidelined every non-quarantined worker;
+    /// placement then ignores suspension rather than wedging.
+    fn all_suspended(&self) -> bool {
+        (0..self.workers).all(|w| self.quarantined[w] || self.suspended[w])
     }
 
     /// Appends a canonical dump of the scheduler state to `out` for the
@@ -220,8 +274,14 @@ impl NodeScheduler {
         use std::fmt::Write as _;
         let _ = write!(
             out,
-            "sched:{:?};w{};rr{};vs{},{};q{:?};links:",
-            self.kind, self.workers, self.rr_next, self.vs_pos, self.vs_count, self.quarantined
+            "sched:{:?};w{};rr{};vs{},{};q{:?};s{:?};links:",
+            self.kind,
+            self.workers,
+            self.rr_next,
+            self.vs_pos,
+            self.vs_count,
+            self.quarantined,
+            self.suspended
         );
         if let Some(links) = &self.links {
             for src in 0..links.len() {
@@ -235,11 +295,13 @@ impl NodeScheduler {
 
     fn round_robin(&mut self) -> usize {
         // At least one healthy worker exists (quarantine() enforces it), so
-        // this advances past quarantined slots and terminates.
+        // this advances past quarantined slots and terminates. Suspended
+        // slots are skipped too unless every healthy worker is suspended.
+        let ignore_suspension = self.all_suspended();
         loop {
             let w = self.rr_next;
             self.rr_next = (self.rr_next + 1) % self.workers;
-            if !self.quarantined[w] {
+            if !self.quarantined[w] && (ignore_suspension || !self.suspended[w]) {
                 return w;
             }
         }
@@ -255,13 +317,15 @@ impl NodeScheduler {
         // quarantined-or-zero (e.g. vector [1, 0] with worker 0 dead), fall
         // back to round-robin, which only picks healthy workers.
         let v = v.clone();
+        let ignore_suspension = self.all_suspended();
         for _ in 0..v.len() * self.workers {
             if self.vs_count >= v[self.vs_pos % v.len()] {
                 self.vs_pos += 1;
                 self.vs_count = 0;
                 continue;
             }
-            if self.quarantined[self.vs_pos % self.workers] {
+            let w = self.vs_pos % self.workers;
+            if self.quarantined[w] || (!ignore_suspension && self.suspended[w]) {
                 self.vs_pos += 1;
                 self.vs_count = 0;
                 continue;
@@ -280,9 +344,10 @@ impl NodeScheduler {
             PolicyKind::VectorStep(_) => self.vector_step(),
             PolicyKind::MinTransferSize(level) => {
                 let threshold = level.threshold_bytes().min(ce.total_bytes().max(1));
+                let ignore_suspension = self.all_suspended();
                 let mut best: Option<(u64, usize)> = None;
                 for w in 0..self.workers {
-                    if self.quarantined[w] {
+                    if self.quarantined[w] || (!ignore_suspension && self.suspended[w]) {
                         continue;
                     }
                     let loc = Location::worker(w);
@@ -301,10 +366,11 @@ impl NodeScheduler {
             }
             PolicyKind::MinTransferTime(level) => {
                 let threshold = level.threshold_bytes().min(ce.total_bytes().max(1));
+                let ignore_suspension = self.all_suspended();
                 let links = self.links.as_ref().expect("validated in new()");
                 let mut best: Option<(f64, usize)> = None;
                 for w in 0..self.workers {
-                    if self.quarantined[w] {
+                    if self.quarantined[w] || (!ignore_suspension && self.suspended[w]) {
                         continue;
                     }
                     let loc = Location::worker(w);
@@ -570,6 +636,64 @@ mod tests {
         for _ in 0..6 {
             assert_ne!(time.assign(&c, &coh), 1);
         }
+    }
+
+    #[test]
+    fn suspended_workers_receive_no_new_work() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 3, None);
+        s.suspend(1);
+        assert!(s.is_suspended(1));
+        assert_eq!(s.healthy_workers(), 3, "suspension is not quarantine");
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..4).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 2, 0, 2]);
+        s.unsuspend(1);
+        assert!(!s.is_suspended(1));
+        let got: Vec<_> = (0..3).map(|_| s.assign(&c, &coh)).collect();
+        assert!(got.contains(&1), "reinstated worker is placeable again");
+    }
+
+    #[test]
+    fn all_suspended_falls_back_to_placing_anyway() {
+        // Degradation must not wedge: with every healthy worker suspended,
+        // placement ignores suspension instead of looping forever.
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 2, None);
+        s.suspend(0);
+        s.suspend(1);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..4).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn online_policies_skip_suspended_holders() {
+        let mut coh = Coherence::new();
+        coh.register(A);
+        coh.record_write(A, Location::worker(1));
+        let c = ce(vec![CeArg::read(A, 100)]);
+        let mut s = NodeScheduler::new(PolicyKind::MinTransferSize(ExplorationLevel::Low), 3, None);
+        s.suspend(1);
+        for _ in 0..6 {
+            assert_ne!(s.assign(&c, &coh), 1);
+        }
+    }
+
+    #[test]
+    fn rejoin_clears_quarantine_and_suspension() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 2, None);
+        s.quarantine(1);
+        assert!(s.is_quarantined(1));
+        s.suspend(1);
+        assert!(!s.is_suspended(1), "suspending a quarantined worker no-ops");
+        s.rejoin(1);
+        assert!(!s.is_quarantined(1) && !s.is_suspended(1));
+        assert_eq!(s.healthy_workers(), 2);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..2).map(|_| s.assign(&c, &coh)).collect();
+        assert!(got.contains(&1), "rejoined worker is placeable");
     }
 
     #[test]

@@ -100,6 +100,9 @@ pub struct Planner {
     ces: Vec<Ce>,
     /// Node each DAG index was (last) assigned to.
     assignments: Vec<Location>,
+    /// Membership epoch: bumps on every membership change (first-time
+    /// quarantine, rejoin) so replicas agree on the cluster view. Monotone.
+    epoch: u64,
     /// Timestamp-free event sink (the planner has no clock of its own).
     telemetry: Telemetry,
 }
@@ -151,6 +154,7 @@ impl Planner {
             next_array: 0,
             ces: Vec::new(),
             assignments: Vec::new(),
+            epoch: 0,
             telemetry: Telemetry::off(),
         }
     }
@@ -212,6 +216,18 @@ impl Planner {
                 self.reprobe_links(links.clone());
                 Ok(PlannerResp::Unit)
             }
+            PlannerOp::Suspect { worker } => {
+                self.suspect(*worker);
+                Ok(PlannerResp::Unit)
+            }
+            PlannerOp::Reinstate { worker } => {
+                self.reinstate(*worker);
+                Ok(PlannerResp::Unit)
+            }
+            PlannerOp::Rejoin { worker } => {
+                self.rejoin(*worker);
+                Ok(PlannerResp::Unit)
+            }
         }
     }
 
@@ -223,7 +239,11 @@ impl Planner {
     pub fn state_digest(&self) -> u64 {
         let mut s = String::with_capacity(4096);
         use std::fmt::Write as _;
-        let _ = write!(s, "cfg:{:?};next:{};", self.cfg, self.next_array);
+        let _ = write!(
+            s,
+            "cfg:{:?};next:{};epoch:{};",
+            self.cfg, self.next_array, self.epoch
+        );
         self.dag.digest_into(&mut s);
         self.coherence.digest_into(&mut s);
         self.scheduler.digest_into(&mut s);
@@ -239,9 +259,13 @@ impl Planner {
 
     /// Replaces the probed matrix after a link change (the VNIC-SLA
     /// scenario of Section IV-D). Rebuilds the scheduler, which resets its
-    /// cursors — matching GrOUT re-probing at reconfiguration.
+    /// cursors — matching GrOUT re-probing at reconfiguration. Membership
+    /// state (quarantine/suspension masks) survives the rebuild: a link
+    /// re-probe is not an amnesty.
     fn reprobe_links(&mut self, links: LinkMatrix) {
+        let (quarantined, suspended) = self.scheduler.masks();
         self.scheduler = NodeScheduler::new(self.cfg.policy.clone(), self.cfg.workers, Some(links));
+        self.scheduler.restore_masks(quarantined, suspended);
     }
 
     /// Registers a new framework-managed array of `bytes`, up-to-date on
@@ -349,6 +373,17 @@ impl Planner {
         self.scheduler.is_quarantined(w)
     }
 
+    /// Whether worker `w` is in the suspect grace window (no new CEs).
+    pub fn is_suspended(&self, w: usize) -> bool {
+        self.scheduler.is_suspended(w)
+    }
+
+    /// The planner's membership epoch: bumps on first-time quarantine and
+    /// on rejoin, never decreases.
+    pub fn membership_epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Number of workers still accepting assignments.
     pub fn healthy_workers(&self) -> usize {
         self.scheduler.healthy_workers()
@@ -366,11 +401,53 @@ impl Planner {
         }
         self.scheduler.quarantine(w);
         self.coherence.purge_location(Location::worker(w));
+        self.epoch += 1;
         if self.telemetry.enabled() {
             self.telemetry
                 .mark("planner.quarantine", &[("worker", ArgValue::U64(w as u64))]);
         }
         Ok(())
+    }
+
+    /// Enters the suspect grace window for worker `w`: policies stop
+    /// placing *new* CEs on it, but nothing is purged or replanned — a
+    /// resumed connection makes the suspicion invisible in hindsight
+    /// (apart from the epoch-neutral [`PlannerOp::Suspect`] /
+    /// [`PlannerOp::Reinstate`] pair in the log).
+    fn suspect(&mut self, w: usize) {
+        self.scheduler.suspend(w);
+        if self.telemetry.enabled() {
+            self.telemetry
+                .mark("planner.suspect", &[("worker", ArgValue::U64(w as u64))]);
+        }
+    }
+
+    /// Lifts a suspicion: worker `w` resumed within the grace window.
+    fn reinstate(&mut self, w: usize) {
+        self.scheduler.unsuspend(w);
+        if self.telemetry.enabled() {
+            self.telemetry
+                .mark("planner.reinstate", &[("worker", ArgValue::U64(w as u64))]);
+        }
+    }
+
+    /// Re-admits a quarantined worker under a new membership epoch. The
+    /// node is treated as empty: its directory entries were purged at
+    /// quarantine and any copies it still physically holds are stale by
+    /// definition, so the purge is repeated defensively. Idempotent for a
+    /// worker that is not quarantined (no epoch bump).
+    fn rejoin(&mut self, w: usize) {
+        if !self.scheduler.is_quarantined(w) {
+            self.scheduler.unsuspend(w);
+            return;
+        }
+        self.scheduler.rejoin(w);
+        self.coherence.purge_location(Location::worker(w));
+        self.epoch += 1;
+        if self.telemetry.enabled() {
+            self.telemetry
+                .mark("planner.rejoin", &[("worker", ArgValue::U64(w as u64))]);
+        }
     }
 
     /// Quarantines dead worker `dead` and replans its in-flight work.
@@ -388,6 +465,7 @@ impl Planner {
         }
         if !self.scheduler.is_quarantined(dead) {
             self.scheduler.quarantine(dead);
+            self.epoch += 1;
         }
         let report = self.coherence.purge_location(Location::worker(dead));
         // Orphans will be reconstructed on the Controller by the executor;
@@ -569,6 +647,7 @@ impl PartialEq for Planner {
             && self.next_array == other.next_array
             && self.ces == other.ces
             && self.assignments == other.assignments
+            && self.epoch == other.epoch
     }
 }
 
@@ -971,6 +1050,69 @@ mod tests {
         }
         assert_eq!(seen.load(Ordering::Relaxed), 5);
         assert!(trace.is_empty(), "capacity 0 retains nothing");
+    }
+
+    #[test]
+    fn suspect_sidelines_until_reinstated() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        p.suspect(0);
+        assert!(p.is_suspended(0));
+        assert_eq!(p.membership_epoch(), 0, "suspicion is epoch-neutral");
+        for i in 0..4 {
+            let plan = p.plan_ce(&kernel(i, vec![CeArg::read(a, 64)])).unwrap();
+            assert_eq!(plan.assigned_node, Location::worker(1));
+        }
+        p.reinstate(0);
+        assert!(!p.is_suspended(0));
+        let placed: Vec<_> = (4..8)
+            .map(|i| {
+                p.plan_ce(&kernel(i, vec![CeArg::read(a, 64)]))
+                    .unwrap()
+                    .assigned_node
+            })
+            .collect();
+        assert!(placed.contains(&Location::worker(0)));
+    }
+
+    #[test]
+    fn rejoin_reopens_a_quarantined_worker_under_a_new_epoch() {
+        let mut p = planner(2);
+        let a = p.alloc(64);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap(); // w0
+        p.mark_completed(0);
+        p.recover(0, &[]).unwrap();
+        assert!(p.is_quarantined(0));
+        assert_eq!(p.membership_epoch(), 1);
+        p.rejoin(0);
+        assert!(!p.is_quarantined(0));
+        assert_eq!(p.membership_epoch(), 2, "rejoin opens a new epoch");
+        // The rejoined node is empty: nothing up to date there, and it
+        // receives new CEs again.
+        assert!(!p.coherence().up_to_date_on(a, Location::worker(0)));
+        let placed: Vec<_> = (1..5)
+            .map(|i| {
+                p.plan_ce(&kernel(i, vec![CeArg::read(a, 64)]))
+                    .unwrap()
+                    .assigned_node
+            })
+            .collect();
+        assert!(placed.contains(&Location::worker(0)));
+        // Membership ops replay bit-identically like everything else.
+        let mut replica = fresh_like(&p);
+        replay_ops(&mut replica, p.ops());
+        assert_eq!(*p, replica);
+        assert_eq!(p.state_digest(), replica.state_digest());
+    }
+
+    #[test]
+    fn reprobe_preserves_membership_masks() {
+        let mut p = planner(3);
+        p.quarantine(1).unwrap();
+        p.suspect(2);
+        p.reprobe_links(LinkMatrix::uniform(4, 1e9));
+        assert!(p.is_quarantined(1), "re-probe is not an amnesty");
+        assert!(p.is_suspended(2));
     }
 
     fn fresh_like(p: &LoggedPlanner) -> Planner {

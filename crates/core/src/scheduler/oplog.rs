@@ -76,6 +76,26 @@ pub enum PlannerOp {
         /// The fresh matrix.
         links: LinkMatrix,
     },
+    /// Enter the suspect grace window: stop placing *new* CEs on the
+    /// worker without quarantining it (omission fault under resume).
+    Suspect {
+        /// The suspected worker.
+        worker: usize,
+    },
+    /// Leave the suspect grace window: the worker resumed in time and is
+    /// eligible for new CEs again.
+    Reinstate {
+        /// The reinstated worker.
+        worker: usize,
+    },
+    /// Re-admit a quarantined worker under a new membership epoch. Its
+    /// coherence-directory entries were purged at quarantine, so the node
+    /// re-enters empty; links are re-probed separately via
+    /// [`PlannerOp::ReprobeLinks`].
+    Rejoin {
+        /// The returning worker.
+        worker: usize,
+    },
 }
 
 impl PlannerOp {
@@ -89,6 +109,9 @@ impl PlannerOp {
             PlannerOp::Quarantine { .. } => "quarantine",
             PlannerOp::Recover { .. } => "recover",
             PlannerOp::ReprobeLinks { .. } => "reprobe-links",
+            PlannerOp::Suspect { .. } => "suspect",
+            PlannerOp::Reinstate { .. } => "reinstate",
+            PlannerOp::Rejoin { .. } => "rejoin",
         }
     }
 }
@@ -247,6 +270,21 @@ impl LoggedPlanner {
             PlannerResp::Recovery(rec) => Ok(rec),
             other => unreachable!("recover yields a recovery: {other:?}"),
         }
+    }
+
+    /// Logged [`Planner::suspect`].
+    pub fn suspect(&mut self, worker: usize) {
+        let _ = self.append(PlannerOp::Suspect { worker });
+    }
+
+    /// Logged [`Planner::reinstate`].
+    pub fn reinstate(&mut self, worker: usize) {
+        let _ = self.append(PlannerOp::Reinstate { worker });
+    }
+
+    /// Logged [`Planner::rejoin`].
+    pub fn rejoin(&mut self, worker: usize) {
+        let _ = self.append(PlannerOp::Rejoin { worker });
     }
 
     /// Logged [`Planner::reprobe_links`].

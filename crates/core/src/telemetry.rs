@@ -375,6 +375,27 @@ fn sched_event_payload(event: &SchedEvent) -> (&'static str, Vec<(&'static str, 
             "spawn-failed",
             vec![("worker", ArgValue::U64(*worker as u64))],
         ),
+        SchedEvent::Suspected { worker, epoch } => (
+            "suspected",
+            vec![
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::Reinstated { worker, epoch } => (
+            "reinstated",
+            vec![
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::Rejoined { worker, epoch } => (
+            "rejoined",
+            vec![
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
     }
 }
 
@@ -855,6 +876,10 @@ pub struct PeerWireStats {
     pub telemetry_spans: u64,
     /// Peer-reported span backlog at its most recent flush (gauge).
     pub telemetry_backlog: u64,
+    /// Session resumes: times a severed or partitioned connection was
+    /// re-established and its unacked frames replayed without the planner
+    /// noticing (0 on transports without the resume layer).
+    pub resumes: u64,
 }
 
 impl PeerWireStats {
@@ -881,6 +906,7 @@ impl PeerWireStats {
                 "telemetry_backlog".to_string(),
                 Value::U64(self.telemetry_backlog),
             ),
+            ("resumes".to_string(), Value::U64(self.resumes)),
         ])
     }
 }
@@ -922,6 +948,12 @@ pub struct Metrics {
     pub transfers_redriven: u64,
     /// Worker threads that failed to spawn.
     pub spawn_failures: u64,
+    /// Workers that entered the suspect grace window (omission faults).
+    pub suspects: u64,
+    /// Suspected workers that resumed within their grace window.
+    pub reinstates: u64,
+    /// Quarantined workers re-admitted under a new membership epoch.
+    pub rejoins: u64,
     /// Kernels completed per worker.
     pub kernels_by_worker: Vec<u64>,
     /// Busy nanoseconds per worker (kernel occupancy).
@@ -986,6 +1018,9 @@ impl Metrics {
             SchedEvent::TransferDelayed { .. } => self.transfers_delayed += 1,
             SchedEvent::TransferRedriven { .. } => self.transfers_redriven += 1,
             SchedEvent::SpawnFailed { .. } => self.spawn_failures += 1,
+            SchedEvent::Suspected { .. } => self.suspects += 1,
+            SchedEvent::Reinstated { .. } => self.reinstates += 1,
+            SchedEvent::Rejoined { .. } => self.rejoins += 1,
         }
     }
 
@@ -1054,6 +1089,9 @@ impl Metrics {
                 "spawn_failures".to_string(),
                 Value::U64(self.spawn_failures),
             ),
+            ("suspects".to_string(), Value::U64(self.suspects)),
+            ("reinstates".to_string(), Value::U64(self.reinstates)),
+            ("rejoins".to_string(), Value::U64(self.rejoins)),
             (
                 "kernels_by_worker".to_string(),
                 Value::Array(
@@ -1153,6 +1191,9 @@ impl Metrics {
         kv("transfers_delayed", self.transfers_delayed.to_string());
         kv("transfers_redriven", self.transfers_redriven.to_string());
         kv("spawn_failures", self.spawn_failures.to_string());
+        kv("suspects", self.suspects.to_string());
+        kv("reinstates", self.reinstates.to_string());
+        kv("rejoins", self.rejoins.to_string());
         for (w, k) in self.kernels_by_worker.iter().enumerate() {
             kv(&format!("kernels_by_worker.{w}"), k.to_string());
         }
@@ -1190,6 +1231,7 @@ impl Metrics {
                 &format!("wire.{w}.telemetry_backlog"),
                 s.telemetry_backlog.to_string(),
             );
+            kv(&format!("wire.{w}.resumes"), s.resumes.to_string());
         }
         out
     }

@@ -34,6 +34,7 @@ use kernelc::{CompiledKernel, KernelArg, LaunchError};
 
 use crate::ce::ArrayId;
 use crate::dag::DagIndex;
+use crate::faults::{NetFaultKind, NetFaultPlan};
 use crate::local_runtime::{HostBuf, LocalArg};
 use crate::policy::LinkMatrix;
 use crate::scheduler::{PlannerConfig, PlannerOp};
@@ -341,6 +342,18 @@ pub enum WorkerMsg {
         /// [`crate::Planner::state_digest`] of the replica after the op.
         digest: u64,
     },
+    /// Clean departure announcement (graceful worker shutdown, e.g.
+    /// `grout-workerd` on SIGTERM): the worker flushed its telemetry and
+    /// is exiting deliberately. The transport marks the endpoint
+    /// definitively dead — no suspect grace window, no resume attempts —
+    /// and the runtime quarantines it like any other death, just without
+    /// waiting out the staleness threshold. Over the wire this is a v4+
+    /// frame, silently dropped for older controllers (which then fall
+    /// back to staleness detection).
+    Leave {
+        /// The departing worker.
+        worker: usize,
+    },
 }
 
 /// The destination worker is unreachable (thread exited / socket closed).
@@ -354,6 +367,27 @@ pub enum TransportRecvError {
     Timeout,
     /// Every worker endpoint is gone; nothing can ever arrive again.
     Disconnected,
+}
+
+/// Three-state endpoint health, refining the boolean [`Transport::is_alive`]
+/// for transports that can tell a transient omission (stale heartbeats, a
+/// severed socket mid-resume) from a definitive death.
+///
+/// The runtime maps these onto the suspect-then-dead failure detector:
+/// `Suspect` sidelines the worker for *new* CE placement but triggers no
+/// quarantine or lineage replay; only `Dead` does. In-process channel
+/// workers have no omission failures — a finished thread is immediately
+/// `Dead` — so [`ChannelTransport`] keeps the two-state default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// The endpoint is reachable and fresh.
+    Alive,
+    /// The endpoint stopped responding but is inside its reconnect grace
+    /// window (session resume may still succeed).
+    Suspect,
+    /// The endpoint is gone for good (thread exited, resume window
+    /// expired, clean [`WorkerMsg::Leave`]).
+    Dead,
 }
 
 /// A controller-side handle on the worker mesh: sends [`CtrlMsg`]s,
@@ -381,6 +415,29 @@ pub trait Transport: Send {
     /// Liveness probe: `false` once the endpoint is known-dead (thread
     /// finished, socket closed, or heartbeats went stale).
     fn is_alive(&mut self, worker: usize) -> bool;
+
+    /// Refined health probe distinguishing a transient omission from a
+    /// definitive death. The default collapses to the boolean
+    /// [`Transport::is_alive`] (no suspect state); transports with a
+    /// session-resume path (TCP) override it to report
+    /// [`Liveness::Suspect`] while a reconnect is still plausible.
+    fn liveness(&mut self, worker: usize) -> Liveness {
+        if self.is_alive(worker) {
+            Liveness::Alive
+        } else {
+            Liveness::Dead
+        }
+    }
+
+    /// Attempts to re-establish a dead endpoint for a rejoin (respawn the
+    /// worker thread / re-dial and re-handshake the worker process).
+    /// Returns `true` when the endpoint is usable again; the caller is
+    /// responsible for the membership side (new epoch, link re-probe).
+    /// The default refuses: not every transport can bring endpoints back.
+    fn reconnect(&mut self, worker: usize) -> bool {
+        let _ = worker;
+        false
+    }
 
     /// Asks `worker` to terminate and reclaims its resources (joins the
     /// thread / closes the socket and reaps the process). Idempotent.
@@ -908,6 +965,11 @@ pub fn run_worker(
 
 struct ChannelWorker {
     tx: Sender<CtrlMsg>,
+    /// Kept alongside the thread (crossbeam receivers are clonable): a
+    /// respawned worker thread reuses the same channel, so the peer txs
+    /// held by every other worker keep routing P2P traffic to it after a
+    /// rejoin without rebuilding the mesh.
+    rx: Receiver<CtrlMsg>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -948,6 +1010,7 @@ fn worker_msg_bytes(msg: &WorkerMsg) -> u64 {
             64 + spans.iter().map(|s| 41 + s.name.len() as u64).sum::<u64>()
         }
         WorkerMsg::ShipAck { .. } => 24,
+        WorkerMsg::Leave { .. } => 8,
     }
 }
 
@@ -960,8 +1023,31 @@ fn worker_msg_bytes(msg: &WorkerMsg) -> u64 {
 pub struct ChannelTransport {
     workers: Vec<ChannelWorker>,
     from_workers: Receiver<WorkerMsg>,
+    /// Retained for [`Transport::reconnect`]: a respawned worker thread
+    /// needs a fresh clone of the controller-bound sender. (Holding this
+    /// keeps the channel connected even with every thread dead; the
+    /// runtime still detects that via liveness probing, and all-dead runs
+    /// end in `NoHealthyWorkers` through the planner.)
+    to_controller: Sender<WorkerMsg>,
+    /// Retained for [`Transport::reconnect`]: the full peer mesh handed to
+    /// respawned threads.
+    peer_txs: Vec<Sender<CtrlMsg>>,
     failures: Vec<(usize, String)>,
     wire: Vec<PeerWireStats>,
+    /// Deterministic network chaos (see [`NetFaultPlan`]). The channel
+    /// transport has no real wire, so injected omissions are *modeled*:
+    /// the reliable-session layer the TCP transport implements (sequence
+    /// numbers, ack-driven retransmit, resume-with-replay) would absorb
+    /// every one of them, so delivery stays exactly one in-order copy per
+    /// frame and only the wire counters change — which is precisely the
+    /// chaos-differential invariant (bit-identical state, visible resume
+    /// stats).
+    net_faults: NetFaultPlan,
+    /// Logical per-peer control-frame counters keying [`Self::net_faults`]
+    /// events. Separate from `wire.frames_sent`, which counts modeled
+    /// retransmits/duplicates too: fault injection points must not shift
+    /// when earlier faults fire.
+    ctrl_frames: Vec<u64>,
 }
 
 impl ChannelTransport {
@@ -999,14 +1085,15 @@ impl ChannelTransport {
             .map(|(i, (tx, rx))| {
                 let peers = txs.clone();
                 let back = to_controller.clone();
-                match spawn(i, rx, back, peers) {
+                match spawn(i, rx.clone(), back, peers) {
                     Ok(join) => ChannelWorker {
                         tx,
+                        rx,
                         join: Some(join),
                     },
                     Err(e) => {
                         failures.push((i, e.to_string()));
-                        ChannelWorker { tx, join: None }
+                        ChannelWorker { tx, rx, join: None }
                     }
                 }
             })
@@ -1014,9 +1101,20 @@ impl ChannelTransport {
         ChannelTransport {
             workers,
             from_workers,
+            to_controller,
+            peer_txs: txs,
             failures,
             wire: vec![PeerWireStats::default(); n],
+            net_faults: NetFaultPlan::none(),
+            ctrl_frames: vec![0; n],
         }
+    }
+
+    /// Installs a deterministic network-chaos plan (typically
+    /// [`NetFaultPlan::seeded`]). Must be set before traffic flows for the
+    /// frame counts to line up with the plan's injection points.
+    pub fn set_net_faults(&mut self, plan: NetFaultPlan) {
+        self.net_faults = plan;
     }
 
     /// Attribute a received message to its worker's wire counters.
@@ -1029,7 +1127,8 @@ impl ChannelTransport {
             | WorkerMsg::Heartbeat { worker }
             | WorkerMsg::ProbeEcho { worker, .. }
             | WorkerMsg::ProbeReport { worker, .. }
-            | WorkerMsg::Telemetry { worker, .. } => *worker,
+            | WorkerMsg::Telemetry { worker, .. }
+            | WorkerMsg::Leave { worker } => *worker,
             WorkerMsg::Data { .. } | WorkerMsg::ShipAck { .. } => return,
         };
         let Some(w) = self.wire.get_mut(worker) else {
@@ -1055,9 +1154,41 @@ impl Transport for ChannelTransport {
     }
 
     fn send(&mut self, worker: usize, msg: CtrlMsg) -> Result<(), SendLost> {
+        let bytes = ctrl_msg_bytes(&msg);
+        if !self.net_faults.is_empty() {
+            let frame = self.ctrl_frames.get(worker).copied().unwrap_or(0);
+            // Model the reliable session absorbing each injected fault:
+            // a dropped frame is retransmitted, a duplicate deduped by
+            // the receive cursor, a delay reordered back by sequencing,
+            // a sever/partition healed by resume-with-replay. Delivery
+            // below is unconditional and exactly-once either way.
+            for kind in self.net_faults.at(worker, frame) {
+                let Some(w) = self.wire.get_mut(worker) else {
+                    break;
+                };
+                match kind {
+                    NetFaultKind::DropFrame | NetFaultKind::DupFrame => {
+                        // One extra copy crosses the modeled wire
+                        // (retransmit of the lost frame / the duplicate).
+                        w.frames_sent += 1;
+                        w.bytes_sent += bytes;
+                    }
+                    NetFaultKind::DelayFrame { .. } => {}
+                    NetFaultKind::Sever | NetFaultKind::Partition { .. } => {
+                        w.resumes += 1;
+                        // Resume replays the unacked frame.
+                        w.frames_sent += 1;
+                        w.bytes_sent += bytes;
+                    }
+                }
+            }
+        }
+        if let Some(f) = self.ctrl_frames.get_mut(worker) {
+            *f += 1;
+        }
         if let Some(w) = self.wire.get_mut(worker) {
             w.frames_sent += 1;
-            w.bytes_sent += ctrl_msg_bytes(&msg);
+            w.bytes_sent += bytes;
         }
         self.workers[worker].tx.send(msg).map_err(|_| SendLost)
     }
@@ -1084,6 +1215,35 @@ impl Transport for ChannelTransport {
         match &self.workers[worker].join {
             None => false,
             Some(j) => !j.is_finished(),
+        }
+    }
+
+    fn reconnect(&mut self, worker: usize) -> bool {
+        let Some(w) = self.workers.get_mut(worker) else {
+            return false;
+        };
+        if w.join.as_ref().is_some_and(|j| !j.is_finished()) {
+            return true; // still up — nothing to re-establish
+        }
+        if let Some(j) = w.join.take() {
+            let _ = j.join();
+        }
+        // Drain frames queued while the worker was down: a rejoining node
+        // re-enters with an empty store and must not see stale plan
+        // traffic addressed to its previous incarnation.
+        while w.rx.try_recv().is_ok() {}
+        let rx = w.rx.clone();
+        let back = self.to_controller.clone();
+        let peers = self.peer_txs.clone();
+        match std::thread::Builder::new()
+            .name(format!("grout-worker-{worker}"))
+            .spawn(move || run_worker(worker, rx, back, peers))
+        {
+            Ok(join) => {
+                w.join = Some(join);
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -1117,5 +1277,73 @@ impl Drop for ChannelTransport {
                 let _ = j.join();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::NetFaultEvent;
+
+    fn probe_echo(t: &mut ChannelTransport, worker: usize, token: u64) -> Vec<u8> {
+        t.send(
+            worker,
+            CtrlMsg::Probe {
+                token,
+                payload: vec![0xAB; 8],
+            },
+        )
+        .expect("send probe");
+        loop {
+            match t.recv_timeout(Duration::from_secs(5)).expect("echo") {
+                WorkerMsg::ProbeEcho {
+                    worker: w,
+                    token: tk,
+                    payload,
+                } if w == worker && tk == token => return payload,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn reconnect_respawns_a_shut_down_worker() {
+        let mut t = ChannelTransport::new(2);
+        t.shutdown(0);
+        assert!(!t.is_alive(0));
+        assert_eq!(t.liveness(0), Liveness::Dead);
+        assert!(t.reconnect(0), "respawn should succeed");
+        assert!(t.is_alive(0));
+        assert_eq!(t.liveness(0), Liveness::Alive);
+        // The respawned thread serves traffic over the original channel.
+        assert_eq!(probe_echo(&mut t, 0, 7), vec![0xAB; 8]);
+        // Reconnecting a live worker is a no-op that reports success.
+        assert!(t.reconnect(0));
+        assert_eq!(probe_echo(&mut t, 0, 8), vec![0xAB; 8]);
+    }
+
+    #[test]
+    fn modeled_net_faults_leave_delivery_exact_and_count_resumes() {
+        let mut t = ChannelTransport::new(1);
+        t.set_net_faults(NetFaultPlan::with_events(vec![
+            NetFaultEvent {
+                peer: 0,
+                at_frame: 0,
+                kind: NetFaultKind::DropFrame,
+            },
+            NetFaultEvent {
+                peer: 0,
+                at_frame: 1,
+                kind: NetFaultKind::Sever,
+            },
+        ]));
+        // Both faulted frames still arrive exactly once, in order.
+        assert_eq!(probe_echo(&mut t, 0, 1), vec![0xAB; 8]);
+        assert_eq!(probe_echo(&mut t, 0, 2), vec![0xAB; 8]);
+        assert_eq!(probe_echo(&mut t, 0, 3), vec![0xAB; 8]);
+        let stats = &t.wire_stats()[0];
+        assert_eq!(stats.resumes, 1, "the sever models one session resume");
+        // 3 logical frames + 1 modeled retransmit + 1 modeled replay.
+        assert_eq!(stats.frames_sent, 5);
     }
 }

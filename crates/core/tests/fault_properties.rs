@@ -204,3 +204,128 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 }
+
+proptest! {
+    /// Membership algebra: under an arbitrary schedule of
+    /// suspect/reinstate/kill/rejoin actions, the epoch is monotone
+    /// (never regresses), suspicion alone never moves it, and every
+    /// epoch bump corresponds to an actual membership change (a death
+    /// or a re-admission).
+    #[test]
+    fn detector_epochs_never_regress(
+        actions in proptest::collection::vec((0u8..4, 0usize..4), 0..64),
+    ) {
+        use grout_core::{FailureDetector, Health};
+        let mut d = FailureDetector::new(4);
+        let mut epoch = d.epoch();
+        prop_assert_eq!(epoch, 0);
+        for (kind, w) in actions {
+            let before = d.health(w);
+            match kind {
+                0 => {
+                    let changed = d.mark_suspected(w);
+                    prop_assert_eq!(changed, before == Health::Healthy);
+                    // Suspicion is epoch-neutral.
+                    prop_assert_eq!(d.epoch(), epoch);
+                }
+                1 => {
+                    let changed = d.reinstate(w);
+                    prop_assert_eq!(changed, before == Health::Suspected);
+                    prop_assert_eq!(d.epoch(), epoch);
+                }
+                2 => {
+                    let e = d.mark_dead(w);
+                    // Exactly one bump per actual death, none on repeats.
+                    let expect = if before == Health::Dead { epoch } else { epoch + 1 };
+                    prop_assert_eq!(e, expect);
+                    prop_assert_eq!(d.health(w), Health::Dead);
+                }
+                _ => {
+                    let e = d.rejoin(w);
+                    // A rejoin of a dead worker opens a new epoch; a
+                    // reinstate-by-rejoin or a no-op does not.
+                    let expect = if before == Health::Dead { epoch + 1 } else { epoch };
+                    prop_assert_eq!(e, expect);
+                    prop_assert_eq!(d.health(w), Health::Healthy);
+                }
+            }
+            prop_assert!(d.epoch() >= epoch, "epoch regressed");
+            epoch = d.epoch();
+        }
+    }
+}
+
+/// End-to-end membership cycle on the in-process deployment: a worker is
+/// killed mid-chain and quarantined; `rejoin` respawns its endpoint and
+/// re-admits it under a new membership epoch; round-robin then places new
+/// CEs on it again; the final data is exact; and the whole membership
+/// history (Recover + Rejoin) is visible in the replicated op log — a
+/// journal replay sees the same cluster views this run did.
+#[test]
+fn killed_worker_rejoins_under_new_epoch_and_receives_new_ces() {
+    use grout_core::{PlannerOp, SimDuration};
+
+    let inc_src = "
+        __global__ void inc(float* a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { a[i] = a[i] + 1.0; }
+        }
+    ";
+    let inc = Arc::new(kernelc::compile(inc_src).unwrap()[0].clone());
+    let mut cfg = LocalConfig::new(2, PolicyKind::RoundRobin);
+    cfg.planner.faults = FaultPlan::kill_at_ce(1);
+    cfg.planner.fault_cfg.detection_timeout = SimDuration::from_millis(60);
+    let mut rt = LocalRuntime::try_new(cfg).expect("spawn workers");
+    let a = rt.alloc_f32(N);
+    for _ in 0..4 {
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(N as i32)])
+            .unwrap();
+    }
+    rt.synchronize().unwrap();
+
+    let dead = (0..2)
+        .find(|&w| rt.is_quarantined(w))
+        .expect("the injected death was quarantined");
+    let epoch_before = rt.epoch();
+    assert!(epoch_before >= 1, "a confirmed death bumps the epoch");
+    assert_eq!(rt.healthy_workers(), 1);
+
+    // Re-admission: the transport respawns the endpoint, the detector
+    // opens a new epoch, the planner logs the membership change.
+    assert!(rt.rejoin(dead).expect("rejoin succeeds"));
+    assert!(!rt.is_quarantined(dead));
+    assert_eq!(rt.epoch(), epoch_before + 1, "rejoin opens a new epoch");
+    assert_eq!(rt.healthy_workers(), 2);
+    // Idempotent: rejoining a healthy worker is a no-op.
+    assert!(!rt.rejoin(dead).expect("no-op rejoin"));
+    assert_eq!(rt.epoch(), epoch_before + 1);
+
+    // The returning node receives new CEs again.
+    for _ in 0..4 {
+        rt.launch(&inc, 4, 64, vec![LocalArg::Buf(a), LocalArg::I32(N as i32)])
+            .unwrap();
+    }
+    rt.synchronize().unwrap();
+    let on_dead = (0..8)
+        .filter_map(|dag| rt.node_assignment(dag).and_then(|l| l.worker_index()))
+        .filter(|&w| w == dead)
+        .count();
+    assert!(
+        on_dead >= 1,
+        "round-robin never placed a CE on the rejoined worker"
+    );
+
+    // Data is exact: 8 increments over the initial zeros.
+    let got = rt.read_f32(a).unwrap();
+    assert!(got.iter().all(|&x| x == 8.0), "post-rejoin data diverged");
+
+    // The membership history is replicated: both the quarantine and the
+    // re-admission are ops, so journals/standbys see the same views.
+    let ops = rt.op_log();
+    assert!(ops
+        .iter()
+        .any(|o| matches!(o, PlannerOp::Recover { dead: d, .. } if *d == dead)));
+    assert!(ops
+        .iter()
+        .any(|o| matches!(o, PlannerOp::Rejoin { worker } if *worker == dead)));
+}

@@ -51,6 +51,14 @@ struct Cli {
     standby: Option<String>,
     /// Fault injection: SIGKILL ourselves after this many planner ops.
     die_after_ops: Option<u64>,
+    /// Worker heartbeat cadence override (milliseconds).
+    heartbeat_ms: Option<u32>,
+    /// Heartbeats a worker may miss before it is suspected (socket
+    /// severed, resume path engaged).
+    stale_after: Option<u32>,
+    /// How long a suspected worker may keep failing session resumes
+    /// before it is declared dead and quarantined (milliseconds).
+    reconnect_window_ms: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -73,7 +81,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: grout-run <script.gs> [--workers N | --workers tcp:<addr>,...] \
      [--trace-out <trace.json>] [--metrics-out <metrics.{json,csv}>] [--stats] \
      [--journal <ops.grjl>] [--ship-log <addr>] [--standby <addr>] \
-     [--die-after-ops N] | -e '<script>'";
+     [--die-after-ops N] [--heartbeat-ms N] [--stale-after N] \
+     [--reconnect-window-ms N] | -e '<script>'";
 
 /// Parses the command line; `Ok(None)` means `--help` was served.
 fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> {
@@ -86,6 +95,19 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
     let mut ship_log = None;
     let mut standby = None;
     let mut die_after_ops = None;
+    let mut heartbeat_ms = None;
+    let mut stale_after = None;
+    let mut reconnect_window_ms = None;
+    fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+        flag: &str,
+        v: Option<String>,
+    ) -> Result<T, String> {
+        let v = v.ok_or(format!("{flag} needs a positive integer"))?;
+        match v.parse::<T>() {
+            Ok(n) if n >= T::from(1u8) => Ok(n),
+            _ => Err(format!("{flag} needs a positive integer, got `{v}`")),
+        }
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
@@ -124,6 +146,11 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
                 }
                 die_after_ops = Some(n);
             }
+            "--heartbeat-ms" => heartbeat_ms = Some(positive("--heartbeat-ms", args.next())?),
+            "--stale-after" => stale_after = Some(positive("--stale-after", args.next())?),
+            "--reconnect-window-ms" => {
+                reconnect_window_ms = Some(positive("--reconnect-window-ms", args.next())?)
+            }
             "-e" => {
                 let inline = args.next().ok_or("-e needs an inline script")?;
                 source = Some(inline);
@@ -151,6 +178,9 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
         ship_log,
         standby,
         die_after_ops,
+        heartbeat_ms,
+        stale_after,
+        reconnect_window_ms,
     }))
 }
 
@@ -212,11 +242,32 @@ fn run(cli: Cli) -> Result<(), String> {
 /// The normal (primary) path: build the deployment, attach the op-log
 /// sinks, drive the script, emit artifacts.
 fn run_exec(cli: &Cli) -> Result<(), String> {
+    // One fault-knob surface for both deployments: the flags overwrite
+    // the planner's FaultConfig, and the TCP builder derives its socket
+    // cadence/staleness/resume window from the same struct.
+    let mut fc = grout::core::FaultConfig::default();
+    if let Some(ms) = cli.heartbeat_ms {
+        fc.heartbeat_ms = ms;
+    }
+    if let Some(beats) = cli.stale_after {
+        fc.stale_after_beats = beats;
+    }
+    if let Some(ms) = cli.reconnect_window_ms {
+        fc.reconnect_window = grout::desim::SimDuration::from_millis(ms);
+    }
     let (mut pg, n, transport) = match &cli.workers {
-        Workers::Threads(n) => (Polyglot::with_workers(*n), *n, "threads"),
+        Workers::Threads(n) => {
+            let rt = Runtime::builder()
+                .workers(*n)
+                .fault_config(fc)
+                .build_local()
+                .map_err(|e| e.to_string())?;
+            (Polyglot::with_runtime(rt), *n, "threads")
+        }
         Workers::Tcp(addrs) => {
             let n = addrs.len();
             let rt = Runtime::builder()
+                .fault_config(fc)
                 .tcp(addrs.iter().cloned().map(WorkerSpec::Connect).collect())
                 .build()
                 .map_err(|e| e.to_string())?;
@@ -328,12 +379,13 @@ fn print_wire_stats(metrics: &grout::core::Metrics) {
         return;
     }
     eprintln!(
-        "[grout-run] {:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "[grout-run] {:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
         "peer",
         "frames_out",
         "bytes_out",
         "frames_in",
         "bytes_in",
+        "resumes",
         "rtt_n",
         "rtt_p50",
         "rtt_p99",
@@ -341,12 +393,13 @@ fn print_wire_stats(metrics: &grout::core::Metrics) {
     );
     for (w, s) in metrics.wire.iter().enumerate() {
         eprintln!(
-            "[grout-run] w{:<5} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            "[grout-run] w{:<5} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
             w,
             s.frames_sent,
             s.bytes_sent,
             s.frames_recv,
             s.bytes_recv,
+            s.resumes,
             s.hb_rtt.count,
             s.hb_rtt.percentile_ns(0.5),
             s.hb_rtt.percentile_ns(0.99),

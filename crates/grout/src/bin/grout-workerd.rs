@@ -20,6 +20,34 @@
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Set by the SIGTERM handler; the serve loop polls it on its telemetry
+/// tick and exits through the graceful-leave path.
+static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// SIGTERM handler: one atomic store (async-signal-safe); all real work
+/// (telemetry flush, clean Leave frame) happens on the serve thread.
+extern "C" fn on_sigterm(_sig: i32) {
+    if let Some(flag) = SHUTDOWN.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Installs `on_sigterm` via the C `signal(2)` entry point — the one
+/// binding this no-deps workspace allows itself instead of a libc crate.
+fn install_sigterm(flag: Arc<AtomicBool>) {
+    const SIGTERM: i32 = 15;
+    let _ = SHUTDOWN.set(flag);
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -63,5 +91,9 @@ fn run() -> Result<(), String> {
         "[grout-workerd] listening on {addr} (wire v{})",
         grout::net::wire::WIRE_VERSION
     );
-    grout::net::serve(listener).map_err(|e| e.to_string())
+    // SIGTERM drains gracefully: flush telemetry, send a clean Leave so
+    // the controller re-plans immediately, exit 0.
+    let shutdown = Arc::new(AtomicBool::new(false));
+    install_sigterm(Arc::clone(&shutdown));
+    grout::net::serve_shutdown(listener, shutdown).map_err(|e| e.to_string())
 }

@@ -81,6 +81,7 @@ impl From<LocalError> for DistError {
 pub struct DistRuntime {
     inner: LocalRuntime,
     pids: Vec<Option<u32>>,
+    addrs: Vec<String>,
 }
 
 impl DistRuntime {
@@ -88,6 +89,15 @@ impl DistRuntime {
     /// for `Connect` workers, which this runtime does not own).
     pub fn worker_pid(&self, w: usize) -> Option<u32> {
         self.pids.get(w).copied().flatten()
+    }
+
+    /// Listen address of worker `w`'s daemon. A chaos harness that killed
+    /// the process can restart a fresh `grout-workerd` here (see
+    /// [`spawn_workerd_at`]) and call
+    /// [`rejoin`](grout_core::LocalRuntime::rejoin) to fold it back into
+    /// the mesh under a new membership epoch.
+    pub fn worker_addr(&self, w: usize) -> Option<&str> {
+        self.addrs.get(w).map(String::as_str)
     }
 
     /// The wrapped runtime.
@@ -113,19 +123,30 @@ impl std::ops::DerefMut for DistRuntime {
 pub struct DistBuilder {
     builder: RuntimeBuilder,
     specs: Vec<WorkerSpec>,
-    cfg: TcpConfig,
+    cfg: Option<TcpConfig>,
 }
 
 impl DistBuilder {
     /// Override the transport knobs (heartbeat cadence, probe sizing).
+    /// Without this, the knobs derive from the builder's
+    /// [`fault_config`](RuntimeBuilder::fault_config) — so
+    /// `--heartbeat-ms` / `--stale-after` / `--reconnect-window-ms` tune
+    /// the in-process and TCP deployments through one surface — and the
+    /// builder's [`net_faults`](RuntimeBuilder::net_faults) plan carries
+    /// over to the socket layer.
     pub fn tcp_config(mut self, cfg: TcpConfig) -> Self {
-        self.cfg = cfg;
+        self.cfg = Some(cfg);
         self
     }
 
     /// Spawn/connect all workers, run the handshake + bandwidth-probe
     /// round, and build the runtime over the resulting mesh.
     pub fn build(self) -> Result<DistRuntime, DistError> {
+        let cfg = self.cfg.unwrap_or_else(|| {
+            let mut cfg = TcpConfig::from_fault_config(self.builder.fault_config_ref());
+            cfg.net_faults = self.builder.net_faults_ref().clone();
+            cfg
+        });
         let mut addrs = Vec::with_capacity(self.specs.len());
         let mut children: Vec<Option<Child>> = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
@@ -135,17 +156,17 @@ impl DistBuilder {
                     children.push(None);
                 }
                 WorkerSpec::Spawn(bin) => {
-                    let (child, addr) = spawn_workerd(bin, &self.cfg)?;
+                    let (child, addr) = spawn_workerd(bin, &cfg)?;
                     addrs.push(addr);
                     children.push(Some(child));
                 }
             }
         }
-        let transport = TcpTransport::connect(&addrs, children, &self.cfg);
+        let transport = TcpTransport::connect(&addrs, children, &cfg);
         let pids = transport.child_pids();
         let builder = self.builder.workers(addrs.len());
         let inner = builder.build_with_transport(Box::new(transport))?;
-        Ok(DistRuntime { inner, pids })
+        Ok(DistRuntime { inner, pids, addrs })
     }
 }
 
@@ -162,7 +183,7 @@ impl TcpExt for RuntimeBuilder {
         DistBuilder {
             builder: self,
             specs,
-            cfg: TcpConfig::default(),
+            cfg: None,
         }
     }
 }
@@ -170,9 +191,21 @@ impl TcpExt for RuntimeBuilder {
 /// Launches `bin --listen 127.0.0.1:0` and waits for its
 /// `LISTENING <addr>` announcement.
 pub fn spawn_workerd(bin: &std::path::Path, cfg: &TcpConfig) -> Result<(Child, String), DistError> {
+    spawn_workerd_at(bin, "127.0.0.1:0", cfg)
+}
+
+/// Launches `bin --listen <listen>` and waits for its `LISTENING <addr>`
+/// announcement. With an explicit port this restarts a worker at the
+/// address the mesh already knows — the rejoin path: kill, respawn here,
+/// then [`rejoin`](grout_core::LocalRuntime::rejoin).
+pub fn spawn_workerd_at(
+    bin: &std::path::Path,
+    listen: &str,
+    cfg: &TcpConfig,
+) -> Result<(Child, String), DistError> {
     let program = bin.display().to_string();
     let mut child = Command::new(bin)
-        .args(["--listen", "127.0.0.1:0"])
+        .args(["--listen", listen])
         .stdout(Stdio::piped())
         .spawn()
         .map_err(|e| DistError::Spawn {

@@ -27,15 +27,18 @@
 //! `tests/dist_loopback.rs` differential test enforces it.
 
 pub mod oplog;
+pub mod session;
 pub mod wire;
 
 mod dist;
 mod transport;
 mod worker;
 
-pub use dist::{spawn_workerd, DistBuilder, DistError, DistRuntime, TcpExt, WorkerSpec};
+pub use dist::{
+    spawn_workerd, spawn_workerd_at, DistBuilder, DistError, DistRuntime, TcpExt, WorkerSpec,
+};
 pub use oplog::{
     read_journal, standby_serve, Journal, JournalFooter, JournalSink, ShipSink, StandbyOutcome,
 };
 pub use transport::{TcpConfig, TcpTransport};
-pub use worker::serve;
+pub use worker::{serve, serve_shutdown};

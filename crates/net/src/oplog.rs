@@ -40,8 +40,11 @@ use crate::wire::{self, WireError};
 /// Journal file magic: the first four bytes.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"GRJL";
 
-/// Journal format version.
-pub const JOURNAL_VERSION: u16 = 1;
+/// Journal format version. v2: the serialized planner config grew the
+/// partition-tolerance knobs (heartbeat cadence, staleness threshold,
+/// reconnect window) and ops 7–9 (suspect/reinstate/rejoin membership
+/// transitions) joined the vocabulary.
+pub const JOURNAL_VERSION: u16 = 2;
 
 const TAG_HEADER: u8 = 0x00;
 const TAG_OP: u8 = 0x01;
@@ -281,6 +284,8 @@ impl ShipSink {
                 total: 0, // no fleet: log-shipping connection
                 heartbeat_ms: 0,
                 peers: Vec::new(),
+                session_id: 0,
+                resume: None,
             }),
         )?;
         wire::write_frame(

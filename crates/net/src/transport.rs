@@ -3,12 +3,28 @@
 //! One socket per worker. A reader thread per socket decodes
 //! [`WorkerMsg`] frames into a single merged queue (mirroring the
 //! crossbeam mesh of the in-process transport), swallows heartbeats after
-//! stamping a shared last-seen instant, and flips a shared `open` flag on
-//! EOF or socket error. Liveness combines both signals: a worker is dead
-//! once its socket closed *or* its heartbeats went stale
-//! ([`TcpConfig::stale_after_beats`] × cadence), so a SIGKILLed process is
-//! detected by EOF within milliseconds while a wedged-but-connected one is
-//! caught by staleness.
+//! stamping a shared last-seen instant, and flips a shared link flag on
+//! EOF or socket error.
+//!
+//! ## Reliable sessions (wire v4)
+//!
+//! Against a v4 worker every post-handshake frame is an
+//! [`wire::Envelope`]: plan traffic rides *reliable* frames (sequenced,
+//! buffered in a [`SendBuffer`] until cumulatively acked, deduplicated by
+//! a [`RecvCursor`]); heartbeats, clock sync and session acks ride
+//! *ephemeral* frames. A dead socket no longer kills the worker — the
+//! connection enters a *resuming* state: sends buffer, reconnect attempts
+//! run with exponential backoff inside [`TcpConfig::reconnect_window`],
+//! and a successful resume handshake (same session id, both cursors
+//! exchanged) replays the unacked tails in both directions. The runtime
+//! sees [`Liveness::Suspect`] while resuming — new CEs avoid the node —
+//! and only a blown window (or a worker that lost its session state)
+//! degrades to [`Liveness::Dead`] and the quarantine + lineage-replay
+//! path. Liveness combines socket state and staleness: a SIGKILLed
+//! process is caught by EOF within milliseconds, a wedged-but-connected
+//! one (SIGSTOP, network partition) by missed heartbeats
+//! ([`TcpConfig::stale_after_beats`] × cadence), which severs the socket
+//! and enters the same resume path.
 //!
 //! Construction runs the startup bandwidth-probe round of the paper's
 //! min-transfer-time policy: timed ballast echoes controller↔worker and
@@ -26,19 +42,33 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use grout_core::{
-    monotonic_ns, ClockSync, CtrlMsg, LatencyStat, LinkMatrix, PeerWireStats, SendLost, Transport,
-    TransportRecvError, WorkerMsg,
+    monotonic_ns, ClockSync, CtrlMsg, FaultConfig, LatencyStat, LinkMatrix, Liveness, NetFaultKind,
+    NetFaultPlan, PeerWireStats, SendLost, Transport, TransportRecvError, WorkerMsg,
 };
 
+use crate::session::{RecvCursor, SendBuffer, ACK_EVERY};
 use crate::wire;
 
-/// Transport knobs (cadence, staleness, probe sizing).
+/// First reconnect backoff; doubles per failed attempt up to
+/// [`RESUME_BACKOFF_MAX`].
+const RESUME_BACKOFF_START: Duration = Duration::from_millis(25);
+/// Backoff ceiling between reconnect attempts.
+const RESUME_BACKOFF_MAX: Duration = Duration::from_millis(400);
+/// Read timeout on the resume handshake ack, so a stopped (SIGSTOP) or
+/// wedged worker cannot block the controller past one attempt.
+const RESUME_ACK_TIMEOUT: Duration = Duration::from_millis(300);
+
+/// Transport knobs (cadence, staleness, resume window, probe sizing).
 #[derive(Debug, Clone)]
 pub struct TcpConfig {
     /// Worker heartbeat cadence (carried in the handshake).
     pub heartbeat: Duration,
-    /// Heartbeats a worker may miss before being declared dead.
+    /// Heartbeats a worker may miss before its socket is severed and the
+    /// connection enters the resume path.
     pub stale_after_beats: u32,
+    /// How long a severed connection may keep trying to resume before it
+    /// is declared dead (quarantine + lineage replay take over).
+    pub reconnect_window: Duration,
     /// Ballast bytes per startup bandwidth probe (per direction).
     pub probe_bytes: u64,
     /// How long to wait for each probe echo before giving up on the pair
@@ -47,6 +77,11 @@ pub struct TcpConfig {
     /// How long to wait for a spawned `grout-workerd` to announce its
     /// listen address.
     pub spawn_timeout: Duration,
+    /// Deterministic network chaos to inject below the session layer
+    /// (only [`NetFaultKind::Sever`] and [`NetFaultKind::Partition`] act
+    /// on a real socket; drop/duplicate/delay are modeled by the
+    /// in-process transport).
+    pub net_faults: NetFaultPlan,
 }
 
 impl Default for TcpConfig {
@@ -54,9 +89,25 @@ impl Default for TcpConfig {
         TcpConfig {
             heartbeat: Duration::from_millis(100),
             stale_after_beats: 10,
+            reconnect_window: Duration::from_secs(2),
             probe_bytes: 1 << 20,
             probe_timeout: Duration::from_secs(5),
             spawn_timeout: Duration::from_secs(10),
+            net_faults: NetFaultPlan::none(),
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Derives the timing knobs from the planner's [`FaultConfig`] so
+    /// `--heartbeat-ms` / `--stale-after` / `--reconnect-window-ms` tune
+    /// one surface for both deployments.
+    pub fn from_fault_config(fc: &FaultConfig) -> Self {
+        TcpConfig {
+            heartbeat: Duration::from_millis(fc.heartbeat_ms.max(1) as u64),
+            stale_after_beats: fc.stale_after_beats.max(1),
+            reconnect_window: Duration::from_nanos(fc.reconnect_window.0),
+            ..TcpConfig::default()
         }
     }
 }
@@ -73,27 +124,89 @@ struct ConnStats {
     telemetry_batches: AtomicU64,
     telemetry_spans: AtomicU64,
     telemetry_backlog: AtomicU64,
+    resumes: AtomicU64,
     /// Heartbeat RTT histogram + running clock-offset estimate, both fed
     /// by the worker's clock samples.
     clock: Mutex<(LatencyStat, ClockSync)>,
 }
 
-struct Conn {
-    /// Write half, shared with the reader thread (clock-pong replies must
-    /// serialize with plan traffic — two raw handles would interleave
-    /// frames). `None` once shut down.
-    writer: Arc<Mutex<Option<TcpStream>>>,
-    reader: Option<JoinHandle<()>>,
-    /// Flipped off by the reader thread on EOF/error.
-    open: Arc<AtomicBool>,
+/// Everything about one connection that the reader thread shares with the
+/// controller thread.
+struct ConnShared {
+    /// Session-level liveness: false once the connection is definitively
+    /// dead (clean Leave, blown resume window, lost worker state). Never
+    /// comes back except through [`Transport::reconnect`].
+    open: AtomicBool,
+    /// Socket-level liveness: flipped off by the reader on EOF/error and
+    /// back on by a successful resume.
+    link_up: AtomicBool,
+    /// The worker announced a clean departure ([`WorkerMsg::Leave`]); no
+    /// resume will be attempted.
+    departed: AtomicBool,
     /// Stamped by the reader thread on every inbound frame.
-    last_seen: Arc<Mutex<Instant>>,
+    last_seen: Mutex<Instant>,
+    /// Write half, shared with the reader thread (clock-pong and
+    /// session-ack replies must serialize with plan traffic). `None` once
+    /// severed or shut down.
+    writer: Mutex<Option<TcpStream>>,
+    /// Outbound reliable frames awaiting cumulative ack (v4 only).
+    send_buf: Mutex<SendBuffer>,
+    /// Inbound reliable-frame dedupe cursor (v4 only).
+    recv_cursor: Mutex<RecvCursor>,
+    stats: ConnStats,
+}
+
+impl ConnShared {
+    fn fresh() -> Self {
+        ConnShared {
+            open: AtomicBool::new(true),
+            link_up: AtomicBool::new(true),
+            departed: AtomicBool::new(false),
+            last_seen: Mutex::new(Instant::now()),
+            writer: Mutex::new(None),
+            send_buf: Mutex::new(SendBuffer::default()),
+            recv_cursor: Mutex::new(RecvCursor::new()),
+            stats: ConnStats::default(),
+        }
+    }
+
+    fn count_write(&self, frame_len: usize) {
+        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(frame_len as u64 + 4, Ordering::Relaxed);
+    }
+}
+
+/// Reconnect-loop state of a severed connection.
+struct Resuming {
+    /// Past this instant the session is declared dead.
+    deadline: Instant,
+    /// Earliest instant for the next dial attempt.
+    next_attempt: Instant,
+    /// Current backoff between attempts.
+    backoff: Duration,
+}
+
+struct Conn {
+    shared: Arc<ConnShared>,
+    reader: Option<JoinHandle<()>>,
     /// The `grout-workerd` child when this transport spawned it.
     child: Option<Child>,
-    /// The worker's announced wire version (v2-only traffic is skipped
-    /// for older peers).
+    /// The worker's announced wire version (version-gated traffic is
+    /// skipped for older peers).
     peer_version: u16,
-    stats: Arc<ConnStats>,
+    /// The worker's listen address, kept for resume re-dials and rejoin.
+    addr: String,
+    /// `Some` while the connection is severed and retrying.
+    resuming: Option<Resuming>,
+    /// Logical count of reliable control frames sent — the deterministic
+    /// key for [`NetFaultPlan`] injection (retransmits and acks are not
+    /// counted, so injection points never shift when a fault fires).
+    ctrl_frames: u64,
+    /// Injected partition: reconnect attempts are suppressed until this
+    /// instant.
+    partition_until: Option<Instant>,
 }
 
 /// The controller-side TCP transport; plug into
@@ -102,12 +215,20 @@ struct Conn {
 pub struct TcpTransport {
     conns: Vec<Conn>,
     from_workers: Receiver<WorkerMsg>,
-    /// Kept alive so reader threads spawned later could clone it; also the
-    /// injection point for the probe round.
-    _to_controller: Sender<WorkerMsg>,
+    /// Kept alive to clone into reader threads spawned on resume/rejoin;
+    /// also the injection point for the probe round.
+    to_controller: Sender<WorkerMsg>,
     failures: Vec<(usize, String)>,
     measured: Option<LinkMatrix>,
     stale_after: Duration,
+    reconnect_window: Duration,
+    heartbeat: Duration,
+    net_faults: NetFaultPlan,
+    /// All worker listen addresses (re-sent in every hello).
+    peer_addrs: Vec<String>,
+    /// Identifies this controller instance to workers; a resume hello
+    /// carrying the same id revives the worker's parked session.
+    session_id: u64,
 }
 
 impl TcpTransport {
@@ -121,48 +242,47 @@ impl TcpTransport {
     pub fn connect(addrs: &[String], mut children: Vec<Option<Child>>, cfg: &TcpConfig) -> Self {
         children.resize_with(addrs.len(), || None);
         let (to_controller, from_workers) = unbounded::<WorkerMsg>();
+        let session_id = monotonic_ns() ^ (std::process::id() as u64) << 32;
         let mut failures = Vec::new();
         let mut conns = Vec::with_capacity(addrs.len());
         for (i, addr) in addrs.iter().enumerate() {
-            let open = Arc::new(AtomicBool::new(true));
-            let last_seen = Arc::new(Mutex::new(Instant::now()));
-            let stats = Arc::new(ConnStats::default());
+            let shared = Arc::new(ConnShared::fresh());
             let child = children[i].take();
-            match Self::adopt(i, addr, addrs, cfg) {
-                Ok((stream, peer_version)) => {
-                    let writer = Arc::new(Mutex::new(Some(
-                        stream.try_clone().expect("clone TCP write half"),
-                    )));
+            match Self::adopt(i, addr, addrs, cfg.heartbeat, session_id, None) {
+                Ok((stream, ack)) => {
+                    *shared.writer.lock().expect("writer lock") =
+                        Some(stream.try_clone().expect("clone TCP write half"));
                     let reader = spawn_reader(
                         i,
                         stream,
                         to_controller.clone(),
-                        Arc::clone(&open),
-                        Arc::clone(&last_seen),
-                        Arc::clone(&writer),
-                        Arc::clone(&stats),
+                        Arc::clone(&shared),
+                        ack.version >= 4,
                     );
                     conns.push(Conn {
-                        writer,
+                        shared,
                         reader: Some(reader),
-                        open,
-                        last_seen,
                         child,
-                        peer_version,
-                        stats,
+                        peer_version: ack.version,
+                        addr: addr.clone(),
+                        resuming: None,
+                        ctrl_frames: 0,
+                        partition_until: None,
                     });
                 }
                 Err(e) => {
-                    open.store(false, Ordering::SeqCst);
+                    shared.open.store(false, Ordering::SeqCst);
+                    shared.link_up.store(false, Ordering::SeqCst);
                     failures.push((i, e.to_string()));
                     conns.push(Conn {
-                        writer: Arc::new(Mutex::new(None)),
+                        shared,
                         reader: None,
-                        open,
-                        last_seen,
                         child,
                         peer_version: wire::WIRE_VERSION,
-                        stats,
+                        addr: addr.clone(),
+                        resuming: None,
+                        ctrl_frames: 0,
+                        partition_until: None,
                     });
                 }
             }
@@ -170,43 +290,209 @@ impl TcpTransport {
         let mut t = TcpTransport {
             conns,
             from_workers,
-            _to_controller: to_controller,
+            to_controller,
             failures,
             measured: None,
             stale_after: cfg.heartbeat * cfg.stale_after_beats,
+            reconnect_window: cfg.reconnect_window,
+            heartbeat: cfg.heartbeat,
+            net_faults: cfg.net_faults.clone(),
+            peer_addrs: addrs.to_vec(),
+            session_id,
         };
         t.measured = Some(t.probe_round(cfg));
         t
     }
 
     /// Dial + handshake one worker endpoint; returns the stream and the
-    /// worker's announced wire version.
+    /// worker's ack (version, resume outcome, cursor).
     fn adopt(
         index: usize,
         addr: &str,
         peers: &[String],
-        cfg: &TcpConfig,
-    ) -> Result<(TcpStream, u16), wire::WireError> {
+        heartbeat: Duration,
+        session_id: u64,
+        resume: Option<u64>,
+    ) -> Result<(TcpStream, wire::WorkerAck), wire::WireError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(RESUME_ACK_TIMEOUT))?;
         wire::write_frame(
             &mut stream,
             &wire::encode_hello(&wire::Hello::Controller {
                 index,
                 total: peers.len(),
-                heartbeat_ms: cfg.heartbeat.as_millis() as u32,
+                heartbeat_ms: heartbeat.as_millis() as u32,
                 peers: peers.to_vec(),
+                session_id,
+                resume,
             }),
         )?;
         let ack = wire::read_frame(&mut stream)?
             .ok_or_else(|| wire::WireError::Handshake("worker closed during handshake".into()))?;
-        let (echoed, version) = wire::decode_ack(&ack)?;
-        if echoed != index {
+        let ack = wire::decode_ack(&ack)?;
+        if ack.index != index {
             return Err(wire::WireError::Handshake(format!(
-                "worker acked index {echoed}, expected {index}"
+                "worker acked index {}, expected {index}",
+                ack.index
             )));
         }
-        Ok((stream, version))
+        stream.set_read_timeout(None)?;
+        Ok((stream, ack))
+    }
+
+    fn v4(&self, w: usize) -> bool {
+        self.conns[w].peer_version >= 4
+    }
+
+    /// Severs the socket of worker `w` (if any), joins its reader thread
+    /// so the receive cursor is quiesced, and enters the resuming state.
+    fn sever(&mut self, w: usize) {
+        {
+            let mut guard = self.conns[w].shared.writer.lock().expect("writer lock");
+            if let Some(s) = guard.as_mut() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            *guard = None;
+        }
+        self.conns[w].shared.link_up.store(false, Ordering::SeqCst);
+        if let Some(j) = self.conns[w].reader.take() {
+            let _ = j.join();
+        }
+        self.enter_resuming(w);
+    }
+
+    fn enter_resuming(&mut self, w: usize) {
+        if self.conns[w].resuming.is_none() {
+            let now = Instant::now();
+            self.conns[w].resuming = Some(Resuming {
+                deadline: now + self.reconnect_window,
+                next_attempt: now,
+                backoff: RESUME_BACKOFF_START,
+            });
+        }
+    }
+
+    fn mark_dead(&mut self, w: usize) {
+        self.conns[w].shared.open.store(false, Ordering::SeqCst);
+        self.conns[w].shared.link_up.store(false, Ordering::SeqCst);
+        *self.conns[w].shared.writer.lock().expect("writer lock") = None;
+        self.conns[w].resuming = None;
+        if let Some(j) = self.conns[w].reader.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Drives the reconnect loop of a resuming connection. Returns the
+    /// liveness the runtime should see right now.
+    fn try_resume(&mut self, w: usize) -> Liveness {
+        let now = Instant::now();
+        let Some(r) = self.conns[w].resuming.as_ref() else {
+            return Liveness::Alive;
+        };
+        let deadline = r.deadline;
+        if let Some(until) = self.conns[w].partition_until {
+            if now < until {
+                // Injected partition: the peer is deterministically
+                // unreachable; don't burn dial attempts.
+                if now >= deadline {
+                    self.mark_dead(w);
+                    return Liveness::Dead;
+                }
+                return Liveness::Suspect;
+            }
+            self.conns[w].partition_until = None;
+        }
+        if now
+            < self.conns[w]
+                .resuming
+                .as_ref()
+                .expect("resuming")
+                .next_attempt
+        {
+            return Liveness::Suspect;
+        }
+        match self.dial_resume(w) {
+            Ok(()) => Liveness::Alive,
+            Err(ResumeFail::Terminal(reason)) => {
+                eprintln!("[grout-net] worker {w}: session unresumable ({reason})");
+                self.mark_dead(w);
+                Liveness::Dead
+            }
+            Err(ResumeFail::Retry) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.mark_dead(w);
+                    return Liveness::Dead;
+                }
+                let r = self.conns[w].resuming.as_mut().expect("resuming");
+                r.next_attempt = now + r.backoff;
+                r.backoff = (r.backoff * 2).min(RESUME_BACKOFF_MAX);
+                Liveness::Suspect
+            }
+        }
+    }
+
+    /// One resume attempt: dial, resume handshake, replay the unacked
+    /// tail, reinstall writer + reader.
+    fn dial_resume(&mut self, w: usize) -> Result<(), ResumeFail> {
+        let addr = self.conns[w].addr.clone();
+        let cursor = {
+            let rc = self.conns[w].shared.recv_cursor.lock().expect("cursor");
+            rc.cursor()
+        };
+        let (stream, ack) = Self::adopt(
+            w,
+            &addr,
+            &self.peer_addrs,
+            self.heartbeat,
+            self.session_id,
+            Some(cursor),
+        )
+        .map_err(|e| {
+            let _ = e;
+            ResumeFail::Retry
+        })?;
+        if !ack.resumed {
+            return Err(ResumeFail::Terminal(
+                "worker has no session state (restarted?)".into(),
+            ));
+        }
+        // Replay everything the worker has not seen. A window that no
+        // longer reaches back to the worker's cursor cannot resume
+        // losslessly.
+        let replay = {
+            let sb = self.conns[w].shared.send_buf.lock().expect("send_buf");
+            sb.replay_from(ack.cursor).ok_or_else(|| {
+                ResumeFail::Terminal("send window trimmed past peer cursor".into())
+            })?
+        };
+        let mut write_half = stream.try_clone().map_err(|e| {
+            let _ = e;
+            ResumeFail::Retry
+        })?;
+        for frame in &replay {
+            wire::write_frame(&mut write_half, frame).map_err(|e| {
+                let _ = e;
+                ResumeFail::Retry
+            })?;
+            self.conns[w].shared.count_write(frame.len());
+        }
+        let shared = &self.conns[w].shared;
+        *shared.writer.lock().expect("writer lock") = Some(write_half);
+        *shared.last_seen.lock().expect("last_seen lock") = Instant::now();
+        shared.link_up.store(true, Ordering::SeqCst);
+        shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+        let reader = spawn_reader(
+            w,
+            stream,
+            self.to_controller.clone(),
+            Arc::clone(shared),
+            true,
+        );
+        self.conns[w].reader = Some(reader);
+        self.conns[w].resuming = None;
+        Ok(())
     }
 
     /// The startup probe round. Controller↔worker pairs are timed
@@ -306,8 +592,8 @@ impl TcpTransport {
     }
 
     fn endpoint_usable(&self, w: usize) -> bool {
-        self.conns[w].writer.lock().expect("writer lock").is_some()
-            && self.conns[w].open.load(Ordering::SeqCst)
+        let sh = &self.conns[w].shared;
+        sh.writer.lock().expect("writer lock").is_some() && sh.open.load(Ordering::SeqCst)
     }
 
     /// Pid of the spawned `grout-workerd` backing worker `w`, when this
@@ -324,78 +610,175 @@ impl TcpTransport {
     pub fn child_pids(&self) -> Vec<Option<u32>> {
         (0..self.conns.len()).map(|w| self.child_pid(w)).collect()
     }
+
+    /// Forget the spawned child backing worker `w` without reaping it —
+    /// the chaos harness uses this after it has killed and restarted the
+    /// process itself.
+    pub fn forget_child(&mut self, w: usize) -> Option<Child> {
+        self.conns.get_mut(w).and_then(|c| c.child.take())
+    }
+}
+
+/// Why a resume attempt failed.
+enum ResumeFail {
+    /// Transient — retry with backoff inside the window.
+    Retry,
+    /// The session can never resume (worker restarted fresh, replay
+    /// window trimmed); go straight to dead.
+    Terminal(String),
+}
+
+/// Handles one logical (post-envelope) inbound payload. Returns false
+/// when the reader should stop.
+fn handle_payload(
+    worker: usize,
+    inner: Vec<u8>,
+    v4: bool,
+    out: &Sender<WorkerMsg>,
+    shared: &ConnShared,
+) -> bool {
+    // Clock-sync + session frames live above the message tag space; peek
+    // the tag and keep them inside the transport.
+    match inner.first().copied() {
+        Some(wire::CLOCK_PING_TAG) => {
+            let t2 = monotonic_ns();
+            if let Ok((_, t1)) = wire::decode_clock_ping(&inner) {
+                let pong = wire::encode_clock_pong(t1, t2);
+                let framed = if v4 {
+                    wire::seal_ephemeral(&pong)
+                } else {
+                    pong
+                };
+                let mut w = shared.writer.lock().expect("writer lock");
+                if let Some(s) = w.as_mut() {
+                    if wire::write_frame(s, &framed).is_ok() {
+                        shared.count_write(framed.len());
+                    }
+                }
+            }
+            return true;
+        }
+        Some(wire::CLOCK_SAMPLE_TAG) => {
+            if let Ok((_, offset, rtt)) = wire::decode_clock_sample(&inner) {
+                let mut clock = shared.stats.clock.lock().expect("clock lock");
+                clock.0.record(rtt);
+                clock.1.observe(monotonic_ns(), offset, rtt);
+            }
+            return true;
+        }
+        Some(wire::SESSION_ACK_TAG) => {
+            if let Ok(cursor) = wire::decode_session_ack(&inner) {
+                shared.send_buf.lock().expect("send_buf").ack(cursor);
+            }
+            return true;
+        }
+        _ => {}
+    }
+    match wire::decode_worker(&inner) {
+        Ok(WorkerMsg::Heartbeat { .. }) => true, // liveness only
+        Ok(WorkerMsg::Leave { .. }) => {
+            // Clean departure: definitive — no resume, no staleness
+            // ambiguity. Forward so the runtime re-plans its work.
+            shared.departed.store(true, Ordering::SeqCst);
+            shared.open.store(false, Ordering::SeqCst);
+            shared.link_up.store(false, Ordering::SeqCst);
+            let _ = out.send(WorkerMsg::Leave { worker });
+            false
+        }
+        Ok(msg) => {
+            if let WorkerMsg::Telemetry { backlog, spans, .. } = &msg {
+                shared
+                    .stats
+                    .telemetry_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .telemetry_spans
+                    .fetch_add(spans.len() as u64, Ordering::Relaxed);
+                shared
+                    .stats
+                    .telemetry_backlog
+                    .store(*backlog, Ordering::Relaxed);
+            }
+            out.send(msg).is_ok()
+        }
+        Err(e) => {
+            eprintln!("[grout-net] worker {worker}: {e}; closing");
+            shared.link_up.store(false, Ordering::SeqCst);
+            if !v4 {
+                shared.open.store(false, Ordering::SeqCst);
+            }
+            false
+        }
+    }
 }
 
 fn spawn_reader(
     worker: usize,
     mut stream: TcpStream,
     out: Sender<WorkerMsg>,
-    open: Arc<AtomicBool>,
-    last_seen: Arc<Mutex<Instant>>,
-    writer: Arc<Mutex<Option<TcpStream>>>,
-    stats: Arc<ConnStats>,
+    shared: Arc<ConnShared>,
+    v4: bool,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("grout-net-rx-{worker}"))
         .spawn(move || loop {
             match wire::read_frame(&mut stream) {
-                Ok(Some(payload)) => {
-                    *last_seen.lock().expect("last_seen lock") = Instant::now();
-                    stats.frames_recv.fetch_add(1, Ordering::Relaxed);
-                    stats
+                Ok(Some(raw)) => {
+                    *shared.last_seen.lock().expect("last_seen lock") = Instant::now();
+                    shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
                         .bytes_recv
-                        .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-                    // Clock-sync frames live above the message tag space;
-                    // peek the tag and keep them inside the transport.
-                    match payload.first().copied() {
-                        Some(wire::CLOCK_PING_TAG) => {
-                            let t2 = monotonic_ns();
-                            if let Ok((_, t1)) = wire::decode_clock_ping(&payload) {
-                                let pong = wire::encode_clock_pong(t1, t2);
-                                let mut w = writer.lock().expect("writer lock");
-                                if let Some(s) = w.as_mut() {
-                                    let _ = wire::write_frame(s, &pong);
-                                    stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-                                    stats
-                                        .bytes_sent
-                                        .fetch_add(pong.len() as u64 + 4, Ordering::Relaxed);
+                        .fetch_add(raw.len() as u64 + 4, Ordering::Relaxed);
+                    if !v4 {
+                        if !handle_payload(worker, raw, false, &out, &shared) {
+                            return;
+                        }
+                        continue;
+                    }
+                    match wire::open_envelope(raw) {
+                        Ok(wire::Envelope::Ephemeral(inner)) => {
+                            if !handle_payload(worker, inner, true, &out, &shared) {
+                                return;
+                            }
+                        }
+                        Ok(wire::Envelope::Reliable { seq, payload }) => {
+                            let (ready, ack_due, cursor) = {
+                                let mut rc = shared.recv_cursor.lock().expect("cursor");
+                                let before = rc.cursor();
+                                let ready = rc.accept(seq, payload);
+                                let after = rc.cursor();
+                                (ready, before / ACK_EVERY != after / ACK_EVERY, after)
+                            };
+                            for p in ready {
+                                if !handle_payload(worker, p, true, &out, &shared) {
+                                    return;
                                 }
                             }
-                            continue;
-                        }
-                        Some(wire::CLOCK_SAMPLE_TAG) => {
-                            if let Ok((_, offset, rtt)) = wire::decode_clock_sample(&payload) {
-                                let mut clock = stats.clock.lock().expect("clock lock");
-                                clock.0.record(rtt);
-                                clock.1.observe(monotonic_ns(), offset, rtt);
-                            }
-                            continue;
-                        }
-                        _ => {}
-                    }
-                    match wire::decode_worker(&payload) {
-                        Ok(WorkerMsg::Heartbeat { .. }) => {} // liveness only
-                        Ok(msg) => {
-                            if let WorkerMsg::Telemetry { backlog, spans, .. } = &msg {
-                                stats.telemetry_batches.fetch_add(1, Ordering::Relaxed);
-                                stats
-                                    .telemetry_spans
-                                    .fetch_add(spans.len() as u64, Ordering::Relaxed);
-                                stats.telemetry_backlog.store(*backlog, Ordering::Relaxed);
-                            }
-                            if out.send(msg).is_err() {
-                                return; // transport dropped
+                            if ack_due {
+                                let framed =
+                                    wire::seal_ephemeral(&wire::encode_session_ack(cursor));
+                                let mut w = shared.writer.lock().expect("writer lock");
+                                if let Some(s) = w.as_mut() {
+                                    if wire::write_frame(s, &framed).is_ok() {
+                                        shared.count_write(framed.len());
+                                    }
+                                }
                             }
                         }
                         Err(e) => {
-                            eprintln!("[grout-net] worker {worker}: {e}; closing");
-                            open.store(false, Ordering::SeqCst);
+                            eprintln!("[grout-net] worker {worker}: bad envelope: {e}");
+                            shared.link_up.store(false, Ordering::SeqCst);
                             return;
                         }
                     }
                 }
                 Ok(None) | Err(_) => {
-                    open.store(false, Ordering::SeqCst);
+                    shared.link_up.store(false, Ordering::SeqCst);
+                    if !v4 {
+                        shared.open.store(false, Ordering::SeqCst);
+                    }
                     return;
                 }
             }
@@ -413,7 +796,8 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, worker: usize, msg: CtrlMsg) -> Result<(), SendLost> {
-        if !self.endpoint_usable(worker) {
+        let sh = &self.conns[worker].shared;
+        if sh.departed.load(Ordering::SeqCst) || !sh.open.load(Ordering::SeqCst) {
             return Err(SendLost);
         }
         // Version-gated traffic silently degrades against an older
@@ -429,21 +813,104 @@ impl Transport for TcpTransport {
             return Ok(());
         }
         let payload = wire::encode_ctrl(&msg);
-        let wrote = {
-            let mut guard = self.conns[worker].writer.lock().expect("writer lock");
-            let stream = guard.as_mut().expect("usable");
-            wire::write_frame(stream, &payload)
-        };
-        if wrote.is_err() {
-            self.conns[worker].open.store(false, Ordering::SeqCst);
-            return Err(SendLost);
+        if !self.v4(worker) {
+            // Legacy path: bare frame, no session layer, socket death is
+            // definitive.
+            if !self.endpoint_usable(worker) {
+                return Err(SendLost);
+            }
+            let wrote = {
+                let mut guard = self.conns[worker]
+                    .shared
+                    .writer
+                    .lock()
+                    .expect("writer lock");
+                let stream = guard.as_mut().expect("usable");
+                wire::write_frame(stream, &payload)
+            };
+            if wrote.is_err() {
+                self.conns[worker]
+                    .shared
+                    .open
+                    .store(false, Ordering::SeqCst);
+                return Err(SendLost);
+            }
+            self.conns[worker].shared.count_write(payload.len());
+            return Ok(());
         }
-        let stats = &self.conns[worker].stats;
-        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-        stats
-            .bytes_sent
-            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-        Ok(())
+
+        // Deterministic chaos, keyed on the logical frame index so
+        // injection points never shift when an earlier fault fires.
+        let idx = self.conns[worker].ctrl_frames;
+        self.conns[worker].ctrl_frames += 1;
+        let mut severed = false;
+        let mut partition_frames = None;
+        for f in self.net_faults.at(worker, idx) {
+            match f {
+                NetFaultKind::Sever => severed = true,
+                NetFaultKind::Partition { frames } => {
+                    severed = true;
+                    partition_frames = Some(frames);
+                }
+                // Drop/duplicate/delay need a lossy medium to model; TCP
+                // itself is lossless, so only the in-process transport
+                // injects them.
+                NetFaultKind::DropFrame
+                | NetFaultKind::DupFrame
+                | NetFaultKind::DelayFrame { .. } => {}
+            }
+        }
+        if severed && self.conns[worker].resuming.is_none() {
+            self.sever(worker);
+            if let Some(frames) = partition_frames {
+                self.conns[worker].partition_until =
+                    Some(Instant::now() + self.heartbeat * frames as u32);
+            }
+        }
+
+        // Seal + buffer first: once in the send window the frame survives
+        // any socket fate until cumulatively acked.
+        let frame = {
+            let mut sb = self.conns[worker].shared.send_buf.lock().expect("send_buf");
+            sb.seal(&payload)
+        };
+        if self.conns[worker].resuming.is_some() {
+            // Try to come back right now — an injected sever against a
+            // live worker resumes on the first attempt and stays
+            // invisible to the planner.
+            if self.try_resume(worker) == Liveness::Dead {
+                return Err(SendLost);
+            }
+            // Resumed: the replay already carried this frame. Still
+            // resuming: it will. Either way it is not lost.
+            return Ok(());
+        }
+        let wrote = {
+            let mut guard = self.conns[worker]
+                .shared
+                .writer
+                .lock()
+                .expect("writer lock");
+            match guard.as_mut() {
+                Some(stream) => wire::write_frame(stream, &frame),
+                None => Err(wire::WireError::Handshake("link down".into())),
+            }
+        };
+        match wrote {
+            Ok(()) => {
+                self.conns[worker].shared.count_write(frame.len());
+                Ok(())
+            }
+            Err(_) => {
+                // Socket died under us: sever cleanly and attempt an
+                // immediate resume; the frame is already buffered.
+                self.sever(worker);
+                if self.try_resume(worker) == Liveness::Dead {
+                    return Err(SendLost);
+                }
+                Ok(())
+            }
+        }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
@@ -460,26 +927,118 @@ impl Transport for TcpTransport {
     }
 
     fn is_alive(&mut self, worker: usize) -> bool {
-        let c = &self.conns[worker];
-        if !c.open.load(Ordering::SeqCst) || c.writer.lock().expect("writer lock").is_none() {
-            return false;
+        self.liveness(worker) != Liveness::Dead
+    }
+
+    fn liveness(&mut self, worker: usize) -> Liveness {
+        let sh = &self.conns[worker].shared;
+        if sh.departed.load(Ordering::SeqCst) || !sh.open.load(Ordering::SeqCst) {
+            return Liveness::Dead;
         }
-        c.last_seen.lock().expect("last_seen lock").elapsed() < self.stale_after
+        if !self.v4(worker) {
+            // Legacy liveness: socket + staleness, dead is dead.
+            let up = sh.link_up.load(Ordering::SeqCst)
+                && sh.writer.lock().expect("writer lock").is_some()
+                && sh.last_seen.lock().expect("last_seen lock").elapsed() < self.stale_after;
+            return if up { Liveness::Alive } else { Liveness::Dead };
+        }
+        if self.conns[worker].resuming.is_some() {
+            return self.try_resume(worker);
+        }
+        let link_down =
+            !sh.link_up.load(Ordering::SeqCst) || sh.writer.lock().expect("writer lock").is_none();
+        let stale = sh.last_seen.lock().expect("last_seen lock").elapsed() >= self.stale_after;
+        if link_down {
+            // EOF/error was already detected by the reader; join it and
+            // start resuming.
+            self.sever(worker);
+            return self.try_resume(worker);
+        }
+        if stale {
+            // Wedged-but-connected (SIGSTOP, partition): sever the silent
+            // socket and re-dial — a worker that wakes inside the window
+            // resumes, one that doesn't goes to quarantine.
+            self.sever(worker);
+            return self.try_resume(worker);
+        }
+        Liveness::Alive
+    }
+
+    fn reconnect(&mut self, worker: usize) -> bool {
+        if self.conns[worker].shared.open.load(Ordering::SeqCst) {
+            return true;
+        }
+        // Fresh adoption: the previous session is gone for good, so reset
+        // the session state before dialing (resume: None tells the worker
+        // to discard any parked engine and start clean).
+        let addr = self.conns[worker].addr.clone();
+        match Self::adopt(
+            worker,
+            &addr,
+            &self.peer_addrs,
+            self.heartbeat,
+            self.session_id,
+            None,
+        ) {
+            Ok((stream, ack)) => {
+                if let Some(j) = self.conns[worker].reader.take() {
+                    let _ = j.join();
+                }
+                let shared = Arc::new(ConnShared::fresh());
+                *shared.writer.lock().expect("writer lock") =
+                    Some(stream.try_clone().expect("clone TCP write half"));
+                let reader = spawn_reader(
+                    worker,
+                    stream,
+                    self.to_controller.clone(),
+                    Arc::clone(&shared),
+                    ack.version >= 4,
+                );
+                self.conns[worker].shared = shared;
+                self.conns[worker].reader = Some(reader);
+                self.conns[worker].peer_version = ack.version;
+                self.conns[worker].resuming = None;
+                self.conns[worker].partition_until = None;
+                true
+            }
+            Err(e) => {
+                eprintln!("[grout-net] worker {worker}: rejoin failed: {e}");
+                false
+            }
+        }
     }
 
     fn shutdown(&mut self, worker: usize) {
         // Best-effort clean shutdown frame; the socket may already be dead.
         let payload = wire::encode_ctrl(&CtrlMsg::Shutdown);
+        let framed = if self.v4(worker) {
+            let mut sb = self.conns[worker].shared.send_buf.lock().expect("send_buf");
+            sb.seal(&payload)
+        } else {
+            payload
+        };
         {
-            let mut guard = self.conns[worker].writer.lock().expect("writer lock");
+            let mut guard = self.conns[worker]
+                .shared
+                .writer
+                .lock()
+                .expect("writer lock");
             if let Some(stream) = guard.as_mut() {
-                let _ = wire::write_frame(stream, &payload);
+                let _ = wire::write_frame(stream, &framed);
                 let _ = stream.flush();
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
             *guard = None;
         }
-        self.conns[worker].open.store(false, Ordering::SeqCst);
+        self.conns[worker]
+            .shared
+            .open
+            .store(false, Ordering::SeqCst);
+        self.conns[worker]
+            .shared
+            .link_up
+            .store(false, Ordering::SeqCst);
+        self.conns[worker].resuming = None;
         if let Some(j) = self.conns[worker].reader.take() {
             let _ = j.join();
         }
@@ -512,7 +1071,12 @@ impl Transport for TcpTransport {
     }
 
     fn clock_offset_ns(&mut self, worker: usize) -> i64 {
-        let clock = self.conns[worker].stats.clock.lock().expect("clock lock");
+        let clock = self.conns[worker]
+            .shared
+            .stats
+            .clock
+            .lock()
+            .expect("clock lock");
         clock.1.offset_at(monotonic_ns())
     }
 
@@ -520,17 +1084,18 @@ impl Transport for TcpTransport {
         self.conns
             .iter()
             .map(|c| {
-                let clock = c.stats.clock.lock().expect("clock lock");
+                let clock = c.shared.stats.clock.lock().expect("clock lock");
                 PeerWireStats {
-                    frames_sent: c.stats.frames_sent.load(Ordering::Relaxed),
-                    bytes_sent: c.stats.bytes_sent.load(Ordering::Relaxed),
-                    frames_recv: c.stats.frames_recv.load(Ordering::Relaxed),
-                    bytes_recv: c.stats.bytes_recv.load(Ordering::Relaxed),
+                    frames_sent: c.shared.stats.frames_sent.load(Ordering::Relaxed),
+                    bytes_sent: c.shared.stats.bytes_sent.load(Ordering::Relaxed),
+                    frames_recv: c.shared.stats.frames_recv.load(Ordering::Relaxed),
+                    bytes_recv: c.shared.stats.bytes_recv.load(Ordering::Relaxed),
                     hb_rtt: clock.0,
                     clock_offset_ns: clock.1.offset_at(monotonic_ns()),
-                    telemetry_batches: c.stats.telemetry_batches.load(Ordering::Relaxed),
-                    telemetry_spans: c.stats.telemetry_spans.load(Ordering::Relaxed),
-                    telemetry_backlog: c.stats.telemetry_backlog.load(Ordering::Relaxed),
+                    telemetry_batches: c.shared.stats.telemetry_batches.load(Ordering::Relaxed),
+                    telemetry_spans: c.shared.stats.telemetry_spans.load(Ordering::Relaxed),
+                    telemetry_backlog: c.shared.stats.telemetry_backlog.load(Ordering::Relaxed),
+                    resumes: c.shared.stats.resumes.load(Ordering::Relaxed),
                 }
             })
             .collect()

@@ -72,8 +72,13 @@ pub const MAGIC: [u8; 4] = *b"GRNT";
 /// Wire protocol version; bumped on any frame-layout change.
 /// v2 added telemetry batches, the observe toggle and clock-sync frames;
 /// v3 added the controller-replication log-shipping frames
-/// ([`CtrlMsg::ShipInit`], [`CtrlMsg::ShipOp`], [`WorkerMsg::ShipAck`]).
-pub const WIRE_VERSION: u16 = 3;
+/// ([`CtrlMsg::ShipInit`], [`CtrlMsg::ShipOp`], [`WorkerMsg::ShipAck`]);
+/// v4 added the session-resume layer: a session id + resume cursor in
+/// the controller hello, a resumed flag + receive cursor in the worker
+/// ack, the reliable/ephemeral frame envelope with per-peer sequence
+/// numbers, the cumulative-ack frame ([`SESSION_ACK_TAG`]) and the clean
+/// departure announcement ([`WorkerMsg::Leave`]).
+pub const WIRE_VERSION: u16 = 4;
 
 /// Oldest peer version this build still talks to.
 pub const MIN_WIRE_VERSION: u16 = 1;
@@ -88,6 +93,20 @@ pub const CLOCK_PONG_TAG: u8 = 0xF0;
 
 /// Worker→controller clock-offset sample (`offset, rtt`).
 pub const CLOCK_SAMPLE_TAG: u8 = 0xF1;
+
+/// Cumulative receive-cursor acknowledgement for the v4 reliable layer
+/// (both directions; ephemeral — never sequenced or replayed itself).
+pub const SESSION_ACK_TAG: u8 = 0xF2;
+
+/// Envelope kind byte: an ephemeral frame (clock sync, session acks,
+/// heartbeats) — delivered best-effort, never buffered for resume replay.
+pub const ENVELOPE_EPHEMERAL: u8 = 0;
+
+/// Envelope kind byte: a reliable frame — carries a per-direction
+/// monotonic sequence number, is buffered until cumulatively acked, and
+/// is replayed across a session resume. The receiver's cursor dedupes
+/// replayed frames, so the delivered stream is exactly-once in-order.
+pub const ENVELOPE_RELIABLE: u8 = 1;
 
 /// Spans cap a decoder accepts in one telemetry batch (a corrupt or
 /// hostile length cannot force unbounded allocation; honest senders
@@ -674,6 +693,9 @@ fn enc_planner_config(e: &mut Enc, cfg: &PlannerConfig) {
     e.u64(cfg.fault_cfg.backoff_cap.0);
     e.u64(cfg.fault_cfg.detection_timeout.0);
     e.u8(u8::from(cfg.fault_cfg.recovery));
+    e.u32(cfg.fault_cfg.heartbeat_ms);
+    e.u32(cfg.fault_cfg.stale_after_beats);
+    e.u64(cfg.fault_cfg.reconnect_window.0);
 }
 
 fn dec_planner_config(d: &mut Dec) -> Result<PlannerConfig, WireError> {
@@ -709,6 +731,9 @@ fn dec_planner_config(d: &mut Dec) -> Result<PlannerConfig, WireError> {
         backoff_cap: SimDuration(d.u64()?),
         detection_timeout: SimDuration(d.u64()?),
         recovery: d.u8()? != 0,
+        heartbeat_ms: d.u32()?,
+        stale_after_beats: d.u32()?,
+        reconnect_window: SimDuration(d.u64()?),
     };
     Ok(PlannerConfig {
         workers,
@@ -796,6 +821,18 @@ fn enc_op(e: &mut Enc, op: &PlannerOp) {
             e.u8(6);
             enc_links(e, links);
         }
+        PlannerOp::Suspect { worker } => {
+            e.u8(7);
+            e.u32(*worker as u32);
+        }
+        PlannerOp::Reinstate { worker } => {
+            e.u8(8);
+            e.u32(*worker as u32);
+        }
+        PlannerOp::Rejoin { worker } => {
+            e.u8(9);
+            e.u32(*worker as u32);
+        }
     }
 }
 
@@ -823,6 +860,15 @@ fn dec_op(d: &mut Dec) -> Result<PlannerOp, WireError> {
         }
         6 => PlannerOp::ReprobeLinks {
             links: dec_links(d)?,
+        },
+        7 => PlannerOp::Suspect {
+            worker: d.u32()? as usize,
+        },
+        8 => PlannerOp::Reinstate {
+            worker: d.u32()? as usize,
+        },
+        9 => PlannerOp::Rejoin {
+            worker: d.u32()? as usize,
         },
         _ => return Err(WireError::Malformed("op tag")),
     })
@@ -1120,6 +1166,10 @@ pub fn encode_worker(msg: &WorkerMsg) -> Vec<u8> {
             e.u64(*seq);
             e.u64(*digest);
         }
+        WorkerMsg::Leave { worker } => {
+            e.u8(8);
+            e.u32(*worker as u32);
+        }
     }
     e.into_bytes()
 }
@@ -1210,6 +1260,9 @@ pub fn decode_worker(payload: &[u8]) -> Result<WorkerMsg, WireError> {
             seq: d.u64()?,
             digest: d.u64()?,
         },
+        8 => WorkerMsg::Leave {
+            worker: d.u32()? as usize,
+        },
         _ => return Err(WireError::Malformed("worker tag")),
     };
     if !d.finished() {
@@ -1294,6 +1347,83 @@ pub fn decode_clock_sample(payload: &[u8]) -> Result<(usize, i64, u64), WireErro
 }
 
 // ---------------------------------------------------------------------------
+// v4 reliable-session envelope (controller↔worker sockets only; peer
+// data sockets and pre-v4 connections carry bare payloads).
+
+/// A v4 post-handshake frame, opened ([`open_envelope`]) into its kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// Best-effort traffic (clock sync, session acks, heartbeats): not
+    /// sequenced, not buffered, lost across a resume without consequence.
+    Ephemeral(Vec<u8>),
+    /// Sequenced traffic: buffered by the sender until cumulatively
+    /// acked, replayed on resume, deduped by the receiver's cursor.
+    Reliable {
+        /// Per-direction monotonic sequence number (0-based).
+        seq: u64,
+        /// The inner message payload ([`encode_ctrl`]/[`encode_worker`]).
+        payload: Vec<u8>,
+    },
+}
+
+/// Wraps an ephemeral payload in a v4 envelope.
+pub fn seal_ephemeral(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(ENVELOPE_EPHEMERAL);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Wraps a reliable payload + sequence number in a v4 envelope.
+pub fn seal_reliable(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.push(ENVELOPE_RELIABLE);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Opens a v4 envelope into its kind + inner payload.
+pub fn open_envelope(frame: Vec<u8>) -> Result<Envelope, WireError> {
+    match frame.first() {
+        Some(&ENVELOPE_EPHEMERAL) => Ok(Envelope::Ephemeral(frame[1..].to_vec())),
+        Some(&ENVELOPE_RELIABLE) => {
+            if frame.len() < 9 {
+                return Err(WireError::Malformed("truncated reliable envelope"));
+            }
+            let seq = u64::from_le_bytes(frame[1..9].try_into().unwrap());
+            Ok(Envelope::Reliable {
+                seq,
+                payload: frame[9..].to_vec(),
+            })
+        }
+        _ => Err(WireError::Malformed("envelope kind")),
+    }
+}
+
+/// Encodes a cumulative session ack: "I have received every reliable
+/// frame with `seq < cursor` from you". Ephemeral.
+pub fn encode_session_ack(cursor: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(SESSION_ACK_TAG);
+    e.u64(cursor);
+    e.into_bytes()
+}
+
+/// Decodes a session ack into the sender's receive cursor.
+pub fn decode_session_ack(payload: &[u8]) -> Result<u64, WireError> {
+    let mut d = Dec::new(payload);
+    if d.u8()? != SESSION_ACK_TAG {
+        return Err(WireError::Malformed("session-ack tag"));
+    }
+    let cursor = d.u64()?;
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(cursor)
+}
+
+// ---------------------------------------------------------------------------
 // Handshake.
 
 /// The first frame on a fresh connection.
@@ -1309,6 +1439,16 @@ pub enum Hello {
         heartbeat_ms: u32,
         /// Listen address of every worker, by index (for P2P dialing).
         peers: Vec<String>,
+        /// Controller-chosen session identifier (v4+; 0 against older
+        /// peers). A re-dial carrying the same id with `resume` set asks
+        /// the worker to revive its parked session state instead of
+        /// starting fresh.
+        session_id: u64,
+        /// `Some(cursor)` to resume an interrupted session: the
+        /// controller has received every reliable worker→controller
+        /// frame with `seq < cursor`. `None` for a fresh adoption, which
+        /// resets all session state on the worker.
+        resume: Option<u64>,
     },
     /// A peer worker opening its one-way data socket.
     Peer {
@@ -1328,6 +1468,8 @@ pub fn encode_hello(h: &Hello) -> Vec<u8> {
             total,
             heartbeat_ms,
             peers,
+            session_id,
+            resume,
         } => {
             e.u8(0);
             e.u32(*index as u32);
@@ -1336,6 +1478,15 @@ pub fn encode_hello(h: &Hello) -> Vec<u8> {
             e.u64(peers.len() as u64);
             for p in peers {
                 e.str(p);
+            }
+            // v4 fields; pre-v4 decoders ignore the trailing bytes.
+            e.u64(*session_id);
+            match resume {
+                None => e.u8(0),
+                Some(cursor) => {
+                    e.u8(1);
+                    e.u64(*cursor);
+                }
             }
         }
         Hello::Peer { from } => {
@@ -1374,11 +1525,24 @@ pub fn decode_hello(payload: &[u8]) -> Result<(Hello, u16), WireError> {
             for _ in 0..n {
                 peers.push(d.str()?);
             }
+            let (session_id, resume) = if version >= 4 {
+                let id = d.u64()?;
+                let resume = match d.u8()? {
+                    0 => None,
+                    1 => Some(d.u64()?),
+                    _ => return Err(WireError::Handshake("bad resume flag".into())),
+                };
+                (id, resume)
+            } else {
+                (0, None)
+            };
             Hello::Controller {
                 index,
                 total,
                 heartbeat_ms,
                 peers,
+                session_id,
+                resume,
             }
         }
         1 => Hello::Peer {
@@ -1389,19 +1553,44 @@ pub fn decode_hello(payload: &[u8]) -> Result<(Hello, u16), WireError> {
     Ok((hello, version))
 }
 
-/// Encodes the worker's ack to a controller hello.
+/// A decoded worker ack: the echoed index, the worker's announced wire
+/// version, and the v4 session-resume outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerAck {
+    /// The worker index echoed from the hello.
+    pub index: usize,
+    /// The worker's announced wire version.
+    pub version: u16,
+    /// Whether the worker revived the parked session named by the hello's
+    /// `(session_id, resume)` (always false for fresh adoptions and
+    /// pre-v4 workers).
+    pub resumed: bool,
+    /// The worker's controller→worker receive cursor: it has seen every
+    /// reliable frame with `seq < cursor`. The controller replays its
+    /// unacked buffer from here on a resume. 0 for fresh sessions.
+    pub cursor: u64,
+}
+
+/// Encodes the worker's ack to a fresh (non-resume) controller hello.
 pub fn encode_ack(index: usize) -> Vec<u8> {
+    encode_ack_ex(index, false, 0)
+}
+
+/// Encodes the worker's ack with an explicit resume outcome + cursor.
+pub fn encode_ack_ex(index: usize, resumed: bool, cursor: u64) -> Vec<u8> {
     let mut e = Enc::new();
     e.0.extend_from_slice(&MAGIC);
     e.u16(WIRE_VERSION);
     e.u32(index as u32);
+    // v4 fields; pre-v4 decoders ignore the trailing bytes.
+    e.u8(u8::from(resumed));
+    e.u64(cursor);
     e.into_bytes()
 }
 
-/// Decodes and validates a worker's ack; returns the echoed index and
-/// the worker's announced wire version (same acceptance window as
+/// Decodes and validates a worker's ack (same acceptance window as
 /// [`decode_hello`]).
-pub fn decode_ack(payload: &[u8]) -> Result<(usize, u16), WireError> {
+pub fn decode_ack(payload: &[u8]) -> Result<WorkerAck, WireError> {
     let mut d = Dec::new(payload);
     let magic = d.take(4)?;
     if magic != MAGIC {
@@ -1413,7 +1602,18 @@ pub fn decode_ack(payload: &[u8]) -> Result<(usize, u16), WireError> {
             "ack wire version {version} outside our supported {MIN_WIRE_VERSION}..={WIRE_VERSION}"
         )));
     }
-    Ok((d.u32()? as usize, version))
+    let index = d.u32()? as usize;
+    let (resumed, cursor) = if version >= 4 {
+        (d.u8()? != 0, d.u64()?)
+    } else {
+        (false, 0)
+    };
+    Ok(WorkerAck {
+        index,
+        version,
+        resumed,
+        cursor,
+    })
 }
 
 #[cfg(test)]
@@ -1546,6 +1746,8 @@ mod tests {
             total: 2,
             heartbeat_ms: 100,
             peers: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
+            session_id: 0xDEAD_BEEF,
+            resume: Some(17),
         };
         assert_eq!(
             decode_hello(&encode_hello(&h)).unwrap(),
@@ -1572,13 +1774,60 @@ mod tests {
         let mut ack = encode_ack(7);
         ack[4] = 1;
         ack[5] = 0;
-        assert_eq!(decode_ack(&ack).unwrap(), (7, 1));
+        // A v1 ack: index decodes, the v4 tail is ignored.
+        let got = decode_ack(&ack).unwrap();
+        assert_eq!(
+            (got.index, got.version, got.resumed, got.cursor),
+            (7, 1, false, 0)
+        );
 
         // Version 0 predates the protocol — still refused.
         let mut ancient = encode_ack(7);
         ancient[4] = 0;
         ancient[5] = 0;
         assert!(matches!(decode_ack(&ancient), Err(WireError::Handshake(_))));
+    }
+
+    #[test]
+    fn resume_handshake_and_session_frames_roundtrip() {
+        // A resuming ack carries the outcome + cursor.
+        let ack = decode_ack(&encode_ack_ex(3, true, 42)).unwrap();
+        assert_eq!(
+            (ack.index, ack.version, ack.resumed, ack.cursor),
+            (3, WIRE_VERSION, true, 42)
+        );
+
+        // Session acks and both envelope kinds roundtrip.
+        assert_eq!(decode_session_ack(&encode_session_ack(99)).unwrap(), 99);
+        let inner = encode_worker(&WorkerMsg::Heartbeat { worker: 2 });
+        assert_eq!(
+            open_envelope(seal_ephemeral(&inner)).unwrap(),
+            Envelope::Ephemeral(inner.clone())
+        );
+        assert_eq!(
+            open_envelope(seal_reliable(7, &inner)).unwrap(),
+            Envelope::Reliable {
+                seq: 7,
+                payload: inner
+            }
+        );
+
+        // The clean-departure frame roundtrips.
+        match roundtrip_worker(WorkerMsg::Leave { worker: 5 }) {
+            WorkerMsg::Leave { worker: 5 } => {}
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_ops_roundtrip() {
+        for op in [
+            PlannerOp::Suspect { worker: 1 },
+            PlannerOp::Reinstate { worker: 1 },
+            PlannerOp::Rejoin { worker: 2 },
+        ] {
+            assert_eq!(decode_op(&encode_op(&op)).unwrap(), op);
+        }
     }
 
     #[test]

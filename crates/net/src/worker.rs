@@ -14,19 +14,27 @@
 //!   each worker pair gets its own one-way socket, which avoids any
 //!   dial/dial race without a connection-brokering protocol.
 //!
-//! ## Re-adoption (controller failover)
+//! ## Session resume (wire v4) and re-adoption
 //!
 //! The acceptor classifies *every* accepted socket by its hello, so a
-//! controller hello is welcome at any time, not just first: losing the
-//! controller connection ends the current *session* (the engine state is
-//! dropped — a standby controller re-drives the run from scratch) and the
-//! process waits to be adopted again. A controller hello arriving while a
-//! session is live supersedes it the same way — latest controller wins.
-//! Only a clean `Shutdown` frame (or an injected crash) exits the
-//! process.
+//! controller hello is welcome at any time, not just first. Against a v4
+//! controller the session is *resumable*: losing the controller socket
+//! parks the session — the engine, both reliable-stream cursors and the
+//! outbound peer sockets survive — and the worker keeps driving peer
+//! traffic through the parked engine, buffering controller-bound output
+//! in its [`SendBuffer`]. A controller hello carrying the same session id
+//! and a resume cursor revives the parked session: the worker acks with
+//! its own receive cursor, both sides replay their unacked tails, and the
+//! run continues as if the socket had never died. A hello *without* a
+//! resume cursor (a fresh adoption — standby takeover, or a rejoin after
+//! quarantine) discards any parked state and starts a clean session, as
+//! does any hello from a pre-v4 controller.
+//!
+//! Only a clean `Shutdown` frame, SIGTERM (see [`serve_shutdown`]) or an
+//! injected crash exits the process.
 
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -35,6 +43,7 @@ use grout_core::{
     monotonic_ns, CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg, TELEMETRY_FLUSH_TICK,
 };
 
+use crate::session::{RecvCursor, SendBuffer, ACK_EVERY};
 use crate::wire;
 
 /// A controller connection handed from the acceptor to the main loop.
@@ -45,6 +54,11 @@ struct Adoption {
     heartbeat_ms: u32,
     peers: Vec<String>,
     version: u16,
+    /// The controller instance's session id (v4; 0 from older peers).
+    session_id: u64,
+    /// `Some(cursor)` = resume request: the controller has every reliable
+    /// frame below `cursor` and wants the rest replayed.
+    resume: Option<u64>,
 }
 
 /// What [`serve`] feeds the engine: decoded plan/peer traffic, a fresh
@@ -52,123 +66,307 @@ struct Adoption {
 enum Event {
     Msg(CtrlMsg),
     NewController(Box<Adoption>),
-    /// The session's controller socket died. Tagged with the adoption
-    /// generation so a stale reader thread cannot end its successor's
-    /// session.
+    /// A controller socket died. Tagged with the socket token so a stale
+    /// reader thread cannot end its successor's session.
     ControllerGone {
-        gen: u64,
+        token: u64,
     },
 }
 
 /// How one controller session ended.
 enum SessionEnd {
-    /// Clean `Shutdown` frame (or engine halt): exit the process.
+    /// Clean `Shutdown` frame, SIGTERM, or engine halt: exit the process.
     Shutdown,
-    /// The controller socket died: wait to be adopted again.
+    /// The controller socket died: park the session (v4) or drop it and
+    /// wait to be adopted again.
     ControllerGone,
-    /// Another controller hello arrived mid-session: adopt it instead.
+    /// Another controller hello arrived mid-session that cannot revive
+    /// this session: adopt it instead.
     Superseded(Box<Adoption>),
 }
 
+/// One worker session: the engine plus everything that must survive a
+/// controller-socket loss for a resume to be lossless.
+struct Session {
+    session_id: u64,
+    me: usize,
+    v4: bool,
+    engine: WorkerEngine,
+    /// Outbound reliable frames awaiting cumulative ack; shared with the
+    /// controller reader (acks) — and the replay source on resume.
+    send_buf: Arc<Mutex<SendBuffer>>,
+    /// Inbound reliable dedupe cursor; shared with the controller reader
+    /// and the heartbeat thread (piggybacked acks).
+    recv_cursor: Arc<Mutex<RecvCursor>>,
+    peer_addrs: Vec<String>,
+    /// Outbound peer sockets, dialed on demand (worker index → stream).
+    /// Survive parking so P2P keeps flowing through a controller outage.
+    peer_out: Vec<Option<TcpStream>>,
+}
+
+impl Session {
+    fn fresh(a: &Adoption) -> Session {
+        Session {
+            session_id: a.session_id,
+            me: a.me,
+            v4: a.version >= 4,
+            engine: WorkerEngine::new(a.me),
+            send_buf: Arc::new(Mutex::new(SendBuffer::default())),
+            recv_cursor: Arc::new(Mutex::new(RecvCursor::new())),
+            peer_addrs: a.peers.clone(),
+            peer_out: (0..a.peers.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// Drives one message through the engine while no controller socket
+    /// exists: controller-bound output is sealed into the send buffer
+    /// (replayed on resume), peer output flows normally.
+    fn handle_offline(&mut self, msg: CtrlMsg) {
+        let Session {
+            me,
+            engine,
+            send_buf,
+            peer_addrs,
+            peer_out,
+            ..
+        } = self;
+        let me = *me;
+        let _ = engine.handle(msg, &mut |o| match o {
+            Outbound::Controller(m) => {
+                let payload = wire::encode_worker(&m);
+                send_buf.lock().expect("send_buf").seal(&payload);
+            }
+            Outbound::Peer(j, m) => send_to_peer(me, j, peer_addrs, peer_out, &m),
+        });
+    }
+
+    /// Telemetry flush tick while parked: batches land in the send
+    /// buffer and ship on resume.
+    fn flush_offline(&mut self) {
+        let Session {
+            engine, send_buf, ..
+        } = self;
+        engine.flush_telemetry(&mut |o| {
+            if let Outbound::Controller(m) = o {
+                let payload = wire::encode_worker(&m);
+                send_buf.lock().expect("send_buf").seal(&payload);
+            }
+        });
+    }
+}
+
 /// Serves one worker endpoint on `listener` until a clean shutdown.
-/// Survives controller loss: the engine state of the orphaned session is
-/// dropped and the process waits for the next controller hello (a standby
-/// taking over re-drives the run from scratch). Returns `Ok(())` on a
-/// clean shutdown; errors only if the accept loop itself dies before any
-/// adoption.
+/// Equivalent to [`serve_shutdown`] with a flag that never fires.
 pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
+    serve_shutdown(listener, Arc::new(AtomicBool::new(false)))
+}
+
+/// Serves one worker endpoint until a clean `Shutdown` frame — or until
+/// `shutdown` is set (the binary's SIGTERM handler), upon which buffered
+/// telemetry is flushed, a clean [`WorkerMsg::Leave`] is sent so the
+/// controller re-plans immediately instead of waiting out the staleness
+/// window, and the function returns `Ok(())`.
+///
+/// Survives controller loss: a v4 session is parked and can be resumed by
+/// a controller hello carrying the same session id (see the module docs);
+/// a pre-v4 session is dropped and the process waits for the next
+/// adoption. Errors only if the accept loop itself dies before any
+/// adoption.
+pub fn serve_shutdown(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+) -> Result<(), wire::WireError> {
     let (tx, rx) = unbounded::<Event>();
     // Worker index, for log lines from threads that outlive sessions
     // (usize::MAX = not yet adopted).
     let me_label = Arc::new(AtomicUsize::new(usize::MAX));
     spawn_acceptor(listener, tx.clone(), Arc::clone(&me_label));
 
-    let mut gen: u64 = 0;
+    // Socket-token allocator for ControllerGone attribution (a resume
+    // swaps sockets mid-session, so tokens are per socket, not per
+    // session).
+    let sock_gen = Arc::new(AtomicU64::new(0));
+    let mut session: Option<Session> = None;
     let mut next: Option<Box<Adoption>> = None;
     loop {
         let mut adoption = match next.take() {
             Some(a) => a,
-            None => loop {
-                match rx.recv() {
-                    Ok(Event::NewController(a)) => break a,
-                    // Peer traffic / stale gone-events between sessions
-                    // belong to no engine; drop them.
-                    Ok(_) => continue,
-                    Err(_) => return Ok(()),
+            None => {
+                // Wait for (re-)adoption, driving any parked session's
+                // peer traffic meanwhile.
+                let mut got: Option<Box<Adoption>> = None;
+                while got.is_none() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    match rx.recv_timeout(TELEMETRY_FLUSH_TICK) {
+                        Ok(Event::NewController(a)) => got = Some(a),
+                        Ok(Event::Msg(m)) => {
+                            if let Some(s) = session.as_mut() {
+                                s.handle_offline(m);
+                            }
+                        }
+                        Ok(Event::ControllerGone { .. }) => {}
+                        Err(RecvTimeoutError::Timeout) => {
+                            if let Some(s) = session.as_mut() {
+                                s.flush_offline();
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                    }
                 }
-            },
+                got.expect("adoption")
+            }
         };
-        // Drop events queued for the previous session; keep only the
-        // newest controller if several raced in.
+        // Drain the queue: keep the newest controller if several raced
+        // in, and keep a parked engine fed.
         while let Ok(ev) = rx.try_recv() {
-            if let Event::NewController(a) = ev {
-                adoption = a;
+            match ev {
+                Event::NewController(a) => adoption = a,
+                Event::Msg(m) => {
+                    if let Some(s) = session.as_mut() {
+                        s.handle_offline(m);
+                    }
+                }
+                Event::ControllerGone { .. } => {}
             }
         }
-        gen += 1;
         me_label.store(adoption.me, Ordering::Relaxed);
-        match run_session(gen, *adoption, &rx, &tx) {
+        let v4 = adoption.version >= 4;
+        let resumable = v4
+            && adoption.resume.is_some()
+            && session
+                .as_ref()
+                .is_some_and(|s| s.session_id == adoption.session_id);
+        if !resumable {
+            session = Some(Session::fresh(&adoption));
+        }
+        let s = session.as_mut().expect("session");
+        match run_session(*adoption, resumable, s, &rx, &tx, &shutdown, &sock_gen) {
             SessionEnd::Shutdown => return Ok(()),
             SessionEnd::ControllerGone => {
-                eprintln!("[grout-workerd] controller lost; awaiting re-adoption");
+                if v4 {
+                    eprintln!("[grout-workerd] controller lost; session parked, awaiting resume");
+                } else {
+                    session = None;
+                    eprintln!("[grout-workerd] controller lost; awaiting re-adoption");
+                }
             }
             SessionEnd::Superseded(a) => next = Some(a),
         }
     }
 }
 
-/// Runs one controller session: ack the adoption, spawn the session's
-/// reader and heartbeat threads, and drive a fresh [`WorkerEngine`] until
-/// the session ends.
+/// Acks an adoption (fresh or resume) on `stream` and replays the unacked
+/// tail when resuming. Returns the stream ready for session traffic, or
+/// `None` if the handshake could not complete.
+fn ack_and_replay(
+    mut stream: TcpStream,
+    s: &Session,
+    resume_cursor: Option<u64>,
+) -> Option<TcpStream> {
+    let replay = match resume_cursor {
+        Some(cursor) => {
+            match s.send_buf.lock().expect("send_buf").replay_from(cursor) {
+                Some(frames) => Some(frames),
+                None => {
+                    // Window trimmed past the controller's cursor: this
+                    // session can never resume losslessly. Tell the
+                    // controller (it goes to quarantine + fresh rejoin).
+                    let cursor = s.recv_cursor.lock().expect("cursor").cursor();
+                    let _ =
+                        wire::write_frame(&mut stream, &wire::encode_ack_ex(s.me, false, cursor));
+                    return None;
+                }
+            }
+        }
+        None => None,
+    };
+    let cursor = s.recv_cursor.lock().expect("cursor").cursor();
+    let ack = wire::encode_ack_ex(s.me, replay.is_some(), cursor);
+    if wire::write_frame(&mut stream, &ack).is_err() {
+        return None;
+    }
+    for frame in replay.iter().flatten() {
+        if wire::write_frame(&mut stream, frame).is_err() {
+            return None;
+        }
+    }
+    Some(stream)
+}
+
+/// Runs one controller session: ack the adoption (replaying on resume),
+/// spawn the socket's reader and heartbeat threads, and drive the
+/// session's [`WorkerEngine`] until the session ends. A mid-session
+/// resume hello for the same session swaps sockets in place.
 fn run_session(
-    gen: u64,
     adoption: Adoption,
+    resumed: bool,
+    s: &mut Session,
     rx: &Receiver<Event>,
     tx: &Sender<Event>,
+    shutdown: &Arc<AtomicBool>,
+    sock_gen: &Arc<AtomicU64>,
 ) -> SessionEnd {
     let Adoption {
-        mut stream,
+        stream,
         me,
         total,
         heartbeat_ms,
-        peers: peer_addrs,
+        peers: _,
         version: ctrl_version,
+        session_id: _,
+        resume,
     } = adoption;
-    if wire::write_frame(&mut stream, &wire::encode_ack(me)).is_err() {
+    let v4 = s.v4;
+    let Some(stream) = ack_and_replay(stream, s, if resumed { resume } else { None }) else {
         return SessionEnd::ControllerGone;
-    }
+    };
     eprintln!(
-        "[grout-workerd w{me}] adopted by controller (wire v{ctrl_version}, {total} workers, \
-         heartbeat {heartbeat_ms}ms, session {gen})"
+        "[grout-workerd w{me}] {} controller (wire v{ctrl_version}, {total} workers, \
+         heartbeat {heartbeat_ms}ms{})",
+        if resumed { "resumed" } else { "adopted by" },
+        if resumed { ", session revived" } else { "" },
     );
 
     // Controller write half, shared between the main loop (completions,
-    // data returns), the heartbeat thread (beats + clock pings) and the
-    // controller reader (clock samples).
-    let ctrl_read = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return SessionEnd::ControllerGone,
+    // data returns), the heartbeat thread (beats + clock pings + acks)
+    // and the controller reader (clock samples, session acks).
+    let mut ctrl_write = match attach_socket(s, stream, heartbeat_ms, ctrl_version, tx, sock_gen) {
+        Some(w) => w,
+        None => return SessionEnd::ControllerGone,
     };
-    let ctrl_write = Arc::new(Mutex::new(stream));
-
-    spawn_ctrl_reader(me, gen, ctrl_read, tx.clone(), Arc::clone(&ctrl_write));
-    spawn_heartbeat(me, Arc::clone(&ctrl_write), heartbeat_ms, ctrl_version);
-
-    let mut engine = WorkerEngine::new(me);
-    // Outbound peer sockets, dialed on demand (worker index → stream).
-    // Per-session: dropping them at session end closes the sockets, which
-    // ends the matching peer-rx threads on the receiving workers.
-    let mut peer_out: Vec<Option<TcpStream>> = (0..peer_addrs.len()).map(|_| None).collect();
+    let mut cur_token = sock_gen.load(Ordering::SeqCst);
 
     loop {
+        if shutdown.load(Ordering::SeqCst) {
+            graceful_leave(s, &ctrl_write);
+            return SessionEnd::Shutdown;
+        }
         let event = match rx.recv_timeout(TELEMETRY_FLUSH_TICK) {
             Ok(ev) => ev,
             Err(RecvTimeoutError::Timeout) => {
                 // Idle flush tick: ship buffered telemetry even when no
                 // plan traffic arrives to trigger a flush.
                 let mut halt = false;
+                let Session {
+                    engine,
+                    send_buf,
+                    peer_addrs,
+                    peer_out,
+                    ..
+                } = &mut *s;
                 engine.flush_telemetry(&mut |o| {
-                    deliver(o, me, &ctrl_write, &peer_addrs, &mut peer_out, &mut halt)
+                    deliver(
+                        o,
+                        me,
+                        v4,
+                        send_buf,
+                        &ctrl_write,
+                        peer_addrs,
+                        peer_out,
+                        &mut halt,
+                    )
                 });
                 if halt {
                     return SessionEnd::ControllerGone;
@@ -179,13 +377,56 @@ fn run_session(
         };
         let msg = match event {
             Event::Msg(m) => m,
-            Event::NewController(a) => return SessionEnd::Superseded(a),
-            Event::ControllerGone { gen: g } if g == gen => return SessionEnd::ControllerGone,
-            Event::ControllerGone { .. } => continue, // stale session's reader
+            Event::NewController(a) => {
+                let revivable =
+                    a.version >= 4 && a.resume.is_some() && a.session_id == s.session_id && v4;
+                if !revivable {
+                    return SessionEnd::Superseded(a);
+                }
+                // In-place revival: the controller re-dialed (it severed a
+                // stale or injected-dead socket). Quiesce the old socket,
+                // handshake on the new one, swap.
+                {
+                    let g = ctrl_write.lock().expect("controller write lock");
+                    let _ = g.shutdown(std::net::Shutdown::Both);
+                }
+                let Some(new_stream) = ack_and_replay(a.stream, s, a.resume) else {
+                    return SessionEnd::ControllerGone;
+                };
+                match attach_socket(s, new_stream, a.heartbeat_ms, a.version, tx, sock_gen) {
+                    Some(w) => {
+                        ctrl_write = w;
+                        cur_token = sock_gen.load(Ordering::SeqCst);
+                        eprintln!("[grout-workerd w{me}] session resumed in place");
+                        continue;
+                    }
+                    None => return SessionEnd::ControllerGone,
+                }
+            }
+            Event::ControllerGone { token } if token == cur_token => {
+                return SessionEnd::ControllerGone
+            }
+            Event::ControllerGone { .. } => continue, // stale socket's reader
         };
         let mut halt = false;
+        let Session {
+            engine,
+            send_buf,
+            peer_addrs,
+            peer_out,
+            ..
+        } = &mut *s;
         let flow = engine.handle(msg, &mut |o| {
-            deliver(o, me, &ctrl_write, &peer_addrs, &mut peer_out, &mut halt)
+            deliver(
+                o,
+                me,
+                v4,
+                send_buf,
+                &ctrl_write,
+                peer_addrs,
+                peer_out,
+                &mut halt,
+            )
         });
         if flow == Flow::Halt {
             return SessionEnd::Shutdown;
@@ -196,11 +437,83 @@ fn run_session(
     }
 }
 
+/// Wraps a freshly handshaken controller socket: allocates its token,
+/// spawns its reader and heartbeat threads, returns the shared write
+/// half.
+fn attach_socket(
+    s: &Session,
+    stream: TcpStream,
+    heartbeat_ms: u32,
+    ctrl_version: u16,
+    tx: &Sender<Event>,
+    sock_gen: &Arc<AtomicU64>,
+) -> Option<Arc<Mutex<TcpStream>>> {
+    let token = sock_gen.fetch_add(1, Ordering::SeqCst) + 1;
+    let ctrl_read = stream.try_clone().ok()?;
+    let ctrl_write = Arc::new(Mutex::new(stream));
+    spawn_ctrl_reader(
+        s.me,
+        token,
+        ctrl_read,
+        tx.clone(),
+        Arc::clone(&ctrl_write),
+        s.v4,
+        Arc::clone(&s.send_buf),
+        Arc::clone(&s.recv_cursor),
+    );
+    spawn_heartbeat(
+        s.me,
+        Arc::clone(&ctrl_write),
+        heartbeat_ms,
+        ctrl_version,
+        Arc::clone(&s.recv_cursor),
+    );
+    Some(ctrl_write)
+}
+
+/// SIGTERM path: flush buffered telemetry, announce a clean departure so
+/// the controller re-plans immediately, flush the socket.
+fn graceful_leave(s: &mut Session, ctrl_write: &Arc<Mutex<TcpStream>>) {
+    let me = s.me;
+    let v4 = s.v4;
+    let mut halt = false;
+    {
+        let Session {
+            engine,
+            send_buf,
+            peer_addrs,
+            peer_out,
+            ..
+        } = &mut *s;
+        engine.flush_telemetry(&mut |o| {
+            deliver(
+                o, me, v4, send_buf, ctrl_write, peer_addrs, peer_out, &mut halt,
+            )
+        });
+    }
+    let payload = wire::encode_worker(&WorkerMsg::Leave { worker: me });
+    let framed = if v4 {
+        s.send_buf.lock().expect("send_buf").seal(&payload)
+    } else {
+        payload
+    };
+    let mut stream = ctrl_write.lock().expect("controller write lock");
+    let _ = wire::write_frame(&mut *stream, &framed);
+    use std::io::Write as _;
+    let _ = stream.flush();
+    eprintln!("[grout-workerd w{me}] SIGTERM: telemetry flushed, clean leave sent");
+}
+
 /// Routes one engine-emitted message to the controller or a peer; flips
-/// `halt` when the controller socket is gone.
+/// `halt` when the controller socket is gone. Controller-bound traffic is
+/// sealed reliable under v4 — a failed write leaves the frame in the send
+/// buffer, so it is parked, not lost.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
     o: Outbound,
     me: usize,
+    v4: bool,
+    send_buf: &Arc<Mutex<SendBuffer>>,
     ctrl_write: &Arc<Mutex<TcpStream>>,
     peer_addrs: &[String],
     peer_out: &mut [Option<TcpStream>],
@@ -208,7 +521,14 @@ fn deliver(
 ) {
     match o {
         Outbound::Controller(m) => {
-            if send_to_controller(ctrl_write, &m).is_err() {
+            let payload = wire::encode_worker(&m);
+            let framed = if v4 {
+                send_buf.lock().expect("send_buf").seal(&payload)
+            } else {
+                payload
+            };
+            let mut stream = ctrl_write.lock().expect("controller write lock");
+            if wire::write_frame(&mut *stream, &framed).is_err() {
                 *halt = true;
             }
         }
@@ -216,15 +536,6 @@ fn deliver(
             send_to_peer(me, j, peer_addrs, peer_out, &m);
         }
     }
-}
-
-fn send_to_controller(
-    ctrl_write: &Arc<Mutex<TcpStream>>,
-    msg: &WorkerMsg,
-) -> Result<(), wire::WireError> {
-    let payload = wire::encode_worker(msg);
-    let mut stream = ctrl_write.lock().expect("controller write lock");
-    wire::write_frame(&mut *stream, &payload)
 }
 
 /// Writes `msg` to peer `j`, dialing its listen address on first use. A
@@ -265,51 +576,123 @@ fn dial_peer(me: usize, addr: &str) -> Result<TcpStream, wire::WireError> {
     Ok(stream)
 }
 
+/// Writes an ephemeral (v4) or bare frame to the controller socket.
+fn write_ctrl(
+    ctrl_write: &Arc<Mutex<TcpStream>>,
+    v4: bool,
+    payload: &[u8],
+) -> Result<(), wire::WireError> {
+    let framed = if v4 {
+        wire::seal_ephemeral(payload)
+    } else {
+        payload.to_vec()
+    };
+    let mut stream = ctrl_write.lock().expect("controller write lock");
+    wire::write_frame(&mut *stream, &framed)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn spawn_ctrl_reader(
     me: usize,
-    gen: u64,
+    token: u64,
     mut stream: TcpStream,
     tx: Sender<Event>,
     ctrl_write: Arc<Mutex<TcpStream>>,
+    v4: bool,
+    send_buf: Arc<Mutex<SendBuffer>>,
+    recv_cursor: Arc<Mutex<RecvCursor>>,
 ) {
     std::thread::Builder::new()
         .name("workerd-ctrl-rx".into())
-        .spawn(move || loop {
-            match wire::read_frame(&mut stream) {
-                Ok(Some(payload)) => {
-                    // Clock pongs complete the NTP-style exchange here,
-                    // on the arrival thread — queueing them behind plan
-                    // traffic would inflate t4 and ruin the estimate.
-                    if payload.first() == Some(&wire::CLOCK_PONG_TAG) {
-                        let t4 = monotonic_ns();
-                        if let Ok((t1, t2)) = wire::decode_clock_pong(&payload) {
-                            let offset = t2 as i64 - ((t1 + t4) / 2) as i64;
-                            let rtt = t4.saturating_sub(t1);
-                            let sample = wire::encode_clock_sample(me, offset, rtt);
-                            let mut w = ctrl_write.lock().expect("controller write lock");
-                            if wire::write_frame(&mut *w, &sample).is_err() {
-                                let _ = tx.send(Event::ControllerGone { gen });
-                                return;
-                            }
+        .spawn(move || {
+            let gone = |tx: &Sender<Event>| {
+                let _ = tx.send(Event::ControllerGone { token });
+            };
+            // Handles one logical (post-envelope) payload; false = stop.
+            let handle_inner = |inner: Vec<u8>, tx: &Sender<Event>| -> bool {
+                // Clock pongs complete the NTP-style exchange here, on
+                // the arrival thread — queueing them behind plan traffic
+                // would inflate t4 and ruin the estimate.
+                if inner.first() == Some(&wire::CLOCK_PONG_TAG) {
+                    let t4 = monotonic_ns();
+                    if let Ok((t1, t2)) = wire::decode_clock_pong(&inner) {
+                        let offset = t2 as i64 - ((t1 + t4) / 2) as i64;
+                        let rtt = t4.saturating_sub(t1);
+                        let sample = wire::encode_clock_sample(me, offset, rtt);
+                        if write_ctrl(&ctrl_write, v4, &sample).is_err() {
+                            return false;
                         }
-                        continue;
                     }
-                    match wire::decode_ctrl(&payload) {
-                        Ok(msg) => {
-                            if tx.send(Event::Msg(msg)).is_err() {
-                                return;
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("[grout-workerd] bad controller frame: {e}");
-                            let _ = tx.send(Event::ControllerGone { gen });
-                            return;
-                        }
+                    return true;
+                }
+                if inner.first() == Some(&wire::SESSION_ACK_TAG) {
+                    if let Ok(cursor) = wire::decode_session_ack(&inner) {
+                        send_buf.lock().expect("send_buf").ack(cursor);
+                    }
+                    return true;
+                }
+                match wire::decode_ctrl(&inner) {
+                    Ok(msg) => tx.send(Event::Msg(msg)).is_ok(),
+                    Err(e) => {
+                        eprintln!("[grout-workerd] bad controller frame: {e}");
+                        false
                     }
                 }
-                Ok(None) | Err(_) => {
-                    let _ = tx.send(Event::ControllerGone { gen });
-                    return;
+            };
+            loop {
+                match wire::read_frame(&mut stream) {
+                    Ok(Some(raw)) => {
+                        if !v4 {
+                            if !handle_inner(raw, &tx) {
+                                gone(&tx);
+                                return;
+                            }
+                            continue;
+                        }
+                        match wire::open_envelope(raw) {
+                            Ok(wire::Envelope::Ephemeral(inner)) => {
+                                if !handle_inner(inner, &tx) {
+                                    gone(&tx);
+                                    return;
+                                }
+                            }
+                            Ok(wire::Envelope::Reliable { seq, payload }) => {
+                                let (ready, ack_due, cursor) = {
+                                    let mut rc = recv_cursor.lock().expect("cursor");
+                                    let before = rc.cursor();
+                                    let ready = rc.accept(seq, payload);
+                                    let after = rc.cursor();
+                                    (ready, before / ACK_EVERY != after / ACK_EVERY, after)
+                                };
+                                for p in ready {
+                                    if !handle_inner(p, &tx) {
+                                        gone(&tx);
+                                        return;
+                                    }
+                                }
+                                if ack_due
+                                    && write_ctrl(
+                                        &ctrl_write,
+                                        true,
+                                        &wire::encode_session_ack(cursor),
+                                    )
+                                    .is_err()
+                                {
+                                    gone(&tx);
+                                    return;
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("[grout-workerd] bad controller envelope: {e}");
+                                gone(&tx);
+                                return;
+                            }
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        gone(&tx);
+                        return;
+                    }
                 }
             }
         })
@@ -321,21 +704,30 @@ fn spawn_heartbeat(
     ctrl_write: Arc<Mutex<TcpStream>>,
     heartbeat_ms: u32,
     ctrl_version: u16,
+    recv_cursor: Arc<Mutex<RecvCursor>>,
 ) {
     let cadence = Duration::from_millis(heartbeat_ms.max(1) as u64);
+    let v4 = ctrl_version >= 4;
     std::thread::Builder::new()
         .name("workerd-heartbeat".into())
         .spawn(move || loop {
             // Beat (and ping) *before* the first sleep so even a run
             // shorter than one cadence yields an RTT sample.
-            let beat = WorkerMsg::Heartbeat { worker: me };
-            if send_to_controller(&ctrl_write, &beat).is_err() {
+            let beat = wire::encode_worker(&WorkerMsg::Heartbeat { worker: me });
+            if write_ctrl(&ctrl_write, v4, &beat).is_err() {
                 return;
             }
             if ctrl_version >= 2 {
                 let ping = wire::encode_clock_ping(me, monotonic_ns());
-                let mut w = ctrl_write.lock().expect("controller write lock");
-                if wire::write_frame(&mut *w, &ping).is_err() {
+                if write_ctrl(&ctrl_write, v4, &ping).is_err() {
+                    return;
+                }
+            }
+            if v4 {
+                // Piggyback a cumulative ack so an idle stream still gets
+                // its controller-side send window trimmed.
+                let cursor = recv_cursor.lock().expect("cursor").cursor();
+                if write_ctrl(&ctrl_write, true, &wire::encode_session_ack(cursor)).is_err() {
                     return;
                 }
             }
@@ -373,6 +765,8 @@ fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>, me_label: Arc<Atomic
                                     total,
                                     heartbeat_ms,
                                     peers,
+                                    session_id,
+                                    resume,
                                 },
                                 version,
                             )) => {
@@ -383,6 +777,8 @@ fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>, me_label: Arc<Atomic
                                     heartbeat_ms,
                                     peers,
                                     version,
+                                    session_id,
+                                    resume,
                                 })));
                                 return;
                             }

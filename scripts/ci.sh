@@ -74,6 +74,68 @@ fi
 echo "==> chaos --kill-process (SIGKILL a live grout-workerd; lineage replay)"
 timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --kill-process
 
+echo "==> chaos --net-seeds (seeded omission faults; bit-identical, zero quarantines)"
+timeout 300 cargo run --release -q -p grout-bench --bin chaos -- --net-seeds 8
+
+echo "==> chaos --net-sever (sever a live TCP session mid-chain; session resume)"
+timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --net-sever
+
+echo "==> SIGSTOP e2e (freeze one workerd past the grace window; resume, no quarantine)"
+cat > target/ci-sigstop.gs <<'EOF'
+build = polyglot.eval("grout", "buildkernel")
+step = build("__global__ void step(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * 0.999 + 1.0; } }", "step(x: inout pointer float, n: sint32)")
+x = polyglot.eval("grout", "float[16384]")
+for i in range(16384) { x[i] = i }
+for r in range(240) {
+  step(64, 256)(x, 16384)
+}
+print(x[0])
+print(x[16383])
+EOF
+# Uninterrupted reference run. The single dependent chain alternates
+# workers each CE (round-robin), so freezing either worker stalls the
+# whole pipeline — the controller must starve, suspect, and resume.
+./target/release/grout-workerd --listen 127.0.0.1:7421 & SS_W1=$!
+./target/release/grout-workerd --listen 127.0.0.1:7422 & SS_W2=$!
+trap 'kill "$SS_W1" "$SS_W2" 2>/dev/null || true' EXIT
+sleep 1
+timeout 120 ./target/release/grout-run \
+  --workers tcp:127.0.0.1:7421,127.0.0.1:7422 \
+  --heartbeat-ms 20 --stale-after 3 --reconnect-window-ms 15000 \
+  target/ci-sigstop.gs > target/ci-sigstop-ref.out
+wait "$SS_W1" "$SS_W2" 2>/dev/null || true
+# Chaos run on a fresh pair: freeze w0 mid-chain for a full second —
+# ~17× the 60 ms staleness window — then thaw it. The session must
+# resume; nothing may be quarantined; stdout must not change. The STOP
+# is anchored to w0's "adopted" log line (plus a beat for the chain to
+# get going), not wall-clock, so run-duration variance can't miss.
+./target/release/grout-workerd --listen 127.0.0.1:7423 \
+  > target/ci-sigstop-w0.log 2>&1 & SS_W1=$!
+./target/release/grout-workerd --listen 127.0.0.1:7424 & SS_W2=$!
+sleep 1
+timeout 120 ./target/release/grout-run \
+  --workers tcp:127.0.0.1:7423,127.0.0.1:7424 \
+  --heartbeat-ms 20 --stale-after 3 --reconnect-window-ms 15000 \
+  --stats --metrics-out target/ci-sigstop-metrics.json \
+  target/ci-sigstop.gs > target/ci-sigstop.out 2> target/ci-sigstop.err & SS_RUN=$!
+for _ in $(seq 100); do
+  grep -q "adopted by controller" target/ci-sigstop-w0.log 2>/dev/null && break
+  sleep 0.1
+done
+sleep 0.5
+kill -STOP "$SS_W1"
+sleep 1
+kill -CONT "$SS_W1"
+wait "$SS_RUN"
+kill "$SS_W1" "$SS_W2" 2>/dev/null || true
+wait "$SS_W1" "$SS_W2" 2>/dev/null || true
+trap - EXIT
+diff target/ci-sigstop-ref.out target/ci-sigstop.out
+# resumes is column 7 of the --stats table; the freeze must have forced ≥1.
+awk '$2 ~ /^w[0-9]+$/ { sum += $7 } END { exit !(sum >= 1) }' target/ci-sigstop.err
+grep -q '"quarantines": 0' target/ci-sigstop-metrics.json
+echo "SIGSTOP e2e OK: bit-identical output, >=1 resume, zero quarantines"
+
 echo "==> controller failover (SIGKILL the primary mid-run; hot standby takes over)"
 cat > target/ci-failover.gs <<'EOF'
 build = polyglot.eval("grout", "buildkernel")
