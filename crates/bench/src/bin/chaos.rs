@@ -36,6 +36,11 @@
 //!   staleness window (suspect fires, socket severed), SIGCONT it inside
 //!   the reconnect window; the resume must reinstate the worker with no
 //!   quarantine and bit-identical results.
+//! - `--elastic`: TCP differential — a third workerd joins the live
+//!   two-worker chain mid-run and receives CE placements, then a
+//!   founding worker departs via a clean Leave; the run must stay
+//!   bit-identical with the static two-worker run, with zero
+//!   quarantines and zero session resumes.
 use grout::core::{
     first_divergence, CeArg, ChromeTracer, KernelCost, LocalArg, LocalConfig, LocalRuntime,
     NetFaultPlan, PeerWireStats, PlannerOp, Runtime, Shared, SimConfig, SimRuntime,
@@ -318,6 +323,22 @@ fn check_seed(seed: u64) {
 
 /// Where the `grout-workerd` binary lives: `GROUT_WORKERD` env override,
 /// else a sibling of this executable (both land in the same target dir).
+/// The position-independent chain kernel every TCP differential runs:
+/// `a[i] += 1.0` is the same arithmetic on every worker, so placement
+/// changes (faults, elastic membership) can never change the bits.
+fn inc_kernel() -> Arc<kernelc::CompiledKernel> {
+    Arc::new(
+        kernelc::compile(
+            "__global__ void inc(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = a[i] + 1.0; }
+            }",
+        )
+        .unwrap()[0]
+            .clone(),
+    )
+}
+
 fn workerd_path() -> std::path::PathBuf {
     if let Some(p) = std::env::var_os("GROUT_WORKERD") {
         return p.into();
@@ -366,18 +387,9 @@ fn count_spans(trace: &serde_json::Value, pid: u64, cat: &str) -> usize {
 /// bandwidth matrix next to a net-sim run's *modeled* one (`bw_source`
 /// distinguishes them), so the two can be compared in one file.
 fn check_kill_process(art: ArtifactArgs) {
-    use grout::net::{TcpExt, WorkerSpec};
+    use grout::{TcpExt, WorkerSpec};
 
-    let inc = Arc::new(
-        kernelc::compile(
-            "__global__ void inc(float* a, int n) {
-                int i = blockIdx.x * blockDim.x + threadIdx.x;
-                if (i < n) { a[i] = a[i] + 1.0; }
-            }",
-        )
-        .unwrap()[0]
-            .clone(),
-    );
+    let inc = inc_kernel();
     let n = N as i32;
     let pre = CHAIN / 2;
     let post = CHAIN - pre;
@@ -672,7 +684,7 @@ fn assert_ops_equivalent(clean: &[PlannerOp], faulted: &[PlannerOp], what: &str)
 #[allow(clippy::type_complexity)]
 fn run_dist_chain(
     plan: NetFaultPlan,
-    mid_run: impl FnOnce(&mut grout::net::DistRuntime, usize),
+    mid_run: impl FnOnce(&mut grout::DistRuntime, usize),
 ) -> (
     Vec<u32>,
     Vec<SchedEvent>,
@@ -680,18 +692,9 @@ fn run_dist_chain(
     Vec<PeerWireStats>,
     u64,
 ) {
-    use grout::net::{TcpExt, WorkerSpec};
+    use grout::{TcpExt, WorkerSpec};
 
-    let inc = Arc::new(
-        kernelc::compile(
-            "__global__ void inc(float* a, int n) {
-                int i = blockIdx.x * blockDim.x + threadIdx.x;
-                if (i < n) { a[i] = a[i] + 1.0; }
-            }",
-        )
-        .unwrap()[0]
-            .clone(),
-    );
+    let inc = inc_kernel();
     let fc = grout::core::FaultConfig {
         heartbeat_ms: 20,
         stale_after_beats: 3,
@@ -773,7 +776,7 @@ fn check_net_sever() {
 /// No quarantine, ≥1 resume, suspect/reinstate visible in the schedule
 /// trace, bit-identical results.
 fn check_sigstop() {
-    let signal_worker = |rt: &grout::net::DistRuntime, w: usize, sig: &str| {
+    let signal_worker = |rt: &grout::DistRuntime, w: usize, sig: &str| {
         let pid = rt.worker_pid(w).expect("spawned worker has a pid");
         let ok = std::process::Command::new("kill")
             .args([sig, &pid.to_string()])
@@ -826,6 +829,52 @@ fn check_sigstop() {
     assert_ops_equivalent(&clean_ops, &stop_ops, "sigstop");
     let resumes: u64 = stop_wire.iter().map(|w| w.resumes).sum();
     assert!(resumes >= 1, "no session resume despite the severed socket");
+}
+
+/// Elastic membership differential: a third workerd joins the live
+/// two-worker chain mid-run, takes CE placements on a scratch DAG, and a
+/// founding worker then departs cleanly. The scratch work never touches
+/// the chain buffer, so the run must stay bit-identical with the static
+/// two-worker run — and a clean Leave is a planned membership change,
+/// not a fault: zero quarantines, zero session resumes.
+fn check_elastic() {
+    let (clean, _, _, _, _) = run_dist_chain(NetFaultPlan::none(), |_, _| {});
+    let (elastic, events, _, wire, quarantines) = run_dist_chain(NetFaultPlan::none(), |rt, _| {
+        let joined = rt
+            .join(grout::WorkerSpec::Spawn(workerd_path()))
+            .expect("mid-run join");
+        assert_eq!(joined, 2, "newcomer takes the next index");
+        assert_eq!(rt.healthy_workers(), 3, "mesh grew to three");
+        // Scratch DAG over the grown mesh: the newcomer must receive
+        // CE placements before anyone departs.
+        let inc = inc_kernel();
+        let s = rt.alloc_f32(N);
+        rt.write_f32(s, |v| v.fill(0.0)).unwrap();
+        for _ in 0..3 {
+            rt.launch(&inc, 4, 64, vec![LocalArg::Buf(s), LocalArg::I32(N as i32)])
+                .unwrap();
+        }
+        rt.synchronize().expect("grown mesh completes scratch work");
+        let placed = (0..64)
+            .filter_map(|i| rt.node_assignment(i))
+            .filter(|l| l.worker_index() == Some(joined))
+            .count();
+        assert!(placed >= 1, "joined worker never received a CE placement");
+        rt.leave(0).expect("clean leave of a founding worker");
+        assert!(!rt.is_quarantined(0), "clean leave must not quarantine");
+        assert_eq!(rt.healthy_workers(), 2, "departure rebalances to two");
+    });
+    assert_eq!(quarantines, 0, "elastic membership must not quarantine");
+    assert!(
+        quarantine_of(&events).is_none(),
+        "quarantine event recorded for a planned membership change"
+    );
+    let resumes: u64 = wire.iter().map(|w| w.resumes).sum();
+    assert_eq!(resumes, 0, "clean join/leave must not trip session resume");
+    assert_eq!(
+        clean, elastic,
+        "elastic run diverged bitwise from the static two-worker run"
+    );
 }
 
 /// One instrumented faulted sim chain (kill at CE 2, two workers): the
@@ -911,6 +960,13 @@ fn main() {
 
     if args.iter().any(|a| a == "--sigstop") {
         if !watchdog("sigstop", check_sigstop) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--elastic") {
+        if !watchdog("elastic", check_elastic) {
             std::process::exit(1);
         }
         return;

@@ -413,6 +413,18 @@ impl FailureDetector {
         self.epoch
     }
 
+    /// Grows the tracked worker set to `workers` (elastic scale-out): new
+    /// slots enter Healthy. Growing never shrinks and never touches
+    /// existing state; the membership-epoch bump for a join is recorded by
+    /// the planner op, so the detector epoch moves with it.
+    pub fn grow(&mut self, workers: usize) {
+        assert!(workers >= self.state.len(), "the worker set never shrinks");
+        if workers > self.state.len() {
+            self.state.resize(workers, Health::Healthy);
+            self.epoch += 1;
+        }
+    }
+
     /// Worker `w`'s membership state.
     pub fn health(&self, w: usize) -> Health {
         self.state.get(w).copied().unwrap_or(Health::Dead)
@@ -631,6 +643,25 @@ pub enum SchedEvent {
     Rejoined {
         /// The rejoined worker.
         worker: usize,
+        /// The new membership epoch.
+        epoch: u64,
+    },
+    /// A brand-new worker attached to the live controller (elastic
+    /// scale-out): the worker set grew by one.
+    Joined {
+        /// Index the newcomer was assigned.
+        worker: usize,
+        /// The new membership epoch.
+        epoch: u64,
+    },
+    /// A worker departed cleanly (elastic scale-in): its sole-copy arrays
+    /// were rebalanced to the controller first, so nothing was lost and
+    /// nothing was quarantined.
+    Departed {
+        /// The departed worker.
+        worker: usize,
+        /// Arrays whose authoritative copy moved to the controller.
+        rebalanced: usize,
         /// The new membership epoch.
         epoch: u64,
     },

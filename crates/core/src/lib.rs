@@ -41,7 +41,7 @@ pub mod telemetry;
 mod timeline;
 pub mod transport;
 
-pub use builder::{Observability, Runtime, RuntimeBuilder};
+pub use builder::{DurabilityOptions, NetOptions, Observability, Runtime, RuntimeBuilder};
 pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 pub use coherence::{Coherence, Location, PurgeReport};
 pub use dag::{AddOutcome, DagIndex, DepDag};

@@ -96,6 +96,9 @@ pub enum LocalError {
     /// The shared scheduling core rejected the CE.
     #[error("planning failed: {0}")]
     Plan(PlanError),
+    /// An elastic membership change (join/leave) could not complete.
+    #[error("membership change failed: {0}")]
+    Membership(String),
 }
 
 /// A host-side buffer (the backing store of a framework array).
@@ -289,6 +292,10 @@ pub struct LocalRuntime {
     /// `Done`s skip the controller-side synthetic execute span (the
     /// worker's own clock-aligned span is strictly better).
     saw_worker_telemetry: Vec<bool>,
+    /// Workers this controller asked to depart ([`Self::leave_worker`]):
+    /// their [`WorkerMsg::Leave`] ack is expected and must not be treated
+    /// as a death.
+    expected_leave: HashSet<usize>,
 }
 
 impl LocalRuntime {
@@ -377,6 +384,7 @@ impl LocalRuntime {
             origin_mono: monotonic_ns(),
             aligner: LaneAligner::new(),
             saw_worker_telemetry: vec![false; n],
+            expected_leave: HashSet::new(),
             cfg,
         })
     }
@@ -907,8 +915,13 @@ impl LocalRuntime {
                 Ok(WorkerMsg::Leave { worker }) => {
                     // A clean departure (graceful worker shutdown) is a
                     // definitive death: no suspect grace window, no resume
-                    // attempts — straight to quarantine + replay.
-                    self.recover_from_death(worker, None)?;
+                    // attempts — straight to quarantine + replay. Unless
+                    // this controller asked for it ([`Self::leave_worker`]):
+                    // then the ack is consumed there, and a straggler
+                    // surfacing here must not trigger replay.
+                    if !self.expected_leave.contains(&worker) {
+                        self.recover_from_death(worker, None)?;
+                    }
                 }
                 // Liveness/probe traffic is transport-internal; tolerate
                 // stragglers defensively.
@@ -1966,6 +1979,151 @@ impl LocalRuntime {
                 .send(worker, CtrlMsg::Observe { enabled: true });
         }
         Ok(true)
+    }
+
+    /// Attaches a brand-new worker to the running cluster (elastic
+    /// scale-out) and returns the index it was assigned.
+    ///
+    /// The transport admits the endpoint first ([`Transport::join`]: spawn
+    /// a thread in-process, dial/handshake/register over TCP). The
+    /// membership growth then flows through the op log as
+    /// [`PlannerOp::Join`] — journals, replays and the hot standby all see
+    /// the worker set grow — and the links touching the newcomer are
+    /// re-probed incrementally (the conservative padding the scheduler
+    /// starts from never prices a CE: the re-probe lands before the next
+    /// plan). The newcomer starts empty and receives inputs and kernels
+    /// on demand exactly like a rejoined node.
+    pub fn join_worker(&mut self, addr: &str) -> Result<usize, LocalError> {
+        // Quiesce in-flight work: frozen plan assignments must not race a
+        // membership change.
+        self.synchronize()?;
+        let w = self.transport.join(addr).map_err(LocalError::Membership)?;
+        let n = w + 1;
+        self.cfg.planner.workers = n;
+        self.present.resize_with(n, HashSet::new);
+        self.loaded.resize_with(n, HashSet::new);
+        self.kernels_by_worker.resize(n, 0);
+        self.saw_worker_telemetry.resize(n, false);
+        self.detector.grow(n);
+        self.metrics.grow_workers(n);
+        self.planner.join(w);
+        self.note_event(SchedEvent::Joined {
+            worker: w,
+            epoch: self.detector.epoch(),
+        });
+        // Incremental link probe: measure only the newcomer's links and
+        // ship the merged matrix through the op log like any reprobe.
+        if let Some(links) = self.transport.probe_joined(w) {
+            self.planner.reprobe_links(links.clone());
+            self.metrics
+                .set_bandwidth("measured", self.transport.kind(), &links);
+        }
+        if self.telemetry.enabled() {
+            let _ = self.transport.send(w, CtrlMsg::Observe { enabled: true });
+        }
+        Ok(w)
+    }
+
+    /// Detaches worker `w` cleanly (elastic scale-in): the anti-entropy
+    /// counterpart of a crash.
+    ///
+    /// Every array whose only up-to-date copy lives on `w` is fetched to
+    /// the controller *before* the membership change commits, so the
+    /// departure loses nothing: no quarantine, no lineage replay — the
+    /// directory entries are rebalanced instead. The worker is asked to
+    /// flush and halt ([`CtrlMsg::Leave`]), its ack awaited, and the
+    /// change recorded as [`PlannerOp::Leave`] so journals, replays and
+    /// the hot standby see it. Departed indices are never reused.
+    pub fn leave_worker(&mut self, w: usize) -> Result<(), LocalError> {
+        if w >= self.transport.workers() {
+            return Err(LocalError::Membership(format!(
+                "worker {w} out of range (0..{})",
+                self.transport.workers()
+            )));
+        }
+        if self.planner.is_departed(w) {
+            return Ok(()); // idempotent
+        }
+        if self.planner.healthy_workers() <= 1 {
+            return Err(LocalError::NoHealthyWorkers);
+        }
+        self.synchronize()?;
+        // Rebalance: pull every sole-copy array onto the controller while
+        // the departing worker can still serve it.
+        let sole: Vec<ArrayId> = self
+            .planner
+            .coherence()
+            .arrays()
+            .into_iter()
+            .filter(|&a| {
+                let holders = self.planner.coherence().holders(a);
+                !holders.is_empty() && holders.iter().all(|&h| h == Location::worker(w))
+            })
+            .collect();
+        let rebalanced = sole.len();
+        for a in sole {
+            self.fetch_to_controller(a)?;
+        }
+        // From here the ack must not be mistaken for a death.
+        self.expected_leave.insert(w);
+        let acked = if self.transport.send(w, CtrlMsg::Leave).is_ok() {
+            self.await_leave_ack(w)
+        } else {
+            false // endpoint already gone; its state is safe regardless
+        };
+        if !acked {
+            // No clean ack — force the teardown; the data was already
+            // rebalanced, so this still is not a recovery.
+            self.transport.shutdown(w);
+        }
+        self.planner.leave(w).map_err(LocalError::Plan)?;
+        self.detector.mark_dead(w);
+        self.note_event(SchedEvent::Departed {
+            worker: w,
+            rebalanced,
+            epoch: self.detector.epoch(),
+        });
+        self.present[w].clear();
+        self.loaded[w].clear();
+        self.saw_worker_telemetry[w] = false;
+        self.pending_ctrl.retain(|&(_, _, dst)| dst != w);
+        self.expected_leave.remove(&w);
+        self.transport.shutdown(w);
+        Ok(())
+    }
+
+    /// Waits briefly for the departing worker's [`WorkerMsg::Leave`] ack,
+    /// merging unrelated stragglers (telemetry, late data) as usual.
+    fn await_leave_ack(&mut self, w: usize) -> bool {
+        let deadline = std::time::Instant::now()
+            + Duration::from_nanos(self.cfg.planner.fault_cfg.detection_timeout.as_nanos());
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            match self.transport.recv_timeout(left) {
+                Ok(WorkerMsg::Leave { worker }) if worker == w => return true,
+                Ok(WorkerMsg::Telemetry {
+                    worker,
+                    backlog,
+                    counters,
+                    spans,
+                    ..
+                }) => {
+                    self.merge_worker_telemetry(worker, backlog, counters, spans);
+                }
+                Ok(WorkerMsg::Data {
+                    array,
+                    version,
+                    buf,
+                }) => {
+                    self.install_master(array, version, buf);
+                }
+                Ok(_) => {}
+                Err(_) => return false,
+            }
+        }
     }
 
     /// The link-bandwidth matrix the planner prices transfers with:

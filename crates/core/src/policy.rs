@@ -125,6 +125,28 @@ impl LinkMatrix {
     pub fn is_empty(&self) -> bool {
         false
     }
+
+    /// A copy grown to `endpoints` endpoints: existing entries are kept
+    /// bit-for-bit, new rows/columns are filled with the matrix's minimum
+    /// measured bandwidth (a conservative, deterministic placeholder until
+    /// the joined endpoint's links are actually probed).
+    pub fn grown(&self, endpoints: usize) -> LinkMatrix {
+        if endpoints <= self.bw.len() {
+            return self.clone();
+        }
+        let fill = self
+            .bw
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mut bw = self.bw.clone();
+        for row in &mut bw {
+            row.resize(endpoints, fill);
+        }
+        bw.resize(endpoints, vec![fill; endpoints]);
+        LinkMatrix { bw }
+    }
 }
 
 /// The Controller-side node scheduler: applies a [`PolicyKind`] to each CE.
@@ -149,6 +171,11 @@ pub struct NodeScheduler {
     /// every healthy worker is suspended, placement ignores suspension —
     /// graceful degradation must not wedge the planner.
     suspended: Vec<bool>,
+    /// Elastic scale-in: workers that departed cleanly. Like quarantine
+    /// they are never assigned work again, but the departure lost nothing
+    /// (the directory was rebalanced) so the distinction matters for
+    /// recovery accounting.
+    departed: Vec<bool>,
 }
 
 impl NodeScheduler {
@@ -180,6 +207,24 @@ impl NodeScheduler {
             links,
             quarantined: vec![false; workers],
             suspended: vec![false; workers],
+            departed: vec![false; workers],
+        }
+    }
+
+    /// Grows the worker set to `workers` (elastic scale-out): new slots
+    /// enter healthy and immediately placeable. The link matrix, when one
+    /// is held, is padded conservatively until the next re-probe (see
+    /// [`LinkMatrix::grown`]).
+    pub fn grow(&mut self, workers: usize) {
+        assert!(workers >= self.workers, "the worker set never shrinks");
+        self.workers = workers;
+        self.quarantined.resize(workers, false);
+        self.suspended.resize(workers, false);
+        self.departed.resize(workers, false);
+        if let Some(links) = &self.links {
+            // Endpoint 0 is the controller, so `workers` workers need
+            // `workers + 1` endpoints.
+            self.links = Some(links.grown(workers + 1));
         }
     }
 
@@ -207,7 +252,7 @@ impl NodeScheduler {
         self.quarantined[w] = true;
         self.suspended[w] = false; // suspicion resolved: confirmed dead
         assert!(
-            self.quarantined.iter().any(|&q| !q),
+            (0..self.workers).any(|i| !self.quarantined[i] && !self.departed[i]),
             "quarantine would leave no healthy workers"
         );
     }
@@ -243,29 +288,63 @@ impl NodeScheduler {
         self.suspended[w] = false;
     }
 
-    /// Number of workers still accepting assignments.
-    pub fn healthy_workers(&self) -> usize {
-        self.quarantined.iter().filter(|&&q| !q).count()
+    /// Marks worker `w` as cleanly departed (elastic scale-in): no policy
+    /// will assign it work again.
+    ///
+    /// # Panics
+    /// Panics if this would leave zero healthy workers — the caller must
+    /// check [`NodeScheduler::healthy_workers`] first and surface an error.
+    pub fn depart(&mut self, w: usize) {
+        self.departed[w] = true;
+        self.suspended[w] = false;
+        assert!(
+            (0..self.workers).any(|i| !self.quarantined[i] && !self.departed[i]),
+            "departure would leave no healthy workers"
+        );
     }
 
-    /// Snapshot of the (quarantined, suspended) masks, for preserving
-    /// membership state across a scheduler rebuild (link re-probe).
-    pub(crate) fn masks(&self) -> (Vec<bool>, Vec<bool>) {
-        (self.quarantined.clone(), self.suspended.clone())
+    /// Whether worker `w` departed cleanly.
+    pub fn is_departed(&self, w: usize) -> bool {
+        self.departed.get(w).copied().unwrap_or(false)
+    }
+
+    /// Number of workers still accepting assignments.
+    pub fn healthy_workers(&self) -> usize {
+        (0..self.workers)
+            .filter(|&w| !self.quarantined[w] && !self.departed[w])
+            .count()
+    }
+
+    /// Snapshot of the (quarantined, suspended, departed) masks, for
+    /// preserving membership state across a scheduler rebuild (link
+    /// re-probe).
+    pub(crate) fn masks(&self) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+        (
+            self.quarantined.clone(),
+            self.suspended.clone(),
+            self.departed.clone(),
+        )
     }
 
     /// Restores masks captured by [`NodeScheduler::masks`].
-    pub(crate) fn restore_masks(&mut self, quarantined: Vec<bool>, suspended: Vec<bool>) {
+    pub(crate) fn restore_masks(
+        &mut self,
+        quarantined: Vec<bool>,
+        suspended: Vec<bool>,
+        departed: Vec<bool>,
+    ) {
         assert_eq!(quarantined.len(), self.workers);
         assert_eq!(suspended.len(), self.workers);
+        assert_eq!(departed.len(), self.workers);
         self.quarantined = quarantined;
         self.suspended = suspended;
+        self.departed = departed;
     }
 
-    /// True when suspension has sidelined every non-quarantined worker;
-    /// placement then ignores suspension rather than wedging.
+    /// True when every placeable (non-quarantined, non-departed) worker is
+    /// suspended; placement then ignores suspension rather than wedging.
     fn all_suspended(&self) -> bool {
-        (0..self.workers).all(|w| self.quarantined[w] || self.suspended[w])
+        (0..self.workers).all(|w| self.quarantined[w] || self.departed[w] || self.suspended[w])
     }
 
     /// Appends a canonical dump of the scheduler state to `out` for the
@@ -274,14 +353,15 @@ impl NodeScheduler {
         use std::fmt::Write as _;
         let _ = write!(
             out,
-            "sched:{:?};w{};rr{};vs{},{};q{:?};s{:?};links:",
+            "sched:{:?};w{};rr{};vs{},{};q{:?};s{:?};d{:?};links:",
             self.kind,
             self.workers,
             self.rr_next,
             self.vs_pos,
             self.vs_count,
             self.quarantined,
-            self.suspended
+            self.suspended,
+            self.departed
         );
         if let Some(links) = &self.links {
             for src in 0..links.len() {
@@ -301,7 +381,10 @@ impl NodeScheduler {
         loop {
             let w = self.rr_next;
             self.rr_next = (self.rr_next + 1) % self.workers;
-            if !self.quarantined[w] && (ignore_suspension || !self.suspended[w]) {
+            if !self.quarantined[w]
+                && !self.departed[w]
+                && (ignore_suspension || !self.suspended[w])
+            {
                 return w;
             }
         }
@@ -325,7 +408,8 @@ impl NodeScheduler {
                 continue;
             }
             let w = self.vs_pos % self.workers;
-            if self.quarantined[w] || (!ignore_suspension && self.suspended[w]) {
+            if self.quarantined[w] || self.departed[w] || (!ignore_suspension && self.suspended[w])
+            {
                 self.vs_pos += 1;
                 self.vs_count = 0;
                 continue;
@@ -347,7 +431,10 @@ impl NodeScheduler {
                 let ignore_suspension = self.all_suspended();
                 let mut best: Option<(u64, usize)> = None;
                 for w in 0..self.workers {
-                    if self.quarantined[w] || (!ignore_suspension && self.suspended[w]) {
+                    if self.quarantined[w]
+                        || self.departed[w]
+                        || (!ignore_suspension && self.suspended[w])
+                    {
                         continue;
                     }
                     let loc = Location::worker(w);
@@ -370,7 +457,10 @@ impl NodeScheduler {
                 let links = self.links.as_ref().expect("validated in new()");
                 let mut best: Option<(f64, usize)> = None;
                 for w in 0..self.workers {
-                    if self.quarantined[w] || (!ignore_suspension && self.suspended[w]) {
+                    if self.quarantined[w]
+                        || self.departed[w]
+                        || (!ignore_suspension && self.suspended[w])
+                    {
                         continue;
                     }
                     let loc = Location::worker(w);
@@ -694,6 +784,55 @@ mod tests {
         let c = ce(vec![CeArg::read(A, 8)]);
         let got: Vec<_> = (0..2).map(|_| s.assign(&c, &coh)).collect();
         assert!(got.contains(&1), "rejoined worker is placeable");
+    }
+
+    #[test]
+    fn grow_makes_the_new_worker_placeable() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 2, None);
+        s.grow(3);
+        assert_eq!(s.workers(), 3);
+        assert_eq!(s.healthy_workers(), 3);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..6).map(|_| s.assign(&c, &coh)).collect();
+        assert!(got.contains(&2), "the joined worker receives placements");
+    }
+
+    #[test]
+    fn grow_pads_the_link_matrix_conservatively() {
+        let mut bw = vec![vec![2e9; 3]; 3];
+        bw[0][1] = 5e8;
+        let mut s = NodeScheduler::new(
+            PolicyKind::MinTransferTime(ExplorationLevel::Low),
+            2,
+            Some(LinkMatrix::new(bw)),
+        );
+        s.grow(3);
+        let links = s.links().unwrap();
+        assert_eq!(links.endpoints(), 4);
+        assert_eq!(links.raw(0, 1), 5e8, "existing entries kept bit-for-bit");
+        assert_eq!(links.raw(0, 3), 5e8, "new entries take the minimum");
+    }
+
+    #[test]
+    fn departed_workers_receive_no_work() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 3, None);
+        s.depart(1);
+        assert!(s.is_departed(1));
+        assert!(!s.is_quarantined(1), "departure is not quarantine");
+        assert_eq!(s.healthy_workers(), 2);
+        let coh = Coherence::new();
+        let c = ce(vec![CeArg::read(A, 8)]);
+        let got: Vec<_> = (0..4).map(|_| s.assign(&c, &coh)).collect();
+        assert_eq!(got, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no healthy workers")]
+    fn departing_the_last_worker_panics() {
+        let mut s = NodeScheduler::new(PolicyKind::RoundRobin, 2, None);
+        s.quarantine(0);
+        s.depart(1);
     }
 
     #[test]

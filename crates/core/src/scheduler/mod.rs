@@ -228,6 +228,11 @@ impl Planner {
                 self.rejoin(*worker);
                 Ok(PlannerResp::Unit)
             }
+            PlannerOp::Join { worker } => {
+                self.join(*worker);
+                Ok(PlannerResp::Unit)
+            }
+            PlannerOp::Leave { worker } => self.leave(*worker).map(|()| PlannerResp::Unit),
         }
     }
 
@@ -263,9 +268,10 @@ impl Planner {
     /// state (quarantine/suspension masks) survives the rebuild: a link
     /// re-probe is not an amnesty.
     fn reprobe_links(&mut self, links: LinkMatrix) {
-        let (quarantined, suspended) = self.scheduler.masks();
+        let (quarantined, suspended, departed) = self.scheduler.masks();
         self.scheduler = NodeScheduler::new(self.cfg.policy.clone(), self.cfg.workers, Some(links));
-        self.scheduler.restore_masks(quarantined, suspended);
+        self.scheduler
+            .restore_masks(quarantined, suspended, departed);
     }
 
     /// Registers a new framework-managed array of `bytes`, up-to-date on
@@ -378,6 +384,11 @@ impl Planner {
         self.scheduler.is_suspended(w)
     }
 
+    /// Whether worker `w` departed cleanly (elastic scale-in).
+    pub fn is_departed(&self, w: usize) -> bool {
+        self.scheduler.is_departed(w)
+    }
+
     /// The planner's membership epoch: bumps on first-time quarantine and
     /// on rejoin, never decreases.
     pub fn membership_epoch(&self) -> u64 {
@@ -448,6 +459,56 @@ impl Planner {
             self.telemetry
                 .mark("planner.rejoin", &[("worker", ArgValue::U64(w as u64))]);
         }
+    }
+
+    /// Grows the worker set by one: the joining worker takes index `w`
+    /// (which must equal the pre-join count — the op records it so replay
+    /// needs no context). The newcomer enters empty and immediately
+    /// eligible for new CE placement; membership epoch bumps so replicas
+    /// agree on the changed cluster view.
+    fn join(&mut self, w: usize) {
+        debug_assert_eq!(w, self.cfg.workers, "join takes the next free index");
+        self.cfg.workers = w + 1;
+        self.scheduler.grow(self.cfg.workers);
+        self.epoch += 1;
+        if self.telemetry.enabled() {
+            self.telemetry
+                .mark("planner.join", &[("worker", ArgValue::U64(w as u64))]);
+        }
+    }
+
+    /// A clean elastic departure: purges the leaver's directory entries and
+    /// rebalances every orphan to the Controller (the executor fetched the
+    /// sole copies before committing this op, so — unlike quarantine —
+    /// nothing is lost and no lineage replay runs), then excludes the node
+    /// from future placement under a new epoch. Fails if it would leave no
+    /// healthy workers; idempotent for an already-departed node.
+    fn leave(&mut self, w: usize) -> Result<(), PlanError> {
+        if self.scheduler.is_departed(w) {
+            return Ok(());
+        }
+        if self.scheduler.healthy_workers() <= 1 {
+            return Err(PlanError::NoHealthyWorkers);
+        }
+        let report = self.coherence.purge_location(Location::worker(w));
+        // Rebalance, don't orphan: the controller holds every departing
+        // sole copy (fetched by the executor before this op), so record it
+        // as holder of record for each one.
+        for &a in &report.orphaned {
+            self.coherence.record_copy(a, Location::CONTROLLER);
+        }
+        self.scheduler.depart(w);
+        self.epoch += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.mark(
+                "planner.leave",
+                &[
+                    ("worker", ArgValue::U64(w as u64)),
+                    ("rebalanced", ArgValue::U64(report.orphaned.len() as u64)),
+                ],
+            );
+        }
+        Ok(())
     }
 
     /// Quarantines dead worker `dead` and replans its in-flight work.
@@ -1103,6 +1164,72 @@ mod tests {
         replay_ops(&mut replica, p.ops());
         assert_eq!(*p, replica);
         assert_eq!(p.state_digest(), replica.state_digest());
+    }
+
+    #[test]
+    fn join_grows_membership_and_leave_rebalances_without_quarantine() {
+        let mut p = planner(2);
+        // Capture the construction inputs before membership mutates them:
+        // replicas replay the op log onto the *initial* configuration.
+        let mut replica = fresh_like(&p);
+        let a = p.alloc(64);
+        p.plan_ce(&kernel(0, vec![CeArg::write(a, 64)])).unwrap(); // w0
+        p.mark_completed(0);
+
+        p.join(2);
+        assert_eq!(p.membership_epoch(), 1, "join opens a new epoch");
+        assert_eq!(p.healthy_workers(), 3);
+        let placed: Vec<_> = (1..3)
+            .map(|i| {
+                p.plan_ce(&kernel(i, vec![CeArg::read(a, 64)]))
+                    .unwrap()
+                    .assigned_node
+            })
+            .collect();
+        assert!(
+            placed.contains(&Location::worker(2)),
+            "the joined worker receives CE placements: {placed:?}"
+        );
+        // A second array whose only up-to-date copy lives on the leaver —
+        // the case leave() must rebalance rather than orphan.
+        let b = p.alloc(32);
+        let wb = p
+            .plan_ce(&kernel(3, vec![CeArg::write(b, 32)]))
+            .unwrap()
+            .assigned_node;
+        assert_eq!(
+            wb,
+            Location::worker(0),
+            "round-robin lands the write on the leaver"
+        );
+        p.mark_completed(3);
+
+        p.leave(0).unwrap();
+        p.leave(0).unwrap(); // idempotent
+        assert!(p.is_departed(0));
+        assert!(!p.is_quarantined(0), "a clean leave is not a quarantine");
+        assert_eq!(p.membership_epoch(), 2);
+        assert_eq!(p.healthy_workers(), 2);
+        // The leaver's exclusive copy was rebalanced to the controller,
+        // not orphaned; `a` keeps its surviving reader copies.
+        assert!(p.coherence().up_to_date_on(b, Location::CONTROLLER));
+        assert!(!p.coherence().up_to_date_on(b, Location::worker(0)));
+        assert!(p.coherence().up_to_date_on(a, Location::worker(2)));
+        for i in 4..8 {
+            let plan = p.plan_ce(&kernel(i, vec![CeArg::read(a, 64)])).unwrap();
+            assert_ne!(plan.assigned_node, Location::worker(0));
+        }
+        // Membership ops replay bit-identically like everything else.
+        replay_ops(&mut replica, p.ops());
+        assert_eq!(*p, replica);
+        assert_eq!(p.state_digest(), replica.state_digest());
+    }
+
+    #[test]
+    fn leave_refuses_to_empty_the_cluster() {
+        let mut p = planner(2);
+        p.leave(0).unwrap();
+        assert_eq!(p.leave(1).unwrap_err(), PlanError::NoHealthyWorkers);
     }
 
     #[test]

@@ -96,6 +96,24 @@ pub enum PlannerOp {
         /// The returning worker.
         worker: usize,
     },
+    /// Grow the worker set: a new worker attached to the live controller
+    /// (elastic scale-out). `worker` is the index the newcomer takes —
+    /// always the current count, recorded so replay needs no context. The
+    /// node enters empty and immediately eligible for new CE placement;
+    /// links are re-probed separately via [`PlannerOp::ReprobeLinks`].
+    Join {
+        /// Index the joining worker takes (== the pre-join worker count).
+        worker: usize,
+    },
+    /// A clean elastic departure: the worker's directory entries are
+    /// rebalanced to the controller (the runtime fetched every sole copy
+    /// before committing this op), the node is excluded from future
+    /// placement, and — unlike [`PlannerOp::Quarantine`] — nothing is
+    /// lost, so no lineage replay and no quarantine mark.
+    Leave {
+        /// The departing worker.
+        worker: usize,
+    },
 }
 
 impl PlannerOp {
@@ -112,6 +130,8 @@ impl PlannerOp {
             PlannerOp::Suspect { .. } => "suspect",
             PlannerOp::Reinstate { .. } => "reinstate",
             PlannerOp::Rejoin { .. } => "rejoin",
+            PlannerOp::Join { .. } => "join",
+            PlannerOp::Leave { .. } => "leave",
         }
     }
 }
@@ -285,6 +305,16 @@ impl LoggedPlanner {
     /// Logged [`Planner::rejoin`].
     pub fn rejoin(&mut self, worker: usize) {
         let _ = self.append(PlannerOp::Rejoin { worker });
+    }
+
+    /// Logged [`Planner::join`].
+    pub fn join(&mut self, worker: usize) {
+        let _ = self.append(PlannerOp::Join { worker });
+    }
+
+    /// Logged [`Planner::leave`].
+    pub fn leave(&mut self, worker: usize) -> Result<(), PlanError> {
+        self.append(PlannerOp::Leave { worker }).map(|_| ())
     }
 
     /// Logged [`Planner::reprobe_links`].

@@ -396,6 +396,25 @@ fn sched_event_payload(event: &SchedEvent) -> (&'static str, Vec<(&'static str, 
                 ("epoch", ArgValue::U64(*epoch)),
             ],
         ),
+        SchedEvent::Joined { worker, epoch } => (
+            "joined",
+            vec![
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
+        SchedEvent::Departed {
+            worker,
+            rebalanced,
+            epoch,
+        } => (
+            "departed",
+            vec![
+                ("worker", ArgValue::U64(*worker as u64)),
+                ("rebalanced", ArgValue::U64(*rebalanced as u64)),
+                ("epoch", ArgValue::U64(*epoch)),
+            ],
+        ),
     }
 }
 
@@ -954,6 +973,11 @@ pub struct Metrics {
     pub reinstates: u64,
     /// Quarantined workers re-admitted under a new membership epoch.
     pub rejoins: u64,
+    /// Workers attached to the live controller (elastic scale-out).
+    pub joins: u64,
+    /// Workers departed cleanly, directory entries rebalanced (elastic
+    /// scale-in) — disjoint from `quarantines`.
+    pub leaves: u64,
     /// Kernels completed per worker.
     pub kernels_by_worker: Vec<u64>,
     /// Busy nanoseconds per worker (kernel occupancy).
@@ -989,6 +1013,16 @@ impl Metrics {
         }
     }
 
+    /// Extends the per-worker vectors for an elastic join. Indices are
+    /// stable (the worker set never shrinks), so existing counters keep
+    /// their meaning.
+    pub fn grow_workers(&mut self, workers: usize) {
+        if workers > self.kernels_by_worker.len() {
+            self.kernels_by_worker.resize(workers, 0);
+            self.busy_ns_by_worker.resize(workers, 0);
+        }
+    }
+
     /// Account payload bytes moved under `kind`.
     pub fn record_movement(&mut self, kind: MovementKind, payload_bytes: u64) {
         match kind {
@@ -1021,6 +1055,8 @@ impl Metrics {
             SchedEvent::Suspected { .. } => self.suspects += 1,
             SchedEvent::Reinstated { .. } => self.reinstates += 1,
             SchedEvent::Rejoined { .. } => self.rejoins += 1,
+            SchedEvent::Joined { .. } => self.joins += 1,
+            SchedEvent::Departed { .. } => self.leaves += 1,
         }
     }
 

@@ -25,7 +25,7 @@
 //! byte-exact.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -252,6 +252,21 @@ pub enum CtrlMsg {
         /// The op.
         op: PlannerOp,
     },
+    /// Ask the worker to depart cleanly (elastic scale-in): it flushes
+    /// buffered telemetry, acknowledges with [`WorkerMsg::Leave`] and
+    /// halts — the controlled counterpart of a SIGTERM. Over the wire this
+    /// is a v5+ frame, silently dropped for older workers (the caller's
+    /// leave timeout then falls back to a plain shutdown).
+    Leave,
+    /// Transport housekeeping: the current peer address list, re-broadcast
+    /// when membership grows so existing workers can dial P2P connections
+    /// to a joined newcomer. The [`WorkerEngine`] ignores it (the TCP
+    /// serve loop consumes it before the engine sees it; the in-process
+    /// mesh shares its peer list by reference and never sends one).
+    Peers {
+        /// Listen address per worker index (empty = unknown).
+        addrs: Vec<String>,
+    },
 }
 
 /// Worker → controller messages.
@@ -395,7 +410,9 @@ pub enum Liveness {
 /// [`ChannelTransport`] (threads + crossbeam channels) and by
 /// `grout_net::TcpTransport` (processes + sockets).
 pub trait Transport: Send {
-    /// Number of worker endpoints (fixed at construction).
+    /// Number of worker endpoints. Fixed for most transports, but grows
+    /// when [`Transport::join`] admits a newcomer — indices are stable and
+    /// never reused, so callers may cache them.
     fn workers(&self) -> usize;
 
     /// A short label for metrics/telemetry (`"channel"`, `"tcp"`).
@@ -437,6 +454,26 @@ pub trait Transport: Send {
     fn reconnect(&mut self, worker: usize) -> bool {
         let _ = worker;
         false
+    }
+
+    /// Attaches a brand-new worker endpoint to the live mesh (elastic
+    /// scale-out) and returns the index it was assigned — always the
+    /// previous [`Transport::workers`] count. `addr` is the newcomer's
+    /// listen address for socket transports; in-process transports ignore
+    /// it. The caller owns the membership side (planner op, link
+    /// re-probe). The default refuses: not every transport is elastic.
+    fn join(&mut self, addr: &str) -> Result<usize, String> {
+        let _ = addr;
+        Err("transport does not support dynamic membership".into())
+    }
+
+    /// Incrementally probes the links touching a freshly joined `worker`
+    /// and returns the updated full bandwidth matrix, reusing the rejoin
+    /// re-probe path. `None` when this transport measures nothing (the
+    /// scheduler keeps its conservatively padded matrix).
+    fn probe_joined(&mut self, worker: usize) -> Option<LinkMatrix> {
+        let _ = worker;
+        None
     }
 
     /// Asks `worker` to terminate and reclaims its resources (joins the
@@ -851,6 +888,18 @@ impl WorkerEngine {
             // Log-shipping frames are addressed to a standby controller;
             // a worker that somehow receives one ignores it.
             CtrlMsg::ShipInit { .. } | CtrlMsg::ShipOp { .. } => {}
+            CtrlMsg::Leave => {
+                // Clean elastic departure: like Shutdown, but acknowledged
+                // so the controller knows the flush completed and can
+                // rebalance this worker's directory entries instead of
+                // quarantining a silent death.
+                self.flush_telemetry(out);
+                out(Outbound::Controller(WorkerMsg::Leave { worker: me }));
+                return Flow::Halt;
+            }
+            // Peer-address housekeeping is consumed by the socket serve
+            // loop; the engine itself addresses peers by index only.
+            CtrlMsg::Peers { .. } => {}
         }
         // Drain every runnable queued kernel and every satisfiable pending
         // forward (data may have just arrived or been produced).
@@ -937,7 +986,7 @@ pub fn run_worker(
     me: usize,
     rx: Receiver<CtrlMsg>,
     to_controller: Sender<WorkerMsg>,
-    peers: Vec<Sender<CtrlMsg>>,
+    peers: Arc<Mutex<Vec<Sender<CtrlMsg>>>>,
 ) {
     let mut engine = WorkerEngine::new(me);
     let mut out = |o: Outbound| match o {
@@ -945,7 +994,12 @@ pub fn run_worker(
             let _ = to_controller.send(m);
         }
         Outbound::Peer(i, m) => {
-            let _ = peers[i].send(m);
+            // Shared (not cloned) so threads spawned before an elastic
+            // join can still route P2P traffic to the newcomer.
+            let tx = peers.lock().expect("peer mesh lock").get(i).cloned();
+            if let Some(tx) = tx {
+                let _ = tx.send(m);
+            }
         }
     };
     loop {
@@ -993,6 +1047,8 @@ fn ctrl_msg_bytes(msg: &CtrlMsg) -> u64 {
         CtrlMsg::Shutdown => 8,
         CtrlMsg::ShipInit { .. } => 64,
         CtrlMsg::ShipOp { .. } => 48,
+        CtrlMsg::Leave => 8,
+        CtrlMsg::Peers { addrs } => 16 + addrs.iter().map(|a| 4 + a.len() as u64).sum::<u64>(),
     }
 }
 
@@ -1029,9 +1085,10 @@ pub struct ChannelTransport {
     /// runtime still detects that via liveness probing, and all-dead runs
     /// end in `NoHealthyWorkers` through the planner.)
     to_controller: Sender<WorkerMsg>,
-    /// Retained for [`Transport::reconnect`]: the full peer mesh handed to
-    /// respawned threads.
-    peer_txs: Vec<Sender<CtrlMsg>>,
+    /// The peer mesh, shared by reference with every worker thread so an
+    /// elastic [`Transport::join`] extends it for already-running threads
+    /// too (a cloned `Vec` would leave them with a stale snapshot).
+    peer_txs: Arc<Mutex<Vec<Sender<CtrlMsg>>>>,
     failures: Vec<(usize, String)>,
     wire: Vec<PeerWireStats>,
     /// Deterministic network chaos (see [`NetFaultPlan`]). The channel
@@ -1071,19 +1128,21 @@ impl ChannelTransport {
             usize,
             Receiver<CtrlMsg>,
             Sender<WorkerMsg>,
-            Vec<Sender<CtrlMsg>>,
+            Arc<Mutex<Vec<Sender<CtrlMsg>>>>,
         ) -> std::io::Result<JoinHandle<()>>,
     {
         let (to_controller, from_workers) = unbounded::<WorkerMsg>();
         let channels: Vec<(Sender<CtrlMsg>, Receiver<CtrlMsg>)> =
             (0..n).map(|_| unbounded()).collect();
-        let txs: Vec<Sender<CtrlMsg>> = channels.iter().map(|(t, _)| t.clone()).collect();
+        let txs: Arc<Mutex<Vec<Sender<CtrlMsg>>>> = Arc::new(Mutex::new(
+            channels.iter().map(|(t, _)| t.clone()).collect(),
+        ));
         let mut failures: Vec<(usize, String)> = Vec::new();
         let workers: Vec<ChannelWorker> = channels
             .into_iter()
             .enumerate()
             .map(|(i, (tx, rx))| {
-                let peers = txs.clone();
+                let peers = Arc::clone(&txs);
                 let back = to_controller.clone();
                 match spawn(i, rx.clone(), back, peers) {
                     Ok(join) => ChannelWorker {
@@ -1234,7 +1293,7 @@ impl Transport for ChannelTransport {
         while w.rx.try_recv().is_ok() {}
         let rx = w.rx.clone();
         let back = self.to_controller.clone();
-        let peers = self.peer_txs.clone();
+        let peers = Arc::clone(&self.peer_txs);
         match std::thread::Builder::new()
             .name(format!("grout-worker-{worker}"))
             .spawn(move || run_worker(worker, rx, back, peers))
@@ -1244,6 +1303,39 @@ impl Transport for ChannelTransport {
                 true
             }
             Err(_) => false,
+        }
+    }
+
+    fn join(&mut self, _addr: &str) -> Result<usize, String> {
+        // In-process elastic join: extend the shared mesh (running threads
+        // see the newcomer immediately through the Arc) and spawn it.
+        let i = self.workers.len();
+        let (tx, rx) = unbounded::<CtrlMsg>();
+        self.peer_txs
+            .lock()
+            .expect("peer mesh lock")
+            .push(tx.clone());
+        let back = self.to_controller.clone();
+        let peers = Arc::clone(&self.peer_txs);
+        let rx2 = rx.clone();
+        match std::thread::Builder::new()
+            .name(format!("grout-worker-{i}"))
+            .spawn(move || run_worker(i, rx2, back, peers))
+        {
+            Ok(join) => {
+                self.workers.push(ChannelWorker {
+                    tx,
+                    rx,
+                    join: Some(join),
+                });
+                self.wire.push(PeerWireStats::default());
+                self.ctrl_frames.push(0);
+                Ok(i)
+            }
+            Err(e) => {
+                self.peer_txs.lock().expect("peer mesh lock").pop();
+                Err(e.to_string())
+            }
         }
     }
 

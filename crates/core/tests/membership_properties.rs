@@ -1,0 +1,126 @@
+//! Property-based invariants of elastic membership.
+//!
+//! The contract every trace consumer and both runtimes rely on: the
+//! membership epoch is **monotone** — no interleaving of Join / Leave /
+//! Suspect / Reinstate / Quarantine / Rejoin ever lowers it — suspicion
+//! is epoch-neutral (the membership view has not changed yet), every
+//! *effective* membership change bumps the epoch by exactly one, and a
+//! replay of the recorded op log lands on the same epoch, so journals
+//! and the hot standby see the identical membership history.
+//!
+//! The planner's epoch (driven through [`LoggedPlanner`]'s typed
+//! mutators, the exact surface the runtimes use) and the
+//! [`FailureDetector`]'s epoch are driven in lockstep the way
+//! `LocalRuntime` drives them, and both must obey the same monotonicity.
+
+use grout_core::{replay_ops, FailureDetector, LoggedPlanner, Planner, PlannerConfig, PolicyKind};
+use proptest::prelude::*;
+
+/// One abstract membership op; worker picks are drawn large and reduced
+/// modulo the live population at apply time so shrinking stays sound.
+#[derive(Debug, Clone)]
+enum MemOp {
+    /// Elastic scale-out: attach a brand-new worker index.
+    Join,
+    /// Clean scale-in of an existing index.
+    Leave { pick: usize },
+    /// Omission fault suspected (epoch-neutral).
+    Suspect { pick: usize },
+    /// Suspicion cleared within the grace window (epoch-neutral).
+    Reinstate { pick: usize },
+    /// Confirmed death: quarantine.
+    Quarantine { pick: usize },
+    /// Re-admission of a quarantined worker.
+    Rejoin { pick: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        Just(MemOp::Join),
+        any::<usize>().prop_map(|pick| MemOp::Leave { pick }),
+        any::<usize>().prop_map(|pick| MemOp::Suspect { pick }),
+        any::<usize>().prop_map(|pick| MemOp::Reinstate { pick }),
+        any::<usize>().prop_map(|pick| MemOp::Quarantine { pick }),
+        any::<usize>().prop_map(|pick| MemOp::Rejoin { pick }),
+    ]
+}
+
+const START_WORKERS: usize = 2;
+
+proptest! {
+    #[test]
+    fn membership_epoch_is_monotone_under_any_interleaving(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let cfg = PlannerConfig::new(START_WORKERS, PolicyKind::RoundRobin);
+        let mut planner = LoggedPlanner::new(Planner::new(cfg, None));
+        let mut det = FailureDetector::new(START_WORKERS);
+        let mut n = START_WORKERS;
+
+        for op in &ops {
+            let p_before = planner.membership_epoch();
+            let d_before = det.epoch();
+            let neutral = matches!(op, MemOp::Suspect { .. } | MemOp::Reinstate { .. });
+            match op {
+                MemOp::Join => {
+                    planner.join(n);
+                    det.grow(n + 1);
+                    n += 1;
+                    // A join is always effective: exactly one bump each.
+                    prop_assert_eq!(planner.membership_epoch(), p_before + 1);
+                    prop_assert_eq!(det.epoch(), d_before + 1);
+                }
+                MemOp::Leave { pick } => {
+                    let w = pick % n;
+                    // May refuse (already gone, or would empty the
+                    // cluster); the refusal is part of history and must
+                    // still never lower the epoch.
+                    if planner.leave(w).is_ok() {
+                        det.mark_dead(w);
+                    }
+                }
+                MemOp::Suspect { pick } => {
+                    let w = pick % n;
+                    planner.suspect(w);
+                    det.mark_suspected(w);
+                }
+                MemOp::Reinstate { pick } => {
+                    let w = pick % n;
+                    planner.reinstate(w);
+                    det.reinstate(w);
+                }
+                MemOp::Quarantine { pick } => {
+                    let w = pick % n;
+                    let _ = planner.quarantine(w);
+                    det.mark_dead(w);
+                }
+                MemOp::Rejoin { pick } => {
+                    let w = pick % n;
+                    planner.rejoin(w);
+                    det.rejoin(w);
+                }
+            }
+            // The monotone core of the property, checked after EVERY op.
+            prop_assert!(planner.membership_epoch() >= p_before);
+            prop_assert!(det.epoch() >= d_before);
+            // A no-op or refusal bumps at most once; nothing jumps.
+            prop_assert!(planner.membership_epoch() <= p_before + 1);
+            prop_assert!(det.epoch() <= d_before + 1);
+            if neutral {
+                // Suspicion changes no membership view on either ledger.
+                prop_assert_eq!(planner.membership_epoch(), p_before);
+                prop_assert_eq!(det.epoch(), d_before);
+            }
+        }
+
+        // The op log carries the whole membership history: a replay onto
+        // a fresh planner reaches the identical epoch (what journals and
+        // the hot standby reconstruct from).
+        let mut replica = Planner::new(
+            PlannerConfig::new(START_WORKERS, PolicyKind::RoundRobin),
+            None,
+        );
+        let _ = replay_ops(&mut replica, planner.ops());
+        prop_assert_eq!(replica.membership_epoch(), planner.membership_epoch());
+    }
+}

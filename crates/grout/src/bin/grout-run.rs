@@ -18,10 +18,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use grout::core::{ChromeTracer, OpSink, PlannerOp, Runtime, Shared};
-use grout::net::oplog::{standby_serve, JournalSink, ShipSink, StandbyOutcome};
-use grout::net::{TcpExt, WorkerSpec};
+use grout::net::oplog::{standby_serve, StandbyOutcome};
 use grout::polyglot::run_script;
 use grout::Polyglot;
+use grout::{apply_durability, DurabilityOptions, NetOptions, TcpExt, WorkerSpec};
 
 /// Where the workers live.
 enum Workers {
@@ -41,24 +41,17 @@ struct Cli {
     metrics_out: Option<PathBuf>,
     /// Print the per-peer wire summary table at end of run.
     stats: bool,
-    /// Stream every planner op to this crash-recovery journal
-    /// (`grout-replay` reconstructs planner state from it).
-    journal: Option<PathBuf>,
-    /// Ship every planner op to a hot-standby controller at this address.
-    ship_log: Option<String>,
+    /// Grouped net/liveness knobs (heartbeat cadence, staleness, resume
+    /// window) — the `net:` flag block.
+    net: NetOptions,
+    /// Grouped op-log durability knobs (journal path, ship-log address) —
+    /// the `durability:` flag block.
+    durability: DurabilityOptions,
     /// Act as the hot-standby: listen here for a shipped op log, and take
     /// over (re-drive the script) if the primary dies mid-run.
     standby: Option<String>,
     /// Fault injection: SIGKILL ourselves after this many planner ops.
     die_after_ops: Option<u64>,
-    /// Worker heartbeat cadence override (milliseconds).
-    heartbeat_ms: Option<u32>,
-    /// Heartbeats a worker may miss before it is suspected (socket
-    /// severed, resume path engaged).
-    stale_after: Option<u32>,
-    /// How long a suspected worker may keep failing session resumes
-    /// before it is declared dead and quarantined (milliseconds).
-    reconnect_window_ms: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -78,11 +71,18 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: grout-run <script.gs> [--workers N | --workers tcp:<addr>,...] \
-     [--trace-out <trace.json>] [--metrics-out <metrics.{json,csv}>] [--stats] \
-     [--journal <ops.grjl>] [--ship-log <addr>] [--standby <addr>] \
-     [--die-after-ops N] [--heartbeat-ms N] [--stale-after N] \
-     [--reconnect-window-ms N] | -e '<script>'";
+const USAGE: &str = "usage: grout-run <script.gs> | -e '<script>'
+  workers:     --workers N | --workers tcp:<addr>,<addr>,...
+  net:         --heartbeat-ms N        worker heartbeat cadence
+               --stale-after N         missed beats before a worker is suspected
+               --reconnect-window-ms N resume grace before quarantine
+  durability:  --journal <ops.grjl>    stream planner ops to a crash-recovery journal
+               --ship-log <addr>       replicate the op log to a hot standby
+               --standby <addr>        act as the hot standby (listen + take over)
+               --die-after-ops N       fault injection: SIGKILL self after N ops
+  telemetry:   --trace-out <trace.json>        merged Chrome/Perfetto trace
+               --metrics-out <metrics.{json,csv}>  unified metrics artifact
+               --stats                 per-peer wire summary table";
 
 /// Parses the command line; `Ok(None)` means `--help` was served.
 fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> {
@@ -91,13 +91,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut stats = false;
-    let mut journal = None;
-    let mut ship_log = None;
+    let mut net = NetOptions::default();
+    let mut durability = DurabilityOptions::default();
     let mut standby = None;
     let mut die_after_ops = None;
-    let mut heartbeat_ms = None;
-    let mut stale_after = None;
-    let mut reconnect_window_ms = None;
     fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
         flag: &str,
         v: Option<String>,
@@ -128,10 +125,11 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
             }
             "--stats" => stats = true,
             "--journal" => {
-                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a path")?));
+                durability.journal =
+                    Some(PathBuf::from(args.next().ok_or("--journal needs a path")?));
             }
             "--ship-log" => {
-                ship_log = Some(args.next().ok_or("--ship-log needs an address")?);
+                durability.ship_log = Some(args.next().ok_or("--ship-log needs an address")?);
             }
             "--standby" => {
                 standby = Some(args.next().ok_or("--standby needs a listen address")?);
@@ -146,10 +144,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
                 }
                 die_after_ops = Some(n);
             }
-            "--heartbeat-ms" => heartbeat_ms = Some(positive("--heartbeat-ms", args.next())?),
-            "--stale-after" => stale_after = Some(positive("--stale-after", args.next())?),
+            "--heartbeat-ms" => net.heartbeat_ms = positive("--heartbeat-ms", args.next())?,
+            "--stale-after" => net.stale_after_beats = positive("--stale-after", args.next())?,
             "--reconnect-window-ms" => {
-                reconnect_window_ms = Some(positive("--reconnect-window-ms", args.next())?)
+                net.reconnect_window_ms = positive("--reconnect-window-ms", args.next())?
             }
             "-e" => {
                 let inline = args.next().ok_or("-e needs an inline script")?;
@@ -174,13 +172,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
         trace_out,
         metrics_out,
         stats,
-        journal,
-        ship_log,
+        net,
+        durability,
         standby,
         die_after_ops,
-        heartbeat_ms,
-        stale_after,
-        reconnect_window_ms,
     }))
 }
 
@@ -242,57 +237,37 @@ fn run(cli: Cli) -> Result<(), String> {
 /// The normal (primary) path: build the deployment, attach the op-log
 /// sinks, drive the script, emit artifacts.
 fn run_exec(cli: &Cli) -> Result<(), String> {
-    // One fault-knob surface for both deployments: the flags overwrite
-    // the planner's FaultConfig, and the TCP builder derives its socket
-    // cadence/staleness/resume window from the same struct.
-    let mut fc = grout::core::FaultConfig::default();
-    if let Some(ms) = cli.heartbeat_ms {
-        fc.heartbeat_ms = ms;
-    }
-    if let Some(beats) = cli.stale_after {
-        fc.stale_after_beats = beats;
-    }
-    if let Some(ms) = cli.reconnect_window_ms {
-        fc.reconnect_window = grout::desim::SimDuration::from_millis(ms);
-    }
+    // One grouped knob surface for both deployments: NetOptions tunes the
+    // planner's liveness config and the TCP socket layer alike, and the
+    // DurabilityOptions ride the builder to whichever front-end attaches
+    // the op-log sinks.
+    let builder = Runtime::builder()
+        .net(cli.net.clone())
+        .durability(cli.durability.clone());
     let (mut pg, n, transport) = match &cli.workers {
         Workers::Threads(n) => {
-            let rt = Runtime::builder()
+            let mut rt = builder
                 .workers(*n)
-                .fault_config(fc)
                 .build_local()
                 .map_err(|e| e.to_string())?;
+            apply_durability(&mut rt, &cli.durability).map_err(|e| e.to_string())?;
             (Polyglot::with_runtime(rt), *n, "threads")
         }
         Workers::Tcp(addrs) => {
+            // The TCP builder applies the durability options itself.
             let n = addrs.len();
-            let rt = Runtime::builder()
-                .fault_config(fc)
+            let rt = builder
                 .tcp(addrs.iter().cloned().map(WorkerSpec::Connect).collect())
                 .build()
                 .map_err(|e| e.to_string())?;
             (Polyglot::with_runtime(rt.into_inner()), n, "tcp")
         }
     };
-    {
-        let rt = pg.runtime_mut();
-        let cfg = rt.planner().config().clone();
-        let links = rt.planner().links().cloned();
-        if let Some(path) = &cli.journal {
-            let sink = JournalSink::create(path, &cfg, &links)
-                .map_err(|e| format!("cannot create journal `{}`: {e}", path.display()))?;
-            rt.add_op_sink(Box::new(sink));
-            eprintln!("[grout-run] journalling planner ops to {}", path.display());
-        }
-        if let Some(addr) = &cli.ship_log {
-            let sink = ShipSink::connect(addr, &cfg, &links)
-                .map_err(|e| format!("cannot reach standby at {addr}: {e}"))?;
-            rt.add_op_sink(Box::new(sink));
-            eprintln!("[grout-run] shipping op log to standby at {addr}");
-        }
-        if let Some(ops) = cli.die_after_ops {
-            rt.add_op_sink(Box::new(KillSwitch { remaining: ops }));
-        }
+    // Added after the journal/ship sinks so the fatal op is durable and
+    // acknowledged before the process dies.
+    if let Some(ops) = cli.die_after_ops {
+        pg.runtime_mut()
+            .add_op_sink(Box::new(KillSwitch { remaining: ops }));
     }
     // Attach the tracer before any CE runs so worker-side recording is
     // switched on from the first kernel.

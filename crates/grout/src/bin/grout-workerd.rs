@@ -95,5 +95,5 @@ fn run() -> Result<(), String> {
     // the controller re-plans immediately, exit 0.
     let shutdown = Arc::new(AtomicBool::new(false));
     install_sigterm(Arc::clone(&shutdown));
-    grout::net::serve_shutdown(listener, shutdown).map_err(|e| e.to_string())
+    grout::serve_shutdown(listener, shutdown).map_err(|e| e.to_string())
 }

@@ -27,10 +27,14 @@ pub use uvm_sim;
 // The most common types at the top level for convenience.
 pub use grout_core::{
     replay_closure, AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, ChromeTracer,
-    Coherence, DevicePolicy, ExplorationLevel, FailureDetector, FaultConfig, FaultEvent, FaultKind,
-    FaultPlan, KernelCost, Lane, LatencyStat, LinkMatrix, LocalArg, LocalConfig, LocalRuntime,
-    Location, MemAdvise, Metrics, NodeScheduler, Observability, PolicyKind, PurgeReport, Recorder,
-    Regime, Runtime, RuntimeBuilder, SchedEvent, Shared, SimConfig, SimRuntime, SimTime, Telemetry,
+    Coherence, DevicePolicy, DurabilityOptions, ExplorationLevel, FailureDetector, FaultConfig,
+    FaultEvent, FaultKind, FaultPlan, KernelCost, Lane, LatencyStat, LinkMatrix, LocalArg,
+    LocalConfig, LocalRuntime, Location, MemAdvise, Metrics, NetOptions, NodeScheduler,
+    Observability, PolicyKind, PurgeReport, Recorder, Regime, Runtime, RuntimeBuilder, SchedEvent,
+    Shared, SimConfig, SimRuntime, SimTime, Telemetry,
 };
-pub use grout_net::{DistRuntime, TcpConfig, TcpExt, TcpTransport, WorkerSpec};
+pub use grout_net::{
+    apply_durability, serve, serve_shutdown, spawn_workerd, spawn_workerd_at, DistBuilder,
+    DistError, DistRuntime, TcpConfig, TcpExt, TcpTransport, WorkerSpec,
+};
 pub use grout_polyglot::{Language, Polyglot, Value};

@@ -25,8 +25,9 @@
 use std::io::BufRead;
 use std::process::{Child, Command, Stdio};
 
-use grout_core::{LocalError, LocalRuntime, RuntimeBuilder};
+use grout_core::{DurabilityOptions, LocalError, LocalRuntime, RuntimeBuilder};
 
+use crate::oplog::{JournalSink, ShipSink};
 use crate::transport::{TcpConfig, TcpTransport};
 
 /// One worker endpoint of a distributed deployment.
@@ -53,6 +54,9 @@ pub enum DistError {
     /// The runtime rejected the mesh (config error, or every single
     /// worker was unreachable).
     Local(LocalError),
+    /// A durability sink (the op-log journal file or the hot-standby
+    /// ship-log connection) could not be set up.
+    Durability(String),
 }
 
 impl std::fmt::Display for DistError {
@@ -62,6 +66,7 @@ impl std::fmt::Display for DistError {
                 write!(f, "cannot spawn worker `{program}`: {error}")
             }
             DistError::Local(e) => write!(f, "{e}"),
+            DistError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -82,9 +87,81 @@ pub struct DistRuntime {
     inner: LocalRuntime,
     pids: Vec<Option<u32>>,
     addrs: Vec<String>,
+    /// Transport knobs kept for mid-run spawns ([`DistRuntime::join`]).
+    cfg: TcpConfig,
+    /// Daemons spawned by [`DistRuntime::join`] mid-run: the transport
+    /// owns startup children, but a joined child is reaped here on
+    /// [`DistRuntime::leave`] (the transport sits behind the `Transport`
+    /// trait object by then).
+    joined: Vec<(usize, Child)>,
 }
 
 impl DistRuntime {
+    /// Attaches one more worker to the running mesh (elastic scale-out):
+    /// spawns the daemon if the spec asks for it, dials and handshakes
+    /// it, re-probes its links incrementally and grows the plan's worker
+    /// set through the op log. Returns the new worker's index.
+    ///
+    /// The newcomer starts empty and receives kernels and inputs on
+    /// demand — the very next plan can place CEs on it.
+    pub fn join(&mut self, spec: WorkerSpec) -> Result<usize, DistError> {
+        let (addr, child) = match spec {
+            WorkerSpec::Connect(addr) => (addr, None),
+            WorkerSpec::Spawn(bin) => {
+                let (child, addr) = spawn_workerd(&bin, &self.cfg)?;
+                (addr, Some(child))
+            }
+        };
+        let w = match self.inner.join_worker(&addr) {
+            Ok(w) => w,
+            Err(e) => {
+                if let Some(mut child) = child {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e.into());
+            }
+        };
+        if self.addrs.len() <= w {
+            self.addrs.resize_with(w + 1, String::new);
+            self.pids.resize(w + 1, None);
+        }
+        self.addrs[w] = addr;
+        if let Some(child) = child {
+            self.pids[w] = Some(child.id());
+            self.joined.push((w, child));
+        }
+        Ok(w)
+    }
+
+    /// Detaches worker `w` cleanly (elastic scale-in): sole-copy data is
+    /// rebalanced off the worker first, the daemon is asked to flush and
+    /// halt, and — if this runtime spawned it via [`DistRuntime::join`] —
+    /// the process is reaped. No quarantine, no lineage replay.
+    pub fn leave(&mut self, w: usize) -> Result<(), DistError> {
+        self.inner.leave_worker(w)?;
+        if let Some(at) = self.joined.iter().position(|(i, _)| *i == w) {
+            let (_, mut child) = self.joined.swap_remove(at);
+            // The daemon exits on the Leave ack; bound the reap so a
+            // wedged process cannot hang the controller.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// OS pid of the spawned `grout-workerd` backing worker `w` (`None`
     /// for `Connect` workers, which this runtime does not own).
     pub fn worker_pid(&self, w: usize) -> Option<u32> {
@@ -127,13 +204,13 @@ pub struct DistBuilder {
 }
 
 impl DistBuilder {
-    /// Override the transport knobs (heartbeat cadence, probe sizing).
-    /// Without this, the knobs derive from the builder's
-    /// [`fault_config`](RuntimeBuilder::fault_config) — so
-    /// `--heartbeat-ms` / `--stale-after` / `--reconnect-window-ms` tune
-    /// the in-process and TCP deployments through one surface — and the
-    /// builder's [`net_faults`](RuntimeBuilder::net_faults) plan carries
-    /// over to the socket layer.
+    /// Override the transport knobs wholesale with an explicit
+    /// [`TcpConfig`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "set the grouped knobs with `RuntimeBuilder::net(NetOptions)` instead; \
+                this shim lasts one release"
+    )]
     pub fn tcp_config(mut self, cfg: TcpConfig) -> Self {
         self.cfg = Some(cfg);
         self
@@ -141,10 +218,31 @@ impl DistBuilder {
 
     /// Spawn/connect all workers, run the handshake + bandwidth-probe
     /// round, and build the runtime over the resulting mesh.
+    ///
+    /// The transport knobs derive from the builder's grouped
+    /// [`NetOptions`](grout_core::NetOptions) (falling back to its
+    /// [`fault_config`](RuntimeBuilder::fault_config), so one surface
+    /// tunes the in-process and TCP deployments alike), the
+    /// [`net_faults`](RuntimeBuilder::net_faults) chaos plan carries over
+    /// to the socket layer, and the builder's
+    /// [`durability`](RuntimeBuilder::durability) options are applied to
+    /// the finished runtime (see [`apply_durability`]).
     pub fn build(self) -> Result<DistRuntime, DistError> {
+        let durability = self.builder.durability_ref().clone();
         let cfg = self.cfg.unwrap_or_else(|| {
             let mut cfg = TcpConfig::from_fault_config(self.builder.fault_config_ref());
             cfg.net_faults = self.builder.net_faults_ref().clone();
+            if let Some(net) = self.builder.net_options_ref() {
+                if let Some(b) = net.probe_bytes {
+                    cfg.probe_bytes = b;
+                }
+                if let Some(ms) = net.probe_timeout_ms {
+                    cfg.probe_timeout = std::time::Duration::from_millis(ms);
+                }
+                if let Some(ms) = net.spawn_timeout_ms {
+                    cfg.spawn_timeout = std::time::Duration::from_millis(ms);
+                }
+            }
             cfg
         });
         let mut addrs = Vec::with_capacity(self.specs.len());
@@ -165,8 +263,15 @@ impl DistBuilder {
         let transport = TcpTransport::connect(&addrs, children, &cfg);
         let pids = transport.child_pids();
         let builder = self.builder.workers(addrs.len());
-        let inner = builder.build_with_transport(Box::new(transport))?;
-        Ok(DistRuntime { inner, pids, addrs })
+        let mut inner = builder.build_with_transport(Box::new(transport))?;
+        apply_durability(&mut inner, &durability)?;
+        Ok(DistRuntime {
+            inner,
+            pids,
+            addrs,
+            cfg,
+            joined: Vec::new(),
+        })
     }
 }
 
@@ -186,6 +291,35 @@ impl TcpExt for RuntimeBuilder {
             cfg: None,
         }
     }
+}
+
+/// Attaches the op-log durability sinks a
+/// [`DurabilityOptions`](grout_core::DurabilityOptions) asks for: a
+/// [`JournalSink`] streaming every planner op to the journal file, a
+/// [`ShipSink`] replicating it to the hot standby. [`DistBuilder::build`]
+/// calls this for TCP deployments; in-process front-ends (e.g.
+/// `grout-run --workers N`) call it on their [`LocalRuntime`] so one
+/// grouped option struct covers both.
+pub fn apply_durability(rt: &mut LocalRuntime, opts: &DurabilityOptions) -> Result<(), DistError> {
+    if opts.journal.is_none() && opts.ship_log.is_none() {
+        return Ok(());
+    }
+    let cfg = rt.planner().config().clone();
+    let links = rt.planner().links().cloned();
+    if let Some(path) = &opts.journal {
+        let sink = JournalSink::create(path, &cfg, &links).map_err(|e| {
+            DistError::Durability(format!("cannot create journal `{}`: {e}", path.display()))
+        })?;
+        rt.add_op_sink(Box::new(sink));
+        eprintln!("[grout] journalling planner ops to {}", path.display());
+    }
+    if let Some(addr) = &opts.ship_log {
+        let sink = ShipSink::connect(addr, &cfg, &links)
+            .map_err(|e| DistError::Durability(format!("cannot reach standby at {addr}: {e}")))?;
+        rt.add_op_sink(Box::new(sink));
+        eprintln!("[grout] shipping op log to standby at {addr}");
+    }
+    Ok(())
 }
 
 /// Launches `bin --listen 127.0.0.1:0` and waits for its

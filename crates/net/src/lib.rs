@@ -27,6 +27,7 @@
 //! `tests/dist_loopback.rs` differential test enforces it.
 
 pub mod oplog;
+pub mod poll;
 pub mod session;
 pub mod wire;
 
@@ -35,7 +36,8 @@ mod transport;
 mod worker;
 
 pub use dist::{
-    spawn_workerd, spawn_workerd_at, DistBuilder, DistError, DistRuntime, TcpExt, WorkerSpec,
+    apply_durability, spawn_workerd, spawn_workerd_at, DistBuilder, DistError, DistRuntime, TcpExt,
+    WorkerSpec,
 };
 pub use oplog::{
     read_journal, standby_serve, Journal, JournalFooter, JournalSink, ShipSink, StandbyOutcome,

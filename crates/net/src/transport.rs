@@ -1,10 +1,25 @@
 //! The controller side of the TCP mesh: [`TcpTransport`].
 //!
-//! One socket per worker. A reader thread per socket decodes
-//! [`WorkerMsg`] frames into a single merged queue (mirroring the
-//! crossbeam mesh of the in-process transport), swallows heartbeats after
-//! stamping a shared last-seen instant, and flips a shared link flag on
-//! EOF or socket error.
+//! One socket per worker, all multiplexed on **one I/O thread**: a
+//! `poll(2)` event loop (see [`crate::poll`]) owns every peer socket,
+//! drains readiness into per-peer [`FrameBuf`]s, decodes [`WorkerMsg`]
+//! frames into a single merged queue (mirroring the crossbeam mesh of the
+//! in-process transport), swallows heartbeats after stamping a shared
+//! last-seen instant, and flips a shared link flag on EOF or socket
+//! error. The controller thread never touches a socket after the
+//! handshake — it talks to the loop through a command channel
+//! ([`Cmd`]) plus a [`WakeHandle`], and sends become nonblocking
+//! [`WriteQueue`] entries flushed as the kernel accepts them.
+//!
+//! Blocking work (dialing, the resume handshake, replaying an unacked
+//! tail) stays on the controller thread; only after a socket is fully
+//! handshaken is it registered with the loop. Severing is a rendezvous:
+//! the controller asks the loop to drop a socket and waits for the reply,
+//! at which point the receive cursor is provably quiescent. The loop
+//! never blocks on the controller thread (it only posts to unbounded
+//! channels and performs nonblocking socket I/O), so the rendezvous
+//! cannot deadlock — unlike the previous design, which joined a reader
+//! thread while holding connection state.
 //!
 //! ## Reliable sessions (wire v4)
 //!
@@ -26,13 +41,24 @@
 //! ([`TcpConfig::stale_after_beats`] × cadence), which severs the socket
 //! and enters the same resume path.
 //!
+//! ## Elastic membership (wire v5)
+//!
+//! [`Transport::join`] dials a fresh worker while the mesh is live: the
+//! newcomer is handshaken with the grown peer list, registered with the
+//! event loop under the next index, and every existing v5 worker receives
+//! a [`CtrlMsg::Peers`] update so P2P traffic reaches the new endpoint.
+//! [`Transport::probe_joined`] then re-prices just the links touching the
+//! newcomer, reusing the startup probe machinery. A clean departure rides
+//! [`CtrlMsg::Leave`] (the worker flushes, acks with [`WorkerMsg::Leave`]
+//! and exits); both frames are silently skipped against pre-v5 peers.
+//!
 //! Construction runs the startup bandwidth-probe round of the paper's
 //! min-transfer-time policy: timed ballast echoes controller↔worker and
 //! worker↔worker populate a measured [`LinkMatrix`] that
 //! [`grout_core::LocalRuntime`] hands to the planner in place of the
 //! uniform model.
 
-use std::io::Write as _;
+use std::collections::HashMap;
 use std::net::TcpStream;
 use std::process::Child;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +72,8 @@ use grout_core::{
     NetFaultPlan, PeerWireStats, SendLost, Transport, TransportRecvError, WorkerMsg,
 };
 
+use crate::poll::{poll_fds, read_available, FrameBuf, PollFd, WakeHandle, Waker, WriteQueue};
+use crate::poll::{POLLERR, POLLHUP, POLLIN, POLLOUT};
 use crate::session::{RecvCursor, SendBuffer, ACK_EVERY};
 use crate::wire;
 
@@ -57,6 +85,10 @@ const RESUME_BACKOFF_MAX: Duration = Duration::from_millis(400);
 /// Read timeout on the resume handshake ack, so a stopped (SIGSTOP) or
 /// wedged worker cannot block the controller past one attempt.
 const RESUME_ACK_TIMEOUT: Duration = Duration::from_millis(300);
+/// Bound on the blocking flush of a socket's write queue when the loop
+/// deregisters it (gets a final `Shutdown`/`Leave` frame out without
+/// letting a wedged peer stall the loop).
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Transport knobs (cadence, staleness, resume window, probe sizing).
 #[derive(Debug, Clone)]
@@ -113,8 +145,8 @@ impl TcpConfig {
 }
 
 /// Per-connection wire counters and clock state, shared between the
-/// controller thread (sends, snapshots) and the reader thread (receives,
-/// clock-sync frames).
+/// controller thread (snapshots) and the I/O loop (send/receive
+/// accounting, clock-sync frames).
 #[derive(Default)]
 struct ConnStats {
     frames_sent: AtomicU64,
@@ -130,25 +162,21 @@ struct ConnStats {
     clock: Mutex<(LatencyStat, ClockSync)>,
 }
 
-/// Everything about one connection that the reader thread shares with the
+/// Everything about one connection that the I/O loop shares with the
 /// controller thread.
 struct ConnShared {
     /// Session-level liveness: false once the connection is definitively
     /// dead (clean Leave, blown resume window, lost worker state). Never
     /// comes back except through [`Transport::reconnect`].
     open: AtomicBool,
-    /// Socket-level liveness: flipped off by the reader on EOF/error and
+    /// Socket-level liveness: flipped off by the loop on EOF/error and
     /// back on by a successful resume.
     link_up: AtomicBool,
     /// The worker announced a clean departure ([`WorkerMsg::Leave`]); no
     /// resume will be attempted.
     departed: AtomicBool,
-    /// Stamped by the reader thread on every inbound frame.
+    /// Stamped by the loop on every inbound frame.
     last_seen: Mutex<Instant>,
-    /// Write half, shared with the reader thread (clock-pong and
-    /// session-ack replies must serialize with plan traffic). `None` once
-    /// severed or shut down.
-    writer: Mutex<Option<TcpStream>>,
     /// Outbound reliable frames awaiting cumulative ack (v4 only).
     send_buf: Mutex<SendBuffer>,
     /// Inbound reliable-frame dedupe cursor (v4 only).
@@ -163,7 +191,6 @@ impl ConnShared {
             link_up: AtomicBool::new(true),
             departed: AtomicBool::new(false),
             last_seen: Mutex::new(Instant::now()),
-            writer: Mutex::new(None),
             send_buf: Mutex::new(SendBuffer::default()),
             recv_cursor: Mutex::new(RecvCursor::new()),
             stats: ConnStats::default(),
@@ -175,6 +202,54 @@ impl ConnShared {
         self.stats
             .bytes_sent
             .fetch_add(frame_len as u64 + 4, Ordering::Relaxed);
+    }
+}
+
+/// What the controller thread asks of the I/O loop. Ordered per channel;
+/// the loop drains the whole queue on every wakeup.
+enum Cmd {
+    /// Adopt a freshly handshaken socket for worker `w` (replacing any
+    /// prior socket, which is dropped).
+    Register {
+        w: usize,
+        stream: TcpStream,
+        v4: bool,
+        shared: Arc<ConnShared>,
+    },
+    /// Queue one already-sealed payload (length prefix added by the write
+    /// queue) for worker `w`. Silently dropped when the socket is gone —
+    /// under v4 the frame lives in the send window and a resume replays
+    /// it.
+    Send { w: usize, frame: Vec<u8> },
+    /// Drop worker `w`'s socket after a bounded blocking flush of its
+    /// write queue, then reply. When the reply arrives the loop has
+    /// processed every frame it had read from the socket, so the receive
+    /// cursor is quiescent — the precondition for a resume dial.
+    Sever { w: usize, reply: Sender<()> },
+    /// Flush-and-drop every socket and exit the loop thread.
+    Shutdown,
+}
+
+/// One registered socket inside the I/O loop.
+struct Slot {
+    stream: TcpStream,
+    frames: FrameBuf,
+    wq: WriteQueue,
+    v4: bool,
+    shared: Arc<ConnShared>,
+}
+
+impl Slot {
+    /// Best-effort bounded blocking flush, for deregistration: the last
+    /// frames queued (clean `Shutdown`) should reach the peer, but a
+    /// wedged peer must not stall the loop past [`DRAIN_TIMEOUT`].
+    fn drain_before_close(&mut self) {
+        if self.wq.is_empty() {
+            return;
+        }
+        let _ = self.stream.set_nonblocking(false);
+        let _ = self.stream.set_write_timeout(Some(DRAIN_TIMEOUT));
+        let _ = self.wq.flush(&mut self.stream);
     }
 }
 
@@ -190,7 +265,6 @@ struct Resuming {
 
 struct Conn {
     shared: Arc<ConnShared>,
-    reader: Option<JoinHandle<()>>,
     /// The `grout-workerd` child when this transport spawned it.
     child: Option<Child>,
     /// The worker's announced wire version (version-gated traffic is
@@ -215,16 +289,20 @@ struct Conn {
 pub struct TcpTransport {
     conns: Vec<Conn>,
     from_workers: Receiver<WorkerMsg>,
-    /// Kept alive to clone into reader threads spawned on resume/rejoin;
-    /// also the injection point for the probe round.
-    to_controller: Sender<WorkerMsg>,
+    /// Command channel into the I/O loop.
+    cmd_tx: Sender<Cmd>,
+    wake: WakeHandle,
+    io: Option<JoinHandle<()>>,
     failures: Vec<(usize, String)>,
     measured: Option<LinkMatrix>,
     stale_after: Duration,
     reconnect_window: Duration,
     heartbeat: Duration,
+    probe_bytes: u64,
+    probe_timeout: Duration,
     net_faults: NetFaultPlan,
-    /// All worker listen addresses (re-sent in every hello).
+    /// All worker listen addresses (re-sent in every hello; grows on
+    /// [`Transport::join`]).
     peer_addrs: Vec<String>,
     /// Identifies this controller instance to workers; a resume hello
     /// carrying the same id revives the worker's parked session.
@@ -242,6 +320,14 @@ impl TcpTransport {
     pub fn connect(addrs: &[String], mut children: Vec<Option<Child>>, cfg: &TcpConfig) -> Self {
         children.resize_with(addrs.len(), || None);
         let (to_controller, from_workers) = unbounded::<WorkerMsg>();
+        let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+        let waker = Waker::new().expect("bind loopback waker pair");
+        let wake = waker.handle().expect("clone waker handle");
+        let loop_out = to_controller.clone();
+        let io = std::thread::Builder::new()
+            .name("grout-net-io".into())
+            .spawn(move || io_loop(waker, cmd_rx, loop_out))
+            .expect("spawn I/O loop thread");
         let session_id = monotonic_ns() ^ (std::process::id() as u64) << 32;
         let mut failures = Vec::new();
         let mut conns = Vec::with_capacity(addrs.len());
@@ -250,18 +336,15 @@ impl TcpTransport {
             let child = children[i].take();
             match Self::adopt(i, addr, addrs, cfg.heartbeat, session_id, None) {
                 Ok((stream, ack)) => {
-                    *shared.writer.lock().expect("writer lock") =
-                        Some(stream.try_clone().expect("clone TCP write half"));
-                    let reader = spawn_reader(
-                        i,
+                    let _ = cmd_tx.send(Cmd::Register {
+                        w: i,
                         stream,
-                        to_controller.clone(),
-                        Arc::clone(&shared),
-                        ack.version >= 4,
-                    );
+                        v4: ack.version >= 4,
+                        shared: Arc::clone(&shared),
+                    });
+                    wake.wake();
                     conns.push(Conn {
                         shared,
-                        reader: Some(reader),
                         child,
                         peer_version: ack.version,
                         addr: addr.clone(),
@@ -276,7 +359,6 @@ impl TcpTransport {
                     failures.push((i, e.to_string()));
                     conns.push(Conn {
                         shared,
-                        reader: None,
                         child,
                         peer_version: wire::WIRE_VERSION,
                         addr: addr.clone(),
@@ -290,18 +372,32 @@ impl TcpTransport {
         let mut t = TcpTransport {
             conns,
             from_workers,
-            to_controller,
+            cmd_tx,
+            wake,
+            io: Some(io),
             failures,
             measured: None,
             stale_after: cfg.heartbeat * cfg.stale_after_beats,
             reconnect_window: cfg.reconnect_window,
             heartbeat: cfg.heartbeat,
+            probe_bytes: cfg.probe_bytes,
+            probe_timeout: cfg.probe_timeout,
             net_faults: cfg.net_faults.clone(),
             peer_addrs: addrs.to_vec(),
             session_id,
         };
-        t.measured = Some(t.probe_round(cfg));
+        t.measured = Some(t.probe_round());
         t
+    }
+
+    /// Posts one command to the I/O loop and nudges it awake. `false`
+    /// when the loop is gone (treat the socket as already dropped).
+    fn cmd(&self, c: Cmd) -> bool {
+        let ok = self.cmd_tx.send(c).is_ok();
+        if ok {
+            self.wake.wake();
+        }
+        ok
     }
 
     /// Dial + handshake one worker endpoint; returns the stream and the
@@ -345,21 +441,25 @@ impl TcpTransport {
         self.conns[w].peer_version >= 4
     }
 
-    /// Severs the socket of worker `w` (if any), joins its reader thread
-    /// so the receive cursor is quiesced, and enters the resuming state.
+    /// Severs the socket of worker `w` (if any) via the loop rendezvous —
+    /// when it returns, the receive cursor is quiesced — and enters the
+    /// resuming state.
     fn sever(&mut self, w: usize) {
-        {
-            let mut guard = self.conns[w].shared.writer.lock().expect("writer lock");
-            if let Some(s) = guard.as_mut() {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-            *guard = None;
-        }
         self.conns[w].shared.link_up.store(false, Ordering::SeqCst);
-        if let Some(j) = self.conns[w].reader.take() {
-            let _ = j.join();
-        }
+        self.rendezvous_drop(w);
         self.enter_resuming(w);
+    }
+
+    /// Asks the loop to drop worker `w`'s socket and waits for the reply.
+    /// Cannot deadlock: the loop never blocks on the controller thread
+    /// (it only posts to unbounded channels and does nonblocking socket
+    /// I/O), so the reply always arrives — the bounded wait is pure
+    /// defense against a dead loop thread.
+    fn rendezvous_drop(&self, w: usize) {
+        let (tx, rx) = unbounded::<()>();
+        if self.cmd(Cmd::Sever { w, reply: tx }) {
+            let _ = rx.recv_timeout(Duration::from_secs(2));
+        }
     }
 
     fn enter_resuming(&mut self, w: usize) {
@@ -376,11 +476,8 @@ impl TcpTransport {
     fn mark_dead(&mut self, w: usize) {
         self.conns[w].shared.open.store(false, Ordering::SeqCst);
         self.conns[w].shared.link_up.store(false, Ordering::SeqCst);
-        *self.conns[w].shared.writer.lock().expect("writer lock") = None;
         self.conns[w].resuming = None;
-        if let Some(j) = self.conns[w].reader.take() {
-            let _ = j.join();
-        }
+        self.rendezvous_drop(w);
     }
 
     /// Drives the reconnect loop of a resuming connection. Returns the
@@ -434,14 +531,15 @@ impl TcpTransport {
     }
 
     /// One resume attempt: dial, resume handshake, replay the unacked
-    /// tail, reinstall writer + reader.
+    /// tail (blocking, on the fresh socket), then hand the socket to the
+    /// I/O loop.
     fn dial_resume(&mut self, w: usize) -> Result<(), ResumeFail> {
         let addr = self.conns[w].addr.clone();
         let cursor = {
             let rc = self.conns[w].shared.recv_cursor.lock().expect("cursor");
             rc.cursor()
         };
-        let (stream, ack) = Self::adopt(
+        let (mut stream, ack) = Self::adopt(
             w,
             &addr,
             &self.peer_addrs,
@@ -467,30 +565,23 @@ impl TcpTransport {
                 ResumeFail::Terminal("send window trimmed past peer cursor".into())
             })?
         };
-        let mut write_half = stream.try_clone().map_err(|e| {
-            let _ = e;
-            ResumeFail::Retry
-        })?;
         for frame in &replay {
-            wire::write_frame(&mut write_half, frame).map_err(|e| {
+            wire::write_frame(&mut stream, frame).map_err(|e| {
                 let _ = e;
                 ResumeFail::Retry
             })?;
             self.conns[w].shared.count_write(frame.len());
         }
         let shared = &self.conns[w].shared;
-        *shared.writer.lock().expect("writer lock") = Some(write_half);
         *shared.last_seen.lock().expect("last_seen lock") = Instant::now();
         shared.link_up.store(true, Ordering::SeqCst);
         shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
-        let reader = spawn_reader(
+        self.cmd(Cmd::Register {
             w,
             stream,
-            self.to_controller.clone(),
-            Arc::clone(shared),
-            true,
-        );
-        self.conns[w].reader = Some(reader);
+            v4: true,
+            shared: Arc::clone(shared),
+        });
         self.conns[w].resuming = None;
         Ok(())
     }
@@ -500,81 +591,91 @@ impl TcpTransport {
     /// back as [`WorkerMsg::ProbeReport`]s. Bandwidth is `2·bytes/rtt`
     /// (ballast travels both directions). Unreachable pairs keep a
     /// conservative floor so min-transfer-time never divides by zero.
-    fn probe_round(&mut self, cfg: &TcpConfig) -> LinkMatrix {
+    fn probe_round(&mut self) -> LinkMatrix {
         let n = self.conns.len();
-        let floor = 1e6; // 1 MB/s: pessimistic but non-zero.
-        let mut bw = vec![vec![floor; n + 1]; n + 1];
-        let ballast = vec![0u8; cfg.probe_bytes as usize];
+        let mut bw = vec![vec![PROBE_FLOOR_BPS; n + 1]; n + 1];
         let mut token = 0u64;
-
-        // Controller <-> worker.
         for w in 0..n {
-            if !self.endpoint_usable(w) {
-                continue;
-            }
-            token += 1;
-            let started = Instant::now();
-            if self
-                .send(
-                    w,
-                    CtrlMsg::Probe {
-                        token,
-                        payload: ballast.clone(),
-                    },
-                )
-                .is_err()
-            {
-                continue;
-            }
-            if let Some(WorkerMsg::ProbeEcho { .. }) = self.await_probe(
-                cfg.probe_timeout,
-                |m| matches!(m, WorkerMsg::ProbeEcho { token: t, .. } if *t == token),
-            ) {
-                let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-                let bps = (2 * cfg.probe_bytes) as f64 / elapsed;
-                bw[0][w + 1] = bps;
-                bw[w + 1][0] = bps;
-            }
+            self.probe_ctrl_link(w, &mut token, &mut bw);
         }
-
-        // Worker <-> worker (each ordered pair measured once, symmetric).
         for i in 0..n {
             for j in (i + 1)..n {
-                if !self.endpoint_usable(i) || !self.endpoint_usable(j) {
-                    continue;
-                }
-                token += 1;
-                if self
-                    .send(
-                        i,
-                        CtrlMsg::ProbePeer {
-                            token,
-                            to: j,
-                            bytes: cfg.probe_bytes,
-                        },
-                    )
-                    .is_err()
-                {
-                    continue;
-                }
-                if let Some(WorkerMsg::ProbeReport {
-                    bytes, elapsed_ns, ..
-                }) = self.await_probe(cfg.probe_timeout, |m| {
-                    matches!(m, WorkerMsg::ProbeReport { worker, to, .. } if *worker == i && *to == j)
-                }) {
-                    let elapsed = (elapsed_ns as f64 / 1e9).max(1e-9);
-                    let bps = (2 * bytes) as f64 / elapsed;
-                    bw[i + 1][j + 1] = bps;
-                    bw[j + 1][i + 1] = bps;
-                }
+                self.probe_peer_link(i, j, &mut token, &mut bw);
             }
         }
         LinkMatrix::new(bw)
     }
 
+    /// Times one controller↔worker ballast echo into `bw` (both
+    /// directions; endpoint 0 is the controller).
+    fn probe_ctrl_link(&mut self, w: usize, token: &mut u64, bw: &mut [Vec<f64>]) {
+        if !self.endpoint_usable(w) {
+            return;
+        }
+        *token += 1;
+        let t = *token;
+        let ballast = vec![0u8; self.probe_bytes as usize];
+        let started = Instant::now();
+        if self
+            .send(
+                w,
+                CtrlMsg::Probe {
+                    token: t,
+                    payload: ballast,
+                },
+            )
+            .is_err()
+        {
+            return;
+        }
+        if let Some(WorkerMsg::ProbeEcho { .. }) = self.await_probe(
+            self.probe_timeout,
+            |m| matches!(m, WorkerMsg::ProbeEcho { token: k, .. } if *k == t),
+        ) {
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            let bps = (2 * self.probe_bytes) as f64 / elapsed;
+            bw[0][w + 1] = bps;
+            bw[w + 1][0] = bps;
+        }
+    }
+
+    /// Times one worker↔worker ballast echo (ordered pair measured once,
+    /// recorded symmetric).
+    fn probe_peer_link(&mut self, i: usize, j: usize, token: &mut u64, bw: &mut [Vec<f64>]) {
+        if !self.endpoint_usable(i) || !self.endpoint_usable(j) {
+            return;
+        }
+        *token += 1;
+        let t = *token;
+        if self
+            .send(
+                i,
+                CtrlMsg::ProbePeer {
+                    token: t,
+                    to: j,
+                    bytes: self.probe_bytes,
+                },
+            )
+            .is_err()
+        {
+            return;
+        }
+        if let Some(WorkerMsg::ProbeReport {
+            bytes, elapsed_ns, ..
+        }) = self.await_probe(
+            self.probe_timeout,
+            |m| matches!(m, WorkerMsg::ProbeReport { worker, to, .. } if *worker == i && *to == j),
+        ) {
+            let elapsed = (elapsed_ns as f64 / 1e9).max(1e-9);
+            let bps = (2 * bytes) as f64 / elapsed;
+            bw[i + 1][j + 1] = bps;
+            bw[j + 1][i + 1] = bps;
+        }
+    }
+
     /// Waits for the probe reply matching `pred`; any other traffic that
-    /// arrives meanwhile would be plan traffic — impossible during the
-    /// startup round — so it is dropped with a breadcrumb.
+    /// arrives meanwhile would be plan traffic — impossible during a
+    /// probe round — so it is dropped with a breadcrumb.
     fn await_probe(
         &mut self,
         timeout: Duration,
@@ -593,7 +694,7 @@ impl TcpTransport {
 
     fn endpoint_usable(&self, w: usize) -> bool {
         let sh = &self.conns[w].shared;
-        sh.writer.lock().expect("writer lock").is_some() && sh.open.load(Ordering::SeqCst)
+        sh.link_up.load(Ordering::SeqCst) && sh.open.load(Ordering::SeqCst)
     }
 
     /// Pid of the spawned `grout-workerd` backing worker `w`, when this
@@ -617,7 +718,21 @@ impl TcpTransport {
     pub fn forget_child(&mut self, w: usize) -> Option<Child> {
         self.conns.get_mut(w).and_then(|c| c.child.take())
     }
+
+    /// Hands ownership of a spawned `grout-workerd` backing worker `w` to
+    /// the transport (elastic join: the daemon was spawned before the
+    /// transport knew the worker existed). The child is reaped on
+    /// [`Transport::shutdown`].
+    pub fn attach_child(&mut self, w: usize, child: Child) {
+        if let Some(c) = self.conns.get_mut(w) {
+            c.child = Some(child);
+        }
+    }
 }
+
+/// Conservative bandwidth floor (1 MB/s): pessimistic but non-zero, so
+/// min-transfer-time never divides by zero on an unprobed pair.
+const PROBE_FLOOR_BPS: f64 = 1e6;
 
 /// Why a resume attempt failed.
 enum ResumeFail {
@@ -628,14 +743,16 @@ enum ResumeFail {
     Terminal(String),
 }
 
-/// Handles one logical (post-envelope) inbound payload. Returns false
-/// when the reader should stop.
+/// Handles one logical (post-envelope) inbound payload inside the I/O
+/// loop. Replies (clock pongs, session acks) go on the slot's write
+/// queue. Returns false when the slot should be dropped.
 fn handle_payload(
     worker: usize,
     inner: Vec<u8>,
     v4: bool,
     out: &Sender<WorkerMsg>,
     shared: &ConnShared,
+    wq: &mut WriteQueue,
 ) -> bool {
     // Clock-sync + session frames live above the message tag space; peek
     // the tag and keep them inside the transport.
@@ -649,12 +766,8 @@ fn handle_payload(
                 } else {
                     pong
                 };
-                let mut w = shared.writer.lock().expect("writer lock");
-                if let Some(s) = w.as_mut() {
-                    if wire::write_frame(s, &framed).is_ok() {
-                        shared.count_write(framed.len());
-                    }
-                }
+                shared.count_write(framed.len());
+                wq.enqueue(&framed);
             }
             return true;
         }
@@ -713,77 +826,197 @@ fn handle_payload(
     }
 }
 
-fn spawn_reader(
-    worker: usize,
-    mut stream: TcpStream,
-    out: Sender<WorkerMsg>,
-    shared: Arc<ConnShared>,
-    v4: bool,
-) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("grout-net-rx-{worker}"))
-        .spawn(move || loop {
-            match wire::read_frame(&mut stream) {
-                Ok(Some(raw)) => {
-                    *shared.last_seen.lock().expect("last_seen lock") = Instant::now();
-                    shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
-                    shared
-                        .stats
-                        .bytes_recv
-                        .fetch_add(raw.len() as u64 + 4, Ordering::Relaxed);
-                    if !v4 {
-                        if !handle_payload(worker, raw, false, &out, &shared) {
-                            return;
-                        }
-                        continue;
-                    }
-                    match wire::open_envelope(raw) {
-                        Ok(wire::Envelope::Ephemeral(inner)) => {
-                            if !handle_payload(worker, inner, true, &out, &shared) {
-                                return;
-                            }
-                        }
-                        Ok(wire::Envelope::Reliable { seq, payload }) => {
-                            let (ready, ack_due, cursor) = {
-                                let mut rc = shared.recv_cursor.lock().expect("cursor");
-                                let before = rc.cursor();
-                                let ready = rc.accept(seq, payload);
-                                let after = rc.cursor();
-                                (ready, before / ACK_EVERY != after / ACK_EVERY, after)
-                            };
-                            for p in ready {
-                                if !handle_payload(worker, p, true, &out, &shared) {
-                                    return;
-                                }
-                            }
-                            if ack_due {
-                                let framed =
-                                    wire::seal_ephemeral(&wire::encode_session_ack(cursor));
-                                let mut w = shared.writer.lock().expect("writer lock");
-                                if let Some(s) = w.as_mut() {
-                                    if wire::write_frame(s, &framed).is_ok() {
-                                        shared.count_write(framed.len());
-                                    }
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            eprintln!("[grout-net] worker {worker}: bad envelope: {e}");
-                            shared.link_up.store(false, Ordering::SeqCst);
-                            return;
-                        }
-                    }
-                }
-                Ok(None) | Err(_) => {
-                    shared.link_up.store(false, Ordering::SeqCst);
-                    if !v4 {
-                        shared.open.store(false, Ordering::SeqCst);
-                    }
-                    return;
+/// Processes one raw (pre-envelope) frame for a slot. Returns false when
+/// the slot should be dropped.
+fn process_frame(worker: usize, raw: Vec<u8>, slot: &mut Slot, out: &Sender<WorkerMsg>) -> bool {
+    let shared = &slot.shared;
+    *shared.last_seen.lock().expect("last_seen lock") = Instant::now();
+    shared.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .bytes_recv
+        .fetch_add(raw.len() as u64 + 4, Ordering::Relaxed);
+    if !slot.v4 {
+        return handle_payload(worker, raw, false, out, shared, &mut slot.wq);
+    }
+    match wire::open_envelope(raw) {
+        Ok(wire::Envelope::Ephemeral(inner)) => {
+            handle_payload(worker, inner, true, out, shared, &mut slot.wq)
+        }
+        Ok(wire::Envelope::Reliable { seq, payload }) => {
+            let (ready, ack_due, cursor) = {
+                let mut rc = shared.recv_cursor.lock().expect("cursor");
+                let before = rc.cursor();
+                let ready = rc.accept(seq, payload);
+                let after = rc.cursor();
+                (ready, before / ACK_EVERY != after / ACK_EVERY, after)
+            };
+            for p in ready {
+                if !handle_payload(worker, p, true, out, shared, &mut slot.wq) {
+                    return false;
                 }
             }
-        })
-        .expect("spawn reader thread")
+            if ack_due {
+                let framed = wire::seal_ephemeral(&wire::encode_session_ack(cursor));
+                shared.count_write(framed.len());
+                slot.wq.enqueue(&framed);
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("[grout-net] worker {worker}: bad envelope: {e}");
+            shared.link_up.store(false, Ordering::SeqCst);
+            false
+        }
+    }
+}
+
+/// Drains readable bytes and decodes frames for one slot; then flushes
+/// any replies the frames generated. Returns false when the slot should
+/// be dropped (EOF, socket error, protocol error, clean Leave).
+fn drain_slot(worker: usize, slot: &mut Slot, out: &Sender<WorkerMsg>) -> bool {
+    let open = matches!(read_available(&mut slot.stream, &mut slot.frames), Ok(true));
+    loop {
+        match slot.frames.next_frame() {
+            Ok(Some(raw)) => {
+                if !process_frame(worker, raw, slot, out) {
+                    return false;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("[grout-net] worker {worker}: {e}; closing");
+                slot.shared.link_up.store(false, Ordering::SeqCst);
+                return false;
+            }
+        }
+    }
+    if !open {
+        slot.shared.link_up.store(false, Ordering::SeqCst);
+        if !slot.v4 {
+            slot.shared.open.store(false, Ordering::SeqCst);
+        }
+        return false;
+    }
+    if slot.wq.flush(&mut slot.stream).is_err() {
+        slot.shared.link_up.store(false, Ordering::SeqCst);
+        return false;
+    }
+    true
+}
+
+/// The controller's single I/O thread: multiplexes every registered
+/// worker socket over `poll(2)`, decoding inbound frames into `out` and
+/// flushing queued writes as the kernel accepts them. Commands arrive on
+/// `cmd_rx`, signalled through the waker. The loop performs no blocking
+/// operation other than `poll` itself, which is what makes the sever
+/// rendezvous deadlock-free.
+fn io_loop(waker: Waker, cmd_rx: Receiver<Cmd>, out: Sender<WorkerMsg>) {
+    let mut slots: HashMap<usize, Slot> = HashMap::new();
+    loop {
+        // (Re)build the poll set: waker first, then every live socket.
+        let mut fds = Vec::with_capacity(1 + slots.len());
+        let mut ids = Vec::with_capacity(slots.len());
+        fds.push(PollFd {
+            fd: waker.fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for (&w, slot) in slots.iter() {
+            use std::os::fd::AsRawFd as _;
+            let mut events = POLLIN;
+            if !slot.wq.is_empty() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd {
+                fd: slot.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            ids.push(w);
+        }
+        if poll_fds(&mut fds, None).is_err() {
+            // Unrecoverable poll failure (EBADF would be a logic bug);
+            // drop everything rather than spin.
+            return;
+        }
+        waker.drain();
+        // Drain the command queue before touching sockets, so a Sever
+        // beats any not-yet-read bytes of the severed socket.
+        let mut shutting_down = false;
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            match cmd {
+                Cmd::Register {
+                    w,
+                    stream,
+                    v4,
+                    shared,
+                } => {
+                    if stream.set_nonblocking(true).is_err() {
+                        shared.link_up.store(false, Ordering::SeqCst);
+                        continue;
+                    }
+                    slots.insert(
+                        w,
+                        Slot {
+                            stream,
+                            frames: FrameBuf::new(),
+                            wq: WriteQueue::new(),
+                            v4,
+                            shared,
+                        },
+                    );
+                }
+                Cmd::Send { w, frame } => {
+                    if let Some(slot) = slots.get_mut(&w) {
+                        slot.shared.count_write(frame.len());
+                        slot.wq.enqueue(&frame);
+                        if slot.wq.flush(&mut slot.stream).is_err() {
+                            slot.shared.link_up.store(false, Ordering::SeqCst);
+                            slots.remove(&w);
+                        }
+                    }
+                    // No slot: the link is down. Under v4 the frame is in
+                    // the send window and a resume replays it; under the
+                    // legacy protocol the loss is surfaced by liveness.
+                }
+                Cmd::Sever { w, reply } => {
+                    if let Some(mut slot) = slots.remove(&w) {
+                        slot.drain_before_close();
+                        let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    let _ = reply.send(());
+                }
+                Cmd::Shutdown => shutting_down = true,
+            }
+        }
+        if shutting_down {
+            for (_, mut slot) in slots.drain() {
+                slot.drain_before_close();
+            }
+            return;
+        }
+        // Readiness: fds[0] is the waker (already drained); fds[1..]
+        // pairs with ids.
+        for (k, fd) in fds.iter().enumerate().skip(1) {
+            if fd.revents == 0 {
+                continue;
+            }
+            let w = ids[k - 1];
+            let Some(slot) = slots.get_mut(&w) else {
+                continue; // a command above already dropped it
+            };
+            if fd.revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                if !drain_slot(w, slot, &out) {
+                    slots.remove(&w);
+                    continue;
+                }
+            } else if fd.revents & POLLOUT != 0 && slot.wq.flush(&mut slot.stream).is_err() {
+                slot.shared.link_up.store(false, Ordering::SeqCst);
+                slots.remove(&w);
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport {
@@ -803,39 +1036,33 @@ impl Transport for TcpTransport {
         // Version-gated traffic silently degrades against an older
         // worker: a v1 peer can run every plan, it just cannot stream
         // telemetry; a v2 peer cannot receive log-shipping frames (which
-        // only ever target a standby controller anyway).
-        if matches!(msg, CtrlMsg::Observe { .. }) && self.conns[worker].peer_version < 2 {
+        // only ever target a standby controller anyway); a pre-v5 peer
+        // knows no membership frames — a Leave caller falls back to a
+        // plain shutdown, and a missed Peers update only matters if the
+        // old worker later targets the newcomer (it cannot: pre-v5 peers
+        // predate elastic joins).
+        let pv = self.conns[worker].peer_version;
+        if matches!(msg, CtrlMsg::Observe { .. }) && pv < 2 {
             return Ok(());
         }
-        if matches!(msg, CtrlMsg::ShipInit { .. } | CtrlMsg::ShipOp { .. })
-            && self.conns[worker].peer_version < 3
-        {
+        if matches!(msg, CtrlMsg::ShipInit { .. } | CtrlMsg::ShipOp { .. }) && pv < 3 {
+            return Ok(());
+        }
+        if matches!(msg, CtrlMsg::Leave | CtrlMsg::Peers { .. }) && pv < 5 {
             return Ok(());
         }
         let payload = wire::encode_ctrl(&msg);
         if !self.v4(worker) {
             // Legacy path: bare frame, no session layer, socket death is
-            // definitive.
+            // definitive. The loop detects a failed write asynchronously;
+            // the next send/liveness call observes the downed link.
             if !self.endpoint_usable(worker) {
                 return Err(SendLost);
             }
-            let wrote = {
-                let mut guard = self.conns[worker]
-                    .shared
-                    .writer
-                    .lock()
-                    .expect("writer lock");
-                let stream = guard.as_mut().expect("usable");
-                wire::write_frame(stream, &payload)
-            };
-            if wrote.is_err() {
-                self.conns[worker]
-                    .shared
-                    .open
-                    .store(false, Ordering::SeqCst);
-                return Err(SendLost);
-            }
-            self.conns[worker].shared.count_write(payload.len());
+            self.cmd(Cmd::Send {
+                w: worker,
+                frame: payload,
+            });
             return Ok(());
         }
 
@@ -885,32 +1112,18 @@ impl Transport for TcpTransport {
             // resuming: it will. Either way it is not lost.
             return Ok(());
         }
-        let wrote = {
-            let mut guard = self.conns[worker]
-                .shared
-                .writer
-                .lock()
-                .expect("writer lock");
-            match guard.as_mut() {
-                Some(stream) => wire::write_frame(stream, &frame),
-                None => Err(wire::WireError::Handshake("link down".into())),
+        if !self.conns[worker].shared.link_up.load(Ordering::SeqCst) {
+            // The loop noticed the socket die since our last call: sever
+            // cleanly (quiescing the cursor) and attempt an immediate
+            // resume; the frame is already buffered.
+            self.sever(worker);
+            if self.try_resume(worker) == Liveness::Dead {
+                return Err(SendLost);
             }
-        };
-        match wrote {
-            Ok(()) => {
-                self.conns[worker].shared.count_write(frame.len());
-                Ok(())
-            }
-            Err(_) => {
-                // Socket died under us: sever cleanly and attempt an
-                // immediate resume; the frame is already buffered.
-                self.sever(worker);
-                if self.try_resume(worker) == Liveness::Dead {
-                    return Err(SendLost);
-                }
-                Ok(())
-            }
+            return Ok(());
         }
+        self.cmd(Cmd::Send { w: worker, frame });
+        Ok(())
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<WorkerMsg, TransportRecvError> {
@@ -938,24 +1151,17 @@ impl Transport for TcpTransport {
         if !self.v4(worker) {
             // Legacy liveness: socket + staleness, dead is dead.
             let up = sh.link_up.load(Ordering::SeqCst)
-                && sh.writer.lock().expect("writer lock").is_some()
                 && sh.last_seen.lock().expect("last_seen lock").elapsed() < self.stale_after;
             return if up { Liveness::Alive } else { Liveness::Dead };
         }
         if self.conns[worker].resuming.is_some() {
             return self.try_resume(worker);
         }
-        let link_down =
-            !sh.link_up.load(Ordering::SeqCst) || sh.writer.lock().expect("writer lock").is_none();
+        let link_down = !sh.link_up.load(Ordering::SeqCst);
         let stale = sh.last_seen.lock().expect("last_seen lock").elapsed() >= self.stale_after;
-        if link_down {
-            // EOF/error was already detected by the reader; join it and
-            // start resuming.
-            self.sever(worker);
-            return self.try_resume(worker);
-        }
-        if stale {
-            // Wedged-but-connected (SIGSTOP, partition): sever the silent
+        if link_down || stale {
+            // EOF/error already detected by the loop, or a
+            // wedged-but-connected peer (SIGSTOP, partition): sever the
             // socket and re-dial — a worker that wakes inside the window
             // resumes, one that doesn't goes to quarantine.
             self.sever(worker);
@@ -971,6 +1177,7 @@ impl Transport for TcpTransport {
         // Fresh adoption: the previous session is gone for good, so reset
         // the session state before dialing (resume: None tells the worker
         // to discard any parked engine and start clean).
+        self.rendezvous_drop(worker);
         let addr = self.conns[worker].addr.clone();
         match Self::adopt(
             worker,
@@ -981,21 +1188,14 @@ impl Transport for TcpTransport {
             None,
         ) {
             Ok((stream, ack)) => {
-                if let Some(j) = self.conns[worker].reader.take() {
-                    let _ = j.join();
-                }
                 let shared = Arc::new(ConnShared::fresh());
-                *shared.writer.lock().expect("writer lock") =
-                    Some(stream.try_clone().expect("clone TCP write half"));
-                let reader = spawn_reader(
-                    worker,
+                self.cmd(Cmd::Register {
+                    w: worker,
                     stream,
-                    self.to_controller.clone(),
-                    Arc::clone(&shared),
-                    ack.version >= 4,
-                );
+                    v4: ack.version >= 4,
+                    shared: Arc::clone(&shared),
+                });
                 self.conns[worker].shared = shared;
-                self.conns[worker].reader = Some(reader);
                 self.conns[worker].peer_version = ack.version;
                 self.conns[worker].resuming = None;
                 self.conns[worker].partition_until = None;
@@ -1008,28 +1208,82 @@ impl Transport for TcpTransport {
         }
     }
 
+    fn join(&mut self, addr: &str) -> Result<usize, String> {
+        let w = self.conns.len();
+        let mut peers = self.peer_addrs.clone();
+        peers.push(addr.to_string());
+        let shared = Arc::new(ConnShared::fresh());
+        let (stream, ack) = Self::adopt(w, addr, &peers, self.heartbeat, self.session_id, None)
+            .map_err(|e| format!("join {addr}: {e}"))?;
+        self.peer_addrs = peers;
+        self.cmd(Cmd::Register {
+            w,
+            stream,
+            v4: ack.version >= 4,
+            shared: Arc::clone(&shared),
+        });
+        self.conns.push(Conn {
+            shared,
+            child: None,
+            peer_version: ack.version,
+            addr: addr.to_string(),
+            resuming: None,
+            ctrl_frames: 0,
+            partition_until: None,
+        });
+        // Tell every existing worker the grown peer list so P2P traffic
+        // reaches the newcomer (v5-gated inside send()).
+        let update = CtrlMsg::Peers {
+            addrs: self.peer_addrs.clone(),
+        };
+        for i in 0..w {
+            if self.endpoint_usable(i) {
+                let _ = self.send(i, update.clone());
+            }
+        }
+        Ok(w)
+    }
+
+    fn probe_joined(&mut self, worker: usize) -> Option<LinkMatrix> {
+        let n = self.conns.len();
+        // Start from the measured matrix (grown to the new endpoint
+        // count) so earlier measurements survive the incremental round.
+        let mut bw = match &self.measured {
+            Some(m) => {
+                let g = m.grown(n + 1);
+                (0..n + 1)
+                    .map(|i| (0..n + 1).map(|j| g.raw(i, j)).collect())
+                    .collect::<Vec<Vec<f64>>>()
+            }
+            None => vec![vec![PROBE_FLOOR_BPS; n + 1]; n + 1],
+        };
+        // Token space above the startup round's so late echoes of that
+        // round can never satisfy this one.
+        let mut token = (worker as u64 + 1) << 32;
+        self.probe_ctrl_link(worker, &mut token, &mut bw);
+        for i in 0..n {
+            if i != worker {
+                let (a, b) = (i.min(worker), i.max(worker));
+                self.probe_peer_link(a, b, &mut token, &mut bw);
+            }
+        }
+        self.measured = Some(LinkMatrix::new(bw));
+        self.measured.clone()
+    }
+
     fn shutdown(&mut self, worker: usize) {
-        // Best-effort clean shutdown frame; the socket may already be dead.
+        // Best-effort clean shutdown frame; the socket may already be
+        // dead. The Sever rendezvous drains the write queue (bounded)
+        // before closing, so the frame gets out to a live worker.
         let payload = wire::encode_ctrl(&CtrlMsg::Shutdown);
-        let framed = if self.v4(worker) {
+        let frame = if self.v4(worker) {
             let mut sb = self.conns[worker].shared.send_buf.lock().expect("send_buf");
             sb.seal(&payload)
         } else {
             payload
         };
-        {
-            let mut guard = self.conns[worker]
-                .shared
-                .writer
-                .lock()
-                .expect("writer lock");
-            if let Some(stream) = guard.as_mut() {
-                let _ = wire::write_frame(stream, &framed);
-                let _ = stream.flush();
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
-            *guard = None;
-        }
+        self.cmd(Cmd::Send { w: worker, frame });
+        self.rendezvous_drop(worker);
         self.conns[worker]
             .shared
             .open
@@ -1039,9 +1293,6 @@ impl Transport for TcpTransport {
             .link_up
             .store(false, Ordering::SeqCst);
         self.conns[worker].resuming = None;
-        if let Some(j) = self.conns[worker].reader.take() {
-            let _ = j.join();
-        }
         if let Some(mut child) = self.conns[worker].child.take() {
             // Bounded reap: give the process a moment to exit cleanly,
             // then kill. No zombies either way.
@@ -1106,6 +1357,11 @@ impl Drop for TcpTransport {
     fn drop(&mut self) {
         for w in 0..self.conns.len() {
             self.shutdown(w);
+        }
+        let _ = self.cmd_tx.send(Cmd::Shutdown);
+        self.wake.wake();
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
         }
     }
 }

@@ -77,8 +77,12 @@ pub const MAGIC: [u8; 4] = *b"GRNT";
 /// the controller hello, a resumed flag + receive cursor in the worker
 /// ack, the reliable/ephemeral frame envelope with per-peer sequence
 /// numbers, the cumulative-ack frame ([`SESSION_ACK_TAG`]) and the clean
-/// departure announcement ([`WorkerMsg::Leave`]).
-pub const WIRE_VERSION: u16 = 4;
+/// departure announcement ([`WorkerMsg::Leave`]);
+/// v5 added elastic membership: the controller-requested clean departure
+/// ([`CtrlMsg::Leave`]), the peer-address re-broadcast on join
+/// ([`CtrlMsg::Peers`]) and the [`PlannerOp::Join`]/[`PlannerOp::Leave`]
+/// membership ops in the op codec.
+pub const WIRE_VERSION: u16 = 5;
 
 /// Oldest peer version this build still talks to.
 pub const MIN_WIRE_VERSION: u16 = 1;
@@ -833,6 +837,14 @@ fn enc_op(e: &mut Enc, op: &PlannerOp) {
             e.u8(9);
             e.u32(*worker as u32);
         }
+        PlannerOp::Join { worker } => {
+            e.u8(10);
+            e.u32(*worker as u32);
+        }
+        PlannerOp::Leave { worker } => {
+            e.u8(11);
+            e.u32(*worker as u32);
+        }
     }
 }
 
@@ -868,6 +880,12 @@ fn dec_op(d: &mut Dec) -> Result<PlannerOp, WireError> {
             worker: d.u32()? as usize,
         },
         9 => PlannerOp::Rejoin {
+            worker: d.u32()? as usize,
+        },
+        10 => PlannerOp::Join {
+            worker: d.u32()? as usize,
+        },
+        11 => PlannerOp::Leave {
             worker: d.u32()? as usize,
         },
         _ => return Err(WireError::Malformed("op tag")),
@@ -975,6 +993,14 @@ pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
             e.u64(*seq);
             enc_op(&mut e, op);
         }
+        CtrlMsg::Leave => e.u8(12),
+        CtrlMsg::Peers { addrs } => {
+            e.u8(13);
+            e.u32(addrs.len() as u32);
+            for a in addrs {
+                e.str(a);
+            }
+        }
     }
     e.into_bytes()
 }
@@ -1052,6 +1078,18 @@ pub fn decode_ctrl(payload: &[u8]) -> Result<CtrlMsg, WireError> {
             seq: d.u64()?,
             op: dec_op(&mut d)?,
         },
+        12 => CtrlMsg::Leave,
+        13 => {
+            let n = d.u32()? as usize;
+            if n > 65_536 {
+                return Err(WireError::Malformed("peer list length"));
+            }
+            let mut addrs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                addrs.push(d.str()?);
+            }
+            CtrlMsg::Peers { addrs }
+        }
         _ => return Err(WireError::Malformed("ctrl tag")),
     };
     if !d.finished() {

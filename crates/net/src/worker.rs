@@ -2,13 +2,17 @@
 //! `grout-workerd` binary.
 //!
 //! One process hosts one [`WorkerEngine`] — the same transport-agnostic
-//! state machine the in-process threads run — fed from a single merged
-//! queue, so message handling is sequential exactly like the crossbeam
-//! worker loop:
+//! state machine the in-process threads run — driven by a **single
+//! thread**: a `poll(2)` event loop (see [`crate::poll`]) multiplexes the
+//! listener, the controller socket, every inbound peer socket and every
+//! not-yet-classified accepted socket. Message handling stays sequential
+//! exactly like the crossbeam worker loop; heartbeats, clock pings and
+//! telemetry flush ticks are poll-timeout deadlines instead of dedicated
+//! threads, and controller-bound writes go through a nonblocking
+//! [`WriteQueue`] flushed as the kernel accepts bytes.
 //!
-//! - a controller connection (accepted socket carrying a controller
-//!   hello) delivers plan traffic; its write half is shared with a
-//!   heartbeat thread beating at the handshake's cadence,
+//! - the controller connection (an accepted socket carrying a controller
+//!   hello) delivers plan traffic,
 //! - inbound peer sockets (accepted, peer hello) deliver P2P data,
 //! - outbound peer traffic dials `peers[j]` on demand; each direction of
 //!   each worker pair gets its own one-way socket, which avoids any
@@ -16,39 +20,59 @@
 //!
 //! ## Session resume (wire v4) and re-adoption
 //!
-//! The acceptor classifies *every* accepted socket by its hello, so a
-//! controller hello is welcome at any time, not just first. Against a v4
-//! controller the session is *resumable*: losing the controller socket
-//! parks the session — the engine, both reliable-stream cursors and the
-//! outbound peer sockets survive — and the worker keeps driving peer
-//! traffic through the parked engine, buffering controller-bound output
-//! in its [`SendBuffer`]. A controller hello carrying the same session id
-//! and a resume cursor revives the parked session: the worker acks with
-//! its own receive cursor, both sides replay their unacked tails, and the
-//! run continues as if the socket had never died. A hello *without* a
-//! resume cursor (a fresh adoption — standby takeover, or a rejoin after
+//! Every accepted socket is classified by its hello, so a controller
+//! hello is welcome at any time, not just first. Against a v4 controller
+//! the session is *resumable*: losing the controller socket parks the
+//! session — the engine, both reliable-stream cursors and the outbound
+//! peer sockets survive — and the worker keeps driving peer traffic
+//! through the parked engine, buffering controller-bound output in its
+//! [`SendBuffer`]. A controller hello carrying the same session id and a
+//! resume cursor revives the parked session: the worker acks with its own
+//! receive cursor, both sides replay their unacked tails, and the run
+//! continues as if the socket had never died. A hello *without* a resume
+//! cursor (a fresh adoption — standby takeover, or a rejoin after
 //! quarantine) discards any parked state and starts a clean session, as
 //! does any hello from a pre-v4 controller.
 //!
-//! Only a clean `Shutdown` frame, SIGTERM (see [`serve_shutdown`]) or an
-//! injected crash exits the process.
+//! ## Elastic membership (wire v5)
+//!
+//! [`CtrlMsg::Peers`] re-announces the (grown) peer address list when a
+//! worker joins the mesh mid-run; the session extends its outbound peer
+//! table so P2P data reaches the newcomer. [`CtrlMsg::Leave`] asks for a
+//! clean departure: the engine flushes telemetry, acks with
+//! [`WorkerMsg::Leave`] and halts — the process exits `Ok` exactly like a
+//! `Shutdown` frame.
+//!
+//! Only a clean `Shutdown` frame, a [`CtrlMsg::Leave`], SIGTERM (see
+//! [`serve_shutdown`]) or an injected crash exits the process.
 
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use grout_core::{
     monotonic_ns, CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg, TELEMETRY_FLUSH_TICK,
 };
 
+use crate::poll::{poll_fds, read_available, FrameBuf, PollFd, WriteQueue};
+use crate::poll::{POLLERR, POLLHUP, POLLIN, POLLOUT};
 use crate::session::{RecvCursor, SendBuffer, ACK_EVERY};
 use crate::wire;
 
-/// A controller connection handed from the acceptor to the main loop.
+/// Upper bound on one poll sleep, so the SIGTERM flag is observed
+/// promptly even while idle and parked.
+const MAX_POLL: Duration = Duration::from_millis(200);
+/// Bound on the final blocking flush of the controller write queue on
+/// exit (clean `Leave`/`Shutdown` acks should reach a live controller; a
+/// dead one must not wedge the process).
+const EXIT_FLUSH_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A controller connection classified from an accepted socket.
 struct Adoption {
     stream: TcpStream,
+    /// Bytes that arrived after the hello in the same read.
+    carry: FrameBuf,
     me: usize,
     total: usize,
     heartbeat_ms: u32,
@@ -61,28 +85,33 @@ struct Adoption {
     resume: Option<u64>,
 }
 
-/// What [`serve`] feeds the engine: decoded plan/peer traffic, a fresh
-/// controller connection, or the end of the current one.
-enum Event {
-    Msg(CtrlMsg),
-    NewController(Box<Adoption>),
-    /// A controller socket died. Tagged with the socket token so a stale
-    /// reader thread cannot end its successor's session.
-    ControllerGone {
-        token: u64,
-    },
+/// The live controller socket plus its timers and buffers.
+struct CtrlSock {
+    stream: TcpStream,
+    frames: FrameBuf,
+    wq: WriteQueue,
+    version: u16,
+    cadence: Duration,
+    next_beat: Instant,
 }
 
-/// How one controller session ended.
-enum SessionEnd {
-    /// Clean `Shutdown` frame, SIGTERM, or engine halt: exit the process.
-    Shutdown,
-    /// The controller socket died: park the session (v4) or drop it and
-    /// wait to be adopted again.
-    ControllerGone,
-    /// Another controller hello arrived mid-session that cannot revive
-    /// this session: adopt it instead.
-    Superseded(Box<Adoption>),
+impl CtrlSock {
+    fn v4(&self) -> bool {
+        self.version >= 4
+    }
+}
+
+/// An accepted socket whose hello has not fully arrived yet.
+struct Pending {
+    stream: TcpStream,
+    frames: FrameBuf,
+}
+
+/// An inbound peer socket (read-only; peers never expect replies).
+struct PeerIn {
+    from: usize,
+    stream: TcpStream,
+    frames: FrameBuf,
 }
 
 /// One worker session: the engine plus everything that must survive a
@@ -92,12 +121,11 @@ struct Session {
     me: usize,
     v4: bool,
     engine: WorkerEngine,
-    /// Outbound reliable frames awaiting cumulative ack; shared with the
-    /// controller reader (acks) — and the replay source on resume.
-    send_buf: Arc<Mutex<SendBuffer>>,
-    /// Inbound reliable dedupe cursor; shared with the controller reader
-    /// and the heartbeat thread (piggybacked acks).
-    recv_cursor: Arc<Mutex<RecvCursor>>,
+    /// Outbound reliable frames awaiting cumulative ack — and the replay
+    /// source on resume.
+    send_buf: SendBuffer,
+    /// Inbound reliable dedupe cursor.
+    recv_cursor: RecvCursor,
     peer_addrs: Vec<String>,
     /// Outbound peer sockets, dialed on demand (worker index → stream).
     /// Survive parking so P2P keeps flowing through a controller outage.
@@ -111,11 +139,26 @@ impl Session {
             me: a.me,
             v4: a.version >= 4,
             engine: WorkerEngine::new(a.me),
-            send_buf: Arc::new(Mutex::new(SendBuffer::default())),
-            recv_cursor: Arc::new(Mutex::new(RecvCursor::new())),
+            send_buf: SendBuffer::default(),
+            recv_cursor: RecvCursor::new(),
             peer_addrs: a.peers.clone(),
             peer_out: (0..a.peers.len()).map(|_| None).collect(),
         }
+    }
+
+    /// Applies a [`CtrlMsg::Peers`] membership update: the address list
+    /// only ever grows (indices are stable), and existing outbound
+    /// sockets are kept.
+    fn set_peers(&mut self, addrs: Vec<String>) {
+        if addrs.len() > self.peer_out.len() {
+            self.peer_out.resize_with(addrs.len(), || None);
+        }
+        eprintln!(
+            "[grout-workerd w{}] peer list updated: {} workers",
+            self.me,
+            addrs.len()
+        );
+        self.peer_addrs = addrs;
     }
 
     /// Drives one message through the engine while no controller socket
@@ -134,7 +177,7 @@ impl Session {
         let _ = engine.handle(msg, &mut |o| match o {
             Outbound::Controller(m) => {
                 let payload = wire::encode_worker(&m);
-                send_buf.lock().expect("send_buf").seal(&payload);
+                send_buf.seal(&payload);
             }
             Outbound::Peer(j, m) => send_to_peer(me, j, peer_addrs, peer_out, &m),
         });
@@ -149,7 +192,7 @@ impl Session {
         engine.flush_telemetry(&mut |o| {
             if let Outbound::Controller(m) = o {
                 let payload = wire::encode_worker(&m);
-                send_buf.lock().expect("send_buf").seal(&payload);
+                send_buf.seal(&payload);
             }
         });
     }
@@ -161,381 +204,681 @@ pub fn serve(listener: TcpListener) -> Result<(), wire::WireError> {
     serve_shutdown(listener, Arc::new(AtomicBool::new(false)))
 }
 
-/// Serves one worker endpoint until a clean `Shutdown` frame — or until
-/// `shutdown` is set (the binary's SIGTERM handler), upon which buffered
-/// telemetry is flushed, a clean [`WorkerMsg::Leave`] is sent so the
-/// controller re-plans immediately instead of waiting out the staleness
-/// window, and the function returns `Ok(())`.
+/// What one dispatched message asks of the serve loop.
+#[derive(PartialEq)]
+enum Step {
+    Continue,
+    /// Clean exit (Shutdown frame, Leave, engine halt).
+    Exit,
+    /// The controller socket is gone (EOF, write error, bad frame): park
+    /// the session (v4) or drop it and wait to be adopted again.
+    CtrlGone,
+}
+
+/// Serves one worker endpoint until a clean `Shutdown` frame or
+/// [`CtrlMsg::Leave`] — or until `shutdown` is set (the binary's SIGTERM
+/// handler), upon which buffered telemetry is flushed, a clean
+/// [`WorkerMsg::Leave`] is sent so the controller re-plans immediately
+/// instead of waiting out the staleness window, and the function returns
+/// `Ok(())`.
+///
+/// The whole endpoint is **one thread**: listener, controller socket,
+/// peer sockets, heartbeats and telemetry ticks all multiplex over one
+/// `poll(2)` loop — a 64-worker host runs 64 serve threads, not hundreds
+/// of per-socket ones.
 ///
 /// Survives controller loss: a v4 session is parked and can be resumed by
 /// a controller hello carrying the same session id (see the module docs);
 /// a pre-v4 session is dropped and the process waits for the next
-/// adoption. Errors only if the accept loop itself dies before any
-/// adoption.
+/// adoption. Errors only if the listener itself dies.
 pub fn serve_shutdown(
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
 ) -> Result<(), wire::WireError> {
-    let (tx, rx) = unbounded::<Event>();
-    // Worker index, for log lines from threads that outlive sessions
-    // (usize::MAX = not yet adopted).
-    let me_label = Arc::new(AtomicUsize::new(usize::MAX));
-    spawn_acceptor(listener, tx.clone(), Arc::clone(&me_label));
-
-    // Socket-token allocator for ControllerGone attribution (a resume
-    // swaps sockets mid-session, so tokens are per socket, not per
-    // session).
-    let sock_gen = Arc::new(AtomicU64::new(0));
+    listener.set_nonblocking(true)?;
     let mut session: Option<Session> = None;
-    let mut next: Option<Box<Adoption>> = None;
-    loop {
-        let mut adoption = match next.take() {
-            Some(a) => a,
-            None => {
-                // Wait for (re-)adoption, driving any parked session's
-                // peer traffic meanwhile.
-                let mut got: Option<Box<Adoption>> = None;
-                while got.is_none() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    match rx.recv_timeout(TELEMETRY_FLUSH_TICK) {
-                        Ok(Event::NewController(a)) => got = Some(a),
-                        Ok(Event::Msg(m)) => {
-                            if let Some(s) = session.as_mut() {
-                                s.handle_offline(m);
-                            }
-                        }
-                        Ok(Event::ControllerGone { .. }) => {}
-                        Err(RecvTimeoutError::Timeout) => {
-                            if let Some(s) = session.as_mut() {
-                                s.flush_offline();
-                            }
-                        }
-                        Err(RecvTimeoutError::Disconnected) => return Ok(()),
-                    }
-                }
-                got.expect("adoption")
-            }
-        };
-        // Drain the queue: keep the newest controller if several raced
-        // in, and keep a parked engine fed.
-        while let Ok(ev) = rx.try_recv() {
-            match ev {
-                Event::NewController(a) => adoption = a,
-                Event::Msg(m) => {
-                    if let Some(s) = session.as_mut() {
-                        s.handle_offline(m);
-                    }
-                }
-                Event::ControllerGone { .. } => {}
-            }
-        }
-        me_label.store(adoption.me, Ordering::Relaxed);
-        let v4 = adoption.version >= 4;
-        let resumable = v4
-            && adoption.resume.is_some()
-            && session
-                .as_ref()
-                .is_some_and(|s| s.session_id == adoption.session_id);
-        if !resumable {
-            session = Some(Session::fresh(&adoption));
-        }
-        let s = session.as_mut().expect("session");
-        match run_session(*adoption, resumable, s, &rx, &tx, &shutdown, &sock_gen) {
-            SessionEnd::Shutdown => return Ok(()),
-            SessionEnd::ControllerGone => {
-                if v4 {
-                    eprintln!("[grout-workerd] controller lost; session parked, awaiting resume");
-                } else {
-                    session = None;
-                    eprintln!("[grout-workerd] controller lost; awaiting re-adoption");
-                }
-            }
-            SessionEnd::Superseded(a) => next = Some(a),
-        }
-    }
-}
-
-/// Acks an adoption (fresh or resume) on `stream` and replays the unacked
-/// tail when resuming. Returns the stream ready for session traffic, or
-/// `None` if the handshake could not complete.
-fn ack_and_replay(
-    mut stream: TcpStream,
-    s: &Session,
-    resume_cursor: Option<u64>,
-) -> Option<TcpStream> {
-    let replay = match resume_cursor {
-        Some(cursor) => {
-            match s.send_buf.lock().expect("send_buf").replay_from(cursor) {
-                Some(frames) => Some(frames),
-                None => {
-                    // Window trimmed past the controller's cursor: this
-                    // session can never resume losslessly. Tell the
-                    // controller (it goes to quarantine + fresh rejoin).
-                    let cursor = s.recv_cursor.lock().expect("cursor").cursor();
-                    let _ =
-                        wire::write_frame(&mut stream, &wire::encode_ack_ex(s.me, false, cursor));
-                    return None;
-                }
-            }
-        }
-        None => None,
-    };
-    let cursor = s.recv_cursor.lock().expect("cursor").cursor();
-    let ack = wire::encode_ack_ex(s.me, replay.is_some(), cursor);
-    if wire::write_frame(&mut stream, &ack).is_err() {
-        return None;
-    }
-    for frame in replay.iter().flatten() {
-        if wire::write_frame(&mut stream, frame).is_err() {
-            return None;
-        }
-    }
-    Some(stream)
-}
-
-/// Runs one controller session: ack the adoption (replaying on resume),
-/// spawn the socket's reader and heartbeat threads, and drive the
-/// session's [`WorkerEngine`] until the session ends. A mid-session
-/// resume hello for the same session swaps sockets in place.
-fn run_session(
-    adoption: Adoption,
-    resumed: bool,
-    s: &mut Session,
-    rx: &Receiver<Event>,
-    tx: &Sender<Event>,
-    shutdown: &Arc<AtomicBool>,
-    sock_gen: &Arc<AtomicU64>,
-) -> SessionEnd {
-    let Adoption {
-        stream,
-        me,
-        total,
-        heartbeat_ms,
-        peers: _,
-        version: ctrl_version,
-        session_id: _,
-        resume,
-    } = adoption;
-    let v4 = s.v4;
-    let Some(stream) = ack_and_replay(stream, s, if resumed { resume } else { None }) else {
-        return SessionEnd::ControllerGone;
-    };
-    eprintln!(
-        "[grout-workerd w{me}] {} controller (wire v{ctrl_version}, {total} workers, \
-         heartbeat {heartbeat_ms}ms{})",
-        if resumed { "resumed" } else { "adopted by" },
-        if resumed { ", session revived" } else { "" },
-    );
-
-    // Controller write half, shared between the main loop (completions,
-    // data returns), the heartbeat thread (beats + clock pings + acks)
-    // and the controller reader (clock samples, session acks).
-    let mut ctrl_write = match attach_socket(s, stream, heartbeat_ms, ctrl_version, tx, sock_gen) {
-        Some(w) => w,
-        None => return SessionEnd::ControllerGone,
-    };
-    let mut cur_token = sock_gen.load(Ordering::SeqCst);
+    let mut ctrl: Option<CtrlSock> = None;
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut peers_in: Vec<PeerIn> = Vec::new();
+    let mut next_flush = Instant::now() + TELEMETRY_FLUSH_TICK;
 
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            graceful_leave(s, &ctrl_write);
-            return SessionEnd::Shutdown;
+            if let (Some(s), Some(c)) = (session.as_mut(), ctrl.as_mut()) {
+                graceful_leave(s, c);
+            }
+            return Ok(());
         }
-        let event = match rx.recv_timeout(TELEMETRY_FLUSH_TICK) {
-            Ok(ev) => ev,
-            Err(RecvTimeoutError::Timeout) => {
-                // Idle flush tick: ship buffered telemetry even when no
-                // plan traffic arrives to trigger a flush.
-                let mut halt = false;
-                let Session {
-                    engine,
-                    send_buf,
-                    peer_addrs,
-                    peer_out,
-                    ..
-                } = &mut *s;
-                engine.flush_telemetry(&mut |o| {
-                    deliver(
-                        o,
-                        me,
-                        v4,
-                        send_buf,
-                        &ctrl_write,
-                        peer_addrs,
-                        peer_out,
-                        &mut halt,
-                    )
-                });
-                if halt {
-                    return SessionEnd::ControllerGone;
+
+        // Deadline-driven timers: telemetry flush always, heartbeat while
+        // a controller is attached; capped so SIGTERM is noticed.
+        let now = Instant::now();
+        let mut deadline = next_flush.min(now + MAX_POLL);
+        if let Some(c) = ctrl.as_ref() {
+            deadline = deadline.min(c.next_beat);
+        }
+        let timeout = deadline.saturating_duration_since(now);
+
+        // Poll set: listener, controller, pending handshakes, peers.
+        use std::os::fd::AsRawFd as _;
+        let mut fds = vec![PollFd {
+            fd: listener.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let ctrl_at = ctrl.as_ref().map(|c| {
+            let mut events = POLLIN;
+            if !c.wq.is_empty() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd {
+                fd: c.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            fds.len() - 1
+        });
+        let pending_at = fds.len();
+        for p in &pending {
+            fds.push(PollFd {
+                fd: p.stream.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        let peers_at = fds.len();
+        for p in &peers_in {
+            fds.push(PollFd {
+                fd: p.stream.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        poll_fds(&mut fds, Some(timeout))?;
+
+        // New connections.
+        if fds[0].revents & POLLIN != 0 {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nodelay(true).is_err()
+                            || stream.set_nonblocking(true).is_err()
+                        {
+                            continue;
+                        }
+                        pending.push(Pending {
+                            stream,
+                            frames: FrameBuf::new(),
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
                 }
+            }
+        }
+
+        // Controller traffic.
+        if let Some(at) = ctrl_at {
+            let rev = fds[at].revents;
+            if rev != 0 {
+                let c = ctrl.as_mut().expect("ctrl present");
+                let step = if rev & (POLLIN | POLLHUP | POLLERR) != 0 {
+                    drive_ctrl_readable(c, &mut session)
+                } else if c.wq.flush(&mut c.stream).is_err() {
+                    Step::CtrlGone
+                } else {
+                    Step::Continue
+                };
+                match step {
+                    Step::Continue => {}
+                    Step::Exit => {
+                        if let Some(c) = ctrl.as_mut() {
+                            exit_flush(c);
+                        }
+                        return Ok(());
+                    }
+                    Step::CtrlGone => ctrl_gone(&mut ctrl, &mut session),
+                }
+            }
+        }
+
+        // Handshakes: classify each readable pending socket by its hello.
+        let mut verdicts: Vec<(usize, Classified)> = Vec::new();
+        for (i, p) in pending.iter_mut().enumerate() {
+            let at = pending_at + i;
+            if fds.get(at).map_or(0, |f| f.revents) & (POLLIN | POLLHUP | POLLERR) == 0 {
                 continue;
             }
-            Err(RecvTimeoutError::Disconnected) => return SessionEnd::Shutdown,
-        };
-        let msg = match event {
-            Event::Msg(m) => m,
-            Event::NewController(a) => {
-                let revivable =
-                    a.version >= 4 && a.resume.is_some() && a.session_id == s.session_id && v4;
-                if !revivable {
-                    return SessionEnd::Superseded(a);
-                }
-                // In-place revival: the controller re-dialed (it severed a
-                // stale or injected-dead socket). Quiesce the old socket,
-                // handshake on the new one, swap.
-                {
-                    let g = ctrl_write.lock().expect("controller write lock");
-                    let _ = g.shutdown(std::net::Shutdown::Both);
-                }
-                let Some(new_stream) = ack_and_replay(a.stream, s, a.resume) else {
-                    return SessionEnd::ControllerGone;
-                };
-                match attach_socket(s, new_stream, a.heartbeat_ms, a.version, tx, sock_gen) {
-                    Some(w) => {
-                        ctrl_write = w;
-                        cur_token = sock_gen.load(Ordering::SeqCst);
-                        eprintln!("[grout-workerd w{me}] session resumed in place");
-                        continue;
-                    }
-                    None => return SessionEnd::ControllerGone,
-                }
-            }
-            Event::ControllerGone { token } if token == cur_token => {
-                return SessionEnd::ControllerGone
-            }
-            Event::ControllerGone { .. } => continue, // stale socket's reader
-        };
-        let mut halt = false;
-        let Session {
-            engine,
-            send_buf,
-            peer_addrs,
-            peer_out,
-            ..
-        } = &mut *s;
-        let flow = engine.handle(msg, &mut |o| {
-            deliver(
-                o,
-                me,
-                v4,
-                send_buf,
-                &ctrl_write,
-                peer_addrs,
-                peer_out,
-                &mut halt,
-            )
-        });
-        if flow == Flow::Halt {
-            return SessionEnd::Shutdown;
+            verdicts.push((i, classify(p)));
         }
-        if halt {
-            return SessionEnd::ControllerGone;
+        for (i, verdict) in verdicts.into_iter().rev() {
+            let mut p = pending.swap_remove(i);
+            match verdict {
+                Classified::NotYet => {
+                    pending.push(p); // hello still incomplete; keep waiting
+                }
+                Classified::Drop => {}
+                Classified::Peer { from } => {
+                    let me = session.as_ref().map_or(usize::MAX, |s| s.me);
+                    eprintln!("[grout-workerd w{me}] peer {from} connected");
+                    let mut peer = PeerIn {
+                        from,
+                        stream: p.stream,
+                        frames: p.frames,
+                    };
+                    // Frames may have ridden in behind the hello; drain
+                    // them now (no new bytes, no POLLIN).
+                    if drive_peer_frames(&mut peer, &mut session, &mut ctrl) == Step::Exit {
+                        if let Some(c) = ctrl.as_mut() {
+                            exit_flush(c);
+                        }
+                        return Ok(());
+                    }
+                    peers_in.push(peer);
+                }
+                Classified::Controller(hello) => {
+                    let a = Adoption {
+                        stream: p.stream,
+                        carry: std::mem::take(&mut p.frames),
+                        me: hello.me,
+                        total: hello.total,
+                        heartbeat_ms: hello.heartbeat_ms,
+                        peers: hello.peers,
+                        version: hello.version,
+                        session_id: hello.session_id,
+                        resume: hello.resume,
+                    };
+                    match adopt(a, &mut session, &mut ctrl) {
+                        Step::Exit => return Ok(()),
+                        Step::Continue | Step::CtrlGone => {}
+                    }
+                }
+            }
+        }
+
+        // Peer traffic.
+        let mut gone: Vec<usize> = Vec::new();
+        let mut exit = false;
+        for (i, p) in peers_in.iter_mut().enumerate() {
+            let at = peers_at + i;
+            if fds.get(at).map_or(0, |f| f.revents) & (POLLIN | POLLHUP | POLLERR) == 0 {
+                continue;
+            }
+            let open = matches!(read_available(&mut p.stream, &mut p.frames), Ok(true));
+            if drive_peer_frames(p, &mut session, &mut ctrl) == Step::Exit {
+                exit = true;
+                break;
+            }
+            if !open {
+                let me = session.as_ref().map_or(usize::MAX, |s| s.me);
+                eprintln!("[grout-workerd w{me}] peer {} disconnected", p.from);
+                gone.push(i);
+            }
+        }
+        if exit {
+            if let Some(c) = ctrl.as_mut() {
+                exit_flush(c);
+            }
+            return Ok(());
+        }
+        for i in gone.into_iter().rev() {
+            peers_in.swap_remove(i);
+        }
+
+        // Timers.
+        let now = Instant::now();
+        if let (Some(c), Some(s)) = (ctrl.as_mut(), session.as_mut()) {
+            if now >= c.next_beat {
+                heartbeat(c, s);
+                while c.next_beat <= now {
+                    c.next_beat += c.cadence;
+                }
+                if c.wq.flush(&mut c.stream).is_err() {
+                    ctrl_gone(&mut ctrl, &mut session);
+                }
+            }
+        }
+        if now >= next_flush {
+            next_flush = now + TELEMETRY_FLUSH_TICK;
+            match (ctrl.as_mut(), session.as_mut()) {
+                (Some(c), Some(s)) => {
+                    flush_telemetry_online(c, s);
+                    if c.wq.flush(&mut c.stream).is_err() {
+                        ctrl_gone(&mut ctrl, &mut session);
+                    }
+                }
+                (None, Some(s)) => s.flush_offline(),
+                _ => {}
+            }
         }
     }
 }
 
-/// Wraps a freshly handshaken controller socket: allocates its token,
-/// spawns its reader and heartbeat threads, returns the shared write
-/// half.
-fn attach_socket(
-    s: &Session,
-    stream: TcpStream,
+/// A decoded controller hello, minus the socket it arrived on.
+struct CtrlHello {
+    me: usize,
+    total: usize,
     heartbeat_ms: u32,
-    ctrl_version: u16,
-    tx: &Sender<Event>,
-    sock_gen: &Arc<AtomicU64>,
-) -> Option<Arc<Mutex<TcpStream>>> {
-    let token = sock_gen.fetch_add(1, Ordering::SeqCst) + 1;
-    let ctrl_read = stream.try_clone().ok()?;
-    let ctrl_write = Arc::new(Mutex::new(stream));
-    spawn_ctrl_reader(
+    peers: Vec<String>,
+    version: u16,
+    session_id: u64,
+    resume: Option<u64>,
+}
+
+/// Outcome of reading a pending socket's hello.
+enum Classified {
+    /// Hello incomplete; keep the socket pending.
+    NotYet,
+    /// EOF, error or garbage hello; drop the socket.
+    Drop,
+    Peer {
+        from: usize,
+    },
+    Controller(Box<CtrlHello>),
+}
+
+fn classify(p: &mut Pending) -> Classified {
+    let open = matches!(read_available(&mut p.stream, &mut p.frames), Ok(true));
+    match p.frames.next_frame() {
+        Ok(Some(hello)) => match wire::decode_hello(&hello) {
+            Ok((wire::Hello::Peer { from }, _)) => Classified::Peer { from },
+            Ok((
+                wire::Hello::Controller {
+                    index,
+                    total,
+                    heartbeat_ms,
+                    peers,
+                    session_id,
+                    resume,
+                },
+                version,
+            )) => Classified::Controller(Box::new(CtrlHello {
+                me: index,
+                total,
+                heartbeat_ms,
+                peers,
+                version,
+                session_id,
+                resume,
+            })),
+            Err(_) => Classified::Drop,
+        },
+        Ok(None) => {
+            if open {
+                Classified::NotYet
+            } else {
+                Classified::Drop
+            }
+        }
+        Err(_) => Classified::Drop,
+    }
+}
+
+/// Handles a controller hello: fresh adoption, in-place session revival,
+/// or supersession of the current socket. On success `ctrl` holds the
+/// new socket with the handshake ack (and any resume replay) queued.
+fn adopt(a: Adoption, session: &mut Option<Session>, ctrl: &mut Option<CtrlSock>) -> Step {
+    let resumable = a.version >= 4
+        && a.resume.is_some()
+        && session
+            .as_ref()
+            .is_some_and(|s| s.v4 && s.session_id == a.session_id);
+    if !resumable {
+        *session = Some(Session::fresh(&a));
+    }
+    let s = session.as_mut().expect("session");
+    // Quiesce any current socket: the new hello supersedes it (the
+    // controller severed a stale or injected-dead socket and re-dialed,
+    // or a standby took over).
+    if let Some(old) = ctrl.take() {
+        let _ = old.stream.shutdown(std::net::Shutdown::Both);
+    }
+    let mut wq = WriteQueue::new();
+    let resumed = if resumable {
+        let cursor = a.resume.expect("resume cursor");
+        match s.send_buf.replay_from(cursor) {
+            Some(frames) => {
+                wq.enqueue(&wire::encode_ack_ex(s.me, true, s.recv_cursor.cursor()));
+                for f in &frames {
+                    wq.enqueue(f);
+                }
+                true
+            }
+            None => {
+                // Window trimmed past the controller's cursor: this
+                // session can never resume losslessly. Tell the
+                // controller (it goes to quarantine + fresh rejoin) and
+                // drop the socket; the session stays parked.
+                let mut stream = a.stream;
+                let mut t = WriteQueue::new();
+                t.enqueue(&wire::encode_ack_ex(s.me, false, s.recv_cursor.cursor()));
+                let _ = t.flush(&mut stream);
+                return Step::CtrlGone;
+            }
+        }
+    } else {
+        wq.enqueue(&wire::encode_ack_ex(s.me, false, s.recv_cursor.cursor()));
+        false
+    };
+    eprintln!(
+        "[grout-workerd w{}] {} controller (wire v{}, {} workers, heartbeat {}ms{})",
         s.me,
-        token,
-        ctrl_read,
-        tx.clone(),
-        Arc::clone(&ctrl_write),
-        s.v4,
-        Arc::clone(&s.send_buf),
-        Arc::clone(&s.recv_cursor),
+        if resumed { "resumed" } else { "adopted by" },
+        a.version,
+        a.total,
+        a.heartbeat_ms,
+        if resumed { ", session revived" } else { "" },
     );
-    spawn_heartbeat(
-        s.me,
-        Arc::clone(&ctrl_write),
-        heartbeat_ms,
-        ctrl_version,
-        Arc::clone(&s.recv_cursor),
-    );
-    Some(ctrl_write)
+    let mut c = CtrlSock {
+        stream: a.stream,
+        frames: a.carry,
+        wq,
+        version: a.version,
+        cadence: Duration::from_millis(a.heartbeat_ms.max(1) as u64),
+        // Beat immediately so even a run shorter than one cadence yields
+        // an RTT sample.
+        next_beat: Instant::now(),
+    };
+    if c.wq.flush(&mut c.stream).is_err() {
+        ctrl_gone_inner(session);
+        return Step::CtrlGone;
+    }
+    // Frames may have ridden in behind the hello (none today — the
+    // controller waits for our ack — but the decoder must not rely on
+    // that).
+    let step = drive_ctrl_frames(&mut c, session);
+    match step {
+        Step::Continue => *ctrl = Some(c),
+        Step::Exit => exit_flush(&mut c),
+        Step::CtrlGone => ctrl_gone_inner(session),
+    }
+    step
+}
+
+/// The controller socket died or misbehaved: park the session (v4) or
+/// drop it (legacy).
+fn ctrl_gone(ctrl: &mut Option<CtrlSock>, session: &mut Option<Session>) {
+    *ctrl = None;
+    ctrl_gone_inner(session);
+}
+
+fn ctrl_gone_inner(session: &mut Option<Session>) {
+    match session {
+        Some(s) if s.v4 => {
+            eprintln!(
+                "[grout-workerd w{}] controller lost; session parked, awaiting resume",
+                s.me
+            );
+        }
+        Some(s) => {
+            eprintln!(
+                "[grout-workerd w{}] controller lost; awaiting re-adoption",
+                s.me
+            );
+            *session = None;
+        }
+        None => {}
+    }
+}
+
+/// Reads whatever the controller socket has, decodes and dispatches every
+/// complete frame, then flushes replies.
+fn drive_ctrl_readable(c: &mut CtrlSock, session: &mut Option<Session>) -> Step {
+    let open = matches!(read_available(&mut c.stream, &mut c.frames), Ok(true));
+    let step = drive_ctrl_frames(c, session);
+    if step != Step::Continue {
+        return step;
+    }
+    if !open || c.wq.flush(&mut c.stream).is_err() {
+        return Step::CtrlGone;
+    }
+    Step::Continue
+}
+
+/// Decodes and dispatches every complete frame buffered for the
+/// controller socket.
+fn drive_ctrl_frames(c: &mut CtrlSock, session: &mut Option<Session>) -> Step {
+    loop {
+        let raw = match c.frames.next_frame() {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return Step::Continue,
+            Err(e) => {
+                eprintln!("[grout-workerd] bad controller framing: {e}");
+                return Step::CtrlGone;
+            }
+        };
+        let step = if c.v4() {
+            match wire::open_envelope(raw) {
+                Ok(wire::Envelope::Ephemeral(inner)) => handle_ctrl_payload(inner, c, session),
+                Ok(wire::Envelope::Reliable { seq, payload }) => {
+                    let Some(s) = session.as_mut() else {
+                        return Step::CtrlGone; // no session: protocol error
+                    };
+                    let before = s.recv_cursor.cursor();
+                    let ready = s.recv_cursor.accept(seq, payload);
+                    let after = s.recv_cursor.cursor();
+                    let mut step = Step::Continue;
+                    for payload in ready {
+                        step = handle_ctrl_payload(payload, c, session);
+                        if step != Step::Continue {
+                            break;
+                        }
+                    }
+                    if step == Step::Continue && before / ACK_EVERY != after / ACK_EVERY {
+                        let framed = wire::seal_ephemeral(&wire::encode_session_ack(after));
+                        c.wq.enqueue(&framed);
+                    }
+                    step
+                }
+                Err(e) => {
+                    eprintln!("[grout-workerd] bad controller envelope: {e}");
+                    Step::CtrlGone
+                }
+            }
+        } else {
+            handle_ctrl_payload(raw, c, session)
+        };
+        if step != Step::Continue {
+            return step;
+        }
+    }
+}
+
+/// Handles one logical (post-envelope) controller payload:
+/// transport-internal frames (clock pongs, session acks) inline, plan
+/// traffic through the engine.
+fn handle_ctrl_payload(inner: Vec<u8>, c: &mut CtrlSock, session: &mut Option<Session>) -> Step {
+    // Clock pongs complete the NTP-style exchange immediately — t4 is
+    // stamped in the same loop turn the bytes arrived.
+    if inner.first() == Some(&wire::CLOCK_PONG_TAG) {
+        let t4 = monotonic_ns();
+        if let Ok((t1, t2)) = wire::decode_clock_pong(&inner) {
+            let offset = t2 as i64 - ((t1 + t4) / 2) as i64;
+            let rtt = t4.saturating_sub(t1);
+            if let Some(s) = session.as_ref() {
+                let sample = wire::encode_clock_sample(s.me, offset, rtt);
+                enqueue_ctrl(c, &sample);
+            }
+        }
+        return Step::Continue;
+    }
+    if inner.first() == Some(&wire::SESSION_ACK_TAG) {
+        if let (Ok(cursor), Some(s)) = (wire::decode_session_ack(&inner), session.as_mut()) {
+            s.send_buf.ack(cursor);
+        }
+        return Step::Continue;
+    }
+    let msg = match wire::decode_ctrl(&inner) {
+        Ok(msg) => msg,
+        Err(e) => {
+            eprintln!("[grout-workerd] bad controller frame: {e}");
+            return Step::CtrlGone;
+        }
+    };
+    let Some(s) = session.as_mut() else {
+        return Step::CtrlGone;
+    };
+    drive_msg(msg, s, Some(c))
+}
+
+/// Drains and dispatches every complete frame buffered on one inbound
+/// peer socket. Peer messages never write to the controller
+/// synchronously, so the only non-Continue outcome is an engine halt.
+fn drive_peer_frames(
+    p: &mut PeerIn,
+    session: &mut Option<Session>,
+    ctrl: &mut Option<CtrlSock>,
+) -> Step {
+    loop {
+        let raw = match p.frames.next_frame() {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return Step::Continue,
+            Err(e) => {
+                eprintln!("[grout-workerd] peer {} bad framing: {e}", p.from);
+                return Step::Continue; // socket dropped by caller on EOF
+            }
+        };
+        let Ok(msg) = wire::decode_ctrl(&raw) else {
+            eprintln!(
+                "[grout-workerd] peer {} sent a bad frame; dropping it",
+                p.from
+            );
+            return Step::Continue;
+        };
+        let step = match session.as_mut() {
+            Some(s) => drive_msg(msg, s, ctrl.as_mut()),
+            None => Step::Continue, // no session yet: drop stray peer data
+        };
+        if step == Step::Exit {
+            return step;
+        }
+    }
+}
+
+/// Dispatches one [`CtrlMsg`] into the session: membership updates are
+/// transport-level, everything else drives the engine with output routed
+/// to the controller write queue (or the parked send buffer).
+fn drive_msg(msg: CtrlMsg, s: &mut Session, ctrl: Option<&mut CtrlSock>) -> Step {
+    if let CtrlMsg::Peers { addrs } = msg {
+        s.set_peers(addrs);
+        return Step::Continue;
+    }
+    match ctrl {
+        Some(c) => {
+            let Session {
+                me,
+                v4,
+                engine,
+                send_buf,
+                peer_addrs,
+                peer_out,
+                ..
+            } = s;
+            let me = *me;
+            let v4 = *v4;
+            let wq = &mut c.wq;
+            let flow = engine.handle(msg, &mut |o| match o {
+                Outbound::Controller(m) => {
+                    let payload = wire::encode_worker(&m);
+                    if v4 {
+                        wq.enqueue(&send_buf.seal(&payload));
+                    } else {
+                        wq.enqueue(&payload);
+                    }
+                }
+                Outbound::Peer(j, m) => send_to_peer(me, j, peer_addrs, peer_out, &m),
+            });
+            if flow == Flow::Halt {
+                Step::Exit
+            } else {
+                Step::Continue
+            }
+        }
+        None => {
+            s.handle_offline(msg);
+            Step::Continue
+        }
+    }
+}
+
+/// One heartbeat tick: beat, clock ping (v2+), piggybacked cumulative ack
+/// (v4) — all queued on the controller socket.
+fn heartbeat(c: &mut CtrlSock, s: &mut Session) {
+    let beat = wire::encode_worker(&WorkerMsg::Heartbeat { worker: s.me });
+    enqueue_ctrl(c, &beat);
+    if c.version >= 2 {
+        let ping = wire::encode_clock_ping(s.me, monotonic_ns());
+        enqueue_ctrl(c, &ping);
+    }
+    if c.v4() {
+        // Piggyback a cumulative ack so an idle stream still gets its
+        // controller-side send window trimmed.
+        let ack = wire::encode_session_ack(s.recv_cursor.cursor());
+        enqueue_ctrl(c, &ack);
+    }
+}
+
+/// Queues one ephemeral (v4) or bare transport frame for the controller.
+fn enqueue_ctrl(c: &mut CtrlSock, payload: &[u8]) {
+    if c.v4() {
+        c.wq.enqueue(&wire::seal_ephemeral(payload));
+    } else {
+        c.wq.enqueue(payload);
+    }
+}
+
+/// Idle flush tick with a live controller: ship buffered telemetry even
+/// when no plan traffic arrives to trigger a flush.
+fn flush_telemetry_online(c: &mut CtrlSock, s: &mut Session) {
+    let Session {
+        v4,
+        engine,
+        send_buf,
+        ..
+    } = s;
+    let v4 = *v4;
+    let wq = &mut c.wq;
+    engine.flush_telemetry(&mut |o| {
+        if let Outbound::Controller(m) = o {
+            let payload = wire::encode_worker(&m);
+            if v4 {
+                wq.enqueue(&send_buf.seal(&payload));
+            } else {
+                wq.enqueue(&payload);
+            }
+        }
+    });
 }
 
 /// SIGTERM path: flush buffered telemetry, announce a clean departure so
 /// the controller re-plans immediately, flush the socket.
-fn graceful_leave(s: &mut Session, ctrl_write: &Arc<Mutex<TcpStream>>) {
-    let me = s.me;
-    let v4 = s.v4;
-    let mut halt = false;
-    {
-        let Session {
-            engine,
-            send_buf,
-            peer_addrs,
-            peer_out,
-            ..
-        } = &mut *s;
-        engine.flush_telemetry(&mut |o| {
-            deliver(
-                o, me, v4, send_buf, ctrl_write, peer_addrs, peer_out, &mut halt,
-            )
-        });
-    }
-    let payload = wire::encode_worker(&WorkerMsg::Leave { worker: me });
-    let framed = if v4 {
-        s.send_buf.lock().expect("send_buf").seal(&payload)
+fn graceful_leave(s: &mut Session, c: &mut CtrlSock) {
+    flush_telemetry_online(c, s);
+    let payload = wire::encode_worker(&WorkerMsg::Leave { worker: s.me });
+    if s.v4 {
+        let framed = s.send_buf.seal(&payload);
+        c.wq.enqueue(&framed);
     } else {
-        payload
-    };
-    let mut stream = ctrl_write.lock().expect("controller write lock");
-    let _ = wire::write_frame(&mut *stream, &framed);
-    use std::io::Write as _;
-    let _ = stream.flush();
-    eprintln!("[grout-workerd w{me}] SIGTERM: telemetry flushed, clean leave sent");
+        c.wq.enqueue(&payload);
+    }
+    exit_flush(c);
+    eprintln!(
+        "[grout-workerd w{}] SIGTERM: telemetry flushed, clean leave sent",
+        s.me
+    );
 }
 
-/// Routes one engine-emitted message to the controller or a peer; flips
-/// `halt` when the controller socket is gone. Controller-bound traffic is
-/// sealed reliable under v4 — a failed write leaves the frame in the send
-/// buffer, so it is parked, not lost.
-#[allow(clippy::too_many_arguments)]
-fn deliver(
-    o: Outbound,
-    me: usize,
-    v4: bool,
-    send_buf: &Arc<Mutex<SendBuffer>>,
-    ctrl_write: &Arc<Mutex<TcpStream>>,
-    peer_addrs: &[String],
-    peer_out: &mut [Option<TcpStream>],
-    halt: &mut bool,
-) {
-    match o {
-        Outbound::Controller(m) => {
-            let payload = wire::encode_worker(&m);
-            let framed = if v4 {
-                send_buf.lock().expect("send_buf").seal(&payload)
-            } else {
-                payload
-            };
-            let mut stream = ctrl_write.lock().expect("controller write lock");
-            if wire::write_frame(&mut *stream, &framed).is_err() {
-                *halt = true;
-            }
-        }
-        Outbound::Peer(j, m) => {
-            send_to_peer(me, j, peer_addrs, peer_out, &m);
-        }
+/// Final bounded blocking flush of the controller write queue before the
+/// process exits — the clean `Leave`/final completions should reach a
+/// live controller, but a dead one must not wedge the exit.
+fn exit_flush(c: &mut CtrlSock) {
+    if c.wq.is_empty() {
+        return;
     }
+    let _ = c.stream.set_nonblocking(false);
+    let _ = c.stream.set_write_timeout(Some(EXIT_FLUSH_TIMEOUT));
+    let _ = c.wq.flush(&mut c.stream);
 }
 
 /// Writes `msg` to peer `j`, dialing its listen address on first use. A
@@ -549,9 +892,13 @@ fn send_to_peer(
     peer_out: &mut [Option<TcpStream>],
     msg: &CtrlMsg,
 ) {
-    if peer_out[j].is_none() {
+    let Some(slot) = peer_out.get_mut(j) else {
+        eprintln!("[grout-workerd w{me}] no address for peer {j} yet; dropping");
+        return;
+    };
+    if slot.is_none() {
         match dial_peer(me, &peer_addrs[j]) {
-            Ok(s) => peer_out[j] = Some(s),
+            Ok(s) => *slot = Some(s),
             Err(e) => {
                 eprintln!("[grout-workerd w{me}] cannot reach peer {j}: {e}");
                 return;
@@ -559,9 +906,9 @@ fn send_to_peer(
         }
     }
     let payload = wire::encode_ctrl(msg);
-    if let Some(stream) = peer_out[j].as_mut() {
+    if let Some(stream) = slot.as_mut() {
         if wire::write_frame(stream, &payload).is_err() {
-            peer_out[j] = None;
+            *slot = None;
         }
     }
 }
@@ -574,243 +921,4 @@ fn dial_peer(me: usize, addr: &str) -> Result<TcpStream, wire::WireError> {
         &wire::encode_hello(&wire::Hello::Peer { from: me }),
     )?;
     Ok(stream)
-}
-
-/// Writes an ephemeral (v4) or bare frame to the controller socket.
-fn write_ctrl(
-    ctrl_write: &Arc<Mutex<TcpStream>>,
-    v4: bool,
-    payload: &[u8],
-) -> Result<(), wire::WireError> {
-    let framed = if v4 {
-        wire::seal_ephemeral(payload)
-    } else {
-        payload.to_vec()
-    };
-    let mut stream = ctrl_write.lock().expect("controller write lock");
-    wire::write_frame(&mut *stream, &framed)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spawn_ctrl_reader(
-    me: usize,
-    token: u64,
-    mut stream: TcpStream,
-    tx: Sender<Event>,
-    ctrl_write: Arc<Mutex<TcpStream>>,
-    v4: bool,
-    send_buf: Arc<Mutex<SendBuffer>>,
-    recv_cursor: Arc<Mutex<RecvCursor>>,
-) {
-    std::thread::Builder::new()
-        .name("workerd-ctrl-rx".into())
-        .spawn(move || {
-            let gone = |tx: &Sender<Event>| {
-                let _ = tx.send(Event::ControllerGone { token });
-            };
-            // Handles one logical (post-envelope) payload; false = stop.
-            let handle_inner = |inner: Vec<u8>, tx: &Sender<Event>| -> bool {
-                // Clock pongs complete the NTP-style exchange here, on
-                // the arrival thread — queueing them behind plan traffic
-                // would inflate t4 and ruin the estimate.
-                if inner.first() == Some(&wire::CLOCK_PONG_TAG) {
-                    let t4 = monotonic_ns();
-                    if let Ok((t1, t2)) = wire::decode_clock_pong(&inner) {
-                        let offset = t2 as i64 - ((t1 + t4) / 2) as i64;
-                        let rtt = t4.saturating_sub(t1);
-                        let sample = wire::encode_clock_sample(me, offset, rtt);
-                        if write_ctrl(&ctrl_write, v4, &sample).is_err() {
-                            return false;
-                        }
-                    }
-                    return true;
-                }
-                if inner.first() == Some(&wire::SESSION_ACK_TAG) {
-                    if let Ok(cursor) = wire::decode_session_ack(&inner) {
-                        send_buf.lock().expect("send_buf").ack(cursor);
-                    }
-                    return true;
-                }
-                match wire::decode_ctrl(&inner) {
-                    Ok(msg) => tx.send(Event::Msg(msg)).is_ok(),
-                    Err(e) => {
-                        eprintln!("[grout-workerd] bad controller frame: {e}");
-                        false
-                    }
-                }
-            };
-            loop {
-                match wire::read_frame(&mut stream) {
-                    Ok(Some(raw)) => {
-                        if !v4 {
-                            if !handle_inner(raw, &tx) {
-                                gone(&tx);
-                                return;
-                            }
-                            continue;
-                        }
-                        match wire::open_envelope(raw) {
-                            Ok(wire::Envelope::Ephemeral(inner)) => {
-                                if !handle_inner(inner, &tx) {
-                                    gone(&tx);
-                                    return;
-                                }
-                            }
-                            Ok(wire::Envelope::Reliable { seq, payload }) => {
-                                let (ready, ack_due, cursor) = {
-                                    let mut rc = recv_cursor.lock().expect("cursor");
-                                    let before = rc.cursor();
-                                    let ready = rc.accept(seq, payload);
-                                    let after = rc.cursor();
-                                    (ready, before / ACK_EVERY != after / ACK_EVERY, after)
-                                };
-                                for p in ready {
-                                    if !handle_inner(p, &tx) {
-                                        gone(&tx);
-                                        return;
-                                    }
-                                }
-                                if ack_due
-                                    && write_ctrl(
-                                        &ctrl_write,
-                                        true,
-                                        &wire::encode_session_ack(cursor),
-                                    )
-                                    .is_err()
-                                {
-                                    gone(&tx);
-                                    return;
-                                }
-                            }
-                            Err(e) => {
-                                eprintln!("[grout-workerd] bad controller envelope: {e}");
-                                gone(&tx);
-                                return;
-                            }
-                        }
-                    }
-                    Ok(None) | Err(_) => {
-                        gone(&tx);
-                        return;
-                    }
-                }
-            }
-        })
-        .expect("spawn controller reader");
-}
-
-fn spawn_heartbeat(
-    me: usize,
-    ctrl_write: Arc<Mutex<TcpStream>>,
-    heartbeat_ms: u32,
-    ctrl_version: u16,
-    recv_cursor: Arc<Mutex<RecvCursor>>,
-) {
-    let cadence = Duration::from_millis(heartbeat_ms.max(1) as u64);
-    let v4 = ctrl_version >= 4;
-    std::thread::Builder::new()
-        .name("workerd-heartbeat".into())
-        .spawn(move || loop {
-            // Beat (and ping) *before* the first sleep so even a run
-            // shorter than one cadence yields an RTT sample.
-            let beat = wire::encode_worker(&WorkerMsg::Heartbeat { worker: me });
-            if write_ctrl(&ctrl_write, v4, &beat).is_err() {
-                return;
-            }
-            if ctrl_version >= 2 {
-                let ping = wire::encode_clock_ping(me, monotonic_ns());
-                if write_ctrl(&ctrl_write, v4, &ping).is_err() {
-                    return;
-                }
-            }
-            if v4 {
-                // Piggyback a cumulative ack so an idle stream still gets
-                // its controller-side send window trimmed.
-                let cursor = recv_cursor.lock().expect("cursor").cursor();
-                if write_ctrl(&ctrl_write, true, &wire::encode_session_ack(cursor)).is_err() {
-                    return;
-                }
-            }
-            std::thread::sleep(cadence);
-        })
-        .expect("spawn heartbeat thread");
-}
-
-/// Accepts every inbound socket and classifies it by hello: controller
-/// hellos go to the main loop as adoptions; peer hellos get a decode loop
-/// feeding the merged queue.
-fn spawn_acceptor(listener: TcpListener, tx: Sender<Event>, me_label: Arc<AtomicUsize>) {
-    std::thread::Builder::new()
-        .name("workerd-accept".into())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                let Ok(mut stream) = conn else { return };
-                if stream.set_nodelay(true).is_err() {
-                    continue;
-                }
-                let tx = tx.clone();
-                let me_label = Arc::clone(&me_label);
-                // Handshake + (for peers) decode loop per socket.
-                let spawned = std::thread::Builder::new()
-                    .name("workerd-peer-rx".into())
-                    .spawn(move || {
-                        let Ok(Some(hello)) = wire::read_frame(&mut stream) else {
-                            return;
-                        };
-                        let from = match wire::decode_hello(&hello) {
-                            Ok((wire::Hello::Peer { from }, _)) => from,
-                            Ok((
-                                wire::Hello::Controller {
-                                    index,
-                                    total,
-                                    heartbeat_ms,
-                                    peers,
-                                    session_id,
-                                    resume,
-                                },
-                                version,
-                            )) => {
-                                let _ = tx.send(Event::NewController(Box::new(Adoption {
-                                    stream,
-                                    me: index,
-                                    total,
-                                    heartbeat_ms,
-                                    peers,
-                                    version,
-                                    session_id,
-                                    resume,
-                                })));
-                                return;
-                            }
-                            Err(_) => return,
-                        };
-                        let me = me_label.load(Ordering::Relaxed);
-                        eprintln!("[grout-workerd w{me}] peer {from} connected");
-                        loop {
-                            match wire::read_frame(&mut stream) {
-                                Ok(Some(payload)) => {
-                                    let Ok(msg) = wire::decode_ctrl(&payload) else {
-                                        eprintln!(
-                                            "[grout-workerd w{me}] peer {from} sent a bad \
-                                             frame; dropping the socket"
-                                        );
-                                        return;
-                                    };
-                                    if tx.send(Event::Msg(msg)).is_err() {
-                                        return;
-                                    }
-                                }
-                                Ok(None) | Err(_) => {
-                                    eprintln!("[grout-workerd w{me}] peer {from} disconnected");
-                                    return;
-                                }
-                            }
-                        }
-                    });
-                if spawned.is_err() {
-                    return;
-                }
-            }
-        })
-        .expect("spawn acceptor thread");
 }

@@ -80,6 +80,9 @@ timeout 300 cargo run --release -q -p grout-bench --bin chaos -- --net-seeds 8
 echo "==> chaos --net-sever (sever a live TCP session mid-chain; session resume)"
 timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --net-sever
 
+echo "==> chaos --elastic (join a 3rd workerd mid-run, clean-Leave one; bit-identical)"
+timeout 120 cargo run --release -q -p grout-bench --bin chaos -- --elastic
+
 echo "==> SIGSTOP e2e (freeze one workerd past the grace window; resume, no quarantine)"
 cat > target/ci-sigstop.gs <<'EOF'
 build = polyglot.eval("grout", "buildkernel")

@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use grout::core::{LocalRuntime, PolicyKind, Runtime};
-use grout::net::{TcpExt, WorkerSpec};
 use grout::LocalArg;
+use grout::{TcpExt, WorkerSpec};
 use kernelc::CompiledKernel;
 
 const N: usize = 1 << 10;
@@ -411,6 +411,151 @@ fn sigkilled_workerd_is_quarantined_and_replayed() {
     );
     assert_eq!(dist.healthy_workers(), 1);
     assert!(dist.metrics().quarantines >= 1);
+}
+
+/// `Threads:` from `/proc/self/status` — the kernel's count of threads
+/// in this process, immune to miscounting spawned-and-exited helpers.
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status readable")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line present")
+        .trim()
+        .parse()
+        .expect("thread count parses")
+}
+
+/// The event-loop acceptance check: a 64-worker mesh — every workerd an
+/// in-process `serve_shutdown` loop, so worker threads are countable —
+/// runs a full DAG while the controller adds exactly ONE thread (the
+/// `grout-net-io` poll loop), not one reader per socket; and the serve
+/// loops themselves spawn nothing (heartbeats, clock pings and telemetry
+/// flushes are poll deadlines, not threads).
+#[cfg(target_os = "linux")]
+#[test]
+fn controller_multiplexes_64_workers_over_one_io_thread() {
+    use std::sync::atomic::AtomicBool;
+
+    use grout::core::NetOptions;
+
+    const W: usize = 64;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut addrs = Vec::with_capacity(W);
+    let mut serves = Vec::with_capacity(W);
+    for _ in 0..W {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        addrs.push(listener.local_addr().expect("local addr").to_string());
+        let flag = Arc::clone(&shutdown);
+        serves.push(std::thread::spawn(move || {
+            grout::serve_shutdown(listener, flag)
+        }));
+    }
+    // Baseline: main thread + the 64 serve threads.
+    let before = thread_count();
+    let mut dist = Runtime::builder()
+        .policy(PolicyKind::RoundRobin)
+        .net(NetOptions {
+            // Tiny ballast: 64 ctrl links + 2016 peer pairs must probe in
+            // test time; the smoke test cares about threads, not numbers.
+            probe_bytes: Some(1024),
+            ..NetOptions::default()
+        })
+        .tcp(addrs.into_iter().map(WorkerSpec::Connect).collect())
+        .build()
+        .expect("64-worker mesh comes up");
+    // Warmup DAG over the full mesh: adoption, P2P dials, heartbeats and
+    // telemetry all live before the count is taken.
+    let bits = run_workload(&mut dist);
+    assert_eq!(bits.len(), 3);
+    let after = thread_count();
+    assert_eq!(
+        after - before,
+        1,
+        "64 peers must cost the controller exactly one I/O thread \
+         (and the serve loops none): {before} -> {after}"
+    );
+    drop(dist); // best-effort Shutdown frames to all 64 serve loops
+                // The Shutdown frame is best-effort: a worker heartbeating into the
+                // closing socket can lose it to a TCP reset and park its session
+                // awaiting resume. Real workerds are reaped by SIGTERM; here the
+                // shutdown flag plays that role and bounds every serve loop's exit.
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    for s in serves {
+        s.join().expect("serve thread").expect("clean serve exit");
+    }
+}
+
+/// Elastic membership over real processes: a third workerd joins a live
+/// two-worker run and receives CE placements; a worker then departs
+/// cleanly and its directory entries are rebalanced — zero quarantines,
+/// zero replays, results finite throughout.
+#[test]
+fn worker_joins_mid_run_and_departs_cleanly() {
+    let (saxpy, scale, _) = kernels();
+    let n = N as i32;
+    let mut dist = Runtime::builder()
+        .policy(PolicyKind::RoundRobin)
+        .tcp(vec![workerd(), workerd()])
+        .build()
+        .expect("distributed runtime");
+    let a = rt_fill(&mut dist, &saxpy, n);
+
+    // Scale out mid-run.
+    let joined = dist.join(workerd()).expect("mid-run join");
+    assert_eq!(joined, 2, "newcomer takes the next index");
+    assert_eq!(dist.healthy_workers(), 3);
+
+    // Enough new nodes that round-robin must reach the newcomer.
+    let mut extra = Vec::new();
+    for _ in 0..3 {
+        let b = dist.alloc_f32(N);
+        dist.write_f32(b, |v| v.fill(1.0)).unwrap();
+        dist.launch(
+            &saxpy,
+            8,
+            128,
+            vec![
+                LocalArg::Buf(b),
+                LocalArg::Buf(a),
+                LocalArg::F32(0.5),
+                LocalArg::I32(n),
+            ],
+        )
+        .unwrap();
+        extra.push(b);
+    }
+    dist.synchronize().expect("post-join work completes");
+    let placed_on_joined = (0..32)
+        .filter_map(|i| dist.node_assignment(i))
+        .filter(|loc| loc.worker_index() == Some(joined))
+        .count();
+    assert!(
+        placed_on_joined >= 1,
+        "worker joined mid-run never received a CE placement"
+    );
+
+    // Scale in: worker 0 holds data from the fill; its sole copies must
+    // be rebalanced, not quarantined-and-replayed.
+    dist.leave(0).expect("clean departure");
+    assert!(!dist.is_quarantined(0), "clean leave must not quarantine");
+    assert!(dist.planner().is_departed(0));
+    assert_eq!(dist.healthy_workers(), 2);
+    assert_eq!(dist.metrics().quarantines, 0);
+    assert_eq!(dist.metrics().replays, 0);
+
+    // The run continues on the remaining workers, data intact.
+    dist.launch(
+        &scale,
+        8,
+        128,
+        vec![LocalArg::Buf(a), LocalArg::F32(2.0), LocalArg::I32(n)],
+    )
+    .unwrap();
+    dist.synchronize().expect("post-leave work completes");
+    let v = dist.read_f32(a).unwrap();
+    assert!(v.iter().all(|x| x.is_finite()));
 }
 
 /// Allocates and runs two kernels so both workers hold fresh data.
