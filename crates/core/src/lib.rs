@@ -36,6 +36,7 @@ mod intranode;
 mod local_runtime;
 mod policy;
 mod scheduler;
+pub mod session;
 mod sim_runtime;
 pub mod telemetry;
 mod timeline;
@@ -58,6 +59,11 @@ pub use scheduler::{
     first_divergence, replay_ops, LoggedPlanner, Movement, MovementKind, OpSink, Plan, PlanError,
     PlanObserver, Planner, PlannerConfig, PlannerOp, PlannerResp, Reassignment, Recovery,
     SchedTrace,
+};
+pub use session::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionError, BatchStats, FairShare,
+    FleetMux, Priority, SessionId, SessionOpLog, SessionOpSink, SessionTransport, SharedPlacement,
+    SESSION_ID_MASK, SESSION_SHIFT,
 };
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
 pub use telemetry::{

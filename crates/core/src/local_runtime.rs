@@ -430,6 +430,7 @@ impl LocalRuntime {
         if !wire.is_empty() {
             self.metrics.wire = wire;
         }
+        self.metrics.session = self.transport.session_id();
     }
 
     /// Merges one worker telemetry batch: spans are shifted into the

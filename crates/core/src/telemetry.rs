@@ -1001,6 +1001,11 @@ pub struct Metrics {
     /// transport (`LocalRuntime::refresh_wire_metrics`, called at every
     /// `synchronize`); always empty for the simulator.
     pub wire: Vec<PeerWireStats>,
+    /// The tenant session this runtime's view belongs to when it runs on
+    /// a shared fleet behind a `SessionTransport` (`None` ⇒ standalone
+    /// deployment; renders as `0` in exports so the column is never
+    /// blank).
+    pub session: Option<u64>,
 }
 
 impl Metrics {
@@ -1167,6 +1172,7 @@ impl Metrics {
                 "wire".to_string(),
                 Value::Array(self.wire.iter().map(PeerWireStats::to_json).collect()),
             ),
+            ("session".to_string(), Value::U64(self.session.unwrap_or(0))),
         ])
     }
 
@@ -1243,7 +1249,12 @@ impl Metrics {
                 kv(&format!("bw_bps.{src}.{dst}"), b.to_string());
             }
         }
+        // Per-peer wire rows carry the owning session id (0 for a
+        // standalone deployment), so multi-tenant CSV exports from
+        // different sessions stay distinguishable after concatenation.
+        let session = self.session.unwrap_or(0);
         for (w, s) in self.wire.iter().enumerate() {
+            kv(&format!("wire.{w}.session"), session.to_string());
             kv(&format!("wire.{w}.frames_sent"), s.frames_sent.to_string());
             kv(&format!("wire.{w}.bytes_sent"), s.bytes_sent.to_string());
             kv(&format!("wire.{w}.frames_recv"), s.frames_recv.to_string());
@@ -1308,6 +1319,8 @@ mod tests {
         assert!(csv.contains("queue.p99_ns,0\n"));
         assert!(csv.contains("wire.0.hb_rtt.count,0\n"));
         assert!(csv.contains("wire.0.hb_rtt.p50_ns,0\n"));
+        // The session column is never blank: standalone runs export 0.
+        assert!(csv.contains("wire.0.session,0\n"));
         let json = serde_json::to_string(&m.to_json_value()).expect("render");
         assert!(!json.contains("NaN"));
         assert!(json.contains("\"wire\""));

@@ -267,6 +267,24 @@ pub enum CtrlMsg {
         /// Listen address per worker index (empty = unknown).
         addrs: Vec<String>,
     },
+    /// CE batching: every frame one scheduler tick destined for this
+    /// worker, coalesced into a single wire frame (the multi-tenant
+    /// control plane's `--batch` knob). The engine handles the inner
+    /// messages in order, exactly as if they had arrived one frame each —
+    /// batching changes frame counts, never semantics. Over the wire this
+    /// is a v6+ frame; the mux only batches when every endpoint
+    /// negotiated v6. Nesting is not allowed (one level deep).
+    Batch(Vec<CtrlMsg>),
+    /// Session teardown: drop the listed array copies and kernel
+    /// registrations (a detached session's namespace-tagged state), plus
+    /// any queued work referencing them. The worker keeps serving — the
+    /// fleet outlives every individual session. v6+ frame.
+    Reclaim {
+        /// Arrays to evict from the local store.
+        arrays: Vec<ArrayId>,
+        /// Kernel ids to unregister.
+        kernels: Vec<u64>,
+    },
 }
 
 /// Worker → controller messages.
@@ -502,6 +520,13 @@ pub trait Transport: Send {
     /// transport tracks none.
     fn wire_stats(&self) -> Vec<PeerWireStats> {
         Vec::new()
+    }
+
+    /// The tenant session this transport handle belongs to, when it is a
+    /// per-session view onto a shared fleet (`SessionTransport`). `None`
+    /// for transports that own their deployment.
+    fn session_id(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -900,6 +925,37 @@ impl WorkerEngine {
             // Peer-address housekeeping is consumed by the socket serve
             // loop; the engine itself addresses peers by index only.
             CtrlMsg::Peers { .. } => {}
+            CtrlMsg::Batch(msgs) => {
+                // One coalesced tick: handle the inner messages in order.
+                // A halt inside the batch (shutdown, injected crash) stops
+                // immediately — the remainder is lost with the endpoint,
+                // exactly as unbatched frames queued behind a crash would be.
+                for m in msgs {
+                    if self.handle(m, out) == Flow::Halt {
+                        return Flow::Halt;
+                    }
+                }
+            }
+            CtrlMsg::Reclaim { arrays, kernels } => {
+                if trace_on() {
+                    eprintln!(
+                        "[w{me}] Reclaim {} arrays, {} kernels",
+                        arrays.len(),
+                        kernels.len()
+                    );
+                }
+                for a in &arrays {
+                    self.store.remove(a);
+                }
+                for k in &kernels {
+                    self.kernels.remove(k);
+                }
+                // Queued work from the reclaimed namespace can never run
+                // (its kernels are gone) and pending forwards of evicted
+                // arrays can never be satisfied — drop both.
+                self.queue.retain(|spec| !kernels.contains(&spec.kernel));
+                self.pending_sends.retain(|(a, _, _)| !arrays.contains(a));
+            }
         }
         // Drain every runnable queued kernel and every satisfiable pending
         // forward (data may have just arrived or been produced).
@@ -1049,6 +1105,9 @@ fn ctrl_msg_bytes(msg: &CtrlMsg) -> u64 {
         CtrlMsg::ShipOp { .. } => 48,
         CtrlMsg::Leave => 8,
         CtrlMsg::Peers { addrs } => 16 + addrs.iter().map(|a| 4 + a.len() as u64).sum::<u64>(),
+        // One frame header amortized over the whole tick's messages.
+        CtrlMsg::Batch(msgs) => 8 + msgs.iter().map(ctrl_msg_bytes).sum::<u64>(),
+        CtrlMsg::Reclaim { arrays, kernels } => 16 + 8 * (arrays.len() + kernels.len()) as u64,
     }
 }
 

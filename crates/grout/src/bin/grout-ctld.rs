@@ -1,0 +1,356 @@
+//! `grout-ctld` — the multi-tenant GrOUT control plane.
+//!
+//! Owns one worker fleet (in-process threads or remote `grout-workerd`
+//! processes) and serves many concurrent client sessions over it:
+//!
+//! - each `grout-run --connect` client gets its own planner/DAG/coherence
+//!   state machine behind a namespace-tagged
+//!   [`SessionTransport`](grout::core::SessionTransport),
+//! - an [`AdmissionController`](grout::core::AdmissionController) decides
+//!   per attach whether the session runs now, waits its turn, or is
+//!   rejected with a typed wire error,
+//! - a weighted-round-robin fair-share scheduler drains every session's
+//!   ready frontier each tick (no starvation),
+//! - with `--batch`, all frames one tick sends to one worker coalesce
+//!   into a single `CtrlMsg::Batch` wire frame (CE batching),
+//! - with `--journal`, every planner mutation of every tenant lands in
+//!   one session-tagged op journal.
+//!
+//! Usage:
+//!   grout-ctld --listen 127.0.0.1:7070 --threads 4
+//!   grout-ctld --listen <addr> --workers tcp:<addr>,<addr> --batch
+//!
+//! The daemon announces `CTLD LISTENING <addr>` on stdout once the fleet
+//! is up and the socket is bound — scripts wait for that line.
+
+use std::collections::HashSet;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, Condvar, Mutex};
+
+use grout::core::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, ChannelTransport, FleetMux, Priority,
+    Runtime, SessionId, SessionOpSink,
+};
+use grout::net::ctld::{accept_client, SessionJournal};
+use grout::net::wire::{self, ClientMsg, CtldMsg};
+use grout::polyglot::run_script;
+use grout::{Polyglot, TcpConfig, TcpTransport};
+
+/// Where the fleet lives.
+enum Fleet {
+    /// N in-process worker threads.
+    Threads(usize),
+    /// Already-listening `grout-workerd` endpoints.
+    Tcp(Vec<String>),
+}
+
+struct Cli {
+    listen: String,
+    fleet: Fleet,
+    admission: AdmissionConfig,
+    batch: bool,
+    journal: Option<PathBuf>,
+    /// Exit after serving this many clients (tests/CI teardown); 0 =
+    /// serve forever.
+    accept: usize,
+}
+
+const USAGE: &str = "usage: grout-ctld --listen <addr>
+  fleet:      --threads N             N in-process worker threads (default 2)
+              --workers tcp:<addr>,.. connect to running grout-workerd processes
+  admission:  --max-sessions N        concurrent session cap (default 16)
+              --max-resident-bytes N  fleet-wide declared working-set budget
+              --max-queue N           attach wait-queue depth (0 = reject when full)
+  batching:   --batch                 coalesce each tick's frames per worker
+  durability: --journal <path.grsj>   session-tagged multi-tenant op journal
+  lifecycle:  --accept N              exit after serving N clients (0 = forever)";
+
+fn main() -> ExitCode {
+    match parse(std::env::args().skip(1)) {
+        Ok(Some(cli)) => match serve(cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("grout-ctld: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("grout-ctld: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> {
+    let mut listen = None;
+    let mut fleet = Fleet::Threads(2);
+    let mut admission = AdmissionConfig::default();
+    let mut batch = false;
+    let mut journal = None;
+    let mut accept = 0usize;
+    fn num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+        let v = v.ok_or(format!("{flag} needs a number"))?;
+        v.parse::<T>()
+            .map_err(|_| format!("{flag} needs a number, got `{v}`"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(args.next().ok_or("--listen needs an address")?),
+            "--threads" => {
+                let n: usize = num("--threads", args.next())?;
+                if n == 0 {
+                    return Err("--threads needs at least one worker".into());
+                }
+                fleet = Fleet::Threads(n);
+            }
+            "--workers" => {
+                let spec = args.next().ok_or("--workers needs tcp:<addr>,...")?;
+                let list = spec
+                    .strip_prefix("tcp:")
+                    .ok_or("--workers needs tcp:<addr>,...")?;
+                let addrs: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(String::from)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--workers tcp: needs at least one address".into());
+                }
+                fleet = Fleet::Tcp(addrs);
+            }
+            "--max-sessions" => admission.max_sessions = num("--max-sessions", args.next())?,
+            "--max-resident-bytes" => {
+                admission.max_resident_bytes = num("--max-resident-bytes", args.next())?
+            }
+            "--max-queue" => admission.max_queue = num("--max-queue", args.next())?,
+            "--batch" => batch = true,
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a path")?))
+            }
+            "--accept" => accept = num("--accept", args.next())?,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`; see --help")),
+        }
+    }
+    let listen = listen.ok_or("--listen is required; see --help")?;
+    Ok(Some(Cli {
+        listen,
+        fleet,
+        admission,
+        batch,
+        journal,
+        accept,
+    }))
+}
+
+/// Admission bookkeeping shared across connection threads: the pure
+/// controller plus the promotion hand-off (release() picks winners; their
+/// parked threads wake through the condvar and find themselves in
+/// `promoted`).
+struct Admission {
+    ctl: AdmissionController,
+    next_ticket: u64,
+    promoted: HashSet<SessionId>,
+}
+
+struct Daemon {
+    fleet: Mutex<FleetMux>,
+    admission: Mutex<Admission>,
+    promotions: Condvar,
+    journal: Option<Arc<Mutex<SessionJournal>>>,
+}
+
+fn serve(cli: Cli) -> Result<(), String> {
+    let transport: Box<dyn grout::core::Transport> = match &cli.fleet {
+        Fleet::Threads(n) => Box::new(ChannelTransport::new(*n)),
+        Fleet::Tcp(addrs) => {
+            let children = addrs.iter().map(|_| None).collect();
+            Box::new(TcpTransport::connect(
+                addrs,
+                children,
+                &TcpConfig::default(),
+            ))
+        }
+    };
+    let workers = transport.workers();
+    let journal = match &cli.journal {
+        Some(path) => Some(Arc::new(Mutex::new(SessionJournal::create(path).map_err(
+            |e| format!("cannot create journal `{}`: {e}", path.display()),
+        )?))),
+        None => None,
+    };
+    let daemon = Arc::new(Daemon {
+        fleet: Mutex::new(FleetMux::with_batching(transport, cli.batch)),
+        admission: Mutex::new(Admission {
+            ctl: AdmissionController::new(cli.admission),
+            next_ticket: 1,
+            promoted: HashSet::new(),
+        }),
+        promotions: Condvar::new(),
+        journal,
+    });
+    let listener = TcpListener::bind(&cli.listen)
+        .map_err(|e| format!("cannot listen on `{}`: {e}", cli.listen))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    println!("CTLD LISTENING {local}");
+    eprintln!(
+        "[grout-ctld] fleet of {workers} {} workers; max {} sessions, queue {}, batching {}",
+        match cli.fleet {
+            Fleet::Threads(_) => "in-process",
+            Fleet::Tcp(_) => "tcp",
+        },
+        cli.admission.max_sessions,
+        cli.admission.max_queue,
+        if cli.batch { "on" } else { "off" },
+    );
+    let mut served = 0usize;
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[grout-ctld] accept failed: {e}");
+                continue;
+            }
+        };
+        let d = Arc::clone(&daemon);
+        handles.push(std::thread::spawn(move || {
+            if let Err(e) = client_session(&d, stream) {
+                eprintln!("[grout-ctld] client session ended with error: {e}");
+            }
+        }));
+        served += 1;
+        if cli.accept != 0 && served >= cli.accept {
+            break;
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let stats = daemon.fleet.lock().expect("fleet lock").batch_stats();
+    eprintln!(
+        "[grout-ctld] served {served} clients; {} msgs in {} frames ({} batched) over {} ticks",
+        stats.messages, stats.frames, stats.batched_frames, stats.ticks
+    );
+    Ok(())
+}
+
+fn send(stream: &mut TcpStream, msg: &CtldMsg) -> Result<(), String> {
+    wire::write_frame(stream, &wire::encode_ctld(msg)).map_err(|e| e.to_string())
+}
+
+/// One client connection, handshake to teardown.
+fn client_session(daemon: &Daemon, mut stream: TcpStream) -> Result<(), String> {
+    accept_client(&mut stream).map_err(|e| format!("handshake: {e}"))?;
+    let frame = wire::read_frame(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or("client closed before attaching")?;
+    let (source, priority, declared_bytes) =
+        match wire::decode_client(&frame).map_err(|e| e.to_string())? {
+            ClientMsg::Attach {
+                source,
+                priority,
+                declared_bytes,
+            } => (source, priority, declared_bytes),
+            ClientMsg::Detach => return Ok(()), // attached nothing; done
+        };
+
+    // Admission: run now, park in the queue, or bounce with the typed
+    // error. Tickets are daemon-side identities — the fleet session id is
+    // only minted once we are admitted.
+    let ticket = {
+        let mut adm = daemon.admission.lock().expect("admission lock");
+        let ticket = SessionId(adm.next_ticket);
+        adm.next_ticket += 1;
+        match adm.ctl.request(ticket, priority, declared_bytes) {
+            AdmissionDecision::Admit => {}
+            AdmissionDecision::Reject(err) => {
+                drop(adm);
+                send(&mut stream, &CtldMsg::Rejected(err))?;
+                return Ok(());
+            }
+            AdmissionDecision::Queued { position } => {
+                drop(adm);
+                send(
+                    &mut stream,
+                    &CtldMsg::Queued {
+                        position: position as u32,
+                    },
+                )?;
+                let mut adm = daemon.admission.lock().expect("admission lock");
+                while !adm.promoted.remove(&ticket) {
+                    adm = daemon
+                        .promotions
+                        .wait(adm)
+                        .expect("admission lock poisoned");
+                }
+            }
+        }
+        ticket
+    };
+
+    let outcome = run_admitted(daemon, &mut stream, &source, priority);
+
+    // Release the slot and wake whoever now fits, success or not.
+    {
+        let mut adm = daemon.admission.lock().expect("admission lock");
+        let winners = adm.ctl.release(ticket);
+        adm.promoted.extend(winners);
+        daemon.promotions.notify_all();
+    }
+    outcome
+}
+
+/// The admitted path: mint a fleet session, drive the script on its own
+/// runtime, stream the results back.
+fn run_admitted(
+    daemon: &Daemon,
+    stream: &mut TcpStream,
+    source: &str,
+    priority: Priority,
+) -> Result<(), String> {
+    let (workers, session) = {
+        let mut fleet = daemon.fleet.lock().expect("fleet lock");
+        (fleet.workers(), fleet.session(priority.weight_factor()))
+    };
+    let sid = session.session_id();
+    send(stream, &CtldMsg::Attached { session: sid.0 })?;
+    let mut rt = Runtime::builder()
+        .workers(workers)
+        .build_with_transport(Box::new(session))
+        .map_err(|e| e.to_string())?;
+    if let Some(journal) = &daemon.journal {
+        rt.add_op_sink(Box::new(SessionOpSink::new(sid, Arc::clone(journal))));
+    }
+    let mut pg = Polyglot::with_runtime(rt);
+    match run_script(&mut pg, source) {
+        Ok(lines) => {
+            let kernels = pg.runtime().stats().kernels;
+            send(stream, &CtldMsg::Output { lines })?;
+            send(stream, &CtldMsg::Finished { kernels })?;
+            eprintln!("[grout-ctld] session {} finished: {kernels} kernels", sid.0);
+        }
+        Err(e) => {
+            send(
+                stream,
+                &CtldMsg::Failed {
+                    message: e.to_string(),
+                },
+            )?;
+            eprintln!("[grout-ctld] session {} failed: {e}", sid.0);
+        }
+    }
+    // Dropping the Polyglot drops the runtime, whose SessionTransport
+    // detaches: pending frames flush and the session's arrays/kernels are
+    // reclaimed on every worker.
+    Ok(())
+}

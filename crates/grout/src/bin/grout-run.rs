@@ -3,10 +3,13 @@
 //! Usage:
 //!   grout-run <script.gs> [--workers N | --workers tcp:<addr>,<addr>,...]
 //!   grout-run -e '...inline script...' [--workers ...]
+//!   grout-run <script.gs> --connect <addr> [--priority low|normal|high]
 //!
 //! `--workers N` deploys N in-process worker threads; `--workers
 //! tcp:<addr>,...` connects to already-running `grout-workerd` processes
 //! (one address per worker) and runs the same script distributed.
+//! `--connect <addr>` instead attaches the script as one tenant session
+//! on a running `grout-ctld` control plane and streams the results back.
 //!
 //! GuestScript is the repository's stand-in for the paper's guest languages
 //! (Listing 1 is Python under GraalVM): a small dynamic language whose only
@@ -17,11 +20,14 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use grout::core::{ChromeTracer, OpSink, PlannerOp, Runtime, Shared};
+use grout::core::{ChromeTracer, OpSink, PlannerOp, Priority, Runtime, Shared};
 use grout::net::oplog::{standby_serve, StandbyOutcome};
+use grout::net::wire::CtldMsg;
 use grout::polyglot::run_script;
 use grout::Polyglot;
-use grout::{apply_durability, DurabilityOptions, NetOptions, TcpExt, WorkerSpec};
+use grout::{
+    apply_durability, ClientOutcome, CtldClient, DurabilityOptions, NetOptions, TcpExt, WorkerSpec,
+};
 
 /// Where the workers live.
 enum Workers {
@@ -52,6 +58,13 @@ struct Cli {
     standby: Option<String>,
     /// Fault injection: SIGKILL ourselves after this many planner ops.
     die_after_ops: Option<u64>,
+    /// Attach to a running `grout-ctld` control plane instead of owning a
+    /// deployment.
+    connect: Option<String>,
+    /// Admission/fair-share class for `--connect` sessions.
+    priority: Priority,
+    /// Declared working-set bytes for `--connect` admission (0 = unknown).
+    declared_bytes: u64,
 }
 
 fn main() -> ExitCode {
@@ -73,6 +86,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: grout-run <script.gs> | -e '<script>'
   workers:     --workers N | --workers tcp:<addr>,<addr>,...
+  ctld client: --connect <addr>        attach as a session on a running grout-ctld
+               --priority low|normal|high   admission/fair-share class
+               --declare-bytes N       declared working set for admission
   net:         --heartbeat-ms N        worker heartbeat cadence
                --stale-after N         missed beats before a worker is suspected
                --reconnect-window-ms N resume grace before quarantine
@@ -95,6 +111,9 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
     let mut durability = DurabilityOptions::default();
     let mut standby = None;
     let mut die_after_ops = None;
+    let mut connect = None;
+    let mut priority = Priority::Normal;
+    let mut declared_bytes = 0u64;
     fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
         flag: &str,
         v: Option<String>,
@@ -144,6 +163,19 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
                 }
                 die_after_ops = Some(n);
             }
+            "--connect" => {
+                connect = Some(args.next().ok_or("--connect needs a ctld address")?);
+            }
+            "--priority" => {
+                let p = args.next().ok_or("--priority needs low|normal|high")?;
+                priority = Priority::parse(&p)?;
+            }
+            "--declare-bytes" => {
+                let n = args.next().ok_or("--declare-bytes needs a byte count")?;
+                declared_bytes = n
+                    .parse()
+                    .map_err(|_| format!("--declare-bytes needs a byte count, got `{n}`"))?;
+            }
             "--heartbeat-ms" => net.heartbeat_ms = positive("--heartbeat-ms", args.next())?,
             "--stale-after" => net.stale_after_beats = positive("--stale-after", args.next())?,
             "--reconnect-window-ms" => {
@@ -176,6 +208,9 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Cli>, String> 
         durability,
         standby,
         die_after_ops,
+        connect,
+        priority,
+        declared_bytes,
     }))
 }
 
@@ -231,7 +266,50 @@ fn run(cli: Cli) -> Result<(), String> {
     if cli.standby.is_some() {
         return run_standby(&cli);
     }
+    if cli.connect.is_some() {
+        return run_connect(&cli);
+    }
     run_exec(&cli)
+}
+
+/// The ctld-client path: attach the script as one tenant session on a
+/// running control plane, stream its frames, exit with the outcome. A
+/// typed admission rejection prints the reason and exits cleanly
+/// (nonzero, but no panic and no partial output).
+fn run_connect(cli: &Cli) -> Result<(), String> {
+    let addr = cli.connect.as_deref().expect("checked by run()");
+    let mut client =
+        CtldClient::connect(addr).map_err(|e| format!("cannot attach to ctld `{addr}`: {e}"))?;
+    let outcome = client
+        .run(
+            &cli.source,
+            cli.priority,
+            cli.declared_bytes,
+            |msg| match msg {
+                CtldMsg::Attached { session } => {
+                    eprintln!(
+                        "[grout-run] attached as session {session} ({})",
+                        cli.priority
+                    );
+                }
+                CtldMsg::Queued { position } => {
+                    eprintln!("[grout-run] queued at position {position}; waiting");
+                }
+                _ => {}
+            },
+        )
+        .map_err(|e| format!("ctld session lost: {e}"))?;
+    match outcome {
+        ClientOutcome::Finished { lines, kernels, .. } => {
+            for line in lines {
+                println!("{line}");
+            }
+            eprintln!("[grout-run] {kernels} kernels via ctld {addr}");
+            Ok(())
+        }
+        ClientOutcome::Rejected(err) => Err(format!("admission rejected: {err}")),
+        ClientOutcome::Failed(message) => Err(format!("script failed on ctld: {message}")),
+    }
 }
 
 /// The normal (primary) path: build the deployment, attach the op-log
@@ -347,12 +425,12 @@ fn run_standby(cli: &Cli) -> Result<(), String> {
     }
 }
 
-/// End-of-run per-peer wire summary (the `--stats` table).
+/// End-of-run per-peer wire summary (the `--stats` table). The layout is
+/// stable regardless of sample counts: every worker gets a row and every
+/// count column renders `0` — never a blank cell, never a missing table
+/// — so scripts can parse the output of an in-process run (which tracks
+/// no wire frames) exactly like a TCP run's.
 fn print_wire_stats(metrics: &grout::core::Metrics) {
-    if metrics.wire.is_empty() {
-        eprintln!("[grout-run] no wire stats (transport tracks none)");
-        return;
-    }
     eprintln!(
         "[grout-run] {:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
         "peer",
@@ -366,7 +444,10 @@ fn print_wire_stats(metrics: &grout::core::Metrics) {
         "rtt_p99",
         "offset_ns"
     );
-    for (w, s) in metrics.wire.iter().enumerate() {
+    let zero = grout::core::PeerWireStats::default();
+    let workers = metrics.wire.len().max(metrics.kernels_by_worker.len());
+    for w in 0..workers {
+        let s = metrics.wire.get(w).unwrap_or(&zero);
         eprintln!(
             "[grout-run] w{:<5} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
             w,

@@ -26,15 +26,18 @@ pub use uvm_sim;
 
 // The most common types at the top level for convenience.
 pub use grout_core::{
-    replay_closure, AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, ChromeTracer,
-    Coherence, DevicePolicy, DurabilityOptions, ExplorationLevel, FailureDetector, FaultConfig,
-    FaultEvent, FaultKind, FaultPlan, KernelCost, Lane, LatencyStat, LinkMatrix, LocalArg,
-    LocalConfig, LocalRuntime, Location, MemAdvise, Metrics, NetOptions, NodeScheduler,
-    Observability, PolicyKind, PurgeReport, Recorder, Regime, Runtime, RuntimeBuilder, SchedEvent,
-    Shared, SimConfig, SimRuntime, SimTime, Telemetry,
+    replay_closure, AccessMode, AccessPattern, AdmissionConfig, AdmissionController,
+    AdmissionDecision, AdmissionError, ArrayId, BatchStats, Ce, CeArg, CeId, CeKind, ChromeTracer,
+    Coherence, DevicePolicy, DurabilityOptions, ExplorationLevel, FailureDetector, FairShare,
+    FaultConfig, FaultEvent, FaultKind, FaultPlan, FleetMux, KernelCost, Lane, LatencyStat,
+    LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location, MemAdvise, Metrics, NetOptions,
+    NodeScheduler, Observability, PolicyKind, Priority, PurgeReport, Recorder, Regime, Runtime,
+    RuntimeBuilder, SchedEvent, SessionId, SessionOpLog, SessionOpSink, SessionTransport, Shared,
+    SharedPlacement, SimConfig, SimRuntime, SimTime, Telemetry,
 };
 pub use grout_net::{
-    apply_durability, serve, serve_shutdown, spawn_workerd, spawn_workerd_at, DistBuilder,
-    DistError, DistRuntime, TcpConfig, TcpExt, TcpTransport, WorkerSpec,
+    apply_durability, serve, serve_shutdown, spawn_workerd, spawn_workerd_at, ClientOutcome,
+    CtldClient, DistBuilder, DistError, DistRuntime, SessionJournal, TcpConfig, TcpExt,
+    TcpTransport, WorkerSpec,
 };
 pub use grout_polyglot::{Language, Polyglot, Value};

@@ -200,22 +200,9 @@ impl std::ops::DerefMut for DistRuntime {
 pub struct DistBuilder {
     builder: RuntimeBuilder,
     specs: Vec<WorkerSpec>,
-    cfg: Option<TcpConfig>,
 }
 
 impl DistBuilder {
-    /// Override the transport knobs wholesale with an explicit
-    /// [`TcpConfig`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "set the grouped knobs with `RuntimeBuilder::net(NetOptions)` instead; \
-                this shim lasts one release"
-    )]
-    pub fn tcp_config(mut self, cfg: TcpConfig) -> Self {
-        self.cfg = Some(cfg);
-        self
-    }
-
     /// Spawn/connect all workers, run the handshake + bandwidth-probe
     /// round, and build the runtime over the resulting mesh.
     ///
@@ -229,22 +216,19 @@ impl DistBuilder {
     /// the finished runtime (see [`apply_durability`]).
     pub fn build(self) -> Result<DistRuntime, DistError> {
         let durability = self.builder.durability_ref().clone();
-        let cfg = self.cfg.unwrap_or_else(|| {
-            let mut cfg = TcpConfig::from_fault_config(self.builder.fault_config_ref());
-            cfg.net_faults = self.builder.net_faults_ref().clone();
-            if let Some(net) = self.builder.net_options_ref() {
-                if let Some(b) = net.probe_bytes {
-                    cfg.probe_bytes = b;
-                }
-                if let Some(ms) = net.probe_timeout_ms {
-                    cfg.probe_timeout = std::time::Duration::from_millis(ms);
-                }
-                if let Some(ms) = net.spawn_timeout_ms {
-                    cfg.spawn_timeout = std::time::Duration::from_millis(ms);
-                }
+        let mut cfg = TcpConfig::from_fault_config(self.builder.fault_config_ref());
+        cfg.net_faults = self.builder.net_faults_ref().clone();
+        if let Some(net) = self.builder.net_options_ref() {
+            if let Some(b) = net.probe_bytes {
+                cfg.probe_bytes = b;
             }
-            cfg
-        });
+            if let Some(ms) = net.probe_timeout_ms {
+                cfg.probe_timeout = std::time::Duration::from_millis(ms);
+            }
+            if let Some(ms) = net.spawn_timeout_ms {
+                cfg.spawn_timeout = std::time::Duration::from_millis(ms);
+            }
+        }
         let mut addrs = Vec::with_capacity(self.specs.len());
         let mut children: Vec<Option<Child>> = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
@@ -288,7 +272,6 @@ impl TcpExt for RuntimeBuilder {
         DistBuilder {
             builder: self,
             specs,
-            cfg: None,
         }
     }
 }

@@ -19,13 +19,17 @@
 //! - [`TcpExt`]/[`DistRuntime`]: the front-end gluing it onto
 //!   [`Runtime::builder()`](grout_core::Runtime::builder),
 //! - [`oplog`]: the crash-recovery journal and hot-standby log shipping
-//!   built on the planner's replicated op log.
+//!   built on the planner's replicated op log,
+//! - [`ctld`]: the `grout-ctld` client protocol (wire-v6 `Hello::Client`
+//!   handshake, [`CtldClient`]) and the session-tagged multi-tenant op
+//!   journal.
 //!
 //! Because controller logic, planner, and worker engine are all shared
 //! with the in-process deployment, a seeded workload produces
 //! byte-identical results over TCP loopback — the
 //! `tests/dist_loopback.rs` differential test enforces it.
 
+pub mod ctld;
 pub mod oplog;
 pub mod poll;
 pub mod session;
@@ -35,6 +39,9 @@ mod dist;
 mod transport;
 mod worker;
 
+pub use ctld::{
+    accept_client, client_connect, read_session_journal, ClientOutcome, CtldClient, SessionJournal,
+};
 pub use dist::{
     apply_durability, spawn_workerd, spawn_workerd_at, DistBuilder, DistError, DistRuntime, TcpExt,
     WorkerSpec,

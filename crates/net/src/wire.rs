@@ -59,10 +59,10 @@
 use std::io::{Read, Write};
 
 use grout_core::{
-    AccessMode, AccessPattern, ArrayId, Ce, CeArg, CeId, CeKind, CtrlMsg, ExecFault, ExecSpec,
-    ExplorationLevel, FaultConfig, FaultEvent, FaultKind, FaultPlan, HostBuf, KernelCost,
-    LinkMatrix, LocalArg, MemAdvise, PlannerConfig, PlannerOp, PolicyKind, SimDuration,
-    WorkerCounters, WorkerMsg, WorkerSpan, WorkerSpanKind,
+    AccessMode, AccessPattern, AdmissionError, ArrayId, Ce, CeArg, CeId, CeKind, CtrlMsg,
+    ExecFault, ExecSpec, ExplorationLevel, FaultConfig, FaultEvent, FaultKind, FaultPlan, HostBuf,
+    KernelCost, LinkMatrix, LocalArg, MemAdvise, PlannerConfig, PlannerOp, PolicyKind, Priority,
+    SimDuration, WorkerCounters, WorkerMsg, WorkerSpan, WorkerSpanKind,
 };
 use kernelc::LaunchError;
 
@@ -81,8 +81,13 @@ pub const MAGIC: [u8; 4] = *b"GRNT";
 /// v5 added elastic membership: the controller-requested clean departure
 /// ([`CtrlMsg::Leave`]), the peer-address re-broadcast on join
 /// ([`CtrlMsg::Peers`]) and the [`PlannerOp::Join`]/[`PlannerOp::Leave`]
-/// membership ops in the op codec.
-pub const WIRE_VERSION: u16 = 5;
+/// membership ops in the op codec;
+/// v6 added the multi-tenant control plane: the client handshake role
+/// ([`Hello::Client`]), the ctld client protocol
+/// ([`ClientMsg`]/[`CtldMsg`] with the typed [`AdmissionError`]), CE
+/// batching ([`CtrlMsg::Batch`]) and session teardown
+/// ([`CtrlMsg::Reclaim`]).
+pub const WIRE_VERSION: u16 = 6;
 
 /// Oldest peer version this build still talks to.
 pub const MIN_WIRE_VERSION: u16 = 1;
@@ -1001,6 +1006,26 @@ pub fn encode_ctrl(msg: &CtrlMsg) -> Vec<u8> {
                 e.str(a);
             }
         }
+        CtrlMsg::Batch(msgs) => {
+            e.u8(14);
+            e.u32(msgs.len() as u32);
+            // Length-prefixed sub-payloads: the inner codec is reused
+            // verbatim, one level deep (nested batches are rejected).
+            for m in msgs {
+                e.bytes(&encode_ctrl(m));
+            }
+        }
+        CtrlMsg::Reclaim { arrays, kernels } => {
+            e.u8(15);
+            e.u32(arrays.len() as u32);
+            for a in arrays {
+                e.u64(a.0);
+            }
+            e.u32(kernels.len() as u32);
+            for k in kernels {
+                e.u64(*k);
+            }
+        }
     }
     e.into_bytes()
 }
@@ -1089,6 +1114,43 @@ pub fn decode_ctrl(payload: &[u8]) -> Result<CtrlMsg, WireError> {
                 addrs.push(d.str()?);
             }
             CtrlMsg::Peers { addrs }
+        }
+        14 => {
+            let n = d.u32()? as usize;
+            if n > 65_536 {
+                return Err(WireError::Malformed("batch length"));
+            }
+            let mut msgs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let inner = d.bytes()?;
+                // One level deep: a batch inside a batch is malformed (a
+                // hostile sender could otherwise force unbounded
+                // recursion).
+                if inner.first() == Some(&14) {
+                    return Err(WireError::Malformed("nested batch"));
+                }
+                msgs.push(decode_ctrl(inner)?);
+            }
+            CtrlMsg::Batch(msgs)
+        }
+        15 => {
+            let na = d.u32()? as usize;
+            if na > 1 << 20 {
+                return Err(WireError::Malformed("reclaim array count"));
+            }
+            let mut arrays = Vec::with_capacity(na.min(1024));
+            for _ in 0..na {
+                arrays.push(ArrayId(d.u64()?));
+            }
+            let nk = d.u32()? as usize;
+            if nk > 1 << 20 {
+                return Err(WireError::Malformed("reclaim kernel count"));
+            }
+            let mut kernels = Vec::with_capacity(nk.min(1024));
+            for _ in 0..nk {
+                kernels.push(d.u64()?);
+            }
+            CtrlMsg::Reclaim { arrays, kernels }
         }
         _ => return Err(WireError::Malformed("ctrl tag")),
     };
@@ -1493,6 +1555,10 @@ pub enum Hello {
         /// The dialing worker's index.
         from: usize,
     },
+    /// A tenant client attaching to a `grout-ctld` control plane (v6+;
+    /// role byte `2`). The attach request proper ([`ClientMsg::Attach`])
+    /// follows as the first post-handshake frame.
+    Client,
 }
 
 /// Encodes a handshake frame.
@@ -1531,6 +1597,7 @@ pub fn encode_hello(h: &Hello) -> Vec<u8> {
             e.u8(1);
             e.u32(*from as u32);
         }
+        Hello::Client => e.u8(2),
     }
     e.into_bytes()
 }
@@ -1586,6 +1653,7 @@ pub fn decode_hello(payload: &[u8]) -> Result<(Hello, u16), WireError> {
         1 => Hello::Peer {
             from: d.u32()? as usize,
         },
+        2 if version >= 6 => Hello::Client,
         _ => return Err(WireError::Handshake("unknown role byte".into())),
     };
     Ok((hello, version))
@@ -1652,6 +1720,217 @@ pub fn decode_ack(payload: &[u8]) -> Result<WorkerAck, WireError> {
         resumed,
         cursor,
     })
+}
+
+// ---------------------------------------------------------------------------
+// The ctld client protocol (v6+): what travels on a [`Hello::Client`]
+// connection after the handshake.
+
+/// Client → `grout-ctld` messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Attach a session: run `source` on the shared fleet.
+    Attach {
+        /// The GuestScript program to execute.
+        source: String,
+        /// Admission/scheduling priority class.
+        priority: Priority,
+        /// Declared working-set bytes (0 = unknown; charged nothing
+        /// against the resident budget).
+        declared_bytes: u64,
+    },
+    /// Detach early (abandon a queued or running session). EOF works
+    /// too; this makes the intent explicit.
+    Detach,
+}
+
+/// `grout-ctld` → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtldMsg {
+    /// The session was admitted and is running.
+    Attached {
+        /// The daemon-assigned session id.
+        session: u64,
+    },
+    /// The fleet is saturated; the session waits its turn.
+    Queued {
+        /// Requests ahead (0-based).
+        position: u32,
+    },
+    /// Admission refused the session — the typed error explains why.
+    /// The connection closes after this frame.
+    Rejected(AdmissionError),
+    /// Script output lines (the bit-identity surface: exactly what a
+    /// solo `grout-run` would print to stdout).
+    Output {
+        /// The lines, in emission order.
+        lines: Vec<String>,
+    },
+    /// The script finished cleanly; the connection closes after this.
+    Finished {
+        /// Kernels the session executed (cheap sanity stat).
+        kernels: u64,
+    },
+    /// The script failed; the connection closes after this.
+    Failed {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+fn enc_priority(e: &mut Enc, p: Priority) {
+    e.u8(match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    });
+}
+
+fn dec_priority(d: &mut Dec) -> Result<Priority, WireError> {
+    Ok(match d.u8()? {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        2 => Priority::High,
+        _ => return Err(WireError::Malformed("priority tag")),
+    })
+}
+
+fn enc_admission_error(e: &mut Enc, err: &AdmissionError) {
+    match err {
+        AdmissionError::Saturated { active, max } => {
+            e.u8(0);
+            e.u32(*active);
+            e.u32(*max);
+        }
+        AdmissionError::QueueFull { queued, max } => {
+            e.u8(1);
+            e.u32(*queued);
+            e.u32(*max);
+        }
+        AdmissionError::ResidentBytes { declared, max } => {
+            e.u8(2);
+            e.u64(*declared);
+            e.u64(*max);
+        }
+    }
+}
+
+fn dec_admission_error(d: &mut Dec) -> Result<AdmissionError, WireError> {
+    Ok(match d.u8()? {
+        0 => AdmissionError::Saturated {
+            active: d.u32()?,
+            max: d.u32()?,
+        },
+        1 => AdmissionError::QueueFull {
+            queued: d.u32()?,
+            max: d.u32()?,
+        },
+        2 => AdmissionError::ResidentBytes {
+            declared: d.u64()?,
+            max: d.u64()?,
+        },
+        _ => return Err(WireError::Malformed("admission-error tag")),
+    })
+}
+
+/// Encodes a client → ctld message.
+pub fn encode_client(msg: &ClientMsg) -> Vec<u8> {
+    let mut e = Enc::new();
+    match msg {
+        ClientMsg::Attach {
+            source,
+            priority,
+            declared_bytes,
+        } => {
+            e.u8(0);
+            e.str(source);
+            enc_priority(&mut e, *priority);
+            e.u64(*declared_bytes);
+        }
+        ClientMsg::Detach => e.u8(1),
+    }
+    e.into_bytes()
+}
+
+/// Decodes a client → ctld message.
+pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, WireError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        0 => ClientMsg::Attach {
+            source: d.str()?,
+            priority: dec_priority(&mut d)?,
+            declared_bytes: d.u64()?,
+        },
+        1 => ClientMsg::Detach,
+        _ => return Err(WireError::Malformed("client tag")),
+    };
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+/// Encodes a ctld → client message.
+pub fn encode_ctld(msg: &CtldMsg) -> Vec<u8> {
+    let mut e = Enc::new();
+    match msg {
+        CtldMsg::Attached { session } => {
+            e.u8(0);
+            e.u64(*session);
+        }
+        CtldMsg::Queued { position } => {
+            e.u8(1);
+            e.u32(*position);
+        }
+        CtldMsg::Rejected(err) => {
+            e.u8(2);
+            enc_admission_error(&mut e, err);
+        }
+        CtldMsg::Output { lines } => {
+            e.u8(3);
+            e.u32(lines.len() as u32);
+            for l in lines {
+                e.str(l);
+            }
+        }
+        CtldMsg::Finished { kernels } => {
+            e.u8(4);
+            e.u64(*kernels);
+        }
+        CtldMsg::Failed { message } => {
+            e.u8(5);
+            e.str(message);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes a ctld → client message.
+pub fn decode_ctld(payload: &[u8]) -> Result<CtldMsg, WireError> {
+    let mut d = Dec::new(payload);
+    let msg = match d.u8()? {
+        0 => CtldMsg::Attached { session: d.u64()? },
+        1 => CtldMsg::Queued { position: d.u32()? },
+        2 => CtldMsg::Rejected(dec_admission_error(&mut d)?),
+        3 => {
+            let n = d.u32()? as usize;
+            if n > 1 << 20 {
+                return Err(WireError::Malformed("output line count"));
+            }
+            let mut lines = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                lines.push(d.str()?);
+            }
+            CtldMsg::Output { lines }
+        }
+        4 => CtldMsg::Finished { kernels: d.u64()? },
+        5 => CtldMsg::Failed { message: d.str()? },
+        _ => return Err(WireError::Malformed("ctld tag")),
+    };
+    if !d.finished() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -2122,5 +2401,87 @@ mod tests {
         let mut long = encode_ctrl(&CtrlMsg::Shutdown);
         long.push(0);
         assert!(decode_ctrl(&long).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrips_and_rejects_nesting() {
+        let inner = vec![
+            CtrlMsg::Data {
+                array: ArrayId(3),
+                version: 2,
+                buf: HostBuf::I32(vec![1, 2, 3]),
+            },
+            CtrlMsg::Send {
+                array: ArrayId(3),
+                min_version: 2,
+                to: Some(1),
+            },
+        ];
+        match roundtrip_ctrl(CtrlMsg::Batch(inner.clone())) {
+            CtrlMsg::Batch(out) => {
+                assert_eq!(out.len(), 2);
+                assert!(matches!(&out[0], CtrlMsg::Data { array, .. } if *array == ArrayId(3)));
+                assert!(matches!(&out[1], CtrlMsg::Send { to: Some(1), .. }));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A batch inside a batch is malformed, not a recursion.
+        let nested = encode_ctrl(&CtrlMsg::Batch(vec![CtrlMsg::Batch(inner)]));
+        assert!(decode_ctrl(&nested).is_err());
+    }
+
+    #[test]
+    fn reclaim_roundtrips() {
+        let msg = CtrlMsg::Reclaim {
+            arrays: vec![ArrayId(1 << 40 | 7), ArrayId(1 << 40 | 9)],
+            kernels: vec![1 << 40 | 1],
+        };
+        match roundtrip_ctrl(msg) {
+            CtrlMsg::Reclaim { arrays, kernels } => {
+                assert_eq!(arrays, vec![ArrayId(1 << 40 | 7), ArrayId(1 << 40 | 9)]);
+                assert_eq!(kernels, vec![1 << 40 | 1]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_hello_roundtrips() {
+        let (hello, version) = decode_hello(&encode_hello(&Hello::Client)).expect("decode");
+        assert_eq!(hello, Hello::Client);
+        assert_eq!(version, WIRE_VERSION);
+    }
+
+    #[test]
+    fn client_protocol_roundtrips() {
+        let attach = ClientMsg::Attach {
+            source: "let x = 1".into(),
+            priority: Priority::High,
+            declared_bytes: 4096,
+        };
+        assert_eq!(decode_client(&encode_client(&attach)).unwrap(), attach);
+        assert_eq!(
+            decode_client(&encode_client(&ClientMsg::Detach)).unwrap(),
+            ClientMsg::Detach
+        );
+        for msg in [
+            CtldMsg::Attached { session: 3 },
+            CtldMsg::Queued { position: 2 },
+            CtldMsg::Rejected(AdmissionError::Saturated { active: 4, max: 4 }),
+            CtldMsg::Rejected(AdmissionError::QueueFull { queued: 8, max: 8 }),
+            CtldMsg::Rejected(AdmissionError::ResidentBytes {
+                declared: 1 << 30,
+                max: 1 << 20,
+            }),
+            CtldMsg::Output {
+                lines: vec!["a".into(), "b".into()],
+            },
+            CtldMsg::Finished { kernels: 12 },
+            CtldMsg::Failed {
+                message: "script error".into(),
+            },
+        ] {
+            assert_eq!(decode_ctld(&encode_ctld(&msg)).unwrap(), msg);
+        }
     }
 }

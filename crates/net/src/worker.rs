@@ -502,6 +502,9 @@ fn classify(p: &mut Pending) -> Classified {
                 session_id,
                 resume,
             })),
+            // Tenant clients belong on a `grout-ctld` control plane, not
+            // on a worker's data plane.
+            Ok((wire::Hello::Client, _)) => Classified::Drop,
             Err(_) => Classified::Drop,
         },
         Ok(None) => {

@@ -192,6 +192,41 @@ grep -q "taking over" target/ci-failover-standby.err
 diff target/ci-failover-ref.out target/ci-failover-standby.out
 echo "controller failover OK: standby output bit-identical to the uninterrupted run"
 
+echo "==> grout-ctld e2e (two concurrent tenant clients, CE batching, bit-identical)"
+cat > target/ci-ctld.gs <<'EOF'
+build = polyglot.eval("grout", "buildkernel")
+square = build("__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }", "square(x: inout pointer float, n: sint32)")
+x = polyglot.eval("grout", "float[256]")
+for i in range(256) { x[i] = i }
+square(8, 32)(x, 256)
+square(8, 32)(x, 256)
+print(x[0])
+print(x[128])
+print(x[255])
+EOF
+# Solo reference run: tenant isolation means every ctld client must get
+# exactly these bytes back.
+timeout 120 ./target/release/grout-run --workers 2 target/ci-ctld.gs > target/ci-ctld-ref.out
+./target/release/grout-ctld --listen 127.0.0.1:7441 --threads 2 --batch --accept 2 \
+  > target/ci-ctld.log 2>&1 & CTLD=$!
+trap 'kill "$CTLD" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do
+  grep -q "CTLD LISTENING" target/ci-ctld.log 2>/dev/null && break
+  sleep 0.1
+done
+timeout 120 ./target/release/grout-run --connect 127.0.0.1:7441 \
+  target/ci-ctld.gs > target/ci-ctld-a.out & CTLD_CA=$!
+timeout 120 ./target/release/grout-run --connect 127.0.0.1:7441 --priority high \
+  target/ci-ctld.gs > target/ci-ctld-b.out & CTLD_CB=$!
+wait "$CTLD_CA" "$CTLD_CB"
+# --accept 2: the daemon drains both sessions and exits on its own; the
+# timeout caps a wedged teardown, the kill reaps any straggler.
+timeout 60 tail --pid="$CTLD" -f /dev/null || kill "$CTLD" 2>/dev/null || true
+trap - EXIT
+diff target/ci-ctld-ref.out target/ci-ctld-a.out
+diff target/ci-ctld-ref.out target/ci-ctld-b.out
+echo "grout-ctld e2e OK: both tenants bit-identical to the solo run"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

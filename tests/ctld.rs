@@ -1,0 +1,290 @@
+//! Multi-tenant control-plane acceptance tests.
+//!
+//! - Two concurrent sessions on one shared in-process fleet produce
+//!   results bit-identical to solo runs, with zero cross-session
+//!   quarantines — the isolation guarantee the session layer makes.
+//! - The fair-share scheduler starves no session: every ready frontier
+//!   drains within its `ceil(n / weight)` bound regardless of co-tenants
+//!   (property-based).
+//! - A saturated `grout-ctld` rejects an attach with the typed wire
+//!   error and the client exits cleanly, reason on stderr.
+//! - Two concurrent `grout-run --connect` clients against a real
+//!   `grout-ctld` process (CE batching on) each get exactly the solo
+//!   script output.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use grout::core::{ChannelTransport, FairShare, FleetMux, LocalRuntime, Runtime, SessionId};
+use grout::LocalArg;
+use proptest::prelude::*;
+
+const N: usize = 1 << 8;
+
+const SRC: &str = "
+    __global__ void saxpy(float* y, const float* x, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { y[i] = a * x[i] + y[i]; }
+    }
+    __global__ void scale(float* y, float a, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) { y[i] = a * y[i]; }
+    }
+";
+
+/// A deterministic two-kernel workload with a cross-worker dependency
+/// chain; returns the final arrays as bit patterns plus the quarantine
+/// count the run ended with.
+fn run_workload(rt: &mut LocalRuntime) -> (Vec<Vec<u32>>, u64) {
+    let ks = kernelc::compile(SRC).expect("compiles");
+    let (saxpy, scale) = (Arc::new(ks[0].clone()), Arc::new(ks[1].clone()));
+    let n = N as i32;
+    let a = rt.alloc_f32(N);
+    let b = rt.alloc_f32(N);
+    rt.write_f32(a, |v| {
+        let mut s = 0x9e3779b9u32;
+        for x in v.iter_mut() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            *x = (s >> 8) as f32 / 1e6;
+        }
+    })
+    .unwrap();
+    rt.write_f32(b, |v| {
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = (i as f32).sin();
+        }
+    })
+    .unwrap();
+    for _ in 0..3 {
+        rt.launch(
+            &saxpy,
+            4,
+            64,
+            vec![
+                LocalArg::Buf(b),
+                LocalArg::Buf(a),
+                LocalArg::F32(1.5),
+                LocalArg::I32(n),
+            ],
+        )
+        .unwrap();
+        rt.launch(
+            &scale,
+            4,
+            64,
+            vec![LocalArg::Buf(a), LocalArg::F32(-0.75), LocalArg::I32(n)],
+        )
+        .unwrap();
+    }
+    rt.synchronize().unwrap();
+    let bits = [a, b]
+        .into_iter()
+        .map(|arr| {
+            rt.read_f32(arr)
+                .unwrap()
+                .into_iter()
+                .map(f32::to_bits)
+                .collect()
+        })
+        .collect();
+    (bits, rt.metrics().quarantines)
+}
+
+/// The isolation guarantee: two sessions running concurrently on one
+/// shared fleet each produce exactly the bits a solo deployment produces,
+/// and neither run records a quarantine (a co-tenant never looks like a
+/// fault).
+#[test]
+fn two_sessions_bit_identical_to_solo_runs() {
+    // Reference: a solo two-worker deployment.
+    let mut solo = Runtime::builder()
+        .workers(2)
+        .build_local()
+        .expect("solo runtime");
+    let (solo_bits, solo_quarantines) = run_workload(&mut solo);
+    assert_eq!(solo_quarantines, 0);
+
+    // Shared fleet: one ChannelTransport, two namespace-tagged sessions.
+    let mut fleet = FleetMux::new(Box::new(ChannelTransport::new(2)));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let session = fleet.session(2);
+        handles.push(std::thread::spawn(move || {
+            let mut rt = Runtime::builder()
+                .workers(2)
+                .build_with_transport(Box::new(session))
+                .expect("session runtime");
+            let out = run_workload(&mut rt);
+            rt.refresh_wire_metrics();
+            let tagged = rt.metrics().session;
+            (out, tagged)
+        }));
+    }
+    let mut sessions_seen = Vec::new();
+    for h in handles {
+        let ((bits, quarantines), session) = h.join().expect("session thread");
+        assert_eq!(
+            bits, solo_bits,
+            "a tenant session diverged from the solo run"
+        );
+        assert_eq!(quarantines, 0, "cross-session traffic caused a quarantine");
+        sessions_seen.push(session.expect("session id surfaces in metrics"));
+    }
+    sessions_seen.sort_unstable();
+    assert_eq!(sessions_seen, vec![1, 2], "distinct session namespaces");
+
+    // Both tenants shipped frames through the shared fleet.
+    let stats = fleet.batch_stats();
+    assert!(stats.messages > 0, "no traffic crossed the mux");
+    fleet.shutdown();
+}
+
+proptest! {
+    /// No starvation: with arbitrary weights and frontier sizes, every
+    /// session's frontier fully drains within `ceil(n / weight)` ticks —
+    /// its solo bound — no matter what the co-tenants queue.
+    #[test]
+    fn fair_share_drains_every_frontier_within_bound(
+        frontiers in proptest::collection::vec((1u32..=8, 0usize..=50), 1..=6),
+    ) {
+        let mut fs = FairShare::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, (weight, frontier)) in frontiers.iter().enumerate() {
+            fs.attach(SessionId(i as u64 + 1), *weight);
+            pending.push(*frontier);
+        }
+        let bound = frontiers
+            .iter()
+            .map(|(w, n)| n.div_ceil(*w as usize))
+            .max()
+            .unwrap_or(0);
+        for _ in 0..bound {
+            let grants = fs.tick(|sid| pending[sid.0 as usize - 1]);
+            for (sid, granted) in grants {
+                let i = sid.0 as usize - 1;
+                prop_assert!(granted >= 1, "a pending session was granted nothing");
+                prop_assert!(
+                    granted <= frontiers[i].0 as usize,
+                    "a grant exceeded the session weight"
+                );
+                pending[i] -= granted;
+            }
+        }
+        prop_assert!(
+            pending.iter().all(|&p| p == 0),
+            "a frontier survived its drain bound: {pending:?}"
+        );
+    }
+}
+
+/// Spawns `grout-ctld` and waits for its listen announcement.
+fn spawn_ctld(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_grout-ctld"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("grout-ctld spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("ctld announces")
+        .expect("ctld stdout readable");
+    let addr = banner
+        .strip_prefix("CTLD LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected ctld banner: {banner}"))
+        .to_string();
+    (child, addr)
+}
+
+const GUEST: &str = r#"
+    KERNEL = "__global__ void square(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * x[i]; } }"
+    build = polyglot.eval("grout", "buildkernel")
+    square = build(KERNEL, "square(x: inout pointer float, n: sint32)")
+    x = polyglot.eval("grout", "float[64]")
+    for i in range(64) { x[i] = i }
+    square(2, 32)(x, 64)
+    print(x[0])
+    print(x[63])
+"#;
+
+/// A saturated daemon bounces the attach with the typed error; the
+/// client exits nonzero with the reason on stderr — no panic, no
+/// partial output.
+#[test]
+fn saturated_ctld_rejects_with_typed_error_and_clean_client_exit() {
+    let (mut ctld, addr) = spawn_ctld(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--threads",
+        "1",
+        "--max-sessions",
+        "0",
+        "--max-queue",
+        "0",
+        "--accept",
+        "1",
+    ]);
+    let out = Command::new(env!("CARGO_BIN_EXE_grout-run"))
+        .args(["-e", GUEST, "--connect", &addr])
+        .output()
+        .expect("grout-run runs");
+    assert!(!out.status.success(), "a rejected attach must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("admission rejected") && stderr.contains("saturated"),
+        "typed rejection missing from stderr: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "a rejected client must produce no script output"
+    );
+    let status = ctld.wait().expect("ctld exits");
+    assert!(status.success(), "ctld must exit cleanly after --accept");
+}
+
+/// Two concurrent clients against a real `grout-ctld` (batching on) each
+/// receive exactly the output a solo `grout-run` produces.
+#[test]
+fn two_concurrent_clients_match_solo_output() {
+    let solo = Command::new(env!("CARGO_BIN_EXE_grout-run"))
+        .args(["-e", GUEST, "--workers", "2"])
+        .output()
+        .expect("solo grout-run");
+    assert!(solo.status.success(), "solo run failed");
+    let solo_stdout = String::from_utf8_lossy(&solo.stdout).to_string();
+    assert!(!solo_stdout.is_empty(), "solo run printed nothing");
+
+    let (mut ctld, addr) = spawn_ctld(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--threads",
+        "2",
+        "--batch",
+        "--accept",
+        "2",
+    ]);
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            Command::new(env!("CARGO_BIN_EXE_grout-run"))
+                .args(["-e", GUEST, "--connect", &addr])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("client spawns")
+        })
+        .collect();
+    for client in clients {
+        let out = client.wait_with_output().expect("client exits");
+        assert!(out.status.success(), "ctld client failed");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            solo_stdout,
+            "a ctld tenant's output diverged from the solo run"
+        );
+    }
+    let status = ctld.wait().expect("ctld exits");
+    assert!(status.success(), "ctld must exit cleanly after --accept");
+}
