@@ -31,6 +31,7 @@ mod builder;
 mod ce;
 mod coherence;
 mod dag;
+pub mod eventlog;
 mod faults;
 mod intranode;
 mod local_runtime;
@@ -46,6 +47,7 @@ pub use builder::{DurabilityOptions, NetOptions, Observability, Runtime, Runtime
 pub use ce::{ArrayId, Ce, CeArg, CeId, CeKind};
 pub use coherence::{Coherence, Location, PurgeReport};
 pub use dag::{AddOutcome, DagIndex, DepDag};
+pub use eventlog::{EventLog, LogLevel};
 pub use faults::{
     replay_closure, FailureDetector, FaultConfig, FaultEvent, FaultKind, FaultPlan, Health,
     NetFaultEvent, NetFaultKind, NetFaultPlan, SchedEvent,
@@ -67,8 +69,9 @@ pub use session::{
 };
 pub use sim_runtime::{CeRecord, RunStats, SimConfig, SimRuntime};
 pub use telemetry::{
-    monotonic_ns, ArgValue, ChromeTracer, ClockSync, Lane, LaneAligner, LatencyStat, Metrics,
-    PeerWireStats, Recorder, Shared, SpanEvent, Telemetry,
+    monotonic_ns, ArgValue, ChromeTracer, ClockSync, HistorySample, Lane, LaneAligner, LatencyStat,
+    MetricFamily, MetricKind, Metrics, MetricsHistory, MetricsSnapshot, PeerSample, PeerWireStats,
+    Recorder, Shared, SpanEvent, Telemetry, SESSION_LANE_STRIDE,
 };
 pub use timeline::{validate as validate_timeline, TimelineReport};
 pub use transport::{

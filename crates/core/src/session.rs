@@ -36,7 +36,7 @@ use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
-use crate::telemetry::PeerWireStats;
+use crate::telemetry::{monotonic_ns, HistorySample, MetricsHistory, PeerSample, PeerWireStats};
 use crate::transport::{CtrlMsg, Liveness, SendLost, Transport, TransportRecvError, WorkerMsg};
 use crate::{ArrayId, LinkMatrix, OpSink, PlannerOp};
 
@@ -523,6 +523,15 @@ pub struct SharedPlacement {
     pub spawn_failures: Vec<(usize, String)>,
     /// CE-batching counters.
     pub batch: BatchStats,
+    /// Cumulative CEs completed per session (survives detach, so
+    /// end-of-run introspection still sees finished tenants).
+    pub ces_done: HashMap<SessionId, u64>,
+    /// Cumulative failed executions across the fleet — differenced over
+    /// the [`MetricsHistory`] window this is the live fault-rate signal.
+    pub faults: u64,
+    /// The introspection time-series ring: one [`HistorySample`] per
+    /// placement-refresh tick while the fleet thread runs.
+    pub history: MetricsHistory,
 }
 
 impl SharedPlacement {
@@ -829,15 +838,37 @@ fn fleet_loop(
             }
         }
 
-        // 5. Periodically refresh the shared liveness/wire snapshot.
+        // 5. Periodically refresh the shared liveness/wire snapshot and
+        // append one introspection sample to the history ring — the
+        // scheduler tick the live endpoints read their time series from.
         iter = iter.wrapping_add(1);
         if iter.is_multiple_of(32) {
+            let queue_depth: u64 = sessions.values().map(|s| s.pending.len() as u64).sum();
             let mut p = placement.lock().expect("placement lock");
             for w in 0..workers {
                 p.liveness[w] = transport.liveness(w);
                 p.clock_offsets[w] = transport.clock_offset_ns(w);
             }
             p.wire = transport.wire_stats();
+            let mut ces_done: Vec<(u64, u64)> =
+                p.ces_done.iter().map(|(sid, n)| (sid.0, *n)).collect();
+            ces_done.sort_unstable();
+            let sample = HistorySample {
+                at_ns: monotonic_ns(),
+                queue_depth,
+                resident_bytes: p.resident_total(),
+                faults: p.faults,
+                sessions_active: sessions.len() as u64,
+                workers_alive: p
+                    .liveness
+                    .iter()
+                    .filter(|l| !matches!(l, Liveness::Dead))
+                    .count() as u64,
+                occupancy: p.occupancy.clone(),
+                peers: p.wire.iter().map(PeerSample::from_wire).collect(),
+                ces_done,
+            };
+            p.history.push(sample);
         }
     }
     // Dropping the transport shuts the fleet down (in-process workers
@@ -869,6 +900,11 @@ fn route(
             let mut p = placement.lock().expect("placement lock");
             if let Some(o) = p.occupancy.get_mut(*worker) {
                 *o = o.saturating_sub(1);
+            }
+            if matches!(untagged, WorkerMsg::Done { .. }) {
+                *p.ces_done.entry(sid).or_insert(0) += 1;
+            } else {
+                p.faults += 1;
             }
         }
         if let Some(st) = sessions.get(&sid) {
@@ -1089,6 +1125,32 @@ impl<L: SessionOpLog> OpSink for SessionOpSink<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_history_samples_idle_ticks() {
+        let fleet = FleetMux::new(Box::new(crate::transport::ChannelTransport::new(1)));
+        let placement = fleet.placement();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        // The fleet thread samples every 32 idle ticks (~16 ms); two
+        // samples prove the ring keeps filling.
+        loop {
+            if placement.lock().unwrap().history.len() >= 2 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fleet thread never sampled the history ring"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let p = placement.lock().unwrap();
+        let latest = p.history.latest().unwrap().clone();
+        assert!(latest.at_ns > 0);
+        assert_eq!(latest.occupancy.len(), 1);
+        assert_eq!(latest.workers_alive, 1);
+        assert_eq!(latest.sessions_active, 0);
+        assert_eq!(latest.queue_depth, 0);
+    }
 
     #[test]
     fn tagging_roundtrips_and_session_zero_is_reserved() {

@@ -45,13 +45,25 @@ use crate::scheduler::MovementKind;
 /// worker `i`). `track` subdivides a node: track 0 is the control lane
 /// (planning, faults), track 1 the network lane (transfers landing on this
 /// node), and `2 + device * 16 + stream` one lane per device stream.
+///
+/// On a shared fleet the node space is further striped per tenant
+/// session: session `s` occupies nodes `[s * SESSION_LANE_STRIDE,
+/// (s + 1) * SESSION_LANE_STRIDE)` so two sessions' controller (or
+/// worker-0) streams never merge into one Perfetto lane. Session 0 is
+/// the untagged standalone deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lane {
-    /// Node the event belongs to (0 = controller, `i + 1` = worker `i`).
+    /// Node the event belongs to (0 = controller, `i + 1` = worker `i`),
+    /// offset by `session * SESSION_LANE_STRIDE` on shared fleets.
     pub node: usize,
     /// Track within the node (0 control, 1 network, 2+ device streams).
     pub track: usize,
 }
+
+/// Nodes reserved per tenant session in the [`Lane`] pid space: lanes of
+/// session `s` live at `node = s * SESSION_LANE_STRIDE + local_node`.
+/// 4096 nodes per session is far beyond any real fleet.
+pub const SESSION_LANE_STRIDE: usize = 1 << 12;
 
 impl Lane {
     /// The controller's control lane.
@@ -75,15 +87,40 @@ impl Lane {
         }
     }
 
+    /// This lane moved into `session`'s stripe of the node space (no-op
+    /// for session 0, the standalone namespace).
+    pub fn for_session(self, session: u64) -> Lane {
+        Lane {
+            node: self.local_node() + session as usize * SESSION_LANE_STRIDE,
+            track: self.track,
+        }
+    }
+
+    /// The tenant session this lane belongs to (0 = standalone).
+    pub fn session(self) -> u64 {
+        (self.node / SESSION_LANE_STRIDE) as u64
+    }
+
+    /// The node index within the owning session's stripe.
+    pub fn local_node(self) -> usize {
+        self.node % SESSION_LANE_STRIDE
+    }
+
     /// Human label for the track, used as the Chrome thread name.
+    /// Session-striped lanes carry an `s<id>` prefix so merged
+    /// multi-tenant traces stay distinguishable track by track.
     pub fn track_name(self) -> String {
-        match self.track {
+        let base = match self.track {
             0 => "control".to_string(),
             1 => "network".to_string(),
             t => {
                 let t = t - 2;
                 format!("gpu{} stream{}", t / 16, t % 16)
             }
+        };
+        match self.session() {
+            0 => base,
+            s => format!("s{s} {base}"),
         }
     }
 }
@@ -279,6 +316,94 @@ impl Telemetry {
         }
         let (name, args) = sched_event_payload(event);
         self.instant(name, Lane::CONTROLLER, at_ns, &args);
+    }
+
+    /// A handle that relocates every event into `session`'s stripe of
+    /// the lane space before forwarding to the same recorder (see
+    /// [`SESSION_LANE_STRIDE`]). Multi-tenant daemons hand each session
+    /// runtime `tracer.telemetry().for_session(sid)` so one shared trace
+    /// keeps per-tenant lanes apart. Session 0 is the identity.
+    pub fn for_session(&self, session: u64) -> Telemetry {
+        if session == 0 {
+            return self.clone();
+        }
+        match &self.rec {
+            Some(rec) => Telemetry::new(SessionLanes {
+                inner: Arc::clone(rec),
+                session,
+                last_ns: 0,
+            }),
+            None => Telemetry::off(),
+        }
+    }
+}
+
+/// A [`Recorder`] adaptor moving every event into one session's lane
+/// stripe before forwarding to a shared recorder. Timestamp-free marks
+/// are stamped with the latest timestamp seen *by this session* and
+/// pinned to the session's controller lane, so co-tenant marks never
+/// collapse onto the shared `pid 0` lane.
+struct SessionLanes {
+    inner: Arc<Mutex<dyn Recorder>>,
+    session: u64,
+    last_ns: u64,
+}
+
+impl Recorder for SessionLanes {
+    fn enabled(&self) -> bool {
+        self.inner.lock().expect("recorder poisoned").enabled()
+    }
+
+    fn span(&mut self, span: &SpanEvent<'_>) {
+        self.last_ns = self.last_ns.max(span.start_ns + span.dur_ns);
+        let mut moved = *span;
+        moved.lane = span.lane.for_session(self.session);
+        self.inner.lock().expect("recorder poisoned").span(&moved);
+    }
+
+    fn instant(
+        &mut self,
+        name: &str,
+        lane: Lane,
+        at_ns: u64,
+        args: &[(&'static str, ArgValue<'_>)],
+    ) {
+        self.last_ns = self.last_ns.max(at_ns);
+        self.inner.lock().expect("recorder poisoned").instant(
+            name,
+            lane.for_session(self.session),
+            at_ns,
+            args,
+        );
+    }
+
+    fn counter(&mut self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        self.last_ns = self.last_ns.max(at_ns);
+        self.inner.lock().expect("recorder poisoned").counter(
+            name,
+            lane.for_session(self.session),
+            at_ns,
+            value,
+        );
+    }
+
+    fn gauge(&mut self, name: &'static str, lane: Lane, at_ns: u64, value: f64) {
+        self.last_ns = self.last_ns.max(at_ns);
+        self.inner.lock().expect("recorder poisoned").gauge(
+            name,
+            lane.for_session(self.session),
+            at_ns,
+            value,
+        );
+    }
+
+    fn mark(&mut self, name: &'static str, args: &[(&'static str, ArgValue<'_>)]) {
+        let lane = Lane::CONTROLLER.for_session(self.session);
+        let at = self.last_ns;
+        self.inner
+            .lock()
+            .expect("recorder poisoned")
+            .instant(name, lane, at, args);
     }
 }
 
@@ -525,10 +650,16 @@ impl ChromeTracer {
     pub fn to_json_value(&self) -> Value {
         let mut events: Vec<Value> = Vec::with_capacity(self.events.len() + 2 * self.lanes.len());
         for lane in &self.lanes {
-            let process = if lane.node == 0 {
+            // Decompose the session stripe so multi-tenant traces read
+            // "s2 worker 0" instead of an anonymous huge pid.
+            let base = if lane.local_node() == 0 {
                 "controller".to_string()
             } else {
-                format!("worker {}", lane.node - 1)
+                format!("worker {}", lane.local_node() - 1)
+            };
+            let process = match lane.session() {
+                0 => base,
+                s => format!("s{s} {base}"),
             };
             events.push(Value::Object(vec![
                 (
@@ -1284,6 +1415,529 @@ impl Metrics {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Labeled snapshots and the Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Whether a metric family only ever goes up ([`MetricKind::Counter`]) or
+/// samples a level ([`MetricKind::Gauge`]) — the `# TYPE` line of the
+/// exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing (`_total` families).
+    Counter,
+    /// A sampled level.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One metric family: a name, a kind, a help line and its labeled
+/// samples. Label sets are ordered `(key, value)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// The exposition name (`grout_…`).
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// The `# HELP` line.
+    pub help: String,
+    /// `(labels, value)` samples. Values are always finite (NaN and
+    /// infinities are coerced to 0 at insertion).
+    pub samples: Vec<(Vec<(String, String)>, f64)>,
+}
+
+/// A point-in-time, label-aware view of one or more [`Metrics`]
+/// registries, rendered as the Prometheus text exposition (version
+/// 0.0.4) by [`MetricsSnapshot::to_prometheus`]. Snapshots from several
+/// sessions [`merge`](MetricsSnapshot::merge) into one exposition; the
+/// per-session/per-worker/per-policy dimensions ride as labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    families: Vec<MetricFamily>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Appends one sample, creating the family on first use. Non-finite
+    /// values are coerced to 0 — the exposition never carries NaN.
+    pub fn push(
+        &mut self,
+        name: &str,
+        kind: MetricKind,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        match self.families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f.samples.push((labels, value)),
+            None => self.families.push(MetricFamily {
+                name: name.to_string(),
+                kind,
+                help: help.to_string(),
+                samples: vec![(labels, value)],
+            }),
+        }
+    }
+
+    /// Folds another snapshot in, family by family (samples append in
+    /// order; the first snapshot's kind/help win on a name collision).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        for fam in other.families {
+            match self.families.iter_mut().find(|f| f.name == fam.name) {
+                Some(f) => f.samples.extend(fam.samples),
+                None => self.families.push(fam),
+            }
+        }
+    }
+
+    /// The families recorded so far.
+    pub fn families(&self) -> &[MetricFamily] {
+        &self.families
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Renders the Prometheus text exposition: one `# HELP`/`# TYPE`
+    /// pair per family, then `name{labels} value` lines. Label values
+    /// are escaped per the format (`\\`, `\"`, `\n`); values are finite
+    /// by construction.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for fam in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+            for (labels, value) in &fam.samples {
+                out.push_str(&fam.name);
+                if !labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        for c in v.chars() {
+                            match c {
+                                '\\' => out.push_str("\\\\"),
+                                '"' => out.push_str("\\\""),
+                                '\n' => out.push_str("\\n"),
+                                c => out.push(c),
+                            }
+                        }
+                        out.push('"');
+                    }
+                    out.push('}');
+                }
+                // Integral values print without a fractional part; the
+                // format accepts either but integers read better for
+                // counters.
+                if value.fract() == 0.0 && value.abs() < 1e15 {
+                    let _ = writeln!(out, " {}", *value as i64);
+                } else {
+                    let _ = writeln!(out, " {value}");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Metrics {
+    /// A labeled snapshot of this registry. `base` labels are attached
+    /// to every sample; the session tag (when the registry belongs to a
+    /// tenant on a shared fleet) rides as a `session` label, per-worker
+    /// vectors as a `worker` label and the movement-kind byte split as a
+    /// `policy` label.
+    pub fn snapshot(&self, base: &[(&str, &str)]) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let session = self.session.map(|s| s.to_string());
+        let mut labels: Vec<(&str, &str)> = base.to_vec();
+        if let Some(s) = &session {
+            labels.push(("session", s));
+        }
+        fn with<'a>(
+            extra: &[(&'a str, &'a str)],
+            labels: &[(&'a str, &'a str)],
+        ) -> Vec<(&'a str, &'a str)> {
+            labels.iter().chain(extra.iter()).copied().collect()
+        }
+
+        for (phase, stat) in [
+            ("plan", &self.plan),
+            ("queue", &self.queue),
+            ("transfer", &self.transfer),
+            ("execute", &self.execute),
+        ] {
+            let l = with(&[("phase", phase)], &labels);
+            snap.push(
+                "grout_ce_phase_count",
+                MetricKind::Counter,
+                "CEs that passed this scheduling phase",
+                &l,
+                stat.count as f64,
+            );
+            snap.push(
+                "grout_ce_phase_sum_ns",
+                MetricKind::Counter,
+                "Cumulative nanoseconds spent in this phase",
+                &l,
+                stat.sum_ns as f64,
+            );
+            for (q, name) in [(0.50, "p50"), (0.99, "p99")] {
+                snap.push(
+                    "grout_ce_phase_latency_ns",
+                    MetricKind::Gauge,
+                    "Phase latency percentile over the run so far",
+                    &with(&[("phase", phase), ("stat", name)], &labels),
+                    stat.percentile_ns(q) as f64,
+                );
+            }
+        }
+
+        for (policy, bytes) in [
+            ("controller_send", self.controller_send_bytes),
+            ("p2p", self.p2p_bytes),
+            ("staged", self.staged_bytes),
+        ] {
+            snap.push(
+                "grout_moved_bytes_total",
+                MetricKind::Counter,
+                "Payload bytes moved, split by movement policy",
+                &with(&[("policy", policy)], &labels),
+                bytes as f64,
+            );
+        }
+
+        for (kind, count) in [
+            ("fault", self.faults),
+            ("retry", self.retries),
+            ("quarantine", self.quarantines),
+            ("replay", self.replays),
+            ("reassign", self.reassigns),
+            ("transfer_dropped", self.transfers_dropped),
+            ("transfer_delayed", self.transfers_delayed),
+            ("transfer_redriven", self.transfers_redriven),
+            ("spawn_failed", self.spawn_failures),
+            ("suspected", self.suspects),
+            ("reinstated", self.reinstates),
+            ("rejoined", self.rejoins),
+            ("joined", self.joins),
+            ("departed", self.leaves),
+        ] {
+            snap.push(
+                "grout_sched_events_total",
+                MetricKind::Counter,
+                "Scheduling events by kind",
+                &with(&[("kind", kind)], &labels),
+                count as f64,
+            );
+        }
+
+        for (w, (kernels, busy)) in self
+            .kernels_by_worker
+            .iter()
+            .zip(self.busy_ns_by_worker.iter())
+            .enumerate()
+        {
+            let w = w.to_string();
+            let l = with(&[("worker", &w)], &labels);
+            snap.push(
+                "grout_worker_kernels_total",
+                MetricKind::Counter,
+                "Kernels completed per worker",
+                &l,
+                *kernels as f64,
+            );
+            snap.push(
+                "grout_worker_busy_ns_total",
+                MetricKind::Counter,
+                "Kernel-occupied nanoseconds per worker",
+                &l,
+                *busy as f64,
+            );
+        }
+
+        for (w, peer) in self.wire.iter().enumerate() {
+            let w = w.to_string();
+            for (dir, frames, bytes) in [
+                ("sent", peer.frames_sent, peer.bytes_sent),
+                ("recv", peer.frames_recv, peer.bytes_recv),
+            ] {
+                let l = with(&[("worker", &w), ("dir", dir)], &labels);
+                snap.push(
+                    "grout_wire_frames_total",
+                    MetricKind::Counter,
+                    "Wire frames per peer and direction",
+                    &l,
+                    frames as f64,
+                );
+                snap.push(
+                    "grout_wire_bytes_total",
+                    MetricKind::Counter,
+                    "Wire bytes per peer and direction",
+                    &l,
+                    bytes as f64,
+                );
+            }
+            for (stat, ns) in [
+                ("p50", peer.hb_rtt.percentile_ns(0.50)),
+                ("p99", peer.hb_rtt.percentile_ns(0.99)),
+            ] {
+                snap.push(
+                    "grout_wire_hb_rtt_ns",
+                    MetricKind::Gauge,
+                    "Heartbeat round-trip percentile per peer",
+                    &with(&[("worker", &w), ("stat", stat)], &labels),
+                    ns as f64,
+                );
+            }
+            snap.push(
+                "grout_wire_resumes_total",
+                MetricKind::Counter,
+                "Severed connections resumed without planner impact",
+                &with(&[("worker", &w)], &labels),
+                peer.resumes as f64,
+            );
+            snap.push(
+                "grout_wire_telemetry_backlog",
+                MetricKind::Gauge,
+                "Peer-reported span backlog at its last flush",
+                &with(&[("worker", &w)], &labels),
+                peer.telemetry_backlog as f64,
+            );
+        }
+        snap
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fixed-capacity time-series ring
+// ---------------------------------------------------------------------------
+
+/// Per-peer wire slice of one [`HistorySample`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerSample {
+    /// Cumulative frames written to the peer.
+    pub frames_sent: u64,
+    /// Cumulative bytes written to the peer.
+    pub bytes_sent: u64,
+    /// Cumulative frames read from the peer.
+    pub frames_recv: u64,
+    /// Cumulative bytes read from the peer.
+    pub bytes_recv: u64,
+    /// Median heartbeat round-trip at sample time (0 in-process).
+    pub hb_rtt_p50_ns: u64,
+}
+
+impl PeerSample {
+    /// Condenses full wire stats into the ring's per-peer slice.
+    pub fn from_wire(stats: &PeerWireStats) -> PeerSample {
+        PeerSample {
+            frames_sent: stats.frames_sent,
+            bytes_sent: stats.bytes_sent,
+            frames_recv: stats.frames_recv,
+            bytes_recv: stats.bytes_recv,
+            hb_rtt_p50_ns: stats.hb_rtt.percentile_ns(0.50),
+        }
+    }
+}
+
+/// One scheduler-tick observation in the [`MetricsHistory`] ring.
+/// Counters (`faults`, `ces_done`, peer frames/bytes) are cumulative —
+/// rates come from differencing adjacent samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistorySample {
+    /// [`monotonic_ns`] at sampling time.
+    pub at_ns: u64,
+    /// Frames queued across every session's pending frontier.
+    pub queue_depth: u64,
+    /// Resident bytes across every session.
+    pub resident_bytes: u64,
+    /// Cumulative execution faults observed by the fleet.
+    pub faults: u64,
+    /// Sessions attached at sample time.
+    pub sessions_active: u64,
+    /// Workers currently alive.
+    pub workers_alive: u64,
+    /// Outstanding CEs per worker (the backlog signal).
+    pub occupancy: Vec<u64>,
+    /// Per-peer wire counters and heartbeat RTT.
+    pub peers: Vec<PeerSample>,
+    /// Cumulative CEs completed per session, ascending by session id.
+    pub ces_done: Vec<(u64, u64)>,
+}
+
+/// A fixed-capacity time-series ring of [`HistorySample`]s: the fleet
+/// thread pushes one sample per placement-refresh tick, introspection
+/// endpoints read recent windows. Old samples fall off the front, so
+/// memory is bounded regardless of uptime.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHistory {
+    cap: usize,
+    samples: std::collections::VecDeque<HistorySample>,
+}
+
+impl MetricsHistory {
+    /// Default ring capacity: at the fleet's ~16 ms sampling cadence,
+    /// roughly the last minute.
+    pub const DEFAULT_CAP: usize = 4096;
+
+    /// A ring bounded to `cap` samples (clamped to ≥ 2 so rates are
+    /// always computable).
+    pub fn with_capacity(cap: usize) -> Self {
+        MetricsHistory {
+            cap: cap.max(2),
+            samples: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// A ring with [`DEFAULT_CAP`](Self::DEFAULT_CAP).
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// Appends one sample, dropping the oldest at capacity.
+    pub fn push(&mut self, sample: HistorySample) {
+        if self.cap == 0 {
+            // Default-constructed (e.g. inside a Default struct): adopt
+            // the standard capacity on first use.
+            self.cap = Self::DEFAULT_CAP;
+        }
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<&HistorySample> {
+        self.samples.back()
+    }
+
+    /// The samples whose timestamps fall within `last_ns` of the newest
+    /// sample (all of them when `last_ns` spans the whole ring).
+    pub fn window(&self, last_ns: u64) -> Vec<&HistorySample> {
+        let Some(newest) = self.samples.back() else {
+            return Vec::new();
+        };
+        let cutoff = newest.at_ns.saturating_sub(last_ns);
+        self.samples.iter().filter(|s| s.at_ns >= cutoff).collect()
+    }
+
+    /// Faults per second over the `last_ns` window (0 with fewer than
+    /// two samples — never NaN). This is the live oversubscription
+    /// signal ROADMAP's fault-feedback work reads.
+    pub fn fault_rate_per_s(&self, last_ns: u64) -> f64 {
+        let w = self.window(last_ns);
+        let (Some(first), Some(last)) = (w.first(), w.last()) else {
+            return 0.0;
+        };
+        let dt_ns = last.at_ns.saturating_sub(first.at_ns);
+        if dt_ns == 0 {
+            return 0.0;
+        }
+        let df = last.faults.saturating_sub(first.faults);
+        df as f64 * 1e9 / dt_ns as f64
+    }
+
+    /// The `last_ns` window rendered as Chrome `trace_event` counter
+    /// events (`ph: "C"`): fleet-level series on the controller lane,
+    /// occupancy per worker on the worker control lanes, CE completions
+    /// as one multi-series counter keyed `s<session>`. Loadable in
+    /// Perfetto next to a span trace of the same run.
+    pub fn to_chrome_value(&self, last_ns: u64) -> Value {
+        let mut events = Vec::new();
+        let counter = |name: &str, pid: u64, ts_ns: u64, args: Vec<(String, Value)>| {
+            Value::Object(vec![
+                ("name".to_string(), Value::String(name.to_string())),
+                ("ph".to_string(), Value::String("C".to_string())),
+                ("ts".to_string(), Value::F64(ts_ns as f64 / 1000.0)),
+                ("pid".to_string(), Value::U64(pid)),
+                ("tid".to_string(), Value::U64(0)),
+                ("args".to_string(), Value::Object(args)),
+            ])
+        };
+        for s in self.window(last_ns) {
+            for (name, v) in [
+                ("queue_depth", s.queue_depth),
+                ("resident_bytes", s.resident_bytes),
+                ("faults", s.faults),
+                ("sessions_active", s.sessions_active),
+                ("workers_alive", s.workers_alive),
+            ] {
+                events.push(counter(
+                    name,
+                    0,
+                    s.at_ns,
+                    vec![("value".to_string(), Value::U64(v))],
+                ));
+            }
+            for (w, occ) in s.occupancy.iter().enumerate() {
+                events.push(counter(
+                    "occupancy",
+                    w as u64 + 1,
+                    s.at_ns,
+                    vec![("value".to_string(), Value::U64(*occ))],
+                ));
+            }
+            if !s.ces_done.is_empty() {
+                events.push(counter(
+                    "ces_done",
+                    0,
+                    s.at_ns,
+                    s.ces_done
+                        .iter()
+                        .map(|(sid, n)| (format!("s{sid}"), Value::U64(*n)))
+                        .collect(),
+                ));
+            }
+        }
+        Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(events)),
+            (
+                "displayTimeUnit".to_string(),
+                Value::String("ms".to_string()),
+            ),
+        ])
+    }
+
+    /// [`to_chrome_value`](Self::to_chrome_value) rendered compact.
+    pub fn to_chrome_string(&self, last_ns: u64) -> String {
+        serde_json::to_string(&self.to_chrome_value(last_ns)).expect("render history")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1600,5 +2254,178 @@ mod tests {
         assert!(csv.contains("p2p_bytes,7\n"));
         assert!(csv.contains("plan.count,1\n"));
         assert!(csv.contains("kernels_by_worker.0,0\n"));
+    }
+
+    #[test]
+    fn session_lanes_offset_and_name_tracks() {
+        assert_eq!(Lane::stream(2, 1, 3).for_session(7).session(), 7);
+        assert_eq!(Lane::stream(2, 1, 3).for_session(7).local_node(), 2);
+        assert_eq!(
+            Lane::stream(2, 1, 3).for_session(7).track_name(),
+            "s7 gpu1 stream3"
+        );
+        assert_eq!(Lane::control(0).for_session(0), Lane::control(0));
+        assert_eq!(Lane::network(1).track_name(), "network");
+
+        let shared = Shared::new(ChromeTracer::new());
+        let base = shared.telemetry();
+        let s3 = base.for_session(3);
+        assert!(s3.enabled());
+        s3.instant("tick", Lane::control(1), 10, &[]);
+        s3.span(&SpanEvent {
+            name: "ce",
+            cat: "execute",
+            lane: Lane::stream(1, 0, 0),
+            start_ns: 10,
+            dur_ns: 10,
+            args: &[],
+        });
+        s3.mark("done", &[]);
+        base.instant("root", Lane::CONTROLLER, 30, &[]);
+        let json = shared.lock().to_json_string();
+        // Session 3's events live in a disjoint pid stripe with session-
+        // prefixed process/track names; session 0 keeps the bare names.
+        assert!(json.contains("\"s3 worker 0\""));
+        assert!(json.contains("\"s3 control\""));
+        assert!(json.contains("\"controller\""));
+        let parsed = serde_json::from_str(&json).expect("trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        let tick = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("tick"))
+            .unwrap();
+        assert_eq!(
+            tick.get("pid").and_then(|p| p.as_u64()),
+            Some(1 + 3 * SESSION_LANE_STRIDE as u64)
+        );
+        // The mark lands on session 3's controller lane at the last
+        // timestamp the wrapper saw (20 us end of the span).
+        let done = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("done"))
+            .unwrap();
+        assert_eq!(
+            done.get("pid").and_then(|p| p.as_u64()),
+            Some(3 * SESSION_LANE_STRIDE as u64)
+        );
+    }
+
+    #[test]
+    fn snapshot_renders_prometheus_with_labels() {
+        let mut m = Metrics::with_workers(2);
+        m.plan.record(100);
+        m.plan.record(300);
+        m.record_movement(MovementKind::P2p, 7);
+        m.faults = 2;
+        m.kernels_by_worker[1] = 5;
+        m.session = Some(4);
+        let snap = m.snapshot(&[("role", "ctld")]);
+        let text = snap.to_prometheus();
+        assert!(text.contains("# HELP grout_moved_bytes_total "));
+        assert!(text.contains("# TYPE grout_moved_bytes_total counter"));
+        assert!(
+            text.contains("grout_moved_bytes_total{role=\"ctld\",session=\"4\",policy=\"p2p\"} 7")
+        );
+        assert!(
+            text.contains("grout_sched_events_total{role=\"ctld\",session=\"4\",kind=\"fault\"} 2")
+        );
+        assert!(
+            text.contains("grout_worker_kernels_total{role=\"ctld\",session=\"4\",worker=\"1\"} 5")
+        );
+        assert!(text.contains("grout_ce_phase_count{role=\"ctld\",session=\"4\",phase=\"plan\"} 2"));
+        assert!(!text.contains("NaN"), "exposition must never carry NaN");
+        // Exposition lines are either comments or `name{...} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("grout_"),
+                "unexpected line: {line}"
+            );
+        }
+        // A second session merges into the same families.
+        let mut m2 = Metrics::with_workers(1);
+        m2.record_movement(MovementKind::P2p, 9);
+        m2.session = Some(5);
+        let mut merged = snap.clone();
+        merged.merge(m2.snapshot(&[("role", "ctld")]));
+        let text = merged.to_prometheus();
+        assert_eq!(text.matches("# TYPE grout_moved_bytes_total").count(), 1);
+        assert!(text.contains("session=\"4\",policy=\"p2p\"} 7"));
+        assert!(text.contains("session=\"5\",policy=\"p2p\"} 9"));
+    }
+
+    #[test]
+    fn snapshot_coerces_non_finite_values() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push("grout_bad", MetricKind::Gauge, "h", &[], f64::NAN);
+        snap.push(
+            "grout_bad",
+            MetricKind::Gauge,
+            "h",
+            &[("a", "b\"c\n")],
+            f64::INFINITY,
+        );
+        let text = snap.to_prometheus();
+        assert!(text.contains("grout_bad 0"));
+        assert!(text.contains("grout_bad{a=\"b\\\"c\\n\"} 0"));
+    }
+
+    #[test]
+    fn history_ring_wraps_and_windows() {
+        let mut h = MetricsHistory::with_capacity(4);
+        for i in 0..10u64 {
+            h.push(HistorySample {
+                at_ns: i * 1_000,
+                faults: i,
+                queue_depth: i,
+                ..HistorySample::default()
+            });
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.latest().unwrap().at_ns, 9_000);
+        // Window of 2 us from the newest (9 us): samples at 7, 8, 9 us.
+        assert_eq!(h.window(2_000).len(), 3);
+        assert_eq!(h.window(u64::MAX).len(), 4);
+        assert_eq!(MetricsHistory::new().window(1).len(), 0);
+        // 3 faults over 3 us -> 1e6 faults/sec.
+        let rate = h.fault_rate_per_s(3_000);
+        assert!((rate - 1e6).abs() < 1.0, "rate={rate}");
+        assert_eq!(MetricsHistory::new().fault_rate_per_s(1_000), 0.0);
+    }
+
+    #[test]
+    fn history_renders_chrome_counters() {
+        let mut h = MetricsHistory::new();
+        h.push(HistorySample {
+            at_ns: 5_000,
+            queue_depth: 3,
+            occupancy: vec![1, 2],
+            ces_done: vec![(1, 10), (2, 4)],
+            ..HistorySample::default()
+        });
+        let json = h.to_chrome_string(u64::MAX);
+        let parsed = serde_json::from_str(&json).expect("chrome window parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")));
+        let occ: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("occupancy"))
+            .collect();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[1].get("pid").and_then(|p| p.as_u64()), Some(2));
+        let done = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("ces_done"))
+            .unwrap();
+        let args = done.get("args").unwrap();
+        assert_eq!(args.get("s1").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(args.get("s2").and_then(|v| v.as_u64()), Some(4));
     }
 }

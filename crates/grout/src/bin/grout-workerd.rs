@@ -1,13 +1,15 @@
 //! `grout-workerd` — one GrOUT worker endpoint per process.
 //!
 //! Usage:
-//!   grout-workerd [--listen <addr>]
+//!   grout-workerd [--listen <addr>] [--http <addr>]
 //!
 //! Binds `<addr>` (default `127.0.0.1:0`, letting the OS pick a port),
 //! announces the bound address as `LISTENING <addr>` on stdout — the line
 //! a spawning controller (or a shell script) waits for — then serves the
 //! GrOUT wire protocol until the controller sends a shutdown frame or
-//! disconnects.
+//! disconnects. With `--http`, a live introspection endpoint serves
+//! `/metrics` and `/healthz` alongside (a second `HTTP <addr>` stdout
+//! line announces it).
 //!
 //! Two-terminal quick start (see README):
 //!
@@ -23,6 +25,11 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
+
+use grout::core::eventlog::{self, EventLog};
+use grout::core::{monotonic_ns, MetricKind, MetricsSnapshot};
+use grout::net::http::{HttpServer, Introspect};
+use serde::json::Value;
 
 /// Set by the SIGTERM handler; the serve loop polls it on its telemetry
 /// tick and exits through the graceful-leave path.
@@ -59,8 +66,78 @@ fn main() -> ExitCode {
     }
 }
 
+/// The worker's `/metrics` + `/healthz` source. A worker holds no
+/// fleet-wide state — sessions, placement and per-tenant accounting
+/// live on the controller — so this reports process liveness, uptime
+/// and draining state; scrape the controller for everything else.
+struct WorkerdIntrospect {
+    shutdown: Arc<AtomicBool>,
+    started_ns: u64,
+}
+
+impl Introspect for WorkerdIntrospect {
+    fn metrics_text(&self) -> String {
+        let mut snap = MetricsSnapshot::new();
+        snap.push(
+            "grout_up",
+            MetricKind::Gauge,
+            "1 while the daemon serves",
+            &[("role", "worker")],
+            1.0,
+        );
+        snap.push(
+            "grout_uptime_seconds",
+            MetricKind::Gauge,
+            "Seconds since the daemon started",
+            &[("role", "worker")],
+            monotonic_ns().saturating_sub(self.started_ns) as f64 / 1e9,
+        );
+        snap.push(
+            "grout_draining",
+            MetricKind::Gauge,
+            "1 once SIGTERM was received and the worker is draining",
+            &[("role", "worker")],
+            if self.shutdown.load(Ordering::SeqCst) {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        snap.to_prometheus()
+    }
+
+    fn healthz_json(&self) -> String {
+        let doc = Value::Object(vec![
+            ("healthy".to_string(), Value::Bool(self.healthy())),
+            ("role".to_string(), Value::String("worker".to_string())),
+            (
+                "uptime_ms".to_string(),
+                Value::U64(monotonic_ns().saturating_sub(self.started_ns) / 1_000_000),
+            ),
+            (
+                "wire_version".to_string(),
+                Value::U64(grout::net::wire::WIRE_VERSION as u64),
+            ),
+        ]);
+        serde_json::to_string(&doc).expect("render healthz")
+    }
+
+    fn healthy(&self) -> bool {
+        !self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn sessions_json(&self) -> String {
+        "[]".to_string()
+    }
+
+    fn trace_json(&self, _last_ms: u64) -> String {
+        r#"{"traceEvents":[]}"#.to_string()
+    }
+}
+
 fn run() -> Result<(), String> {
     let mut listen = String::from("127.0.0.1:0");
+    let mut http = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,13 +146,21 @@ fn run() -> Result<(), String> {
                     .next()
                     .ok_or_else(|| "--listen needs an address".to_string())?;
             }
+            "--http" => {
+                http = Some(
+                    args.next()
+                        .ok_or_else(|| "--http needs an address".to_string())?,
+                );
+            }
             "-h" | "--help" => {
-                println!("usage: grout-workerd [--listen <addr>]");
+                println!("usage: grout-workerd [--listen <addr>] [--http <addr>]");
                 return Ok(());
             }
             other => return Err(format!("unknown argument `{other}`; see --help")),
         }
     }
+    let log = EventLog::stderr("grout-workerd");
+    eventlog::init(log.clone());
     let listener =
         TcpListener::bind(&listen).map_err(|e| format!("cannot bind `{listen}`: {e}"))?;
     let addr = listener
@@ -84,16 +169,41 @@ fn run() -> Result<(), String> {
     // The announcement a spawning controller waits for; flush so the line
     // crosses the pipe before we block in accept().
     println!("LISTENING {addr}");
-    let _ = std::io::stdout().flush();
-    // Operator-facing startup line: a silent daemon is indistinguishable
-    // from a hung one.
-    eprintln!(
-        "[grout-workerd] listening on {addr} (wire v{})",
-        grout::net::wire::WIRE_VERSION
-    );
     // SIGTERM drains gracefully: flush telemetry, send a clean Leave so
     // the controller re-plans immediately, exit 0.
     let shutdown = Arc::new(AtomicBool::new(false));
     install_sigterm(Arc::clone(&shutdown));
+    let _http = match &http {
+        Some(http_addr) => {
+            let http_listener = TcpListener::bind(http_addr)
+                .map_err(|e| format!("cannot bind http endpoint `{http_addr}`: {e}"))?;
+            let server = HttpServer::spawn(
+                http_listener,
+                Arc::new(WorkerdIntrospect {
+                    shutdown: Arc::clone(&shutdown),
+                    started_ns: monotonic_ns(),
+                }),
+            )
+            .map_err(|e| format!("cannot start http endpoint: {e}"))?;
+            println!("HTTP {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let _ = std::io::stdout().flush();
+    // Operator-facing startup line: a silent daemon is indistinguishable
+    // from a hung one.
+    log.info(
+        "listening",
+        None,
+        &format!(
+            "[grout-workerd] listening on {addr} (wire v{})",
+            grout::net::wire::WIRE_VERSION
+        ),
+        &[(
+            "wire_version",
+            Value::U64(grout::net::wire::WIRE_VERSION as u64),
+        )],
+    );
     grout::serve_shutdown(listener, shutdown).map_err(|e| e.to_string())
 }

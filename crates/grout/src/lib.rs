@@ -28,16 +28,17 @@ pub use uvm_sim;
 pub use grout_core::{
     replay_closure, AccessMode, AccessPattern, AdmissionConfig, AdmissionController,
     AdmissionDecision, AdmissionError, ArrayId, BatchStats, Ce, CeArg, CeId, CeKind, ChromeTracer,
-    Coherence, DevicePolicy, DurabilityOptions, ExplorationLevel, FailureDetector, FairShare,
-    FaultConfig, FaultEvent, FaultKind, FaultPlan, FleetMux, KernelCost, Lane, LatencyStat,
-    LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location, MemAdvise, Metrics, NetOptions,
+    Coherence, DevicePolicy, DurabilityOptions, EventLog, ExplorationLevel, FailureDetector,
+    FairShare, FaultConfig, FaultEvent, FaultKind, FaultPlan, FleetMux, HistorySample, KernelCost,
+    Lane, LatencyStat, LinkMatrix, LocalArg, LocalConfig, LocalRuntime, Location, LogLevel,
+    MemAdvise, MetricFamily, MetricKind, Metrics, MetricsHistory, MetricsSnapshot, NetOptions,
     NodeScheduler, Observability, PolicyKind, Priority, PurgeReport, Recorder, Regime, Runtime,
     RuntimeBuilder, SchedEvent, SessionId, SessionOpLog, SessionOpSink, SessionTransport, Shared,
     SharedPlacement, SimConfig, SimRuntime, SimTime, Telemetry,
 };
 pub use grout_net::{
-    apply_durability, serve, serve_shutdown, spawn_workerd, spawn_workerd_at, ClientOutcome,
-    CtldClient, DistBuilder, DistError, DistRuntime, SessionJournal, TcpConfig, TcpExt,
-    TcpTransport, WorkerSpec,
+    apply_durability, http_get, serve, serve_shutdown, spawn_workerd, spawn_workerd_at,
+    ClientOutcome, CtldClient, DistBuilder, DistError, DistRuntime, HttpServer, Introspect,
+    SessionJournal, TcpConfig, TcpExt, TcpTransport, WorkerSpec,
 };
 pub use grout_polyglot::{Language, Polyglot, Value};

@@ -1,0 +1,460 @@
+//! A minimal hand-rolled HTTP/1.0 responder for the live introspection
+//! plane — `/metrics`, `/healthz`, `/sessions`, `/trace`.
+//!
+//! Consistent with the rest of the crate this carries no HTTP library:
+//! requests are parsed to their request line only, every response closes
+//! the connection (`Connection: close`), and the whole server is one
+//! poll-loop thread built from the same [`poll`](crate::poll) primitives
+//! the transports use ([`poll_fds`], [`Waker`], [`WriteQueue`]). That is
+//! all a scrape endpoint needs: Prometheus, `curl`, and `grout-top` all
+//! speak one-request-per-connection HTTP happily.
+//!
+//! The daemons implement [`Introspect`] and hand it to
+//! [`HttpServer::spawn`]; the server renders whatever those callbacks
+//! return at request time, so every scrape observes live state.
+//!
+//! ## Endpoint contracts
+//!
+//! | Path | Content type | Body |
+//! |------|--------------|------|
+//! | `/metrics` | `text/plain; version=0.0.4` | Prometheus text exposition |
+//! | `/healthz` | `application/json` | admission/fleet/standby state |
+//! | `/sessions` | `application/json` | per-session state array |
+//! | `/trace?last_ms=N` | `application/json` | Chrome-trace counter window |
+//!
+//! Anything else is a 404; non-GET methods are a 405; a request line
+//! over [`MAX_REQUEST_BYTES`] is a 400 (and the socket is dropped).
+
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::poll::{poll_fds, PollFd, Waker, WriteQueue, POLLERR, POLLHUP, POLLIN, POLLOUT};
+
+/// Requests longer than this (headers included) are rejected with a 400.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Default `/trace` window when the query string omits `last_ms`.
+pub const DEFAULT_TRACE_WINDOW_MS: u64 = 5_000;
+
+/// What the daemon exposes to the introspection plane. Methods are
+/// called on the server thread at request time; implementations should
+/// snapshot shared state briefly, not block.
+pub trait Introspect: Send + Sync {
+    /// The `/metrics` body: Prometheus text exposition (version 0.0.4).
+    fn metrics_text(&self) -> String;
+    /// The `/healthz` body: JSON health document. `healthy == false`
+    /// also turns the status line into a 503 so load balancers and
+    /// `curl -f` agree with the body.
+    fn healthz_json(&self) -> String;
+    /// Whether `/healthz` should report 200 (true) or 503 (false).
+    fn healthy(&self) -> bool {
+        true
+    }
+    /// The `/sessions` body: JSON array of per-session state.
+    fn sessions_json(&self) -> String;
+    /// The `/trace` body: Chrome-trace JSON for the last `last_ms`
+    /// milliseconds of history.
+    fn trace_json(&self, last_ms: u64) -> String;
+}
+
+/// One accepted connection: accumulate the request, then drain the
+/// response.
+struct Conn {
+    stream: TcpStream,
+    request: Vec<u8>,
+    out: WriteQueue,
+    /// The request has been answered; close once `out` drains.
+    responding: bool,
+}
+
+/// A running introspection endpoint: one thread, one listener. Dropping
+/// the handle (or calling [`shutdown`](Self::shutdown)) stops the loop
+/// and joins the thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    wake: crate::poll::WakeHandle,
+    join: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Starts serving `source` on `listener` from a dedicated poll-loop
+    /// thread.
+    pub fn spawn(listener: TcpListener, source: Arc<dyn Introspect>) -> io::Result<HttpServer> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let waker = Waker::new()?;
+        let wake = waker.handle()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_loop = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("grout-http".to_string())
+            .spawn(move || serve_loop(listener, waker, stop_loop, source))?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            wake,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.wake();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    waker: Waker,
+    stop: Arc<AtomicBool>,
+    source: Arc<dyn Introspect>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd {
+            fd: listener.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        fds.push(PollFd {
+            fd: waker.fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for c in &conns {
+            fds.push(PollFd {
+                fd: c.stream.as_raw_fd(),
+                events: if c.responding { POLLOUT } else { POLLIN },
+                revents: 0,
+            });
+        }
+        // A bounded timeout keeps shutdown responsive even if the wake
+        // datagram is lost.
+        if poll_fds(&mut fds, Some(Duration::from_millis(500))).is_err() {
+            break;
+        }
+        if fds[1].revents & POLLIN != 0 {
+            waker.drain();
+        }
+        // Walk connections against their poll slots; drop the finished
+        // and the broken. Fresh accepts join afterwards so the zip stays
+        // aligned with the poll set built above.
+        let mut keep = Vec::with_capacity(conns.len());
+        for (mut conn, slot) in conns.into_iter().zip(fds[2..].iter()) {
+            if slot.revents & (POLLERR | POLLHUP) != 0 && !conn.responding {
+                continue;
+            }
+            if !conn.responding && slot.revents & POLLIN != 0 {
+                match drain_request(&mut conn) {
+                    Ok(true) => {}
+                    Ok(false) => continue, // EOF before a full request
+                    Err(_) => continue,
+                }
+                if let Some(req) = full_request(&conn.request) {
+                    let response = respond(req, source.as_ref());
+                    conn.out.enqueue_raw(response);
+                    conn.responding = true;
+                } else if conn.request.len() > MAX_REQUEST_BYTES {
+                    conn.out.enqueue_raw(render(
+                        400,
+                        "Bad Request",
+                        "text/plain",
+                        "request too large\n",
+                    ));
+                    conn.responding = true;
+                }
+            }
+            if conn.responding {
+                match conn.out.flush(&mut conn.stream) {
+                    Ok(true) => {
+                        // Response fully written: half-close so the
+                        // client sees EOF, then drop.
+                        let _ = conn.stream.flush();
+                        let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                        continue;
+                    }
+                    Ok(false) => {}
+                    Err(_) => continue,
+                }
+            }
+            keep.push(conn);
+        }
+        conns = keep;
+        if fds[0].revents & POLLIN != 0 {
+            while let Ok((stream, _)) = listener.accept() {
+                if stream.set_nonblocking(true).is_ok() {
+                    conns.push(Conn {
+                        stream,
+                        request: Vec::new(),
+                        out: WriteQueue::new(),
+                        responding: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Reads whatever the socket has. `Ok(false)` means the peer closed
+/// before completing a request.
+fn drain_request(conn: &mut Conn) -> io::Result<bool> {
+    use std::io::Read as _;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Ok(false),
+            Ok(n) => {
+                conn.request.extend_from_slice(&chunk[..n]);
+                if conn.request.len() > MAX_REQUEST_BYTES + 4096 {
+                    return Ok(true); // let the caller 400 it
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The request line, once the header block has fully arrived.
+fn full_request(buf: &[u8]) -> Option<&str> {
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    head.lines().next()
+}
+
+/// Routes one request line to its endpoint and renders the full
+/// response.
+fn respond(request_line: &str, source: &dyn Introspect) -> Vec<u8> {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return render(405, "Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => render(
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            &source.metrics_text(),
+        ),
+        "/healthz" => {
+            let body = source.healthz_json();
+            if source.healthy() {
+                render(200, "OK", "application/json", &body)
+            } else {
+                render(503, "Service Unavailable", "application/json", &body)
+            }
+        }
+        "/sessions" => render(200, "OK", "application/json", &source.sessions_json()),
+        "/trace" => {
+            let last_ms = query_param(query, "last_ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(DEFAULT_TRACE_WINDOW_MS);
+            render(200, "OK", "application/json", &source.trace_json(last_ms))
+        }
+        _ => render(404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// First value of `key` in a query string (`a=1&b=2`).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// A complete HTTP/1.0 response with `Connection: close`.
+fn render(status: u16, reason: &str, content_type: &str, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    let _ = write!(
+        out,
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Performs one blocking HTTP GET against `addr` and returns `(status,
+/// body)`. This is the client half `grout-top` and the tests use — the
+/// same no-deps stance as the server.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: grout\r\n\r\n")?;
+    let mut raw = Vec::new();
+    {
+        use std::io::Read as _;
+        stream.read_to_end(&mut raw)?;
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some((h, b)) => (h, b),
+        None => text
+            .split_once("\n\n")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?,
+    };
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl Introspect for Fake {
+        fn metrics_text(&self) -> String {
+            "# HELP grout_up 1 when serving\n# TYPE grout_up gauge\ngrout_up 1\n".to_string()
+        }
+        fn healthz_json(&self) -> String {
+            "{\"healthy\":true}".to_string()
+        }
+        fn sessions_json(&self) -> String {
+            "[]".to_string()
+        }
+        fn trace_json(&self, last_ms: u64) -> String {
+            format!("{{\"last_ms\":{last_ms}}}")
+        }
+    }
+
+    fn serve() -> (HttpServer, String) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = HttpServer::spawn(listener, Arc::new(Fake)).unwrap();
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    }
+
+    #[test]
+    fn serves_all_endpoints() {
+        let (server, addr) = serve();
+        let t = Duration::from_secs(5);
+        let (status, body) = http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("grout_up 1"));
+        let (status, body) = http_get(&addr, "/healthz", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"healthy\":true}");
+        let (status, body) = http_get(&addr, "/sessions", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "[]");
+        let (status, body) = http_get(&addr, "/trace?last_ms=250", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"last_ms\":250}");
+        let (status, body) = http_get(&addr, "/trace", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, format!("{{\"last_ms\":{DEFAULT_TRACE_WINDOW_MS}}}"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_refused() {
+        let (server, addr) = serve();
+        let t = Duration::from_secs(5);
+        let (status, _) = http_get(&addr, "/nope", t).unwrap();
+        assert_eq!(status, 404);
+        // A POST by hand.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_read_timeout(Some(t)).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        {
+            use std::io::Read as _;
+            stream.read_to_string(&mut raw).unwrap();
+        }
+        assert!(raw.starts_with("HTTP/1.0 405"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let (server, addr) = serve();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    http_get(&addr, "/metrics", Duration::from_secs(5)).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("grout_up 1"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unhealthy_source_serves_503_with_body() {
+        struct Sick;
+        impl Introspect for Sick {
+            fn metrics_text(&self) -> String {
+                String::new()
+            }
+            fn healthz_json(&self) -> String {
+                "{\"healthy\":false}".to_string()
+            }
+            fn healthy(&self) -> bool {
+                false
+            }
+            fn sessions_json(&self) -> String {
+                "[]".to_string()
+            }
+            fn trace_json(&self, _last_ms: u64) -> String {
+                "{}".to_string()
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = HttpServer::spawn(listener, Arc::new(Sick)).unwrap();
+        let addr = server.local_addr().to_string();
+        let (status, body) = http_get(&addr, "/healthz", Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "{\"healthy\":false}");
+        server.shutdown();
+    }
+}

@@ -22,7 +22,10 @@
 //!   built on the planner's replicated op log,
 //! - [`ctld`]: the `grout-ctld` client protocol (wire-v6 `Hello::Client`
 //!   handshake, [`CtldClient`]) and the session-tagged multi-tenant op
-//!   journal.
+//!   journal,
+//! - [`http`]: the hand-rolled HTTP/1.0 responder behind `--http` — the
+//!   live introspection plane (`/metrics`, `/healthz`, `/sessions`,
+//!   `/trace`) served from its own [`poll`] loop.
 //!
 //! Because controller logic, planner, and worker engine are all shared
 //! with the in-process deployment, a seeded workload produces
@@ -30,6 +33,7 @@
 //! `tests/dist_loopback.rs` differential test enforces it.
 
 pub mod ctld;
+pub mod http;
 pub mod oplog;
 pub mod poll;
 pub mod session;
@@ -46,6 +50,7 @@ pub use dist::{
     apply_durability, spawn_workerd, spawn_workerd_at, DistBuilder, DistError, DistRuntime, TcpExt,
     WorkerSpec,
 };
+pub use http::{http_get, HttpServer, Introspect};
 pub use oplog::{
     read_journal, standby_serve, Journal, JournalFooter, JournalSink, ShipSink, StandbyOutcome,
 };

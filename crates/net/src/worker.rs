@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use grout_core::eventlog::{global as log, Value};
 use grout_core::{
     monotonic_ns, CtrlMsg, Flow, Outbound, WorkerEngine, WorkerMsg, TELEMETRY_FLUSH_TICK,
 };
@@ -153,10 +154,18 @@ impl Session {
         if addrs.len() > self.peer_out.len() {
             self.peer_out.resize_with(addrs.len(), || None);
         }
-        eprintln!(
-            "[grout-workerd w{}] peer list updated: {} workers",
-            self.me,
-            addrs.len()
+        log().info(
+            "peer_list_updated",
+            None,
+            &format!(
+                "[grout-workerd w{}] peer list updated: {} workers",
+                self.me,
+                addrs.len()
+            ),
+            &[
+                ("worker", Value::U64(self.me as u64)),
+                ("peers", Value::U64(addrs.len() as u64)),
+            ],
         );
         self.peer_addrs = addrs;
     }
@@ -361,7 +370,12 @@ pub fn serve_shutdown(
                 Classified::Drop => {}
                 Classified::Peer { from } => {
                     let me = session.as_ref().map_or(usize::MAX, |s| s.me);
-                    eprintln!("[grout-workerd w{me}] peer {from} connected");
+                    log().info(
+                        "peer_connected",
+                        None,
+                        &format!("[grout-workerd w{me}] peer {from} connected"),
+                        &[("peer", Value::U64(from as u64))],
+                    );
                     let mut peer = PeerIn {
                         from,
                         stream: p.stream,
@@ -412,7 +426,12 @@ pub fn serve_shutdown(
             }
             if !open {
                 let me = session.as_ref().map_or(usize::MAX, |s| s.me);
-                eprintln!("[grout-workerd w{me}] peer {} disconnected", p.from);
+                log().warn(
+                    "peer_disconnected",
+                    None,
+                    &format!("[grout-workerd w{me}] peer {} disconnected", p.from),
+                    &[("peer", Value::U64(p.from as u64))],
+                );
                 gone.push(i);
             }
         }
@@ -564,14 +583,29 @@ fn adopt(a: Adoption, session: &mut Option<Session>, ctrl: &mut Option<CtrlSock>
         wq.enqueue(&wire::encode_ack_ex(s.me, false, s.recv_cursor.cursor()));
         false
     };
-    eprintln!(
-        "[grout-workerd w{}] {} controller (wire v{}, {} workers, heartbeat {}ms{})",
-        s.me,
-        if resumed { "resumed" } else { "adopted by" },
-        a.version,
-        a.total,
-        a.heartbeat_ms,
-        if resumed { ", session revived" } else { "" },
+    // The "adopted by controller" phrasing inside `msg` is a stable
+    // contract: CI's distributed smoke test greps for it.
+    log().info(
+        if resumed {
+            "controller_resumed"
+        } else {
+            "controller_adopted"
+        },
+        None,
+        &format!(
+            "[grout-workerd w{}] {} controller (wire v{}, {} workers, heartbeat {}ms{})",
+            s.me,
+            if resumed { "resumed" } else { "adopted by" },
+            a.version,
+            a.total,
+            a.heartbeat_ms,
+            if resumed { ", session revived" } else { "" },
+        ),
+        &[
+            ("worker", Value::U64(s.me as u64)),
+            ("wire_version", Value::U64(a.version as u64)),
+            ("total_workers", Value::U64(a.total as u64)),
+        ],
     );
     let mut c = CtrlSock {
         stream: a.stream,
@@ -609,15 +643,25 @@ fn ctrl_gone(ctrl: &mut Option<CtrlSock>, session: &mut Option<Session>) {
 fn ctrl_gone_inner(session: &mut Option<Session>) {
     match session {
         Some(s) if s.v4 => {
-            eprintln!(
-                "[grout-workerd w{}] controller lost; session parked, awaiting resume",
-                s.me
+            log().warn(
+                "controller_lost",
+                None,
+                &format!(
+                    "[grout-workerd w{}] controller lost; session parked, awaiting resume",
+                    s.me
+                ),
+                &[("worker", Value::U64(s.me as u64))],
             );
         }
         Some(s) => {
-            eprintln!(
-                "[grout-workerd w{}] controller lost; awaiting re-adoption",
-                s.me
+            log().warn(
+                "controller_lost",
+                None,
+                &format!(
+                    "[grout-workerd w{}] controller lost; awaiting re-adoption",
+                    s.me
+                ),
+                &[("worker", Value::U64(s.me as u64))],
             );
             *session = None;
         }
@@ -647,7 +691,12 @@ fn drive_ctrl_frames(c: &mut CtrlSock, session: &mut Option<Session>) -> Step {
             Ok(Some(raw)) => raw,
             Ok(None) => return Step::Continue,
             Err(e) => {
-                eprintln!("[grout-workerd] bad controller framing: {e}");
+                log().warn(
+                    "ctrl_bad_framing",
+                    None,
+                    &format!("[grout-workerd] bad controller framing: {e}"),
+                    &[],
+                );
                 return Step::CtrlGone;
             }
         };
@@ -675,7 +724,12 @@ fn drive_ctrl_frames(c: &mut CtrlSock, session: &mut Option<Session>) -> Step {
                     step
                 }
                 Err(e) => {
-                    eprintln!("[grout-workerd] bad controller envelope: {e}");
+                    log().warn(
+                        "ctrl_bad_envelope",
+                        None,
+                        &format!("[grout-workerd] bad controller envelope: {e}"),
+                        &[],
+                    );
                     Step::CtrlGone
                 }
             }
@@ -715,7 +769,12 @@ fn handle_ctrl_payload(inner: Vec<u8>, c: &mut CtrlSock, session: &mut Option<Se
     let msg = match wire::decode_ctrl(&inner) {
         Ok(msg) => msg,
         Err(e) => {
-            eprintln!("[grout-workerd] bad controller frame: {e}");
+            log().warn(
+                "ctrl_bad_frame",
+                None,
+                &format!("[grout-workerd] bad controller frame: {e}"),
+                &[],
+            );
             return Step::CtrlGone;
         }
     };
@@ -738,14 +797,24 @@ fn drive_peer_frames(
             Ok(Some(raw)) => raw,
             Ok(None) => return Step::Continue,
             Err(e) => {
-                eprintln!("[grout-workerd] peer {} bad framing: {e}", p.from);
+                log().warn(
+                    "peer_bad_framing",
+                    None,
+                    &format!("[grout-workerd] peer {} bad framing: {e}", p.from),
+                    &[("peer", Value::U64(p.from as u64))],
+                );
                 return Step::Continue; // socket dropped by caller on EOF
             }
         };
         let Ok(msg) = wire::decode_ctrl(&raw) else {
-            eprintln!(
-                "[grout-workerd] peer {} sent a bad frame; dropping it",
-                p.from
+            log().warn(
+                "peer_bad_frame",
+                None,
+                &format!(
+                    "[grout-workerd] peer {} sent a bad frame; dropping it",
+                    p.from
+                ),
+                &[("peer", Value::U64(p.from as u64))],
             );
             return Step::Continue;
         };
@@ -866,9 +935,14 @@ fn graceful_leave(s: &mut Session, c: &mut CtrlSock) {
         c.wq.enqueue(&payload);
     }
     exit_flush(c);
-    eprintln!(
-        "[grout-workerd w{}] SIGTERM: telemetry flushed, clean leave sent",
-        s.me
+    log().info(
+        "sigterm_drained",
+        None,
+        &format!(
+            "[grout-workerd w{}] SIGTERM: telemetry flushed, clean leave sent",
+            s.me
+        ),
+        &[("worker", Value::U64(s.me as u64))],
     );
 }
 
@@ -896,14 +970,24 @@ fn send_to_peer(
     msg: &CtrlMsg,
 ) {
     let Some(slot) = peer_out.get_mut(j) else {
-        eprintln!("[grout-workerd w{me}] no address for peer {j} yet; dropping");
+        log().warn(
+            "peer_no_address",
+            None,
+            &format!("[grout-workerd w{me}] no address for peer {j} yet; dropping"),
+            &[("peer", Value::U64(j as u64))],
+        );
         return;
     };
     if slot.is_none() {
         match dial_peer(me, &peer_addrs[j]) {
             Ok(s) => *slot = Some(s),
             Err(e) => {
-                eprintln!("[grout-workerd w{me}] cannot reach peer {j}: {e}");
+                log().warn(
+                    "peer_unreachable",
+                    None,
+                    &format!("[grout-workerd w{me}] cannot reach peer {j}: {e}"),
+                    &[("peer", Value::U64(j as u64))],
+                );
                 return;
             }
         }

@@ -31,6 +31,69 @@ pub mod json {
         /// Object; insertion order is preserved.
         Object(Vec<(String, Value)>),
     }
+
+    impl Value {
+        /// Looks a key up in an object (first match; `None` otherwise).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as `u64`, widening from any non-negative numeric
+        /// representation.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::U64(n) => Some(*n),
+                Value::I64(n) if *n >= 0 => Some(*n as u64),
+                Value::F64(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as `f64`, widening from any numeric representation.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::U64(n) => Some(*n as f64),
+                Value::I64(n) => Some(*n as f64),
+                Value::F64(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The object fields in insertion order, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+    }
 }
 
 /// Conversion into the JSON data model.

@@ -227,6 +227,56 @@ diff target/ci-ctld-ref.out target/ci-ctld-a.out
 diff target/ci-ctld-ref.out target/ci-ctld-b.out
 echo "grout-ctld e2e OK: both tenants bit-identical to the solo run"
 
+echo "==> introspection e2e (live /metrics + /healthz + grout-top against grout-ctld --http)"
+./target/release/grout-ctld --listen 127.0.0.1:7451 --threads 2 \
+  --http 127.0.0.1:7452 --accept 2 \
+  > target/ci-obs.log 2> target/ci-obs.err & OBS=$!
+trap 'kill "$OBS" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do
+  grep -q "CTLD HTTP" target/ci-obs.log 2>/dev/null && break
+  sleep 0.1
+done
+curl -fsS http://127.0.0.1:7452/healthz > target/ci-obs-healthz.json
+timeout 120 ./target/release/grout-run --connect 127.0.0.1:7451 \
+  target/ci-ctld.gs > target/ci-obs-client.out
+curl -fsS http://127.0.0.1:7452/metrics > target/ci-obs-metrics.txt
+curl -fsS http://127.0.0.1:7452/sessions > target/ci-obs-sessions.json
+./target/release/grout-top 127.0.0.1:7452 --once > target/ci-obs-top.out
+grep -q "sessions (1)" target/ci-obs-top.out
+# A trivial second client reaches the --accept cap so the daemon exits.
+timeout 120 ./target/release/grout-run --connect 127.0.0.1:7451 \
+  -e 'print(1)' > /dev/null
+timeout 60 tail --pid="$OBS" -f /dev/null || kill "$OBS" 2>/dev/null || true
+trap - EXIT
+# Introspection must not perturb the tenant: bit-identical to the solo run.
+diff target/ci-ctld-ref.out target/ci-obs-client.out
+if command -v python3 >/dev/null; then
+  python3 - <<'EOF'
+import json, math, re
+health = json.load(open("target/ci-obs-healthz.json"))
+assert health["healthy"] is True, health
+assert health["fleet"]["alive"] >= 1, health
+sessions = json.load(open("target/ci-obs-sessions.json"))
+assert any(s["state"] == "finished" for s in sessions), sessions
+line_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9][0-9eE.+-]*$')
+session_label = False
+for raw in open("target/ci-obs-metrics.txt"):
+    line = raw.rstrip("\n")
+    if not line or line.startswith("#"):
+        continue
+    assert line_re.match(line), f"invalid exposition line: {line!r}"
+    value = float(line.rsplit(" ", 1)[1])
+    assert math.isfinite(value), f"non-finite sample: {line!r}"
+    if 'session="' in line:
+        session_label = True
+assert session_label, "no per-session labels in the exposition"
+print("introspection exposition schema OK")
+EOF
+else
+  echo "(python3 unavailable; exposition schema checked by tests/ctld.rs)"
+fi
+echo "introspection e2e OK: live endpoints answered with per-session labels"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -12,13 +12,19 @@
 //!   `grout-ctld` process (CE batching on) each get exactly the solo
 //!   script output.
 
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
+use std::time::Duration;
 
 use grout::core::{ChannelTransport, FairShare, FleetMux, LocalRuntime, Runtime, SessionId};
+use grout::net::http::http_get;
+use grout::net::CtldClient;
 use grout::LocalArg;
 use proptest::prelude::*;
+use serde::json::Value;
 
 const N: usize = 1 << 8;
 
@@ -241,6 +247,220 @@ fn saturated_ctld_rejects_with_typed_error_and_clean_client_exit() {
         out.stdout.is_empty(),
         "a rejected client must produce no script output"
     );
+    let status = ctld.wait().expect("ctld exits");
+    assert!(status.success(), "ctld must exit cleanly after --accept");
+}
+
+/// A scratch path under the target dir (unique per test invocation).
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("grout-ctld-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// The span-name set of a Chrome trace file: every `ph == "X"` event.
+fn trace_span_set(path: &PathBuf) -> BTreeSet<String> {
+    let body = std::fs::read_to_string(path).expect("trace file readable");
+    let doc: Value = serde_json::from_str(&body).expect("trace file is JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .map(String::from)
+        .collect()
+}
+
+/// Tracing and CE batching are orthogonal: a traced `--batch` run
+/// produces the same span set and bit-identical client output as the
+/// unbatched run, and the trace's process names carry the session
+/// prefix (one lane stripe per tenant, no collisions).
+#[test]
+fn traced_batch_run_matches_unbatched_spans_and_output() {
+    let mut outputs = Vec::new();
+    let mut spans = Vec::new();
+    for batch in [false, true] {
+        let trace = scratch(if batch { "batch.trace" } else { "plain.trace" });
+        let _ = std::fs::remove_file(&trace);
+        let mut args = vec![
+            "--listen",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--accept",
+            "1",
+            "--trace-out",
+        ];
+        let trace_str = trace.to_str().expect("utf8 path").to_string();
+        args.push(&trace_str);
+        if batch {
+            args.push("--batch");
+        }
+        let (mut ctld, addr) = spawn_ctld(&args);
+        let out = Command::new(env!("CARGO_BIN_EXE_grout-run"))
+            .args(["-e", GUEST, "--connect", &addr])
+            .output()
+            .expect("grout-run runs");
+        assert!(out.status.success(), "traced client failed");
+        let status = ctld.wait().expect("ctld exits");
+        assert!(status.success(), "ctld must exit cleanly after --accept");
+        outputs.push(out.stdout);
+        spans.push(trace_span_set(&trace));
+
+        // Satellite guarantee: every track belongs to a session-prefixed
+        // process, so two tenants can never collide on one lane.
+        let body = std::fs::read_to_string(&trace).expect("trace readable");
+        let doc: Value = serde_json::from_str(&body).expect("trace is JSON");
+        let names: Vec<String> = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents")
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("name").and_then(Value::as_str) == Some("process_name")
+            })
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")))
+            .filter_map(|n| n.as_str().map(String::from))
+            .collect();
+        assert!(!names.is_empty(), "trace has no process metadata");
+        for name in &names {
+            assert!(
+                name.starts_with("s1 "),
+                "process `{name}` is not session-prefixed"
+            );
+        }
+        let _ = std::fs::remove_file(&trace);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "batching changed traced client output"
+    );
+    assert!(!spans[0].is_empty(), "unbatched trace recorded no spans");
+    assert_eq!(spans[0], spans[1], "batching changed the span set");
+}
+
+/// The acceptance run for the introspection plane: while two concurrent
+/// clients execute, `/metrics`, `/healthz` and `/sessions` answer live
+/// with per-session labels; `grout-top --once` renders the fleet; and
+/// enabling the plane leaves client output bit-identical to solo.
+#[test]
+fn live_introspection_plane_serves_during_concurrent_run() {
+    let solo = Command::new(env!("CARGO_BIN_EXE_grout-run"))
+        .args(["-e", GUEST, "--workers", "2"])
+        .output()
+        .expect("solo grout-run");
+    assert!(solo.status.success(), "solo run failed");
+    let solo_stdout = solo.stdout.clone();
+
+    // --accept 3: two real clients plus the teardown detach connection.
+    let mut ctld = Command::new(env!("CARGO_BIN_EXE_grout-ctld"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--batch",
+            "--http",
+            "127.0.0.1:0",
+            "--accept",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("grout-ctld spawns");
+    let stdout = ctld.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = lines
+        .next()
+        .expect("listen banner")
+        .expect("readable")
+        .strip_prefix("CTLD LISTENING ")
+        .expect("listen banner prefix")
+        .to_string();
+    let http = lines
+        .next()
+        .expect("http banner")
+        .expect("readable")
+        .strip_prefix("CTLD HTTP ")
+        .expect("http banner prefix")
+        .to_string();
+
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            Command::new(env!("CARGO_BIN_EXE_grout-run"))
+                .args(["-e", GUEST, "--connect", &addr])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("client spawns")
+        })
+        .collect();
+
+    // Scrape while the clients run: every endpoint must answer.
+    let timeout = Duration::from_secs(2);
+    for _ in 0..3 {
+        let (code, body) = http_get(&http, "/healthz", timeout).expect("live /healthz");
+        assert!(code == 200 || code == 503, "unexpected /healthz status");
+        assert!(body.contains("\"healthy\""), "healthz body: {body}");
+        let (code, body) = http_get(&http, "/metrics", timeout).expect("live /metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("grout_up 1"), "metrics body missing grout_up");
+        let (code, _) = http_get(&http, "/sessions", timeout).expect("live /sessions");
+        assert_eq!(code, 200);
+    }
+
+    for client in clients {
+        let out = client.wait_with_output().expect("client exits");
+        assert!(out.status.success(), "introspected client failed");
+        assert_eq!(
+            out.stdout, solo_stdout,
+            "introspection changed client output"
+        );
+    }
+
+    // After both sessions finish the registry still reports them, the
+    // exposition carries their session labels, and grout-top renders it.
+    let (_, metrics) = http_get(&http, "/metrics", timeout).expect("/metrics after run");
+    assert!(
+        metrics.contains("session=\"") && metrics.contains("grout_session_ces_done_total"),
+        "per-session labels missing from exposition:\n{metrics}"
+    );
+    let (_, sessions) = http_get(&http, "/sessions", timeout).expect("/sessions after run");
+    let doc: Value = serde_json::from_str(&sessions).expect("sessions JSON");
+    let rows = doc.as_array().expect("sessions array");
+    assert_eq!(rows.len(), 2, "both sessions must stay visible: {sessions}");
+    for row in rows {
+        assert_eq!(
+            row.get("state").and_then(Value::as_str),
+            Some("finished"),
+            "session not finished: {sessions}"
+        );
+        assert!(
+            row.get("ops").and_then(Value::as_u64).unwrap_or(0) > 0,
+            "session op-log length missing: {sessions}"
+        );
+    }
+    let top = Command::new(env!("CARGO_BIN_EXE_grout-top"))
+        .args([&http, "--once"])
+        .output()
+        .expect("grout-top runs");
+    assert!(top.status.success(), "grout-top --once failed");
+    let rendered = String::from_utf8_lossy(&top.stdout);
+    assert!(
+        rendered.contains("sessions (2)") && rendered.contains("fleet: 2 workers"),
+        "grout-top rendering unexpected:\n{rendered}"
+    );
+
+    // Teardown: one extra connection hits the accept cap; a bare detach
+    // serves as the no-op third client.
+    let mut bye = CtldClient::connect(&addr).expect("teardown connect");
+    bye.detach().expect("teardown detach");
+    drop(bye);
     let status = ctld.wait().expect("ctld exits");
     assert!(status.success(), "ctld must exit cleanly after --accept");
 }
